@@ -1,0 +1,99 @@
+// gsbench regenerates the paper's evaluation: every experiment from the
+// per-experiment index in DESIGN.md, printed as the tables/series the
+// paper reports. Results are recorded in EXPERIMENTS.md.
+//
+//	gsbench [-run E1,E3] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gigascope/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	all := want["ALL"]
+	sel := func(id string) bool { return all || want[id] }
+
+	secs := 3.0
+	pkts := 200_000
+	if *quick {
+		secs = 1.0
+		pkts = 40_000
+	}
+
+	if sel("E1") {
+		rows, err := experiments.E1(secs)
+		check(err)
+		experiments.PrintE1(os.Stdout, rows)
+		pts, err := experiments.E1Curve(secs, []float64{60, 120, 180, 240, 360, 480, 540, 610, 700})
+		check(err)
+		experiments.PrintE1Curve(os.Stdout, pts)
+		fmt.Println()
+	}
+	if sel("E2") {
+		rows, err := experiments.E2(
+			[]int{64, 256, 1024, 4096, 16384},
+			[]int{100, 1000, 10000},
+			pkts)
+		check(err)
+		experiments.PrintE2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("E3") {
+		rows, err := experiments.E3(pkts/4, 100_000)
+		check(err)
+		experiments.PrintE3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("E4") {
+		rows, err := experiments.E4(pkts)
+		check(err)
+		experiments.PrintE4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("E5") {
+		row, err := experiments.E5(pkts * 2)
+		check(err)
+		experiments.PrintE5(os.Stdout, row)
+		fmt.Println()
+	}
+	if sel("E6") {
+		joins, err := experiments.E6Join(pkts/4, []int64{0, 1, 2, 4, 8})
+		check(err)
+		agg, err := experiments.E6Agg(pkts / 4)
+		check(err)
+		experiments.PrintE6(os.Stdout, joins, agg)
+		fmt.Println()
+	}
+	if sel("E7") {
+		rows, err := experiments.E7(pkts/2, []float64{0.01, 0.05, 0.2, 0.5, 1.0}, 54)
+		check(err)
+		experiments.PrintE7(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("E8") {
+		rows, err := experiments.E8(secs, []float64{60, 120, 240, 360, 450, 490, 550, 700, 900})
+		check(err)
+		experiments.PrintE8(os.Stdout, rows)
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// gsql parses, type-checks, and explains GSQL queries: it shows the
+// LFTA/HFTA split, imputed ordering properties, NIC pushdown programs,
+// and snap lengths without running anything.
+//
+//	gsql [-f file.gsql] ['query text']
+//
+// With no arguments it reads from stdin. Files may contain PROTOCOL
+// definitions and multiple queries separated by semicolons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gigascope/internal/core"
+	"gigascope/internal/gsql"
+	"gigascope/internal/netflow"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+func main() {
+	file := flag.String("f", "", "read GSQL from this file instead of the command line")
+	noSplit := flag.Bool("nosplit", false, "disable LFTA/HFTA query splitting")
+	tableSize := flag.Int("lfta-table", 0, "LFTA direct-mapped aggregation table slots (default 4096)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gsql [-f file.gsql] ['query text']\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	src, err := readSource(*file, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	script, err := gsql.ParseScript(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(script.Protocols) == 0 && len(script.Queries) == 0 {
+		fatal(fmt.Errorf("no queries or protocol definitions in input"))
+	}
+
+	cat := schema.NewCatalog()
+	if err := pkt.RegisterBuiltins(cat); err != nil {
+		fatal(err)
+	}
+	if err := netflow.Register(cat); err != nil {
+		fatal(err)
+	}
+	opts := &core.Options{DisableSplit: *noSplit, LFTATableSize: *tableSize}
+
+	for _, def := range script.Protocols {
+		s, err := core.ProtocolSchema(def)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cat.Register(s); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("registered protocol %s (%d fields)\n", s.Name, len(s.Cols))
+	}
+	for i, q := range script.Queries {
+		cq, err := core.Compile(cat, q, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", 72))
+		}
+		fmt.Print(cq.Explain())
+	}
+}
+
+func readSource(file string, args []string) (string, error) {
+	if file != "" {
+		b, err := os.ReadFile(file)
+		return string(b), err
+	}
+	if len(args) > 0 {
+		return strings.Join(args, " "), nil
+	}
+	b, err := io.ReadAll(os.Stdin)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gsql: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// bgp_flap monitors BGP updates for route flaps — the "router
+// configuration (e.g. BGP monitoring)" application from the paper's
+// introduction. BGP updates are just another Protocol stream; the same
+// GSQL machinery (group by a time bucket, HAVING threshold) that counts
+// packets counts route announcements.
+//
+//	go run ./examples/bgp_flap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gigascope"
+)
+
+func main() {
+	sys, err := gigascope.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Withdrawal rate per peer per minute: a session going unstable shows
+	// up here first.
+	sys.MustAddQuery(`
+		DEFINE { query_name withdrawals; }
+		SELECT tb, peer, count(*) as n
+		FROM BGPUPDATE WHERE kind = 1
+		GROUP BY time/60 as tb, peer`, nil)
+
+	// Flap detection: prefixes updated more than 20 times in a minute.
+	sys.MustAddQuery(`
+		DEFINE { query_name flaps; }
+		SELECT tb, prefix, masklen, count(*) as updates
+		FROM BGPUPDATE
+		GROUP BY time/60 as tb, prefix, masklen
+		HAVING count(*) > 20`, nil)
+
+	wSub, err := sys.Subscribe("withdrawals", 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fSub, err := sys.Subscribe("flaps", 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	gen, err := gigascope.NewBGPGenerator(gigascope.BGPConfig{
+		Seed: 11, Peers: 4, Prefixes: 1000,
+		BaselinePerSec: 20, FlappingPrefixes: 1, FlapPerSec: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 30_000; i++ {
+			p := gen.Next()
+			sys.Inject("", &p)
+		}
+		sys.Stop()
+	}()
+
+	go func() {
+		for m := range wSub.C {
+			_ = m // withdrawal rates consumed; print only flaps below
+		}
+	}()
+
+	fmt.Println("minute  prefix              updates   <-- flapping routes")
+	for m := range fSub.C {
+		if m.IsHeartbeat() {
+			continue
+		}
+		fmt.Printf("%6d  %-15s/%-2d %8d\n",
+			m.Tuple[0].Uint(),
+			gigascope.FormatIP(m.Tuple[1].IP()), m.Tuple[2].Uint(),
+			m.Tuple[3].Uint())
+	}
+}

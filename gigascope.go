@@ -1,0 +1,271 @@
+// Package gigascope is a stream database for network applications — a
+// from-scratch Go reproduction of Gigascope (Cranor, Johnson, Spatscheck,
+// Shkapenyuk; SIGMOD 2003).
+//
+// Queries are written in GSQL, a pure stream dialect of SQL: every input
+// and output is a stream. The compiler splits each query into low-level
+// LFTA nodes that run on the packet capture path (with selection and snap
+// length pushed into the NIC where possible) and high-level HFTA nodes
+// that complete the computation; blocking operators are unblocked by
+// attribute ordering properties and heartbeat punctuations rather than
+// sliding windows.
+//
+// Basic use:
+//
+//	sys, _ := gigascope.New()
+//	sys.MustAddQuery(`
+//	    DEFINE { query_name tcpdest; }
+//	    SELECT destIP, destPort, time FROM eth0.TCP
+//	    WHERE ipversion = 4 and protocol = 6`, nil)
+//	sub, _ := sys.Subscribe("tcpdest", 1024)
+//	sys.Start()
+//	go func() { /* feed packets */ sys.Inject("eth0", pkt); sys.Stop() }()
+//	for msg := range sub.C { ... }
+package gigascope
+
+import (
+	"fmt"
+
+	"gigascope/internal/bgp"
+	"gigascope/internal/core"
+	"gigascope/internal/defrag"
+	"gigascope/internal/gsql"
+	"gigascope/internal/netflow"
+	"gigascope/internal/pkt"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// Config tunes a System.
+type Config struct {
+	// RingSize is the capacity, in tuples, of the rings connecting query
+	// nodes and subscribers (default 1024).
+	RingSize int
+	// HeartbeatUsec is the virtual-time interval between source
+	// heartbeats (default 1s).
+	HeartbeatUsec uint64
+	// LFTATableSize is the direct-mapped aggregation table size used by
+	// LFTA nodes (default 4096 slots).
+	LFTATableSize int
+	// DisableSplit turns off LFTA/HFTA query splitting (for ablation
+	// experiments).
+	DisableSplit bool
+}
+
+// System is one Gigascope instance: a schema catalog, the query compiler,
+// and the run time system.
+type System struct {
+	cfg     Config
+	catalog *schema.Catalog
+	mgr     *rts.Manager
+	plans   map[string]*core.CompiledQuery
+}
+
+// New builds a System with the built-in protocol schemas (ETH, IPV4, TCP,
+// UDP, NETFLOW, BGPUPDATE) registered.
+func New(cfg ...Config) (*System, error) {
+	var c Config
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	cat := schema.NewCatalog()
+	if err := pkt.RegisterBuiltins(cat); err != nil {
+		return nil, err
+	}
+	if err := netflow.Register(cat); err != nil {
+		return nil, err
+	}
+	if err := bgp.Register(cat); err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:     c,
+		catalog: cat,
+		mgr: rts.NewManager(cat, rts.Config{
+			RingSize:      c.RingSize,
+			HeartbeatUsec: c.HeartbeatUsec,
+		}),
+		plans: make(map[string]*core.CompiledQuery),
+	}, nil
+}
+
+func (s *System) compileOptions() *core.Options {
+	return &core.Options{
+		LFTATableSize: s.cfg.LFTATableSize,
+		DisableSplit:  s.cfg.DisableSplit,
+	}
+}
+
+// DefineProtocols parses PROTOCOL declarations (the Gigascope DDL) and
+// registers them. Interpretation functions named by the declarations must
+// exist in the interpretation library.
+func (s *System) DefineProtocols(ddl string) error {
+	script, err := gsql.ParseScript(ddl)
+	if err != nil {
+		return err
+	}
+	if len(script.Queries) > 0 {
+		return fmt.Errorf("gigascope: DefineProtocols accepts only PROTOCOL declarations; use AddQuery for queries")
+	}
+	for _, def := range script.Protocols {
+		sc, err := core.ProtocolSchema(def)
+		if err != nil {
+			return err
+		}
+		for _, col := range sc.Cols {
+			if col.Interp == "" {
+				return fmt.Errorf("gigascope: protocol %s column %s has no interpretation function", sc.Name, col.Name)
+			}
+			if _, ok := pkt.LookupInterp(col.Interp); !ok {
+				return fmt.Errorf("gigascope: protocol %s column %s: interpretation function %q not registered", sc.Name, col.Name, col.Interp)
+			}
+		}
+		if err := s.catalog.Register(sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddQuery parses, compiles, and registers one GSQL query with the given
+// parameter bindings, returning its compiled plan. LFTA-bearing queries
+// must be added before Start.
+func (s *System) AddQuery(text string, params map[string]Value) (*core.CompiledQuery, error) {
+	q, err := gsql.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := core.Compile(s.catalog, q, s.compileOptions())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.mgr.AddQuery(cq, params); err != nil {
+		// Roll the catalog registrations back so the query can be fixed
+		// and resubmitted.
+		for _, n := range cq.Nodes {
+			s.catalog.Remove(n.Name)
+		}
+		return nil, err
+	}
+	s.plans[cq.Name] = cq
+	return cq, nil
+}
+
+// MustAddQuery is AddQuery panicking on error; for examples and tests.
+func (s *System) MustAddQuery(text string, params map[string]Value) *core.CompiledQuery {
+	cq, err := s.AddQuery(text, params)
+	if err != nil {
+		panic(err)
+	}
+	return cq
+}
+
+// AddScript parses a GSQL source file: protocol definitions are
+// registered and every query is compiled and added (with no parameter
+// bindings; use AddQuery for parameterized queries).
+func (s *System) AddScript(text string) error {
+	script, err := gsql.ParseScript(text)
+	if err != nil {
+		return err
+	}
+	for _, def := range script.Protocols {
+		sc, err := core.ProtocolSchema(def)
+		if err != nil {
+			return err
+		}
+		if err := s.catalog.Register(sc); err != nil {
+			return err
+		}
+	}
+	for _, q := range script.Queries {
+		cq, err := core.Compile(s.catalog, q, s.compileOptions())
+		if err != nil {
+			return err
+		}
+		if err := s.mgr.AddQuery(cq, nil); err != nil {
+			return err
+		}
+		s.plans[cq.Name] = cq
+	}
+	return nil
+}
+
+// Explain renders the compiled plan of a registered query.
+func (s *System) Explain(name string) (string, error) {
+	cq, ok := s.plans[name]
+	if !ok {
+		return "", fmt.Errorf("gigascope: no query named %s", name)
+	}
+	return cq.Explain(), nil
+}
+
+// Plan returns the compiled plan of a registered query.
+func (s *System) Plan(name string) (*core.CompiledQuery, bool) {
+	cq, ok := s.plans[name]
+	return cq, ok
+}
+
+// Catalog exposes the schema catalog (protocols and stream schemas).
+func (s *System) Catalog() *schema.Catalog { return s.catalog }
+
+// Registry lists every subscribable stream, including mangled LFTA names.
+func (s *System) Registry() []string { return s.mgr.Registry() }
+
+// Subscribe returns a handle on a stream by name.
+func (s *System) Subscribe(name string, bufSize int) (*Subscription, error) {
+	return s.mgr.Subscribe(name, bufSize)
+}
+
+// SetParams changes a query node's parameters on the fly.
+func (s *System) SetParams(name string, params map[string]Value) error {
+	return s.mgr.SetParams(name, params)
+}
+
+// AddUserNode registers a hand-written query node (an exec.Operator-style
+// stream operator) against the query-node API, the extension mechanism
+// the paper describes for special operators like IP defragmentation (§3).
+// Port i of the operator is fed from inputs[i]; its output is registered
+// under name and subscribable like any query.
+func (s *System) AddUserNode(name string, op StreamOperator, inputs []string) error {
+	return s.mgr.AddUserNode(name, op, inputs)
+}
+
+// AddDefragNode registers the built-in IP defragmentation operator (the
+// paper's §3 example of a user-written query node) reading the named
+// stream, which must carry the standard IPV4 column set (time, srcIP,
+// destIP, ip_id, protocol, fragment_offset, mf_flag, ip_payload).
+// Downstream queries read whole datagrams FROM name.
+func (s *System) AddDefragNode(name, input string, timeoutSec uint64) error {
+	in, ok := s.catalog.Lookup(input)
+	if !ok {
+		return fmt.Errorf("gigascope: unknown stream %s", input)
+	}
+	cfg, err := defrag.ConfigFor(in)
+	if err != nil {
+		return err
+	}
+	cfg.TimeoutSec = timeoutSec
+	out := in.Clone()
+	out.Name = name
+	op, err := defrag.New(cfg, out)
+	if err != nil {
+		return err
+	}
+	return s.mgr.AddUserNode(name, op, []string{input})
+}
+
+// Start freezes the LFTA set and launches the HFTA nodes.
+func (s *System) Start() error { return s.mgr.Start() }
+
+// Stop flushes all queries and closes every subscription.
+func (s *System) Stop() { s.mgr.Stop() }
+
+// Inject delivers one packet to the named interface ("" = default).
+func (s *System) Inject(iface string, p *Packet) { s.mgr.Inject(iface, p) }
+
+// AdvanceClock moves the virtual clock (microseconds), generating source
+// heartbeats for idle interfaces.
+func (s *System) AdvanceClock(usec uint64) { s.mgr.AdvanceClock(usec) }
+
+// Stats returns per-node monitoring counters.
+func (s *System) Stats() []rts.NodeStats { return s.mgr.Stats() }

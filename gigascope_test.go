@@ -1,0 +1,159 @@
+package gigascope
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystemQuickPath(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.MustAddQuery(`
+		DEFINE { query_name tcpdest; }
+		SELECT destIP, destPort, time FROM eth0.TCP
+		WHERE ipversion = 4 and protocol = 6`, nil)
+	sub, err := sys.Subscribe("tcpdest", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := BuildTCP(1_000_000, TCPSpec{SrcIP: 0x0a000001, DstIP: 0x0a000002, DstPort: 80})
+	sys.Inject("eth0", &p)
+	sys.Stop()
+	var rows int
+	for m := range sub.C {
+		if !m.IsHeartbeat() {
+			rows++
+			if m.Tuple[0].IP() != 0x0a000002 || m.Tuple[1].Uint() != 80 {
+				t.Errorf("tuple = %v", m.Tuple)
+			}
+		}
+	}
+	if rows != 1 {
+		t.Errorf("rows = %d", rows)
+	}
+}
+
+func TestSystemExplainAndRegistry(t *testing.T) {
+	sys, _ := New()
+	sys.MustAddQuery(`
+		DEFINE { query_name http; }
+		SELECT time FROM TCP
+		WHERE destPort = 80 and str_regex_match(payload, 'HTTP/1')`, nil)
+	exp, err := sys.Explain("http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp, "LFTA") || !strings.Contains(exp, "HFTA") {
+		t.Errorf("explain = %s", exp)
+	}
+	reg := sys.Registry()
+	if len(reg) != 2 {
+		t.Errorf("registry = %v", reg)
+	}
+	if _, err := sys.Explain("nosuch"); err == nil {
+		t.Error("explain of unknown query succeeded")
+	}
+	if _, ok := sys.Plan("http"); !ok {
+		t.Error("plan not found")
+	}
+}
+
+func TestSystemAddQueryRollbackOnRTSError(t *testing.T) {
+	sys, _ := New()
+	sys.MustAddQuery(`DEFINE { query_name q1; } SELECT time FROM TCP`, nil)
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// An LFTA-bearing query after Start fails in the RTS; the catalog
+	// must be rolled back so the name stays free.
+	if _, err := sys.AddQuery(`DEFINE { query_name late; } SELECT time FROM TCP`, nil); err == nil {
+		t.Fatal("LFTA after start accepted")
+	}
+	if _, ok := sys.Catalog().Lookup("late"); ok {
+		t.Error("catalog not rolled back")
+	}
+	sys.Stop()
+}
+
+func TestSystemDefineProtocols(t *testing.T) {
+	sys, _ := New()
+	err := sys.DefineProtocols(`
+		PROTOCOL SENSOR {
+			uint time get_time (increasing);
+			uint reading get_total_length;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Catalog().Lookup("SENSOR"); !ok {
+		t.Error("protocol not registered")
+	}
+	if err := sys.DefineProtocols(`PROTOCOL BAD { uint x no_such_interp; }`); err == nil {
+		t.Error("unknown interp accepted")
+	}
+	if err := sys.DefineProtocols(`SELECT x FROM y`); err == nil {
+		t.Error("query accepted by DefineProtocols")
+	}
+}
+
+func TestSystemScript(t *testing.T) {
+	sys, _ := New()
+	err := sys.AddScript(`
+		DEFINE { query_name base; }
+		SELECT time, destPort FROM TCP;
+		DEFINE { query_name derived; }
+		SELECT time FROM base WHERE destPort = 80`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Registry()) != 2 {
+		t.Errorf("registry = %v", sys.Registry())
+	}
+}
+
+func TestSystemNetflowBuiltin(t *testing.T) {
+	sys, _ := New()
+	sys.MustAddQuery(`
+		DEFINE { query_name nf; }
+		SELECT start_time, bytes FROM NETFLOW WHERE protocol = 6`, nil)
+	sub, err := sys.Subscribe("nf", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewFlowGenerator(FlowConfig{Seed: 1, FlowsPerSecond: 10, MeanDurationSec: 5, MeanPps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p := gen.Next()
+		sys.Inject("", &p)
+	}
+	sys.Stop()
+	rows := 0
+	for m := range sub.C {
+		if !m.IsHeartbeat() {
+			rows++
+		}
+	}
+	if rows != 100 {
+		t.Errorf("rows = %d", rows)
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if Uint(5).Uint() != 5 || Int(-1).Int() != -1 || !Bool(true).Bool() {
+		t.Error("constructors broken")
+	}
+	a, err := ParseIP("10.0.0.1")
+	if err != nil || FormatIP(a) != "10.0.0.1" {
+		t.Errorf("ip round trip: %v %v", a, err)
+	}
+}

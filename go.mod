@@ -1,0 +1,3 @@
+module gigascope
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package bgp synthesizes BGP update records, one of the packet sources
+// the paper names (§2.2: "these data packets can be from any reasonable
+// source — IP packets transported via OC48, Netflow packets, BGP
+// updates") supporting its router-configuration-analysis application
+// ("router configuration (e.g. BGP monitoring)", §1).
+//
+// As with NetFlow, records are carried one per pkt.Packet in a compact
+// fixed layout (the record stream a collector produces after parsing BGP
+// UPDATE messages; full RFC 4271 framing is out of scope — see
+// DESIGN.md).
+package bgp
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// RecordLen is the wire size of one update record.
+const RecordLen = 24
+
+// Update kinds.
+const (
+	KindAnnounce = 0
+	KindWithdraw = 1
+)
+
+// Field offsets.
+const (
+	offPeer    = 0  // peer router IP (4)
+	offPrefix  = 4  // announced/withdrawn prefix (4)
+	offMaskLen = 8  // prefix length (1)
+	offKind    = 9  // announce/withdraw (1)
+	offOriginA = 10 // origin AS (2)
+	offMED     = 12 // multi-exit discriminator (4)
+	offTime    = 16 // update time, seconds (4)
+	offSeq     = 20 // per-peer sequence number (4)
+)
+
+// Update is one decoded BGP update record.
+type Update struct {
+	Peer     uint32
+	Prefix   uint32
+	MaskLen  uint8
+	Kind     uint8
+	OriginAS uint16
+	MED      uint32
+	Time     uint32
+	Seq      uint32
+}
+
+// Encode packs the update into a packet stamped at the given export time.
+func (u Update) Encode(exportUsec uint64) pkt.Packet {
+	data := make([]byte, RecordLen)
+	binary.BigEndian.PutUint32(data[offPeer:], u.Peer)
+	binary.BigEndian.PutUint32(data[offPrefix:], u.Prefix)
+	data[offMaskLen] = u.MaskLen
+	data[offKind] = u.Kind
+	binary.BigEndian.PutUint16(data[offOriginA:], u.OriginAS)
+	binary.BigEndian.PutUint32(data[offMED:], u.MED)
+	binary.BigEndian.PutUint32(data[offTime:], u.Time)
+	binary.BigEndian.PutUint32(data[offSeq:], u.Seq)
+	return pkt.Packet{TS: exportUsec, WireLen: RecordLen, Data: data}
+}
+
+// Decode parses an update record packet.
+func Decode(p *pkt.Packet) (Update, error) {
+	if len(p.Data) < RecordLen {
+		return Update{}, fmt.Errorf("bgp: short record (%d bytes)", len(p.Data))
+	}
+	return Update{
+		Peer:     binary.BigEndian.Uint32(p.Data[offPeer:]),
+		Prefix:   binary.BigEndian.Uint32(p.Data[offPrefix:]),
+		MaskLen:  p.Data[offMaskLen],
+		Kind:     p.Data[offKind],
+		OriginAS: binary.BigEndian.Uint16(p.Data[offOriginA:]),
+		MED:      binary.BigEndian.Uint32(p.Data[offMED:]),
+		Time:     binary.BigEndian.Uint32(p.Data[offTime:]),
+		Seq:      binary.BigEndian.Uint32(p.Data[offSeq:]),
+	}, nil
+}
+
+func bgpRaw(name string, off, width int, ty schema.Type) {
+	raw := pkt.RawRef{Off: off, Width: width}
+	pkt.RegisterInterp(&pkt.FieldSpec{
+		Name: name, Type: ty, Raw: &raw, NeedBytes: raw.End(),
+		Extract: func(p *pkt.Packet) (schema.Value, bool) {
+			v, ok := raw.Read(p)
+			if !ok {
+				return schema.Null, false
+			}
+			if ty == schema.TIP {
+				return schema.MakeIP(uint32(v)), true
+			}
+			return schema.MakeUint(v), true
+		},
+	})
+}
+
+func init() {
+	bgpRaw("bgp_peer", offPeer, 4, schema.TIP)
+	bgpRaw("bgp_prefix", offPrefix, 4, schema.TIP)
+	bgpRaw("bgp_masklen", offMaskLen, 1, schema.TUint)
+	bgpRaw("bgp_kind", offKind, 1, schema.TUint)
+	bgpRaw("bgp_origin_as", offOriginA, 2, schema.TUint)
+	bgpRaw("bgp_med", offMED, 4, schema.TUint)
+	bgpRaw("bgp_time", offTime, 4, schema.TUint)
+	bgpRaw("bgp_seq", offSeq, 4, schema.TUint)
+}
+
+// Schema returns the BGPUPDATE protocol schema. Updates arrive in time
+// order; per-peer sequence numbers increase within each peer (the paper's
+// increasing-in-group property).
+func Schema() *schema.Schema {
+	inc := schema.Ordering{Kind: schema.OrderIncreasing}
+	return &schema.Schema{
+		Name: "BGPUPDATE",
+		Kind: schema.KindProtocol,
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint, Interp: "bgp_time", Ordering: inc},
+			{Name: "peer", Type: schema.TIP, Interp: "bgp_peer"},
+			{Name: "prefix", Type: schema.TIP, Interp: "bgp_prefix"},
+			{Name: "masklen", Type: schema.TUint, Interp: "bgp_masklen"},
+			{Name: "kind", Type: schema.TUint, Interp: "bgp_kind"},
+			{Name: "origin_as", Type: schema.TUint, Interp: "bgp_origin_as"},
+			{Name: "med", Type: schema.TUint, Interp: "bgp_med"},
+			{Name: "seq", Type: schema.TUint, Interp: "bgp_seq",
+				Ordering: schema.Ordering{Kind: schema.OrderIncreasingInGroup, Group: []string{"peer"}}},
+		},
+	}
+}
+
+// Register adds the BGPUPDATE schema to a catalog.
+func Register(cat *schema.Catalog) error { return cat.Register(Schema()) }
+
+// Config tunes the update synthesizer.
+type Config struct {
+	Seed  int64
+	Peers int // BGP peers (default 4)
+	// Prefixes is the routing-table size per peer (default 500).
+	Prefixes int
+	// BaselinePerSec is the steady announce/withdraw churn rate across
+	// all peers (default 5).
+	BaselinePerSec float64
+	// FlappingPrefixes marks this many prefixes per peer as flapping:
+	// they announce/withdraw at FlapPerSec each (default 2 at 1/s).
+	FlappingPrefixes int
+	FlapPerSec       float64
+	StartSec         uint64
+}
+
+func (c *Config) fill() {
+	if c.Peers == 0 {
+		c.Peers = 4
+	}
+	if c.Prefixes == 0 {
+		c.Prefixes = 500
+	}
+	if c.BaselinePerSec == 0 {
+		c.BaselinePerSec = 5
+	}
+	if c.FlappingPrefixes == 0 {
+		c.FlappingPrefixes = 2
+	}
+	if c.FlapPerSec == 0 {
+		c.FlapPerSec = 1
+	}
+}
+
+// Generator produces BGP updates in time order: baseline churn across the
+// table plus a few route flaps (the classic BGP-monitoring target).
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	srcs  srcHeap
+	seq   map[uint32]uint32
+	count uint64
+}
+
+type updateSrc struct {
+	peer    uint32
+	prefix  uint32
+	masklen uint8
+	origin  uint16
+	flap    bool
+	state   uint8 // last kind emitted (flap alternates)
+	rate    float64
+	nextUs  float64
+	// baseline sources pick a random prefix per event
+	table []tableEntry
+}
+
+type tableEntry struct {
+	prefix  uint32
+	masklen uint8
+	origin  uint16
+}
+
+type srcHeap []*updateSrc
+
+func (h srcHeap) Len() int           { return len(h) }
+func (h srcHeap) Less(i, j int) bool { return h[i].nextUs < h[j].nextUs }
+func (h srcHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *srcHeap) Push(x any)        { *h = append(*h, x.(*updateSrc)) }
+func (h *srcHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// NewGenerator builds a BGP update source.
+func NewGenerator(cfg Config) (*Generator, error) {
+	cfg.fill()
+	if cfg.Peers < 1 || cfg.Prefixes < cfg.FlappingPrefixes {
+		return nil, fmt.Errorf("bgp: invalid configuration")
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), seq: make(map[uint32]uint32)}
+	start := float64(cfg.StartSec) * 1e6
+	for p := 0; p < cfg.Peers; p++ {
+		peer := 0xc0a8ff00 | uint32(p+1)
+		table := make([]tableEntry, cfg.Prefixes)
+		for i := range table {
+			table[i] = tableEntry{
+				prefix:  uint32(g.rng.Uint64()) &^ 0xff,
+				masklen: uint8(12 + g.rng.Intn(13)),
+				origin:  uint16(1000 + g.rng.Intn(60000)),
+			}
+		}
+		// Baseline churn source for this peer.
+		base := &updateSrc{
+			peer: peer, table: table,
+			rate:   cfg.BaselinePerSec / float64(cfg.Peers),
+			nextUs: start + g.rng.ExpFloat64()*1e6,
+		}
+		heap.Push(&g.srcs, base)
+		// Flapping prefixes.
+		for i := 0; i < cfg.FlappingPrefixes; i++ {
+			e := table[g.rng.Intn(len(table))]
+			heap.Push(&g.srcs, &updateSrc{
+				peer: peer, prefix: e.prefix, masklen: e.masklen, origin: e.origin,
+				flap: true, rate: cfg.FlapPerSec,
+				nextUs: start + g.rng.ExpFloat64()*1e6,
+			})
+		}
+	}
+	return g, nil
+}
+
+// Next returns the next update in time order.
+func (g *Generator) Next() pkt.Packet {
+	s := g.srcs[0]
+	ts := uint64(s.nextUs)
+	u := Update{Peer: s.peer, Time: uint32(ts / 1e6)}
+	if s.flap {
+		s.state ^= 1
+		u.Prefix, u.MaskLen, u.OriginAS = s.prefix, s.masklen, s.origin
+		u.Kind = s.state
+	} else {
+		e := s.table[g.rng.Intn(len(s.table))]
+		u.Prefix, u.MaskLen, u.OriginAS = e.prefix, e.masklen, e.origin
+		u.Kind = uint8(g.rng.Intn(2))
+	}
+	u.MED = uint32(g.rng.Intn(100))
+	g.seq[s.peer]++
+	u.Seq = g.seq[s.peer]
+	s.nextUs += g.rng.ExpFloat64() * 1e6 / s.rate
+	heap.Fix(&g.srcs, 0)
+	g.count++
+	return u.Encode(ts)
+}
+
+// Count returns the number of updates generated.
+func (g *Generator) Count() uint64 { return g.count }

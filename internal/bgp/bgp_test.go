@@ -1,0 +1,182 @@
+package bgp
+
+import (
+	"testing"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	u := Update{
+		Peer: 0xc0a8ff01, Prefix: 0x0a400000, MaskLen: 12, Kind: KindWithdraw,
+		OriginAS: 7018, MED: 42, Time: 1234, Seq: 99,
+	}
+	p := u.Encode(1_234_500_000)
+	got, err := Decode(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != u {
+		t.Errorf("round trip: got %+v, want %+v", got, u)
+	}
+	short := pkt.Packet{Data: p.Data[:5]}
+	if _, err := Decode(&short); err == nil {
+		t.Error("short record decoded")
+	}
+}
+
+func TestInterpFunctionsMatchDecode(t *testing.T) {
+	u := Update{Peer: 0xc0a8ff02, Prefix: 0x0a000000, MaskLen: 8, Kind: KindAnnounce,
+		OriginAS: 701, MED: 7, Time: 500, Seq: 3}
+	p := u.Encode(500_000_000)
+	cases := map[string]uint64{
+		"bgp_masklen":   8,
+		"bgp_kind":      0,
+		"bgp_origin_as": 701,
+		"bgp_med":       7,
+		"bgp_time":      500,
+		"bgp_seq":       3,
+	}
+	for name, want := range cases {
+		f, ok := pkt.LookupInterp(name)
+		if !ok {
+			t.Fatalf("%s unregistered", name)
+		}
+		v, ok := f.Extract(&p)
+		if !ok || v.Uint() != want {
+			t.Errorf("%s = %v, %v; want %d", name, v, ok, want)
+		}
+	}
+	f, _ := pkt.LookupInterp("bgp_prefix")
+	if v, _ := f.Extract(&p); v.IP() != u.Prefix {
+		t.Errorf("bgp_prefix = %v", v)
+	}
+}
+
+func TestSchemaValid(t *testing.T) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	i, c := s.Col("seq")
+	if i < 0 || c.Ordering.Kind != schema.OrderIncreasingInGroup {
+		t.Errorf("seq ordering = %v", c)
+	}
+	cat := schema.NewCatalog()
+	if err := Register(cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorOrderingAndFlaps(t *testing.T) {
+	g, err := NewGenerator(Config{Seed: 1, Peers: 3, Prefixes: 100,
+		BaselinePerSec: 10, FlappingPrefixes: 1, FlapPerSec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeCheck := schema.NewOrderChecker(schema.Ordering{Kind: schema.OrderIncreasing}, nil)
+	seqCheck := schema.NewOrderChecker(
+		schema.Ordering{Kind: schema.OrderIncreasingInGroup, Group: []string{"peer"}},
+		func(tup schema.Tuple) string { return tup[0].String() },
+	)
+	perPrefix := map[uint32]int{}
+	peers := map[uint32]bool{}
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		u, err := Decode(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := timeCheck.Observe(schema.MakeUint(uint64(u.Time)), nil); err != nil {
+			t.Fatalf("time order: %v", err)
+		}
+		key := schema.Tuple{schema.MakeIP(u.Peer), schema.MakeUint(uint64(u.Seq))}
+		if err := seqCheck.Observe(key[1], key); err != nil {
+			t.Fatalf("per-peer seq: %v", err)
+		}
+		perPrefix[u.Prefix]++
+		peers[u.Peer] = true
+	}
+	if len(peers) != 3 {
+		t.Errorf("peers = %d", len(peers))
+	}
+	// Flapping prefixes must dominate the update counts.
+	max := 0
+	for _, c := range perPrefix {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 200 {
+		t.Errorf("hottest prefix has %d updates; flaps not visible", max)
+	}
+	if _, err := NewGenerator(Config{Peers: 1, Prefixes: 1, FlappingPrefixes: 5}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// End-to-end: the flap-detection query over generated updates.
+func TestBGPFlapQueryEndToEnd(t *testing.T) {
+	cat := schema.NewCatalog()
+	if err := Register(cat); err != nil {
+		t.Fatal(err)
+	}
+	q, err := gsql.ParseQuery(`
+		DEFINE { query_name flaps; }
+		SELECT tb, prefix, count(*) as updates
+		FROM BGPUPDATE
+		GROUP BY time/60 as tb, prefix
+		HAVING count(*) > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := core.Compile(cat, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := make([]*core.Instance, len(cq.Nodes))
+	for i, n := range cq.Nodes {
+		if insts[i], err = n.Instantiate(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var flagged []schema.Tuple
+	sink := func(m exec.Message) {
+		if !m.IsHeartbeat() {
+			flagged = append(flagged, m.Tuple)
+		}
+	}
+	mid := func(m exec.Message) { insts[1].Op.Push(0, m, sink) }
+	g, err := NewGenerator(Config{Seed: 2, Peers: 2, Prefixes: 200,
+		BaselinePerSec: 4, FlappingPrefixes: 1, FlapPerSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		p := g.Next()
+		if err := insts[0].PushPacket(&p, mid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insts[0].Op.FlushAll(mid)
+	insts[1].Op.FlushAll(sink)
+	if len(flagged) == 0 {
+		t.Fatal("no flaps detected")
+	}
+	// Each flagged row must be one of the flapping prefixes: > 30
+	// updates/minute vs baseline 2/s spread over 400 prefixes.
+	seen := map[uint32]bool{}
+	for _, row := range flagged {
+		seen[row[1].IP()] = true
+		if row[2].Uint() <= 30 {
+			t.Errorf("HAVING violated: %v", row)
+		}
+	}
+	if len(seen) > 2 {
+		t.Errorf("flagged %d distinct prefixes, expected at most the 2 flapping ones", len(seen))
+	}
+}

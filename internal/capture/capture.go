@@ -1,0 +1,284 @@
+// Package capture simulates the measurement substrate of the paper's §4
+// experiment: a host capture stack with per-packet interrupt costs,
+// per-byte copy costs, interrupt livelock under overload, a disk-dump
+// path with long unpredictable write stalls, and a programmable NIC that
+// can pre-filter packets or host LFTAs outright.
+//
+// The model is a single-CPU priority-preemptive queueing simulation in
+// virtual time: interrupt work always preempts processing work, the ring
+// between them is finite, and a full ring drops packets. This reproduces
+// the qualitative behavior the paper reports — "at this point the system
+// experienced interrupt livelock" and "touching disk kills performance
+// not because it is slow but because it generates long and unpredictable
+// delays" — with abstract cost units in place of the 733 MHz testbed.
+package capture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gigascope/internal/pkt"
+)
+
+// Mode selects one of the paper's four §4 configurations.
+type Mode uint8
+
+const (
+	// ModeDiskDump writes full packets to disk for post-facto analysis.
+	ModeDiskDump Mode = iota + 1
+	// ModePcapDiscard reads packets from the NIC and discards them (the
+	// best-case host processing bound).
+	ModePcapDiscard
+	// ModeHostLFTA runs Gigascope with LFTAs on the host (reading from
+	// the libpcap-equivalent path).
+	ModeHostLFTA
+	// ModeNICLFTA runs Gigascope with LFTAs executing on the programmable
+	// NIC; only qualifying tuples cross to the host.
+	ModeNICLFTA
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDiskDump:
+		return "disk dump"
+	case ModePcapDiscard:
+		return "libpcap discard"
+	case ModeHostLFTA:
+		return "gigascope host-LFTA"
+	case ModeNICLFTA:
+		return "gigascope NIC-LFTA"
+	}
+	return "?"
+}
+
+// Params is the abstract cost model, in CPU-microseconds of the simulated
+// host. Defaults are calibrated so the §4 shape holds (disk ≈ 180,
+// pcap ≈ host-LFTA ≈ 480, NIC-LFTA ≈ 610+ Mbit/s at 2% loss).
+type Params struct {
+	InterruptUs    float64 // per-packet kernel/interrupt cost on the host
+	CopyPerByteUs  float64 // per captured byte copied to user space
+	AppPerPktUs    float64 // discard-path application cost
+	LFTAPerPktUs   float64 // host LFTA evaluation per packet
+	HFTAPerTupleUs float64 // HFTA fixed cost per tuple
+	RegexPerByteUs float64 // HFTA regex cost per payload byte
+
+	DiskPerByteUs  float64 // disk write cost per byte
+	DiskStallEvery int     // bytes between write stalls
+	DiskStallUs    float64 // mean stall duration (exponential)
+
+	TupleDeliverUs float64 // per-tuple delivery interrupt (NIC mode)
+	NICPerPktUs    float64 // NIC processor cost per packet (NIC mode)
+	NICBacklogUs   float64 // max NIC backlog before input overrun
+
+	RingPackets int // host ring capacity between interrupts and processing
+}
+
+// DefaultParams returns the calibrated cost model.
+func DefaultParams() Params {
+	return Params{
+		InterruptUs:    10.0,
+		CopyPerByteUs:  0.006,
+		AppPerPktUs:    0.7,
+		LFTAPerPktUs:   0.3,
+		HFTAPerTupleUs: 1.0,
+		RegexPerByteUs: 0.004,
+
+		DiskPerByteUs:  0.020,
+		DiskStallEvery: 4 << 20,
+		DiskStallUs:    30_000,
+
+		TupleDeliverUs: 4.0,
+		NICPerPktUs:    13.0,
+		NICBacklogUs:   1500,
+
+		RingPackets: 2048,
+	}
+}
+
+// Pipeline is the query work the stack runs per packet. Filter is the
+// LFTA decision (wired to real compiled operators by the harness);
+// HFTABytes gives the expensive per-tuple byte count (regex input).
+type Pipeline struct {
+	Filter    func(*pkt.Packet) bool
+	HFTABytes func(*pkt.Packet) int
+	SnapLen   int // NIC snap length, 0 = full packets
+}
+
+// Stats accumulates the run's outcome.
+type Stats struct {
+	Offered     uint64 // packets offered on the wire
+	OfferedBits uint64
+	NICFiltered uint64 // intentionally discarded by the NIC filter (not loss)
+	NICOverrun  uint64 // lost: NIC processor could not keep up
+	RingDrops   uint64 // lost: host ring full (livelock regime)
+	Delivered   uint64 // packets (or tuples) handed to processing
+	Matched     uint64 // tuples the LFTA passed to the HFTA
+	DiskBytes   uint64
+	DiskStalls  uint64
+}
+
+// Lost returns the capacity-loss packet count (intentional filtering
+// excluded).
+func (s Stats) Lost() uint64 { return s.NICOverrun + s.RingDrops }
+
+// LossRate returns lost packets / offered packets.
+func (s Stats) LossRate() float64 {
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.Lost()) / float64(s.Offered)
+}
+
+// Stack simulates one capture configuration.
+type Stack struct {
+	mode Mode
+	par  Params
+	pipe Pipeline
+	rng  *rand.Rand
+
+	lastUs     float64
+	intBacklog float64   // pending interrupt work (preempts everything)
+	queue      []float64 // pending processing work items (cost each)
+	qhead      int
+	nicBacklog float64
+	sinceStall int
+
+	stats Stats
+}
+
+// NewStack builds a simulation of the given configuration. LFTA modes
+// require a pipeline with a filter.
+func NewStack(mode Mode, par Params, pipe Pipeline, seed int64) (*Stack, error) {
+	switch mode {
+	case ModeDiskDump, ModePcapDiscard:
+	case ModeHostLFTA, ModeNICLFTA:
+		if pipe.Filter == nil {
+			return nil, fmt.Errorf("capture: %s needs a pipeline filter", mode)
+		}
+	default:
+		return nil, fmt.Errorf("capture: unknown mode %d", mode)
+	}
+	if par.RingPackets <= 0 {
+		return nil, fmt.Errorf("capture: ring capacity must be positive")
+	}
+	return &Stack{mode: mode, par: par, pipe: pipe, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Stats returns the accumulated statistics.
+func (st *Stack) Stats() Stats { return st.stats }
+
+// queueLen returns the live processing queue length.
+func (st *Stack) queueLen() int { return len(st.queue) - st.qhead }
+
+// drainTo advances the simulation clock to t, serving interrupt work
+// first and processing work with whatever CPU time remains.
+func (st *Stack) drainTo(t float64) {
+	dt := t - st.lastUs
+	if dt <= 0 {
+		return
+	}
+	st.lastUs = t
+	// The NIC is its own processor; it drains in parallel.
+	st.nicBacklog -= dt
+	if st.nicBacklog < 0 {
+		st.nicBacklog = 0
+	}
+	// Host CPU: interrupts preempt processing.
+	if st.intBacklog >= dt {
+		st.intBacklog -= dt
+		return
+	}
+	dt -= st.intBacklog
+	st.intBacklog = 0
+	for dt > 0 && st.qhead < len(st.queue) {
+		if st.queue[st.qhead] <= dt {
+			dt -= st.queue[st.qhead]
+			st.qhead++
+		} else {
+			st.queue[st.qhead] -= dt
+			dt = 0
+		}
+	}
+	if st.qhead > 4096 && st.qhead*2 >= len(st.queue) {
+		st.queue = append([]float64(nil), st.queue[st.qhead:]...)
+		st.qhead = 0
+	}
+}
+
+// Arrive offers one packet to the stack at its timestamp.
+func (st *Stack) Arrive(p *pkt.Packet) {
+	st.drainTo(float64(p.TS))
+	st.stats.Offered++
+	st.stats.OfferedBits += uint64(p.WireLen * 8)
+
+	if st.mode == ModeNICLFTA {
+		st.arriveNIC(p)
+		return
+	}
+
+	// Host path: the interrupt fires for every wire packet, whether or
+	// not it is subsequently dropped — this is what produces livelock.
+	st.intBacklog += st.par.InterruptUs
+	if st.queueLen() >= st.par.RingPackets {
+		st.stats.RingDrops++
+		return
+	}
+	capBytes := p.CapLen()
+	cost := float64(capBytes) * st.par.CopyPerByteUs
+	switch st.mode {
+	case ModePcapDiscard:
+		cost += st.par.AppPerPktUs
+	case ModeDiskDump:
+		cost += float64(capBytes) * st.par.DiskPerByteUs
+		st.stats.DiskBytes += uint64(capBytes)
+		st.sinceStall += capBytes
+		if st.par.DiskStallEvery > 0 && st.sinceStall >= st.par.DiskStallEvery {
+			st.sinceStall = 0
+			st.stats.DiskStalls++
+			cost += st.rng.ExpFloat64() * st.par.DiskStallUs
+		}
+	case ModeHostLFTA:
+		cost += st.par.LFTAPerPktUs
+		if st.pipe.Filter(p) {
+			st.stats.Matched++
+			cost += st.par.HFTAPerTupleUs
+			if st.pipe.HFTABytes != nil {
+				cost += float64(st.pipe.HFTABytes(p)) * st.par.RegexPerByteUs
+			}
+		}
+	}
+	st.stats.Delivered++
+	st.queue = append(st.queue, cost)
+}
+
+// arriveNIC models the programmable-NIC configuration: the NIC spends its
+// own cycles per packet, discards non-matching packets without touching
+// the host, and delivers qualifying tuples with a cheap coalesced
+// interrupt.
+func (st *Stack) arriveNIC(p *pkt.Packet) {
+	if st.nicBacklog+st.par.NICPerPktUs > st.par.NICBacklogUs {
+		st.stats.NICOverrun++
+		return
+	}
+	st.nicBacklog += st.par.NICPerPktUs
+	if !st.pipe.Filter(p) {
+		st.stats.NICFiltered++
+		return
+	}
+	st.stats.Matched++
+	st.intBacklog += st.par.TupleDeliverUs
+	if st.queueLen() >= st.par.RingPackets {
+		st.stats.RingDrops++
+		return
+	}
+	capBytes := p.CapLen()
+	if st.pipe.SnapLen > 0 && capBytes > st.pipe.SnapLen {
+		capBytes = st.pipe.SnapLen
+	}
+	cost := float64(capBytes)*st.par.CopyPerByteUs + st.par.HFTAPerTupleUs
+	if st.pipe.HFTABytes != nil {
+		cost += float64(st.pipe.HFTABytes(p)) * st.par.RegexPerByteUs
+	}
+	st.stats.Delivered++
+	st.queue = append(st.queue, cost)
+}

@@ -1,0 +1,159 @@
+package capture
+
+import (
+	"fmt"
+	"regexp"
+
+	"gigascope/internal/netsim"
+	"gigascope/internal/pkt"
+)
+
+// The §4 experiment: "compute the fraction of port 80 traffic which is
+// due to the HTTP protocol ... by comparing a count of all packets on
+// port 80 with a count of packets on port 80 whose data payload matches
+// the regular expression ^[^\n]*HTTP/1.*". 60 Mbit/s of port 80 traffic
+// plus background traffic to vary the total rate; 2% loss is the maximum
+// acceptable.
+
+// Workload describes the §4 traffic mix.
+type Workload struct {
+	Port80Mbps     float64 // the fixed port-80 component (paper: 60)
+	BackgroundMbps float64 // swept to vary total offered load
+	HTTPFraction   float64 // fraction of port-80 packets that are HTTP
+	PktBytes       int     // frame size
+	Seed           int64
+}
+
+// DefaultWorkload returns the paper's §4 mix.
+func DefaultWorkload(backgroundMbps float64) Workload {
+	return Workload{
+		Port80Mbps:     60,
+		BackgroundMbps: backgroundMbps,
+		HTTPFraction:   0.6,
+		PktBytes:       1000,
+		Seed:           42,
+	}
+}
+
+// TotalMbps returns the offered load.
+func (w Workload) TotalMbps() float64 { return w.Port80Mbps + w.BackgroundMbps }
+
+func (w Workload) generator() (*netsim.Generator, error) {
+	classes := []netsim.Class{{
+		Name: "port80", RateMbps: w.Port80Mbps, PktBytes: w.PktBytes,
+		DstPort: 80, Proto: pkt.ProtoTCP,
+		Payload: netsim.PayloadHTTP, HTTPFraction: w.HTTPFraction,
+		Flows: 512,
+	}}
+	if w.BackgroundMbps > 0 {
+		classes = append(classes, netsim.Class{
+			Name: "background", RateMbps: w.BackgroundMbps, PktBytes: w.PktBytes,
+			DstPort: 9000, Proto: pkt.ProtoTCP, Payload: netsim.PayloadRandom,
+			Flows: 512,
+		})
+	}
+	return netsim.New(netsim.Config{Seed: w.Seed, Classes: classes})
+}
+
+// HTTPPipeline is the §4 query pipeline with the default (reference)
+// filter: LFTA keeps TCP port-80 packets; HFTA runs the paper's regex
+// over the payload. RunConfiguration accepts custom pipelines so the
+// benchmarks can wire in the real compiled LFTA instead.
+func HTTPPipeline() Pipeline {
+	return Pipeline{
+		Filter: func(p *pkt.Packet) bool {
+			proto, ok := p.IPProto()
+			if !ok || proto != pkt.ProtoTCP {
+				return false
+			}
+			port, ok := p.U16(pkt.EthHeaderLen + pkt.IPv4HeaderLen + 2)
+			return ok && port == 80
+		},
+		HFTABytes: func(p *pkt.Packet) int {
+			pay, ok := p.Payload()
+			if !ok {
+				return 0
+			}
+			return len(pay)
+		},
+	}
+}
+
+// HTTPRegex is the paper's detection pattern.
+var HTTPRegex = regexp.MustCompile(`^[^\n]*HTTP/1.*`)
+
+// RunConfiguration simulates one §4 configuration for the given virtual
+// duration and returns the stack statistics.
+func RunConfiguration(mode Mode, par Params, w Workload, pipe Pipeline, seconds float64) (Stats, error) {
+	gen, err := w.generator()
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := NewStack(mode, par, pipe, w.Seed)
+	if err != nil {
+		return Stats{}, err
+	}
+	gen.Until(uint64(seconds*1e6), st.Arrive)
+	return st.Stats(), nil
+}
+
+// MaxSustainableRate finds the highest total offered load (Mbit/s) a
+// configuration sustains with loss <= lossTarget, by bisection over the
+// background rate. It returns the total rate (port 80 + background).
+func MaxSustainableRate(mode Mode, par Params, pipe Pipeline, lossTarget, seconds float64) (float64, error) {
+	lossAt := func(total float64) (float64, error) {
+		bg := total - 60
+		if bg < 0 {
+			bg = 0
+		}
+		stats, err := RunConfiguration(mode, par, DefaultWorkload(bg), pipe, seconds)
+		if err != nil {
+			return 0, err
+		}
+		return stats.LossRate(), nil
+	}
+	lo, hi := 60.0, 60.0
+	// Grow until loss exceeds the target (or an absurd rate is reached).
+	for hi < 4000 {
+		loss, err := lossAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if loss > lossTarget {
+			break
+		}
+		lo = hi
+		hi *= 1.5
+	}
+	if hi >= 4000 {
+		return hi, nil
+	}
+	for i := 0; i < 20 && hi-lo > 2; i++ {
+		mid := (lo + hi) / 2
+		loss, err := lossAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if loss > lossTarget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}
+
+// ConfigurationName returns the paper's label for a mode.
+func ConfigurationName(mode Mode) string {
+	switch mode {
+	case ModeDiskDump:
+		return "1) dump to disk"
+	case ModePcapDiscard:
+		return "2) libpcap read+discard"
+	case ModeHostLFTA:
+		return "3) Gigascope, LFTAs on host"
+	case ModeNICLFTA:
+		return "4) Gigascope, LFTAs on NIC"
+	}
+	return fmt.Sprintf("mode %d", mode)
+}

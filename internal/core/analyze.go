@@ -1,0 +1,505 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// analyzer carries per-query compilation state.
+type analyzer struct {
+	cat    *schema.Catalog
+	reg    *funcs.Registry
+	opts   *Options
+	name   string
+	params map[string]schema.Type
+}
+
+// resolveSources maps the FROM clause to schemas. Protocol sources carry
+// their interface binding; stream sources must already be in the catalog.
+func (a *analyzer) resolveSources(q *gsql.Query) ([]SourceRef, error) {
+	if len(q.Sources) == 0 {
+		return nil, fmt.Errorf("query has no sources")
+	}
+	refs := make([]SourceRef, len(q.Sources))
+	for i, t := range q.Sources {
+		s, ok := a.cat.Lookup(t.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown stream or protocol %q", t.Name)
+		}
+		refs[i] = SourceRef{
+			Name:       s.Name,
+			Interface:  t.Interface,
+			Binding:    t.Binding(),
+			Schema:     s,
+			IsProtocol: s.Kind == schema.KindProtocol,
+		}
+		if t.Interface != "" && s.Kind != schema.KindProtocol {
+			return nil, fmt.Errorf("%s is a stream; interface qualifiers apply only to protocols", t.Name)
+		}
+	}
+	return refs, nil
+}
+
+// conjuncts flattens a predicate into AND-ed terms.
+func conjuncts(e gsql.Expr) []gsql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*gsql.BinaryExpr); ok && b.Op == gsql.OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []gsql.Expr{e}
+}
+
+// conjoin rebuilds a predicate from conjuncts; nil for an empty list.
+func conjoin(es []gsql.Expr) gsql.Expr {
+	var out gsql.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &gsql.BinaryExpr{Op: gsql.OpAnd, L: out, R: e, At: e.Pos()}
+		}
+	}
+	return out
+}
+
+// exprCheap reports whether every function referenced is LFTA-safe.
+func (a *analyzer) exprCheap(e gsql.Expr) bool {
+	cheap := true
+	gsql.Walk(e, func(n gsql.Expr) bool {
+		if call, ok := n.(*gsql.FuncCall); ok {
+			if f, ok := a.reg.Scalar(call.Name); ok && f.Cost == funcs.CostExpensive {
+				cheap = false
+				return false
+			}
+		}
+		return true
+	})
+	return cheap
+}
+
+// hasAggregate reports whether the expression contains an aggregate call.
+func (a *analyzer) hasAggregate(e gsql.Expr) bool {
+	found := false
+	gsql.Walk(e, func(n gsql.Expr) bool {
+		if call, ok := n.(*gsql.FuncCall); ok && a.reg.IsAggregate(call.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// colRefs collects the distinct column names (by lower-cased name)
+// referenced by the expressions, resolved against a single source.
+func colRefs(es []gsql.Expr) []*gsql.ColRef {
+	var out []*gsql.ColRef
+	seen := make(map[string]bool)
+	for _, e := range es {
+		gsql.Walk(e, func(n gsql.Expr) bool {
+			if c, ok := n.(*gsql.ColRef); ok {
+				key := strings.ToLower(c.Name)
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, c)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// outName derives the output column name for a select item:
+// alias > column name > synthesized.
+func outName(item gsql.SelectItem, i int, used map[string]bool) (string, error) {
+	name := item.Alias
+	if name == "" {
+		if c, ok := item.Expr.(*gsql.ColRef); ok {
+			name = c.Name
+		} else {
+			name = fmt.Sprintf("f%d", i)
+		}
+	}
+	key := strings.ToLower(name)
+	if used[key] {
+		return "", fmt.Errorf("duplicate output column %q (add AS aliases)", name)
+	}
+	used[key] = true
+	return name, nil
+}
+
+// transform rebuilds an expression bottom-up, replacing each node with
+// f(node) where f returns non-nil.
+func transform(e gsql.Expr, f func(gsql.Expr) gsql.Expr) gsql.Expr {
+	if e == nil {
+		return nil
+	}
+	if r := f(e); r != nil {
+		return r
+	}
+	switch n := e.(type) {
+	case *gsql.BinaryExpr:
+		return &gsql.BinaryExpr{Op: n.Op, L: transform(n.L, f), R: transform(n.R, f), At: n.At}
+	case *gsql.UnaryExpr:
+		return &gsql.UnaryExpr{Op: n.Op, X: transform(n.X, f), At: n.At}
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(n.Args))
+		for i, arg := range n.Args {
+			args[i] = transform(arg, f)
+		}
+		return &gsql.FuncCall{Name: n.Name, Args: args, At: n.At}
+	}
+	return e
+}
+
+// stripQualifiers clears table qualifiers (used when rewriting an HFTA to
+// read the LFTA's output stream).
+func stripQualifiers(e gsql.Expr) gsql.Expr {
+	return transform(e, func(n gsql.Expr) gsql.Expr {
+		if c, ok := n.(*gsql.ColRef); ok {
+			return &gsql.ColRef{Name: c.Name, At: c.At}
+		}
+		return nil
+	})
+}
+
+// buildSelProj analyzes a pure selection/projection node.
+func (a *analyzer) buildSelProj(name string, level Level, src SourceRef, q *gsql.Query) (*Node, error) {
+	comp := &exec.Compiler{
+		Reg:     a.reg,
+		Params:  a.params,
+		Resolve: exec.SchemaResolver(src.Schema, src.Binding),
+	}
+	n := &Node{
+		Name: name, Level: level, Kind: OpSelProj,
+		Sources: []SourceRef{src}, Query: q, params: a.params,
+	}
+	if q.Where != nil {
+		pred, err := comp.Compile(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Type() != schema.TBool {
+			return nil, fmt.Errorf("WHERE clause is %s, not boolean", pred.Type())
+		}
+		n.selPred = pred
+	}
+	used := make(map[string]bool)
+	out := &schema.Schema{Name: name, Kind: schema.KindStream}
+	for i, item := range q.Select {
+		if a.hasAggregate(item.Expr) {
+			return nil, fmt.Errorf("aggregate in SELECT requires a GROUP BY clause")
+		}
+		e, err := comp.Compile(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		colName, err := outName(item, i, used)
+		if err != nil {
+			return nil, err
+		}
+		ord := imputeExpr(item.Expr, src.Schema, src.Binding)
+		// In-group ordering survives only if all its group fields are
+		// projected through untouched; conservatively drop it.
+		if ord.Kind == schema.OrderIncreasingInGroup {
+			ord = schema.NoOrder
+		}
+		out.Cols = append(out.Cols, schema.Column{Name: colName, Type: e.Type(), Ordering: ord})
+		n.selOuts = append(n.selOuts, e)
+		n.selHB = append(n.selHB, hbPropagatable(item.Expr, src.Schema, src.Binding))
+	}
+	n.handles = comp.Handles
+	n.Out = out
+	a.finishProtocolNode(n, q)
+	return n, nil
+}
+
+// finishProtocolNode records which protocol columns an LFTA extracts and
+// derives the NIC pushdown.
+func (a *analyzer) finishProtocolNode(n *Node, q *gsql.Query) {
+	src := n.Sources[0]
+	if !src.IsProtocol {
+		return
+	}
+	var exprs []gsql.Expr
+	for _, it := range q.Select {
+		exprs = append(exprs, it.Expr)
+	}
+	for _, it := range q.GroupBy {
+		exprs = append(exprs, it.Expr)
+	}
+	if q.Where != nil {
+		exprs = append(exprs, q.Where)
+	}
+	if q.Having != nil {
+		exprs = append(exprs, q.Having)
+	}
+	for _, c := range colRefs(exprs) {
+		if i, _ := src.Schema.Col(c.Name); i >= 0 {
+			n.needCols = append(n.needCols, i)
+		}
+	}
+	n.NICProgram, n.SnapLen = a.pushdown(n, q)
+}
+
+// buildAgg analyzes a group-by/aggregation node. When lfta is true it
+// builds the LFTA direct-mapped variant.
+func (a *analyzer) buildAgg(name string, level Level, src SourceRef, q *gsql.Query, lfta bool) (*Node, error) {
+	comp := &exec.Compiler{
+		Reg:     a.reg,
+		Params:  a.params,
+		Resolve: exec.SchemaResolver(src.Schema, src.Binding),
+	}
+	n := &Node{
+		Name: name, Level: level, Kind: OpAgg,
+		Sources: []SourceRef{src}, Query: q, params: a.params,
+		lftaTable: a.opts.tableSize(),
+	}
+	spec := &exec.AggSpec{OrdGroup: -1}
+
+	if q.Where != nil {
+		if a.hasAggregate(q.Where) {
+			return nil, fmt.Errorf("aggregates are not allowed in WHERE (use HAVING)")
+		}
+		pred, err := comp.Compile(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		spec.Pred = pred
+	}
+
+	// Group-by expressions: names come from aliases, then column names.
+	groupNames := make([]string, len(q.GroupBy))
+	groupOrds := make([]schema.Ordering, len(q.GroupBy))
+	usedGroups := make(map[string]bool)
+	for i, item := range q.GroupBy {
+		if a.hasAggregate(item.Expr) {
+			return nil, fmt.Errorf("aggregate in GROUP BY")
+		}
+		e, err := comp.Compile(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		gname, err := outName(item, i, usedGroups)
+		if err != nil {
+			return nil, fmt.Errorf("group-by: %w", err)
+		}
+		groupNames[i] = gname
+		groupOrds[i] = imputeExpr(item.Expr, src.Schema, src.Binding)
+		spec.GroupExprs = append(spec.GroupExprs, e)
+	}
+
+	// Pick the flush-driving ordered key (paper §2.1: "the group key must
+	// contain at least one ordered attribute"). Preference: increasing,
+	// then banded, then decreasing. Not enforced when absent — the user
+	// can flush manually (§2.2) — but recorded as OrdGroup = -1.
+	for i, ord := range groupOrds {
+		switch {
+		case ord.Increasing():
+			spec.OrdGroup, spec.Band, spec.Desc = i, 0, false
+		case ord.Kind == schema.OrderBandedIncreasing && spec.OrdGroup < 0:
+			spec.OrdGroup, spec.Band, spec.Desc = i, ord.Band, false
+		case ord.Decreasing() && spec.OrdGroup < 0:
+			spec.OrdGroup, spec.Band, spec.Desc = i, 0, true
+		}
+		if ord.Increasing() {
+			break
+		}
+	}
+
+	// Collect aggregate calls from SELECT and HAVING; rewrite both into
+	// the post-aggregation namespace [groups..., aggregates...].
+	post := &schema.Schema{Name: "post$" + name, Kind: schema.KindStream}
+	for i, gname := range groupNames {
+		ord := groupOrds[i]
+		// The flush discipline makes the ordered key's output ordering
+		// clean: increasing when band 0, banded otherwise.
+		switch {
+		case i == spec.OrdGroup && spec.Band == 0 && !spec.Desc:
+			ord = schema.Ordering{Kind: schema.OrderIncreasing}
+		case i == spec.OrdGroup && spec.Band == 0 && spec.Desc:
+			ord = schema.Ordering{Kind: schema.OrderDecreasing}
+		case i == spec.OrdGroup:
+			ord = schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: spec.Band}
+		case ord.Kind == schema.OrderIncreasingInGroup:
+			ord = schema.NoOrder
+		default:
+			// Non-flush ordered keys lose their global ordering: flushes
+			// interleave groups.
+			ord = schema.NoOrder
+		}
+		post.Cols = append(post.Cols, schema.Column{
+			Name: gname, Type: spec.GroupExprs[i].Type(), Ordering: ord,
+		})
+	}
+
+	aggKeys := make(map[string]int) // canonical call text -> agg slot
+	var aggNames []string
+	collect := func(e gsql.Expr) (gsql.Expr, error) {
+		var walkErr error
+		r := transform(e, func(x gsql.Expr) gsql.Expr {
+			call, ok := x.(*gsql.FuncCall)
+			if !ok || !a.reg.IsAggregate(call.Name) || walkErr != nil {
+				return nil
+			}
+			slot, err := a.addAggregate(spec, comp, call, aggKeys, &aggNames, post, name)
+			if err != nil {
+				walkErr = err
+				return x
+			}
+			return &gsql.ColRef{Name: aggNames[slot], At: call.At}
+		})
+		return r, walkErr
+	}
+
+	// Rewrite select items: aggregate calls become post columns; group
+	// aliases and group expressions become post columns; anything else
+	// referencing raw input columns is an error.
+	groupText := make(map[string]int)
+	for i, item := range q.GroupBy {
+		groupText[item.Expr.String()] = i
+	}
+	rewriteItem := func(e gsql.Expr) (gsql.Expr, error) {
+		e2, err := collect(e)
+		if err != nil {
+			return nil, err
+		}
+		e3 := transform(e2, func(x gsql.Expr) gsql.Expr {
+			if i, ok := groupText[x.String()]; ok {
+				return &gsql.ColRef{Name: groupNames[i], At: x.Pos()}
+			}
+			if c, ok := x.(*gsql.ColRef); ok {
+				for i, gname := range groupNames {
+					if strings.EqualFold(c.Name, gname) {
+						return &gsql.ColRef{Name: groupNames[i], At: c.At}
+					}
+				}
+			}
+			return nil
+		})
+		return e3, nil
+	}
+
+	postComp := &exec.Compiler{
+		Reg:     a.reg,
+		Params:  a.params,
+		Resolve: exec.SchemaResolver(post, "post"),
+		Handles: comp.Handles,
+	}
+	used := make(map[string]bool)
+	out := &schema.Schema{Name: name, Kind: schema.KindStream}
+	for i, item := range q.Select {
+		re, err := rewriteItem(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := postComp.Compile(re)
+		if err != nil {
+			return nil, fmt.Errorf("SELECT item %d must be built from group-by expressions and aggregates: %w", i+1, err)
+		}
+		colName, err := outName(item, i, used)
+		if err != nil {
+			return nil, err
+		}
+		out.Cols = append(out.Cols, schema.Column{
+			Name: colName, Type: pe.Type(),
+			Ordering: imputeExpr(re, post, "post"),
+		})
+		spec.PostSelect = append(spec.PostSelect, pe)
+	}
+	if q.Having != nil {
+		rh, err := rewriteItem(q.Having)
+		if err != nil {
+			return nil, err
+		}
+		ph, err := postComp.Compile(rh)
+		if err != nil {
+			return nil, fmt.Errorf("HAVING must be built from group-by expressions and aggregates: %w", err)
+		}
+		if ph.Type() != schema.TBool {
+			return nil, fmt.Errorf("HAVING is %s, not boolean", ph.Type())
+		}
+		spec.Having = ph
+	}
+	if len(spec.Aggs) == 0 {
+		return nil, fmt.Errorf("GROUP BY without any aggregate; use SELECT DISTINCT semantics via count(*) if intended")
+	}
+
+	spec.Out = out
+	n.Out = out
+	n.aggSpec = spec
+	n.handles = postComp.Handles
+	if lfta {
+		n.Kind = OpAgg
+	}
+	a.finishProtocolNode(n, q)
+	_ = lfta
+	return n, nil
+}
+
+// addAggregate registers one aggregate call in the spec, returning its
+// slot. Identical calls share a slot.
+func (a *analyzer) addAggregate(spec *exec.AggSpec, comp *exec.Compiler, call *gsql.FuncCall,
+	keys map[string]int, names *[]string, post *schema.Schema, node string) (int, error) {
+
+	canon := strings.ToLower(call.Name) + "(" + argsText(call.Args) + ")"
+	if slot, ok := keys[canon]; ok {
+		return slot, nil
+	}
+	agg, _ := a.reg.Aggregate(call.Name)
+	inst := exec.AggInstance{Spec: agg}
+	switch {
+	case !agg.TakesArg:
+		if len(call.Args) != 1 {
+			return 0, fmt.Errorf("%s(*) takes exactly one argument", agg.Name)
+		}
+		if _, ok := call.Args[0].(*gsql.Star); !ok {
+			// count(expr) counts non-discarded rows; treat like count(*).
+			e, err := comp.Compile(call.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			inst.Arg, inst.ArgType = e, e.Type()
+		} else {
+			inst.ArgType = schema.TNull
+		}
+	default:
+		if len(call.Args) != 1 {
+			return 0, fmt.Errorf("%s takes exactly one argument", agg.Name)
+		}
+		if _, ok := call.Args[0].(*gsql.Star); ok {
+			return 0, fmt.Errorf("%s(*) is not valid; give an argument", agg.Name)
+		}
+		e, err := comp.Compile(call.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if !e.Type().Numeric() && agg.Name != "min" && agg.Name != "max" {
+			return 0, fmt.Errorf("%s needs a numeric argument, got %s", agg.Name, e.Type())
+		}
+		inst.Arg, inst.ArgType = e, e.Type()
+	}
+	slot := len(spec.Aggs)
+	spec.Aggs = append(spec.Aggs, inst)
+	keys[canon] = slot
+	aggName := fmt.Sprintf("%s_%d", strings.ToLower(call.Name), slot)
+	*names = append(*names, aggName)
+	post.Cols = append(post.Cols, schema.Column{Name: aggName, Type: agg.Ret(inst.ArgType)})
+	return slot, nil
+}
+
+func argsText(args []gsql.Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}

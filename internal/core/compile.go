@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// Compile turns one GSQL query into its node tree: zero or more LFTAs plus
+// at most one HFTA (paper §3). The output schemas of all nodes — including
+// the mangled-name LFTAs — are registered in the catalog so other queries
+// (and applications) can subscribe to them.
+func Compile(cat *schema.Catalog, q *gsql.Query, opts *Options) (*CompiledQuery, error) {
+	name := q.Name()
+	if name == "" {
+		return nil, &Error{Err: fmt.Errorf("query has no name; add DEFINE { query_name <name>; }")}
+	}
+	if _, exists := cat.Lookup(name); exists {
+		return nil, &Error{Query: name, Err: fmt.Errorf("a stream or protocol named %q already exists", name)}
+	}
+	a := &analyzer{cat: cat, reg: opts.registry(), opts: opts, name: name, params: q.Params()}
+	srcs, err := a.resolveSources(q)
+	if err != nil {
+		return nil, &Error{Query: name, Err: err}
+	}
+
+	var nodes []*Node
+	switch {
+	case q.Kind == gsql.KindMerge:
+		nodes, err = a.compileMerge(name, srcs, q)
+	case len(srcs) == 2:
+		nodes, err = a.compileJoin(name, srcs, q)
+	case len(srcs) == 1:
+		nodes, err = a.compileSingle(name, srcs[0], q)
+	default:
+		err = fmt.Errorf("joins are restricted to two streams (paper §2.2); got %d sources", len(srcs))
+	}
+	if err != nil {
+		return nil, &Error{Query: name, Err: err}
+	}
+
+	for _, n := range nodes {
+		if err := cat.Register(n.Out); err != nil {
+			return nil, &Error{Query: name, Err: err}
+		}
+	}
+	return &CompiledQuery{Name: name, Nodes: nodes}, nil
+}
+
+// CompileScript compiles a sequence of queries (and registers any protocol
+// definitions) in order, so later queries can read earlier outputs.
+func CompileScript(cat *schema.Catalog, script *gsql.Script, opts *Options) ([]*CompiledQuery, error) {
+	for _, p := range script.Protocols {
+		s, err := ProtocolSchema(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.Register(s); err != nil {
+			return nil, &Error{Err: err}
+		}
+	}
+	var out []*CompiledQuery
+	for _, q := range script.Queries {
+		cq, err := Compile(cat, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cq)
+	}
+	return out, nil
+}
+
+// ProtocolSchema converts a parsed PROTOCOL definition into a schema,
+// flattening the base protocol's columns first.
+func ProtocolSchema(def *gsql.ProtocolDef) (*schema.Schema, error) {
+	s := &schema.Schema{Name: def.Name, Kind: schema.KindProtocol, Base: def.Base}
+	for _, c := range def.Cols {
+		s.Cols = append(s.Cols, schema.Column{
+			Name: c.Name, Type: c.Type, Interp: c.Interp, Ordering: c.Ord,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, &Error{Err: err}
+	}
+	return s, nil
+}
+
+// compileSingle handles single-source SELECT queries, applying the
+// LFTA/HFTA split when the source is a protocol.
+func (a *analyzer) compileSingle(name string, src SourceRef, q *gsql.Query) ([]*Node, error) {
+	isAgg := len(q.GroupBy) > 0
+	if !isAgg {
+		for _, item := range q.Select {
+			if a.hasAggregate(item.Expr) {
+				return nil, fmt.Errorf("aggregate in SELECT requires GROUP BY")
+			}
+		}
+	}
+
+	if !src.IsProtocol {
+		// Stream input: a single HFTA node.
+		if isAgg {
+			n, err := a.buildAgg(name, LevelHFTA, src, q, false)
+			return []*Node{n}, err
+		}
+		n, err := a.buildSelProj(name, LevelHFTA, src, q)
+		return []*Node{n}, err
+	}
+
+	// Protocol input: split (paper §3). Classify WHERE conjuncts by cost.
+	var cheap, expensive []gsql.Expr
+	for _, cj := range conjuncts(q.Where) {
+		if a.exprCheap(cj) && !a.opts.disableSplit() {
+			cheap = append(cheap, cj)
+		} else {
+			expensive = append(expensive, cj)
+		}
+	}
+
+	if !isAgg {
+		if len(expensive) == 0 && a.selectableCheap(q) && !a.opts.disableSplit() {
+			// The whole query runs as an LFTA ("a simple query can execute
+			// entirely as an LFTA").
+			n, err := a.buildSelProj(name, LevelLFTA, src, q)
+			return []*Node{n}, err
+		}
+		lfta, hq, err := a.passThroughLFTA(name, src, q, cheap, expensive)
+		if err != nil {
+			return nil, err
+		}
+		hfta, err := a.buildSelProj(name, LevelHFTA, a.streamRef(lfta), hq)
+		if err != nil {
+			return nil, err
+		}
+		return []*Node{lfta, hfta}, nil
+	}
+
+	// Aggregation over a protocol source.
+	if len(expensive) == 0 && a.aggSplittable(q) && !a.opts.disableSplit() {
+		return a.splitAggregate(name, src, q, cheap)
+	}
+	lfta, hq, err := a.passThroughLFTA(name, src, q, cheap, expensive)
+	if err != nil {
+		return nil, err
+	}
+	hfta, err := a.buildAgg(name, LevelHFTA, a.streamRef(lfta), hq, false)
+	if err != nil {
+		return nil, err
+	}
+	return []*Node{lfta, hfta}, nil
+}
+
+// selectableCheap reports whether every select expression is LFTA-safe.
+func (a *analyzer) selectableCheap(q *gsql.Query) bool {
+	for _, item := range q.Select {
+		if !a.exprCheap(item.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// aggSplittable reports whether the aggregation itself can run in the LFTA
+// (all group expressions and aggregate arguments cheap).
+func (a *analyzer) aggSplittable(q *gsql.Query) bool {
+	for _, item := range q.GroupBy {
+		if !a.exprCheap(item.Expr) {
+			return false
+		}
+	}
+	ok := true
+	check := func(e gsql.Expr) {
+		gsql.Walk(e, func(n gsql.Expr) bool {
+			if call, isCall := n.(*gsql.FuncCall); isCall && a.reg.IsAggregate(call.Name) {
+				for _, arg := range call.Args {
+					if !a.exprCheap(arg) {
+						ok = false
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, item := range q.Select {
+		check(item.Expr)
+	}
+	if q.Having != nil {
+		check(q.Having)
+	}
+	return ok
+}
+
+// streamRef wraps an LFTA node's output as a source for the HFTA.
+func (a *analyzer) streamRef(n *Node) SourceRef {
+	return SourceRef{Name: n.Out.Name, Binding: n.Out.Name, Schema: n.Out}
+}
+
+// mangle builds the LFTA's mangled stream name (paper §3: "the LFTA query
+// will have a mangled name").
+func mangle(name string, i int) string {
+	if i == 0 {
+		return "_lfta_" + name
+	}
+	return fmt.Sprintf("_lfta_%s_%d", name, i)
+}
+
+// passThroughLFTA builds an LFTA that filters with the cheap conjuncts and
+// projects every column the rest of the query needs, plus the rewritten
+// HFTA query reading it.
+func (a *analyzer) passThroughLFTA(name string, src SourceRef, q *gsql.Query,
+	cheap, expensive []gsql.Expr) (*Node, *gsql.Query, error) {
+
+	// Columns needed downstream: everything referenced anywhere in the
+	// original query.
+	var exprs []gsql.Expr
+	for _, it := range q.Select {
+		exprs = append(exprs, it.Expr)
+	}
+	for _, it := range q.GroupBy {
+		exprs = append(exprs, it.Expr)
+	}
+	if q.Where != nil {
+		exprs = append(exprs, q.Where)
+	}
+	if q.Having != nil {
+		exprs = append(exprs, q.Having)
+	}
+	var items []gsql.SelectItem
+	for _, c := range colRefs(exprs) {
+		if i, col := src.Schema.Col(c.Name); i >= 0 {
+			items = append(items, gsql.SelectItem{
+				Expr: &gsql.ColRef{Name: col.Name, At: c.At},
+			})
+		}
+	}
+	if len(items) == 0 {
+		return nil, nil, fmt.Errorf("query references no columns of %s", src.Schema.Name)
+	}
+	lq := &gsql.Query{
+		Defs:    map[string][]string{"query_name": {mangle(name, 0)}},
+		Kind:    gsql.KindSelect,
+		Select:  items,
+		Sources: []gsql.TableRef{{Interface: src.Interface, Name: src.Name}},
+		Where:   conjoin(stripList(cheap)),
+	}
+	lfta, err := a.buildSelProj(mangle(name, 0), LevelLFTA, src, lq)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// HFTA: the original query over the LFTA stream, minus the cheap
+	// predicates, with qualifiers stripped.
+	hq := &gsql.Query{
+		Defs:    q.Defs,
+		Kind:    gsql.KindSelect,
+		Sources: []gsql.TableRef{{Name: lfta.Name}},
+		Where:   conjoin(stripList(expensive)),
+	}
+	for _, it := range q.Select {
+		hq.Select = append(hq.Select, gsql.SelectItem{Expr: stripQualifiers(it.Expr), Alias: it.Alias})
+	}
+	for _, it := range q.GroupBy {
+		hq.GroupBy = append(hq.GroupBy, gsql.SelectItem{Expr: stripQualifiers(it.Expr), Alias: it.Alias})
+	}
+	if q.Having != nil {
+		hq.Having = stripQualifiers(q.Having)
+	}
+	return lfta, hq, nil
+}
+
+func stripList(es []gsql.Expr) []gsql.Expr {
+	out := make([]gsql.Expr, len(es))
+	for i, e := range es {
+		out[i] = stripQualifiers(e)
+	}
+	return out
+}
+
+// splitAggregate implements the paper's §3 aggregate query splitting: the
+// LFTA computes sub-aggregates into a direct-mapped table; the HFTA
+// recombines the partials with super-aggregates.
+func (a *analyzer) splitAggregate(name string, src SourceRef, q *gsql.Query, cheap []gsql.Expr) ([]*Node, error) {
+	// Group item names in the LFTA output.
+	usedNames := make(map[string]bool)
+	groupNames := make([]string, len(q.GroupBy))
+	for i, item := range q.GroupBy {
+		n, err := outName(item, i, usedNames)
+		if err != nil {
+			return nil, fmt.Errorf("group-by: %w", err)
+		}
+		groupNames[i] = n
+	}
+
+	// Collect distinct aggregate calls from SELECT and HAVING.
+	type aggCall struct {
+		call *gsql.FuncCall
+		spec *funcs.Aggregate
+		subs []string // LFTA output column names for the sub-aggregates
+	}
+	var calls []*aggCall
+	canonSlot := make(map[string]int)
+	scan := func(e gsql.Expr) {
+		gsql.Walk(e, func(x gsql.Expr) bool {
+			call, ok := x.(*gsql.FuncCall)
+			if !ok || !a.reg.IsAggregate(call.Name) {
+				return true
+			}
+			canon := strings.ToLower(call.Name) + "(" + argsText(call.Args) + ")"
+			if _, dup := canonSlot[canon]; !dup {
+				spec, _ := a.reg.Aggregate(call.Name)
+				canonSlot[canon] = len(calls)
+				calls = append(calls, &aggCall{call: call, spec: spec})
+			}
+			return false // don't descend into aggregate args
+		})
+	}
+	for _, it := range q.Select {
+		scan(it.Expr)
+	}
+	if q.Having != nil {
+		scan(q.Having)
+	}
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("GROUP BY without any aggregate")
+	}
+
+	// LFTA query: group items + sub-aggregates.
+	lname := mangle(name, 0)
+	lq := &gsql.Query{
+		Defs:    map[string][]string{"query_name": {lname}},
+		Kind:    gsql.KindSelect,
+		Sources: []gsql.TableRef{{Interface: src.Interface, Name: src.Name}},
+		Where:   conjoin(stripList(cheap)),
+	}
+	for i, item := range q.GroupBy {
+		g := gsql.SelectItem{Expr: stripQualifiers(item.Expr), Alias: groupNames[i]}
+		lq.GroupBy = append(lq.GroupBy, g)
+		lq.Select = append(lq.Select, g)
+	}
+	for ci, c := range calls {
+		for si, sub := range c.spec.Subs {
+			colName := fmt.Sprintf("sub%d_%d", ci, si)
+			c.subs = append(c.subs, colName)
+			var args []gsql.Expr
+			for _, arg := range c.call.Args {
+				if _, star := arg.(*gsql.Star); star {
+					args = append(args, &gsql.Star{At: c.call.At})
+				} else {
+					args = append(args, stripQualifiers(arg))
+				}
+			}
+			subAgg, ok := a.reg.Aggregate(sub)
+			if !ok {
+				return nil, fmt.Errorf("sub-aggregate %s of %s unregistered", sub, c.spec.Name)
+			}
+			if subAgg.TakesArg {
+				// Sub-aggregates over the same argument; count-style subs
+				// keep the original argument list.
+				if len(args) == 1 {
+					if _, star := args[0].(*gsql.Star); star && subAgg.TakesArg {
+						return nil, fmt.Errorf("%s cannot take '*'", sub)
+					}
+				}
+			}
+			lq.Select = append(lq.Select, gsql.SelectItem{
+				Expr:  &gsql.FuncCall{Name: sub, Args: args, At: c.call.At},
+				Alias: colName,
+			})
+		}
+	}
+	lfta, err := a.buildAgg(lname, LevelLFTA, src, lq, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// HFTA query: original select/having with each aggregate call
+	// replaced by its super-aggregate recombination over the partials.
+	rewrite := func(e gsql.Expr) gsql.Expr {
+		return transform(e, func(x gsql.Expr) gsql.Expr {
+			call, ok := x.(*gsql.FuncCall)
+			if !ok || !a.reg.IsAggregate(call.Name) {
+				return nil
+			}
+			canon := strings.ToLower(call.Name) + "(" + argsText(call.Args) + ")"
+			c := calls[canonSlot[canon]]
+			superOf := func(i int) gsql.Expr {
+				return &gsql.FuncCall{
+					Name: c.spec.Supers[i],
+					Args: []gsql.Expr{&gsql.ColRef{Name: c.subs[i], At: call.At}},
+					At:   call.At,
+				}
+			}
+			switch c.spec.Final {
+			case funcs.FinalRatio:
+				return &gsql.BinaryExpr{
+					Op: gsql.OpDiv,
+					L:  &gsql.FuncCall{Name: "to_float", Args: []gsql.Expr{superOf(0)}, At: call.At},
+					R:  &gsql.FuncCall{Name: "to_float", Args: []gsql.Expr{superOf(1)}, At: call.At},
+					At: call.At,
+				}
+			default:
+				return superOf(0)
+			}
+		})
+	}
+	hq := &gsql.Query{
+		Defs:    q.Defs,
+		Kind:    gsql.KindSelect,
+		Sources: []gsql.TableRef{{Name: lname}},
+	}
+	for i := range q.GroupBy {
+		hq.GroupBy = append(hq.GroupBy, gsql.SelectItem{
+			Expr: &gsql.ColRef{Name: groupNames[i]}, Alias: groupNames[i],
+		})
+	}
+	for _, it := range q.Select {
+		e := rewrite(stripQualifiersKeepingGroups(it.Expr, q.GroupBy, groupNames))
+		hq.Select = append(hq.Select, gsql.SelectItem{Expr: e, Alias: it.Alias})
+	}
+	if q.Having != nil {
+		hq.Having = rewrite(stripQualifiersKeepingGroups(q.Having, q.GroupBy, groupNames))
+	}
+	hfta, err := a.buildAgg(name, LevelHFTA, a.streamRef(lfta), hq, false)
+	if err != nil {
+		return nil, err
+	}
+	return []*Node{lfta, hfta}, nil
+}
+
+// stripQualifiersKeepingGroups strips qualifiers and replaces group-by
+// expressions with references to their LFTA output names.
+func stripQualifiersKeepingGroups(e gsql.Expr, groups []gsql.SelectItem, names []string) gsql.Expr {
+	return transform(e, func(x gsql.Expr) gsql.Expr {
+		for i, g := range groups {
+			if x.String() == g.Expr.String() {
+				return &gsql.ColRef{Name: names[i], At: x.Pos()}
+			}
+			if c, ok := x.(*gsql.ColRef); ok && g.Alias != "" && strings.EqualFold(c.Name, g.Alias) {
+				return &gsql.ColRef{Name: names[i], At: x.Pos()}
+			}
+		}
+		if c, ok := x.(*gsql.ColRef); ok && c.Table != "" {
+			return &gsql.ColRef{Name: c.Name, At: c.At}
+		}
+		return nil
+	})
+}
+
+// compileJoin wraps protocol sources in pass-through LFTAs (HFTAs accept
+// only stream input, paper §3) and builds the join HFTA.
+func (a *analyzer) compileJoin(name string, srcs []SourceRef, q *gsql.Query) ([]*Node, error) {
+	var nodes []*Node
+	wrapped := make([]SourceRef, len(srcs))
+	rq := q
+	for i, src := range srcs {
+		if !src.IsProtocol {
+			wrapped[i] = src
+			continue
+		}
+		lfta, newQ, err := a.wrapProtocolForMulti(name, i, src, rq)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, lfta)
+		wrapped[i] = SourceRef{Name: lfta.Name, Binding: src.Binding, Schema: lfta.Out}
+		rq = newQ
+	}
+	join, err := a.buildJoin(name, LevelHFTA, wrapped, rq)
+	if err != nil {
+		return nil, err
+	}
+	return append(nodes, join), nil
+}
+
+// compileMerge likewise wraps protocol sources, then builds the merge.
+func (a *analyzer) compileMerge(name string, srcs []SourceRef, q *gsql.Query) ([]*Node, error) {
+	var nodes []*Node
+	wrapped := make([]SourceRef, len(srcs))
+	rq := q
+	for i, src := range srcs {
+		if !src.IsProtocol {
+			wrapped[i] = src
+			continue
+		}
+		lfta, newQ, err := a.wrapProtocolForMulti(name, i, src, rq)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, lfta)
+		wrapped[i] = SourceRef{Name: lfta.Name, Binding: src.Binding, Schema: lfta.Out}
+		rq = newQ
+	}
+	merge, err := a.buildMerge(name, LevelHFTA, wrapped, rq)
+	if err != nil {
+		return nil, err
+	}
+	return append(nodes, merge), nil
+}
+
+// wrapProtocolForMulti synthesizes a pass-through LFTA projecting the full
+// protocol schema for one input of a join/merge, and rewrites the parent
+// query to read the LFTA stream under the same binding.
+func (a *analyzer) wrapProtocolForMulti(name string, idx int, src SourceRef, q *gsql.Query) (*Node, *gsql.Query, error) {
+	lname := mangle(name, idx)
+	lq := &gsql.Query{
+		Defs:    map[string][]string{"query_name": {lname}},
+		Kind:    gsql.KindSelect,
+		Sources: []gsql.TableRef{{Interface: src.Interface, Name: src.Name}},
+	}
+	for _, c := range src.Schema.Cols {
+		lq.Select = append(lq.Select, gsql.SelectItem{Expr: &gsql.ColRef{Name: c.Name}})
+	}
+	lfta, err := a.buildSelProj(lname, LevelLFTA, src, lq)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Rewrite the parent: replace this source with the LFTA stream,
+	// keeping the binding so qualified references still resolve.
+	nq := *q
+	nq.Sources = append([]gsql.TableRef(nil), q.Sources...)
+	nq.Sources[idx] = gsql.TableRef{Name: lname, Alias: src.Binding}
+	return lfta, &nq, nil
+}

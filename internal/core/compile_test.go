@@ -1,0 +1,460 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+func newCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if err := pkt.RegisterBuiltins(cat); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func compile(t *testing.T, cat *schema.Catalog, src string, opts *Options) *CompiledQuery {
+	t.Helper()
+	q, err := gsql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cq, err := Compile(cat, q, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return cq
+}
+
+func TestCompilePaperTCPDestEntirelyLFTA(t *testing.T) {
+	// The paper's §2.2 example is cheap selection/projection: it must
+	// compile to a single LFTA ("a simple query can execute entirely as
+	// an LFTA").
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name tcpdest0; }
+		SELECT destIP, destPort, time
+		FROM eth0.tcp
+		WHERE ipversion = 4 and protocol = 6`, nil)
+	if len(cq.Nodes) != 1 {
+		t.Fatalf("%d nodes, want 1:\n%s", len(cq.Nodes), cq.Explain())
+	}
+	n := cq.Output()
+	if n.Level != LevelLFTA || n.Kind != OpSelProj {
+		t.Errorf("node = %s %s", n.Level, n.Kind)
+	}
+	if n.Sources[0].Interface != "eth0" || !n.Sources[0].IsProtocol {
+		t.Errorf("source = %v", n.Sources[0])
+	}
+	// Output schema: destIP ip, destPort uint, time uint (increasing).
+	out := n.Out
+	if len(out.Cols) != 3 || out.Cols[0].Type != schema.TIP {
+		t.Fatalf("out = %s", out)
+	}
+	if !out.Cols[2].Ordering.Increasing() {
+		t.Errorf("time ordering = %s", out.Cols[2].Ordering)
+	}
+	// NIC pushdown: both conjuncts are raw header comparisons.
+	if n.NICProgram == nil || len(n.NICProgram.Clauses) != 2 {
+		t.Fatalf("nic program = %v", n.NICProgram)
+	}
+	// Snap length: header fields only, no payload.
+	if n.SnapLen == 0 || n.SnapLen > 54 {
+		t.Errorf("snap = %d", n.SnapLen)
+	}
+	// The catalog now serves the query's output schema to other queries.
+	if _, ok := cat.Lookup("tcpdest0"); !ok {
+		t.Error("output schema not registered")
+	}
+}
+
+func TestCompileHTTPFilterSplits(t *testing.T) {
+	// The §4 experiment query: port-80 filter is cheap (LFTA), regex is
+	// expensive (HFTA).
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name http80; }
+		SELECT time, srcIP, destIP
+		FROM tcp
+		WHERE destPort = 80 and str_regex_match(payload, '^[^\n]*HTTP/1.*')`, nil)
+	if len(cq.Nodes) != 2 {
+		t.Fatalf("%d nodes, want 2:\n%s", len(cq.Nodes), cq.Explain())
+	}
+	lfta, hfta := cq.Nodes[0], cq.Nodes[1]
+	if lfta.Level != LevelLFTA || hfta.Level != LevelHFTA {
+		t.Fatalf("levels = %s, %s", lfta.Level, hfta.Level)
+	}
+	if !strings.HasPrefix(lfta.Name, "_lfta_") {
+		t.Errorf("mangled name = %q", lfta.Name)
+	}
+	// The LFTA's WHERE keeps only the cheap conjunct.
+	if lfta.Query.Where == nil || strings.Contains(lfta.Query.Where.String(), "regex") {
+		t.Errorf("lfta where = %v", lfta.Query.Where)
+	}
+	// The HFTA keeps the regex and reads the LFTA stream.
+	if hfta.Query.Where == nil || !strings.Contains(hfta.Query.Where.String(), "str_regex_match") {
+		t.Errorf("hfta where = %v", hfta.Query.Where)
+	}
+	if hfta.Sources[0].Name != lfta.Name {
+		t.Errorf("hfta reads %s", hfta.Sources[0].Name)
+	}
+	// Payload referenced: full capture needed.
+	if lfta.SnapLen != 0 {
+		t.Errorf("snap = %d, want full (0)", lfta.SnapLen)
+	}
+	// The port-80 comparison is still pushable to the NIC.
+	if lfta.NICProgram == nil || len(lfta.NICProgram.Clauses) != 1 {
+		t.Errorf("nic = %v", lfta.NICProgram)
+	}
+	// Both node schemas registered (paper: "both streams are available to
+	// the application, though the LFTA query will have a mangled name").
+	if _, ok := cat.Lookup(lfta.Name); !ok {
+		t.Error("LFTA stream not registered")
+	}
+}
+
+func TestCompileAggregateSplit(t *testing.T) {
+	// count(*) per minute per port over a protocol: LFTA sub-aggregation
+	// + HFTA super-aggregation (§3).
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name perport; }
+		SELECT tb, destPort, count(*), sum(total_length)
+		FROM tcp
+		WHERE protocol = 6
+		GROUP BY time/60 as tb, destPort`, nil)
+	if len(cq.Nodes) != 2 {
+		t.Fatalf("%d nodes:\n%s", len(cq.Nodes), cq.Explain())
+	}
+	lfta, hfta := cq.Nodes[0], cq.Nodes[1]
+	if lfta.Kind != OpAgg || hfta.Kind != OpAgg {
+		t.Fatalf("kinds = %s, %s", lfta.Kind, hfta.Kind)
+	}
+	// LFTA emits partials: tb, destPort, sub0_0 (count), sub1_0 (sum).
+	if len(lfta.Out.Cols) != 4 {
+		t.Fatalf("lfta out = %s", lfta.Out)
+	}
+	// HFTA super-aggregates: count partials are SUMMED.
+	hs := hfta.Query.String()
+	if !strings.Contains(hs, "sum(sub0_0)") {
+		t.Errorf("hfta query = %s", hs)
+	}
+	// Ordered group key imputed increasing through both levels.
+	if !lfta.Out.Cols[0].Ordering.Increasing() {
+		t.Errorf("lfta tb ordering = %s", lfta.Out.Cols[0].Ordering)
+	}
+	if !hfta.Out.Cols[0].Ordering.Increasing() {
+		t.Errorf("hfta tb ordering = %s", hfta.Out.Cols[0].Ordering)
+	}
+}
+
+func TestCompileAvgSplitsToRatio(t *testing.T) {
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name avglen; }
+		SELECT tb, avg(total_length) FROM tcp GROUP BY time/60 as tb`, nil)
+	if len(cq.Nodes) != 2 {
+		t.Fatalf("%d nodes", len(cq.Nodes))
+	}
+	hs := cq.Output().Query.String()
+	// avg → sum(sum partial) / sum(count partial) as float.
+	if !strings.Contains(hs, "to_float(sum(sub0_0))") || !strings.Contains(hs, "to_float(sum(sub0_1))") {
+		t.Errorf("hfta query = %s", hs)
+	}
+	out := cq.Output().Out
+	if out.Cols[1].Type != schema.TFloat {
+		t.Errorf("avg type = %s", out.Cols[1].Type)
+	}
+}
+
+func TestCompileExpensiveGroupByDoesNotSplitAgg(t *testing.T) {
+	// Expensive predicate forces the aggregation wholly into the HFTA;
+	// the LFTA only filters/projects.
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name h; }
+		SELECT tb, count(*) FROM tcp
+		WHERE destPort = 80 and str_regex_match(payload, 'HTTP')
+		GROUP BY time/60 as tb`, nil)
+	if len(cq.Nodes) != 2 {
+		t.Fatalf("%d nodes", len(cq.Nodes))
+	}
+	if cq.Nodes[0].Kind != OpSelProj {
+		t.Errorf("lfta kind = %s, want select/project", cq.Nodes[0].Kind)
+	}
+	if cq.Nodes[1].Kind != OpAgg {
+		t.Errorf("hfta kind = %s", cq.Nodes[1].Kind)
+	}
+}
+
+func TestCompileStreamSourceIsPureHFTA(t *testing.T) {
+	cat := newCatalog(t)
+	compile(t, cat, `DEFINE { query_name base; } SELECT time, destPort FROM tcp`, nil)
+	cq := compile(t, cat, `
+		DEFINE { query_name derived; }
+		SELECT time FROM base WHERE destPort = 80`, nil)
+	if len(cq.Nodes) != 1 || cq.Output().Level != LevelHFTA {
+		t.Fatalf("nodes = %v", cq.Nodes)
+	}
+	if cq.Output().Sources[0].IsProtocol {
+		t.Error("stream source marked protocol")
+	}
+}
+
+func TestCompileMergePaperQuery(t *testing.T) {
+	cat := newCatalog(t)
+	compile(t, cat, `DEFINE { query_name tcpdest0; } SELECT destIP, destPort, time FROM eth0.tcp`, nil)
+	compile(t, cat, `DEFINE { query_name tcpdest1; } SELECT destIP, destPort, time FROM eth1.tcp`, nil)
+	cq := compile(t, cat, `
+		DEFINE { query_name tcpdest; }
+		MERGE tcpdest0.time : tcpdest1.time
+		FROM tcpdest0, tcpdest1`, nil)
+	n := cq.Output()
+	if n.Kind != OpMerge || len(n.Sources) != 2 {
+		t.Fatalf("node = %+v", n)
+	}
+	// Output schema matches inputs; merge column keeps increasing.
+	i, c := n.Out.Col("time")
+	if i < 0 || !c.Ordering.Increasing() {
+		t.Errorf("merged time ordering = %v", c)
+	}
+}
+
+func TestCompileMergeDirectlyOverProtocols(t *testing.T) {
+	// Merging two interfaces directly synthesizes pass-through LFTAs.
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name alltcp; }
+		MERGE a.time : b.time
+		FROM eth0.tcp a, eth1.tcp b`, nil)
+	if len(cq.Nodes) != 3 {
+		t.Fatalf("%d nodes:\n%s", len(cq.Nodes), cq.Explain())
+	}
+	if cq.Nodes[0].Level != LevelLFTA || cq.Nodes[1].Level != LevelLFTA {
+		t.Error("protocol inputs not wrapped in LFTAs")
+	}
+	if cq.Output().Kind != OpMerge {
+		t.Errorf("output = %s", cq.Output().Kind)
+	}
+}
+
+func TestCompileJoinWithWindow(t *testing.T) {
+	cat := newCatalog(t)
+	compile(t, cat, `DEFINE { query_name b; } SELECT time, srcIP, destIP FROM eth0.tcp`, nil)
+	compile(t, cat, `DEFINE { query_name c; } SELECT time, srcIP, destIP FROM eth1.tcp`, nil)
+	cq := compile(t, cat, `
+		DEFINE { query_name bc; }
+		SELECT B.time, B.srcIP, C.destIP
+		FROM b B, c C
+		WHERE B.time >= C.time - 1 and B.time <= C.time + 1 and B.srcIP = C.srcIP`, nil)
+	n := cq.Output()
+	if n.Kind != OpJoin {
+		t.Fatalf("kind = %s", n.Kind)
+	}
+	js := n.joinSpec
+	if js.LowSlack != 1 || js.HighSlack != 1 {
+		t.Errorf("window = [-%d, +%d], want [-1, +1]", js.LowSlack, js.HighSlack)
+	}
+	if len(js.EqL) != 1 {
+		t.Errorf("eq keys = %d, want 1 (srcIP)", len(js.EqL))
+	}
+	// Paper §2.1: band join output is banded-increasing(2) with the
+	// low-buffer algorithm.
+	ord := n.Out.Cols[0].Ordering
+	if ord.Kind != schema.OrderBandedIncreasing || ord.Band != 2 {
+		t.Errorf("output time ordering = %s, want banded_increasing(2)", ord)
+	}
+	if js.OutOrdL != 0 {
+		t.Errorf("OutOrdL = %d", js.OutOrdL)
+	}
+}
+
+func TestCompileJoinEqualityWindowImputesIncreasing(t *testing.T) {
+	cat := newCatalog(t)
+	compile(t, cat, `DEFINE { query_name b2; } SELECT time, srcIP FROM eth0.tcp`, nil)
+	compile(t, cat, `DEFINE { query_name c2; } SELECT time, srcIP FROM eth1.tcp`, nil)
+	cq := compile(t, cat, `
+		DEFINE { query_name bc2; }
+		SELECT B.time, B.srcIP FROM b2 B, c2 C
+		WHERE B.time = C.time and B.srcIP = C.srcIP`, nil)
+	ord := cq.Output().Out.Cols[0].Ordering
+	if !ord.Increasing() {
+		t.Errorf("equality join output ordering = %s, want increasing", ord)
+	}
+}
+
+func TestCompileJoinRequiresWindow(t *testing.T) {
+	cat := newCatalog(t)
+	compile(t, cat, `DEFINE { query_name b3; } SELECT time, srcIP FROM eth0.tcp`, nil)
+	compile(t, cat, `DEFINE { query_name c3; } SELECT time, srcIP FROM eth1.tcp`, nil)
+	q, _ := gsql.ParseQuery(`
+		DEFINE { query_name bad; }
+		SELECT B.time FROM b3 B, c3 C WHERE B.srcIP = C.srcIP`)
+	if _, err := Compile(cat, q, nil); err == nil {
+		t.Error("join without window constraint accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`SELECT time FROM tcp`,                                                   // no name
+		`DEFINE { query_name tcp; } SELECT time FROM tcp`,                        // name collision with protocol
+		`DEFINE { query_name x1; } SELECT time FROM nosuch`,                      // unknown source
+		`DEFINE { query_name x2; } SELECT nosuchcol FROM tcp`,                    // unknown column
+		`DEFINE { query_name x3; } SELECT count(*) FROM tcp`,                     // aggregate without group by
+		`DEFINE { query_name x4; } SELECT time, time FROM tcp`,                   // duplicate out names
+		`DEFINE { query_name x5; } SELECT srcIP FROM tcp GROUP BY time/60 as tb`, // non-group col
+		`DEFINE { query_name x6; } SELECT a.time FROM eth0.tcp a, eth1.tcp b, eth2.tcp c WHERE a.time = b.time and b.time = c.time`, // 3-way join
+		`DEFINE { query_name x7; } SELECT time FROM tcp WHERE count(*) > 1 GROUP BY time/60 as tb`,                                  // agg in where
+		`DEFINE { query_name x8; } SELECT tb FROM tcp GROUP BY time/60 as tb`,                                                       // group by without aggregate
+		`DEFINE { query_name x9; } MERGE a.time : b.destPort FROM eth0.tcp a, eth1.tcp b`,                                           // unordered merge col... destPort has no ordering
+	}
+	for _, src := range cases {
+		cat := newCatalog(t)
+		q, err := gsql.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Compile(cat, q, nil); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+}
+
+func TestCompileScriptOrderAndProtocolDefs(t *testing.T) {
+	cat := newCatalog(t)
+	script, err := gsql.ParseScript(`
+		PROTOCOL SENSOR {
+			uint time get_time (increasing);
+			uint reading get_total_length;
+		}
+		DEFINE { query_name s1; }
+		SELECT time, reading FROM SENSOR WHERE reading > 100;
+		DEFINE { query_name s2; }
+		SELECT tb, count(*) FROM s1 GROUP BY time/60 as tb`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cqs, err := CompileScript(cat, script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cqs) != 2 {
+		t.Fatalf("%d compiled queries", len(cqs))
+	}
+	if _, ok := cat.Lookup("SENSOR"); !ok {
+		t.Error("protocol def not registered")
+	}
+}
+
+func TestCompileDisableSplitOption(t *testing.T) {
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name mono; }
+		SELECT tb, count(*) FROM tcp WHERE destPort = 80 GROUP BY time/60 as tb`,
+		&Options{DisableSplit: true})
+	if len(cq.Nodes) != 2 {
+		t.Fatalf("%d nodes", len(cq.Nodes))
+	}
+	// Pass-through LFTA does no filtering; everything happens in the HFTA.
+	if cq.Nodes[0].Kind != OpSelProj || cq.Nodes[0].Query.Where != nil {
+		t.Errorf("lfta = %s where=%v", cq.Nodes[0].Kind, cq.Nodes[0].Query.Where)
+	}
+	if cq.Nodes[1].Kind != OpAgg {
+		t.Errorf("hfta = %s", cq.Nodes[1].Kind)
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name e1; }
+		SELECT time, srcIP FROM tcp
+		WHERE destPort = 80 and str_regex_match(payload, 'HTTP')`, nil)
+	s := cq.Explain()
+	for _, want := range []string{"LFTA", "HFTA", "_lfta_e1", "nic:", "snap: full packet", "increasing"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Explain missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// End-to-end: compile the paper's aggregation query and run packets
+// through the instantiated LFTA→HFTA chain.
+func TestCompiledChainEndToEnd(t *testing.T) {
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name flows; }
+		SELECT tb, destPort, count(*), sum(total_length)
+		FROM tcp WHERE protocol = 6
+		GROUP BY time/60 as tb, destPort`, nil)
+	lfta, err := cq.Nodes[0].Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hfta, err := cq.Nodes[1].Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final []exec.Message
+	sink := exec.Collect(&final)
+	forward := func(m exec.Message) {
+		if err := hfta.Op.Push(0, m, sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 packets to :80 and 2 to :443 in minute 0, then one in minute 2.
+	mkpkt := func(sec uint64, port uint16, payload int) pkt.Packet {
+		return pkt.BuildTCP(sec*1e6, pkt.TCPSpec{
+			SrcIP: 0x0a000001, DstIP: 0x0a000002,
+			SrcPort: 9999, DstPort: port,
+			Payload: make([]byte, payload),
+		})
+	}
+	pkts := []pkt.Packet{
+		mkpkt(5, 80, 10), mkpkt(10, 443, 20), mkpkt(20, 80, 30),
+		mkpkt(30, 443, 40), mkpkt(50, 80, 50),
+		mkpkt(130, 80, 1),
+	}
+	for i := range pkts {
+		if err := lfta.PushPacket(&pkts[i], forward); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lfta.Op.FlushAll(forward)
+	hfta.Op.FlushAll(sink)
+
+	rows := map[[2]uint64][2]uint64{}
+	for _, m := range final {
+		if m.IsHeartbeat() {
+			continue
+		}
+		tup := m.Tuple
+		rows[[2]uint64{tup[0].Uint(), tup[1].Uint()}] = [2]uint64{tup[2].Uint(), tup[3].Uint()}
+	}
+	// total_length is the IPv4 total length: 40 header bytes + payload.
+	want := map[[2]uint64][2]uint64{
+		{0, 80}:  {3, 3*40 + 10 + 30 + 50},
+		{0, 443}: {2, 2*40 + 20 + 40},
+		{2, 80}:  {1, 40 + 1},
+	}
+	for k, w := range want {
+		g, ok := rows[k]
+		if !ok {
+			t.Errorf("missing group %v (have %v)", k, rows)
+			continue
+		}
+		if g != w {
+			t.Errorf("group %v = %v, want %v", k, g, w)
+		}
+	}
+	if len(rows) != len(want) {
+		t.Errorf("rows = %v", rows)
+	}
+}

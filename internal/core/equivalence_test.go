@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/netsim"
+	"gigascope/internal/pkt"
+)
+
+// The fundamental compiler invariant: LFTA/HFTA splitting is a pure
+// optimization. For a battery of query shapes, compile each query both
+// split and monolithic, run identical traffic through the instantiated
+// chains, and require identical result multisets.
+
+var equivalenceQueries = []string{
+	// Plain cheap selection.
+	`DEFINE { query_name q; } SELECT time, srcIP, destPort FROM TCP WHERE destPort = 80`,
+	// Selection with an expensive predicate (regex forced into HFTA).
+	`DEFINE { query_name q; } SELECT time, srcIP FROM TCP
+	 WHERE destPort = 80 and str_regex_match(payload, '^[^\n]*HTTP/1.*')`,
+	// Computed projections.
+	`DEFINE { query_name q; } SELECT time/60 as tb, total_length*8 as bits, srcIP FROM TCP
+	 WHERE protocol = 6 and total_length > 100`,
+	// Split aggregation: count and sum.
+	`DEFINE { query_name q; } SELECT tb, destPort, count(*), sum(total_length)
+	 FROM TCP GROUP BY time/60 as tb, destPort`,
+	// avg (ratio recombination) and min/max.
+	`DEFINE { query_name q; } SELECT tb, avg(total_length), min(total_length), max(total_length)
+	 FROM TCP GROUP BY time/60 as tb`,
+	// Aggregation with WHERE and HAVING.
+	`DEFINE { query_name q; } SELECT tb, srcIP, count(*) as cnt
+	 FROM TCP WHERE destPort = 80 GROUP BY time/60 as tb, srcIP HAVING count(*) > 2`,
+	// Aggregation forced monolithic by an expensive predicate.
+	`DEFINE { query_name q; } SELECT tb, count(*) FROM TCP
+	 WHERE str_regex_match(payload, 'HTTP') GROUP BY time/60 as tb`,
+	// Bit aggregates.
+	`DEFINE { query_name q; } SELECT tb, or_agg(flags), and_agg(flags)
+	 FROM TCP GROUP BY time/60 as tb`,
+	// Expression over aggregates in SELECT.
+	`DEFINE { query_name q; } SELECT tb, count(*)*8 as cnt8, sum(total_length)/60 as rate
+	 FROM TCP GROUP BY time/60 as tb`,
+}
+
+// runChain compiles and runs one query over the packets, returning the
+// sorted rendering of the output tuples.
+func runChain(t *testing.T, src string, disableSplit bool, pkts []pkt.Packet) []string {
+	t.Helper()
+	cat := newCatalog(t)
+	cq := compile(t, cat, src, &Options{DisableSplit: disableSplit})
+	insts := make([]*Instance, len(cq.Nodes))
+	for i, n := range cq.Nodes {
+		inst, err := n.Instantiate(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = inst
+	}
+	var rows []string
+	var emits []exec.Emit
+	emits = make([]exec.Emit, len(insts)+1)
+	emits[len(insts)] = func(m exec.Message) {
+		if !m.IsHeartbeat() {
+			rows = append(rows, m.Tuple.String())
+		}
+	}
+	for i := len(insts) - 1; i >= 1; i-- {
+		next := insts[i]
+		down := emits[i+1]
+		emits[i] = func(m exec.Message) { next.Op.Push(0, m, down) }
+	}
+	for i := range pkts {
+		if err := insts[0].PushPacket(&pkts[i], emits[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, inst := range insts {
+		inst.Op.FlushAll(emits[i+1])
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func TestSplitMonolithicEquivalence(t *testing.T) {
+	gen, err := netsim.New(netsim.Config{
+		Seed: 99,
+		Classes: []netsim.Class{
+			{Name: "web", RateMbps: 60, PktBytes: 900, DstPort: 80,
+				Proto: pkt.ProtoTCP, Payload: netsim.PayloadHTTP, HTTPFraction: 0.5, Flows: 64},
+			{Name: "bg", RateMbps: 60, PktBytes: 700, DstPort: 443,
+				Proto: pkt.ProtoTCP, Flows: 64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]pkt.Packet, 30_000)
+	for i := range pkts {
+		pkts[i], _ = gen.Next()
+	}
+	for qi, src := range equivalenceQueries {
+		t.Run(fmt.Sprintf("q%d", qi), func(t *testing.T) {
+			split := runChain(t, src, false, pkts)
+			mono := runChain(t, src, true, pkts)
+			if len(split) != len(mono) {
+				t.Fatalf("row counts differ: split %d, monolithic %d", len(split), len(mono))
+			}
+			for i := range split {
+				if split[i] != mono[i] {
+					t.Fatalf("row %d differs:\n  split: %s\n  mono:  %s", i, split[i], mono[i])
+				}
+			}
+			if len(split) == 0 {
+				t.Fatal("query produced no rows; workload does not exercise it")
+			}
+		})
+	}
+}
+
+// The split plan must also agree with a hand-computed reference for the
+// paper's headline aggregation.
+func TestSplitAggMatchesReference(t *testing.T) {
+	gen, err := netsim.New(netsim.Config{
+		Seed: 100,
+		Classes: []netsim.Class{{
+			Name: "mix", RateMbps: 80, PktBytes: 600, DstPort: 80,
+			Proto: pkt.ProtoTCP, Flows: 128,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]pkt.Packet, 20_000)
+	want := map[[2]uint64][2]uint64{} // (tb, port) -> (count, bytes)
+	tlInterp, _ := pkt.LookupInterp("get_total_length")
+	tInterp, _ := pkt.LookupInterp("get_time")
+	pInterp, _ := pkt.LookupInterp("get_dest_port")
+	for i := range pkts {
+		pkts[i], _ = gen.Next()
+		tv, _ := tInterp.Extract(&pkts[i])
+		pv, _ := pInterp.Extract(&pkts[i])
+		lv, _ := tlInterp.Extract(&pkts[i])
+		k := [2]uint64{tv.Uint() / 60, pv.Uint()}
+		cur := want[k]
+		cur[0]++
+		cur[1] += lv.Uint()
+		want[k] = cur
+	}
+	rows := runChain(t, `
+		DEFINE { query_name ref; }
+		SELECT tb, destPort, count(*), sum(total_length)
+		FROM TCP GROUP BY time/60 as tb, destPort`, false, pkts)
+	got := map[[2]uint64][2]uint64{}
+	for _, r := range rows {
+		var tb, port, cnt, bytes uint64
+		if _, err := fmt.Sscanf(r, "[%d, %d, %d, %d]", &tb, &port, &cnt, &bytes); err != nil {
+			t.Fatalf("parse row %q: %v", r, err)
+		}
+		got[[2]uint64{tb, port}] = [2]uint64{cnt, bytes}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups: got %d, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("group %v: got %v, want %v", k, got[k], w)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the compiled plan for the gsql tool: node levels,
+// operators, source bindings, output schemas with imputed orderings, and
+// NIC pushdown.
+func (c *CompiledQuery) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s: %d node(s)\n", c.Name, len(c.Nodes))
+	for _, n := range c.Nodes {
+		fmt.Fprintf(&b, "\n[%s] %s (%s)\n", n.Level, n.Name, n.Kind)
+		for _, s := range n.Sources {
+			kind := "stream"
+			if s.IsProtocol {
+				kind = "protocol"
+			}
+			fmt.Fprintf(&b, "  from: %s (%s)\n", s, kind)
+		}
+		fmt.Fprintf(&b, "  exec: %s\n", n.Query)
+		fmt.Fprintf(&b, "  out:  %s\n", describeSchema(n))
+		if n.Level == LevelLFTA {
+			if n.NICProgram != nil {
+				fmt.Fprintf(&b, "  nic:  %s\n", n.NICProgram)
+			}
+			if n.SnapLen > 0 {
+				fmt.Fprintf(&b, "  snap: %d bytes\n", n.SnapLen)
+			} else if n.Sources[0].IsProtocol {
+				fmt.Fprintf(&b, "  snap: full packet\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+func describeSchema(n *Node) string {
+	var cols []string
+	for _, c := range n.Out.Cols {
+		s := fmt.Sprintf("%s %s", c.Name, c.Type)
+		if c.Ordering.Kind != 0 {
+			s += fmt.Sprintf(" (%s)", c.Ordering)
+		}
+		cols = append(cols, s)
+	}
+	return strings.Join(cols, ", ")
+}

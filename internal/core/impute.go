@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// Ordering imputation (paper §2.1): "The query processing system will
+// impute ordering properties of the output of query operators." This file
+// derives the ordering property of an expression over an input schema.
+
+// imputeExpr returns the ordering property of expression e evaluated over
+// rows of schema s (with the given binding for qualified references).
+func imputeExpr(e gsql.Expr, s *schema.Schema, binding string) schema.Ordering {
+	switch n := e.(type) {
+	case *gsql.ColRef:
+		if n.Table != "" && !strings.EqualFold(n.Table, binding) && !strings.EqualFold(n.Table, s.Name) {
+			return schema.NoOrder
+		}
+		if _, c := s.Col(n.Name); c != nil {
+			return c.Ordering
+		}
+		return schema.NoOrder
+	case *gsql.UnaryExpr:
+		if n.Op == gsql.OpNeg {
+			return flipOrdering(imputeExpr(n.X, s, binding))
+		}
+		return schema.NoOrder
+	case *gsql.BinaryExpr:
+		return imputeBinary(n, s, binding)
+	}
+	return schema.NoOrder
+}
+
+func flipOrdering(o schema.Ordering) schema.Ordering {
+	switch o.Kind {
+	case schema.OrderStrictIncreasing:
+		return schema.Ordering{Kind: schema.OrderStrictDecreasing}
+	case schema.OrderIncreasing:
+		return schema.Ordering{Kind: schema.OrderDecreasing}
+	case schema.OrderStrictDecreasing:
+		return schema.Ordering{Kind: schema.OrderStrictIncreasing}
+	case schema.OrderDecreasing:
+		return schema.Ordering{Kind: schema.OrderIncreasing}
+	case schema.OrderNonrepeating:
+		return o
+	}
+	// Banded-increasing does not survive negation in the uint domain.
+	return schema.NoOrder
+}
+
+// imputeBinary handles expr OP const and const OP expr, the monotone
+// transformations queries apply to timestamps: time/60 (bucketing),
+// time+3600 (zone shifts), time*1000 (unit changes).
+func imputeBinary(n *gsql.BinaryExpr, s *schema.Schema, binding string) schema.Ordering {
+	var sub gsql.Expr
+	var k schema.Value
+	var constLeft bool
+	if c, ok := n.R.(*gsql.Const); ok {
+		sub, k = n.L, c.Val
+	} else if c, ok := n.L.(*gsql.Const); ok {
+		sub, k, constLeft = n.R, c.Val, true
+	} else {
+		return schema.NoOrder
+	}
+	ord := imputeExpr(sub, s, binding)
+	if ord.Kind == schema.OrderNone || !k.Type.Numeric() && k.Type != schema.TIP {
+		return schema.NoOrder
+	}
+	switch n.Op {
+	case gsql.OpAdd:
+		return ord // shift preserves everything, band included
+	case gsql.OpSub:
+		if constLeft {
+			// const - expr flips direction.
+			return flipOrdering(ord)
+		}
+		return ord
+	case gsql.OpMul:
+		return scaleOrdering(ord, k, constLeft)
+	case gsql.OpDiv:
+		if constLeft {
+			return schema.NoOrder // const/expr is antitone and non-linear
+		}
+		return divOrdering(ord, k)
+	}
+	return schema.NoOrder
+}
+
+func scaleOrdering(ord schema.Ordering, k schema.Value, _ bool) schema.Ordering {
+	f := k.Float()
+	switch {
+	case f > 0:
+		if ord.Kind == schema.OrderBandedIncreasing {
+			return schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: uint64(float64(ord.Band) * f)}
+		}
+		return ord
+	case f < 0:
+		return flipOrdering(ord)
+	}
+	return schema.NoOrder // *0 collapses
+}
+
+func divOrdering(ord schema.Ordering, k schema.Value) schema.Ordering {
+	f := k.Float()
+	if f <= 0 {
+		if f < 0 {
+			return flipOrdering(ord.Weaken())
+		}
+		return schema.NoOrder
+	}
+	// Integer division by a positive constant: strictness is lost
+	// (multiple inputs map to one bucket); bands shrink but round up.
+	switch ord.Kind {
+	case schema.OrderStrictIncreasing, schema.OrderIncreasing:
+		return schema.Ordering{Kind: schema.OrderIncreasing}
+	case schema.OrderStrictDecreasing, schema.OrderDecreasing:
+		return schema.Ordering{Kind: schema.OrderDecreasing}
+	case schema.OrderBandedIncreasing:
+		c := uint64(f)
+		if c == 0 {
+			return schema.NoOrder
+		}
+		return schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: (ord.Band + c - 1) / c}
+	}
+	return schema.NoOrder
+}
+
+// hbPropagatable reports whether heartbeat bounds can be pushed through
+// the expression: it must carry a usable imputed ordering, which certifies
+// monotonicity in its single ordered input.
+func hbPropagatable(e gsql.Expr, s *schema.Schema, binding string) bool {
+	return imputeExpr(e, s, binding).Usable()
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// imputeSchema declares one column of each ordering flavor.
+func imputeSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "s", Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "ts", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderStrictIncreasing}},
+			{Name: "t", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "d", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderDecreasing}},
+			{Name: "b", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: 30}},
+			{Name: "n", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderNonrepeating}},
+			{Name: "x", Type: schema.TUint},
+			{Name: "g", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasingInGroup, Group: []string{"x"}}},
+		},
+	}
+}
+
+func impute(t *testing.T, exprText string) schema.Ordering {
+	t.Helper()
+	q, err := gsql.ParseQuery("SELECT " + exprText + " FROM s")
+	if err != nil {
+		t.Fatalf("parse %q: %v", exprText, err)
+	}
+	return imputeExpr(q.Select[0].Expr, imputeSchema(), "s")
+}
+
+func TestImputeColumnPassThrough(t *testing.T) {
+	cases := map[string]schema.OrderKind{
+		"ts": schema.OrderStrictIncreasing,
+		"t":  schema.OrderIncreasing,
+		"d":  schema.OrderDecreasing,
+		"b":  schema.OrderBandedIncreasing,
+		"n":  schema.OrderNonrepeating,
+		"x":  schema.OrderNone,
+	}
+	for expr, want := range cases {
+		if got := impute(t, expr); got.Kind != want {
+			t.Errorf("impute(%s) = %s, want kind %d", expr, got, want)
+		}
+	}
+}
+
+func TestImputeShiftPreservesEverything(t *testing.T) {
+	// The paper's example: a projection computing ts+c keeps the
+	// property.
+	for _, expr := range []string{"ts + 3600", "ts - 5", "t + 1", "b + 10"} {
+		got := impute(t, expr)
+		if !got.Monotone() {
+			t.Errorf("impute(%s) = %s, want monotone", expr, got)
+		}
+	}
+	if got := impute(t, "ts + 1"); got.Kind != schema.OrderStrictIncreasing {
+		t.Errorf("strictness lost under shift: %s", got)
+	}
+	if got := impute(t, "b + 10"); got.Band != 30 {
+		t.Errorf("band changed under shift: %s", got)
+	}
+}
+
+func TestImputeDivisionBuckets(t *testing.T) {
+	// time/60: strictness lost, increasing kept — the canonical GSQL
+	// bucketing idiom (§2.2).
+	if got := impute(t, "ts/60"); got.Kind != schema.OrderIncreasing {
+		t.Errorf("ts/60 = %s", got)
+	}
+	if got := impute(t, "d/10"); got.Kind != schema.OrderDecreasing {
+		t.Errorf("d/10 = %s", got)
+	}
+	// banded(30)/60 -> banded(ceil(30/60)) = banded(1).
+	got := impute(t, "b/60")
+	if got.Kind != schema.OrderBandedIncreasing || got.Band != 1 {
+		t.Errorf("b/60 = %s, want banded_increasing(1)", got)
+	}
+	// banded(30)/7 -> banded(ceil(30/7)) = banded(5).
+	got = impute(t, "b/7")
+	if got.Band != 5 {
+		t.Errorf("b/7 = %s, want band 5", got)
+	}
+	// const/expr is not monotone.
+	if got := impute(t, "60/ts"); got.Kind != schema.OrderNone {
+		t.Errorf("60/ts = %s", got)
+	}
+	// Division by zero collapses.
+	if got := impute(t, "ts/0"); got.Kind != schema.OrderNone {
+		t.Errorf("ts/0 = %s", got)
+	}
+}
+
+func TestImputeMultiplication(t *testing.T) {
+	if got := impute(t, "ts * 1000"); got.Kind != schema.OrderStrictIncreasing {
+		t.Errorf("ts*1000 = %s", got)
+	}
+	got := impute(t, "b * 2")
+	if got.Kind != schema.OrderBandedIncreasing || got.Band != 60 {
+		t.Errorf("b*2 = %s, want band 60", got)
+	}
+	if got := impute(t, "ts * 0"); got.Kind != schema.OrderNone {
+		t.Errorf("ts*0 = %s", got)
+	}
+	if got := impute(t, "1000 * ts"); got.Kind != schema.OrderStrictIncreasing {
+		t.Errorf("1000*ts = %s", got)
+	}
+}
+
+func TestImputeNegationFlips(t *testing.T) {
+	if got := impute(t, "-ts"); got.Kind != schema.OrderStrictDecreasing {
+		t.Errorf("-ts = %s", got)
+	}
+	if got := impute(t, "-d"); got.Kind != schema.OrderIncreasing {
+		t.Errorf("-d = %s", got)
+	}
+	// const - expr also flips.
+	if got := impute(t, "1000000 - t"); got.Kind != schema.OrderDecreasing {
+		t.Errorf("1000000-t = %s", got)
+	}
+	// Nonrepeating survives negation.
+	if got := impute(t, "-n"); got.Kind != schema.OrderNonrepeating {
+		t.Errorf("-n = %s", got)
+	}
+}
+
+func TestImputeOpaqueOperationsDropOrdering(t *testing.T) {
+	for _, expr := range []string{
+		"ts % 60",      // wraps
+		"ts & 255",     // wraps
+		"ts + x",       // two columns
+		"str_len('a')", // function call
+		"to_uint(ts)",  // even monotone functions are opaque
+	} {
+		if got := impute(t, expr); got.Kind != schema.OrderNone {
+			t.Errorf("impute(%s) = %s, want none", expr, got)
+		}
+	}
+}
+
+func TestImputeInGroupDroppedBySelProj(t *testing.T) {
+	// In-group orderings don't survive projection (the group columns may
+	// be gone); buildSelProj conservatively drops them.
+	cat := schema.NewCatalog()
+	if err := cat.Register(imputeSchema()); err != nil {
+		t.Fatal(err)
+	}
+	q, err := gsql.ParseQuery(`DEFINE { query_name p; } SELECT g, ts FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := Compile(cat, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cq.Output().Out
+	if out.Cols[0].Ordering.Kind != schema.OrderNone {
+		t.Errorf("g ordering = %s, want none", out.Cols[0].Ordering)
+	}
+	if out.Cols[1].Ordering.Kind != schema.OrderStrictIncreasing {
+		t.Errorf("ts ordering = %s", out.Cols[1].Ordering)
+	}
+}
+
+// Runtime soundness: every imputed ordering must hold on the actual
+// output stream. Exercise the §2.2-style chain and check with
+// OrderChecker.
+func TestImputedOrderingsHoldAtRuntime(t *testing.T) {
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name chain; }
+		SELECT tb, destPort, count(*) FROM tcp
+		GROUP BY time/60 as tb, destPort`, nil)
+	lfta, err := cq.Nodes[0].Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hfta, err := cq.Nodes[1].Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cq.Output().Out
+	checkers := make([]*schema.OrderChecker, len(out.Cols))
+	for i, c := range out.Cols {
+		if c.Ordering.Usable() {
+			checkers[i] = schema.NewOrderChecker(c.Ordering, nil)
+		}
+	}
+	sinkErr := error(nil)
+	sink := func(m execMessage) {
+		if m.IsHeartbeat() || sinkErr != nil {
+			return
+		}
+		for i, ch := range checkers {
+			if ch == nil {
+				continue
+			}
+			if err := ch.Observe(m.Tuple[i], m.Tuple); err != nil {
+				sinkErr = err
+			}
+		}
+	}
+	mid := func(m execMessage) { hfta.Op.Push(0, m, sink) }
+	for i := 0; i < 20000; i++ {
+		p := pktBuild(uint64(i)*50_000, uint16(i%7*100+80))
+		if err := lfta.PushPacket(&p, mid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lfta.Op.FlushAll(mid)
+	hfta.Op.FlushAll(sink)
+	if sinkErr != nil {
+		t.Errorf("imputed ordering violated at runtime: %v", sinkErr)
+	}
+}
+
+// Helpers shared by the runtime ordering test.
+type execMessage = exec.Message
+
+func pktBuild(usec uint64, port uint16) pkt.Packet {
+	return pkt.BuildTCP(usec, pkt.TCPSpec{SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: port})
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// Instance is one runnable instantiation of a compiled node. The RTS may
+// run multiple instances of the same LFTA with different parameters
+// (paper §3).
+type Instance struct {
+	Node *Node
+	Op   exec.Operator
+	Ctx  *exec.Ctx
+
+	// Protocol-source extraction (LFTA instances only).
+	extractors []extractor
+	protoWidth int
+	clockCols  []clockCol
+	dropped    uint64
+}
+
+type extractor struct {
+	slot int
+	spec *pkt.FieldSpec
+}
+
+type clockCol struct {
+	slot  int
+	clock func(usec uint64) schema.Value
+}
+
+// Instantiate binds parameters and prepares handles, returning a runnable
+// instance with fresh operator state.
+func (n *Node) Instantiate(params map[string]schema.Value) (*Instance, error) {
+	if err := n.checkParams(params); err != nil {
+		return nil, err
+	}
+	ctx, err := exec.NewCtx(n.handles, params)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Node: n, Ctx: ctx}
+
+	switch n.Kind {
+	case OpSelProj:
+		inst.Op = exec.NewSelProj(n.selPred, n.selOuts, n.selHB, ctx, n.Out)
+	case OpAgg:
+		spec := *n.aggSpec
+		spec.Ctx = ctx
+		if n.Level == LevelLFTA {
+			op, err := exec.NewLFTAAgg(spec, n.lftaTable)
+			if err != nil {
+				return nil, err
+			}
+			inst.Op = op
+		} else {
+			op, err := exec.NewAgg(spec)
+			if err != nil {
+				return nil, err
+			}
+			inst.Op = op
+		}
+	case OpJoin:
+		spec := *n.joinSpec
+		spec.Ctx = ctx
+		op, err := exec.NewJoin(spec)
+		if err != nil {
+			return nil, err
+		}
+		inst.Op = op
+	case OpMerge:
+		op, err := exec.NewMerge(n.mergeCols, n.Out)
+		if err != nil {
+			return nil, err
+		}
+		inst.Op = op
+	default:
+		return nil, fmt.Errorf("core: node %s has unknown kind", n.Name)
+	}
+
+	if src := n.Sources[0]; src.IsProtocol && n.Level == LevelLFTA {
+		inst.protoWidth = len(src.Schema.Cols)
+		for _, idx := range n.needCols {
+			col := &src.Schema.Cols[idx]
+			spec, ok := pkt.LookupInterp(col.Interp)
+			if !ok {
+				return nil, fmt.Errorf("core: %s.%s: interpretation function %q not registered",
+					src.Schema.Name, col.Name, col.Interp)
+			}
+			inst.extractors = append(inst.extractors, extractor{slot: idx, spec: spec})
+			if spec.Clock != nil {
+				inst.clockCols = append(inst.clockCols, clockCol{slot: idx, clock: spec.Clock})
+			}
+		}
+	}
+	return inst, nil
+}
+
+func (n *Node) checkParams(params map[string]schema.Value) error {
+	for name, ty := range n.params {
+		v, ok := params[name]
+		if !ok {
+			return fmt.Errorf("core: parameter $%s (%s) not bound", name, ty)
+		}
+		if v.Type != ty && !(v.Type.Numeric() && ty.Numeric()) {
+			return fmt.Errorf("core: parameter $%s: want %s, got %s", name, ty, v.Type)
+		}
+	}
+	return nil
+}
+
+// Rebind changes the instance's parameters on the fly (paper §3: query
+// parameters "can be changed on-the-fly"). The caller must ensure no
+// concurrent evaluation (the RTS runs it on the node's goroutine).
+func (i *Instance) Rebind(params map[string]schema.Value) error {
+	if err := i.Node.checkParams(params); err != nil {
+		return err
+	}
+	return i.Ctx.Rebind(i.Node.handles, params)
+}
+
+// IsPacketSource reports whether the instance consumes raw packets.
+func (i *Instance) IsPacketSource() bool { return i.protoWidth > 0 }
+
+// PacketsDropped counts packets whose needed fields could not be
+// interpreted (wrong framing, short capture).
+func (i *Instance) PacketsDropped() uint64 { return i.dropped }
+
+// PushPacket interprets a raw packet into a protocol tuple (extracting
+// only the columns the query references) and pushes it through the
+// operator. Packets whose referenced fields cannot be interpreted are
+// dropped, mirroring the behavior of the interpretation library.
+func (i *Instance) PushPacket(p *pkt.Packet, emit exec.Emit) error {
+	if !i.IsPacketSource() {
+		return fmt.Errorf("core: node %s is not a packet source", i.Node.Name)
+	}
+	row := make(schema.Tuple, i.protoWidth)
+	for _, ex := range i.extractors {
+		v, ok := ex.spec.Extract(p)
+		if !ok {
+			i.dropped++
+			return nil
+		}
+		row[ex.slot] = v
+	}
+	return i.Op.Push(0, exec.TupleMsg(row), emit)
+}
+
+// ClockHeartbeat injects a source heartbeat at the given virtual time:
+// bounds are derived for every clock-driven column (time, timestamp). The
+// operator transforms and forwards them downstream (paper §3's ordering
+// update tokens).
+func (i *Instance) ClockHeartbeat(usec uint64, emit exec.Emit) error {
+	if !i.IsPacketSource() || len(i.clockCols) == 0 {
+		return nil
+	}
+	bounds := make(schema.Tuple, i.protoWidth)
+	for _, cc := range i.clockCols {
+		bounds[cc.slot] = cc.clock(usec)
+	}
+	return i.Op.Push(0, exec.HeartbeatMsg(bounds), emit)
+}
+
+// Stats exposes the operator's counters when available.
+func (i *Instance) Stats() exec.OpStats {
+	type statser interface{ Stats() exec.OpStats }
+	if s, ok := i.Op.(statser); ok {
+		return s.Stats()
+	}
+	return exec.OpStats{}
+}

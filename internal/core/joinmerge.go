@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// Join and merge analysis (paper §2.1, §2.2).
+
+// sideOf classifies which sources an expression references: bit 0 = left,
+// bit 1 = right.
+func sideOf(e gsql.Expr, left, right SourceRef) int {
+	mask := 0
+	gsql.Walk(e, func(n gsql.Expr) bool {
+		c, ok := n.(*gsql.ColRef)
+		if !ok {
+			return true
+		}
+		inL := refBinds(c, left)
+		inR := refBinds(c, right)
+		switch {
+		case inL && inR:
+			mask |= 3 // ambiguous: counts as both
+		case inL:
+			mask |= 1
+		case inR:
+			mask |= 2
+		default:
+			mask |= 4 // unresolvable
+		}
+		return true
+	})
+	return mask
+}
+
+func refBinds(c *gsql.ColRef, src SourceRef) bool {
+	if c.Table != "" && !strings.EqualFold(c.Table, src.Binding) && !strings.EqualFold(c.Table, src.Schema.Name) {
+		return false
+	}
+	return src.Schema.HasCol(c.Name)
+}
+
+// ordTerm is one side of a window constraint: an ordered column plus a
+// constant offset (B.ts, C.ts+1, C.ts-1 ...).
+type ordTerm struct {
+	col    *gsql.ColRef
+	colIdx int
+	offset int64
+	side   int // 0 = left, 1 = right
+}
+
+// parseOrdTerm matches ColRef, ColRef+const, ColRef-const over one source
+// with a usable increasing ordering.
+func parseOrdTerm(e gsql.Expr, left, right SourceRef) (ordTerm, bool) {
+	var base gsql.Expr = e
+	var off int64
+	if b, ok := e.(*gsql.BinaryExpr); ok && (b.Op == gsql.OpAdd || b.Op == gsql.OpSub) {
+		c, ok := b.R.(*gsql.Const)
+		if !ok || !c.Val.Type.Numeric() {
+			return ordTerm{}, false
+		}
+		base = b.L
+		off = c.Val.Int()
+		if c.Val.Type == schema.TUint {
+			off = int64(c.Val.Uint())
+		}
+		if b.Op == gsql.OpSub {
+			off = -off
+		}
+	}
+	col, ok := base.(*gsql.ColRef)
+	if !ok {
+		return ordTerm{}, false
+	}
+	for side, src := range []SourceRef{left, right} {
+		if !refBinds(col, src) {
+			continue
+		}
+		i, c := src.Schema.Col(col.Name)
+		if c == nil {
+			continue
+		}
+		if !c.Ordering.Increasing() && c.Ordering.Kind != schema.OrderBandedIncreasing {
+			return ordTerm{}, false
+		}
+		return ordTerm{col: col, colIdx: i, offset: off, side: side}, true
+	}
+	return ordTerm{}, false
+}
+
+// buildJoin analyzes a two-stream join node.
+func (a *analyzer) buildJoin(name string, level Level, srcs []SourceRef, q *gsql.Query) (*Node, error) {
+	left, right := srcs[0], srcs[1]
+	if strings.EqualFold(left.Binding, right.Binding) {
+		return nil, fmt.Errorf("join sources share the binding %q; alias them", left.Binding)
+	}
+
+	spec := &exec.JoinSpec{OutOrdL: -1, OutOrdR: -1}
+	// One compiler accumulates all handle slots; the resolver is swapped
+	// depending on whether an expression evaluates over the left row, the
+	// right row, or the combined row.
+	joinRes := exec.JoinResolver(left.Schema, right.Schema, left.Binding, right.Binding)
+	leftRes := exec.SchemaResolver(left.Schema, left.Binding)
+	rightRes := exec.SchemaResolver(right.Schema, right.Binding)
+	comp := &exec.Compiler{Reg: a.reg, Params: a.params, Resolve: joinRes}
+	compileWith := func(res func(string, string) (int, schema.Type, error), e gsql.Expr) (exec.Expr, error) {
+		comp.Resolve = res
+		defer func() { comp.Resolve = joinRes }()
+		return comp.Compile(e)
+	}
+
+	// Decompose the WHERE clause: window constraints on ordered
+	// attributes, hash-equality pairs, and a residual predicate.
+	var (
+		residual   []gsql.Expr
+		ordL, ordR *ordTerm
+		haveLow    bool
+		haveHigh   bool
+		low, high  int64
+	)
+	addBound := func(lt, rt ordTerm, op gsql.Op) {
+		// Normalize to: D = ordR - ordL compared against rt/lt offsets.
+		// ordL + lo <= ordR + ro  ==>  D >= lo - ro.
+		d := lt.offset - rt.offset
+		setLow := func(v int64) {
+			// Constraint D >= v; the spec encodes D >= -LowSlack, so the
+			// tightest (largest) v gives LowSlack = -v.
+			if !haveLow || -v < low {
+				low, haveLow = -v, true
+			}
+		}
+		setHigh := func(v int64) {
+			if !haveHigh || v < high {
+				high, haveHigh = v, true
+			}
+		}
+		switch op {
+		case gsql.OpEq:
+			setLow(d)
+			setHigh(d)
+		case gsql.OpLe: // ordL+lo <= ordR+ro => D >= d
+			setLow(d)
+		case gsql.OpLt:
+			setLow(d + 1)
+		case gsql.OpGe: // D <= d
+			setHigh(d)
+		case gsql.OpGt:
+			setHigh(d - 1)
+		}
+	}
+
+	for _, cj := range conjuncts(q.Where) {
+		b, ok := cj.(*gsql.BinaryExpr)
+		if ok && b.Op.Comparison() {
+			lt, lok := parseOrdTerm(b.L, left, right)
+			rt, rok := parseOrdTerm(b.R, left, right)
+			if lok && rok && lt.side != rt.side {
+				// Window constraint on ordered attributes.
+				if lt.side == 1 {
+					lt, rt = rt, lt
+					b = &gsql.BinaryExpr{Op: b.Op.Flip(), L: b.R, R: b.L, At: b.At}
+				}
+				if ordL == nil {
+					ordL, ordR = &lt, &rt
+				}
+				if lt.colIdx == ordL.colIdx && rt.colIdx == ordR.colIdx {
+					addBound(lt, rt, b.Op)
+					if b.Op == gsql.OpEq && lt.offset == 0 && rt.offset == 0 {
+						// Also usable as a hash key.
+						le, err := compileWith(leftRes, lt.col)
+						if err != nil {
+							return nil, err
+						}
+						re, err := compileWith(rightRes, rt.col)
+						if err != nil {
+							return nil, err
+						}
+						spec.EqL = append(spec.EqL, le)
+						spec.EqR = append(spec.EqR, re)
+					}
+					continue
+				}
+			}
+			// Plain cross-side equality: hash key.
+			if ok && b.Op == gsql.OpEq {
+				ls, rs := sideOf(b.L, left, right), sideOf(b.R, left, right)
+				if ls == 1 && rs == 2 || ls == 2 && rs == 1 {
+					el, er := b.L, b.R
+					if ls == 2 {
+						el, er = b.R, b.L
+					}
+					le, err := compileWith(leftRes, el)
+					if err != nil {
+						return nil, err
+					}
+					re, err := compileWith(rightRes, er)
+					if err != nil {
+						return nil, err
+					}
+					spec.EqL = append(spec.EqL, le)
+					spec.EqR = append(spec.EqR, re)
+					continue
+				}
+			}
+		}
+		residual = append(residual, cj)
+	}
+
+	if ordL == nil || !haveLow || !haveHigh {
+		return nil, fmt.Errorf("join predicate must define a window on ordered attributes of both inputs (e.g. %s.ts = %s.ts, or a banded constraint); paper §2.1",
+			left.Binding, right.Binding)
+	}
+	if low < 0 || high < 0 {
+		// e.g. only D >= 5 given: window is shifted; normalize by folding
+		// the shift into slacks (still a finite window as long as
+		// low+high >= 0).
+		if low+high < 0 {
+			return nil, fmt.Errorf("join window is empty: constraints exclude all pairs")
+		}
+	}
+	spec.LowSlack, spec.HighSlack = low, high
+
+	var err error
+	spec.OrdL, err = compileWith(leftRes, ordL.col)
+	if err != nil {
+		return nil, err
+	}
+	spec.OrdR, err = compileWith(rightRes, ordR.col)
+	if err != nil {
+		return nil, err
+	}
+	if len(residual) > 0 {
+		spec.Residual, err = comp.Compile(conjoin(residual))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The choice of join algorithm affects the imputed output ordering
+	// (paper §2.1): the default low-buffer algorithm yields
+	// banded-increasing(low+high) on the window attribute; the DEFINE
+	// hint "join_algorithm ordered" selects the reorder-buffered variant
+	// whose output is monotonically increasing at the cost of more
+	// buffer space.
+	ordered := false
+	if alg, ok := q.Defs["join_algorithm"]; ok && len(alg) > 0 {
+		switch strings.ToLower(alg[0]) {
+		case "ordered":
+			ordered = true
+		case "banded", "default":
+		default:
+			return nil, fmt.Errorf("unknown join_algorithm %q (want ordered or banded)", alg[0])
+		}
+	}
+	spec.SortOutput = ordered
+
+	// Output columns over the combined row.
+	used := make(map[string]bool)
+	out := &schema.Schema{Name: name, Kind: schema.KindStream}
+	winOrd := schema.Ordering{Kind: schema.OrderIncreasing}
+	if low+high > 0 && !ordered {
+		winOrd = schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: uint64(low + high)}
+	}
+	for i, item := range q.Select {
+		if a.hasAggregate(item.Expr) {
+			return nil, fmt.Errorf("aggregation over a join must be composed as a separate query reading this join's output")
+		}
+		e, err := comp.Compile(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		colName, err := outName(item, i, used)
+		if err != nil {
+			return nil, err
+		}
+		ord := schema.NoOrder
+		if c, ok := item.Expr.(*gsql.ColRef); ok {
+			if refBinds(c, left) && !refBinds(c, right) {
+				if idx, _ := left.Schema.Col(c.Name); idx == ordL.colIdx {
+					ord = winOrd
+					if spec.OutOrdL < 0 {
+						spec.OutOrdL = i
+					}
+				}
+			} else if refBinds(c, right) && !refBinds(c, left) {
+				if idx, _ := right.Schema.Col(c.Name); idx == ordR.colIdx {
+					ord = winOrd
+					if spec.OutOrdR < 0 {
+						spec.OutOrdR = i
+					}
+				}
+			}
+		}
+		out.Cols = append(out.Cols, schema.Column{Name: colName, Type: e.Type(), Ordering: ord})
+		spec.Outs = append(spec.Outs, e)
+	}
+	spec.Out = out
+	if ordered && spec.OutOrdL < 0 {
+		return nil, fmt.Errorf("join_algorithm ordered requires selecting %s.%s (the left window attribute)",
+			left.Binding, ordL.col.Name)
+	}
+
+	n := &Node{
+		Name: name, Level: level, Kind: OpJoin,
+		Sources: srcs, Query: q, Out: out,
+		joinSpec: spec, params: a.params,
+		handles: comp.Handles,
+	}
+	return n, nil
+}
+
+// buildMerge analyzes an N-way order-preserving merge node.
+func (a *analyzer) buildMerge(name string, level Level, srcs []SourceRef, q *gsql.Query) (*Node, error) {
+	if len(q.MergeCols) != len(srcs) {
+		return nil, fmt.Errorf("MERGE lists %d columns for %d sources", len(q.MergeCols), len(srcs))
+	}
+	base := srcs[0].Schema
+	cols := make([]int, len(srcs))
+	merged := schema.Ordering{}
+	for i, src := range srcs {
+		s := src.Schema
+		if len(s.Cols) != len(base.Cols) {
+			return nil, fmt.Errorf("merge inputs %s and %s have different schemas", base.Name, s.Name)
+		}
+		for j := range s.Cols {
+			if s.Cols[j].Type != base.Cols[j].Type {
+				return nil, fmt.Errorf("merge inputs disagree on column %d: %s vs %s",
+					j+1, base.Cols[j].Type, s.Cols[j].Type)
+			}
+		}
+		mc := q.MergeCols[i]
+		if mc.Table != "" && !strings.EqualFold(mc.Table, src.Binding) && !strings.EqualFold(mc.Table, s.Name) {
+			return nil, fmt.Errorf("merge column %s does not reference source %s", mc, src.Binding)
+		}
+		idx, c := s.Col(mc.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("merge column %s not in %s", mc.Name, s.Name)
+		}
+		if !c.Ordering.Increasing() && c.Ordering.Kind != schema.OrderBandedIncreasing {
+			return nil, fmt.Errorf("merge column %s.%s must be increasing (it is %s)",
+				src.Binding, mc.Name, c.Ordering)
+		}
+		cols[i] = idx
+		if i == 0 {
+			merged = c.Ordering
+		} else {
+			merged = schema.Meet(merged, c.Ordering)
+		}
+	}
+	for i := 1; i < len(cols); i++ {
+		if cols[i] != cols[0] {
+			return nil, fmt.Errorf("merge columns must occupy the same position in every input schema")
+		}
+	}
+	out := base.Clone()
+	out.Name = name
+	out.Kind = schema.KindStream
+	for j := range out.Cols {
+		if j == cols[0] {
+			out.Cols[j].Ordering = merged
+		} else if !out.Cols[j].Ordering.Usable() {
+			out.Cols[j].Ordering = schema.NoOrder
+		} else {
+			// Per-input orderings on other columns do not survive
+			// interleaving.
+			out.Cols[j].Ordering = schema.NoOrder
+		}
+		out.Cols[j].Interp = ""
+	}
+	return &Node{
+		Name: name, Level: level, Kind: OpMerge,
+		Sources: srcs, Query: q, Out: out,
+		mergeCols: cols, params: a.params,
+	}, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"gigascope/internal/gsql"
+	"gigascope/internal/nic"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// NIC pushdown (paper §3): "Other NICs allow us to specify a bpf (berkley
+// packet filter) preliminary filter, and to specify the number of bytes of
+// qualifying packets (the snap length) to be returned (that is, we can
+// push a simple selection/projection operator into the NIC)."
+//
+// pushdown derives, for an LFTA node over a protocol source:
+//   - a CNF filter over raw header fields from the WHERE conjuncts whose
+//     comparisons are (column op constant) with the column being a direct
+//     header read (RawRef);
+//   - the snap length: the maximum capture prefix any referenced
+//     interpretation function needs, or full capture if any referenced
+//     field needs the whole packet.
+//
+// The LFTA re-evaluates its full predicate (the filter is preliminary, as
+// on real NICs), so pushdown is a pure optimization: it never changes
+// results, only reduces the packets and bytes crossing into the host.
+func (a *analyzer) pushdown(n *Node, q *gsql.Query) (*nic.Program, int) {
+	src := n.Sources[0]
+	prog := &nic.Program{}
+
+	for _, cj := range conjuncts(q.Where) {
+		if clause, ok := a.clauseFor(cj, src); ok {
+			prog.Clauses = append(prog.Clauses, clause)
+		}
+	}
+	prog.SnapLen = a.snapLen(n, src)
+	if len(prog.Clauses) == 0 && prog.SnapLen == 0 {
+		return nil, 0
+	}
+	return prog, prog.SnapLen
+}
+
+// snapLen computes the capture prefix needed by the node's referenced
+// columns; 0 means the full packet is required.
+func (a *analyzer) snapLen(n *Node, src SourceRef) int {
+	max := pkt.EthHeaderLen
+	for _, idx := range n.needCols {
+		col := &src.Schema.Cols[idx]
+		spec, ok := pkt.LookupInterp(col.Interp)
+		if !ok {
+			return 0 // unknown extractor: play safe, capture everything
+		}
+		if spec.NeedAll {
+			return 0
+		}
+		if spec.NeedBytes > max {
+			max = spec.NeedBytes
+		}
+	}
+	return max
+}
+
+// clauseFor converts one conjunct into a NIC filter clause (a disjunction
+// of raw-field comparisons), reporting false when any disjunct cannot be
+// expressed as a header read against a constant.
+func (a *analyzer) clauseFor(e gsql.Expr, src SourceRef) (nic.Clause, bool) {
+	var clause nic.Clause
+	for _, d := range disjuncts(e) {
+		cmp, ok := a.cmpFor(d, src)
+		if !ok {
+			return nil, false
+		}
+		clause = append(clause, cmp)
+	}
+	return clause, len(clause) > 0
+}
+
+// disjuncts flattens OR-ed terms.
+func disjuncts(e gsql.Expr) []gsql.Expr {
+	if b, ok := e.(*gsql.BinaryExpr); ok && b.Op == gsql.OpOr {
+		return append(disjuncts(b.L), disjuncts(b.R)...)
+	}
+	return []gsql.Expr{e}
+}
+
+var nicOps = map[gsql.Op]nic.CmpOp{
+	gsql.OpEq: nic.CmpEq, gsql.OpNe: nic.CmpNe,
+	gsql.OpLt: nic.CmpLt, gsql.OpLe: nic.CmpLe,
+	gsql.OpGt: nic.CmpGt, gsql.OpGe: nic.CmpGe,
+}
+
+// cmpFor matches (column op constant) or (constant op column) where the
+// column's interpretation function is a raw header read.
+func (a *analyzer) cmpFor(e gsql.Expr, src SourceRef) (nic.Cmp, bool) {
+	b, ok := e.(*gsql.BinaryExpr)
+	if !ok || !b.Op.Comparison() {
+		return nic.Cmp{}, false
+	}
+	col, cval, op := b.L, b.R, b.Op
+	if _, isConst := col.(*gsql.Const); isConst {
+		col, cval, op = b.R, b.L, b.Op.Flip()
+	}
+	cref, ok := col.(*gsql.ColRef)
+	if !ok {
+		return nic.Cmp{}, false
+	}
+	k, ok := cval.(*gsql.Const)
+	if !ok {
+		return nic.Cmp{}, false
+	}
+	switch k.Val.Type {
+	case schema.TUint, schema.TInt, schema.TIP, schema.TBool:
+	default:
+		return nic.Cmp{}, false
+	}
+	i, c := src.Schema.Col(cref.Name)
+	if i < 0 {
+		return nic.Cmp{}, false
+	}
+	spec, ok := pkt.LookupInterp(c.Interp)
+	if !ok || spec.Raw == nil {
+		return nic.Cmp{}, false
+	}
+	nop, ok := nicOps[op]
+	if !ok {
+		return nic.Cmp{}, false
+	}
+	return nic.Cmp{Raw: *spec.Raw, Op: nop, Val: k.Val.Uint()}, true
+}

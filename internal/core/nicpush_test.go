@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/pkt"
+)
+
+func TestPushdownProgramNeverDropsQualifyingPackets(t *testing.T) {
+	// The NIC pre-filter must be exact for the conjuncts it absorbs: a
+	// packet passing the LFTA predicate always passes the NIC program
+	// (otherwise pushdown would change results). Property-test against
+	// random packets.
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name push; }
+		SELECT time FROM tcp
+		WHERE destPort = 80 and ipversion = 4 and (protocol = 6 or protocol = 17) and ttl > 5`, nil)
+	n := cq.Output()
+	if n.NICProgram == nil || len(n.NICProgram.Clauses) != 4 {
+		t.Fatalf("program = %v", n.NICProgram)
+	}
+	inst, err := n.Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			var p pkt.Packet
+			port := uint16(r.Intn(200))
+			ttl := uint8(r.Intn(12))
+			if r.Intn(2) == 0 {
+				p = pkt.BuildTCP(uint64(i), pkt.TCPSpec{
+					SrcIP: r.Uint32(), DstIP: r.Uint32(),
+					SrcPort: 1, DstPort: port, TTL: ttl,
+				})
+			} else {
+				p = pkt.BuildUDP(uint64(i), pkt.UDPSpec{
+					SrcIP: r.Uint32(), DstIP: r.Uint32(),
+					SrcPort: 1, DstPort: port, TTL: ttl,
+				})
+			}
+			var out []exec.Message
+			inst.PushPacket(&p, exec.Collect(&out))
+			lftaPass := len(out) > 0
+			nicPass := n.NICProgram.Match(&p)
+			if lftaPass && !nicPass {
+				return false // NIC dropped a qualifying packet
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPushdownSkipsNonRawConjuncts(t *testing.T) {
+	cat := newCatalog(t)
+	// srcIP = destIP is column-to-column: not pushable; payload regex is
+	// expensive and in the HFTA anyway; destPort = 80 is pushable.
+	cq := compile(t, cat, `
+		DEFINE { query_name mixed; }
+		SELECT time FROM tcp
+		WHERE destPort = 80 and srcIP = destIP`, nil)
+	n := cq.Output()
+	if n.NICProgram == nil || len(n.NICProgram.Clauses) != 1 {
+		t.Fatalf("program = %v", n.NICProgram)
+	}
+	// And the LFTA still applies the full predicate: a port-80 packet
+	// with srcIP != destIP is dropped by the LFTA even though the NIC
+	// passes it.
+	inst, err := n.Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkt.BuildTCP(1, pkt.TCPSpec{SrcIP: 1, DstIP: 2, DstPort: 80})
+	var out []exec.Message
+	inst.PushPacket(&p, exec.Collect(&out))
+	if len(out) != 0 {
+		t.Error("LFTA passed packet failing the non-pushable conjunct")
+	}
+	if !n.NICProgram.Match(&p) {
+		t.Error("NIC rejected pushable-conjunct-passing packet")
+	}
+}
+
+func TestPushdownParamNotPushable(t *testing.T) {
+	cat := newCatalog(t)
+	cq := compile(t, cat, `
+		DEFINE { query_name parq; param port uint; }
+		SELECT time FROM tcp WHERE destPort = $port`, nil)
+	n := cq.Output()
+	// Parameters change at runtime; the static NIC program cannot absorb
+	// them. Only the snap length is pushed.
+	if n.NICProgram != nil && len(n.NICProgram.Clauses) != 0 {
+		t.Errorf("param comparison pushed: %v", n.NICProgram)
+	}
+}
+
+func TestSnapLenGrowsWithReferencedFields(t *testing.T) {
+	cat := newCatalog(t)
+	timeOnly := compile(t, cat, `DEFINE { query_name s1; } SELECT time FROM tcp`, nil)
+	ports := compile(t, cat, `DEFINE { query_name s2; } SELECT time, destPort FROM tcp`, nil)
+	pay := compile(t, cat, `DEFINE { query_name s3; } SELECT time, payload FROM tcp`, nil)
+	if a, b := timeOnly.Output().SnapLen, ports.Output().SnapLen; a > b || b == 0 {
+		t.Errorf("snap lens: time-only %d, ports %d", a, b)
+	}
+	if pay.Output().SnapLen != 0 {
+		t.Errorf("payload query snap = %d, want full", pay.Output().SnapLen)
+	}
+}

@@ -1,0 +1,192 @@
+// Package core is the Gigascope query compiler — the paper's primary
+// contribution. It performs semantic analysis of GSQL queries, imputes
+// attribute ordering properties through operators (§2.1), splits each query
+// into low-level LFTA and high-level HFTA nodes (§3), and pushes selection
+// and snap-length hints into the NIC as a BPF-style pre-filter.
+//
+// Where the original system generated C/C++ code, this implementation
+// compiles queries to trees of closures over the exec operators; the plan
+// shape (node split, pushdown, ordering reasoning) is faithful.
+package core
+
+import (
+	"fmt"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/nic"
+	"gigascope/internal/schema"
+)
+
+// Level distinguishes low-level from high-level query nodes (paper §3:
+// "breaking queries into high level query nodes (HFTAs) and low level
+// query nodes (LFTAs)"). LFTAs accept only Protocol input and run on the
+// capture path (linked into the RTS, possibly on the NIC); HFTAs accept
+// only Stream input and run as separate tasks.
+type Level uint8
+
+const (
+	LevelLFTA Level = iota + 1
+	LevelHFTA
+)
+
+func (l Level) String() string {
+	if l == LevelLFTA {
+		return "LFTA"
+	}
+	return "HFTA"
+}
+
+// OpKind classifies the operator a node executes.
+type OpKind uint8
+
+const (
+	OpSelProj OpKind = iota + 1
+	OpAgg
+	OpJoin
+	OpMerge
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpSelProj:
+		return "select/project"
+	case OpAgg:
+		return "group-by/aggregate"
+	case OpJoin:
+		return "join"
+	case OpMerge:
+		return "merge"
+	}
+	return "?"
+}
+
+// SourceRef is one resolved query input.
+type SourceRef struct {
+	Name       string // protocol or stream name
+	Interface  string // packet interface for protocol sources ("" = default)
+	Binding    string // alias used to qualify columns
+	Schema     *schema.Schema
+	IsProtocol bool
+}
+
+func (s SourceRef) String() string {
+	if s.IsProtocol {
+		iface := s.Interface
+		if iface == "" {
+			iface = "<default>"
+		}
+		return iface + "." + s.Name
+	}
+	return s.Name
+}
+
+// Node is one compiled query node. A GSQL query compiles to one or more
+// nodes: the output node carries the query's name; synthetic nodes carry
+// mangled names (the paper notes "the LFTA query will have a mangled
+// name", visible to applications like any other stream).
+type Node struct {
+	Name    string
+	Level   Level
+	Kind    OpKind
+	Sources []SourceRef
+	Out     *schema.Schema
+	// Query is the (possibly rewritten) single-operator GSQL query this
+	// node executes; shown by EXPLAIN.
+	Query *gsql.Query
+
+	// NICProgram is the BPF pre-filter + snap length pushed into the NIC
+	// when the interface supports it (LFTA nodes over protocol sources).
+	NICProgram *nic.Program
+	// SnapLen is the capture length the whole query tree needs from this
+	// protocol source; 0 means full packets.
+	SnapLen int
+
+	// Instantiation templates (stateless, shared across instances).
+	handles   []exec.HandleSpec
+	params    map[string]schema.Type
+	selPred   exec.Expr
+	selOuts   []exec.Expr
+	selHB     []bool
+	aggSpec   *exec.AggSpec // group/agg template (state built per instance)
+	lftaTable int           // direct-mapped table size for LFTA aggregation
+	joinSpec  *exec.JoinSpec
+	mergeCols []int
+	// needCols marks which protocol columns the node extracts (LFTA over
+	// a protocol source); indexes into the source schema.
+	needCols []int
+}
+
+// Params returns the declared query parameter types.
+func (n *Node) Params() map[string]schema.Type { return n.params }
+
+// NeedCols returns the protocol columns this LFTA extracts.
+func (n *Node) NeedCols() []int { return append([]int(nil), n.needCols...) }
+
+// CompiledQuery is the full compilation result of one GSQL query: its
+// nodes in dependency order (LFTAs first; the last node publishes the
+// query's name).
+type CompiledQuery struct {
+	Name  string
+	Nodes []*Node
+}
+
+// Output returns the node publishing the query's result stream.
+func (c *CompiledQuery) Output() *Node { return c.Nodes[len(c.Nodes)-1] }
+
+// LFTAs returns the low-level nodes.
+func (c *CompiledQuery) LFTAs() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.Level == LevelLFTA {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Options tunes compilation.
+type Options struct {
+	// Registry supplies scalar and aggregate functions; nil uses
+	// funcs.Global.
+	Registry *funcs.Registry
+	// LFTATableSize is the direct-mapped aggregation table size for LFTA
+	// nodes (paper §3); 0 uses the default of 4096 slots.
+	LFTATableSize int
+	// DisableSplit forces whole queries into single HFTA nodes reading
+	// raw protocol streams through a pass-through LFTA. Used by the E4
+	// ablation benchmark comparing split vs monolithic execution.
+	DisableSplit bool
+}
+
+func (o *Options) registry() *funcs.Registry {
+	if o == nil || o.Registry == nil {
+		return funcs.Global
+	}
+	return o.Registry
+}
+
+func (o *Options) tableSize() int {
+	if o == nil || o.LFTATableSize == 0 {
+		return 4096
+	}
+	return o.LFTATableSize
+}
+
+func (o *Options) disableSplit() bool { return o != nil && o.DisableSplit }
+
+// Error wraps a compilation error with the query name.
+type Error struct {
+	Query string
+	Err   error
+}
+
+func (e *Error) Error() string {
+	if e.Query == "" {
+		return fmt.Sprintf("core: %v", e.Err)
+	}
+	return fmt.Sprintf("core: query %s: %v", e.Query, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }

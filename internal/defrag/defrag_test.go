@@ -1,0 +1,284 @@
+package defrag
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// ipv4Schema returns the built-in IPV4 schema (defrag's natural input).
+func ipv4Schema(t *testing.T) *schema.Schema {
+	t.Helper()
+	for _, s := range pkt.BuiltinSchemas() {
+		if s.Name == "IPV4" {
+			return s
+		}
+	}
+	t.Fatal("IPV4 schema missing")
+	return nil
+}
+
+// tupleFor extracts the full IPV4 tuple from a packet.
+func tupleFor(t *testing.T, s *schema.Schema, p *pkt.Packet) schema.Tuple {
+	t.Helper()
+	row := make(schema.Tuple, len(s.Cols))
+	for i, c := range s.Cols {
+		f, ok := pkt.LookupInterp(c.Interp)
+		if !ok {
+			t.Fatalf("interp %s missing", c.Interp)
+		}
+		v, ok := f.Extract(p)
+		if !ok {
+			t.Fatalf("extract %s failed", c.Interp)
+		}
+		row[i] = v
+	}
+	return row
+}
+
+func newOp(t *testing.T, timeout uint64) (*Operator, *schema.Schema) {
+	t.Helper()
+	s := ipv4Schema(t)
+	cfg, err := ConfigFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TimeoutSec = timeout
+	op, err := New(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op, s
+}
+
+func TestConfigForRequiresColumns(t *testing.T) {
+	s := ipv4Schema(t)
+	if _, err := ConfigFor(s); err != nil {
+		t.Fatalf("IPV4 schema rejected: %v", err)
+	}
+	bad := &schema.Schema{Name: "bad", Kind: schema.KindStream, Cols: []schema.Column{
+		{Name: "time", Type: schema.TUint},
+	}}
+	if _, err := ConfigFor(bad); err == nil {
+		t.Error("schema without fragment columns accepted")
+	}
+}
+
+func TestPassThroughUnfragmented(t *testing.T) {
+	op, s := newOp(t, 30)
+	p := pkt.BuildTCP(1_000_000, pkt.TCPSpec{SrcIP: 1, DstIP: 2, DstPort: 80, Payload: []byte("abc")})
+	var out []exec.Message
+	if err := op.Push(0, exec.TupleMsg(tupleFor(t, s, &p)), exec.Collect(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if op.Pending() != 0 {
+		t.Error("pass-through left state")
+	}
+}
+
+func TestReassemblesFragments(t *testing.T) {
+	op, s := newOp(t, 30)
+	payload := bytes.Repeat([]byte("0123456789"), 150) // 1500B
+	orig := pkt.BuildTCP(2_000_000, pkt.TCPSpec{SrcIP: 7, DstIP: 8, DstPort: 80, Payload: payload})
+	frags, err := pkt.Fragment(&orig, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("only %d fragments", len(frags))
+	}
+	var out []exec.Message
+	emit := exec.Collect(&out)
+	for i := range frags {
+		if err := op.Push(0, exec.TupleMsg(tupleFor(t, s, &frags[i])), emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) != 1 {
+		t.Fatalf("emitted %d tuples", len(out))
+	}
+	got := out[0].Tuple
+	payIdx, _ := s.Col("ip_payload")
+	fragIdx, _ := s.Col("fragment_offset")
+	mfIdx, _ := s.Col("mf_flag")
+	tlIdx, _ := s.Col("total_length")
+	// The reassembled IP payload = TCP header + original payload.
+	wantPayload := orig.Data[pkt.EthHeaderLen+pkt.IPv4HeaderLen:]
+	if !bytes.Equal(got[payIdx].Bytes(), wantPayload) {
+		t.Errorf("payload mismatch: %d vs %d bytes", len(got[payIdx].Bytes()), len(wantPayload))
+	}
+	if got[fragIdx].Uint() != 0 || got[mfIdx].Uint() != 0 {
+		t.Error("fragment fields not cleared")
+	}
+	if got[tlIdx].Uint() != uint64(20+len(wantPayload)) {
+		t.Errorf("total_length = %d", got[tlIdx].Uint())
+	}
+	if op.Pending() != 0 {
+		t.Error("state left after reassembly")
+	}
+}
+
+func TestInterleavedFlowsAndOutOfOrderFragments(t *testing.T) {
+	op, s := newOp(t, 30)
+	mk := func(src uint32, payload []byte) []pkt.Packet {
+		p := pkt.BuildTCP(3_000_000, pkt.TCPSpec{SrcIP: src, DstIP: 9, DstPort: 80, Payload: payload})
+		frags, err := pkt.Fragment(&p, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frags
+	}
+	a := mk(1, bytes.Repeat([]byte{0xaa}, 1200))
+	b := mk(2, bytes.Repeat([]byte{0xbb}, 1200))
+	// Interleave and reverse within each datagram.
+	var seq []pkt.Packet
+	for i := len(a) - 1; i >= 0; i-- {
+		seq = append(seq, a[i], b[i])
+	}
+	var out []exec.Message
+	emit := exec.Collect(&out)
+	for i := range seq {
+		if err := op.Push(0, exec.TupleMsg(tupleFor(t, s, &seq[i])), emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) != 2 {
+		t.Fatalf("emitted %d datagrams, want 2", len(out))
+	}
+	payIdx, _ := s.Col("ip_payload")
+	for _, m := range out {
+		pay := m.Tuple[payIdx].Bytes()
+		if len(pay) != pkt.TCPHeaderLen+1200 {
+			t.Errorf("payload len = %d", len(pay))
+		}
+	}
+}
+
+func TestTimeoutEvictsIncomplete(t *testing.T) {
+	op, s := newOp(t, 5)
+	payload := bytes.Repeat([]byte{1}, 1200)
+	orig := pkt.BuildTCP(10_000_000, pkt.TCPSpec{SrcIP: 3, DstIP: 4, DstPort: 80, Payload: payload})
+	frags, err := pkt.Fragment(&orig, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []exec.Message
+	emit := exec.Collect(&out)
+	// Only the first fragment arrives.
+	op.Push(0, exec.TupleMsg(tupleFor(t, s, &frags[0])), emit)
+	if op.Pending() != 1 {
+		t.Fatalf("pending = %d", op.Pending())
+	}
+	// A later whole packet moves time past the timeout.
+	late := pkt.BuildTCP(30_000_000, pkt.TCPSpec{SrcIP: 5, DstIP: 6, DstPort: 80, Payload: []byte("x")})
+	op.Push(0, exec.TupleMsg(tupleFor(t, s, &late)), emit)
+	if op.Pending() != 0 || op.EvictedIncomplete() != 1 {
+		t.Errorf("pending = %d, evicted = %d", op.Pending(), op.EvictedIncomplete())
+	}
+	// Only the late whole packet was emitted.
+	if len(out) != 1 {
+		t.Errorf("out = %d", len(out))
+	}
+}
+
+func TestHeartbeatAdvancesAndForwards(t *testing.T) {
+	op, s := newOp(t, 5)
+	payload := bytes.Repeat([]byte{1}, 1200)
+	orig := pkt.BuildTCP(10_000_000, pkt.TCPSpec{SrcIP: 3, DstIP: 4, DstPort: 80, Payload: payload})
+	frags, _ := pkt.Fragment(&orig, 600)
+	var out []exec.Message
+	emit := exec.Collect(&out)
+	op.Push(0, exec.TupleMsg(tupleFor(t, s, &frags[0])), emit)
+	bounds := make(schema.Tuple, len(s.Cols))
+	ti, _ := s.Col("time")
+	bounds[ti] = schema.MakeUint(100)
+	op.Push(0, exec.HeartbeatMsg(bounds), emit)
+	if op.Pending() != 0 {
+		t.Error("heartbeat did not evict")
+	}
+	if len(out) != 1 || !out[0].IsHeartbeat() {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestFlushAllDropsIncomplete(t *testing.T) {
+	op, s := newOp(t, 30)
+	payload := bytes.Repeat([]byte{1}, 1200)
+	orig := pkt.BuildTCP(1_000_000, pkt.TCPSpec{SrcIP: 3, DstIP: 4, DstPort: 80, Payload: payload})
+	frags, _ := pkt.Fragment(&orig, 600)
+	var out []exec.Message
+	op.Push(0, exec.TupleMsg(tupleFor(t, s, &frags[0])), exec.Collect(&out))
+	op.FlushAll(exec.Collect(&out))
+	if op.Pending() != 0 || op.EvictedIncomplete() != 1 {
+		t.Errorf("pending = %d, evicted = %d", op.Pending(), op.EvictedIncomplete())
+	}
+}
+
+func TestDefragMatchesReassembleProperty(t *testing.T) {
+	// Fragment a random payload at a random MTU, shuffle the fragments,
+	// and check the operator's payload equals pkt.Reassemble's.
+	s := ipv4Schema(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200 + r.Intn(2000)
+		payload := make([]byte, n)
+		r.Read(payload)
+		orig := pkt.BuildUDP(uint64(1e6+r.Intn(1000)), pkt.UDPSpec{
+			SrcIP: r.Uint32(), DstIP: r.Uint32(), DstPort: 53, Payload: payload,
+		})
+		mtu := 200 + r.Intn(400)
+		frags, err := pkt.Fragment(&orig, mtu)
+		if err != nil {
+			return false
+		}
+		want, err := pkt.Reassemble(frags)
+		if err != nil {
+			return false
+		}
+		r.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+
+		cfg, err := ConfigFor(s)
+		if err != nil {
+			return false
+		}
+		op, err := New(cfg, s)
+		if err != nil {
+			return false
+		}
+		var out []exec.Message
+		for i := range frags {
+			row := make(schema.Tuple, len(s.Cols))
+			okAll := true
+			for ci, c := range s.Cols {
+				fn, _ := pkt.LookupInterp(c.Interp)
+				v, ok := fn.Extract(&frags[i])
+				if !ok {
+					okAll = false
+					break
+				}
+				row[ci] = v
+			}
+			if !okAll {
+				return false
+			}
+			op.Push(0, exec.TupleMsg(row), exec.Collect(&out))
+		}
+		if len(out) != 1 {
+			return false
+		}
+		payIdx, _ := s.Col("ip_payload")
+		wantPay := want.Data[pkt.EthHeaderLen+pkt.IPv4HeaderLen:]
+		return bytes.Equal(out[0].Tuple[payIdx].Bytes(), wantPay)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/schema"
+)
+
+// AggInstance is one aggregate computation within a group-by operator.
+type AggInstance struct {
+	Spec    *funcs.Aggregate
+	Arg     Expr // nil for count(*)
+	ArgType schema.Type
+}
+
+// AggSpec configures a group-by/aggregation operator.
+//
+// The operator is unblocked by an ordered group-by key (paper §2.1): "when
+// a tuple arrives for aggregation whose ordered attribute is larger than
+// that in any current group, we can deduce that all of the current groups
+// are closed", modulo a band tolerance for banded-increasing keys.
+type AggSpec struct {
+	Pred       Expr   // pre-aggregation filter (WHERE), may be nil
+	GroupExprs []Expr // group-by key expressions over the input row
+	// OrdGroup indexes GroupExprs: the ordered attribute driving flushes.
+	// A negative value disables ordered flushing — the operator then only
+	// emits on FlushAll (the paper permits this but warns the user).
+	OrdGroup int
+	Desc     bool   // ordered key decreases instead of increasing
+	Band     uint64 // tolerance for banded-increasing keys
+	Aggs     []AggInstance
+	// PostSelect computes output columns over the post-aggregation row
+	// [group values..., aggregate results...].
+	PostSelect []Expr
+	Having     Expr // over the post-aggregation row, may be nil
+	Out        *schema.Schema
+	Ctx        *Ctx
+}
+
+// Agg is the HFTA aggregation operator: an unbounded hash table of open
+// groups, flushed as the ordered group key advances.
+type Agg struct {
+	spec   AggSpec
+	groups map[string]*aggGroup
+	wm     schema.Value // watermark: extreme ordered value seen
+	hasWM  bool
+	stats  OpStats
+}
+
+type aggGroup struct {
+	gvals  schema.Tuple
+	ord    schema.Value
+	states []funcs.AggState
+	key    string
+}
+
+// NewAgg builds an aggregation operator.
+func NewAgg(spec AggSpec) (*Agg, error) {
+	if len(spec.GroupExprs) == 0 {
+		return nil, fmt.Errorf("exec: aggregation needs at least one group-by expression")
+	}
+	if spec.OrdGroup >= len(spec.GroupExprs) {
+		return nil, fmt.Errorf("exec: ordered group index %d out of range", spec.OrdGroup)
+	}
+	return &Agg{spec: spec, groups: make(map[string]*aggGroup)}, nil
+}
+
+// Ports implements Operator.
+func (o *Agg) Ports() int { return 1 }
+
+// OutSchema implements Operator.
+func (o *Agg) OutSchema() *schema.Schema { return o.spec.Out }
+
+// Stats returns a snapshot of the operator counters.
+func (o *Agg) Stats() OpStats { return o.stats }
+
+// OpenGroups returns the number of currently open groups.
+func (o *Agg) OpenGroups() int { return len(o.groups) }
+
+// Push implements Operator.
+func (o *Agg) Push(_ int, m Message, emit Emit) error {
+	if m.IsHeartbeat() {
+		// A bound on the ordered group expression advances the watermark
+		// and may close groups even with no tuple flowing (paper §3).
+		if o.spec.OrdGroup >= 0 {
+			v, ok := o.spec.GroupExprs[o.spec.OrdGroup].Eval(m.Bounds, o.spec.Ctx)
+			if ok && !v.IsNull() {
+				o.advance(v, emit)
+			}
+		}
+		o.emitHeartbeat(emit)
+		return nil
+	}
+	o.stats.In++
+	row := m.Tuple
+	if o.spec.Pred != nil {
+		pass, ok := EvalPred(o.spec.Pred, row, o.spec.Ctx)
+		if !ok || !pass {
+			o.stats.Dropped++
+			return nil
+		}
+	}
+	gvals := make(schema.Tuple, len(o.spec.GroupExprs))
+	for i, e := range o.spec.GroupExprs {
+		v, ok := e.Eval(row, o.spec.Ctx)
+		if !ok {
+			o.stats.Dropped++
+			return nil // partial function in group key: discard
+		}
+		gvals[i] = v
+	}
+	if o.spec.OrdGroup >= 0 {
+		ord := gvals[o.spec.OrdGroup]
+		if ord.IsNull() {
+			o.stats.Dropped++
+			return nil
+		}
+		o.advance(ord, emit)
+	}
+	key := string(gvals.Pack(nil))
+	g, ok := o.groups[key]
+	if !ok {
+		g = &aggGroup{gvals: gvals.Clone(), key: key, states: o.newStates()}
+		if o.spec.OrdGroup >= 0 {
+			g.ord = gvals[o.spec.OrdGroup]
+		}
+		o.groups[key] = g
+	}
+	o.addToGroup(g, row)
+	return nil
+}
+
+func (o *Agg) newStates() []funcs.AggState {
+	states := make([]funcs.AggState, len(o.spec.Aggs))
+	for i, a := range o.spec.Aggs {
+		states[i] = a.Spec.New(a.ArgType)
+	}
+	return states
+}
+
+func (o *Agg) addToGroup(g *aggGroup, row schema.Tuple) {
+	for i, a := range o.spec.Aggs {
+		if a.Arg == nil {
+			g.states[i].Add(schema.Null)
+			continue
+		}
+		v, ok := a.Arg.Eval(row, o.spec.Ctx)
+		if !ok {
+			continue // partial function in aggregate arg: skip this input
+		}
+		g.states[i].Add(v)
+	}
+}
+
+// advance moves the watermark to ord (if it extends it) and flushes every
+// group that can no longer receive input. Groups only close when the
+// watermark moves, so the (O(open groups)) flush scan runs only then.
+func (o *Agg) advance(ord schema.Value, emit Emit) {
+	if o.hasWM && !o.newer(ord, o.wm) {
+		return
+	}
+	o.wm = ord.Clone()
+	o.hasWM = true
+	o.flushClosed(emit)
+}
+
+// newer reports whether a extends the watermark past b.
+func (o *Agg) newer(a, b schema.Value) bool {
+	if o.spec.Desc {
+		return a.Compare(b) < 0
+	}
+	return a.Compare(b) > 0
+}
+
+// closed reports whether a group at ord can no longer receive tuples given
+// the watermark.
+func (o *Agg) closed(ord schema.Value) bool {
+	if !o.hasWM {
+		return false
+	}
+	if o.spec.Band == 0 {
+		return o.newer(o.wm, ord)
+	}
+	// Banded: the group closes once the watermark is more than Band past
+	// its ordered value. Band requires a numeric key.
+	band := float64(o.spec.Band)
+	if o.spec.Desc {
+		return o.wm.Float() < ord.Float()-band
+	}
+	return o.wm.Float() > ord.Float()+band
+}
+
+func (o *Agg) flushClosed(emit Emit) {
+	var closed []*aggGroup
+	for _, g := range o.groups {
+		if o.closed(g.ord) {
+			closed = append(closed, g)
+		}
+	}
+	if len(closed) == 0 {
+		return
+	}
+	o.sortGroups(closed)
+	for _, g := range closed {
+		delete(o.groups, g.key)
+		o.emitGroup(g, emit)
+	}
+}
+
+// sortGroups orders flushed groups by ordered value then group key so the
+// output stream is deterministic and carries the imputed ordering.
+func (o *Agg) sortGroups(gs []*aggGroup) {
+	sort.Slice(gs, func(i, j int) bool {
+		c := gs[i].ord.Compare(gs[j].ord)
+		if c != 0 {
+			if o.spec.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return gs[i].key < gs[j].key
+	})
+}
+
+func (o *Agg) emitGroup(g *aggGroup, emit Emit) {
+	post := make(schema.Tuple, len(g.gvals)+len(g.states))
+	copy(post, g.gvals)
+	for i, s := range g.states {
+		post[len(g.gvals)+i] = s.Result()
+	}
+	if o.spec.Having != nil {
+		pass, ok := EvalPred(o.spec.Having, post, o.spec.Ctx)
+		if !ok || !pass {
+			o.stats.Dropped++
+			return
+		}
+	}
+	outRow := make(schema.Tuple, len(o.spec.PostSelect))
+	for i, e := range o.spec.PostSelect {
+		v, ok := e.Eval(post, o.spec.Ctx)
+		if !ok {
+			o.stats.Dropped++
+			return
+		}
+		outRow[i] = v
+	}
+	o.stats.Out++
+	emit(TupleMsg(outRow))
+}
+
+// emitHeartbeat publishes the downstream bound implied by the watermark:
+// every group still open has an ordered value within Band of the
+// watermark, so downstream will never see an output row whose ordered
+// column is below watermark - Band.
+func (o *Agg) emitHeartbeat(emit Emit) {
+	if !o.hasWM || o.spec.OrdGroup < 0 {
+		return
+	}
+	post := make(schema.Tuple, len(o.spec.GroupExprs)+len(o.spec.Aggs))
+	bound := o.wm
+	if o.spec.Band != 0 {
+		if o.spec.Desc {
+			bound = schema.MakeUint(o.wm.Uint() + o.spec.Band)
+		} else if o.wm.Uint() >= o.spec.Band {
+			bound = schema.MakeUint(o.wm.Uint() - o.spec.Band)
+		} else {
+			bound = schema.MakeUint(0)
+		}
+	}
+	post[o.spec.OrdGroup] = bound
+	outBounds := make(schema.Tuple, len(o.spec.PostSelect))
+	for i, e := range o.spec.PostSelect {
+		v, ok := e.Eval(post, o.spec.Ctx)
+		if ok && !v.IsNull() {
+			outBounds[i] = v
+		}
+	}
+	emit(HeartbeatMsg(outBounds))
+}
+
+// FlushAll implements Operator: emits every open group (the user-requested
+// flush the paper describes for queries without an ordered group key).
+func (o *Agg) FlushAll(emit Emit) error {
+	all := make([]*aggGroup, 0, len(o.groups))
+	for _, g := range o.groups {
+		all = append(all, g)
+	}
+	o.sortGroups(all)
+	for _, g := range all {
+		delete(o.groups, g.key)
+		o.emitGroup(g, emit)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"testing"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/schema"
+)
+
+// Micro-benchmarks for the operator hot paths; the experiment-level
+// benchmarks live in the repository root.
+
+func BenchmarkExprPredicate(b *testing.B) {
+	e := quietCompile(quietInSchema(), "x", "destPort = 80 and len > 100")[0]
+	row := mkRowQuiet(1, 80)
+	row[3] = schema.MakeUint(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Eval(row, nil); !ok {
+			b.Fatal("eval failed")
+		}
+	}
+}
+
+func BenchmarkExprArithmetic(b *testing.B) {
+	e := quietCompile(quietInSchema(), "x", "time/60")[0]
+	row := mkRowQuiet(12345, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Eval(row, nil)
+	}
+}
+
+func BenchmarkSelProjPush(b *testing.B) {
+	s := quietInSchema()
+	pred := quietCompile(s, "x", "destPort = 80")[0]
+	outs := quietCompile(s, "x", "time", "srcIP", "destPort")
+	op := NewSelProj(pred, outs, nil, nil, outSchema("time", "src", "port"))
+	row := mkRowQuiet(1, 80)
+	emit := func(Message) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Push(0, TupleMsg(row), emit)
+	}
+}
+
+func BenchmarkAggPush(b *testing.B) {
+	op := buildDirectCountQuiet()
+	emit := func(Message) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Push(0, TupleMsg(mkRowQuiet(uint64(i/1000), uint64(i%64))), emit)
+	}
+}
+
+func BenchmarkLFTAAggPush(b *testing.B) {
+	op := buildLFTACountQuiet(4096)
+	emit := func(Message) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Push(0, TupleMsg(mkRowQuiet(uint64(i/1000), uint64(i%64))), emit)
+	}
+}
+
+func BenchmarkMergePush(b *testing.B) {
+	m, err := NewMerge([]int{0, 0}, outSchema("time", "v"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	emit := func(Message) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := schema.Tuple{schema.MakeUint(uint64(i / 2)), schema.MakeUint(uint64(i))}
+		m.Push(i%2, TupleMsg(row), emit)
+	}
+}
+
+func BenchmarkJoinPush(b *testing.B) {
+	j := buildJoinQuiet(1, 1)
+	emit := func(Message) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := uint64(i / 2)
+		if i%2 == 0 {
+			j.Push(0, TupleMsg(lrow(t, uint64(i%16))), emit)
+		} else {
+			j.Push(1, TupleMsg(rrow(t, uint64(i%16), t)), emit)
+		}
+	}
+}
+
+func BenchmarkAggStateSum(b *testing.B) {
+	agg, _ := funcs.Global.Aggregate("sum")
+	st := agg.New(schema.TUint)
+	v := schema.MakeUint(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Add(v)
+	}
+}

@@ -1,0 +1,228 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/schema"
+)
+
+// Targeted tests for operator surface not exercised by the main suites:
+// accessors, unary expression evaluation, LFTA heartbeats, the ordered
+// join at the operator level, and message rendering.
+
+func TestOperatorAccessors(t *testing.T) {
+	agg := buildDirectCountQuiet()
+	if agg.Ports() != 1 || agg.OutSchema().Name != "out" {
+		t.Error("Agg accessors")
+	}
+	if agg.Stats().In != 0 {
+		t.Error("fresh stats nonzero")
+	}
+	l := buildLFTACountQuiet(64)
+	if l.Ports() != 1 || l.OutSchema() == nil {
+		t.Error("LFTAAgg accessors")
+	}
+	j := buildJoinQuiet(0, 0)
+	if j.Ports() != 2 || j.OutSchema() == nil {
+		t.Error("Join accessors")
+	}
+	m, _ := NewMerge([]int{0, 0}, outSchema("time"))
+	if m.Ports() != 2 || m.OutSchema() == nil {
+		t.Error("Merge accessors")
+	}
+	sp := NewSelProj(nil, quietCompile(quietInSchema(), "x", "time"), nil, nil, outSchema("time"))
+	if sp.OutSchema().Name != "out" {
+		t.Error("SelProj accessors")
+	}
+}
+
+func TestUnaryExpressionEval(t *testing.T) {
+	s := quietInSchema()
+	row := mkRowQuiet(5, 80)
+	row[5] = schema.MakeInt(-4)
+	row[6] = schema.MakeFloat(2.5)
+
+	neg := quietCompile(s, "x", "-delta")[0]
+	if v, ok := neg.Eval(row, nil); !ok || v.Int() != 4 {
+		t.Errorf("-delta = %v", v)
+	}
+	if neg.Type() != schema.TInt {
+		t.Errorf("neg type = %s", neg.Type())
+	}
+	negf := quietCompile(s, "x", "-ratio")[0]
+	if v, _ := negf.Eval(row, nil); v.Float() != -2.5 {
+		t.Errorf("-ratio = %v", v)
+	}
+	if negf.Type() != schema.TFloat {
+		t.Errorf("negf type = %s", negf.Type())
+	}
+	bn := quietCompile(s, "x", "~destPort")[0]
+	if v, _ := bn.Eval(row, nil); v.Uint() != ^uint64(80) {
+		t.Errorf("~destPort = %v", v)
+	}
+	if bn.Type() != schema.TUint {
+		t.Errorf("bitnot type = %s", bn.Type())
+	}
+	// NULL propagation through unary operators.
+	nullRow := make(schema.Tuple, len(s.Cols))
+	for _, e := range []Expr{neg, negf, bn} {
+		if v, ok := e.Eval(nullRow, nil); !ok || !v.IsNull() {
+			t.Errorf("unary over NULL = %v, %v", v, ok)
+		}
+	}
+	notE := quietCompile(s, "x", "not (destPort = 80)")[0]
+	if v, _ := notE.Eval(nullRow, nil); !v.IsNull() {
+		t.Errorf("NOT NULL = %v", v)
+	}
+}
+
+func TestCtxRebind(t *testing.T) {
+	s := quietInSchema()
+	q, err := parseSelect("str_regex_match(payload, $pat)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Compiler{Reg: funcs.Global, Params: map[string]schema.Type{"pat": schema.TString},
+		Resolve: SchemaResolver(s, "x")}
+	e, err := c.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewCtx(c.Handles, map[string]schema.Value{"pat": schema.MakeStr("^GET")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := mkRowQuiet(1, 80)
+	row[4] = schema.MakeStr("GET / HTTP/1.1")
+	if v, _ := e.Eval(row, ctx); !v.Bool() {
+		t.Fatal("initial pattern failed")
+	}
+	// Rebind rebuilds the compiled-regex handle from the new parameter.
+	if err := ctx.Rebind(c.Handles, map[string]schema.Value{"pat": schema.MakeStr("^POST")}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Eval(row, ctx); v.Bool() {
+		t.Error("rebind did not take effect")
+	}
+	if err := ctx.Rebind(c.Handles, nil); err == nil {
+		t.Error("rebind without binding succeeded")
+	}
+}
+
+func TestLFTAAggHeartbeat(t *testing.T) {
+	op := buildLFTACountQuiet(64)
+	var out []Message
+	emit := Collect(&out)
+	op.Push(0, TupleMsg(mkRowQuiet(10, 80)), emit)
+	bounds := make(schema.Tuple, len(quietInSchema().Cols))
+	bounds[0] = schema.MakeUint(120) // time >= 120 closes minute 0
+	op.Push(0, HeartbeatMsg(bounds), emit)
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][2].Uint() != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	last := out[len(out)-1]
+	if !last.IsHeartbeat() || last.Bounds[0].Uint() != 2 {
+		t.Errorf("forwarded bound = %v", last)
+	}
+}
+
+func TestJoinSortOutputOperatorLevel(t *testing.T) {
+	ls, rs := joinLeftSchema(), joinRightSchema()
+	j, err := NewJoin(JoinSpec{
+		OrdL: quietCompile(ls, "L", "time")[0],
+		OrdR: quietCompile(rs, "R", "time")[0],
+		LowSlack: 2, HighSlack: 2,
+		EqL: quietCompile(ls, "L", "src"),
+		EqR: quietCompile(rs, "R", "src"),
+		Outs: quietCompile(outSchema("ltime", "lsrc", "rtime", "rsrc", "peer"), "c", "ltime", "peer"),
+		Out:  outSchema("time", "peer"),
+		OutOrdL: 0, OutOrdR: -1,
+		SortOutput: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Message
+	emit := Collect(&out)
+	// Right side runs ahead of left so matches arrive out of left-order.
+	for i := 0; i < 200; i++ {
+		tl := uint64(i / 2)
+		tr := uint64(i/2) + uint64(i%2)*2
+		j.Push(0, TupleMsg(lrow(tl, 7)), emit)
+		j.Push(1, TupleMsg(rrow(tr, 7, tr)), emit)
+	}
+	j.FlushAll(emit)
+	rows := tuplesOf(out)
+	if len(rows) == 0 {
+		t.Fatal("no matches")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].Compare(rows[i-1][0]) < 0 {
+			t.Fatalf("SortOutput violated at %d: %v then %v", i, rows[i-1], rows[i])
+		}
+	}
+	// SortOutput without the ordered column is rejected.
+	if _, err := NewJoin(JoinSpec{
+		OrdL: quietCompile(ls, "L", "time")[0],
+		OrdR: quietCompile(rs, "R", "time")[0],
+		Outs: quietCompile(outSchema("ltime", "lsrc", "rtime", "rsrc", "peer"), "c", "peer"),
+		Out:  outSchema("peer"), OutOrdL: -1, OutOrdR: -1, SortOutput: true,
+	}); err == nil {
+		t.Error("SortOutput without OutOrdL accepted")
+	}
+}
+
+func TestJoinBufferCompaction(t *testing.T) {
+	// Drive enough evictions to trigger maybeCompact's slice rebuild.
+	j := buildJoinQuiet(0, 0)
+	emit := func(Message) {}
+	for i := 0; i < 10_000; i++ {
+		t := uint64(i)
+		j.Push(0, TupleMsg(lrow(t, uint64(i%4))), emit)
+		j.Push(1, TupleMsg(rrow(t, uint64(i%4), t)), emit)
+	}
+	if b := j.Buffered(0); b > 16 {
+		t.Errorf("left buffer = %d after compaction", b)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := TupleMsg(schema.Tuple{schema.MakeUint(1)})
+	if m.String() != "[1]" {
+		t.Errorf("tuple msg = %q", m.String())
+	}
+	hb := HeartbeatMsg(schema.Tuple{schema.MakeUint(2)})
+	if !strings.HasPrefix(hb.String(), "HB") {
+		t.Errorf("hb msg = %q", hb.String())
+	}
+}
+
+func TestRunTuplesRejectsBinaryOperator(t *testing.T) {
+	j := buildJoinQuiet(0, 0)
+	if _, err := RunTuples(j, nil); err == nil {
+		t.Error("RunTuples accepted a 2-port operator")
+	}
+}
+
+func TestOrdKeyTypes(t *testing.T) {
+	cases := []struct {
+		v    schema.Value
+		want int64
+		ok   bool
+	}{
+		{schema.MakeUint(7), 7, true},
+		{schema.MakeInt(-3), -3, true},
+		{schema.MakeFloat(2.9), 2, true},
+		{schema.MakeIP(5), 5, true},
+		{schema.MakeStr("x"), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ordKey(c.v)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ordKey(%v) = %d, %v", c.v, got, ok)
+		}
+	}
+}

@@ -1,0 +1,551 @@
+package exec
+
+import (
+	"fmt"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// Ctx is the per-query-instance evaluation context: bound parameter values
+// and prepared pass-by-handle function arguments.
+type Ctx struct {
+	Params  map[string]schema.Value
+	Handles []funcs.Handle
+}
+
+// Expr is a compiled expression. Eval returns the value and true, or false
+// to discard the tuple (a partial function produced no result, paper §2.2).
+// Evaluation over NULL inputs yields NULL, which lets heartbeats propagate
+// bounds through monotone expressions.
+type Expr interface {
+	Type() schema.Type
+	Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool)
+}
+
+// HandleSpec records a pass-by-handle argument discovered at compile time.
+// The handle is built at instantiation from a literal, or from a query
+// parameter (and rebuilt when the parameter changes on the fly).
+type HandleSpec struct {
+	Func  *funcs.Scalar
+	Value schema.Value // literal argument, or
+	Param string       // parameter name when non-empty
+}
+
+// Compiler compiles GSQL AST expressions against an input schema.
+type Compiler struct {
+	Reg    *funcs.Registry
+	Params map[string]schema.Type
+	// Resolve maps a (qualifier, column) reference to a row index and
+	// type. Qualifier is "" for unqualified references.
+	Resolve func(table, name string) (int, schema.Type, error)
+	// Handles accumulates pass-by-handle specs across all expressions
+	// compiled by this compiler; slot indexes refer into Ctx.Handles.
+	Handles []HandleSpec
+}
+
+// NewCtx builds an evaluation context: binds params and prepares handles.
+func NewCtx(specs []HandleSpec, params map[string]schema.Value) (*Ctx, error) {
+	ctx := &Ctx{Params: params, Handles: make([]funcs.Handle, len(specs))}
+	for i, hs := range specs {
+		v := hs.Value
+		if hs.Param != "" {
+			pv, ok := params[hs.Param]
+			if !ok {
+				return nil, fmt.Errorf("exec: handle argument references unbound parameter $%s", hs.Param)
+			}
+			v = pv
+		}
+		h, err := hs.Func.MakeHandle(v)
+		if err != nil {
+			return nil, fmt.Errorf("exec: preparing handle for %s: %w", hs.Func.Name, err)
+		}
+		ctx.Handles[i] = h
+	}
+	return ctx, nil
+}
+
+// Rebind replaces the parameter bindings and rebuilds every handle that
+// depends on a parameter. It implements the paper's on-the-fly query
+// parameter changes (§3); the caller must ensure no concurrent evaluation.
+func (ctx *Ctx) Rebind(specs []HandleSpec, params map[string]schema.Value) error {
+	fresh, err := NewCtx(specs, params)
+	if err != nil {
+		return err
+	}
+	ctx.Params = fresh.Params
+	ctx.Handles = fresh.Handles
+	return nil
+}
+
+// Compile builds an evaluator for e.
+func (c *Compiler) Compile(e gsql.Expr) (Expr, error) {
+	switch n := e.(type) {
+	case *gsql.Const:
+		return constExpr{v: n.Val}, nil
+	case *gsql.ColRef:
+		idx, ty, err := c.Resolve(n.Table, n.Name)
+		if err != nil {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: err.Error()}
+		}
+		return colExpr{idx: idx, ty: ty}, nil
+	case *gsql.ParamRef:
+		ty, ok := c.Params[n.Name]
+		if !ok {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("undeclared parameter $%s (add 'param %s <type>' to the DEFINE block)", n.Name, n.Name)}
+		}
+		return paramExpr{name: n.Name, ty: ty}, nil
+	case *gsql.UnaryExpr:
+		return c.compileUnary(n)
+	case *gsql.BinaryExpr:
+		return c.compileBinary(n)
+	case *gsql.FuncCall:
+		return c.compileCall(n)
+	case *gsql.Star:
+		return nil, &gsql.Error{Pos: n.Pos(), Msg: "'*' is only valid in count(*)"}
+	}
+	return nil, fmt.Errorf("exec: unknown expression node %T", e)
+}
+
+type constExpr struct{ v schema.Value }
+
+func (e constExpr) Type() schema.Type { return e.v.Type }
+func (e constExpr) Eval(schema.Tuple, *Ctx) (schema.Value, bool) {
+	return e.v, true
+}
+
+type colExpr struct {
+	idx int
+	ty  schema.Type
+}
+
+func (e colExpr) Type() schema.Type { return e.ty }
+func (e colExpr) Eval(row schema.Tuple, _ *Ctx) (schema.Value, bool) {
+	if e.idx >= len(row) {
+		return schema.Null, true
+	}
+	return row[e.idx], true
+}
+
+type paramExpr struct {
+	name string
+	ty   schema.Type
+}
+
+func (e paramExpr) Type() schema.Type { return e.ty }
+func (e paramExpr) Eval(_ schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	if ctx == nil {
+		return schema.Null, true
+	}
+	v, ok := ctx.Params[e.name]
+	if !ok {
+		return schema.Null, true
+	}
+	return v, true
+}
+
+func (c *Compiler) compileUnary(n *gsql.UnaryExpr) (Expr, error) {
+	x, err := c.Compile(n.X)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case gsql.OpNot:
+		if x.Type() != schema.TBool {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("NOT needs a boolean operand, got %s", x.Type())}
+		}
+		return notExpr{x: x}, nil
+	case gsql.OpNeg:
+		if !x.Type().Numeric() {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("unary '-' needs a numeric operand, got %s", x.Type())}
+		}
+		return negExpr{x: x, ty: signedType(x.Type())}, nil
+	case gsql.OpBitNot:
+		if x.Type() != schema.TUint && x.Type() != schema.TInt {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("'~' needs an integer operand, got %s", x.Type())}
+		}
+		return bitNotExpr{x: x}, nil
+	}
+	return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("unsupported unary operator %s", n.Op)}
+}
+
+func signedType(t schema.Type) schema.Type {
+	if t == schema.TFloat {
+		return schema.TFloat
+	}
+	return schema.TInt
+}
+
+type notExpr struct{ x Expr }
+
+func (e notExpr) Type() schema.Type { return schema.TBool }
+func (e notExpr) Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	v, ok := e.x.Eval(row, ctx)
+	if !ok || v.IsNull() {
+		return schema.Null, ok
+	}
+	return schema.MakeBool(!v.Bool()), true
+}
+
+type negExpr struct {
+	x  Expr
+	ty schema.Type
+}
+
+func (e negExpr) Type() schema.Type { return e.ty }
+func (e negExpr) Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	v, ok := e.x.Eval(row, ctx)
+	if !ok || v.IsNull() {
+		return schema.Null, ok
+	}
+	if e.ty == schema.TFloat {
+		return schema.MakeFloat(-v.Float()), true
+	}
+	return schema.MakeInt(-v.Int()), true
+}
+
+type bitNotExpr struct{ x Expr }
+
+func (e bitNotExpr) Type() schema.Type { return schema.TUint }
+func (e bitNotExpr) Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	v, ok := e.x.Eval(row, ctx)
+	if !ok || v.IsNull() {
+		return schema.Null, ok
+	}
+	return schema.MakeUint(^v.Uint()), true
+}
+
+func (c *Compiler) compileBinary(n *gsql.BinaryExpr) (Expr, error) {
+	l, err := c.Compile(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.Compile(n.R)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case n.Op == gsql.OpAnd || n.Op == gsql.OpOr:
+		if l.Type() != schema.TBool || r.Type() != schema.TBool {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("%s needs boolean operands, got %s and %s", n.Op, l.Type(), r.Type())}
+		}
+		return boolExpr{op: n.Op, l: l, r: r}, nil
+	case n.Op.Comparison():
+		if !comparable(l.Type(), r.Type()) {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("cannot compare %s with %s", l.Type(), r.Type())}
+		}
+		return cmpExpr{op: n.Op, l: l, r: r}, nil
+	default:
+		ty, err := arithType(n.Op, l.Type(), r.Type())
+		if err != nil {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: err.Error()}
+		}
+		return arithExpr{op: n.Op, l: l, r: r, ty: ty}, nil
+	}
+}
+
+func comparable(a, b schema.Type) bool {
+	if a == b {
+		return true
+	}
+	if a.Numeric() && b.Numeric() {
+		return true
+	}
+	// IPs compare with uints (e.g. masked arithmetic results).
+	if (a == schema.TIP || b == schema.TIP) && (a == schema.TUint || b == schema.TUint) {
+		return true
+	}
+	return false
+}
+
+// arithType computes the result type of an arithmetic/bitwise operation.
+// IP addresses behave as uints under arithmetic (masking).
+func arithType(op gsql.Op, a, b schema.Type) (schema.Type, error) {
+	norm := func(t schema.Type) schema.Type {
+		if t == schema.TIP {
+			return schema.TUint
+		}
+		return t
+	}
+	a, b = norm(a), norm(b)
+	if !a.Numeric() || !b.Numeric() {
+		return schema.TNull, fmt.Errorf("operator %s needs numeric operands, got %s and %s", op, a, b)
+	}
+	switch op {
+	case gsql.OpBitAnd, gsql.OpBitOr, gsql.OpBitXor, gsql.OpShl, gsql.OpShr, gsql.OpMod:
+		if a == schema.TFloat || b == schema.TFloat {
+			return schema.TNull, fmt.Errorf("operator %s needs integer operands", op)
+		}
+	}
+	switch {
+	case a == schema.TFloat || b == schema.TFloat:
+		return schema.TFloat, nil
+	case a == schema.TInt || b == schema.TInt:
+		return schema.TInt, nil
+	default:
+		return schema.TUint, nil
+	}
+}
+
+type boolExpr struct {
+	op   gsql.Op
+	l, r Expr
+}
+
+func (e boolExpr) Type() schema.Type { return schema.TBool }
+func (e boolExpr) Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	lv, ok := e.l.Eval(row, ctx)
+	if !ok {
+		return schema.Null, false
+	}
+	// Short-circuit on known outcomes even with a NULL other side.
+	if !lv.IsNull() {
+		if e.op == gsql.OpAnd && !lv.Bool() {
+			return schema.MakeBool(false), true
+		}
+		if e.op == gsql.OpOr && lv.Bool() {
+			return schema.MakeBool(true), true
+		}
+	}
+	rv, ok := e.r.Eval(row, ctx)
+	if !ok {
+		return schema.Null, false
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return schema.Null, true
+	}
+	if e.op == gsql.OpAnd {
+		return schema.MakeBool(lv.Bool() && rv.Bool()), true
+	}
+	return schema.MakeBool(lv.Bool() || rv.Bool()), true
+}
+
+type cmpExpr struct {
+	op   gsql.Op
+	l, r Expr
+}
+
+func (e cmpExpr) Type() schema.Type { return schema.TBool }
+func (e cmpExpr) Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	lv, ok := e.l.Eval(row, ctx)
+	if !ok {
+		return schema.Null, false
+	}
+	rv, ok := e.r.Eval(row, ctx)
+	if !ok {
+		return schema.Null, false
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return schema.Null, true
+	}
+	c := lv.Compare(rv)
+	var b bool
+	switch e.op {
+	case gsql.OpEq:
+		b = c == 0
+	case gsql.OpNe:
+		b = c != 0
+	case gsql.OpLt:
+		b = c < 0
+	case gsql.OpLe:
+		b = c <= 0
+	case gsql.OpGt:
+		b = c > 0
+	case gsql.OpGe:
+		b = c >= 0
+	}
+	return schema.MakeBool(b), true
+}
+
+type arithExpr struct {
+	op   gsql.Op
+	l, r Expr
+	ty   schema.Type
+}
+
+func (e arithExpr) Type() schema.Type { return e.ty }
+func (e arithExpr) Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	lv, ok := e.l.Eval(row, ctx)
+	if !ok {
+		return schema.Null, false
+	}
+	rv, ok := e.r.Eval(row, ctx)
+	if !ok {
+		return schema.Null, false
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return schema.Null, true
+	}
+	if e.ty == schema.TFloat {
+		a, b := lv.Float(), rv.Float()
+		var f float64
+		switch e.op {
+		case gsql.OpAdd:
+			f = a + b
+		case gsql.OpSub:
+			f = a - b
+		case gsql.OpMul:
+			f = a * b
+		case gsql.OpDiv:
+			if b == 0 {
+				return schema.Null, true
+			}
+			f = a / b
+		}
+		return schema.MakeFloat(f), true
+	}
+	if e.ty == schema.TInt {
+		a, b := lv.Int(), rv.Int()
+		var i int64
+		switch e.op {
+		case gsql.OpAdd:
+			i = a + b
+		case gsql.OpSub:
+			i = a - b
+		case gsql.OpMul:
+			i = a * b
+		case gsql.OpDiv:
+			if b == 0 {
+				return schema.Null, true
+			}
+			i = a / b
+		case gsql.OpMod:
+			if b == 0 {
+				return schema.Null, true
+			}
+			i = a % b
+		case gsql.OpBitAnd:
+			i = a & b
+		case gsql.OpBitOr:
+			i = a | b
+		case gsql.OpBitXor:
+			i = a ^ b
+		case gsql.OpShl:
+			i = a << uint(b)
+		case gsql.OpShr:
+			i = a >> uint(b)
+		}
+		return schema.MakeInt(i), true
+	}
+	a, b := lv.Uint(), rv.Uint()
+	var u uint64
+	switch e.op {
+	case gsql.OpAdd:
+		u = a + b
+	case gsql.OpSub:
+		u = a - b
+	case gsql.OpMul:
+		u = a * b
+	case gsql.OpDiv:
+		if b == 0 {
+			return schema.Null, true
+		}
+		u = a / b
+	case gsql.OpMod:
+		if b == 0 {
+			return schema.Null, true
+		}
+		u = a % b
+	case gsql.OpBitAnd:
+		u = a & b
+	case gsql.OpBitOr:
+		u = a | b
+	case gsql.OpBitXor:
+		u = a ^ b
+	case gsql.OpShl:
+		u = a << b
+	case gsql.OpShr:
+		u = a >> b
+	}
+	return schema.MakeUint(u), true
+}
+
+func (c *Compiler) compileCall(n *gsql.FuncCall) (Expr, error) {
+	f, ok := c.Reg.Scalar(n.Name)
+	if !ok {
+		if c.Reg.IsAggregate(n.Name) {
+			return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("aggregate %s is not allowed here", n.Name)}
+		}
+		return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("unknown function %s", n.Name)}
+	}
+	if len(n.Args) != len(f.Args) {
+		return nil, &gsql.Error{Pos: n.Pos(), Msg: fmt.Sprintf("%s takes %d arguments, got %d", f.Name, len(f.Args), len(n.Args))}
+	}
+	call := &callExpr{fn: f, handleSlot: -1, args: make([]Expr, len(n.Args))}
+	argTypes := make([]schema.Type, len(n.Args))
+	for i, a := range n.Args {
+		if i == f.HandleArg {
+			// Pass-by-handle parameters must be literals or query
+			// parameters (paper §2.2); record the spec and pass NULL at
+			// eval time.
+			spec := HandleSpec{Func: f}
+			switch arg := a.(type) {
+			case *gsql.Const:
+				spec.Value = arg.Val
+			case *gsql.ParamRef:
+				if _, ok := c.Params[arg.Name]; !ok {
+					return nil, &gsql.Error{Pos: arg.Pos(), Msg: fmt.Sprintf("undeclared parameter $%s", arg.Name)}
+				}
+				spec.Param = arg.Name
+			default:
+				return nil, &gsql.Error{Pos: a.Pos(), Msg: fmt.Sprintf("argument %d of %s is pass-by-handle and must be a literal or query parameter", i+1, f.Name)}
+			}
+			call.handleSlot = len(c.Handles)
+			c.Handles = append(c.Handles, spec)
+			call.args[i] = constExpr{v: schema.Null}
+			argTypes[i] = f.Args[i]
+			continue
+		}
+		ce, err := c.Compile(a)
+		if err != nil {
+			return nil, err
+		}
+		call.args[i] = ce
+		argTypes[i] = ce.Type()
+	}
+	if err := f.CheckArgs(argTypes); err != nil {
+		return nil, &gsql.Error{Pos: n.Pos(), Msg: err.Error()}
+	}
+	return call, nil
+}
+
+type callExpr struct {
+	fn         *funcs.Scalar
+	args       []Expr
+	handleSlot int
+}
+
+func (e *callExpr) Type() schema.Type { return e.fn.Ret }
+func (e *callExpr) Eval(row schema.Tuple, ctx *Ctx) (schema.Value, bool) {
+	vals := make([]schema.Value, len(e.args))
+	for i, a := range e.args {
+		v, ok := a.Eval(row, ctx)
+		if !ok {
+			return schema.Null, false
+		}
+		if v.IsNull() && i != e.fn.HandleArg {
+			// NULL argument: no result. For heartbeat bound propagation
+			// this correctly yields "no bound" through opaque functions.
+			return schema.Null, true
+		}
+		vals[i] = v
+	}
+	var h funcs.Handle
+	if e.handleSlot >= 0 {
+		if ctx == nil || e.handleSlot >= len(ctx.Handles) {
+			return schema.Null, true
+		}
+		h = ctx.Handles[e.handleSlot]
+	}
+	return e.fn.Eval(vals, h)
+}
+
+// EvalPred evaluates a compiled predicate, treating NULL as false.
+func EvalPred(e Expr, row schema.Tuple, ctx *Ctx) (bool, bool) {
+	v, ok := e.Eval(row, ctx)
+	if !ok {
+		return false, false
+	}
+	return !v.IsNull() && v.Bool(), true
+}

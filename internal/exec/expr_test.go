@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// testInSchema is a small stream schema used across the exec tests.
+func testInSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "s",
+		Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "srcIP", Type: schema.TIP},
+			{Name: "destPort", Type: schema.TUint},
+			{Name: "len", Type: schema.TUint},
+			{Name: "payload", Type: schema.TString},
+			{Name: "delta", Type: schema.TInt},
+			{Name: "ratio", Type: schema.TFloat},
+		},
+	}
+}
+
+func testRow() schema.Tuple {
+	return schema.Tuple{
+		schema.MakeUint(120),
+		schema.MakeIP(0x0a000001),
+		schema.MakeUint(80),
+		schema.MakeUint(1500),
+		schema.MakeStr("GET / HTTP/1.1\r\n"),
+		schema.MakeInt(-3),
+		schema.MakeFloat(0.5),
+	}
+}
+
+// compileExpr compiles the expression text (as it would appear in a WHERE
+// clause) against testInSchema.
+func compileExpr(t *testing.T, src string, params map[string]schema.Type) (Expr, *Compiler) {
+	t.Helper()
+	q, err := gsql.ParseQuery("SELECT time FROM s WHERE " + src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	c := &Compiler{Reg: funcs.Global, Params: params, Resolve: SchemaResolver(testInSchema(), "s")}
+	e, err := c.Compile(q.Where)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return e, c
+}
+
+func evalBool(t *testing.T, src string, row schema.Tuple) bool {
+	t.Helper()
+	e, c := compileExpr(t, src, nil)
+	ctx, err := NewCtx(c.Handles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := e.Eval(row, ctx)
+	if !ok {
+		t.Fatalf("eval %q: discarded", src)
+	}
+	if v.IsNull() {
+		t.Fatalf("eval %q: NULL", src)
+	}
+	return v.Bool()
+}
+
+func TestExprComparisonsAndLogic(t *testing.T) {
+	row := testRow()
+	cases := map[string]bool{
+		"destPort = 80":                                 true,
+		"destPort <> 80":                                false,
+		"destPort != 443":                               true,
+		"len > 1000 and destPort = 80":                  true,
+		"len > 2000 or destPort = 80":                   true,
+		"len > 2000 and destPort = 80":                  false,
+		"not (destPort = 80)":                           false,
+		"srcIP = 10.0.0.1":                              true,
+		"srcIP >= 10.0.0.0 and srcIP <= 10.255.255.255": true,
+		"delta < 0":                                     true,
+		"ratio < 1":                                     true,
+		"time/60 = 2":                                   true,
+		"len % 100 = 0":                                 true,
+		"len & 4 = 4":                                   true,
+		"(len >> 2) = 375":                              true,
+		"time + 60 = 180":                               true,
+		"time - 20 = 100":                               true,
+		"2 * time = 240":                                true,
+		"delta + 3 = 0":                                 true,
+	}
+	for src, want := range cases {
+		if got := evalBool(t, src, row); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestExprArithmeticTypes(t *testing.T) {
+	e, c := compileExpr(t, "time/60 = 2", nil)
+	_ = e
+	if len(c.Handles) != 0 {
+		t.Errorf("unexpected handles: %v", c.Handles)
+	}
+	// uint/uint stays uint (integer division).
+	q, _ := gsql.ParseQuery("SELECT time/60 AS tb FROM s")
+	cc := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(testInSchema(), "s")}
+	te, err := cc.Compile(q.Select[0].Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.Type() != schema.TUint {
+		t.Errorf("time/60 type = %s", te.Type())
+	}
+	v, _ := te.Eval(testRow(), nil)
+	if v.Uint() != 2 {
+		t.Errorf("time/60 = %v", v)
+	}
+	// Mixed with float promotes.
+	q2, _ := gsql.ParseQuery("SELECT ratio * len FROM s")
+	fe, err := cc.Compile(q2.Select[0].Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.Type() != schema.TFloat {
+		t.Errorf("ratio*len type = %s", fe.Type())
+	}
+	if v, _ := fe.Eval(testRow(), nil); v.Float() != 750 {
+		t.Errorf("ratio*len = %v", v)
+	}
+}
+
+func TestExprDivisionByZeroYieldsNull(t *testing.T) {
+	q, _ := gsql.ParseQuery("SELECT len/(destPort-80) FROM s")
+	cc := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(testInSchema(), "s")}
+	e, err := cc.Compile(q.Select[0].Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := e.Eval(testRow(), nil)
+	if !ok || !v.IsNull() {
+		t.Errorf("division by zero = %v, %v; want NULL", v, ok)
+	}
+}
+
+func TestExprNullPropagation(t *testing.T) {
+	// A row of NULLs (heartbeat bounds with no information) must evaluate
+	// without panicking and produce NULL.
+	nullRow := make(schema.Tuple, len(testInSchema().Cols))
+	for _, src := range []string{"destPort = 80", "time/60 = 2", "len > 0 and destPort = 80"} {
+		e, _ := compileExpr(t, src, nil)
+		v, ok := e.Eval(nullRow, nil)
+		if !ok || !v.IsNull() {
+			t.Errorf("%q over NULL row = %v, %v; want NULL", src, v, ok)
+		}
+	}
+	// Short-circuit: FALSE AND NULL is FALSE; TRUE OR NULL is TRUE.
+	row := testRow()
+	row[0] = schema.Null // time is NULL
+	e, _ := compileExpr(t, "destPort = 443 and time > 0", nil)
+	if v, ok := e.Eval(row, nil); !ok || v.IsNull() || v.Bool() {
+		t.Errorf("FALSE AND NULL = %v", v)
+	}
+	e2, _ := compileExpr(t, "destPort = 80 or time > 0", nil)
+	if v, ok := e2.Eval(row, nil); !ok || v.IsNull() || !v.Bool() {
+		t.Errorf("TRUE OR NULL = %v", v)
+	}
+}
+
+func TestExprParams(t *testing.T) {
+	e, c := compileExpr(t, "destPort = $port", map[string]schema.Type{"port": schema.TUint})
+	ctx, err := NewCtx(c.Handles, map[string]schema.Value{"port": schema.MakeUint(80)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Eval(testRow(), ctx); !v.Bool() {
+		t.Error("param comparison failed")
+	}
+	// Changing the parameter on the fly changes the result.
+	ctx.Params["port"] = schema.MakeUint(443)
+	if v, _ := e.Eval(testRow(), ctx); v.Bool() {
+		t.Error("param change not picked up")
+	}
+	// Undeclared parameter is a compile error.
+	q, _ := gsql.ParseQuery("SELECT time FROM s WHERE destPort = $nope")
+	cc := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(testInSchema(), "s")}
+	if _, err := cc.Compile(q.Where); err == nil {
+		t.Error("undeclared param accepted")
+	}
+}
+
+func TestExprRegexHandle(t *testing.T) {
+	e, c := compileExpr(t, `str_regex_match(payload, '^[^\n]*HTTP/1.*')`, nil)
+	if len(c.Handles) != 1 {
+		t.Fatalf("handles = %v", c.Handles)
+	}
+	ctx, err := NewCtx(c.Handles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Eval(testRow(), ctx); !ok || !v.Bool() {
+		t.Errorf("regex on HTTP payload = %v, %v", v, ok)
+	}
+	row := testRow()
+	row[4] = schema.MakeStr("ssh-2.0 tunneled")
+	if v, _ := e.Eval(row, ctx); v.Bool() {
+		t.Error("regex matched non-HTTP payload")
+	}
+}
+
+func TestExprHandleFromParam(t *testing.T) {
+	e, c := compileExpr(t, `str_regex_match(payload, $pat)`,
+		map[string]schema.Type{"pat": schema.TString})
+	ctx, err := NewCtx(c.Handles, map[string]schema.Value{"pat": schema.MakeStr("^GET")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Eval(testRow(), ctx); !v.Bool() {
+		t.Error("param-handle regex failed")
+	}
+	// Missing parameter binding surfaces at instantiation.
+	if _, err := NewCtx(c.Handles, nil); err == nil {
+		t.Error("NewCtx without param binding succeeded")
+	}
+}
+
+func TestExprHandleMustBeLiteralOrParam(t *testing.T) {
+	q, _ := gsql.ParseQuery("SELECT time FROM s WHERE str_regex_match(payload, payload)")
+	c := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(testInSchema(), "s")}
+	if _, err := c.Compile(q.Where); err == nil {
+		t.Error("column as pass-by-handle argument accepted")
+	}
+}
+
+func TestExprCompileErrors(t *testing.T) {
+	bad := []string{
+		"nosuchcol = 1",
+		"other.time = 1",
+		"nosuchfunc(time)",
+		"count(time) = 1", // aggregate in scalar position
+		"payload + 1 = 2",
+		"time and destPort",
+		"not time",
+		"payload = 1",
+		"str_len(time) = 1",
+		"str_len(payload, payload) = 1",
+		"ratio & 1 = 1",
+	}
+	for _, src := range bad {
+		q, err := gsql.ParseQuery("SELECT time FROM s WHERE " + src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		c := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(testInSchema(), "s")}
+		if _, err := c.Compile(q.Where); err == nil {
+			t.Errorf("compile %q succeeded", src)
+		}
+	}
+}
+
+func TestJoinResolver(t *testing.T) {
+	left := testInSchema()
+	right := &schema.Schema{
+		Name: "r", Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint},
+			{Name: "peer", Type: schema.TUint},
+		},
+	}
+	res := JoinResolver(left, right, "L", "R")
+	if i, ty, err := res("L", "time"); err != nil || i != 0 || ty != schema.TUint {
+		t.Errorf("L.time = %d, %s, %v", i, ty, err)
+	}
+	if i, _, err := res("R", "time"); err != nil || i != len(left.Cols) {
+		t.Errorf("R.time = %d, %v", i, err)
+	}
+	if i, _, err := res("", "peer"); err != nil || i != len(left.Cols)+1 {
+		t.Errorf("peer = %d, %v", i, err)
+	}
+	if _, _, err := res("", "time"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous time: %v", err)
+	}
+	if _, _, err := res("X", "time"); err == nil {
+		t.Error("unknown qualifier accepted")
+	}
+	if _, _, err := res("", "ghost"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestEvalPred(t *testing.T) {
+	e, _ := compileExpr(t, "destPort = 80", nil)
+	if pass, ok := EvalPred(e, testRow(), nil); !ok || !pass {
+		t.Error("EvalPred true case failed")
+	}
+	nullRow := make(schema.Tuple, len(testInSchema().Cols))
+	if pass, ok := EvalPred(e, nullRow, nil); !ok || pass {
+		t.Error("EvalPred over NULL should be not-pass")
+	}
+}

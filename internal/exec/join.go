@@ -1,0 +1,425 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"gigascope/internal/schema"
+)
+
+// JoinSpec configures a two-stream window join. The join window is derived
+// at plan time from predicates over ordered attributes of both inputs
+// (paper §2.1: "the join predicate must contain a constraint on an ordered
+// attribute from each table which can be used to define a join window"):
+//
+//	ordL - LowSlack <= ordR <= ordL + HighSlack
+//
+// Equality on the ordered attributes gives LowSlack = HighSlack = 0.
+type JoinSpec struct {
+	// OrdL and OrdR evaluate the ordered window attribute over the left
+	// and right input rows respectively. Both must increase.
+	OrdL, OrdR Expr
+	LowSlack   int64
+	HighSlack  int64
+	// EqL/EqR are parallel hash-equality key expressions (may be empty).
+	EqL, EqR []Expr
+	// Residual is the remaining predicate over the combined row
+	// (left columns followed by right columns); may be nil.
+	Residual Expr
+	// Outs computes output columns over the combined row.
+	Outs []Expr
+	Out  *schema.Schema
+	Ctx  *Ctx
+	// OutOrdL/OutOrdR index output columns that carry the left/right
+	// ordered attribute, for heartbeat propagation; -1 when absent.
+	OutOrdL, OutOrdR int
+	// MaxBuffer bounds each side's buffer; 0 means unbounded. When the
+	// bound is hit the oldest entry is dropped (overload shedding).
+	MaxBuffer int
+	// SortOutput selects the order-preserving join algorithm (paper
+	// §2.1: the output ordering "depends on the choice of join
+	// algorithm" — "monotonically increasing requires more buffer
+	// space"). Matches are held in a reorder buffer and released in
+	// left-ordered-attribute order once the watermarks guarantee no
+	// earlier match can appear. Requires OutOrdL >= 0.
+	SortOutput bool
+}
+
+// Join is the streaming window join operator.
+type Join struct {
+	spec  JoinSpec
+	sides [2]joinSide
+	stats OpStats
+	// reorder buffer for SortOutput mode: pending output rows keyed by
+	// the left ordered attribute.
+	pending []pendingOut
+	seq     uint64
+}
+
+type pendingOut struct {
+	ord int64
+	seq uint64 // arrival tiebreak for a stable order
+	row schema.Tuple
+}
+
+type joinSide struct {
+	entries []joinEntry // ord nondecreasing, front-evicted
+	start   int         // logical start within entries
+	buckets map[string][]int
+	wm      int64
+	hasWM   bool
+}
+
+type joinEntry struct {
+	row  schema.Tuple
+	ord  int64
+	key  string
+	dead bool
+}
+
+// NewJoin builds a window join operator.
+func NewJoin(spec JoinSpec) (*Join, error) {
+	if spec.OrdL == nil || spec.OrdR == nil {
+		return nil, fmt.Errorf("exec: join needs ordered window attributes on both inputs")
+	}
+	if len(spec.EqL) != len(spec.EqR) {
+		return nil, fmt.Errorf("exec: join equality key lists must be parallel")
+	}
+	if spec.SortOutput && spec.OutOrdL < 0 {
+		return nil, fmt.Errorf("exec: ordered join output requires the left ordered attribute in the select list")
+	}
+	j := &Join{spec: spec}
+	for i := range j.sides {
+		j.sides[i].buckets = make(map[string][]int)
+	}
+	return j, nil
+}
+
+// Ports implements Operator.
+func (o *Join) Ports() int { return 2 }
+
+// OutSchema implements Operator.
+func (o *Join) OutSchema() *schema.Schema { return o.spec.Out }
+
+// Stats returns a snapshot of the operator counters.
+func (o *Join) Stats() OpStats { return o.stats }
+
+// Buffered returns the number of tuples buffered on the given side.
+func (o *Join) Buffered(port int) int {
+	return len(o.sides[port].entries) - o.sides[port].start
+}
+
+// ordKey converts an ordered attribute value to the int64 domain the
+// window arithmetic runs in.
+func ordKey(v schema.Value) (int64, bool) {
+	switch v.Type {
+	case schema.TUint, schema.TIP:
+		return int64(v.U), true
+	case schema.TInt:
+		return v.Int(), true
+	case schema.TFloat:
+		return int64(v.F), true
+	}
+	return 0, false
+}
+
+func (o *Join) ordExpr(port int) Expr {
+	if port == 0 {
+		return o.spec.OrdL
+	}
+	return o.spec.OrdR
+}
+
+func (o *Join) eqExprs(port int) []Expr {
+	if port == 0 {
+		return o.spec.EqL
+	}
+	return o.spec.EqR
+}
+
+// slacks returns (before, after): a tuple on `port` at ord t matches other
+// side tuples with ord in [t-before, t+after].
+func (o *Join) slacks(port int) (int64, int64) {
+	if port == 0 {
+		// left at t matches right in [t-LowSlack, t+HighSlack]
+		return o.spec.LowSlack, o.spec.HighSlack
+	}
+	// right at t matches left in [t-HighSlack, t+LowSlack]
+	return o.spec.HighSlack, o.spec.LowSlack
+}
+
+// Push implements Operator.
+func (o *Join) Push(port int, m Message, emit Emit) error {
+	if port < 0 || port > 1 {
+		return fmt.Errorf("exec: join port %d out of range", port)
+	}
+	if m.IsHeartbeat() {
+		v, ok := o.ordExpr(port).Eval(m.Bounds, o.spec.Ctx)
+		if ok && !v.IsNull() {
+			if k, ok := ordKey(v); ok {
+				o.advance(port, k)
+			}
+		}
+		o.releasePending(emit)
+		o.emitHeartbeat(emit)
+		return nil
+	}
+	o.stats.In++
+	row := m.Tuple
+	v, ok := o.ordExpr(port).Eval(row, o.spec.Ctx)
+	if !ok || v.IsNull() {
+		o.stats.Dropped++
+		return nil
+	}
+	t, ok := ordKey(v)
+	if !ok {
+		o.stats.Dropped++
+		return nil
+	}
+	o.advance(port, t)
+
+	key, ok := o.evalKey(port, row)
+	if !ok {
+		o.stats.Dropped++
+		return nil
+	}
+
+	// Probe the other side's buffer.
+	other := 1 - port
+	before, after := o.slacks(port)
+	o.probe(port, row, t, key, other, t-before, t+after, emit)
+	o.releasePending(emit)
+
+	// Buffer this tuple for future matches from the other side, unless the
+	// other side's watermark already rules them out.
+	os := &o.sides[other]
+	if os.hasWM && os.wm > t+after {
+		return nil
+	}
+	s := &o.sides[port]
+	if o.spec.MaxBuffer > 0 && len(s.entries)-s.start >= o.spec.MaxBuffer {
+		o.evictOldest(port)
+	}
+	idx := len(s.entries)
+	s.entries = append(s.entries, joinEntry{row: row.Clone(), ord: t, key: key})
+	s.buckets[key] = append(s.buckets[key], idx)
+	return nil
+}
+
+func (o *Join) evalKey(port int, row schema.Tuple) (string, bool) {
+	eqs := o.eqExprs(port)
+	if len(eqs) == 0 {
+		return "", true
+	}
+	kv := make(schema.Tuple, len(eqs))
+	for i, e := range eqs {
+		v, ok := e.Eval(row, o.spec.Ctx)
+		if !ok {
+			return "", false
+		}
+		if v.IsNull() {
+			return "", false // NULL never joins
+		}
+		kv[i] = v
+	}
+	return string(kv.Pack(nil)), true
+}
+
+// probe emits combined rows for other-side entries with matching key and
+// ord within [lo, hi].
+func (o *Join) probe(port int, row schema.Tuple, _ int64, key string, other int, lo, hi int64, emit Emit) {
+	os := &o.sides[other]
+	candidates := os.buckets[key]
+	live := candidates[:0]
+	for _, idx := range candidates {
+		if idx < os.start || os.entries[idx].dead {
+			continue // evicted; compact the bucket as we go
+		}
+		e := &os.entries[idx]
+		live = append(live, idx)
+		if e.ord >= lo && e.ord <= hi {
+			o.emitMatch(port, row, e.row, emit)
+		}
+	}
+	if len(live) == 0 {
+		delete(os.buckets, key)
+	} else {
+		os.buckets[key] = live
+	}
+}
+
+func (o *Join) emitMatch(port int, row, otherRow schema.Tuple, emit Emit) {
+	var combined schema.Tuple
+	if port == 0 {
+		combined = append(append(schema.Tuple{}, row...), otherRow...)
+	} else {
+		combined = append(append(schema.Tuple{}, otherRow...), row...)
+	}
+	if o.spec.Residual != nil {
+		pass, ok := EvalPred(o.spec.Residual, combined, o.spec.Ctx)
+		if !ok || !pass {
+			return
+		}
+	}
+	outRow := make(schema.Tuple, len(o.spec.Outs))
+	for i, e := range o.spec.Outs {
+		v, ok := e.Eval(combined, o.spec.Ctx)
+		if !ok {
+			o.stats.Dropped++
+			return
+		}
+		outRow[i] = v
+	}
+	if o.spec.SortOutput {
+		ord, _ := ordKey(outRow[o.spec.OutOrdL])
+		o.seq++
+		o.pending = append(o.pending, pendingOut{ord: ord, seq: o.seq, row: outRow})
+		return
+	}
+	o.stats.Out++
+	emit(TupleMsg(outRow))
+}
+
+// releasePending emits reorder-buffered rows whose left ordered value can
+// no longer be preceded: bound = min(wmL, wmR - HighSlack).
+func (o *Join) releasePending(emit Emit) {
+	if !o.spec.SortOutput || len(o.pending) == 0 {
+		return
+	}
+	l, r := &o.sides[0], &o.sides[1]
+	if !l.hasWM || !r.hasWM {
+		return
+	}
+	bound := min64(l.wm, r.wm-o.spec.HighSlack)
+	sort.Slice(o.pending, func(i, j int) bool {
+		if o.pending[i].ord != o.pending[j].ord {
+			return o.pending[i].ord < o.pending[j].ord
+		}
+		return o.pending[i].seq < o.pending[j].seq
+	})
+	n := 0
+	for n < len(o.pending) && o.pending[n].ord <= bound {
+		o.stats.Out++
+		emit(TupleMsg(o.pending[n].row))
+		n++
+	}
+	o.pending = append(o.pending[:0], o.pending[n:]...)
+}
+
+// advance updates the watermark for port and evicts unmatchable entries
+// from the other side.
+func (o *Join) advance(port int, t int64) {
+	s := &o.sides[port]
+	if !s.hasWM || t > s.wm {
+		s.wm = t
+		s.hasWM = true
+	}
+	// Entries on the other side at ord e can only match future tuples on
+	// `port` at ord >= wm; the match needs e >= ord - before, so entries
+	// with e < wm - before are dead.
+	before, _ := o.slacks(port)
+	threshold := s.wm - before
+	o.evictBelow(1-port, threshold)
+}
+
+func (o *Join) evictBelow(side int, threshold int64) {
+	s := &o.sides[side]
+	for s.start < len(s.entries) && s.entries[s.start].ord < threshold {
+		s.entries[s.start].dead = true
+		s.entries[s.start].row = nil
+		s.start++
+	}
+	o.maybeCompact(s)
+}
+
+func (o *Join) evictOldest(side int) {
+	s := &o.sides[side]
+	if s.start < len(s.entries) {
+		o.stats.Dropped++
+		s.entries[s.start].dead = true
+		s.entries[s.start].row = nil
+		s.start++
+		o.maybeCompact(s)
+	}
+}
+
+// maybeCompact reclaims the dead prefix once it dominates the buffer.
+func (o *Join) maybeCompact(s *joinSide) {
+	if s.start < 1024 || s.start*2 < len(s.entries) {
+		return
+	}
+	live := len(s.entries) - s.start
+	fresh := make([]joinEntry, live)
+	copy(fresh, s.entries[s.start:])
+	// Rebuild buckets with shifted indexes.
+	for k := range s.buckets {
+		delete(s.buckets, k)
+	}
+	for i := range fresh {
+		if !fresh[i].dead {
+			s.buckets[fresh[i].key] = append(s.buckets[fresh[i].key], i)
+		}
+	}
+	s.entries = fresh
+	s.start = 0
+}
+
+// emitHeartbeat publishes conservative bounds for the ordered output
+// columns: no future output can carry a left ordered value below
+// min(wmL, wmR - HighSlack) nor a right one below min(wmR, wmL - LowSlack).
+func (o *Join) emitHeartbeat(emit Emit) {
+	if o.spec.OutOrdL < 0 && o.spec.OutOrdR < 0 {
+		return
+	}
+	l, r := &o.sides[0], &o.sides[1]
+	outBounds := make(schema.Tuple, len(o.spec.Outs))
+	if o.spec.OutOrdL >= 0 && l.hasWM && r.hasWM {
+		b := min64(l.wm, r.wm-o.spec.HighSlack)
+		outBounds[o.spec.OutOrdL] = schema.MakeUint(uint64(max64(b, 0)))
+	}
+	if o.spec.OutOrdR >= 0 && l.hasWM && r.hasWM {
+		b := min64(r.wm, l.wm-o.spec.LowSlack)
+		outBounds[o.spec.OutOrdR] = schema.MakeUint(uint64(max64(b, 0)))
+	}
+	emit(HeartbeatMsg(outBounds))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FlushAll implements Operator: reorder-buffered output (SortOutput mode)
+// is released in order; the window buffers only ever hold tuples that
+// might still match, so they are simply cleared.
+func (o *Join) FlushAll(emit Emit) error {
+	if len(o.pending) > 0 {
+		sort.Slice(o.pending, func(i, j int) bool {
+			if o.pending[i].ord != o.pending[j].ord {
+				return o.pending[i].ord < o.pending[j].ord
+			}
+			return o.pending[i].seq < o.pending[j].seq
+		})
+		for _, p := range o.pending {
+			o.stats.Out++
+			emit(TupleMsg(p.row))
+		}
+		o.pending = nil
+	}
+	for i := range o.sides {
+		s := &o.sides[i]
+		s.entries = nil
+		s.start = 0
+		s.buckets = make(map[string][]int)
+	}
+	return nil
+}

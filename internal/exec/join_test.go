@@ -1,0 +1,261 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gigascope/internal/schema"
+)
+
+// Join test fixtures: left stream (time, src) joins right stream
+// (time, src, peer) on src with a time window.
+
+func joinLeftSchema() *schema.Schema  { return outSchema("time", "src") }
+func joinRightSchema() *schema.Schema { return outSchema("time", "src", "peer") }
+
+func lrow(ts, src uint64) schema.Tuple {
+	return schema.Tuple{schema.MakeUint(ts), schema.MakeUint(src)}
+}
+
+func rrow(ts, src, peer uint64) schema.Tuple {
+	return schema.Tuple{schema.MakeUint(ts), schema.MakeUint(src), schema.MakeUint(peer)}
+}
+
+// buildJoin wires: SELECT L.time, L.src, R.peer FROM L, R
+// WHERE L.src = R.src AND window(L.time, R.time, low, high)
+func buildJoin(t *testing.T, low, high int64, maxBuffer int) *Join {
+	t.Helper()
+	ls, rs := joinLeftSchema(), joinRightSchema()
+	ordL := quietCompile(ls, "L", "time")[0]
+	ordR := quietCompile(rs, "R", "time")[0]
+	eqL := quietCompile(ls, "L", "src")
+	eqR := quietCompile(rs, "R", "src")
+	// Combined row: L columns then R columns.
+	combined := outSchema("ltime", "lsrc", "rtime", "rsrc", "peer")
+	outs := quietCompile(combined, "c", "ltime", "lsrc", "peer")
+	j, err := NewJoin(JoinSpec{
+		OrdL: ordL, OrdR: ordR,
+		LowSlack: low, HighSlack: high,
+		EqL: eqL, EqR: eqR,
+		Outs: outs, Out: outSchema("time", "src", "peer"),
+		OutOrdL: 0, OutOrdR: -1,
+		MaxBuffer: maxBuffer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJoinEqualityWindow(t *testing.T) {
+	j := buildJoin(t, 0, 0, 0)
+	var out []Message
+	emit := Collect(&out)
+	j.Push(1, TupleMsg(rrow(1, 7, 700)), emit)
+	j.Push(0, TupleMsg(lrow(1, 7)), emit) // matches
+	j.Push(0, TupleMsg(lrow(1, 8)), emit) // src mismatch
+	j.Push(0, TupleMsg(lrow(2, 7)), emit) // time mismatch
+	rows := tuplesOf(out)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Uint() != 1 || rows[0][1].Uint() != 7 || rows[0][2].Uint() != 700 {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestJoinBandWindow(t *testing.T) {
+	// B.time >= C.time-1 and B.time <= C.time+1 (paper §2.1):
+	// low = high = 1.
+	j := buildJoin(t, 1, 1, 0)
+	var out []Message
+	emit := Collect(&out)
+	j.Push(1, TupleMsg(rrow(5, 7, 700)), emit)
+	for _, ts := range []uint64{3, 4, 5, 6, 7} {
+		j.Push(0, TupleMsg(lrow(ts, 7)), emit)
+	}
+	rows := tuplesOf(out)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v, want matches at 4,5,6", rows)
+	}
+	for i, want := range []uint64{4, 5, 6} {
+		if rows[i][0].Uint() != want {
+			t.Errorf("row %d time = %d, want %d", i, rows[i][0].Uint(), want)
+		}
+	}
+}
+
+func TestJoinBothDirections(t *testing.T) {
+	// Matching works regardless of arrival side order.
+	j := buildJoin(t, 0, 0, 0)
+	var out []Message
+	emit := Collect(&out)
+	j.Push(0, TupleMsg(lrow(3, 9)), emit) // left arrives first
+	j.Push(1, TupleMsg(rrow(3, 9, 900)), emit)
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][2].Uint() != 900 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestJoinEvictsOutsideWindow(t *testing.T) {
+	j := buildJoin(t, 1, 1, 0)
+	var out []Message
+	emit := Collect(&out)
+	for ts := uint64(1); ts <= 100; ts++ {
+		j.Push(0, TupleMsg(lrow(ts, 7)), emit)
+		j.Push(1, TupleMsg(rrow(ts, 7, ts)), emit)
+	}
+	// Each left matches right at ts-1, ts (and ts+1 arriving later):
+	// buffers must stay small, bounded by the window, not grow linearly.
+	if b := j.Buffered(0); b > 8 {
+		t.Errorf("left buffer = %d, want window-bounded", b)
+	}
+	if b := j.Buffered(1); b > 8 {
+		t.Errorf("right buffer = %d, want window-bounded", b)
+	}
+	rows := tuplesOf(out)
+	// ts=1: matches 1,2 edges... count: pairs (l,r) with |l-r|<=1 both in
+	// [1,100]: 100 diagonal + 99 above + 99 below = 298.
+	if len(rows) != 298 {
+		t.Errorf("matches = %d, want 298", len(rows))
+	}
+}
+
+func TestJoinHeartbeatEvictsAndBounds(t *testing.T) {
+	j := buildJoin(t, 0, 0, 0)
+	var out []Message
+	emit := Collect(&out)
+	j.Push(0, TupleMsg(lrow(10, 1)), emit)
+	// Right heartbeat at time 50: left tuple at 10 can never match.
+	bounds := schema.Tuple{schema.MakeUint(50), schema.Null, schema.Null}
+	j.Push(1, HeartbeatMsg(bounds), emit)
+	if b := j.Buffered(0); b != 0 {
+		t.Errorf("left buffer = %d after right heartbeat", b)
+	}
+	// Output heartbeat bound: min(wmL, wmR-high) = min(10, 50) = 10.
+	last := out[len(out)-1]
+	if !last.IsHeartbeat() || last.Bounds[0].IsNull() || last.Bounds[0].Uint() != 10 {
+		t.Errorf("HB = %v", last)
+	}
+}
+
+func TestJoinResidualPredicate(t *testing.T) {
+	ls, rs := joinLeftSchema(), joinRightSchema()
+	ordL := quietCompile(ls, "L", "time")[0]
+	ordR := quietCompile(rs, "R", "time")[0]
+	combined := outSchema("ltime", "lsrc", "rtime", "rsrc", "peer")
+	residual := quietCompile(combined, "c", "peer > 100")[0]
+	outs := quietCompile(combined, "c", "ltime", "peer")
+	j, err := NewJoin(JoinSpec{
+		OrdL: ordL, OrdR: ordR,
+		Outs: outs, Out: outSchema("time", "peer"),
+		Residual: residual,
+		OutOrdL:  0, OutOrdR: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Message
+	emit := Collect(&out)
+	j.Push(1, TupleMsg(rrow(1, 1, 50)), emit)
+	j.Push(1, TupleMsg(rrow(1, 2, 200)), emit)
+	j.Push(0, TupleMsg(lrow(1, 9)), emit) // no eq keys: window-only join
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][1].Uint() != 200 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestJoinMaxBufferSheds(t *testing.T) {
+	j := buildJoin(t, 0, 1000, 4)
+	emit := func(Message) {}
+	for ts := uint64(1); ts <= 50; ts++ {
+		j.Push(0, TupleMsg(lrow(ts, 7)), emit)
+	}
+	if b := j.Buffered(0); b > 4 {
+		t.Errorf("buffer = %d exceeds MaxBuffer", b)
+	}
+	if j.Stats().Dropped == 0 {
+		t.Error("no shed tuples counted")
+	}
+}
+
+func TestJoinMatchesNaiveProperty(t *testing.T) {
+	// Against a brute-force nested-loop join over the full inputs.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		low, high := int64(r.Intn(3)), int64(r.Intn(3))
+		type lrec struct{ ts, src uint64 }
+		type rrec struct{ ts, src, peer uint64 }
+		var ls []lrec
+		var rs []rrec
+		var lt, rt uint64
+		for i := 0; i < 120; i++ {
+			lt += uint64(r.Intn(3))
+			ls = append(ls, lrec{lt, uint64(r.Intn(4))})
+			rt += uint64(r.Intn(3))
+			rs = append(rs, rrec{rt, uint64(r.Intn(4)), uint64(i)})
+		}
+		want := 0
+		for _, l := range ls {
+			for _, rr := range rs {
+				d := int64(rr.ts) - int64(l.ts)
+				if l.src == rr.src && d >= -low && d <= high {
+					want++
+				}
+			}
+		}
+		j := buildJoinQuiet(low, high)
+		var out []Message
+		emit := Collect(&out)
+		// Random interleaving of the two (individually ordered) streams.
+		li, ri := 0, 0
+		for li < len(ls) || ri < len(rs) {
+			if ri >= len(rs) || (li < len(ls) && r.Intn(2) == 0) {
+				j.Push(0, TupleMsg(lrow(ls[li].ts, ls[li].src)), emit)
+				li++
+			} else {
+				j.Push(1, TupleMsg(rrow(rs[ri].ts, rs[ri].src, rs[ri].peer)), emit)
+				ri++
+			}
+		}
+		return len(tuplesOf(out)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildJoinQuiet(low, high int64) *Join {
+	ls, rs := joinLeftSchema(), joinRightSchema()
+	ordL := quietCompile(ls, "L", "time")[0]
+	ordR := quietCompile(rs, "R", "time")[0]
+	eqL := quietCompile(ls, "L", "src")
+	eqR := quietCompile(rs, "R", "src")
+	combined := outSchema("ltime", "lsrc", "rtime", "rsrc", "peer")
+	outs := quietCompile(combined, "c", "ltime", "lsrc", "peer")
+	j, err := NewJoin(JoinSpec{
+		OrdL: ordL, OrdR: ordR,
+		LowSlack: low, HighSlack: high,
+		EqL: eqL, EqR: eqR,
+		Outs: outs, Out: outSchema("time", "src", "peer"),
+		OutOrdL: 0, OutOrdR: -1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+func TestJoinRejectsBadSpec(t *testing.T) {
+	if _, err := NewJoin(JoinSpec{}); err == nil {
+		t.Error("join without ordered attributes accepted")
+	}
+	ls := joinLeftSchema()
+	ordL := quietCompile(ls, "L", "time")[0]
+	if _, err := NewJoin(JoinSpec{OrdL: ordL, OrdR: ordL, EqL: quietCompile(ls, "L", "src")}); err == nil {
+		t.Error("unbalanced eq lists accepted")
+	}
+}

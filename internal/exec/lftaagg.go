@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/schema"
+)
+
+// LFTAAgg is the low-level aggregation operator that runs on the capture
+// path (paper §3): a small direct-mapped hash table of groups. A hash
+// collision ejects the incumbent group as a partial aggregate tuple;
+// because of temporal locality even a small table achieves large early
+// data reduction. The HFTA super-aggregate downstream recombines partials.
+type LFTAAgg struct {
+	spec  AggSpec
+	slots []lftaSlot
+	mask  uint64
+	wm    schema.Value
+	hasWM bool
+	stats OpStats
+}
+
+type lftaSlot struct {
+	used   bool
+	key    string
+	gvals  schema.Tuple
+	ord    schema.Value
+	states []funcs.AggState
+}
+
+// NewLFTAAgg builds a direct-mapped aggregation with the given table size,
+// rounded up to a power of two (minimum 16).
+func NewLFTAAgg(spec AggSpec, tableSize int) (*LFTAAgg, error) {
+	if len(spec.GroupExprs) == 0 {
+		return nil, fmt.Errorf("exec: aggregation needs at least one group-by expression")
+	}
+	if spec.OrdGroup >= len(spec.GroupExprs) {
+		return nil, fmt.Errorf("exec: ordered group index %d out of range", spec.OrdGroup)
+	}
+	size := 16
+	for size < tableSize {
+		size <<= 1
+	}
+	return &LFTAAgg{spec: spec, slots: make([]lftaSlot, size), mask: uint64(size - 1)}, nil
+}
+
+// Ports implements Operator.
+func (o *LFTAAgg) Ports() int { return 1 }
+
+// OutSchema implements Operator.
+func (o *LFTAAgg) OutSchema() *schema.Schema { return o.spec.Out }
+
+// Stats returns a snapshot of the operator counters.
+func (o *LFTAAgg) Stats() OpStats { return o.stats }
+
+// TableSize returns the direct-mapped table size.
+func (o *LFTAAgg) TableSize() int { return len(o.slots) }
+
+// Push implements Operator.
+func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
+	if m.IsHeartbeat() {
+		if o.spec.OrdGroup >= 0 {
+			v, ok := o.spec.GroupExprs[o.spec.OrdGroup].Eval(m.Bounds, o.spec.Ctx)
+			if ok && !v.IsNull() {
+				o.advance(v, emit)
+			}
+		}
+		o.emitHeartbeat(emit)
+		return nil
+	}
+	o.stats.In++
+	row := m.Tuple
+	if o.spec.Pred != nil {
+		pass, ok := EvalPred(o.spec.Pred, row, o.spec.Ctx)
+		if !ok || !pass {
+			o.stats.Dropped++
+			return nil
+		}
+	}
+	gvals := make(schema.Tuple, len(o.spec.GroupExprs))
+	for i, e := range o.spec.GroupExprs {
+		v, ok := e.Eval(row, o.spec.Ctx)
+		if !ok {
+			o.stats.Dropped++
+			return nil
+		}
+		gvals[i] = v
+	}
+	if o.spec.OrdGroup >= 0 {
+		ord := gvals[o.spec.OrdGroup]
+		if ord.IsNull() {
+			o.stats.Dropped++
+			return nil
+		}
+		o.advance(ord, emit)
+	}
+	key := string(gvals.Pack(nil))
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	slot := &o.slots[h.Sum64()&o.mask]
+	if slot.used && slot.key != key {
+		// Collision: eject the incumbent as a partial tuple (paper §3).
+		o.stats.Evicted++
+		o.emitSlot(slot, emit)
+		slot.used = false
+	}
+	if !slot.used {
+		slot.used = true
+		slot.key = key
+		slot.gvals = gvals.Clone()
+		if o.spec.OrdGroup >= 0 {
+			slot.ord = gvals[o.spec.OrdGroup]
+		}
+		slot.states = make([]funcs.AggState, len(o.spec.Aggs))
+		for i, a := range o.spec.Aggs {
+			slot.states[i] = a.Spec.New(a.ArgType)
+		}
+	}
+	for i, a := range o.spec.Aggs {
+		if a.Arg == nil {
+			slot.states[i].Add(schema.Null)
+			continue
+		}
+		v, ok := a.Arg.Eval(row, o.spec.Ctx)
+		if !ok {
+			continue
+		}
+		slot.states[i].Add(v)
+	}
+	return nil
+}
+
+func (o *LFTAAgg) advance(ord schema.Value, emit Emit) {
+	newer := func(a, b schema.Value) bool {
+		if o.spec.Desc {
+			return a.Compare(b) < 0
+		}
+		return a.Compare(b) > 0
+	}
+	// Slots only close when the watermark moves; skip the table scan
+	// otherwise (it would run per packet on the capture path).
+	if o.hasWM && !newer(ord, o.wm) {
+		return
+	}
+	o.wm = ord.Clone()
+	o.hasWM = true
+	// Flush every slot whose group is closed under the watermark.
+	closed := o.closedFn()
+	var flush []*lftaSlot
+	for i := range o.slots {
+		s := &o.slots[i]
+		if s.used && closed(s.ord) {
+			flush = append(flush, s)
+		}
+	}
+	if len(flush) == 0 {
+		return
+	}
+	sort.Slice(flush, func(i, j int) bool {
+		c := flush[i].ord.Compare(flush[j].ord)
+		if c != 0 {
+			if o.spec.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return flush[i].key < flush[j].key
+	})
+	for _, s := range flush {
+		o.emitSlot(s, emit)
+		s.used = false
+	}
+}
+
+func (o *LFTAAgg) closedFn() func(schema.Value) bool {
+	return func(ord schema.Value) bool {
+		if !o.hasWM {
+			return false
+		}
+		if o.spec.Band == 0 {
+			if o.spec.Desc {
+				return o.wm.Compare(ord) < 0
+			}
+			return o.wm.Compare(ord) > 0
+		}
+		band := float64(o.spec.Band)
+		if o.spec.Desc {
+			return o.wm.Float() < ord.Float()-band
+		}
+		return o.wm.Float() > ord.Float()+band
+	}
+}
+
+func (o *LFTAAgg) emitSlot(s *lftaSlot, emit Emit) {
+	post := make(schema.Tuple, len(s.gvals)+len(s.states))
+	copy(post, s.gvals)
+	for i, st := range s.states {
+		post[len(s.gvals)+i] = st.Result()
+	}
+	outRow := make(schema.Tuple, len(o.spec.PostSelect))
+	for i, e := range o.spec.PostSelect {
+		v, ok := e.Eval(post, o.spec.Ctx)
+		if !ok {
+			o.stats.Dropped++
+			return
+		}
+		outRow[i] = v
+	}
+	o.stats.Out++
+	emit(TupleMsg(outRow))
+}
+
+func (o *LFTAAgg) emitHeartbeat(emit Emit) {
+	if !o.hasWM || o.spec.OrdGroup < 0 {
+		return
+	}
+	// Partials for any open group may still be emitted at their original
+	// ordered value, so the bound downstream is watermark - band only if
+	// no open slot is older. Use the oldest open ordered value when the
+	// table is non-empty.
+	bound := o.wm
+	for i := range o.slots {
+		s := &o.slots[i]
+		if !s.used {
+			continue
+		}
+		older := s.ord.Compare(bound) < 0
+		if o.spec.Desc {
+			older = s.ord.Compare(bound) > 0
+		}
+		if older {
+			bound = s.ord
+		}
+	}
+	post := make(schema.Tuple, len(o.spec.GroupExprs)+len(o.spec.Aggs))
+	post[o.spec.OrdGroup] = bound
+	outBounds := make(schema.Tuple, len(o.spec.PostSelect))
+	for i, e := range o.spec.PostSelect {
+		v, ok := e.Eval(post, o.spec.Ctx)
+		if ok && !v.IsNull() {
+			outBounds[i] = v
+		}
+	}
+	emit(HeartbeatMsg(outBounds))
+}
+
+// FlushAll implements Operator.
+func (o *LFTAAgg) FlushAll(emit Emit) error {
+	var flush []*lftaSlot
+	for i := range o.slots {
+		if o.slots[i].used {
+			flush = append(flush, &o.slots[i])
+		}
+	}
+	sort.Slice(flush, func(i, j int) bool {
+		c := flush[i].ord.Compare(flush[j].ord)
+		if c != 0 {
+			if o.spec.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return flush[i].key < flush[j].key
+	})
+	for _, s := range flush {
+		o.emitSlot(s, emit)
+		s.used = false
+	}
+	return nil
+}

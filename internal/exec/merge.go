@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"fmt"
+
+	"gigascope/internal/schema"
+)
+
+// Merge is the order-preserving union operator (paper §2.2): it combines N
+// input streams sharing a schema into one stream whose merge attribute
+// remains nondecreasing. The paper notes this operator was implemented
+// before join — monitoring a full-duplex optical link requires merging the
+// two simplex directions.
+//
+// A slow input would block the merge (its next tuple could precede
+// everything buffered on the fast inputs); heartbeats carrying lower
+// bounds unblock it (paper §3). When an input starves progress, the
+// OnBlocked callback fires so the RTS can request an on-demand heartbeat
+// upstream.
+type Merge struct {
+	cols  []int // merge attribute index per input
+	out   *schema.Schema
+	sides []mergeSide
+	// OnBlocked, if set, is invoked with the port that is starving
+	// progress (empty queue and lowest bound).
+	OnBlocked func(port int)
+	stats     OpStats
+	// MaxBuffer bounds each input queue; 0 means unbounded. On overflow
+	// the oldest buffered tuple is emitted out of order rather than lost
+	// (overload degradation), counted in Stats().Dropped.
+	MaxBuffer int
+}
+
+type mergeSide struct {
+	queue []schema.Tuple
+	start int
+	wm    schema.Value
+	hasWM bool
+	done  bool
+}
+
+// NewMerge builds a merge operator over n inputs; cols gives the merge
+// attribute index in each input's schema.
+func NewMerge(cols []int, out *schema.Schema) (*Merge, error) {
+	if len(cols) < 2 {
+		return nil, fmt.Errorf("exec: merge needs at least two inputs")
+	}
+	return &Merge{cols: cols, out: out, sides: make([]mergeSide, len(cols))}, nil
+}
+
+// Ports implements Operator.
+func (o *Merge) Ports() int { return len(o.cols) }
+
+// OutSchema implements Operator.
+func (o *Merge) OutSchema() *schema.Schema { return o.out }
+
+// Stats returns a snapshot of the operator counters.
+func (o *Merge) Stats() OpStats { return o.stats }
+
+// Buffered returns the number of tuples queued on the given port.
+func (o *Merge) Buffered(port int) int {
+	return len(o.sides[port].queue) - o.sides[port].start
+}
+
+// MaxBuffered returns the high-water mark across ports, used by the E3
+// experiment to show heartbeats bounding merge memory.
+func (o *Merge) MaxBuffered() int {
+	max := 0
+	for i := range o.sides {
+		if n := o.Buffered(i); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Push implements Operator.
+func (o *Merge) Push(port int, m Message, emit Emit) error {
+	if port < 0 || port >= len(o.sides) {
+		return fmt.Errorf("exec: merge port %d out of range", port)
+	}
+	s := &o.sides[port]
+	if m.IsHeartbeat() {
+		idx := o.cols[port]
+		if idx < len(m.Bounds) && !m.Bounds[idx].IsNull() {
+			o.raiseWM(s, m.Bounds[idx])
+		}
+		o.drain(emit)
+		o.emitHeartbeat(emit)
+		return nil
+	}
+	o.stats.In++
+	v := m.Tuple[o.cols[port]]
+	if v.IsNull() {
+		o.stats.Dropped++
+		return nil
+	}
+	o.raiseWM(s, v)
+	if o.MaxBuffer > 0 && len(s.queue)-s.start >= o.MaxBuffer {
+		// Overflow: emit the oldest buffered tuple immediately. The output
+		// ordering property degrades; we count it as a disorder event.
+		o.stats.Dropped++
+		o.emitFront(s, emit)
+	}
+	s.queue = append(s.queue, m.Tuple.Clone())
+	o.drain(emit)
+	return nil
+}
+
+func (o *Merge) raiseWM(s *mergeSide, v schema.Value) {
+	if !s.hasWM || v.Compare(s.wm) > 0 {
+		s.wm = v.Clone()
+		s.hasWM = true
+	}
+}
+
+// drain emits queued tuples while global order is certain: the smallest
+// queued head can be emitted once every other input guarantees (by queue
+// content or watermark) that nothing earlier can arrive.
+func (o *Merge) drain(emit Emit) {
+	for {
+		port := -1
+		var head schema.Value
+		blocked := -1
+		for i := range o.sides {
+			s := &o.sides[i]
+			if s.start < len(s.queue) {
+				v := s.queue[s.start][o.cols[i]]
+				if port < 0 || v.Compare(head) < 0 {
+					port, head = i, v
+				}
+			}
+		}
+		if port < 0 {
+			return // all queues empty
+		}
+		// Every other side must have moved past `head`.
+		for i := range o.sides {
+			if i == port {
+				continue
+			}
+			s := &o.sides[i]
+			if s.start < len(s.queue) || s.done {
+				continue // its head was considered, or stream ended
+			}
+			if !s.hasWM || s.wm.Compare(head) < 0 {
+				blocked = i
+				break
+			}
+		}
+		if blocked >= 0 {
+			if o.OnBlocked != nil {
+				o.OnBlocked(blocked)
+			}
+			return
+		}
+		o.emitFront(&o.sides[port], emit)
+	}
+}
+
+func (o *Merge) emitFront(s *mergeSide, emit Emit) {
+	t := s.queue[s.start]
+	s.queue[s.start] = nil
+	s.start++
+	if s.start > 1024 && s.start*2 >= len(s.queue) {
+		s.queue = append([]schema.Tuple(nil), s.queue[s.start:]...)
+		s.start = 0
+	}
+	o.stats.Out++
+	emit(TupleMsg(t))
+}
+
+// emitHeartbeat publishes the merged bound: the minimum over inputs of
+// their watermark (an input with no watermark yet blocks any bound).
+func (o *Merge) emitHeartbeat(emit Emit) {
+	var bound schema.Value
+	for i := range o.sides {
+		s := &o.sides[i]
+		if s.done {
+			continue // ended: cannot hold the bound down
+		}
+		if !s.hasWM {
+			return
+		}
+		if bound.IsNull() || s.wm.Compare(bound) < 0 {
+			bound = s.wm
+		}
+	}
+	if bound.IsNull() {
+		return
+	}
+	bounds := make(schema.Tuple, len(o.out.Cols))
+	bounds[o.cols[0]] = bound
+	emit(HeartbeatMsg(bounds))
+}
+
+// PortDone marks an input as ended (its query node shut down); the merge
+// no longer waits for it.
+func (o *Merge) PortDone(port int, emit Emit) {
+	if port >= 0 && port < len(o.sides) {
+		o.sides[port].done = true
+		o.drain(emit)
+	}
+}
+
+// FlushAll implements Operator: emits everything left in the queues in
+// merge order (end of stream).
+func (o *Merge) FlushAll(emit Emit) error {
+	for i := range o.sides {
+		o.sides[i].done = true
+	}
+	o.drain(emit)
+	// drain with all ports done empties every queue in global order.
+	return nil
+}

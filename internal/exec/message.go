@@ -1,0 +1,89 @@
+// Package exec implements the physical query operators of Gigascope:
+// compiled expressions, selection/projection, ordered group-by aggregation
+// (both the HFTA hash aggregation and the LFTA direct-mapped variant with
+// collision eviction), two-stream window join, and N-way order-preserving
+// merge. All operators are pure stream operators unblocked by ordering
+// properties and heartbeat punctuations (paper §2.1, §3).
+package exec
+
+import (
+	"fmt"
+
+	"gigascope/internal/schema"
+)
+
+// Message is one unit on a stream: either a tuple or a heartbeat
+// (punctuation) carrying lower bounds for the stream's ordered attributes
+// (after Tucker & Maier, cited in paper §3). Bounds are aligned with the
+// stream schema; a NULL bound means "no information for this column".
+type Message struct {
+	Tuple  schema.Tuple
+	Bounds schema.Tuple // non-nil marks a heartbeat
+}
+
+// IsHeartbeat reports whether the message is a punctuation.
+func (m Message) IsHeartbeat() bool { return m.Bounds != nil }
+
+// TupleMsg wraps a tuple.
+func TupleMsg(t schema.Tuple) Message { return Message{Tuple: t} }
+
+// HeartbeatMsg wraps punctuation bounds.
+func HeartbeatMsg(bounds schema.Tuple) Message { return Message{Bounds: bounds} }
+
+func (m Message) String() string {
+	if m.IsHeartbeat() {
+		return "HB" + m.Bounds.String()
+	}
+	return m.Tuple.String()
+}
+
+// Emit receives operator output.
+type Emit func(Message)
+
+// Operator is a physical stream operator. Push processes one input message
+// from the given port (0 for unary operators) and emits zero or more output
+// messages. FlushAll force-closes all pending state (end of stream, or the
+// user-requested flush the paper mentions for unordered aggregation).
+type Operator interface {
+	// Ports returns the number of input ports.
+	Ports() int
+	// Push processes one message.
+	Push(port int, m Message, emit Emit) error
+	// FlushAll emits everything still buffered.
+	FlushAll(emit Emit) error
+	// OutSchema describes the output stream.
+	OutSchema() *schema.Schema
+}
+
+// Collect is a test helper Emit that appends to a slice.
+func Collect(dst *[]Message) Emit {
+	return func(m Message) { *dst = append(*dst, m) }
+}
+
+// CollectTuples gathers only tuples, discarding heartbeats.
+func CollectTuples(dst *[]schema.Tuple) Emit {
+	return func(m Message) {
+		if !m.IsHeartbeat() {
+			*dst = append(*dst, m.Tuple)
+		}
+	}
+}
+
+// RunTuples pushes a sequence of tuples through a unary operator followed
+// by FlushAll, returning the emitted tuples. Test and example helper.
+func RunTuples(op Operator, in []schema.Tuple) ([]schema.Tuple, error) {
+	if op.Ports() != 1 {
+		return nil, fmt.Errorf("exec: RunTuples needs a unary operator")
+	}
+	var out []schema.Tuple
+	emit := CollectTuples(&out)
+	for _, t := range in {
+		if err := op.Push(0, TupleMsg(t), emit); err != nil {
+			return nil, err
+		}
+	}
+	if err := op.FlushAll(emit); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

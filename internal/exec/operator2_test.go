@@ -1,0 +1,434 @@
+package exec
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parseSelect parses a single select-item expression.
+func parseSelect(item string) (gsql.Expr, error) {
+	q, err := gsql.ParseQuery("SELECT " + item + " FROM x")
+	if err != nil {
+		return nil, err
+	}
+	return q.Select[0].Expr, nil
+}
+
+// LFTAAgg -------------------------------------------------------------------
+
+// buildLFTACount builds the LFTA partial count: group by (time/60, destPort).
+func buildLFTACount(t *testing.T, tableSize int) *LFTAAgg {
+	t.Helper()
+	s := testInSchema()
+	group := compileSel(t, s, "x", "time/60", "destPort")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("tb", "port", "cnt")
+	postSel := compileSel(t, post, "out", "tb", "port", "cnt")
+	op, err := NewLFTAAgg(AggSpec{
+		GroupExprs: group, OrdGroup: 0,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel, Out: post,
+	}, tableSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestLFTAAggEvictsOnCollision(t *testing.T) {
+	// A table of 16 slots with 500 distinct ports must evict; partials
+	// must still sum to the true count downstream.
+	op := buildLFTACount(t, 16)
+	if op.TableSize() != 16 {
+		t.Fatalf("table size = %d", op.TableSize())
+	}
+	var out []Message
+	emit := Collect(&out)
+	const n = 500
+	for i := 0; i < n; i++ {
+		op.Push(0, TupleMsg(mkRow(1, uint64(i%251), 1)), emit)
+	}
+	op.FlushAll(emit)
+	if op.Stats().Evicted == 0 {
+		t.Error("no evictions with 251 groups in 16 slots")
+	}
+	// Partial counts per port must total n.
+	var total uint64
+	perPort := make(map[uint64]uint64)
+	for _, row := range tuplesOf(out) {
+		total += row[2].Uint()
+		perPort[row[1].Uint()] += row[2].Uint()
+	}
+	if total != n {
+		t.Errorf("partials total %d, want %d", total, n)
+	}
+	for port, c := range perPort {
+		want := uint64(n / 251)
+		if port < n%251 {
+			want++
+		}
+		if c != want {
+			t.Errorf("port %d: %d, want %d", port, c, want)
+		}
+	}
+}
+
+func TestLFTAAggTemporalLocalityReduction(t *testing.T) {
+	// Few hot groups in a tiny table: no evictions, massive reduction
+	// (paper §3: "because of temporal locality, aggregation even with a
+	// small hash table is effective in early data reduction").
+	op := buildLFTACount(t, 16)
+	var out []Message
+	emit := Collect(&out)
+	for i := 0; i < 10_000; i++ {
+		op.Push(0, TupleMsg(mkRow(uint64(i/1000), uint64(i%4), 1)), emit)
+	}
+	op.FlushAll(emit)
+	st := op.Stats()
+	if st.Evicted != 0 {
+		t.Errorf("evictions = %d with 4 hot groups", st.Evicted)
+	}
+	if st.Out >= st.In/100 {
+		t.Errorf("reduction too small: %d in, %d out", st.In, st.Out)
+	}
+}
+
+func TestLFTAAggFlushesOnOrderedAdvance(t *testing.T) {
+	op := buildLFTACount(t, 64)
+	var out []Message
+	emit := Collect(&out)
+	op.Push(0, TupleMsg(mkRow(10, 80, 1)), emit)
+	op.Push(0, TupleMsg(mkRow(20, 80, 1)), emit)
+	if len(tuplesOf(out)) != 0 {
+		t.Fatal("premature flush")
+	}
+	op.Push(0, TupleMsg(mkRow(70, 80, 1)), emit)
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][2].Uint() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestLFTAPlusSuperAggEqualsUnsplit(t *testing.T) {
+	// Property: LFTA partial aggregation (any table size) followed by an
+	// HFTA super-aggregation equals the single-level aggregate. This is
+	// the §3 aggregate-splitting invariant end to end on operators.
+	f := func(seed int64, sizeSel uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tableSize := 16 << (sizeSel % 4)
+
+		lfta := buildLFTACountQuiet(tableSize)
+		super := buildSuperSumQuiet()
+		direct := buildDirectCountQuiet()
+
+		var lftaOut []Message
+		lemit := Collect(&lftaOut)
+		var directOut []Message
+		demit := Collect(&directOut)
+
+		for i := 0; i < 400; i++ {
+			ts := uint64(i / 4)
+			port := uint64(r.Intn(40))
+			row := mkRowQuiet(ts, port)
+			lfta.Push(0, TupleMsg(row), lemit)
+			direct.Push(0, TupleMsg(row), demit)
+		}
+		lfta.FlushAll(lemit)
+		direct.FlushAll(demit)
+
+		var superOut []Message
+		semit := Collect(&superOut)
+		for _, m := range lftaOut {
+			if !m.IsHeartbeat() {
+				super.Push(0, m, semit)
+			}
+		}
+		super.FlushAll(semit)
+
+		return sameGroupCounts(tuplesOf(superOut), tuplesOf(directOut))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkRowQuiet(ts, port uint64) schema.Tuple {
+	return schema.Tuple{
+		schema.MakeUint(ts),
+		schema.MakeIP(1),
+		schema.MakeUint(port),
+		schema.MakeUint(1),
+		schema.MakeStr(""),
+		schema.MakeInt(0),
+		schema.MakeFloat(0),
+	}
+}
+
+func quietCompile(s *schema.Schema, binding string, items ...string) []Expr {
+	var out []Expr
+	for _, it := range items {
+		q, err := parseSelect(it)
+		if err != nil {
+			panic(err)
+		}
+		c := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(s, binding)}
+		e, err := c.Compile(q)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func buildLFTACountQuiet(tableSize int) *LFTAAgg {
+	s := quietInSchema()
+	group := quietCompile(s, "x", "time/60", "destPort")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("tb", "port", "cnt")
+	postSel := quietCompile(post, "out", "tb", "port", "cnt")
+	op, err := NewLFTAAgg(AggSpec{
+		GroupExprs: group, OrdGroup: 0,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel, Out: post,
+	}, tableSize)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// buildSuperSumQuiet consumes (tb, port, cnt) partials and groups by
+// (tb, port) summing cnt — the HFTA half of a split count.
+func buildSuperSumQuiet() *Agg {
+	in := outSchema("tb", "port", "cnt")
+	group := quietCompile(in, "out", "tb", "port")
+	sum, _ := funcs.Global.Aggregate("sum")
+	arg := quietCompile(in, "out", "cnt")[0]
+	post := outSchema("tb", "port", "cnt")
+	postSel := quietCompile(post, "out", "tb", "port", "cnt")
+	op, err := NewAgg(AggSpec{
+		GroupExprs: group, OrdGroup: 0,
+		Aggs:       []AggInstance{{Spec: sum, Arg: arg, ArgType: schema.TUint}},
+		PostSelect: postSel, Out: post,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+func buildDirectCountQuiet() *Agg {
+	s := quietInSchema()
+	group := quietCompile(s, "x", "time/60", "destPort")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("tb", "port", "cnt")
+	postSel := quietCompile(post, "out", "tb", "port", "cnt")
+	op, err := NewAgg(AggSpec{
+		GroupExprs: group, OrdGroup: 0,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel, Out: post,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+func quietInSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "s", Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "srcIP", Type: schema.TIP},
+			{Name: "destPort", Type: schema.TUint},
+			{Name: "len", Type: schema.TUint},
+			{Name: "payload", Type: schema.TString},
+			{Name: "delta", Type: schema.TInt},
+			{Name: "ratio", Type: schema.TFloat},
+		},
+	}
+}
+
+func sameGroupCounts(a, b []schema.Tuple) bool {
+	key := func(t schema.Tuple) [2]uint64 { return [2]uint64{t[0].Uint(), t[1].Uint()} }
+	ma := make(map[[2]uint64]uint64)
+	for _, t := range a {
+		ma[key(t)] += t[2].Uint()
+	}
+	mb := make(map[[2]uint64]uint64)
+	for _, t := range b {
+		mb[key(t)] += t[2].Uint()
+	}
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge ----------------------------------------------------------------------
+
+func mergeSchema() *schema.Schema {
+	return outSchema("time", "val")
+}
+
+func mrow(ts, val uint64) schema.Tuple {
+	return schema.Tuple{schema.MakeUint(ts), schema.MakeUint(val)}
+}
+
+func TestMergePreservesOrder(t *testing.T) {
+	m, err := NewMerge([]int{0, 0}, mergeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Message
+	emit := Collect(&out)
+	// Interleave two ordered streams.
+	m.Push(0, TupleMsg(mrow(1, 100)), emit)
+	m.Push(1, TupleMsg(mrow(2, 200)), emit)
+	m.Push(0, TupleMsg(mrow(3, 101)), emit)
+	m.Push(1, TupleMsg(mrow(4, 201)), emit)
+	m.Push(0, TupleMsg(mrow(5, 102)), emit)
+	m.FlushAll(emit)
+	rows := tuplesOf(out)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].Uint() < rows[i-1][0].Uint() {
+			t.Fatalf("order violated at %d: %v", i, rows)
+		}
+	}
+}
+
+func TestMergeOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, err := NewMerge([]int{0, 0, 0}, mergeSchema())
+		if err != nil {
+			return false
+		}
+		var out []Message
+		emit := Collect(&out)
+		// Three independently increasing streams pushed in random
+		// interleaving.
+		ts := [3]uint64{}
+		var want []uint64
+		for i := 0; i < 300; i++ {
+			p := r.Intn(3)
+			ts[p] += uint64(r.Intn(5))
+			want = append(want, ts[p])
+			m.Push(p, TupleMsg(mrow(ts[p], uint64(p))), emit)
+		}
+		m.FlushAll(emit)
+		rows := tuplesOf(out)
+		if len(rows) != len(want) {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, rowt := range rows {
+			if rowt[0].Uint() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeBlocksOnSilentInputThenHeartbeatUnblocks(t *testing.T) {
+	m, err := NewMerge([]int{0, 0}, mergeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blockedPort = -1
+	m.OnBlocked = func(p int) { blockedPort = p }
+	var out []Message
+	emit := Collect(&out)
+	// Port 1 is silent; port 0 is fast.
+	for ts := uint64(1); ts <= 10; ts++ {
+		m.Push(0, TupleMsg(mrow(ts, 0)), emit)
+	}
+	if len(tuplesOf(out)) != 0 {
+		t.Fatalf("emitted without port-1 information: %v", out)
+	}
+	if m.Buffered(0) != 10 || m.MaxBuffered() != 10 {
+		t.Errorf("buffered = %d", m.Buffered(0))
+	}
+	if blockedPort != 1 {
+		t.Errorf("OnBlocked port = %d", blockedPort)
+	}
+	// Heartbeat from port 1: time >= 7 releases tuples 1..7.
+	bounds := schema.Tuple{schema.MakeUint(7), schema.Null}
+	m.Push(1, HeartbeatMsg(bounds), emit)
+	rows := tuplesOf(out)
+	if len(rows) != 7 {
+		t.Fatalf("released %d rows, want 7: %v", len(rows), rows)
+	}
+	// The merged heartbeat carries the min watermark.
+	last := out[len(out)-1]
+	if !last.IsHeartbeat() || last.Bounds[0].Uint() != 7 {
+		t.Errorf("merged HB = %v", last)
+	}
+}
+
+func TestMergePortDone(t *testing.T) {
+	m, _ := NewMerge([]int{0, 0}, mergeSchema())
+	var out []Message
+	emit := Collect(&out)
+	m.Push(0, TupleMsg(mrow(5, 0)), emit)
+	m.PortDone(1, emit)
+	if rows := tuplesOf(out); len(rows) != 1 {
+		t.Fatalf("rows after PortDone = %v", rows)
+	}
+}
+
+func TestMergeMaxBufferDegradesGracefully(t *testing.T) {
+	m, _ := NewMerge([]int{0, 0}, mergeSchema())
+	m.MaxBuffer = 5
+	var out []Message
+	emit := Collect(&out)
+	for ts := uint64(1); ts <= 20; ts++ {
+		m.Push(0, TupleMsg(mrow(ts, 0)), emit)
+	}
+	if m.Buffered(0) > 5 {
+		t.Errorf("buffer grew to %d despite MaxBuffer", m.Buffered(0))
+	}
+	if m.Stats().Dropped == 0 {
+		t.Error("no disorder events counted")
+	}
+	if len(tuplesOf(out)) != 15 {
+		t.Errorf("emitted %d", len(tuplesOf(out)))
+	}
+}
+
+func TestMergeRejectsBadConfig(t *testing.T) {
+	if _, err := NewMerge([]int{0}, mergeSchema()); err == nil {
+		t.Error("single-input merge accepted")
+	}
+	m, _ := NewMerge([]int{0, 0}, mergeSchema())
+	if err := m.Push(5, TupleMsg(mrow(1, 1)), func(Message) {}); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+}

@@ -1,0 +1,425 @@
+package exec
+
+import (
+	"testing"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// helpers -----------------------------------------------------------------
+
+func compileOver(t *testing.T, s *schema.Schema, binding, src string) Expr {
+	t.Helper()
+	q, err := gsql.ParseQuery("SELECT time FROM x WHERE " + src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	c := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(s, binding)}
+	e, err := c.Compile(q.Where)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return e
+}
+
+func compileSel(t *testing.T, s *schema.Schema, binding string, items ...string) []Expr {
+	t.Helper()
+	var out []Expr
+	for _, it := range items {
+		q, err := gsql.ParseQuery("SELECT " + it + " FROM x")
+		if err != nil {
+			t.Fatalf("parse %q: %v", it, err)
+		}
+		c := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(s, binding)}
+		e, err := c.Compile(q.Select[0].Expr)
+		if err != nil {
+			t.Fatalf("compile %q: %v", it, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func outSchema(names ...string) *schema.Schema {
+	s := &schema.Schema{Name: "out", Kind: schema.KindStream}
+	for _, n := range names {
+		s.Cols = append(s.Cols, schema.Column{Name: n, Type: schema.TUint})
+	}
+	return s
+}
+
+func mkRow(time, port, l uint64) schema.Tuple {
+	return schema.Tuple{
+		schema.MakeUint(time),
+		schema.MakeIP(0x0a000001),
+		schema.MakeUint(port),
+		schema.MakeUint(l),
+		schema.MakeStr("GET / HTTP/1.1"),
+		schema.MakeInt(0),
+		schema.MakeFloat(1),
+	}
+}
+
+// SelProj ------------------------------------------------------------------
+
+func TestSelProjFilterAndProject(t *testing.T) {
+	s := testInSchema()
+	pred := compileOver(t, s, "x", "destPort = 80")
+	outs := compileSel(t, s, "x", "time", "len*8")
+	op := NewSelProj(pred, outs, []bool{true, false}, nil, outSchema("time", "bits"))
+	in := []schema.Tuple{mkRow(1, 80, 100), mkRow(2, 443, 200), mkRow(3, 80, 50)}
+	got, err := RunTuples(op, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d rows: %v", len(got), got)
+	}
+	if got[0][0].Uint() != 1 || got[0][1].Uint() != 800 {
+		t.Errorf("row0 = %v", got[0])
+	}
+	if got[1][0].Uint() != 3 || got[1][1].Uint() != 400 {
+		t.Errorf("row1 = %v", got[1])
+	}
+	st := op.Stats()
+	if st.In != 3 || st.Out != 2 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSelProjHeartbeatPropagation(t *testing.T) {
+	s := testInSchema()
+	outs := compileSel(t, s, "x", "time/60", "destPort")
+	op := NewSelProj(nil, outs, []bool{true, false}, nil, outSchema("tb", "port"))
+	var msgs []Message
+	bounds := make(schema.Tuple, len(s.Cols))
+	bounds[0] = schema.MakeUint(600) // time >= 600
+	if err := op.Push(0, HeartbeatMsg(bounds), Collect(&msgs)); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || !msgs[0].IsHeartbeat() {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	hb := msgs[0].Bounds
+	if hb[0].IsNull() || hb[0].Uint() != 10 {
+		t.Errorf("tb bound = %v, want 10", hb[0])
+	}
+	if !hb[1].IsNull() {
+		t.Errorf("port bound = %v, want NULL (not order-preserving)", hb[1])
+	}
+}
+
+func TestSelProjPartialFunctionDiscards(t *testing.T) {
+	// getlpmid with no match discards the tuple (foreign-key join
+	// semantics).
+	dir := t.TempDir()
+	path := dir + "/peer.tbl"
+	writeFile(t, path, "10.0.0.0/8 7\n")
+	s := testInSchema()
+	q, _ := gsql.ParseQuery("SELECT getlpmid(srcIP, '" + path + "') FROM x")
+	c := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(s, "x")}
+	e, err := c.Compile(q.Select[0].Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewCtx(c.Handles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewSelProj(nil, []Expr{e}, nil, ctx, outSchema("peer"))
+	inMatch := mkRow(1, 80, 100)
+	inMiss := mkRow(2, 80, 100)
+	inMiss[1] = schema.MakeIP(0xC0000001) // 192.0.0.1: no prefix
+	got, err := RunTuples(op, []schema.Tuple{inMatch, inMiss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].Uint() != 7 {
+		t.Fatalf("got %v", got)
+	}
+	if op.Stats().Dropped != 1 {
+		t.Errorf("dropped = %d", op.Stats().Dropped)
+	}
+}
+
+// Agg ----------------------------------------------------------------------
+
+// buildCountAgg builds: SELECT tb, count(*) FROM s GROUP BY time/60 as tb
+func buildCountAgg(t *testing.T, band uint64) *Agg {
+	t.Helper()
+	s := testInSchema()
+	group := compileSel(t, s, "x", "time/60")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("tb", "cnt")
+	postSel := compileSel(t, post, "out", "tb", "cnt")
+	op, err := NewAgg(AggSpec{
+		GroupExprs: group,
+		OrdGroup:   0,
+		Band:       band,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel,
+		Out:        post,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestAggFlushOnOrderedAdvance(t *testing.T) {
+	op := buildCountAgg(t, 0)
+	var out []Message
+	emit := Collect(&out)
+	// Three tuples in minute 0, two in minute 1.
+	for _, ts := range []uint64{10, 20, 59} {
+		if err := op.Push(0, TupleMsg(mkRow(ts, 80, 1)), emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tuplesOf(out)) != 0 {
+		t.Fatalf("premature flush: %v", out)
+	}
+	if err := op.Push(0, TupleMsg(mkRow(60, 80, 1)), emit); err != nil {
+		t.Fatal(err)
+	}
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][0].Uint() != 0 || rows[0][1].Uint() != 3 {
+		t.Fatalf("flush = %v", rows)
+	}
+	if op.OpenGroups() != 1 {
+		t.Errorf("open groups = %d", op.OpenGroups())
+	}
+	if err := op.FlushAll(emit); err != nil {
+		t.Fatal(err)
+	}
+	rows = tuplesOf(out)
+	if len(rows) != 2 || rows[1][0].Uint() != 1 || rows[1][1].Uint() != 1 {
+		t.Fatalf("final = %v", rows)
+	}
+}
+
+func tuplesOf(msgs []Message) []schema.Tuple {
+	var out []schema.Tuple
+	for _, m := range msgs {
+		if !m.IsHeartbeat() {
+			out = append(out, m.Tuple)
+		}
+	}
+	return out
+}
+
+func TestAggMultipleGroupsSortedFlush(t *testing.T) {
+	// GROUP BY time/60, destPort: flushing a minute emits its port groups
+	// sorted deterministically.
+	s := testInSchema()
+	group := compileSel(t, s, "x", "time/60", "destPort")
+	cnt, _ := funcs.Global.Aggregate("count")
+	sum, _ := funcs.Global.Aggregate("sum")
+	lenArg := compileSel(t, s, "x", "len")[0]
+	post := outSchema("tb", "port", "cnt", "bytes")
+	postSel := compileSel(t, post, "out", "tb", "port", "cnt", "bytes")
+	op, err := NewAgg(AggSpec{
+		GroupExprs: group,
+		OrdGroup:   0,
+		Aggs: []AggInstance{
+			{Spec: cnt, ArgType: schema.TNull},
+			{Spec: sum, Arg: lenArg, ArgType: schema.TUint},
+		},
+		PostSelect: postSel,
+		Out:        post,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Message
+	emit := Collect(&out)
+	push := func(ts, port, l uint64) {
+		if err := op.Push(0, TupleMsg(mkRow(ts, port, l)), emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(5, 443, 10)
+	push(6, 80, 20)
+	push(7, 80, 30)
+	push(65, 80, 1) // advances to minute 1, flushes minute 0
+	rows := tuplesOf(out)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Sorted by group key: port 80 packs before 443.
+	if rows[0][1].Uint() != 80 || rows[0][2].Uint() != 2 || rows[0][3].Uint() != 50 {
+		t.Errorf("row0 = %v", rows[0])
+	}
+	if rows[1][1].Uint() != 443 || rows[1][2].Uint() != 1 || rows[1][3].Uint() != 10 {
+		t.Errorf("row1 = %v", rows[1])
+	}
+}
+
+func TestAggBandedFlushLagsWatermark(t *testing.T) {
+	// Band 1: groups stay open until the watermark passes ord+band.
+	op := buildCountAgg(t, 1)
+	var out []Message
+	emit := Collect(&out)
+	op.Push(0, TupleMsg(mkRow(30, 80, 1)), emit) // tb 0
+	op.Push(0, TupleMsg(mkRow(70, 80, 1)), emit) // tb 1: wm=1, tb0 within band
+	if len(tuplesOf(out)) != 0 {
+		t.Fatalf("band violated: %v", out)
+	}
+	op.Push(0, TupleMsg(mkRow(35, 80, 1)), emit)  // straggler into tb 0
+	op.Push(0, TupleMsg(mkRow(130, 80, 1)), emit) // tb 2: closes tb 0 only
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][0].Uint() != 0 || rows[0][1].Uint() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggHeartbeatClosesGroups(t *testing.T) {
+	op := buildCountAgg(t, 0)
+	var out []Message
+	emit := Collect(&out)
+	op.Push(0, TupleMsg(mkRow(10, 80, 1)), emit)
+	// Heartbeat: time >= 120 closes minute 0 with no tuple flowing.
+	bounds := make(schema.Tuple, len(testInSchema().Cols))
+	bounds[0] = schema.MakeUint(120)
+	op.Push(0, HeartbeatMsg(bounds), emit)
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][1].Uint() != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// And the heartbeat is forwarded with a transformed bound.
+	last := out[len(out)-1]
+	if !last.IsHeartbeat() || last.Bounds[0].Uint() != 2 {
+		t.Errorf("forwarded HB = %v", last)
+	}
+}
+
+func TestAggHaving(t *testing.T) {
+	s := testInSchema()
+	group := compileSel(t, s, "x", "time/60")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("tb", "cnt")
+	postSel := compileSel(t, post, "out", "tb", "cnt")
+	having := compileOver(t, post, "out", "cnt > 1")
+	op, err := NewAgg(AggSpec{
+		GroupExprs: group, OrdGroup: 0,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel, Having: having, Out: post,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunTuples(op, []schema.Tuple{
+		mkRow(1, 80, 1), mkRow(2, 80, 1), mkRow(61, 80, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1].Uint() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggPreFilter(t *testing.T) {
+	s := testInSchema()
+	pred := compileOver(t, s, "x", "destPort = 80")
+	group := compileSel(t, s, "x", "time/60")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("tb", "cnt")
+	postSel := compileSel(t, post, "out", "tb", "cnt")
+	op, err := NewAgg(AggSpec{
+		Pred: pred, GroupExprs: group, OrdGroup: 0,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel, Out: post,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunTuples(op, []schema.Tuple{
+		mkRow(1, 80, 1), mkRow(2, 443, 1), mkRow(3, 80, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1].Uint() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggRejectsBadSpec(t *testing.T) {
+	if _, err := NewAgg(AggSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	s := testInSchema()
+	group := compileSel(t, s, "x", "time/60")
+	if _, err := NewAgg(AggSpec{GroupExprs: group, OrdGroup: 5}); err == nil {
+		t.Error("out-of-range OrdGroup accepted")
+	}
+}
+
+func TestAggDecreasingOrderedKey(t *testing.T) {
+	// A decreasing ordered key flushes as the key falls (paper §2.1
+	// allows decreasing timestamps, e.g. countdown sequence numbers).
+	s := testInSchema()
+	s.Cols[0].Ordering = schema.Ordering{Kind: schema.OrderDecreasing}
+	group := compileSel(t, s, "x", "time/60")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("tb", "cnt")
+	postSel := compileSel(t, post, "out", "tb", "cnt")
+	op, err := NewAgg(AggSpec{
+		GroupExprs: group, OrdGroup: 0, Desc: true,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel, Out: post,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Message
+	emit := Collect(&out)
+	op.Push(0, TupleMsg(mkRow(130, 80, 1)), emit) // tb 2
+	op.Push(0, TupleMsg(mkRow(125, 80, 1)), emit) // tb 2
+	if len(tuplesOf(out)) != 0 {
+		t.Fatal("premature flush")
+	}
+	op.Push(0, TupleMsg(mkRow(59, 80, 1)), emit) // tb 0: closes tb 2
+	rows := tuplesOf(out)
+	if len(rows) != 1 || rows[0][0].Uint() != 2 || rows[0][1].Uint() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	op.FlushAll(emit)
+	rows = tuplesOf(out)
+	if len(rows) != 2 || rows[1][0].Uint() != 0 {
+		t.Fatalf("final = %v", rows)
+	}
+}
+
+func TestAggUnorderedKeyOnlyFlushesManually(t *testing.T) {
+	// Paper §2.2: the ordered-group restriction "is not enforced (the
+	// user can obtain output by flushing the query)".
+	s := testInSchema()
+	group := compileSel(t, s, "x", "destPort")
+	cnt, _ := funcs.Global.Aggregate("count")
+	post := outSchema("port", "cnt")
+	postSel := compileSel(t, post, "out", "port", "cnt")
+	op, err := NewAgg(AggSpec{
+		GroupExprs: group, OrdGroup: -1,
+		Aggs:       []AggInstance{{Spec: cnt, ArgType: schema.TNull}},
+		PostSelect: postSel, Out: post,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Message
+	emit := Collect(&out)
+	for i := 0; i < 100; i++ {
+		op.Push(0, TupleMsg(mkRow(uint64(i), uint64(80+i%3), 1)), emit)
+	}
+	if len(tuplesOf(out)) != 0 {
+		t.Fatal("unordered aggregation flushed spontaneously")
+	}
+	op.FlushAll(emit)
+	if len(tuplesOf(out)) != 3 {
+		t.Fatalf("flush = %v", tuplesOf(out))
+	}
+}

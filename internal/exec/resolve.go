@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/schema"
+)
+
+// SchemaResolver resolves column references against a single input schema.
+// binding is the name/alias references may qualify columns with; an empty
+// qualifier always resolves.
+func SchemaResolver(s *schema.Schema, binding string) func(table, name string) (int, schema.Type, error) {
+	return func(table, name string) (int, schema.Type, error) {
+		if table != "" && !strings.EqualFold(table, binding) && !strings.EqualFold(table, s.Name) {
+			return 0, schema.TNull, fmt.Errorf("unknown source %q (have %s)", table, binding)
+		}
+		i, c := s.Col(name)
+		if i < 0 {
+			return 0, schema.TNull, fmt.Errorf("unknown column %s in %s", name, s.Name)
+		}
+		return i, c.Type, nil
+	}
+}
+
+// JoinResolver resolves references against the combined row of a join:
+// left columns first, then right columns. Unqualified names must be
+// unambiguous.
+func JoinResolver(left, right *schema.Schema, lbind, rbind string) func(table, name string) (int, schema.Type, error) {
+	return func(table, name string) (int, schema.Type, error) {
+		matchL := table == "" || strings.EqualFold(table, lbind) || strings.EqualFold(table, left.Name)
+		matchR := table == "" || strings.EqualFold(table, rbind) || strings.EqualFold(table, right.Name)
+		li, lc := -1, (*schema.Column)(nil)
+		ri, rc := -1, (*schema.Column)(nil)
+		if matchL {
+			li, lc = left.Col(name)
+		}
+		if matchR {
+			ri, rc = right.Col(name)
+		}
+		switch {
+		case li >= 0 && ri >= 0:
+			return 0, schema.TNull, fmt.Errorf("ambiguous column %s (in both %s and %s)", name, lbind, rbind)
+		case li >= 0:
+			return li, lc.Type, nil
+		case ri >= 0:
+			return len(left.Cols) + ri, rc.Type, nil
+		}
+		if table != "" && !matchL && !matchR {
+			return 0, schema.TNull, fmt.Errorf("unknown source %q (have %s, %s)", table, lbind, rbind)
+		}
+		return 0, schema.TNull, fmt.Errorf("unknown column %s", name)
+	}
+}

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"gigascope/internal/schema"
+)
+
+// SelProj is the selection + projection operator: applies a predicate and
+// computes the output expressions. It is fully non-blocking. Heartbeats
+// propagate: each output column whose expression can be evaluated over the
+// input bounds (and which the planner marked order-preserving) carries a
+// transformed bound.
+type SelProj struct {
+	pred Expr   // nil means no predicate
+	outs []Expr // one per output column
+	ctx  *Ctx
+	out  *schema.Schema
+	// hbCols marks output columns whose expression is monotone in the
+	// input ordering, so heartbeat bounds may be propagated through it.
+	hbCols []bool
+	stats  OpStats
+}
+
+// OpStats counts operator activity; the RTS aggregates these for
+// monitoring and the benchmarks use them for data-reduction measurements.
+type OpStats struct {
+	In      uint64 // tuples consumed
+	Out     uint64 // tuples produced
+	Dropped uint64 // tuples discarded by predicates/partial functions
+	Evicted uint64 // LFTA aggregation collision evictions
+}
+
+// NewSelProj builds a selection/projection operator. hbCols may be nil
+// (no bound propagation).
+func NewSelProj(pred Expr, outs []Expr, hbCols []bool, ctx *Ctx, out *schema.Schema) *SelProj {
+	return &SelProj{pred: pred, outs: outs, hbCols: hbCols, ctx: ctx, out: out}
+}
+
+// Ports implements Operator.
+func (o *SelProj) Ports() int { return 1 }
+
+// OutSchema implements Operator.
+func (o *SelProj) OutSchema() *schema.Schema { return o.out }
+
+// Stats returns a snapshot of the operator counters.
+func (o *SelProj) Stats() OpStats { return o.stats }
+
+// Push implements Operator.
+func (o *SelProj) Push(_ int, m Message, emit Emit) error {
+	if m.IsHeartbeat() {
+		o.emitHeartbeat(m.Bounds, emit)
+		return nil
+	}
+	o.stats.In++
+	if o.pred != nil {
+		pass, ok := EvalPred(o.pred, m.Tuple, o.ctx)
+		if !ok || !pass {
+			o.stats.Dropped++
+			return nil
+		}
+	}
+	outRow := make(schema.Tuple, len(o.outs))
+	for i, e := range o.outs {
+		v, ok := e.Eval(m.Tuple, o.ctx)
+		if !ok {
+			o.stats.Dropped++
+			return nil // partial function: discard tuple
+		}
+		outRow[i] = v
+	}
+	o.stats.Out++
+	emit(TupleMsg(outRow))
+	return nil
+}
+
+// emitHeartbeat maps input bounds through the order-preserving output
+// expressions. Columns without a usable bound carry NULL.
+func (o *SelProj) emitHeartbeat(bounds schema.Tuple, emit Emit) {
+	outBounds := make(schema.Tuple, len(o.outs))
+	for i, e := range o.outs {
+		if o.hbCols == nil || i >= len(o.hbCols) || !o.hbCols[i] {
+			continue
+		}
+		v, ok := e.Eval(bounds, o.ctx)
+		if ok && !v.IsNull() {
+			outBounds[i] = v
+		}
+	}
+	emit(HeartbeatMsg(outBounds))
+}
+
+// FlushAll implements Operator; selection holds no state.
+func (o *SelProj) FlushAll(Emit) error { return nil }

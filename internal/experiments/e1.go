@@ -1,0 +1,173 @@
+// Package experiments implements the reproduction of every quantitative
+// claim in the paper's evaluation (§4–§5), one experiment per file. Each
+// experiment returns printable rows; cmd/gsbench renders them and
+// bench_test.go reports them as benchmark metrics. The experiment index
+// lives in DESIGN.md; measured-vs-paper results in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gigascope/internal/capture"
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// newCatalog builds a catalog with the built-in protocols.
+func newCatalog() (*schema.Catalog, error) {
+	cat := schema.NewCatalog()
+	if err := pkt.RegisterBuiltins(cat); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+func compileQuery(cat *schema.Catalog, src string, opts *core.Options) (*core.CompiledQuery, error) {
+	q, err := gsql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(cat, q, opts)
+}
+
+// CompiledHTTPPipeline wires the §4 query's real compiled LFTA as the
+// capture-stack filter, so E1 exercises the production code path rather
+// than a hand-written stand-in.
+func CompiledHTTPPipeline() (capture.Pipeline, error) {
+	cat, err := newCatalog()
+	if err != nil {
+		return capture.Pipeline{}, err
+	}
+	cq, err := compileQuery(cat, `
+		DEFINE { query_name e1_port80; }
+		SELECT time, payload FROM TCP
+		WHERE protocol = 6 and destPort = 80`, nil)
+	if err != nil {
+		return capture.Pipeline{}, err
+	}
+	inst, err := cq.Output().Instantiate(nil)
+	if err != nil {
+		return capture.Pipeline{}, err
+	}
+	matched := false
+	sink := func(exec.Message) { matched = true }
+	return capture.Pipeline{
+		Filter: func(p *pkt.Packet) bool {
+			matched = false
+			inst.PushPacket(p, sink)
+			return matched
+		},
+		HFTABytes: func(p *pkt.Packet) int {
+			pay, ok := p.Payload()
+			if !ok {
+				return 0
+			}
+			return len(pay)
+		},
+	}, nil
+}
+
+// E1Row is one configuration's outcome in the §4 experiment.
+type E1Row struct {
+	Config      string
+	MaxRateMbps float64 // highest total offered load at <= 2% loss
+	PaperMbps   float64 // the paper's reported value
+}
+
+// E1 reproduces the §4 experiment: maximum sustainable rate at 2% packet
+// loss for the four capture configurations.
+func E1(seconds float64) ([]E1Row, error) {
+	pipe, err := CompiledHTTPPipeline()
+	if err != nil {
+		return nil, err
+	}
+	par := capture.DefaultParams()
+	paper := map[capture.Mode]float64{
+		capture.ModeDiskDump:    180,
+		capture.ModePcapDiscard: 480,
+		capture.ModeHostLFTA:    480,
+		capture.ModeNICLFTA:     610,
+	}
+	var rows []E1Row
+	for _, mode := range []capture.Mode{
+		capture.ModeDiskDump, capture.ModePcapDiscard,
+		capture.ModeHostLFTA, capture.ModeNICLFTA,
+	} {
+		rate, err := capture.MaxSustainableRate(mode, par, pipe, 0.02, seconds)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E1Row{
+			Config:      capture.ConfigurationName(mode),
+			MaxRateMbps: rate,
+			PaperMbps:   paper[mode],
+		})
+	}
+	return rows, nil
+}
+
+// PrintE1 renders the table.
+func PrintE1(w io.Writer, rows []E1Row) {
+	fmt.Fprintln(w, "E1: §4 max sustainable rate at 2% packet loss (60 Mbit/s port-80 + background)")
+	fmt.Fprintf(w, "  %-30s %12s %12s\n", "configuration", "measured", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-30s %8.0f Mb/s %8.0f Mb/s\n", r.Config, r.MaxRateMbps, r.PaperMbps)
+	}
+}
+
+// E1Point is one point of the loss-vs-rate curve (the experiment's
+// underlying figure).
+type E1Point struct {
+	Config    string
+	TotalMbps float64
+	LossPct   float64
+}
+
+// E1Curve sweeps offered load and reports the loss rate per
+// configuration — the drop-rate curves behind the §4 table.
+func E1Curve(seconds float64, rates []float64) ([]E1Point, error) {
+	pipe, err := CompiledHTTPPipeline()
+	if err != nil {
+		return nil, err
+	}
+	par := capture.DefaultParams()
+	var pts []E1Point
+	for _, mode := range []capture.Mode{
+		capture.ModeDiskDump, capture.ModePcapDiscard,
+		capture.ModeHostLFTA, capture.ModeNICLFTA,
+	} {
+		for _, rate := range rates {
+			bg := rate - 60
+			if bg < 0 {
+				bg = 0
+			}
+			stats, err := capture.RunConfiguration(mode, par, capture.DefaultWorkload(bg), pipe, seconds)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, E1Point{
+				Config:    capture.ConfigurationName(mode),
+				TotalMbps: rate,
+				LossPct:   stats.LossRate() * 100,
+			})
+		}
+	}
+	return pts, nil
+}
+
+// PrintE1Curve renders the loss curves.
+func PrintE1Curve(w io.Writer, pts []E1Point) {
+	fmt.Fprintln(w, "E1 (figure): packet loss vs offered load")
+	last := ""
+	for _, p := range pts {
+		if p.Config != last {
+			fmt.Fprintf(w, "  %s\n", p.Config)
+			last = p.Config
+		}
+		fmt.Fprintf(w, "    %7.0f Mb/s  loss %6.2f%%\n", p.TotalMbps, p.LossPct)
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/netsim"
+	"gigascope/internal/pkt"
+)
+
+// E4: the aggregate query splitting ablation (paper §3): "The LFTAs are
+// lightweight queries which perform preliminary filtering, projection,
+// and aggregation. By linking them into the RTS, these preliminary
+// queries can be evaluated without additional data transfers, and greatly
+// reduce the data traffic to the HFTAs."
+//
+// The same aggregation query is compiled twice — split (LFTA partial
+// aggregation) and monolithic (pass-through LFTA, full aggregation in the
+// HFTA) — and run over identical traffic. We measure the tuples and bytes
+// crossing the LFTA→HFTA boundary and verify both plans produce identical
+// results.
+
+// E4Row is one plan's outcome.
+type E4Row struct {
+	Plan           string
+	Packets        uint64
+	BoundaryTuples uint64 // tuples crossing LFTA → HFTA
+	BoundaryBytes  uint64 // packed bytes crossing
+	Results        int    // final result rows
+}
+
+// E4 runs the ablation over `packets` synthetic packets.
+func E4(packets int) ([]E4Row, error) {
+	gen, err := netsim.New(netsim.Config{
+		Seed: 21,
+		Classes: []netsim.Class{{
+			Name: "mix", RateMbps: 200, PktBytes: 700, DstPort: 80,
+			Proto: pkt.ProtoTCP, Flows: 2000,
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkts []pkt.Packet
+	for i := 0; i < packets; i++ {
+		p, _ := gen.Next()
+		pkts = append(pkts, p)
+	}
+
+	const query = `
+		DEFINE { query_name e4agg; }
+		SELECT tb, destIP, count(*), sum(total_length)
+		FROM TCP
+		GROUP BY time/60 as tb, destIP`
+
+	var rows []E4Row
+	var results [2]map[string][2]uint64
+	for i, disable := range []bool{false, true} {
+		name := "split (LFTA partial agg)"
+		if disable {
+			name = "monolithic (HFTA-only agg)"
+		}
+		row, res, err := e4Run(query, disable, pkts)
+		if err != nil {
+			return nil, err
+		}
+		row.Plan = name
+		rows = append(rows, row)
+		results[i] = res
+	}
+	if len(results[0]) != len(results[1]) {
+		return nil, fmt.Errorf("experiments: split and monolithic disagree: %d vs %d groups",
+			len(results[0]), len(results[1]))
+	}
+	for k, v := range results[0] {
+		if results[1][k] != v {
+			return nil, fmt.Errorf("experiments: split and monolithic disagree on group %q", k)
+		}
+	}
+	return rows, nil
+}
+
+func e4Run(query string, disableSplit bool, pkts []pkt.Packet) (E4Row, map[string][2]uint64, error) {
+	cat, err := newCatalog()
+	if err != nil {
+		return E4Row{}, nil, err
+	}
+	cq, err := compileQuery(cat, query, &core.Options{DisableSplit: disableSplit})
+	if err != nil {
+		return E4Row{}, nil, err
+	}
+	lfta, err := cq.Nodes[0].Instantiate(nil)
+	if err != nil {
+		return E4Row{}, nil, err
+	}
+	hfta, err := cq.Nodes[1].Instantiate(nil)
+	if err != nil {
+		return E4Row{}, nil, err
+	}
+	row := E4Row{Packets: uint64(len(pkts))}
+	res := make(map[string][2]uint64)
+	sink := func(m exec.Message) {
+		if m.IsHeartbeat() {
+			return
+		}
+		row.Results++
+		key := m.Tuple[0].String() + "/" + m.Tuple[1].String()
+		res[key] = [2]uint64{m.Tuple[2].Uint(), m.Tuple[3].Uint()}
+	}
+	boundary := func(m exec.Message) {
+		if !m.IsHeartbeat() {
+			row.BoundaryTuples++
+			row.BoundaryBytes += uint64(m.Tuple.PackedSize())
+		}
+		hfta.Op.Push(0, m, sink)
+	}
+	for i := range pkts {
+		if err := lfta.PushPacket(&pkts[i], boundary); err != nil {
+			return E4Row{}, nil, err
+		}
+	}
+	lfta.Op.FlushAll(boundary)
+	hfta.Op.FlushAll(sink)
+	return row, res, nil
+}
+
+// PrintE4 renders the ablation.
+func PrintE4(w io.Writer, rows []E4Row) {
+	fmt.Fprintln(w, "E4: aggregate query splitting vs monolithic execution (§3)")
+	fmt.Fprintf(w, "  %-28s %10s %16s %16s %10s\n",
+		"plan", "packets", "boundary tuples", "boundary bytes", "results")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s %10d %16d %16d %10d\n",
+			r.Plan, r.Packets, r.BoundaryTuples, r.BoundaryBytes, r.Results)
+	}
+	if len(rows) == 2 && rows[0].BoundaryTuples > 0 {
+		fmt.Fprintf(w, "  boundary data reduction from splitting: %.1fx tuples, %.1fx bytes\n",
+			float64(rows[1].BoundaryTuples)/float64(rows[0].BoundaryTuples),
+			float64(rows[1].BoundaryBytes)/float64(rows[0].BoundaryBytes))
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestE1ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := E1(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	disk, pcap, host, nicr := rows[0].MaxRateMbps, rows[1].MaxRateMbps, rows[2].MaxRateMbps, rows[3].MaxRateMbps
+	if !(disk < pcap && disk < host && nicr > pcap && nicr > host) {
+		t.Errorf("ordering: disk=%.0f pcap=%.0f host=%.0f nic=%.0f", disk, pcap, host, nicr)
+	}
+	var buf bytes.Buffer
+	PrintE1(&buf, rows)
+	if !strings.Contains(buf.String(), "disk") {
+		t.Errorf("print output: %s", buf.String())
+	}
+}
+
+func TestE1CurveMonotoneLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts, err := E1Curve(1, []float64{100, 300, 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Within each configuration, loss must not decrease with load.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Config == pts[i-1].Config && pts[i].LossPct < pts[i-1].LossPct-0.5 {
+			t.Errorf("loss decreased with load: %+v -> %+v", pts[i-1], pts[i])
+		}
+	}
+	var buf bytes.Buffer
+	PrintE1Curve(&buf, pts)
+	if buf.Len() == 0 {
+		t.Error("empty curve output")
+	}
+}
+
+func TestE2SmallTableStillReduces(t *testing.T) {
+	rows, err := E2([]int{64, 4096}, []int{100, 5000}, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if r.In != 30_000 {
+			t.Errorf("in = %d", r.In)
+		}
+		// The §3 claim: even a small table achieves substantial early
+		// reduction thanks to temporal locality.
+		if r.Reduction < 2 {
+			t.Errorf("table %d, flows %d: reduction %.1fx too small", r.TableSize, r.Flows, r.Reduction)
+		}
+	}
+	// More slots => fewer evictions for the same flow count.
+	if rows[1].Evicted > rows[0].Evicted {
+		t.Errorf("bigger table evicted more: %d vs %d", rows[1].Evicted, rows[0].Evicted)
+	}
+	var buf bytes.Buffer
+	PrintE2(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestE3HeartbeatsBoundBuffering(t *testing.T) {
+	rows, err := E3(5000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[E3Policy]E3Row{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	none, periodic, demand := byPolicy[E3None], byPolicy[E3Periodic], byPolicy[E3OnDemand]
+	// Without heartbeats the merge buffers everything and releases
+	// nothing (paper: "we are likely to overflow the merge buffers").
+	if none.Released != 0 || none.MaxBuffered < 5000 {
+		t.Errorf("no-heartbeat row = %+v", none)
+	}
+	// Heartbeats bound the buffer and release almost everything.
+	if periodic.MaxBuffered >= none.MaxBuffered/10 {
+		t.Errorf("periodic buffered %d, not bounded", periodic.MaxBuffered)
+	}
+	if periodic.Released < 4000 {
+		t.Errorf("periodic released %d", periodic.Released)
+	}
+	if demand.MaxBuffered > 4 {
+		t.Errorf("on-demand buffered %d, want tiny", demand.MaxBuffered)
+	}
+	if demand.Released < 4900 {
+		t.Errorf("on-demand released %d", demand.Released)
+	}
+	var buf bytes.Buffer
+	PrintE3(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestE4SplitReducesBoundaryTraffic(t *testing.T) {
+	rows, err := E4(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	split, mono := rows[0], rows[1]
+	if split.Results != mono.Results {
+		t.Errorf("results differ: %d vs %d", split.Results, mono.Results)
+	}
+	// Splitting must reduce boundary traffic substantially.
+	if split.BoundaryTuples*3 > mono.BoundaryTuples {
+		t.Errorf("split boundary %d vs monolithic %d: <3x reduction",
+			split.BoundaryTuples, mono.BoundaryTuples)
+	}
+	var buf bytes.Buffer
+	PrintE4(&buf, rows)
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestE5RunsTheFullStack(t *testing.T) {
+	row, err := E5(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Packets != 60_000 || row.PktsPerSecond <= 0 {
+		t.Errorf("row = %+v", row)
+	}
+	var buf bytes.Buffer
+	PrintE5(&buf, row)
+	if buf.Len() == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestE6StateBounded(t *testing.T) {
+	joins, err := E6Join(30_000, []int64{0, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range joins {
+		// Buffered state must be tiny relative to the stream, and grow
+		// with the window.
+		if r.PeakBuffer > 500 {
+			t.Errorf("slack %d: peak buffer %d not bounded", r.WindowSlack, r.PeakBuffer)
+		}
+		if i > 0 && r.PeakBuffer < joins[i-1].PeakBuffer {
+			t.Errorf("buffer did not grow with window: %+v after %+v", r, joins[i-1])
+		}
+		if r.Matches == 0 {
+			t.Errorf("slack %d: no matches", r.WindowSlack)
+		}
+	}
+	agg, err := E6Agg(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Exact {
+		t.Error("banded aggregation inexact")
+	}
+	if agg.PeakGroups > 64 {
+		t.Errorf("peak open groups = %d, not bounded", agg.PeakGroups)
+	}
+	var buf bytes.Buffer
+	PrintE6(&buf, joins, agg)
+	if buf.Len() == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestE7PushdownReducesHostLoad(t *testing.T) {
+	rows, err := E7(20_000, []float64{0.01, 0.2, 1.0}, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DumbPkts != r.Offered {
+			t.Errorf("dumb NIC dropped packets: %+v", r)
+		}
+		if r.HostPkts > r.Offered {
+			t.Errorf("host pkts exceed offered: %+v", r)
+		}
+		// Snap length keeps host bytes far below wire bytes even at 100%
+		// selectivity.
+		if r.HostBytes >= r.DumbBytes/2 {
+			t.Errorf("selectivity %.0f%%: host bytes %d vs dumb %d",
+				r.SelectivityPct, r.HostBytes, r.DumbBytes)
+		}
+	}
+	// Fewer matching packets => fewer host packets.
+	if rows[0].HostPkts >= rows[2].HostPkts {
+		t.Errorf("host pkts not increasing with selectivity: %v", rows)
+	}
+	var buf bytes.Buffer
+	PrintE7(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestE8LossStaysZeroUntilKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := E8(1, []float64{100, 300, 450, 700, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the knee: essentially lossless despite the regex HFTA.
+	for _, r := range rows[:2] {
+		if r.LossPct > 0.5 {
+			t.Errorf("loss %.2f%% at %v Mb/s, want ~0", r.LossPct, r.TotalMbps)
+		}
+	}
+	// Past the knee: heavy loss.
+	last := rows[len(rows)-1]
+	if last.LossPct < 10 {
+		t.Errorf("loss %.2f%% at %v Mb/s, want heavy", last.LossPct, last.TotalMbps)
+	}
+	var buf bytes.Buffer
+	PrintE8(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty output")
+	}
+}

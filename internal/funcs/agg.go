@@ -1,0 +1,174 @@
+package funcs
+
+import "gigascope/internal/schema"
+
+// Built-in aggregate functions: count, sum, min, max, avg, and the
+// and_agg/or_agg bit aggregates used in flag analysis. Each declares its
+// sub/super decomposition for LFTA/HFTA query splitting.
+
+type countState struct{ n uint64 }
+
+func (s *countState) Add(schema.Value)     { s.n++ }
+func (s *countState) Result() schema.Value { return schema.MakeUint(s.n) }
+
+type sumState struct {
+	ty schema.Type
+	u  uint64
+	i  int64
+	f  float64
+}
+
+func (s *sumState) Add(v schema.Value) {
+	switch s.ty {
+	case schema.TFloat:
+		s.f += v.Float()
+	case schema.TInt:
+		s.i += v.Int()
+	default:
+		s.u += v.Uint()
+	}
+}
+
+func (s *sumState) Result() schema.Value {
+	switch s.ty {
+	case schema.TFloat:
+		return schema.MakeFloat(s.f)
+	case schema.TInt:
+		return schema.MakeInt(s.i)
+	default:
+		return schema.MakeUint(s.u)
+	}
+}
+
+type extremeState struct {
+	want int // -1 for min, +1 for max
+	seen bool
+	cur  schema.Value
+}
+
+func (s *extremeState) Add(v schema.Value) {
+	if !s.seen || v.Compare(s.cur)*s.want > 0 {
+		s.seen = true
+		s.cur = v.Clone()
+	}
+}
+
+func (s *extremeState) Result() schema.Value {
+	if !s.seen {
+		return schema.Null
+	}
+	return s.cur
+}
+
+type avgState struct {
+	sum float64
+	n   uint64
+}
+
+func (s *avgState) Add(v schema.Value) {
+	s.sum += v.Float()
+	s.n++
+}
+
+func (s *avgState) Result() schema.Value {
+	if s.n == 0 {
+		return schema.Null
+	}
+	return schema.MakeFloat(s.sum / float64(s.n))
+}
+
+type bitState struct {
+	or   bool // OR-aggregate when true, AND-aggregate otherwise
+	seen bool
+	bits uint64
+}
+
+func (s *bitState) Add(v schema.Value) {
+	if !s.seen {
+		s.seen, s.bits = true, v.Uint()
+		return
+	}
+	if s.or {
+		s.bits |= v.Uint()
+	} else {
+		s.bits &= v.Uint()
+	}
+}
+
+func (s *bitState) Result() schema.Value {
+	if !s.seen {
+		return schema.Null
+	}
+	return schema.MakeUint(s.bits)
+}
+
+func retSame(arg schema.Type) schema.Type { return arg }
+
+func registerBuiltinAggregates(r *Registry) {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "count",
+		TakesArg: false,
+		Ret:      func(schema.Type) schema.Type { return schema.TUint },
+		New:      func(schema.Type) AggState { return &countState{} },
+		// count splits into an LFTA count whose partials are summed.
+		Subs: []string{"count"}, Supers: []string{"sum"}, Final: FinalIdentity,
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "sum",
+		TakesArg: true,
+		Ret:      retSame,
+		New:      func(arg schema.Type) AggState { return &sumState{ty: arg} },
+		Subs:     []string{"sum"}, Supers: []string{"sum"}, Final: FinalIdentity,
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "min",
+		TakesArg: true,
+		Ret:      retSame,
+		New:      func(schema.Type) AggState { return &extremeState{want: -1} },
+		Subs:     []string{"min"}, Supers: []string{"min"}, Final: FinalIdentity,
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "max",
+		TakesArg: true,
+		Ret:      retSame,
+		New:      func(schema.Type) AggState { return &extremeState{want: 1} },
+		Subs:     []string{"max"}, Supers: []string{"max"}, Final: FinalIdentity,
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "avg",
+		TakesArg: true,
+		Ret:      func(schema.Type) schema.Type { return schema.TFloat },
+		New:      func(schema.Type) AggState { return &avgState{} },
+		// avg(x) splits into LFTA (sum(x), count(x)); the HFTA sums both
+		// and takes the ratio.
+		Subs: []string{"sum", "count_arg"}, Supers: []string{"sum", "sum"}, Final: FinalRatio,
+	}))
+	// count_arg is the internal per-argument count used by the avg
+	// decomposition; it is registered so split plans can reference it.
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "count_arg",
+		TakesArg: true,
+		Ret:      func(schema.Type) schema.Type { return schema.TUint },
+		New:      func(schema.Type) AggState { return &countState{} },
+		Subs:     []string{"count_arg"}, Supers: []string{"sum"}, Final: FinalIdentity,
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "or_agg",
+		TakesArg: true,
+		Ret:      func(schema.Type) schema.Type { return schema.TUint },
+		New:      func(schema.Type) AggState { return &bitState{or: true} },
+		Subs:     []string{"or_agg"}, Supers: []string{"or_agg"}, Final: FinalIdentity,
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name:     "and_agg",
+		TakesArg: true,
+		Ret:      func(schema.Type) schema.Type { return schema.TUint },
+		New:      func(schema.Type) AggState { return &bitState{or: false} },
+		Subs:     []string{"and_agg"}, Supers: []string{"and_agg"}, Final: FinalIdentity,
+	}))
+}

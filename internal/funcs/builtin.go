@@ -1,0 +1,174 @@
+package funcs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+
+	"gigascope/internal/lpm"
+	"gigascope/internal/schema"
+)
+
+// Built-in scalar functions. The two from the paper — getlpmid (longest
+// prefix matching against a routing-table file, §2.2) and regular
+// expression matching over packet payloads (§4) — plus casts and string
+// helpers network analysts commonly need.
+
+func registerBuiltinScalars(r *Registry) {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// getlpmid(ip, 'prefixes.tbl') -> uint peer id. The second parameter
+	// is pass-by-handle: the file is loaded into an LPM trie once at
+	// instantiation. Partial: an unmatched address discards the tuple,
+	// acting as a foreign-key join against the prefix table.
+	must(r.RegisterScalar(&Scalar{
+		Name:      "getlpmid",
+		Args:      []schema.Type{schema.TIP, schema.TString},
+		Ret:       schema.TUint,
+		Cost:      CostCheap,
+		Partial:   true,
+		HandleArg: 1,
+		MakeHandle: func(v schema.Value) (Handle, error) {
+			return lpm.Load(v.Str())
+		},
+		Eval: func(args []schema.Value, handle Handle) (schema.Value, bool) {
+			id, ok := handle.(*lpm.Table).Lookup(args[0].IP())
+			if !ok {
+				return schema.Null, false
+			}
+			return schema.MakeUint(id), true
+		},
+	}))
+
+	// str_regex_match(s, 'pattern') -> bool. The pattern is pass-by-handle
+	// (compiled once). Expensive: never runs in an LFTA (paper §4).
+	must(r.RegisterScalar(&Scalar{
+		Name:      "str_regex_match",
+		Args:      []schema.Type{schema.TString, schema.TString},
+		Ret:       schema.TBool,
+		Cost:      CostExpensive,
+		HandleArg: 1,
+		MakeHandle: func(v schema.Value) (Handle, error) {
+			re, err := regexp.Compile(v.Str())
+			if err != nil {
+				return nil, fmt.Errorf("funcs: str_regex_match: %w", err)
+			}
+			return re, nil
+		},
+		Eval: func(args []schema.Value, handle Handle) (schema.Value, bool) {
+			return schema.MakeBool(handle.(*regexp.Regexp).Match(args[0].Bytes())), true
+		},
+	}))
+
+	// str_find_substr(s, sub) -> bool. Expensive (scans payload bytes).
+	must(r.RegisterScalar(&Scalar{
+		Name:      "str_find_substr",
+		Args:      []schema.Type{schema.TString, schema.TString},
+		Ret:       schema.TBool,
+		Cost:      CostExpensive,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			return schema.MakeBool(bytes.Contains(args[0].Bytes(), args[1].Bytes())), true
+		},
+	}))
+
+	// str_prefix(s, p) -> bool. Cheap: bounded work on the first bytes.
+	must(r.RegisterScalar(&Scalar{
+		Name:      "str_prefix",
+		Args:      []schema.Type{schema.TString, schema.TString},
+		Ret:       schema.TBool,
+		Cost:      CostCheap,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			return schema.MakeBool(bytes.HasPrefix(args[0].Bytes(), args[1].Bytes())), true
+		},
+	}))
+
+	// str_len(s) -> uint.
+	must(r.RegisterScalar(&Scalar{
+		Name:      "str_len",
+		Args:      []schema.Type{schema.TString},
+		Ret:       schema.TUint,
+		Cost:      CostCheap,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			return schema.MakeUint(uint64(len(args[0].Bytes()))), true
+		},
+	}))
+
+	// Casts.
+	must(r.RegisterScalar(&Scalar{
+		Name:      "to_uint",
+		Args:      []schema.Type{schema.TNull},
+		Ret:       schema.TUint,
+		Cost:      CostCheap,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			v := args[0]
+			switch v.Type {
+			case schema.TFloat:
+				return schema.MakeUint(uint64(v.F)), true
+			case schema.TNull:
+				return schema.Null, false
+			}
+			return schema.MakeUint(v.U), true
+		},
+	}))
+	must(r.RegisterScalar(&Scalar{
+		Name:      "to_float",
+		Args:      []schema.Type{schema.TNull},
+		Ret:       schema.TFloat,
+		Cost:      CostCheap,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			if args[0].Type == schema.TNull {
+				return schema.Null, false
+			}
+			return schema.MakeFloat(args[0].Float()), true
+		},
+	}))
+
+	// subnet(ip, masklen) -> ip. Cheap prefix truncation for grouping
+	// traffic by subnet in LFTAs.
+	must(r.RegisterScalar(&Scalar{
+		Name:      "subnet",
+		Args:      []schema.Type{schema.TIP, schema.TUint},
+		Ret:       schema.TIP,
+		Cost:      CostCheap,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			ml := args[1].Uint()
+			if ml > 32 {
+				return schema.Null, false
+			}
+			if ml == 0 {
+				return schema.MakeIP(0), true
+			}
+			mask := ^uint32(0) << (32 - ml)
+			return schema.MakeIP(args[0].IP() & mask), true
+		},
+	}))
+
+	// ip_in_net(ip, net, mask) -> bool. Cheap subnet test usable in LFTAs
+	// and pushable to BPF.
+	must(r.RegisterScalar(&Scalar{
+		Name:      "ip_in_net",
+		Args:      []schema.Type{schema.TIP, schema.TIP, schema.TIP},
+		Ret:       schema.TBool,
+		Cost:      CostCheap,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			ip, net, mask := args[0].IP(), args[1].IP(), args[2].IP()
+			return schema.MakeBool(ip&mask == net&mask), true
+		},
+	}))
+}
+
+func init() {
+	registerBuiltinScalars(Global)
+	registerBuiltinAggregates(Global)
+}

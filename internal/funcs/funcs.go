@@ -1,0 +1,224 @@
+// Package funcs is the Gigascope function registry (paper §2.2): scalar and
+// aggregate functions available to GSQL queries. Functions carry a cost
+// class (whether they are cheap enough to run in an LFTA on the capture
+// path), may be partial (no result means the tuple is discarded, acting as
+// a foreign-key join), and may take pass-by-handle parameters — literal
+// arguments that need expensive preprocessing once per query instantiation
+// (compiling a regular expression, loading a prefix table).
+package funcs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gigascope/internal/schema"
+)
+
+// Cost classifies a function for the LFTA/HFTA split.
+type Cost uint8
+
+const (
+	// CostCheap functions may run inside an LFTA on the capture path.
+	CostCheap Cost = iota
+	// CostExpensive functions are forced into an HFTA (paper §4: "regular
+	// expression finding is too expensive for an LFTA").
+	CostExpensive
+)
+
+func (c Cost) String() string {
+	if c == CostCheap {
+		return "cheap"
+	}
+	return "expensive"
+}
+
+// Handle is a preprocessed pass-by-handle parameter (compiled regex, loaded
+// LPM table). Handles are built once at query instantiation.
+type Handle any
+
+// Scalar describes one scalar function.
+type Scalar struct {
+	Name string
+	// Args are the declared parameter types. A TNull entry accepts any
+	// type. Numeric arguments accept any numeric type and are coerced.
+	Args []schema.Type
+	Ret  schema.Type
+	Cost Cost
+	// Partial marks functions that may produce no result; the tuple being
+	// processed is then discarded (paper §2.2).
+	Partial bool
+	// HandleArg, if >= 0, is the index of the pass-by-handle parameter.
+	// That argument must be a literal or query parameter; MakeHandle is
+	// invoked on it once at instantiation.
+	HandleArg  int
+	MakeHandle func(v schema.Value) (Handle, error)
+	// Eval computes the function. handle is nil unless HandleArg >= 0,
+	// in which case the handle replaces args[HandleArg] (which is passed
+	// as NULL). Returning false discards the tuple (partial functions).
+	Eval func(args []schema.Value, handle Handle) (schema.Value, bool)
+}
+
+// FinalKind selects how an HFTA recombines super-aggregated sub-aggregates
+// into the user-visible result of a split aggregate.
+type FinalKind uint8
+
+const (
+	// FinalIdentity: the result is the first (only) super-aggregate.
+	FinalIdentity FinalKind = iota
+	// FinalRatio: the result is sub0/sub1 as a float (avg = sum/count).
+	FinalRatio
+)
+
+// Aggregate describes one aggregate function and its LFTA/HFTA
+// decomposition into sub- and super-aggregates (paper §3: "similar to
+// subaggregates and superaggregates used in data cube computation").
+type Aggregate struct {
+	Name     string
+	TakesArg bool // false: count(*)
+	// Ret maps the argument type to the result type.
+	Ret func(arg schema.Type) schema.Type
+	// New creates fresh accumulator state for one group.
+	New func(arg schema.Type) AggState
+	// Subs names the LFTA-side aggregates over the same argument, and
+	// Supers the HFTA-side aggregates applied to each sub output.
+	Subs   []string
+	Supers []string
+	Final  FinalKind
+}
+
+// AggState accumulates one group's aggregate.
+type AggState interface {
+	// Add folds one input value in. For count(*), v is NULL.
+	Add(v schema.Value)
+	// Result returns the current aggregate value.
+	Result() schema.Value
+}
+
+// Registry maps function names to implementations. The global registry is
+// populated with the built-ins at init; users register their own functions
+// the same way analysts did in the paper ("adding the code for the function
+// to the function library, and registering the function prototype in the
+// function registry").
+type Registry struct {
+	mu      sync.RWMutex
+	scalars map[string]*Scalar
+	aggs    map[string]*Aggregate
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		scalars: make(map[string]*Scalar),
+		aggs:    make(map[string]*Aggregate),
+	}
+}
+
+// Global is the default registry, pre-populated with built-ins.
+var Global = NewRegistry()
+
+// RegisterScalar adds a scalar function.
+func (r *Registry) RegisterScalar(f *Scalar) error {
+	if f.Name == "" || f.Eval == nil {
+		return fmt.Errorf("funcs: scalar function needs a name and an Eval")
+	}
+	if f.HandleArg >= len(f.Args) {
+		return fmt.Errorf("funcs: %s: handle arg %d out of range", f.Name, f.HandleArg)
+	}
+	if f.HandleArg >= 0 && f.MakeHandle == nil {
+		return fmt.Errorf("funcs: %s: handle arg without MakeHandle", f.Name)
+	}
+	key := strings.ToLower(f.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.scalars[key]; ok {
+		return fmt.Errorf("funcs: scalar %s already registered", f.Name)
+	}
+	r.scalars[key] = f
+	return nil
+}
+
+// RegisterAggregate adds an aggregate function.
+func (r *Registry) RegisterAggregate(a *Aggregate) error {
+	if a.Name == "" || a.New == nil || a.Ret == nil {
+		return fmt.Errorf("funcs: aggregate needs a name, Ret, and New")
+	}
+	if len(a.Subs) == 0 || len(a.Subs) != len(a.Supers) {
+		return fmt.Errorf("funcs: %s: Subs/Supers must be non-empty and parallel", a.Name)
+	}
+	key := strings.ToLower(a.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.aggs[key]; ok {
+		return fmt.Errorf("funcs: aggregate %s already registered", a.Name)
+	}
+	r.aggs[key] = a
+	return nil
+}
+
+// Scalar returns the named scalar function.
+func (r *Registry) Scalar(name string) (*Scalar, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.scalars[strings.ToLower(name)]
+	return f, ok
+}
+
+// Aggregate returns the named aggregate function.
+func (r *Registry) Aggregate(name string) (*Aggregate, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.aggs[strings.ToLower(name)]
+	return a, ok
+}
+
+// IsAggregate reports whether name is a registered aggregate.
+func (r *Registry) IsAggregate(name string) bool {
+	_, ok := r.Aggregate(name)
+	return ok
+}
+
+// ScalarNames returns all scalar function names, sorted.
+func (r *Registry) ScalarNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.scalars))
+	for n := range r.scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AggregateNames returns all aggregate names, sorted.
+func (r *Registry) AggregateNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.aggs))
+	for n := range r.aggs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckArgs verifies call-site argument types against the declaration,
+// allowing numeric coercion. It returns a descriptive error naming the
+// function.
+func (f *Scalar) CheckArgs(args []schema.Type) error {
+	if len(args) != len(f.Args) {
+		return fmt.Errorf("funcs: %s takes %d arguments, got %d", f.Name, len(f.Args), len(args))
+	}
+	for i, want := range f.Args {
+		got := args[i]
+		if want == schema.TNull || got == want {
+			continue
+		}
+		if want.Numeric() && got.Numeric() {
+			continue
+		}
+		return fmt.Errorf("funcs: %s argument %d: want %s, got %s", f.Name, i+1, want, got)
+	}
+	return nil
+}

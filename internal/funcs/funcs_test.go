@@ -1,0 +1,327 @@
+package funcs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gigascope/internal/schema"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	for _, name := range []string{"getlpmid", "str_regex_match", "str_prefix", "str_len", "to_uint", "to_float", "ip_in_net", "str_find_substr"} {
+		if _, ok := Global.Scalar(name); !ok {
+			t.Errorf("scalar %s missing", name)
+		}
+	}
+	for _, name := range []string{"count", "sum", "min", "max", "avg", "or_agg", "and_agg"} {
+		if !Global.IsAggregate(name) {
+			t.Errorf("aggregate %s missing", name)
+		}
+	}
+	if Global.IsAggregate("getlpmid") {
+		t.Error("getlpmid reported as aggregate")
+	}
+	if len(Global.ScalarNames()) == 0 || len(Global.AggregateNames()) == 0 {
+		t.Error("names lists empty")
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterScalar(&Scalar{Name: "", HandleArg: -1}); err == nil {
+		t.Error("unnamed scalar accepted")
+	}
+	f := &Scalar{
+		Name: "f", Args: []schema.Type{schema.TUint}, Ret: schema.TUint, HandleArg: -1,
+		Eval: func(a []schema.Value, _ Handle) (schema.Value, bool) { return a[0], true },
+	}
+	if err := r.RegisterScalar(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterScalar(f); err == nil {
+		t.Error("duplicate scalar accepted")
+	}
+	if err := r.RegisterScalar(&Scalar{
+		Name: "g", Args: []schema.Type{schema.TUint}, HandleArg: 3,
+		Eval: func([]schema.Value, Handle) (schema.Value, bool) { return schema.Null, true },
+	}); err == nil {
+		t.Error("out-of-range handle arg accepted")
+	}
+	if err := r.RegisterScalar(&Scalar{
+		Name: "h", Args: []schema.Type{schema.TUint}, HandleArg: 0,
+		Eval: func([]schema.Value, Handle) (schema.Value, bool) { return schema.Null, true },
+	}); err == nil {
+		t.Error("handle arg without MakeHandle accepted")
+	}
+	if err := r.RegisterAggregate(&Aggregate{Name: "a"}); err == nil {
+		t.Error("aggregate without New accepted")
+	}
+	agg := &Aggregate{
+		Name: "a", Ret: retSame,
+		New:  func(schema.Type) AggState { return &countState{} },
+		Subs: []string{"a"}, Supers: []string{"sum"},
+	}
+	if err := r.RegisterAggregate(agg); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterAggregate(agg); err == nil {
+		t.Error("duplicate aggregate accepted")
+	}
+}
+
+func TestCheckArgs(t *testing.T) {
+	f, _ := Global.Scalar("str_regex_match")
+	if err := f.CheckArgs([]schema.Type{schema.TString, schema.TString}); err != nil {
+		t.Errorf("exact types rejected: %v", err)
+	}
+	if err := f.CheckArgs([]schema.Type{schema.TUint, schema.TString}); err == nil {
+		t.Error("uint for string accepted")
+	}
+	if err := f.CheckArgs([]schema.Type{schema.TString}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// Numeric coercion.
+	g, _ := Global.Scalar("ip_in_net")
+	_ = g
+	h := &Scalar{Name: "h", Args: []schema.Type{schema.TFloat}}
+	if err := h.CheckArgs([]schema.Type{schema.TUint}); err != nil {
+		t.Errorf("numeric coercion rejected: %v", err)
+	}
+	anyf := &Scalar{Name: "any", Args: []schema.Type{schema.TNull}}
+	if err := anyf.CheckArgs([]schema.Type{schema.TString}); err != nil {
+		t.Errorf("any-typed arg rejected: %v", err)
+	}
+}
+
+func TestGetLPMID(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peerid.tbl")
+	if err := os.WriteFile(path, []byte("10.0.0.0/8 7\n192.168.0.0/16 9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Global.Scalar("getlpmid")
+	if f.HandleArg != 1 || !f.Partial || f.Cost != CostCheap {
+		t.Fatalf("getlpmid spec = %+v", f)
+	}
+	h, err := f.MakeHandle(schema.MakeStr(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := f.Eval([]schema.Value{schema.MakeIP(0x0a010101), schema.Null}, h)
+	if !ok || v.Uint() != 7 {
+		t.Errorf("getlpmid(10.1.1.1) = %v, %v", v, ok)
+	}
+	// Partial semantics: unmatched address discards the tuple.
+	if _, ok := f.Eval([]schema.Value{schema.MakeIP(0x08080808), schema.Null}, h); ok {
+		t.Error("unmatched address returned a value")
+	}
+	if _, err := f.MakeHandle(schema.MakeStr(filepath.Join(dir, "missing.tbl"))); err == nil {
+		t.Error("missing table file accepted")
+	}
+}
+
+func TestStrRegexMatch(t *testing.T) {
+	f, _ := Global.Scalar("str_regex_match")
+	if f.Cost != CostExpensive {
+		t.Error("regex not marked expensive")
+	}
+	// The paper's HTTP detection pattern (§4).
+	h, err := f.MakeHandle(schema.MakeStr(`^[^\n]*HTTP/1.*`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		payload string
+		want    bool
+	}{
+		{"GET /index.html HTTP/1.1\r\nHost: x\r\n", true},
+		{"HTTP/1.0 200 OK\r\n", true},
+		{"\nHTTP/1.1 in second line", false},
+		{"random tunneled bytes", false},
+	}
+	for _, c := range cases {
+		v, ok := f.Eval([]schema.Value{schema.MakeStr(c.payload), schema.Null}, h)
+		if !ok || v.Bool() != c.want {
+			t.Errorf("match(%q) = %v, %v; want %v", c.payload, v, ok, c.want)
+		}
+	}
+	if _, err := f.MakeHandle(schema.MakeStr("[bad")); err == nil {
+		t.Error("bad regex accepted")
+	}
+}
+
+func TestSimpleScalars(t *testing.T) {
+	eval := func(name string, args ...schema.Value) schema.Value {
+		f, ok := Global.Scalar(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		v, ok := f.Eval(args, nil)
+		if !ok {
+			t.Fatalf("%s returned no value", name)
+		}
+		return v
+	}
+	if v := eval("str_prefix", schema.MakeStr("GET /"), schema.MakeStr("GET")); !v.Bool() {
+		t.Error("str_prefix(GET /, GET) = false")
+	}
+	if v := eval("str_len", schema.MakeStr("abcd")); v.Uint() != 4 {
+		t.Errorf("str_len = %v", v)
+	}
+	if v := eval("to_uint", schema.MakeFloat(3.9)); v.Uint() != 3 {
+		t.Errorf("to_uint(3.9) = %v", v)
+	}
+	if v := eval("to_float", schema.MakeUint(5)); v.Float() != 5 {
+		t.Errorf("to_float(5) = %v", v)
+	}
+	if v := eval("ip_in_net", schema.MakeIP(0x0a0101fe), schema.MakeIP(0x0a010100), schema.MakeIP(0xffffff00)); !v.Bool() {
+		t.Error("ip_in_net inside = false")
+	}
+	if v := eval("ip_in_net", schema.MakeIP(0x0a0102fe), schema.MakeIP(0x0a010100), schema.MakeIP(0xffffff00)); v.Bool() {
+		t.Error("ip_in_net outside = true")
+	}
+	if v := eval("str_find_substr", schema.MakeStr("xxHTTPyy"), schema.MakeStr("HTTP")); !v.Bool() {
+		t.Error("str_find_substr = false")
+	}
+	if v := eval("subnet", schema.MakeIP(0x0a01027f), schema.MakeUint(24)); v.IP() != 0x0a010200 {
+		t.Errorf("subnet(10.1.2.127, 24) = %v", v)
+	}
+	if v := eval("subnet", schema.MakeIP(0x0a01027f), schema.MakeUint(0)); v.IP() != 0 {
+		t.Errorf("subnet(.., 0) = %v", v)
+	}
+	f, _ := Global.Scalar("subnet")
+	if _, ok := f.Eval([]schema.Value{schema.MakeIP(1), schema.MakeUint(33)}, nil); ok {
+		t.Error("subnet masklen 33 accepted")
+	}
+}
+
+func TestAggregateStates(t *testing.T) {
+	add := func(s AggState, vals ...schema.Value) AggState {
+		for _, v := range vals {
+			s.Add(v)
+		}
+		return s
+	}
+	newAgg := func(name string, arg schema.Type) AggState {
+		a, ok := Global.Aggregate(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		return a.New(arg)
+	}
+	u := schema.MakeUint
+	if got := add(newAgg("count", schema.TNull), schema.Null, schema.Null, schema.Null).Result(); got.Uint() != 3 {
+		t.Errorf("count = %v", got)
+	}
+	if got := add(newAgg("sum", schema.TUint), u(1), u(2), u(3)).Result(); got.Uint() != 6 {
+		t.Errorf("sum uint = %v", got)
+	}
+	if got := add(newAgg("sum", schema.TInt), schema.MakeInt(-5), schema.MakeInt(2)).Result(); got.Int() != -3 {
+		t.Errorf("sum int = %v", got)
+	}
+	if got := add(newAgg("sum", schema.TFloat), schema.MakeFloat(1.5), schema.MakeFloat(2.0)).Result(); got.Float() != 3.5 {
+		t.Errorf("sum float = %v", got)
+	}
+	if got := add(newAgg("min", schema.TUint), u(5), u(2), u(9)).Result(); got.Uint() != 2 {
+		t.Errorf("min = %v", got)
+	}
+	if got := add(newAgg("max", schema.TUint), u(5), u(2), u(9)).Result(); got.Uint() != 9 {
+		t.Errorf("max = %v", got)
+	}
+	if got := add(newAgg("avg", schema.TUint), u(2), u(4)).Result(); got.Float() != 3 {
+		t.Errorf("avg = %v", got)
+	}
+	if got := newAgg("avg", schema.TUint).Result(); !got.IsNull() {
+		t.Errorf("avg of empty = %v", got)
+	}
+	if got := newAgg("min", schema.TUint).Result(); !got.IsNull() {
+		t.Errorf("min of empty = %v", got)
+	}
+	if got := add(newAgg("or_agg", schema.TUint), u(0b001), u(0b100)).Result(); got.Uint() != 0b101 {
+		t.Errorf("or_agg = %v", got)
+	}
+	if got := add(newAgg("and_agg", schema.TUint), u(0b011), u(0b110)).Result(); got.Uint() != 0b010 {
+		t.Errorf("and_agg = %v", got)
+	}
+}
+
+func TestAggregateDecompositionsResolvable(t *testing.T) {
+	// Every declared sub and super aggregate must itself be registered:
+	// the planner relies on this when splitting queries.
+	for _, name := range Global.AggregateNames() {
+		a, _ := Global.Aggregate(name)
+		for i := range a.Subs {
+			if !Global.IsAggregate(a.Subs[i]) {
+				t.Errorf("%s: sub %s unregistered", name, a.Subs[i])
+			}
+			if !Global.IsAggregate(a.Supers[i]) {
+				t.Errorf("%s: super %s unregistered", name, a.Supers[i])
+			}
+		}
+	}
+	// min/max/sum/count must be self-decomposable (paper §3).
+	for _, name := range []string{"min", "max", "sum"} {
+		a, _ := Global.Aggregate(name)
+		if len(a.Subs) != 1 || a.Subs[0] != name || a.Supers[0] != name {
+			t.Errorf("%s not self-decomposable: %v/%v", name, a.Subs, a.Supers)
+		}
+	}
+	cnt, _ := Global.Aggregate("count")
+	if cnt.Supers[0] != "sum" {
+		t.Errorf("count super = %v, want sum", cnt.Supers)
+	}
+	avg, _ := Global.Aggregate("avg")
+	if avg.Final != FinalRatio || len(avg.Subs) != 2 {
+		t.Errorf("avg decomposition = %+v", avg)
+	}
+}
+
+func TestSplitAggregateEquivalence(t *testing.T) {
+	// Simulating the LFTA/HFTA split at the state level: applying the sub
+	// aggregates to a partition of the input and the super aggregates to
+	// the partials must equal the unsplit aggregate. This is the §3
+	// sub/super-aggregate invariant.
+	vals := []uint64{5, 1, 9, 9, 3, 7, 2, 8, 4, 6}
+	partitions := [][]uint64{vals[:3], vals[3:4], vals[4:]}
+	for _, name := range []string{"count", "sum", "min", "max", "avg"} {
+		a, _ := Global.Aggregate(name)
+		// Unsplit.
+		whole := a.New(schema.TUint)
+		for _, v := range vals {
+			whole.Add(schema.MakeUint(v))
+		}
+		// Split: sub states per partition, super states over partials.
+		supers := make([]AggState, len(a.Subs))
+		for i, s := range a.Supers {
+			sa, _ := Global.Aggregate(s)
+			supers[i] = sa.New(schema.TUint)
+		}
+		for _, part := range partitions {
+			subs := make([]AggState, len(a.Subs))
+			for i, s := range a.Subs {
+				sa, _ := Global.Aggregate(s)
+				subs[i] = sa.New(schema.TUint)
+			}
+			for _, v := range part {
+				for _, s := range subs {
+					s.Add(schema.MakeUint(v))
+				}
+			}
+			for i, s := range subs {
+				supers[i].Add(s.Result())
+			}
+		}
+		var got schema.Value
+		switch a.Final {
+		case FinalRatio:
+			got = schema.MakeFloat(supers[0].Result().Float() / supers[1].Result().Float())
+		default:
+			got = supers[0].Result()
+		}
+		want := whole.Result()
+		if got.Compare(want) != 0 {
+			t.Errorf("%s: split = %v, unsplit = %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/schema"
+)
+
+// Op enumerates expression operators.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpOr
+	OpAnd
+	OpNot
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+	OpShl
+	OpShr
+	OpNeg
+	OpBitNot
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpNot:
+		return "NOT"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpBitAnd:
+		return "&"
+	case OpBitOr:
+		return "|"
+	case OpBitXor:
+		return "^"
+	case OpShl:
+		return "<<"
+	case OpShr:
+		return ">>"
+	case OpNeg:
+		return "-"
+	case OpBitNot:
+		return "~"
+	}
+	return "?"
+}
+
+// Comparison reports whether the operator is a comparison.
+func (o Op) Comparison() bool { return o >= OpEq && o <= OpGe }
+
+// Flip returns the comparison with sides exchanged (a < b == b > a).
+func (o Op) Flip() Op {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return o
+}
+
+// Expr is a GSQL expression node.
+type Expr interface {
+	Pos() Pos
+	String() string
+	exprNode()
+}
+
+// ColRef references a column, optionally qualified by a table name or
+// alias.
+type ColRef struct {
+	Table string // optional qualifier
+	Name  string
+	At    Pos
+}
+
+// Const is a literal value.
+type Const struct {
+	Val schema.Value
+	At  Pos
+}
+
+// ParamRef references a query parameter ($name), bound at instantiation
+// time and changeable on the fly (paper §3).
+type ParamRef struct {
+	Name string
+	At   Pos
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   Op
+	L, R Expr
+	At   Pos
+}
+
+// UnaryExpr is a unary operation.
+type UnaryExpr struct {
+	Op Op
+	X  Expr
+	At Pos
+}
+
+// FuncCall is a scalar, aggregate, or user-defined function call.
+// count(*) is represented with a single Star argument.
+type FuncCall struct {
+	Name string
+	Args []Expr
+	At   Pos
+}
+
+// Star is the '*' argument of count(*).
+type Star struct {
+	At Pos
+}
+
+func (e *ColRef) Pos() Pos     { return e.At }
+func (e *Const) Pos() Pos      { return e.At }
+func (e *ParamRef) Pos() Pos   { return e.At }
+func (e *BinaryExpr) Pos() Pos { return e.At }
+func (e *UnaryExpr) Pos() Pos  { return e.At }
+func (e *FuncCall) Pos() Pos   { return e.At }
+func (e *Star) Pos() Pos       { return e.At }
+
+func (*ColRef) exprNode()     {}
+func (*Const) exprNode()      {}
+func (*ParamRef) exprNode()   {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*FuncCall) exprNode()   {}
+func (*Star) exprNode()       {}
+
+func (e *ColRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+func (e *Const) String() string {
+	if e.Val.Type == schema.TString {
+		return "'" + e.Val.Str() + "'"
+	}
+	return e.Val.String()
+}
+
+func (e *ParamRef) String() string { return "$" + e.Name }
+
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func (e *UnaryExpr) String() string {
+	if e.Op == OpNot {
+		return fmt.Sprintf("(NOT %s)", e.X)
+	}
+	return fmt.Sprintf("(%s%s)", e.Op, e.X)
+}
+
+func (e *FuncCall) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+func (e *Star) String() string { return "*" }
+
+// Walk visits every node of the expression tree in prefix order; visiting
+// stops in a subtree when f returns false.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *BinaryExpr:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	case *UnaryExpr:
+		Walk(n.X, f)
+	case *FuncCall:
+		for _, a := range n.Args {
+			Walk(a, f)
+		}
+	}
+}
+
+// SelectItem is one output expression, optionally aliased.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+func (s SelectItem) String() string {
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// TableRef names a query source: either Interface.Protocol (a Protocol
+// stream bound to a packet interface) or the name of another query's output
+// stream. An absent interface on a protocol source implies the default
+// interface (paper §2.2).
+type TableRef struct {
+	Interface string // optional: eth0 in eth0.TCP
+	Name      string // protocol or stream name
+	Alias     string
+	At        Pos
+}
+
+func (t TableRef) String() string {
+	s := t.Name
+	if t.Interface != "" {
+		s = t.Interface + "." + t.Name
+	}
+	if t.Alias != "" {
+		s += " " + t.Alias
+	}
+	return s
+}
+
+// Binding returns the name expressions should use to qualify columns from
+// this source.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// QueryKind distinguishes SELECT queries from MERGE queries.
+type QueryKind uint8
+
+const (
+	KindSelect QueryKind = iota + 1
+	KindMerge
+)
+
+// Query is a parsed GSQL query.
+type Query struct {
+	// Defs holds the DEFINE block entries: key -> value words.
+	Defs map[string][]string
+	Kind QueryKind
+
+	// SELECT query parts.
+	Select  []SelectItem
+	Sources []TableRef
+	Where   Expr
+	GroupBy []SelectItem
+	Having  Expr
+
+	// MERGE query parts: the ordered columns to merge by, one per source.
+	MergeCols []*ColRef
+
+	// paramDefs holds raw "param <name> <type>" declarations from the
+	// DEFINE block (the param key may repeat, unlike other keys).
+	paramDefs [][]string
+
+	At Pos
+}
+
+// Name returns the query_name from the DEFINE block, or "".
+func (q *Query) Name() string {
+	if v, ok := q.Defs["query_name"]; ok && len(v) > 0 {
+		return v[0]
+	}
+	return ""
+}
+
+// Params returns the declared query parameters (DEFINE entries of the form
+// "param <name> <type>"), keyed by parameter name.
+func (q *Query) Params() map[string]schema.Type {
+	out := make(map[string]schema.Type)
+	for _, words := range q.paramDefs {
+		if len(words) == 2 {
+			if ty, ok := schema.ParseType(words[1]); ok {
+				out[words[0]] = ty
+			}
+		}
+	}
+	return out
+}
+
+func (q *Query) addParam(words []string) { q.paramDefs = append(q.paramDefs, words) }
+
+func (q *Query) String() string {
+	var b strings.Builder
+	if len(q.Defs) > 0 || len(q.paramDefs) > 0 {
+		b.WriteString("DEFINE { ")
+		for k, v := range q.Defs {
+			fmt.Fprintf(&b, "%s %s; ", k, strings.Join(v, " "))
+		}
+		for _, p := range q.paramDefs {
+			fmt.Fprintf(&b, "param %s; ", strings.Join(p, " "))
+		}
+		b.WriteString("} ")
+	}
+	switch q.Kind {
+	case KindMerge:
+		b.WriteString("MERGE ")
+		for i, c := range q.MergeCols {
+			if i > 0 {
+				b.WriteString(" : ")
+			}
+			b.WriteString(c.String())
+		}
+	default:
+		b.WriteString("SELECT ")
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.Sources {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if q.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", q.Where)
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if q.Having != nil {
+		fmt.Fprintf(&b, " HAVING %s", q.Having)
+	}
+	return b.String()
+}
+
+// ColDef is one column in a PROTOCOL definition.
+type ColDef struct {
+	Type   schema.Type
+	Name   string
+	Interp string
+	Ord    schema.Ordering
+	At     Pos
+}
+
+// ProtocolDef is a parsed PROTOCOL declaration:
+//
+//	PROTOCOL TCP (base IPV4) {
+//	    uint time get_time (increasing);
+//	    ...
+//	}
+type ProtocolDef struct {
+	Name string
+	Base string
+	Cols []ColDef
+	At   Pos
+}
+
+// Script is a parsed GSQL source file: protocol definitions and queries in
+// source order.
+type Script struct {
+	Protocols []*ProtocolDef
+	Queries   []*Query
+}

@@ -1,0 +1,19 @@
+package gsql
+
+import "testing"
+
+func BenchmarkParseQuery(b *testing.B) {
+	const src = `
+		DEFINE { query_name q; }
+		SELECT tb, destPort, count(*), sum(len)
+		FROM eth0.tcp
+		WHERE ipversion = 4 and protocol = 6 and destPort = 80
+		GROUP BY time/60 as tb, destPort
+		HAVING count(*) > 100`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package gsql
+
+import (
+	"strings"
+)
+
+// Lexer turns GSQL source text into tokens. It supports SQL-style line
+// comments (--), C/C++ comments, single- and double-quoted strings, dotted
+// quad IP literals, and $name parameter references.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentChar(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if up := strings.ToUpper(text); keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		return l.lexNumber(pos)
+	case c == '\'' || c == '"':
+		return l.lexString(pos)
+	case c == '$':
+		l.advance()
+		if !isIdentStart(l.peek()) {
+			return Token{}, errf(pos, "expected parameter name after '$'")
+		}
+		start := l.off
+		for l.off < len(l.src) && isIdentChar(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokParam, Text: l.src[start:l.off], Pos: pos}, nil
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '&':
+		return Token{Kind: TokAmp, Pos: pos}, nil
+	case '|':
+		return Token{Kind: TokPipe, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: pos}, nil
+	case '=':
+		return Token{Kind: TokEq, Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokNe, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character '!'")
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return Token{Kind: TokLe, Pos: pos}, nil
+		case '>':
+			l.advance()
+			return Token{Kind: TokNe, Pos: pos}, nil
+		case '<':
+			l.advance()
+			return Token{Kind: TokShl, Pos: pos}, nil
+		}
+		return Token{Kind: TokLt, Pos: pos}, nil
+	case '>':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return Token{Kind: TokGe, Pos: pos}, nil
+		case '>':
+			l.advance()
+			return Token{Kind: TokShr, Pos: pos}, nil
+		}
+		return Token{Kind: TokGt, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexNumber scans integer, float, and dotted-quad IP literals. A number
+// followed by two more dotted groups is an IP literal (1.2.3.4); a number
+// with one dot and a fractional part is a float.
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokInt, Text: l.src[start:l.off], Pos: pos}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	dots := 0
+	for l.peek() == '.' && isDigit(l.peek2()) {
+		dots++
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if dots == 3 {
+			return Token{Kind: TokIP, Text: l.src[start:l.off], Pos: pos}, nil
+		}
+	}
+	switch dots {
+	case 0:
+		return Token{Kind: TokInt, Text: l.src[start:l.off], Pos: pos}, nil
+	case 1:
+		return Token{Kind: TokFloat, Text: l.src[start:l.off], Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "malformed numeric literal %q", l.src[start:l.off])
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (l *Lexer) lexString(pos Pos) (Token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		switch {
+		case c == quote:
+			return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+		case c == '\\' && l.off < len(l.src):
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '\'', '"':
+				b.WriteByte(e)
+			case '0':
+				b.WriteByte(0)
+			default:
+				// Preserve unknown escapes verbatim: regex literals like
+				// '^[^\n]*HTTP/1.*' pass \n through the 'n' case above and
+				// everything else (e.g. \d) through here unchanged.
+				b.WriteByte('\\')
+				b.WriteByte(e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// Tokenize scans the whole input, for tests and tooling.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package gsql
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	ks := make([]TokKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT destIP, time/60 FROM eth0.tcp WHERE x >= 5;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokKeyword, TokIdent, TokComma, TokIdent, TokSlash, TokInt,
+		TokKeyword, TokIdent, TokDot, TokIdent, TokKeyword, TokIdent,
+		TokGe, TokInt, TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[0].Text != "SELECT" {
+		t.Errorf("keyword text = %q", toks[0].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Tokenize("= <> != < <= > >= << >> + - * / % & | ^ ~ : .")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokEq, TokNe, TokNe, TokLt, TokLe, TokGt, TokGe, TokShl, TokShr,
+		TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokAmp, TokPipe,
+		TokCaret, TokTilde, TokColon, TokDot, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexIPAndNumbers(t *testing.T) {
+	toks, err := Tokenize("10.0.0.1 3.25 42 0xff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIP || toks[0].Text != "10.0.0.1" {
+		t.Errorf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != TokFloat || toks[1].Text != "3.25" {
+		t.Errorf("tok1 = %v", toks[1])
+	}
+	if toks[2].Kind != TokInt {
+		t.Errorf("tok2 = %v", toks[2])
+	}
+	if toks[3].Kind != TokInt || toks[3].Text != "0xff" {
+		t.Errorf("tok3 = %v", toks[3])
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := Tokenize(`'^[^\n]*HTTP/1.*' "double" 'it\'s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "^[^\n]*HTTP/1.*" {
+		t.Errorf("tok0 = %q", toks[0].Text)
+	}
+	if toks[1].Text != "double" {
+		t.Errorf("tok1 = %q", toks[1].Text)
+	}
+	if toks[2].Text != "it's" {
+		t.Errorf("tok2 = %q", toks[2].Text)
+	}
+}
+
+func TestLexParam(t *testing.T) {
+	toks, err := Tokenize("destPort = $port")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokParam || toks[2].Text != "port" {
+		t.Errorf("param tok = %v", toks[2])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `SELECT -- line comment
+	// another
+	/* block
+	comment */ x FROM y`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokKeyword, TokIdent, TokKeyword, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "/* unterminated", "a ! b", "$", "@"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,857 @@
+package gsql
+
+import (
+	"strconv"
+	"strings"
+
+	"gigascope/internal/schema"
+)
+
+// Parser builds the GSQL AST. Grammar summary:
+//
+//	script     := (protocol | query)*
+//	protocol   := PROTOCOL ident [ '(' BASE ident ')' ] '{' coldef* '}'
+//	coldef     := type ident [interp] [ '(' ordering ')' ] ';'
+//	query      := [define] (select | merge) [';']
+//	define     := DEFINE '{' (ident words ';')* '}'
+//	select     := SELECT item (',' item)* FROM source (',' source)*
+//	              [WHERE expr] [GROUP BY item (',' item)*] [HAVING expr]
+//	merge      := MERGE colref (':' colref)* FROM source (',' source)*
+//	source     := ident ['.' ident] [ident]        -- iface.proto alias
+//	item       := expr [AS ident] | expr ident
+//	expr       := standard precedence climbing over OR/AND/NOT/cmp/add/mul
+type Parser struct {
+	lex *Lexer
+	tok Token
+	// one token of lookahead beyond tok
+	peeked  bool
+	peekTok Token
+}
+
+// NewParser returns a parser over src. The first token is loaded eagerly;
+// lexical errors surface on the first Parse call.
+func NewParser(src string) (*Parser, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Parser) next() error {
+	if p.peeked {
+		p.tok, p.peeked = p.peekTok, false
+		return nil
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) peek() (Token, error) {
+	if !p.peeked {
+		t, err := p.lex.Next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.peekTok, p.peeked = t, true
+	}
+	return p.peekTok, nil
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	if err := p.next(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return errf(p.tok.Pos, "expected %s, found %s", kw, p.tok)
+	}
+	return p.next()
+}
+
+func (p *Parser) atKeyword(kw string) bool {
+	return p.tok.Kind == TokKeyword && p.tok.Text == kw
+}
+
+// atIdent reports whether the current token is the given identifier,
+// case-insensitively. Used for contextual keywords (PROTOCOL, BASE) that
+// are also legal column names.
+func (p *Parser) atIdent(name string) bool {
+	return p.tok.Kind == TokIdent && strings.EqualFold(p.tok.Text, name)
+}
+
+// ParseScript parses a whole GSQL source file.
+func ParseScript(src string) (*Script, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	s := &Script{}
+	for {
+		// Skip stray semicolons between statements.
+		for p.tok.Kind == TokSemi {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.Kind == TokEOF {
+			return s, nil
+		}
+		switch {
+		case p.atIdent("PROTOCOL"):
+			def, err := p.parseProtocol()
+			if err != nil {
+				return nil, err
+			}
+			s.Protocols = append(s.Protocols, def)
+		case p.atKeyword("DEFINE") || p.atKeyword("SELECT") || p.atKeyword("MERGE"):
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			s.Queries = append(s.Queries, q)
+		default:
+			return nil, errf(p.tok.Pos, "expected PROTOCOL, DEFINE, SELECT, or MERGE, found %s", p.tok)
+		}
+	}
+}
+
+// ParseQuery parses a single query (with optional DEFINE block).
+func ParseQuery(src string) (*Query, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokSemi {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, errf(p.tok.Pos, "unexpected %s after query", p.tok)
+	}
+	return q, nil
+}
+
+func (p *Parser) parseProtocol() (*ProtocolDef, error) {
+	at := p.tok.Pos
+	if err := p.next(); err != nil { // PROTOCOL
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	def := &ProtocolDef{Name: name.Text, At: at}
+	if p.tok.Kind == TokLParen {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if !p.atIdent("BASE") {
+			return nil, errf(p.tok.Pos, "expected BASE, found %s", p.tok)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		base, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		def.Base = base.Text
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokRBrace {
+		col, err := p.parseColDef()
+		if err != nil {
+			return nil, err
+		}
+		def.Cols = append(def.Cols, col)
+	}
+	return def, p.next() // consume '}'
+}
+
+func (p *Parser) parseColDef() (ColDef, error) {
+	at := p.tok.Pos
+	tyTok, err := p.expect(TokIdent)
+	if err != nil {
+		return ColDef{}, err
+	}
+	ty, ok := schema.ParseType(tyTok.Text)
+	if !ok {
+		return ColDef{}, errf(tyTok.Pos, "unknown type %q", tyTok.Text)
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return ColDef{}, err
+	}
+	col := ColDef{Type: ty, Name: nameTok.Text, At: at}
+	if p.tok.Kind == TokIdent {
+		col.Interp = p.tok.Text
+		if err := p.next(); err != nil {
+			return ColDef{}, err
+		}
+	}
+	if p.tok.Kind == TokLParen {
+		ord, err := p.parseOrdering()
+		if err != nil {
+			return ColDef{}, err
+		}
+		col.Ord = ord
+	}
+	_, err = p.expect(TokSemi)
+	return col, err
+}
+
+// parseOrdering parses an ordering annotation:
+//
+//	(increasing) (strictly_increasing) (decreasing) (strictly_decreasing)
+//	(monotone_nonrepeating) (banded_increasing 30)
+//	(increasing_in_group srcIP destIP)
+func (p *Parser) parseOrdering() (schema.Ordering, error) {
+	if err := p.next(); err != nil { // '('
+		return schema.NoOrder, err
+	}
+	kindTok, err := p.expect(TokIdent)
+	if err != nil {
+		return schema.NoOrder, err
+	}
+	var ord schema.Ordering
+	switch strings.ToLower(kindTok.Text) {
+	case "increasing":
+		ord.Kind = schema.OrderIncreasing
+	case "strictly_increasing":
+		ord.Kind = schema.OrderStrictIncreasing
+	case "decreasing":
+		ord.Kind = schema.OrderDecreasing
+	case "strictly_decreasing":
+		ord.Kind = schema.OrderStrictDecreasing
+	case "monotone_nonrepeating":
+		ord.Kind = schema.OrderNonrepeating
+	case "banded_increasing":
+		ord.Kind = schema.OrderBandedIncreasing
+		band, err := p.expect(TokInt)
+		if err != nil {
+			return schema.NoOrder, err
+		}
+		ord.Band, err = parseUint(band)
+		if err != nil {
+			return schema.NoOrder, err
+		}
+	case "increasing_in_group":
+		ord.Kind = schema.OrderIncreasingInGroup
+		for p.tok.Kind == TokIdent {
+			ord.Group = append(ord.Group, p.tok.Text)
+			if err := p.next(); err != nil {
+				return schema.NoOrder, err
+			}
+			if p.tok.Kind == TokComma {
+				if err := p.next(); err != nil {
+					return schema.NoOrder, err
+				}
+			}
+		}
+		if len(ord.Group) == 0 {
+			return schema.NoOrder, errf(kindTok.Pos, "increasing_in_group needs group columns")
+		}
+	default:
+		return schema.NoOrder, errf(kindTok.Pos, "unknown ordering property %q", kindTok.Text)
+	}
+	_, err = p.expect(TokRParen)
+	return ord, err
+}
+
+func (p *Parser) parseQuery() (*Query, error) {
+	q := &Query{Defs: make(map[string][]string), At: p.tok.Pos}
+	if p.atKeyword("DEFINE") {
+		if err := p.parseDefine(q); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.atKeyword("SELECT"):
+		q.Kind = KindSelect
+		if err := p.parseSelect(q); err != nil {
+			return nil, err
+		}
+	case p.atKeyword("MERGE"):
+		q.Kind = KindMerge
+		if err := p.parseMerge(q); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errf(p.tok.Pos, "expected SELECT or MERGE, found %s", p.tok)
+	}
+	return q, nil
+}
+
+// parseDefine parses either the braced form
+//
+//	DEFINE { query_name tcpdest0; param port uint; }
+//
+// or the paper's inline form "DEFINE query name tcpdest0;" where the entry
+// runs to the semicolon.
+func (p *Parser) parseDefine(q *Query) error {
+	if err := p.next(); err != nil { // DEFINE
+		return err
+	}
+	if p.tok.Kind == TokLBrace {
+		if err := p.next(); err != nil {
+			return err
+		}
+		for p.tok.Kind != TokRBrace {
+			if err := p.parseDefineEntry(q); err != nil {
+				return err
+			}
+		}
+		return p.next()
+	}
+	// Inline form: single entry ending at ';'. The paper writes
+	// "DEFINE query name tcpdest0;" — treat "query name" as the key
+	// "query_name" for compatibility.
+	var words []string
+	for p.tok.Kind == TokIdent || p.tok.Kind == TokKeyword || p.tok.Kind == TokInt {
+		words = append(words, p.tok.Text)
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	if len(words) >= 3 && strings.EqualFold(words[0], "query") && strings.EqualFold(words[1], "name") {
+		q.Defs["query_name"] = words[2:]
+		return nil
+	}
+	if len(words) < 2 {
+		return errf(q.At, "DEFINE entry needs a key and a value")
+	}
+	q.Defs[strings.ToLower(words[0])] = words[1:]
+	return nil
+}
+
+func (p *Parser) parseDefineEntry(q *Query) error {
+	keyTok := p.tok
+	if keyTok.Kind != TokIdent && keyTok.Kind != TokKeyword {
+		return errf(keyTok.Pos, "expected DEFINE key, found %s", keyTok)
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	var words []string
+	for p.tok.Kind != TokSemi {
+		switch p.tok.Kind {
+		case TokIdent, TokKeyword, TokInt, TokFloat, TokString, TokIP:
+			words = append(words, p.tok.Text)
+		case TokEOF:
+			return errf(p.tok.Pos, "unterminated DEFINE entry")
+		default:
+			return errf(p.tok.Pos, "unexpected %s in DEFINE entry", p.tok)
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+	if err := p.next(); err != nil { // ';'
+		return err
+	}
+	if len(words) == 0 {
+		return errf(keyTok.Pos, "DEFINE entry %q has no value", keyTok.Text)
+	}
+	key := strings.ToLower(keyTok.Text)
+	if key == "param" {
+		if len(words) != 2 {
+			return errf(keyTok.Pos, "param entry must be: param <name> <type>")
+		}
+		if _, ok := schema.ParseType(words[1]); !ok {
+			return errf(keyTok.Pos, "unknown parameter type %q", words[1])
+		}
+		q.addParam(words)
+		return nil
+	}
+	if _, dup := q.Defs[key]; dup {
+		return errf(keyTok.Pos, "duplicate DEFINE key %q", key)
+	}
+	q.Defs[key] = words
+	return nil
+}
+
+func (p *Parser) parseSelect(q *Query) error {
+	if err := p.next(); err != nil { // SELECT
+		return err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return err
+		}
+		q.Select = append(q.Select, item)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	if err := p.parseSources(q); err != nil {
+		return err
+	}
+	if p.atKeyword("WHERE") {
+		if err := p.next(); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		q.Where = e
+	}
+	if p.atKeyword("GROUP") {
+		if err := p.next(); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return err
+			}
+			q.GroupBy = append(q.GroupBy, item)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+		}
+	}
+	if p.atKeyword("HAVING") {
+		if err := p.next(); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		q.Having = e
+	}
+	return nil
+}
+
+func (p *Parser) parseMerge(q *Query) error {
+	if err := p.next(); err != nil { // MERGE
+		return err
+	}
+	for {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return err
+		}
+		col, ok := e.(*ColRef)
+		if !ok {
+			return errf(e.Pos(), "MERGE expects qualified column references (source.column)")
+		}
+		q.MergeCols = append(q.MergeCols, col)
+		if p.tok.Kind != TokColon {
+			break
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	return p.parseSources(q)
+}
+
+func (p *Parser) parseSources(q *Query) error {
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return err
+		}
+		q.Sources = append(q.Sources, ref)
+		if p.tok.Kind != TokComma {
+			return nil
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	at := p.tok.Pos
+	first, err := p.expect(TokIdent)
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: first.Text, At: at}
+	if p.tok.Kind == TokDot {
+		if err := p.next(); err != nil {
+			return TableRef{}, err
+		}
+		second, err := p.expect(TokIdent)
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Interface, ref.Name = first.Text, second.Text
+	}
+	// Optional alias: a bare identifier (not a clause keyword).
+	if p.tok.Kind == TokIdent {
+		ref.Alias = p.tok.Text
+		if err := p.next(); err != nil {
+			return TableRef{}, err
+		}
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.atKeyword("AS") {
+		if err := p.next(); err != nil {
+			return SelectItem{}, err
+		}
+		alias, err := p.expect(TokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias.Text
+	}
+	return item, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r, At: at}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r, At: at}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNot, X: x, At: at}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[TokKind]Op{
+	TokEq: OpEq, TokNe: OpNe, TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.tok.Kind]; ok {
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: l, R: r, At: at}, nil
+	}
+	return l, nil
+}
+
+var addOps = map[TokKind]Op{
+	TokPlus: OpAdd, TokMinus: OpSub, TokPipe: OpBitOr, TokCaret: OpBitXor,
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := addOps[p.tok.Kind]
+		if !ok {
+			return l, nil
+		}
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, At: at}
+	}
+}
+
+var mulOps = map[TokKind]Op{
+	TokStar: OpMul, TokSlash: OpDiv, TokPercent: OpMod,
+	TokAmp: OpBitAnd, TokShl: OpShl, TokShr: OpShr,
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := mulOps[p.tok.Kind]
+		if !ok {
+			return l, nil
+		}
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, At: at}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokMinus:
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNeg, X: x, At: at}, nil
+	case TokTilde:
+		at := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpBitNot, X: x, At: at}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.tok
+	switch tok.Kind {
+	case TokInt:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		u, err := parseUint(tok)
+		if err != nil {
+			return nil, err
+		}
+		return &Const{Val: schema.MakeUint(u), At: tok.Pos}, nil
+	case TokFloat:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, errf(tok.Pos, "bad float literal %q", tok.Text)
+		}
+		return &Const{Val: schema.MakeFloat(f), At: tok.Pos}, nil
+	case TokString:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &Const{Val: schema.MakeStr(tok.Text), At: tok.Pos}, nil
+	case TokIP:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		a, err := schema.ParseIP(tok.Text)
+		if err != nil {
+			return nil, errf(tok.Pos, "bad IP literal %q", tok.Text)
+		}
+		return &Const{Val: schema.MakeIP(a), At: tok.Pos}, nil
+	case TokParam:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &ParamRef{Name: tok.Text, At: tok.Pos}, nil
+	case TokKeyword:
+		switch tok.Text {
+		case "TRUE":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return &Const{Val: schema.MakeBool(true), At: tok.Pos}, nil
+		case "FALSE":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return &Const{Val: schema.MakeBool(false), At: tok.Pos}, nil
+		case "NULL":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return &Const{Val: schema.Null, At: tok.Pos}, nil
+		}
+		return nil, errf(tok.Pos, "unexpected %s in expression", tok)
+	case TokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		// Could be: function call, qualified column, or bare column.
+		nxt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch nxt.Kind {
+		case TokLParen:
+			return p.parseFuncCall(tok)
+		case TokDot:
+			if err := p.next(); err != nil { // ident
+				return nil, err
+			}
+			if err := p.next(); err != nil { // '.'
+				return nil, err
+			}
+			col, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: tok.Text, Name: col.Text, At: tok.Pos}, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &ColRef{Name: tok.Text, At: tok.Pos}, nil
+	}
+	return nil, errf(tok.Pos, "unexpected %s in expression", tok)
+}
+
+func (p *Parser) parseFuncCall(name Token) (Expr, error) {
+	if err := p.next(); err != nil { // ident
+		return nil, err
+	}
+	if err := p.next(); err != nil { // '('
+		return nil, err
+	}
+	call := &FuncCall{Name: name.Text, At: name.Pos}
+	if p.tok.Kind == TokRParen {
+		return call, p.next()
+	}
+	for {
+		if p.tok.Kind == TokStar {
+			call.Args = append(call.Args, &Star{At: p.tok.Pos})
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		} else {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+		}
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func parseUint(t Token) (uint64, error) {
+	u, err := strconv.ParseUint(t.Text, 0, 64)
+	if err != nil {
+		return 0, errf(t.Pos, "bad integer literal %q", t.Text)
+	}
+	return u, nil
+}

@@ -1,0 +1,305 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/schema"
+)
+
+func mustParseQuery(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParsePaperQueryTCPDest(t *testing.T) {
+	// The paper's first example (§2.2), braced DEFINE form.
+	q := mustParseQuery(t, `
+		DEFINE { query_name tcpdest0; }
+		SELECT destIP, destPort, time
+		FROM eth0.tcp
+		WHERE ipversion = 4 and protocol = 6`)
+	if q.Name() != "tcpdest0" {
+		t.Errorf("Name() = %q", q.Name())
+	}
+	if q.Kind != KindSelect || len(q.Select) != 3 {
+		t.Fatalf("kind %v, %d select items", q.Kind, len(q.Select))
+	}
+	if len(q.Sources) != 1 || q.Sources[0].Interface != "eth0" || q.Sources[0].Name != "tcp" {
+		t.Errorf("sources = %v", q.Sources)
+	}
+	and, ok := q.Where.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("where = %v", q.Where)
+	}
+}
+
+func TestParsePaperInlineDefine(t *testing.T) {
+	// The paper writes "DEFINE query name tcpdest0;" inline.
+	q := mustParseQuery(t, `
+		DEFINE query name tcpdest0;
+		SELECT time FROM tcp`)
+	if q.Name() != "tcpdest0" {
+		t.Errorf("Name() = %q", q.Name())
+	}
+}
+
+func TestParsePaperMergeQuery(t *testing.T) {
+	q := mustParseQuery(t, `
+		DEFINE { query_name tcpdest; }
+		Merge tcpdest0.time : tcpdest1.time
+		From tcpdest0, tcpdest1`)
+	if q.Kind != KindMerge {
+		t.Fatalf("kind = %v", q.Kind)
+	}
+	if len(q.MergeCols) != 2 || q.MergeCols[0].Table != "tcpdest0" || q.MergeCols[1].Name != "time" {
+		t.Errorf("merge cols = %v", q.MergeCols)
+	}
+	if len(q.Sources) != 2 {
+		t.Errorf("sources = %v", q.Sources)
+	}
+}
+
+func TestParsePaperAggregationQuery(t *testing.T) {
+	// §2.2: group-by with expressions and a pass-by-handle UDF.
+	q := mustParseQuery(t, `
+		Select peerid, tb, count(*)
+		FROM tcpdest
+		Group by time/60 as tb, getlpmid(destIP, 'peerid.tbl') as peerid`)
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if q.GroupBy[0].Alias != "tb" {
+		t.Errorf("alias = %q", q.GroupBy[0].Alias)
+	}
+	div, ok := q.GroupBy[0].Expr.(*BinaryExpr)
+	if !ok || div.Op != OpDiv {
+		t.Errorf("group expr = %v", q.GroupBy[0].Expr)
+	}
+	call, ok := q.GroupBy[1].Expr.(*FuncCall)
+	if !ok || call.Name != "getlpmid" || len(call.Args) != 2 {
+		t.Fatalf("udf = %v", q.GroupBy[1].Expr)
+	}
+	if c, ok := call.Args[1].(*Const); !ok || c.Val.Str() != "peerid.tbl" {
+		t.Errorf("handle arg = %v", call.Args[1])
+	}
+	cnt, ok := q.Select[2].Expr.(*FuncCall)
+	if !ok || cnt.Name != "count" || len(cnt.Args) != 1 {
+		t.Fatalf("count = %v", q.Select[2].Expr)
+	}
+	if _, ok := cnt.Args[0].(*Star); !ok {
+		t.Errorf("count arg = %v", cnt.Args[0])
+	}
+}
+
+func TestParseJoinWithWindowPredicate(t *testing.T) {
+	q := mustParseQuery(t, `
+		SELECT B.time, B.srcIP, C.destIP
+		FROM backbone B, customer C
+		WHERE B.time <= C.time+1 and B.time >= C.time-1 and B.srcIP = C.srcIP`)
+	if len(q.Sources) != 2 || q.Sources[0].Alias != "B" || q.Sources[1].Alias != "C" {
+		t.Fatalf("sources = %v", q.Sources)
+	}
+	col, ok := q.Select[0].Expr.(*ColRef)
+	if !ok || col.Table != "B" || col.Name != "time" {
+		t.Errorf("select[0] = %v", q.Select[0].Expr)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := mustParseQuery(t, "SELECT a + b * c FROM s WHERE x = 1 or y = 2 and z = 3")
+	add, ok := q.Select[0].Expr.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("expr = %v", q.Select[0].Expr)
+	}
+	if mul, ok := add.R.(*BinaryExpr); !ok || mul.Op != OpMul {
+		t.Errorf("* does not bind tighter than +: %v", q.Select[0].Expr)
+	}
+	or, ok := q.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("where = %v", q.Where)
+	}
+	if and, ok := or.R.(*BinaryExpr); !ok || and.Op != OpAnd {
+		t.Errorf("AND does not bind tighter than OR: %v", q.Where)
+	}
+}
+
+func TestParseLiteralsAndParams(t *testing.T) {
+	q := mustParseQuery(t, `
+		DEFINE { query_name pq; param port uint; param who string; }
+		SELECT time FROM tcp
+		WHERE destPort = $port and srcIP = 10.1.2.3 and f = 2.5 and ok = TRUE and s = 'x'`)
+	params := q.Params()
+	if params["port"] != schema.TUint || params["who"] != schema.TString {
+		t.Errorf("params = %v", params)
+	}
+	var ipSeen, paramSeen, floatSeen, boolSeen bool
+	Walk(q.Where, func(e Expr) bool {
+		switch n := e.(type) {
+		case *Const:
+			switch n.Val.Type {
+			case schema.TIP:
+				ipSeen = n.Val.IP() == 0x0a010203
+			case schema.TFloat:
+				floatSeen = n.Val.Float() == 2.5
+			case schema.TBool:
+				boolSeen = n.Val.Bool()
+			}
+		case *ParamRef:
+			paramSeen = n.Name == "port"
+		}
+		return true
+	})
+	if !ipSeen || !paramSeen || !floatSeen || !boolSeen {
+		t.Errorf("literals: ip=%v param=%v float=%v bool=%v", ipSeen, paramSeen, floatSeen, boolSeen)
+	}
+}
+
+func TestParseUnaryAndParens(t *testing.T) {
+	q := mustParseQuery(t, "SELECT -(a + 1), ~b FROM s WHERE not (x = 1)")
+	if neg, ok := q.Select[0].Expr.(*UnaryExpr); !ok || neg.Op != OpNeg {
+		t.Errorf("select[0] = %v", q.Select[0].Expr)
+	}
+	if bn, ok := q.Select[1].Expr.(*UnaryExpr); !ok || bn.Op != OpBitNot {
+		t.Errorf("select[1] = %v", q.Select[1].Expr)
+	}
+	if n, ok := q.Where.(*UnaryExpr); !ok || n.Op != OpNot {
+		t.Errorf("where = %v", q.Where)
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	q := mustParseQuery(t, `
+		SELECT tb, count(*) as cnt FROM tcp GROUP BY time/60 as tb HAVING count(*) > 100`)
+	if q.Having == nil {
+		t.Fatal("no HAVING")
+	}
+	if q.Select[1].Alias != "cnt" {
+		t.Errorf("alias = %q", q.Select[1].Alias)
+	}
+}
+
+func TestParseProtocolDef(t *testing.T) {
+	script, err := ParseScript(`
+		PROTOCOL NETFLOW {
+			uint time get_nf_time (increasing);
+			uint start_time get_nf_start (banded_increasing 30);
+			uint seq get_nf_seq (monotone_nonrepeating);
+			uint grp_ts get_nf_gts (increasing_in_group srcIP, destIP);
+			ip srcIP get_nf_src;
+			ip destIP get_nf_dst;
+		}
+		PROTOCOL CHILD (base NETFLOW) {
+			uint extra;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Protocols) != 2 {
+		t.Fatalf("%d protocols", len(script.Protocols))
+	}
+	nf := script.Protocols[0]
+	if nf.Name != "NETFLOW" || len(nf.Cols) != 6 {
+		t.Fatalf("nf = %+v", nf)
+	}
+	if nf.Cols[0].Ord.Kind != schema.OrderIncreasing {
+		t.Errorf("time ord = %v", nf.Cols[0].Ord)
+	}
+	if nf.Cols[1].Ord.Kind != schema.OrderBandedIncreasing || nf.Cols[1].Ord.Band != 30 {
+		t.Errorf("start ord = %v", nf.Cols[1].Ord)
+	}
+	if nf.Cols[2].Ord.Kind != schema.OrderNonrepeating {
+		t.Errorf("seq ord = %v", nf.Cols[2].Ord)
+	}
+	g := nf.Cols[3].Ord
+	if g.Kind != schema.OrderIncreasingInGroup || len(g.Group) != 2 || g.Group[0] != "srcIP" {
+		t.Errorf("grp ord = %v", g)
+	}
+	if nf.Cols[4].Interp != "get_nf_src" {
+		t.Errorf("interp = %q", nf.Cols[4].Interp)
+	}
+	child := script.Protocols[1]
+	if child.Base != "NETFLOW" || child.Cols[0].Interp != "" {
+		t.Errorf("child = %+v", child)
+	}
+}
+
+func TestParseScriptMultipleQueries(t *testing.T) {
+	script, err := ParseScript(`
+		DEFINE { query_name q1; }
+		SELECT time FROM eth0.tcp;
+		DEFINE { query_name q2; }
+		SELECT time FROM q1;
+		MERGE q1.time : q2.time FROM q1, q2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Queries) != 3 {
+		t.Fatalf("%d queries", len(script.Queries))
+	}
+	if script.Queries[2].Kind != KindMerge {
+		t.Errorf("q3 kind = %v", script.Queries[2].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT FROM x",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM x WHERE",
+		"MERGE a.t FROM",
+		"SELECT a FROM x GROUP time",
+		"DEFINE { query_name; } SELECT a FROM x",
+		"DEFINE { k v; k v2; } SELECT a FROM x",
+		"DEFINE { param p; } SELECT a FROM x",
+		"DEFINE { param p badtype; } SELECT a FROM x",
+		"PROTOCOL {}",
+		"PROTOCOL P { badtype f; }",
+		"PROTOCOL P { uint f (warped); }",
+		"PROTOCOL P { uint f (banded_increasing); }",
+		"PROTOCOL P { uint f (increasing_in_group); }",
+		"SELECT a FROM x trailing garbage --",
+		"SELECT count(* FROM x",
+		"UPDATE t SET x = 1",
+	}
+	for _, src := range bad {
+		if q, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded: %v", src, q)
+		}
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := ParseQuery("SELECT a FROM\n   WHERE")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	// String() output must re-parse to an equivalent query.
+	srcs := []string{
+		"SELECT destIP, destPort, time FROM eth0.tcp WHERE ipversion = 4 and protocol = 6",
+		"SELECT tb, count(*) FROM t GROUP BY time/60 AS tb HAVING count(*) > 2",
+		"MERGE a.time : b.time FROM a, b",
+		"SELECT x FROM s WHERE p = $port and ip = 10.0.0.1",
+	}
+	for _, src := range srcs {
+		q1 := mustParseQuery(t, src)
+		q2 := mustParseQuery(t, q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("round trip:\n  src:  %s\n  1st:  %s\n  2nd:  %s", src, q1, q2)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package gsql implements the GSQL language: lexer, abstract syntax tree,
+// and parser for both the data definition language (PROTOCOL declarations
+// with interpretation functions and ordering annotations) and the query
+// language (SELECT / MERGE with DEFINE blocks, paper §2.2).
+package gsql
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt    // unsigned integer literal
+	TokFloat  // float literal
+	TokString // 'single quoted' or "double quoted" string literal
+	TokIP     // dotted-quad IPv4 literal
+	TokParam  // $name query parameter reference
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokDot
+	TokColon
+	TokStar
+	TokPlus
+	TokMinus
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	case TokIP:
+		return "IP literal"
+	case TokParam:
+		return "parameter"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokSemi:
+		return "';'"
+	case TokDot:
+		return "'.'"
+	case TokColon:
+		return "':'"
+	case TokStar:
+		return "'*'"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokSlash:
+		return "'/'"
+	case TokPercent:
+		return "'%'"
+	case TokAmp:
+		return "'&'"
+	case TokPipe:
+		return "'|'"
+	case TokCaret:
+		return "'^'"
+	case TokTilde:
+		return "'~'"
+	case TokShl:
+		return "'<<'"
+	case TokShr:
+		return "'>>'"
+	case TokEq:
+		return "'='"
+	case TokNe:
+		return "'<>'"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Keywords recognized case-insensitively. The lexer normalizes keyword text
+// to upper case.
+// PROTOCOL and BASE are deliberately NOT keywords: "protocol" is a column
+// of the built-in IPV4 schema, so the parser matches them contextually.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "HAVING": true, "AND": true, "OR": true, "NOT": true,
+	"MERGE": true, "DEFINE": true, "TRUE": true,
+	"FALSE": true, "NULL": true, "IN": true,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier text, keyword (upper-cased), literal text
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokKeyword, TokInt, TokFloat, TokIP:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	case TokParam:
+		return "$" + t.Text
+	}
+	return t.Kind.String()
+}
+
+// Error is a positioned GSQL syntax or semantic error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("gsql:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,35 @@
+package lpm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := New()
+	for i := 0; i < 100_000; i++ {
+		length := 8 + rng.Intn(25)
+		prefix := uint32(rng.Uint64())
+		if err := tbl.Insert(prefix, length, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = uint32(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tbl := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(uint32(rng.Uint64()), 8+rng.Intn(25), uint64(i))
+	}
+}

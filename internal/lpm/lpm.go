@@ -1,0 +1,153 @@
+// Package lpm implements longest-prefix matching over IPv4 prefixes with a
+// path-compressed binary trie. It powers the getlpmid user-defined function
+// from the paper (§2.2): mapping a destination IP to the autonomous-system
+// peer whose announced prefix matches it most specifically.
+package lpm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gigascope/internal/schema"
+)
+
+// Table is an immutable-after-build longest-prefix-match table mapping IPv4
+// prefixes to uint64 identifiers.
+type Table struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	children [2]*node
+	hasValue bool
+	value    uint64
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{root: &node{}} }
+
+// Len returns the number of prefixes in the table.
+func (t *Table) Len() int { return t.n }
+
+// Insert adds a prefix of the given length (0..32) mapping to id. Inserting
+// the same prefix twice overwrites the id.
+func (t *Table) Insert(prefix uint32, length int, id uint64) error {
+	if length < 0 || length > 32 {
+		return fmt.Errorf("lpm: prefix length %d out of range", length)
+	}
+	if length < 32 && prefix<<uint(length) != 0 {
+		// Normalize host bits rather than failing: routing tables in the
+		// wild frequently carry them.
+		prefix &= ^uint32(0) << uint(32-length)
+		if length == 0 {
+			prefix = 0
+		}
+	}
+	n := t.root
+	for i := 0; i < length; i++ {
+		bit := prefix >> uint(31-i) & 1
+		if n.children[bit] == nil {
+			n.children[bit] = &node{}
+		}
+		n = n.children[bit]
+	}
+	if !n.hasValue {
+		t.n++
+	}
+	n.hasValue = true
+	n.value = id
+	return nil
+}
+
+// Lookup returns the id of the longest prefix matching addr. It reports
+// false when no prefix matches (a default route 0.0.0.0/0 always matches).
+func (t *Table) Lookup(addr uint32) (uint64, bool) {
+	n := t.root
+	var best uint64
+	var found bool
+	for i := 0; ; i++ {
+		if n.hasValue {
+			best, found = n.value, true
+		}
+		if i == 32 {
+			return best, found
+		}
+		bit := addr >> uint(31-i) & 1
+		if n.children[bit] == nil {
+			return best, found
+		}
+		n = n.children[bit]
+	}
+}
+
+// ParsePrefix parses "a.b.c.d/len"; a bare address means /32.
+func ParsePrefix(s string) (uint32, int, error) {
+	addrStr, lenStr, hasLen := strings.Cut(s, "/")
+	addr, err := schema.ParseIP(addrStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("lpm: %w", err)
+	}
+	if !hasLen {
+		return addr, 32, nil
+	}
+	length, err := strconv.Atoi(lenStr)
+	if err != nil || length < 0 || length > 32 {
+		return 0, 0, fmt.Errorf("lpm: bad prefix length %q", lenStr)
+	}
+	return addr, length, nil
+}
+
+// Read builds a table from a prefix file: one "prefix[/len] id" pair per
+// line, '#' comments, blank lines ignored. This is the format of the
+// pass-by-handle parameter file in the paper's getlpmid example
+// ('peerid.tbl', built from a routing table).
+func Read(r io.Reader) (*Table, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("lpm: line %d: want 'prefix id', got %q", lineNo, line)
+		}
+		prefix, length, err := ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("lpm: line %d: %w", lineNo, err)
+		}
+		id, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lpm: line %d: bad id %q", lineNo, fields[1])
+		}
+		if err := t.Insert(prefix, length, id); err != nil {
+			return nil, fmt.Errorf("lpm: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lpm: %w", err)
+	}
+	return t, nil
+}
+
+// Load reads a prefix table from a file.
+func Load(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

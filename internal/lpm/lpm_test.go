@@ -1,0 +1,205 @@
+package lpm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gigascope/internal/schema"
+)
+
+func mustIP(t *testing.T, s string) uint32 {
+	t.Helper()
+	a, err := schema.ParseIP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestLookupLongestWins(t *testing.T) {
+	tbl := New()
+	ins := []struct {
+		prefix string
+		id     uint64
+	}{
+		{"10.0.0.0/8", 1},
+		{"10.1.0.0/16", 2},
+		{"10.1.2.0/24", 3},
+		{"10.1.2.3/32", 4},
+		{"192.168.0.0/16", 5},
+	}
+	for _, in := range ins {
+		p, l, err := ParsePrefix(in.prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert(p, l, in.id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 5 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	cases := []struct {
+		addr string
+		id   uint64
+		ok   bool
+	}{
+		{"10.1.2.3", 4, true},
+		{"10.1.2.4", 3, true},
+		{"10.1.3.1", 2, true},
+		{"10.9.9.9", 1, true},
+		{"192.168.77.1", 5, true},
+		{"172.16.0.1", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tbl.Lookup(mustIP(t, c.addr))
+		if ok != c.ok || got != c.id {
+			t.Errorf("Lookup(%s) = %d, %v; want %d, %v", c.addr, got, ok, c.id, c.ok)
+		}
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tbl := New()
+	if err := tbl.Insert(0, 0, 99); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []uint32{0, 1, 0xffffffff, 0x0a000001} {
+		if id, ok := tbl.Lookup(addr); !ok || id != 99 {
+			t.Errorf("Lookup(%#x) = %d, %v", addr, id, ok)
+		}
+	}
+}
+
+func TestInsertOverwriteAndHostBits(t *testing.T) {
+	tbl := New()
+	p, l, _ := ParsePrefix("10.0.0.0/8")
+	if err := tbl.Insert(p, l, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(p, l, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len after overwrite = %d", tbl.Len())
+	}
+	if id, _ := tbl.Lookup(mustIP(t, "10.5.5.5")); id != 2 {
+		t.Errorf("overwrite: id = %d", id)
+	}
+	// Host bits set in the prefix are masked, not rejected.
+	if err := tbl.Insert(mustIP(t, "10.1.2.3"), 16, 7); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := tbl.Lookup(mustIP(t, "10.1.200.200")); id != 7 {
+		t.Errorf("host-bit insert: id = %d", id)
+	}
+	if err := tbl.Insert(0, 33, 1); err == nil {
+		t.Error("Insert(len 33) accepted")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, l, err := ParsePrefix("10.0.0.1")
+	if err != nil || l != 32 || p != 0x0a000001 {
+		t.Errorf("bare address: %#x/%d, %v", p, l, err)
+	}
+	for _, bad := range []string{"10.0.0.0/33", "10.0.0.0/x", "zap/8", "10.0.0.0/-1"} {
+		if _, _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestReadTableFile(t *testing.T) {
+	src := `# AT&T peer table (illustrative)
+10.0.0.0/8      1001
+192.168.0.0/16  1002
+
+# default
+0.0.0.0/0       1
+`
+	tbl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if id, _ := tbl.Lookup(mustIP(t, "10.1.1.1")); id != 1001 {
+		t.Errorf("id = %d", id)
+	}
+	if id, _ := tbl.Lookup(mustIP(t, "8.8.8.8")); id != 1 {
+		t.Errorf("default id = %d", id)
+	}
+	for _, bad := range []string{"10.0.0.0/8", "10.0.0.0/8 x", "1.2.3.4/40 1", "a b c"} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("Read(%q) succeeded", bad)
+		}
+	}
+}
+
+// naiveLookup is the reference implementation: scan all prefixes, keep the
+// longest match.
+type naiveEntry struct {
+	prefix uint32
+	length int
+	id     uint64
+}
+
+func naiveLookup(entries []naiveEntry, addr uint32) (uint64, bool) {
+	best := -1
+	var bestID uint64
+	for _, e := range entries {
+		mask := uint32(0)
+		if e.length > 0 {
+			mask = ^uint32(0) << uint(32-e.length)
+		}
+		if addr&mask == e.prefix&mask && e.length > best {
+			best, bestID = e.length, e.id
+		}
+	}
+	return bestID, best >= 0
+}
+
+func TestLookupMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := New()
+		var entries []naiveEntry
+		byKey := make(map[uint64]uint64) // dedupe (prefix,len) like the trie does
+		for i := 0; i < 50; i++ {
+			length := r.Intn(33)
+			prefix := uint32(r.Uint64())
+			if length < 32 {
+				prefix &= ^uint32(0) << uint(32-length)
+			}
+			if length == 0 {
+				prefix = 0
+			}
+			id := uint64(i + 1)
+			if err := tbl.Insert(prefix, length, id); err != nil {
+				return false
+			}
+			byKey[uint64(prefix)<<6|uint64(length)] = id
+		}
+		for k, id := range byKey {
+			entries = append(entries, naiveEntry{prefix: uint32(k >> 6), length: int(k & 63), id: id})
+		}
+		for i := 0; i < 200; i++ {
+			addr := uint32(rng.Uint64())
+			gotID, gotOK := tbl.Lookup(addr)
+			wantID, wantOK := naiveLookup(entries, addr)
+			if gotOK != wantOK || (gotOK && gotID != wantID) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

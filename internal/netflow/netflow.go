@@ -1,0 +1,255 @@
+// Package netflow synthesizes NetFlow-style flow records, the paper's
+// motivating example for multi-timestamp ordering properties (§2.1): "a
+// stream of Netflow records produced by a router will have monotonically
+// increasing end timestamps, and generally (but not monotonically)
+// increasing start timestamps ... all Netflow records are dumped every 30
+// seconds. Therefore ... the start attribute is banded-increasing(30 sec)".
+//
+// Records are carried as raw 32-byte payloads in pkt.Packet containers
+// (one record per packet, the record stream a collector would emit after
+// splitting export datagrams), interpreted by nf_* functions registered
+// in the pkt interpretation library.
+package netflow
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// RecordLen is the wire size of one record.
+const RecordLen = 32
+
+// Field offsets within a record.
+const (
+	offSrcIP   = 0
+	offDstIP   = 4
+	offSrcPort = 8
+	offDstPort = 10
+	offProto   = 12
+	offFlags   = 13
+	offPackets = 16
+	offBytes   = 20
+	offFirst   = 24 // start timestamp, seconds
+	offLast    = 28 // end timestamp, seconds
+)
+
+// SegmentSeconds is the router's flush interval: long flows are chopped
+// into segments this long, which is exactly why start timestamps are
+// banded-increasing(SegmentSeconds).
+const SegmentSeconds = 30
+
+// Record is one decoded flow record.
+type Record struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto, Flags     uint8
+	Packets, Bytes   uint32
+	First, Last      uint32 // seconds
+}
+
+// Encode packs the record into a packet with the given export timestamp
+// (microseconds).
+func (r Record) Encode(exportUsec uint64) pkt.Packet {
+	data := make([]byte, RecordLen)
+	binary.BigEndian.PutUint32(data[offSrcIP:], r.SrcIP)
+	binary.BigEndian.PutUint32(data[offDstIP:], r.DstIP)
+	binary.BigEndian.PutUint16(data[offSrcPort:], r.SrcPort)
+	binary.BigEndian.PutUint16(data[offDstPort:], r.DstPort)
+	data[offProto] = r.Proto
+	data[offFlags] = r.Flags
+	binary.BigEndian.PutUint32(data[offPackets:], r.Packets)
+	binary.BigEndian.PutUint32(data[offBytes:], r.Bytes)
+	binary.BigEndian.PutUint32(data[offFirst:], r.First)
+	binary.BigEndian.PutUint32(data[offLast:], r.Last)
+	return pkt.Packet{TS: exportUsec, WireLen: RecordLen, Data: data}
+}
+
+// Decode parses a record packet.
+func Decode(p *pkt.Packet) (Record, error) {
+	if len(p.Data) < RecordLen {
+		return Record{}, fmt.Errorf("netflow: short record (%d bytes)", len(p.Data))
+	}
+	return Record{
+		SrcIP:   binary.BigEndian.Uint32(p.Data[offSrcIP:]),
+		DstIP:   binary.BigEndian.Uint32(p.Data[offDstIP:]),
+		SrcPort: binary.BigEndian.Uint16(p.Data[offSrcPort:]),
+		DstPort: binary.BigEndian.Uint16(p.Data[offDstPort:]),
+		Proto:   p.Data[offProto],
+		Flags:   p.Data[offFlags],
+		Packets: binary.BigEndian.Uint32(p.Data[offPackets:]),
+		Bytes:   binary.BigEndian.Uint32(p.Data[offBytes:]),
+		First:   binary.BigEndian.Uint32(p.Data[offFirst:]),
+		Last:    binary.BigEndian.Uint32(p.Data[offLast:]),
+	}, nil
+}
+
+func nfRaw(name string, off, width int, ty schema.Type) {
+	raw := pkt.RawRef{Off: off, Width: width}
+	pkt.RegisterInterp(&pkt.FieldSpec{
+		Name: name, Type: ty, Raw: &raw, NeedBytes: raw.End(),
+		Extract: func(p *pkt.Packet) (schema.Value, bool) {
+			v, ok := raw.Read(p)
+			if !ok {
+				return schema.Null, false
+			}
+			if ty == schema.TIP {
+				return schema.MakeIP(uint32(v)), true
+			}
+			return schema.MakeUint(v), true
+		},
+	})
+}
+
+func init() {
+	nfRaw("nf_src_ip", offSrcIP, 4, schema.TIP)
+	nfRaw("nf_dest_ip", offDstIP, 4, schema.TIP)
+	nfRaw("nf_src_port", offSrcPort, 2, schema.TUint)
+	nfRaw("nf_dest_port", offDstPort, 2, schema.TUint)
+	nfRaw("nf_proto", offProto, 1, schema.TUint)
+	nfRaw("nf_tcp_flags", offFlags, 1, schema.TUint)
+	nfRaw("nf_packets", offPackets, 4, schema.TUint)
+	nfRaw("nf_bytes", offBytes, 4, schema.TUint)
+	nfRaw("nf_start_time", offFirst, 4, schema.TUint)
+	nfRaw("nf_end_time", offLast, 4, schema.TUint)
+}
+
+// Schema returns the NETFLOW protocol schema with the paper's ordering
+// properties: export time and end time increasing, start time
+// banded-increasing(30) and, within a flow 5-tuple, increasing.
+func Schema() *schema.Schema {
+	inc := schema.Ordering{Kind: schema.OrderIncreasing}
+	return &schema.Schema{
+		Name: "NETFLOW",
+		Kind: schema.KindProtocol,
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint, Interp: "get_time", Ordering: inc},
+			{Name: "start_time", Type: schema.TUint, Interp: "nf_start_time",
+				Ordering: schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: SegmentSeconds}},
+			{Name: "end_time", Type: schema.TUint, Interp: "nf_end_time", Ordering: inc},
+			{Name: "srcIP", Type: schema.TIP, Interp: "nf_src_ip"},
+			{Name: "destIP", Type: schema.TIP, Interp: "nf_dest_ip"},
+			{Name: "srcPort", Type: schema.TUint, Interp: "nf_src_port"},
+			{Name: "destPort", Type: schema.TUint, Interp: "nf_dest_port"},
+			{Name: "protocol", Type: schema.TUint, Interp: "nf_proto"},
+			{Name: "tcp_flags", Type: schema.TUint, Interp: "nf_tcp_flags"},
+			{Name: "packets", Type: schema.TUint, Interp: "nf_packets"},
+			{Name: "bytes", Type: schema.TUint, Interp: "nf_bytes"},
+		},
+	}
+}
+
+// Register adds the NETFLOW schema to a catalog.
+func Register(cat *schema.Catalog) error { return cat.Register(Schema()) }
+
+// Config tunes the flow synthesizer.
+type Config struct {
+	Seed            int64
+	FlowsPerSecond  float64 // new flow arrival rate
+	MeanDurationSec float64 // mean flow lifetime
+	MeanPps         float64 // mean packets per second per flow
+	StartSec        uint64
+}
+
+// Generator produces flow records with monotone end timestamps and
+// banded-increasing start timestamps, exactly the ordering structure the
+// paper describes.
+type Generator struct {
+	cfg       Config
+	rng       *rand.Rand
+	active    flowHeap
+	nextSpawn float64
+	count     uint64
+}
+
+type liveFlow struct {
+	rec      Record
+	segStart float64
+	endsAt   float64
+	pps      float64
+	nextEmit float64
+}
+
+type flowHeap []*liveFlow
+
+func (h flowHeap) Len() int           { return len(h) }
+func (h flowHeap) Less(i, j int) bool { return h[i].nextEmit < h[j].nextEmit }
+func (h flowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *flowHeap) Push(x any)        { *h = append(*h, x.(*liveFlow)) }
+func (h *flowHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	*h = old[:n-1]
+	return f
+}
+
+// NewGenerator builds a record synthesizer.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.FlowsPerSecond <= 0 || cfg.MeanDurationSec <= 0 || cfg.MeanPps <= 0 {
+		return nil, fmt.Errorf("netflow: rates and durations must be positive")
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.nextSpawn = float64(cfg.StartSec) + g.rng.ExpFloat64()/cfg.FlowsPerSecond
+	return g, nil
+}
+
+func (g *Generator) spawn(at float64) {
+	f := &liveFlow{
+		rec: Record{
+			SrcIP:   0x0a000000 | uint32(g.rng.Intn(1<<20)),
+			DstIP:   0xc0a80000 | uint32(g.rng.Intn(1<<12)),
+			SrcPort: uint16(1024 + g.rng.Intn(60000)),
+			DstPort: []uint16{80, 443, 53, 25, 8080}[g.rng.Intn(5)],
+			Proto:   pkt.ProtoTCP,
+			Flags:   pkt.FlagACK,
+		},
+		segStart: at,
+		endsAt:   at + g.rng.ExpFloat64()*g.cfg.MeanDurationSec,
+		pps:      0.1 + g.rng.ExpFloat64()*g.cfg.MeanPps,
+	}
+	f.nextEmit = f.segEnd()
+	heap.Push(&g.active, f)
+}
+
+func (f *liveFlow) segEnd() float64 {
+	end := f.segStart + SegmentSeconds
+	if f.endsAt < end {
+		end = f.endsAt
+	}
+	return end
+}
+
+// Next returns the next record in export (end time) order.
+func (g *Generator) Next() pkt.Packet {
+	for len(g.active) == 0 || g.nextSpawn < g.active[0].nextEmit {
+		g.spawn(g.nextSpawn)
+		g.nextSpawn += g.rng.ExpFloat64() / g.cfg.FlowsPerSecond
+	}
+	f := g.active[0]
+	emitAt := f.nextEmit
+	dur := emitAt - f.segStart
+	rec := f.rec
+	rec.First = uint32(f.segStart)
+	rec.Last = uint32(emitAt)
+	rec.Packets = uint32(dur*f.pps) + 1
+	rec.Bytes = rec.Packets * uint32(64+g.rng.Intn(1400))
+	if emitAt >= f.endsAt {
+		heap.Pop(&g.active)
+	} else {
+		f.segStart = emitAt
+		f.nextEmit = f.segEnd()
+		heap.Fix(&g.active, 0)
+	}
+	g.count++
+	// Export follows the segment close after a short router delay.
+	exportUsec := uint64(emitAt*1e6) + 50_000
+	return rec.Encode(exportUsec)
+}
+
+// Count returns the number of records generated.
+func (g *Generator) Count() uint64 { return g.count }

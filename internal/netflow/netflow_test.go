@@ -1,0 +1,244 @@
+package netflow
+
+import (
+	"testing"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	r := Record{
+		SrcIP: 0x0a010203, DstIP: 0xc0a80105,
+		SrcPort: 4242, DstPort: 80,
+		Proto: pkt.ProtoTCP, Flags: pkt.FlagSYN | pkt.FlagACK,
+		Packets: 17, Bytes: 12345,
+		First: 1000, Last: 1020,
+	}
+	p := r.Encode(1_020_050_000)
+	got, err := Decode(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("round trip: got %+v, want %+v", got, r)
+	}
+	short := pkt.Packet{Data: p.Data[:10]}
+	if _, err := Decode(&short); err == nil {
+		t.Error("short record decoded")
+	}
+}
+
+func TestInterpFunctionsMatchDecode(t *testing.T) {
+	r := Record{
+		SrcIP: 0x0a010203, DstIP: 0xc0a80105,
+		SrcPort: 4242, DstPort: 80,
+		Proto: 6, Flags: 2, Packets: 9, Bytes: 999,
+		First: 500, Last: 522,
+	}
+	p := r.Encode(522_100_000)
+	cases := map[string]uint64{
+		"nf_src_port":   4242,
+		"nf_dest_port":  80,
+		"nf_proto":      6,
+		"nf_tcp_flags":  2,
+		"nf_packets":    9,
+		"nf_bytes":      999,
+		"nf_start_time": 500,
+		"nf_end_time":   522,
+	}
+	for name, want := range cases {
+		f, ok := pkt.LookupInterp(name)
+		if !ok {
+			t.Fatalf("%s unregistered", name)
+		}
+		v, ok := f.Extract(&p)
+		if !ok || v.Uint() != want {
+			t.Errorf("%s = %v, %v; want %d", name, v, ok, want)
+		}
+	}
+	f, _ := pkt.LookupInterp("nf_src_ip")
+	if v, _ := f.Extract(&p); v.IP() != r.SrcIP {
+		t.Errorf("nf_src_ip = %v", v)
+	}
+	f, _ = pkt.LookupInterp("get_time")
+	if v, _ := f.Extract(&p); v.Uint() != 522 {
+		t.Errorf("get_time = %v", v)
+	}
+}
+
+func TestSchemaValidAndRegistered(t *testing.T) {
+	s := Schema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	i, c := s.Col("start_time")
+	if i < 0 || c.Ordering.Kind != schema.OrderBandedIncreasing || c.Ordering.Band != 30 {
+		t.Errorf("start_time ordering = %v", c)
+	}
+	cat := schema.NewCatalog()
+	if err := Register(cat); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat.Lookup("netflow"); !ok {
+		t.Error("NETFLOW not registered")
+	}
+}
+
+func TestGeneratorOrderingProperties(t *testing.T) {
+	// The central claim: end timestamps monotone increasing, start
+	// timestamps banded-increasing(30), start increasing within a flow.
+	g, err := NewGenerator(Config{Seed: 1, FlowsPerSecond: 20, MeanDurationSec: 25, MeanPps: 10, StartSec: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endCheck := schema.NewOrderChecker(schema.Ordering{Kind: schema.OrderIncreasing}, nil)
+	bandCheck := schema.NewOrderChecker(schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: 31}, nil)
+	groupCheck := schema.NewOrderChecker(
+		schema.Ordering{Kind: schema.OrderIncreasingInGroup, Group: []string{"flow"}},
+		func(tup schema.Tuple) string { return tup[0].String() },
+	)
+	sawStraggler := false
+	var hwm uint32
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		r, err := Decode(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.First > r.Last {
+			t.Fatalf("record %d: start %d after end %d", i, r.First, r.Last)
+		}
+		if err := endCheck.Observe(schema.MakeUint(uint64(r.Last)), nil); err != nil {
+			t.Fatalf("end time: %v", err)
+		}
+		if err := bandCheck.Observe(schema.MakeUint(uint64(r.First)), nil); err != nil {
+			t.Fatalf("start time: %v", err)
+		}
+		key := schema.Tuple{schema.MakeStr(flowKey(r)), schema.MakeUint(uint64(r.First))}
+		if err := groupCheck.Observe(key[1], key); err != nil {
+			t.Fatalf("in-group start: %v", err)
+		}
+		if r.First < hwm {
+			sawStraggler = true // starts genuinely not monotone overall
+		}
+		if r.First > hwm {
+			hwm = r.First
+		}
+	}
+	if !sawStraggler {
+		t.Error("start timestamps were globally monotone; workload too tame to exercise banding")
+	}
+}
+
+func flowKey(r Record) string {
+	return schema.FormatIP(r.SrcIP) + "/" + schema.FormatIP(r.DstIP)
+}
+
+func TestGeneratorLongFlowsAreSegmented(t *testing.T) {
+	g, err := NewGenerator(Config{Seed: 2, FlowsPerSecond: 2, MeanDurationSec: 120, MeanPps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for i := 0; i < 2000; i++ {
+		p := g.Next()
+		r, _ := Decode(&p)
+		if r.Last-r.First > SegmentSeconds {
+			t.Fatalf("segment longer than %ds: %+v", SegmentSeconds, r)
+		}
+		if r.Last-r.First == SegmentSeconds {
+			segs++
+		}
+	}
+	if segs == 0 {
+		t.Error("no 30s segments from long flows")
+	}
+}
+
+func TestGeneratorConfigErrors(t *testing.T) {
+	if _, err := NewGenerator(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+// End-to-end: the paper's NetFlow aggregation pattern — group by a
+// banded-increasing key — compiled and run over generated records.
+func TestNetflowQueryEndToEnd(t *testing.T) {
+	cat := schema.NewCatalog()
+	if err := Register(cat); err != nil {
+		t.Fatal(err)
+	}
+	q, err := gsql.ParseQuery(`
+		DEFINE { query_name nfagg; }
+		SELECT stb, count(*), sum(bytes)
+		FROM NETFLOW
+		GROUP BY start_time/60 as stb`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := core.Compile(cat, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The banded start_time divides into minute buckets with band
+	// ceil(30/60) = 1: check the plan imputed it.
+	lfta := cq.Nodes[0]
+	ord := lfta.Out.Cols[0].Ordering
+	if ord.Kind != schema.OrderBandedIncreasing || ord.Band != 1 {
+		t.Errorf("stb ordering = %s, want banded_increasing(1)", ord)
+	}
+
+	insts := make([]*core.Instance, len(cq.Nodes))
+	for i, n := range cq.Nodes {
+		inst, err := n.Instantiate(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = inst
+	}
+	var out []exec.Message
+	sink := exec.Collect(&out)
+	mid := func(m exec.Message) { insts[1].Op.Push(0, m, sink) }
+
+	g, err := NewGenerator(Config{Seed: 3, FlowsPerSecond: 30, MeanDurationSec: 40, MeanPps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBytes = map[uint64]uint64{}
+	var wantCount = map[uint64]uint64{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		p := g.Next()
+		r, _ := Decode(&p)
+		wantBytes[uint64(r.First/60)] += uint64(r.Bytes)
+		wantCount[uint64(r.First/60)]++
+		if err := insts[0].PushPacket(&p, mid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insts[0].Op.FlushAll(mid)
+	insts[1].Op.FlushAll(sink)
+
+	gotBytes := map[uint64]uint64{}
+	gotCount := map[uint64]uint64{}
+	for _, m := range out {
+		if m.IsHeartbeat() {
+			continue
+		}
+		gotCount[m.Tuple[0].Uint()] += m.Tuple[1].Uint()
+		gotBytes[m.Tuple[0].Uint()] += m.Tuple[2].Uint()
+	}
+	if len(gotCount) != len(wantCount) {
+		t.Fatalf("buckets = %d, want %d", len(gotCount), len(wantCount))
+	}
+	for k := range wantCount {
+		if gotCount[k] != wantCount[k] || gotBytes[k] != wantBytes[k] {
+			t.Errorf("bucket %d: got (%d, %d), want (%d, %d)",
+				k, gotCount[k], gotBytes[k], wantCount[k], wantBytes[k])
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+
+	"gigascope/internal/pkt"
+)
+
+func port80Class(rate float64, httpFrac float64) Class {
+	return Class{
+		Name: "web", RateMbps: rate, PktBytes: 1000, DstPort: 80,
+		Proto: pkt.ProtoTCP, Payload: PayloadHTTP, HTTPFraction: httpFrac,
+	}
+}
+
+func TestGeneratorRateAccuracy(t *testing.T) {
+	g, err := New(Config{Seed: 1, Classes: []Class{port80Class(60, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 5e6 // 5 virtual seconds
+	var bits uint64
+	g.Until(horizon, func(p *pkt.Packet) {
+		bits += uint64(p.WireLen * 8)
+	})
+	gotMbps := float64(bits) / 5 / 1e6
+	if gotMbps < 54 || gotMbps > 66 {
+		t.Errorf("offered rate = %.1f Mbit/s, want ~60", gotMbps)
+	}
+}
+
+func TestGeneratorTimestampsIncrease(t *testing.T) {
+	g, err := New(Config{Seed: 2, Classes: []Class{
+		port80Class(60, 0.5),
+		{Name: "bg", RateMbps: 100, PktBytes: 600, DstPort: 9999, Proto: pkt.ProtoUDP},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 20000; i++ {
+		p, _ := g.Next()
+		if p.TS < last {
+			t.Fatalf("timestamp went backwards at %d: %d < %d", i, p.TS, last)
+		}
+		last = p.TS
+	}
+}
+
+func TestGeneratorPacketsAreValidFrames(t *testing.T) {
+	g, err := New(Config{Seed: 3, Classes: []Class{
+		port80Class(10, 1),
+		{Name: "dns", RateMbps: 5, PktBytes: 200, DstPort: 53, Proto: pkt.ProtoUDP},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		p, _ := g.Next()
+		if err := pkt.Verify(&p); err != nil {
+			t.Fatalf("packet %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGeneratorHTTPFraction(t *testing.T) {
+	// The §4 experiment depends on a controllable HTTP fraction among
+	// port-80 packets; verify against the paper's own regex.
+	re := regexp.MustCompile(`^[^\n]*HTTP/1.*`)
+	g, err := New(Config{Seed: 4, Classes: []Class{port80Class(60, 0.7)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, total := 0, 0
+	for i := 0; i < 10000; i++ {
+		p, _ := g.Next()
+		pay, ok := p.Payload()
+		if !ok {
+			t.Fatal("no payload")
+		}
+		total++
+		if re.Match(pay) {
+			match++
+		}
+	}
+	frac := float64(match) / float64(total)
+	if frac < 0.67 || frac > 0.73 {
+		t.Errorf("HTTP fraction = %.3f, want ~0.7", frac)
+	}
+}
+
+func TestGeneratorRandomPayloadNeverMatches(t *testing.T) {
+	re := regexp.MustCompile(`^[^\n]*HTTP/1.*`)
+	g, err := New(Config{Seed: 5, Classes: []Class{{
+		Name: "bg", RateMbps: 50, PktBytes: 800, DstPort: 80,
+		Proto: pkt.ProtoTCP, Payload: PayloadRandom,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		p, _ := g.Next()
+		pay, _ := p.Payload()
+		if re.Match(pay) {
+			t.Fatalf("random payload matched HTTP regex: %q", pay[:32])
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		g, err := New(Config{Seed: 7, Classes: []Class{port80Class(60, 0.5)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ts []uint64
+		for i := 0; i < 1000; i++ {
+			p, _ := g.Next()
+			ts = append(ts, p.TS)
+		}
+		return ts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorBurstyAverageHolds(t *testing.T) {
+	g, err := New(Config{Seed: 8, Classes: []Class{{
+		Name: "bursty", RateMbps: 40, PktBytes: 1000, DstPort: 80,
+		Proto: pkt.ProtoTCP, Bursty: true,
+		MeanOnSeconds: 0.2, MeanOffSeconds: 0.2,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 20e6
+	var bits uint64
+	g.Until(horizon, func(p *pkt.Packet) { bits += uint64(p.WireLen * 8) })
+	got := float64(bits) / 20 / 1e6
+	if got < 30 || got > 50 {
+		t.Errorf("bursty average = %.1f Mbit/s, want ~40", got)
+	}
+}
+
+func TestGeneratorBurstyHasGaps(t *testing.T) {
+	g, err := New(Config{Seed: 9, Classes: []Class{{
+		Name: "bursty", RateMbps: 40, PktBytes: 1000, DstPort: 80,
+		Proto: pkt.ProtoTCP, Bursty: true,
+		MeanOnSeconds: 0.1, MeanOffSeconds: 0.3,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	maxGap := uint64(0)
+	for i := 0; i < 20000; i++ {
+		p, _ := g.Next()
+		if last != 0 && p.TS-last > maxGap {
+			maxGap = p.TS - last
+		}
+		last = p.TS
+	}
+	// With mean off period 300ms, gaps far beyond the steady interarrival
+	// (~200us at burst rate) must appear.
+	if maxGap < 50_000 {
+		t.Errorf("max gap = %dus; burstiness not visible", maxGap)
+	}
+}
+
+func TestGeneratorFlowDiversity(t *testing.T) {
+	g, err := New(Config{Seed: 10, Classes: []Class{{
+		Name: "f", RateMbps: 10, PktBytes: 500, DstPort: 80,
+		Proto: pkt.ProtoTCP, Flows: 64,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make(map[uint32]bool)
+	counts := make(map[uint32]int)
+	for i := 0; i < 20000; i++ {
+		p, _ := g.Next()
+		f, _ := pkt.LookupInterp("get_src_ip")
+		v, ok := f.Extract(&p)
+		if !ok {
+			t.Fatal("no srcIP")
+		}
+		srcs[v.IP()] = true
+		counts[v.IP()]++
+	}
+	// Zipf selection: most flows appear, but popularity is heavily
+	// skewed (temporal locality for the LFTA tables, paper §3).
+	if len(srcs) < 32 {
+		t.Errorf("distinct sources = %d, want most of 64", len(srcs))
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 20000/16 {
+		t.Errorf("hottest flow carries %d/20000 packets; expected Zipf skew", maxC)
+	}
+}
+
+func TestGeneratorConfigErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Classes: []Class{{Name: "tiny", RateMbps: 1, PktBytes: 10}}}); err == nil {
+		t.Error("tiny packets accepted")
+	}
+	if _, err := New(Config{Classes: []Class{{Name: "b", RateMbps: 1, PktBytes: 100, Bursty: true}}}); err == nil {
+		t.Error("bursty without durations accepted")
+	}
+	if _, err := New(Config{Classes: []Class{{Name: "silent"}}}); err == nil {
+		t.Error("all-silent config accepted")
+	}
+}
+
+func TestGeneratorUDPFrames(t *testing.T) {
+	g, err := New(Config{Seed: 11, Classes: []Class{{
+		Name: "udp", RateMbps: 10, PktBytes: 300, DstPort: 53, Proto: pkt.ProtoUDP,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := g.Next()
+	if proto, _ := p.IPProto(); proto != pkt.ProtoUDP {
+		t.Errorf("proto = %d", proto)
+	}
+	if p.WireLen != 300 {
+		t.Errorf("wire len = %d", p.WireLen)
+	}
+	pay, ok := p.Payload()
+	if !ok || len(pay) != 300-14-20-8 {
+		t.Errorf("payload = %d bytes", len(pay))
+	}
+	if bytes.Contains(pay, []byte("HTTP/1")) {
+		t.Error("random payload contains HTTP/1")
+	}
+}

@@ -1,0 +1,86 @@
+package nic
+
+import (
+	"fmt"
+
+	"gigascope/internal/pkt"
+)
+
+// Capability enumerates the NIC tiers the paper distinguishes (§3):
+// dumb capture, BPF pre-filter + snap length, and a programmable NIC
+// with its own run-time system hosting LFTAs.
+type Capability uint8
+
+const (
+	// CapDumb delivers every packet in full.
+	CapDumb Capability = iota
+	// CapBPF evaluates a preliminary filter and truncates qualifying
+	// packets to the snap length.
+	CapBPF
+	// CapRTS hosts LFTAs on the card; only result tuples cross to the
+	// host (modeled by the capture package; functionally the device
+	// behaves like CapBPF with the full LFTA as its filter).
+	CapRTS
+)
+
+func (c Capability) String() string {
+	switch c {
+	case CapDumb:
+		return "dumb"
+	case CapBPF:
+		return "bpf+snaplen"
+	case CapRTS:
+		return "programmable (NIC RTS)"
+	}
+	return "?"
+}
+
+// Device is a virtual NIC: a capability tier plus an installed filter
+// program. Programs are installed before traffic starts, mirroring the
+// static LFTA set.
+type Device struct {
+	cap       Capability
+	prog      *Program
+	delivered uint64
+	filtered  uint64
+}
+
+// NewDevice builds a device of the given tier.
+func NewDevice(c Capability) *Device { return &Device{cap: c} }
+
+// Capability returns the device tier.
+func (d *Device) Capability() Capability { return d.cap }
+
+// Install loads a filter program. Dumb devices reject programs.
+func (d *Device) Install(p *Program) error {
+	if d.cap == CapDumb && !p.Empty() {
+		return fmt.Errorf("nic: %s device cannot run a filter program", d.cap)
+	}
+	d.prog = p
+	return nil
+}
+
+// Process runs one packet through the device: it reports whether the
+// packet is delivered to the host and returns the (possibly snapped)
+// capture. Dumb devices deliver everything in full.
+func (d *Device) Process(p *pkt.Packet) (pkt.Packet, bool) {
+	if d.cap == CapDumb || d.prog == nil {
+		d.delivered++
+		return *p, true
+	}
+	if !d.prog.Match(p) {
+		d.filtered++
+		return pkt.Packet{}, false
+	}
+	d.delivered++
+	if d.prog.SnapLen > 0 {
+		return p.Snap(d.prog.SnapLen), true
+	}
+	return *p, true
+}
+
+// Delivered and Filtered return the device counters.
+func (d *Device) Delivered() uint64 { return d.delivered }
+
+// Filtered returns the number of packets the program discarded.
+func (d *Device) Filtered() uint64 { return d.filtered }

@@ -1,0 +1,151 @@
+// Package nic simulates the network interface cards Gigascope ran on
+// (paper §3, §4): from dumb capture devices, through NICs that accept a
+// BPF-style preliminary filter and a snap length, up to programmable NICs
+// with their own run-time system that host entire LFTAs on the card.
+package nic
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/pkt"
+)
+
+// CmpOp is a comparison in a NIC filter program.
+type CmpOp uint8
+
+const (
+	CmpEq CmpOp = iota + 1
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp compares a raw header field against a constant, BPF-style: the field
+// is a fixed-offset big-endian read with optional shift and mask.
+type Cmp struct {
+	Raw pkt.RawRef
+	Op  CmpOp
+	Val uint64
+}
+
+// Match evaluates the comparison; an unreadable field (short capture)
+// fails the match.
+func (c Cmp) Match(p *pkt.Packet) bool {
+	v, ok := c.Raw.Read(p)
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case CmpEq:
+		return v == c.Val
+	case CmpNe:
+		return v != c.Val
+	case CmpLt:
+		return v < c.Val
+	case CmpLe:
+		return v <= c.Val
+	case CmpGt:
+		return v > c.Val
+	case CmpGe:
+		return v >= c.Val
+	}
+	return false
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("u%d[%d]%s %s %d", c.Raw.Width*8, c.Raw.Off, maskStr(c.Raw), c.Op, c.Val)
+}
+
+func maskStr(r pkt.RawRef) string {
+	if r.Shift == 0 && r.Mask == 0 {
+		return ""
+	}
+	return fmt.Sprintf(">>%d&%#x", r.Shift, r.Mask)
+}
+
+// Clause is a disjunction of comparisons.
+type Clause []Cmp
+
+// Match reports whether any comparison holds.
+func (cl Clause) Match(p *pkt.Packet) bool {
+	for _, c := range cl {
+		if c.Match(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Program is a NIC pre-filter in conjunctive normal form plus a snap
+// length: the number of leading bytes of qualifying packets to deliver
+// (paper §3: "specify a bpf preliminary filter, and ... the number of
+// bytes of qualifying packets to be returned"). SnapLen 0 means deliver
+// the whole packet.
+type Program struct {
+	Clauses []Clause
+	SnapLen int
+}
+
+// Match reports whether the packet passes the filter.
+func (p *Program) Match(pk *pkt.Packet) bool {
+	for _, cl := range p.Clauses {
+		if !cl.Match(pk) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the program filters nothing and keeps whole
+// packets.
+func (p *Program) Empty() bool {
+	return p == nil || (len(p.Clauses) == 0 && p.SnapLen == 0)
+}
+
+// String renders the program for EXPLAIN output.
+func (p *Program) String() string {
+	if p == nil {
+		return "<none>"
+	}
+	var parts []string
+	for _, cl := range p.Clauses {
+		var alts []string
+		for _, c := range cl {
+			alts = append(alts, c.String())
+		}
+		s := strings.Join(alts, " or ")
+		if len(cl) > 1 {
+			s = "(" + s + ")"
+		}
+		parts = append(parts, s)
+	}
+	out := strings.Join(parts, " and ")
+	if out == "" {
+		out = "true"
+	}
+	if p.SnapLen > 0 {
+		out += fmt.Sprintf(" snap %dB", p.SnapLen)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package nic
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/pkt"
+)
+
+func tcp80(payload int) pkt.Packet {
+	return pkt.BuildTCP(1000, pkt.TCPSpec{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: 30000, DstPort: 80, Payload: make([]byte, payload),
+	})
+}
+
+func udp53() pkt.Packet {
+	return pkt.BuildUDP(1000, pkt.UDPSpec{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: 5353, DstPort: 53, Payload: []byte{1, 2, 3},
+	})
+}
+
+func destPortCmp(op CmpOp, val uint64) Cmp {
+	return Cmp{Raw: pkt.RawRef{Off: 36, Width: 2}, Op: op, Val: val}
+}
+
+func protoCmp(val uint64) Cmp {
+	return Cmp{Raw: pkt.RawRef{Off: 23, Width: 1}, Op: CmpEq, Val: val}
+}
+
+func TestCmpOperators(t *testing.T) {
+	p := tcp80(10)
+	cases := []struct {
+		cmp  Cmp
+		want bool
+	}{
+		{destPortCmp(CmpEq, 80), true},
+		{destPortCmp(CmpEq, 443), false},
+		{destPortCmp(CmpNe, 443), true},
+		{destPortCmp(CmpLt, 81), true},
+		{destPortCmp(CmpLe, 80), true},
+		{destPortCmp(CmpGt, 80), false},
+		{destPortCmp(CmpGe, 80), true},
+	}
+	for _, c := range cases {
+		if got := c.cmp.Match(&p); got != c.want {
+			t.Errorf("%s = %v, want %v", c.cmp, got, c.want)
+		}
+	}
+}
+
+func TestCmpShortCaptureFails(t *testing.T) {
+	p := tcp80(10)
+	s := p.Snap(20)
+	if destPortCmp(CmpEq, 80).Match(&s) {
+		t.Error("comparison succeeded on short capture")
+	}
+}
+
+func TestProgramCNF(t *testing.T) {
+	// (port = 80 or port = 8080) and proto = 6
+	prog := &Program{Clauses: []Clause{
+		{destPortCmp(CmpEq, 80), destPortCmp(CmpEq, 8080)},
+		{protoCmp(6)},
+	}}
+	p80 := tcp80(10)
+	if !prog.Match(&p80) {
+		t.Error("port 80 TCP rejected")
+	}
+	dns := udp53()
+	if prog.Match(&dns) {
+		t.Error("UDP DNS accepted")
+	}
+	if prog.Empty() {
+		t.Error("program with clauses reported empty")
+	}
+	var nilProg *Program
+	if !nilProg.Empty() {
+		t.Error("nil program not empty")
+	}
+	s := prog.String()
+	if !strings.Contains(s, "or") || !strings.Contains(s, "and") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMaskedFieldRead(t *testing.T) {
+	// IP version: high nibble of byte 14.
+	ver := Cmp{Raw: pkt.RawRef{Off: 14, Width: 1, Shift: 4, Mask: 0x0f}, Op: CmpEq, Val: 4}
+	p := tcp80(10)
+	if !ver.Match(&p) {
+		t.Error("IP version 4 not matched")
+	}
+}
+
+func TestDeviceTiers(t *testing.T) {
+	prog := &Program{
+		Clauses: []Clause{{destPortCmp(CmpEq, 80)}},
+		SnapLen: 54,
+	}
+
+	dumb := NewDevice(CapDumb)
+	if err := dumb.Install(prog); err == nil {
+		t.Error("dumb device accepted a program")
+	}
+	p := tcp80(500)
+	out, ok := dumb.Process(&p)
+	if !ok || out.CapLen() != p.WireLen {
+		t.Errorf("dumb device altered packet: %d bytes", out.CapLen())
+	}
+
+	bpf := NewDevice(CapBPF)
+	if err := bpf.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	out, ok = bpf.Process(&p)
+	if !ok {
+		t.Fatal("matching packet filtered")
+	}
+	if out.CapLen() != 54 {
+		t.Errorf("snap: caplen = %d, want 54", out.CapLen())
+	}
+	if out.WireLen != p.WireLen {
+		t.Error("snap changed wire length")
+	}
+	dns := udp53()
+	if _, ok := bpf.Process(&dns); ok {
+		t.Error("non-matching packet delivered")
+	}
+	if bpf.Delivered() != 1 || bpf.Filtered() != 1 {
+		t.Errorf("counters = %d, %d", bpf.Delivered(), bpf.Filtered())
+	}
+
+	rts := NewDevice(CapRTS)
+	if err := rts.Install(prog); err != nil {
+		t.Fatal(err)
+	}
+	if rts.Capability().String() == "" {
+		t.Error("empty capability name")
+	}
+}

@@ -1,0 +1,34 @@
+package pkt
+
+import "testing"
+
+func BenchmarkBuildTCP(b *testing.B) {
+	payload := make([]byte, 960)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildTCP(uint64(i), TCPSpec{
+			SrcIP: 0x0a000001, DstIP: 0x0a000002,
+			SrcPort: 1234, DstPort: 80, Payload: payload,
+		})
+	}
+}
+
+func BenchmarkInterpExtract(b *testing.B) {
+	p := BuildTCP(1, TCPSpec{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80})
+	f, _ := LookupInterp("get_dest_port")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := f.Extract(&p); !ok {
+			b.Fatal("extract failed")
+		}
+	}
+}
+
+func BenchmarkRawRefRead(b *testing.B) {
+	p := BuildTCP(1, TCPSpec{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80})
+	raw := RawRef{Off: 36, Width: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw.Read(&p)
+	}
+}

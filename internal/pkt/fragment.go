@@ -1,0 +1,133 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4 fragmentation support. The paper (§3) describes a special IP
+// defragmentation operator implemented against the query-node API; this
+// file provides the wire-level substrate: fragmenting synthesized packets
+// (for the traffic generator) and the MF-flag/fragment-offset fields the
+// defragmenter needs.
+
+// Fragment splits a full IPv4 frame into fragments whose IP payloads are
+// at most mtu-20 bytes (mtu counts the IP header, not the Ethernet
+// header). The input must be an unsnapped IPv4 frame. Offsets are rounded
+// to 8-byte units as the protocol requires.
+func Fragment(p *Packet, mtu int) ([]Packet, error) {
+	if !p.IsIPv4() {
+		return nil, fmt.Errorf("pkt: cannot fragment a non-IPv4 frame")
+	}
+	if p.CapLen() != p.WireLen {
+		return nil, fmt.Errorf("pkt: cannot fragment a snapped capture")
+	}
+	ihl, ok := p.IPHeaderLen()
+	if !ok {
+		return nil, fmt.Errorf("pkt: truncated IP header")
+	}
+	payload := p.Data[EthHeaderLen+ihl:] // IP payload (transport header + data)
+	maxChunk := (mtu - ihl) &^ 7
+	if maxChunk <= 0 {
+		return nil, fmt.Errorf("pkt: MTU %d too small", mtu)
+	}
+	if len(payload) <= maxChunk {
+		return []Packet{*p}, nil
+	}
+	var frags []Packet
+	for off := 0; off < len(payload); off += maxChunk {
+		end := off + maxChunk
+		more := true
+		if end >= len(payload) {
+			end = len(payload)
+			more = false
+		}
+		chunk := payload[off:end]
+		data := make([]byte, EthHeaderLen+ihl+len(chunk))
+		copy(data, p.Data[:EthHeaderLen+ihl])
+		copy(data[EthHeaderLen+ihl:], chunk)
+		ip := data[EthHeaderLen:]
+		binary.BigEndian.PutUint16(ip[2:], uint16(ihl+len(chunk)))
+		fragField := uint16(off / 8)
+		if more {
+			fragField |= 0x2000 // MF
+		}
+		binary.BigEndian.PutUint16(ip[6:], fragField)
+		binary.BigEndian.PutUint16(ip[10:], 0)
+		binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:ihl]))
+		frags = append(frags, Packet{TS: p.TS, WireLen: len(data), Data: data})
+	}
+	return frags, nil
+}
+
+// Reassemble merges fragments (same IP id/src/dst/proto, any order) back
+// into the original frame. It reports an error on gaps or inconsistent
+// headers. Used by tests as the reference for the defrag operator.
+func Reassemble(frags []Packet) (Packet, error) {
+	if len(frags) == 0 {
+		return Packet{}, fmt.Errorf("pkt: no fragments")
+	}
+	type piece struct {
+		off  int
+		data []byte
+		more bool
+	}
+	var pieces []piece
+	var first *Packet
+	for i := range frags {
+		f := &frags[i]
+		ihl, ok := f.IPHeaderLen()
+		if !ok {
+			return Packet{}, fmt.Errorf("pkt: truncated fragment")
+		}
+		ff, _ := f.U16(ipOff + 6)
+		off := int(ff&0x1fff) * 8
+		if off == 0 {
+			first = f
+		}
+		pieces = append(pieces, piece{
+			off:  off,
+			data: f.Data[EthHeaderLen+ihl:],
+			more: ff&0x2000 != 0,
+		})
+	}
+	if first == nil {
+		return Packet{}, fmt.Errorf("pkt: missing first fragment")
+	}
+	total := 0
+	sawLast := false
+	for _, pc := range pieces {
+		if end := pc.off + len(pc.data); end > total {
+			total = end
+		}
+		if !pc.more {
+			sawLast = true
+		}
+	}
+	if !sawLast {
+		return Packet{}, fmt.Errorf("pkt: missing last fragment")
+	}
+	payload := make([]byte, total)
+	covered := make([]bool, total)
+	for _, pc := range pieces {
+		copy(payload[pc.off:], pc.data)
+		for i := pc.off; i < pc.off+len(pc.data); i++ {
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			return Packet{}, fmt.Errorf("pkt: gap at payload byte %d", i)
+		}
+	}
+	ihl, _ := first.IPHeaderLen()
+	data := make([]byte, EthHeaderLen+ihl+total)
+	copy(data, first.Data[:EthHeaderLen+ihl])
+	copy(data[EthHeaderLen+ihl:], payload)
+	ip := data[EthHeaderLen:]
+	binary.BigEndian.PutUint16(ip[2:], uint16(ihl+total))
+	binary.BigEndian.PutUint16(ip[6:], 0)
+	binary.BigEndian.PutUint16(ip[10:], 0)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:ihl]))
+	return Packet{TS: first.TS, WireLen: len(data), Data: data}, nil
+}

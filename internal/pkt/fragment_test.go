@@ -1,0 +1,108 @@
+package pkt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFragmentReassembleRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 200) // 1600B
+	orig := BuildTCP(1000, TCPSpec{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80, Payload: payload})
+	frags, err := Fragment(&orig, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("%d fragments", len(frags))
+	}
+	for i, f := range frags {
+		if err := Verify(&f); err != nil {
+			t.Errorf("fragment %d invalid: %v", i, err)
+		}
+		ff, _ := f.U16(EthHeaderLen + 6)
+		mf := ff&0x2000 != 0
+		if (i < len(frags)-1) != mf {
+			t.Errorf("fragment %d MF = %v", i, mf)
+		}
+		if i > 0 && ff&0x1fff == 0 {
+			t.Errorf("fragment %d offset = 0", i)
+		}
+	}
+	got, err := Reassemble(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, orig.Data) {
+		t.Error("reassembled frame differs from original")
+	}
+	if err := Verify(&got); err != nil {
+		t.Errorf("reassembled frame invalid: %v", err)
+	}
+}
+
+func TestFragmentNoOpWhenSmall(t *testing.T) {
+	p := BuildTCP(1, TCPSpec{SrcIP: 1, DstIP: 2, DstPort: 80, Payload: []byte("tiny")})
+	frags, err := Fragment(&p, 1500)
+	if err != nil || len(frags) != 1 {
+		t.Fatalf("frags = %d, %v", len(frags), err)
+	}
+	if !bytes.Equal(frags[0].Data, p.Data) {
+		t.Error("small packet altered")
+	}
+}
+
+func TestFragmentErrors(t *testing.T) {
+	p := BuildTCP(1, TCPSpec{SrcIP: 1, DstIP: 2, DstPort: 80, Payload: make([]byte, 100)})
+	if _, err := Fragment(&p, 20); err == nil {
+		t.Error("MTU 20 accepted")
+	}
+	snapped := p.Snap(30)
+	if _, err := Fragment(&snapped, 600); err == nil {
+		t.Error("snapped capture fragmented")
+	}
+	bad := Packet{TS: 1, WireLen: 10, Data: make([]byte, 10)}
+	if _, err := Fragment(&bad, 600); err == nil {
+		t.Error("non-IPv4 fragmented")
+	}
+}
+
+func TestReassembleErrors(t *testing.T) {
+	if _, err := Reassemble(nil); err == nil {
+		t.Error("empty fragment list accepted")
+	}
+	payload := bytes.Repeat([]byte{1}, 1200)
+	p := BuildTCP(1, TCPSpec{SrcIP: 1, DstIP: 2, DstPort: 80, Payload: payload})
+	frags, _ := Fragment(&p, 600)
+	if _, err := Reassemble(frags[1:]); err == nil {
+		t.Error("missing first fragment accepted")
+	}
+	if _, err := Reassemble(frags[:len(frags)-1]); err == nil {
+		t.Error("missing last fragment accepted")
+	}
+}
+
+func TestFragmentRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		payload := make([]byte, 100+r.Intn(3000))
+		r.Read(payload)
+		orig := BuildUDP(uint64(r.Intn(1e6)), UDPSpec{
+			SrcIP: r.Uint32(), DstIP: r.Uint32(),
+			SrcPort: uint16(r.Intn(65536)), DstPort: 53, Payload: payload,
+		})
+		mtu := 100 + r.Intn(800)
+		frags, err := Fragment(&orig, mtu)
+		if err != nil {
+			return false
+		}
+		// Shuffled reassembly must reproduce the original exactly.
+		r.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		got, err := Reassemble(frags)
+		return err == nil && bytes.Equal(got.Data, orig.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

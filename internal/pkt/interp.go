@@ -1,0 +1,266 @@
+package pkt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gigascope/internal/schema"
+)
+
+// ExtractFunc pulls one field out of a packet. It reports false when the
+// field cannot be produced (capture too short, wrong protocol); the tuple
+// is then dropped, mirroring GSQL partial-function semantics.
+type ExtractFunc func(p *Packet) (schema.Value, bool)
+
+// RawRef describes a field as a fixed-offset big-endian header read, which
+// lets the planner push predicates on the field into the NIC's BPF engine:
+// value = (read(Off, Width) >> Shift) & Mask. A zero Mask means "no mask".
+// Raw refs assume IPv4 without options (IHL=5), the layout the traffic
+// synthesizer always emits and the common case on real links.
+type RawRef struct {
+	Off   int
+	Width int // 1, 2, or 4 bytes
+	Shift uint
+	Mask  uint64
+}
+
+// Read evaluates the raw reference against a packet.
+func (r RawRef) Read(p *Packet) (uint64, bool) {
+	var v uint64
+	var ok bool
+	switch r.Width {
+	case 1:
+		v, ok = p.U8(r.Off)
+	case 2:
+		v, ok = p.U16(r.Off)
+	case 4:
+		v, ok = p.U32(r.Off)
+	}
+	if !ok {
+		return 0, false
+	}
+	v >>= r.Shift
+	if r.Mask != 0 {
+		v &= r.Mask
+	}
+	return v, true
+}
+
+// End returns the first byte offset past the referenced field.
+func (r RawRef) End() int { return r.Off + r.Width }
+
+// FieldSpec is one entry in the interpretation-function library.
+type FieldSpec struct {
+	Name    string
+	Type    schema.Type
+	Extract ExtractFunc
+	// Raw is non-nil when the field is a direct header read, enabling NIC
+	// BPF pushdown of predicates over it.
+	Raw *RawRef
+	// NeedBytes is how many captured bytes the extractor requires; the
+	// planner takes the max over referenced fields as the NIC snap length.
+	// NeedAll marks fields (payload) that need the entire packet.
+	NeedBytes int
+	NeedAll   bool
+	// Clock, when non-nil, derives the field from the capture clock
+	// rather than packet bytes; sources use it to synthesize heartbeat
+	// bounds for the field from the current virtual time (microseconds).
+	Clock func(usec uint64) schema.Value
+}
+
+var (
+	interpMu  sync.RWMutex
+	interpLib = make(map[string]*FieldSpec)
+)
+
+// RegisterInterp adds an interpretation function to the library. It panics
+// on duplicates: the library is assembled at init time.
+func RegisterInterp(f *FieldSpec) {
+	interpMu.Lock()
+	defer interpMu.Unlock()
+	if _, ok := interpLib[f.Name]; ok {
+		panic(fmt.Sprintf("pkt: interpretation function %s registered twice", f.Name))
+	}
+	interpLib[f.Name] = f
+}
+
+// LookupInterp returns the named interpretation function.
+func LookupInterp(name string) (*FieldSpec, bool) {
+	interpMu.RLock()
+	defer interpMu.RUnlock()
+	f, ok := interpLib[name]
+	return f, ok
+}
+
+// InterpNames returns the registered interpretation function names, sorted.
+func InterpNames() []string {
+	interpMu.RLock()
+	defer interpMu.RUnlock()
+	names := make([]string, 0, len(interpLib))
+	for n := range interpLib {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func uintField(name string, need int, raw *RawRef, f func(p *Packet) (uint64, bool)) *FieldSpec {
+	return &FieldSpec{
+		Name: name, Type: schema.TUint, Raw: raw, NeedBytes: need,
+		Extract: func(p *Packet) (schema.Value, bool) {
+			v, ok := f(p)
+			if !ok {
+				return schema.Null, false
+			}
+			return schema.MakeUint(v), true
+		},
+	}
+}
+
+func ipField(name string, raw RawRef) *FieldSpec {
+	return &FieldSpec{
+		Name: name, Type: schema.TIP, Raw: &raw, NeedBytes: raw.End(),
+		Extract: func(p *Packet) (schema.Value, bool) {
+			v, ok := raw.Read(p)
+			if !ok {
+				return schema.Null, false
+			}
+			return schema.MakeIP(uint32(v)), true
+		},
+	}
+}
+
+func rawUintField(name string, raw RawRef) *FieldSpec {
+	return uintField(name, raw.End(), &raw, raw.Read)
+}
+
+// l4Field reads a 16-bit field at the given offset within the transport
+// header, honoring variable IP header lengths via the extractor while
+// advertising the fixed-IHL offset for BPF pushdown.
+func l4Field(name string, l4off int) *FieldSpec {
+	raw := RawRef{Off: l4Base + l4off, Width: 2}
+	return uintField(name, raw.End(), &raw, func(p *Packet) (uint64, bool) {
+		base, ok := p.L4Offset()
+		if !ok {
+			return 0, false
+		}
+		return p.U16(base + l4off)
+	})
+}
+
+func init() {
+	// Capture metadata.
+	timeSpec := uintField("get_time", 0, nil, func(p *Packet) (uint64, bool) {
+		return p.TS / 1e6, true // 1-second granularity timer (paper §2.2)
+	})
+	timeSpec.Clock = func(usec uint64) schema.Value { return schema.MakeUint(usec / 1e6) }
+	RegisterInterp(timeSpec)
+	tsSpec := uintField("get_timestamp", 0, nil, func(p *Packet) (uint64, bool) {
+		return p.TS, true // microsecond granularity
+	})
+	tsSpec.Clock = func(usec uint64) schema.Value { return schema.MakeUint(usec) }
+	RegisterInterp(tsSpec)
+	RegisterInterp(uintField("get_caplen", 0, nil, func(p *Packet) (uint64, bool) {
+		return uint64(p.CapLen()), true
+	}))
+	RegisterInterp(uintField("get_wirelen", 0, nil, func(p *Packet) (uint64, bool) {
+		return uint64(p.WireLen), true
+	}))
+
+	// Ethernet header.
+	RegisterInterp(uintField("get_eth_dst", 6, nil, func(p *Packet) (uint64, bool) { return p.U48(0) }))
+	RegisterInterp(uintField("get_eth_src", 12, nil, func(p *Packet) (uint64, bool) { return p.U48(6) }))
+	RegisterInterp(rawUintField("get_ethertype", RawRef{Off: 12, Width: 2}))
+
+	// IPv4 header.
+	RegisterInterp(rawUintField("get_ip_version", RawRef{Off: ipOff, Width: 1, Shift: 4, Mask: 0x0f}))
+	RegisterInterp(uintField("get_hdr_length", ipOff+1, nil, func(p *Packet) (uint64, bool) {
+		ihl, ok := p.IPHeaderLen()
+		return uint64(ihl), ok
+	}))
+	RegisterInterp(rawUintField("get_tos", RawRef{Off: ipOff + 1, Width: 1}))
+	RegisterInterp(rawUintField("get_total_length", RawRef{Off: ipOff + 2, Width: 2}))
+	RegisterInterp(rawUintField("get_ip_id", RawRef{Off: ipOff + 4, Width: 2}))
+	RegisterInterp(rawUintField("get_fragment_offset", RawRef{Off: ipOff + 6, Width: 2, Mask: 0x1fff}))
+	RegisterInterp(rawUintField("get_mf_flag", RawRef{Off: ipOff + 6, Width: 2, Shift: 13, Mask: 0x1}))
+	RegisterInterp(rawUintField("get_ttl", RawRef{Off: ipOff + 8, Width: 1}))
+	RegisterInterp(rawUintField("get_protocol", RawRef{Off: ipOff + 9, Width: 1}))
+	RegisterInterp(ipField("get_src_ip", RawRef{Off: ipOff + 12, Width: 4}))
+	RegisterInterp(ipField("get_dest_ip", RawRef{Off: ipOff + 16, Width: 4}))
+
+	// Transport header (TCP and UDP share the port offsets).
+	RegisterInterp(l4Field("get_src_port", 0))
+	RegisterInterp(l4Field("get_dest_port", 2))
+	RegisterInterp(uintField("get_seq_number", l4Base+8, nil, func(p *Packet) (uint64, bool) {
+		base, ok := p.L4Offset()
+		if !ok {
+			return 0, false
+		}
+		return p.U32(base + 4)
+	}))
+	RegisterInterp(uintField("get_ack_number", l4Base+12, nil, func(p *Packet) (uint64, bool) {
+		base, ok := p.L4Offset()
+		if !ok {
+			return 0, false
+		}
+		return p.U32(base + 8)
+	}))
+	RegisterInterp(uintField("get_tcp_flags", l4Base+14, nil, func(p *Packet) (uint64, bool) {
+		base, ok := p.L4Offset()
+		if !ok {
+			return 0, false
+		}
+		return p.U8(base + 13)
+	}))
+	RegisterInterp(uintField("get_window", l4Base+16, nil, func(p *Packet) (uint64, bool) {
+		base, ok := p.L4Offset()
+		if !ok {
+			return 0, false
+		}
+		return p.U16(base + 14)
+	}))
+	RegisterInterp(uintField("get_udp_length", l4Base+6, nil, func(p *Packet) (uint64, bool) {
+		base, ok := p.L4Offset()
+		if !ok {
+			return 0, false
+		}
+		return p.U16(base + 4)
+	}))
+
+	// IP payload: everything after the IP header (transport header
+	// included). This is the unit of IPv4 fragmentation and what the
+	// defragmentation operator reassembles.
+	RegisterInterp(&FieldSpec{
+		Name: "get_ip_payload", Type: schema.TString, NeedAll: true,
+		Extract: func(p *Packet) (schema.Value, bool) {
+			off, ok := p.L4Offset()
+			if !ok || off > len(p.Data) {
+				return schema.Null, false
+			}
+			return schema.MakeString(p.Data[off:]), true
+		},
+	})
+
+	// Payload: needs the whole packet; never BPF-pushable.
+	RegisterInterp(&FieldSpec{
+		Name: "get_payload", Type: schema.TString, NeedAll: true,
+		Extract: func(p *Packet) (schema.Value, bool) {
+			b, ok := p.Payload()
+			if !ok {
+				return schema.Null, false
+			}
+			return schema.MakeString(b), true
+		},
+	})
+	RegisterInterp(uintField("get_payload_length", l4Base+16, nil, func(p *Packet) (uint64, bool) {
+		off, ok := p.PayloadOffset()
+		if !ok {
+			return 0, false
+		}
+		if off > p.WireLen {
+			return 0, true
+		}
+		return uint64(p.WireLen - off), true
+	}))
+}

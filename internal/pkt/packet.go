@@ -1,0 +1,297 @@
+// Package pkt defines raw network packets, byte-accurate frame builders,
+// and the library of interpretation functions that map packet bytes to
+// GSQL field values (paper §2.2: "The Gigascope run time system interprets
+// the data packets as a collection of fields using a library of
+// interpretation functions").
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Layout constants for Ethernet II / IPv4 framing. The traffic synthesizer
+// always emits IPv4 without options (IHL=5), which is also the common case
+// the paper's NIC BPF pushdown assumes; the interpretation functions
+// nonetheless honor the IHL field.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20 // without options
+	TCPHeaderLen  = 20 // without options
+	UDPHeaderLen  = 8
+
+	EtherTypeIPv4 = 0x0800
+
+	ProtoTCP = 6
+	ProtoUDP = 17
+
+	ipOff  = EthHeaderLen
+	l4Base = EthHeaderLen + IPv4HeaderLen
+)
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+	FlagURG = 1 << 5
+)
+
+// Packet is one captured frame plus capture metadata. TS is microseconds on
+// the virtual clock. Data holds the captured bytes, which may be fewer than
+// WireLen when a snap length was applied upstream.
+type Packet struct {
+	TS      uint64 // capture timestamp, microseconds
+	WireLen int    // length on the wire
+	Data    []byte // captured bytes, len(Data) <= WireLen
+}
+
+// CapLen returns the number of captured bytes.
+func (p *Packet) CapLen() int { return len(p.Data) }
+
+// Snap returns a copy of the packet truncated to at most n captured bytes.
+// The underlying data is aliased, not copied.
+func (p *Packet) Snap(n int) Packet {
+	q := *p
+	if n < len(q.Data) {
+		q.Data = q.Data[:n]
+	}
+	return q
+}
+
+// U8, U16, U32 read big-endian unsigned fields, reporting false when the
+// capture is too short.
+func (p *Packet) U8(off int) (uint64, bool) {
+	if off+1 > len(p.Data) {
+		return 0, false
+	}
+	return uint64(p.Data[off]), true
+}
+
+func (p *Packet) U16(off int) (uint64, bool) {
+	if off+2 > len(p.Data) {
+		return 0, false
+	}
+	return uint64(binary.BigEndian.Uint16(p.Data[off:])), true
+}
+
+func (p *Packet) U32(off int) (uint64, bool) {
+	if off+4 > len(p.Data) {
+		return 0, false
+	}
+	return uint64(binary.BigEndian.Uint32(p.Data[off:])), true
+}
+
+// U48 reads a 6-byte big-endian field (MAC addresses).
+func (p *Packet) U48(off int) (uint64, bool) {
+	if off+6 > len(p.Data) {
+		return 0, false
+	}
+	hi := uint64(binary.BigEndian.Uint16(p.Data[off:]))
+	lo := uint64(binary.BigEndian.Uint32(p.Data[off+2:]))
+	return hi<<32 | lo, true
+}
+
+// IsIPv4 reports whether the frame carries IPv4.
+func (p *Packet) IsIPv4() bool {
+	et, ok := p.U16(12)
+	return ok && et == EtherTypeIPv4
+}
+
+// IPHeaderLen returns the IPv4 header length in bytes.
+func (p *Packet) IPHeaderLen() (int, bool) {
+	v, ok := p.U8(ipOff)
+	if !ok {
+		return 0, false
+	}
+	return int(v&0x0f) * 4, true
+}
+
+// L4Offset returns the offset of the transport header.
+func (p *Packet) L4Offset() (int, bool) {
+	ihl, ok := p.IPHeaderLen()
+	if !ok {
+		return 0, false
+	}
+	return ipOff + ihl, true
+}
+
+// IPProto returns the IPv4 protocol field.
+func (p *Packet) IPProto() (uint64, bool) { return p.U8(ipOff + 9) }
+
+// PayloadOffset returns the offset of the transport payload for TCP/UDP
+// frames.
+func (p *Packet) PayloadOffset() (int, bool) {
+	l4, ok := p.L4Offset()
+	if !ok {
+		return 0, false
+	}
+	proto, ok := p.IPProto()
+	if !ok {
+		return 0, false
+	}
+	switch proto {
+	case ProtoTCP:
+		raw, ok := p.U8(l4 + 12)
+		if !ok {
+			return 0, false
+		}
+		return l4 + int(raw>>4)*4, true
+	case ProtoUDP:
+		return l4 + UDPHeaderLen, true
+	}
+	return 0, false
+}
+
+// Payload returns the transport payload bytes within the capture.
+func (p *Packet) Payload() ([]byte, bool) {
+	off, ok := p.PayloadOffset()
+	if !ok || off > len(p.Data) {
+		return nil, false
+	}
+	return p.Data[off:], true
+}
+
+// TCPSpec describes a TCP segment to synthesize.
+type TCPSpec struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	TTL              uint8
+	Payload          []byte
+}
+
+// UDPSpec describes a UDP datagram to synthesize.
+type UDPSpec struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	TTL              uint8
+	Payload          []byte
+}
+
+// BuildTCP synthesizes a byte-accurate Ethernet/IPv4/TCP frame.
+func BuildTCP(ts uint64, s TCPSpec) Packet {
+	totalIP := IPv4HeaderLen + TCPHeaderLen + len(s.Payload)
+	data := make([]byte, EthHeaderLen+totalIP)
+	buildEth(data, s.SrcIP, s.DstIP)
+	buildIPv4(data, totalIP, ProtoTCP, s.TTL, s.SrcIP, s.DstIP)
+	tcp := data[l4Base:]
+	binary.BigEndian.PutUint16(tcp[0:], s.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:], s.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:], s.Seq)
+	binary.BigEndian.PutUint32(tcp[8:], s.Ack)
+	tcp[12] = (TCPHeaderLen / 4) << 4
+	tcp[13] = s.Flags
+	binary.BigEndian.PutUint16(tcp[14:], s.Window)
+	copy(tcp[TCPHeaderLen:], s.Payload)
+	binary.BigEndian.PutUint16(tcp[16:], l4Checksum(data, ProtoTCP))
+	return Packet{TS: ts, WireLen: len(data), Data: data}
+}
+
+// BuildUDP synthesizes a byte-accurate Ethernet/IPv4/UDP frame.
+func BuildUDP(ts uint64, s UDPSpec) Packet {
+	totalIP := IPv4HeaderLen + UDPHeaderLen + len(s.Payload)
+	data := make([]byte, EthHeaderLen+totalIP)
+	buildEth(data, s.SrcIP, s.DstIP)
+	buildIPv4(data, totalIP, ProtoUDP, s.TTL, s.SrcIP, s.DstIP)
+	udp := data[l4Base:]
+	binary.BigEndian.PutUint16(udp[0:], s.SrcPort)
+	binary.BigEndian.PutUint16(udp[2:], s.DstPort)
+	binary.BigEndian.PutUint16(udp[4:], uint16(UDPHeaderLen+len(s.Payload)))
+	copy(udp[UDPHeaderLen:], s.Payload)
+	binary.BigEndian.PutUint16(udp[6:], l4Checksum(data, ProtoUDP))
+	return Packet{TS: ts, WireLen: len(data), Data: data}
+}
+
+func buildEth(data []byte, srcIP, dstIP uint32) {
+	// Synthesize locally administered MACs derived from the IPs so that
+	// eth_src/eth_dst are stable, meaningful fields.
+	data[0] = 0x02
+	binary.BigEndian.PutUint32(data[2:], dstIP)
+	data[6] = 0x02
+	binary.BigEndian.PutUint32(data[8:], srcIP)
+	binary.BigEndian.PutUint16(data[12:], EtherTypeIPv4)
+}
+
+var ipIDCounter uint32
+
+func buildIPv4(data []byte, totalLen int, proto, ttl uint8, src, dst uint32) {
+	ip := data[ipOff:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:], uint16(totalLen))
+	ipIDCounter++
+	binary.BigEndian.PutUint16(ip[4:], uint16(ipIDCounter))
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip[8] = ttl
+	ip[9] = proto
+	binary.BigEndian.PutUint32(ip[12:], src)
+	binary.BigEndian.PutUint32(ip[16:], dst)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:IPv4HeaderLen]))
+}
+
+// ipChecksum computes the standard internet checksum over the IPv4 header
+// (checksum field assumed zero).
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// l4Checksum computes the TCP/UDP checksum including the IPv4 pseudo
+// header. The frame's checksum field must be zero when called.
+func l4Checksum(frame []byte, proto uint8) uint16 {
+	seg := frame[l4Base:]
+	var sum uint32
+	// Pseudo header: src, dst, zero+proto, length.
+	sum += uint32(binary.BigEndian.Uint16(frame[ipOff+12:]))
+	sum += uint32(binary.BigEndian.Uint16(frame[ipOff+14:]))
+	sum += uint32(binary.BigEndian.Uint16(frame[ipOff+16:]))
+	sum += uint32(binary.BigEndian.Uint16(frame[ipOff+18:]))
+	sum += uint32(proto)
+	sum += uint32(len(seg))
+	for i := 0; i+1 < len(seg); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(seg[i:]))
+	}
+	if len(seg)%2 == 1 {
+		sum += uint32(seg[len(seg)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Verify checks the structural integrity of a full (unsnapped) frame:
+// ethertype, IP header checksum, and length consistency. Used by tests and
+// the generator's self-checks.
+func Verify(p *Packet) error {
+	if !p.IsIPv4() {
+		return fmt.Errorf("pkt: not an IPv4 frame")
+	}
+	ihl, ok := p.IPHeaderLen()
+	if !ok || ihl < IPv4HeaderLen {
+		return fmt.Errorf("pkt: bad IHL")
+	}
+	tl, ok := p.U16(ipOff + 2)
+	if !ok {
+		return fmt.Errorf("pkt: truncated IP header")
+	}
+	if int(tl)+EthHeaderLen != p.WireLen {
+		return fmt.Errorf("pkt: IP total length %d inconsistent with wire length %d", tl, p.WireLen)
+	}
+	if ipChecksum(p.Data[ipOff:ipOff+ihl]) != 0 {
+		return fmt.Errorf("pkt: bad IP checksum")
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"gigascope/internal/schema"
+)
+
+func sampleTCP() Packet {
+	return BuildTCP(5_000_000, TCPSpec{
+		SrcIP: 0x0a000001, DstIP: 0xc0a80102,
+		SrcPort: 49152, DstPort: 80,
+		Seq: 1000, Ack: 2000, Flags: FlagACK | FlagPSH, Window: 65535,
+		Payload: []byte("GET / HTTP/1.1\r\nHost: example\r\n\r\n"),
+	})
+}
+
+func sampleUDP() Packet {
+	return BuildUDP(7_250_000, UDPSpec{
+		SrcIP: 0x0a000002, DstIP: 0x08080808,
+		SrcPort: 5353, DstPort: 53,
+		Payload: []byte{0xde, 0xad, 0xbe, 0xef},
+	})
+}
+
+func TestBuildTCPStructure(t *testing.T) {
+	p := sampleTCP()
+	if err := Verify(&p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !p.IsIPv4() {
+		t.Error("IsIPv4 = false")
+	}
+	if proto, _ := p.IPProto(); proto != ProtoTCP {
+		t.Errorf("proto = %d", proto)
+	}
+	if got, _ := p.U16(l4Base); got != 49152 {
+		t.Errorf("src port = %d", got)
+	}
+	if got, _ := p.U16(l4Base + 2); got != 80 {
+		t.Errorf("dst port = %d", got)
+	}
+	pay, ok := p.Payload()
+	if !ok || !bytes.HasPrefix(pay, []byte("GET / HTTP/1.1")) {
+		t.Errorf("payload = %q, %v", pay, ok)
+	}
+	if p.WireLen != len(p.Data) {
+		t.Errorf("WireLen %d != len(Data) %d for unsnapped packet", p.WireLen, len(p.Data))
+	}
+}
+
+func TestBuildUDPStructure(t *testing.T) {
+	p := sampleUDP()
+	if err := Verify(&p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if proto, _ := p.IPProto(); proto != ProtoUDP {
+		t.Errorf("proto = %d", proto)
+	}
+	if got, _ := p.U16(l4Base + 4); got != UDPHeaderLen+4 {
+		t.Errorf("udp length = %d", got)
+	}
+	pay, ok := p.Payload()
+	if !ok || !bytes.Equal(pay, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Errorf("payload = %x, %v", pay, ok)
+	}
+}
+
+func TestSnapTruncatesCapture(t *testing.T) {
+	p := sampleTCP()
+	s := p.Snap(40)
+	if s.CapLen() != 40 {
+		t.Errorf("CapLen = %d", s.CapLen())
+	}
+	if s.WireLen != p.WireLen {
+		t.Error("Snap changed WireLen")
+	}
+	// Header fields still readable, payload not.
+	if _, ok := s.U16(l4Base + 2); !ok {
+		t.Error("dest port unreadable after 40-byte snap")
+	}
+	if _, ok := s.Payload(); ok {
+		t.Error("payload readable after snap")
+	}
+	// Snap to a larger size is a no-op.
+	if s2 := p.Snap(10_000); s2.CapLen() != p.CapLen() {
+		t.Error("Snap enlarged capture")
+	}
+}
+
+func TestInterpExtraction(t *testing.T) {
+	p := sampleTCP()
+	cases := []struct {
+		fn   string
+		want schema.Value
+	}{
+		{"get_time", schema.MakeUint(5)},
+		{"get_timestamp", schema.MakeUint(5_000_000)},
+		{"get_ip_version", schema.MakeUint(4)},
+		{"get_hdr_length", schema.MakeUint(20)},
+		{"get_protocol", schema.MakeUint(6)},
+		{"get_src_ip", schema.MakeIP(0x0a000001)},
+		{"get_dest_ip", schema.MakeIP(0xc0a80102)},
+		{"get_src_port", schema.MakeUint(49152)},
+		{"get_dest_port", schema.MakeUint(80)},
+		{"get_seq_number", schema.MakeUint(1000)},
+		{"get_ack_number", schema.MakeUint(2000)},
+		{"get_tcp_flags", schema.MakeUint(FlagACK | FlagPSH)},
+		{"get_window", schema.MakeUint(65535)},
+		{"get_ttl", schema.MakeUint(64)},
+		{"get_caplen", schema.MakeUint(uint64(p.CapLen()))},
+		{"get_wirelen", schema.MakeUint(uint64(p.WireLen))},
+		{"get_payload_length", schema.MakeUint(33)},
+	}
+	for _, c := range cases {
+		f, ok := LookupInterp(c.fn)
+		if !ok {
+			t.Fatalf("interp %s not registered", c.fn)
+		}
+		got, ok := f.Extract(&p)
+		if !ok || !got.Equal(c.want) {
+			t.Errorf("%s = %v, %v; want %v", c.fn, got, ok, c.want)
+		}
+	}
+}
+
+func TestInterpPayload(t *testing.T) {
+	p := sampleTCP()
+	f, _ := LookupInterp("get_payload")
+	v, ok := f.Extract(&p)
+	if !ok || !bytes.HasPrefix(v.Bytes(), []byte("GET /")) {
+		t.Errorf("get_payload = %v, %v", v, ok)
+	}
+	if !f.NeedAll {
+		t.Error("get_payload.NeedAll = false")
+	}
+}
+
+func TestInterpFailsOnSnappedCapture(t *testing.T) {
+	full := sampleTCP()
+	p := full.Snap(20) // only Ethernet + 6 bytes of IP
+	for _, fn := range []string{"get_src_ip", "get_dest_port", "get_payload"} {
+		f, _ := LookupInterp(fn)
+		if _, ok := f.Extract(&p); ok {
+			t.Errorf("%s succeeded on 20-byte capture", fn)
+		}
+	}
+	// Metadata still works.
+	f, _ := LookupInterp("get_time")
+	if _, ok := f.Extract(&p); !ok {
+		t.Error("get_time failed on snapped capture")
+	}
+}
+
+func TestRawRefMatchesExtract(t *testing.T) {
+	// For every interp with a raw ref, the raw read must agree with the
+	// extractor on option-free IPv4 frames.
+	pkts := []Packet{sampleTCP(), sampleUDP()}
+	for _, name := range InterpNames() {
+		f, _ := LookupInterp(name)
+		if f.Raw == nil {
+			continue
+		}
+		for _, p := range pkts {
+			want, ok1 := f.Extract(&p)
+			raw, ok2 := f.Raw.Read(&p)
+			if ok1 != ok2 {
+				t.Errorf("%s: extract ok=%v raw ok=%v", name, ok1, ok2)
+				continue
+			}
+			if ok1 && want.Uint() != raw {
+				t.Errorf("%s: extract=%d raw=%d", name, want.Uint(), raw)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	p := sampleTCP()
+	p.Data[ipOff+8]++ // flip TTL; IP checksum now wrong
+	if err := Verify(&p); err == nil {
+		t.Error("Verify accepted corrupted IP header")
+	}
+}
+
+func TestBuiltinSchemasValid(t *testing.T) {
+	cat := schema.NewCatalog()
+	if err := RegisterBuiltins(cat); err != nil {
+		t.Fatalf("RegisterBuiltins: %v", err)
+	}
+	for _, name := range []string{"ETH", "IPV4", "TCP", "UDP"} {
+		s, ok := cat.Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		// Every column's interp function must exist and agree on type.
+		for _, c := range s.Cols {
+			f, ok := LookupInterp(c.Interp)
+			if !ok {
+				t.Errorf("%s.%s: interp %s unregistered", name, c.Name, c.Interp)
+				continue
+			}
+			if f.Type != c.Type {
+				t.Errorf("%s.%s: schema type %s, interp type %s", name, c.Name, c.Type, f.Type)
+			}
+		}
+	}
+	tcp := cat.MustLookup("TCP")
+	if i, _ := tcp.Col("destPort"); i < 0 {
+		t.Error("TCP.destPort missing")
+	}
+	if ord := tcp.Cols[0].Ordering; !ord.Increasing() {
+		t.Errorf("TCP.time ordering = %s", ord)
+	}
+}
+
+func TestBuildRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, n uint8) bool {
+		payload := bytes.Repeat([]byte{0xab}, int(n))
+		p := BuildTCP(1, TCPSpec{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Payload: payload})
+		if Verify(&p) != nil {
+			return false
+		}
+		gs, _ := LookupInterp("get_src_ip")
+		gd, _ := LookupInterp("get_dest_port")
+		vs, ok1 := gs.Extract(&p)
+		vd, ok2 := gd.Extract(&p)
+		pay, ok3 := p.Payload()
+		return ok1 && ok2 && ok3 &&
+			vs.IP() == src && vd.Uint() == uint64(dp) && bytes.Equal(pay, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package pkt
+
+import "gigascope/internal/schema"
+
+// Built-in protocol schemas, the equivalent of Gigascope's packet_schema
+// definition file. Users may also define protocols in DDL text via the gsql
+// parser; these are the ones every installation ships with.
+
+func col(name string, ty schema.Type, interp string, ord schema.Ordering) schema.Column {
+	return schema.Column{Name: name, Type: ty, Interp: interp, Ordering: ord}
+}
+
+var (
+	inc   = schema.Ordering{Kind: schema.OrderIncreasing}
+	sinc  = schema.Ordering{Kind: schema.OrderStrictIncreasing}
+	noOrd = schema.NoOrder
+	tUint = schema.TUint
+	tIP   = schema.TIP
+	tStr  = schema.TString
+)
+
+func ethCols() []schema.Column {
+	return []schema.Column{
+		col("time", tUint, "get_time", inc),
+		col("timestamp", tUint, "get_timestamp", sinc),
+		col("caplen", tUint, "get_caplen", noOrd),
+		col("wirelen", tUint, "get_wirelen", noOrd),
+		col("eth_src", tUint, "get_eth_src", noOrd),
+		col("eth_dst", tUint, "get_eth_dst", noOrd),
+		col("ethertype", tUint, "get_ethertype", noOrd),
+	}
+}
+
+func ipv4Cols() []schema.Column {
+	return append(ethCols(),
+		col("ipversion", tUint, "get_ip_version", noOrd),
+		col("hdr_length", tUint, "get_hdr_length", noOrd),
+		col("tos", tUint, "get_tos", noOrd),
+		col("total_length", tUint, "get_total_length", noOrd),
+		col("ip_id", tUint, "get_ip_id", noOrd),
+		col("fragment_offset", tUint, "get_fragment_offset", noOrd),
+		col("mf_flag", tUint, "get_mf_flag", noOrd),
+		col("ttl", tUint, "get_ttl", noOrd),
+		col("protocol", tUint, "get_protocol", noOrd),
+		col("srcIP", tIP, "get_src_ip", noOrd),
+		col("destIP", tIP, "get_dest_ip", noOrd),
+		col("ip_payload", tStr, "get_ip_payload", noOrd),
+	)
+}
+
+// BuiltinSchemas returns fresh copies of the built-in protocol schemas:
+// ETH, IPV4, TCP, UDP.
+func BuiltinSchemas() []*schema.Schema {
+	eth := &schema.Schema{Name: "ETH", Kind: schema.KindProtocol, Cols: ethCols()}
+	ipv4 := &schema.Schema{Name: "IPV4", Kind: schema.KindProtocol, Base: "ETH", Cols: ipv4Cols()}
+	tcp := &schema.Schema{
+		Name: "TCP", Kind: schema.KindProtocol, Base: "IPV4",
+		Cols: append(ipv4Cols(),
+			col("srcPort", tUint, "get_src_port", noOrd),
+			col("destPort", tUint, "get_dest_port", noOrd),
+			col("seq_number", tUint, "get_seq_number", noOrd),
+			col("ack_number", tUint, "get_ack_number", noOrd),
+			col("flags", tUint, "get_tcp_flags", noOrd),
+			col("window", tUint, "get_window", noOrd),
+			col("payload_length", tUint, "get_payload_length", noOrd),
+			col("payload", tStr, "get_payload", noOrd),
+		),
+	}
+	udp := &schema.Schema{
+		Name: "UDP", Kind: schema.KindProtocol, Base: "IPV4",
+		Cols: append(ipv4Cols(),
+			col("srcPort", tUint, "get_src_port", noOrd),
+			col("destPort", tUint, "get_dest_port", noOrd),
+			col("udp_length", tUint, "get_udp_length", noOrd),
+			col("payload_length", tUint, "get_payload_length", noOrd),
+			col("payload", tStr, "get_payload", noOrd),
+		),
+	}
+	return []*schema.Schema{eth, ipv4, tcp, udp}
+}
+
+// RegisterBuiltins adds the built-in protocol schemas to a catalog.
+func RegisterBuiltins(cat *schema.Catalog) error {
+	for _, s := range BuiltinSchemas() {
+		if err := cat.Register(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

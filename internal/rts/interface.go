@@ -1,0 +1,110 @@
+package rts
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gigascope/internal/pkt"
+)
+
+// Interface is a symbolic packet source the run time system binds LFTAs
+// to (paper §2.2: "the Protocol must be bound to an Interface — a symbolic
+// name which the run time system can bind to a source of packets").
+type Interface struct {
+	name    string
+	m       *Manager
+	hbEvery uint64
+
+	mu           sync.Mutex
+	lftas        []*queryNode
+	clock        uint64 // virtual time, microseconds
+	lastHB       uint64
+	hbAsked      atomic.Bool
+	shutdownOnce sync.Once
+}
+
+type packetRef struct {
+	pkt *pkt.Packet
+}
+
+// Name returns the interface's symbolic name.
+func (it *Interface) Name() string { return it.name }
+
+func (it *Interface) attach(qn *queryNode) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.lftas = append(it.lftas, qn)
+}
+
+// LFTACount returns the number of LFTAs linked to this interface.
+func (it *Interface) LFTACount() int {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return len(it.lftas)
+}
+
+// Inject delivers one packet to every attached LFTA inline (the capture
+// path). The packet timestamp advances the interface clock.
+func (it *Interface) Inject(p *pkt.Packet) {
+	it.mu.Lock()
+	lftas := it.lftas
+	if p.TS > it.clock {
+		it.clock = p.TS
+	}
+	it.mu.Unlock()
+	ref := &packetRef{pkt: p}
+	for _, qn := range lftas {
+		qn.pushPacket(ref)
+	}
+	it.maybeHeartbeat(false)
+}
+
+// AdvanceClock moves the virtual clock forward (idle time with no
+// packets) and emits periodic or requested heartbeats.
+func (it *Interface) AdvanceClock(usec uint64) {
+	it.mu.Lock()
+	if usec > it.clock {
+		it.clock = usec
+	}
+	it.mu.Unlock()
+	it.maybeHeartbeat(false)
+}
+
+func (it *Interface) requestHeartbeat() {
+	it.hbAsked.Store(true)
+	// Serve the request immediately from the current clock; a source
+	// with no flowing packets would otherwise never answer.
+	it.maybeHeartbeat(true)
+}
+
+func (it *Interface) maybeHeartbeat(forced bool) {
+	it.mu.Lock()
+	clock := it.clock
+	due := clock >= it.lastHB+it.hbEvery
+	if forced || it.hbAsked.Load() {
+		due = clock > it.lastHB || forced
+	}
+	if !due || clock == 0 {
+		it.mu.Unlock()
+		return
+	}
+	it.lastHB = clock
+	lftas := it.lftas
+	it.mu.Unlock()
+	it.hbAsked.Store(false)
+	for _, qn := range lftas {
+		qn.clockHeartbeat(clock)
+	}
+}
+
+// shutdown flushes and closes every attached LFTA.
+func (it *Interface) shutdown() {
+	it.shutdownOnce.Do(func() {
+		it.mu.Lock()
+		lftas := it.lftas
+		it.mu.Unlock()
+		for _, qn := range lftas {
+			qn.flushInline()
+		}
+	})
+}

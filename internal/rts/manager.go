@@ -1,0 +1,373 @@
+// Package rts is the Gigascope run time system (paper §3): a stream
+// manager that tracks query nodes, a registry applications subscribe
+// through, packet interfaces with LFTAs linked into the capture path, and
+// HFTA query nodes running as independent tasks connected by bounded
+// rings.
+//
+// Faithful architectural properties:
+//   - LFTAs are linked into the RTS and evaluated inline on the capture
+//     path; the LFTA set is fixed once the manager starts ("changing the
+//     set of LFTAs requires that the query system be stopped ... however
+//     new HFTAs can be submitted at any point").
+//   - Every node's output — including mangled-name LFTA streams — is
+//     subscribable by name through the registry.
+//   - Under overload the least-processed tuples are dropped first (§4:
+//     "highly processed tuples ... are more valuable than less-processed
+//     tuples"): LFTA output rings shed when full, HFTA edges apply
+//     backpressure instead.
+//   - Heartbeats (§3 ordering update tokens) are generated at the sources
+//     from the virtual clock, periodically and on demand when a blocked
+//     operator requests one.
+package rts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// DefaultInterface is the interface used when a query names none
+// (paper §2.2: "if no Interface is given, a default Interface is
+// implied").
+const DefaultInterface = "default"
+
+// Config tunes the manager.
+type Config struct {
+	// RingSize is the capacity of subscription rings (tuples). 0 uses 1024.
+	RingSize int
+	// HeartbeatUsec is the virtual-time interval between source
+	// heartbeats. 0 uses 1s of virtual time.
+	HeartbeatUsec uint64
+	// ValidateOrdering enables runtime verification of imputed ordering
+	// properties: every emitted tuple is checked against its stream's
+	// declared orderings and violations are counted in NodeStats. A
+	// debugging mode; it costs a comparison per ordered column per tuple.
+	ValidateOrdering bool
+}
+
+func (c Config) ringSize() int {
+	if c.RingSize <= 0 {
+		return 1024
+	}
+	return c.RingSize
+}
+
+func (c Config) hbUsec() uint64 {
+	if c.HeartbeatUsec == 0 {
+		return 1_000_000
+	}
+	return c.HeartbeatUsec
+}
+
+// Manager is the stream manager and registry.
+type Manager struct {
+	cfg Config
+	cat *schema.Catalog
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	nodes   map[string]*queryNode // by lower-cased stream name
+	ifaces  map[string]*Interface
+	order   []*queryNode // creation order (dependency order)
+	wg      sync.WaitGroup
+}
+
+// NewManager builds a manager over a catalog (used only for diagnostics;
+// compilation happens in core).
+func NewManager(cat *schema.Catalog, cfg Config) *Manager {
+	return &Manager{
+		cfg:    cfg,
+		cat:    cat,
+		nodes:  make(map[string]*queryNode),
+		ifaces: make(map[string]*Interface),
+	}
+}
+
+// Interface returns (creating on demand) the named packet interface.
+func (m *Manager) Interface(name string) *Interface {
+	if name == "" {
+		name = DefaultInterface
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ifaceLocked(name)
+}
+
+func (m *Manager) ifaceLocked(name string) *Interface {
+	key := strings.ToLower(name)
+	if it, ok := m.ifaces[key]; ok {
+		return it
+	}
+	it := &Interface{name: name, m: m, hbEvery: m.cfg.hbUsec()}
+	m.ifaces[key] = it
+	return it
+}
+
+// AddQuery instantiates a compiled query's nodes with the given parameter
+// bindings. LFTA nodes may only be added before Start (paper §3); HFTA
+// nodes may be added at any time.
+func (m *Manager) AddQuery(cq *core.CompiledQuery, params map[string]schema.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return fmt.Errorf("rts: manager stopped")
+	}
+	for _, n := range cq.Nodes {
+		if n.Level == core.LevelLFTA && m.started {
+			return fmt.Errorf("rts: cannot add LFTA %s after start: stop the RTS, change the LFTA set, and restart (paper §3)", n.Name)
+		}
+	}
+	var added []*queryNode
+	rollback := func() {
+		for _, qn := range added {
+			delete(m.nodes, strings.ToLower(qn.name))
+		}
+	}
+	for _, n := range cq.Nodes {
+		key := strings.ToLower(n.Name)
+		if _, dup := m.nodes[key]; dup {
+			rollback()
+			return fmt.Errorf("rts: query node %s already registered", n.Name)
+		}
+		inst, err := n.Instantiate(params)
+		if err != nil {
+			rollback()
+			return err
+		}
+		qn := &queryNode{
+			m:     m,
+			name:  n.Name,
+			level: n.Level,
+			node:  n,
+			inst:  inst,
+			op:    inst.Op,
+			pub:   &publisher{name: n.Name, level: n.Level, shed: n.Level == core.LevelLFTA},
+		}
+		if m.cfg.ValidateOrdering {
+			qn.initCheckers(n.Out)
+		}
+		if n.Level == core.LevelLFTA {
+			iface := m.ifaceLocked(ifaceName(n))
+			iface.attach(qn)
+		} else {
+			// Wire inputs; they must already be registered.
+			for _, src := range n.Sources {
+				in, ok := m.nodes[strings.ToLower(src.Name)]
+				if !ok {
+					rollback()
+					return fmt.Errorf("rts: input stream %s of %s not registered", src.Name, n.Name)
+				}
+				sub := in.pub.subscribe(m.cfg.ringSize())
+				sub.reqFn = in.requestHeartbeat
+				qn.inputs = append(qn.inputs, sub)
+			}
+		}
+		m.nodes[key] = qn
+		m.order = append(m.order, qn)
+		added = append(added, qn)
+		if m.started && n.Level == core.LevelHFTA {
+			qn.start()
+		}
+	}
+	return nil
+}
+
+// AddUserNode registers a hand-written query node against the query-node
+// API (paper §3: "users can write their own query nodes to implement
+// special operators by following this API ... we have implemented a
+// special IP defragmentation operator in this manner"). The operator's
+// input port i is fed from inputs[i]; its output stream is registered
+// under `name` (the operator's OutSchema is renamed accordingly) so other
+// queries and applications can read it like any compiled query's output.
+func (m *Manager) AddUserNode(name string, op exec.Operator, inputs []string) error {
+	if op == nil {
+		return fmt.Errorf("rts: nil operator")
+	}
+	if op.Ports() != len(inputs) {
+		return fmt.Errorf("rts: operator has %d ports, %d inputs given", op.Ports(), len(inputs))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return fmt.Errorf("rts: manager stopped")
+	}
+	key := strings.ToLower(name)
+	if _, dup := m.nodes[key]; dup {
+		return fmt.Errorf("rts: query node %s already registered", name)
+	}
+	qn := &queryNode{
+		m:     m,
+		name:  name,
+		level: core.LevelHFTA,
+		op:    op,
+		pub:   &publisher{name: name, level: core.LevelHFTA},
+	}
+	if m.cfg.ValidateOrdering {
+		qn.initCheckers(op.OutSchema())
+	}
+	for _, srcName := range inputs {
+		in, ok := m.nodes[strings.ToLower(srcName)]
+		if !ok {
+			return fmt.Errorf("rts: input stream %s of %s not registered", srcName, name)
+		}
+		sub := in.pub.subscribe(m.cfg.ringSize())
+		sub.reqFn = in.requestHeartbeat
+		qn.inputs = append(qn.inputs, sub)
+	}
+	out := op.OutSchema().Clone()
+	out.Name = name
+	out.Kind = schema.KindStream
+	if err := m.cat.Register(out); err != nil {
+		return err
+	}
+	m.nodes[key] = qn
+	m.order = append(m.order, qn)
+	if m.started {
+		qn.start()
+	}
+	return nil
+}
+
+func ifaceName(n *core.Node) string {
+	name := n.Sources[0].Interface
+	if name == "" {
+		return DefaultInterface
+	}
+	return name
+}
+
+// Start launches the HFTA query nodes and freezes the LFTA set.
+func (m *Manager) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("rts: already started")
+	}
+	m.started = true
+	for _, qn := range m.order {
+		if qn.level == core.LevelHFTA {
+			qn.start()
+		}
+	}
+	return nil
+}
+
+// Stop flushes every node (sources first, then downstream) and closes all
+// subscriptions. The manager cannot be restarted; build a fresh one (the
+// paper's workflow: stop the RTS, change it, restart — "we can change the
+// RTS in seconds").
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	ifaces := make([]*Interface, 0, len(m.ifaces))
+	for _, it := range m.ifaces {
+		ifaces = append(ifaces, it)
+	}
+	m.mu.Unlock()
+
+	// Flush LFTAs and close their publishers; HFTA nodes then see their
+	// inputs close, flush in topological order, and close their own.
+	for _, it := range ifaces {
+		it.shutdown()
+	}
+	m.wg.Wait()
+}
+
+// Subscribe returns a handle on the named stream (the paper's registry
+// lookup: "it submits the query name to the registry and receives a query
+// handle in return"). bufSize 0 uses the configured ring size.
+func (m *Manager) Subscribe(name string, bufSize int) (*Subscription, error) {
+	m.mu.Lock()
+	qn, ok := m.nodes[strings.ToLower(name)]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rts: no query node named %s", name)
+	}
+	if bufSize <= 0 {
+		bufSize = m.cfg.ringSize()
+	}
+	sub := qn.pub.subscribe(bufSize)
+	sub.reqFn = qn.requestHeartbeat
+	return sub, nil
+}
+
+// SetParams changes a query node's parameters on the fly (paper §3).
+func (m *Manager) SetParams(name string, params map[string]schema.Value) error {
+	m.mu.Lock()
+	qn, ok := m.nodes[strings.ToLower(name)]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rts: no query node named %s", name)
+	}
+	return qn.setParams(params)
+}
+
+// Registry lists the registered stream names, sorted.
+func (m *Manager) Registry() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.nodes))
+	for _, qn := range m.nodes {
+		names = append(names, qn.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Inject delivers one captured packet to the named interface's LFTAs.
+// This is the host capture entry point; the capture simulator and traffic
+// drivers call it.
+func (m *Manager) Inject(iface string, p *pkt.Packet) {
+	m.Interface(iface).Inject(p)
+}
+
+// AdvanceClock moves the virtual clock on every interface, emitting
+// periodic and requested heartbeats.
+func (m *Manager) AdvanceClock(usec uint64) {
+	m.mu.Lock()
+	ifaces := make([]*Interface, 0, len(m.ifaces))
+	for _, it := range m.ifaces {
+		ifaces = append(ifaces, it)
+	}
+	m.mu.Unlock()
+	for _, it := range ifaces {
+		it.AdvanceClock(usec)
+	}
+}
+
+// NodeStats is a monitoring snapshot of one query node.
+type NodeStats struct {
+	Name     string
+	Level    core.Level
+	Op       exec.OpStats
+	RingDrop uint64 // tuples shed at this node's output rings
+	Packets  uint64 // packets seen (LFTA only)
+	BadPkts  uint64 // packets whose fields could not be interpreted
+	// OrderViolations counts imputed-ordering violations observed when
+	// Config.ValidateOrdering is on (anything non-zero is a bug).
+	OrderViolations uint64
+}
+
+// Stats returns a snapshot for every node, sorted by name.
+func (m *Manager) Stats() []NodeStats {
+	m.mu.Lock()
+	nodes := append([]*queryNode(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]NodeStats, 0, len(nodes))
+	for _, qn := range nodes {
+		out = append(out, qn.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,227 @@
+package rts
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// queryNode hosts one instantiated plan node. HFTA nodes run their own
+// goroutine fed by input subscriptions; LFTA nodes are executed inline on
+// their interface's capture path (paper §3: LFTAs "are linked into the
+// stream manager").
+type queryNode struct {
+	m     *Manager
+	name  string
+	level core.Level
+	// node/inst are set for compiled plan nodes; user-written nodes
+	// (AddUserNode) carry only op.
+	node   *core.Node
+	inst   *core.Instance
+	op     exec.Operator
+	pub    *publisher
+	inputs []*Subscription
+
+	// LFTA-side counters; the interface goroutine is the only writer.
+	packets atomic.Uint64
+
+	// Runtime ordering validation (Config.ValidateOrdering).
+	checkers   []*schema.OrderChecker
+	violations atomic.Uint64
+
+	// HFTA goroutine state.
+	inbox   chan portMsg
+	cmds    chan func()
+	done    chan struct{}
+	started bool
+	mu      sync.Mutex // guards inline LFTA execution vs setParams
+}
+
+type portMsg struct {
+	port int
+	msg  exec.Message
+	done bool // the port's input stream ended
+}
+
+// start launches the HFTA node goroutine and its input forwarders.
+func (qn *queryNode) start() {
+	if qn.started {
+		return
+	}
+	qn.started = true
+	qn.inbox = make(chan portMsg, 64)
+	qn.cmds = make(chan func(), 4)
+	qn.done = make(chan struct{})
+
+	// Give the merge operator a way to demand heartbeats from a starving
+	// input (the paper's on-demand ordering update tokens, §3).
+	if mg, ok := qn.op.(*exec.Merge); ok {
+		inputs := qn.inputs
+		mg.OnBlocked = func(port int) {
+			if port >= 0 && port < len(inputs) {
+				inputs[port].RequestHeartbeat()
+			}
+		}
+	}
+
+	var fwd sync.WaitGroup
+	for i, sub := range qn.inputs {
+		fwd.Add(1)
+		go func(port int, sub *Subscription) {
+			defer fwd.Done()
+			for msg := range sub.C {
+				qn.inbox <- portMsg{port: port, msg: msg}
+			}
+			qn.inbox <- portMsg{port: port, done: true}
+		}(i, sub)
+	}
+	qn.m.wg.Add(1)
+	go func() {
+		defer qn.m.wg.Done()
+		qn.loop(len(qn.inputs))
+	}()
+	go func() {
+		fwd.Wait()
+		close(qn.inbox)
+	}()
+}
+
+func (qn *queryNode) loop(openPorts int) {
+	defer close(qn.done)
+	emit := qn.emit
+	for {
+		select {
+		case cmd := <-qn.cmds:
+			cmd()
+			continue
+		default:
+		}
+		select {
+		case cmd := <-qn.cmds:
+			cmd()
+		case pm, ok := <-qn.inbox:
+			if !ok {
+				qn.op.FlushAll(emit)
+				qn.pub.close()
+				return
+			}
+			if pm.done {
+				openPorts--
+				if mg, isMerge := qn.op.(*exec.Merge); isMerge {
+					mg.PortDone(pm.port, emit)
+				}
+				continue
+			}
+			qn.op.Push(pm.port, pm.msg, emit)
+		}
+	}
+}
+
+// initCheckers builds per-column ordering checkers for the output schema.
+func (qn *queryNode) initCheckers(out *schema.Schema) {
+	qn.checkers = make([]*schema.OrderChecker, len(out.Cols))
+	for i, c := range out.Cols {
+		if c.Ordering.Usable() {
+			qn.checkers[i] = schema.NewOrderChecker(c.Ordering, nil)
+		}
+	}
+}
+
+// emit publishes a message, validating imputed orderings when enabled.
+// Safe: each node emits from a single goroutine (or under its mutex).
+func (qn *queryNode) emit(m exec.Message) {
+	if qn.checkers != nil && !m.IsHeartbeat() {
+		for i, ch := range qn.checkers {
+			if ch == nil || i >= len(m.Tuple) {
+				continue
+			}
+			if err := ch.Observe(m.Tuple[i], m.Tuple); err != nil {
+				qn.violations.Add(1)
+			}
+		}
+	}
+	qn.pub.publish(m)
+}
+
+// pushPacket runs an LFTA inline on the capture path.
+func (qn *queryNode) pushPacket(p *packetRef) {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	qn.packets.Add(1)
+	qn.inst.PushPacket(p.pkt, qn.emit)
+}
+
+// clockHeartbeat emits a source heartbeat through the LFTA.
+func (qn *queryNode) clockHeartbeat(usec uint64) {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	qn.inst.ClockHeartbeat(usec, qn.emit)
+}
+
+// flushInline flushes an LFTA at shutdown.
+func (qn *queryNode) flushInline() {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	qn.op.FlushAll(qn.emit)
+	qn.pub.close()
+}
+
+// setParams rebinds parameters. HFTA nodes apply the change on their own
+// goroutine; LFTAs under the interface lock.
+func (qn *queryNode) setParams(params map[string]schema.Value) error {
+	if qn.inst == nil {
+		return fmt.Errorf("rts: %s is a user-written node; it has no query parameters", qn.name)
+	}
+	if qn.level == core.LevelLFTA || !qn.started {
+		qn.mu.Lock()
+		defer qn.mu.Unlock()
+		return qn.inst.Rebind(params)
+	}
+	errc := make(chan error, 1)
+	select {
+	case qn.cmds <- func() { errc <- qn.inst.Rebind(params) }:
+	case <-qn.done:
+		qn.mu.Lock()
+		defer qn.mu.Unlock()
+		return qn.inst.Rebind(params)
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-qn.done:
+		return nil
+	}
+}
+
+func (qn *queryNode) stats() NodeStats {
+	ns := NodeStats{
+		Name:     qn.name,
+		Level:    qn.level,
+		RingDrop: qn.pub.drops.Load(),
+		Packets:  qn.packets.Load(),
+	}
+	if qn.inst != nil {
+		ns.Op = qn.inst.Stats()
+		ns.BadPkts = qn.inst.PacketsDropped()
+	} else if s, ok := qn.op.(interface{ Stats() exec.OpStats }); ok {
+		ns.Op = s.Stats()
+	}
+	ns.OrderViolations = qn.violations.Load()
+	return ns
+}
+
+// requestHeartbeat propagates a downstream demand for ordering information
+// toward the sources.
+func (qn *queryNode) requestHeartbeat() {
+	if qn.node != nil && qn.level == core.LevelLFTA {
+		qn.m.Interface(ifaceName(qn.node)).requestHeartbeat()
+		return
+	}
+	for _, sub := range qn.inputs {
+		sub.RequestHeartbeat()
+	}
+}

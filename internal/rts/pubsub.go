@@ -1,0 +1,119 @@
+package rts
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+)
+
+// publisher fans a node's output out to its subscribers over bounded
+// rings (the shared-memory channels of the paper's architecture).
+//
+// Drop policy implements the §4 tuple-value heuristic: LFTA outputs (least
+// processed, cheapest to lose) are shed when a ring is full; HFTA outputs
+// (highly processed, most valuable) block instead, applying backpressure.
+type publisher struct {
+	name  string
+	level core.Level
+	shed  bool
+
+	mu     sync.Mutex
+	subs   []*Subscription
+	closed bool
+	drops  atomic.Uint64
+}
+
+func (p *publisher) subscribe(buf int) *Subscription {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := &Subscription{
+		Name: p.name,
+		C:    make(chan exec.Message, buf),
+		pub:  p,
+	}
+	if p.closed {
+		close(s.C)
+		return s
+	}
+	p.subs = append(p.subs, s)
+	return s
+}
+
+func (p *publisher) publish(m exec.Message) {
+	p.mu.Lock()
+	subs := p.subs
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, s := range subs {
+		if s.cancelled.Load() {
+			continue
+		}
+		if p.shed && !m.IsHeartbeat() {
+			select {
+			case s.C <- m:
+			default:
+				p.drops.Add(1) // least-processed tuples shed first
+			}
+			continue
+		}
+		if m.IsHeartbeat() {
+			// Heartbeats carry no data; never block on them.
+			select {
+			case s.C <- m:
+			default:
+			}
+			continue
+		}
+		s.C <- m
+	}
+}
+
+func (p *publisher) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, s := range p.subs {
+		close(s.C)
+	}
+	p.subs = nil
+}
+
+// Subscription is a query handle: a bounded ring of messages from one
+// stream plus the ability to demand a heartbeat from upstream.
+type Subscription struct {
+	Name string
+	C    chan exec.Message
+
+	pub       *publisher
+	cancelled atomic.Bool
+	reqFn     func()
+}
+
+// Cancel detaches the subscription. The publisher stops sending to it and
+// anything in flight is drained; the channel closes when the stream ends.
+func (s *Subscription) Cancel() {
+	if s.cancelled.CompareAndSwap(false, true) {
+		// Drain so a publisher mid-send is never stranded.
+		go func() {
+			for range s.C {
+			}
+		}()
+	}
+}
+
+// RequestHeartbeat asks the producing chain for an ordering update token
+// (paper §3's on-demand variant): the request propagates to the packet
+// sources, which emit clock bounds on the next AdvanceClock.
+func (s *Subscription) RequestHeartbeat() {
+	if s.reqFn != nil {
+		s.reqFn()
+	}
+}

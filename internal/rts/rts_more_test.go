@@ -1,0 +1,227 @@
+package rts
+
+import (
+	"testing"
+	"time"
+)
+
+// TestManagerJoinQuery runs a windowed join through the full runtime:
+// two interfaces, per-link LFTAs, join HFTA.
+func TestManagerJoinQuery(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	for _, q := range []string{
+		`DEFINE { query_name jl; } SELECT time, srcIP FROM eth0.tcp WHERE destPort = 80`,
+		`DEFINE { query_name jr; } SELECT time, srcIP FROM eth1.tcp WHERE destPort = 80`,
+		`DEFINE { query_name joined; }
+		 SELECT L.time, L.srcIP FROM jl L, jr R
+		 WHERE L.srcIP = R.srcIP and L.time = R.time`,
+	} {
+		if err := m.AddQuery(mustCompile(t, cat, q), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := m.Subscribe("joined", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Same srcIP appears on both links at seconds 1..10; a different
+	// srcIP only on eth0.
+	for sec := uint64(1); sec <= 10; sec++ {
+		p0 := tcpPkt(sec, 7, 80, "x")
+		p1 := tcpPkt(sec, 7, 80, "y")
+		px := tcpPkt(sec, 9, 80, "z")
+		m.Inject("eth0", &p0)
+		m.Inject("eth0", &px)
+		m.Inject("eth1", &p1)
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 10 {
+		t.Fatalf("joined rows = %d: %v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r[1].IP() != 7 {
+			t.Errorf("joined wrong source: %v", r)
+		}
+	}
+}
+
+// TestManagerThreeWayMerge merges three interfaces.
+func TestManagerThreeWayMerge(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	for _, q := range []string{
+		`DEFINE { query_name t0; } SELECT time, srcIP FROM eth0.tcp`,
+		`DEFINE { query_name t1; } SELECT time, srcIP FROM eth1.tcp`,
+		`DEFINE { query_name t2; } SELECT time, srcIP FROM eth2.tcp`,
+		`DEFINE { query_name t012; } MERGE t0.time : t1.time : t2.time FROM t0, t1, t2`,
+	} {
+		if err := m.AddQuery(mustCompile(t, cat, q), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := m.Subscribe("t012", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for sec := uint64(1); sec <= 20; sec++ {
+		for i, iface := range []string{"eth0", "eth1", "eth2"} {
+			p := tcpPkt(sec, uint32(i), 80, "x")
+			m.Inject(iface, &p)
+		}
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 60 {
+		t.Fatalf("merged %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].Uint() < rows[i-1][0].Uint() {
+			t.Fatalf("merge order violated at %d", i)
+		}
+	}
+}
+
+// TestSubscriptionHeartbeatRequest exercises the on-demand heartbeat path
+// from an application subscription back to the packet source.
+func TestSubscriptionHeartbeatRequest(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{HeartbeatUsec: 1 << 62}) // periodic HBs off
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name hbq; }
+		SELECT tb, count(*) FROM tcp GROUP BY time/60 as tb`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("hbq", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One packet in minute 0; the group stays open (no flush trigger).
+	p := tcpPkt(10, 1, 80, "x")
+	m.Inject("", &p)
+	// Advance the interface clock far into the future, then demand a
+	// heartbeat through the subscription: the LFTA emits a clock bound,
+	// the HFTA closes minute 0 and emits its row.
+	m.AdvanceClock(10 * 60 * 1e6)
+	sub.RequestHeartbeat()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case msg, ok := <-sub.C:
+			if !ok {
+				t.Fatal("stream closed before row arrived")
+			}
+			if !msg.IsHeartbeat() {
+				if msg.Tuple[0].Uint() != 0 || msg.Tuple[1].Uint() != 1 {
+					t.Errorf("row = %v", msg.Tuple)
+				}
+				m.Stop()
+				return
+			}
+		case <-deadline:
+			t.Fatal("heartbeat request did not flush the open group")
+		}
+	}
+}
+
+// TestInterfaceCountersAndCancel covers remaining surface: LFTACount,
+// subscription Cancel mid-stream, stats of a cancelled stream.
+func TestInterfaceCountersAndCancel(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `DEFINE { query_name cc; } SELECT time FROM eth0.tcp`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Interface("eth0").LFTACount(); got != 1 {
+		t.Errorf("LFTACount = %d", got)
+	}
+	sub, err := m.Subscribe("cc", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := tcpPkt(1, 1, 80, "x")
+	m.Inject("eth0", &p)
+	sub.Cancel()
+	// Further injections must not block or panic with the cancelled sub.
+	for i := uint64(2); i < 100; i++ {
+		p := tcpPkt(i, 1, 80, "x")
+		m.Inject("eth0", &p)
+	}
+	m.Stop()
+	stats := m.Stats()
+	if len(stats) != 1 || stats[0].Packets != 99 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestStopIdempotentAndAddAfterStop verifies shutdown edge cases.
+func TestStopIdempotentAndAddAfterStop(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `DEFINE { query_name s1; } SELECT time FROM tcp`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	cq2 := mustCompile(t, cat, `DEFINE { query_name s2; } SELECT time FROM s1`)
+	if err := m.AddQuery(cq2, nil); err == nil {
+		t.Error("AddQuery after Stop accepted")
+	}
+}
+
+// TestValidateOrderingMode runs a full chain with runtime ordering
+// verification on: zero violations expected, proving the imputed
+// properties hold live (and exercising the validation path itself).
+func TestValidateOrderingMode(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{ValidateOrdering: true})
+	for _, q := range []string{
+		`DEFINE { query_name v0; } SELECT time, srcIP, destPort FROM eth0.tcp`,
+		`DEFINE { query_name v1; } SELECT time, srcIP, destPort FROM eth1.tcp`,
+		`DEFINE { query_name vm; } MERGE v0.time : v1.time FROM v0, v1`,
+		`DEFINE { query_name va; } SELECT tb, count(*) FROM vm GROUP BY time/10 as tb`,
+	} {
+		if err := m.AddQuery(mustCompile(t, cat, q), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := m.Subscribe("va", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for sec := uint64(1); sec <= 100; sec++ {
+		p0 := tcpPkt(sec, 1, 80, "x")
+		p1 := tcpPkt(sec, 2, 80, "y")
+		m.Inject("eth0", &p0)
+		m.Inject("eth1", &p1)
+	}
+	m.Stop()
+	drain(t, sub)
+	for _, s := range m.Stats() {
+		if s.OrderViolations != 0 {
+			t.Errorf("node %s: %d ordering violations", s.Name, s.OrderViolations)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package rts
+
+import (
+	"testing"
+	"time"
+
+	"gigascope/internal/core"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+func newCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if err := pkt.RegisterBuiltins(cat); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func mustCompile(t *testing.T, cat *schema.Catalog, src string) *core.CompiledQuery {
+	t.Helper()
+	q, err := gsql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := core.Compile(cat, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq
+}
+
+func tcpPkt(sec uint64, srcIP uint32, port uint16, payload string) pkt.Packet {
+	return pkt.BuildTCP(sec*1e6, pkt.TCPSpec{
+		SrcIP: srcIP, DstIP: 0x0a000002,
+		SrcPort: 30000, DstPort: port,
+		Payload: []byte(payload),
+	})
+}
+
+// drain reads tuples until the channel closes, with a watchdog.
+func drain(t *testing.T, sub *Subscription) []schema.Tuple {
+	t.Helper()
+	var out []schema.Tuple
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case m, ok := <-sub.C:
+			if !ok {
+				return out
+			}
+			if !m.IsHeartbeat() {
+				out = append(out, m.Tuple)
+			}
+		case <-timeout:
+			t.Fatal("drain timed out")
+		}
+	}
+}
+
+func TestManagerSingleLFTAQuery(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name port80; }
+		SELECT time, srcIP FROM eth0.tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("port80", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pkts := []pkt.Packet{
+		tcpPkt(1, 0x0a000001, 80, "x"),
+		tcpPkt(2, 0x0a000009, 443, "x"),
+		tcpPkt(3, 0x0a000003, 80, "x"),
+	}
+	for i := range pkts {
+		m.Inject("eth0", &pkts[i])
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][1].IP() != 0x0a000001 || rows[1][1].IP() != 0x0a000003 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestManagerSplitQueryChain(t *testing.T) {
+	// The §4 HTTP query: LFTA filter + HFTA regex, wired automatically.
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name http; }
+		SELECT time, srcIP FROM tcp
+		WHERE destPort = 80 and str_regex_match(payload, '^[^\n]*HTTP/1.*')`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("http", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mangled LFTA stream is also subscribable (paper §3).
+	lftaSub, err := m.Subscribe("_lfta_http", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pkts := []pkt.Packet{
+		tcpPkt(1, 1, 80, "GET / HTTP/1.1\r\n"),
+		tcpPkt(2, 2, 80, "tunneled junk"),
+		tcpPkt(3, 3, 443, "GET / HTTP/1.1\r\n"),
+		tcpPkt(4, 4, 80, "HTTP/1.0 200 OK\r\n"),
+	}
+	for i := range pkts {
+		m.Inject("", &pkts[i])
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 2 {
+		t.Fatalf("http rows = %v", rows)
+	}
+	lrows := drain(t, lftaSub)
+	if len(lrows) != 3 { // port-80 only filter
+		t.Fatalf("lfta rows = %v", lrows)
+	}
+}
+
+func TestManagerAggregateSplitChain(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name counts; }
+		SELECT tb, count(*) FROM tcp GROUP BY time/60 as tb`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("counts", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for sec := uint64(0); sec < 180; sec += 10 {
+		p := tcpPkt(sec, 1, 80, "x")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i, row := range rows {
+		if row[0].Uint() != uint64(i) || row[1].Uint() != 6 {
+			t.Errorf("row %d = %v, want [%d, 6]", i, row, i)
+		}
+	}
+}
+
+func TestManagerComposedQueries(t *testing.T) {
+	// Query composition: counts reads port80 reads packets (paper §2.2:
+	// "the ease with which queries can be composed").
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	q1 := mustCompile(t, cat, `
+		DEFINE { query_name port80c; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	q2 := mustCompile(t, cat, `
+		DEFINE { query_name persec; }
+		SELECT time, count(*) FROM port80c GROUP BY time`)
+	if err := m.AddQuery(q1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddQuery(q2, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("persec", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for sec := uint64(0); sec < 5; sec++ {
+		for i := 0; i < 3; i++ {
+			p := tcpPkt(sec, uint32(i), 80, "x")
+			m.Inject("", &p)
+		}
+		p := tcpPkt(sec, 9, 443, "x")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, row := range rows {
+		if row[1].Uint() != 3 {
+			t.Errorf("row = %v, want count 3", row)
+		}
+	}
+}
+
+func TestManagerMergeWithHeartbeats(t *testing.T) {
+	// Two interfaces, one silent: periodic source heartbeats keep the
+	// merge from blocking (paper §3 unblocking).
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{HeartbeatUsec: 1_000_000})
+	q0 := mustCompile(t, cat, `DEFINE { query_name m0; } SELECT time, srcIP FROM eth0.tcp`)
+	q1 := mustCompile(t, cat, `DEFINE { query_name m1; } SELECT time, srcIP FROM eth1.tcp`)
+	qm := mustCompile(t, cat, `DEFINE { query_name both; } MERGE m0.time : m1.time FROM m0, m1`)
+	for _, cq := range []*core.CompiledQuery{q0, q1, qm} {
+		if err := m.AddQuery(cq, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := m.Subscribe("both", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// eth0 is fast; eth1 silent but its clock advances.
+	for sec := uint64(1); sec <= 50; sec++ {
+		p := tcpPkt(sec, 7, 80, "x")
+		m.Inject("eth0", &p)
+		m.AdvanceClock(sec * 1e6)
+	}
+	// Before stop, the merge should already have released most tuples.
+	released := 0
+	deadline := time.After(5 * time.Second)
+poll:
+	for released < 40 {
+		select {
+		case msg, ok := <-sub.C:
+			if !ok {
+				break poll
+			}
+			if !msg.IsHeartbeat() {
+				released++
+			}
+		case <-deadline:
+			t.Fatalf("merge released only %d tuples while live", released)
+		}
+	}
+	m.Stop()
+	for range sub.C {
+	}
+}
+
+func TestManagerLFTAAfterStartRejected(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cq := mustCompile(t, cat, `DEFINE { query_name late; } SELECT time FROM tcp`)
+	if err := m.AddQuery(cq, nil); err == nil {
+		t.Error("LFTA accepted after start (paper §3 forbids)")
+	}
+	// HFTAs may be added at any point: need an existing base stream.
+	m.Stop()
+
+	cat2 := newCatalog(t)
+	m2 := NewManager(cat2, Config{})
+	base := mustCompile(t, cat2, `DEFINE { query_name b; } SELECT time, destPort FROM tcp`)
+	if err := m2.AddQuery(base, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	late := mustCompile(t, cat2, `DEFINE { query_name lateh; } SELECT time FROM b WHERE destPort = 80`)
+	if err := m2.AddQuery(late, nil); err != nil {
+		t.Errorf("HFTA after start rejected: %v", err)
+	}
+	m2.Stop()
+}
+
+func TestManagerParamsChangeOnTheFly(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name byport; param port uint; }
+		SELECT time, srcIP FROM tcp WHERE destPort = $port`)
+	if err := m.AddQuery(cq, map[string]schema.Value{"port": schema.MakeUint(80)}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("byport", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p1 := tcpPkt(1, 1, 80, "x")
+	m.Inject("", &p1)
+	if err := m.SetParams("byport", map[string]schema.Value{"port": schema.MakeUint(443)}); err != nil {
+		t.Fatal(err)
+	}
+	p2 := tcpPkt(2, 2, 80, "x")
+	p3 := tcpPkt(3, 3, 443, "x")
+	m.Inject("", &p2)
+	m.Inject("", &p3)
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 2 || rows[0][1].IP() != 1 || rows[1][1].IP() != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestManagerMissingParamRejected(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name needsp; param port uint; }
+		SELECT time FROM tcp WHERE destPort = $port`)
+	if err := m.AddQuery(cq, nil); err == nil {
+		t.Error("unbound parameter accepted")
+	}
+}
+
+func TestManagerRegistryAndStats(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name regq; }
+		SELECT time, srcIP FROM tcp
+		WHERE destPort = 80 and str_regex_match(payload, 'HTTP')`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	names := m.Registry()
+	if len(names) != 2 || names[0] != "_lfta_regq" || names[1] != "regq" {
+		t.Fatalf("registry = %v", names)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p := tcpPkt(uint64(i), 1, 80, "GET / HTTP/1.1")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	stats := m.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+	var lfta, hfta NodeStats
+	for _, s := range stats {
+		if s.Level == core.LevelLFTA {
+			lfta = s
+		} else {
+			hfta = s
+		}
+	}
+	if lfta.Packets != 10 || lfta.Op.Out != 10 {
+		t.Errorf("lfta stats = %+v", lfta)
+	}
+	if hfta.Op.In != 10 || hfta.Op.Out != 10 {
+		t.Errorf("hfta stats = %+v", hfta)
+	}
+}
+
+func TestManagerSubscribeUnknown(t *testing.T) {
+	m := NewManager(newCatalog(t), Config{})
+	if _, err := m.Subscribe("ghost", 1); err == nil {
+		t.Error("unknown stream subscribable")
+	}
+}
+
+func TestManagerLFTARingSheds(t *testing.T) {
+	// A subscriber that never reads a mangled LFTA stream must not stall
+	// the capture path: LFTA rings shed (least-processed tuples dropped
+	// first, paper §4).
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{RingSize: 4})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name shed; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("shed", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			p := tcpPkt(uint64(i), 1, 80, "x")
+			m.Inject("", &p)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("capture path stalled on a slow subscriber")
+	}
+	m.Stop()
+	var got int
+	for msg := range sub.C {
+		if !msg.IsHeartbeat() {
+			got++
+		}
+	}
+	if got >= 100 {
+		t.Errorf("nothing shed: got %d", got)
+	}
+	stats := m.Stats()
+	var drops uint64
+	for _, s := range stats {
+		drops += s.RingDrop
+	}
+	if drops == 0 {
+		t.Error("no ring drops recorded")
+	}
+}

@@ -1,0 +1,20 @@
+package schema
+
+import "testing"
+
+func BenchmarkTuplePack(b *testing.B) {
+	t := Tuple{MakeUint(1), MakeIP(0x0a000001), MakeUint(80), MakeStr("payload")}
+	buf := make([]byte, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = t.Pack(buf[:0])
+	}
+}
+
+func BenchmarkValueCompare(b *testing.B) {
+	x, y := MakeUint(5), MakeUint(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Compare(y)
+	}
+}

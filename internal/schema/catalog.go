@@ -1,0 +1,98 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Catalog is the schema registry: protocol schemas declared in the DDL and
+// stream schemas registered when queries are compiled. It is safe for
+// concurrent use.
+type Catalog struct {
+	mu      sync.RWMutex
+	schemas map[string]*Schema
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{schemas: make(map[string]*Schema)}
+}
+
+// Register adds a schema, validating it first. Registering a name twice is
+// an error; use Replace to update.
+func (c *Catalog) Register(s *Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(s.Name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.schemas[key]; ok {
+		return fmt.Errorf("schema: %s already registered", s.Name)
+	}
+	c.schemas[key] = s
+	return nil
+}
+
+// Replace adds or overwrites a schema.
+func (c *Catalog) Replace(s *Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.schemas[strings.ToLower(s.Name)] = s
+	return nil
+}
+
+// Lookup returns the schema with the given name (case-insensitive).
+func (c *Catalog) Lookup(name string) (*Schema, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.schemas[strings.ToLower(name)]
+	return s, ok
+}
+
+// MustLookup returns the schema or panics; for tests and built-in setup.
+func (c *Catalog) MustLookup(name string) *Schema {
+	s, ok := c.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("schema: %s not in catalog", name))
+	}
+	return s
+}
+
+// Remove deletes a schema by name.
+func (c *Catalog) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.schemas, strings.ToLower(name))
+}
+
+// Names returns all registered schema names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.schemas))
+	for _, s := range c.schemas {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Protocols returns the registered Protocol schemas, sorted by name.
+func (c *Catalog) Protocols() []*Schema {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Schema
+	for _, s := range c.schemas {
+		if s.Kind == KindProtocol {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,213 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OrderKind enumerates the ordering properties an attribute can carry
+// (paper §2.1). Properties may be declared in the DDL for source streams or
+// imputed by the planner for derived streams.
+type OrderKind uint8
+
+const (
+	// OrderNone means no known ordering.
+	OrderNone OrderKind = iota
+	// OrderStrictIncreasing: each value is strictly greater than the last.
+	OrderStrictIncreasing
+	// OrderIncreasing: monotone nondecreasing.
+	OrderIncreasing
+	// OrderStrictDecreasing: each value is strictly less than the last.
+	OrderStrictDecreasing
+	// OrderDecreasing: monotone nonincreasing.
+	OrderDecreasing
+	// OrderNonrepeating: monotone nonrepeating — a value never recurs once
+	// a different value has been seen (e.g. output of a hash function over
+	// an increasing key).
+	OrderNonrepeating
+	// OrderBandedIncreasing: every value is within Band of the running
+	// maximum (e.g. NetFlow start timestamps are within 30 s of the high
+	// water mark because records are flushed every 30 s).
+	OrderBandedIncreasing
+	// OrderIncreasingInGroup: increasing among the tuples that share the
+	// values of the Group fields (e.g. NetFlow start time within a flow
+	// 5-tuple).
+	OrderIncreasingInGroup
+)
+
+// Ordering is an ordering property instance: a kind plus its parameters.
+type Ordering struct {
+	Kind  OrderKind
+	Band  uint64   // OrderBandedIncreasing: width of the band
+	Group []string // OrderIncreasingInGroup: grouping fields
+}
+
+// NoOrder is the absent ordering property.
+var NoOrder = Ordering{Kind: OrderNone}
+
+// Increasing reports whether the property guarantees the attribute never
+// decreases (strictly or monotonically increasing).
+func (o Ordering) Increasing() bool {
+	return o.Kind == OrderStrictIncreasing || o.Kind == OrderIncreasing
+}
+
+// Decreasing reports whether the property guarantees the attribute never
+// increases.
+func (o Ordering) Decreasing() bool {
+	return o.Kind == OrderStrictDecreasing || o.Kind == OrderDecreasing
+}
+
+// Monotone reports whether the attribute is usable as a progress indicator
+// for unblocking operators: once the watermark passes a value, no tuple at
+// or before that value (minus the band, if any) will arrive again.
+func (o Ordering) Monotone() bool {
+	return o.Increasing() || o.Decreasing() || o.Kind == OrderBandedIncreasing
+}
+
+// Usable reports whether the property can drive aggregation flushing or
+// join/merge windows (paper §2.1). Nonrepeating alone cannot: it gives no
+// bound on when a group closes. In-group increase only helps per-group.
+func (o Ordering) Usable() bool { return o.Monotone() }
+
+// Weaken returns the ordering that holds if a strictly ordered attribute
+// may now repeat (e.g. after integer division by a constant).
+func (o Ordering) Weaken() Ordering {
+	switch o.Kind {
+	case OrderStrictIncreasing:
+		return Ordering{Kind: OrderIncreasing}
+	case OrderStrictDecreasing:
+		return Ordering{Kind: OrderDecreasing}
+	case OrderNonrepeating:
+		return NoOrder
+	}
+	return o
+}
+
+// Meet returns the strongest ordering implied by both a and b along a merge
+// of two streams that each carry the respective property on the same
+// attribute. (Used by the merge operator's imputation: merging two
+// increasing streams on the merge key keeps the key increasing but not
+// strictly.)
+func Meet(a, b Ordering) Ordering {
+	if a.Kind == OrderNone || b.Kind == OrderNone {
+		return NoOrder
+	}
+	if a.Increasing() && b.Increasing() {
+		return Ordering{Kind: OrderIncreasing}
+	}
+	if a.Decreasing() && b.Decreasing() {
+		return Ordering{Kind: OrderDecreasing}
+	}
+	if (a.Kind == OrderBandedIncreasing || a.Increasing()) &&
+		(b.Kind == OrderBandedIncreasing || b.Increasing()) {
+		band := a.Band
+		if b.Band > band {
+			band = b.Band
+		}
+		return Ordering{Kind: OrderBandedIncreasing, Band: band}
+	}
+	return NoOrder
+}
+
+// String renders the property in the DDL annotation syntax.
+func (o Ordering) String() string {
+	switch o.Kind {
+	case OrderNone:
+		return "none"
+	case OrderStrictIncreasing:
+		return "strictly_increasing"
+	case OrderIncreasing:
+		return "increasing"
+	case OrderStrictDecreasing:
+		return "strictly_decreasing"
+	case OrderDecreasing:
+		return "decreasing"
+	case OrderNonrepeating:
+		return "monotone_nonrepeating"
+	case OrderBandedIncreasing:
+		return fmt.Sprintf("banded_increasing(%d)", o.Band)
+	case OrderIncreasingInGroup:
+		return fmt.Sprintf("increasing_in_group(%s)", strings.Join(o.Group, ","))
+	}
+	return fmt.Sprintf("ordering(%d)", uint8(o.Kind))
+}
+
+// Check validates a freshly observed value against the property given the
+// previous observation state, returning an error describing the violation
+// if the stream does not obey the declared property. It is used by tests
+// and by the optional runtime order-checking mode.
+type OrderChecker struct {
+	ord   Ordering
+	seen  bool
+	last  Value
+	max   Value // high water mark for banded
+	group map[string]Value
+	key   func(Tuple) string // group key extractor for in-group checking
+}
+
+// NewOrderChecker builds a checker for property ord. For
+// OrderIncreasingInGroup, key must extract the group key from the tuple the
+// checked value came from; it may be nil for other kinds.
+func NewOrderChecker(ord Ordering, key func(Tuple) string) *OrderChecker {
+	c := &OrderChecker{ord: ord, key: key}
+	if ord.Kind == OrderIncreasingInGroup {
+		c.group = make(map[string]Value)
+	}
+	return c
+}
+
+// Observe checks value v (from tuple t, used only for in-group keys)
+// against the property.
+func (c *OrderChecker) Observe(v Value, t Tuple) error {
+	switch c.ord.Kind {
+	case OrderNone:
+		return nil
+	case OrderIncreasingInGroup:
+		k := c.key(t)
+		if prev, ok := c.group[k]; ok && v.Compare(prev) < 0 {
+			return fmt.Errorf("schema: %s violated in group %q: %s after %s", c.ord, k, v, prev)
+		}
+		c.group[k] = v
+		return nil
+	case OrderBandedIncreasing:
+		if !c.seen {
+			c.seen, c.max = true, v
+			return nil
+		}
+		if v.Compare(c.max) > 0 {
+			c.max = v
+		} else if c.max.Type.Numeric() || c.max.Type == TIP {
+			if c.max.Uint() > c.ord.Band && v.Uint() < c.max.Uint()-c.ord.Band {
+				return fmt.Errorf("schema: %s violated: %s is more than %d below high water mark %s",
+					c.ord, v, c.ord.Band, c.max)
+			}
+		}
+		return nil
+	}
+	if !c.seen {
+		c.seen, c.last = true, v
+		return nil
+	}
+	cmp := v.Compare(c.last)
+	var bad bool
+	switch c.ord.Kind {
+	case OrderStrictIncreasing:
+		bad = cmp <= 0
+	case OrderIncreasing:
+		bad = cmp < 0
+	case OrderStrictDecreasing:
+		bad = cmp >= 0
+	case OrderDecreasing:
+		bad = cmp > 0
+	case OrderNonrepeating:
+		// Approximate check: flag immediate return to an earlier value is
+		// impossible to detect without full history; detect equality after
+		// change by remembering only the previous value.
+		bad = false
+	}
+	if bad {
+		return fmt.Errorf("schema: %s violated: %s after %s", c.ord, v, c.last)
+	}
+	c.last = v
+	return nil
+}

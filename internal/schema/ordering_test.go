@@ -1,0 +1,155 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOrderingPredicates(t *testing.T) {
+	cases := []struct {
+		ord                Ordering
+		inc, dec, monotone bool
+	}{
+		{Ordering{Kind: OrderStrictIncreasing}, true, false, true},
+		{Ordering{Kind: OrderIncreasing}, true, false, true},
+		{Ordering{Kind: OrderStrictDecreasing}, false, true, true},
+		{Ordering{Kind: OrderDecreasing}, false, true, true},
+		{Ordering{Kind: OrderBandedIncreasing, Band: 30}, false, false, true},
+		{Ordering{Kind: OrderNonrepeating}, false, false, false},
+		{Ordering{Kind: OrderIncreasingInGroup, Group: []string{"srcIP"}}, false, false, false},
+		{NoOrder, false, false, false},
+	}
+	for _, c := range cases {
+		if c.ord.Increasing() != c.inc {
+			t.Errorf("%s.Increasing() = %v, want %v", c.ord, c.ord.Increasing(), c.inc)
+		}
+		if c.ord.Decreasing() != c.dec {
+			t.Errorf("%s.Decreasing() = %v, want %v", c.ord, c.ord.Decreasing(), c.dec)
+		}
+		if c.ord.Monotone() != c.monotone {
+			t.Errorf("%s.Monotone() = %v, want %v", c.ord, c.ord.Monotone(), c.monotone)
+		}
+	}
+}
+
+func TestOrderingWeaken(t *testing.T) {
+	if got := (Ordering{Kind: OrderStrictIncreasing}).Weaken(); got.Kind != OrderIncreasing {
+		t.Errorf("Weaken(strict inc) = %s", got)
+	}
+	if got := (Ordering{Kind: OrderStrictDecreasing}).Weaken(); got.Kind != OrderDecreasing {
+		t.Errorf("Weaken(strict dec) = %s", got)
+	}
+	if got := (Ordering{Kind: OrderNonrepeating}).Weaken(); got.Kind != OrderNone {
+		t.Errorf("Weaken(nonrepeating) = %s", got)
+	}
+	band := Ordering{Kind: OrderBandedIncreasing, Band: 5}
+	if got := band.Weaken(); got.Kind != band.Kind || got.Band != band.Band {
+		t.Errorf("Weaken(banded) = %s, want unchanged", got)
+	}
+}
+
+func TestOrderingMeet(t *testing.T) {
+	inc := Ordering{Kind: OrderIncreasing}
+	sinc := Ordering{Kind: OrderStrictIncreasing}
+	dec := Ordering{Kind: OrderDecreasing}
+	band10 := Ordering{Kind: OrderBandedIncreasing, Band: 10}
+	band30 := Ordering{Kind: OrderBandedIncreasing, Band: 30}
+
+	if got := Meet(sinc, sinc); got.Kind != OrderIncreasing {
+		t.Errorf("Meet(strict, strict) = %s, want increasing (merge may interleave equals)", got)
+	}
+	if got := Meet(inc, dec); got.Kind != OrderNone {
+		t.Errorf("Meet(inc, dec) = %s, want none", got)
+	}
+	if got := Meet(band10, band30); got.Kind != OrderBandedIncreasing || got.Band != 30 {
+		t.Errorf("Meet(banded 10, banded 30) = %s, want banded_increasing(30)", got)
+	}
+	if got := Meet(inc, band10); got.Kind != OrderBandedIncreasing || got.Band != 10 {
+		t.Errorf("Meet(inc, banded 10) = %s, want banded_increasing(10)", got)
+	}
+	if got := Meet(NoOrder, inc); got.Kind != OrderNone {
+		t.Errorf("Meet(none, inc) = %s, want none", got)
+	}
+}
+
+func TestOrderCheckerStrictIncreasing(t *testing.T) {
+	c := NewOrderChecker(Ordering{Kind: OrderStrictIncreasing}, nil)
+	for _, u := range []uint64{1, 2, 5} {
+		if err := c.Observe(MakeUint(u), nil); err != nil {
+			t.Fatalf("Observe(%d): %v", u, err)
+		}
+	}
+	if err := c.Observe(MakeUint(5), nil); err == nil {
+		t.Error("repeat accepted under strictly_increasing")
+	}
+}
+
+func TestOrderCheckerIncreasingAllowsRepeats(t *testing.T) {
+	c := NewOrderChecker(Ordering{Kind: OrderIncreasing}, nil)
+	for _, u := range []uint64{1, 1, 2, 2, 3} {
+		if err := c.Observe(MakeUint(u), nil); err != nil {
+			t.Fatalf("Observe(%d): %v", u, err)
+		}
+	}
+	if err := c.Observe(MakeUint(2), nil); err == nil {
+		t.Error("decrease accepted under increasing")
+	}
+}
+
+func TestOrderCheckerDecreasing(t *testing.T) {
+	c := NewOrderChecker(Ordering{Kind: OrderDecreasing}, nil)
+	for _, u := range []uint64{9, 9, 4, 1} {
+		if err := c.Observe(MakeUint(u), nil); err != nil {
+			t.Fatalf("Observe(%d): %v", u, err)
+		}
+	}
+	if err := c.Observe(MakeUint(2), nil); err == nil {
+		t.Error("increase accepted under decreasing")
+	}
+}
+
+func TestOrderCheckerBanded(t *testing.T) {
+	c := NewOrderChecker(Ordering{Kind: OrderBandedIncreasing, Band: 30}, nil)
+	// NetFlow-style: high water mark advances, stragglers within 30s ok.
+	seq := []uint64{100, 130, 105, 140, 111, 170}
+	for _, u := range seq {
+		if err := c.Observe(MakeUint(u), nil); err != nil {
+			t.Fatalf("Observe(%d): %v", u, err)
+		}
+	}
+	if err := c.Observe(MakeUint(139), nil); err == nil {
+		t.Error("value 31 below high water mark accepted under banded_increasing(30)")
+	}
+}
+
+func TestOrderCheckerInGroup(t *testing.T) {
+	key := func(tup Tuple) string { return tup[0].String() }
+	c := NewOrderChecker(Ordering{Kind: OrderIncreasingInGroup, Group: []string{"flow"}}, key)
+	obs := []struct {
+		flow string
+		ts   uint64
+	}{
+		{"a", 1}, {"b", 9}, {"a", 2}, {"b", 9}, {"a", 7},
+	}
+	for _, o := range obs {
+		tup := Tuple{MakeStr(o.flow), MakeUint(o.ts)}
+		if err := c.Observe(tup[1], tup); err != nil {
+			t.Fatalf("Observe(%v): %v", o, err)
+		}
+	}
+	bad := Tuple{MakeStr("b"), MakeUint(3)}
+	if err := c.Observe(bad[1], bad); err == nil {
+		t.Error("in-group decrease accepted")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	got := Ordering{Kind: OrderBandedIncreasing, Band: 30}.String()
+	if got != "banded_increasing(30)" {
+		t.Errorf("String() = %q", got)
+	}
+	got = Ordering{Kind: OrderIncreasingInGroup, Group: []string{"a", "b"}}.String()
+	if !strings.Contains(got, "a,b") {
+		t.Errorf("String() = %q, want group list", got)
+	}
+}

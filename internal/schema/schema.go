@@ -1,0 +1,158 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the two stream flavors (paper §2.2).
+type Kind uint8
+
+const (
+	// KindProtocol is a stream produced by interpreting raw data packets
+	// with a library of interpretation functions (e.g. eth0.TCP).
+	KindProtocol Kind = iota + 1
+	// KindStream is the output of a Gigascope query; fields are packed
+	// tuples in the standard format.
+	KindStream
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindProtocol:
+		return "PROTOCOL"
+	case KindStream:
+		return "STREAM"
+	}
+	return "?"
+}
+
+// Column describes one attribute of a stream.
+type Column struct {
+	Name     string
+	Type     Type
+	Ordering Ordering
+	// Interp names the interpretation function used to extract this field
+	// from a raw packet. Only meaningful for Protocol schemas.
+	Interp string
+}
+
+// Schema describes the tuple layout of one stream.
+type Schema struct {
+	Name string
+	Kind Kind
+	Cols []Column
+	// Base names the protocol this protocol refines (e.g. TCP refines
+	// IPV4); informational, fields are flattened at definition time.
+	Base string
+}
+
+// Col returns the index and column with the given name (case-insensitive,
+// as GSQL identifiers are), or -1 and nil.
+func (s *Schema) Col(name string) (int, *Column) {
+	for i := range s.Cols {
+		if strings.EqualFold(s.Cols[i].Name, name) {
+			return i, &s.Cols[i]
+		}
+	}
+	return -1, nil
+}
+
+// HasCol reports whether the schema has a column with the given name.
+func (s *Schema) HasCol(name string) bool {
+	i, _ := s.Col(name)
+	return i >= 0
+}
+
+// ColNames returns the column names in order.
+func (s *Schema) ColNames() []string {
+	names := make([]string, len(s.Cols))
+	for i := range s.Cols {
+		names[i] = s.Cols[i].Name
+	}
+	return names
+}
+
+// OrderedCols returns the indexes of columns with a usable (monotone)
+// ordering property.
+func (s *Schema) OrderedCols() []int {
+	var idx []int
+	for i := range s.Cols {
+		if s.Cols[i].Ordering.Usable() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Name: s.Name, Kind: s.Kind, Base: s.Base}
+	c.Cols = make([]Column, len(s.Cols))
+	copy(c.Cols, s.Cols)
+	for i := range c.Cols {
+		if g := c.Cols[i].Ordering.Group; g != nil {
+			c.Cols[i].Ordering.Group = append([]string(nil), g...)
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants: nonempty name, unique column
+// names, known types, and in-group ordering groups referring to real
+// columns.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("schema: unnamed schema")
+	}
+	if len(s.Cols) == 0 {
+		return fmt.Errorf("schema %s: no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Cols))
+	for i := range s.Cols {
+		c := &s.Cols[i]
+		lower := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return fmt.Errorf("schema %s: column %d unnamed", s.Name, i)
+		}
+		if seen[lower] {
+			return fmt.Errorf("schema %s: duplicate column %s", s.Name, c.Name)
+		}
+		seen[lower] = true
+		if c.Type == TNull {
+			return fmt.Errorf("schema %s: column %s has no type", s.Name, c.Name)
+		}
+		if c.Ordering.Kind != OrderNone && !c.Type.Ordered() {
+			return fmt.Errorf("schema %s: column %s of type %s cannot carry ordering %s",
+				s.Name, c.Name, c.Type, c.Ordering)
+		}
+		if c.Ordering.Kind == OrderIncreasingInGroup {
+			for _, g := range c.Ordering.Group {
+				if !s.HasCol(g) && !strings.EqualFold(g, c.Name) {
+					return fmt.Errorf("schema %s: column %s ordering group references unknown column %s",
+						s.Name, c.Name, g)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the schema in DDL-like form.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s {", s.Kind, s.Name)
+	for i := range s.Cols {
+		c := &s.Cols[i]
+		fmt.Fprintf(&b, " %s %s", c.Type, c.Name)
+		if c.Interp != "" {
+			fmt.Fprintf(&b, " %s", c.Interp)
+		}
+		if c.Ordering.Kind != OrderNone {
+			fmt.Fprintf(&b, " (%s)", c.Ordering)
+		}
+		b.WriteString(";")
+	}
+	b.WriteString(" }")
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package schema
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		Name: "TCP",
+		Kind: KindProtocol,
+		Cols: []Column{
+			{Name: "time", Type: TUint, Ordering: Ordering{Kind: OrderIncreasing}, Interp: "get_time"},
+			{Name: "srcIP", Type: TIP, Interp: "get_src_ip"},
+			{Name: "destPort", Type: TUint, Interp: "get_dest_port"},
+		},
+	}
+}
+
+func TestSchemaColLookup(t *testing.T) {
+	s := testSchema()
+	i, c := s.Col("srcip") // case-insensitive
+	if i != 1 || c == nil || c.Name != "srcIP" {
+		t.Errorf("Col(srcip) = %d, %v", i, c)
+	}
+	if i, c := s.Col("nosuch"); i != -1 || c != nil {
+		t.Errorf("Col(nosuch) = %d, %v", i, c)
+	}
+	if !s.HasCol("TIME") {
+		t.Error("HasCol(TIME) = false")
+	}
+}
+
+func TestSchemaOrderedCols(t *testing.T) {
+	s := testSchema()
+	if got := s.OrderedCols(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("OrderedCols() = %v", got)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := testSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	dup := testSchema()
+	dup.Cols = append(dup.Cols, Column{Name: "TIME", Type: TUint})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	noType := testSchema()
+	noType.Cols[0].Type = TNull
+	if err := noType.Validate(); err == nil {
+		t.Error("untyped column accepted")
+	}
+	badGroup := testSchema()
+	badGroup.Cols[0].Ordering = Ordering{Kind: OrderIncreasingInGroup, Group: []string{"ghost"}}
+	if err := badGroup.Validate(); err == nil {
+		t.Error("ordering group referencing unknown column accepted")
+	}
+	unordered := testSchema()
+	unordered.Cols = append(unordered.Cols, Column{
+		Name: "flag", Type: TBool, Ordering: Ordering{Kind: OrderIncreasing}})
+	if err := unordered.Validate(); err == nil {
+		t.Error("ordering on bool column accepted")
+	}
+	if err := (&Schema{Name: "empty", Kind: KindStream}).Validate(); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestSchemaCloneIsolation(t *testing.T) {
+	s := testSchema()
+	s.Cols[0].Ordering = Ordering{Kind: OrderIncreasingInGroup, Group: []string{"srcIP"}}
+	c := s.Clone()
+	c.Cols[0].Name = "mutated"
+	c.Cols[0].Ordering.Group[0] = "mutated"
+	if s.Cols[0].Name != "time" || s.Cols[0].Ordering.Group[0] != "srcIP" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	s := testSchema()
+	if err := c.Register(s); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.Register(s); err == nil {
+		t.Error("double Register accepted")
+	}
+	got, ok := c.Lookup("tcp")
+	if !ok || got != s {
+		t.Errorf("Lookup(tcp) = %v, %v", got, ok)
+	}
+	s2 := testSchema()
+	s2.Cols = s2.Cols[:2]
+	if err := c.Replace(s2); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	got, _ = c.Lookup("TCP")
+	if len(got.Cols) != 2 {
+		t.Error("Replace did not overwrite")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "TCP" {
+		t.Errorf("Names() = %v", names)
+	}
+	if protos := c.Protocols(); len(protos) != 1 {
+		t.Errorf("Protocols() = %v", protos)
+	}
+	c.Remove("tcp")
+	if _, ok := c.Lookup("TCP"); ok {
+		t.Error("Remove did not delete")
+	}
+}
+
+func TestTuplePackUnpackRoundTrip(t *testing.T) {
+	tup := Tuple{
+		MakeUint(12345),
+		MakeInt(-99),
+		MakeFloat(3.25),
+		MakeStr("payload with \x00 bytes"),
+		MakeBool(true),
+		MakeIP(0x0a010203),
+		Null,
+	}
+	packed := tup.Pack(nil)
+	if len(packed) != tup.PackedSize() {
+		t.Errorf("PackedSize() = %d, len(packed) = %d", tup.PackedSize(), len(packed))
+	}
+	got, n, err := Unpack(packed)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if n != len(packed) {
+		t.Errorf("Unpack consumed %d of %d bytes", n, len(packed))
+	}
+	if !got.Equal(tup) {
+		t.Errorf("round trip: got %v, want %v", got, tup)
+	}
+}
+
+func TestTuplePackRoundTripProperty(t *testing.T) {
+	f := func(u uint64, i int64, fl float64, s []byte, b bool) bool {
+		if math.IsNaN(fl) {
+			fl = 0 // NaN != NaN; Equal would fail spuriously
+		}
+		tup := Tuple{MakeUint(u), MakeInt(i), MakeFloat(fl), MakeString(s), MakeBool(b)}
+		got, n, err := Unpack(tup.Pack(nil))
+		return err == nil && n == tup.PackedSize() && got.Equal(tup)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	tup := Tuple{MakeUint(1), MakeStr("hello")}
+	packed := tup.Pack(nil)
+	for n := 0; n < len(packed); n++ {
+		if _, _, err := Unpack(packed[:n]); err == nil {
+			t.Errorf("Unpack of %d-byte prefix succeeded", n)
+		}
+	}
+}
+
+func TestTupleEqualAndClone(t *testing.T) {
+	a := Tuple{MakeUint(1), MakeStr("x")}
+	b := Tuple{MakeUint(1), MakeStr("x")}
+	if !a.Equal(b) {
+		t.Error("equal tuples compare unequal")
+	}
+	if a.Equal(a[:1]) {
+		t.Error("tuples of different length compare equal")
+	}
+	c := a.Clone()
+	c[1].B[0] = 'y'
+	if a[1].Str() != "x" {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,141 @@
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tuple is one stream record: a flat vector of Values laid out according to
+// a Schema.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for i, v := range t {
+		c[i] = v.Clone()
+	}
+	return c
+}
+
+// Equal reports field-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple for display and test assertions.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Pack serializes the tuple into the standard Gigascope wire format used
+// between query nodes (paper §2.2: "fields of its tuples are packed in a
+// standard fashion"): a field count, then per field a type tag and payload
+// (fixed 8 bytes for scalars, length-prefixed bytes for strings).
+func (t Tuple) Pack(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.Type))
+		switch v.Type {
+		case TNull:
+		case TString:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.B)))
+			dst = append(dst, v.B...)
+		case TFloat:
+			dst = binary.BigEndian.AppendUint64(dst, floatBits(v.F))
+		default:
+			dst = binary.BigEndian.AppendUint64(dst, v.U)
+		}
+	}
+	return dst
+}
+
+// Unpack deserializes a tuple produced by Pack, returning the tuple and the
+// number of bytes consumed.
+func Unpack(src []byte) (Tuple, int, error) {
+	if len(src) < 2 {
+		return nil, 0, fmt.Errorf("schema: short tuple header")
+	}
+	n := int(binary.BigEndian.Uint16(src))
+	off := 2
+	t := make(Tuple, n)
+	for i := 0; i < n; i++ {
+		if off >= len(src) {
+			return nil, 0, fmt.Errorf("schema: truncated tuple at field %d", i)
+		}
+		ty := Type(src[off])
+		off++
+		switch ty {
+		case TNull:
+			t[i] = Null
+		case TString:
+			if off+4 > len(src) {
+				return nil, 0, fmt.Errorf("schema: truncated string length at field %d", i)
+			}
+			l := int(binary.BigEndian.Uint32(src[off:]))
+			off += 4
+			if off+l > len(src) {
+				return nil, 0, fmt.Errorf("schema: truncated string payload at field %d", i)
+			}
+			b := make([]byte, l)
+			copy(b, src[off:off+l])
+			off += l
+			t[i] = Value{Type: TString, B: b}
+		case TFloat:
+			if off+8 > len(src) {
+				return nil, 0, fmt.Errorf("schema: truncated float at field %d", i)
+			}
+			t[i] = Value{Type: TFloat, F: floatFromBits(binary.BigEndian.Uint64(src[off:]))}
+			off += 8
+		case TBool, TUint, TInt, TIP:
+			if off+8 > len(src) {
+				return nil, 0, fmt.Errorf("schema: truncated scalar at field %d", i)
+			}
+			t[i] = Value{Type: ty, U: binary.BigEndian.Uint64(src[off:])}
+			off += 8
+		default:
+			return nil, 0, fmt.Errorf("schema: unknown field type %d", ty)
+		}
+	}
+	return t, off, nil
+}
+
+// PackedSize returns the size in bytes of the packed representation, the
+// unit the RTS uses to account for inter-node data transfer volume.
+func (t Tuple) PackedSize() int {
+	n := 2
+	for _, v := range t {
+		n++
+		switch v.Type {
+		case TNull:
+		case TString:
+			n += 4 + len(v.B)
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

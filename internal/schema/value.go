@@ -1,0 +1,325 @@
+// Package schema defines the value model, tuples, column schemas, and
+// attribute ordering properties shared by every Gigascope component.
+//
+// Gigascope is a pure stream system: every query input and output is a
+// stream of tuples. A tuple is a flat vector of Values whose layout is
+// described by a Schema. Ordering properties attached to schema columns are
+// the planner's currency for turning blocking operators (aggregation, join,
+// merge) into stream operators.
+package schema
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type enumerates the GSQL scalar types.
+type Type uint8
+
+const (
+	TNull   Type = iota // absent value (unset heartbeat bound, SQL NULL)
+	TBool               // boolean
+	TUint               // unsigned 64-bit integer: timestamps, ports, counters
+	TInt                // signed 64-bit integer
+	TFloat              // 64-bit float
+	TString             // byte string (packet payload slices, names)
+	TIP                 // IPv4 address, stored as a 32-bit value
+)
+
+// String returns the GSQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "null"
+	case TBool:
+		return "bool"
+	case TUint:
+		return "uint"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TIP:
+		return "ip"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// ParseType maps a GSQL type name to a Type. It reports false for unknown
+// names.
+func ParseType(s string) (Type, bool) {
+	switch s {
+	case "bool":
+		return TBool, true
+	case "uint", "ullong", "ulong", "ushort": // GSQL width aliases
+		return TUint, true
+	case "int", "llong", "long", "short":
+		return TInt, true
+	case "float", "double":
+		return TFloat, true
+	case "string", "v_str":
+		return TString, true
+	case "ip", "IP":
+		return TIP, true
+	}
+	return TNull, false
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (t Type) Numeric() bool { return t == TUint || t == TInt || t == TFloat }
+
+// Ordered reports whether values of the type have a total order usable for
+// ordering properties and comparison predicates.
+func (t Type) Ordered() bool {
+	return t == TUint || t == TInt || t == TFloat || t == TString || t == TIP
+}
+
+// Value is a single GSQL scalar. It is a compact tagged union: numeric
+// payloads live in U or F, strings in B. The zero Value is NULL.
+type Value struct {
+	Type Type
+	U    uint64 // bool (0/1), uint, int (two's-complement), IP
+	F    float64
+	B    []byte // string payload
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// MakeBool returns a boolean Value.
+func MakeBool(b bool) Value {
+	var u uint64
+	if b {
+		u = 1
+	}
+	return Value{Type: TBool, U: u}
+}
+
+// MakeUint returns an unsigned integer Value.
+func MakeUint(u uint64) Value { return Value{Type: TUint, U: u} }
+
+// MakeInt returns a signed integer Value.
+func MakeInt(i int64) Value { return Value{Type: TInt, U: uint64(i)} }
+
+// MakeFloat returns a float Value.
+func MakeFloat(f float64) Value { return Value{Type: TFloat, F: f} }
+
+// MakeString returns a string Value. The byte slice is aliased, not copied.
+func MakeString(b []byte) Value { return Value{Type: TString, B: b} }
+
+// MakeStr returns a string Value from a Go string.
+func MakeStr(s string) Value { return Value{Type: TString, B: []byte(s)} }
+
+// MakeIP returns an IPv4 Value from its 32-bit big-endian representation.
+func MakeIP(addr uint32) Value { return Value{Type: TIP, U: uint64(addr)} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Type == TNull }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.U != 0 }
+
+// Uint returns the unsigned payload.
+func (v Value) Uint() uint64 { return v.U }
+
+// Int returns the signed payload.
+func (v Value) Int() int64 { return int64(v.U) }
+
+// Float returns the float payload, converting integer payloads.
+func (v Value) Float() float64 {
+	switch v.Type {
+	case TFloat:
+		return v.F
+	case TInt:
+		return float64(int64(v.U))
+	default:
+		return float64(v.U)
+	}
+}
+
+// Bytes returns the string payload.
+func (v Value) Bytes() []byte { return v.B }
+
+// Str returns the string payload as a Go string.
+func (v Value) Str() string { return string(v.B) }
+
+// IP returns the IPv4 payload.
+func (v Value) IP() uint32 { return uint32(v.U) }
+
+// Clone returns a deep copy of the value (strings are copied).
+func (v Value) Clone() Value {
+	if v.Type == TString && v.B != nil {
+		b := make([]byte, len(v.B))
+		copy(b, v.B)
+		v.B = b
+	}
+	return v
+}
+
+// Equal reports value equality. Values of different types are unequal
+// except across numeric types, which compare by numeric value.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Compare returns -1, 0, or +1 ordering v against o. NULL sorts first.
+// Numeric types compare by value across type; other mixed-type pairs
+// compare by type tag so that Compare remains a total order.
+func (v Value) Compare(o Value) int {
+	if v.Type == TNull || o.Type == TNull {
+		switch {
+		case v.Type == o.Type:
+			return 0
+		case v.Type == TNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.Type.Numeric() && o.Type.Numeric() {
+		return compareNumeric(v, o)
+	}
+	if v.Type != o.Type {
+		if v.Type < o.Type {
+			return -1
+		}
+		return 1
+	}
+	switch v.Type {
+	case TBool, TUint, TIP:
+		return compareU64(v.U, o.U)
+	case TString:
+		return compareBytes(v.B, o.B)
+	}
+	return 0
+}
+
+func compareNumeric(v, o Value) int {
+	if v.Type == TFloat || o.Type == TFloat {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.Type == TInt || o.Type == TInt {
+		// Compare as signed when either side is signed; a uint payload
+		// above MaxInt64 is greater than any int64.
+		if v.Type == TUint && v.U > 1<<63-1 {
+			return 1
+		}
+		if o.Type == TUint && o.U > 1<<63-1 {
+			return -1
+		}
+		a, b := int64(v.U), int64(o.U)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	return compareU64(v.U, o.U)
+}
+
+func compareU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// String renders the value for display and test assertions.
+func (v Value) String() string {
+	switch v.Type {
+	case TNull:
+		return "NULL"
+	case TBool:
+		if v.U != 0 {
+			return "true"
+		}
+		return "false"
+	case TUint:
+		return strconv.FormatUint(v.U, 10)
+	case TInt:
+		return strconv.FormatInt(int64(v.U), 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TString:
+		return strconv.Quote(string(v.B))
+	case TIP:
+		return FormatIP(uint32(v.U))
+	}
+	return "?"
+}
+
+// FormatIP renders a 32-bit IPv4 address in dotted-quad form.
+func FormatIP(a uint32) string {
+	var buf [15]byte
+	b := strconv.AppendUint(buf[:0], uint64(a>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>8&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a&0xff), 10)
+	return string(b)
+}
+
+// ParseIP parses a dotted-quad IPv4 address.
+func ParseIP(s string) (uint32, error) {
+	var addr uint32
+	part, digits, dots := uint32(0), 0, 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			part = part*10 + uint32(c-'0')
+			digits++
+			if part > 255 || digits > 3 {
+				return 0, fmt.Errorf("schema: invalid IPv4 address %q", s)
+			}
+		case c == '.':
+			if digits == 0 || dots == 3 {
+				return 0, fmt.Errorf("schema: invalid IPv4 address %q", s)
+			}
+			addr = addr<<8 | part
+			part, digits = 0, 0
+			dots++
+		default:
+			return 0, fmt.Errorf("schema: invalid IPv4 address %q", s)
+		}
+	}
+	if dots != 3 || digits == 0 {
+		return 0, fmt.Errorf("schema: invalid IPv4 address %q", s)
+	}
+	return addr<<8 | part, nil
+}

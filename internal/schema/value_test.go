@@ -1,0 +1,169 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := MakeBool(true); !v.Bool() || v.Type != TBool {
+		t.Errorf("MakeBool(true) = %v", v)
+	}
+	if v := MakeBool(false); v.Bool() {
+		t.Errorf("MakeBool(false).Bool() = true")
+	}
+	if v := MakeUint(42); v.Uint() != 42 || v.Type != TUint {
+		t.Errorf("MakeUint(42) = %v", v)
+	}
+	if v := MakeInt(-7); v.Int() != -7 || v.Type != TInt {
+		t.Errorf("MakeInt(-7) = %v", v)
+	}
+	if v := MakeFloat(2.5); v.Float() != 2.5 || v.Type != TFloat {
+		t.Errorf("MakeFloat(2.5) = %v", v)
+	}
+	if v := MakeStr("abc"); v.Str() != "abc" || v.Type != TString {
+		t.Errorf("MakeStr = %v", v)
+	}
+	if v := MakeIP(0x0a000001); v.IP() != 0x0a000001 || v.Type != TIP {
+		t.Errorf("MakeIP = %v", v)
+	}
+	if !Null.IsNull() {
+		t.Errorf("Null.IsNull() = false")
+	}
+}
+
+func TestValueFloatConversions(t *testing.T) {
+	if got := MakeInt(-3).Float(); got != -3 {
+		t.Errorf("MakeInt(-3).Float() = %v, want -3", got)
+	}
+	if got := MakeUint(9).Float(); got != 9 {
+		t.Errorf("MakeUint(9).Float() = %v, want 9", got)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{MakeUint(1), MakeUint(2), -1},
+		{MakeUint(2), MakeUint(2), 0},
+		{MakeUint(3), MakeUint(2), 1},
+		{MakeInt(-1), MakeInt(1), -1},
+		{MakeInt(-1), MakeUint(0), -1},
+		{MakeUint(1 << 63), MakeInt(5), 1}, // uint above MaxInt64 beats any int
+		{MakeInt(5), MakeUint(1 << 63), -1},
+		{MakeFloat(1.5), MakeUint(2), -1},
+		{MakeFloat(2.5), MakeInt(2), 1},
+		{MakeStr("a"), MakeStr("b"), -1},
+		{MakeStr("ab"), MakeStr("a"), 1},
+		{MakeStr("a"), MakeStr("a"), 0},
+		{Null, MakeUint(0), -1},
+		{MakeUint(0), Null, 1},
+		{Null, Null, 0},
+		{MakeBool(false), MakeBool(true), -1},
+		{MakeIP(0x0a000001), MakeIP(0x0a000002), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b uint64, sa, sb bool) bool {
+		var va, vb Value
+		if sa {
+			va = MakeInt(int64(a))
+		} else {
+			va = MakeUint(a)
+		}
+		if sb {
+			vb = MakeInt(int64(b))
+		} else {
+			vb = MakeUint(b)
+		}
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCloneIsolation(t *testing.T) {
+	orig := MakeStr("hello")
+	c := orig.Clone()
+	c.B[0] = 'H'
+	if orig.Str() != "hello" {
+		t.Errorf("Clone shares string storage: orig = %q", orig.Str())
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{MakeBool(true), "true"},
+		{MakeUint(7), "7"},
+		{MakeInt(-7), "-7"},
+		{MakeStr("x"), `"x"`},
+		{MakeIP(0xc0a80101), "192.168.1.1"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseIP(t *testing.T) {
+	good := map[string]uint32{
+		"0.0.0.0":         0,
+		"255.255.255.255": 0xffffffff,
+		"10.0.0.1":        0x0a000001,
+		"192.168.1.1":     0xc0a80101,
+	}
+	for s, want := range good {
+		got, err := ParseIP(s)
+		if err != nil || got != want {
+			t.Errorf("ParseIP(%q) = %#x, %v; want %#x", s, got, err, want)
+		}
+	}
+	bad := []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "1.2.3.", "1234.1.1.1"}
+	for _, s := range bad {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseIPRoundTripProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		got, err := ParseIP(FormatIP(a))
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for name, want := range map[string]Type{
+		"uint": TUint, "int": TInt, "float": TFloat, "bool": TBool,
+		"string": TString, "ip": TIP, "ullong": TUint, "llong": TInt,
+	} {
+		got, ok := ParseType(name)
+		if !ok || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := ParseType("varchar"); ok {
+		t.Error("ParseType(varchar) succeeded")
+	}
+}

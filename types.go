@@ -1,0 +1,106 @@
+package gigascope
+
+import (
+	"gigascope/internal/bgp"
+	"gigascope/internal/exec"
+	"gigascope/internal/netflow"
+	"gigascope/internal/netsim"
+	"gigascope/internal/pkt"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// Aliases exposing the core data types through the public API.
+type (
+	// Value is one GSQL scalar.
+	Value = schema.Value
+	// Tuple is one stream record.
+	Tuple = schema.Tuple
+	// Message is a stream element: a tuple or a heartbeat punctuation.
+	Message = exec.Message
+	// Packet is one captured frame.
+	Packet = pkt.Packet
+	// Subscription is a query handle returned by Subscribe.
+	Subscription = rts.Subscription
+	// StreamOperator is the query-node API user-written operators
+	// implement (paper §3); see AddUserNode.
+	StreamOperator = exec.Operator
+	// TCPSpec and UDPSpec describe frames to synthesize.
+	TCPSpec = pkt.TCPSpec
+	// UDPSpec describes a UDP frame to synthesize.
+	UDPSpec = pkt.UDPSpec
+	// TrafficClass configures one class of synthetic traffic.
+	TrafficClass = netsim.Class
+	// TrafficConfig configures a traffic generator.
+	TrafficConfig = netsim.Config
+	// TrafficGenerator produces synthetic packets in timestamp order.
+	TrafficGenerator = netsim.Generator
+	// FlowRecord is one NetFlow-style record.
+	FlowRecord = netflow.Record
+	// FlowConfig configures a NetFlow record synthesizer.
+	FlowConfig = netflow.Config
+	// FlowGenerator produces NetFlow-style records.
+	FlowGenerator = netflow.Generator
+	// BGPUpdate is one BGP update record.
+	BGPUpdate = bgp.Update
+	// BGPConfig configures a BGP update synthesizer.
+	BGPConfig = bgp.Config
+	// BGPGenerator produces BGP update records.
+	BGPGenerator = bgp.Generator
+)
+
+// Payload kinds for synthetic traffic.
+const (
+	PayloadRandom = netsim.PayloadRandom
+	PayloadHTTP   = netsim.PayloadHTTP
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP = pkt.ProtoTCP
+	ProtoUDP = pkt.ProtoUDP
+)
+
+// Value constructors.
+var (
+	// Uint builds an unsigned integer Value.
+	Uint = schema.MakeUint
+	// Int builds a signed integer Value.
+	Int = schema.MakeInt
+	// Float builds a float Value.
+	Float = schema.MakeFloat
+	// Str builds a string Value.
+	Str = schema.MakeStr
+	// Bool builds a boolean Value.
+	Bool = schema.MakeBool
+	// IP builds an IPv4 Value from its 32-bit form.
+	IP = schema.MakeIP
+	// ParseIP parses a dotted-quad IPv4 address.
+	ParseIP = schema.ParseIP
+	// FormatIP renders an IPv4 address.
+	FormatIP = schema.FormatIP
+)
+
+// BuildTCP synthesizes a byte-accurate TCP frame at the given virtual
+// time (microseconds).
+func BuildTCP(usec uint64, spec TCPSpec) Packet { return pkt.BuildTCP(usec, spec) }
+
+// BuildUDP synthesizes a byte-accurate UDP frame.
+func BuildUDP(usec uint64, spec UDPSpec) Packet { return pkt.BuildUDP(usec, spec) }
+
+// NewTrafficGenerator builds a synthetic traffic source.
+func NewTrafficGenerator(cfg TrafficConfig) (*TrafficGenerator, error) { return netsim.New(cfg) }
+
+// NewFlowGenerator builds a NetFlow-style record source. Records are
+// delivered as packets of the built-in NETFLOW protocol.
+func NewFlowGenerator(cfg FlowConfig) (*FlowGenerator, error) { return netflow.NewGenerator(cfg) }
+
+// DecodeFlow parses a NETFLOW record packet.
+func DecodeFlow(p *Packet) (FlowRecord, error) { return netflow.Decode(p) }
+
+// NewBGPGenerator builds a BGP update source. Updates are delivered as
+// packets of the built-in BGPUPDATE protocol.
+func NewBGPGenerator(cfg BGPConfig) (*BGPGenerator, error) { return bgp.NewGenerator(cfg) }
+
+// DecodeBGP parses a BGPUPDATE record packet.
+func DecodeBGP(p *Packet) (BGPUpdate, error) { return bgp.Decode(p) }
