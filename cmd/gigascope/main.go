@@ -3,9 +3,15 @@
 // LFTA/HFTA split, the stream manager, and the traffic substrate.
 //
 //	gigascope -f queries.gsql [-watch name,name] [-seconds 10] [-rate 100]
+//	          [-monitor]
 //
 // Traffic: a mix of port-80 HTTP/tunneled TCP and background TCP/UDP on
 // interfaces eth0 and eth1 (also bound to the default interface).
+//
+// With -monitor, the system watches itself: the sysmon samplers publish
+// SYSMON.NodeStats / SYSMON.IfaceStats, a built-in GSQL alert query
+// aggregates ring shedding per node and ten-second window, and any window
+// with drops prints as an ALERT line. Interface counters print at exit.
 package main
 
 import (
@@ -18,6 +24,14 @@ import (
 	"gigascope"
 )
 
+// monitorQuery is the self-monitoring alert: ring-shed totals per node
+// per ten-second window, raised only when something was actually lost.
+const monitorQuery = `
+	DEFINE { query_name _sysmon_ringalert; }
+	SELECT tb, name, sum(ringDrop) FROM SYSMON.NodeStats
+	GROUP BY ts/10000000 as tb, name
+	HAVING sum(ringDrop) > 0`
+
 func main() {
 	file := flag.String("f", "", "GSQL file with protocol definitions and queries (required)")
 	watch := flag.String("watch", "", "comma-separated stream names to print (default: every query in the file)")
@@ -25,6 +39,7 @@ func main() {
 	rate := flag.Float64("rate", 100, "total offered load, Mbit/s")
 	httpFrac := flag.Float64("http", 0.6, "fraction of port-80 packets that are HTTP")
 	maxRows := flag.Int("n", 20, "max rows to print per stream (0 = all)")
+	monitor := flag.Bool("monitor", false, "self-monitor: run a GSQL alert query over SYSMON.NodeStats and print ring-shed alerts")
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "usage: gigascope -f queries.gsql [flags]")
@@ -36,12 +51,17 @@ func main() {
 		fatal(err)
 	}
 
-	sys, err := gigascope.New()
+	sys, err := gigascope.New(gigascope.Config{SelfMonitor: *monitor})
 	if err != nil {
 		fatal(err)
 	}
 	if err := sys.AddScript(string(src)); err != nil {
 		fatal(err)
+	}
+	if *monitor {
+		if _, err := sys.AddQuery(monitorQuery, nil); err != nil {
+			fatal(err)
+		}
 	}
 
 	var names []string
@@ -49,9 +69,13 @@ func main() {
 		names = strings.Split(*watch, ",")
 	} else {
 		for _, n := range sys.Registry() {
-			if !strings.HasPrefix(n, "_lfta_") {
-				names = append(names, n)
+			// Internal streams: mangled LFTA halves, raw telemetry, and
+			// the monitor's own alert query (printed as ALERT lines).
+			if strings.HasPrefix(n, "_lfta_") || strings.HasPrefix(n, "_sysmon_") ||
+				strings.HasPrefix(strings.ToUpper(n), "SYSMON.") {
+				continue
 			}
+			names = append(names, n)
 		}
 	}
 
@@ -81,6 +105,26 @@ func main() {
 			fmt.Printf("%-20s %d tuples total\n", name+":", rows)
 			mu.Unlock()
 		}(name, sub)
+	}
+
+	if *monitor {
+		alerts, err := sys.Subscribe("_sysmon_ringalert", 8192)
+		if err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range alerts.C {
+				if m.IsHeartbeat() {
+					continue
+				}
+				mu.Lock()
+				fmt.Printf("ALERT: node %s shed %s tuples in window %s\n",
+					m.Tuple[1], m.Tuple[2], m.Tuple[0])
+				mu.Unlock()
+			}
+		}()
 	}
 
 	if err := sys.Start(); err != nil {
@@ -125,6 +169,21 @@ func main() {
 	for _, s := range sys.Stats() {
 		fmt.Printf("  %-6s %-24s in=%-9d out=%-9d dropped=%-7d ring-drops=%d\n",
 			s.Level, s.Name, s.Op.In, s.Op.Out, s.Op.Dropped, s.RingDrop)
+	}
+	if *monitor {
+		fmt.Println("\ninterface statistics:")
+		for _, is := range sys.IfaceStats() {
+			line := fmt.Sprintf("  %-8s lftas=%-3d packets=%-9d offered=%-9d heartbeats=%d",
+				is.Name, is.LFTAs, is.Packets, is.Offered, is.Heartbeats)
+			if is.HasCapture {
+				line += fmt.Sprintf(" ring-drops=%d nic-overrun=%d livelocked=%v",
+					is.Capture.RingDrops, is.Capture.NICOverrun, is.Livelocked)
+			}
+			if is.HasNIC {
+				line += fmt.Sprintf(" nic-delivered=%d nic-filtered=%d", is.NICDelivered, is.NICFiltered)
+			}
+			fmt.Println(line)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"gigascope/internal/netflow"
 	"gigascope/internal/pkt"
 	"gigascope/internal/schema"
+	"gigascope/internal/sysmon"
 )
 
 func main() {
@@ -49,6 +50,10 @@ func main() {
 		fatal(err)
 	}
 	if err := netflow.Register(cat); err != nil {
+		fatal(err)
+	}
+	// Telemetry schemas, so self-monitoring queries explain like any other.
+	if err := sysmon.RegisterSchemas(cat); err != nil {
 		fatal(err)
 	}
 	opts := &core.Options{DisableSplit: *noSplit, LFTATableSize: *tableSize}

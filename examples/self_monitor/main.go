@@ -1,0 +1,111 @@
+// self_monitor demonstrates Gigascope monitoring Gigascope (the paper's
+// §5 deployment practice): the sysmon subsystem publishes the run time
+// system's own statistics as first-class streams — SYSMON.NodeStats, one
+// row per query node per sampling interval, delta-encoded — and an
+// ordinary GSQL aggregation over that stream raises overload alerts.
+//
+// The run deliberately forces ring shedding: a "slow analysis" subscriber
+// with a tiny ring hangs off an LFTA output and never keeps up, so the
+// LFTA publisher sheds tuples (the §4 tuple-value heuristic: least
+// processed data is the cheapest to lose). The alert query
+//
+//	SELECT tb, name, sum(ringDrop) FROM SYSMON.NodeStats
+//	GROUP BY ts/10000000 as tb, name
+//	HAVING sum(ringDrop) > 0
+//
+// sees the shedding as it happens, ten virtual seconds at a time. At exit
+// the alert totals are reconciled against the manager's own counters:
+// because the samples are per-interval deltas, the sums agree exactly.
+//
+//	go run ./examples/self_monitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gigascope"
+)
+
+func main() {
+	sys, err := gigascope.New(gigascope.Config{
+		SelfMonitor:         true,
+		MonitorIntervalUsec: 1_000_000, // sample system state every virtual second
+		ValidateOrdering:    true,      // prove the telemetry orderings hold
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The monitored workload: a plain selection, compiled to one LFTA.
+	sys.MustAddQuery(`
+		DEFINE { query_name weblog; }
+		SELECT time, srcIP, destIP FROM eth0.TCP
+		WHERE destPort = 80`, nil)
+
+	// The monitor: an ordinary GSQL aggregation over system telemetry.
+	sys.MustAddQuery(`
+		DEFINE { query_name ring_alerts; }
+		SELECT tb, name, sum(ringDrop) FROM SYSMON.NodeStats
+		GROUP BY ts/10000000 as tb, name
+		HAVING sum(ringDrop) > 0`, nil)
+
+	// A subscriber that cannot keep up: four ring slots, never read.
+	if _, err := sys.Subscribe("weblog", 4); err != nil {
+		log.Fatal(err)
+	}
+	alerts, err := sys.Subscribe("ring_alerts", 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	go func() {
+		gen, err := gigascope.NewTrafficGenerator(gigascope.TrafficConfig{
+			Seed: 7,
+			Classes: []gigascope.TrafficClass{{
+				Name: "web", RateMbps: 20, PktBytes: 900, DstPort: 80,
+				Proto: gigascope.ProtoTCP,
+			}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		const horizon = 30_000_000 // 30 virtual seconds
+		for usec := uint64(1_000_000); usec <= horizon; usec += 1_000_000 {
+			gen.Until(usec, func(p *gigascope.Packet) { sys.Inject("eth0", p) })
+			sys.AdvanceClock(usec)
+		}
+		sys.Stop()
+	}()
+
+	fmt.Println("ring-shed alerts (10-second windows):")
+	alertTotals := make(map[string]uint64)
+	for m := range alerts.C {
+		if m.IsHeartbeat() {
+			continue
+		}
+		fmt.Printf("  window %-4s node %-10s shed %s tuples\n", m.Tuple[0], m.Tuple[1], m.Tuple[2])
+		alertTotals[m.Tuple[1].Str()] += m.Tuple[2].Uint()
+	}
+
+	fmt.Println("\nreconciliation against rts.Manager counters:")
+	for _, ns := range sys.Stats() {
+		if ns.RingDrop == 0 && alertTotals[ns.Name] == 0 {
+			continue
+		}
+		status := "OK"
+		if alertTotals[ns.Name] != ns.RingDrop {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  %-10s alerts=%-8d manager=%-8d %s\n",
+			ns.Name, alertTotals[ns.Name], ns.RingDrop, status)
+	}
+	for _, ns := range sys.Stats() {
+		if ns.OrderViolations != 0 {
+			fmt.Printf("  %s: %d ordering violations (BUG)\n", ns.Name, ns.OrderViolations)
+		}
+	}
+}

@@ -27,13 +27,16 @@ import (
 	"fmt"
 
 	"gigascope/internal/bgp"
+	"gigascope/internal/capture"
 	"gigascope/internal/core"
 	"gigascope/internal/defrag"
 	"gigascope/internal/gsql"
 	"gigascope/internal/netflow"
+	"gigascope/internal/nic"
 	"gigascope/internal/pkt"
 	"gigascope/internal/rts"
 	"gigascope/internal/schema"
+	"gigascope/internal/sysmon"
 )
 
 // Config tunes a System.
@@ -50,6 +53,16 @@ type Config struct {
 	// DisableSplit turns off LFTA/HFTA query splitting (for ablation
 	// experiments).
 	DisableSplit bool
+	// ValidateOrdering enables runtime verification of imputed ordering
+	// properties; violations are counted in Stats (debugging mode).
+	ValidateOrdering bool
+	// SelfMonitor attaches the sysmon samplers: system statistics are
+	// published as the SYSMON.NodeStats and SYSMON.IfaceStats streams,
+	// queryable with ordinary GSQL and subscribable like query outputs.
+	SelfMonitor bool
+	// MonitorIntervalUsec is the sysmon sampling period on the virtual
+	// clock (default 1s of virtual time).
+	MonitorIntervalUsec uint64
 }
 
 // System is one Gigascope instance: a schema catalog, the query compiler,
@@ -78,15 +91,22 @@ func New(cfg ...Config) (*System, error) {
 	if err := bgp.Register(cat); err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		cfg:     c,
 		catalog: cat,
 		mgr: rts.NewManager(cat, rts.Config{
-			RingSize:      c.RingSize,
-			HeartbeatUsec: c.HeartbeatUsec,
+			RingSize:         c.RingSize,
+			HeartbeatUsec:    c.HeartbeatUsec,
+			ValidateOrdering: c.ValidateOrdering,
 		}),
 		plans: make(map[string]*core.CompiledQuery),
-	}, nil
+	}
+	if c.SelfMonitor {
+		if err := sysmon.Attach(s.mgr, sysmon.Config{IntervalUsec: c.MonitorIntervalUsec}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 func (s *System) compileOptions() *core.Options {
@@ -269,3 +289,40 @@ func (s *System) AdvanceClock(usec uint64) { s.mgr.AdvanceClock(usec) }
 
 // Stats returns per-node monitoring counters.
 func (s *System) Stats() []rts.NodeStats { return s.mgr.Stats() }
+
+// IfaceStats returns per-interface monitoring counters, including the
+// capture-stack and NIC drop placement of any devices bound with
+// BindCapture/BindNIC.
+func (s *System) IfaceStats() []rts.IfaceStats { return s.mgr.IfaceStats() }
+
+// Names of the self-monitoring streams registered when Config.SelfMonitor
+// is set. Queries read them like any stream: FROM SYSMON.NodeStats.
+const (
+	StreamNodeStats  = sysmon.StreamNodeStats
+	StreamIfaceStats = sysmon.StreamIfaceStats
+)
+
+// SubscribeStats subscribes to the raw SYSMON.NodeStats telemetry stream.
+// Requires Config.SelfMonitor.
+func (s *System) SubscribeStats(bufSize int) (*Subscription, error) {
+	return s.mgr.Subscribe(StreamNodeStats, bufSize)
+}
+
+// SubscribeIfaceStats subscribes to the raw SYSMON.IfaceStats stream.
+// Requires Config.SelfMonitor.
+func (s *System) SubscribeIfaceStats(bufSize int) (*Subscription, error) {
+	return s.mgr.Subscribe(StreamIfaceStats, bufSize)
+}
+
+// BindCapture routes the named interface's packets through a capture-stack
+// simulation; packets it loses never reach the LFTAs, and its counters
+// appear in IfaceStats and SYSMON.IfaceStats. Bind before traffic starts.
+func (s *System) BindCapture(iface string, st *capture.Stack) {
+	s.mgr.Interface(iface).BindCapture(st)
+}
+
+// BindNIC routes the named interface's packets through a virtual NIC
+// device (filtering and snapping). Bind before traffic starts.
+func (s *System) BindNIC(iface string, d *nic.Device) {
+	s.mgr.Interface(iface).BindNIC(d)
+}

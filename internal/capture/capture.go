@@ -170,6 +170,12 @@ func (st *Stack) Stats() Stats { return st.stats }
 // queueLen returns the live processing queue length.
 func (st *Stack) queueLen() int { return len(st.queue) - st.qhead }
 
+// Livelocked reports whether the host ring is saturated: interrupt work
+// is consuming the CPU faster than the processing half can drain it, so
+// new arrivals are being dropped at the ring (receive livelock, §2 of the
+// Mogul/Ramakrishnan analysis the capture model follows).
+func (st *Stack) Livelocked() bool { return st.queueLen() >= st.par.RingPackets }
+
 // drainTo advances the simulation clock to t, serving interrupt work
 // first and processing work with whatever CPU time remains.
 func (st *Stack) drainTo(t float64) {

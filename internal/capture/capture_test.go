@@ -108,6 +108,9 @@ func TestDiskStallsOccur(t *testing.T) {
 }
 
 func TestPaperSection4Shape(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("single-goroutine simulation; too slow under the race detector")
+	}
 	// The headline result: the ordering and rough ratios of the four
 	// configurations' maximum sustainable rates (paper §4: disk ≈ 180,
 	// pcap ≈ 480, host-LFTA ≈ 480, NIC-LFTA ≈ 610 Mbit/s at 2% loss).

@@ -1,0 +1,8 @@
+//go:build race
+
+package capture
+
+// raceDetectorEnabled gates the multi-minute single-goroutine simulation
+// tests: under the race detector's 10-20x slowdown they exceed the test
+// timeout while exercising no concurrency.
+const raceDetectorEnabled = true

@@ -27,6 +27,17 @@ func (a *analyzer) resolveSources(q *gsql.Query) ([]SourceRef, error) {
 	}
 	refs := make([]SourceRef, len(q.Sources))
 	for i, t := range q.Sources {
+		// A dotted FROM clause usually means Interface.Protocol, but it can
+		// also name a namespace-qualified stream registered under the
+		// compound name (e.g. SYSMON.NodeStats, the self-monitoring
+		// telemetry streams). The compound match is more specific, so it
+		// wins when present.
+		if t.Interface != "" {
+			if cs, ok := a.cat.Lookup(t.Interface + "." + t.Name); ok && cs.Kind == schema.KindStream {
+				refs[i] = SourceRef{Name: cs.Name, Binding: t.Binding(), Schema: cs}
+				continue
+			}
+		}
 		s, ok := a.cat.Lookup(t.Name)
 		if !ok {
 			return nil, fmt.Errorf("unknown stream or protocol %q", t.Name)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gigascope/internal/exec"
 	"gigascope/internal/pkt"
@@ -20,7 +21,9 @@ type Instance struct {
 	extractors []extractor
 	protoWidth int
 	clockCols  []clockCol
-	dropped    uint64
+	// dropped is written on the capture path and read by monitoring
+	// snapshots (sysmon sampling) from other goroutines.
+	dropped atomic.Uint64
 }
 
 type extractor struct {
@@ -128,7 +131,7 @@ func (i *Instance) IsPacketSource() bool { return i.protoWidth > 0 }
 
 // PacketsDropped counts packets whose needed fields could not be
 // interpreted (wrong framing, short capture).
-func (i *Instance) PacketsDropped() uint64 { return i.dropped }
+func (i *Instance) PacketsDropped() uint64 { return i.dropped.Load() }
 
 // PushPacket interprets a raw packet into a protocol tuple (extracting
 // only the columns the query references) and pushes it through the
@@ -142,7 +145,7 @@ func (i *Instance) PushPacket(p *pkt.Packet, emit exec.Emit) error {
 	for _, ex := range i.extractors {
 		v, ok := ex.spec.Extract(p)
 		if !ok {
-			i.dropped++
+			i.dropped.Add(1)
 			return nil
 		}
 		row[ex.slot] = v

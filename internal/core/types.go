@@ -29,11 +29,18 @@ type Level uint8
 const (
 	LevelLFTA Level = iota + 1
 	LevelHFTA
+	// LevelSource marks RTS-internal source nodes that originate tuples
+	// from the system itself rather than from a packet interface — e.g.
+	// the sysmon samplers publishing SYSMON.* telemetry streams.
+	LevelSource
 )
 
 func (l Level) String() string {
-	if l == LevelLFTA {
+	switch l {
+	case LevelLFTA:
 		return "LFTA"
+	case LevelSource:
+		return "SOURCE"
 	}
 	return "HFTA"
 }

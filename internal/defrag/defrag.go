@@ -79,7 +79,7 @@ type Operator struct {
 	table map[fragKey]*datagram
 	wm    uint64
 	hasWM bool
-	stats exec.OpStats
+	stats exec.Counters
 	// Evicted counts datagrams dropped incomplete at timeout.
 	evictedIncomplete uint64
 }
@@ -125,7 +125,7 @@ func (o *Operator) Ports() int { return 1 }
 func (o *Operator) OutSchema() *schema.Schema { return o.out }
 
 // Stats returns the operator counters.
-func (o *Operator) Stats() exec.OpStats { return o.stats }
+func (o *Operator) Stats() exec.OpStats { return o.stats.Snapshot() }
 
 // EvictedIncomplete counts datagrams dropped at timeout.
 func (o *Operator) EvictedIncomplete() uint64 { return o.evictedIncomplete }
@@ -142,7 +142,7 @@ func (o *Operator) Push(_ int, m exec.Message, emit exec.Emit) error {
 		emit(m)
 		return nil
 	}
-	o.stats.In++
+	o.stats.In.Add(1)
 	row := m.Tuple
 	t := row[o.cfg.TimeIdx].Uint()
 	o.advance(t)
@@ -150,7 +150,7 @@ func (o *Operator) Push(_ int, m exec.Message, emit exec.Emit) error {
 	fragOff := row[o.cfg.FragOffIdx].Uint()
 	mf := row[o.cfg.MFIdx].Uint()
 	if fragOff == 0 && mf == 0 {
-		o.stats.Out++
+		o.stats.Out.Add(1)
 		emit(m) // whole datagram: pass through
 		return nil
 	}
@@ -225,7 +225,7 @@ func (o *Operator) emitDatagram(d *datagram, emit exec.Emit) {
 		}
 		row[o.cfg.TotalLenIdx] = schema.MakeUint(hdr + uint64(d.total))
 	}
-	o.stats.Out++
+	o.stats.Out.Add(1)
 	emit(exec.TupleMsg(row))
 }
 
@@ -239,7 +239,7 @@ func (o *Operator) advance(t uint64) {
 		if d.arrived+o.cfg.TimeoutSec < t {
 			delete(o.table, key)
 			o.evictedIncomplete++
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 		}
 	}
 }
@@ -248,7 +248,7 @@ func (o *Operator) advance(t uint64) {
 // stream are dropped (there is nothing valid to emit).
 func (o *Operator) FlushAll(exec.Emit) error {
 	o.evictedIncomplete += uint64(len(o.table))
-	o.stats.Dropped += uint64(len(o.table))
+	o.stats.Dropped.Add(uint64(len(o.table)))
 	o.table = make(map[fragKey]*datagram)
 	return nil
 }

@@ -46,7 +46,7 @@ type Agg struct {
 	groups map[string]*aggGroup
 	wm     schema.Value // watermark: extreme ordered value seen
 	hasWM  bool
-	stats  OpStats
+	stats  Counters
 }
 
 type aggGroup struct {
@@ -74,7 +74,7 @@ func (o *Agg) Ports() int { return 1 }
 func (o *Agg) OutSchema() *schema.Schema { return o.spec.Out }
 
 // Stats returns a snapshot of the operator counters.
-func (o *Agg) Stats() OpStats { return o.stats }
+func (o *Agg) Stats() OpStats { return o.stats.Snapshot() }
 
 // OpenGroups returns the number of currently open groups.
 func (o *Agg) OpenGroups() int { return len(o.groups) }
@@ -93,12 +93,12 @@ func (o *Agg) Push(_ int, m Message, emit Emit) error {
 		o.emitHeartbeat(emit)
 		return nil
 	}
-	o.stats.In++
+	o.stats.In.Add(1)
 	row := m.Tuple
 	if o.spec.Pred != nil {
 		pass, ok := EvalPred(o.spec.Pred, row, o.spec.Ctx)
 		if !ok || !pass {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil
 		}
 	}
@@ -106,7 +106,7 @@ func (o *Agg) Push(_ int, m Message, emit Emit) error {
 	for i, e := range o.spec.GroupExprs {
 		v, ok := e.Eval(row, o.spec.Ctx)
 		if !ok {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil // partial function in group key: discard
 		}
 		gvals[i] = v
@@ -114,7 +114,7 @@ func (o *Agg) Push(_ int, m Message, emit Emit) error {
 	if o.spec.OrdGroup >= 0 {
 		ord := gvals[o.spec.OrdGroup]
 		if ord.IsNull() {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil
 		}
 		o.advance(ord, emit)
@@ -233,7 +233,7 @@ func (o *Agg) emitGroup(g *aggGroup, emit Emit) {
 	if o.spec.Having != nil {
 		pass, ok := EvalPred(o.spec.Having, post, o.spec.Ctx)
 		if !ok || !pass {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return
 		}
 	}
@@ -241,12 +241,12 @@ func (o *Agg) emitGroup(g *aggGroup, emit Emit) {
 	for i, e := range o.spec.PostSelect {
 		v, ok := e.Eval(post, o.spec.Ctx)
 		if !ok {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return
 		}
 		outRow[i] = v
 	}
-	o.stats.Out++
+	o.stats.Out.Add(1)
 	emit(TupleMsg(outRow))
 }
 

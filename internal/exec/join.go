@@ -49,7 +49,7 @@ type JoinSpec struct {
 type Join struct {
 	spec  JoinSpec
 	sides [2]joinSide
-	stats OpStats
+	stats Counters
 	// reorder buffer for SortOutput mode: pending output rows keyed by
 	// the left ordered attribute.
 	pending []pendingOut
@@ -102,7 +102,7 @@ func (o *Join) Ports() int { return 2 }
 func (o *Join) OutSchema() *schema.Schema { return o.spec.Out }
 
 // Stats returns a snapshot of the operator counters.
-func (o *Join) Stats() OpStats { return o.stats }
+func (o *Join) Stats() OpStats { return o.stats.Snapshot() }
 
 // Buffered returns the number of tuples buffered on the given side.
 func (o *Join) Buffered(port int) int {
@@ -164,23 +164,23 @@ func (o *Join) Push(port int, m Message, emit Emit) error {
 		o.emitHeartbeat(emit)
 		return nil
 	}
-	o.stats.In++
+	o.stats.In.Add(1)
 	row := m.Tuple
 	v, ok := o.ordExpr(port).Eval(row, o.spec.Ctx)
 	if !ok || v.IsNull() {
-		o.stats.Dropped++
+		o.stats.Dropped.Add(1)
 		return nil
 	}
 	t, ok := ordKey(v)
 	if !ok {
-		o.stats.Dropped++
+		o.stats.Dropped.Add(1)
 		return nil
 	}
 	o.advance(port, t)
 
 	key, ok := o.evalKey(port, row)
 	if !ok {
-		o.stats.Dropped++
+		o.stats.Dropped.Add(1)
 		return nil
 	}
 
@@ -265,7 +265,7 @@ func (o *Join) emitMatch(port int, row, otherRow schema.Tuple, emit Emit) {
 	for i, e := range o.spec.Outs {
 		v, ok := e.Eval(combined, o.spec.Ctx)
 		if !ok {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return
 		}
 		outRow[i] = v
@@ -276,7 +276,7 @@ func (o *Join) emitMatch(port int, row, otherRow schema.Tuple, emit Emit) {
 		o.pending = append(o.pending, pendingOut{ord: ord, seq: o.seq, row: outRow})
 		return
 	}
-	o.stats.Out++
+	o.stats.Out.Add(1)
 	emit(TupleMsg(outRow))
 }
 
@@ -299,7 +299,7 @@ func (o *Join) releasePending(emit Emit) {
 	})
 	n := 0
 	for n < len(o.pending) && o.pending[n].ord <= bound {
-		o.stats.Out++
+		o.stats.Out.Add(1)
 		emit(TupleMsg(o.pending[n].row))
 		n++
 	}
@@ -335,7 +335,7 @@ func (o *Join) evictBelow(side int, threshold int64) {
 func (o *Join) evictOldest(side int) {
 	s := &o.sides[side]
 	if s.start < len(s.entries) {
-		o.stats.Dropped++
+		o.stats.Dropped.Add(1)
 		s.entries[s.start].dead = true
 		s.entries[s.start].row = nil
 		s.start++
@@ -410,7 +410,7 @@ func (o *Join) FlushAll(emit Emit) error {
 			return o.pending[i].seq < o.pending[j].seq
 		})
 		for _, p := range o.pending {
-			o.stats.Out++
+			o.stats.Out.Add(1)
 			emit(TupleMsg(p.row))
 		}
 		o.pending = nil

@@ -20,7 +20,7 @@ type LFTAAgg struct {
 	mask  uint64
 	wm    schema.Value
 	hasWM bool
-	stats OpStats
+	stats Counters
 }
 
 type lftaSlot struct {
@@ -54,7 +54,7 @@ func (o *LFTAAgg) Ports() int { return 1 }
 func (o *LFTAAgg) OutSchema() *schema.Schema { return o.spec.Out }
 
 // Stats returns a snapshot of the operator counters.
-func (o *LFTAAgg) Stats() OpStats { return o.stats }
+func (o *LFTAAgg) Stats() OpStats { return o.stats.Snapshot() }
 
 // TableSize returns the direct-mapped table size.
 func (o *LFTAAgg) TableSize() int { return len(o.slots) }
@@ -71,12 +71,12 @@ func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 		o.emitHeartbeat(emit)
 		return nil
 	}
-	o.stats.In++
+	o.stats.In.Add(1)
 	row := m.Tuple
 	if o.spec.Pred != nil {
 		pass, ok := EvalPred(o.spec.Pred, row, o.spec.Ctx)
 		if !ok || !pass {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil
 		}
 	}
@@ -84,7 +84,7 @@ func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 	for i, e := range o.spec.GroupExprs {
 		v, ok := e.Eval(row, o.spec.Ctx)
 		if !ok {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil
 		}
 		gvals[i] = v
@@ -92,7 +92,7 @@ func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 	if o.spec.OrdGroup >= 0 {
 		ord := gvals[o.spec.OrdGroup]
 		if ord.IsNull() {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil
 		}
 		o.advance(ord, emit)
@@ -103,7 +103,7 @@ func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 	slot := &o.slots[h.Sum64()&o.mask]
 	if slot.used && slot.key != key {
 		// Collision: eject the incumbent as a partial tuple (paper §3).
-		o.stats.Evicted++
+		o.stats.Evicted.Add(1)
 		o.emitSlot(slot, emit)
 		slot.used = false
 	}
@@ -204,12 +204,12 @@ func (o *LFTAAgg) emitSlot(s *lftaSlot, emit Emit) {
 	for i, e := range o.spec.PostSelect {
 		v, ok := e.Eval(post, o.spec.Ctx)
 		if !ok {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return
 		}
 		outRow[i] = v
 	}
-	o.stats.Out++
+	o.stats.Out.Add(1)
 	emit(TupleMsg(outRow))
 }
 

@@ -24,7 +24,7 @@ type Merge struct {
 	// OnBlocked, if set, is invoked with the port that is starving
 	// progress (empty queue and lowest bound).
 	OnBlocked func(port int)
-	stats     OpStats
+	stats     Counters
 	// MaxBuffer bounds each input queue; 0 means unbounded. On overflow
 	// the oldest buffered tuple is emitted out of order rather than lost
 	// (overload degradation), counted in Stats().Dropped.
@@ -55,7 +55,7 @@ func (o *Merge) Ports() int { return len(o.cols) }
 func (o *Merge) OutSchema() *schema.Schema { return o.out }
 
 // Stats returns a snapshot of the operator counters.
-func (o *Merge) Stats() OpStats { return o.stats }
+func (o *Merge) Stats() OpStats { return o.stats.Snapshot() }
 
 // Buffered returns the number of tuples queued on the given port.
 func (o *Merge) Buffered(port int) int {
@@ -89,17 +89,17 @@ func (o *Merge) Push(port int, m Message, emit Emit) error {
 		o.emitHeartbeat(emit)
 		return nil
 	}
-	o.stats.In++
+	o.stats.In.Add(1)
 	v := m.Tuple[o.cols[port]]
 	if v.IsNull() {
-		o.stats.Dropped++
+		o.stats.Dropped.Add(1)
 		return nil
 	}
 	o.raiseWM(s, v)
 	if o.MaxBuffer > 0 && len(s.queue)-s.start >= o.MaxBuffer {
 		// Overflow: emit the oldest buffered tuple immediately. The output
 		// ordering property degrades; we count it as a disorder event.
-		o.stats.Dropped++
+		o.stats.Dropped.Add(1)
 		o.emitFront(s, emit)
 	}
 	s.queue = append(s.queue, m.Tuple.Clone())
@@ -166,7 +166,7 @@ func (o *Merge) emitFront(s *mergeSide, emit Emit) {
 		s.queue = append([]schema.Tuple(nil), s.queue[s.start:]...)
 		s.start = 0
 	}
-	o.stats.Out++
+	o.stats.Out.Add(1)
 	emit(TupleMsg(t))
 }
 

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"gigascope/internal/schema"
 )
 
@@ -17,16 +19,38 @@ type SelProj struct {
 	// hbCols marks output columns whose expression is monotone in the
 	// input ordering, so heartbeat bounds may be propagated through it.
 	hbCols []bool
-	stats  OpStats
+	stats  Counters
 }
 
-// OpStats counts operator activity; the RTS aggregates these for
-// monitoring and the benchmarks use them for data-reduction measurements.
+// OpStats is a point-in-time snapshot of operator activity; the RTS
+// aggregates these for monitoring and the benchmarks use them for
+// data-reduction measurements.
 type OpStats struct {
 	In      uint64 // tuples consumed
 	Out     uint64 // tuples produced
 	Dropped uint64 // tuples discarded by predicates/partial functions
 	Evicted uint64 // LFTA aggregation collision evictions
+}
+
+// Counters holds the live operator counters. Increments happen on the
+// operator's execution path (node goroutine or capture path) while
+// monitoring — including the sysmon sampler — snapshots them from other
+// goroutines, so each field is atomic.
+type Counters struct {
+	In      atomic.Uint64
+	Out     atomic.Uint64
+	Dropped atomic.Uint64
+	Evicted atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy for monitoring.
+func (c *Counters) Snapshot() OpStats {
+	return OpStats{
+		In:      c.In.Load(),
+		Out:     c.Out.Load(),
+		Dropped: c.Dropped.Load(),
+		Evicted: c.Evicted.Load(),
+	}
 }
 
 // NewSelProj builds a selection/projection operator. hbCols may be nil
@@ -42,7 +66,7 @@ func (o *SelProj) Ports() int { return 1 }
 func (o *SelProj) OutSchema() *schema.Schema { return o.out }
 
 // Stats returns a snapshot of the operator counters.
-func (o *SelProj) Stats() OpStats { return o.stats }
+func (o *SelProj) Stats() OpStats { return o.stats.Snapshot() }
 
 // Push implements Operator.
 func (o *SelProj) Push(_ int, m Message, emit Emit) error {
@@ -50,11 +74,11 @@ func (o *SelProj) Push(_ int, m Message, emit Emit) error {
 		o.emitHeartbeat(m.Bounds, emit)
 		return nil
 	}
-	o.stats.In++
+	o.stats.In.Add(1)
 	if o.pred != nil {
 		pass, ok := EvalPred(o.pred, m.Tuple, o.ctx)
 		if !ok || !pass {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil
 		}
 	}
@@ -62,12 +86,12 @@ func (o *SelProj) Push(_ int, m Message, emit Emit) error {
 	for i, e := range o.outs {
 		v, ok := e.Eval(m.Tuple, o.ctx)
 		if !ok {
-			o.stats.Dropped++
+			o.stats.Dropped.Add(1)
 			return nil // partial function: discard tuple
 		}
 		outRow[i] = v
 	}
-	o.stats.Out++
+	o.stats.Out.Add(1)
 	emit(TupleMsg(outRow))
 	return nil
 }

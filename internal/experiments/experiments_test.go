@@ -7,6 +7,9 @@ import (
 )
 
 func TestE1ShapeHolds(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("single-goroutine simulation; too slow under the race detector")
+	}
 	if testing.Short() {
 		t.Skip("short mode")
 	}

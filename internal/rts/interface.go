@@ -4,12 +4,21 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gigascope/internal/capture"
+	"gigascope/internal/nic"
 	"gigascope/internal/pkt"
 )
 
 // Interface is a symbolic packet source the run time system binds LFTAs
 // to (paper §2.2: "the Protocol must be bound to an Interface — a symbolic
 // name which the run time system can bind to a source of packets").
+//
+// An Interface may additionally own a measurement substrate: a virtual
+// NIC (nic.Device) that pre-filters and snaps packets, and a capture
+// stack (capture.Stack) that models host interrupt/copy costs and losses.
+// Once bound, every injected packet is routed through them, and their
+// counters — NIC overruns, host ring drops, livelock state — are surfaced
+// through Manager.IfaceStats and the SYSMON.IfaceStats telemetry stream.
 type Interface struct {
 	name    string
 	m       *Manager
@@ -19,6 +28,11 @@ type Interface struct {
 	lftas        []*queryNode
 	clock        uint64 // virtual time, microseconds
 	lastHB       uint64
+	offered      uint64 // packets offered, including capture losses
+	packets      uint64 // packets delivered to the LFTAs
+	heartbeats   uint64 // source heartbeats emitted
+	capStack     *capture.Stack
+	nicDev       *nic.Device
 	hbAsked      atomic.Bool
 	shutdownOnce sync.Once
 }
@@ -43,14 +57,57 @@ func (it *Interface) LFTACount() int {
 	return len(it.lftas)
 }
 
+// BindCapture routes injected packets through a capture-stack simulation:
+// packets the stack loses (host ring full, NIC input overrun) never reach
+// the LFTAs, and the stack's counters become part of the interface's
+// monitoring snapshot. Bind before traffic starts.
+func (it *Interface) BindCapture(st *capture.Stack) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.capStack = st
+}
+
+// BindNIC routes injected packets through a virtual NIC device: packets
+// its program filters out never reach the host, qualifying packets are
+// snapped to the program's snap length. Bind before traffic starts.
+func (it *Interface) BindNIC(d *nic.Device) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.nicDev = d
+}
+
 // Inject delivers one packet to every attached LFTA inline (the capture
-// path). The packet timestamp advances the interface clock.
+// path). The packet timestamp advances the interface clock. Bound NIC and
+// capture-stack devices see the packet first and may filter, snap, or
+// lose it before the LFTAs run.
 func (it *Interface) Inject(p *pkt.Packet) {
 	it.mu.Lock()
 	lftas := it.lftas
 	if p.TS > it.clock {
 		it.clock = p.TS
 	}
+	it.offered++
+	if it.nicDev != nil {
+		snapped, deliver := it.nicDev.Process(p)
+		if !deliver {
+			it.mu.Unlock()
+			it.maybeHeartbeat(false)
+			return
+		}
+		p = &snapped
+	}
+	if it.capStack != nil {
+		lost := it.capStack.Stats().Lost()
+		it.capStack.Arrive(p)
+		if it.capStack.Stats().Lost() > lost {
+			// The host ring (or NIC input queue) dropped this packet; the
+			// LFTAs never see it.
+			it.mu.Unlock()
+			it.maybeHeartbeat(false)
+			return
+		}
+	}
+	it.packets++
 	it.mu.Unlock()
 	ref := &packetRef{pkt: p}
 	for _, qn := range lftas {
@@ -89,12 +146,38 @@ func (it *Interface) maybeHeartbeat(forced bool) {
 		return
 	}
 	it.lastHB = clock
+	it.heartbeats++
 	lftas := it.lftas
 	it.mu.Unlock()
 	it.hbAsked.Store(false)
 	for _, qn := range lftas {
 		qn.clockHeartbeat(clock)
 	}
+}
+
+// stats snapshots the interface counters, including any bound devices.
+func (it *Interface) stats() IfaceStats {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	s := IfaceStats{
+		Name:       it.name,
+		Clock:      it.clock,
+		LFTAs:      len(it.lftas),
+		Packets:    it.packets,
+		Offered:    it.offered,
+		Heartbeats: it.heartbeats,
+	}
+	if it.capStack != nil {
+		s.HasCapture = true
+		s.Capture = it.capStack.Stats()
+		s.Livelocked = it.capStack.Livelocked()
+	}
+	if it.nicDev != nil {
+		s.HasNIC = true
+		s.NICDelivered = it.nicDev.Delivered()
+		s.NICFiltered = it.nicDev.Filtered()
+	}
+	return s
 }
 
 // shutdown flushes and closes every attached LFTA.

@@ -25,7 +25,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"gigascope/internal/capture"
 	"gigascope/internal/core"
 	"gigascope/internal/exec"
 	"gigascope/internal/pkt"
@@ -70,12 +72,17 @@ type Manager struct {
 	cfg Config
 	cat *schema.Catalog
 
+	// clock is the manager-wide virtual-time high-water mark across all
+	// interfaces; it drives clock-driven source nodes (sysmon sampling).
+	clock atomic.Uint64
+
 	mu      sync.Mutex
 	started bool
 	stopped bool
 	nodes   map[string]*queryNode // by lower-cased stream name
 	ifaces  map[string]*Interface
 	order   []*queryNode // creation order (dependency order)
+	sources []*queryNode // clock-driven source nodes (subset of order)
 	wg      sync.WaitGroup
 }
 
@@ -274,12 +281,19 @@ func (m *Manager) Stop() {
 	for _, it := range m.ifaces {
 		ifaces = append(ifaces, it)
 	}
+	sources := m.sources
 	m.mu.Unlock()
 
 	// Flush LFTAs and close their publishers; HFTA nodes then see their
 	// inputs close, flush in topological order, and close their own.
 	for _, it := range ifaces {
 		it.shutdown()
+	}
+	// Source nodes sample one last time after the LFTAs have flushed, so
+	// the final telemetry tuples carry the final source-side counters, and
+	// close; HFTAs reading SYSMON.* streams then drain normally.
+	for _, qn := range sources {
+		qn.flushSource(m.clock.Load())
 	}
 	m.wg.Wait()
 }
@@ -330,6 +344,7 @@ func (m *Manager) Registry() []string {
 // drivers call it.
 func (m *Manager) Inject(iface string, p *pkt.Packet) {
 	m.Interface(iface).Inject(p)
+	m.noteClock(p.TS)
 }
 
 // AdvanceClock moves the virtual clock on every interface, emitting
@@ -344,6 +359,7 @@ func (m *Manager) AdvanceClock(usec uint64) {
 	for _, it := range ifaces {
 		it.AdvanceClock(usec)
 	}
+	m.noteClock(usec)
 }
 
 // NodeStats is a monitoring snapshot of one query node.
@@ -367,6 +383,44 @@ func (m *Manager) Stats() []NodeStats {
 	out := make([]NodeStats, 0, len(nodes))
 	for _, qn := range nodes {
 		out = append(out, qn.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// IfaceStats is a monitoring snapshot of one packet interface, including
+// the capture-stack and NIC counters of any bound devices — the drop
+// placement the paper's deployment story (§4–§5) says operators watch.
+type IfaceStats struct {
+	Name       string
+	Clock      uint64 // interface virtual time, microseconds
+	LFTAs      int    // LFTAs linked to this interface
+	Packets    uint64 // packets injected (after any NIC/capture filtering losses)
+	Offered    uint64 // packets offered, including ones lost before the LFTAs
+	Heartbeats uint64 // source heartbeats emitted
+
+	// Capture-stack counters (HasCapture reports a bound capture.Stack).
+	HasCapture bool
+	Capture    capture.Stats
+	Livelocked bool // host ring full: the interrupt-livelock regime
+
+	// NIC device counters (HasNIC reports a bound nic.Device).
+	HasNIC       bool
+	NICDelivered uint64
+	NICFiltered  uint64
+}
+
+// IfaceStats returns a snapshot for every interface, sorted by name.
+func (m *Manager) IfaceStats() []IfaceStats {
+	m.mu.Lock()
+	ifaces := make([]*Interface, 0, len(m.ifaces))
+	for _, it := range m.ifaces {
+		ifaces = append(ifaces, it)
+	}
+	m.mu.Unlock()
+	out := make([]IfaceStats, 0, len(ifaces))
+	for _, it := range ifaces {
+		out = append(out, it.stats())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -19,12 +19,15 @@ type queryNode struct {
 	name  string
 	level core.Level
 	// node/inst are set for compiled plan nodes; user-written nodes
-	// (AddUserNode) carry only op.
-	node   *core.Node
-	inst   *core.Instance
-	op     exec.Operator
-	pub    *publisher
-	inputs []*Subscription
+	// (AddUserNode) carry only op; clock-driven source nodes
+	// (AddSourceNode) carry only src.
+	node      *core.Node
+	inst      *core.Instance
+	op        exec.Operator
+	src       SourceNode
+	srcClosed bool
+	pub       *publisher
+	inputs    []*Subscription
 
 	// LFTA-side counters; the interface goroutine is the only writer.
 	packets atomic.Uint64
@@ -204,11 +207,19 @@ func (qn *queryNode) stats() NodeStats {
 		RingDrop: qn.pub.drops.Load(),
 		Packets:  qn.packets.Load(),
 	}
-	if qn.inst != nil {
+	type statser interface{ Stats() exec.OpStats }
+	switch {
+	case qn.inst != nil:
 		ns.Op = qn.inst.Stats()
 		ns.BadPkts = qn.inst.PacketsDropped()
-	} else if s, ok := qn.op.(interface{ Stats() exec.OpStats }); ok {
-		ns.Op = s.Stats()
+	case qn.op != nil:
+		if s, ok := qn.op.(statser); ok {
+			ns.Op = s.Stats()
+		}
+	case qn.src != nil:
+		if s, ok := qn.src.(statser); ok {
+			ns.Op = s.Stats()
+		}
 	}
 	ns.OrderViolations = qn.violations.Load()
 	return ns
@@ -219,6 +230,10 @@ func (qn *queryNode) stats() NodeStats {
 func (qn *queryNode) requestHeartbeat() {
 	if qn.node != nil && qn.level == core.LevelLFTA {
 		qn.m.Interface(ifaceName(qn.node)).requestHeartbeat()
+		return
+	}
+	if qn.src != nil {
+		qn.sourceHeartbeat()
 		return
 	}
 	for _, sub := range qn.inputs {

@@ -1,0 +1,111 @@
+package rts
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLFTAShedAccounting pins the §4 drop policy bookkeeping: with a slow
+// and a fast subscriber on one LFTA output ring, the slow ring sheds
+// (least-processed tuples first), the fast subscriber still sees every
+// tuple, and NodeStats.RingDrop accounts for every shed tuple exactly.
+func TestLFTAShedAccounting(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name alltcp; }
+		SELECT time, srcIP FROM eth0.tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Subscribe("alltcp", 2) // two slots, never read while running
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.Subscribe("alltcp", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		p := tcpPkt(uint64(i+1), 0x0a000001, 80, "x")
+		m.Inject("eth0", &p)
+	}
+	m.Stop()
+
+	fastRows := drain(t, fast)
+	if len(fastRows) != n {
+		t.Fatalf("fast subscriber got %d tuples, want %d", len(fastRows), n)
+	}
+	slowRows := drain(t, slow)
+	var drops uint64
+	for _, ns := range m.Stats() {
+		if ns.Name == "alltcp" {
+			drops = ns.RingDrop
+		}
+	}
+	// Every tuple that did not fit in the slow ring was shed and counted.
+	if want := uint64(n - len(slowRows)); drops != want {
+		t.Errorf("RingDrop = %d, want %d (n=%d, slow ring kept %d)", drops, want, n, len(slowRows))
+	}
+	if drops == 0 {
+		t.Error("expected the slow subscriber to force shedding")
+	}
+}
+
+// TestHFTABackpressure pins the other half of the policy: HFTA output is
+// highly processed, so its publisher blocks on a full ring instead of
+// shedding — a slow consumer delays the pipeline but loses nothing.
+func TestHFTABackpressure(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	// LFTA filter + HFTA regex: the output node runs at the HFTA level.
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name http; }
+		SELECT time, srcIP FROM tcp
+		WHERE destPort = 80 and str_regex_match(payload, '^[^\n]*HTTP/1.*')`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("http", 1) // single-slot ring: constant pressure
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int, 1)
+	go func() {
+		rows := 0
+		for msg := range sub.C {
+			if !msg.IsHeartbeat() {
+				rows++
+				time.Sleep(50 * time.Microsecond) // slow consumer
+			}
+		}
+		got <- rows
+	}()
+	const n = 200
+	for i := 0; i < n; i++ {
+		p := tcpPkt(uint64(i+1), 0x0a000001, 80, "GET / HTTP/1.1\r\n")
+		m.Inject("", &p)
+	}
+	m.Stop()
+
+	select {
+	case rows := <-got:
+		if rows != n {
+			t.Errorf("slow consumer got %d tuples, want %d (HFTA must not shed)", rows, n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer never finished")
+	}
+	for _, ns := range m.Stats() {
+		if ns.Name == "http" && ns.RingDrop != 0 {
+			t.Errorf("HFTA RingDrop = %d, want 0 (backpressure, not shedding)", ns.RingDrop)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package rts
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// SourceNode is a tuple source driven by the virtual clock rather than by
+// a packet interface or by upstream subscriptions. The manager invokes
+// Tick on every clock movement (packet arrival or AdvanceClock); the node
+// decides internally whether enough virtual time has passed to emit. The
+// sysmon samplers are the canonical implementation: they publish system
+// telemetry (SYSMON.NodeStats, SYSMON.IfaceStats) as ordinary streams any
+// GSQL query can read.
+//
+// Tick, Heartbeat, and Flush are serialized by the node's lock; emit must
+// be called only from within them. Source-node publishers shed when a
+// subscriber ring is full (the §4 tuple-value heuristic: telemetry is
+// source-level, least-processed data) and therefore never block the
+// capture path that drives the clock.
+type SourceNode interface {
+	// OutSchema describes the emitted stream, including its ordering
+	// annotations; it is registered in the catalog under the node name.
+	OutSchema() *schema.Schema
+	// Tick observes the virtual clock; it emits tuples (and a trailing
+	// heartbeat) when its sampling interval has elapsed.
+	Tick(nowUsec uint64, emit exec.Emit)
+	// Heartbeat serves a downstream on-demand ordering-token request
+	// (paper §3) at the current clock.
+	Heartbeat(nowUsec uint64, emit exec.Emit)
+	// Flush emits one final sample at shutdown so downstream totals match
+	// the final node counters.
+	Flush(nowUsec uint64, emit exec.Emit)
+}
+
+// AddSourceNode registers a clock-driven source node. Its output stream is
+// entered into the catalog and the registry under name, so queries can
+// read it (FROM name) and applications can Subscribe to it exactly like a
+// compiled query's output.
+func (m *Manager) AddSourceNode(name string, src SourceNode) error {
+	if src == nil {
+		return fmt.Errorf("rts: nil source node")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return fmt.Errorf("rts: manager stopped")
+	}
+	key := strings.ToLower(name)
+	if _, dup := m.nodes[key]; dup {
+		return fmt.Errorf("rts: query node %s already registered", name)
+	}
+	out := src.OutSchema().Clone()
+	out.Name = name
+	out.Kind = schema.KindStream
+	if err := m.cat.Register(out); err != nil {
+		return err
+	}
+	qn := &queryNode{
+		m:     m,
+		name:  name,
+		level: core.LevelSource,
+		src:   src,
+		// Telemetry sheds on overload instead of back-pressuring the
+		// capture path its Tick runs on.
+		pub: &publisher{name: name, level: core.LevelSource, shed: true},
+	}
+	if m.cfg.ValidateOrdering {
+		qn.initCheckers(out)
+	}
+	m.nodes[key] = qn
+	m.order = append(m.order, qn)
+	m.sources = append(m.sources, qn)
+	return nil
+}
+
+// noteClock advances the manager-wide virtual clock high-water mark and
+// gives every source node a chance to sample. Called on every Inject and
+// AdvanceClock.
+func (m *Manager) noteClock(usec uint64) {
+	for {
+		cur := m.clock.Load()
+		if usec <= cur {
+			usec = cur
+			break
+		}
+		if m.clock.CompareAndSwap(cur, usec) {
+			break
+		}
+	}
+	m.mu.Lock()
+	sources := m.sources
+	stopped := m.stopped
+	m.mu.Unlock()
+	if stopped {
+		return
+	}
+	for _, qn := range sources {
+		qn.tickSource(usec)
+	}
+}
+
+// Clock returns the manager-wide virtual clock high-water mark
+// (microseconds): the maximum timestamp seen across all interfaces.
+func (m *Manager) Clock() uint64 { return m.clock.Load() }
+
+// tickSource runs the source node's sampler under the node lock.
+func (qn *queryNode) tickSource(nowUsec uint64) {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	if qn.srcClosed {
+		return
+	}
+	qn.src.Tick(nowUsec, qn.emit)
+}
+
+// sourceHeartbeat serves an on-demand ordering token from a source node.
+func (qn *queryNode) sourceHeartbeat() {
+	now := qn.m.clock.Load()
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	if qn.srcClosed {
+		return
+	}
+	qn.src.Heartbeat(now, qn.emit)
+}
+
+// flushSource emits the final sample and closes the stream at shutdown.
+func (qn *queryNode) flushSource(nowUsec uint64) {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	if qn.srcClosed {
+		return
+	}
+	qn.srcClosed = true
+	qn.src.Flush(nowUsec, qn.emit)
+	qn.pub.close()
+}

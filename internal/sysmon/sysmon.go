@@ -1,0 +1,325 @@
+// Package sysmon is Gigascope's self-monitoring subsystem: it samples the
+// run time system's own statistics — per-query-node operator counters,
+// ring-buffer shedding, packet-interface and capture-stack drop placement —
+// on the virtual clock and publishes the samples as first-class tuple
+// streams (SYSMON.NodeStats, SYSMON.IfaceStats) registered in the schema
+// catalog. Because the samples are ordinary streams with declared ordering
+// properties, ordinary GSQL queries aggregate over them: the monitoring
+// story the Gigascope paper tells (§5 — "we use Gigascope to monitor
+// Gigascope") becomes `select tb, name, sum(ringDrop) from SYSMON.NodeStats
+// group by time/10 as tb, name having sum(ringDrop) > 0`.
+//
+// Counter columns are delta-encoded per sampling interval, so sum() over
+// any set of windows equals the counter movement across them, and sum()
+// over the whole run equals the final totals reported by
+// rts.Manager.Stats(). Each row also carries cumulative total* columns
+// annotated increasing_in_group(name), usable by per-group reasoning.
+package sysmon
+
+import (
+	"fmt"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// Stream names under which the samplers register in the catalog. GSQL
+// queries read them with `FROM SYSMON.NodeStats` — the parser sees an
+// interface-qualified name, and source resolution prefers a catalog stream
+// registered under the compound name.
+const (
+	StreamNodeStats  = "SYSMON.NodeStats"
+	StreamIfaceStats = "SYSMON.IfaceStats"
+)
+
+// DefaultIntervalUsec is the sampling interval used when Config leaves it
+// zero: one second of virtual time.
+const DefaultIntervalUsec = 1_000_000
+
+// Provider supplies the statistics snapshots the samplers publish.
+// *rts.Manager implements it.
+type Provider interface {
+	Stats() []rts.NodeStats
+	IfaceStats() []rts.IfaceStats
+}
+
+// Config controls what Attach installs.
+type Config struct {
+	// IntervalUsec is the sampling period on the virtual clock;
+	// DefaultIntervalUsec when zero.
+	IntervalUsec uint64
+}
+
+// Attach registers the sysmon samplers as clock-driven source nodes on the
+// manager. After it returns, SYSMON.NodeStats and SYSMON.IfaceStats are in
+// the catalog and queries may read them.
+func Attach(m *rts.Manager, cfg Config) error {
+	interval := cfg.IntervalUsec
+	if interval == 0 {
+		interval = DefaultIntervalUsec
+	}
+	if err := m.AddSourceNode(StreamNodeStats, NewNodeSampler(m, interval)); err != nil {
+		return fmt.Errorf("sysmon: %w", err)
+	}
+	if err := m.AddSourceNode(StreamIfaceStats, NewIfaceSampler(m, interval)); err != nil {
+		return fmt.Errorf("sysmon: %w", err)
+	}
+	return nil
+}
+
+// RegisterSchemas enters the SYSMON stream schemas into a catalog without
+// attaching samplers — for tools that only parse and explain queries.
+// Attach does this implicitly through the manager.
+func RegisterSchemas(cat *schema.Catalog) error {
+	if err := cat.Register(NodeStatsSchema()); err != nil {
+		return err
+	}
+	return cat.Register(IfaceStatsSchema())
+}
+
+// NodeStatsSchema returns the SYSMON.NodeStats tuple layout. Counter
+// columns are per-interval deltas; total* columns are cumulative and
+// increasing within each node name.
+func NodeStatsSchema() *schema.Schema {
+	inGroup := schema.Ordering{Kind: schema.OrderIncreasingInGroup, Group: []string{"name"}}
+	return &schema.Schema{
+		Name: StreamNodeStats,
+		Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "ts", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "name", Type: schema.TString},
+			{Name: "level", Type: schema.TString},
+			{Name: "tuplesIn", Type: schema.TUint},
+			{Name: "tuplesOut", Type: schema.TUint},
+			{Name: "dropped", Type: schema.TUint},
+			{Name: "evicted", Type: schema.TUint},
+			{Name: "ringDrop", Type: schema.TUint},
+			{Name: "packets", Type: schema.TUint},
+			{Name: "badPkts", Type: schema.TUint},
+			{Name: "orderViolations", Type: schema.TUint},
+			{Name: "totalIn", Type: schema.TUint, Ordering: inGroup},
+			{Name: "totalOut", Type: schema.TUint, Ordering: inGroup},
+			{Name: "totalRingDrop", Type: schema.TUint, Ordering: inGroup},
+			{Name: "totalPackets", Type: schema.TUint, Ordering: inGroup},
+		},
+	}
+}
+
+// IfaceStatsSchema returns the SYSMON.IfaceStats tuple layout: one row per
+// packet interface per interval, carrying interface counters and — when a
+// capture stack or NIC is bound — the drop placement along the capture
+// path.
+func IfaceStatsSchema() *schema.Schema {
+	inGroup := schema.Ordering{Kind: schema.OrderIncreasingInGroup, Group: []string{"name"}}
+	return &schema.Schema{
+		Name: StreamIfaceStats,
+		Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "ts", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "name", Type: schema.TString},
+			{Name: "clock", Type: schema.TUint, Ordering: inGroup},
+			{Name: "lftas", Type: schema.TUint},
+			{Name: "packets", Type: schema.TUint},
+			{Name: "offered", Type: schema.TUint},
+			{Name: "heartbeats", Type: schema.TUint},
+			{Name: "ringDrops", Type: schema.TUint},
+			{Name: "nicOverrun", Type: schema.TUint},
+			{Name: "nicFiltered", Type: schema.TUint},
+			{Name: "livelocked", Type: schema.TBool},
+			{Name: "totalPackets", Type: schema.TUint, Ordering: inGroup},
+			{Name: "totalOffered", Type: schema.TUint, Ordering: inGroup},
+		},
+	}
+}
+
+// delta returns cur-prev, clamping at zero so a counter reset (node
+// replaced under the same name) yields 0 rather than wrapping.
+func delta(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
+}
+
+// heartbeat emits an ordering update token: a lower bound of now on the
+// stream's ts column (paper §3).
+func heartbeat(out *schema.Schema, now uint64, emit exec.Emit) {
+	bounds := make(schema.Tuple, len(out.Cols))
+	bounds[0] = schema.MakeUint(now)
+	emit(exec.HeartbeatMsg(bounds))
+}
+
+// NodeSampler publishes SYSMON.NodeStats: one row per query node per
+// sampling interval, delta-encoded. It is an rts.SourceNode, driven by the
+// manager's virtual clock; its publisher sheds on overload, so telemetry
+// never back-pressures the capture path.
+type NodeSampler struct {
+	prov     Provider
+	interval uint64
+	out      *schema.Schema
+	last     uint64
+	prev     map[string]rts.NodeStats
+	// stats is read by the monitoring snapshot (possibly our own sample
+	// in flight), so the counters are atomic.
+	stats exec.Counters
+}
+
+// NewNodeSampler builds a node-statistics sampler reading from prov every
+// interval microseconds of virtual time.
+func NewNodeSampler(prov Provider, interval uint64) *NodeSampler {
+	if interval == 0 {
+		interval = DefaultIntervalUsec
+	}
+	return &NodeSampler{
+		prov:     prov,
+		interval: interval,
+		out:      NodeStatsSchema(),
+		prev:     make(map[string]rts.NodeStats),
+	}
+}
+
+// OutSchema implements rts.SourceNode.
+func (s *NodeSampler) OutSchema() *schema.Schema { return s.out }
+
+// Stats reports the sampler's own operator counters (it is itself a query
+// node, so it appears in its own output stream).
+func (s *NodeSampler) Stats() exec.OpStats { return s.stats.Snapshot() }
+
+// Tick implements rts.SourceNode: sample when the interval has elapsed.
+func (s *NodeSampler) Tick(nowUsec uint64, emit exec.Emit) {
+	if nowUsec < s.last+s.interval {
+		return
+	}
+	s.sample(nowUsec, emit)
+}
+
+// Heartbeat implements rts.SourceNode: answer an on-demand ordering token
+// request at the current clock.
+func (s *NodeSampler) Heartbeat(nowUsec uint64, emit exec.Emit) {
+	if nowUsec == 0 {
+		return
+	}
+	heartbeat(s.out, nowUsec, emit)
+}
+
+// Flush implements rts.SourceNode: emit one final sample at shutdown so
+// the delta columns sum to the final counter totals.
+func (s *NodeSampler) Flush(nowUsec uint64, emit exec.Emit) {
+	if nowUsec < s.last {
+		nowUsec = s.last
+	}
+	s.sample(nowUsec, emit)
+}
+
+func (s *NodeSampler) sample(nowUsec uint64, emit exec.Emit) {
+	s.last = nowUsec
+	s.stats.In.Add(1)
+	for _, ns := range s.prov.Stats() {
+		p := s.prev[ns.Name]
+		row := schema.Tuple{
+			schema.MakeUint(nowUsec),
+			schema.MakeStr(ns.Name),
+			schema.MakeStr(ns.Level.String()),
+			schema.MakeUint(delta(ns.Op.In, p.Op.In)),
+			schema.MakeUint(delta(ns.Op.Out, p.Op.Out)),
+			schema.MakeUint(delta(ns.Op.Dropped, p.Op.Dropped)),
+			schema.MakeUint(delta(ns.Op.Evicted, p.Op.Evicted)),
+			schema.MakeUint(delta(ns.RingDrop, p.RingDrop)),
+			schema.MakeUint(delta(ns.Packets, p.Packets)),
+			schema.MakeUint(delta(ns.BadPkts, p.BadPkts)),
+			schema.MakeUint(delta(ns.OrderViolations, p.OrderViolations)),
+			schema.MakeUint(ns.Op.In),
+			schema.MakeUint(ns.Op.Out),
+			schema.MakeUint(ns.RingDrop),
+			schema.MakeUint(ns.Packets),
+		}
+		s.prev[ns.Name] = ns
+		s.stats.Out.Add(1)
+		emit(exec.TupleMsg(row))
+	}
+	heartbeat(s.out, nowUsec, emit)
+}
+
+// IfaceSampler publishes SYSMON.IfaceStats: one row per packet interface
+// per sampling interval, delta-encoded, including capture-stack and NIC
+// drop counters when those devices are bound.
+type IfaceSampler struct {
+	prov     Provider
+	interval uint64
+	out      *schema.Schema
+	last     uint64
+	prev     map[string]rts.IfaceStats
+	stats    exec.Counters
+}
+
+// NewIfaceSampler builds an interface-statistics sampler reading from prov
+// every interval microseconds of virtual time.
+func NewIfaceSampler(prov Provider, interval uint64) *IfaceSampler {
+	if interval == 0 {
+		interval = DefaultIntervalUsec
+	}
+	return &IfaceSampler{
+		prov:     prov,
+		interval: interval,
+		out:      IfaceStatsSchema(),
+		prev:     make(map[string]rts.IfaceStats),
+	}
+}
+
+// OutSchema implements rts.SourceNode.
+func (s *IfaceSampler) OutSchema() *schema.Schema { return s.out }
+
+// Stats reports the sampler's own operator counters.
+func (s *IfaceSampler) Stats() exec.OpStats { return s.stats.Snapshot() }
+
+// Tick implements rts.SourceNode.
+func (s *IfaceSampler) Tick(nowUsec uint64, emit exec.Emit) {
+	if nowUsec < s.last+s.interval {
+		return
+	}
+	s.sample(nowUsec, emit)
+}
+
+// Heartbeat implements rts.SourceNode.
+func (s *IfaceSampler) Heartbeat(nowUsec uint64, emit exec.Emit) {
+	if nowUsec == 0 {
+		return
+	}
+	heartbeat(s.out, nowUsec, emit)
+}
+
+// Flush implements rts.SourceNode.
+func (s *IfaceSampler) Flush(nowUsec uint64, emit exec.Emit) {
+	if nowUsec < s.last {
+		nowUsec = s.last
+	}
+	s.sample(nowUsec, emit)
+}
+
+func (s *IfaceSampler) sample(nowUsec uint64, emit exec.Emit) {
+	s.last = nowUsec
+	s.stats.In.Add(1)
+	for _, is := range s.prov.IfaceStats() {
+		p := s.prev[is.Name]
+		row := schema.Tuple{
+			schema.MakeUint(nowUsec),
+			schema.MakeStr(is.Name),
+			schema.MakeUint(is.Clock),
+			schema.MakeUint(uint64(is.LFTAs)),
+			schema.MakeUint(delta(is.Packets, p.Packets)),
+			schema.MakeUint(delta(is.Offered, p.Offered)),
+			schema.MakeUint(delta(is.Heartbeats, p.Heartbeats)),
+			schema.MakeUint(delta(is.Capture.RingDrops, p.Capture.RingDrops)),
+			schema.MakeUint(delta(is.Capture.NICOverrun, p.Capture.NICOverrun)),
+			schema.MakeUint(delta(is.Capture.NICFiltered+is.NICFiltered, p.Capture.NICFiltered+p.NICFiltered)),
+			schema.MakeBool(is.Livelocked),
+			schema.MakeUint(is.Packets),
+			schema.MakeUint(is.Offered),
+		}
+		s.prev[is.Name] = is
+		s.stats.Out.Add(1)
+		emit(exec.TupleMsg(row))
+	}
+	heartbeat(s.out, nowUsec, emit)
+}

@@ -1,0 +1,198 @@
+package sysmon
+
+import (
+	"testing"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// fakeProvider serves scripted snapshots.
+type fakeProvider struct {
+	nodes  []rts.NodeStats
+	ifaces []rts.IfaceStats
+}
+
+func (f *fakeProvider) Stats() []rts.NodeStats       { return f.nodes }
+func (f *fakeProvider) IfaceStats() []rts.IfaceStats { return f.ifaces }
+
+func collect(dst *[]exec.Message) exec.Emit {
+	return func(m exec.Message) { *dst = append(*dst, m) }
+}
+
+func col(t *testing.T, s *schema.Schema, name string) int {
+	t.Helper()
+	i, _ := s.Col(name)
+	if i < 0 {
+		t.Fatalf("schema %s has no column %s", s.Name, name)
+	}
+	return i
+}
+
+func TestNodeSamplerDeltas(t *testing.T) {
+	prov := &fakeProvider{}
+	s := NewNodeSampler(prov, 1_000_000)
+	out := s.OutSchema()
+	iRing := col(t, out, "ringDrop")
+	iTotal := col(t, out, "totalRingDrop")
+	iName := col(t, out, "name")
+	iTS := col(t, out, "ts")
+
+	var msgs []exec.Message
+	mk := func(ring, in uint64) []rts.NodeStats {
+		ns := rts.NodeStats{Name: "q1", Level: core.LevelLFTA, RingDrop: ring}
+		ns.Op.In = in
+		return []rts.NodeStats{ns}
+	}
+
+	prov.nodes = mk(5, 10)
+	s.Tick(1_000_000, collect(&msgs))
+	prov.nodes = mk(12, 30)
+	s.Tick(1_500_000, collect(&msgs)) // interval not elapsed: no sample
+	s.Tick(2_000_000, collect(&msgs))
+	prov.nodes = mk(12, 41)
+	s.Flush(2_300_000, collect(&msgs)) // final sample regardless of interval
+
+	var rows []schema.Tuple
+	hbs := 0
+	for _, m := range msgs {
+		if m.IsHeartbeat() {
+			hbs++
+			continue
+		}
+		rows = append(rows, m.Tuple)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one per elapsed sample + flush)", len(rows))
+	}
+	if hbs != 3 {
+		t.Errorf("heartbeats = %d, want one per sample", hbs)
+	}
+
+	// Per-interval deltas sum to the final total.
+	var sum uint64
+	for _, r := range rows {
+		if r[iName].Str() != "q1" {
+			t.Fatalf("name = %q", r[iName].Str())
+		}
+		sum += r[iRing].Uint()
+	}
+	if sum != 12 {
+		t.Errorf("sum of ringDrop deltas = %d, want final total 12", sum)
+	}
+	if got := rows[len(rows)-1][iTotal].Uint(); got != 12 {
+		t.Errorf("final totalRingDrop = %d, want 12", got)
+	}
+	wantDeltas := []uint64{5, 7, 0}
+	for i, w := range wantDeltas {
+		if rows[i][iRing].Uint() != w {
+			t.Errorf("row %d ringDrop delta = %d, want %d", i, rows[i][iRing].Uint(), w)
+		}
+	}
+
+	// The declared orderings hold over the emitted rows: ts is increasing
+	// stream-wide, totals are increasing within each name group.
+	tsCheck := schema.NewOrderChecker(out.Cols[iTS].Ordering, nil)
+	totCheck := schema.NewOrderChecker(out.Cols[iTotal].Ordering, func(tp schema.Tuple) string {
+		return tp[iName].Str()
+	})
+	for _, r := range rows {
+		if err := tsCheck.Observe(r[iTS], r); err != nil {
+			t.Errorf("ts ordering: %v", err)
+		}
+		if err := totCheck.Observe(r[iTotal], r); err != nil {
+			t.Errorf("totalRingDrop ordering: %v", err)
+		}
+	}
+}
+
+func TestNodeSamplerCounterResetClampsToZero(t *testing.T) {
+	prov := &fakeProvider{}
+	s := NewNodeSampler(prov, 1_000_000)
+	out := s.OutSchema()
+	iIn := col(t, out, "tuplesIn")
+
+	var msgs []exec.Message
+	ns := rts.NodeStats{Name: "q"}
+	ns.Op.In = 100
+	prov.nodes = []rts.NodeStats{ns}
+	s.Tick(1_000_000, collect(&msgs))
+	ns.Op.In = 40 // node replaced under the same name: counter went backwards
+	prov.nodes = []rts.NodeStats{ns}
+	s.Tick(2_000_000, collect(&msgs))
+
+	var rows []schema.Tuple
+	for _, m := range msgs {
+		if !m.IsHeartbeat() {
+			rows = append(rows, m.Tuple)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if got := rows[1][iIn].Uint(); got != 0 {
+		t.Errorf("delta after reset = %d, want 0 (no wraparound)", got)
+	}
+}
+
+func TestIfaceSamplerDeltasAndSchema(t *testing.T) {
+	prov := &fakeProvider{}
+	s := NewIfaceSampler(prov, 1_000_000)
+	out := s.OutSchema()
+	iPkts := col(t, out, "packets")
+	iTotal := col(t, out, "totalPackets")
+	iLive := col(t, out, "livelocked")
+
+	if err := out.Validate(); err != nil {
+		t.Fatalf("IfaceStats schema invalid: %v", err)
+	}
+	if err := NodeStatsSchema().Validate(); err != nil {
+		t.Fatalf("NodeStats schema invalid: %v", err)
+	}
+
+	var msgs []exec.Message
+	mk := func(pkts uint64, live bool) []rts.IfaceStats {
+		return []rts.IfaceStats{{Name: "eth0", Clock: pkts, Packets: pkts, Offered: pkts, Livelocked: live}}
+	}
+	prov.ifaces = mk(10, false)
+	s.Tick(1_000_000, collect(&msgs))
+	prov.ifaces = mk(25, true)
+	s.Tick(2_000_000, collect(&msgs))
+
+	var rows []schema.Tuple
+	for _, m := range msgs {
+		if !m.IsHeartbeat() {
+			rows = append(rows, m.Tuple)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][iPkts].Uint() != 10 || rows[1][iPkts].Uint() != 15 {
+		t.Errorf("packet deltas = %d, %d; want 10, 15", rows[0][iPkts].Uint(), rows[1][iPkts].Uint())
+	}
+	if rows[1][iTotal].Uint() != 25 {
+		t.Errorf("totalPackets = %d, want 25", rows[1][iTotal].Uint())
+	}
+	if rows[0][iLive].Bool() || !rows[1][iLive].Bool() {
+		t.Errorf("livelocked flags = %v, %v; want false, true", rows[0][iLive].Bool(), rows[1][iLive].Bool())
+	}
+}
+
+func TestSamplerHeartbeatOnDemand(t *testing.T) {
+	s := NewNodeSampler(&fakeProvider{}, 1_000_000)
+	var msgs []exec.Message
+	s.Heartbeat(0, collect(&msgs)) // clock has not moved: nothing to bound
+	if len(msgs) != 0 {
+		t.Fatalf("heartbeat at clock 0 emitted %d messages", len(msgs))
+	}
+	s.Heartbeat(3_000_000, collect(&msgs))
+	if len(msgs) != 1 || !msgs[0].IsHeartbeat() {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	if b := msgs[0].Bounds[0]; b.Uint() != 3_000_000 {
+		t.Errorf("ts bound = %v, want 3000000", b)
+	}
+}

@@ -1,0 +1,189 @@
+package gigascope
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gigascope/internal/core"
+)
+
+// TestSysmonAlertQuery is the self-monitoring acceptance path: an ordinary
+// GSQL aggregation over SYSMON.NodeStats, compiled through the normal
+// planner, raises ring-shed alerts whose drop counts match the manager's
+// own totals — Gigascope monitoring Gigascope.
+func TestSysmonAlertQuery(t *testing.T) {
+	sys, err := New(Config{
+		SelfMonitor:         true,
+		ValidateOrdering:    true,
+		MonitorIntervalUsec: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.MustAddQuery(`
+		DEFINE { query_name tcpdest; }
+		SELECT destIP, destPort, time FROM eth0.TCP
+		WHERE ipversion = 4 and protocol = 6`, nil)
+
+	cq := sys.MustAddQuery(`
+		DEFINE { query_name ringalert; }
+		SELECT tb, name, sum(ringDrop) FROM SYSMON.NodeStats
+		GROUP BY ts/1000000 as tb, name
+		HAVING sum(ringDrop) > 0`, nil)
+	for _, n := range cq.Nodes {
+		if n.Level == core.LevelLFTA {
+			t.Fatalf("telemetry query compiled an LFTA node %s; want HFTA-only", n.Name)
+		}
+	}
+
+	// A slow subscriber on the LFTA's output ring: two slots, never read.
+	// The selection query compiles to a single LFTA node, whose publisher
+	// sheds (§4 tuple-value heuristic), so injections beyond the ring
+	// capacity are counted as ring drops.
+	if _, err := sys.Subscribe("tcpdest", 2); err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := sys.Subscribe("ringalert", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consume concurrently so we can observe windows closing mid-stream:
+	// the GROUP BY must unblock via the declared ts ordering (watermark
+	// from sampler heartbeats), not only via the end-of-stream flush.
+	summed := make(map[string]uint64)
+	var mu sync.Mutex
+	var alertRows int
+	var preStop atomic.Int64
+	var stopping atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range alerts.C {
+			if m.IsHeartbeat() {
+				continue
+			}
+			mu.Lock()
+			alertRows++
+			summed[m.Tuple[1].Str()] += m.Tuple[2].Uint()
+			mu.Unlock()
+			if !stopping.Load() {
+				preStop.Add(1)
+			}
+		}
+	}()
+
+	for i := 0; i < 400; i++ {
+		ts := 1_000_000 + uint64(i)*10_000 // 4 s of virtual time
+		p := BuildTCP(ts, TCPSpec{SrcIP: 0x0a000001, DstIP: 0x0a000002, DstPort: 80})
+		sys.Inject("eth0", &p)
+	}
+	// By now the watermark has passed several one-second windows; their
+	// alert groups must flush without waiting for the stream to end.
+	deadline := time.Now().Add(5 * time.Second)
+	for preStop.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if preStop.Load() == 0 {
+		t.Error("no alert before Stop: GROUP BY over SYSMON.NodeStats did not unblock mid-stream")
+	}
+	stopping.Store(true)
+	sys.Stop()
+	<-done
+
+	if alertRows == 0 {
+		t.Fatal("no alert tuples; expected ring shedding to raise at least one")
+	}
+
+	stats := sys.Stats()
+	byName := make(map[string]uint64, len(stats))
+	for _, ns := range stats {
+		byName[ns.Name] = ns.RingDrop
+		if ns.OrderViolations != 0 {
+			t.Errorf("node %s: %d ordering violations", ns.Name, ns.OrderViolations)
+		}
+	}
+	if byName["tcpdest"] == 0 {
+		t.Fatal("LFTA reported no ring drops; the run did not force shedding")
+	}
+	for name, sum := range summed {
+		if sum != byName[name] {
+			t.Errorf("alerts for %s sum to %d drops; manager reports %d", name, sum, byName[name])
+		}
+	}
+	if summed["tcpdest"] != byName["tcpdest"] {
+		t.Errorf("LFTA alert total %d != Stats total %d", summed["tcpdest"], byName["tcpdest"])
+	}
+}
+
+// TestSysmonRawStreams checks the raw telemetry subscriptions and the
+// interface sampler: rows arrive on both SYSMON streams, timestamps are
+// nondecreasing, and IfaceStats rows reflect the injected traffic.
+func TestSysmonRawStreams(t *testing.T) {
+	sys, err := New(Config{SelfMonitor: true, MonitorIntervalUsec: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.MustAddQuery(`DEFINE { query_name q; } SELECT time FROM eth0.TCP`, nil)
+	nodeSub, err := sys.SubscribeStats(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifaceSub, err := sys.SubscribeIfaceStats(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p := BuildTCP(1_000_000+uint64(i)*200_000, TCPSpec{DstPort: 80})
+		sys.Inject("eth0", &p)
+	}
+	sys.Stop()
+
+	var lastTS uint64
+	var nodeRows int
+	sawQ := false
+	for m := range nodeSub.C {
+		if m.IsHeartbeat() {
+			continue
+		}
+		nodeRows++
+		if ts := m.Tuple[0].Uint(); ts < lastTS {
+			t.Errorf("NodeStats ts went backwards: %d after %d", ts, lastTS)
+		} else {
+			lastTS = ts
+		}
+		if m.Tuple[1].Str() == "q" {
+			sawQ = true
+		}
+	}
+	if nodeRows == 0 || !sawQ {
+		t.Fatalf("NodeStats rows = %d, saw q = %v", nodeRows, sawQ)
+	}
+
+	var ifaceRows int
+	var packets uint64
+	for m := range ifaceSub.C {
+		if m.IsHeartbeat() {
+			continue
+		}
+		ifaceRows++
+		if m.Tuple[1].Str() == "eth0" {
+			packets = m.Tuple[11].Uint() // totalPackets
+		}
+	}
+	if ifaceRows == 0 {
+		t.Fatal("no IfaceStats rows")
+	}
+	if packets != 30 {
+		t.Errorf("eth0 totalPackets = %d, want 30", packets)
+	}
+}
