@@ -90,15 +90,17 @@ func main() {
 		go func(name string, sub *gigascope.Subscription) {
 			defer wg.Done()
 			rows := 0
-			for m := range sub.C {
-				if m.IsHeartbeat() {
-					continue
-				}
-				rows++
-				if *maxRows == 0 || rows <= *maxRows {
-					mu.Lock()
-					fmt.Printf("%-20s %s\n", name+":", m.Tuple)
-					mu.Unlock()
+			for b := range sub.C {
+				for _, m := range b {
+					if m.IsHeartbeat() {
+						continue
+					}
+					rows++
+					if *maxRows == 0 || rows <= *maxRows {
+						mu.Lock()
+						fmt.Printf("%-20s %s\n", name+":", m.Tuple)
+						mu.Unlock()
+					}
 				}
 			}
 			mu.Lock()
@@ -115,14 +117,16 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for m := range alerts.C {
-				if m.IsHeartbeat() {
-					continue
+			for b := range alerts.C {
+				for _, m := range b {
+					if m.IsHeartbeat() {
+						continue
+					}
+					mu.Lock()
+					fmt.Printf("ALERT: node %s shed %s tuples in window %s\n",
+						m.Tuple[1], m.Tuple[2], m.Tuple[0])
+					mu.Unlock()
 				}
-				mu.Lock()
-				fmt.Printf("ALERT: node %s shed %s tuples in window %s\n",
-					m.Tuple[1], m.Tuple[2], m.Tuple[0])
-				mu.Unlock()
 			}
 		}()
 	}

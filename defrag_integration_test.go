@@ -75,12 +75,14 @@ func TestDefragQueryTree(t *testing.T) {
 	sys.Stop()
 
 	var dgrams, bytes uint64
-	for m := range sub.C {
-		if m.IsHeartbeat() {
-			continue
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			dgrams += m.Tuple[1].Uint()
+			bytes += m.Tuple[2].Uint()
 		}
-		dgrams += m.Tuple[1].Uint()
-		bytes += m.Tuple[2].Uint()
 	}
 	if dgrams != nDatagrams {
 		t.Errorf("reassembled datagrams = %d, want %d", dgrams, nDatagrams)

@@ -64,19 +64,21 @@ func main() {
 	}()
 
 	go func() {
-		for m := range wSub.C {
-			_ = m // withdrawal rates consumed; print only flaps below
+		for b := range wSub.C {
+			_ = b // withdrawal rates consumed; print only flaps below
 		}
 	}()
 
 	fmt.Println("minute  prefix              updates   <-- flapping routes")
-	for m := range fSub.C {
-		if m.IsHeartbeat() {
-			continue
+	for b := range fSub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			fmt.Printf("%6d  %-15s/%-2d %8d\n",
+				m.Tuple[0].Uint(),
+				gigascope.FormatIP(m.Tuple[1].IP()), m.Tuple[2].Uint(),
+				m.Tuple[3].Uint())
 		}
-		fmt.Printf("%6d  %-15s/%-2d %8d\n",
-			m.Tuple[0].Uint(),
-			gigascope.FormatIP(m.Tuple[1].IP()), m.Tuple[2].Uint(),
-			m.Tuple[3].Uint())
 	}
 }

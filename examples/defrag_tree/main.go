@@ -73,21 +73,21 @@ func main() {
 
 	fragments := 0
 	go func() {
-		for m := range fragSub.C {
-			if !m.IsHeartbeat() {
-				fragments++
-			}
+		for b := range fragSub.C {
+			fragments += b.Tuples()
 		}
 	}()
 
 	fmt.Println("window  datagrams      bytes")
 	var dgrams uint64
-	for m := range aggSub.C {
-		if m.IsHeartbeat() {
-			continue
+	for b := range aggSub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			dgrams += m.Tuple[1].Uint()
+			fmt.Printf("%6d %10d %10d\n", m.Tuple[0].Uint(), m.Tuple[1].Uint(), m.Tuple[2].Uint())
 		}
-		dgrams += m.Tuple[1].Uint()
-		fmt.Printf("%6d %10d %10d\n", m.Tuple[0].Uint(), m.Tuple[1].Uint(), m.Tuple[2].Uint())
 	}
 	fmt.Printf("\n%d wire fragments reassembled into %d datagrams (avg %.1f fragments each)\n",
 		fragments, dgrams, float64(fragments)/float64(dgrams))

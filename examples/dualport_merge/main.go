@@ -79,16 +79,18 @@ func main() {
 
 	var total, disordered int
 	var lastTime uint64
-	for m := range sub.C {
-		if m.IsHeartbeat() {
-			continue
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			ts := m.Tuple[2].Uint()
+			if ts < lastTime {
+				disordered++
+			}
+			lastTime = ts
+			total++
 		}
-		ts := m.Tuple[2].Uint()
-		if ts < lastTime {
-			disordered++
-		}
-		lastTime = ts
-		total++
 	}
 	fmt.Printf("merged %d tuples from two interfaces\n", total)
 	fmt.Printf("time order violations: %d (merge preserves the ordering property)\n", disordered)

@@ -77,11 +77,13 @@ func main() {
 	}()
 
 	fmt.Println("peer    minute   flows      bytes")
-	for m := range sub.C {
-		if m.IsHeartbeat() {
-			continue
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			fmt.Printf("%-7d %6d %7d %10d\n",
+				m.Tuple[0].Uint(), m.Tuple[1].Uint(), m.Tuple[2].Uint(), m.Tuple[3].Uint())
 		}
-		fmt.Printf("%-7d %6d %7d %10d\n",
-			m.Tuple[0].Uint(), m.Tuple[1].Uint(), m.Tuple[2].Uint(), m.Tuple[3].Uint())
 	}
 }

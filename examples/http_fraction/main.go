@@ -82,21 +82,25 @@ func main() {
 	http := map[uint64]uint64{}
 	for allSub != nil || httpSub != nil {
 		select {
-		case m, ok := <-subChan(allSub):
+		case b, ok := <-subChan(allSub):
 			if !ok {
 				allSub = nil
 				continue
 			}
-			if !m.IsHeartbeat() {
-				all[m.Tuple[0].Uint()] = m.Tuple[1].Uint()
+			for _, m := range b {
+				if !m.IsHeartbeat() {
+					all[m.Tuple[0].Uint()] = m.Tuple[1].Uint()
+				}
 			}
-		case m, ok := <-subChan(httpSub):
+		case b, ok := <-subChan(httpSub):
 			if !ok {
 				httpSub = nil
 				continue
 			}
-			if !m.IsHeartbeat() {
-				http[m.Tuple[0].Uint()] = m.Tuple[1].Uint()
+			for _, m := range b {
+				if !m.IsHeartbeat() {
+					http[m.Tuple[0].Uint()] = m.Tuple[1].Uint()
+				}
 			}
 		}
 	}
@@ -113,7 +117,7 @@ func main() {
 }
 
 // subChan returns a nil channel for a nil subscription so select skips it.
-func subChan(s *gigascope.Subscription) chan gigascope.Message {
+func subChan(s *gigascope.Subscription) chan gigascope.Batch {
 	if s == nil {
 		return nil
 	}

@@ -94,13 +94,15 @@ func main() {
 
 	fmt.Println("window  source          SYNs")
 	alerts := 0
-	for m := range sub.C {
-		if m.IsHeartbeat() {
-			continue
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			alerts++
+			fmt.Printf("%6d  %-14s %5d\n",
+				m.Tuple[0].Uint(), gigascope.FormatIP(m.Tuple[1].IP()), m.Tuple[2].Uint())
 		}
-		alerts++
-		fmt.Printf("%6d  %-14s %5d\n",
-			m.Tuple[0].Uint(), gigascope.FormatIP(m.Tuple[1].IP()), m.Tuple[2].Uint())
 	}
 	fmt.Printf("%d alert windows (raising the threshold to 5000 at t=20s silenced the 2000-SYN windows)\n", alerts)
 }

@@ -57,15 +57,17 @@ func main() {
 
 	shown := 0
 	total := 0
-	for m := range sub.C {
-		if m.IsHeartbeat() {
-			continue
-		}
-		total++
-		if shown < 10 {
-			fmt.Printf("  %-16s port %-5d t=%ds\n",
-				gigascope.FormatIP(m.Tuple[0].IP()), m.Tuple[1].Uint(), m.Tuple[2].Uint())
-			shown++
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			total++
+			if shown < 10 {
+				fmt.Printf("  %-16s port %-5d t=%ds\n",
+					gigascope.FormatIP(m.Tuple[0].IP()), m.Tuple[1].Uint(), m.Tuple[2].Uint())
+				shown++
+			}
 		}
 	}
 	fmt.Printf("... %d TCP tuples total (UDP traffic was filtered by the LFTA)\n", total)

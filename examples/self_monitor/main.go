@@ -83,12 +83,14 @@ func main() {
 
 	fmt.Println("ring-shed alerts (10-second windows):")
 	alertTotals := make(map[string]uint64)
-	for m := range alerts.C {
-		if m.IsHeartbeat() {
-			continue
+	for b := range alerts.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			fmt.Printf("  window %-4s node %-10s shed %s tuples\n", m.Tuple[0], m.Tuple[1], m.Tuple[2])
+			alertTotals[m.Tuple[1].Str()] += m.Tuple[2].Uint()
 		}
-		fmt.Printf("  window %-4s node %-10s shed %s tuples\n", m.Tuple[0], m.Tuple[1], m.Tuple[2])
-		alertTotals[m.Tuple[1].Str()] += m.Tuple[2].Uint()
 	}
 
 	fmt.Println("\nreconciliation against rts.Manager counters:")

@@ -20,7 +20,9 @@
 //	sub, _ := sys.Subscribe("tcpdest", 1024)
 //	sys.Start()
 //	go func() { /* feed packets */ sys.Inject("eth0", pkt); sys.Stop() }()
-//	for msg := range sub.C { ... }
+//	for batch := range sub.C {
+//	    for _, msg := range batch { ... }
+//	}
 package gigascope
 
 import (
@@ -41,9 +43,19 @@ import (
 
 // Config tunes a System.
 type Config struct {
-	// RingSize is the capacity, in tuples, of the rings connecting query
-	// nodes and subscribers (default 1024).
+	// RingSize is the capacity, in batches, of the rings connecting query
+	// nodes and subscribers (default 1024). Each batch carries up to
+	// MaxBatch messages, so a ring holds at least as many tuples as the
+	// same setting did under the old per-message pipeline.
 	RingSize int
+	// MaxBatch is the output batch flush threshold: a node publishes its
+	// pending batch when it reaches this many messages, or earlier on a
+	// heartbeat or window end (default 64; 1 approximates per-message
+	// delivery).
+	MaxBatch int
+	// InboxDepth is the capacity, in batches, of each HFTA node's input
+	// inbox (default 64).
+	InboxDepth int
 	// HeartbeatUsec is the virtual-time interval between source
 	// heartbeats (default 1s).
 	HeartbeatUsec uint64
@@ -96,6 +108,8 @@ func New(cfg ...Config) (*System, error) {
 		catalog: cat,
 		mgr: rts.NewManager(cat, rts.Config{
 			RingSize:         c.RingSize,
+			MaxBatch:         c.MaxBatch,
+			InboxDepth:       c.InboxDepth,
 			HeartbeatUsec:    c.HeartbeatUsec,
 			ValidateOrdering: c.ValidateOrdering,
 		}),
@@ -282,6 +296,11 @@ func (s *System) Stop() { s.mgr.Stop() }
 
 // Inject delivers one packet to the named interface ("" = default).
 func (s *System) Inject(iface string, p *Packet) { s.mgr.Inject(iface, p) }
+
+// InjectBatch delivers one interrupt/poll window of packets to the named
+// interface ("" = default): LFTA output accumulated over the window
+// crosses the rings as one batch per LFTA instead of one per packet.
+func (s *System) InjectBatch(iface string, ps []*Packet) { s.mgr.InjectBatch(iface, ps) }
 
 // AdvanceClock moves the virtual clock (microseconds), generating source
 // heartbeats for idle interfaces.

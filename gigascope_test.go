@@ -25,11 +25,13 @@ func TestSystemQuickPath(t *testing.T) {
 	sys.Inject("eth0", &p)
 	sys.Stop()
 	var rows int
-	for m := range sub.C {
-		if !m.IsHeartbeat() {
-			rows++
-			if m.Tuple[0].IP() != 0x0a000002 || m.Tuple[1].Uint() != 80 {
-				t.Errorf("tuple = %v", m.Tuple)
+	for b := range sub.C {
+		for _, m := range b {
+			if !m.IsHeartbeat() {
+				rows++
+				if m.Tuple[0].IP() != 0x0a000002 || m.Tuple[1].Uint() != 80 {
+					t.Errorf("tuple = %v", m.Tuple)
+				}
 			}
 		}
 	}
@@ -138,10 +140,8 @@ func TestSystemNetflowBuiltin(t *testing.T) {
 	}
 	sys.Stop()
 	rows := 0
-	for m := range sub.C {
-		if !m.IsHeartbeat() {
-			rows++
-		}
+	for b := range sub.C {
+		rows += b.Tuples()
 	}
 	if rows != 100 {
 		t.Errorf("rows = %d", rows)

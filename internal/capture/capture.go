@@ -257,6 +257,21 @@ func (st *Stack) Arrive(p *pkt.Packet) {
 	st.queue = append(st.queue, cost)
 }
 
+// ArriveBatch offers one poll window of packets, appending the survivors
+// to kept and returning it. Only capacity loss (ring fills, NIC overruns)
+// excludes a packet; intentional NIC filtering is not loss — Lost() — and
+// such packets are still kept, matching how callers treat Arrive.
+func (st *Stack) ArriveBatch(ps []*pkt.Packet, kept []*pkt.Packet) []*pkt.Packet {
+	for _, p := range ps {
+		lost := st.stats.Lost()
+		st.Arrive(p)
+		if st.stats.Lost() == lost {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
 // arriveNIC models the programmable-NIC configuration: the NIC spends its
 // own cycles per packet, discards non-matching packets without touching
 // the host, and delivers qualifying tuples with a cheap coalesced

@@ -21,6 +21,10 @@ type Instance struct {
 	extractors []extractor
 	protoWidth int
 	clockCols  []clockCol
+	// rowBuf is the reusable extraction tuple for the capture hot path.
+	// Reuse is safe because PushPacket runs under the owning node's lock
+	// and no packet-source operator retains its input row.
+	rowBuf schema.Tuple
 	// dropped is written on the capture path and read by monitoring
 	// snapshots (sysmon sampling) from other goroutines.
 	dropped atomic.Uint64
@@ -141,7 +145,10 @@ func (i *Instance) PushPacket(p *pkt.Packet, emit exec.Emit) error {
 	if !i.IsPacketSource() {
 		return fmt.Errorf("core: node %s is not a packet source", i.Node.Name)
 	}
-	row := make(schema.Tuple, i.protoWidth)
+	if i.rowBuf == nil {
+		i.rowBuf = make(schema.Tuple, i.protoWidth)
+	}
+	row := i.rowBuf
 	for _, ex := range i.extractors {
 		v, ok := ex.spec.Extract(p)
 		if !ok {

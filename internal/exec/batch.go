@@ -1,0 +1,73 @@
+package exec
+
+// Batch is an ordered run of messages moved through the pipeline as one
+// unit. Batching amortizes the per-tuple channel, mutex, and atomic-counter
+// costs of the hot path (the costs the paper's LFTA design exists to keep
+// off the capture path, §3) without changing stream semantics: a batch is
+// exactly the concatenation of its messages, heartbeats included, and any
+// split of a message sequence into batches yields identical operator
+// output (property-tested in batch_test.go).
+//
+// Batches are immutable once emitted: a publisher may hand the same Batch
+// to many subscribers, so receivers must not modify it.
+type Batch []Message
+
+// Tuples returns the number of non-heartbeat messages in the batch.
+func (b Batch) Tuples() int {
+	n := 0
+	for i := range b {
+		if !b[i].IsHeartbeat() {
+			n++
+		}
+	}
+	return n
+}
+
+// Heartbeats returns the number of heartbeat messages in the batch.
+func (b Batch) Heartbeats() int { return len(b) - b.Tuples() }
+
+// EmitBatch receives operator output a batch at a time. The callee takes
+// ownership of the batch; the caller must not reuse its backing array.
+type EmitBatch func(Batch)
+
+// BatchOperator is implemented by operators with a native batch path:
+// a tight loop over the batch with amortized counter updates and a single
+// output emission, avoiding per-tuple closure dispatch. Semantics must be
+// identical to pushing the batch one message at a time.
+type BatchOperator interface {
+	Operator
+	// PushBatch processes a batch of input messages from the given port
+	// and emits at most a few output batches (typically one).
+	PushBatch(port int, b Batch, emit EmitBatch) error
+}
+
+// PushBatch pushes a batch through op, using the operator's native batch
+// implementation when it has one and falling back to a generic per-message
+// adapter otherwise. The adapter preserves semantics exactly: messages are
+// pushed in order and all output is gathered into one batch, emitted once.
+func PushBatch(op Operator, port int, b Batch, emit EmitBatch) error {
+	if bo, ok := op.(BatchOperator); ok {
+		return bo.PushBatch(port, b, emit)
+	}
+	var out Batch
+	collect := func(m Message) { out = append(out, m) }
+	for i := range b {
+		if err := op.Push(port, b[i], collect); err != nil {
+			return err
+		}
+	}
+	if len(out) > 0 {
+		emit(out)
+	}
+	return nil
+}
+
+// FlushAllBatch drains op.FlushAll into a single batch emission.
+func FlushAllBatch(op Operator, emit EmitBatch) error {
+	var out Batch
+	err := op.FlushAll(func(m Message) { out = append(out, m) })
+	if len(out) > 0 {
+		emit(out)
+	}
+	return err
+}

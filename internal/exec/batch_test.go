@@ -1,0 +1,288 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gigascope/internal/schema"
+)
+
+// Batch-boundary equivalence property: a batch is exactly the concatenation
+// of its messages, so ANY split of a message sequence into batches must
+// yield byte-identical operator output and identical OrderChecker results
+// vs. pushing the same sequence one message at a time. This pins both the
+// generic PushBatch adapter and the native batch paths (SelProj, LFTAAgg)
+// to per-message semantics.
+
+// portMsg is one step of an input trace: a message arriving on a port.
+type portMsg struct {
+	port int
+	m    Message
+}
+
+// renderMsgs canonically encodes an output sequence for byte comparison.
+func renderMsgs(msgs []Message) string {
+	var sb strings.Builder
+	for _, m := range msgs {
+		if m.IsHeartbeat() {
+			fmt.Fprintf(&sb, "H %v\n", m.Bounds)
+		} else {
+			fmt.Fprintf(&sb, "T %v\n", m.Tuple)
+		}
+	}
+	return sb.String()
+}
+
+// runPerMessage is the reference execution: one Push per message.
+func runPerMessage(op Operator, seq []portMsg) ([]Message, error) {
+	var out []Message
+	emit := Collect(&out)
+	for _, pm := range seq {
+		if err := op.Push(pm.port, pm.m, emit); err != nil {
+			return nil, err
+		}
+	}
+	if err := op.FlushAll(emit); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runBatched splits the trace into random single-port batches (cut points
+// at every port change plus coin flips) and pushes them through PushBatch.
+func runBatched(op Operator, seq []portMsg, r *rand.Rand) ([]Message, error) {
+	var out []Message
+	collect := func(b Batch) { out = append(out, b...) }
+	for i := 0; i < len(seq); {
+		j := i + 1
+		for j < len(seq) && seq[j].port == seq[i].port && r.Intn(4) > 0 {
+			j++
+		}
+		b := make(Batch, 0, j-i)
+		for k := i; k < j; k++ {
+			b = append(b, seq[k].m)
+		}
+		if err := PushBatch(op, seq[i].port, b, collect); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	if err := FlushAllBatch(op, collect); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// orderResults runs an increasing OrderChecker over the first output column
+// and returns the violation count (heartbeats excluded, as in the RTS).
+func orderResults(msgs []Message) int {
+	ch := schema.NewOrderChecker(schema.Ordering{Kind: schema.OrderIncreasing}, nil)
+	violations := 0
+	for _, m := range msgs {
+		if m.IsHeartbeat() || len(m.Tuple) == 0 {
+			continue
+		}
+		if err := ch.Observe(m.Tuple[0], m.Tuple); err != nil {
+			violations++
+		}
+	}
+	return violations
+}
+
+// hbQuiet builds a heartbeat over the quiet input schema: time >= ts.
+func hbQuiet(ts uint64) Message {
+	bounds := make(schema.Tuple, len(quietInSchema().Cols))
+	bounds[0] = schema.MakeUint(ts)
+	return HeartbeatMsg(bounds)
+}
+
+// genUnary produces a time-ordered trace of tuples with occasional
+// heartbeats for the single-port operators.
+func genUnary(r *rand.Rand, n int) []portMsg {
+	var seq []portMsg
+	ts := uint64(1)
+	for i := 0; i < n; i++ {
+		ts += uint64(r.Intn(20))
+		if r.Intn(8) == 0 {
+			seq = append(seq, portMsg{m: hbQuiet(ts)})
+			continue
+		}
+		port := uint64(80)
+		if r.Intn(3) == 0 {
+			port = 443
+		}
+		seq = append(seq, portMsg{m: TupleMsg(mkRowQuiet(ts, port))})
+	}
+	return seq
+}
+
+// genTwoPort produces a trace for a binary operator: each port's stream is
+// independently time-ordered, and the interleaving is random.
+func genTwoPort(r *rand.Rand, n int, row func(port int, ts uint64) schema.Tuple, width [2]int) []portMsg {
+	var seq []portMsg
+	ts := [2]uint64{1, 1}
+	for i := 0; i < n; i++ {
+		p := r.Intn(2)
+		ts[p] += uint64(r.Intn(3))
+		if r.Intn(10) == 0 {
+			bounds := make(schema.Tuple, width[p])
+			bounds[0] = schema.MakeUint(ts[p])
+			seq = append(seq, portMsg{port: p, m: HeartbeatMsg(bounds)})
+			continue
+		}
+		seq = append(seq, portMsg{port: p, m: TupleMsg(row(p, ts[p]))})
+	}
+	return seq
+}
+
+func TestBatchBoundaryEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		build func() Operator
+		gen   func(r *rand.Rand) []portMsg
+	}{
+		{
+			name: "selproj",
+			build: func() Operator {
+				s := quietInSchema()
+				pred := quietCompile(s, "x", "destPort = 80")[0]
+				outs := quietCompile(s, "x", "time", "destPort", "len*8")
+				return NewSelProj(pred, outs, []bool{true, false, false}, nil, outSchema("time", "port", "bits"))
+			},
+			gen: func(r *rand.Rand) []portMsg { return genUnary(r, 200) },
+		},
+		{
+			name: "lftaagg",
+			// A small table forces collision evictions mid-stream, so the
+			// equivalence also covers the eviction path.
+			build: func() Operator { return buildLFTACountQuiet(16) },
+			gen:   func(r *rand.Rand) []portMsg { return genUnary(r, 300) },
+		},
+		{
+			name:  "agg",
+			build: func() Operator { return buildDirectCountQuiet() },
+			gen:   func(r *rand.Rand) []portMsg { return genUnary(r, 300) },
+		},
+		{
+			name:  "join",
+			build: func() Operator { return buildJoinQuiet(2, 2) },
+			gen: func(r *rand.Rand) []portMsg {
+				return genTwoPort(r, 300, func(port int, ts uint64) schema.Tuple {
+					if port == 0 {
+						return lrow(ts, ts%4)
+					}
+					return rrow(ts, ts%4, ts)
+				}, [2]int{2, 3})
+			},
+		},
+		{
+			name:  "merge",
+			build: func() Operator { op, _ := NewMerge([]int{0, 0}, mergeSchema()); return op },
+			gen: func(r *rand.Rand) []portMsg {
+				return genTwoPort(r, 300, func(port int, ts uint64) schema.Tuple {
+					return mrow(ts, uint64(port))
+				}, [2]int{2, 2})
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				seq := sc.gen(rand.New(rand.NewSource(seed)))
+				ref, err := runPerMessage(sc.build(), seq)
+				if err != nil {
+					t.Fatalf("seed %d: per-message run: %v", seed, err)
+				}
+				got, err := runBatched(sc.build(), seq, rand.New(rand.NewSource(seed+1000)))
+				if err != nil {
+					t.Fatalf("seed %d: batched run: %v", seed, err)
+				}
+				want, gotStr := renderMsgs(ref), renderMsgs(got)
+				if gotStr != want {
+					t.Fatalf("seed %d: batched output differs from per-message output\nper-message:\n%s\nbatched:\n%s",
+						seed, want, gotStr)
+				}
+				if rw, rg := orderResults(ref), orderResults(got); rw != rg {
+					t.Fatalf("seed %d: OrderChecker results differ: per-message %d violations, batched %d", seed, rw, rg)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchExtremes pins the two degenerate splits: all-singleton batches
+// (per-message through the batch entry point) and one batch per port run.
+func TestBatchExtremes(t *testing.T) {
+	seq := genUnary(rand.New(rand.NewSource(7)), 200)
+	build := func() Operator { return buildLFTACountQuiet(16) }
+	ref, err := runPerMessage(build(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Singletons.
+	var single []Message
+	op := build()
+	collect := func(b Batch) { single = append(single, b...) }
+	for _, pm := range seq {
+		if err := PushBatch(op, pm.port, Batch{pm.m}, collect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := FlushAllBatch(op, collect); err != nil {
+		t.Fatal(err)
+	}
+	if renderMsgs(single) != renderMsgs(ref) {
+		t.Error("singleton batches differ from per-message output")
+	}
+
+	// One giant batch.
+	var whole []Message
+	op = build()
+	collectW := func(b Batch) { whole = append(whole, b...) }
+	all := make(Batch, 0, len(seq))
+	for _, pm := range seq {
+		all = append(all, pm.m)
+	}
+	if err := PushBatch(op, 0, all, collectW); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlushAllBatch(op, collectW); err != nil {
+		t.Fatal(err)
+	}
+	if renderMsgs(whole) != renderMsgs(ref) {
+		t.Error("single giant batch differs from per-message output")
+	}
+}
+
+// TestPushBatchAdapterCollectsOnce verifies the generic fallback gathers a
+// batch's output into one emission (operators without a native batch path
+// still amortize the downstream ring crossing).
+func TestPushBatchAdapterCollectsOnce(t *testing.T) {
+	op, err := NewMerge([]int{0, 0}, mergeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, native := Operator(op).(BatchOperator); native {
+		t.Skip("merge grew a native batch path; adapter covered elsewhere")
+	}
+	// Fill port 1 first so pushing a batch on port 0 releases output.
+	if err := op.Push(1, TupleMsg(mrow(100, 1)), func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	b := Batch{TupleMsg(mrow(1, 0)), TupleMsg(mrow(2, 0)), TupleMsg(mrow(3, 0))}
+	emissions := 0
+	var got []Message
+	if err := PushBatch(op, 0, b, func(ob Batch) { emissions++; got = append(got, ob...) }); err != nil {
+		t.Fatal(err)
+	}
+	if emissions != 1 {
+		t.Errorf("adapter emitted %d batches, want 1", emissions)
+	}
+	if len(got) != 3 {
+		t.Errorf("released %d messages, want 3 (%v)", len(got), got)
+	}
+}

@@ -44,6 +44,24 @@ func BenchmarkSelProjPush(b *testing.B) {
 	}
 }
 
+func BenchmarkSelProjPushBatch(b *testing.B) {
+	s := quietInSchema()
+	pred := quietCompile(s, "x", "destPort = 80")[0]
+	outs := quietCompile(s, "x", "time", "srcIP", "destPort")
+	op := NewSelProj(pred, outs, nil, nil, outSchema("time", "src", "port"))
+	const n = 64
+	batch := make(Batch, n)
+	for i := range batch {
+		batch[i] = TupleMsg(mkRowQuiet(uint64(i), 80))
+	}
+	emit := func(Batch) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.PushBatch(0, batch, emit)
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "msgs/s")
+}
+
 func BenchmarkAggPush(b *testing.B) {
 	op := buildDirectCountQuiet()
 	emit := func(Message) {}
@@ -60,6 +78,21 @@ func BenchmarkLFTAAggPush(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		op.Push(0, TupleMsg(mkRowQuiet(uint64(i/1000), uint64(i%64))), emit)
 	}
+}
+
+func BenchmarkLFTAAggPushBatch(b *testing.B) {
+	op := buildLFTACountQuiet(4096)
+	const n = 64
+	batch := make(Batch, n)
+	for i := range batch {
+		batch[i] = TupleMsg(mkRowQuiet(uint64(i/1000), uint64(i%64)))
+	}
+	emit := func(Batch) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.PushBatch(0, batch, emit)
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "msgs/s")
 }
 
 func BenchmarkMergePush(b *testing.B) {

@@ -62,22 +62,59 @@ func (o *LFTAAgg) TableSize() int { return len(o.slots) }
 // Push implements Operator.
 func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 	if m.IsHeartbeat() {
-		if o.spec.OrdGroup >= 0 {
-			v, ok := o.spec.GroupExprs[o.spec.OrdGroup].Eval(m.Bounds, o.spec.Ctx)
-			if ok && !v.IsNull() {
-				o.advance(v, emit)
-			}
-		}
-		o.emitHeartbeat(emit)
+		o.pushHB(m.Bounds, emit)
 		return nil
 	}
 	o.stats.In.Add(1)
-	row := m.Tuple
+	o.pushTuple(m.Tuple, emit)
+	return nil
+}
+
+// PushBatch implements BatchOperator: the capture-path aggregation loop
+// with the input counter amortized over the batch and all emissions
+// (collision evictions, watermark flushes, heartbeats) gathered into one
+// output batch.
+func (o *LFTAAgg) PushBatch(_ int, b Batch, emit EmitBatch) error {
+	var out Batch
+	collect := func(m Message) { out = append(out, m) }
+	var in uint64
+	for i := range b {
+		if b[i].IsHeartbeat() {
+			o.pushHB(b[i].Bounds, collect)
+			continue
+		}
+		in++
+		o.pushTuple(b[i].Tuple, collect)
+	}
+	if in > 0 {
+		o.stats.In.Add(in)
+	}
+	if len(out) > 0 {
+		emit(out)
+	}
+	return nil
+}
+
+// pushHB advances the watermark from a heartbeat bound and forwards the
+// transformed bound downstream.
+func (o *LFTAAgg) pushHB(bounds schema.Tuple, emit Emit) {
+	if o.spec.OrdGroup >= 0 {
+		v, ok := o.spec.GroupExprs[o.spec.OrdGroup].Eval(bounds, o.spec.Ctx)
+		if ok && !v.IsNull() {
+			o.advance(v, emit)
+		}
+	}
+	o.emitHeartbeat(emit)
+}
+
+// pushTuple runs one tuple through the direct-mapped table. The caller has
+// already counted it in stats.In.
+func (o *LFTAAgg) pushTuple(row schema.Tuple, emit Emit) {
 	if o.spec.Pred != nil {
 		pass, ok := EvalPred(o.spec.Pred, row, o.spec.Ctx)
 		if !ok || !pass {
 			o.stats.Dropped.Add(1)
-			return nil
+			return
 		}
 	}
 	gvals := make(schema.Tuple, len(o.spec.GroupExprs))
@@ -85,7 +122,7 @@ func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 		v, ok := e.Eval(row, o.spec.Ctx)
 		if !ok {
 			o.stats.Dropped.Add(1)
-			return nil
+			return
 		}
 		gvals[i] = v
 	}
@@ -93,7 +130,7 @@ func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 		ord := gvals[o.spec.OrdGroup]
 		if ord.IsNull() {
 			o.stats.Dropped.Add(1)
-			return nil
+			return
 		}
 		o.advance(ord, emit)
 	}
@@ -130,7 +167,7 @@ func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
 		}
 		slot.states[i].Add(v)
 	}
-	return nil
+	return
 }
 
 func (o *LFTAAgg) advance(ord schema.Value, emit Emit) {

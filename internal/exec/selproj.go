@@ -71,34 +71,78 @@ func (o *SelProj) Stats() OpStats { return o.stats.Snapshot() }
 // Push implements Operator.
 func (o *SelProj) Push(_ int, m Message, emit Emit) error {
 	if m.IsHeartbeat() {
-		o.emitHeartbeat(m.Bounds, emit)
+		emit(o.heartbeatMsg(m.Bounds))
 		return nil
 	}
 	o.stats.In.Add(1)
-	if o.pred != nil {
-		pass, ok := EvalPred(o.pred, m.Tuple, o.ctx)
-		if !ok || !pass {
-			o.stats.Dropped.Add(1)
-			return nil
-		}
-	}
-	outRow := make(schema.Tuple, len(o.outs))
-	for i, e := range o.outs {
-		v, ok := e.Eval(m.Tuple, o.ctx)
-		if !ok {
-			o.stats.Dropped.Add(1)
-			return nil // partial function: discard tuple
-		}
-		outRow[i] = v
+	outRow, ok := o.apply(m.Tuple)
+	if !ok {
+		o.stats.Dropped.Add(1)
+		return nil
 	}
 	o.stats.Out.Add(1)
 	emit(TupleMsg(outRow))
 	return nil
 }
 
-// emitHeartbeat maps input bounds through the order-preserving output
+// PushBatch implements BatchOperator: the selection/projection hot loop
+// with no per-tuple closure dispatch and counter updates amortized over
+// the batch.
+func (o *SelProj) PushBatch(_ int, b Batch, emit EmitBatch) error {
+	out := make(Batch, 0, len(b))
+	var in, outn, dropped uint64
+	for i := range b {
+		if b[i].IsHeartbeat() {
+			out = append(out, o.heartbeatMsg(b[i].Bounds))
+			continue
+		}
+		in++
+		outRow, ok := o.apply(b[i].Tuple)
+		if !ok {
+			dropped++
+			continue
+		}
+		outn++
+		out = append(out, TupleMsg(outRow))
+	}
+	if in > 0 {
+		o.stats.In.Add(in)
+	}
+	if outn > 0 {
+		o.stats.Out.Add(outn)
+	}
+	if dropped > 0 {
+		o.stats.Dropped.Add(dropped)
+	}
+	if len(out) > 0 {
+		emit(out)
+	}
+	return nil
+}
+
+// apply evaluates the predicate and output expressions over one row; ok is
+// false when the tuple is discarded (predicate miss or partial function).
+func (o *SelProj) apply(row schema.Tuple) (schema.Tuple, bool) {
+	if o.pred != nil {
+		pass, ok := EvalPred(o.pred, row, o.ctx)
+		if !ok || !pass {
+			return nil, false
+		}
+	}
+	outRow := make(schema.Tuple, len(o.outs))
+	for i, e := range o.outs {
+		v, ok := e.Eval(row, o.ctx)
+		if !ok {
+			return nil, false // partial function: discard tuple
+		}
+		outRow[i] = v
+	}
+	return outRow, true
+}
+
+// heartbeatMsg maps input bounds through the order-preserving output
 // expressions. Columns without a usable bound carry NULL.
-func (o *SelProj) emitHeartbeat(bounds schema.Tuple, emit Emit) {
+func (o *SelProj) heartbeatMsg(bounds schema.Tuple) Message {
 	outBounds := make(schema.Tuple, len(o.outs))
 	for i, e := range o.outs {
 		if o.hbCols == nil || i >= len(o.hbCols) || !o.hbCols[i] {
@@ -109,7 +153,7 @@ func (o *SelProj) emitHeartbeat(bounds schema.Tuple, emit Emit) {
 			outBounds[i] = v
 		}
 	}
-	emit(HeartbeatMsg(outBounds))
+	return HeartbeatMsg(outBounds)
 }
 
 // FlushAll implements Operator; selection holds no state.

@@ -25,10 +25,11 @@ import (
 // E4Row is one plan's outcome.
 type E4Row struct {
 	Plan           string
-	Packets        uint64
-	BoundaryTuples uint64 // tuples crossing LFTA → HFTA
-	BoundaryBytes  uint64 // packed bytes crossing
-	Results        int    // final result rows
+	Packets         uint64
+	BoundaryTuples  uint64 // tuples crossing LFTA → HFTA
+	BoundaryBytes   uint64 // packed bytes crossing
+	BoundaryBatches uint64 // batch crossings carrying those tuples
+	Results         int    // final result rows
 }
 
 // E4 runs the ablation over `packets` synthetic packets.
@@ -109,31 +110,59 @@ func e4Run(query string, disableSplit bool, pkts []pkt.Packet) (E4Row, map[strin
 		key := m.Tuple[0].String() + "/" + m.Tuple[1].String()
 		res[key] = [2]uint64{m.Tuple[2].Uint(), m.Tuple[3].Uint()}
 	}
+	// LFTA output crosses the boundary in poll-window batches, the way the
+	// RTS moves it: accumulate per window, one PushBatch per crossing.
+	const pollWindow = 256
+	var pending exec.Batch
 	boundary := func(m exec.Message) {
 		if !m.IsHeartbeat() {
 			row.BoundaryTuples++
 			row.BoundaryBytes += uint64(m.Tuple.PackedSize())
 		}
-		hfta.Op.Push(0, m, sink)
+		pending = append(pending, m)
+	}
+	batchSink := func(b exec.Batch) {
+		for _, m := range b {
+			sink(m)
+		}
+	}
+	crossBoundary := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		b := pending
+		pending = nil
+		row.BoundaryBatches++
+		return exec.PushBatch(hfta.Op, 0, b, batchSink)
 	}
 	for i := range pkts {
 		if err := lfta.PushPacket(&pkts[i], boundary); err != nil {
 			return E4Row{}, nil, err
 		}
+		if (i+1)%pollWindow == 0 {
+			if err := crossBoundary(); err != nil {
+				return E4Row{}, nil, err
+			}
+		}
 	}
 	lfta.Op.FlushAll(boundary)
-	hfta.Op.FlushAll(sink)
+	if err := crossBoundary(); err != nil {
+		return E4Row{}, nil, err
+	}
+	if err := exec.FlushAllBatch(hfta.Op, batchSink); err != nil {
+		return E4Row{}, nil, err
+	}
 	return row, res, nil
 }
 
 // PrintE4 renders the ablation.
 func PrintE4(w io.Writer, rows []E4Row) {
 	fmt.Fprintln(w, "E4: aggregate query splitting vs monolithic execution (§3)")
-	fmt.Fprintf(w, "  %-28s %10s %16s %16s %10s\n",
-		"plan", "packets", "boundary tuples", "boundary bytes", "results")
+	fmt.Fprintf(w, "  %-28s %10s %16s %16s %10s %10s\n",
+		"plan", "packets", "boundary tuples", "boundary bytes", "batches", "results")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-28s %10d %16d %16d %10d\n",
-			r.Plan, r.Packets, r.BoundaryTuples, r.BoundaryBytes, r.Results)
+		fmt.Fprintf(w, "  %-28s %10d %16d %16d %10d %10d\n",
+			r.Plan, r.Packets, r.BoundaryTuples, r.BoundaryBytes, r.BoundaryBatches, r.Results)
 	}
 	if len(rows) == 2 && rows[0].BoundaryTuples > 0 {
 		fmt.Fprintf(w, "  boundary data reduction from splitting: %.1fx tuples, %.1fx bytes\n",

@@ -79,6 +79,17 @@ func (d *Device) Process(p *pkt.Packet) (pkt.Packet, bool) {
 	return *p, true
 }
 
+// ProcessBatch runs one poll window through the device, appending the
+// delivered (possibly snapped) captures to out and returning it.
+func (d *Device) ProcessBatch(ps []*pkt.Packet, out []pkt.Packet) []pkt.Packet {
+	for _, p := range ps {
+		if snapped, ok := d.Process(p); ok {
+			out = append(out, snapped)
+		}
+	}
+	return out
+}
+
 // Delivered and Filtered return the device counters.
 func (d *Device) Delivered() uint64 { return d.delivered }
 

@@ -1,0 +1,196 @@
+package rts
+
+import (
+	"testing"
+	"time"
+
+	"gigascope/internal/pkt"
+)
+
+// TestHeartbeatDropAccounting pins the heartbeat side of the shed policy:
+// heartbeat-only batches never block, so on a full ring they are discarded
+// — and counted in NodeStats.HBDrop, separately from the exact per-tuple
+// RingDrop accounting.
+func TestHeartbeatDropAccounting(t *testing.T) {
+	cat := newCatalog(t)
+	// A 1-usec heartbeat interval makes every injected packet due for a
+	// source heartbeat, so each Inject publishes a tuple batch followed by
+	// a heartbeat-only batch.
+	m := NewManager(cat, Config{HeartbeatUsec: 1})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name alltcp; }
+		SELECT time, srcIP FROM eth0.tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Subscribe("alltcp", 1) // one slot, never read while running
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		p := tcpPkt(uint64(i+1), 0x0a000001, 80, "x")
+		m.Inject("eth0", &p)
+	}
+	m.Stop()
+
+	slowRows := drain(t, slow)
+	var ns NodeStats
+	for _, s := range m.Stats() {
+		if s.Name == "alltcp" {
+			ns = s
+		}
+	}
+	if ns.HBDrop == 0 {
+		t.Error("HBDrop = 0, want > 0 (heartbeat-only batches discarded at the full ring)")
+	}
+	// Tuple accounting stays exact: heartbeat batches contribute nothing
+	// to RingDrop, so kept + shed reconciles to the tuple count.
+	if want := uint64(n - len(slowRows)); ns.RingDrop != want {
+		t.Errorf("RingDrop = %d, want %d (n=%d, ring kept %d)", ns.RingDrop, want, n, len(slowRows))
+	}
+	if ns.RingDrop == 0 {
+		t.Error("expected the unread ring to force tuple shedding")
+	}
+}
+
+// TestCancelPrunedOnNextPublish is the regression test for the Cancel
+// drain-goroutine leak: a cancelled subscription must have its channel
+// closed by the publisher's next publish — without waiting for Stop — so
+// the short-lived drain goroutine exits instead of idling forever.
+func TestCancelPrunedOnNextPublish(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name port80; }
+		SELECT time, srcIP FROM eth0.tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := m.Subscribe("port80", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keeper, err := m.Subscribe("port80", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := tcpPkt(1, 0x0a000001, 80, "x")
+	m.Inject("eth0", &p)
+
+	victim.Cancel()
+	p2 := tcpPkt(2, 0x0a000002, 80, "x")
+	m.Inject("eth0", &p2) // this publish must prune and close victim.C
+
+	deadline := time.After(5 * time.Second)
+	for {
+		var closed bool
+		select {
+		case _, ok := <-victim.C:
+			closed = !ok
+		case <-deadline:
+			t.Fatal("cancelled subscription's channel was not closed by the next publish")
+		}
+		if closed {
+			break
+		}
+	}
+
+	// The surviving subscriber is unaffected by the prune.
+	m.Stop()
+	if rows := drain(t, keeper); len(rows) != 2 {
+		t.Errorf("keeper got %d tuples, want 2", len(rows))
+	}
+}
+
+// TestMaxBatchFlushPolicy pins the Config.MaxBatch knob and the flush-reason
+// accounting: one poll window of 10 packets under MaxBatch 4 crosses the
+// ring as batches of 4, 4, and 2 (two size flushes, one window flush).
+func TestMaxBatchFlushPolicy(t *testing.T) {
+	cat := newCatalog(t)
+	// Push heartbeats out of the way so only size/window flushes fire.
+	m := NewManager(cat, Config{MaxBatch: 4, HeartbeatUsec: 1 << 60})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name port80; }
+		SELECT time, srcIP FROM eth0.tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("port80", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]pkt.Packet, 10)
+	window := make([]*pkt.Packet, 10)
+	for i := range pkts {
+		pkts[i] = tcpPkt(uint64(i+1), 0x0a000001, 80, "x")
+		window[i] = &pkts[i]
+	}
+	m.InjectBatch("eth0", window)
+	m.Stop()
+
+	var sizes []int
+	for b := range sub.C {
+		sizes = append(sizes, len(b))
+	}
+	want := []int{4, 4, 2}
+	if len(sizes) != len(want) {
+		t.Fatalf("batch sizes = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("batch sizes = %v, want %v", sizes, want)
+		}
+	}
+	for _, ns := range m.Stats() {
+		if ns.Name != "port80" {
+			continue
+		}
+		if ns.FlushSize != 2 || ns.FlushWindow != 1 {
+			t.Errorf("flush reasons = size %d, window %d; want 2, 1", ns.FlushSize, ns.FlushWindow)
+		}
+		if ns.Batches != 3 || ns.BatchTuples != 10 {
+			t.Errorf("occupancy counters = %d batches, %d tuples; want 3, 10", ns.Batches, ns.BatchTuples)
+		}
+	}
+}
+
+// TestInboxDepthConfig smoke-tests the HFTA inbox knob at its minimum: a
+// one-batch inbox throttles the forwarders but loses nothing (the HFTA edge
+// backpressures rather than sheds).
+func TestInboxDepthConfig(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{InboxDepth: 1, MaxBatch: 2})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name http; }
+		SELECT time, srcIP FROM tcp
+		WHERE destPort = 80 and str_regex_match(payload, '^[^\n]*HTTP/1.*')`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("http", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		p := tcpPkt(uint64(i+1), 0x0a000001, 80, "GET / HTTP/1.1\r\n")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	if rows := drain(t, sub); len(rows) != n {
+		t.Errorf("got %d tuples through a depth-1 inbox, want %d", len(rows), n)
+	}
+}

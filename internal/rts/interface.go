@@ -37,10 +37,6 @@ type Interface struct {
 	shutdownOnce sync.Once
 }
 
-type packetRef struct {
-	pkt *pkt.Packet
-}
-
 // Name returns the interface's symbolic name.
 func (it *Interface) Name() string { return it.name }
 
@@ -79,39 +75,49 @@ func (it *Interface) BindNIC(d *nic.Device) {
 // Inject delivers one packet to every attached LFTA inline (the capture
 // path). The packet timestamp advances the interface clock. Bound NIC and
 // capture-stack devices see the packet first and may filter, snap, or
-// lose it before the LFTAs run.
+// lose it before the LFTAs run. A single Inject is a poll window of one
+// packet: LFTA output crosses the rings before Inject returns, so latency
+// matches the per-message pipeline exactly.
 func (it *Interface) Inject(p *pkt.Packet) {
+	window := [1]*pkt.Packet{p}
+	it.InjectBatch(window[:])
+}
+
+// InjectBatch delivers one interrupt/poll window of packets: the window
+// runs through the NIC and capture stack, the survivors through every
+// LFTA under one lock acquisition, and each LFTA's accumulated output
+// crosses its rings as one batch at the window end. This is the batched
+// capture entry point — one ring crossing per window instead of one per
+// packet.
+func (it *Interface) InjectBatch(ps []*pkt.Packet) {
+	if len(ps) == 0 {
+		return
+	}
 	it.mu.Lock()
 	lftas := it.lftas
-	if p.TS > it.clock {
-		it.clock = p.TS
-	}
-	it.offered++
-	if it.nicDev != nil {
-		snapped, deliver := it.nicDev.Process(p)
-		if !deliver {
-			it.mu.Unlock()
-			it.maybeHeartbeat(false)
-			return
+	for _, p := range ps {
+		if p.TS > it.clock {
+			it.clock = p.TS
 		}
-		p = &snapped
+	}
+	it.offered += uint64(len(ps))
+	kept := ps
+	if it.nicDev != nil {
+		snapped := it.nicDev.ProcessBatch(kept, make([]pkt.Packet, 0, len(kept)))
+		kept = make([]*pkt.Packet, len(snapped))
+		for i := range snapped {
+			kept[i] = &snapped[i]
+		}
 	}
 	if it.capStack != nil {
-		lost := it.capStack.Stats().Lost()
-		it.capStack.Arrive(p)
-		if it.capStack.Stats().Lost() > lost {
-			// The host ring (or NIC input queue) dropped this packet; the
-			// LFTAs never see it.
-			it.mu.Unlock()
-			it.maybeHeartbeat(false)
-			return
-		}
+		// Packets the host ring (or NIC input queue) drops never reach
+		// the LFTAs.
+		kept = it.capStack.ArriveBatch(kept, make([]*pkt.Packet, 0, len(kept)))
 	}
-	it.packets++
+	it.packets += uint64(len(kept))
 	it.mu.Unlock()
-	ref := &packetRef{pkt: p}
 	for _, qn := range lftas {
-		qn.pushPacket(ref)
+		qn.pushPackets(kept)
 	}
 	it.maybeHeartbeat(false)
 }

@@ -41,8 +41,19 @@ const DefaultInterface = "default"
 
 // Config tunes the manager.
 type Config struct {
-	// RingSize is the capacity of subscription rings (tuples). 0 uses 1024.
+	// RingSize is the capacity of subscription rings, counted in batches
+	// (each batch holds up to MaxBatch messages, so a ring holds at least
+	// as many tuples as the same setting did under the per-message
+	// pipeline). 0 uses 1024.
 	RingSize int
+	// MaxBatch is the flush threshold for output batches: a node's pending
+	// batch crosses its rings when it reaches this many messages (or
+	// earlier, on a heartbeat or window end — see queryNode). 0 uses 64;
+	// 1 approximates the old per-message pipeline.
+	MaxBatch int
+	// InboxDepth is the capacity (in batches) of an HFTA node's input
+	// inbox, previously hard-coded at 64. 0 uses 64.
+	InboxDepth int
 	// HeartbeatUsec is the virtual-time interval between source
 	// heartbeats. 0 uses 1s of virtual time.
 	HeartbeatUsec uint64
@@ -58,6 +69,20 @@ func (c Config) ringSize() int {
 		return 1024
 	}
 	return c.RingSize
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 64
+	}
+	return c.MaxBatch
+}
+
+func (c Config) inboxDepth() int {
+	if c.InboxDepth <= 0 {
+		return 64
+	}
+	return c.InboxDepth
 }
 
 func (c Config) hbUsec() uint64 {
@@ -149,13 +174,17 @@ func (m *Manager) AddQuery(cq *core.CompiledQuery, params map[string]schema.Valu
 			return err
 		}
 		qn := &queryNode{
-			m:     m,
-			name:  n.Name,
-			level: n.Level,
-			node:  n,
-			inst:  inst,
-			op:    inst.Op,
-			pub:   &publisher{name: n.Name, level: n.Level, shed: n.Level == core.LevelLFTA},
+			m:        m,
+			name:     n.Name,
+			level:    n.Level,
+			node:     n,
+			inst:     inst,
+			op:       inst.Op,
+			pub:      &publisher{name: n.Name, level: n.Level, shed: n.Level == core.LevelLFTA},
+			maxBatch: m.cfg.maxBatch(),
+			// LFTAs flush on heartbeat so ordering bounds reach downstream
+			// merges immediately; HFTAs flush at window end instead.
+			hbFlush: n.Level == core.LevelLFTA,
 		}
 		if m.cfg.ValidateOrdering {
 			qn.initCheckers(n.Out)
@@ -210,11 +239,12 @@ func (m *Manager) AddUserNode(name string, op exec.Operator, inputs []string) er
 		return fmt.Errorf("rts: query node %s already registered", name)
 	}
 	qn := &queryNode{
-		m:     m,
-		name:  name,
-		level: core.LevelHFTA,
-		op:    op,
-		pub:   &publisher{name: name, level: core.LevelHFTA},
+		m:        m,
+		name:     name,
+		level:    core.LevelHFTA,
+		op:       op,
+		pub:      &publisher{name: name, level: core.LevelHFTA},
+		maxBatch: m.cfg.maxBatch(),
 	}
 	if m.cfg.ValidateOrdering {
 		qn.initCheckers(op.OutSchema())
@@ -347,6 +377,18 @@ func (m *Manager) Inject(iface string, p *pkt.Packet) {
 	m.noteClock(p.TS)
 }
 
+// InjectBatch delivers one interrupt/poll window of packets to the named
+// interface. LFTA output accumulated over the window crosses the rings as
+// a single batch per LFTA — the batched capture entry point (one ring
+// crossing per window instead of one per packet).
+func (m *Manager) InjectBatch(iface string, ps []*pkt.Packet) {
+	if len(ps) == 0 {
+		return
+	}
+	m.Interface(iface).InjectBatch(ps)
+	m.noteClock(ps[len(ps)-1].TS)
+}
+
 // AdvanceClock moves the virtual clock on every interface, emitting
 // periodic and requested heartbeats.
 func (m *Manager) AdvanceClock(usec uint64) {
@@ -368,8 +410,17 @@ type NodeStats struct {
 	Level    core.Level
 	Op       exec.OpStats
 	RingDrop uint64 // tuples shed at this node's output rings
+	HBDrop   uint64 // heartbeats discarded at this node's full rings
 	Packets  uint64 // packets seen (LFTA only)
 	BadPkts  uint64 // packets whose fields could not be interpreted
+	// Batch telemetry: ring crossings, tuples carried by them (so
+	// BatchTuples/Batches is the mean ring-batch occupancy), and how often
+	// each flush-policy reason closed a batch.
+	Batches     uint64
+	BatchTuples uint64
+	FlushSize   uint64 // pending reached Config.MaxBatch
+	FlushHB     uint64 // flushed on heartbeat (LFTA/source nodes)
+	FlushWindow uint64 // flushed at window end (inbox batch, poll window, shutdown)
 	// OrderViolations counts imputed-ordering violations observed when
 	// Config.ValidateOrdering is on (anything non-zero is a bug).
 	OrderViolations uint64

@@ -7,6 +7,7 @@ import (
 
 	"gigascope/internal/core"
 	"gigascope/internal/exec"
+	"gigascope/internal/pkt"
 	"gigascope/internal/schema"
 )
 
@@ -14,6 +15,16 @@ import (
 // goroutine fed by input subscriptions; LFTA nodes are executed inline on
 // their interface's capture path (paper §3: LFTAs "are linked into the
 // stream manager").
+//
+// Output moves in batches: emissions accumulate in pending and cross the
+// ring as one exec.Batch when the flush policy fires. Flush reasons:
+//
+//   - size:   pending reached Config.MaxBatch;
+//   - hb:     a heartbeat was appended (LFTA and source nodes flush so
+//     downstream sees ordering bounds immediately — virtual-clock
+//     latency is unchanged vs. the per-message pipeline);
+//   - window: an execution window closed (an HFTA finished one inbox
+//     batch, a capture poll window ended, or the stream shut down).
 type queryNode struct {
 	m     *Manager
 	name  string
@@ -29,6 +40,15 @@ type queryNode struct {
 	pub       *publisher
 	inputs    []*Subscription
 
+	// Batch assembly. pending is touched only by the node's single
+	// emitting goroutine (HFTA loop, or capture path under mu).
+	maxBatch    int
+	hbFlush     bool // flush on heartbeat (LFTA/source nodes)
+	pending     exec.Batch
+	flushSize   atomic.Uint64
+	flushHB     atomic.Uint64
+	flushWindow atomic.Uint64
+
 	// LFTA-side counters; the interface goroutine is the only writer.
 	packets atomic.Uint64
 
@@ -37,17 +57,17 @@ type queryNode struct {
 	violations atomic.Uint64
 
 	// HFTA goroutine state.
-	inbox   chan portMsg
+	inbox   chan portBatch
 	cmds    chan func()
 	done    chan struct{}
 	started bool
 	mu      sync.Mutex // guards inline LFTA execution vs setParams
 }
 
-type portMsg struct {
-	port int
-	msg  exec.Message
-	done bool // the port's input stream ended
+type portBatch struct {
+	port  int
+	batch exec.Batch
+	done  bool // the port's input stream ended
 }
 
 // start launches the HFTA node goroutine and its input forwarders.
@@ -56,7 +76,7 @@ func (qn *queryNode) start() {
 		return
 	}
 	qn.started = true
-	qn.inbox = make(chan portMsg, 64)
+	qn.inbox = make(chan portBatch, qn.m.cfg.inboxDepth())
 	qn.cmds = make(chan func(), 4)
 	qn.done = make(chan struct{})
 
@@ -76,10 +96,10 @@ func (qn *queryNode) start() {
 		fwd.Add(1)
 		go func(port int, sub *Subscription) {
 			defer fwd.Done()
-			for msg := range sub.C {
-				qn.inbox <- portMsg{port: port, msg: msg}
+			for b := range sub.C {
+				qn.inbox <- portBatch{port: port, batch: b}
 			}
-			qn.inbox <- portMsg{port: port, done: true}
+			qn.inbox <- portBatch{port: port, done: true}
 		}(i, sub)
 	}
 	qn.m.wg.Add(1)
@@ -95,7 +115,6 @@ func (qn *queryNode) start() {
 
 func (qn *queryNode) loop(openPorts int) {
 	defer close(qn.done)
-	emit := qn.emit
 	for {
 		select {
 		case cmd := <-qn.cmds:
@@ -108,18 +127,23 @@ func (qn *queryNode) loop(openPorts int) {
 			cmd()
 		case pm, ok := <-qn.inbox:
 			if !ok {
-				qn.op.FlushAll(emit)
+				qn.op.FlushAll(qn.emit)
+				qn.flushPending(&qn.flushWindow)
 				qn.pub.close()
 				return
 			}
 			if pm.done {
 				openPorts--
 				if mg, isMerge := qn.op.(*exec.Merge); isMerge {
-					mg.PortDone(pm.port, emit)
+					mg.PortDone(pm.port, qn.emit)
 				}
-				continue
+			} else {
+				exec.PushBatch(qn.op, pm.port, pm.batch, qn.emitBatch)
 			}
-			qn.op.Push(pm.port, pm.msg, emit)
+			// Window end: one inbox batch fully processed. Flushing here
+			// keeps end-to-end latency identical to the per-message
+			// pipeline — output never waits for unrelated future input.
+			qn.flushPending(&qn.flushWindow)
 		}
 	}
 }
@@ -134,28 +158,71 @@ func (qn *queryNode) initCheckers(out *schema.Schema) {
 	}
 }
 
-// emit publishes a message, validating imputed orderings when enabled.
-// Safe: each node emits from a single goroutine (or under its mutex).
-func (qn *queryNode) emit(m exec.Message) {
-	if qn.checkers != nil && !m.IsHeartbeat() {
-		for i, ch := range qn.checkers {
-			if ch == nil || i >= len(m.Tuple) {
-				continue
-			}
-			if err := ch.Observe(m.Tuple[i], m.Tuple); err != nil {
-				qn.violations.Add(1)
-			}
+// checkOrdering validates imputed orderings when enabled.
+func (qn *queryNode) checkOrdering(m exec.Message) {
+	if qn.checkers == nil || m.IsHeartbeat() {
+		return
+	}
+	for i, ch := range qn.checkers {
+		if ch == nil || i >= len(m.Tuple) {
+			continue
+		}
+		if err := ch.Observe(m.Tuple[i], m.Tuple); err != nil {
+			qn.violations.Add(1)
 		}
 	}
-	qn.pub.publish(m)
 }
 
-// pushPacket runs an LFTA inline on the capture path.
-func (qn *queryNode) pushPacket(p *packetRef) {
+// emit appends one message to the pending batch, flushing per policy.
+// Safe: each node emits from a single goroutine (or under its mutex).
+func (qn *queryNode) emit(m exec.Message) {
+	qn.checkOrdering(m)
+	qn.pending = append(qn.pending, m)
+	if len(qn.pending) >= qn.maxBatch {
+		qn.flushPending(&qn.flushSize)
+	} else if qn.hbFlush && m.IsHeartbeat() {
+		qn.flushPending(&qn.flushHB)
+	}
+}
+
+// emitBatch accepts a whole operator output batch, taking ownership.
+func (qn *queryNode) emitBatch(b exec.Batch) {
+	for i := range b {
+		qn.checkOrdering(b[i])
+	}
+	if len(qn.pending) == 0 {
+		qn.pending = b
+	} else {
+		qn.pending = append(qn.pending, b...)
+	}
+	if len(qn.pending) >= qn.maxBatch {
+		qn.flushPending(&qn.flushSize)
+	}
+}
+
+// flushPending publishes the pending batch and records the flush reason.
+// The batch is handed to subscribers, so the backing array is never reused.
+func (qn *queryNode) flushPending(reason *atomic.Uint64) {
+	if len(qn.pending) == 0 {
+		return
+	}
+	reason.Add(1)
+	b := qn.pending
+	qn.pending = nil
+	qn.pub.publish(b)
+}
+
+// pushPackets runs one capture poll window through an LFTA inline, under a
+// single lock acquisition; the output accumulated over the window flushes
+// onto the rings as one batch (unless size/heartbeat flushes fired first).
+func (qn *queryNode) pushPackets(ps []*pkt.Packet) {
 	qn.mu.Lock()
 	defer qn.mu.Unlock()
-	qn.packets.Add(1)
-	qn.inst.PushPacket(p.pkt, qn.emit)
+	qn.packets.Add(uint64(len(ps)))
+	for _, p := range ps {
+		qn.inst.PushPacket(p, qn.emit)
+	}
+	qn.flushPending(&qn.flushWindow)
 }
 
 // clockHeartbeat emits a source heartbeat through the LFTA.
@@ -170,6 +237,7 @@ func (qn *queryNode) flushInline() {
 	qn.mu.Lock()
 	defer qn.mu.Unlock()
 	qn.op.FlushAll(qn.emit)
+	qn.flushPending(&qn.flushWindow)
 	qn.pub.close()
 }
 
@@ -202,10 +270,16 @@ func (qn *queryNode) setParams(params map[string]schema.Value) error {
 
 func (qn *queryNode) stats() NodeStats {
 	ns := NodeStats{
-		Name:     qn.name,
-		Level:    qn.level,
-		RingDrop: qn.pub.drops.Load(),
-		Packets:  qn.packets.Load(),
+		Name:        qn.name,
+		Level:       qn.level,
+		RingDrop:    qn.pub.drops.Load(),
+		HBDrop:      qn.pub.hbDrops.Load(),
+		Batches:     qn.pub.batches.Load(),
+		BatchTuples: qn.pub.tuples.Load(),
+		FlushSize:   qn.flushSize.Load(),
+		FlushHB:     qn.flushHB.Load(),
+		FlushWindow: qn.flushWindow.Load(),
+		Packets:     qn.packets.Load(),
 	}
 	type statser interface{ Stats() exec.OpStats }
 	switch {

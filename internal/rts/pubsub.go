@@ -9,11 +9,18 @@ import (
 )
 
 // publisher fans a node's output out to its subscribers over bounded
-// rings (the shared-memory channels of the paper's architecture).
+// rings (the shared-memory channels of the paper's architecture). Rings
+// carry batches: each send moves a whole exec.Batch, so the per-tuple
+// channel cost is amortized over the batch (see queryNode's flush policy
+// for when batches close).
 //
-// Drop policy implements the §4 tuple-value heuristic: LFTA outputs (least
-// processed, cheapest to lose) are shed when a ring is full; HFTA outputs
+// Drop policy implements the §4 tuple-value heuristic at batch
+// granularity: LFTA outputs (least processed, cheapest to lose) are shed
+// when a ring is full — the whole batch is discarded and every tuple in it
+// is counted, so drop accounting stays exact per tuple; HFTA outputs
 // (highly processed, most valuable) block instead, applying backpressure.
+// Heartbeat-only batches never block; heartbeats lost to full rings are
+// counted in hbDrops.
 type publisher struct {
 	name  string
 	level core.Level
@@ -22,15 +29,22 @@ type publisher struct {
 	mu     sync.Mutex
 	subs   []*Subscription
 	closed bool
-	drops  atomic.Uint64
+
+	drops   atomic.Uint64 // tuples shed at full rings
+	hbDrops atomic.Uint64 // heartbeats discarded at full rings
+	batches atomic.Uint64 // batches published (ring crossings)
+	tuples  atomic.Uint64 // tuples published (occupancy numerator)
 }
 
 func (p *publisher) subscribe(buf int) *Subscription {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if buf < 1 {
+		buf = 1
+	}
 	s := &Subscription{
 		Name: p.name,
-		C:    make(chan exec.Message, buf),
+		C:    make(chan exec.Batch, buf),
 		pub:  p,
 	}
 	if p.closed {
@@ -41,35 +55,66 @@ func (p *publisher) subscribe(buf int) *Subscription {
 	return s
 }
 
-func (p *publisher) publish(m exec.Message) {
+// pruneLocked removes cancelled subscriptions and closes their channels.
+// Caller holds p.mu. Safe because each publisher sends from exactly one
+// goroutine (the owning node's), which is the goroutine calling this — no
+// send can be in flight on a channel we close here.
+func (p *publisher) pruneLocked() {
+	cancelled := false
+	for _, s := range p.subs {
+		if s.cancelled.Load() {
+			cancelled = true
+			break
+		}
+	}
+	if !cancelled {
+		return
+	}
+	kept := make([]*Subscription, 0, len(p.subs))
+	for _, s := range p.subs {
+		if s.cancelled.Load() {
+			close(s.C)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	p.subs = kept
+}
+
+// publish delivers one batch to every subscriber. Exactly one goroutine
+// (the owning query node's) calls publish for a given publisher.
+func (p *publisher) publish(b exec.Batch) {
+	if len(b) == 0 {
+		return
+	}
 	p.mu.Lock()
+	p.pruneLocked()
 	subs := p.subs
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
 		return
 	}
+	nTuples := uint64(b.Tuples())
+	nHBs := uint64(len(b)) - nTuples
+	p.batches.Add(1)
+	p.tuples.Add(nTuples)
 	for _, s := range subs {
 		if s.cancelled.Load() {
 			continue
 		}
-		if p.shed && !m.IsHeartbeat() {
+		if p.shed || nTuples == 0 {
+			// LFTA/source output sheds under overload; heartbeat-only
+			// batches never block anyone.
 			select {
-			case s.C <- m:
+			case s.C <- b:
 			default:
-				p.drops.Add(1) // least-processed tuples shed first
+				p.drops.Add(nTuples) // least-processed tuples shed first
+				p.hbDrops.Add(nHBs)
 			}
 			continue
 		}
-		if m.IsHeartbeat() {
-			// Heartbeats carry no data; never block on them.
-			select {
-			case s.C <- m:
-			default:
-			}
-			continue
-		}
-		s.C <- m
+		s.C <- b // HFTA output: backpressure, never lose a tuple
 	}
 }
 
@@ -80,28 +125,33 @@ func (p *publisher) close() {
 		return
 	}
 	p.closed = true
+	p.pruneLocked()
 	for _, s := range p.subs {
 		close(s.C)
 	}
 	p.subs = nil
 }
 
-// Subscription is a query handle: a bounded ring of messages from one
-// stream plus the ability to demand a heartbeat from upstream.
+// Subscription is a query handle: a bounded ring of message batches from
+// one stream plus the ability to demand a heartbeat from upstream. Ring
+// capacity is counted in batches; each batch holds up to the manager's
+// MaxBatch messages. Batches are shared between subscribers — treat them
+// as read-only.
 type Subscription struct {
 	Name string
-	C    chan exec.Message
+	C    chan exec.Batch
 
 	pub       *publisher
 	cancelled atomic.Bool
 	reqFn     func()
 }
 
-// Cancel detaches the subscription. The publisher stops sending to it and
-// anything in flight is drained; the channel closes when the stream ends.
+// Cancel detaches the subscription. The publisher prunes it and closes the
+// channel on its next publish (or at stream end, whichever comes first); a
+// short-lived drain goroutine unsticks any send already in flight and
+// exits as soon as the channel closes.
 func (s *Subscription) Cancel() {
 	if s.cancelled.CompareAndSwap(false, true) {
-		// Drain so a publisher mid-send is never stranded.
 		go func() {
 			for range s.C {
 			}

@@ -80,10 +80,12 @@ func TestHFTABackpressure(t *testing.T) {
 	got := make(chan int, 1)
 	go func() {
 		rows := 0
-		for msg := range sub.C {
-			if !msg.IsHeartbeat() {
-				rows++
-				time.Sleep(50 * time.Microsecond) // slow consumer
+		for b := range sub.C {
+			for _, msg := range b {
+				if !msg.IsHeartbeat() {
+					rows++
+					time.Sleep(50 * time.Microsecond) // slow consumer
+				}
 			}
 		}
 		got <- rows

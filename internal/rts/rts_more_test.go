@@ -118,16 +118,18 @@ func TestSubscriptionHeartbeatRequest(t *testing.T) {
 	deadline := time.After(5 * time.Second)
 	for {
 		select {
-		case msg, ok := <-sub.C:
+		case b, ok := <-sub.C:
 			if !ok {
 				t.Fatal("stream closed before row arrived")
 			}
-			if !msg.IsHeartbeat() {
-				if msg.Tuple[0].Uint() != 0 || msg.Tuple[1].Uint() != 1 {
-					t.Errorf("row = %v", msg.Tuple)
+			for _, msg := range b {
+				if !msg.IsHeartbeat() {
+					if msg.Tuple[0].Uint() != 0 || msg.Tuple[1].Uint() != 1 {
+						t.Errorf("row = %v", msg.Tuple)
+					}
+					m.Stop()
+					return
 				}
-				m.Stop()
-				return
 			}
 		case <-deadline:
 			t.Fatal("heartbeat request did not flush the open group")

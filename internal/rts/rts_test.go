@@ -47,12 +47,14 @@ func drain(t *testing.T, sub *Subscription) []schema.Tuple {
 	timeout := time.After(5 * time.Second)
 	for {
 		select {
-		case m, ok := <-sub.C:
+		case b, ok := <-sub.C:
 			if !ok {
 				return out
 			}
-			if !m.IsHeartbeat() {
-				out = append(out, m.Tuple)
+			for _, m := range b {
+				if !m.IsHeartbeat() {
+					out = append(out, m.Tuple)
+				}
 			}
 		case <-timeout:
 			t.Fatal("drain timed out")
@@ -245,13 +247,11 @@ func TestManagerMergeWithHeartbeats(t *testing.T) {
 poll:
 	for released < 40 {
 		select {
-		case msg, ok := <-sub.C:
+		case b, ok := <-sub.C:
 			if !ok {
 				break poll
 			}
-			if !msg.IsHeartbeat() {
-				released++
-			}
+			released += b.Tuples()
 		case <-deadline:
 			t.Fatalf("merge released only %d tuples while live", released)
 		}
@@ -416,10 +416,8 @@ func TestManagerLFTARingSheds(t *testing.T) {
 	}
 	m.Stop()
 	var got int
-	for msg := range sub.C {
-		if !msg.IsHeartbeat() {
-			got++
-		}
+	for b := range sub.C {
+		got += b.Tuples()
 	}
 	if got >= 100 {
 		t.Errorf("nothing shed: got %d", got)

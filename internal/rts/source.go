@@ -67,7 +67,9 @@ func (m *Manager) AddSourceNode(name string, src SourceNode) error {
 		src:   src,
 		// Telemetry sheds on overload instead of back-pressuring the
 		// capture path its Tick runs on.
-		pub: &publisher{name: name, level: core.LevelSource, shed: true},
+		pub:      &publisher{name: name, level: core.LevelSource, shed: true},
+		maxBatch: m.cfg.maxBatch(),
+		hbFlush:  true, // each sample ends in a heartbeat: flush per tick
 	}
 	if m.cfg.ValidateOrdering {
 		qn.initCheckers(out)
@@ -138,5 +140,6 @@ func (qn *queryNode) flushSource(nowUsec uint64) {
 	}
 	qn.srcClosed = true
 	qn.src.Flush(nowUsec, qn.emit)
+	qn.flushPending(&qn.flushWindow)
 	qn.pub.close()
 }

@@ -102,6 +102,16 @@ func NodeStatsSchema() *schema.Schema {
 			{Name: "totalOut", Type: schema.TUint, Ordering: inGroup},
 			{Name: "totalRingDrop", Type: schema.TUint, Ordering: inGroup},
 			{Name: "totalPackets", Type: schema.TUint, Ordering: inGroup},
+			// Batch-pipeline telemetry (delta-encoded like the other
+			// counters): heartbeats discarded with shed batches, batches
+			// published, tuples carried in them (batchTuples/batches =
+			// mean ring-batch occupancy), and flush reasons.
+			{Name: "hbDrop", Type: schema.TUint},
+			{Name: "batches", Type: schema.TUint},
+			{Name: "batchTuples", Type: schema.TUint},
+			{Name: "flushSize", Type: schema.TUint},
+			{Name: "flushHB", Type: schema.TUint},
+			{Name: "flushWindow", Type: schema.TUint},
 		},
 	}
 }
@@ -233,6 +243,12 @@ func (s *NodeSampler) sample(nowUsec uint64, emit exec.Emit) {
 			schema.MakeUint(ns.Op.Out),
 			schema.MakeUint(ns.RingDrop),
 			schema.MakeUint(ns.Packets),
+			schema.MakeUint(delta(ns.HBDrop, p.HBDrop)),
+			schema.MakeUint(delta(ns.Batches, p.Batches)),
+			schema.MakeUint(delta(ns.BatchTuples, p.BatchTuples)),
+			schema.MakeUint(delta(ns.FlushSize, p.FlushSize)),
+			schema.MakeUint(delta(ns.FlushHB, p.FlushHB)),
+			schema.MakeUint(delta(ns.FlushWindow, p.FlushWindow)),
 		}
 		s.prev[ns.Name] = ns
 		s.stats.Out.Add(1)

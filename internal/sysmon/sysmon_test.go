@@ -108,6 +108,51 @@ func TestNodeSamplerDeltas(t *testing.T) {
 	}
 }
 
+func TestNodeSamplerBatchTelemetryDeltas(t *testing.T) {
+	prov := &fakeProvider{}
+	s := NewNodeSampler(prov, 1_000_000)
+	out := s.OutSchema()
+	iHB := col(t, out, "hbDrop")
+	iBatches := col(t, out, "batches")
+	iTuples := col(t, out, "batchTuples")
+	iSize := col(t, out, "flushSize")
+	iHBF := col(t, out, "flushHB")
+	iWin := col(t, out, "flushWindow")
+
+	var msgs []exec.Message
+	mk := func(scale uint64) []rts.NodeStats {
+		return []rts.NodeStats{{
+			Name: "q1", Level: core.LevelLFTA,
+			HBDrop: 2 * scale, Batches: 10 * scale, BatchTuples: 100 * scale,
+			FlushSize: 3 * scale, FlushHB: 4 * scale, FlushWindow: 5 * scale,
+		}}
+	}
+	prov.nodes = mk(1)
+	s.Tick(1_000_000, collect(&msgs))
+	prov.nodes = mk(3)
+	s.Tick(2_000_000, collect(&msgs))
+
+	var rows []schema.Tuple
+	for _, m := range msgs {
+		if !m.IsHeartbeat() {
+			rows = append(rows, m.Tuple)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Second row carries the movement between snapshots: scale 1 → 3.
+	want := map[string][2]int{
+		"hbDrop": {iHB, 4}, "batches": {iBatches, 20}, "batchTuples": {iTuples, 200},
+		"flushSize": {iSize, 6}, "flushHB": {iHBF, 8}, "flushWindow": {iWin, 10},
+	}
+	for name, w := range want {
+		if got := rows[1][w[0]].Uint(); got != uint64(w[1]) {
+			t.Errorf("%s delta = %d, want %d", name, got, w[1])
+		}
+	}
+}
+
 func TestNodeSamplerCounterResetClampsToZero(t *testing.T) {
 	prov := &fakeProvider{}
 	s := NewNodeSampler(prov, 1_000_000)

@@ -65,16 +65,18 @@ func TestSysmonAlertQuery(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for m := range alerts.C {
-			if m.IsHeartbeat() {
-				continue
-			}
-			mu.Lock()
-			alertRows++
-			summed[m.Tuple[1].Str()] += m.Tuple[2].Uint()
-			mu.Unlock()
-			if !stopping.Load() {
-				preStop.Add(1)
+		for b := range alerts.C {
+			for _, m := range b {
+				if m.IsHeartbeat() {
+					continue
+				}
+				mu.Lock()
+				alertRows++
+				summed[m.Tuple[1].Str()] += m.Tuple[2].Uint()
+				mu.Unlock()
+				if !stopping.Load() {
+					preStop.Add(1)
+				}
 			}
 		}
 	}()
@@ -151,18 +153,20 @@ func TestSysmonRawStreams(t *testing.T) {
 	var lastTS uint64
 	var nodeRows int
 	sawQ := false
-	for m := range nodeSub.C {
-		if m.IsHeartbeat() {
-			continue
-		}
-		nodeRows++
-		if ts := m.Tuple[0].Uint(); ts < lastTS {
-			t.Errorf("NodeStats ts went backwards: %d after %d", ts, lastTS)
-		} else {
-			lastTS = ts
-		}
-		if m.Tuple[1].Str() == "q" {
-			sawQ = true
+	for b := range nodeSub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			nodeRows++
+			if ts := m.Tuple[0].Uint(); ts < lastTS {
+				t.Errorf("NodeStats ts went backwards: %d after %d", ts, lastTS)
+			} else {
+				lastTS = ts
+			}
+			if m.Tuple[1].Str() == "q" {
+				sawQ = true
+			}
 		}
 	}
 	if nodeRows == 0 || !sawQ {
@@ -171,13 +175,15 @@ func TestSysmonRawStreams(t *testing.T) {
 
 	var ifaceRows int
 	var packets uint64
-	for m := range ifaceSub.C {
-		if m.IsHeartbeat() {
-			continue
-		}
-		ifaceRows++
-		if m.Tuple[1].Str() == "eth0" {
-			packets = m.Tuple[11].Uint() // totalPackets
+	for b := range ifaceSub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			ifaceRows++
+			if m.Tuple[1].Str() == "eth0" {
+				packets = m.Tuple[11].Uint() // totalPackets
+			}
 		}
 	}
 	if ifaceRows == 0 {

@@ -18,6 +18,10 @@ type (
 	Tuple = schema.Tuple
 	// Message is a stream element: a tuple or a heartbeat punctuation.
 	Message = exec.Message
+	// Batch is an ordered run of messages delivered as one unit; it is
+	// what subscription channels carry. Treat received batches as
+	// read-only — the runtime shares one batch among all subscribers.
+	Batch = exec.Batch
 	// Packet is one captured frame.
 	Packet = pkt.Packet
 	// Subscription is a query handle returned by Subscribe.
