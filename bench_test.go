@@ -9,6 +9,7 @@ package gigascope
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -132,6 +133,7 @@ func BenchmarkE3_MergeHeartbeat(b *testing.B) {
 	b.ReportMetric(float64(rows[0].MaxBuffered), "buf-noHB")
 	b.ReportMetric(float64(rows[1].MaxBuffered), "buf-periodic")
 	b.ReportMetric(float64(rows[2].MaxBuffered), "buf-onDemand")
+	b.ReportMetric(float64(rows[3].Reordered), "reordered-bounded")
 }
 
 // BenchmarkE4_SplitVsMonolithic times the full LFTA→HFTA aggregation
@@ -202,6 +204,31 @@ func BenchmarkE5_DeploymentMix(b *testing.B) {
 	}
 	b.ReportMetric(row.PktsPerSecond, "rts-pkts/s")
 	b.ReportMetric(row.PaperPPS, "paper-pkts/s")
+}
+
+// BenchmarkE9_ShardScaling sweeps the RSS shard width over the E5 mix and
+// reports wall-clock packets/second per width plus the 4-shard speedup.
+// The timed loop is the steering cost itself (flow hash + partition),
+// which is the serialized portion the sharded path adds to capture.
+func BenchmarkE9_ShardScaling(b *testing.B) {
+	rows, err := experiments.E9(400_000, []int{1, 2, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := prePackets()
+	window := make([]*pkt.Packet, 256)
+	var shards [][]*pkt.Packet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range window {
+			window[j] = &pkts[(i*len(window)+j)%len(pkts)]
+		}
+		shards = nic.Steer(window, 4, shards)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.PktsPerSecond, fmt.Sprintf("pkts/s-%dshard", r.Shards))
+	}
+	b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-4shard")
 }
 
 // BenchmarkE6_OrderedJoin times the streaming window join per tuple pair

@@ -40,6 +40,7 @@ func main() {
 	httpFrac := flag.Float64("http", 0.6, "fraction of port-80 packets that are HTTP")
 	maxRows := flag.Int("n", 20, "max rows to print per stream (0 = all)")
 	monitor := flag.Bool("monitor", false, "self-monitor: run a GSQL alert query over SYSMON.NodeStats and print ring-shed alerts")
+	shards := flag.Int("shards", 0, "RSS-shard each interface's capture path across n workers (0 = inline)")
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "usage: gigascope -f queries.gsql [flags]")
@@ -51,7 +52,10 @@ func main() {
 		fatal(err)
 	}
 
-	sys, err := gigascope.New(gigascope.Config{SelfMonitor: *monitor})
+	// Rings sized to match the 8192-batch subscription buffers below: the
+	// inject loop is unpaced, so default-size rings shed under the burst
+	// (visibly so on the sharded path, where the workers drain async).
+	sys, err := gigascope.New(gigascope.Config{SelfMonitor: *monitor, Shards: *shards, RingSize: 8192})
 	if err != nil {
 		fatal(err)
 	}
@@ -69,9 +73,11 @@ func main() {
 		names = strings.Split(*watch, ",")
 	} else {
 		for _, n := range sys.Registry() {
-			// Internal streams: mangled LFTA halves, raw telemetry, and
-			// the monitor's own alert query (printed as ALERT lines).
+			// Internal streams: mangled LFTA halves, per-shard copies,
+			// raw telemetry, and the monitor's own alert query (printed
+			// as ALERT lines).
 			if strings.HasPrefix(n, "_lfta_") || strings.HasPrefix(n, "_sysmon_") ||
+				strings.Contains(n, "#shard") ||
 				strings.HasPrefix(strings.ToUpper(n), "SYSMON.") {
 				continue
 			}
@@ -179,6 +185,9 @@ func main() {
 		for _, is := range sys.IfaceStats() {
 			line := fmt.Sprintf("  %-8s lftas=%-3d packets=%-9d offered=%-9d heartbeats=%d",
 				is.Name, is.LFTAs, is.Packets, is.Offered, is.Heartbeats)
+			if is.Shards > 0 {
+				line += fmt.Sprintf(" shards=%d shard-packets=%v", is.Shards, is.ShardPackets)
+			}
 			if is.HasCapture {
 				line += fmt.Sprintf(" ring-drops=%d nic-overrun=%d livelocked=%v",
 					is.Capture.RingDrops, is.Capture.NICOverrun, is.Livelocked)

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E9) or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	flag.Parse()
 
@@ -87,6 +87,12 @@ func main() {
 		rows, err := experiments.E8(secs, []float64{60, 120, 240, 360, 450, 490, 550, 700, 900})
 		check(err)
 		experiments.PrintE8(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("E9") {
+		rows, err := experiments.E9(pkts*2, nil)
+		check(err)
+		experiments.PrintE9(os.Stdout, rows)
 		fmt.Println()
 	}
 }

@@ -68,6 +68,13 @@ type Config struct {
 	// ValidateOrdering enables runtime verification of imputed ordering
 	// properties; violations are counted in Stats (debugging mode).
 	ValidateOrdering bool
+	// Shards is the RSS shard count for the capture path (default 0 =
+	// single-core inline LFTA execution). For n > 1, each interface steers
+	// packets by flow hash across n shard workers, each running its own
+	// LFTA instances; shard outputs are reunified by an order-preserving
+	// merge under the original stream name, so queries, subscribers, and
+	// ordering guarantees are unchanged.
+	Shards int
 	// SelfMonitor attaches the sysmon samplers: system statistics are
 	// published as the SYSMON.NodeStats and SYSMON.IfaceStats streams,
 	// queryable with ordinary GSQL and subscribable like query outputs.
@@ -112,6 +119,7 @@ func New(cfg ...Config) (*System, error) {
 			InboxDepth:       c.InboxDepth,
 			HeartbeatUsec:    c.HeartbeatUsec,
 			ValidateOrdering: c.ValidateOrdering,
+			Shards:           c.Shards,
 		}),
 		plans: make(map[string]*core.CompiledQuery),
 	}

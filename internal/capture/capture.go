@@ -70,6 +70,14 @@ type Params struct {
 	NICPerPktUs    float64 // NIC processor cost per packet (NIC mode)
 	NICBacklogUs   float64 // max NIC backlog before input overrun
 
+	// SteerPerPktUs is the per-packet RSS steering cost (flow hash plus
+	// per-queue delivery bookkeeping) charged on the interrupt path when
+	// the host runs the LFTAs sharded across cores (SetShards > 1). It
+	// models the NIC/driver work of multi-queue receive; the LFTA
+	// evaluation itself then runs on the shard workers, off this
+	// simulated capture CPU.
+	SteerPerPktUs float64
+
 	RingPackets int // host ring capacity between interrupts and processing
 }
 
@@ -90,6 +98,8 @@ func DefaultParams() Params {
 		TupleDeliverUs: 4.0,
 		NICPerPktUs:    13.0,
 		NICBacklogUs:   1500,
+
+		SteerPerPktUs: 0.05,
 
 		RingPackets: 2048,
 	}
@@ -113,6 +123,7 @@ type Stats struct {
 	RingDrops   uint64 // lost: host ring full (livelock regime)
 	Delivered   uint64 // packets (or tuples) handed to processing
 	Matched     uint64 // tuples the LFTA passed to the HFTA
+	Steered     uint64 // packets charged RSS steering cost (SetShards > 1)
 	DiskBytes   uint64
 	DiskStalls  uint64
 }
@@ -142,6 +153,7 @@ type Stack struct {
 	qhead      int
 	nicBacklog float64
 	sinceStall int
+	shards     int // >1: RSS steering cost applies per packet
 
 	stats Stats
 }
@@ -166,6 +178,17 @@ func NewStack(mode Mode, par Params, pipe Pipeline, seed int64) (*Stack, error) 
 
 // Stats returns the accumulated statistics.
 func (st *Stack) Stats() Stats { return st.stats }
+
+// SetShards tells the stack the host runs its LFTAs sharded across n
+// cores: every arriving packet is then charged Params.SteerPerPktUs of
+// RSS steering work on the interrupt path. n <= 1 restores the
+// single-core model. Call before traffic starts.
+func (st *Stack) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	st.shards = n
+}
 
 // queueLen returns the live processing queue length.
 func (st *Stack) queueLen() int { return len(st.queue) - st.qhead }
@@ -225,6 +248,10 @@ func (st *Stack) Arrive(p *pkt.Packet) {
 	// Host path: the interrupt fires for every wire packet, whether or
 	// not it is subsequently dropped — this is what produces livelock.
 	st.intBacklog += st.par.InterruptUs
+	if st.shards > 1 {
+		st.intBacklog += st.par.SteerPerPktUs
+		st.stats.Steered++
+	}
 	if st.queueLen() >= st.par.RingPackets {
 		st.stats.RingDrops++
 		return

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// Shard reunification: when the RTS runs an LFTA sharded across capture
+// cores (RSS steering), each shard publishes its own copy of the LFTA's
+// output stream. Downstream HFTAs must observe one stream with the same
+// ordering guarantees the unsharded LFTA declared, so the shards feed an
+// order-preserving merge (paper §2.2) registered under the LFTA's
+// original name. A stream with no increasing attribute has no merge key;
+// it reunifies through an order-free fan-in instead, and its (absent)
+// ordering properties are preserved trivially.
+
+// MergeColumn picks the column that drives the reunifying merge: the
+// first strictly-increasing column if any (its values never collide
+// across shards, so the merged order is exactly the pre-shard arrival
+// order), else the first nondecreasing column. Returns -1 when the
+// schema declares no increasing attribute.
+func MergeColumn(out *schema.Schema) int {
+	fallback := -1
+	for i := range out.Cols {
+		ord := out.Cols[i].Ordering
+		if ord.Kind == schema.OrderStrictIncreasing {
+			return i
+		}
+		if fallback < 0 && ord.Increasing() {
+			fallback = i
+		}
+	}
+	return fallback
+}
+
+// ShardSchema imputes the reunified stream's ordering properties from the
+// per-shard schema. Interleaving shards preserves only the merge
+// attribute's monotonicity — weakened to nondecreasing, since equal
+// values on different shards merge in arbitrary order — and destroys
+// every other declared ordering (including in-group orderings: two
+// tuples of one group can ride different shards).
+func ShardSchema(out *schema.Schema) *schema.Schema {
+	re := out.Clone()
+	mc := MergeColumn(out)
+	for i := range re.Cols {
+		if i == mc {
+			re.Cols[i].Ordering = re.Cols[i].Ordering.Weaken()
+		} else {
+			re.Cols[i].Ordering = schema.NoOrder
+		}
+	}
+	return re
+}
+
+// NewShardReunify builds the operator that reunifies `shards` copies of a
+// sharded LFTA's output: an order-preserving merge on the schema's merge
+// column, or a fan-in when the stream declares no increasing attribute.
+// The operator's OutSchema carries the imputed post-shard orderings.
+func NewShardReunify(out *schema.Schema, shards int) (exec.Operator, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("core: shard reunify needs at least two shards, got %d", shards)
+	}
+	re := ShardSchema(out)
+	mc := MergeColumn(out)
+	if mc < 0 {
+		return exec.NewFanIn(shards, re)
+	}
+	cols := make([]int, shards)
+	for i := range cols {
+		cols[i] = mc
+	}
+	return exec.NewMerge(cols, re)
+}

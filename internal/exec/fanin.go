@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"fmt"
+
+	"gigascope/internal/schema"
+)
+
+// FanIn is the order-free N-way union: it forwards every input tuple
+// unchanged, in arrival order. It reunifies shard-parallel copies of a
+// stream that declares no usable ordering, where an order-preserving
+// Merge has no merge attribute to drive it — the output is the same
+// multiset of tuples with no ordering guarantee, matching the (absent)
+// declared properties.
+//
+// Heartbeats combine conservatively: a bound holds for the union only
+// once every live input has reported one, and then only the column-wise
+// minimum can be forwarded.
+type FanIn struct {
+	out   *schema.Schema
+	sides []fanInSide
+	stats Counters
+}
+
+type fanInSide struct {
+	bounds schema.Tuple
+	done   bool
+}
+
+// NewFanIn builds a fan-in over n inputs sharing the output schema.
+func NewFanIn(n int, out *schema.Schema) (*FanIn, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("exec: fan-in needs at least two inputs")
+	}
+	return &FanIn{out: out, sides: make([]fanInSide, n)}, nil
+}
+
+// Ports implements Operator.
+func (o *FanIn) Ports() int { return len(o.sides) }
+
+// OutSchema implements Operator.
+func (o *FanIn) OutSchema() *schema.Schema { return o.out }
+
+// Stats returns a snapshot of the operator counters.
+func (o *FanIn) Stats() OpStats { return o.stats.Snapshot() }
+
+// Push implements Operator.
+func (o *FanIn) Push(port int, m Message, emit Emit) error {
+	if port < 0 || port >= len(o.sides) {
+		return fmt.Errorf("exec: fan-in port %d out of range", port)
+	}
+	if m.IsHeartbeat() {
+		o.sides[port].bounds = m.Bounds
+		o.emitHeartbeat(emit)
+		return nil
+	}
+	o.stats.In.Add(1)
+	o.stats.Out.Add(1)
+	emit(m)
+	return nil
+}
+
+// emitHeartbeat forwards the column-wise minimum bound once every live
+// input has reported one.
+func (o *FanIn) emitHeartbeat(emit Emit) {
+	var min schema.Tuple
+	for i := range o.sides {
+		s := &o.sides[i]
+		if s.done {
+			continue
+		}
+		if s.bounds == nil {
+			return
+		}
+		if min == nil {
+			min = s.bounds.Clone()
+			continue
+		}
+		for c := range min {
+			if c >= len(s.bounds) {
+				min[c] = schema.Null
+				continue
+			}
+			v := s.bounds[c]
+			if v.IsNull() {
+				min[c] = schema.Null
+			} else if !min[c].IsNull() && v.Compare(min[c]) < 0 {
+				min[c] = v
+			}
+		}
+	}
+	if min != nil {
+		emit(HeartbeatMsg(min))
+	}
+}
+
+// PortDone marks an input as ended; its stale bounds no longer hold the
+// combined heartbeat down.
+func (o *FanIn) PortDone(port int, emit Emit) {
+	if port >= 0 && port < len(o.sides) {
+		o.sides[port].done = true
+	}
+}
+
+// FlushAll implements Operator: fan-in buffers nothing.
+func (o *FanIn) FlushAll(emit Emit) error { return nil }

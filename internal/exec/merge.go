@@ -27,7 +27,8 @@ type Merge struct {
 	stats     Counters
 	// MaxBuffer bounds each input queue; 0 means unbounded. On overflow
 	// the oldest buffered tuple is emitted out of order rather than lost
-	// (overload degradation), counted in Stats().Dropped.
+	// (overload degradation), counted in Stats().Reordered. Dropped counts
+	// only tuples that are actually discarded (NULL merge attribute).
 	MaxBuffer int
 }
 
@@ -98,8 +99,9 @@ func (o *Merge) Push(port int, m Message, emit Emit) error {
 	o.raiseWM(s, v)
 	if o.MaxBuffer > 0 && len(s.queue)-s.start >= o.MaxBuffer {
 		// Overflow: emit the oldest buffered tuple immediately. The output
-		// ordering property degrades; we count it as a disorder event.
-		o.stats.Dropped.Add(1)
+		// ordering property degrades but the tuple is not lost; count it as
+		// a disorder event, not a drop.
+		o.stats.Reordered.Add(1)
 		o.emitFront(s, emit)
 	}
 	s.queue = append(s.queue, m.Tuple.Clone())

@@ -415,11 +415,20 @@ func TestMergeMaxBufferDegradesGracefully(t *testing.T) {
 	if m.Buffered(0) > 5 {
 		t.Errorf("buffer grew to %d despite MaxBuffer", m.Buffered(0))
 	}
-	if m.Stats().Dropped == 0 {
+	if m.Stats().Reordered == 0 {
 		t.Error("no disorder events counted")
+	}
+	if d := m.Stats().Dropped; d != 0 {
+		t.Errorf("Dropped = %d for tuples that were emitted, not lost", d)
 	}
 	if len(tuplesOf(out)) != 15 {
 		t.Errorf("emitted %d", len(tuplesOf(out)))
+	}
+	// Overflow emissions plus regular drain must conserve every input
+	// tuple once the stream flushes: nothing is lost, only reordered.
+	m.FlushAll(emit)
+	if got := len(tuplesOf(out)); got != 20 {
+		t.Errorf("total emitted after flush = %d, want all 20 inputs", got)
 	}
 }
 

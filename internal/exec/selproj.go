@@ -30,6 +30,11 @@ type OpStats struct {
 	Out     uint64 // tuples produced
 	Dropped uint64 // tuples discarded by predicates/partial functions
 	Evicted uint64 // LFTA aggregation collision evictions
+	// Reordered counts tuples emitted out of declared order to bound
+	// buffering under overload (merge MaxBuffer overflow). These tuples
+	// are NOT lost — counting them as drops would make SYSMON report
+	// tuple loss that never happened.
+	Reordered uint64
 }
 
 // Counters holds the live operator counters. Increments happen on the
@@ -37,19 +42,21 @@ type OpStats struct {
 // monitoring — including the sysmon sampler — snapshots them from other
 // goroutines, so each field is atomic.
 type Counters struct {
-	In      atomic.Uint64
-	Out     atomic.Uint64
-	Dropped atomic.Uint64
-	Evicted atomic.Uint64
+	In        atomic.Uint64
+	Out       atomic.Uint64
+	Dropped   atomic.Uint64
+	Evicted   atomic.Uint64
+	Reordered atomic.Uint64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy for monitoring.
 func (c *Counters) Snapshot() OpStats {
 	return OpStats{
-		In:      c.In.Load(),
-		Out:     c.Out.Load(),
-		Dropped: c.Dropped.Load(),
-		Evicted: c.Evicted.Load(),
+		In:        c.In.Load(),
+		Out:       c.Out.Load(),
+		Dropped:   c.Dropped.Load(),
+		Evicted:   c.Evicted.Load(),
+		Reordered: c.Reordered.Load(),
 	}
 }
 

@@ -25,6 +25,11 @@ const (
 	E3None E3Policy = iota
 	E3Periodic
 	E3OnDemand
+	// E3Bounded runs without heartbeats but with a bounded merge buffer:
+	// overflow emits the oldest tuple out of order instead of growing the
+	// queue (or losing the tuple). The disorder shows up in the Reordered
+	// counter; Dropped stays zero — nothing is lost, only order degrades.
+	E3Bounded
 )
 
 func (p E3Policy) String() string {
@@ -35,17 +40,24 @@ func (p E3Policy) String() string {
 		return "periodic heartbeats"
 	case E3OnDemand:
 		return "on-demand heartbeats"
+	case E3Bounded:
+		return "bounded buffer, no HB"
 	}
 	return "?"
 }
+
+// e3BoundedBuffer is the merge MaxBuffer used by the E3Bounded policy.
+const e3BoundedBuffer = 1024
 
 // E3Row is one policy's outcome.
 type E3Row struct {
 	Policy      E3Policy
 	FastTuples  int
-	Released    int // tuples emitted before end-of-stream flush
-	MaxBuffered int // merge buffer high-water mark
-	Heartbeats  int // heartbeats injected on the slow input
+	Released    int    // tuples emitted before end-of-stream flush
+	MaxBuffered int    // merge buffer high-water mark
+	Heartbeats  int    // heartbeats injected on the slow input
+	Reordered   uint64 // tuples emitted out of order to bound the buffer
+	Dropped     uint64 // tuples actually lost (must stay 0: degradation ≠ loss)
 }
 
 // E3 feeds fastTuples tuples (1 per virtual ms) on port 0 while port 1
@@ -53,7 +65,7 @@ type E3Row struct {
 // interval for E3Periodic.
 func E3(fastTuples int, periodicUsec uint64) ([]E3Row, error) {
 	var rows []E3Row
-	for _, policy := range []E3Policy{E3None, E3Periodic, E3OnDemand} {
+	for _, policy := range []E3Policy{E3None, E3Periodic, E3OnDemand, E3Bounded} {
 		row, err := e3Run(policy, fastTuples, periodicUsec)
 		if err != nil {
 			return nil, err
@@ -71,6 +83,9 @@ func e3Run(policy E3Policy, fastTuples int, periodicUsec uint64) (E3Row, error) 
 	m, err := exec.NewMerge([]int{0, 0}, out)
 	if err != nil {
 		return E3Row{}, err
+	}
+	if policy == E3Bounded {
+		m.MaxBuffer = e3BoundedBuffer
 	}
 	row := E3Row{Policy: policy, FastTuples: fastTuples}
 	maxBuf := 0
@@ -113,16 +128,19 @@ func e3Run(policy E3Policy, fastTuples int, periodicUsec uint64) (E3Row, error) 
 	}
 	row.Released = released
 	row.MaxBuffered = maxBuf
+	st := m.Stats()
+	row.Reordered = st.Reordered
+	row.Dropped = st.Dropped
 	return row, nil
 }
 
 // PrintE3 renders the comparison.
 func PrintE3(w io.Writer, rows []E3Row) {
 	fmt.Fprintln(w, "E3: merge with a silent input — heartbeat unblocking (§3)")
-	fmt.Fprintf(w, "  %-22s %10s %10s %12s %12s\n",
-		"policy", "fast in", "released", "max buffered", "heartbeats")
+	fmt.Fprintf(w, "  %-22s %10s %10s %12s %12s %10s %8s\n",
+		"policy", "fast in", "released", "max buffered", "heartbeats", "reordered", "dropped")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-22s %10d %10d %12d %12d\n",
-			r.Policy, r.FastTuples, r.Released, r.MaxBuffered, r.Heartbeats)
+		fmt.Fprintf(w, "  %-22s %10d %10d %12d %12d %10d %8d\n",
+			r.Policy, r.FastTuples, r.Released, r.MaxBuffered, r.Heartbeats, r.Reordered, r.Dropped)
 	}
 }

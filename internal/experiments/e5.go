@@ -45,6 +45,22 @@ var E5Queries = []string{
 	 SELECT tb, count(*) as pkts FROM e5_web GROUP BY time/60 as tb`,
 }
 
+// e5Generator builds one link's traffic source for the deployment mix:
+// 800 Mbit/s of 800-byte TCP across 8192 flows, 70% of the web class
+// carrying HTTP payloads. Shared with the E9 shard sweep so both
+// experiments measure the same workload.
+func e5Generator(seed int64) (*netsim.Generator, error) {
+	return netsim.New(netsim.Config{
+		Seed: seed,
+		Classes: []netsim.Class{
+			{Name: "web", RateMbps: 400, PktBytes: 800, DstPort: 80,
+				Proto: pkt.ProtoTCP, Payload: netsim.PayloadHTTP, HTTPFraction: 0.7, Flows: 4096},
+			{Name: "other", RateMbps: 400, PktBytes: 800, DstPort: 443,
+				Proto: pkt.ProtoTCP, Flows: 4096},
+		},
+	})
+}
+
 // E5Row is the outcome.
 type E5Row struct {
 	Queries       int
@@ -94,22 +110,11 @@ func E5(packets int) (E5Row, error) {
 		return E5Row{}, err
 	}
 
-	mkGen := func(seed int64) (*netsim.Generator, error) {
-		return netsim.New(netsim.Config{
-			Seed: seed,
-			Classes: []netsim.Class{
-				{Name: "web", RateMbps: 400, PktBytes: 800, DstPort: 80,
-					Proto: pkt.ProtoTCP, Payload: netsim.PayloadHTTP, HTTPFraction: 0.7, Flows: 4096},
-				{Name: "other", RateMbps: 400, PktBytes: 800, DstPort: 443,
-					Proto: pkt.ProtoTCP, Flows: 4096},
-			},
-		})
-	}
-	g0, err := mkGen(31)
+	g0, err := e5Generator(31)
 	if err != nil {
 		return E5Row{}, err
 	}
-	g1, err := mkGen(32)
+	g1, err := e5Generator(32)
 	if err != nil {
 		return E5Row{}, err
 	}

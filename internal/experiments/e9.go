@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gigascope/internal/pkt"
+	"gigascope/internal/rts"
+)
+
+// E9: RSS shard scaling. The paper ran one capture thread per interface on
+// a dual-CPU host (§5); modern NICs hash each packet's flow tuple and
+// steer it to one of N receive queues, one core each. E9 runs the E5
+// deployment mix with the capture path sharded at increasing widths and
+// measures wall-clock throughput, demonstrating that per-shard LFTA
+// instances (shard-local aggregate tables, no shared lock on the hot
+// path) scale the capture side across cores while the reunifying merge
+// keeps downstream ordering intact.
+//
+// Unlike E5, the clock stops after Stop(): sharded execution is
+// asynchronous, so queued shard work must drain before the comparison is
+// fair to the single-core inline path.
+
+// E9Row is one shard count's measurement.
+type E9Row struct {
+	Shards        int // 1 = unsharded inline execution
+	Packets       uint64
+	WallSeconds   float64
+	PktsPerSecond float64
+	Speedup       float64 // vs the Shards=1 row
+}
+
+// E9 sweeps the shard counts over the E5 mix with `packets` packets per
+// run.
+func E9(packets int, shardCounts []int) ([]E9Row, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	rows := make([]E9Row, 0, len(shardCounts))
+	base := 0.0
+	for _, s := range shardCounts {
+		r, err := e9Run(packets, s)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = r.PktsPerSecond
+		}
+		r.Speedup = r.PktsPerSecond / base
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// e9Run pushes the E5 workload through the runtime at one shard width,
+// measuring from first inject to full drain (Stop).
+func e9Run(packets, shards int) (E9Row, error) {
+	cat, err := newCatalog()
+	if err != nil {
+		return E9Row{}, err
+	}
+	cfg := rts.Config{RingSize: 8192}
+	if shards > 1 {
+		cfg.Shards = shards
+	}
+	mgr := rts.NewManager(cat, cfg)
+	for _, q := range E5Queries {
+		cq, err := compileQuery(cat, q, nil)
+		if err != nil {
+			return E9Row{}, err
+		}
+		if err := mgr.AddQuery(cq, nil); err != nil {
+			return E9Row{}, err
+		}
+	}
+	var subs []*rts.Subscription
+	for _, name := range []string{"e5_port_rate", "e5_talkers", "e5_web_rate"} {
+		sub, err := mgr.Subscribe(name, 8192)
+		if err != nil {
+			return E9Row{}, err
+		}
+		subs = append(subs, sub)
+	}
+	done := make(chan uint64, len(subs))
+	for _, sub := range subs {
+		go func(s *rts.Subscription) {
+			var n uint64
+			for b := range s.C {
+				n += uint64(b.Tuples())
+			}
+			done <- n
+		}(sub)
+	}
+	if err := mgr.Start(); err != nil {
+		return E9Row{}, err
+	}
+
+	g0, err := e5Generator(31)
+	if err != nil {
+		return E9Row{}, err
+	}
+	g1, err := e5Generator(32)
+	if err != nil {
+		return E9Row{}, err
+	}
+	const pollWindow = 256
+	half := packets / 2
+	p0 := make([]pkt.Packet, half)
+	p1 := make([]pkt.Packet, half)
+	for i := 0; i < half; i++ {
+		p0[i], _ = g0.Next()
+		p1[i], _ = g1.Next()
+	}
+	w0 := make([]*pkt.Packet, 0, pollWindow)
+	w1 := make([]*pkt.Packet, 0, pollWindow)
+
+	start := time.Now()
+	for i := 0; i < half; i++ {
+		w0 = append(w0, &p0[i])
+		w1 = append(w1, &p1[i])
+		if len(w0) == pollWindow || i == half-1 {
+			mgr.InjectBatch("eth0", w0)
+			mgr.InjectBatch("eth1", w1)
+			w0 = w0[:0]
+			w1 = w1[:0]
+		}
+	}
+	mgr.Stop()
+	elapsed := time.Since(start).Seconds()
+	var results uint64
+	for range subs {
+		results += <-done
+	}
+	if results == 0 {
+		return E9Row{}, fmt.Errorf("experiments: E9 (shards=%d) produced no aggregate results", shards)
+	}
+	total := uint64(2 * half)
+	return E9Row{
+		Shards:        shards,
+		Packets:       total,
+		WallSeconds:   elapsed,
+		PktsPerSecond: float64(total) / elapsed,
+	}, nil
+}
+
+// PrintE9 renders the sweep.
+func PrintE9(w io.Writer, rows []E9Row) {
+	fmt.Fprintln(w, "E9: RSS shard scaling — E5 deployment mix, capture path sharded across cores")
+	fmt.Fprintf(w, "  %-7s %12s %9s %14s %8s\n", "shards", "packets", "wall", "pkts/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-7d %12d %8.2fs %14.0f %7.2fx\n",
+			r.Shards, r.Packets, r.WallSeconds, r.PktsPerSecond, r.Speedup)
+	}
+}

@@ -1,0 +1,105 @@
+package nic
+
+import (
+	"gigascope/internal/pkt"
+)
+
+// Receive-side scaling (RSS): modern NICs hash each packet's flow tuple
+// and steer it to one of N host receive queues, so each core runs the
+// protocol stack (for Gigascope: the LFTA set) over a disjoint slice of
+// the traffic. This is the multicore analogue of the paper's §5 move —
+// "put the LFTAs on the NIC" — with the NIC's contribution reduced to
+// the flow hash and the per-queue delivery.
+//
+// The hash covers src/dst IPv4 address, protocol, and (for unfragmented
+// TCP/UDP) the port pair, so every packet of a flow lands on the same
+// shard and per-flow ordering survives sharding. Fragments hash on the
+// 3-tuple only — all fragments of a datagram, including the first, take
+// the same shard. Non-IP traffic steers to shard 0.
+
+const etherTypeIPv4 = 0x0800
+
+// FlowHash returns the RSS hash of the packet's flow tuple. ok reports
+// whether the packet carried a hashable IPv4 header; non-IP packets
+// return (0, false) and are steered to shard 0.
+func FlowHash(p *pkt.Packet) (uint32, bool) {
+	et, ok := p.U16(12)
+	if !ok || et != etherTypeIPv4 {
+		return 0, false
+	}
+	ver, ok := p.U8(pkt.EthHeaderLen)
+	if !ok || ver>>4 != 4 {
+		return 0, false
+	}
+	src, ok := p.U32(pkt.EthHeaderLen + 12)
+	if !ok {
+		return 0, false
+	}
+	dst, ok := p.U32(pkt.EthHeaderLen + 16)
+	if !ok {
+		return 0, false
+	}
+	proto, _ := p.IPProto()
+
+	// FNV-1a over the flow tuple.
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	mix := func(v uint32) {
+		for shift := 24; shift >= 0; shift -= 8 {
+			h ^= (v >> uint(shift)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint32(src))
+	mix(uint32(dst))
+	h ^= uint32(proto & 0xff)
+	h *= prime
+
+	// Ports participate only for unfragmented TCP/UDP: later fragments
+	// carry no transport header, so hashing the first fragment's ports
+	// would scatter a datagram across shards.
+	if frag, ok := p.U16(pkt.EthHeaderLen + 6); ok && frag&0x3fff == 0 &&
+		(proto == pkt.ProtoTCP || proto == pkt.ProtoUDP) {
+		if base, ok := p.L4Offset(); ok {
+			if sport, ok := p.U16(base); ok {
+				if dport, ok := p.U16(base + 2); ok {
+					mix(uint32(sport)<<16 | uint32(dport))
+				}
+			}
+		}
+	}
+	return h, true
+}
+
+// Shard returns the shard index FlowHash steers the packet to, out of n.
+func Shard(p *pkt.Packet, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h, ok := FlowHash(p)
+	if !ok {
+		return 0
+	}
+	return int(h % uint32(n))
+}
+
+// Steer partitions one poll window across n shards, preserving arrival
+// order within each shard. The out slices are reused when non-nil (each
+// is truncated first); Steer returns out extended to n slices.
+func Steer(ps []*pkt.Packet, n int, out [][]*pkt.Packet) [][]*pkt.Packet {
+	for len(out) < n {
+		out = append(out, nil)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = out[i][:0]
+	}
+	for _, p := range ps {
+		s := Shard(p, n)
+		out[s] = append(out[s], p)
+	}
+	return out
+}

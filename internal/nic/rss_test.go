@@ -1,0 +1,124 @@
+package nic
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gigascope/internal/pkt"
+)
+
+func flowPkt(srcIP, dstIP uint32, srcPort, dstPort uint16) pkt.Packet {
+	return pkt.BuildTCP(1_000_000, pkt.TCPSpec{
+		SrcIP: srcIP, DstIP: dstIP,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: []byte("x"),
+	})
+}
+
+// setFrag overwrites the IPv4 flags/fragment-offset field (offset in
+// 8-byte units, mf sets the more-fragments bit).
+func setFrag(p *pkt.Packet, offset uint16, mf bool) {
+	v := offset & 0x1fff
+	if mf {
+		v |= 0x2000
+	}
+	binary.BigEndian.PutUint16(p.Data[pkt.EthHeaderLen+6:], v)
+}
+
+func TestFlowHashStableAndPortSensitive(t *testing.T) {
+	a := flowPkt(0x0a000001, 0x0a000002, 1234, 80)
+	b := flowPkt(0x0a000001, 0x0a000002, 1234, 80)
+	ha, ok := FlowHash(&a)
+	if !ok {
+		t.Fatal("IPv4 TCP packet must be hashable")
+	}
+	hb, _ := FlowHash(&b)
+	if ha != hb {
+		t.Fatalf("same flow hashed differently: %#x vs %#x", ha, hb)
+	}
+	c := flowPkt(0x0a000001, 0x0a000002, 1234, 443)
+	if hc, _ := FlowHash(&c); hc == ha {
+		t.Fatalf("different dst port produced the same hash %#x (ports must participate)", hc)
+	}
+	d := flowPkt(0x0a000009, 0x0a000002, 1234, 80)
+	if hd, _ := FlowHash(&d); hd == ha {
+		t.Fatalf("different src IP produced the same hash %#x", hd)
+	}
+}
+
+func TestFlowHashNonIPSteersToShardZero(t *testing.T) {
+	p := flowPkt(1, 2, 3, 4)
+	binary.BigEndian.PutUint16(p.Data[12:], 0x0806) // ARP
+	if _, ok := FlowHash(&p); ok {
+		t.Fatal("non-IP packet reported hashable")
+	}
+	if s := Shard(&p, 8); s != 0 {
+		t.Fatalf("non-IP packet steered to shard %d, want 0", s)
+	}
+}
+
+// TestFlowHashFragmentsStayTogether checks that every fragment of a
+// datagram — including the first, which still carries the transport
+// header — hashes on the 3-tuple only, so the whole datagram rides one
+// shard and can be reassembled there.
+func TestFlowHashFragmentsStayTogether(t *testing.T) {
+	first := flowPkt(0x0a000001, 0x0a000002, 1234, 80)
+	setFrag(&first, 0, true)
+	later := flowPkt(0x0a000001, 0x0a000002, 0xdead, 0xbeef) // garbage "ports": fragment payload
+	setFrag(&later, 3, false)
+	hf, ok := FlowHash(&first)
+	if !ok {
+		t.Fatal("fragment not hashable")
+	}
+	hl, _ := FlowHash(&later)
+	if hf != hl {
+		t.Fatalf("fragments of one datagram hashed apart: %#x vs %#x", hf, hl)
+	}
+	// An unfragmented packet of the same 5-tuple as `first` must differ
+	// (ports mix in) — otherwise ports never participate at all.
+	whole := flowPkt(0x0a000001, 0x0a000002, 1234, 80)
+	if hw, _ := FlowHash(&whole); hw == hf {
+		t.Fatalf("unfragmented packet hashed like the fragment %#x (ports not mixed)", hw)
+	}
+}
+
+func TestSteerPartitionsPreservingOrder(t *testing.T) {
+	const n = 4
+	var ps []*pkt.Packet
+	for i := 0; i < 200; i++ {
+		p := flowPkt(0x0a000000+uint32(i%17), 0x0a010000, uint16(1000+i%7), 80)
+		p.TS = uint64(i) // arrival order marker
+		ps = append(ps, &p)
+	}
+	out := Steer(ps, n, nil)
+	if len(out) != n {
+		t.Fatalf("got %d shards, want %d", len(out), n)
+	}
+	total := 0
+	for s, shard := range out {
+		prev := -1
+		for _, p := range shard {
+			if got := Shard(p, n); got != s {
+				t.Fatalf("packet on shard %d but Shard() = %d", s, got)
+			}
+			if int(p.TS) <= prev {
+				t.Fatalf("shard %d order broken: ts %d after %d", s, p.TS, prev)
+			}
+			prev = int(p.TS)
+			total++
+		}
+	}
+	if total != len(ps) {
+		t.Fatalf("steered %d packets, offered %d", total, len(ps))
+	}
+	// Reuse path: the returned buffers must be reusable without leaking
+	// packets between calls.
+	out2 := Steer(ps[:50], n, out)
+	total = 0
+	for _, shard := range out2 {
+		total += len(shard)
+	}
+	if total != 50 {
+		t.Fatalf("reused Steer buffers carried %d packets, want 50", total)
+	}
+}

@@ -8,6 +8,7 @@ package pkt
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Layout constants for Ethernet II / IPv4 framing. The traffic synthesizer
@@ -217,14 +218,15 @@ func buildEth(data []byte, srcIP, dstIP uint32) {
 	binary.BigEndian.PutUint16(data[12:], EtherTypeIPv4)
 }
 
-var ipIDCounter uint32
+// ipIDCounter is atomic: traffic generators build packets from many
+// goroutines at once.
+var ipIDCounter atomic.Uint32
 
 func buildIPv4(data []byte, totalLen int, proto, ttl uint8, src, dst uint32) {
 	ip := data[ipOff:]
 	ip[0] = 0x45 // version 4, IHL 5
 	binary.BigEndian.PutUint16(ip[2:], uint16(totalLen))
-	ipIDCounter++
-	binary.BigEndian.PutUint16(ip[4:], uint16(ipIDCounter))
+	binary.BigEndian.PutUint16(ip[4:], uint16(ipIDCounter.Add(1)))
 	if ttl == 0 {
 		ttl = 64
 	}

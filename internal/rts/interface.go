@@ -26,7 +26,9 @@ type Interface struct {
 
 	mu           sync.Mutex
 	lftas        []*queryNode
-	clock        uint64 // virtual time, microseconds
+	shards       []*ifaceShard // non-nil: RSS-sharded capture path
+	closed       bool          // shutdown ran: shard work channels are closed
+	clock        uint64        // virtual time, microseconds
 	lastHB       uint64
 	offered      uint64 // packets offered, including capture losses
 	packets      uint64 // packets delivered to the LFTAs
@@ -46,10 +48,44 @@ func (it *Interface) attach(qn *queryNode) {
 	it.lftas = append(it.lftas, qn)
 }
 
-// LFTACount returns the number of LFTAs linked to this interface.
+// ensureShards turns the interface's capture path into n RSS shards, each
+// with a worker goroutine; idempotent once created. Called by the manager
+// (before Start, with the LFTA set still mutable) when it attaches the
+// first sharded LFTA.
+func (it *Interface) ensureShards(n int) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.shards != nil || n < 2 {
+		return
+	}
+	it.shards = make([]*ifaceShard, n)
+	for i := range it.shards {
+		it.shards[i] = newIfaceShard(i)
+	}
+	if it.capStack != nil {
+		it.capStack.SetShards(n)
+	}
+}
+
+// attachShard links one shard-local LFTA instance to shard i.
+func (it *Interface) attachShard(i int, qn *queryNode) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.shards[i].lftas = append(it.shards[i].lftas, qn)
+}
+
+// LFTACount returns the number of LFTAs linked to this interface (each
+// sharded LFTA counts once, not once per shard).
 func (it *Interface) LFTACount() int {
 	it.mu.Lock()
 	defer it.mu.Unlock()
+	return it.lftaCountLocked()
+}
+
+func (it *Interface) lftaCountLocked() int {
+	if len(it.shards) > 0 {
+		return len(it.shards[0].lftas)
+	}
 	return len(it.lftas)
 }
 
@@ -61,6 +97,9 @@ func (it *Interface) BindCapture(st *capture.Stack) {
 	it.mu.Lock()
 	defer it.mu.Unlock()
 	it.capStack = st
+	if len(it.shards) > 1 {
+		st.SetShards(len(it.shards))
+	}
 }
 
 // BindNIC routes injected packets through a virtual NIC device: packets
@@ -89,6 +128,11 @@ func (it *Interface) Inject(p *pkt.Packet) {
 // crosses its rings as one batch at the window end. This is the batched
 // capture entry point — one ring crossing per window instead of one per
 // packet.
+//
+// On a sharded interface (Config.Shards > 1) the survivors are instead
+// steered by flow hash across the shard workers and processed
+// asynchronously: InjectBatch returns once the window is enqueued, and
+// the caller must not mutate the packets afterwards.
 func (it *Interface) InjectBatch(ps []*pkt.Packet) {
 	if len(ps) == 0 {
 		return
@@ -115,6 +159,25 @@ func (it *Interface) InjectBatch(ps []*pkt.Packet) {
 		kept = it.capStack.ArriveBatch(kept, make([]*pkt.Packet, 0, len(kept)))
 	}
 	it.packets += uint64(len(kept))
+	if len(it.shards) > 0 {
+		if it.closed {
+			it.mu.Unlock()
+			return
+		}
+		// Enqueue under the lock: per shard, windows land in clock order
+		// and no later heartbeat can overtake them. A full work channel
+		// blocks (backpressure on the capture path); the workers never
+		// take this lock and their publishers shed, so they always drain.
+		windows := nic.Steer(kept, len(it.shards), nil)
+		for i, sh := range it.shards {
+			if len(windows[i]) > 0 {
+				sh.work <- shardWork{window: windows[i]}
+			}
+		}
+		it.mu.Unlock()
+		it.maybeHeartbeat(false)
+		return
+	}
 	it.mu.Unlock()
 	for _, qn := range lftas {
 		qn.pushPackets(kept)
@@ -145,7 +208,12 @@ func (it *Interface) maybeHeartbeat(forced bool) {
 	clock := it.clock
 	due := clock >= it.lastHB+it.hbEvery
 	if forced || it.hbAsked.Load() {
-		due = clock > it.lastHB || forced
+		// A bound equal to the last one carries no new ordering
+		// information (and no tuple outlives a poll window unflushed), so
+		// even a forced request waits for the clock to advance — a merge
+		// re-requesting every blocked tuple would otherwise flood the
+		// stream with duplicate heartbeats, defeating batching.
+		due = clock > it.lastHB
 	}
 	if !due || clock == 0 {
 		it.mu.Unlock()
@@ -153,6 +221,24 @@ func (it *Interface) maybeHeartbeat(forced bool) {
 	}
 	it.lastHB = clock
 	it.heartbeats++
+	if len(it.shards) > 0 {
+		if it.closed {
+			// Shutdown already flushed the shards; the reunifying merge's
+			// final drain may still request bounds — nothing to send.
+			it.mu.Unlock()
+			return
+		}
+		// Enqueue to every shard under the lock: the clock only advances
+		// under it, so the bound is enqueued after every window that
+		// raised the clock to it — per shard, heartbeats never overtake
+		// the tuples they bound.
+		for _, sh := range it.shards {
+			sh.work <- shardWork{hb: clock}
+		}
+		it.mu.Unlock()
+		it.hbAsked.Store(false)
+		return
+	}
 	lftas := it.lftas
 	it.mu.Unlock()
 	it.hbAsked.Store(false)
@@ -168,10 +254,14 @@ func (it *Interface) stats() IfaceStats {
 	s := IfaceStats{
 		Name:       it.name,
 		Clock:      it.clock,
-		LFTAs:      len(it.lftas),
+		LFTAs:      it.lftaCountLocked(),
+		Shards:     len(it.shards),
 		Packets:    it.packets,
 		Offered:    it.offered,
 		Heartbeats: it.heartbeats,
+	}
+	for _, sh := range it.shards {
+		s.ShardPackets = append(s.ShardPackets, sh.packets.Load())
 	}
 	if it.capStack != nil {
 		s.HasCapture = true
@@ -186,12 +276,27 @@ func (it *Interface) stats() IfaceStats {
 	return s
 }
 
-// shutdown flushes and closes every attached LFTA.
+// shutdown flushes and closes every attached LFTA. On a sharded
+// interface it closes the work channels and joins the workers, which
+// flush their shard-local LFTA instances on exit — so by the time
+// shutdown returns, all queued windows have been processed and every
+// LFTA-side counter is final.
 func (it *Interface) shutdown() {
 	it.shutdownOnce.Do(func() {
 		it.mu.Lock()
 		lftas := it.lftas
+		shards := it.shards
+		it.closed = true
 		it.mu.Unlock()
+		if len(shards) > 0 {
+			for _, sh := range shards {
+				close(sh.work)
+			}
+			for _, sh := range shards {
+				<-sh.done
+			}
+			return
+		}
 		for _, qn := range lftas {
 			qn.flushInline()
 		}

@@ -62,6 +62,16 @@ type Config struct {
 	// declared orderings and violations are counted in NodeStats. A
 	// debugging mode; it costs a comparison per ordered column per tuple.
 	ValidateOrdering bool
+	// Shards is the number of RSS capture shards per interface. 0 or 1
+	// runs LFTAs inline on the capture path (the single-core model). For
+	// n > 1, every poll window is steered by flow hash across n shard
+	// workers, each running its own instance of every LFTA over its slice
+	// of the traffic; the shard outputs are reunified by an
+	// order-preserving merge registered under the LFTA's original name,
+	// so downstream HFTAs observe unchanged ordering guarantees. The
+	// per-shard streams are also registered (mangled "name#shard<i>") and
+	// subscribable like any other stream.
+	Shards int
 }
 
 func (c Config) ringSize() int {
@@ -90,6 +100,20 @@ func (c Config) hbUsec() uint64 {
 		return 1_000_000
 	}
 	return c.HeartbeatUsec
+}
+
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// shardName mangles the per-shard instance name of a sharded LFTA. The
+// '#' cannot appear in a GSQL identifier, so shard streams never collide
+// with query names.
+func shardName(name string, i int) string {
+	return fmt.Sprintf("%s#shard%d", name, i)
 }
 
 // Manager is the stream manager and registry.
@@ -167,6 +191,15 @@ func (m *Manager) AddQuery(cq *core.CompiledQuery, params map[string]schema.Valu
 		if _, dup := m.nodes[key]; dup {
 			rollback()
 			return fmt.Errorf("rts: query node %s already registered", n.Name)
+		}
+		if n.Level == core.LevelLFTA && m.cfg.shards() > 1 {
+			shardNodes, err := m.addShardedLFTA(n, params)
+			added = append(added, shardNodes...)
+			if err != nil {
+				rollback()
+				return err
+			}
+			continue
 		}
 		inst, err := n.Instantiate(params)
 		if err != nil {
@@ -270,6 +303,84 @@ func (m *Manager) AddUserNode(name string, op exec.Operator, inputs []string) er
 		qn.start()
 	}
 	return nil
+}
+
+// addShardedLFTA registers one LFTA as Config.Shards per-shard instances
+// plus a reunifying node (called with m.mu held, before Start). Each shard
+// instance has its own operator state — shard-local aggregate tables merge
+// downstream at epoch close instead of contending on one table — and its
+// own shedding publisher, registered under a mangled "name#shard<i>". The
+// reunifying node runs as an HFTA task under the LFTA's original name, so
+// downstream wiring and subscribers are oblivious to the sharding; its
+// publisher keeps LFTA shed semantics (§4 drop placement: this stream IS
+// the LFTA's output). On error the returned nodes are the partial
+// registrations for the caller's rollback.
+func (m *Manager) addShardedLFTA(n *core.Node, params map[string]schema.Value) ([]*queryNode, error) {
+	s := m.cfg.shards()
+	for i := 0; i < s; i++ {
+		if _, dup := m.nodes[strings.ToLower(shardName(n.Name, i))]; dup {
+			return nil, fmt.Errorf("rts: query node %s already registered", shardName(n.Name, i))
+		}
+	}
+	reOp, err := core.NewShardReunify(n.Out, s)
+	if err != nil {
+		return nil, err
+	}
+	// Instantiate all shard copies before registering anything, so a
+	// parameter-binding failure leaves no partial state.
+	insts := make([]*core.Instance, s)
+	for i := range insts {
+		if insts[i], err = n.Instantiate(params); err != nil {
+			return nil, err
+		}
+	}
+	iface := m.ifaceLocked(ifaceName(n))
+	iface.ensureShards(s)
+	re := &queryNode{
+		m:     m,
+		name:  n.Name,
+		level: core.LevelHFTA,
+		op:    reOp,
+		pub:   &publisher{name: n.Name, level: core.LevelLFTA, shed: true},
+		// Flush on heartbeat like the LFTA it replaces, so ordering bounds
+		// reach downstream merges immediately.
+		maxBatch: m.cfg.maxBatch(),
+		hbFlush:  true,
+	}
+	var added []*queryNode
+	for i := 0; i < s; i++ {
+		name := shardName(n.Name, i)
+		qn := &queryNode{
+			m:        m,
+			name:     name,
+			level:    core.LevelLFTA,
+			node:     n,
+			inst:     insts[i],
+			op:       insts[i].Op,
+			pub:      &publisher{name: name, level: core.LevelLFTA, shed: true},
+			maxBatch: m.cfg.maxBatch(),
+			hbFlush:  true,
+			shardIdx: i + 1,
+		}
+		if m.cfg.ValidateOrdering {
+			qn.initCheckers(n.Out)
+		}
+		iface.attachShard(i, qn)
+		sub := qn.pub.subscribe(m.cfg.ringSize())
+		sub.reqFn = qn.requestHeartbeat
+		re.inputs = append(re.inputs, sub)
+		re.shardsOf = append(re.shardsOf, qn)
+		m.nodes[strings.ToLower(name)] = qn
+		m.order = append(m.order, qn)
+		added = append(added, qn)
+	}
+	if m.cfg.ValidateOrdering {
+		re.initCheckers(reOp.OutSchema())
+	}
+	m.nodes[strings.ToLower(n.Name)] = re
+	m.order = append(m.order, re)
+	added = append(added, re)
+	return added, nil
 }
 
 func ifaceName(n *core.Node) string {
@@ -406,8 +517,11 @@ func (m *Manager) AdvanceClock(usec uint64) {
 
 // NodeStats is a monitoring snapshot of one query node.
 type NodeStats struct {
-	Name     string
-	Level    core.Level
+	Name  string
+	Level core.Level
+	// Shard is 0 for unsharded nodes and i+1 for the i'th shard instance
+	// of a sharded LFTA.
+	Shard    int
 	Op       exec.OpStats
 	RingDrop uint64 // tuples shed at this node's output rings
 	HBDrop   uint64 // heartbeats discarded at this node's full rings
@@ -443,12 +557,17 @@ func (m *Manager) Stats() []NodeStats {
 // the capture-stack and NIC counters of any bound devices — the drop
 // placement the paper's deployment story (§4–§5) says operators watch.
 type IfaceStats struct {
-	Name       string
-	Clock      uint64 // interface virtual time, microseconds
-	LFTAs      int    // LFTAs linked to this interface
-	Packets    uint64 // packets injected (after any NIC/capture filtering losses)
-	Offered    uint64 // packets offered, including ones lost before the LFTAs
-	Heartbeats uint64 // source heartbeats emitted
+	Name  string
+	Clock uint64 // interface virtual time, microseconds
+	LFTAs int    // LFTAs linked to this interface (a sharded LFTA counts once)
+	// Shards is the RSS shard count (0 = unsharded capture path);
+	// ShardPackets gives the per-shard steered packet counts, exposing
+	// flow-hash skew.
+	Shards       int
+	ShardPackets []uint64
+	Packets      uint64 // packets injected (after any NIC/capture filtering losses)
+	Offered      uint64 // packets offered, including ones lost before the LFTAs
+	Heartbeats   uint64 // source heartbeats emitted
 
 	// Capture-stack counters (HasCapture reports a bound capture.Stack).
 	HasCapture bool

@@ -56,12 +56,22 @@ type queryNode struct {
 	checkers   []*schema.OrderChecker
 	violations atomic.Uint64
 
-	// HFTA goroutine state.
+	// HFTA goroutine state. started is atomic: Manager.Start (and AddQuery
+	// after start) write it under the manager lock while SetParams reads it
+	// from arbitrary goroutines.
 	inbox   chan portBatch
 	cmds    chan func()
 	done    chan struct{}
-	started bool
+	started atomic.Bool
 	mu      sync.Mutex // guards inline LFTA execution vs setParams
+
+	// shardIdx is 0 for unsharded nodes and i+1 for the i'th shard instance
+	// of a sharded LFTA (see Manager.addShardedLFTA).
+	shardIdx int
+	// shardsOf lists the per-shard LFTA instances feeding this node when it
+	// is a shard-reunifying merge; SetParams on the original query name
+	// forwards to each shard.
+	shardsOf []*queryNode
 }
 
 type portBatch struct {
@@ -70,12 +80,16 @@ type portBatch struct {
 	done  bool // the port's input stream ended
 }
 
-// start launches the HFTA node goroutine and its input forwarders.
+// start launches the HFTA node goroutine and its input forwarders. It
+// holds qn.mu across the transition so setParams cannot rebind directly
+// (believing the node idle) while the loop goroutine comes up — see the
+// started re-check in setParams.
 func (qn *queryNode) start() {
-	if qn.started {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	if !qn.started.CompareAndSwap(false, true) {
 		return
 	}
-	qn.started = true
 	qn.inbox = make(chan portBatch, qn.m.cfg.inboxDepth())
 	qn.cmds = make(chan func(), 4)
 	qn.done = make(chan struct{})
@@ -245,17 +259,38 @@ func (qn *queryNode) flushInline() {
 // goroutine; LFTAs under the interface lock.
 func (qn *queryNode) setParams(params map[string]schema.Value) error {
 	if qn.inst == nil {
+		if len(qn.shardsOf) > 0 {
+			// Shard-reunifying node: the parameters live in the per-shard
+			// LFTA instances.
+			for _, shard := range qn.shardsOf {
+				if err := shard.setParams(params); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 		return fmt.Errorf("rts: %s is a user-written node; it has no query parameters", qn.name)
 	}
-	if qn.level == core.LevelLFTA || !qn.started {
+	if qn.level == core.LevelLFTA {
 		qn.mu.Lock()
 		defer qn.mu.Unlock()
 		return qn.inst.Rebind(params)
 	}
+	// Checking started and rebinding must be one critical section with
+	// start(): otherwise the node can start — and its loop begin executing
+	// the operator — between the check and the direct rebind.
+	qn.mu.Lock()
+	if !qn.started.Load() {
+		defer qn.mu.Unlock()
+		return qn.inst.Rebind(params)
+	}
+	cmds, done := qn.cmds, qn.done
+	qn.mu.Unlock()
 	errc := make(chan error, 1)
 	select {
-	case qn.cmds <- func() { errc <- qn.inst.Rebind(params) }:
-	case <-qn.done:
+	case cmds <- func() { errc <- qn.inst.Rebind(params) }:
+	case <-done:
+		// The loop exited; nothing executes the operator anymore.
 		qn.mu.Lock()
 		defer qn.mu.Unlock()
 		return qn.inst.Rebind(params)
@@ -263,7 +298,7 @@ func (qn *queryNode) setParams(params map[string]schema.Value) error {
 	select {
 	case err := <-errc:
 		return err
-	case <-qn.done:
+	case <-done:
 		return nil
 	}
 }
@@ -272,6 +307,7 @@ func (qn *queryNode) stats() NodeStats {
 	ns := NodeStats{
 		Name:        qn.name,
 		Level:       qn.level,
+		Shard:       qn.shardIdx,
 		RingDrop:    qn.pub.drops.Load(),
 		HBDrop:      qn.pub.hbDrops.Load(),
 		Batches:     qn.pub.batches.Load(),

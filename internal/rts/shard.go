@@ -1,0 +1,72 @@
+package rts
+
+import (
+	"sync/atomic"
+
+	"gigascope/internal/pkt"
+)
+
+// shardWorkDepth bounds each shard's work channel, in entries (poll
+// windows or heartbeats). A full channel blocks the capture path — the
+// multicore analogue of the host ring between the interrupt half and the
+// processing half — rather than dropping: loss placement stays at the
+// LFTA output rings (shed) and the capture-stack simulation (ring full),
+// where the paper puts it.
+const shardWorkDepth = 256
+
+// shardWork is one entry on a shard's work channel: a steered slice of a
+// poll window, or a source heartbeat. Entries are enqueued under the
+// interface lock, so each shard observes windows and heartbeats in clock
+// order — a heartbeat carrying bound T is enqueued after every window
+// that advanced the clock to T.
+type shardWork struct {
+	window []*pkt.Packet // nil for heartbeat entries
+	hb     uint64        // heartbeat clock, microseconds; 0 for window entries
+}
+
+// ifaceShard is one RSS shard of an interface's capture path: a worker
+// goroutine running its own instances of every LFTA attached to the
+// interface over the flow-hash slice of the traffic steered to it.
+type ifaceShard struct {
+	id      int
+	lftas   []*queryNode // shard-local LFTA instances (shardIdx == id+1)
+	work    chan shardWork
+	done    chan struct{}
+	packets atomic.Uint64 // packets steered to this shard
+}
+
+func newIfaceShard(id int) *ifaceShard {
+	sh := &ifaceShard{
+		id:   id,
+		work: make(chan shardWork, shardWorkDepth),
+		done: make(chan struct{}),
+	}
+	go sh.run()
+	return sh
+}
+
+// run is the shard worker loop. It never takes the interface lock (the
+// capture path enqueues while holding it) and its LFTA publishers shed
+// rather than block, so the worker always drains — the enqueue side can
+// therefore block on a full work channel without deadlock.
+func (sh *ifaceShard) run() {
+	defer close(sh.done)
+	for w := range sh.work {
+		if w.window != nil {
+			sh.packets.Add(uint64(len(w.window)))
+			for _, qn := range sh.lftas {
+				qn.pushPackets(w.window)
+			}
+			continue
+		}
+		for _, qn := range sh.lftas {
+			qn.clockHeartbeat(w.hb)
+		}
+	}
+	// Channel closed: shutdown. Flush shard-local aggregate tables and
+	// close the shard publishers; the reunifying merge then sees its
+	// inputs end and drains in global order.
+	for _, qn := range sh.lftas {
+		qn.flushInline()
+	}
+}

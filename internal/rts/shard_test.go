@@ -1,0 +1,385 @@
+package rts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// shardTrace builds a trace with strictly increasing timestamps and enough
+// flow diversity to spread across every shard count under test.
+func shardTrace(n int) []*pkt.Packet {
+	ps := make([]*pkt.Packet, n)
+	for i := 0; i < n; i++ {
+		p := pkt.BuildTCP(1_000_000+uint64(i)*500, pkt.TCPSpec{
+			SrcIP:   0x0a000000 + uint32(i%251),
+			DstIP:   0x0a010000 + uint32(i%13),
+			SrcPort: uint16(20000 + i%199),
+			DstPort: uint16([]int{80, 443, 8080}[i%3]),
+			Payload: []byte("x"),
+		})
+		ps[i] = &p
+	}
+	return ps
+}
+
+// runSharded runs the selection + aggregation pair over the trace at one
+// shard count and returns the selection rows (in delivery order) and the
+// aggregation rows (as a sorted multiset).
+func runSharded(t *testing.T, shards int, trace []*pkt.Packet) (sel, agg []string) {
+	t.Helper()
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{
+		Shards:           shards,
+		RingSize:         8192,
+		HeartbeatUsec:    250_000,
+		ValidateOrdering: true,
+	})
+	selQ := mustCompile(t, cat, `
+		DEFINE { query_name shardsel; }
+		SELECT timestamp, srcIP, destPort FROM eth0.tcp WHERE destPort = 80`)
+	aggQ := mustCompile(t, cat, `
+		DEFINE { query_name shardagg; }
+		SELECT tb, srcIP, count(*) FROM eth0.tcp GROUP BY time/1 as tb, srcIP`)
+	if err := m.AddQuery(selQ, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddQuery(aggQ, nil); err != nil {
+		t.Fatal(err)
+	}
+	selSub, err := m.Subscribe("shardsel", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSub, err := m.Subscribe("shardagg", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(trace); i += 64 {
+		end := i + 64
+		if end > len(trace) {
+			end = len(trace)
+		}
+		m.InjectBatch("eth0", trace[i:end])
+	}
+	m.Stop()
+	for _, row := range drain(t, selSub) {
+		sel = append(sel, row.String())
+	}
+	for _, row := range drain(t, aggSub) {
+		agg = append(agg, row.String())
+	}
+	sort.Strings(agg)
+	for _, ns := range m.Stats() {
+		if ns.RingDrop != 0 || ns.HBDrop != 0 {
+			t.Fatalf("shards=%d node %s shed (ring %d, hb %d): invariance check needs a lossless run",
+				shards, ns.Name, ns.RingDrop, ns.HBDrop)
+		}
+		if ns.OrderViolations != 0 {
+			t.Errorf("shards=%d node %s: %d ordering violations", shards, ns.Name, ns.OrderViolations)
+		}
+	}
+	return sel, agg
+}
+
+// TestShardCountInvariance is the sharding correctness anchor: shard counts
+// 1, 2, 4, 8 must produce the same multiset of output tuples per query, and
+// — because the selection stream's merge attribute (timestamp) is strictly
+// increasing — byte-identical ordered output through the reunifying merge.
+func TestShardCountInvariance(t *testing.T) {
+	trace := shardTrace(2000)
+	baseSel, baseAgg := runSharded(t, 1, trace)
+	if len(baseSel) == 0 || len(baseAgg) == 0 {
+		t.Fatalf("baseline produced no output (sel %d, agg %d)", len(baseSel), len(baseAgg))
+	}
+	for _, shards := range []int{2, 4, 8} {
+		sel, agg := runSharded(t, shards, trace)
+		if len(sel) != len(baseSel) {
+			t.Fatalf("shards=%d: %d selection rows, want %d", shards, len(sel), len(baseSel))
+		}
+		for i := range sel {
+			if sel[i] != baseSel[i] {
+				t.Fatalf("shards=%d: selection row %d = %s, want %s (ordered output must be identical)",
+					shards, i, sel[i], baseSel[i])
+			}
+		}
+		if len(agg) != len(baseAgg) {
+			t.Fatalf("shards=%d: %d aggregate rows, want %d", shards, len(agg), len(baseAgg))
+		}
+		for i := range agg {
+			if agg[i] != baseAgg[i] {
+				t.Fatalf("shards=%d: aggregate multiset diverges at %d: %s vs %s",
+					shards, i, agg[i], baseAgg[i])
+			}
+		}
+	}
+}
+
+// TestShardRegistryAndStats checks the sharded plumbing surface: per-shard
+// streams registered under mangled names, shard indices in NodeStats, and
+// per-shard packet accounting summing to the interface total.
+func TestShardRegistryAndStats(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{Shards: 4})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name shreg; }
+		SELECT timestamp, srcIP FROM eth0.tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Join(m.Registry(), " ")
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(names, fmt.Sprintf("shreg#shard%d", i)) {
+			t.Fatalf("registry %q lacks shard stream %d", names, i)
+		}
+	}
+	shardSub, err := m.Subscribe("shreg#shard0", 64)
+	if err != nil {
+		t.Fatalf("per-shard streams must be subscribable: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	trace := shardTrace(512)
+	m.InjectBatch("eth0", trace)
+	m.Stop()
+	drain(t, shardSub)
+
+	shardsSeen := map[int]bool{}
+	for _, ns := range m.Stats() {
+		if strings.HasPrefix(ns.Name, "shreg#shard") {
+			shardsSeen[ns.Shard] = true
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		if !shardsSeen[i] {
+			t.Errorf("no NodeStats row with Shard=%d: %v", i, shardsSeen)
+		}
+	}
+	for _, is := range m.IfaceStats() {
+		if is.Name != "eth0" {
+			continue
+		}
+		if is.Shards != 4 {
+			t.Errorf("IfaceStats.Shards = %d, want 4", is.Shards)
+		}
+		if is.LFTAs != 1 {
+			t.Errorf("IfaceStats.LFTAs = %d, want 1 (sharded LFTA counts once)", is.LFTAs)
+		}
+		var sum uint64
+		for _, n := range is.ShardPackets {
+			sum += n
+		}
+		if sum != is.Packets {
+			t.Errorf("ShardPackets sum %d != Packets %d", sum, is.Packets)
+		}
+	}
+}
+
+// TestShardSetParamsForwards checks that SetParams on a sharded query's
+// original name rebinds every per-shard LFTA instance.
+func TestShardSetParamsForwards(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{Shards: 2, HeartbeatUsec: 100_000})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name shparam; param port uint; }
+		SELECT timestamp, srcIP, destPort FROM eth0.tcp WHERE destPort = $port`)
+	if err := m.AddQuery(cq, map[string]schema.Value{"port": schema.MakeUint(80)}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("shparam", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	trace := shardTrace(300) // destPort cycles 80,443,8080: 100 hit port 80
+	m.InjectBatch("eth0", trace)
+	if err := m.SetParams("shparam", map[string]schema.Value{"port": schema.MakeUint(443)}); err != nil {
+		t.Fatal(err)
+	}
+	// SetParams reaches the shard instances through their channels; give
+	// the rebind a queued window boundary to land on, then replay.
+	m.InjectBatch("eth0", shardTrace(300))
+	m.Stop()
+	rows := drain(t, sub)
+	var p80, p443 int
+	for _, row := range rows {
+		switch row[2].Uint() {
+		case 80:
+			p80++
+		case 443:
+			p443++
+		}
+	}
+	_ = p80
+	if p443 == 0 {
+		t.Fatalf("no port-443 rows after SetParams: rebind did not reach the shard instances")
+	}
+}
+
+// TestSetParamsConcurrentWithStart is the regression test for the data race
+// on queryNode.started: SetParams used to read the flag unsynchronized
+// while Start wrote it under the manager lock. Run with -race.
+func TestSetParamsConcurrentWithStart(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name racecnt; param port uint; }
+		SELECT tb, count(*) FROM tcp WHERE destPort = $port GROUP BY time/10 as tb`)
+	if err := m.AddQuery(cq, map[string]schema.Value{"port": schema.MakeUint(80)}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			port := uint64(80 + g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The interesting interleaving is the started check racing
+				// Start; the rebind result itself is irrelevant here.
+				_ = m.SetParams("racecnt", map[string]schema.Value{"port": schema.MakeUint(port)})
+			}
+		}(g)
+	}
+	time.Sleep(time.Millisecond)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	m.Stop()
+}
+
+// TestConcurrentMultiInterfaceInject is the regression test for concurrent
+// capture: multiple goroutines injecting on several interfaces at once must
+// keep each interface's virtual clock monotone and its packet accounting
+// exact. Run with -race.
+func TestConcurrentMultiInterfaceInject(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{HeartbeatUsec: 100_000})
+	for _, iface := range []string{"eth0", "eth1"} {
+		cq := mustCompile(t, cat, fmt.Sprintf(`
+			DEFINE { query_name inj_%s; }
+			SELECT timestamp, srcIP FROM %s.tcp WHERE destPort = 80`, iface, iface))
+		if err := m.AddQuery(cq, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		goroutinesPerIface = 3
+		packetsPerGoroutine = 400
+	)
+	var wg sync.WaitGroup
+	for _, iface := range []string{"eth0", "eth1"} {
+		for g := 0; g < goroutinesPerIface; g++ {
+			wg.Add(1)
+			go func(iface string, g int) {
+				defer wg.Done()
+				for i := 0; i < packetsPerGoroutine; i += 8 {
+					var window []*pkt.Packet
+					for j := i; j < i+8; j++ {
+						p := pkt.BuildTCP(1_000_000+uint64(g*packetsPerGoroutine+j)*100, pkt.TCPSpec{
+							SrcIP: 0x0a000000 + uint32(j), DstIP: 0x0a000002,
+							SrcPort: 30000, DstPort: 80,
+						})
+						window = append(window, &p)
+					}
+					m.InjectBatch(iface, window)
+				}
+			}(iface, g)
+		}
+	}
+	// Concurrent monitoring readers: interface clocks must be monotone
+	// under concurrent injection.
+	monStop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		lastClock := map[string]uint64{}
+		for {
+			for _, is := range m.IfaceStats() {
+				if is.Clock < lastClock[is.Name] {
+					t.Errorf("iface %s clock went backwards: %d after %d", is.Name, is.Clock, lastClock[is.Name])
+					return
+				}
+				lastClock[is.Name] = is.Clock
+			}
+			select {
+			case <-monStop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(monStop)
+	monWG.Wait()
+	m.Stop()
+
+	want := uint64(goroutinesPerIface * packetsPerGoroutine)
+	for _, is := range m.IfaceStats() {
+		if is.Offered != want {
+			t.Errorf("iface %s offered %d packets, want %d", is.Name, is.Offered, want)
+		}
+		if is.Packets != want {
+			t.Errorf("iface %s delivered %d packets, want %d", is.Name, is.Packets, want)
+		}
+	}
+}
+
+// TestSubscribeAfterStop is the regression test for subscribing to a
+// finished stream: the subscription must come back with an already-closed
+// channel instead of one that never closes.
+func TestSubscribeAfterStop(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name lateq; }
+		SELECT time, srcIP FROM eth0.tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := tcpPkt(1, 0x0a000001, 80, "x")
+	m.Inject("eth0", &p)
+	m.Stop()
+
+	sub, err := m.Subscribe("lateq", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("subscribe after stop delivered a batch; want a closed, empty channel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscribe after stop returned a channel that never closes")
+	}
+}

@@ -90,9 +90,15 @@ func NodeStatsSchema() *schema.Schema {
 			{Name: "ts", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
 			{Name: "name", Type: schema.TString},
 			{Name: "level", Type: schema.TString},
+			// shard is 0 for unsharded nodes, i+1 for the i'th shard
+			// instance of an RSS-sharded LFTA.
+			{Name: "shard", Type: schema.TUint},
 			{Name: "tuplesIn", Type: schema.TUint},
 			{Name: "tuplesOut", Type: schema.TUint},
 			{Name: "dropped", Type: schema.TUint},
+			// reordered counts tuples emitted out of declared order to bound
+			// buffering (merge MaxBuffer overflow) — disorder, not loss.
+			{Name: "reordered", Type: schema.TUint},
 			{Name: "evicted", Type: schema.TUint},
 			{Name: "ringDrop", Type: schema.TUint},
 			{Name: "packets", Type: schema.TUint},
@@ -130,6 +136,9 @@ func IfaceStatsSchema() *schema.Schema {
 			{Name: "name", Type: schema.TString},
 			{Name: "clock", Type: schema.TUint, Ordering: inGroup},
 			{Name: "lftas", Type: schema.TUint},
+			// shards is the RSS shard count of the interface's capture
+			// path (0 = unsharded inline execution).
+			{Name: "shards", Type: schema.TUint},
 			{Name: "packets", Type: schema.TUint},
 			{Name: "offered", Type: schema.TUint},
 			{Name: "heartbeats", Type: schema.TUint},
@@ -231,9 +240,11 @@ func (s *NodeSampler) sample(nowUsec uint64, emit exec.Emit) {
 			schema.MakeUint(nowUsec),
 			schema.MakeStr(ns.Name),
 			schema.MakeStr(ns.Level.String()),
+			schema.MakeUint(uint64(ns.Shard)),
 			schema.MakeUint(delta(ns.Op.In, p.Op.In)),
 			schema.MakeUint(delta(ns.Op.Out, p.Op.Out)),
 			schema.MakeUint(delta(ns.Op.Dropped, p.Op.Dropped)),
+			schema.MakeUint(delta(ns.Op.Reordered, p.Op.Reordered)),
 			schema.MakeUint(delta(ns.Op.Evicted, p.Op.Evicted)),
 			schema.MakeUint(delta(ns.RingDrop, p.RingDrop)),
 			schema.MakeUint(delta(ns.Packets, p.Packets)),
@@ -323,6 +334,7 @@ func (s *IfaceSampler) sample(nowUsec uint64, emit exec.Emit) {
 			schema.MakeStr(is.Name),
 			schema.MakeUint(is.Clock),
 			schema.MakeUint(uint64(is.LFTAs)),
+			schema.MakeUint(uint64(is.Shards)),
 			schema.MakeUint(delta(is.Packets, p.Packets)),
 			schema.MakeUint(delta(is.Offered, p.Offered)),
 			schema.MakeUint(delta(is.Heartbeats, p.Heartbeats)),

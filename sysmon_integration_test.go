@@ -173,6 +173,11 @@ func TestSysmonRawStreams(t *testing.T) {
 		t.Fatalf("NodeStats rows = %d, saw q = %v", nodeRows, sawQ)
 	}
 
+	// Resolve the column by name: the IfaceStats layout grows over time.
+	tpCol, _ := sys.Catalog().MustLookup("SYSMON.IfaceStats").Col("totalPackets")
+	if tpCol < 0 {
+		t.Fatal("SYSMON.IfaceStats has no totalPackets column")
+	}
 	var ifaceRows int
 	var packets uint64
 	for b := range ifaceSub.C {
@@ -182,7 +187,7 @@ func TestSysmonRawStreams(t *testing.T) {
 			}
 			ifaceRows++
 			if m.Tuple[1].Str() == "eth0" {
-				packets = m.Tuple[11].Uint() // totalPackets
+				packets = m.Tuple[tpCol].Uint()
 			}
 		}
 	}
