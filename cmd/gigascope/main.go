@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -41,6 +42,10 @@ func main() {
 	maxRows := flag.Int("n", 20, "max rows to print per stream (0 = all)")
 	monitor := flag.Bool("monitor", false, "self-monitor: run a GSQL alert query over SYSMON.NodeStats and print ring-shed alerts")
 	shards := flag.Int("shards", 0, "RSS-shard each interface's capture path across n workers (0 = inline)")
+	faults := flag.Int64("faults", 0, "inject seeded capture faults on eth0/eth1 (dirty-tap mix: truncation, bad IHL, bogus lengths, IP options, clock skew); the value is the seed, 0 = off")
+	quarRestart := flag.Uint64("quarantine-restart-ms", 0, "auto-restart quarantined queries after this backoff base (doubles per quarantine, capped at 64x); 0 = quarantine is permanent")
+	control := flag.String("control", "", "attach a closed-loop overload controller as query:param (the param is the query's sampling-rate parameter); decisions print as CONTROL lines")
+	params := flag.String("params", "", "comma-separated query.param=value bindings for DEFINE-block parameters (values parse as float, uint, or string)")
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "usage: gigascope -f queries.gsql [flags]")
@@ -55,15 +60,41 @@ func main() {
 	// Rings sized to match the 8192-batch subscription buffers below: the
 	// inject loop is unpaced, so default-size rings shed under the burst
 	// (visibly so on the sharded path, where the workers drain async).
-	sys, err := gigascope.New(gigascope.Config{SelfMonitor: *monitor, Shards: *shards, RingSize: 8192})
+	sys, err := gigascope.New(gigascope.Config{
+		SelfMonitor: *monitor, Shards: *shards, RingSize: 8192,
+		QuarantineRestartUsec: *quarRestart * 1000,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if err := sys.AddScript(string(src)); err != nil {
+	binds, err := parseParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.AddScriptParams(string(src), binds); err != nil {
 		fatal(err)
 	}
 	if *monitor {
 		if _, err := sys.AddQuery(monitorQuery, nil); err != nil {
+			fatal(err)
+		}
+	}
+	var injectors []*gigascope.FaultInjector
+	if *faults != 0 {
+		for _, ifc := range []string{"eth0", "eth1"} {
+			inj := gigascope.NewFaultInjector(gigascope.DefaultFaultConfig(*faults))
+			sys.BindFaults(ifc, inj)
+			injectors = append(injectors, inj)
+		}
+	}
+	if *control != "" {
+		target, param, ok := strings.Cut(*control, ":")
+		if !ok || target == "" || param == "" {
+			fatal(fmt.Errorf("-control wants query:param, got %q", *control))
+		}
+		if err := sys.AttachOverloadController(gigascope.OverloadConfig{
+			Target: target, Param: param,
+		}); err != nil {
 			fatal(err)
 		}
 	}
@@ -137,6 +168,29 @@ func main() {
 		}()
 	}
 
+	if *control != "" {
+		decisions, err := sys.Subscribe(gigascope.StreamOverload, 8192)
+		if err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range decisions.C {
+				for _, m := range b {
+					if m.IsHeartbeat() {
+						continue
+					}
+					// Cols: ts iface target rate drops livelocked throttled applied.
+					mu.Lock()
+					fmt.Printf("CONTROL: t=%s %s rate=%s drops=%s livelocked=%s\n",
+						m.Tuple[0], m.Tuple[2], m.Tuple[3], m.Tuple[4], m.Tuple[5])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
 	if err := sys.Start(); err != nil {
 		fatal(err)
 	}
@@ -177,8 +231,22 @@ func main() {
 
 	fmt.Println("\nnode statistics:")
 	for _, s := range sys.Stats() {
-		fmt.Printf("  %-6s %-24s in=%-9d out=%-9d dropped=%-7d ring-drops=%d\n",
+		line := fmt.Sprintf("  %-6s %-24s in=%-9d out=%-9d dropped=%-7d ring-drops=%d",
 			s.Level, s.Name, s.Op.In, s.Op.Out, s.Op.Dropped, s.RingDrop)
+		if s.Quarantines > 0 {
+			line += fmt.Sprintf(" quarantined=%v(x%d restarts=%d: %s)",
+				s.Quarantined, s.Quarantines, s.Restarts, s.QuarantineReason)
+		}
+		fmt.Println(line)
+	}
+	if len(injectors) > 0 {
+		fmt.Println("\nfault statistics:")
+		for i, inj := range injectors {
+			fs := inj.Stats()
+			fmt.Printf("  eth%d    faulted=%-7d clean=%-9d truncated=%d bad-ihl=%d bad-len=%d options=%d clock-skew=%d clock-regress=%d\n",
+				i, fs.Total(), fs.Clean, fs.Truncated, fs.BadIHL, fs.BadTotalLen,
+				fs.Options, fs.ClockSkew, fs.ClockRegress)
+		}
 	}
 	if *monitor {
 		fmt.Println("\ninterface statistics:")
@@ -198,6 +266,38 @@ func main() {
 			fmt.Println(line)
 		}
 	}
+}
+
+// parseParams turns "query.param=value,..." into per-query binding maps.
+// Values parse as uint, then float, falling back to string.
+func parseParams(s string) (map[string]map[string]gigascope.Value, error) {
+	if s == "" {
+		return nil, nil
+	}
+	binds := map[string]map[string]gigascope.Value{}
+	for _, item := range strings.Split(s, ",") {
+		kv, val, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return nil, fmt.Errorf("-params wants query.param=value, got %q", item)
+		}
+		query, param, ok := strings.Cut(kv, ".")
+		if !ok || query == "" || param == "" {
+			return nil, fmt.Errorf("-params wants query.param=value, got %q", item)
+		}
+		var v gigascope.Value
+		if u, err := strconv.ParseUint(val, 0, 64); err == nil {
+			v = gigascope.Uint(u)
+		} else if f, err := strconv.ParseFloat(val, 64); err == nil {
+			v = gigascope.Float(f)
+		} else {
+			v = gigascope.Str(val)
+		}
+		if binds[query] == nil {
+			binds[query] = map[string]gigascope.Value{}
+		}
+		binds[query][param] = v
+	}
+	return binds, nil
 }
 
 func fatal(err error) {

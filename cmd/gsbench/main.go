@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E10) or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	flag.Parse()
 
@@ -93,6 +93,12 @@ func main() {
 		rows, err := experiments.E9(pkts*2, nil)
 		check(err)
 		experiments.PrintE9(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("E10") {
+		rows, err := experiments.E10(pkts)
+		check(err)
+		experiments.PrintE10(os.Stdout, rows)
 		fmt.Println()
 	}
 }

@@ -1,0 +1,197 @@
+package gigascope
+
+import (
+	"testing"
+	"time"
+
+	"gigascope/internal/faultinject"
+	"gigascope/internal/schema"
+)
+
+// fwdOp is a pass-through StreamOperator for the user-node fault tests.
+type fwdOp struct{ out *schema.Schema }
+
+func (o *fwdOp) Ports() int                { return 1 }
+func (o *fwdOp) OutSchema() *schema.Schema { return o.out }
+func (o *fwdOp) Push(port int, m Message, emit Emit) error {
+	emit(m)
+	return nil
+}
+func (o *fwdOp) FlushAll(emit Emit) error { return nil }
+
+func tupleEq(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].U != b[i].U || a[i].F != b[i].F || string(a[i].B) != string(b[i].B) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultInjectionAcceptance is the robustness acceptance path: with the
+// seeded injector at default fault rates AND a query node that panics, no
+// panic escapes, the faulting query shows up quarantined in
+// SYSMON.NodeStats, and every other query's output is byte-identical to
+// the same run without the panicking node.
+func TestFaultInjectionAcceptance(t *testing.T) {
+	run := func(plantPanic bool) (filterRows, aggRows []Tuple, quarantinedSeen map[string]bool, sys *System) {
+		sys, err := New(Config{SelfMonitor: true, MonitorIntervalUsec: 500_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.MustAddQuery(`
+			DEFINE { query_name ports; }
+			SELECT time, srcIP, destPort FROM eth0.TCP WHERE destPort = 80`, nil)
+		sys.MustAddQuery(`
+			DEFINE { query_name persec; }
+			SELECT tb, count(*) FROM eth0.TCP GROUP BY time as tb`, nil)
+		if plantPanic {
+			out, ok := sys.Catalog().Lookup("ports")
+			if !ok {
+				t.Fatal("ports schema missing")
+			}
+			fop := &faultinject.FaultyOp{
+				Inner: &fwdOp{out: out}, FailAt: 5, FailEvery: 40,
+				Mode: faultinject.FailPanic,
+			}
+			if err := sys.AddUserNode("relay", fop, []string{"ports"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The same seed in both runs: identical fault placement, so the
+		// sibling queries see bit-identical dirty traffic.
+		sys.BindFaults("eth0", NewFaultInjector(DefaultFaultConfig(99)))
+
+		filterSub, err := sys.Subscribe("ports", 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggSub, err := sys.Subscribe("persec", 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsSub, err := sys.SubscribeStats(16384)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Start(); err != nil {
+			t.Fatal(err)
+		}
+
+		// 2000 packets over ~4s of virtual time, in poll windows of 50.
+		const n, window = 2000, 50
+		ps := make([]*Packet, 0, window)
+		for i := 0; i < n; i++ {
+			port := uint16(80)
+			if i%3 == 0 {
+				port = 443
+			}
+			p := BuildTCP(1_000_000+uint64(i)*2_000, TCPSpec{
+				SrcIP: 0x0a000000 + uint32(i%200), DstIP: 0x0a000002,
+				SrcPort: 30000, DstPort: port, Payload: []byte("x"),
+			})
+			ps = append(ps, &p)
+			if len(ps) == window {
+				sys.InjectBatch("eth0", ps)
+				ps = ps[:0]
+			}
+			if plantPanic && i == n/2 {
+				// The relay quarantines on its own goroutine; wait for the
+				// flag so the second half's telemetry samples observe it.
+				// Wall-clock only — the virtual-time traffic is unchanged.
+				deadline := time.Now().Add(5 * time.Second)
+				for time.Now().Before(deadline) {
+					quar := false
+					for _, ns := range sys.Stats() {
+						if ns.Name == "relay" && ns.Quarantined {
+							quar = true
+						}
+					}
+					if quar {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+		sys.Stop()
+
+		drainTuples := func(sub *Subscription) []Tuple {
+			var out []Tuple
+			for b := range sub.C {
+				for _, m := range b {
+					if !m.IsHeartbeat() {
+						out = append(out, m.Tuple)
+					}
+				}
+			}
+			return out
+		}
+		filterRows = drainTuples(filterSub)
+		aggRows = drainTuples(aggSub)
+
+		// Which nodes did SYSMON.NodeStats report quarantined?
+		nodeSchema, ok := sys.Catalog().Lookup(StreamNodeStats)
+		if !ok {
+			t.Fatal("SYSMON.NodeStats not in catalog")
+		}
+		qCol, _ := nodeSchema.Col("quarantined")
+		rCol, _ := nodeSchema.Col("quarReason")
+		if qCol < 0 || rCol < 0 {
+			t.Fatal("SYSMON.NodeStats lacks quarantine columns")
+		}
+		quarantinedSeen = make(map[string]bool)
+		for _, row := range drainTuples(statsSub) {
+			if row[qCol].Uint() != 0 {
+				quarantinedSeen[row[1].Str()] = true
+			}
+		}
+		return filterRows, aggRows, quarantinedSeen, sys
+	}
+
+	cleanFilter, cleanAgg, cleanQuar, _ := run(false)
+	faultFilter, faultAgg, faultQuar, sys := run(true)
+
+	if len(cleanFilter) == 0 || len(cleanAgg) == 0 {
+		t.Fatalf("baseline produced no output: filter=%d agg=%d", len(cleanFilter), len(cleanAgg))
+	}
+	if len(cleanQuar) != 0 {
+		t.Fatalf("dirty traffic alone quarantined nodes: %v", cleanQuar)
+	}
+	// Sibling outputs are byte-identical despite a panicking node in the
+	// same system.
+	if len(faultFilter) != len(cleanFilter) {
+		t.Fatalf("filter rows diverged: %d vs %d", len(faultFilter), len(cleanFilter))
+	}
+	for i := range cleanFilter {
+		if !tupleEq(cleanFilter[i], faultFilter[i]) {
+			t.Fatalf("filter row %d diverged: %v vs %v", i, cleanFilter[i], faultFilter[i])
+		}
+	}
+	if len(faultAgg) != len(cleanAgg) {
+		t.Fatalf("agg rows diverged: %d vs %d", len(faultAgg), len(cleanAgg))
+	}
+	for i := range cleanAgg {
+		if !tupleEq(cleanAgg[i], faultAgg[i]) {
+			t.Fatalf("agg row %d diverged: %v vs %v", i, cleanAgg[i], faultAgg[i])
+		}
+	}
+	// The faulting node is quarantined and the telemetry stream says so.
+	if !faultQuar["relay"] {
+		t.Fatalf("relay not reported quarantined in SYSMON.NodeStats: %v", faultQuar)
+	}
+	for _, ns := range sys.Stats() {
+		if ns.Name == "relay" {
+			if !ns.Quarantined || ns.Quarantines == 0 {
+				t.Fatalf("relay stats = %+v", ns)
+			}
+			continue
+		}
+		if ns.Quarantined || ns.Quarantines != 0 {
+			t.Fatalf("innocent node %s quarantined: %+v", ns.Name, ns)
+		}
+	}
+}

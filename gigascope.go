@@ -27,11 +27,13 @@ package gigascope
 
 import (
 	"fmt"
+	"strings"
 
 	"gigascope/internal/bgp"
 	"gigascope/internal/capture"
 	"gigascope/internal/core"
 	"gigascope/internal/defrag"
+	"gigascope/internal/faultinject"
 	"gigascope/internal/gsql"
 	"gigascope/internal/netflow"
 	"gigascope/internal/nic"
@@ -82,6 +84,12 @@ type Config struct {
 	// MonitorIntervalUsec is the sysmon sampling period on the virtual
 	// clock (default 1s of virtual time).
 	MonitorIntervalUsec uint64
+	// QuarantineRestartUsec, when non-zero, lets a quarantined query node
+	// restart with clean operator state after this much virtual time,
+	// doubling per repeat quarantine up to 64x (bounded exponential
+	// backoff). Zero means a faulting query stays quarantined until Stop.
+	// User-written and source nodes always quarantine permanently.
+	QuarantineRestartUsec uint64
 }
 
 // System is one Gigascope instance: a schema catalog, the query compiler,
@@ -114,12 +122,13 @@ func New(cfg ...Config) (*System, error) {
 		cfg:     c,
 		catalog: cat,
 		mgr: rts.NewManager(cat, rts.Config{
-			RingSize:         c.RingSize,
-			MaxBatch:         c.MaxBatch,
-			InboxDepth:       c.InboxDepth,
-			HeartbeatUsec:    c.HeartbeatUsec,
-			ValidateOrdering: c.ValidateOrdering,
-			Shards:           c.Shards,
+			RingSize:              c.RingSize,
+			MaxBatch:              c.MaxBatch,
+			InboxDepth:            c.InboxDepth,
+			HeartbeatUsec:         c.HeartbeatUsec,
+			ValidateOrdering:      c.ValidateOrdering,
+			Shards:                c.Shards,
+			QuarantineRestartUsec: c.QuarantineRestartUsec,
 		}),
 		plans: make(map[string]*core.CompiledQuery),
 	}
@@ -204,8 +213,15 @@ func (s *System) MustAddQuery(text string, params map[string]Value) *core.Compil
 
 // AddScript parses a GSQL source file: protocol definitions are
 // registered and every query is compiled and added (with no parameter
-// bindings; use AddQuery for parameterized queries).
+// bindings; use AddQuery or AddScriptParams for parameterized queries).
 func (s *System) AddScript(text string) error {
+	return s.AddScriptParams(text, nil)
+}
+
+// AddScriptParams is AddScript with per-query parameter bindings: the
+// outer map is keyed by query name (case-insensitive), the inner map
+// binds that query's DEFINE-block params.
+func (s *System) AddScriptParams(text string, params map[string]map[string]Value) error {
 	script, err := gsql.ParseScript(text)
 	if err != nil {
 		return err
@@ -219,12 +235,16 @@ func (s *System) AddScript(text string) error {
 			return err
 		}
 	}
+	binds := make(map[string]map[string]Value, len(params))
+	for name, p := range params {
+		binds[strings.ToLower(name)] = p
+	}
 	for _, q := range script.Queries {
 		cq, err := core.Compile(s.catalog, q, s.compileOptions())
 		if err != nil {
 			return err
 		}
-		if err := s.mgr.AddQuery(cq, nil); err != nil {
+		if err := s.mgr.AddQuery(cq, binds[strings.ToLower(cq.Name)]); err != nil {
 			return err
 		}
 		s.plans[cq.Name] = cq
@@ -352,4 +372,22 @@ func (s *System) BindCapture(iface string, st *capture.Stack) {
 // device (filtering and snapping). Bind before traffic starts.
 func (s *System) BindNIC(iface string, d *nic.Device) {
 	s.mgr.Interface(iface).BindNIC(d)
+}
+
+// BindFaults routes the named interface's packets through a seeded fault
+// injector before the NIC and capture stack: truncated captures, mangled
+// IPv4 headers, option-bearing frames, and clock skew, reproducible from
+// the injector's seed. Bind before traffic starts.
+func (s *System) BindFaults(iface string, inj *faultinject.Injector) {
+	s.mgr.Interface(iface).BindFaults(inj)
+}
+
+// AttachOverloadController registers a closed-loop overload controller
+// (the paper's §4 load shedding run automatically): it watches an
+// interface's capture-path drop counters, throttles the target query's
+// sampling-rate parameter under overload, and restores it on recovery.
+// Its decision stream (default SYSMON.Overload) is registered like any
+// query output. Attach after the target query, before Start.
+func (s *System) AttachOverloadController(cfg OverloadConfig) error {
+	return s.mgr.AttachOverloadController(cfg)
 }

@@ -190,6 +190,17 @@ func (st *Stack) SetShards(n int) {
 	st.shards = n
 }
 
+// Stall charges the host CPU us microseconds of injected interrupt-level
+// work (a driver hiccup, a preempting kernel task): it runs ahead of the
+// processing half like any interrupt, so the ring backs up while it
+// drains. The fault injector's lever for forcing ring saturation without
+// raising the offered load. Call from the goroutine driving the stack.
+func (st *Stack) Stall(us float64) {
+	if us > 0 {
+		st.intBacklog += us
+	}
+}
+
 // queueLen returns the live processing queue length.
 func (st *Stack) queueLen() int { return len(st.queue) - st.qhead }
 

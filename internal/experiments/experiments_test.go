@@ -248,3 +248,42 @@ func TestE8LossStaysZeroUntilKnee(t *testing.T) {
 		t.Error("empty output")
 	}
 }
+
+func TestE10ControllerReducesRingDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := E10(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Controller || !rows[1].Controller {
+		t.Fatalf("rows = %+v", rows)
+	}
+	off, on := rows[0], rows[1]
+	// The uncontrolled run saturates and sheds heavily for its whole
+	// duration; the controlled run stops dropping once the first throttle
+	// decisions land.
+	if off.RingDrops == 0 {
+		t.Fatal("baseline never saturated the ring — the workload is not an overload")
+	}
+	if on.RingDrops*2 >= off.RingDrops {
+		t.Errorf("controller did not measurably reduce drops: on=%d off=%d",
+			on.RingDrops, off.RingDrops)
+	}
+	if on.Decisions == 0 || on.Throttled == 0 {
+		t.Errorf("controller made no throttled decisions: %+v", on)
+	}
+	if on.MinRate >= 1.0 || on.FinalRate > 1.0 {
+		t.Errorf("rates unmoved: %+v", on)
+	}
+	// Shedding trades output for survival, never more output than baseline.
+	if on.OutputTuples == 0 || on.OutputTuples > off.OutputTuples {
+		t.Errorf("output tuples: on=%d off=%d", on.OutputTuples, off.OutputTuples)
+	}
+	var buf bytes.Buffer
+	PrintE10(&buf, rows)
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Errorf("print output: %s", buf.String())
+	}
+}

@@ -1,0 +1,318 @@
+// Package faultinject is a deterministic, seeded fault injector for the
+// Gigascope robustness suite. It corrupts the inputs a live tap would
+// corrupt — truncated captures, mangled IPv4 headers, option-bearing
+// frames, clock skew on one interface — and provokes the failures the run
+// time system must contain: operator panics and errors (FaultyOp), stalled
+// subscribers (Staller), and ring-saturating bursts (SaturateWindow).
+//
+// Every decision comes from a single seeded PRNG consumed in call order,
+// so a run over a fixed packet sequence reproduces the exact same fault
+// placement and the regression tests can pin exact counters.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"gigascope/internal/pkt"
+)
+
+// Kind identifies a fault class.
+type Kind int
+
+const (
+	// KindTruncate cuts the captured bytes mid-header (short snap).
+	KindTruncate Kind = iota
+	// KindBadIHL writes an IHL nibble below the 20-byte minimum.
+	KindBadIHL
+	// KindBadTotalLen writes a total-length exceeding the frame.
+	KindBadTotalLen
+	// KindOptions inserts garbage IPv4 options: the header stays
+	// self-consistent (IHL, total-length, checksum updated) but the
+	// transport header shifts — the layout fixed-offset readers misread.
+	KindOptions
+	// KindClockSkew jumps the packet timestamp forward.
+	KindClockSkew
+	// KindClockRegress pulls the packet timestamp backward.
+	KindClockRegress
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTruncate:
+		return "truncate"
+	case KindBadIHL:
+		return "bad-ihl"
+	case KindBadTotalLen:
+		return "bad-total-length"
+	case KindOptions:
+		return "ip-options"
+	case KindClockSkew:
+		return "clock-skew"
+	case KindClockRegress:
+		return "clock-regress"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Config sets the per-packet probability of each fault kind. Rates are
+// independent fractions of the packet stream; at most one fault applies
+// per packet (first match in Kind order wins on the single roll).
+type Config struct {
+	Seed int64
+
+	Truncate    float64
+	BadIHL      float64
+	BadTotalLen float64
+	Options     float64
+
+	// ClockSkew/ClockRegress move packet timestamps by ClockJumpUsec
+	// forward or backward, modelling a misbehaving capture clock on one
+	// interface.
+	ClockSkew     float64
+	ClockRegress  float64
+	ClockJumpUsec uint64
+}
+
+// DefaultConfig returns the default fault rates: a few percent of dirty
+// frames of each class, the mix the acceptance tests run under.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Truncate:      0.01,
+		BadIHL:        0.01,
+		BadTotalLen:   0.01,
+		Options:       0.02,
+		ClockSkew:     0.005,
+		ClockRegress:  0.005,
+		ClockJumpUsec: 250_000,
+	}
+}
+
+// Stats counts applied faults by kind.
+type Stats struct {
+	Truncated    uint64
+	BadIHL       uint64
+	BadTotalLen  uint64
+	Options      uint64
+	ClockSkew    uint64
+	ClockRegress uint64
+	Clean        uint64 // packets passed through unfaulted
+}
+
+// Total is the number of faulted packets.
+func (s Stats) Total() uint64 {
+	return s.Truncated + s.BadIHL + s.BadTotalLen + s.Options + s.ClockSkew + s.ClockRegress
+}
+
+// Injector applies seeded faults to a packet stream. Apply and ApplyBatch
+// serialize on an internal lock (the PRNG is the determinism anchor);
+// counters are atomic and readable concurrently.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	counts [numKinds]atomic.Uint64
+	clean  atomic.Uint64
+}
+
+// New builds an injector from the config.
+func New(cfg Config) *Injector {
+	if cfg.ClockJumpUsec == 0 {
+		cfg.ClockJumpUsec = 250_000
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Truncated:    in.counts[KindTruncate].Load(),
+		BadIHL:       in.counts[KindBadIHL].Load(),
+		BadTotalLen:  in.counts[KindBadTotalLen].Load(),
+		Options:      in.counts[KindOptions].Load(),
+		ClockSkew:    in.counts[KindClockSkew].Load(),
+		ClockRegress: in.counts[KindClockRegress].Load(),
+		Clean:        in.clean.Load(),
+	}
+}
+
+// Apply rolls the dice for one packet. A clean packet is returned as-is; a
+// faulted packet is returned as a mutated copy (the input is never
+// touched, so a packet shared across interfaces faults on one only).
+func (in *Injector) Apply(p *pkt.Packet) (*pkt.Packet, Kind, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.applyLocked(p)
+}
+
+// ApplyBatch applies faults across one poll window, returning a window
+// with faulted packets replaced by their mutated copies. The input slice
+// and packets are not modified; when no fault lands the input slice is
+// returned unchanged.
+func (in *Injector) ApplyBatch(ps []*pkt.Packet) []*pkt.Packet {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := ps
+	copied := false
+	for i, p := range ps {
+		q, _, faulted := in.applyLocked(p)
+		if !faulted {
+			continue
+		}
+		if !copied {
+			out = append([]*pkt.Packet(nil), ps...)
+			copied = true
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func (in *Injector) applyLocked(p *pkt.Packet) (*pkt.Packet, Kind, bool) {
+	roll := in.rng.Float64()
+	c := in.cfg
+	cum := 0.0
+	kind := Kind(-1)
+	for _, e := range [...]struct {
+		k    Kind
+		rate float64
+	}{
+		{KindTruncate, c.Truncate},
+		{KindBadIHL, c.BadIHL},
+		{KindBadTotalLen, c.BadTotalLen},
+		{KindOptions, c.Options},
+		{KindClockSkew, c.ClockSkew},
+		{KindClockRegress, c.ClockRegress},
+	} {
+		cum += e.rate
+		if roll < cum {
+			kind = e.k
+			break
+		}
+	}
+	if kind < 0 {
+		in.clean.Add(1)
+		return p, 0, false
+	}
+	q := in.mutate(p, kind)
+	if q == nil { // fault not applicable to this frame: pass through
+		in.clean.Add(1)
+		return p, 0, false
+	}
+	in.counts[kind].Add(1)
+	return q, kind, true
+}
+
+// mutate builds the faulted copy, or returns nil when the frame is too
+// short to host the fault.
+func (in *Injector) mutate(p *pkt.Packet, kind Kind) *pkt.Packet {
+	const (
+		ethLen = 14
+		ipLen  = 20
+	)
+	q := *p
+	switch kind {
+	case KindTruncate:
+		if len(p.Data) < 2 {
+			return nil
+		}
+		// Cut inside the headers where it hurts: [1, min(len-1, 54)].
+		lim := len(p.Data) - 1
+		if lim > ethLen+ipLen+ipLen {
+			lim = ethLen + ipLen + ipLen
+		}
+		q.Data = p.Data[:1+in.rng.Intn(lim)]
+	case KindBadIHL:
+		if len(p.Data) < ethLen+1 {
+			return nil
+		}
+		q.Data = append([]byte(nil), p.Data...)
+		q.Data[ethLen] = q.Data[ethLen]&0xf0 | byte(in.rng.Intn(5)) // IHL 0..4
+	case KindBadTotalLen:
+		if len(p.Data) < ethLen+4 {
+			return nil
+		}
+		q.Data = append([]byte(nil), p.Data...)
+		bogus := uint16(p.WireLen) + 1 + uint16(in.rng.Intn(1000))
+		q.Data[ethLen+2] = byte(bogus >> 8)
+		q.Data[ethLen+3] = byte(bogus)
+	case KindOptions:
+		return in.insertOptions(p)
+	case KindClockSkew:
+		q.TS = p.TS + in.cfg.ClockJumpUsec
+	case KindClockRegress:
+		if p.TS < in.cfg.ClockJumpUsec {
+			q.TS = 0
+		} else {
+			q.TS = p.TS - in.cfg.ClockJumpUsec
+		}
+	}
+	return &q
+}
+
+// insertOptions rebuilds the frame with 4–40 bytes of garbage IPv4
+// options between the fixed IP header and the transport header, keeping
+// the header self-consistent: IHL raised, total-length grown, checksum
+// recomputed. The option *content* is random garbage; the layout is what
+// a real option-bearing packet has, so IHL-honoring readers still find
+// the ports while fixed-offset readers land inside the options.
+func (in *Injector) insertOptions(p *pkt.Packet) *pkt.Packet {
+	const (
+		ethLen = 14
+		ipLen  = 20
+	)
+	if len(p.Data) < ethLen+ipLen {
+		return nil
+	}
+	if p.Data[ethLen]&0x0f != 5 { // already has options (or corrupt): skip
+		return nil
+	}
+	optWords := 1 + in.rng.Intn(10) // IHL 6..15
+	opts := make([]byte, optWords*4)
+	in.rng.Read(opts)
+	data := make([]byte, 0, len(p.Data)+len(opts))
+	data = append(data, p.Data[:ethLen+ipLen]...)
+	data = append(data, opts...)
+	data = append(data, p.Data[ethLen+ipLen:]...)
+	data[ethLen] = 0x40 | byte(5+optWords)
+	total := uint16(data[ethLen+2])<<8 | uint16(data[ethLen+3])
+	total += uint16(len(opts))
+	data[ethLen+2] = byte(total >> 8)
+	data[ethLen+3] = byte(total)
+	data[ethLen+10], data[ethLen+11] = 0, 0
+	sum := ipChecksum(data[ethLen : ethLen+ipLen+len(opts)])
+	data[ethLen+10] = byte(sum >> 8)
+	data[ethLen+11] = byte(sum)
+	q := *p
+	q.Data = data
+	q.WireLen = p.WireLen + len(opts)
+	return &q
+}
+
+// ipChecksum is the RFC 791 ones'-complement header checksum.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// SaturateWindow stamps every packet in the window with the same
+// timestamp: a bound capture stack then sees a full poll window arrive in
+// zero virtual time — the ring-saturation burst regime (interrupt
+// livelock, §4) — without needing a faster generator.
+func SaturateWindow(ps []*pkt.Packet, ts uint64) {
+	for _, p := range ps {
+		p.TS = ts
+	}
+}

@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"testing"
+
+	"gigascope/internal/pkt"
+)
+
+func makeStream(n int) []*pkt.Packet {
+	ps := make([]*pkt.Packet, n)
+	for i := range ps {
+		p := pkt.BuildTCP(uint64(i+1)*1000, pkt.TCPSpec{
+			SrcIP:   0x0a000001 + uint32(i%50),
+			DstIP:   0x0a000100,
+			SrcPort: uint16(1024 + i%1000),
+			DstPort: 80,
+			TTL:     64,
+			Payload: []byte("payload"),
+		})
+		ps[i] = &p
+	}
+	return ps
+}
+
+// Same seed, same packet sequence: identical fault placement, per-kind
+// counts, and faulted bytes.
+func TestDeterministicFromSeed(t *testing.T) {
+	// One shared input stream: packets carry a global ip_id counter, so two
+	// builds differ byte-wise, but Apply never mutates its input.
+	stream := makeStream(5000)
+	run := func() ([]*pkt.Packet, Stats) {
+		in := New(DefaultConfig(42))
+		var out []*pkt.Packet
+		for _, p := range stream {
+			q, _, _ := in.Apply(p)
+			out = append(out, q)
+		}
+		return out, in.Stats()
+	}
+	out1, st1 := run()
+	out2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", st1, st2)
+	}
+	if st1.Total() == 0 {
+		t.Fatal("default config applied no faults over 5000 packets")
+	}
+	if st1.Clean+st1.Total() != 5000 {
+		t.Fatalf("counters don't partition the stream: clean=%d faulted=%d", st1.Clean, st1.Total())
+	}
+	for i := range out1 {
+		if out1[i].TS != out2[i].TS || len(out1[i].Data) != len(out2[i].Data) {
+			t.Fatalf("packet %d differs across identical runs", i)
+		}
+		for j := range out1[i].Data {
+			if out1[i].Data[j] != out2[i].Data[j] {
+				t.Fatalf("packet %d byte %d differs across identical runs", i, j)
+			}
+		}
+	}
+}
+
+// Faults must never mutate the caller's packet: a frame shared across two
+// interfaces faults on the bound one only.
+func TestFaultsCloneNotMutate(t *testing.T) {
+	in := New(Config{Seed: 7, Truncate: 0.2, BadIHL: 0.2, BadTotalLen: 0.2, Options: 0.2, ClockSkew: 0.1, ClockRegress: 0.1})
+	for i, p := range makeStream(500) {
+		orig := *p
+		origData := append([]byte(nil), p.Data...)
+		q, kind, faulted := in.Apply(p)
+		if p.TS != orig.TS || p.WireLen != orig.WireLen || len(p.Data) != len(origData) {
+			t.Fatalf("packet %d: input mutated by %v fault", i, kind)
+		}
+		for j := range origData {
+			if p.Data[j] != origData[j] {
+				t.Fatalf("packet %d: input bytes mutated by %v fault", i, kind)
+			}
+		}
+		if faulted && q == p {
+			t.Fatalf("packet %d: faulted output aliases the input", i)
+		}
+	}
+	if in.Stats().Total() == 0 {
+		t.Fatal("aggressive config applied no faults")
+	}
+}
+
+// Option-bearing output must stay a valid IPv4 frame whose transport
+// fields read correctly through IHL-honoring readers — and incorrectly
+// through a fixed-offset read, which is the point of the fault.
+func TestInsertOptionsSelfConsistent(t *testing.T) {
+	in := New(Config{Seed: 3, Options: 1.0})
+	found := false
+	for _, p := range makeStream(50) {
+		q, kind, faulted := in.Apply(p)
+		if !faulted {
+			continue
+		}
+		if kind != KindOptions {
+			t.Fatalf("expected ip-options fault, got %v", kind)
+		}
+		found = true
+		if err := pkt.Verify(q); err != nil {
+			t.Fatalf("option-bearing frame fails verification: %v", err)
+		}
+		ihl, ok := q.IPHeaderLen()
+		if !ok || ihl <= 20 {
+			t.Fatalf("options not reflected in IHL: ihl=%d ok=%v", ihl, ok)
+		}
+		spec, _ := pkt.LookupInterp("get_dest_port")
+		v, ok := spec.Extract(q)
+		if !ok || v.U != 80 {
+			t.Fatalf("IHL-honoring extractor misread dest port: got %d ok=%v", v.U, ok)
+		}
+		raw, ok := spec.Raw.Read(q)
+		if !ok || raw != 80 {
+			t.Fatalf("L4-flagged raw ref misread dest port on option frame: got %d ok=%v", raw, ok)
+		}
+	}
+	if !found {
+		t.Fatal("no option fault applied at rate 1.0")
+	}
+}
+
+// Corrupt headers must read as absent, not as garbage values.
+func TestBadIHLReadsAsAbsent(t *testing.T) {
+	in := New(Config{Seed: 9, BadIHL: 1.0})
+	p := makeStream(1)[0]
+	q, kind, faulted := in.Apply(p)
+	if !faulted || kind != KindBadIHL {
+		t.Fatalf("expected bad-ihl fault, got faulted=%v kind=%v", faulted, kind)
+	}
+	if _, ok := q.IPHeaderLen(); ok {
+		t.Fatal("IHL below minimum validated as readable")
+	}
+	spec, _ := pkt.LookupInterp("get_src_port")
+	if _, ok := spec.Extract(q); ok {
+		t.Fatal("transport extractor succeeded on a corrupt IHL")
+	}
+	if _, ok := spec.Raw.Read(q); ok {
+		t.Fatal("raw L4 ref succeeded on a corrupt IHL")
+	}
+}
+
+func TestClockFaults(t *testing.T) {
+	const jump = 250_000
+	skew := New(Config{Seed: 1, ClockSkew: 1.0, ClockJumpUsec: jump})
+	p := makeStream(1)[0]
+	q, _, faulted := skew.Apply(p)
+	if !faulted || q.TS != p.TS+jump {
+		t.Fatalf("skew: got TS %d, want %d", q.TS, p.TS+jump)
+	}
+	reg := New(Config{Seed: 1, ClockRegress: 1.0, ClockJumpUsec: jump})
+	q, _, faulted = reg.Apply(p)
+	if !faulted || q.TS != 0 { // p.TS 1000 < jump: clamps at zero
+		t.Fatalf("regress: got TS %d, want 0", q.TS)
+	}
+}
+
+func TestApplyBatchSharesNoState(t *testing.T) {
+	ps := makeStream(2000)
+	in := New(DefaultConfig(11))
+	out := in.ApplyBatch(ps)
+	if len(out) != len(ps) {
+		t.Fatalf("batch length changed: %d -> %d", len(ps), len(out))
+	}
+	st := in.Stats()
+	if st.Total() == 0 {
+		t.Fatal("no faults across 2000 packets at default rates")
+	}
+	changed := 0
+	for i := range out {
+		if out[i] != ps[i] {
+			changed++
+		}
+	}
+	if uint64(changed) != st.Total() {
+		t.Fatalf("replaced %d packets but counted %d faults", changed, st.Total())
+	}
+
+	// A clean batch comes back as the identical slice (no copy).
+	quiet := New(Config{Seed: 5})
+	clean := makeStream(10)
+	if got := quiet.ApplyBatch(clean); &got[0] != &clean[0] {
+		t.Fatal("fault-free batch was copied")
+	}
+}
+
+func TestSaturateWindow(t *testing.T) {
+	ps := makeStream(100)
+	SaturateWindow(ps, 777)
+	for i, p := range ps {
+		if p.TS != 777 {
+			t.Fatalf("packet %d TS = %d, want 777", i, p.TS)
+		}
+	}
+}

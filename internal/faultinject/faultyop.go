@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// FailMode selects how a FaultyOp misbehaves when its trigger fires.
+type FailMode int
+
+const (
+	// FailPanic panics out of Push — the fault query quarantine must
+	// contain.
+	FailPanic FailMode = iota
+	// FailError returns an error from Push — the non-fatal operator
+	// failure the node counts and survives.
+	FailError
+)
+
+// FaultyOp wraps an operator and forces a deterministic failure on the
+// Nth input tuple (heartbeats don't count). With FailEvery set it keeps
+// failing every FailEvery tuples after the first trigger; otherwise it
+// fails exactly once and then behaves. Registered through AddUserNode it
+// drives the quarantine and error-accounting tests.
+type FaultyOp struct {
+	Inner exec.Operator
+	// FailAt is the 1-based tuple index that triggers the failure;
+	// 0 never triggers.
+	FailAt uint64
+	// FailEvery re-triggers every n tuples after FailAt (0: fail once).
+	FailEvery uint64
+	Mode      FailMode
+
+	seen  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Fired reports how many times the failure triggered.
+func (f *FaultyOp) Fired() uint64 { return f.fired.Load() }
+
+// Ports returns the inner operator's port count.
+func (f *FaultyOp) Ports() int { return f.Inner.Ports() }
+
+// OutSchema returns the inner operator's output schema.
+func (f *FaultyOp) OutSchema() *schema.Schema { return f.Inner.OutSchema() }
+
+// Push fails on the trigger tuple and forwards everything else.
+func (f *FaultyOp) Push(port int, m exec.Message, emit exec.Emit) error {
+	if !m.IsHeartbeat() && f.FailAt > 0 {
+		n := f.seen.Add(1)
+		trip := n == f.FailAt
+		if !trip && f.FailEvery > 0 && n > f.FailAt {
+			trip = (n-f.FailAt)%f.FailEvery == 0
+		}
+		if trip {
+			f.fired.Add(1)
+			if f.Mode == FailPanic {
+				panic(fmt.Sprintf("faultinject: forced panic at tuple %d", n))
+			}
+			return fmt.Errorf("faultinject: forced error at tuple %d", n)
+		}
+	}
+	return f.Inner.Push(port, m, emit)
+}
+
+// FlushAll forwards to the inner operator.
+func (f *FaultyOp) FlushAll(emit exec.Emit) error { return f.Inner.FlushAll(emit) }
+
+// Staller models a stalled subscriber: it parks on a subscription channel
+// without reading until released, then drains to completion. The producer
+// side must shed (LFTA rings) or backpressure (HFTA edges) exactly as the
+// drop-placement policy says; the stall tests pin that accounting.
+type Staller struct {
+	c        <-chan exec.Batch
+	release  chan struct{}
+	done     chan struct{}
+	tuples   atomic.Uint64
+	released atomic.Bool
+}
+
+// NewStaller starts stalling the given channel immediately.
+func NewStaller(c <-chan exec.Batch) *Staller {
+	s := &Staller{c: c, release: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		<-s.release
+		for b := range s.c {
+			s.tuples.Add(uint64(b.Tuples()))
+		}
+	}()
+	return s
+}
+
+// Release un-stalls the subscriber; it drains from here on.
+func (s *Staller) Release() {
+	if s.released.CompareAndSwap(false, true) {
+		close(s.release)
+	}
+}
+
+// Wait blocks until the drained channel closes (call Release first).
+func (s *Staller) Wait() { <-s.done }
+
+// Tuples returns how many tuples the staller consumed after release.
+func (s *Staller) Tuples() uint64 { return s.tuples.Load() }

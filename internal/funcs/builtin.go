@@ -14,6 +14,43 @@ import (
 // expression matching over packet payloads (§4) — plus casts and string
 // helpers network analysts commonly need.
 
+// SampleFraction reports whether v falls inside the sampled fraction
+// `rate` of the value space under a fixed FNV-1a hash. Exported so load
+// models (the capture cost simulation in E10) can mirror exactly what a
+// rebound samplehash predicate keeps. Monotone in rate: the set kept at
+// rate r is a subset of the set kept at any r' > r.
+func SampleFraction(v schema.Value, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	switch v.Type {
+	case schema.TString:
+		for _, b := range v.B {
+			h = (h ^ uint64(b)) * prime64
+		}
+	default:
+		u := v.U
+		if v.Type == schema.TFloat {
+			u = uint64(v.F)
+		}
+		for i := 0; i < 8; i++ {
+			h = (h ^ (u & 0xff)) * prime64
+			u >>= 8
+		}
+	}
+	// Top bits are the best-mixed; compare against the rate threshold in
+	// 1/2^32 units.
+	return float64(h>>32) < rate*float64(1<<32)
+}
+
 func registerBuiltinScalars(r *Registry) {
 	must := func(err error) {
 		if err != nil {
@@ -150,6 +187,24 @@ func registerBuiltinScalars(r *Registry) {
 			}
 			mask := ^uint32(0) << (32 - ml)
 			return schema.MakeIP(args[0].IP() & mask), true
+		},
+	}))
+
+	// samplehash(x, rate) -> bool. Deterministic hash-based sampling (paper
+	// §4: load shedding by "setting the sampling rate of some of the
+	// queries"): true for the fraction `rate` of the value space, so a
+	// WHERE samplehash(srcIP, $rate) predicate thins a stream reproducibly
+	// — the same value always samples the same way at a given rate, and
+	// raising the rate strictly grows the kept set (no resample churn when
+	// the overload controller adjusts the parameter). Cheap: LFTA-safe.
+	must(r.RegisterScalar(&Scalar{
+		Name:      "samplehash",
+		Args:      []schema.Type{schema.TNull, schema.TFloat},
+		Ret:       schema.TBool,
+		Cost:      CostCheap,
+		HandleArg: -1,
+		Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+			return schema.MakeBool(SampleFraction(args[0], args[1].Float())), true
 		},
 	}))
 

@@ -1,0 +1,59 @@
+package gsql_test
+
+import (
+	"testing"
+
+	"gigascope/internal/core"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// FuzzParseGSQL drives arbitrary source text through the parser and — when
+// it parses — the compiler. Errors are the expected outcome for garbage
+// input; any panic (including a schema-catalog lookup on an unknown name)
+// is a bug.
+func FuzzParseGSQL(f *testing.F) {
+	seeds := []string{
+		`SELECT time FROM tcp`,
+		`DEFINE { query_name q; } SELECT time, srcIP FROM eth0.TCP WHERE destPort = 80`,
+		`DEFINE { query_name agg; } SELECT tb, count(*), sum(len) FROM tcp GROUP BY time as tb`,
+		`DEFINE { query_name p; param port uint; } SELECT time FROM tcp WHERE destPort = $port`,
+		`SELECT time FROM udp WHERE samplehash(srcIP, 0.5)`,
+		`DEFINE { query_name j; } SELECT s.time, r.srcIP FROM tcp s, udp r WHERE s.time = r.time`,
+		`SELECT time FROM nosuchstream`,
+		`SELECT nosuchcol FROM tcp`,
+		`PROTOCOL base (time uint (increasing)) { }`,
+		`SELECT time FROM tcp WHERE str_regex_match(payload, '^GET .*')`,
+		`SELECT time FROM tcp HAVING count(*) > 3`,
+		`SELECT 1 +`,
+		`DEFINE { query_name x; } SELECT`,
+		"SELECT time FROM tcp WHERE destPort = 80 and\x00",
+		`SELECT time/0, srcIP|0xff FROM tcp GROUP BY time`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Fresh catalog per input: compilation registers output schemas, and
+		// a shared catalog would make crashes order-dependent.
+		cat := schema.NewCatalog()
+		if err := pkt.RegisterBuiltins(cat); err != nil {
+			t.Fatal(err)
+		}
+		script, err := gsql.ParseScript(src)
+		if err != nil {
+			return
+		}
+		for _, def := range script.Protocols {
+			sc, err := core.ProtocolSchema(def)
+			if err != nil {
+				continue
+			}
+			_ = cat.Register(sc)
+		}
+		for _, q := range script.Queries {
+			_, _ = core.Compile(cat, q, nil)
+		}
+	})
+}

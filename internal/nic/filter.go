@@ -74,7 +74,13 @@ func (c Cmp) Match(p *pkt.Packet) bool {
 }
 
 func (c Cmp) String() string {
-	return fmt.Sprintf("u%d[%d]%s %s %d", c.Raw.Width*8, c.Raw.Off, maskStr(c.Raw), c.Op, c.Val)
+	off := fmt.Sprintf("%d", c.Raw.Off)
+	if c.Raw.L4 {
+		// IHL-indirect read: offset rebased on the packet's IP header
+		// length, BPF's "ldx 4*([14]&0xf)" idiom.
+		off = "x+" + off
+	}
+	return fmt.Sprintf("u%d[%s]%s %s %d", c.Raw.Width*8, off, maskStr(c.Raw), c.Op, c.Val)
 }
 
 func maskStr(r pkt.RawRef) string {

@@ -1,0 +1,69 @@
+package pkt_test
+
+import (
+	"testing"
+
+	"gigascope/internal/faultinject"
+	"gigascope/internal/pkt"
+)
+
+// FuzzPacketInterp runs arbitrary capture bytes through the entire
+// interpretation library — every extractor, every NIC-pushable raw
+// reference, plus the structural helpers. Extractors must report absence
+// on unreadable frames (truncated captures, corrupt IHL, bogus lengths),
+// never panic or read out of bounds.
+func FuzzPacketInterp(f *testing.F) {
+	tcp := pkt.BuildTCP(1_000_000, pkt.TCPSpec{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 30000, DstPort: 80,
+		Payload: []byte("GET / HTTP/1.1\r\n"),
+	})
+	udp := pkt.BuildUDP(2_000_000, pkt.UDPSpec{
+		SrcIP: 0x0a000003, DstIP: 0x0a000004, SrcPort: 53, DstPort: 53,
+		Payload: []byte("dns"),
+	})
+	f.Add(tcp.Data, uint64(tcp.WireLen))
+	f.Add(udp.Data, uint64(udp.WireLen))
+	// Truncation boundaries: mid-Ethernet, mid-IP, mid-transport.
+	for _, cut := range []int{0, 1, 13, 14, 20, 33, 34, 35, 53} {
+		if cut < len(tcp.Data) {
+			f.Add(append([]byte(nil), tcp.Data[:cut]...), uint64(tcp.WireLen))
+		}
+	}
+	// Seeded faulted frames: corrupt IHL, bogus total length, IP options.
+	for _, kindCfg := range []faultinject.Config{
+		{Seed: 1, BadIHL: 1},
+		{Seed: 2, BadTotalLen: 1},
+		{Seed: 3, Options: 1},
+	} {
+		inj := faultinject.New(kindCfg)
+		p := tcp
+		if q, _, ok := inj.Apply(&p); ok {
+			f.Add(append([]byte(nil), q.Data...), uint64(q.WireLen))
+		}
+	}
+	f.Add([]byte{}, uint64(0))
+
+	names := pkt.InterpNames()
+	f.Fuzz(func(t *testing.T, data []byte, wireLen uint64) {
+		p := &pkt.Packet{TS: 1, WireLen: int(wireLen % (1 << 20)), Data: data}
+		for _, name := range names {
+			spec, ok := pkt.LookupInterp(name)
+			if !ok {
+				t.Fatalf("registered name %s not found", name)
+			}
+			if v, ok := spec.Extract(p); ok && int(v.Type) < 0 {
+				t.Fatalf("%s produced invalid value type", name)
+			}
+			if spec.Raw != nil {
+				spec.Raw.Read(p)
+			}
+		}
+		p.IsIPv4()
+		p.IPHeaderLen()
+		p.L4Offset()
+		p.PayloadOffset()
+		p.Payload()
+		_ = pkt.Verify(p)
+		p.Snap(32)
+	})
+}

@@ -16,26 +16,43 @@ type ExtractFunc func(p *Packet) (schema.Value, bool)
 // RawRef describes a field as a fixed-offset big-endian header read, which
 // lets the planner push predicates on the field into the NIC's BPF engine:
 // value = (read(Off, Width) >> Shift) & Mask. A zero Mask means "no mask".
-// Raw refs assume IPv4 without options (IHL=5), the layout the traffic
-// synthesizer always emits and the common case on real links.
+//
+// Off is stated for the common IPv4-without-options layout (IHL=5). Fields
+// past the IP header set L4, and Read then rebases the offset on the
+// packet's actual IHL — the BPF indirect-load idiom (ldx 4*([14]&0xf)) —
+// so option-bearing packets are read at their true transport offset
+// instead of inside the options. A packet whose IHL cannot be validated
+// (truncated capture, IHL < 5) reads as absent, matching the full
+// extractor's failure on the same bytes.
 type RawRef struct {
 	Off   int
 	Width int // 1, 2, or 4 bytes
 	Shift uint
 	Mask  uint64
+	// L4 marks Off as relative to the assumed-IHL=5 transport base; Read
+	// adjusts it by the packet's real IP header length.
+	L4 bool
 }
 
 // Read evaluates the raw reference against a packet.
 func (r RawRef) Read(p *Packet) (uint64, bool) {
+	off := r.Off
+	if r.L4 {
+		base, ok := p.L4Offset()
+		if !ok {
+			return 0, false
+		}
+		off = base + (r.Off - l4Base)
+	}
 	var v uint64
 	var ok bool
 	switch r.Width {
 	case 1:
-		v, ok = p.U8(r.Off)
+		v, ok = p.U8(off)
 	case 2:
-		v, ok = p.U16(r.Off)
+		v, ok = p.U16(off)
 	case 4:
-		v, ok = p.U32(r.Off)
+		v, ok = p.U32(off)
 	}
 	if !ok {
 		return 0, false
@@ -136,10 +153,10 @@ func rawUintField(name string, raw RawRef) *FieldSpec {
 }
 
 // l4Field reads a 16-bit field at the given offset within the transport
-// header, honoring variable IP header lengths via the extractor while
-// advertising the fixed-IHL offset for BPF pushdown.
+// header. The raw ref carries the L4 flag, so both the extractor and any
+// NIC-pushed predicate honor variable IP header lengths.
 func l4Field(name string, l4off int) *FieldSpec {
-	raw := RawRef{Off: l4Base + l4off, Width: 2}
+	raw := RawRef{Off: l4Base + l4off, Width: 2, L4: true}
 	return uintField(name, raw.End(), &raw, func(p *Packet) (uint64, bool) {
 		base, ok := p.L4Offset()
 		if !ok {

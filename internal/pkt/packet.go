@@ -107,7 +107,11 @@ func (p *Packet) IPHeaderLen() (int, bool) {
 	if !ok {
 		return 0, false
 	}
-	return int(v&0x0f) * 4, true
+	ihl := int(v & 0x0f)
+	if ihl < 5 { // corrupt header: IHL below the 20-byte minimum
+		return 0, false
+	}
+	return ihl * 4, true
 }
 
 // L4Offset returns the offset of the transport header.
@@ -291,6 +295,9 @@ func Verify(p *Packet) error {
 	}
 	if int(tl)+EthHeaderLen != p.WireLen {
 		return fmt.Errorf("pkt: IP total length %d inconsistent with wire length %d", tl, p.WireLen)
+	}
+	if ipOff+ihl > len(p.Data) {
+		return fmt.Errorf("pkt: capture shorter than the %d-byte IP header", ihl)
 	}
 	if ipChecksum(p.Data[ipOff:ipOff+ihl]) != 0 {
 		return fmt.Errorf("pkt: bad IP checksum")

@@ -207,7 +207,10 @@ func TestBuiltinSchemasValid(t *testing.T) {
 			}
 		}
 	}
-	tcp := cat.MustLookup("TCP")
+	tcp, ok := cat.Lookup("TCP")
+	if !ok {
+		t.Fatal("TCP not in catalog")
+	}
 	if i, _ := tcp.Col("destPort"); i < 0 {
 		t.Error("TCP.destPort missing")
 	}

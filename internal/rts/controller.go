@@ -1,0 +1,297 @@
+package rts
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// OverloadStream is the default stream name an overload controller's
+// decision tuples publish under. Like the sysmon streams it is a
+// first-class catalog stream: GSQL queries can read the controller's own
+// behavior (FROM SYSMON.Overload).
+const OverloadStream = "SYSMON.Overload"
+
+// OverloadConfig tunes one closed-loop overload controller: the paper's
+// §4 parameter-based load shedding ("reducing the amount of data sent to
+// the HFTAs, e.g. by setting the sampling rate of some of the queries")
+// run as an automatic loop instead of a manual knob. The controller
+// watches the drop counters of one interface's capture path and one
+// target query, and pushes a sampling-rate parameter through the
+// SetParams command path — throttling multiplicatively under overload and
+// restoring the rate once the system has stayed healthy, with hysteresis
+// in both directions.
+type OverloadConfig struct {
+	// Stream names the controller's decision stream; OverloadStream when
+	// empty.
+	Stream string
+	// Iface is the interface whose capture stack (Stats().RingDrops,
+	// Livelocked()) is watched; the default interface when empty.
+	Iface string
+	// Target is the registered query whose parameter is throttled; its
+	// output-ring shed counters are watched too (for a sharded LFTA the
+	// per-shard rings are summed). Required.
+	Target string
+	// Param is the target's sampling-rate parameter (a GSQL `param <name>
+	// float` in its DEFINE block). Required.
+	Param string
+
+	// Full is the healthy sampling rate restored after recovery (1.0 when
+	// zero); Min is the throttle floor (0.05 when zero).
+	Full float64
+	Min  float64
+	// StepDown multiplies the rate on each overloaded decision (0.5 when
+	// zero); StepUp multiplies it on each restore step (1.25 when zero).
+	StepDown float64
+	StepUp   float64
+
+	// HighWater is the per-interval drop delta (capture ring drops plus
+	// target ring sheds) that marks the interval overloaded (default 1;
+	// a livelocked capture ring always does). LowWater is the delta at or
+	// below which the interval counts as recovered (default 0). Deltas in
+	// between touch neither run — the hysteresis dead band.
+	HighWater uint64
+	LowWater  uint64
+	// TripIntervals is how many consecutive overloaded intervals arm a
+	// throttle step (default 1); HoldIntervals how many consecutive
+	// recovered intervals arm each restore step (default 3, so restoring
+	// is slower than shedding).
+	TripIntervals int
+	HoldIntervals int
+
+	// IntervalUsec is the decision interval on the virtual clock
+	// (default 100ms).
+	IntervalUsec uint64
+
+	// OnApply, when set, observes every applied rate change — the hook
+	// load models use to keep a simulated capture cost consistent with
+	// the rebound predicate.
+	OnApply func(rate float64)
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.Stream == "" {
+		c.Stream = OverloadStream
+	}
+	if c.Full == 0 {
+		c.Full = 1.0
+	}
+	if c.Min == 0 {
+		c.Min = 0.05
+	}
+	if c.StepDown == 0 {
+		c.StepDown = 0.5
+	}
+	if c.StepUp == 0 {
+		c.StepUp = 1.25
+	}
+	if c.HighWater == 0 {
+		c.HighWater = 1
+	}
+	if c.TripIntervals == 0 {
+		c.TripIntervals = 1
+	}
+	if c.HoldIntervals == 0 {
+		c.HoldIntervals = 3
+	}
+	if c.IntervalUsec == 0 {
+		c.IntervalUsec = 100_000
+	}
+	return c
+}
+
+// overloadSchema is the decision stream layout: one row per decision
+// interval.
+func overloadSchema(name string) *schema.Schema {
+	return &schema.Schema{
+		Name: name,
+		Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "ts", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "iface", Type: schema.TString},
+			{Name: "target", Type: schema.TString},
+			{Name: "rate", Type: schema.TFloat},
+			{Name: "drops", Type: schema.TUint},    // drop delta observed this interval
+			{Name: "livelocked", Type: schema.TBool},
+			{Name: "throttled", Type: schema.TBool}, // rate below Full
+			{Name: "applied", Type: schema.TBool},   // SetParams succeeded (or no change needed)
+		},
+	}
+}
+
+// overloadController implements SourceNode: it rides the same virtual
+// clock as the sysmon samplers, so decisions are deterministic for a
+// given packet sequence and need no wall-clock timer.
+type overloadController struct {
+	m      *Manager
+	cfg    OverloadConfig
+	it     *Interface
+	target *queryNode
+	out    *schema.Schema
+
+	last      uint64
+	prevDrops uint64
+	rate      float64
+	badRun    int
+	goodRun   int
+	stats     exec.Counters
+}
+
+// AttachOverloadController registers a closed-loop overload controller as
+// a clock-driven source node. The target query must already be registered
+// (add queries first, attach controllers second); its throttle parameter
+// starts at cfg.Full. Call before Start, alongside the other source
+// nodes.
+func (m *Manager) AttachOverloadController(cfg OverloadConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" || cfg.Param == "" {
+		return fmt.Errorf("rts: overload controller needs Target and Param")
+	}
+	m.mu.Lock()
+	qn, ok := m.nodes[strings.ToLower(cfg.Target)]
+	var it *Interface
+	if ok {
+		it = m.ifaceLocked(ifaceNameOrDefault(cfg.Iface))
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rts: overload controller target %s not registered", cfg.Target)
+	}
+	ctrl := &overloadController{
+		m:      m,
+		cfg:    cfg,
+		it:     it,
+		target: qn,
+		out:    overloadSchema(cfg.Stream),
+		rate:   cfg.Full,
+	}
+	return m.AddSourceNode(cfg.Stream, ctrl)
+}
+
+func ifaceNameOrDefault(name string) string {
+	if name == "" {
+		return DefaultInterface
+	}
+	return name
+}
+
+// OutSchema implements SourceNode.
+func (c *overloadController) OutSchema() *schema.Schema { return c.out }
+
+// Stats reports the controller's own operator counters (decisions in,
+// rows out), so it shows up in SYSMON.NodeStats like any node.
+func (c *overloadController) Stats() exec.OpStats { return c.stats.Snapshot() }
+
+// Tick implements SourceNode: one control decision per interval.
+func (c *overloadController) Tick(nowUsec uint64, emit exec.Emit) {
+	if nowUsec < c.last+c.cfg.IntervalUsec {
+		return
+	}
+	c.decide(nowUsec, emit)
+}
+
+// Heartbeat implements SourceNode.
+func (c *overloadController) Heartbeat(nowUsec uint64, emit exec.Emit) {
+	if nowUsec == 0 {
+		return
+	}
+	bounds := make(schema.Tuple, len(c.out.Cols))
+	bounds[0] = schema.MakeUint(nowUsec)
+	emit(exec.HeartbeatMsg(bounds))
+}
+
+// Flush implements SourceNode: one final decision row at shutdown.
+func (c *overloadController) Flush(nowUsec uint64, emit exec.Emit) {
+	if nowUsec < c.last {
+		nowUsec = c.last
+	}
+	c.decide(nowUsec, emit)
+}
+
+// drops sums the watched drop counters: the capture stack's ring drops
+// plus the tuples shed at the target's output rings (per-shard rings
+// included for a sharded target).
+func (c *overloadController) drops() (uint64, bool) {
+	n := c.target.pub.drops.Load()
+	for _, sh := range c.target.shardsOf {
+		n += sh.pub.drops.Load()
+	}
+	s := c.it.stats()
+	if s.HasCapture {
+		n += s.Capture.RingDrops
+	}
+	return n, s.Livelocked
+}
+
+func (c *overloadController) decide(nowUsec uint64, emit exec.Emit) {
+	c.last = nowUsec
+	c.stats.In.Add(1)
+	cur, livelocked := c.drops()
+	d := cur - c.prevDrops
+	if cur < c.prevDrops { // counter reset (target restarted)
+		d = 0
+	}
+	c.prevDrops = cur
+
+	overloaded := livelocked || d >= c.cfg.HighWater
+	recovered := !livelocked && d <= c.cfg.LowWater
+	newRate := c.rate
+	switch {
+	case overloaded:
+		c.goodRun = 0
+		c.badRun++
+		if c.badRun >= c.cfg.TripIntervals {
+			newRate = c.rate * c.cfg.StepDown
+			if newRate < c.cfg.Min {
+				newRate = c.cfg.Min
+			}
+			c.badRun = 0
+		}
+	case recovered:
+		c.badRun = 0
+		if c.rate < c.cfg.Full {
+			c.goodRun++
+			if c.goodRun >= c.cfg.HoldIntervals {
+				newRate = c.rate * c.cfg.StepUp
+				if newRate > c.cfg.Full {
+					newRate = c.cfg.Full
+				}
+				c.goodRun = 0
+			}
+		}
+	default:
+		// Dead band: neither run advances — hysteresis.
+		c.badRun = 0
+		c.goodRun = 0
+	}
+
+	applied := true
+	if newRate != c.rate {
+		err := c.target.setParams(map[string]schema.Value{c.cfg.Param: schema.MakeFloat(newRate)})
+		if err != nil {
+			applied = false
+		} else {
+			c.rate = newRate
+			if c.cfg.OnApply != nil {
+				c.cfg.OnApply(newRate)
+			}
+		}
+	}
+
+	c.stats.Out.Add(1)
+	emit(exec.TupleMsg(schema.Tuple{
+		schema.MakeUint(nowUsec),
+		schema.MakeStr(c.it.Name()),
+		schema.MakeStr(c.target.name),
+		schema.MakeFloat(c.rate),
+		schema.MakeUint(d),
+		schema.MakeBool(livelocked),
+		schema.MakeBool(c.rate < c.cfg.Full),
+		schema.MakeBool(applied),
+	}))
+	bounds := make(schema.Tuple, len(c.out.Cols))
+	bounds[0] = schema.MakeUint(nowUsec)
+	emit(exec.HeartbeatMsg(bounds))
+}

@@ -1,0 +1,229 @@
+package rts
+
+import (
+	"testing"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/schema"
+)
+
+// The controller throttles the target's sampling rate multiplicatively
+// while the watched drop counters climb, then restores it with hysteresis
+// once they stay quiet — and the rate it pushes really governs the
+// target's LFTA filter.
+func TestOverloadControllerThrottleAndRestore(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name tq; param srate float; }
+		SELECT time, srcIP FROM tcp
+		WHERE destPort = 80 and samplehash(srcIP, $srate)`)
+	if err := m.AddQuery(cq, map[string]schema.Value{"srate": schema.MakeFloat(1.0)}); err != nil {
+		t.Fatal(err)
+	}
+	var applied []float64
+	err := m.AttachOverloadController(OverloadConfig{
+		Target:        "tq",
+		Param:         "srate",
+		HighWater:     10,
+		HoldIntervals: 2,
+		IntervalUsec:  100_000,
+		OnApply:       func(rate float64) { applied = append(applied, rate) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decSub, err := m.Subscribe(OverloadStream, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSub, err := m.Subscribe("tq", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	qn := m.nodes["tq"]
+	clock := uint64(0)
+	step := func(drops uint64) {
+		qn.pub.drops.Add(drops)
+		clock += 100_000
+		m.AdvanceClock(clock)
+	}
+
+	// Three overloaded intervals: 1.0 -> 0.5 -> 0.25 -> 0.125.
+	step(100)
+	step(100)
+	step(100)
+	if len(applied) != 3 || applied[2] != 0.125 {
+		t.Fatalf("throttle steps = %v, want [0.5 0.25 0.125]", applied)
+	}
+
+	// The pushed rate governs the filter: of 200 distinct source IPs, the
+	// query passes exactly the hash-sampled subset at rate 0.125.
+	want := 0
+	base := clock
+	for i := 0; i < 200; i++ {
+		ip := uint32(0x0a000000 + i)
+		if funcs.SampleFraction(schema.MakeIP(ip), 0.125) {
+			want++
+		}
+		p := tcpPkt(1, ip, 80, "x")
+		p.TS = base + uint64(i+1) // microsecond apart: no interval boundary crossed
+		m.Inject("", &p)
+	}
+	if want == 0 || want == 200 {
+		t.Fatalf("degenerate sample: want = %d of 200", want)
+	}
+	clock += 200
+
+	// Quiet intervals: HoldIntervals=2 per restore step, StepUp 1.25
+	// capped at Full. 0.125 -> 0.15625 -> ... -> 1.0.
+	for i := 0; i < 40; i++ {
+		step(0)
+	}
+	if len(applied) == 3 {
+		t.Fatal("rate never restored after recovery")
+	}
+	if got := applied[len(applied)-1]; got != 1.0 {
+		t.Fatalf("final rate = %v, want full restore to 1.0", got)
+	}
+	// Restoring is stepwise and slower than shedding: strictly increasing
+	// after the throttle phase.
+	for i := 4; i < len(applied); i++ {
+		if applied[i] <= applied[i-1] {
+			t.Fatalf("restore not monotone: %v", applied)
+		}
+	}
+
+	m.Stop()
+	rows := drain(t, outSub)
+	if len(rows) != want {
+		t.Fatalf("target passed %d tuples at rate 0.125, want %d", len(rows), want)
+	}
+
+	// The decision stream carries one row per interval with the applied
+	// rate; the throttled flag tracks rate < Full.
+	decRows := drain(t, decSub)
+	if len(decRows) == 0 {
+		t.Fatal("no decision tuples on the controller stream")
+	}
+	sawThrottled := false
+	for _, r := range decRows {
+		rate := r[3].F
+		throttled := r[6].U != 0
+		if throttled != (rate < 1.0) {
+			t.Fatalf("decision row inconsistent: rate=%v throttled=%v", rate, throttled)
+		}
+		if throttled {
+			sawThrottled = true
+		}
+		if appliedOK := r[7].U != 0; !appliedOK {
+			t.Fatalf("decision row reports failed SetParams: %v", r)
+		}
+	}
+	if !sawThrottled {
+		t.Fatal("no throttled decision rows recorded")
+	}
+}
+
+// Hysteresis dead band: drop deltas between LowWater and HighWater
+// advance neither run, so the rate holds steady.
+func TestOverloadControllerDeadBand(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name dq; param srate float; }
+		SELECT time, srcIP FROM tcp
+		WHERE destPort = 80 and samplehash(srcIP, $srate)`)
+	if err := m.AddQuery(cq, map[string]schema.Value{"srate": schema.MakeFloat(1.0)}); err != nil {
+		t.Fatal(err)
+	}
+	var applied []float64
+	err := m.AttachOverloadController(OverloadConfig{
+		Target:        "dq",
+		Param:         "srate",
+		HighWater:     100,
+		LowWater:      0,
+		HoldIntervals: 1,
+		IntervalUsec:  100_000,
+		OnApply:       func(rate float64) { applied = append(applied, rate) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	qn := m.nodes["dq"]
+	// One trip below Min... first overload: 1.0 -> 0.5.
+	qn.pub.drops.Add(1000)
+	m.AdvanceClock(100_000)
+	if len(applied) != 1 || applied[0] != 0.5 {
+		t.Fatalf("applied = %v, want [0.5]", applied)
+	}
+	// In-band deltas (0 < 50 < 100): hold at 0.5, no restore, no throttle.
+	clock := uint64(100_000)
+	for i := 0; i < 10; i++ {
+		qn.pub.drops.Add(50)
+		clock += 100_000
+		m.AdvanceClock(clock)
+	}
+	if len(applied) != 1 {
+		t.Fatalf("dead band moved the rate: %v", applied)
+	}
+	m.Stop()
+}
+
+// The throttle floor: repeated overload never pushes the rate below Min.
+func TestOverloadControllerFloor(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name fq; param srate float; }
+		SELECT time FROM tcp WHERE samplehash(srcIP, $srate)`)
+	if err := m.AddQuery(cq, map[string]schema.Value{"srate": schema.MakeFloat(1.0)}); err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	err := m.AttachOverloadController(OverloadConfig{
+		Target:       "fq",
+		Param:        "srate",
+		Min:          0.1,
+		IntervalUsec: 100_000,
+		OnApply:      func(rate float64) { last = rate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	qn := m.nodes["fq"]
+	clock := uint64(0)
+	for i := 0; i < 20; i++ {
+		qn.pub.drops.Add(1000)
+		clock += 100_000
+		m.AdvanceClock(clock)
+	}
+	if last != 0.1 {
+		t.Fatalf("rate = %v, want floor 0.1", last)
+	}
+	m.Stop()
+}
+
+func TestAttachOverloadControllerValidation(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	if err := m.AttachOverloadController(OverloadConfig{Param: "p"}); err == nil {
+		t.Error("missing target accepted")
+	}
+	if err := m.AttachOverloadController(OverloadConfig{Target: "x"}); err == nil {
+		t.Error("missing param accepted")
+	}
+	if err := m.AttachOverloadController(OverloadConfig{Target: "ghost", Param: "p"}); err == nil {
+		t.Error("unregistered target accepted")
+	}
+}

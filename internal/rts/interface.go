@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"gigascope/internal/capture"
+	"gigascope/internal/faultinject"
 	"gigascope/internal/nic"
 	"gigascope/internal/pkt"
 )
@@ -35,6 +36,7 @@ type Interface struct {
 	heartbeats   uint64 // source heartbeats emitted
 	capStack     *capture.Stack
 	nicDev       *nic.Device
+	faults       *faultinject.Injector
 	hbAsked      atomic.Bool
 	shutdownOnce sync.Once
 }
@@ -111,6 +113,18 @@ func (it *Interface) BindNIC(d *nic.Device) {
 	it.nicDev = d
 }
 
+// BindFaults routes every injected packet through a seeded fault
+// injector before the NIC and capture stack: the dirty-input path of a
+// real tap (truncated captures, mangled headers, option-bearing frames,
+// clock skew) applied to this interface only. Faulted packets are
+// mutated copies — a packet shared with another interface stays clean
+// there. Bind before traffic starts.
+func (it *Interface) BindFaults(inj *faultinject.Injector) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.faults = inj
+}
+
 // Inject delivers one packet to every attached LFTA inline (the capture
 // path). The packet timestamp advances the interface clock. Bound NIC and
 // capture-stack devices see the packet first and may filter, snap, or
@@ -139,6 +153,12 @@ func (it *Interface) InjectBatch(ps []*pkt.Packet) {
 	}
 	it.mu.Lock()
 	lftas := it.lftas
+	if it.faults != nil {
+		// Faults land before the NIC and capture stack see the window —
+		// the wire is where frames get dirty — and before the clock
+		// advance, so injected clock skew moves this interface's clock.
+		ps = it.faults.ApplyBatch(ps)
+	}
 	for _, p := range ps {
 		if p.TS > it.clock {
 			it.clock = p.TS

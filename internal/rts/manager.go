@@ -72,6 +72,14 @@ type Config struct {
 	// per-shard streams are also registered (mangled "name#shard<i>") and
 	// subscribable like any other stream.
 	Shards int
+	// QuarantineRestartUsec enables auto-restart of quarantined query
+	// nodes: a node that panicked is re-instantiated with clean state once
+	// this much virtual time has passed, doubling per subsequent
+	// quarantine up to 64x (bounded exponential backoff). 0 (the default)
+	// makes quarantine permanent until the RTS restarts. User-written and
+	// source nodes never auto-restart: there is no compiled plan to
+	// rebuild them from.
+	QuarantineRestartUsec uint64
 }
 
 func (c Config) ringSize() int {
@@ -213,6 +221,7 @@ func (m *Manager) AddQuery(cq *core.CompiledQuery, params map[string]schema.Valu
 			node:     n,
 			inst:     inst,
 			op:       inst.Op,
+			params:   cloneParams(params),
 			pub:      &publisher{name: n.Name, level: n.Level, shed: n.Level == core.LevelLFTA},
 			maxBatch: m.cfg.maxBatch(),
 			// LFTAs flush on heartbeat so ordering bounds reach downstream
@@ -357,6 +366,7 @@ func (m *Manager) addShardedLFTA(n *core.Node, params map[string]schema.Value) (
 			node:     n,
 			inst:     insts[i],
 			op:       insts[i].Op,
+			params:   cloneParams(params),
 			pub:      &publisher{name: name, level: core.LevelLFTA, shed: true},
 			maxBatch: m.cfg.maxBatch(),
 			hbFlush:  true,
@@ -538,6 +548,32 @@ type NodeStats struct {
 	// OrderViolations counts imputed-ordering violations observed when
 	// Config.ValidateOrdering is on (anything non-zero is a bug).
 	OrderViolations uint64
+	// Quarantine state: a node whose operator panicked is detached from
+	// its publisher until a clean-state restart (Config.
+	// QuarantineRestartUsec) or forever. Quarantines counts entries,
+	// Restarts clean-state recoveries, QuarDrop tuples discarded while
+	// quarantined, and OpErrors non-fatal operator errors (Push returned
+	// an error; the node kept running).
+	Quarantined      bool
+	Quarantines      uint64
+	Restarts         uint64
+	QuarDrop         uint64
+	OpErrors         uint64
+	QuarantineReason string // last panic message, empty if never quarantined
+}
+
+// cloneParams copies a parameter-binding map so each query node owns its
+// bindings (rebinding one sharded instance must not alias another's
+// restart state).
+func cloneParams(params map[string]schema.Value) map[string]schema.Value {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make(map[string]schema.Value, len(params))
+	for k, v := range params {
+		out[k] = v
+	}
+	return out
 }
 
 // Stats returns a snapshot for every node, sorted by name.

@@ -65,6 +65,28 @@ type queryNode struct {
 	started atomic.Bool
 	mu      sync.Mutex // guards inline LFTA execution vs setParams
 
+	// Quarantine state. A panic escaping the operator poisons its state:
+	// the node detaches from its publisher (everything it would emit is
+	// discarded and counted in quarDrop) until a clean-state restart, or
+	// forever when restart is disabled or impossible. The flag and
+	// counters are atomic for lock-free stats; the restart bookkeeping
+	// (restartAt, backoffUsec, params) changes only under qn.mu.
+	quarantined atomic.Bool
+	quarantines atomic.Uint64 // times the node entered quarantine
+	restarts    atomic.Uint64 // clean-state restarts performed
+	quarDrop    atomic.Uint64 // tuples discarded while quarantined
+	opErrors    atomic.Uint64 // non-fatal operator errors (Push returned error)
+	quarReason  atomic.Value  // string: last panic message
+	restartAt   uint64        // virtual-clock eligibility for restart; 0 = permanent
+	backoffUsec uint64        // current restart backoff (doubles per quarantine)
+	params      map[string]schema.Value // instantiation bindings, for clean restarts
+
+	// instMu guards the inst/op pointer identity for stats() readers
+	// against clean-state restart swaps; the executing goroutine itself
+	// is always in the swapper's synchronization domain and reads the
+	// fields directly.
+	instMu sync.Mutex
+
 	// shardIdx is 0 for unsharded nodes and i+1 for the i'th shard instance
 	// of a sharded LFTA (see Manager.addShardedLFTA).
 	shardIdx int
@@ -94,16 +116,7 @@ func (qn *queryNode) start() {
 	qn.cmds = make(chan func(), 4)
 	qn.done = make(chan struct{})
 
-	// Give the merge operator a way to demand heartbeats from a starving
-	// input (the paper's on-demand ordering update tokens, §3).
-	if mg, ok := qn.op.(*exec.Merge); ok {
-		inputs := qn.inputs
-		mg.OnBlocked = func(port int) {
-			if port >= 0 && port < len(inputs) {
-				inputs[port].RequestHeartbeat()
-			}
-		}
-	}
+	qn.wireMerge()
 
 	var fwd sync.WaitGroup
 	for i, sub := range qn.inputs {
@@ -127,6 +140,20 @@ func (qn *queryNode) start() {
 	}()
 }
 
+// wireMerge gives a merge operator a way to demand heartbeats from a
+// starving input (the paper's on-demand ordering update tokens, §3).
+// Called at start and again after a clean-state restart swaps the op.
+func (qn *queryNode) wireMerge() {
+	if mg, ok := qn.op.(*exec.Merge); ok {
+		inputs := qn.inputs
+		mg.OnBlocked = func(port int) {
+			if port >= 0 && port < len(inputs) {
+				inputs[port].RequestHeartbeat()
+			}
+		}
+	}
+}
+
 func (qn *queryNode) loop(openPorts int) {
 	defer close(qn.done)
 	for {
@@ -141,18 +168,28 @@ func (qn *queryNode) loop(openPorts int) {
 			cmd()
 		case pm, ok := <-qn.inbox:
 			if !ok {
-				qn.op.FlushAll(qn.emit)
-				qn.flushPending(&qn.flushWindow)
+				if qn.maybeRestart() {
+					qn.guard("flush", func() error { return qn.op.FlushAll(qn.emit) })
+					qn.flushPending(&qn.flushWindow)
+				}
 				qn.pub.close()
 				return
+			}
+			if !qn.maybeRestart() {
+				// Quarantined: keep draining the inbox so upstream
+				// forwarders never block, discard and count the input.
+				qn.quarDrop.Add(uint64(pm.batch.Tuples()))
+				continue
 			}
 			if pm.done {
 				openPorts--
 				if mg, isMerge := qn.op.(*exec.Merge); isMerge {
-					mg.PortDone(pm.port, qn.emit)
+					qn.guard("portdone", func() error { mg.PortDone(pm.port, qn.emit); return nil })
 				}
 			} else {
-				exec.PushBatch(qn.op, pm.port, pm.batch, qn.emitBatch)
+				qn.guard("push", func() error {
+					return exec.PushBatch(qn.op, pm.port, pm.batch, qn.emitBatch)
+				})
 			}
 			// Window end: one inbox batch fully processed. Flushing here
 			// keeps end-to-end latency identical to the per-message
@@ -160,6 +197,73 @@ func (qn *queryNode) loop(openPorts int) {
 			qn.flushPending(&qn.flushWindow)
 		}
 	}
+}
+
+// guard runs one operator step under panic recovery: a panic quarantines
+// the node in place instead of killing the process (or, on an LFTA,
+// killing the capture path). A returned error is the non-fatal case —
+// counted and survived. Must run in the node's executing context (under
+// qn.mu for inline LFTA/source nodes, on the loop goroutine for HFTAs);
+// reports whether the step completed without panicking.
+func (qn *queryNode) guard(stage string, f func() error) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			qn.quarantine(fmt.Sprintf("%s: %v", stage, r))
+		}
+	}()
+	if err := f(); err != nil {
+		qn.opErrors.Add(1)
+	}
+	return true
+}
+
+// quarantine detaches the node: its poisoned pending output is discarded
+// and every subsequent input is dropped (counted in quarDrop) until a
+// clean-state restart. Executing-context only.
+func (qn *queryNode) quarantine(reason string) {
+	qn.pending = nil // emitted alongside the poisoned operator state: discard
+	qn.quarReason.Store(reason)
+	qn.quarantines.Add(1)
+	qn.quarantined.Store(true)
+	base := qn.m.cfg.QuarantineRestartUsec
+	if base == 0 || qn.node == nil {
+		// Restart disabled, or nothing to rebuild from (user-written and
+		// source nodes carry no compiled plan): quarantine is permanent.
+		qn.restartAt = 0
+		return
+	}
+	// Bounded exponential backoff: base, 2x, 4x, ... capped at 64x.
+	if qn.backoffUsec == 0 {
+		qn.backoffUsec = base
+	} else if qn.backoffUsec < base<<6 {
+		qn.backoffUsec *= 2
+	}
+	qn.restartAt = qn.m.clock.Load() + qn.backoffUsec
+}
+
+// maybeRestart re-instantiates a quarantined node with clean state once
+// its backoff has elapsed on the virtual clock. Reports whether the node
+// is runnable (healthy, or just restarted). Executing-context only.
+func (qn *queryNode) maybeRestart() bool {
+	if !qn.quarantined.Load() {
+		return true
+	}
+	if qn.restartAt == 0 || qn.node == nil || qn.m.clock.Load() < qn.restartAt {
+		return false
+	}
+	inst, err := qn.node.Instantiate(qn.params)
+	if err != nil {
+		qn.restartAt = 0 // bindings no longer instantiate: permanent
+		return false
+	}
+	qn.instMu.Lock()
+	qn.inst = inst
+	qn.op = inst.Op
+	qn.instMu.Unlock()
+	qn.wireMerge()
+	qn.restarts.Add(1)
+	qn.quarantined.Store(false)
+	return true
 }
 
 // initCheckers builds per-column ordering checkers for the output schema.
@@ -229,29 +333,48 @@ func (qn *queryNode) flushPending(reason *atomic.Uint64) {
 // pushPackets runs one capture poll window through an LFTA inline, under a
 // single lock acquisition; the output accumulated over the window flushes
 // onto the rings as one batch (unless size/heartbeat flushes fired first).
+// A quarantined LFTA discards its windows (counted per packet) while every
+// sibling on the interface keeps running.
 func (qn *queryNode) pushPackets(ps []*pkt.Packet) {
 	qn.mu.Lock()
 	defer qn.mu.Unlock()
-	qn.packets.Add(uint64(len(ps)))
-	for _, p := range ps {
-		qn.inst.PushPacket(p, qn.emit)
+	if !qn.maybeRestart() {
+		qn.quarDrop.Add(uint64(len(ps)))
+		return
 	}
-	qn.flushPending(&qn.flushWindow)
+	qn.packets.Add(uint64(len(ps)))
+	if qn.guard("push", func() error {
+		for _, p := range ps {
+			if err := qn.inst.PushPacket(p, qn.emit); err != nil {
+				qn.opErrors.Add(1)
+			}
+		}
+		return nil
+	}) {
+		qn.flushPending(&qn.flushWindow)
+	}
 }
 
 // clockHeartbeat emits a source heartbeat through the LFTA.
 func (qn *queryNode) clockHeartbeat(usec uint64) {
 	qn.mu.Lock()
 	defer qn.mu.Unlock()
-	qn.inst.ClockHeartbeat(usec, qn.emit)
+	if !qn.maybeRestart() {
+		return
+	}
+	qn.guard("heartbeat", func() error { return qn.inst.ClockHeartbeat(usec, qn.emit) })
 }
 
-// flushInline flushes an LFTA at shutdown.
+// flushInline flushes an LFTA at shutdown. A quarantined LFTA skips the
+// flush (its operator state is poisoned) but still closes its publisher
+// so downstream streams end.
 func (qn *queryNode) flushInline() {
 	qn.mu.Lock()
 	defer qn.mu.Unlock()
-	qn.op.FlushAll(qn.emit)
-	qn.flushPending(&qn.flushWindow)
+	if qn.maybeRestart() {
+		qn.guard("flush", func() error { return qn.op.FlushAll(qn.emit) })
+		qn.flushPending(&qn.flushWindow)
+	}
 	qn.pub.close()
 }
 
@@ -274,7 +397,7 @@ func (qn *queryNode) setParams(params map[string]schema.Value) error {
 	if qn.level == core.LevelLFTA {
 		qn.mu.Lock()
 		defer qn.mu.Unlock()
-		return qn.inst.Rebind(params)
+		return qn.rebind(params)
 	}
 	// Checking started and rebinding must be one critical section with
 	// start(): otherwise the node can start — and its loop begin executing
@@ -282,18 +405,18 @@ func (qn *queryNode) setParams(params map[string]schema.Value) error {
 	qn.mu.Lock()
 	if !qn.started.Load() {
 		defer qn.mu.Unlock()
-		return qn.inst.Rebind(params)
+		return qn.rebind(params)
 	}
 	cmds, done := qn.cmds, qn.done
 	qn.mu.Unlock()
 	errc := make(chan error, 1)
 	select {
-	case cmds <- func() { errc <- qn.inst.Rebind(params) }:
+	case cmds <- func() { errc <- qn.rebind(params) }:
 	case <-done:
 		// The loop exited; nothing executes the operator anymore.
 		qn.mu.Lock()
 		defer qn.mu.Unlock()
-		return qn.inst.Rebind(params)
+		return qn.rebind(params)
 	}
 	select {
 	case err := <-errc:
@@ -301,6 +424,23 @@ func (qn *queryNode) setParams(params map[string]schema.Value) error {
 	case <-done:
 		return nil
 	}
+}
+
+// rebind applies a parameter change to the live instance and records the
+// bindings, so a later clean-state restart re-instantiates with the
+// latest values (the overload controller's throttle survives a
+// quarantine). Executing-context only (or under qn.mu when idle).
+func (qn *queryNode) rebind(params map[string]schema.Value) error {
+	if err := qn.inst.Rebind(params); err != nil {
+		return err
+	}
+	if qn.params == nil {
+		qn.params = make(map[string]schema.Value, len(params))
+	}
+	for k, v := range params {
+		qn.params[k] = v
+	}
+	return nil
 }
 
 func (qn *queryNode) stats() NodeStats {
@@ -317,13 +457,26 @@ func (qn *queryNode) stats() NodeStats {
 		FlushWindow: qn.flushWindow.Load(),
 		Packets:     qn.packets.Load(),
 	}
+	ns.Quarantined = qn.quarantined.Load()
+	ns.Quarantines = qn.quarantines.Load()
+	ns.Restarts = qn.restarts.Load()
+	ns.QuarDrop = qn.quarDrop.Load()
+	ns.OpErrors = qn.opErrors.Load()
+	if r, ok := qn.quarReason.Load().(string); ok {
+		ns.QuarantineReason = r
+	}
+	// A clean-state restart swaps the inst/op pair; read it under instMu
+	// so stats stay race-free against the executing goroutine.
+	qn.instMu.Lock()
+	inst, op := qn.inst, qn.op
+	qn.instMu.Unlock()
 	type statser interface{ Stats() exec.OpStats }
 	switch {
-	case qn.inst != nil:
-		ns.Op = qn.inst.Stats()
-		ns.BadPkts = qn.inst.PacketsDropped()
-	case qn.op != nil:
-		if s, ok := qn.op.(statser); ok {
+	case inst != nil:
+		ns.Op = inst.Stats()
+		ns.BadPkts = inst.PacketsDropped()
+	case op != nil:
+		if s, ok := op.(statser); ok {
 			ns.Op = s.Stats()
 		}
 	case qn.src != nil:

@@ -1,0 +1,408 @@
+package rts
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/faultinject"
+	"gigascope/internal/schema"
+)
+
+// passOp is a one-port pass-through operator for user-node tests.
+type passOp struct{ out *schema.Schema }
+
+func (o *passOp) Ports() int                { return 1 }
+func (o *passOp) OutSchema() *schema.Schema { return o.out }
+func (o *passOp) Push(port int, m exec.Message, emit exec.Emit) error {
+	emit(m)
+	return nil
+}
+func (o *passOp) FlushAll(emit exec.Emit) error { return nil }
+
+func valueEq(a, b schema.Value) bool {
+	return a.Type == b.Type && a.U == b.U && a.F == b.F && string(a.B) == string(b.B)
+}
+
+func rowsEqual(a, b []schema.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !valueEq(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func nodeStats(t *testing.T, m *Manager, name string) NodeStats {
+	t.Helper()
+	for _, ns := range m.Stats() {
+		if ns.Name == name {
+			return ns
+		}
+	}
+	t.Fatalf("no stats for node %s", name)
+	return NodeStats{}
+}
+
+// A panic inside one LFTA quarantines that query only: the capture path
+// survives, and a sibling query's output is byte-identical to a
+// fault-free run.
+func TestLFTAPanicQuarantineSiblingByteIdentical(t *testing.T) {
+	run := func(fault bool) (aRows, bRows []schema.Tuple, m *Manager) {
+		cat := newCatalog(t)
+		m = NewManager(cat, Config{})
+		qa := mustCompile(t, cat, `
+			DEFINE { query_name qa; }
+			SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+		qb := mustCompile(t, cat, `
+			DEFINE { query_name qb; }
+			SELECT time, srcIP FROM tcp WHERE destPort = 443`)
+		if err := m.AddQuery(qa, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddQuery(qb, nil); err != nil {
+			t.Fatal(err)
+		}
+		if fault {
+			qn := m.nodes["qa"]
+			qn.inst.Op = &faultinject.FaultyOp{Inner: qn.inst.Op, FailAt: 2, Mode: faultinject.FailPanic}
+		}
+		subA, err := m.Subscribe("qa", 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subB, err := m.Subscribe("qb", 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			port := uint16(80)
+			if i%2 == 1 {
+				port = 443
+			}
+			p := tcpPkt(uint64(i+1), uint32(i+1), port, "x")
+			m.Inject("", &p)
+		}
+		m.Stop()
+		return drain(t, subA), drain(t, subB), m
+	}
+
+	cleanA, cleanB, _ := run(false)
+	faultA, faultB, m := run(true)
+
+	if len(cleanA) != 5 || len(cleanB) != 5 {
+		t.Fatalf("clean run rows: qa=%d qb=%d", len(cleanA), len(cleanB))
+	}
+	// The faulting query delivered only the pre-panic prefix.
+	if len(faultA) != 1 {
+		t.Fatalf("faulting query delivered %d rows, want 1", len(faultA))
+	}
+	// The sibling is byte-identical to the fault-free run.
+	if !rowsEqual(cleanB, faultB) {
+		t.Fatalf("sibling output diverged:\nclean=%v\nfault=%v", cleanB, faultB)
+	}
+	ns := nodeStats(t, m, "qa")
+	if !ns.Quarantined || ns.Quarantines != 1 {
+		t.Fatalf("qa not quarantined: %+v", ns)
+	}
+	if !strings.Contains(ns.QuarantineReason, "forced panic") {
+		t.Fatalf("reason = %q", ns.QuarantineReason)
+	}
+	if ns.QuarDrop == 0 {
+		t.Fatalf("no quarantine drops recorded: %+v", ns)
+	}
+	if nb := nodeStats(t, m, "qb"); nb.Quarantined || nb.Quarantines != 0 {
+		t.Fatalf("sibling quarantined: %+v", nb)
+	}
+}
+
+// A panic in an HFTA-level user node quarantines it on its own goroutine;
+// the node keeps draining its inbox so the upstream forwarder never
+// blocks, and the base stream keeps flowing to other subscribers.
+func TestHFTAPanicQuarantineViaUserNode(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name base; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	baseSchema, ok := cat.Lookup("base")
+	if !ok {
+		t.Fatal("base schema not registered")
+	}
+	fop := &faultinject.FaultyOp{Inner: &passOp{out: baseSchema}, FailAt: 2, Mode: faultinject.FailPanic}
+	if err := m.AddUserNode("relay", fop, []string{"base"}); err != nil {
+		t.Fatal(err)
+	}
+	relaySub, err := m.Subscribe("relay", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSub, err := m.Subscribe("base", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		p := tcpPkt(uint64(i+1), uint32(i+1), 80, "x")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	if rows := drain(t, baseSub); len(rows) != 6 {
+		t.Fatalf("base rows = %d, want 6", len(rows))
+	}
+	if rows := drain(t, relaySub); len(rows) != 1 {
+		t.Fatalf("relay rows = %d, want 1 (pre-panic prefix)", len(rows))
+	}
+	ns := nodeStats(t, m, "relay")
+	if !ns.Quarantined || ns.Quarantines != 1 || ns.QuarDrop == 0 {
+		t.Fatalf("relay stats = %+v", ns)
+	}
+	if fop.Fired() != 1 {
+		t.Fatalf("fault fired %d times, want 1", fop.Fired())
+	}
+}
+
+// An operator error (Push returning error) is the non-fatal case: counted
+// in OpErrors, node keeps running, never quarantined.
+func TestOpErrorCountedNotQuarantined(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name ebase; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := cat.Lookup("ebase")
+	fop := &faultinject.FaultyOp{Inner: &passOp{out: sc}, FailAt: 2, FailEvery: 2, Mode: faultinject.FailError}
+	if err := m.AddUserNode("erelay", fop, []string{"ebase"}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("erelay", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		p := tcpPkt(uint64(i+1), uint32(i+1), 80, "x")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	// Tuples 2, 4, 6 errored; 1, 3, 5 passed through.
+	if rows := drain(t, sub); len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	ns := nodeStats(t, m, "erelay")
+	if ns.Quarantined || ns.Quarantines != 0 {
+		t.Fatalf("errors escalated to quarantine: %+v", ns)
+	}
+	if ns.OpErrors != 3 {
+		t.Fatalf("OpErrors = %d, want 3", ns.OpErrors)
+	}
+}
+
+// Quarantine backoff doubles per entry and caps at 64x the base.
+func TestQuarantineBackoffBounds(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{QuarantineRestartUsec: 1000})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name bq; }
+		SELECT time FROM tcp`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	qn := m.nodes["bq"]
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	want := uint64(1000)
+	for i := 0; i < 12; i++ {
+		qn.quarantine("test")
+		if qn.backoffUsec != want {
+			t.Fatalf("entry %d: backoff = %d, want %d", i, qn.backoffUsec, want)
+		}
+		if want < 64_000 {
+			want *= 2
+		}
+		// Eligible again: restart to reset the quarantined flag.
+		m.clock.Store(qn.restartAt)
+		if !qn.maybeRestart() {
+			t.Fatalf("entry %d: restart refused at eligibility", i)
+		}
+	}
+	if got := qn.restarts.Load(); got != 12 {
+		t.Fatalf("restarts = %d, want 12", got)
+	}
+}
+
+// End-to-end auto-restart: a faulting LFTA quarantines, sits out its
+// backoff dropping input, then restarts with clean state and resumes.
+func TestQuarantineAutoRestart(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{QuarantineRestartUsec: 500_000})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name rq; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	qn := m.nodes["rq"]
+	qn.inst.Op = &faultinject.FaultyOp{Inner: qn.inst.Op, FailAt: 1, Mode: faultinject.FailPanic}
+	sub, err := m.Subscribe("rq", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.AdvanceClock(1_000_000)
+	p1 := tcpPkt(1, 1, 80, "x") // t=1s: panics, restartAt = 1.5s
+	m.Inject("", &p1)
+	p2 := tcpPkt(1, 2, 80, "x") // still inside backoff: dropped
+	p2.TS = 1_200_000
+	m.Inject("", &p2)
+	m.AdvanceClock(2_000_000) // backoff elapsed: heartbeat path restarts
+	p3 := tcpPkt(1, 3, 80, "x")
+	p3.TS = 2_100_000
+	m.Inject("", &p3) // fresh instance: flows
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 1 || rows[0][1].IP() != 3 {
+		t.Fatalf("rows = %v, want the single post-restart tuple", rows)
+	}
+	ns := nodeStats(t, m, "rq")
+	if ns.Quarantined || ns.Quarantines != 1 || ns.Restarts != 1 {
+		t.Fatalf("stats = %+v", ns)
+	}
+	if ns.QuarDrop == 0 {
+		t.Fatalf("backoff window dropped nothing: %+v", ns)
+	}
+}
+
+// panicSource panics on the first tick at or after panicAtUsec.
+type panicSource struct {
+	out         *schema.Schema
+	panicAtUsec uint64
+	ticks       atomic.Uint64
+}
+
+func newPanicSource(panicAt uint64) *panicSource {
+	return &panicSource{
+		out: &schema.Schema{
+			Name: "psrc",
+			Kind: schema.KindStream,
+			Cols: []schema.Column{{Name: "ts", Type: schema.TUint,
+				Ordering: schema.Ordering{Kind: schema.OrderIncreasing}}},
+		},
+		panicAtUsec: panicAt,
+	}
+}
+
+func (s *panicSource) OutSchema() *schema.Schema { return s.out }
+func (s *panicSource) Tick(now uint64, emit exec.Emit) {
+	if now >= s.panicAtUsec {
+		panic("sampler bug")
+	}
+	s.ticks.Add(1)
+	emit(exec.TupleMsg(schema.Tuple{schema.MakeUint(now)}))
+	// Trailing heartbeat, per the SourceNode contract: flushes the sample.
+	emit(exec.HeartbeatMsg(schema.Tuple{schema.MakeUint(now)}))
+}
+func (s *panicSource) Heartbeat(now uint64, emit exec.Emit) {}
+func (s *panicSource) Flush(now uint64, emit exec.Emit)     {}
+
+// A panicking source node quarantines permanently — even with restarts
+// enabled, there is no compiled plan to rebuild it from — and the clock
+// path that drove the tick keeps running.
+func TestSourceNodePanicPermanentQuarantine(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{QuarantineRestartUsec: 1000})
+	if err := m.AddSourceNode("psrc", newPanicSource(2_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("psrc", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.AdvanceClock(1_000_000) // healthy tick
+	m.AdvanceClock(2_000_000) // panics
+	m.AdvanceClock(9_000_000) // far past any backoff: must stay quarantined
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v, want the single healthy sample", rows)
+	}
+	ns := nodeStats(t, m, "psrc")
+	if !ns.Quarantined || ns.Restarts != 0 {
+		t.Fatalf("source node stats = %+v (want permanent quarantine)", ns)
+	}
+	if !strings.Contains(ns.QuarantineReason, "sampler bug") {
+		t.Fatalf("reason = %q", ns.QuarantineReason)
+	}
+}
+
+// On a sharded capture path, a panic in one shard's LFTA instance
+// quarantines that shard only: the other shards' slices of the traffic
+// keep flowing through the reunifying merge.
+func TestShardWorkerQuarantineIsolation(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{Shards: 2})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name sq; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sh0 := m.nodes["sq#shard0"]
+	sh0.inst.Op = &faultinject.FaultyOp{Inner: sh0.inst.Op, FailAt: 1, Mode: faultinject.FailPanic}
+	sub, err := m.Subscribe("sq", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		p := tcpPkt(uint64(i+1), uint32(i+1), 80, "x")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) == 0 || len(rows) >= n {
+		t.Fatalf("rows = %d, want shard 1's nonzero strict subset of %d", len(rows), n)
+	}
+	s0 := nodeStats(t, m, "sq#shard0")
+	s1 := nodeStats(t, m, "sq#shard1")
+	if !s0.Quarantined || s0.QuarDrop == 0 {
+		t.Fatalf("shard0 stats = %+v", s0)
+	}
+	if s1.Quarantined || s1.Quarantines != 0 {
+		t.Fatalf("shard1 stats = %+v", s1)
+	}
+	// Every tuple that reached the subscriber came from shard 1.
+	if uint64(len(rows)) != s1.Op.Out {
+		t.Fatalf("rows = %d but shard1 emitted %d", len(rows), s1.Op.Out)
+	}
+}

@@ -110,14 +110,17 @@ func (m *Manager) noteClock(usec uint64) {
 // (microseconds): the maximum timestamp seen across all interfaces.
 func (m *Manager) Clock() uint64 { return m.clock.Load() }
 
-// tickSource runs the source node's sampler under the node lock.
+// tickSource runs the source node's sampler under the node lock. A panic
+// in the sampler quarantines the node (permanently: source nodes carry no
+// compiled plan to rebuild) without touching the inject path that drove
+// the tick.
 func (qn *queryNode) tickSource(nowUsec uint64) {
 	qn.mu.Lock()
 	defer qn.mu.Unlock()
-	if qn.srcClosed {
+	if qn.srcClosed || !qn.maybeRestart() {
 		return
 	}
-	qn.src.Tick(nowUsec, qn.emit)
+	qn.guard("tick", func() error { qn.src.Tick(nowUsec, qn.emit); return nil })
 }
 
 // sourceHeartbeat serves an on-demand ordering token from a source node.
@@ -125,10 +128,10 @@ func (qn *queryNode) sourceHeartbeat() {
 	now := qn.m.clock.Load()
 	qn.mu.Lock()
 	defer qn.mu.Unlock()
-	if qn.srcClosed {
+	if qn.srcClosed || !qn.maybeRestart() {
 		return
 	}
-	qn.src.Heartbeat(now, qn.emit)
+	qn.guard("heartbeat", func() error { qn.src.Heartbeat(now, qn.emit); return nil })
 }
 
 // flushSource emits the final sample and closes the stream at shutdown.
@@ -139,7 +142,9 @@ func (qn *queryNode) flushSource(nowUsec uint64) {
 		return
 	}
 	qn.srcClosed = true
-	qn.src.Flush(nowUsec, qn.emit)
-	qn.flushPending(&qn.flushWindow)
+	if qn.maybeRestart() {
+		qn.guard("flush", func() error { qn.src.Flush(nowUsec, qn.emit); return nil })
+		qn.flushPending(&qn.flushWindow)
+	}
 	qn.pub.close()
 }

@@ -1,0 +1,141 @@
+package rts
+
+import (
+	"testing"
+	"time"
+
+	"gigascope/internal/faultinject"
+	"gigascope/internal/pkt"
+)
+
+// A subscriber that never reads an LFTA stream must not block the
+// capture path or its sibling subscribers, and every tuple shed at its
+// full ring must land in the publisher's drop counters exactly.
+func TestStalledSubscriberExactShedAccounting(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name st; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		n        = 100
+		stallBuf = 8
+	)
+	stalledSub, err := m.Subscribe("st", stallBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sibling's ring is deep enough for every batch: it must see the
+	// whole stream even while the stalled ring overflows.
+	liveSub, err := m.Subscribe("st", n+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staller := faultinject.NewStaller(stalledSub.C)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	injected := make(chan struct{})
+	go func() {
+		defer close(injected)
+		for i := 0; i < n; i++ {
+			// Microsecond-apart timestamps: no periodic heartbeats fire, so
+			// every published batch is exactly one tuple and the shed
+			// arithmetic is exact.
+			p := pkt.BuildTCP(uint64(i+1), pkt.TCPSpec{
+				SrcIP: uint32(i + 1), DstIP: 2, SrcPort: 30000, DstPort: 80,
+			})
+			m.Inject("", &p)
+		}
+	}()
+	select {
+	case <-injected:
+	case <-time.After(5 * time.Second):
+		t.Fatal("capture path blocked on a stalled subscriber")
+	}
+	m.Stop()
+	if rows := drain(t, liveSub); len(rows) != n {
+		t.Fatalf("sibling subscriber got %d rows, want %d", len(rows), n)
+	}
+	staller.Release()
+	staller.Wait()
+	// The stalled ring held exactly its capacity; everything else shed.
+	if got := staller.Tuples(); got != stallBuf {
+		t.Fatalf("stalled subscriber drained %d tuples, want %d", got, stallBuf)
+	}
+	ns := nodeStats(t, m, "st")
+	if ns.RingDrop != n-stallBuf {
+		t.Fatalf("RingDrop = %d, want %d (n=%d minus ring capacity %d)",
+			ns.RingDrop, n-stallBuf, n, stallBuf)
+	}
+}
+
+// Heartbeats must keep propagating past a stalled subscriber: the live
+// sibling still receives ordering bounds, and the heartbeats lost at the
+// stalled ring are counted in hbDrops rather than blocking the clock.
+func TestStalledSubscriberHeartbeatPropagation(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name hb; }
+		SELECT time, srcIP FROM tcp WHERE destPort = 80`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	stalledSub, err := m.Subscribe("hb", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveSub, err := m.Subscribe("hb", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staller := faultinject.NewStaller(stalledSub.C)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the stalled ring with tuple batches, then advance idle virtual
+	// time: each second emits a source heartbeat that cannot fit.
+	for i := 0; i < 8; i++ {
+		p := tcpPkt(1, uint32(i+1), 80, "x")
+		m.Inject("", &p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sec := uint64(2); sec <= 10; sec++ {
+			m.AdvanceClock(sec * 1_000_000)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("clock advance blocked on a stalled subscriber")
+	}
+	m.Stop()
+	var liveTuples, liveHBs int
+	for b := range liveSub.C {
+		for _, msg := range b {
+			if msg.IsHeartbeat() {
+				liveHBs++
+			} else {
+				liveTuples++
+			}
+		}
+	}
+	if liveTuples != 8 {
+		t.Fatalf("live subscriber tuples = %d, want 8", liveTuples)
+	}
+	if liveHBs == 0 {
+		t.Fatal("no heartbeats reached the live subscriber")
+	}
+	ns := nodeStats(t, m, "hb")
+	if ns.HBDrop == 0 {
+		t.Fatalf("no heartbeat drops recorded at the stalled ring: %+v", ns)
+	}
+	staller.Release()
+	staller.Wait()
+}

@@ -55,15 +55,6 @@ func (c *Catalog) Lookup(name string) (*Schema, bool) {
 	return s, ok
 }
 
-// MustLookup returns the schema or panics; for tests and built-in setup.
-func (c *Catalog) MustLookup(name string) *Schema {
-	s, ok := c.Lookup(name)
-	if !ok {
-		panic(fmt.Sprintf("schema: %s not in catalog", name))
-	}
-	return s
-}
-
 // Remove deletes a schema by name.
 func (c *Catalog) Remove(name string) {
 	c.mu.Lock()

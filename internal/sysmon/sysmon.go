@@ -118,6 +118,16 @@ func NodeStatsSchema() *schema.Schema {
 			{Name: "flushSize", Type: schema.TUint},
 			{Name: "flushHB", Type: schema.TUint},
 			{Name: "flushWindow", Type: schema.TUint},
+			// Quarantine telemetry: quarantined flags a node whose operator
+			// panicked and is detached from its publisher; quarantines /
+			// restarts / quarDrop / opErrors are delta-encoded like the
+			// other counters; quarReason carries the last panic message.
+			{Name: "quarantined", Type: schema.TBool},
+			{Name: "quarantines", Type: schema.TUint},
+			{Name: "restarts", Type: schema.TUint},
+			{Name: "quarDrop", Type: schema.TUint},
+			{Name: "opErrors", Type: schema.TUint},
+			{Name: "quarReason", Type: schema.TString},
 		},
 	}
 }
@@ -260,6 +270,12 @@ func (s *NodeSampler) sample(nowUsec uint64, emit exec.Emit) {
 			schema.MakeUint(delta(ns.FlushSize, p.FlushSize)),
 			schema.MakeUint(delta(ns.FlushHB, p.FlushHB)),
 			schema.MakeUint(delta(ns.FlushWindow, p.FlushWindow)),
+			schema.MakeBool(ns.Quarantined),
+			schema.MakeUint(delta(ns.Quarantines, p.Quarantines)),
+			schema.MakeUint(delta(ns.Restarts, p.Restarts)),
+			schema.MakeUint(delta(ns.QuarDrop, p.QuarDrop)),
+			schema.MakeUint(delta(ns.OpErrors, p.OpErrors)),
+			schema.MakeStr(ns.QuarantineReason),
 		}
 		s.prev[ns.Name] = ns
 		s.stats.Out.Add(1)

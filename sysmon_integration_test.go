@@ -174,7 +174,11 @@ func TestSysmonRawStreams(t *testing.T) {
 	}
 
 	// Resolve the column by name: the IfaceStats layout grows over time.
-	tpCol, _ := sys.Catalog().MustLookup("SYSMON.IfaceStats").Col("totalPackets")
+	ifaceSchema, ok := sys.Catalog().Lookup("SYSMON.IfaceStats")
+	if !ok {
+		t.Fatal("SYSMON.IfaceStats not in catalog")
+	}
+	tpCol, _ := ifaceSchema.Col("totalPackets")
 	if tpCol < 0 {
 		t.Fatal("SYSMON.IfaceStats has no totalPackets column")
 	}

@@ -3,6 +3,7 @@ package gigascope
 import (
 	"gigascope/internal/bgp"
 	"gigascope/internal/exec"
+	"gigascope/internal/faultinject"
 	"gigascope/internal/netflow"
 	"gigascope/internal/netsim"
 	"gigascope/internal/pkt"
@@ -29,6 +30,8 @@ type (
 	// StreamOperator is the query-node API user-written operators
 	// implement (paper §3); see AddUserNode.
 	StreamOperator = exec.Operator
+	// Emit is the output callback a StreamOperator pushes messages into.
+	Emit = exec.Emit
 	// TCPSpec and UDPSpec describe frames to synthesize.
 	TCPSpec = pkt.TCPSpec
 	// UDPSpec describes a UDP frame to synthesize.
@@ -51,7 +54,26 @@ type (
 	BGPConfig = bgp.Config
 	// BGPGenerator produces BGP update records.
 	BGPGenerator = bgp.Generator
+	// FaultInjector mutates injected packets with seeded, reproducible
+	// capture faults; see BindFaults.
+	FaultInjector = faultinject.Injector
+	// FaultConfig tunes a FaultInjector's per-packet fault rates.
+	FaultConfig = faultinject.Config
+	// OverloadConfig tunes a closed-loop overload controller; see
+	// AttachOverloadController.
+	OverloadConfig = rts.OverloadConfig
 )
+
+// StreamOverload is the default decision-stream name of an overload
+// controller attached with AttachOverloadController.
+const StreamOverload = rts.OverloadStream
+
+// NewFaultInjector builds a seeded fault injector.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(cfg) }
+
+// DefaultFaultConfig returns the standard dirty-tap fault mix at the
+// given seed (about 5% of frames faulted).
+func DefaultFaultConfig(seed int64) FaultConfig { return faultinject.DefaultConfig(seed) }
 
 // Payload kinds for synthetic traffic.
 const (
