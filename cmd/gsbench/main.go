@@ -2,7 +2,14 @@
 // per-experiment index in DESIGN.md, printed as the tables/series the
 // paper reports. Results are recorded in EXPERIMENTS.md.
 //
+// gsbench also hosts the standalone differential-equivalence sweep
+// (`gsbench -run difftest [-seeds N]`), which is not an experiment but a
+// correctness gate: it runs seeded random query/trace cases across the
+// batch x shard x fault config matrix and diffs every output against the
+// reference oracle (see internal/difftest).
+//
 //	gsbench [-run E1,E3] [-quick]
+//	gsbench -run difftest [-seeds 50]
 package main
 
 import (
@@ -11,12 +18,14 @@ import (
 	"os"
 	"strings"
 
+	"gigascope/internal/difftest"
 	"gigascope/internal/experiments"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E10), 'difftest', or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
+	seeds := flag.Int("seeds", 25, "seed count for -run difftest")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -31,6 +40,20 @@ func main() {
 	if *quick {
 		secs = 1.0
 		pkts = 40_000
+	}
+
+	if want["DIFFTEST"] {
+		// difftest is a correctness sweep, not an experiment; it is only
+		// run when named explicitly (never under 'all').
+		n := 1200
+		if *quick {
+			n = 400
+		}
+		if failures := difftest.RunMatrix(os.Stdout, *seeds, n); failures > 0 {
+			fmt.Fprintf(os.Stderr, "gsbench: difftest: %d failing cells\n", failures)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if sel("E1") {

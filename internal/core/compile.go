@@ -378,6 +378,11 @@ func (a *analyzer) splitAggregate(name string, src SourceRef, q *gsql.Query, che
 
 	// HFTA query: original select/having with each aggregate call
 	// replaced by its super-aggregate recombination over the partials.
+	// Aggregates must be replaced BEFORE group-key references are renamed:
+	// renaming descends into aggregate arguments and changes their
+	// canonical text, which would break the canonSlot lookup (e.g.
+	// max(caplen + destPort) with destPort also a group key).
+	var rewriteErr error
 	rewrite := func(e gsql.Expr) gsql.Expr {
 		return transform(e, func(x gsql.Expr) gsql.Expr {
 			call, ok := x.(*gsql.FuncCall)
@@ -385,7 +390,14 @@ func (a *analyzer) splitAggregate(name string, src SourceRef, q *gsql.Query, che
 				return nil
 			}
 			canon := strings.ToLower(call.Name) + "(" + argsText(call.Args) + ")"
-			c := calls[canonSlot[canon]]
+			slot, ok := canonSlot[canon]
+			if !ok {
+				if rewriteErr == nil {
+					rewriteErr = fmt.Errorf("internal: aggregate %s not collected during split", canon)
+				}
+				return x
+			}
+			c := calls[slot]
 			superOf := func(i int) gsql.Expr {
 				return &gsql.FuncCall{
 					Name: c.spec.Supers[i],
@@ -417,11 +429,14 @@ func (a *analyzer) splitAggregate(name string, src SourceRef, q *gsql.Query, che
 		})
 	}
 	for _, it := range q.Select {
-		e := rewrite(stripQualifiersKeepingGroups(it.Expr, q.GroupBy, groupNames))
+		e := stripQualifiersKeepingGroups(rewrite(it.Expr), q.GroupBy, groupNames)
 		hq.Select = append(hq.Select, gsql.SelectItem{Expr: e, Alias: it.Alias})
 	}
 	if q.Having != nil {
-		hq.Having = rewrite(stripQualifiersKeepingGroups(q.Having, q.GroupBy, groupNames))
+		hq.Having = stripQualifiersKeepingGroups(rewrite(q.Having), q.GroupBy, groupNames)
+	}
+	if rewriteErr != nil {
+		return nil, rewriteErr
 	}
 	hfta, err := a.buildAgg(name, LevelHFTA, a.streamRef(lfta), hq, false)
 	if err != nil {

@@ -128,6 +128,14 @@ func divOrdering(ord schema.Ordering, k schema.Value) schema.Ordering {
 	return schema.NoOrder
 }
 
+// ImputeOrdering exposes ordering imputation to external checkers: the
+// differential-test oracle (internal/oracle) mirrors the compiler's
+// ordered-group-key choice, and the harness (internal/difftest) uses it to
+// decide which output columns carry a checkable order.
+func ImputeOrdering(e gsql.Expr, s *schema.Schema, binding string) schema.Ordering {
+	return imputeExpr(e, s, binding)
+}
+
 // hbPropagatable reports whether heartbeat bounds can be pushed through
 // the expression: it must carry a usable imputed ordering, which certifies
 // monotonicity in its single ordered input.

@@ -131,6 +131,31 @@ func (n *Node) Params() map[string]schema.Type { return n.params }
 // NeedCols returns the protocol columns this LFTA extracts.
 func (n *Node) NeedCols() []int { return append([]int(nil), n.needCols...) }
 
+// MergeColumns returns the per-input merge column positions of a merge
+// node (nil for other kinds). Exposed for the differential-test harness.
+func (n *Node) MergeColumns() []int { return append([]int(nil), n.mergeCols...) }
+
+// AggOrdGroup describes the flush-driving ordered group key of an
+// aggregation node: its index into the GROUP BY list, the band tolerance,
+// and whether it decreases. ok is false for non-aggregation nodes and for
+// aggregations without an ordered key (manual-flush only).
+func (n *Node) AggOrdGroup() (idx int, band uint64, desc bool, ok bool) {
+	if n.aggSpec == nil || n.aggSpec.OrdGroup < 0 {
+		return 0, 0, false, false
+	}
+	return n.aggSpec.OrdGroup, n.aggSpec.Band, n.aggSpec.Desc, true
+}
+
+// JoinWindow returns the join's ordering window: a left tuple at ordered
+// value t pairs with right tuples in [t-low, t+high]. ok is false for
+// non-join nodes.
+func (n *Node) JoinWindow() (low, high int64, ok bool) {
+	if n.joinSpec == nil {
+		return 0, 0, false
+	}
+	return n.joinSpec.LowSlack, n.joinSpec.HighSlack, true
+}
+
 // CompiledQuery is the full compilation result of one GSQL query: its
 // nodes in dependency order (LFTAs first; the last node publishes the
 // query's name).

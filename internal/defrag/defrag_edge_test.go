@@ -1,0 +1,229 @@
+package defrag
+
+import (
+	"bytes"
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// Edge cases for the reassembly state machine: overlapping fragments,
+// last-fragment-first arrival, and the exact timeout boundary. The basic
+// paths (pass-through, in-order reassembly, flush) live in defrag_test.go.
+
+// fragCase hand-crafts a fragment tuple by mutating a template row from a
+// real packet: offset is in 8-byte units (as on the wire), payload is the
+// fragment's slice of the IP payload.
+func fragTuple(t *testing.T, s *schema.Schema, tmpl schema.Tuple, sec uint64, id uint64, off8 uint64, mf uint64, payload []byte) schema.Tuple {
+	t.Helper()
+	row := tmpl.Clone()
+	set := func(name string, v schema.Value) {
+		i, _ := s.Col(name)
+		if i < 0 {
+			t.Fatalf("column %s missing", name)
+		}
+		row[i] = v
+	}
+	set("time", schema.MakeUint(sec))
+	set("ip_id", schema.MakeUint(id))
+	set("fragment_offset", schema.MakeUint(off8))
+	set("mf_flag", schema.MakeUint(mf))
+	set("ip_payload", schema.MakeString(payload))
+	return row
+}
+
+// template builds a baseline IPV4 tuple to mutate.
+func template(t *testing.T, s *schema.Schema) schema.Tuple {
+	t.Helper()
+	p := pkt.BuildUDP(1_000_000, pkt.UDPSpec{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 999, DstPort: 53, TTL: 64, Payload: []byte("x")})
+	return tupleFor(t, s, &p)
+}
+
+func payloadOf(t *testing.T, s *schema.Schema, m exec.Message) []byte {
+	t.Helper()
+	i, _ := s.Col("ip_payload")
+	return m.Tuple[i].Bytes()
+}
+
+func TestOverlappingFragmentsLaterArrivalWins(t *testing.T) {
+	// Head covers bytes [0,16), tail covers [8,24): the 8-byte overlap is
+	// written by whichever fragment arrived later (pieces are copied in
+	// arrival order), mirroring last-writer-wins reassembly.
+	rep := func(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+	for _, headFirst := range []bool{true, false} {
+		op, s := newOp(t, 30)
+		tmpl := template(t, s)
+		head := fragTuple(t, s, tmpl, 10, 77, 0, 1, rep('a', 16))
+		tail := fragTuple(t, s, tmpl, 10, 77, 1, 0, rep('b', 16)) // off 8, total 24
+		var out []exec.Message
+		emit := exec.Collect(&out)
+		first, second := head, tail
+		if !headFirst {
+			first, second = tail, head
+		}
+		if err := op.Push(0, exec.TupleMsg(first), emit); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("emitted before coverage complete: %v", out)
+		}
+		if err := op.Push(0, exec.TupleMsg(second), emit); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("headFirst=%v: emitted %d datagrams", headFirst, len(out))
+		}
+		got := payloadOf(t, s, out[0])
+		// Pieces are copied in arrival order, so the second arrival owns
+		// the overlap bytes [8,16).
+		want := append(rep('a', 8), rep('b', 16)...) // tail copied second
+		if !headFirst {
+			want = append(rep('a', 16), rep('b', 8)...) // head copied second
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("headFirst=%v: payload %q, want %q", headFirst, got, want)
+		}
+		if op.Pending() != 0 {
+			t.Error("state left behind")
+		}
+	}
+}
+
+func TestLastFragmentFirstReassembles(t *testing.T) {
+	// The MF=0 tail arrives before any other fragment: the total length is
+	// known immediately, but emission must wait for full coverage — the
+	// head (offset 0) arrives last and completes the datagram.
+	op, s := newOp(t, 30)
+	tmpl := template(t, s)
+	mk := func(off8, mf uint64, b byte) schema.Tuple {
+		return fragTuple(t, s, tmpl, 20, 42, off8, mf, bytes.Repeat([]byte{b}, 8))
+	}
+	var out []exec.Message
+	emit := exec.Collect(&out)
+	for _, row := range []schema.Tuple{
+		mk(2, 0, 'C'), // tail: bytes [16,24), total = 24
+		mk(1, 1, 'B'), // middle: [8,16)
+	} {
+		if err := op.Push(0, exec.TupleMsg(row), emit); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatal("emitted before the head arrived")
+		}
+	}
+	if err := op.Push(0, exec.TupleMsg(mk(0, 1, 'A')), emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("emitted %d datagrams, want 1", len(out))
+	}
+	want := append(bytes.Repeat([]byte{'A'}, 8), bytes.Repeat([]byte{'B'}, 8)...)
+	want = append(want, bytes.Repeat([]byte{'C'}, 8)...)
+	if got := payloadOf(t, s, out[0]); !bytes.Equal(got, want) {
+		t.Errorf("payload %q, want %q", got, want)
+	}
+	// The emitted tuple is built from the head fragment with the fragment
+	// fields cleared and total_length recomputed.
+	fi, _ := s.Col("fragment_offset")
+	mi, _ := s.Col("mf_flag")
+	ti, _ := s.Col("total_length")
+	row := out[0].Tuple
+	if row[fi].Uint() != 0 || row[mi].Uint() != 0 {
+		t.Error("fragment fields not cleared on reassembled tuple")
+	}
+	if row[ti].Uint() != 20+24 {
+		t.Errorf("total_length = %d, want 44", row[ti].Uint())
+	}
+}
+
+func TestTimeoutBoundaryIsStrict(t *testing.T) {
+	// Eviction fires when arrived + TimeoutSec < now: a datagram first
+	// seen at t=10 with a 5s timeout survives the watermark reaching 15
+	// and is evicted at 16.
+	op, s := newOp(t, 5)
+	tmpl := template(t, s)
+	var out []exec.Message
+	emit := exec.Collect(&out)
+	head := fragTuple(t, s, tmpl, 10, 5, 0, 1, bytes.Repeat([]byte{1}, 8))
+	if err := op.Push(0, exec.TupleMsg(head), emit); err != nil {
+		t.Fatal(err)
+	}
+	hb := func(sec uint64) {
+		bounds := make(schema.Tuple, len(s.Cols))
+		ti, _ := s.Col("time")
+		bounds[ti] = schema.MakeUint(sec)
+		if err := op.Push(0, exec.HeartbeatMsg(bounds), emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hb(15)
+	if op.Pending() != 1 || op.EvictedIncomplete() != 0 {
+		t.Fatalf("evicted at the boundary: pending=%d evicted=%d", op.Pending(), op.EvictedIncomplete())
+	}
+	hb(16)
+	if op.Pending() != 0 || op.EvictedIncomplete() != 1 {
+		t.Fatalf("not evicted past the boundary: pending=%d evicted=%d", op.Pending(), op.EvictedIncomplete())
+	}
+	if op.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", op.Stats().Dropped)
+	}
+	// A fragment of the evicted datagram arriving later starts a fresh
+	// (incomplete) entry rather than resurrecting the old bytes.
+	tail := fragTuple(t, s, tmpl, 17, 5, 1, 0, bytes.Repeat([]byte{2}, 8))
+	if err := op.Push(0, exec.TupleMsg(tail), emit); err != nil {
+		t.Fatal(err)
+	}
+	if op.Pending() != 1 {
+		t.Errorf("late fragment not re-tabled: pending=%d", op.Pending())
+	}
+	for _, m := range out {
+		if !m.IsHeartbeat() {
+			t.Errorf("unexpected tuple emitted: %v", m.Tuple)
+		}
+	}
+}
+
+func TestTimeoutEvictsPerDatagram(t *testing.T) {
+	// Two incomplete datagrams with different first-arrival times: a
+	// watermark that only ages out the older one must leave the newer.
+	op, s := newOp(t, 5)
+	tmpl := template(t, s)
+	var out []exec.Message
+	emit := exec.Collect(&out)
+	old := fragTuple(t, s, tmpl, 10, 100, 0, 1, bytes.Repeat([]byte{1}, 8))
+	young := fragTuple(t, s, tmpl, 14, 200, 0, 1, bytes.Repeat([]byte{2}, 8))
+	if err := op.Push(0, exec.TupleMsg(old), emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Push(0, exec.TupleMsg(young), emit); err != nil {
+		t.Fatal(err)
+	}
+	if op.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (distinct ip_id keeps datagrams apart)", op.Pending())
+	}
+	bounds := make(schema.Tuple, len(s.Cols))
+	ti, _ := s.Col("time")
+	bounds[ti] = schema.MakeUint(16)
+	if err := op.Push(0, exec.HeartbeatMsg(bounds), emit); err != nil {
+		t.Fatal(err)
+	}
+	if op.Pending() != 1 || op.EvictedIncomplete() != 1 {
+		t.Fatalf("pending=%d evicted=%d, want 1/1", op.Pending(), op.EvictedIncomplete())
+	}
+	// The surviving datagram still completes normally.
+	tail := fragTuple(t, s, tmpl, 17, 200, 1, 0, bytes.Repeat([]byte{3}, 8))
+	if err := op.Push(0, exec.TupleMsg(tail), emit); err != nil {
+		t.Fatal(err)
+	}
+	var tuples int
+	for _, m := range out {
+		if !m.IsHeartbeat() {
+			tuples++
+		}
+	}
+	if tuples != 1 {
+		t.Errorf("emitted %d tuples, want the surviving datagram only", tuples)
+	}
+}

@@ -1,0 +1,465 @@
+// Package difftest is the differential correctness harness: it generates
+// seeded random GSQL query sets and traffic traces (internal/gsql,
+// internal/netsim), runs each case through the real pipeline across a
+// configuration matrix (batch size x shard count x fault injection), and
+// compares the output of every query against the naive reference oracle
+// (internal/oracle).
+//
+// The comparison has two halves. Row content is compared as a canonical
+// multiset (sorted packed rows): operator flush batching, shard merge ties
+// and heartbeat timing legitimately permute arrival order between configs,
+// so exact sequences are not comparable — but the full set of rows must be
+// byte-identical. Ordering is then checked separately against the plan's
+// own promise: every output column the compiler declares ordered (the
+// imputed ordering of the plan's output schema) is verified with a
+// schema.OrderChecker over the actual arrival order.
+//
+// Failures are written as self-contained replayable artifacts (seed, query
+// text, trace, config) by repro.go and shrunk by minimize.go.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"gigascope"
+	"gigascope/internal/core"
+	"gigascope/internal/faultinject"
+	"gigascope/internal/gsql"
+	"gigascope/internal/netsim"
+	"gigascope/internal/oracle"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// Config is one cell of the equivalence matrix. Every cell must produce
+// the same row multiset for the same case; only arrival order may differ.
+type Config struct {
+	// MaxBatch is the pipeline flush threshold (1 approximates
+	// per-message delivery; 4096 exercises maximal batching).
+	MaxBatch int
+	// Shards is the capture-path RSS shard count.
+	Shards int
+	// Faults pre-applies seeded capture faults (truncation, bad header
+	// lengths, IP options) to the trace. The identical faulted bytes feed
+	// both the pipeline and the oracle, so results must still match:
+	// both sides drop packets whose referenced fields no longer parse.
+	Faults bool
+}
+
+// Name returns a short config label used in repro directory names.
+func (c Config) Name() string {
+	s := fmt.Sprintf("b%d_s%d", c.MaxBatch, c.Shards)
+	if c.Faults {
+		s += "_faults"
+	}
+	return s
+}
+
+// Matrix returns the full equivalence matrix: {1, 64, 4096} batch sizes x
+// {1, 4} shards x faults off/on.
+func Matrix() []Config {
+	var out []Config
+	for _, b := range []int{1, 64, 4096} {
+		for _, sh := range []int{1, 4} {
+			for _, f := range []bool{false, true} {
+				out = append(out, Config{MaxBatch: b, Shards: sh, Faults: f})
+			}
+		}
+	}
+	return out
+}
+
+// Case is one differential test case: a seeded query set plus a recorded
+// traffic trace. The same case runs under every matrix Config.
+type Case struct {
+	Seed    int64
+	Queries []string
+	Params  map[string]schema.Value
+	Trace   []pkt.Packet
+}
+
+// NewCase generates the queries and trace for seed.
+func NewCase(seed int64, tracePackets int) (*Case, error) {
+	gen := gsql.GenerateCase(seed)
+	trace, err := GenTrace(seed, tracePackets)
+	if err != nil {
+		return nil, err
+	}
+	return &Case{Seed: seed, Queries: gen.Texts(), Params: gen.Params, Trace: trace}, nil
+}
+
+// GenTrace records n packets of seeded synthetic traffic: always web and
+// DNS classes, sometimes a bursty bulk class, to exercise TCP, UDP, HTTP
+// payloads, and idle gaps.
+func GenTrace(seed int64, n int) ([]pkt.Packet, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed7ace))
+	// Rates are deliberately low so a ~1200-packet trace spans several
+	// SECONDS of virtual time: the `time` column (second granularity) must
+	// take many distinct values, or every time-ordering check and
+	// time-bucketed aggregation in the matrix is vacuously trivial.
+	classes := []netsim.Class{
+		{Name: "web", RateMbps: 0.6, PktBytes: 600, DstPort: 80, Proto: pkt.ProtoTCP,
+			Payload: netsim.PayloadHTTP, HTTPFraction: 0.7, Flows: 64},
+		{Name: "dns", RateMbps: 0.12, PktBytes: 120, DstPort: 53, Proto: pkt.ProtoUDP, Flows: 32},
+	}
+	if rng.Intn(2) == 0 {
+		classes = append(classes, netsim.Class{Name: "bulk", RateMbps: 0.5, PktBytes: 1200,
+			DstPort: 8080, Proto: pkt.ProtoTCP, Flows: 16,
+			Bursty: true, MeanOnSeconds: 0.4, MeanOffSeconds: 0.4})
+	}
+	// Start well past virtual time zero: banded join windows subtract a
+	// slack from the ordered column, and at time 0 the literal predicate
+	// (uint arithmetic, wraps) and the decomposed window (signed slack)
+	// would legitimately disagree.
+	return netsim.Record(netsim.Config{Seed: seed, Classes: classes, StartUsec: 30_000_000}, n)
+}
+
+// FaultedTrace applies the seeded dirty-tap fault mix to a trace,
+// returning a new slice (the input is untouched). Clock faults are
+// excluded: both sides must see identical, nondecreasing timestamps.
+// Faults are applied to the trace once, up front, rather than via
+// System.BindFaults, so the pipeline and the oracle consume byte-identical
+// packets regardless of injection order.
+func FaultedTrace(seed int64, trace []pkt.Packet) []pkt.Packet {
+	inj := faultinject.New(faultinject.Config{
+		Seed:     seed ^ 0x0fa517,
+		Truncate: 0.04, BadIHL: 0.03, BadTotalLen: 0.03, Options: 0.04,
+	})
+	out := make([]pkt.Packet, len(trace))
+	for i := range trace {
+		p := trace[i]
+		if q, _, ok := inj.Apply(&p); ok && q != nil {
+			out[i] = *q
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// effectiveTrace returns the trace a config actually consumes.
+func (c *Case) effectiveTrace(cfg Config) []pkt.Packet {
+	if cfg.Faults {
+		return FaultedTrace(c.Seed, c.Trace)
+	}
+	return c.Trace
+}
+
+// queryParams filters the case's parameter set down to the names one
+// query declares (AddQuery rejects undeclared parameters).
+func queryParams(text string, params map[string]schema.Value) (map[string]schema.Value, error) {
+	q, err := gsql.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	declared := q.Params()
+	if len(declared) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]schema.Value, len(declared))
+	for name := range declared {
+		v, ok := params[name]
+		if !ok {
+			return nil, fmt.Errorf("difftest: query %s declares parameter %s with no value", q.Name(), name)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// PipelineRun is the observable output of one pipeline execution: per-query
+// tuples in arrival order plus the compiled plans.
+type PipelineRun struct {
+	Rows  map[string][]schema.Tuple
+	Plans map[string]*core.CompiledQuery
+}
+
+// RunPipeline executes the case's queries through the real system under
+// cfg and collects every query's output in arrival order. Buffers are
+// sized generously and each subscription is drained concurrently so that
+// load shedding cannot occur; any shed, quarantine, or merge reorder is
+// reported as a harness error (it would make the comparison meaningless),
+// not as a mismatch.
+func RunPipeline(c *Case, cfg Config) (*PipelineRun, error) {
+	sysCfg := gigascope.Config{
+		RingSize:      8192,
+		MaxBatch:      cfg.MaxBatch,
+		InboxDepth:    4096,
+		HeartbeatUsec: 250_000,
+		Shards:        cfg.Shards,
+	}
+	if cfg.Faults {
+		// The matrix's fault cells run with quarantine recovery enabled,
+		// matching production config; dirty frames must still never
+		// quarantine a query (they are dropped at extraction).
+		sysCfg.QuarantineRestartUsec = 50_000
+	}
+	sys, err := gigascope.New(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	run := &PipelineRun{
+		Rows:  make(map[string][]schema.Tuple, len(c.Queries)),
+		Plans: make(map[string]*core.CompiledQuery, len(c.Queries)),
+	}
+	var names []string
+	for _, text := range c.Queries {
+		p, err := queryParams(text, c.Params)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := sys.AddQuery(text, p)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: AddQuery: %w", err)
+		}
+		run.Plans[plan.Name] = plan
+		names = append(names, plan.Name)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, name := range names {
+		sub, err := sys.Subscribe(name, 4096)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(name string, sub *gigascope.Subscription) {
+			defer wg.Done()
+			var rows []schema.Tuple
+			for batch := range sub.C {
+				for _, m := range batch {
+					if m.IsHeartbeat() {
+						continue
+					}
+					// Batches are shared and read-only; clone the tuple so
+					// the comparison owns its rows.
+					rows = append(rows, append(schema.Tuple(nil), m.Tuple...))
+				}
+			}
+			mu.Lock()
+			run.Rows[name] = rows
+			mu.Unlock()
+		}(name, sub)
+	}
+
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+	trace := c.effectiveTrace(cfg)
+	const chunk = 256
+	for i := 0; i < len(trace); i += chunk {
+		end := i + chunk
+		if end > len(trace) {
+			end = len(trace)
+		}
+		batch := make([]*gigascope.Packet, 0, end-i)
+		for j := i; j < end; j++ {
+			batch = append(batch, &trace[j])
+		}
+		sys.InjectBatch("eth0", batch)
+		sys.AdvanceClock(trace[end-1].TS)
+	}
+	if len(trace) > 0 {
+		// Push virtual time far past the last packet so every window,
+		// band, and join slack drains through ordinary heartbeat flushing
+		// before the shutdown flush.
+		sys.AdvanceClock(trace[len(trace)-1].TS + 10_000_000)
+	}
+	sys.Stop()
+	wg.Wait()
+
+	for _, st := range sys.Stats() {
+		switch {
+		case st.RingDrop > 0:
+			return nil, fmt.Errorf("difftest: harness undersized: node %s shed %d tuples at its rings", st.Name, st.RingDrop)
+		case st.Quarantines > 0:
+			return nil, fmt.Errorf("difftest: node %s quarantined %d times (%s)", st.Name, st.Quarantines, st.QuarantineReason)
+		case st.QuarDrop > 0:
+			return nil, fmt.Errorf("difftest: node %s dropped %d tuples while quarantined", st.Name, st.QuarDrop)
+		case st.Op.Reordered > 0:
+			return nil, fmt.Errorf("difftest: node %s emitted %d tuples out of order under buffer pressure", st.Name, st.Op.Reordered)
+		}
+	}
+	return run, nil
+}
+
+// Mismatch describes one confirmed pipeline/oracle divergence.
+type Mismatch struct {
+	Query  string
+	Config Config
+	// Kind is "multiset" (row content differs) or "ordering" (a declared
+	// output ordering was violated in arrival order).
+	Kind   string
+	Detail string
+}
+
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("query %s under %s: %s mismatch: %s", m.Query, m.Config.Name(), m.Kind, m.Detail)
+}
+
+// OracleResults evaluates the case's queries with the reference oracle
+// over the (possibly faulted) trace, keyed by query name.
+func OracleResults(c *Case, faults bool) (map[string]*oracle.Result, error) {
+	trace := c.Trace
+	if faults {
+		trace = FaultedTrace(c.Seed, c.Trace)
+	}
+	results, err := oracle.Eval(c.Queries, c.Params, trace)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: oracle: %w", err)
+	}
+	out := make(map[string]*oracle.Result, len(results))
+	for _, r := range results {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// CheckConfig runs the pipeline under cfg and compares against
+// pre-computed oracle results. It returns a non-nil Mismatch on
+// divergence, and an error only for harness problems (compile failure,
+// shedding) that make the comparison itself invalid.
+func CheckConfig(c *Case, cfg Config, want map[string]*oracle.Result) (*Mismatch, error) {
+	run, err := RunPipeline(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for name, res := range want {
+		got := run.Rows[name]
+		if m := compareMultiset(name, cfg, res, got); m != nil {
+			return m, nil
+		}
+		plan := run.Plans[name]
+		if plan == nil {
+			continue
+		}
+		if m := checkOrdering(name, cfg, plan.Output().Out, got); m != nil {
+			return m, nil
+		}
+	}
+	return nil, nil
+}
+
+// Check computes the oracle results itself and compares one config; used
+// by the minimizer and artifact replay.
+func Check(c *Case, cfg Config) (*Mismatch, error) {
+	want, err := OracleResults(c, cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return CheckConfig(c, cfg, want)
+}
+
+// compareMultiset compares packed rows as sorted multisets.
+func compareMultiset(name string, cfg Config, want *oracle.Result, got []schema.Tuple) *Mismatch {
+	wantKeys := packRows(want.Rows)
+	gotKeys := packRows(got)
+	missing, extra := diffSorted(wantKeys, gotKeys)
+	if len(missing) == 0 && len(extra) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle has %d rows, pipeline has %d", len(want.Rows), len(got))
+	renderSide(&b, "missing from pipeline", missing)
+	renderSide(&b, "extra in pipeline", extra)
+	return &Mismatch{Query: name, Config: cfg, Kind: "multiset", Detail: b.String()}
+}
+
+func packRows(rows []schema.Tuple) []string {
+	keys := make([]string, len(rows))
+	for i, t := range rows {
+		keys[i] = string(t.Pack(nil))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// diffSorted returns elements only in a (missing) and only in b (extra).
+func diffSorted(a, b []string) (missing, extra []string) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			missing = append(missing, a[i])
+			i++
+		default:
+			extra = append(extra, b[j])
+			j++
+		}
+	}
+	missing = append(missing, a[i:]...)
+	extra = append(extra, b[j:]...)
+	return missing, extra
+}
+
+func renderSide(b *strings.Builder, label string, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "; %s: %d rows", label, len(keys))
+	const show = 3
+	for i, k := range keys {
+		if i == show {
+			fmt.Fprintf(b, ", ...")
+			break
+		}
+		if t, _, err := schema.Unpack([]byte(k)); err == nil {
+			fmt.Fprintf(b, " %s", t.String())
+		}
+	}
+}
+
+// checkOrdering verifies every output column whose declared (imputed)
+// ordering is checkable against the pipeline's actual arrival order.
+func checkOrdering(name string, cfg Config, out *schema.Schema, rows []schema.Tuple) *Mismatch {
+	for idx, col := range out.Cols {
+		ord := col.Ordering
+		if ord.Kind == schema.OrderNone || ord.Kind == schema.OrderNonrepeating {
+			continue
+		}
+		var key func(schema.Tuple) string
+		if ord.Kind == schema.OrderIncreasingInGroup {
+			gidx := make([]int, 0, len(ord.Group))
+			ok := true
+			for _, g := range ord.Group {
+				i, c := out.Col(g)
+				if c == nil {
+					ok = false
+					break
+				}
+				gidx = append(gidx, i)
+			}
+			if !ok {
+				// The grouping fields were projected away; the in-group
+				// property is not checkable on this output.
+				continue
+			}
+			key = func(t schema.Tuple) string {
+				g := make(schema.Tuple, 0, len(gidx))
+				for _, i := range gidx {
+					g = append(g, t[i])
+				}
+				return string(g.Pack(nil))
+			}
+		}
+		chk := schema.NewOrderChecker(ord, key)
+		for rowIdx, t := range rows {
+			if idx >= len(t) {
+				continue
+			}
+			if err := chk.Observe(t[idx], t); err != nil {
+				return &Mismatch{Query: name, Config: cfg, Kind: "ordering",
+					Detail: fmt.Sprintf("column %s row %d: %v", col.Name, rowIdx, err)}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gigascope/internal/oracle"
+)
+
+// tracePackets is the per-case trace length for the matrix test: long
+// enough to populate aggregation groups, join windows, and multiple
+// heartbeat intervals, short enough that the full matrix stays well under
+// the CI time budget.
+const tracePackets = 1200
+
+// TestDifferentialMatrix is the main equivalence run: seeded cases, each
+// checked under every matrix config against the reference oracle. A
+// mismatch is minimized and persisted as a replayable artifact under
+// testdata/repros/ before failing the test.
+func TestDifferentialMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	cells := 0
+	for _, seed := range seeds {
+		c, err := NewCase(seed, tracePackets)
+		if err != nil {
+			t.Fatalf("seed %d: generating case: %v", seed, err)
+		}
+		cache := map[bool]map[string]*oracle.Result{}
+		for _, cfg := range Matrix() {
+			cells++
+			t.Run(cfg.Name()+"_seed"+itoa(seed), func(t *testing.T) {
+				want, ok := cache[cfg.Faults]
+				if !ok {
+					var err error
+					want, err = OracleResults(c, cfg.Faults)
+					if err != nil {
+						t.Fatalf("oracle: %v", err)
+					}
+					cache[cfg.Faults] = want
+				}
+				m, err := CheckConfig(c, cfg, want)
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if m == nil {
+					return
+				}
+				min := Minimize(c, cfg, DefaultMinimizeBudget)
+				var dir string
+				if run, rerr := RunPipeline(min, cfg); rerr == nil {
+					dir, err = WriteArtifact("testdata/repros", min, cfg, m, run.Plans)
+				} else {
+					dir, err = WriteArtifact("testdata/repros", min, cfg, m, nil)
+				}
+				if err != nil {
+					t.Fatalf("mismatch (artifact write failed: %v): %s", err, m)
+				}
+				t.Fatalf("%s\nminimized repro written to %s", m, dir)
+			})
+		}
+	}
+	t.Logf("checked %d (case, config) cells", cells)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// TestReplayRepros replays every committed artifact under testdata/repros.
+// A replayed artifact that still mismatches means a previously found bug
+// is back (or was never fixed); the test fails with the divergence.
+func TestReplayRepros(t *testing.T) {
+	entries, err := os.ReadDir("testdata/repros")
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("no repro directory")
+		}
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("testdata/repros", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			m, err := ReplayDir(dir)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if m != nil {
+				t.Fatalf("artifact still reproduces: %s", m)
+			}
+		})
+	}
+}
+
+// TestArtifactRoundTrip checks that a written artifact reads back into an
+// identical case: same queries, params, config, and trace bytes.
+func TestArtifactRoundTrip(t *testing.T) {
+	c, err := NewCase(42, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MaxBatch: 64, Shards: 4, Faults: true}
+	m := &Mismatch{Query: "q", Config: cfg, Kind: "multiset", Detail: "synthetic"}
+	dir := t.TempDir()
+	out, err := WriteArtifact(dir, c, cfg, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, rcfg, err := ReadArtifact(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcfg != cfg {
+		t.Fatalf("config round trip: got %+v want %+v", rcfg, cfg)
+	}
+	if len(rc.Queries) != len(c.Queries) {
+		t.Fatalf("query count round trip: got %d want %d", len(rc.Queries), len(c.Queries))
+	}
+	for i := range c.Queries {
+		if rc.Queries[i] != c.Queries[i] {
+			t.Fatalf("query %d round trip mismatch", i)
+		}
+	}
+	if len(rc.Params) != len(c.Params) {
+		t.Fatalf("param count round trip: got %d want %d", len(rc.Params), len(c.Params))
+	}
+	for k, v := range c.Params {
+		rv, ok := rc.Params[k]
+		if !ok || rv.Type != v.Type || rv.String() != v.String() {
+			t.Fatalf("param %s round trip: got %v want %v", k, rc.Params[k], v)
+		}
+	}
+	if len(rc.Trace) != len(c.Trace) {
+		t.Fatalf("trace length round trip: got %d want %d", len(rc.Trace), len(c.Trace))
+	}
+	for i := range c.Trace {
+		if rc.Trace[i].TS != c.Trace[i].TS || rc.Trace[i].WireLen != c.Trace[i].WireLen ||
+			string(rc.Trace[i].Data) != string(c.Trace[i].Data) {
+			t.Fatalf("trace packet %d round trip mismatch", i)
+		}
+	}
+}
+
+// TestMinimizerPreservesFailure feeds the minimizer a predicate-style
+// failing case by construction: it checks that Minimize never returns a
+// case that stopped failing. Uses a synthetic mismatch via a doctored
+// oracle comparison (a case whose oracle rows are compared against a
+// pipeline run of a DIFFERENT config is not guaranteed to mismatch, so
+// instead this exercises the cheap structural properties: the minimized
+// case keeps the seed and params, and never exceeds the original sizes).
+func TestMinimizerStructural(t *testing.T) {
+	c, err := NewCase(7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A passing case must come back unchanged (no predicate ever fails).
+	min := Minimize(c, Config{MaxBatch: 64, Shards: 1}, 10)
+	if len(min.Queries) != len(c.Queries) || len(min.Trace) != len(c.Trace) {
+		t.Fatalf("minimizer shrank a passing case: %d/%d queries, %d/%d packets",
+			len(min.Queries), len(c.Queries), len(min.Trace), len(c.Trace))
+	}
+	if min.Seed != c.Seed {
+		t.Fatalf("minimizer changed seed")
+	}
+}

@@ -1,0 +1,168 @@
+package difftest
+
+import (
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+)
+
+// Greedy repro minimizer: shrink a failing case while the mismatch keeps
+// reproducing. Three passes, each re-validated with a full pipeline-vs-
+// oracle Check:
+//
+//  1. drop whole queries (a dropped query another one feeds from makes
+//     the candidate fail to compile, which the predicate rejects);
+//  2. simplify each surviving query's text: drop HAVING, drop WHERE
+//     conjuncts one at a time, drop trailing select items;
+//  3. ddmin-style trace reduction with doubling granularity.
+//
+// Every candidate is judged by the same predicate — "does Check still
+// report a mismatch with no harness error" — so the minimizer can never
+// turn a real divergence into a compile error or a different bug class.
+
+// DefaultMinimizeBudget caps the number of full Check executions one
+// minimization may spend.
+const DefaultMinimizeBudget = 80
+
+type minimizer struct {
+	cfg    Config
+	budget int
+}
+
+// fails reports whether the candidate still reproduces the divergence.
+// A harness error (compile failure, shedding) rejects the candidate.
+func (m *minimizer) fails(c *Case) bool {
+	if m.budget <= 0 {
+		return false
+	}
+	m.budget--
+	mm, err := Check(c, m.cfg)
+	return err == nil && mm != nil
+}
+
+// Minimize returns the smallest failing case the budget allowed. The
+// input case must already fail under cfg; it is not modified.
+func Minimize(c *Case, cfg Config, budget int) *Case {
+	if budget <= 0 {
+		budget = DefaultMinimizeBudget
+	}
+	m := &minimizer{cfg: cfg, budget: budget}
+	cur := &Case{Seed: c.Seed, Queries: append([]string(nil), c.Queries...),
+		Params: c.Params, Trace: c.Trace}
+	cur = m.dropQueries(cur)
+	cur = m.simplifyQueries(cur)
+	cur = m.reduceTrace(cur)
+	return cur
+}
+
+func (m *minimizer) dropQueries(c *Case) *Case {
+	for i := len(c.Queries) - 1; i >= 0 && len(c.Queries) > 1; i-- {
+		cand := &Case{Seed: c.Seed, Params: c.Params, Trace: c.Trace,
+			Queries: append(append([]string(nil), c.Queries[:i]...), c.Queries[i+1:]...)}
+		if m.fails(cand) {
+			c = cand
+		}
+	}
+	return c
+}
+
+// conjuncts flattens an AND tree into its leaves.
+func conjuncts(e gsql.Expr) []gsql.Expr {
+	if b, ok := e.(*gsql.BinaryExpr); ok && b.Op == gsql.OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []gsql.Expr{e}
+}
+
+func andJoin(es []gsql.Expr) gsql.Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	e := es[0]
+	for _, x := range es[1:] {
+		e = &gsql.BinaryExpr{Op: gsql.OpAnd, L: e, R: x}
+	}
+	return e
+}
+
+// simplifyVariants yields progressively simpler renderings of one query.
+func simplifyVariants(text string) []string {
+	q, err := gsql.ParseQuery(text)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	if q.Having != nil {
+		saved := q.Having
+		q.Having = nil
+		out = append(out, q.String())
+		q.Having = saved
+	}
+	if q.Where != nil {
+		cs := conjuncts(q.Where)
+		saved := q.Where
+		for i := range cs {
+			rest := append(append([]gsql.Expr(nil), cs[:i]...), cs[i+1:]...)
+			q.Where = andJoin(rest)
+			out = append(out, q.String())
+		}
+		q.Where = saved
+	}
+	if len(q.Select) > 1 {
+		saved := q.Select
+		q.Select = saved[:len(saved)-1]
+		out = append(out, q.String())
+		q.Select = saved
+	}
+	return out
+}
+
+func (m *minimizer) simplifyQueries(c *Case) *Case {
+	for i := 0; i < len(c.Queries); i++ {
+		progress := true
+		for progress && m.budget > 0 {
+			progress = false
+			for _, v := range simplifyVariants(c.Queries[i]) {
+				qs := append([]string(nil), c.Queries...)
+				qs[i] = v
+				cand := &Case{Seed: c.Seed, Params: c.Params, Trace: c.Trace, Queries: qs}
+				if m.fails(cand) {
+					c = cand
+					progress = true
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+// reduceTrace removes trace chunks while the failure persists, halving
+// the chunk size each round (ddmin's complement-removal core).
+func (m *minimizer) reduceTrace(c *Case) *Case {
+	const minChunk = 32
+	for chunk := (len(c.Trace) + 1) / 2; chunk >= minChunk; chunk /= 2 {
+		removed := true
+		for removed && m.budget > 0 {
+			removed = false
+			for start := 0; start < len(c.Trace); start += chunk {
+				end := start + chunk
+				if end > len(c.Trace) {
+					end = len(c.Trace)
+				}
+				trace := make([]pkt.Packet, 0, len(c.Trace)-(end-start))
+				trace = append(trace, c.Trace[:start]...)
+				trace = append(trace, c.Trace[end:]...)
+				if len(trace) == 0 {
+					continue
+				}
+				cand := &Case{Seed: c.Seed, Params: c.Params, Queries: c.Queries, Trace: trace}
+				if m.fails(cand) {
+					c = cand
+					removed = true
+					break
+				}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,197 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gigascope/internal/core"
+	"gigascope/internal/netsim"
+	"gigascope/internal/schema"
+)
+
+// Replayable repro artifacts. A failing (case, config) pair is written as
+// a self-contained directory:
+//
+//	testdata/repros/<name>/
+//	    repro.json   seed, config, query texts, parameters, mismatch
+//	    trace.bin    the base packet trace (netsim trace format)
+//
+// The faulted variant of the trace is not stored: it is re-derived from
+// the seed, so the artifact replays bit-identically from these two files
+// alone. ReplayDir re-runs the comparison; TestReplayRepros in this
+// package replays every committed artifact in CI.
+
+// traceFileName is the trace's fixed name inside an artifact directory.
+const traceFileName = "trace.bin"
+
+// reproFileName is the metadata file's fixed name.
+const reproFileName = "repro.json"
+
+// Artifact is the JSON-serialized description of one failing case.
+type Artifact struct {
+	Seed    int64    `json:"seed"`
+	Config  Config   `json:"config"`
+	Queries []string `json:"queries"`
+	// Params maps parameter name to "type:value" (e.g. "uint:80").
+	Params    map[string]string `json:"params,omitempty"`
+	TraceFile string            `json:"trace_file"`
+	// Mismatch is the human-readable divergence description captured when
+	// the artifact was written; replay recomputes its own.
+	Mismatch string `json:"mismatch"`
+	// Plans are one-line plan summaries (node kinds, merge columns,
+	// aggregation flush keys, join windows) captured for triage.
+	Plans []string `json:"plans,omitempty"`
+}
+
+func encodeValue(v schema.Value) string {
+	switch v.Type {
+	case schema.TString:
+		return "string:" + v.Str()
+	default:
+		return v.Type.String() + ":" + v.String()
+	}
+}
+
+func decodeValue(s string) (schema.Value, error) {
+	name, raw, ok := strings.Cut(s, ":")
+	if !ok {
+		return schema.Null, fmt.Errorf("difftest: malformed parameter value %q", s)
+	}
+	t, ok := schema.ParseType(name)
+	if !ok {
+		return schema.Null, fmt.Errorf("difftest: unknown parameter type %q", name)
+	}
+	switch t {
+	case schema.TBool:
+		return schema.MakeBool(raw == "true"), nil
+	case schema.TUint:
+		u, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return schema.Null, err
+		}
+		return schema.MakeUint(u), nil
+	case schema.TInt:
+		i, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return schema.Null, err
+		}
+		return schema.MakeInt(i), nil
+	case schema.TFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return schema.Null, err
+		}
+		return schema.MakeFloat(f), nil
+	case schema.TString:
+		return schema.MakeStr(raw), nil
+	case schema.TIP:
+		a, err := schema.ParseIP(raw)
+		if err != nil {
+			return schema.Null, err
+		}
+		return schema.MakeIP(a), nil
+	}
+	return schema.Null, fmt.Errorf("difftest: unsupported parameter type %q", name)
+}
+
+// planSummary renders one compiled query as a triage one-liner.
+func planSummary(p *core.CompiledQuery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", p.Name)
+	for _, n := range p.Nodes {
+		fmt.Fprintf(&b, " [%s %s %s", n.Level, n.Kind, n.Name)
+		if cols := n.MergeColumns(); len(cols) > 0 {
+			fmt.Fprintf(&b, " mergeCols=%v", cols)
+		}
+		if idx, band, desc, ok := n.AggOrdGroup(); ok {
+			fmt.Fprintf(&b, " ordGroup=%d band=%d desc=%v", idx, band, desc)
+		}
+		if low, high, ok := n.JoinWindow(); ok {
+			fmt.Fprintf(&b, " window=[-%d,+%d]", low, high)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// WriteArtifact persists a failing (case, config) pair under dir, named
+// case_seed<seed>_<config>. It returns the artifact directory path.
+func WriteArtifact(dir string, c *Case, cfg Config, m *Mismatch, plans map[string]*core.CompiledQuery) (string, error) {
+	art := Artifact{
+		Seed:      c.Seed,
+		Config:    cfg,
+		Queries:   c.Queries,
+		TraceFile: traceFileName,
+		Mismatch:  m.String(),
+	}
+	if len(c.Params) > 0 {
+		art.Params = make(map[string]string, len(c.Params))
+		for k, v := range c.Params {
+			art.Params[k] = encodeValue(v)
+		}
+	}
+	for _, p := range plans {
+		art.Plans = append(art.Plans, planSummary(p))
+	}
+	out := filepath.Join(dir, fmt.Sprintf("case_seed%d_%s", c.Seed, cfg.Name()))
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return "", err
+	}
+	if err := netsim.WriteTraceFile(filepath.Join(out, traceFileName), c.Trace); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(out, reproFileName), append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// ReadArtifact loads an artifact directory back into a runnable case.
+func ReadArtifact(dir string) (*Case, Config, error) {
+	data, err := os.ReadFile(filepath.Join(dir, reproFileName))
+	if err != nil {
+		return nil, Config{}, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, Config{}, fmt.Errorf("difftest: %s: %w", dir, err)
+	}
+	traceFile := art.TraceFile
+	if traceFile == "" {
+		traceFile = traceFileName
+	}
+	trace, err := netsim.ReadTraceFile(filepath.Join(dir, traceFile))
+	if err != nil {
+		return nil, Config{}, err
+	}
+	c := &Case{Seed: art.Seed, Queries: art.Queries, Trace: trace}
+	if len(art.Params) > 0 {
+		c.Params = make(map[string]schema.Value, len(art.Params))
+		for k, s := range art.Params {
+			v, err := decodeValue(s)
+			if err != nil {
+				return nil, Config{}, err
+			}
+			c.Params[k] = v
+		}
+	}
+	return c, art.Config, nil
+}
+
+// ReplayDir re-runs an artifact's comparison. A non-nil Mismatch means
+// the divergence still reproduces; nil means it no longer does (fixed).
+func ReplayDir(dir string) (*Mismatch, error) {
+	c, cfg, err := ReadArtifact(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Check(c, cfg)
+}

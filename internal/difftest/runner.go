@@ -1,0 +1,51 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+
+	"gigascope/internal/oracle"
+)
+
+// RunMatrix is the standalone entry point used by `gsbench -run difftest`:
+// run cases for seeds 1..seeds across the full config matrix, print one
+// line per cell, and return the number of failing cells. Harness errors
+// (shedding, compile failures) count as failures too — they mean the
+// equivalence claim was not checked.
+func RunMatrix(w io.Writer, seeds, tracePackets int) int {
+	failures := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		c, err := NewCase(seed, tracePackets)
+		if err != nil {
+			fmt.Fprintf(w, "seed %d: generate: %v\n", seed, err)
+			failures++
+			continue
+		}
+		cache := map[bool]map[string]*oracle.Result{}
+		for _, cfg := range Matrix() {
+			want, ok := cache[cfg.Faults]
+			if !ok {
+				want, err = OracleResults(c, cfg.Faults)
+				if err != nil {
+					fmt.Fprintf(w, "seed %d %s: oracle: %v\n", seed, cfg.Name(), err)
+					failures++
+					continue
+				}
+				cache[cfg.Faults] = want
+			}
+			m, err := CheckConfig(c, cfg, want)
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "seed %-3d %-16s HARNESS ERROR: %v\n", seed, cfg.Name(), err)
+				failures++
+			case m != nil:
+				fmt.Fprintf(w, "seed %-3d %-16s MISMATCH: %s\n", seed, cfg.Name(), m)
+				failures++
+			default:
+				fmt.Fprintf(w, "seed %-3d %-16s ok (%d queries, %d packets)\n",
+					seed, cfg.Name(), len(c.Queries), len(c.Trace))
+			}
+		}
+	}
+	return failures
+}

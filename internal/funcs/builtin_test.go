@@ -1,0 +1,322 @@
+package funcs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// Table-driven boundary tests for every builtin in builtin.go. funcs_test.go
+// covers registration and the happy paths; this file pins the edges: rate
+// and mask-length boundaries, NULL propagation, empty strings, and what the
+// string builtins see when the capture was truncated mid-payload.
+
+// evalScalar runs a registered builtin without a handle.
+func evalScalar(t *testing.T, name string, args ...schema.Value) (schema.Value, bool) {
+	t.Helper()
+	f, ok := Global.Scalar(name)
+	if !ok {
+		t.Fatalf("builtin %s not registered", name)
+	}
+	return f.Eval(args, nil)
+}
+
+func TestSampleFractionBoundaries(t *testing.T) {
+	vals := []schema.Value{
+		schema.MakeUint(0),
+		schema.MakeUint(1),
+		schema.MakeUint(1 << 63),
+		schema.MakeUint(^uint64(0)),
+		schema.MakeFloat(3.7),
+		schema.MakeStr(""),
+		schema.MakeStr("10.1.2.3"),
+		schema.MakeIP(0x0a010203),
+	}
+	for _, v := range vals {
+		if !SampleFraction(v, 1.0) {
+			t.Errorf("rate 1.0 must keep everything, dropped %v", v)
+		}
+		if !SampleFraction(v, 1.5) {
+			t.Errorf("rate > 1 must keep everything, dropped %v", v)
+		}
+		if SampleFraction(v, 0) {
+			t.Errorf("rate 0 must drop everything, kept %v", v)
+		}
+		if SampleFraction(v, -0.2) {
+			t.Errorf("rate < 0 must drop everything, kept %v", v)
+		}
+		// Deterministic: the same value samples the same way every call.
+		if SampleFraction(v, 0.5) != SampleFraction(v, 0.5) {
+			t.Errorf("non-deterministic sampling for %v", v)
+		}
+	}
+}
+
+func TestSampleFractionMonotoneInRate(t *testing.T) {
+	// The overload controller relies on this: raising the rate only grows
+	// the kept set, so adjusting a sampling parameter never churns which
+	// flows are observed.
+	rates := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	for i := uint64(0); i < 500; i++ {
+		v := schema.MakeUint(i * 2654435761)
+		kept := false
+		for _, r := range rates {
+			now := SampleFraction(v, r)
+			if kept && !now {
+				t.Fatalf("value %v kept at a lower rate but dropped at %v", v, r)
+			}
+			kept = now
+		}
+	}
+}
+
+func TestSampleFractionApproximatesRate(t *testing.T) {
+	const n = 4000
+	kept := 0
+	for i := uint64(0); i < n; i++ {
+		if SampleFraction(schema.MakeUint(i*0x9e3779b97f4a7c15), 0.25) {
+			kept++
+		}
+	}
+	frac := float64(kept) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("rate 0.25 kept %.3f of distinct values", frac)
+	}
+}
+
+func TestSamplehashScalarMirrorsSampleFraction(t *testing.T) {
+	for _, v := range []schema.Value{
+		schema.MakeUint(42), schema.MakeStr("flow-a"), schema.MakeFloat(8.5),
+	} {
+		for _, rate := range []float64{0, 0.3, 1} {
+			got, ok := evalScalar(t, "samplehash", v, schema.MakeFloat(rate))
+			if !ok {
+				t.Fatalf("samplehash(%v, %v) produced no value", v, rate)
+			}
+			if got.Bool() != SampleFraction(v, rate) {
+				t.Errorf("samplehash(%v, %v) = %v disagrees with SampleFraction", v, rate, got)
+			}
+		}
+	}
+}
+
+func TestToUintTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   schema.Value
+		want uint64
+		ok   bool
+	}{
+		{"uint passthrough", schema.MakeUint(7), 7, true},
+		{"uint max", schema.MakeUint(^uint64(0)), ^uint64(0), true},
+		{"float truncates", schema.MakeFloat(3.9), 3, true},
+		{"float zero", schema.MakeFloat(0), 0, true},
+		{"bool true", schema.MakeBool(true), 1, true},
+		{"ip payload", schema.MakeIP(0x0a000001), 0x0a000001, true},
+		{"null discards", schema.Null, 0, false},
+	}
+	for _, c := range cases {
+		v, ok := evalScalar(t, "to_uint", c.in)
+		if ok != c.ok || (ok && v.Uint() != c.want) {
+			t.Errorf("%s: to_uint(%v) = %v, %v; want %v, %v", c.name, c.in, v, ok, c.want, c.ok)
+		}
+		if ok && v.Type != schema.TUint {
+			t.Errorf("%s: result type %v", c.name, v.Type)
+		}
+	}
+}
+
+func TestToFloatTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   schema.Value
+		want float64
+		ok   bool
+	}{
+		{"uint", schema.MakeUint(5), 5, true},
+		{"negative int", schema.MakeInt(-3), -3, true},
+		{"float passthrough", schema.MakeFloat(2.25), 2.25, true},
+		{"null discards", schema.Null, 0, false},
+	}
+	for _, c := range cases {
+		v, ok := evalScalar(t, "to_float", c.in)
+		if ok != c.ok || (ok && v.Float() != c.want) {
+			t.Errorf("%s: to_float(%v) = %v, %v; want %v, %v", c.name, c.in, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSubnetTable(t *testing.T) {
+	ip := schema.MakeIP(0x0a01027f) // 10.1.2.127
+	cases := []struct {
+		name string
+		ml   uint64
+		want uint32
+		ok   bool
+	}{
+		{"mask 0 is the zero address", 0, 0, true},
+		{"mask 1 keeps the top bit", 1, 0, true}, // 10.x has top bit clear
+		{"mask 8", 8, 0x0a000000, true},
+		{"mask 24", 24, 0x0a010200, true},
+		{"mask 31", 31, 0x0a01027e, true},
+		{"mask 32 is identity", 32, 0x0a01027f, true},
+		{"mask 33 discards", 33, 0, false},
+		{"huge mask discards", 1 << 40, 0, false},
+	}
+	for _, c := range cases {
+		v, ok := evalScalar(t, "subnet", ip, schema.MakeUint(c.ml))
+		if ok != c.ok || (ok && v.IP() != c.want) {
+			t.Errorf("%s: subnet(10.1.2.127, %d) = %v, %v; want %08x, %v",
+				c.name, c.ml, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIPInNetTable(t *testing.T) {
+	mk := schema.MakeIP
+	cases := []struct {
+		name          string
+		ip, net, mask uint32
+		want          bool
+	}{
+		{"inside /24", 0x0a0101fe, 0x0a010100, 0xffffff00, true},
+		{"outside /24", 0x0a0102fe, 0x0a010100, 0xffffff00, false},
+		{"zero mask matches anything", 0xdeadbeef, 0x0a010100, 0, true},
+		{"/32 exact match", 0x0a010101, 0x0a010101, 0xffffffff, true},
+		{"/32 off by one", 0x0a010102, 0x0a010101, 0xffffffff, false},
+		{"net host bits ignored under mask", 0x0a0101fe, 0x0a010177, 0xffffff00, true},
+	}
+	for _, c := range cases {
+		v, ok := evalScalar(t, "ip_in_net", mk(c.ip), mk(c.net), mk(c.mask))
+		if !ok || v.Bool() != c.want {
+			t.Errorf("%s: ip_in_net = %v, %v; want %v", c.name, v, ok, c.want)
+		}
+	}
+}
+
+func TestStrBuiltinEdgeTable(t *testing.T) {
+	s := schema.MakeStr
+	cases := []struct {
+		name string
+		fn   string
+		args []schema.Value
+		want bool
+	}{
+		{"prefix of empty", "str_prefix", []schema.Value{s(""), s("G")}, false},
+		{"empty prefix always matches", "str_prefix", []schema.Value{s("GET"), s("")}, true},
+		{"prefix equals string", "str_prefix", []schema.Value{s("GET"), s("GET")}, true},
+		{"prefix longer than string", "str_prefix", []schema.Value{s("GE"), s("GET")}, false},
+		{"substr in empty", "str_find_substr", []schema.Value{s(""), s("x")}, false},
+		{"empty substr always found", "str_find_substr", []schema.Value{s("abc"), s("")}, true},
+		{"substr at end", "str_find_substr", []schema.Value{s("payload:HTTP"), s("HTTP")}, true},
+	}
+	for _, c := range cases {
+		v, ok := evalScalar(t, c.fn, c.args...)
+		if !ok || v.Bool() != c.want {
+			t.Errorf("%s: %s = %v, %v; want %v", c.name, c.fn, v, ok, c.want)
+		}
+	}
+	if v, ok := evalScalar(t, "str_len", s("")); !ok || v.Uint() != 0 {
+		t.Errorf("str_len(\"\") = %v, %v", v, ok)
+	}
+}
+
+func TestGetLPMIDBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peerid.tbl")
+	// Default route, nested prefixes, a host route, and a prefix written
+	// with host bits set (routing tables in the wild carry them).
+	tbl := "0.0.0.0/0 1\n10.0.0.0/8 2\n10.1.0.0/16 3\n10.1.2.3/32 4\n192.168.7.9/16 5\n"
+	if err := os.WriteFile(path, []byte(tbl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Global.Scalar("getlpmid")
+	h, err := f.MakeHandle(schema.MakeStr(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ip   uint32
+		want uint64
+	}{
+		{"default route catches strangers", 0x08080808, 1},
+		{"/8 beats default", 0x0a636363, 2},
+		{"/16 beats /8", 0x0a01ffff, 3},
+		{"/32 beats /16", 0x0a010203, 4},
+		{"host bits normalized on insert", 0xc0a8ffff, 5}, // 192.168.255.255
+	}
+	for _, c := range cases {
+		v, ok := f.Eval([]schema.Value{schema.MakeIP(c.ip), schema.Null}, h)
+		if !ok || v.Uint() != c.want {
+			t.Errorf("%s: getlpmid(%08x) = %v, %v; want %d", c.name, c.ip, v, ok, c.want)
+		}
+	}
+}
+
+// TestStringBuiltinsOnTruncatedCapture feeds the payload builtins exactly
+// what the extractor produces from a capture truncated mid-payload: a
+// shortened payload string (the snap keeps the byte prefix), not a dropped
+// tuple. The functions must behave consistently on the shortened view —
+// prefixes that fit the snap still match, substrings past the cut do not.
+func TestStringBuiltinsOnTruncatedCapture(t *testing.T) {
+	spec, ok := pkt.LookupInterp("get_payload")
+	if !ok {
+		t.Fatal("get_payload interpretation function missing")
+	}
+	full := pkt.BuildTCP(1_000_000, pkt.TCPSpec{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 30000, DstPort: 80, TTL: 64,
+		Payload: []byte("GET /index.html HTTP/1.1\r\nHost: example\r\n"),
+	})
+	payloadOff := len(full.Data) - 41
+
+	// Truncate 9 bytes into the payload: extraction still succeeds with the
+	// prefix "GET /inde".
+	cut := full
+	cut.Data = full.Data[:payloadOff+9]
+	v, ok := spec.Extract(&cut)
+	if !ok {
+		t.Fatal("payload extraction failed on mid-payload truncation")
+	}
+	if v.Str() != "GET /inde" {
+		t.Fatalf("truncated payload = %q", v.Str())
+	}
+	if got, ok := evalScalar(t, "str_len", v); !ok || got.Uint() != 9 {
+		t.Errorf("str_len(truncated) = %v, %v", got, ok)
+	}
+	if got, ok := evalScalar(t, "str_prefix", v, schema.MakeStr("GET ")); !ok || !got.Bool() {
+		t.Error("str_prefix(GET ) false on truncated payload")
+	}
+	if got, ok := evalScalar(t, "str_find_substr", v, schema.MakeStr("HTTP/1.1")); !ok || got.Bool() {
+		t.Error("str_find_substr found bytes past the truncation point")
+	}
+	re, _ := Global.Scalar("str_regex_match")
+	h, err := re.MakeHandle(schema.MakeStr(`^[^\n]*HTTP/1.*`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := re.Eval([]schema.Value{v, schema.Null}, h); !ok || got.Bool() {
+		t.Error("regex matched HTTP marker cut off by the snap")
+	}
+
+	// Truncate to the very start of the payload: extraction yields the
+	// empty string (still a value — the packet simply carried no captured
+	// payload bytes).
+	empty := full
+	empty.Data = full.Data[:payloadOff]
+	v, ok = spec.Extract(&empty)
+	if !ok || len(v.Bytes()) != 0 {
+		t.Fatalf("zero-payload capture: %q, %v", v.Str(), ok)
+	}
+
+	// Truncate into the TCP header: the data-offset byte is gone, payload
+	// extraction fails, and the tuple is dropped before any builtin runs.
+	short := full
+	short.Data = full.Data[:pkt.EthHeaderLen+pkt.IPv4HeaderLen+4]
+	if _, ok := spec.Extract(&short); ok {
+		t.Error("payload extracted from capture cut inside the TCP header")
+	}
+}

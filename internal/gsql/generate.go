@@ -1,0 +1,370 @@
+package gsql
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gigascope/internal/schema"
+)
+
+// Seeded random query generation for the differential-test harness
+// (internal/difftest). Queries are built as ASTs and rendered through
+// Query.String(), so every generated case is guaranteed to round-trip
+// through the parser — which is also what lets the harness minimize a
+// failing case at the text level.
+//
+// The generated subset is deliberately confined to shapes whose output is
+// a well-defined multiset under every pipeline configuration:
+//
+//   - ordered attributes are always derived from the `time` column
+//     (nondecreasing); `timestamp` is avoided because simultaneous packets
+//     make its declared strictness unverifiable,
+//   - avg/sum arguments are uint expressions, so the split path's
+//     sum/count recombination is exact (integer partials below 2^53),
+//   - join window attributes come from increasing feeder columns, the
+//     regime where the join's eviction discipline is lossless.
+
+// GenCase is one generated differential-test case: a dependency-ordered
+// query set plus bindings for any declared parameters.
+type GenCase struct {
+	Queries []*Query
+	Params  map[string]schema.Value
+}
+
+// Texts renders the case's queries.
+func (c *GenCase) Texts() []string {
+	out := make([]string, len(c.Queries))
+	for i, q := range c.Queries {
+		out[i] = q.String()
+	}
+	return out
+}
+
+type generator struct {
+	rng    *rand.Rand
+	n      int // query counter
+	np     int // param counter
+	params map[string]schema.Value
+}
+
+// GenerateCase builds a seeded random query set: one to three independent
+// units, each a selection, an aggregation, a two-feeder merge, or a
+// two-feeder join.
+func GenerateCase(seed int64) *GenCase {
+	g := &generator{rng: rand.New(rand.NewSource(seed)), params: make(map[string]schema.Value)}
+	var queries []*Query
+	units := 1 + g.rng.Intn(3)
+	for u := 0; u < units; u++ {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2:
+			queries = append(queries, g.selProj())
+		case 3, 4, 5:
+			queries = append(queries, g.agg())
+		case 6, 7:
+			queries = append(queries, g.merge()...)
+		default:
+			queries = append(queries, g.join()...)
+		}
+	}
+	return &GenCase{Queries: queries, Params: g.params}
+}
+
+// --- small AST constructors ---
+
+func col(name string) *ColRef          { return &ColRef{Name: name} }
+func qcol(tbl, name string) *ColRef    { return &ColRef{Table: tbl, Name: name} }
+func uconst(v uint64) *Const           { return &Const{Val: schema.MakeUint(v)} }
+func fconst(v float64) *Const          { return &Const{Val: schema.MakeFloat(v)} }
+func sconst(s string) *Const           { return &Const{Val: schema.MakeStr(s)} }
+func ipconst(a uint32) *Const          { return &Const{Val: schema.MakeIP(a)} }
+func bin(op Op, l, r Expr) *BinaryExpr { return &BinaryExpr{Op: op, L: l, R: r} }
+func callFn(name string, args ...Expr) *FuncCall {
+	return &FuncCall{Name: name, Args: args}
+}
+
+func (g *generator) pick(ss []string) string { return ss[g.rng.Intn(len(ss))] }
+
+func (g *generator) proto() string {
+	if g.rng.Intn(2) == 0 {
+		return "TCP"
+	}
+	return "UDP"
+}
+
+// uintCols lists the uint protocol columns safe for arithmetic and
+// aggregation in both TCP and UDP (plus per-protocol extras).
+func uintCols(proto string) []string {
+	base := []string{"caplen", "wirelen", "total_length", "ttl", "srcPort", "destPort", "payload_length", "ip_id"}
+	if proto == "UDP" {
+		return append(base, "udp_length")
+	}
+	return base
+}
+
+func (g *generator) uintCol(proto string) string { return g.pick(uintCols(proto)) }
+
+func (g *generator) defineName() map[string][]string {
+	g.n++
+	return map[string][]string{"query_name": {fmt.Sprintf("q%d", g.n)}}
+}
+
+func lastName(qs []*Query) string { return qs[len(qs)-1].Name() }
+
+// cmpOp picks a comparison operator.
+func (g *generator) cmpOp() Op {
+	return []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}[g.rng.Intn(6)]
+}
+
+// constFor returns a plausible literal for a uint column so predicates
+// are neither always-true nor always-false.
+func (g *generator) constFor(c string) uint64 {
+	switch c {
+	case "srcPort":
+		return uint64(20000 + g.rng.Intn(30000))
+	case "destPort":
+		return []uint64{53, 80, 443, 8080}[g.rng.Intn(4)]
+	case "ttl":
+		return []uint64{32, 64, 128}[g.rng.Intn(3)]
+	case "ip_id":
+		return uint64(g.rng.Intn(65536))
+	default: // lengths
+		return []uint64{60, 200, 600, 1000, 1400}[g.rng.Intn(5)]
+	}
+}
+
+// atom builds one cheap predicate conjunct over a protocol source.
+func (g *generator) atom(q func(string) Expr, proto string) Expr {
+	switch g.rng.Intn(6) {
+	case 0, 1:
+		c := g.uintCol(proto)
+		return bin(g.cmpOp(), q(c), uconst(g.constFor(c)))
+	case 2:
+		c := g.uintCol(proto)
+		k := uint64(2 + g.rng.Intn(5))
+		return bin(OpEq, bin(OpMod, q(c), uconst(k)), uconst(uint64(g.rng.Intn(int(k)))))
+	case 3:
+		c := g.pick([]string{"srcIP", "destIP", "srcPort", "wirelen"})
+		rate := []float64{0.25, 0.5, 0.75}[g.rng.Intn(3)]
+		return callFn("samplehash", q(c), fconst(rate))
+	case 4:
+		// netsim sources draw srcIP from 10.0.0.0/10, so a /12 membership
+		// test splits the stream.
+		mask := []uint32{0xffc00000, 0xfff00000, 0xffff0000}[g.rng.Intn(3)]
+		return callFn("ip_in_net", q("srcIP"), ipconst(0x0a000000|uint32(g.rng.Intn(1<<22))&mask), ipconst(mask))
+	default:
+		c := g.uintCol(proto)
+		return bin(g.cmpOp(), q(c), q(g.uintCol(proto)))
+	}
+}
+
+// expensiveAtom builds a payload-scanning conjunct, forcing the compiler
+// down the passThroughLFTA split.
+func (g *generator) expensiveAtom(q func(string) Expr) Expr {
+	switch g.rng.Intn(3) {
+	case 0:
+		return callFn("str_find_substr", q("payload"), sconst("GET"))
+	case 1:
+		return callFn("str_regex_match", q("payload"), sconst("^[A-Z]+ /"))
+	default:
+		return callFn("str_prefix", q("payload"), sconst("HTTP"))
+	}
+}
+
+// paramAtom builds a conjunct referencing a fresh declared parameter.
+func (g *generator) paramAtom(q func(string) Expr, proto string, query *Query) Expr {
+	g.np++
+	name := fmt.Sprintf("p%d", g.np)
+	c := g.uintCol(proto)
+	query.addParam([]string{name, "uint"})
+	g.params[name] = schema.MakeUint(g.constFor(c))
+	return bin(g.cmpOp(), q(c), &ParamRef{Name: name})
+}
+
+// where builds a conjunction of 0..3 atoms (nil means no WHERE clause).
+func (g *generator) where(q func(string) Expr, proto string, query *Query, allowExpensive bool) Expr {
+	var conjs []Expr
+	for i, n := 0, g.rng.Intn(4); i < n; i++ {
+		conjs = append(conjs, g.atom(q, proto))
+	}
+	if allowExpensive && g.rng.Intn(4) == 0 {
+		conjs = append(conjs, g.expensiveAtom(q))
+	}
+	if g.rng.Intn(5) == 0 {
+		conjs = append(conjs, g.paramAtom(q, proto, query))
+	}
+	var out Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+		} else {
+			out = bin(OpAnd, out, c)
+		}
+	}
+	return out
+}
+
+// selProj builds one SELECT/WHERE query over a protocol source.
+func (g *generator) selProj() *Query {
+	proto := g.proto()
+	q := &Query{Defs: g.defineName(), Kind: KindSelect,
+		Sources: []TableRef{{Interface: "eth0", Name: proto}}}
+	unq := func(c string) Expr { return col(c) }
+
+	items := []SelectItem{{Expr: col("time")}}
+	seen := map[string]bool{"time": true}
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		c := g.uintCol(proto)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if g.rng.Intn(4) == 0 {
+			items = append(items, SelectItem{
+				Expr:  bin(OpAdd, col(c), uconst(uint64(1+g.rng.Intn(100)))),
+				Alias: fmt.Sprintf("e_%s", c),
+			})
+		} else {
+			items = append(items, SelectItem{Expr: col(c)})
+		}
+	}
+	if g.rng.Intn(3) == 0 {
+		items = append(items, SelectItem{Expr: col("srcIP")})
+		seen["srcIP"] = true
+	}
+	q.Select = items
+	q.Where = g.where(unq, proto, q, true)
+	return q
+}
+
+// aggExpr builds a uint argument expression for sum/min/max/avg.
+func (g *generator) aggArg(q func(string) Expr, proto string) Expr {
+	c := q(g.uintCol(proto))
+	switch g.rng.Intn(4) {
+	case 0:
+		return bin(OpAdd, c, uconst(uint64(1+g.rng.Intn(50))))
+	case 1:
+		return bin(OpAdd, c, q(g.uintCol(proto)))
+	default:
+		return c
+	}
+}
+
+// agg builds one grouped aggregation over a protocol source, grouped on a
+// time-derived ordered key plus up to two unordered keys.
+func (g *generator) agg() *Query {
+	proto := g.proto()
+	q := &Query{Defs: g.defineName(), Kind: KindSelect,
+		Sources: []TableRef{{Interface: "eth0", Name: proto}}}
+	unq := func(c string) Expr { return col(c) }
+
+	// Ordered group key: time or time/k.
+	var ordExpr Expr = col("time")
+	if g.rng.Intn(2) == 0 {
+		ordExpr = bin(OpDiv, col("time"), uconst(uint64(2+g.rng.Intn(9))))
+	}
+	groups := []SelectItem{{Expr: ordExpr, Alias: "tb"}}
+	items := []SelectItem{{Expr: col("tb")}}
+	for i, n := 0, g.rng.Intn(3); i < n; i++ {
+		alias := fmt.Sprintf("gk%d", i)
+		var ge Expr
+		switch g.rng.Intn(3) {
+		case 0:
+			ge = col(g.uintCol(proto))
+		case 1:
+			ge = bin(OpDiv, col(g.uintCol(proto)), uconst(uint64(2+g.rng.Intn(9))))
+		default:
+			ge = callFn("subnet", col("srcIP"), uconst(uint64(8+4*g.rng.Intn(5))))
+		}
+		groups = append(groups, SelectItem{Expr: ge, Alias: alias})
+		items = append(items, SelectItem{Expr: col(alias)})
+	}
+	q.GroupBy = groups
+
+	// Aggregates: always count(*), plus up to two of sum/min/max/avg.
+	items = append(items, SelectItem{Expr: callFn("count", &Star{}), Alias: "cnt"})
+	for i, n := 0, g.rng.Intn(3); i < n; i++ {
+		fn := g.pick([]string{"sum", "min", "max", "avg"})
+		items = append(items, SelectItem{
+			Expr:  callFn(fn, g.aggArg(unq, proto)),
+			Alias: fmt.Sprintf("a%d", i),
+		})
+	}
+	q.Select = items
+	q.Where = g.where(unq, proto, q, true)
+	if g.rng.Intn(3) == 0 {
+		q.Having = bin(OpGt, callFn("count", &Star{}), uconst(uint64(1+g.rng.Intn(4))))
+	}
+	return q
+}
+
+// feeder builds a named selection producing exactly the given column list
+// (each item a plain column aliased to a fixed name), for merge and join
+// inputs. The first column is always time, preserving its ordering.
+func (g *generator) feeder(proto string, cols []string, aliases []string) *Query {
+	q := &Query{Defs: g.defineName(), Kind: KindSelect,
+		Sources: []TableRef{{Interface: "eth0", Name: proto}}}
+	for i, c := range cols {
+		q.Select = append(q.Select, SelectItem{Expr: col(c), Alias: aliases[i]})
+	}
+	unq := func(c string) Expr { return col(c) }
+	q.Where = g.where(unq, proto, q, false)
+	return q
+}
+
+// merge builds two schema-identical feeders plus a MERGE combining them on
+// time.
+func (g *generator) merge() []*Query {
+	extra := g.uintCol("TCP") // present in both protocols
+	cols := []string{"time", extra, "wirelen"}
+	aliases := []string{"time", "c1", "c2"}
+	f1 := g.feeder(g.proto(), cols, aliases)
+	f2 := g.feeder(g.proto(), cols, aliases)
+	m := &Query{Defs: g.defineName(), Kind: KindMerge,
+		Sources: []TableRef{
+			{Name: f1.Name(), Alias: "a"},
+			{Name: f2.Name(), Alias: "b"},
+		},
+		MergeCols: []*ColRef{qcol("a", "time"), qcol("b", "time")},
+	}
+	return []*Query{f1, f2, m}
+}
+
+// join builds two feeders over TCP (shared flow space, so keys match) and
+// an ordered join on a time window plus a flow-key equality.
+func (g *generator) join() []*Query {
+	f1 := g.feeder("TCP", []string{"time", "srcIP", "wirelen"}, []string{"time", "ip", "w"})
+	f2 := g.feeder("TCP", []string{"time", "srcIP", "caplen"}, []string{"time", "ip", "c"})
+	j := &Query{Defs: g.defineName(), Kind: KindSelect,
+		Sources: []TableRef{
+			{Name: f1.Name(), Alias: "a"},
+			{Name: f2.Name(), Alias: "b"},
+		},
+	}
+	if g.rng.Intn(2) == 0 {
+		j.Defs["join_algorithm"] = []string{"ordered"}
+	}
+
+	// Window constraint on the increasing time columns.
+	var window Expr
+	if g.rng.Intn(2) == 0 {
+		window = bin(OpEq, qcol("a", "time"), qcol("b", "time"))
+	} else {
+		low := uint64(g.rng.Intn(3))
+		high := uint64(g.rng.Intn(3))
+		window = bin(OpAnd,
+			bin(OpGe, qcol("b", "time"), bin(OpSub, qcol("a", "time"), uconst(low))),
+			bin(OpLe, qcol("b", "time"), bin(OpAdd, qcol("a", "time"), uconst(high))))
+	}
+	where := bin(OpAnd, window, bin(OpEq, qcol("a", "ip"), qcol("b", "ip")))
+	if g.rng.Intn(2) == 0 {
+		where = bin(OpAnd, where, bin(g.cmpOp(), qcol("a", "w"), qcol("b", "c")))
+	}
+	j.Where = where
+	j.Select = []SelectItem{
+		{Expr: qcol("a", "time"), Alias: "t"},
+		{Expr: qcol("a", "ip"), Alias: "ip"},
+		{Expr: qcol("a", "w"), Alias: "w"},
+		{Expr: qcol("b", "c"), Alias: "c"},
+	}
+	return []*Query{f1, f2, j}
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"gigascope/internal/pkt"
+)
+
+// Trace record/replay: the differential-test harness (internal/difftest)
+// records a generated packet stream once, feeds the identical bytes to the
+// real pipeline and to the reference oracle, and ships the trace inside a
+// replayable repro artifact when they disagree.
+
+// traceMagic identifies the trace file format; bump the trailing digit on
+// layout changes.
+const traceMagic = "GSTRACE1"
+
+// Record runs a fresh generator for cfg and materializes up to n packets.
+func Record(cfg Config, n int) ([]pkt.Packet, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]pkt.Packet, 0, n)
+	for len(out) < n {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteTrace serializes packets: magic, count, then per packet the capture
+// timestamp, wire length, and captured bytes (big endian throughout).
+func WriteTrace(w io.Writer, ps []pkt.Packet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(ps)))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for i := range ps {
+		p := &ps[i]
+		binary.BigEndian.PutUint64(buf[:], p.TS)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(buf[:4], uint32(p.WireLen))
+		binary.BigEndian.PutUint32(buf[4:], uint32(len(p.Data)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(p.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]pkt.Packet, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("netsim: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("netsim: not a trace file (magic %q)", magic)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("netsim: reading trace count: %w", err)
+	}
+	n := binary.BigEndian.Uint32(buf[:4])
+	const maxTracePackets = 16 << 20
+	if n > maxTracePackets {
+		return nil, fmt.Errorf("netsim: implausible trace packet count %d", n)
+	}
+	ps := make([]pkt.Packet, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("netsim: packet %d header: %w", i, err)
+		}
+		ts := binary.BigEndian.Uint64(buf[:])
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("netsim: packet %d lengths: %w", i, err)
+		}
+		wireLen := binary.BigEndian.Uint32(buf[:4])
+		dataLen := binary.BigEndian.Uint32(buf[4:])
+		const maxPacketBytes = 1 << 20
+		if dataLen > maxPacketBytes || wireLen > maxPacketBytes {
+			return nil, fmt.Errorf("netsim: packet %d implausibly large (%d/%d bytes)", i, dataLen, wireLen)
+		}
+		data := make([]byte, dataLen)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("netsim: packet %d data: %w", i, err)
+		}
+		ps = append(ps, pkt.Packet{TS: ts, WireLen: int(wireLen), Data: data})
+	}
+	return ps, nil
+}
+
+// WriteTraceFile writes a trace to path.
+func WriteTraceFile(path string, ps []pkt.Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, ps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile reads a trace from path.
+func ReadTraceFile(path string) ([]pkt.Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

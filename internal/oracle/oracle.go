@@ -1,0 +1,716 @@
+// Package oracle is a deliberately naive reference evaluator for the
+// supported GSQL subset: selection/projection, grouped aggregation over
+// time windows, ordered merge, and ordered join. It materializes every
+// input, runs single-threaded and unbatched, and never reasons about
+// watermarks, batching, sharding, or buffer bounds — the streaming
+// machinery whose equivalence the differential harness checks is
+// re-derived here from the AST in the most obvious way possible.
+//
+// The oracle deliberately shares two leaf libraries with the real
+// pipeline: the scalar expression evaluator (internal/exec's Compiler over
+// an input schema) and the aggregate-function registry (internal/funcs).
+// Both are pure, stateless-per-row libraries; sharing them pins a single
+// definition of scalar and NULL semantics so that a differential mismatch
+// always indicts the streaming machinery (split, flush, merge, shard,
+// batch) rather than an evaluator skew. Everything above that layer —
+// packet interpretation loops, grouping, join pairing, merge interleave —
+// is written independently from the query AST.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/funcs"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// Result is one query's reference output. Rows are in the oracle's
+// canonical order: input order for selections and joins, (ordered key,
+// packed group key) for aggregations, merge-column order for merges.
+// Consumers comparing against a parallel pipeline should compare as a
+// multiset and check ordering properties separately, since the pipeline
+// only promises its imputed orderings.
+type Result struct {
+	Name   string
+	Schema *schema.Schema
+	Rows   []schema.Tuple
+}
+
+type evaluator struct {
+	reg     *funcs.Registry
+	params  map[string]schema.Value
+	trace   []pkt.Packet
+	cat     *schema.Catalog
+	streams map[string]*Result // lowercased query name -> result
+}
+
+// Eval runs the query texts, in order, over the recorded packet trace and
+// returns the reference output of each. Later queries may read earlier
+// queries' output streams by name. params supplies values for any declared
+// query parameters.
+func Eval(texts []string, params map[string]schema.Value, trace []pkt.Packet) ([]*Result, error) {
+	cat := schema.NewCatalog()
+	if err := pkt.RegisterBuiltins(cat); err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	ev := &evaluator{
+		reg:     funcs.Global,
+		params:  params,
+		trace:   trace,
+		cat:     cat,
+		streams: make(map[string]*Result),
+	}
+	results := make([]*Result, 0, len(texts))
+	for i, text := range texts {
+		q, err := gsql.ParseQuery(text)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: query %d: %w", i+1, err)
+		}
+		name := q.Name()
+		if name == "" {
+			name = fmt.Sprintf("q%d", i+1)
+		}
+		res, err := ev.evalQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: query %s: %w", name, err)
+		}
+		res.Name = name
+		res.Schema.Name = name
+		ev.streams[strings.ToLower(name)] = res
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (ev *evaluator) evalQuery(q *gsql.Query) (*Result, error) {
+	switch {
+	case q.Kind == gsql.KindMerge:
+		return ev.evalMerge(q)
+	case len(q.Sources) == 2:
+		return ev.evalJoin(q)
+	case len(q.Sources) == 1:
+		if len(q.GroupBy) > 0 || ev.hasAggregate(q) {
+			return ev.evalAgg(q)
+		}
+		return ev.evalSelProj(q)
+	}
+	return nil, fmt.Errorf("unsupported query shape (%d sources)", len(q.Sources))
+}
+
+func (ev *evaluator) hasAggregate(q *gsql.Query) bool {
+	found := false
+	check := func(e gsql.Expr) {
+		gsql.Walk(e, func(n gsql.Expr) bool {
+			if call, ok := n.(*gsql.FuncCall); ok && ev.reg.IsAggregate(call.Name) {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range q.Select {
+		check(it.Expr)
+	}
+	check(q.Having)
+	return found
+}
+
+// source materializes one query input. For protocol sources, needNames
+// restricts extraction to the referenced columns (mirroring the capture
+// path's needCols); nil extracts every column (what the compiler's
+// protocol wrapper projects for multi-source inputs). A packet is dropped
+// when any needed extraction fails; unextracted slots stay NULL.
+func (ev *evaluator) source(ref gsql.TableRef, needNames map[string]bool) (*schema.Schema, []schema.Tuple, error) {
+	if ref.Interface == "" {
+		if st, ok := ev.streams[strings.ToLower(ref.Name)]; ok {
+			return st.Schema, st.Rows, nil
+		}
+	}
+	sc, ok := ev.cat.Lookup(ref.Name)
+	if !ok || sc.Kind != schema.KindProtocol {
+		return nil, nil, fmt.Errorf("unknown source %s", ref.Name)
+	}
+	type extractor struct {
+		slot int
+		spec *pkt.FieldSpec
+	}
+	var exs []extractor
+	for i := range sc.Cols {
+		col := &sc.Cols[i]
+		if needNames != nil && !needNames[strings.ToLower(col.Name)] {
+			continue
+		}
+		spec, found := pkt.LookupInterp(col.Interp)
+		if !found {
+			return nil, nil, fmt.Errorf("%s.%s: interpretation function %q not registered", sc.Name, col.Name, col.Interp)
+		}
+		exs = append(exs, extractor{slot: i, spec: spec})
+	}
+	var rows []schema.Tuple
+	for pi := range ev.trace {
+		p := &ev.trace[pi]
+		row := make(schema.Tuple, len(sc.Cols))
+		ok := true
+		for _, ex := range exs {
+			v, extracted := ex.spec.Extract(p)
+			if !extracted {
+				ok = false
+				break
+			}
+			row[ex.slot] = v
+		}
+		if ok {
+			rows = append(rows, row)
+		}
+	}
+	return sc, rows, nil
+}
+
+// referencedCols collects the distinct column names a single-source query
+// mentions, for needCols-style protocol extraction. Names that do not
+// resolve against the source schema (group-by aliases) are filtered by the
+// caller through schema lookup in source().
+func referencedCols(q *gsql.Query) map[string]bool {
+	out := make(map[string]bool)
+	add := func(e gsql.Expr) {
+		gsql.Walk(e, func(n gsql.Expr) bool {
+			if c, ok := n.(*gsql.ColRef); ok {
+				out[strings.ToLower(c.Name)] = true
+			}
+			return true
+		})
+	}
+	for _, it := range q.Select {
+		add(it.Expr)
+	}
+	for _, g := range q.GroupBy {
+		add(g.Expr)
+	}
+	add(q.Where)
+	add(q.Having)
+	return out
+}
+
+// outSchema derives output column names the way the compiler does:
+// alias > column name > synthesized f<i>.
+func outSchema(items []gsql.SelectItem, types []schema.Type, ords []schema.Ordering) *schema.Schema {
+	out := &schema.Schema{Kind: schema.KindStream}
+	used := make(map[string]bool)
+	for i, item := range items {
+		name := item.Alias
+		if name == "" {
+			if c, ok := item.Expr.(*gsql.ColRef); ok {
+				name = c.Name
+			} else {
+				name = fmt.Sprintf("f%d", i)
+			}
+		}
+		for used[strings.ToLower(name)] {
+			name = fmt.Sprintf("%s_%d", name, i)
+		}
+		used[strings.ToLower(name)] = true
+		col := schema.Column{Name: name, Type: types[i]}
+		if ords != nil {
+			col.Ordering = ords[i]
+		}
+		out.Cols = append(out.Cols, col)
+	}
+	return out
+}
+
+// evalSelProj: filter each materialized row through WHERE, project the
+// select list; any discarded output expression (a partial function that
+// produced no result) drops the row, as in the pipeline.
+func (ev *evaluator) evalSelProj(q *gsql.Query) (*Result, error) {
+	ref := q.Sources[0]
+	sc, rows, err := ev.source(ref, referencedCols(q))
+	if err != nil {
+		return nil, err
+	}
+	comp := &exec.Compiler{Reg: ev.reg, Params: q.Params(), Resolve: exec.SchemaResolver(sc, ref.Binding())}
+	var pred exec.Expr
+	if q.Where != nil {
+		if pred, err = comp.Compile(q.Where); err != nil {
+			return nil, err
+		}
+	}
+	outs := make([]exec.Expr, len(q.Select))
+	types := make([]schema.Type, len(q.Select))
+	ords := make([]schema.Ordering, len(q.Select))
+	for i, it := range q.Select {
+		if outs[i], err = comp.Compile(it.Expr); err != nil {
+			return nil, err
+		}
+		types[i] = outs[i].Type()
+		// Output streams must carry the imputed orderings so downstream
+		// queries (merge, join, aggregation over this stream) see the same
+		// source metadata the compiler's catalog records.
+		ords[i] = core.ImputeOrdering(it.Expr, sc, ref.Binding())
+		if ords[i].Kind == schema.OrderIncreasingInGroup {
+			ords[i] = schema.NoOrder
+		}
+	}
+	ctx, err := exec.NewCtx(comp.Handles, ev.params)
+	if err != nil {
+		return nil, err
+	}
+	var outRows []schema.Tuple
+	for _, row := range rows {
+		if pred != nil {
+			pass, ok := exec.EvalPred(pred, row, ctx)
+			if !ok || !pass {
+				continue
+			}
+		}
+		out := make(schema.Tuple, len(outs))
+		keep := true
+		for i, e := range outs {
+			v, ok := e.Eval(row, ctx)
+			if !ok {
+				keep = false
+				break
+			}
+			out[i] = v
+		}
+		if keep {
+			outRows = append(outRows, out)
+		}
+	}
+	return &Result{Schema: outSchema(q.Select, types, ords), Rows: outRows}, nil
+}
+
+// rewriteTree rebuilds an expression bottom-up, replacing any node for
+// which f returns non-nil (mirrors the compiler's rewrite helper).
+func rewriteTree(e gsql.Expr, f func(gsql.Expr) gsql.Expr) gsql.Expr {
+	if e == nil {
+		return nil
+	}
+	if r := f(e); r != nil {
+		return r
+	}
+	switch n := e.(type) {
+	case *gsql.BinaryExpr:
+		return &gsql.BinaryExpr{Op: n.Op, L: rewriteTree(n.L, f), R: rewriteTree(n.R, f), At: n.At}
+	case *gsql.UnaryExpr:
+		return &gsql.UnaryExpr{Op: n.Op, X: rewriteTree(n.X, f), At: n.At}
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = rewriteTree(a, f)
+		}
+		return &gsql.FuncCall{Name: n.Name, Args: args, At: n.At}
+	}
+	return e
+}
+
+type aggSlot struct {
+	spec    *funcs.Aggregate
+	arg     exec.Expr // nil for count(*)
+	argType schema.Type
+}
+
+// evalAgg: one full pass grouping every passing row, then HAVING +
+// projection per group. No windows, no watermarks, no flushing — the
+// whole trace is one batch. Output order is (ordered key, packed group
+// key), the total order the pipeline's flush discipline converges to.
+func (ev *evaluator) evalAgg(q *gsql.Query) (*Result, error) {
+	ref := q.Sources[0]
+	sc, rows, err := ev.source(ref, referencedCols(q))
+	if err != nil {
+		return nil, err
+	}
+	comp := &exec.Compiler{Reg: ev.reg, Params: q.Params(), Resolve: exec.SchemaResolver(sc, ref.Binding())}
+
+	var pred exec.Expr
+	if q.Where != nil {
+		if pred, err = comp.Compile(q.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	// Group key expressions, names, and the ordered-key pick (mirrors the
+	// compiler: any increasing key wins, else first banded, else first
+	// decreasing).
+	groupExprs := make([]exec.Expr, len(q.GroupBy))
+	groupNames := make([]string, len(q.GroupBy))
+	groupText := make(map[string]int)
+	ordGroup, desc := -1, false
+	ordLocked := false
+	for i, g := range q.GroupBy {
+		if groupExprs[i], err = comp.Compile(g.Expr); err != nil {
+			return nil, err
+		}
+		name := g.Alias
+		if name == "" {
+			if c, ok := g.Expr.(*gsql.ColRef); ok {
+				name = c.Name
+			} else {
+				name = fmt.Sprintf("g%d", i)
+			}
+		}
+		groupNames[i] = name
+		groupText[g.Expr.String()] = i
+		if ordLocked {
+			continue
+		}
+		ord := core.ImputeOrdering(g.Expr, sc, ref.Binding())
+		switch {
+		case ord.Increasing():
+			// First increasing key wins outright (the compiler stops its
+			// ord-pick scan here).
+			ordGroup, desc, ordLocked = i, false, true
+		case ord.Kind == schema.OrderBandedIncreasing && ordGroup < 0:
+			ordGroup, desc = i, false
+		case ord.Decreasing() && ordGroup < 0:
+			ordGroup, desc = i, true
+		}
+	}
+
+	// Collect aggregate calls from the select list and HAVING, rewriting
+	// both over the post-aggregation row [group values..., agg results...].
+	post := &schema.Schema{Name: "post", Kind: schema.KindStream}
+	for i, ge := range groupExprs {
+		post.Cols = append(post.Cols, schema.Column{Name: groupNames[i], Type: ge.Type()})
+	}
+	aggKeys := make(map[string]int)
+	var slots []aggSlot
+	var walkErr error
+	addAgg := func(call *gsql.FuncCall) (int, error) {
+		canon := strings.ToLower(call.String())
+		if slot, ok := aggKeys[canon]; ok {
+			return slot, nil
+		}
+		agg, ok := ev.reg.Aggregate(call.Name)
+		if !ok {
+			return 0, fmt.Errorf("unknown aggregate %s", call.Name)
+		}
+		if len(call.Args) != 1 {
+			return 0, fmt.Errorf("%s takes exactly one argument", agg.Name)
+		}
+		sl := aggSlot{spec: agg, argType: schema.TNull}
+		if _, star := call.Args[0].(*gsql.Star); star {
+			if agg.TakesArg {
+				return 0, fmt.Errorf("%s(*) is not valid; give an argument", agg.Name)
+			}
+		} else {
+			e, err := comp.Compile(call.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			sl.arg, sl.argType = e, e.Type()
+		}
+		slot := len(slots)
+		slots = append(slots, sl)
+		aggKeys[canon] = slot
+		post.Cols = append(post.Cols, schema.Column{
+			Name: fmt.Sprintf("%s_%d", strings.ToLower(call.Name), slot),
+			Type: agg.Ret(sl.argType),
+		})
+		return slot, nil
+	}
+	rewrite := func(e gsql.Expr) gsql.Expr {
+		collected := rewriteTree(e, func(x gsql.Expr) gsql.Expr {
+			call, ok := x.(*gsql.FuncCall)
+			if !ok || !ev.reg.IsAggregate(call.Name) || walkErr != nil {
+				return nil
+			}
+			slot, err := addAgg(call)
+			if err != nil {
+				walkErr = err
+				return x
+			}
+			return &gsql.ColRef{Name: post.Cols[len(groupExprs)+slot].Name, At: x.Pos()}
+		})
+		return rewriteTree(collected, func(x gsql.Expr) gsql.Expr {
+			if i, ok := groupText[x.String()]; ok {
+				return &gsql.ColRef{Name: groupNames[i], At: x.Pos()}
+			}
+			if c, ok := x.(*gsql.ColRef); ok {
+				for i, gname := range groupNames {
+					if strings.EqualFold(c.Name, gname) {
+						return &gsql.ColRef{Name: groupNames[i], At: c.At}
+					}
+				}
+			}
+			return nil
+		})
+	}
+
+	postComp := &exec.Compiler{
+		Reg: ev.reg, Params: q.Params(),
+		Resolve: exec.SchemaResolver(post, "post"),
+		Handles: comp.Handles,
+	}
+	postSelect := make([]exec.Expr, len(q.Select))
+	types := make([]schema.Type, len(q.Select))
+	for i, it := range q.Select {
+		re := rewrite(it.Expr)
+		if walkErr != nil {
+			return nil, walkErr
+		}
+		if postSelect[i], err = postComp.Compile(re); err != nil {
+			return nil, fmt.Errorf("SELECT item %d over group row: %w", i+1, err)
+		}
+		types[i] = postSelect[i].Type()
+	}
+	var having exec.Expr
+	if q.Having != nil {
+		rh := rewrite(q.Having)
+		if walkErr != nil {
+			return nil, walkErr
+		}
+		if having, err = postComp.Compile(rh); err != nil {
+			return nil, fmt.Errorf("HAVING over group row: %w", err)
+		}
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("GROUP BY without any aggregate")
+	}
+
+	ctx, err := exec.NewCtx(postComp.Handles, ev.params)
+	if err != nil {
+		return nil, err
+	}
+
+	// The single naive pass: group every passing row over the whole trace.
+	type group struct {
+		gvals  schema.Tuple
+		key    string
+		states []funcs.AggState
+	}
+	groups := make(map[string]*group)
+	for _, row := range rows {
+		if pred != nil {
+			pass, ok := exec.EvalPred(pred, row, ctx)
+			if !ok || !pass {
+				continue
+			}
+		}
+		gvals := make(schema.Tuple, len(groupExprs))
+		ok := true
+		for i, ge := range groupExprs {
+			v, evOK := ge.Eval(row, ctx)
+			if !evOK {
+				ok = false
+				break
+			}
+			gvals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		if ordGroup >= 0 && gvals[ordGroup].IsNull() {
+			continue // no ordered key: the pipeline discards such tuples
+		}
+		key := string(gvals.Pack(nil))
+		g, found := groups[key]
+		if !found {
+			g = &group{gvals: gvals, key: key, states: make([]funcs.AggState, len(slots))}
+			for i, sl := range slots {
+				g.states[i] = sl.spec.New(sl.argType)
+			}
+			groups[key] = g
+		}
+		for i, sl := range slots {
+			if sl.arg == nil {
+				g.states[i].Add(schema.Null)
+				continue
+			}
+			if v, evOK := sl.arg.Eval(row, ctx); evOK {
+				g.states[i].Add(v)
+			}
+		}
+	}
+
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordGroup >= 0 {
+			c := ordered[i].gvals[ordGroup].Compare(ordered[j].gvals[ordGroup])
+			if c != 0 {
+				if desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return ordered[i].key < ordered[j].key
+	})
+
+	var outRows []schema.Tuple
+	for _, g := range ordered {
+		postRow := make(schema.Tuple, len(groupExprs)+len(slots))
+		copy(postRow, g.gvals)
+		for i, s := range g.states {
+			postRow[len(groupExprs)+i] = s.Result()
+		}
+		if having != nil {
+			pass, ok := exec.EvalPred(having, postRow, ctx)
+			if !ok || !pass {
+				continue
+			}
+		}
+		out := make(schema.Tuple, len(postSelect))
+		keep := true
+		for i, e := range postSelect {
+			v, ok := e.Eval(postRow, ctx)
+			if !ok {
+				keep = false
+				break
+			}
+			out[i] = v
+		}
+		if keep {
+			outRows = append(outRows, out)
+		}
+	}
+	return &Result{Schema: outSchema(q.Select, types, nil), Rows: outRows}, nil
+}
+
+// evalJoin: the full nested loop. Every (left, right) pair is tested
+// against the complete WHERE clause — window constraints, equality keys,
+// and residual predicates are not decomposed, so any pipeline bug in that
+// decomposition (or in window eviction) shows up as a multiset mismatch.
+func (ev *evaluator) evalJoin(q *gsql.Query) (*Result, error) {
+	l, r := q.Sources[0], q.Sources[1]
+	lsc, lrows, err := ev.source(l, nil)
+	if err != nil {
+		return nil, err
+	}
+	rsc, rrows, err := ev.source(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	comp := &exec.Compiler{
+		Reg: ev.reg, Params: q.Params(),
+		Resolve: exec.JoinResolver(lsc, rsc, l.Binding(), r.Binding()),
+	}
+	var pred exec.Expr
+	if q.Where != nil {
+		if pred, err = comp.Compile(q.Where); err != nil {
+			return nil, err
+		}
+	}
+	outs := make([]exec.Expr, len(q.Select))
+	types := make([]schema.Type, len(q.Select))
+	for i, it := range q.Select {
+		if outs[i], err = comp.Compile(it.Expr); err != nil {
+			return nil, err
+		}
+		types[i] = outs[i].Type()
+	}
+	ctx, err := exec.NewCtx(comp.Handles, ev.params)
+	if err != nil {
+		return nil, err
+	}
+	var outRows []schema.Tuple
+	combined := make(schema.Tuple, len(lsc.Cols)+len(rsc.Cols))
+	for _, lr := range lrows {
+		copy(combined, lr)
+		for _, rr := range rrows {
+			copy(combined[len(lsc.Cols):], rr)
+			if pred != nil {
+				pass, ok := exec.EvalPred(pred, combined, ctx)
+				if !ok || !pass {
+					continue
+				}
+			}
+			out := make(schema.Tuple, len(outs))
+			keep := true
+			for i, e := range outs {
+				v, ok := e.Eval(combined, ctx)
+				if !ok {
+					keep = false
+					break
+				}
+				out[i] = v
+			}
+			if keep {
+				outRows = append(outRows, out)
+			}
+		}
+	}
+	return &Result{Schema: outSchema(q.Select, types, nil), Rows: outRows}, nil
+}
+
+// evalMerge: interleave the inputs by the merge column (ties broken by
+// source position), preserving each input's own order.
+func (ev *evaluator) evalMerge(q *gsql.Query) (*Result, error) {
+	if len(q.Sources) < 2 || len(q.MergeCols) != len(q.Sources) {
+		return nil, fmt.Errorf("MERGE needs one merge column per source")
+	}
+	type input struct {
+		sc   *schema.Schema
+		rows []schema.Tuple
+		col  int
+	}
+	inputs := make([]input, len(q.Sources))
+	for i, ref := range q.Sources {
+		sc, rows, err := ev.source(ref, nil)
+		if err != nil {
+			return nil, err
+		}
+		mc := q.MergeCols[i]
+		if mc.Table != "" && !strings.EqualFold(mc.Table, ref.Binding()) {
+			return nil, fmt.Errorf("merge column %s does not name source %s", mc, ref.Binding())
+		}
+		ci, col := sc.Col(mc.Name)
+		if col == nil {
+			return nil, fmt.Errorf("merge column %s not in source %s", mc.Name, ref.Binding())
+		}
+		inputs[i] = input{sc: sc, rows: rows, col: ci}
+	}
+	first := inputs[0]
+	for i, in := range inputs[1:] {
+		if len(in.sc.Cols) != len(first.sc.Cols) {
+			return nil, fmt.Errorf("merge input %d width differs", i+2)
+		}
+		if in.col != first.col {
+			return nil, fmt.Errorf("merge column position differs across inputs")
+		}
+	}
+
+	out := &schema.Schema{Kind: schema.KindStream}
+	for ci, col := range first.sc.Cols {
+		ord := schema.NoOrder
+		if ci == first.col {
+			ord = first.sc.Cols[ci].Ordering
+			for _, in := range inputs[1:] {
+				ord = schema.Meet(ord, in.sc.Cols[in.col].Ordering)
+			}
+		}
+		out.Cols = append(out.Cols, schema.Column{Name: col.Name, Type: col.Type, Ordering: ord})
+	}
+
+	idx := make([]int, len(inputs))
+	var outRows []schema.Tuple
+	for {
+		pick := -1
+		for i, in := range inputs {
+			if idx[i] >= len(in.rows) {
+				continue
+			}
+			if pick < 0 {
+				pick = i
+				continue
+			}
+			if in.rows[idx[i]][in.col].Compare(inputs[pick].rows[idx[pick]][inputs[pick].col]) < 0 {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		outRows = append(outRows, inputs[pick].rows[idx[pick]])
+		idx[pick]++
+	}
+	return &Result{Schema: out, Rows: outRows}, nil
+}
