@@ -45,6 +45,9 @@ func main() {
 	faults := flag.Int64("faults", 0, "inject seeded capture faults on eth0/eth1 (dirty-tap mix: truncation, bad IHL, bogus lengths, IP options, clock skew); the value is the seed, 0 = off")
 	quarRestart := flag.Uint64("quarantine-restart-ms", 0, "auto-restart quarantined queries after this backoff base (doubles per quarantine, capped at 64x); 0 = quarantine is permanent")
 	control := flag.String("control", "", "attach a closed-loop overload controller as query:param (the param is the query's sampling-rate parameter); decisions print as CONTROL lines")
+	demoteFirst := flag.Bool("demote-first", false, "with -control: demote the target's exact aggregates to their sketched twins before cutting the sampling rate, and promote back after full recovery")
+	sketchEps := flag.Float64("sketch-eps", 0, "default relative error for sketch aggregates that omit the literal (0 = builtin default); must be in (0,1)")
+	sketchDelta := flag.Float64("sketch-delta", 0, "default failure probability for sketch aggregates that omit the literal (0 = builtin default); must be in (0,1)")
 	params := flag.String("params", "", "comma-separated query.param=value bindings for DEFINE-block parameters (values parse as float, uint, or string)")
 	flag.Parse()
 	if *file == "" {
@@ -57,12 +60,22 @@ func main() {
 		fatal(err)
 	}
 
+	for name, v := range map[string]float64{"-sketch-eps": *sketchEps, "-sketch-delta": *sketchDelta} {
+		if v != 0 && (v <= 0 || v >= 1) {
+			fatal(fmt.Errorf("%s must be in (0,1), got %v", name, v))
+		}
+	}
+	if *demoteFirst && *control == "" {
+		fatal(fmt.Errorf("-demote-first requires -control"))
+	}
+
 	// Rings sized to match the 8192-batch subscription buffers below: the
 	// inject loop is unpaced, so default-size rings shed under the burst
 	// (visibly so on the sharded path, where the workers drain async).
 	sys, err := gigascope.New(gigascope.Config{
 		SelfMonitor: *monitor, Shards: *shards, RingSize: 8192,
 		QuarantineRestartUsec: *quarRestart * 1000,
+		SketchEps:             *sketchEps, SketchDelta: *sketchDelta,
 	})
 	if err != nil {
 		fatal(err)
@@ -93,7 +106,7 @@ func main() {
 			fatal(fmt.Errorf("-control wants query:param, got %q", *control))
 		}
 		if err := sys.AttachOverloadController(gigascope.OverloadConfig{
-			Target: target, Param: param,
+			Target: target, Param: param, DemoteFirst: *demoteFirst,
 		}); err != nil {
 			fatal(err)
 		}
@@ -181,10 +194,12 @@ func main() {
 					if m.IsHeartbeat() {
 						continue
 					}
-					// Cols: ts iface target rate drops livelocked throttled applied.
+					// Cols: ts iface target rate drops livelocked throttled
+					// applied demoted eps delta.
 					mu.Lock()
-					fmt.Printf("CONTROL: t=%s %s rate=%s drops=%s livelocked=%s\n",
-						m.Tuple[0], m.Tuple[2], m.Tuple[3], m.Tuple[4], m.Tuple[5])
+					fmt.Printf("CONTROL: t=%s %s rate=%s drops=%s livelocked=%s demoted=%s eps=%s delta=%s\n",
+						m.Tuple[0], m.Tuple[2], m.Tuple[3], m.Tuple[4], m.Tuple[5],
+						m.Tuple[8], m.Tuple[9], m.Tuple[10])
 					mu.Unlock()
 				}
 			}

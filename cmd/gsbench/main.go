@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E10), 'difftest', or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E11), 'difftest', or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	seeds := flag.Int("seeds", 25, "seed count for -run difftest")
 	flag.Parse()
@@ -49,7 +49,11 @@ func main() {
 		if *quick {
 			n = 400
 		}
-		if failures := difftest.RunMatrix(os.Stdout, *seeds, n); failures > 0 {
+		failures := difftest.RunMatrix(os.Stdout, *seeds, n)
+		// The bounded-error sweep rides along: sketched aggregates checked
+		// against the exact oracle within their declared (eps, delta).
+		failures += difftest.RunApproxMatrix(os.Stdout, *seeds, n)
+		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "gsbench: difftest: %d failing cells\n", failures)
 			os.Exit(1)
 		}
@@ -122,6 +126,18 @@ func main() {
 		rows, err := experiments.E10(pkts)
 		check(err)
 		experiments.PrintE10(os.Stdout, rows)
+		fmt.Println()
+	}
+	if sel("E11") {
+		flows := []int{10_000, 100_000, 1_000_000}
+		if *quick {
+			flows = []int{10_000, 100_000}
+		}
+		rows, err := experiments.E11(flows)
+		check(err)
+		ctrl, err := experiments.E11Control(pkts)
+		check(err)
+		experiments.PrintE11(os.Stdout, rows, ctrl)
 		fmt.Println()
 	}
 }

@@ -90,6 +90,13 @@ type Config struct {
 	// backoff). Zero means a faulting query stays quarantined until Stop.
 	// User-written and source nodes always quarantine permanently.
 	QuarantineRestartUsec uint64
+	// SketchEps / SketchDelta override the default error parameters of
+	// sketch aggregates (approx_distinct, approx_quantile, heavy_hitters,
+	// cm_count) for call sites that do not spell them out; explicit literal
+	// arguments in a query always win. Zero keeps the registered defaults.
+	// Values must lie in (0,1); violations surface as compile errors.
+	SketchEps   float64
+	SketchDelta float64
 }
 
 // System is one Gigascope instance: a schema catalog, the query compiler,
@@ -144,6 +151,8 @@ func (s *System) compileOptions() *core.Options {
 	return &core.Options{
 		LFTATableSize: s.cfg.LFTATableSize,
 		DisableSplit:  s.cfg.DisableSplit,
+		SketchEps:     s.cfg.SketchEps,
+		SketchDelta:   s.cfg.SketchDelta,
 	}
 }
 
@@ -281,6 +290,23 @@ func (s *System) Subscribe(name string, bufSize int) (*Subscription, error) {
 // SetParams changes a query node's parameters on the fly.
 func (s *System) SetParams(name string, params map[string]Value) error {
 	return s.mgr.SetParams(name, params)
+}
+
+// SetApprox demotes (on=true) or promotes (on=false) a query's eligible
+// exact aggregates to/from their sketched twins (count_distinct ->
+// approx_distinct, quantile -> approx_quantile), returning how many
+// aggregate slots are demotable. Groups already open finish in their
+// current representation; the sketch union aggregates merge the mix.
+// AttachOverloadController with DemoteFirst runs this automatically.
+func (s *System) SetApprox(name string, on bool) (int, error) {
+	return s.mgr.SetApprox(name, on)
+}
+
+// StateBytes estimates the aggregate-table memory a query currently holds
+// across its plan (group keys plus per-group aggregate state, LFTA slots
+// included). Queries without aggregation report 0.
+func (s *System) StateBytes(name string) (int64, error) {
+	return s.mgr.StateBytes(name)
 }
 
 // AddUserNode registers a hand-written query node (an exec.Operator-style

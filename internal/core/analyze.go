@@ -483,8 +483,12 @@ func (a *analyzer) addAggregate(spec *exec.AggSpec, comp *exec.Compiler, call *g
 			inst.ArgType = schema.TNull
 		}
 	default:
-		if len(call.Args) != 1 {
+		if len(agg.Params) == 0 && len(call.Args) != 1 {
 			return 0, fmt.Errorf("%s takes exactly one argument", agg.Name)
+		}
+		if len(call.Args) < 1 || len(call.Args) > 1+len(agg.Params) {
+			return 0, fmt.Errorf("%s takes between 1 and %d arguments, got %d",
+				agg.Name, 1+len(agg.Params), len(call.Args))
 		}
 		if _, ok := call.Args[0].(*gsql.Star); ok {
 			return 0, fmt.Errorf("%s(*) is not valid; give an argument", agg.Name)
@@ -493,10 +497,33 @@ func (a *analyzer) addAggregate(spec *exec.AggSpec, comp *exec.Compiler, call *g
 		if err != nil {
 			return 0, err
 		}
-		if !e.Type().Numeric() && agg.Name != "min" && agg.Name != "max" {
+		if !e.Type().Numeric() && !agg.AllowAnyArg && agg.Name != "min" && agg.Name != "max" {
 			return 0, fmt.Errorf("%s needs a numeric argument, got %s", agg.Name, e.Type())
 		}
 		inst.Arg, inst.ArgType = e, e.Type()
+		// Trailing arguments are compile-time literal parameters (quantile
+		// q, sketch eps/delta, heavy-hitter k); bind and validate them now
+		// so a bad eps is a positioned compile error, not a runtime panic.
+		given := make([]schema.Value, 0, len(call.Args)-1)
+		for i, arg := range call.Args[1:] {
+			c, ok := arg.(*gsql.Const)
+			if !ok {
+				return 0, &gsql.Error{Pos: arg.Pos(), Msg: fmt.Sprintf(
+					"argument %d of %s must be a literal (aggregate parameters are fixed at compile time)",
+					i+2, agg.Name)}
+			}
+			given = append(given, c.Val)
+		}
+		params, badIdx, err := agg.ResolveParams(given, a.opts.sketchOverrides())
+		if err != nil {
+			pos := call.Pos()
+			if badIdx >= 0 && badIdx < len(call.Args)-1 {
+				pos = call.Args[1+badIdx].Pos()
+			}
+			return 0, &gsql.Error{Pos: pos, Msg: err.Error()}
+		}
+		inst.Params = params
+		a.resolveDemotion(&inst, agg)
 	}
 	slot := len(spec.Aggs)
 	spec.Aggs = append(spec.Aggs, inst)
@@ -505,6 +532,25 @@ func (a *analyzer) addAggregate(spec *exec.AggSpec, comp *exec.Compiler, call *g
 	*names = append(*names, aggName)
 	post.Cols = append(post.Cols, schema.Column{Name: aggName, Type: agg.Ret(inst.ArgType)})
 	return slot, nil
+}
+
+// resolveDemotion binds an aggregate's approximate twin onto the instance
+// when one is declared and compatible, so the executor can switch the call
+// site to its sketched form under overload. The twin's extra parameters
+// (eps/delta) resolve from defaults or the compiler's sketch overrides.
+func (a *analyzer) resolveDemotion(inst *exec.AggInstance, agg *funcs.Aggregate) {
+	if agg.Demote == "" {
+		return
+	}
+	twin, ok := a.reg.Aggregate(agg.Demote)
+	if !ok || twin.Ret(inst.ArgType) != agg.Ret(inst.ArgType) {
+		return
+	}
+	tp, _, err := twin.ResolveParams(inst.Params, a.opts.sketchOverrides())
+	if err != nil {
+		return
+	}
+	inst.DemoteSpec, inst.DemoteParams = twin, tp
 }
 
 func argsText(args []gsql.Expr) string {

@@ -413,6 +413,14 @@ func (a *analyzer) splitAggregate(name string, src SourceRef, q *gsql.Query, che
 					R:  &gsql.FuncCall{Name: "to_float", Args: []gsql.Expr{superOf(1)}, At: call.At},
 					At: call.At,
 				}
+			case funcs.FinalScalarCall:
+				// Sketch aggregates: the union super yields a partial-sketch
+				// blob; the registered finalizer scalar extracts the answer.
+				return &gsql.FuncCall{
+					Name: c.spec.Finalizer,
+					Args: []gsql.Expr{superOf(0)},
+					At:   call.At,
+				}
 			default:
 				return superOf(0)
 			}

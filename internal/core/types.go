@@ -190,6 +190,13 @@ type Options struct {
 	// raw protocol streams through a pass-through LFTA. Used by the E4
 	// ablation benchmark comparing split vs monolithic execution.
 	DisableSplit bool
+	// SketchEps / SketchDelta override the registered default error
+	// parameters of sketch aggregates (approx_distinct, approx_quantile,
+	// heavy_hitters, cm_count) for call sites that do not spell them out.
+	// Explicit literal arguments always win. Zero means no override; values
+	// must lie in (0,1) and are validated at compile time.
+	SketchEps   float64
+	SketchDelta float64
 }
 
 func (o *Options) registry() *funcs.Registry {
@@ -207,6 +214,22 @@ func (o *Options) tableSize() int {
 }
 
 func (o *Options) disableSplit() bool { return o != nil && o.DisableSplit }
+
+// sketchOverrides renders the sketch parameter overrides in the form
+// funcs.ResolveParams consumes.
+func (o *Options) sketchOverrides() map[string]schema.Value {
+	if o == nil || (o.SketchEps == 0 && o.SketchDelta == 0) {
+		return nil
+	}
+	m := make(map[string]schema.Value, 2)
+	if o.SketchEps != 0 {
+		m["eps"] = schema.MakeFloat(o.SketchEps)
+	}
+	if o.SketchDelta != 0 {
+		m["delta"] = schema.MakeFloat(o.SketchDelta)
+	}
+	return m
+}
 
 // Error wraps a compilation error with the query name.
 type Error struct {

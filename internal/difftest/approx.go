@@ -1,0 +1,206 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"gigascope/internal/oracle"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// Bounded-error comparison mode: a sketched query's pipeline output is
+// checked against the EXACT answer computed by the reference oracle for
+// the same grouping — not for byte equality (the sketch is approximate by
+// design) but for containment within the declared (eps, delta) bound. The
+// exact-equality matrix already covers sketched queries against the
+// sketched oracle (the sketches are deterministic); this mode closes the
+// remaining gap by verifying that the approximation itself honors its
+// advertised error.
+
+// ApproxCase pairs a sketched query with its exact counterpart.
+type ApproxCase struct {
+	// Name labels the case in runner output and repro directories.
+	Name string
+	// Sketched is the query the real pipeline runs (sketch aggregates).
+	Sketched string
+	// Exact is the same query shape with exact aggregates, evaluated by
+	// the reference oracle.
+	Exact string
+	// KeyCols is how many leading output columns are group keys: they must
+	// match exactly and align the rows. Every remaining column is a
+	// numeric value column compared within RelErr.
+	KeyCols int
+	// RelErr is the allowed relative error per value column:
+	// |got-want| <= RelErr * max(1, |want|). Derived from the sketch's
+	// (eps, delta) with headroom so a correct implementation essentially
+	// never trips it (e.g. 4 standard errors for the HLL).
+	RelErr float64
+}
+
+// DefaultApproxCases covers every sketch family over the standard difftest
+// traffic mix (TCP web flows on port 80, UDP DNS on port 53).
+func DefaultApproxCases() []ApproxCase {
+	return []ApproxCase{
+		{
+			// HLL vs exact distinct count. eps 0.02 -> 4 sigma = 8%; at the
+			// trace's small cardinalities the HLL's linear-counting range
+			// makes it nearly exact.
+			Name: "distinct",
+			Sketched: `DEFINE { query_name adist; }
+				SELECT tb, count(*), approx_distinct(srcIP, 0.02) FROM eth0.TCP
+				GROUP BY time/2 as tb`,
+			Exact: `DEFINE { query_name adist; }
+				SELECT tb, count(*), count_distinct(srcIP) FROM eth0.TCP
+				GROUP BY time/2 as tb`,
+			KeyCols: 1,
+			RelErr:  0.08,
+		},
+		{
+			// DDSketch vs exact nearest-rank quantile: value within 3x the
+			// sketch's relative-accuracy parameter.
+			Name: "quantile",
+			Sketched: `DEFINE { query_name aquant; }
+				SELECT tb, approx_quantile(total_length, 0.9, 0.02) FROM eth0.TCP
+				GROUP BY time/2 as tb`,
+			Exact: `DEFINE { query_name aquant; }
+				SELECT tb, quantile(total_length, 0.9) FROM eth0.TCP
+				GROUP BY time/2 as tb`,
+			KeyCols: 1,
+			RelErr:  0.06,
+		},
+		{
+			// Count-min point query vs exact count. Restricted to DNS
+			// requests (destPort 53 — responses carry it as srcPort), the
+			// point query's key accounts for every sketched packet, so
+			// count(*) is the exact answer and the CM overcount is bounded
+			// by eps * total; 0.03 leaves headroom over eps = 0.01.
+			Name: "cmcount",
+			Sketched: `DEFINE { query_name acm; }
+				SELECT tb, count(*), cm_count(destPort, 53, 0.01) FROM eth0.UDP WHERE destPort = 53
+				GROUP BY time/2 as tb`,
+			Exact: `DEFINE { query_name acm; }
+				SELECT tb, count(*), count(*) FROM eth0.UDP WHERE destPort = 53
+				GROUP BY time/2 as tb`,
+			KeyCols: 1,
+			RelErr:  0.03,
+		},
+	}
+}
+
+// CheckApprox runs the sketched query through the real pipeline under cfg
+// and the exact query through the reference oracle over the same trace,
+// then verifies every value column lies within the case's error bound.
+// It returns the observed maximum relative error alongside any mismatch
+// (the observed error is also recorded on the mismatch for repro
+// artifacts), and an error only for harness problems.
+func CheckApprox(ac ApproxCase, seed int64, trace []pkt.Packet, cfg Config) (*Mismatch, float64, error) {
+	c := &Case{Seed: seed, Queries: []string{ac.Sketched}, Trace: trace}
+	run, err := RunPipeline(c, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	var got []schema.Tuple
+	for _, rows := range run.Rows {
+		got = rows
+	}
+	res, err := oracle.Eval([]string{ac.Exact}, nil, c.effectiveTrace(cfg))
+	if err != nil {
+		return nil, 0, fmt.Errorf("difftest: approx oracle: %w", err)
+	}
+	want := res[0].Rows
+
+	mismatch := func(observed float64, detail string) *Mismatch {
+		return &Mismatch{
+			Query: ac.Name, Config: cfg, Kind: "bounded-error",
+			Detail:      detail,
+			ObservedErr: observed,
+		}
+	}
+
+	sortByKey := func(rows []schema.Tuple) {
+		sort.Slice(rows, func(i, j int) bool {
+			return string(rows[i][:ac.KeyCols].Pack(nil)) < string(rows[j][:ac.KeyCols].Pack(nil))
+		})
+	}
+	sortByKey(got)
+	sortByKey(want)
+	if len(got) != len(want) {
+		return mismatch(-1,
+			fmt.Sprintf("row count: pipeline %d, exact oracle %d", len(got), len(want))), -1, nil
+	}
+	var maxErr float64
+	for i := range want {
+		gk := string(got[i][:ac.KeyCols].Pack(nil))
+		wk := string(want[i][:ac.KeyCols].Pack(nil))
+		if gk != wk {
+			return mismatch(-1,
+				fmt.Sprintf("group keys diverge at row %d: %s vs %s",
+					i, got[i][:ac.KeyCols], want[i][:ac.KeyCols])), -1, nil
+		}
+		for col := ac.KeyCols; col < len(want[i]); col++ {
+			w, g := want[i][col].Float(), got[i][col].Float()
+			rel := math.Abs(g-w) / math.Max(1, math.Abs(w))
+			if rel > maxErr {
+				maxErr = rel
+			}
+			if rel > ac.RelErr {
+				return mismatch(rel,
+					fmt.Sprintf("row %s column %d: sketched %v vs exact %v: relative error %.4f exceeds bound %.4f",
+						want[i][:ac.KeyCols], col, g, w, rel, ac.RelErr)), maxErr, nil
+			}
+		}
+	}
+	return nil, maxErr, nil
+}
+
+// approxConfigs is the reduced matrix bounded-error cases run under: the
+// sketches are deterministic and partition-invariant, so batch size and
+// shard count are sampled rather than swept.
+func approxConfigs() []Config {
+	return []Config{
+		{MaxBatch: 64, Shards: 1},
+		{MaxBatch: 4096, Shards: 4},
+	}
+}
+
+// RunApproxMatrix runs the default bounded-error cases for seeds 1..seeds,
+// printing one line per (seed, case, config) cell with the observed error,
+// and returns the number of failing cells. Failing cells write repro
+// artifacts under testdata/repros like the exact-equality matrix.
+func RunApproxMatrix(w io.Writer, seeds, tracePackets int) int {
+	failures := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		trace, err := GenTrace(seed, tracePackets)
+		if err != nil {
+			fmt.Fprintf(w, "approx seed %d: generate: %v\n", seed, err)
+			failures++
+			continue
+		}
+		for _, ac := range DefaultApproxCases() {
+			for _, cfg := range approxConfigs() {
+				m, observed, err := CheckApprox(ac, seed, trace, cfg)
+				switch {
+				case err != nil:
+					fmt.Fprintf(w, "approx seed %-3d %-9s %-12s HARNESS ERROR: %v\n",
+						seed, ac.Name, cfg.Name(), err)
+					failures++
+				case m != nil:
+					fmt.Fprintf(w, "approx seed %-3d %-9s %-12s MISMATCH: %s\n",
+						seed, ac.Name, cfg.Name(), m)
+					c := &Case{Seed: seed, Queries: []string{ac.Sketched, ac.Exact}, Trace: trace}
+					if dir, werr := WriteArtifact("testdata/repros", c, cfg, m, nil); werr == nil {
+						fmt.Fprintf(w, "  repro written: %s\n", dir)
+					}
+					failures++
+				default:
+					fmt.Fprintf(w, "approx seed %-3d %-9s %-12s ok (observed err %.4f <= %.2f)\n",
+						seed, ac.Name, cfg.Name(), observed, ac.RelErr)
+				}
+			}
+		}
+	}
+	return failures
+}

@@ -1,0 +1,94 @@
+package difftest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every default bounded-error case must pass over several seeds and both
+// sampled configs: sketched pipeline answers stay within their declared
+// error of the exact oracle.
+func TestApproxBoundedError(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		trace, err := GenTrace(seed, tracePackets)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, ac := range DefaultApproxCases() {
+			for _, cfg := range approxConfigs() {
+				m, observed, err := CheckApprox(ac, seed, trace, cfg)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: harness: %v", seed, ac.Name, cfg.Name(), err)
+				}
+				if m != nil {
+					t.Fatalf("seed %d %s %s: %s", seed, ac.Name, cfg.Name(), m)
+				}
+				if observed < 0 || observed > ac.RelErr {
+					t.Fatalf("seed %d %s %s: observed error %v outside [0, %v]",
+						seed, ac.Name, cfg.Name(), observed, ac.RelErr)
+				}
+			}
+		}
+	}
+}
+
+// The standalone runner must report every cell ok and no failures.
+func TestRunApproxMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if n := RunApproxMatrix(&buf, 2, tracePackets); n != 0 {
+		t.Fatalf("%d failing cells:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ok (observed err") || strings.Contains(out, "MISMATCH") {
+		t.Fatalf("unexpected runner output:\n%s", out)
+	}
+}
+
+// A deliberately impossible bound must produce a bounded-error mismatch
+// carrying the observed error, not a harness error.
+func TestApproxBoundViolationReported(t *testing.T) {
+	trace, err := GenTrace(1, tracePackets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := ApproxCase{
+		Name: "impossible",
+		// A coarse quantile sketch (10% relative accuracy) against an
+		// absurd 0.00001% tolerance: the comparison must trip.
+		Sketched: `DEFINE { query_name imp; }
+			SELECT tb, approx_quantile(total_length, 0.5, 0.1) FROM eth0.TCP
+			GROUP BY time/2 as tb`,
+		Exact: `DEFINE { query_name imp; }
+			SELECT tb, quantile(total_length, 0.5) FROM eth0.TCP
+			GROUP BY time/2 as tb`,
+		KeyCols: 1,
+		RelErr:  1e-7,
+	}
+	m, observed, err := CheckApprox(ac, 1, trace, Config{MaxBatch: 64, Shards: 1})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if m == nil {
+		t.Fatal("impossible bound passed")
+	}
+	if m.Kind != "bounded-error" {
+		t.Fatalf("mismatch kind = %q, want bounded-error", m.Kind)
+	}
+	if m.ObservedErr <= ac.RelErr {
+		t.Fatalf("ObservedErr = %v, want > %v", m.ObservedErr, ac.RelErr)
+	}
+	if observed != m.ObservedErr {
+		t.Fatalf("returned observed %v != mismatch ObservedErr %v", observed, m.ObservedErr)
+	}
+	if !strings.Contains(m.Detail, "exceeds bound") {
+		t.Fatalf("detail missing bound text: %s", m.Detail)
+	}
+}

@@ -292,10 +292,15 @@ func RunPipeline(c *Case, cfg Config) (*PipelineRun, error) {
 type Mismatch struct {
 	Query  string
 	Config Config
-	// Kind is "multiset" (row content differs) or "ordering" (a declared
-	// output ordering was violated in arrival order).
+	// Kind is "multiset" (row content differs), "ordering" (a declared
+	// output ordering was violated in arrival order), or "bounded-error"
+	// (a sketched result drifted outside its declared error bound).
 	Kind   string
 	Detail string
+	// ObservedErr is the maximum relative error measured before the check
+	// failed. Only set for "bounded-error" mismatches; -1 when the rows
+	// could not even be aligned (JSON cannot carry +Inf).
+	ObservedErr float64
 }
 
 func (m *Mismatch) String() string {

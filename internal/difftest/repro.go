@@ -42,6 +42,10 @@ type Artifact struct {
 	// Mismatch is the human-readable divergence description captured when
 	// the artifact was written; replay recomputes its own.
 	Mismatch string `json:"mismatch"`
+	// ObservedErr records the measured relative error for bounded-error
+	// mismatches, so a triager can see how far outside (eps, delta) the
+	// sketch drifted without replaying.
+	ObservedErr float64 `json:"observed_err,omitempty"`
 	// Plans are one-line plan summaries (node kinds, merge columns,
 	// aggregation flush keys, join windows) captured for triage.
 	Plans []string `json:"plans,omitempty"`
@@ -122,11 +126,12 @@ func planSummary(p *core.CompiledQuery) string {
 // case_seed<seed>_<config>. It returns the artifact directory path.
 func WriteArtifact(dir string, c *Case, cfg Config, m *Mismatch, plans map[string]*core.CompiledQuery) (string, error) {
 	art := Artifact{
-		Seed:      c.Seed,
-		Config:    cfg,
-		Queries:   c.Queries,
-		TraceFile: traceFileName,
-		Mismatch:  m.String(),
+		Seed:        c.Seed,
+		Config:      cfg,
+		Queries:     c.Queries,
+		TraceFile:   traceFileName,
+		Mismatch:    m.String(),
+		ObservedErr: m.ObservedErr,
 	}
 	if len(c.Params) > 0 {
 		art.Params = make(map[string]string, len(c.Params))

@@ -13,6 +13,77 @@ type AggInstance struct {
 	Spec    *funcs.Aggregate
 	Arg     Expr // nil for count(*)
 	ArgType schema.Type
+	// Params are the resolved compile-time literal parameters (sketch error
+	// bounds, quantile rank, heavy-hitter k, ...); empty for classic
+	// single-argument aggregates.
+	Params []schema.Value
+	// DemoteSpec, when non-nil, is the approximate twin this aggregate may
+	// be demoted to under overload (e.g. count_distinct -> approx_distinct),
+	// with DemoteParams its resolved parameters. The compiler fills these
+	// from the registry's Demote links; operators consult them only when the
+	// overload controller has switched the operator to approximate mode.
+	DemoteSpec   *funcs.Aggregate
+	DemoteParams []schema.Value
+}
+
+// NewState builds aggregate state for one group. When approx is true and a
+// demotion twin is bound, the twin's (sketched) state is created instead;
+// groups already open keep their existing state, so a mode switch only
+// affects groups opened after it — the union super-aggregates accept the
+// resulting mix of exact and sketched partials.
+func (ai *AggInstance) NewState(approx bool) funcs.AggState {
+	if approx && ai.DemoteSpec != nil {
+		return ai.DemoteSpec.NewState(ai.ArgType, ai.DemoteParams)
+	}
+	return ai.Spec.NewState(ai.ArgType, ai.Params)
+}
+
+// DemoteBounds reports the (eps, delta) error parameters the demotion twin
+// would run with, for publication on the SYSMON overload stream. ok is
+// false when the instance has no demotion twin.
+func (ai *AggInstance) DemoteBounds() (eps, delta float64, ok bool) {
+	if ai.DemoteSpec == nil {
+		return 0, 0, false
+	}
+	eps, delta = funcs.DefaultEps, funcs.DefaultDelta
+	for i, p := range ai.DemoteSpec.Params {
+		if i >= len(ai.DemoteParams) || ai.DemoteParams[i].IsNull() {
+			continue
+		}
+		switch p.Name {
+		case "eps":
+			eps = ai.DemoteParams[i].Float()
+		case "delta":
+			delta = ai.DemoteParams[i].Float()
+		}
+	}
+	return eps, delta, true
+}
+
+// Demotable is implemented by aggregation operators that can demote exact
+// aggregates to their sketched twins under overload (and promote back).
+// The overload controller actuates it through the RTS command path.
+type Demotable interface {
+	// SetApprox switches demotable aggregate slots between exact and
+	// sketched state for groups opened from now on; returns the number of
+	// slots with a demotion twin bound.
+	SetApprox(on bool) int
+	// Approx reports the current mode.
+	Approx() bool
+	// DemoteBounds returns the widest (eps, delta) the demoted slots run
+	// with; ok is false when nothing is demotable.
+	DemoteBounds() (eps, delta float64, ok bool)
+}
+
+// stateBytes estimates the in-memory footprint of one aggregate state for
+// the aggregate-table memory accounting (experiment E11). Sketch states
+// report exactly via funcs.Sizer; plain scalar accumulators are charged a
+// nominal interface+struct overhead.
+func stateBytes(s funcs.AggState) int64 {
+	if sz, ok := s.(funcs.Sizer); ok {
+		return int64(sz.Footprint())
+	}
+	return 48
 }
 
 // AggSpec configures a group-by/aggregation operator.
@@ -46,6 +117,7 @@ type Agg struct {
 	groups map[string]*aggGroup
 	wm     schema.Value // watermark: extreme ordered value seen
 	hasWM  bool
+	approx bool // demoted to sketched aggregates for new groups
 	stats  Counters
 }
 
@@ -134,10 +206,63 @@ func (o *Agg) Push(_ int, m Message, emit Emit) error {
 
 func (o *Agg) newStates() []funcs.AggState {
 	states := make([]funcs.AggState, len(o.spec.Aggs))
-	for i, a := range o.spec.Aggs {
-		states[i] = a.Spec.New(a.ArgType)
+	for i := range o.spec.Aggs {
+		states[i] = o.spec.Aggs[i].NewState(o.approx)
 	}
 	return states
+}
+
+// SetApprox switches the operator between exact and demoted (sketched)
+// aggregation for groups opened from now on, returning how many aggregate
+// slots have a demotion twin bound (0 means the call had no effect).
+func (o *Agg) SetApprox(on bool) int {
+	o.approx = on
+	n := 0
+	for i := range o.spec.Aggs {
+		if o.spec.Aggs[i].DemoteSpec != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Approx reports whether the operator is in demoted (sketched) mode.
+func (o *Agg) Approx() bool { return o.approx }
+
+// DemoteBounds returns the widest (eps, delta) over the operator's
+// demotable aggregate slots; ok is false when none is demotable.
+func (o *Agg) DemoteBounds() (eps, delta float64, ok bool) {
+	return aggsDemoteBounds(o.spec.Aggs)
+}
+
+// StateBytes estimates the aggregate-table memory held by open groups:
+// group keys plus per-slot aggregate state.
+func (o *Agg) StateBytes() int64 {
+	var total int64
+	for _, g := range o.groups {
+		total += int64(len(g.key)) + 32
+		for _, s := range g.states {
+			total += stateBytes(s)
+		}
+	}
+	return total
+}
+
+func aggsDemoteBounds(aggs []AggInstance) (eps, delta float64, ok bool) {
+	for i := range aggs {
+		e, d, has := aggs[i].DemoteBounds()
+		if !has {
+			continue
+		}
+		if !ok || e > eps {
+			eps = e
+		}
+		if !ok || d > delta {
+			delta = d
+		}
+		ok = true
+	}
+	return eps, delta, ok
 }
 
 func (o *Agg) addToGroup(g *aggGroup, row schema.Tuple) {

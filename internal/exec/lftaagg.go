@@ -15,12 +15,13 @@ import (
 // because of temporal locality even a small table achieves large early
 // data reduction. The HFTA super-aggregate downstream recombines partials.
 type LFTAAgg struct {
-	spec  AggSpec
-	slots []lftaSlot
-	mask  uint64
-	wm    schema.Value
-	hasWM bool
-	stats Counters
+	spec   AggSpec
+	slots  []lftaSlot
+	mask   uint64
+	wm     schema.Value
+	hasWM  bool
+	approx bool // demoted to sketched aggregates for new slots
+	stats  Counters
 }
 
 type lftaSlot struct {
@@ -58,6 +59,46 @@ func (o *LFTAAgg) Stats() OpStats { return o.stats.Snapshot() }
 
 // TableSize returns the direct-mapped table size.
 func (o *LFTAAgg) TableSize() int { return len(o.slots) }
+
+// SetApprox switches the operator between exact and demoted (sketched)
+// aggregation for slots filled from now on, returning how many aggregate
+// slots have a demotion twin bound (0 means the call had no effect).
+func (o *LFTAAgg) SetApprox(on bool) int {
+	o.approx = on
+	n := 0
+	for i := range o.spec.Aggs {
+		if o.spec.Aggs[i].DemoteSpec != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Approx reports whether the operator is in demoted (sketched) mode.
+func (o *LFTAAgg) Approx() bool { return o.approx }
+
+// DemoteBounds returns the widest (eps, delta) over the operator's
+// demotable aggregate slots; ok is false when none is demotable.
+func (o *LFTAAgg) DemoteBounds() (eps, delta float64, ok bool) {
+	return aggsDemoteBounds(o.spec.Aggs)
+}
+
+// StateBytes estimates the aggregate-table memory held by occupied slots:
+// group keys plus per-slot aggregate state.
+func (o *LFTAAgg) StateBytes() int64 {
+	var total int64
+	for i := range o.slots {
+		s := &o.slots[i]
+		if !s.used {
+			continue
+		}
+		total += int64(len(s.key)) + 32
+		for _, st := range s.states {
+			total += stateBytes(st)
+		}
+	}
+	return total
+}
 
 // Push implements Operator.
 func (o *LFTAAgg) Push(_ int, m Message, emit Emit) error {
@@ -152,8 +193,8 @@ func (o *LFTAAgg) pushTuple(row schema.Tuple, emit Emit) {
 			slot.ord = gvals[o.spec.OrdGroup]
 		}
 		slot.states = make([]funcs.AggState, len(o.spec.Aggs))
-		for i, a := range o.spec.Aggs {
-			slot.states[i] = a.Spec.New(a.ArgType)
+		for i := range o.spec.Aggs {
+			slot.states[i] = o.spec.Aggs[i].NewState(o.approx)
 		}
 	}
 	for i, a := range o.spec.Aggs {

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"gigascope/internal/capture"
+	"gigascope/internal/funcs"
+	"gigascope/internal/pkt"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// E11: the approximate aggregation tier. Part A quantifies the
+// exact-vs-sketched trade at growing flow counts: the same traffic runs
+// through an exact query (count_distinct + quantile) and its sketched twin
+// (approx_distinct + approx_quantile), comparing answer error against
+// aggregate-table memory. The sketches hold a fixed footprint regardless
+// of cardinality while the exact states grow linearly, so the memory ratio
+// widens with the flow count. Part B closes the loop with the overload
+// controller: with DemoteFirst set, the first throttle action demotes the
+// target's exact aggregates to their sketched twins — trading bounded
+// answer error for memory and work — and only sustained overload after
+// that cuts the sampling rate (unbounded error by omission). The decision
+// sequence is read back from the SYSMON overload stream.
+
+// E11Row is one flow-count cell of the quality/memory comparison.
+type E11Row struct {
+	Flows          int
+	ExactBytes     int64   // aggregate-table memory of the exact query
+	SketchBytes    int64   // same for the sketched twin
+	MemRatio       float64 // ExactBytes / SketchBytes
+	ExactDistinct  uint64  // exact count_distinct answer (= Flows)
+	ApproxDistinct uint64  // HLL estimate
+	DistinctErrPct float64 // |approx-exact| / exact
+	ExactP90       float64 // exact 0.9-quantile of total_length
+	ApproxP90      float64 // DDSketch estimate
+	P90ErrPct      float64
+}
+
+// E11 runs the comparison at each flow count. Both queries see the same
+// packets in the same manager; memory is sampled after injection while the
+// aggregation groups are still open.
+func E11(flowCounts []int) ([]E11Row, error) {
+	rows := make([]E11Row, 0, len(flowCounts))
+	for _, n := range flowCounts {
+		row, err := e11Quality(n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func e11Quality(flows int) (E11Row, error) {
+	cat, err := newCatalog()
+	if err != nil {
+		return E11Row{}, err
+	}
+	mgr := rts.NewManager(cat, rts.Config{RingSize: 4096})
+	exact, err := compileQuery(cat, `
+		DEFINE { query_name e11_exact; }
+		SELECT tb, count_distinct(srcIP), quantile(total_length, 0.9) FROM eth0.TCP
+		GROUP BY time/3600 as tb`, nil)
+	if err != nil {
+		return E11Row{}, err
+	}
+	sketched, err := compileQuery(cat, `
+		DEFINE { query_name e11_sketch; }
+		SELECT tb, approx_distinct(srcIP), approx_quantile(total_length, 0.9) FROM eth0.TCP
+		GROUP BY time/3600 as tb`, nil)
+	if err != nil {
+		return E11Row{}, err
+	}
+	if err := mgr.AddQuery(exact, nil); err != nil {
+		return E11Row{}, err
+	}
+	if err := mgr.AddQuery(sketched, nil); err != nil {
+		return E11Row{}, err
+	}
+	collect := func(name string) (chan []schema.Tuple, error) {
+		sub, err := mgr.Subscribe(name, 1024)
+		if err != nil {
+			return nil, err
+		}
+		out := make(chan []schema.Tuple, 1)
+		go func() {
+			var rows []schema.Tuple
+			for b := range sub.C {
+				for _, m := range b {
+					if !m.IsHeartbeat() {
+						rows = append(rows, m.Tuple.Clone())
+					}
+				}
+			}
+			out <- rows
+		}()
+		return out, nil
+	}
+	exactOut, err := collect("e11_exact")
+	if err != nil {
+		return E11Row{}, err
+	}
+	sketchOut, err := collect("e11_sketch")
+	if err != nil {
+		return E11Row{}, err
+	}
+	if err := mgr.Start(); err != nil {
+		return E11Row{}, err
+	}
+
+	// One packet per flow, every srcIP distinct, total_length spread over 64
+	// sizes so the 0.9-quantile is nontrivial. All timestamps land in one
+	// hour bucket: the groups stay open until shutdown, so the memory
+	// sample below sees the fully-populated aggregate tables.
+	const pollWindow = 256
+	payload := make([]byte, 1024)
+	ps := make([]pkt.Packet, pollWindow)
+	w := make([]*pkt.Packet, 0, pollWindow)
+	for i := 0; i < flows; i++ {
+		ps[len(w)] = pkt.BuildTCP(1_000_000+uint64(i), pkt.TCPSpec{
+			SrcIP: 0x0a000000 + uint32(i), DstIP: 0x0a000002,
+			SrcPort: 30000, DstPort: 80,
+			Payload: payload[:(i%64)*16],
+		})
+		w = append(w, &ps[len(w)])
+		if len(w) == pollWindow || i == flows-1 {
+			mgr.InjectBatch("eth0", w)
+			w = w[:0]
+		}
+	}
+
+	row := E11Row{Flows: flows}
+	if row.ExactBytes, err = mgr.StateBytes("e11_exact"); err != nil {
+		return E11Row{}, err
+	}
+	if row.SketchBytes, err = mgr.StateBytes("e11_sketch"); err != nil {
+		return E11Row{}, err
+	}
+	mgr.Stop()
+
+	er, sr := <-exactOut, <-sketchOut
+	if len(er) != 1 || len(sr) != 1 {
+		return E11Row{}, fmt.Errorf("experiments: E11 flows=%d: got %d exact / %d sketched rows, want 1 each",
+			flows, len(er), len(sr))
+	}
+	row.ExactDistinct = er[0][1].Uint()
+	row.ApproxDistinct = sr[0][1].Uint()
+	row.ExactP90 = er[0][2].Float()
+	row.ApproxP90 = sr[0][2].Float()
+	if row.ExactDistinct > 0 {
+		row.DistinctErrPct = 100 * math.Abs(float64(row.ApproxDistinct)-float64(row.ExactDistinct)) /
+			float64(row.ExactDistinct)
+	}
+	if row.ExactP90 > 0 {
+		row.P90ErrPct = 100 * math.Abs(row.ApproxP90-row.ExactP90) / row.ExactP90
+	}
+	if row.SketchBytes > 0 {
+		row.MemRatio = float64(row.ExactBytes) / float64(row.SketchBytes)
+	}
+	return row, nil
+}
+
+// E11Decision is one SYSMON overload-stream row of the part B run,
+// reduced to the demotion-relevant columns.
+type E11Decision struct {
+	Rate    float64
+	Demoted bool
+	Eps     float64
+	Delta   float64
+}
+
+// E11ControlRow summarizes the closed-loop demote-first run.
+type E11ControlRow struct {
+	Packets          uint64
+	RingDrops        uint64
+	Decisions        []E11Decision
+	FirstActionEased bool    // the first overload action was a demotion at full rate
+	MinRate          float64 // deepest $srate cut after demotion
+	DemotedAtEnd     bool
+}
+
+// E11Control drives the e10 overload workload with DemoteFirst set: the
+// controller must demote the target to sketched aggregation before it
+// touches the sampling rate.
+func E11Control(packets int) (E11ControlRow, error) {
+	cat, err := newCatalog()
+	if err != nil {
+		return E11ControlRow{}, err
+	}
+	mgr := rts.NewManager(cat, rts.Config{RingSize: 8192})
+	cq, err := compileQuery(cat, `
+		DEFINE { query_name e11_load; param srate float; }
+		SELECT tb, count_distinct(srcIP) FROM eth0.TCP
+		WHERE samplehash(srcIP, $srate)
+		GROUP BY time/1 as tb`, nil)
+	if err != nil {
+		return E11ControlRow{}, err
+	}
+	if err := mgr.AddQuery(cq, map[string]schema.Value{"srate": schema.MakeFloat(1.0)}); err != nil {
+		return E11ControlRow{}, err
+	}
+
+	var rateBits atomic.Uint64
+	rateBits.Store(math.Float64bits(1.0))
+	st, err := capture.NewStack(capture.ModeHostLFTA, e10Params(), capture.Pipeline{
+		Filter: func(p *pkt.Packet) bool {
+			ip, ok := p.U32(pkt.EthHeaderLen + 12)
+			if !ok {
+				return false
+			}
+			return funcs.SampleFraction(schema.MakeIP(uint32(ip)), math.Float64frombits(rateBits.Load()))
+		},
+	}, 10)
+	if err != nil {
+		return E11ControlRow{}, err
+	}
+	mgr.Interface("eth0").BindCapture(st)
+
+	err = mgr.AttachOverloadController(rts.OverloadConfig{
+		Iface:         "eth0",
+		Target:        "e11_load",
+		Param:         "srate",
+		HighWater:     64,
+		HoldIntervals: 4,
+		IntervalUsec:  50_000,
+		DemoteFirst:   true,
+		OnApply: func(r float64) {
+			rateBits.Store(math.Float64bits(r))
+		},
+	})
+	if err != nil {
+		return E11ControlRow{}, err
+	}
+	ctrlSub, err := mgr.Subscribe(rts.OverloadStream, 4096)
+	if err != nil {
+		return E11ControlRow{}, err
+	}
+	ctrlDone := make(chan []E11Decision, 1)
+	go func() {
+		var ds []E11Decision
+		for b := range ctrlSub.C {
+			for _, m := range b {
+				if m.IsHeartbeat() {
+					continue
+				}
+				ds = append(ds, E11Decision{
+					Rate:    m.Tuple[3].Float(),
+					Demoted: m.Tuple[8].Bool(),
+					Eps:     m.Tuple[9].Float(),
+					Delta:   m.Tuple[10].Float(),
+				})
+			}
+		}
+		ctrlDone <- ds
+	}()
+	if err := mgr.Start(); err != nil {
+		return E11ControlRow{}, err
+	}
+
+	const pollWindow = 256
+	ps := make([]pkt.Packet, pollWindow)
+	w := make([]*pkt.Packet, 0, pollWindow)
+	for i := 0; i < packets; i++ {
+		ts := 1_000_000 + uint64(i)*e10Gap
+		ps[len(w)] = pkt.BuildTCP(ts, pkt.TCPSpec{
+			SrcIP: 0x0a000000 + uint32(i), DstIP: 0x0a000002,
+			SrcPort: 30000, DstPort: 80,
+		})
+		w = append(w, &ps[len(w)])
+		if len(w) == pollWindow || i == packets-1 {
+			mgr.InjectBatch("eth0", w)
+			w = w[:0]
+		}
+	}
+	mgr.Stop()
+
+	row := E11ControlRow{Decisions: <-ctrlDone, MinRate: 1.0}
+	cs := st.Stats()
+	row.Packets = cs.Offered
+	row.RingDrops = cs.RingDrops
+	if len(row.Decisions) == 0 {
+		return E11ControlRow{}, fmt.Errorf("experiments: E11 control run emitted no overload decisions")
+	}
+	// The stream reports every decision interval, including pre-overload
+	// observation rows; the first row showing any action must be a
+	// demotion at the still-untouched full rate.
+	for _, d := range row.Decisions {
+		if d.Demoted || d.Rate < 1.0 {
+			row.FirstActionEased = d.Demoted && d.Rate == 1.0
+			break
+		}
+	}
+	for _, d := range row.Decisions {
+		if d.Rate < row.MinRate {
+			row.MinRate = d.Rate
+		}
+	}
+	row.DemotedAtEnd = row.Decisions[len(row.Decisions)-1].Demoted
+	return row, nil
+}
+
+// PrintE11 renders both parts.
+func PrintE11(w io.Writer, rows []E11Row, ctrl E11ControlRow) {
+	fmt.Fprintln(w, "E11: sketch tier — exact vs approximate aggregation quality and memory")
+	fmt.Fprintf(w, "  %-9s %12s %12s %9s %10s %10s %8s %9s %9s %8s\n",
+		"flows", "exactB", "sketchB", "mem", "distinct", "approx", "err", "p90", "approx90", "err")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-9d %12d %12d %8.1fx %10d %10d %7.2f%% %9.0f %9.0f %7.2f%%\n",
+			r.Flows, r.ExactBytes, r.SketchBytes, r.MemRatio,
+			r.ExactDistinct, r.ApproxDistinct, r.DistinctErrPct,
+			r.ExactP90, r.ApproxP90, r.P90ErrPct)
+	}
+	fmt.Fprintln(w, "  demote-first overload control (SYSMON decision sequence):")
+	fmt.Fprintf(w, "    packets=%d ringdrops=%d decisions=%d minrate=%.3f\n",
+		ctrl.Packets, ctrl.RingDrops, len(ctrl.Decisions), ctrl.MinRate)
+	show := ctrl.Decisions
+	if len(show) > 8 {
+		show = show[:8]
+	}
+	for i, d := range show {
+		fmt.Fprintf(w, "    step %d: rate=%.3f demoted=%v eps=%.3f delta=%.3f\n",
+			i, d.Rate, d.Demoted, d.Eps, d.Delta)
+	}
+	if ctrl.FirstActionEased {
+		fmt.Fprintln(w, "    first overload action: demote to sketched aggregation (rate untouched)")
+	} else {
+		fmt.Fprintln(w, "    WARNING: first overload action was not a full-rate demotion")
+	}
+}

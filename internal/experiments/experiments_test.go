@@ -287,3 +287,47 @@ func TestE10ControllerReducesRingDrops(t *testing.T) {
 		t.Errorf("print output: %s", buf.String())
 	}
 }
+
+func TestE11SketchMemoryAndDemotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := E11([]int{10_000, 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The sketched twin must answer within its declared error at a
+		// fraction of the exact aggregate-table memory (acceptance: >=10x).
+		if r.ExactDistinct != uint64(r.Flows) {
+			t.Errorf("flows=%d: exact distinct = %d", r.Flows, r.ExactDistinct)
+		}
+		if r.DistinctErrPct > 8 || r.P90ErrPct > 6 {
+			t.Errorf("flows=%d: sketch error out of bounds: %+v", r.Flows, r)
+		}
+		if r.MemRatio < 10 {
+			t.Errorf("flows=%d: memory ratio %.1fx < 10x", r.Flows, r.MemRatio)
+		}
+	}
+	// The sketch footprint must not grow with cardinality.
+	if rows[1].SketchBytes > rows[0].SketchBytes*2 {
+		t.Errorf("sketch memory grew with flows: %d -> %d",
+			rows[0].SketchBytes, rows[1].SketchBytes)
+	}
+
+	ctrl, err := E11Control(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctrl.FirstActionEased {
+		t.Errorf("first overload action was not a full-rate demotion: %+v", ctrl.Decisions)
+	}
+	if ctrl.MinRate >= 1.0 {
+		t.Errorf("rate never cut after demotion: %+v", ctrl)
+	}
+	var buf bytes.Buffer
+	PrintE11(&buf, rows, ctrl)
+	if !strings.Contains(buf.String(), "demote") {
+		t.Errorf("print output: %s", buf.String())
+	}
+}

@@ -226,4 +226,5 @@ func registerBuiltinScalars(r *Registry) {
 func init() {
 	registerBuiltinScalars(Global)
 	registerBuiltinAggregates(Global)
+	registerSketchAggregates(Global)
 }

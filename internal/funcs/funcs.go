@@ -69,7 +69,31 @@ const (
 	FinalIdentity FinalKind = iota
 	// FinalRatio: the result is sub0/sub1 as a float (avg = sum/count).
 	FinalRatio
+	// FinalScalarCall: the result is Finalizer(super0) — a scalar function
+	// applied to the single recombined super-aggregate. This is how opaque
+	// sketch state crossing the LFTA→HFTA boundary is turned into the
+	// user-visible value (estimate, quantile, top-k rendering).
+	FinalScalarCall
 )
+
+// AggParam declares one literal parameter of an aggregate beyond its value
+// argument — e.g. the quantile q, the sketch error eps, or the heavy-hitter
+// k. Parameters are bound at compile time from constant arguments; they are
+// not per-tuple expressions.
+type AggParam struct {
+	Name string
+	// Type the literal must have; TNull accepts any type, and numeric
+	// declarations accept any numeric literal (coerced).
+	Type schema.Type
+	// Required parameters must be given at the call site and must precede
+	// all optional ones. Optional parameters fall back to Default (unless
+	// the compiler supplies an override, e.g. from -sketch-eps).
+	Required bool
+	Default  schema.Value
+	// Check validates the bound value; its error is reported at the call
+	// site with the argument's source position.
+	Check func(v schema.Value) error
+}
 
 // Aggregate describes one aggregate function and its LFTA/HFTA
 // decomposition into sub- and super-aggregates (paper §3: "similar to
@@ -77,15 +101,114 @@ const (
 type Aggregate struct {
 	Name     string
 	TakesArg bool // false: count(*)
+	// AllowAnyArg lifts the numeric-argument requirement: the aggregate
+	// accepts a value of any type (distinct counts, heavy hitters, and the
+	// opaque TString sketch partials consumed by the union aggregates).
+	AllowAnyArg bool
 	// Ret maps the argument type to the result type.
 	Ret func(arg schema.Type) schema.Type
-	// New creates fresh accumulator state for one group.
+	// New creates fresh accumulator state for one group. Aggregates with
+	// Params use NewP instead and may leave New nil.
 	New func(arg schema.Type) AggState
+	// NewP creates state for a parameterized aggregate; params has one
+	// resolved value per declared Params entry.
+	NewP func(arg schema.Type, params []schema.Value) AggState
+	// Params declares literal parameters beyond the value argument
+	// (resolved by ResolveParams at compile time).
+	Params []AggParam
 	// Subs names the LFTA-side aggregates over the same argument, and
 	// Supers the HFTA-side aggregates applied to each sub output.
 	Subs   []string
 	Supers []string
 	Final  FinalKind
+	// Finalizer names the scalar applied to super0 when Final is
+	// FinalScalarCall.
+	Finalizer string
+	// Demote names this aggregate's approximate twin, the sketched form
+	// the overload controller may switch to under pressure. The twin must
+	// produce the same result type, and its parameter list must extend this
+	// aggregate's as a prefix (missing entries fill from defaults).
+	Demote string
+}
+
+// NewState builds accumulator state for one call site, routing through NewP
+// when the aggregate is parameterized.
+func (a *Aggregate) NewState(arg schema.Type, params []schema.Value) AggState {
+	if a.NewP != nil {
+		return a.NewP(arg, params)
+	}
+	return a.New(arg)
+}
+
+// ResolveParams binds the literal arguments given at a call site against
+// the declared parameter list: given values bind positionally, then
+// overrides by parameter name (compiler-wide defaults like -sketch-eps),
+// then declared defaults. On error the second result is the index into
+// `given` of the offending argument, or -1 when the problem is not tied to
+// one (e.g. a missing required parameter).
+func (a *Aggregate) ResolveParams(given []schema.Value, overrides map[string]schema.Value) ([]schema.Value, int, error) {
+	if len(given) > len(a.Params) {
+		return nil, len(a.Params), fmt.Errorf("funcs: %s takes at most %d parameters after its argument, got %d",
+			a.Name, len(a.Params), len(given))
+	}
+	out := make([]schema.Value, len(a.Params))
+	for i, p := range a.Params {
+		var v schema.Value
+		src := -1
+		switch {
+		case i < len(given):
+			v = given[i]
+			src = i
+		case overrides[strings.ToLower(p.Name)].Type != schema.TNull:
+			v = overrides[strings.ToLower(p.Name)]
+		case p.Required:
+			return nil, -1, fmt.Errorf("funcs: %s requires parameter %s (argument %d)", a.Name, p.Name, i+2)
+		default:
+			v = p.Default
+		}
+		coerced, err := coerceParam(p, v)
+		if err != nil {
+			return nil, src, fmt.Errorf("funcs: %s parameter %s: %v", a.Name, p.Name, err)
+		}
+		if p.Check != nil {
+			if err := p.Check(coerced); err != nil {
+				return nil, src, fmt.Errorf("funcs: %s parameter %s: %v", a.Name, p.Name, err)
+			}
+		}
+		out[i] = coerced
+	}
+	return out, -1, nil
+}
+
+// coerceParam normalizes a literal to the declared parameter type so that
+// params compare and serialize consistently (e.g. `0.5` and `5e-1`, or an
+// integer literal where a float is declared).
+func coerceParam(p AggParam, v schema.Value) (schema.Value, error) {
+	switch p.Type {
+	case schema.TNull:
+		return v, nil
+	case schema.TFloat:
+		if !v.Type.Numeric() {
+			return schema.Null, fmt.Errorf("want a numeric literal, got %s", v.Type)
+		}
+		return schema.MakeFloat(v.Float()), nil
+	case schema.TUint:
+		switch v.Type {
+		case schema.TUint:
+			return v, nil
+		case schema.TInt:
+			if v.Int() < 0 {
+				return schema.Null, fmt.Errorf("want a non-negative integer, got %s", v.String())
+			}
+			return schema.MakeUint(uint64(v.Int())), nil
+		}
+		return schema.Null, fmt.Errorf("want an integer literal, got %s", v.Type)
+	default:
+		if v.Type != p.Type {
+			return schema.Null, fmt.Errorf("want %s, got %s", p.Type, v.Type)
+		}
+		return v, nil
+	}
 }
 
 // AggState accumulates one group's aggregate.
@@ -141,11 +264,23 @@ func (r *Registry) RegisterScalar(f *Scalar) error {
 
 // RegisterAggregate adds an aggregate function.
 func (r *Registry) RegisterAggregate(a *Aggregate) error {
-	if a.Name == "" || a.New == nil || a.Ret == nil {
-		return fmt.Errorf("funcs: aggregate needs a name, Ret, and New")
+	if a.Name == "" || (a.New == nil && a.NewP == nil) || a.Ret == nil {
+		return fmt.Errorf("funcs: aggregate needs a name, Ret, and New or NewP")
 	}
 	if len(a.Subs) == 0 || len(a.Subs) != len(a.Supers) {
 		return fmt.Errorf("funcs: %s: Subs/Supers must be non-empty and parallel", a.Name)
+	}
+	if a.Final == FinalScalarCall && a.Finalizer == "" {
+		return fmt.Errorf("funcs: %s: FinalScalarCall needs a Finalizer", a.Name)
+	}
+	seenOptional := false
+	for _, p := range a.Params {
+		if p.Required && seenOptional {
+			return fmt.Errorf("funcs: %s: required parameter %s follows an optional one", a.Name, p.Name)
+		}
+		if !p.Required {
+			seenOptional = true
+		}
 	}
 	key := strings.ToLower(a.Name)
 	r.mu.Lock()

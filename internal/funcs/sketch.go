@@ -1,0 +1,880 @@
+package funcs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"gigascope/internal/schema"
+	"gigascope/internal/sketch"
+)
+
+// The sketch-based approximate aggregation tier: approx_distinct (HLL),
+// approx_quantile (log-bucket DDSketch), heavy_hitters (Count-Min + top-k
+// candidates), and cm_count (Count-Min point query), plus their exact
+// counterparts count_distinct and quantile.
+//
+// Every family decomposes through the standard Subs/Supers contract, but
+// unlike sum/count the partial crossing the LFTA→HFTA boundary is an opaque
+// serialized sketch in a TString column: the LFTA runs the *_part aggregate
+// (per-group sketch, blob out), the HFTA runs the *_union super (blob in,
+// merged blob out), and a FinalScalarCall finalizer turns the recombined
+// blob into the user-visible value. Because sketch merge is commutative and
+// associative, partials survive the shard-reunify merge and collision
+// ejection in any order.
+//
+// Every blob is self-describing (a leading tag byte), and the exact unions
+// accept their approximate family's blobs too: set_union converts its key
+// set to an HLL the moment a demoted LFTA starts shipping HLL partials, and
+// quant_union likewise converts a value list to a quantile sketch. That is
+// what lets the overload controller demote just the capture-path half of a
+// split plan and promote it back without restarting the query.
+const (
+	blobHLL      = 'H' // HLL register file
+	blobSet      = 'S' // exact distinct key set
+	blobQuantile = 'Q' // quantile sketch, prefixed with q
+	blobVals     = 'V' // exact value list, prefixed with q
+	blobTopK     = 'T' // top-k tracker
+	blobCM       = 'C' // count-min + target key
+)
+
+// Default sketch error parameters, used when a call site gives no eps/delta
+// and the compiler supplies no override (-sketch-eps / -sketch-delta).
+const (
+	DefaultEps   = sketch.DefaultEps
+	DefaultDelta = sketch.DefaultDelta
+)
+
+// Sizer is implemented by aggregate states that can report their
+// approximate in-memory footprint in bytes; the executor's aggregate-table
+// accounting and experiment E11 use it.
+type Sizer interface{ Footprint() int }
+
+// valueKey encodes a value into canonical bytes for sketch hashing and
+// exact distinct sets: the standard single-field tuple packing, so the
+// encoding is typed, unambiguous, and reversible for display.
+func valueKey(v schema.Value) []byte { return schema.Tuple{v}.Pack(nil) }
+
+func keyValue(b []byte) (schema.Value, bool) {
+	t, _, err := schema.Unpack(b)
+	if err != nil || len(t) != 1 {
+		return schema.Null, false
+	}
+	return t[0], true
+}
+
+func fracParam(name string, def float64) AggParam {
+	return AggParam{
+		Name: name, Type: schema.TFloat, Default: schema.MakeFloat(def),
+		Check: func(v schema.Value) error {
+			if f := v.Float(); !(f > 0 && f < 1) {
+				return fmt.Errorf("must be in (0,1), got %s", v.String())
+			}
+			return nil
+		},
+	}
+}
+
+func quantileParam() AggParam {
+	return AggParam{
+		Name: "q", Type: schema.TFloat, Required: true,
+		Check: func(v schema.Value) error {
+			if f := v.Float(); !(f >= 0 && f <= 1) {
+				return fmt.Errorf("must be in [0,1], got %s", v.String())
+			}
+			return nil
+		},
+	}
+}
+
+// ---- distinct counting: count_distinct (exact) / approx_distinct (HLL) ----
+
+type hllState struct {
+	h     *sketch.HLL
+	final bool
+}
+
+func newHLLState(params []schema.Value, final bool) AggState {
+	h, err := sketch.NewHLL(params[0].Float())
+	if err != nil { // params validated at compile time; defend anyway
+		h, _ = sketch.NewHLL(DefaultEps)
+	}
+	return &hllState{h: h, final: final}
+}
+
+func (s *hllState) Add(v schema.Value) {
+	if !v.IsNull() {
+		s.h.Add(valueKey(v))
+	}
+}
+
+func (s *hllState) Result() schema.Value {
+	if s.final {
+		return schema.MakeUint(s.h.Estimate())
+	}
+	return schema.MakeString(s.h.AppendBinary([]byte{blobHLL}))
+}
+
+func (s *hllState) Footprint() int { return 16 + s.h.Footprint() }
+
+type setState struct {
+	keys  map[string]struct{}
+	final bool
+}
+
+func newSetState(final bool) AggState {
+	return &setState{keys: make(map[string]struct{}), final: final}
+}
+
+func (s *setState) Add(v schema.Value) {
+	if !v.IsNull() {
+		s.keys[string(valueKey(v))] = struct{}{}
+	}
+}
+
+func (s *setState) Result() schema.Value {
+	if s.final {
+		return schema.MakeUint(uint64(len(s.keys)))
+	}
+	return schema.MakeString(appendSetBlob(nil, s.keys))
+}
+
+func (s *setState) Footprint() int {
+	n := 56
+	for k := range s.keys {
+		n += 48 + len(k)
+	}
+	return n
+}
+
+// appendSetBlob serializes a key set with keys sorted, so a given set has
+// exactly one encoding regardless of insertion order.
+func appendSetBlob(dst []byte, keys map[string]struct{}) []byte {
+	dst = append(dst, blobSet)
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(sorted)))
+	for _, k := range sorted {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+func parseSetBlob(b []byte) ([]string, bool) {
+	if len(b) < 4 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	off := 4
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < off+4 {
+			return nil, false
+		}
+		l := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if len(b) < off+l {
+			return nil, false
+		}
+		keys = append(keys, string(b[off:off+l]))
+		off += l
+	}
+	return keys, true
+}
+
+// distUnionState merges distinct-count partials of either form. It stays an
+// exact key set while only set blobs arrive; the first HLL blob (a demoted
+// shard or LFTA) converts the accumulated set into the HLL, after which
+// everything folds into the sketch.
+type distUnionState struct {
+	set map[string]struct{}
+	hll *sketch.HLL
+}
+
+func newDistUnionState() AggState {
+	return &distUnionState{set: make(map[string]struct{})}
+}
+
+func (s *distUnionState) Add(v schema.Value) {
+	b := v.Bytes()
+	if v.Type != schema.TString || len(b) == 0 {
+		return
+	}
+	switch b[0] {
+	case blobSet:
+		keys, ok := parseSetBlob(b[1:])
+		if !ok {
+			return
+		}
+		if s.hll != nil {
+			for _, k := range keys {
+				s.hll.Add([]byte(k))
+			}
+			return
+		}
+		for _, k := range keys {
+			s.set[k] = struct{}{}
+		}
+	case blobHLL:
+		h, _, err := sketch.ParseHLL(b[1:])
+		if err != nil {
+			return
+		}
+		if s.hll == nil {
+			// Demotion mid-stream: fold the exact keys gathered so far into
+			// a sketch of the incoming precision, then merge.
+			nh, err := sketch.NewHLLPrecision(h.Precision())
+			if err != nil {
+				return
+			}
+			for k := range s.set {
+				nh.Add([]byte(k))
+			}
+			s.set, s.hll = nil, nh
+		}
+		_ = s.hll.Merge(h) // precision mismatch cannot happen within a call site
+	}
+}
+
+func (s *distUnionState) Result() schema.Value {
+	if s.hll != nil {
+		return schema.MakeString(s.hll.AppendBinary([]byte{blobHLL}))
+	}
+	return schema.MakeString(appendSetBlob(nil, s.set))
+}
+
+func (s *distUnionState) Footprint() int {
+	if s.hll != nil {
+		return 32 + s.hll.Footprint()
+	}
+	n := 56
+	for k := range s.set {
+		n += 48 + len(k)
+	}
+	return n
+}
+
+// distCard finalizes either distinct blob to its cardinality.
+func distCard(b []byte) (schema.Value, bool) {
+	if len(b) == 0 {
+		return schema.Null, true
+	}
+	switch b[0] {
+	case blobSet:
+		keys, ok := parseSetBlob(b[1:])
+		if !ok {
+			return schema.Null, true
+		}
+		return schema.MakeUint(uint64(len(keys))), true
+	case blobHLL:
+		h, _, err := sketch.ParseHLL(b[1:])
+		if err != nil {
+			return schema.Null, true
+		}
+		return schema.MakeUint(h.Estimate()), true
+	}
+	return schema.Null, true
+}
+
+// ---- quantiles: quantile (exact) / approx_quantile (DDSketch) ----
+
+// exactQuantile is the nearest-rank quantile: the ceil(q*n)-th smallest
+// value. The sketch uses the same rank rule, so exact and approximate
+// answers differ only by the sketch's relative value error.
+func exactQuantile(vals []float64, q float64) (float64, bool) {
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Float64s(vals)
+	idx := int(math.Ceil(q*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx], true
+}
+
+type valsState struct {
+	q     float64
+	vals  []float64
+	final bool
+}
+
+func (s *valsState) Add(v schema.Value) {
+	if !v.IsNull() {
+		s.vals = append(s.vals, v.Float())
+	}
+}
+
+func (s *valsState) Result() schema.Value {
+	if s.final {
+		v, ok := exactQuantile(append([]float64(nil), s.vals...), s.q)
+		if !ok {
+			return schema.Null
+		}
+		return schema.MakeFloat(v)
+	}
+	return schema.MakeString(appendValsBlob(nil, s.q, s.vals))
+}
+
+func (s *valsState) Footprint() int { return 48 + 8*len(s.vals) }
+
+// appendValsBlob serializes an exact value list (sorted, so a given
+// multiset has one encoding).
+func appendValsBlob(dst []byte, q float64, vals []float64) []byte {
+	dst = append(dst, blobVals)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(q))
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(sorted)))
+	for _, v := range sorted {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+func parseValsBlob(b []byte) (q float64, vals []float64, ok bool) {
+	if len(b) < 12 {
+		return 0, nil, false
+	}
+	q = math.Float64frombits(binary.BigEndian.Uint64(b))
+	n := int(binary.BigEndian.Uint32(b[8:]))
+	if len(b) < 12+8*n {
+		return 0, nil, false
+	}
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(b[12+8*i:]))
+	}
+	return q, vals, true
+}
+
+type ddState struct {
+	q     float64
+	sk    *sketch.Quantile
+	final bool
+}
+
+func newDDState(params []schema.Value, final bool) AggState {
+	sk, err := sketch.NewQuantile(params[1].Float())
+	if err != nil {
+		sk, _ = sketch.NewQuantile(DefaultEps)
+	}
+	return &ddState{q: params[0].Float(), sk: sk, final: final}
+}
+
+func (s *ddState) Add(v schema.Value) {
+	if !v.IsNull() {
+		s.sk.Add(v.Float())
+	}
+}
+
+func (s *ddState) Result() schema.Value {
+	if s.final {
+		v := s.sk.Query(s.q)
+		if math.IsNaN(v) {
+			return schema.Null
+		}
+		return schema.MakeFloat(v)
+	}
+	dst := append([]byte{blobQuantile}, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint64(dst[1:], math.Float64bits(s.q))
+	return schema.MakeString(s.sk.AppendBinary(dst))
+}
+
+func (s *ddState) Footprint() int { return 24 + s.sk.Footprint() }
+
+// quantUnionState merges quantile partials of either form, converting the
+// exact value list to a sketch when a demoted partial arrives.
+type quantUnionState struct {
+	q    float64
+	vals []float64
+	sk   *sketch.Quantile
+}
+
+func (s *quantUnionState) Add(v schema.Value) {
+	b := v.Bytes()
+	if v.Type != schema.TString || len(b) == 0 {
+		return
+	}
+	switch b[0] {
+	case blobVals:
+		q, vals, ok := parseValsBlob(b[1:])
+		if !ok {
+			return
+		}
+		s.q = q
+		if s.sk != nil {
+			for _, x := range vals {
+				s.sk.Add(x)
+			}
+			return
+		}
+		s.vals = append(s.vals, vals...)
+	case blobQuantile:
+		if len(b) < 9 {
+			return
+		}
+		s.q = math.Float64frombits(binary.BigEndian.Uint64(b[1:]))
+		sk, _, err := sketch.ParseQuantile(b[9:])
+		if err != nil {
+			return
+		}
+		if s.sk == nil {
+			nsk, err := sketch.NewQuantile(sk.Alpha())
+			if err != nil {
+				return
+			}
+			for _, x := range s.vals {
+				nsk.Add(x)
+			}
+			s.vals, s.sk = nil, nsk
+		}
+		_ = s.sk.Merge(sk)
+	}
+}
+
+func (s *quantUnionState) Result() schema.Value {
+	if s.sk != nil {
+		dst := append([]byte{blobQuantile}, 0, 0, 0, 0, 0, 0, 0, 0)
+		binary.BigEndian.PutUint64(dst[1:], math.Float64bits(s.q))
+		return schema.MakeString(s.sk.AppendBinary(dst))
+	}
+	return schema.MakeString(appendValsBlob(nil, s.q, s.vals))
+}
+
+func (s *quantUnionState) Footprint() int {
+	if s.sk != nil {
+		return 40 + s.sk.Footprint()
+	}
+	return 40 + 8*len(s.vals)
+}
+
+// quantValue finalizes either quantile blob to its value.
+func quantValue(b []byte) (schema.Value, bool) {
+	if len(b) == 0 {
+		return schema.Null, true
+	}
+	switch b[0] {
+	case blobVals:
+		q, vals, ok := parseValsBlob(b[1:])
+		if !ok {
+			return schema.Null, true
+		}
+		v, ok := exactQuantile(vals, q)
+		if !ok {
+			return schema.Null, true
+		}
+		return schema.MakeFloat(v), true
+	case blobQuantile:
+		if len(b) < 9 {
+			return schema.Null, true
+		}
+		q := math.Float64frombits(binary.BigEndian.Uint64(b[1:]))
+		sk, _, err := sketch.ParseQuantile(b[9:])
+		if err != nil {
+			return schema.Null, true
+		}
+		v := sk.Query(q)
+		if math.IsNaN(v) {
+			return schema.Null, true
+		}
+		return schema.MakeFloat(v), true
+	}
+	return schema.Null, true
+}
+
+// ---- heavy hitters ----
+
+type topkState struct {
+	tk    *sketch.TopK
+	final bool
+}
+
+func newTopKState(params []schema.Value, final bool) AggState {
+	tk, err := sketch.NewTopK(int(params[0].Uint()), params[1].Float(), params[2].Float())
+	if err != nil {
+		tk, _ = sketch.NewTopK(1, DefaultEps, DefaultDelta)
+	}
+	return &topkState{tk: tk, final: final}
+}
+
+func (s *topkState) Add(v schema.Value) {
+	if !v.IsNull() {
+		s.tk.Add(valueKey(v), 1)
+	}
+}
+
+func (s *topkState) Result() schema.Value {
+	if s.final {
+		return schema.MakeStr(renderTopK(s.tk))
+	}
+	return schema.MakeString(s.tk.AppendBinary([]byte{blobTopK}))
+}
+
+func (s *topkState) Footprint() int { return 16 + s.tk.Footprint() }
+
+type topkUnionState struct{ tk *sketch.TopK }
+
+func (s *topkUnionState) Add(v schema.Value) {
+	b := v.Bytes()
+	if v.Type != schema.TString || len(b) == 0 || b[0] != blobTopK {
+		return
+	}
+	tk, _, err := sketch.ParseTopK(b[1:])
+	if err != nil {
+		return
+	}
+	if s.tk == nil {
+		s.tk = tk
+		return
+	}
+	_ = s.tk.Merge(tk)
+}
+
+func (s *topkUnionState) Result() schema.Value {
+	if s.tk == nil {
+		return schema.Null
+	}
+	return schema.MakeString(s.tk.AppendBinary([]byte{blobTopK}))
+}
+
+func (s *topkUnionState) Footprint() int {
+	if s.tk == nil {
+		return 16
+	}
+	return 16 + s.tk.Footprint()
+}
+
+// renderTopK formats a top-k report as "value:count value:count ...", with
+// the original typed values decoded from their packed keys.
+func renderTopK(tk *sketch.TopK) string {
+	var b strings.Builder
+	for i, e := range tk.Top() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if v, ok := keyValue(e.Key); ok {
+			b.WriteString(v.String())
+		} else {
+			b.WriteString("?")
+		}
+		b.WriteByte(':')
+		fmt.Fprintf(&b, "%d", e.Count)
+	}
+	return b.String()
+}
+
+// hhTopK finalizes a top-k blob to its rendered report.
+func hhTopK(b []byte) (schema.Value, bool) {
+	if len(b) == 0 || b[0] != blobTopK {
+		return schema.Null, true
+	}
+	tk, _, err := sketch.ParseTopK(b[1:])
+	if err != nil {
+		return schema.Null, true
+	}
+	return schema.MakeStr(renderTopK(tk)), true
+}
+
+// ---- cm_count: Count-Min point query for one target value ----
+
+type cmState struct {
+	key   []byte
+	cm    *sketch.CountMin
+	final bool
+}
+
+func newCMState(params []schema.Value, final bool) AggState {
+	cm, err := sketch.NewCountMin(params[1].Float(), params[2].Float())
+	if err != nil {
+		cm, _ = sketch.NewCountMin(DefaultEps, DefaultDelta)
+	}
+	return &cmState{key: valueKey(params[0]), cm: cm, final: final}
+}
+
+func (s *cmState) Add(v schema.Value) {
+	if !v.IsNull() {
+		s.cm.Add(valueKey(v), 1)
+	}
+}
+
+func (s *cmState) Result() schema.Value {
+	if s.final {
+		return schema.MakeUint(s.cm.Estimate(s.key))
+	}
+	dst := []byte{blobCM}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.key)))
+	dst = append(dst, s.key...)
+	return schema.MakeString(s.cm.AppendBinary(dst))
+}
+
+func (s *cmState) Footprint() int { return 32 + len(s.key) + s.cm.Footprint() }
+
+func parseCMBlob(b []byte) (key []byte, cm *sketch.CountMin, ok bool) {
+	if len(b) < 4 {
+		return nil, nil, false
+	}
+	l := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+l {
+		return nil, nil, false
+	}
+	key = append([]byte(nil), b[4:4+l]...)
+	cm, _, err := sketch.ParseCountMin(b[4+l:])
+	if err != nil {
+		return nil, nil, false
+	}
+	return key, cm, true
+}
+
+type cmUnionState struct {
+	key []byte
+	cm  *sketch.CountMin
+}
+
+func (s *cmUnionState) Add(v schema.Value) {
+	b := v.Bytes()
+	if v.Type != schema.TString || len(b) == 0 || b[0] != blobCM {
+		return
+	}
+	key, cm, ok := parseCMBlob(b[1:])
+	if !ok {
+		return
+	}
+	if s.cm == nil {
+		s.key, s.cm = key, cm
+		return
+	}
+	_ = s.cm.Merge(cm)
+}
+
+func (s *cmUnionState) Result() schema.Value {
+	if s.cm == nil {
+		return schema.Null
+	}
+	dst := []byte{blobCM}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.key)))
+	dst = append(dst, s.key...)
+	return schema.MakeString(s.cm.AppendBinary(dst))
+}
+
+func (s *cmUnionState) Footprint() int {
+	if s.cm == nil {
+		return 32
+	}
+	return 32 + len(s.key) + s.cm.Footprint()
+}
+
+// cmEst finalizes a cm_count blob to the target value's estimate.
+func cmEst(b []byte) (schema.Value, bool) {
+	if len(b) == 0 || b[0] != blobCM {
+		return schema.Null, true
+	}
+	key, cm, ok := parseCMBlob(b[1:])
+	if !ok {
+		return schema.Null, true
+	}
+	return schema.MakeUint(cm.Estimate(key)), true
+}
+
+// ---- registration ----
+
+func retUint(schema.Type) schema.Type   { return schema.TUint }
+func retFloat(schema.Type) schema.Type  { return schema.TFloat }
+func retString(schema.Type) schema.Type { return schema.TString }
+
+func registerSketchAggregates(r *Registry) {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// Finalizer scalars: blob in, user-visible value out. Expensive keeps
+	// them on the HFTA side of the split.
+	blobScalar := func(name string, ret schema.Type, eval func([]byte) (schema.Value, bool)) *Scalar {
+		return &Scalar{
+			Name: name, Args: []schema.Type{schema.TString}, Ret: ret,
+			Cost: CostExpensive, HandleArg: -1,
+			Eval: func(args []schema.Value, _ Handle) (schema.Value, bool) {
+				if args[0].IsNull() {
+					return schema.Null, true
+				}
+				return eval(args[0].Bytes())
+			},
+		}
+	}
+	must(r.RegisterScalar(blobScalar("dist_card", schema.TUint, distCard)))
+	must(r.RegisterScalar(blobScalar("quant_value", schema.TFloat, quantValue)))
+	must(r.RegisterScalar(blobScalar("hh_topk", schema.TString, hhTopK)))
+	must(r.RegisterScalar(blobScalar("cm_est", schema.TUint, cmEst)))
+
+	// Distinct counting.
+	epsP := func() []AggParam { return []AggParam{fracParam("eps", DefaultEps)} }
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "approx_distinct", TakesArg: true, AllowAnyArg: true,
+		Ret:    retUint,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newHLLState(p, true) },
+		Params: epsP(),
+		Subs:   []string{"approx_distinct_part"}, Supers: []string{"dist_union"},
+		Final: FinalScalarCall, Finalizer: "dist_card",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "approx_distinct_part", TakesArg: true, AllowAnyArg: true,
+		Ret:    retString,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newHLLState(p, false) },
+		Params: epsP(),
+		Subs:   []string{"approx_distinct_part"}, Supers: []string{"dist_union"},
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "count_distinct", TakesArg: true, AllowAnyArg: true,
+		Ret:  retUint,
+		New:  func(schema.Type) AggState { return newSetState(true) },
+		Subs: []string{"count_distinct_part"}, Supers: []string{"dist_union"},
+		Final: FinalScalarCall, Finalizer: "dist_card",
+		Demote: "approx_distinct",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "count_distinct_part", TakesArg: true, AllowAnyArg: true,
+		Ret:  retString,
+		New:  func(schema.Type) AggState { return newSetState(false) },
+		Subs: []string{"count_distinct_part"}, Supers: []string{"dist_union"},
+		Demote: "approx_distinct_part",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "dist_union", TakesArg: true, AllowAnyArg: true,
+		Ret:  retString,
+		New:  func(schema.Type) AggState { return newDistUnionState() },
+		Subs: []string{"dist_union"}, Supers: []string{"dist_union"},
+	}))
+
+	// Quantiles.
+	qOnly := func() []AggParam { return []AggParam{quantileParam()} }
+	qEps := func() []AggParam { return []AggParam{quantileParam(), fracParam("eps", DefaultEps)} }
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "quantile", TakesArg: true,
+		Ret: retFloat,
+		NewP: func(_ schema.Type, p []schema.Value) AggState {
+			return &valsState{q: p[0].Float(), final: true}
+		},
+		Params: qOnly(),
+		Subs:   []string{"quantile_part"}, Supers: []string{"quant_union"},
+		Final: FinalScalarCall, Finalizer: "quant_value",
+		Demote: "approx_quantile",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "quantile_part", TakesArg: true,
+		Ret: retString,
+		NewP: func(_ schema.Type, p []schema.Value) AggState {
+			return &valsState{q: p[0].Float()}
+		},
+		Params: qOnly(),
+		Subs:   []string{"quantile_part"}, Supers: []string{"quant_union"},
+		Demote: "approx_quantile_part",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "approx_quantile", TakesArg: true,
+		Ret:    retFloat,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newDDState(p, true) },
+		Params: qEps(),
+		Subs:   []string{"approx_quantile_part"}, Supers: []string{"quant_union"},
+		Final: FinalScalarCall, Finalizer: "quant_value",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "approx_quantile_part", TakesArg: true,
+		Ret:    retString,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newDDState(p, false) },
+		Params: qEps(),
+		Subs:   []string{"approx_quantile_part"}, Supers: []string{"quant_union"},
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "quant_union", TakesArg: true, AllowAnyArg: true,
+		Ret:  retString,
+		New:  func(schema.Type) AggState { return &quantUnionState{} },
+		Subs: []string{"quant_union"}, Supers: []string{"quant_union"},
+	}))
+
+	// Heavy hitters.
+	hhP := func() []AggParam {
+		return []AggParam{
+			{
+				Name: "k", Type: schema.TUint, Required: true,
+				Check: func(v schema.Value) error {
+					if k := v.Uint(); k < 1 || k > 4096 {
+						return fmt.Errorf("must be in [1,4096], got %s", v.String())
+					}
+					return nil
+				},
+			},
+			fracParam("eps", DefaultEps),
+			fracParam("delta", DefaultDelta),
+		}
+	}
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "heavy_hitters", TakesArg: true, AllowAnyArg: true,
+		Ret:    retString,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newTopKState(p, true) },
+		Params: hhP(),
+		Subs:   []string{"heavy_hitters_part"}, Supers: []string{"hh_union"},
+		Final: FinalScalarCall, Finalizer: "hh_topk",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "heavy_hitters_part", TakesArg: true, AllowAnyArg: true,
+		Ret:    retString,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newTopKState(p, false) },
+		Params: hhP(),
+		Subs:   []string{"heavy_hitters_part"}, Supers: []string{"hh_union"},
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "hh_union", TakesArg: true, AllowAnyArg: true,
+		Ret:  retString,
+		New:  func(schema.Type) AggState { return &topkUnionState{} },
+		Subs: []string{"hh_union"}, Supers: []string{"hh_union"},
+	}))
+
+	// Count-Min point query.
+	cmP := func() []AggParam {
+		return []AggParam{
+			{
+				Name: "value", Type: schema.TNull, Required: true,
+				Check: func(v schema.Value) error {
+					if v.IsNull() {
+						return fmt.Errorf("target value must not be NULL")
+					}
+					return nil
+				},
+			},
+			fracParam("eps", DefaultEps),
+			fracParam("delta", DefaultDelta),
+		}
+	}
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "cm_count", TakesArg: true, AllowAnyArg: true,
+		Ret:    retUint,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newCMState(p, true) },
+		Params: cmP(),
+		Subs:   []string{"cm_count_part"}, Supers: []string{"cm_union"},
+		Final: FinalScalarCall, Finalizer: "cm_est",
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "cm_count_part", TakesArg: true, AllowAnyArg: true,
+		Ret:    retString,
+		NewP:   func(_ schema.Type, p []schema.Value) AggState { return newCMState(p, false) },
+		Params: cmP(),
+		Subs:   []string{"cm_count_part"}, Supers: []string{"cm_union"},
+	}))
+	must(r.RegisterAggregate(&Aggregate{
+		Name: "cm_union", TakesArg: true, AllowAnyArg: true,
+		Ret:  retString,
+		New:  func(schema.Type) AggState { return &cmUnionState{} },
+		Subs: []string{"cm_union"}, Supers: []string{"cm_union"},
+	}))
+}

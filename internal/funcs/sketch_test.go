@@ -1,0 +1,352 @@
+package funcs
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/schema"
+)
+
+// runChain simulates the split execution of a sketch aggregate: several
+// LFTA partials (one per shard), a union super merging the partial blobs,
+// and the finalizer scalar — exactly the dataflow of a split plan.
+func runChain(t *testing.T, name string, params []schema.Value, shards [][]schema.Value) schema.Value {
+	t.Helper()
+	agg, ok := Global.Aggregate(name)
+	if !ok {
+		t.Fatalf("aggregate %s not registered", name)
+	}
+	part, ok := Global.Aggregate(agg.Subs[0])
+	if !ok {
+		t.Fatalf("sub %s not registered", agg.Subs[0])
+	}
+	union, ok := Global.Aggregate(agg.Supers[0])
+	if !ok {
+		t.Fatalf("super %s not registered", agg.Supers[0])
+	}
+	partParams, _, err := part.ResolveParams(paramPrefix(params, len(part.Params)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := union.NewState(schema.TString, nil)
+	for _, vals := range shards {
+		st := part.NewState(schema.TUint, partParams)
+		for _, v := range vals {
+			st.Add(v)
+		}
+		u.Add(st.Result())
+	}
+	if agg.Final != FinalScalarCall {
+		t.Fatalf("%s: expected FinalScalarCall", name)
+	}
+	fin, ok := Global.Scalar(agg.Finalizer)
+	if !ok {
+		t.Fatalf("finalizer %s not registered", agg.Finalizer)
+	}
+	out, _ := fin.Eval([]schema.Value{u.Result()}, nil)
+	return out
+}
+
+func paramPrefix(params []schema.Value, n int) []schema.Value {
+	if len(params) > n {
+		return params[:n]
+	}
+	return params
+}
+
+func uintVals(n int) []schema.Value {
+	vs := make([]schema.Value, n)
+	for i := range vs {
+		vs[i] = schema.MakeUint(uint64(i))
+	}
+	return vs
+}
+
+func shardSplit(vals []schema.Value, parts int) [][]schema.Value {
+	out := make([][]schema.Value, parts)
+	for i, v := range vals {
+		out[i%parts] = append(out[i%parts], v)
+	}
+	return out
+}
+
+func TestApproxDistinctChainShardInvariance(t *testing.T) {
+	vals := uintVals(5000)
+	var first schema.Value
+	for _, parts := range []int{1, 2, 4, 8} {
+		got := runChain(t, "approx_distinct", nil, shardSplit(vals, parts))
+		if got.Type != schema.TUint {
+			t.Fatalf("parts=%d: result type %s", parts, got.Type)
+		}
+		if parts == 1 {
+			first = got
+			// Within the default eps.
+			rel := relErr(float64(got.Uint()), 5000)
+			if rel > 4*DefaultEps {
+				t.Fatalf("estimate %d too far from 5000 (rel %.4f)", got.Uint(), rel)
+			}
+			continue
+		}
+		if got.Uint() != first.Uint() {
+			t.Fatalf("parts=%d: estimate %d != single-shard %d", parts, got.Uint(), first.Uint())
+		}
+	}
+}
+
+func TestCountDistinctChainExact(t *testing.T) {
+	vals := uintVals(300)
+	vals = append(vals, uintVals(300)...) // duplicates
+	for _, parts := range []int{1, 3} {
+		got := runChain(t, "count_distinct", nil, shardSplit(vals, parts))
+		if got.Uint() != 300 {
+			t.Fatalf("parts=%d: count_distinct = %d, want 300", parts, got.Uint())
+		}
+	}
+}
+
+func TestDistUnionMixedExactAndSketchPartials(t *testing.T) {
+	// The demotion scenario: some shards still ship exact set blobs while
+	// a demoted shard ships HLL blobs. The union must converge on a sketch
+	// that covers both.
+	exact, _ := Global.Aggregate("count_distinct_part")
+	approx, _ := Global.Aggregate("approx_distinct_part")
+	approxParams, _, err := approx.ResolveParams(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, _ := Global.Aggregate("dist_union")
+
+	u := union.NewState(schema.TString, nil)
+	es := exact.NewState(schema.TUint, nil)
+	for i := 0; i < 1000; i++ {
+		es.Add(schema.MakeUint(uint64(i)))
+	}
+	as := approx.NewState(schema.TUint, approxParams)
+	for i := 500; i < 1500; i++ { // overlaps the exact half
+		as.Add(schema.MakeUint(uint64(i)))
+	}
+	u.Add(es.Result())
+	u.Add(as.Result())
+
+	fin, _ := Global.Scalar("dist_card")
+	out, _ := fin.Eval([]schema.Value{u.Result()}, nil)
+	rel := relErr(float64(out.Uint()), 1500)
+	if rel > 4*DefaultEps {
+		t.Fatalf("mixed union estimate %d too far from 1500 (rel %.4f)", out.Uint(), rel)
+	}
+
+	// Order independence: sketch first, then exact keys folded in.
+	u2 := union.NewState(schema.TString, nil)
+	u2.Add(as.Result())
+	u2.Add(es.Result())
+	out2, _ := fin.Eval([]schema.Value{u2.Result()}, nil)
+	if out.Uint() != out2.Uint() {
+		t.Fatalf("mixed union order-dependent: %d vs %d", out.Uint(), out2.Uint())
+	}
+}
+
+func TestQuantileChains(t *testing.T) {
+	var vals []schema.Value
+	for i := 1; i <= 10000; i++ {
+		vals = append(vals, schema.MakeUint(uint64(i)))
+	}
+	q := []schema.Value{schema.MakeFloat(0.5)}
+
+	exact := runChain(t, "quantile", q, shardSplit(vals, 4))
+	if exact.Float() != 5000 {
+		t.Fatalf("exact median = %v, want 5000", exact.Float())
+	}
+
+	var approx1 schema.Value
+	for _, parts := range []int{1, 2, 4, 8} {
+		got := runChain(t, "approx_quantile", q, shardSplit(vals, parts))
+		if rel := relErr(got.Float(), 5000); rel > 3*DefaultEps {
+			t.Fatalf("parts=%d: approx median %v (rel err %.4f)", parts, got.Float(), rel)
+		}
+		if parts == 1 {
+			approx1 = got
+		} else if got.Float() != approx1.Float() {
+			t.Fatalf("parts=%d: approx median %v != single-shard %v", parts, got.Float(), approx1.Float())
+		}
+	}
+}
+
+func TestQuantUnionMixedPartials(t *testing.T) {
+	exact, _ := Global.Aggregate("quantile_part")
+	approx, _ := Global.Aggregate("approx_quantile_part")
+	q := []schema.Value{schema.MakeFloat(0.5)}
+	eParams, _, _ := exact.ResolveParams(q, nil)
+	aParams, _, _ := approx.ResolveParams(q, nil)
+	union, _ := Global.Aggregate("quant_union")
+
+	u := union.NewState(schema.TString, nil)
+	es := exact.NewState(schema.TUint, eParams)
+	as := approx.NewState(schema.TUint, aParams)
+	for i := 1; i <= 5000; i++ {
+		es.Add(schema.MakeUint(uint64(i)))
+		as.Add(schema.MakeUint(uint64(i + 5000)))
+	}
+	u.Add(es.Result())
+	u.Add(as.Result())
+	fin, _ := Global.Scalar("quant_value")
+	out, _ := fin.Eval([]schema.Value{u.Result()}, nil)
+	if rel := relErr(out.Float(), 5000); rel > 3*DefaultEps {
+		t.Fatalf("mixed quantile %v too far from 5000 (rel %.4f)", out.Float(), rel)
+	}
+}
+
+func TestHeavyHittersChain(t *testing.T) {
+	// Key i appears (50-i) times, i in [0,50): top-3 is 0,1,2.
+	var vals []schema.Value
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50-i; j++ {
+			vals = append(vals, schema.MakeUint(uint64(i)))
+		}
+	}
+	params := []schema.Value{schema.MakeUint(3)}
+	var first string
+	for _, parts := range []int{1, 2, 4, 8} {
+		got := runChain(t, "heavy_hitters", params, shardSplit(vals, parts))
+		if got.Type != schema.TString {
+			t.Fatalf("parts=%d: result type %s", parts, got.Type)
+		}
+		s := got.Str()
+		if parts == 1 {
+			first = s
+			if !strings.HasPrefix(s, "0:50 1:49 2:48") {
+				t.Fatalf("unexpected top-3 report %q", s)
+			}
+			continue
+		}
+		if s != first {
+			t.Fatalf("parts=%d: report %q != single-shard %q", parts, s, first)
+		}
+	}
+}
+
+func TestCMCountChain(t *testing.T) {
+	var vals []schema.Value
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, schema.MakeUint(uint64(i%100)))
+	}
+	params := []schema.Value{schema.MakeUint(7)} // target value 7 appears 20x
+	var first schema.Value
+	for _, parts := range []int{1, 2, 4} {
+		got := runChain(t, "cm_count", params, shardSplit(vals, parts))
+		if got.Uint() < 20 {
+			t.Fatalf("parts=%d: cm_count undercounts: %d < 20", parts, got.Uint())
+		}
+		if got.Uint() > 20+uint64(float64(len(vals))*DefaultEps)+1 {
+			t.Fatalf("parts=%d: cm_count %d exceeds eps*N bound", parts, got.Uint())
+		}
+		if parts == 1 {
+			first = got
+		} else if got.Uint() != first.Uint() {
+			t.Fatalf("parts=%d: estimate %d != single-shard %d", parts, got.Uint(), first.Uint())
+		}
+	}
+}
+
+func TestResolveParams(t *testing.T) {
+	agg, _ := Global.Aggregate("heavy_hitters")
+
+	// Defaults fill unsupplied optionals.
+	ps, _, err := agg.ResolveParams([]schema.Value{schema.MakeUint(5)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[1].Float() != DefaultEps || ps[2].Float() != DefaultDelta {
+		t.Fatalf("defaults not applied: %v", ps)
+	}
+
+	// Overrides beat defaults but not explicit arguments.
+	ov := map[string]schema.Value{"eps": schema.MakeFloat(0.1)}
+	ps, _, err = agg.ResolveParams([]schema.Value{schema.MakeUint(5)}, ov)
+	if err != nil || ps[1].Float() != 0.1 {
+		t.Fatalf("override not applied: %v %v", ps, err)
+	}
+	ps, _, err = agg.ResolveParams([]schema.Value{schema.MakeUint(5), schema.MakeFloat(0.2)}, ov)
+	if err != nil || ps[1].Float() != 0.2 {
+		t.Fatalf("explicit eps should beat override: %v %v", ps, err)
+	}
+
+	// Missing required parameter.
+	if _, _, err := agg.ResolveParams(nil, nil); err == nil {
+		t.Fatal("missing k should fail")
+	}
+	// Out-of-range eps reports the offending argument index.
+	_, bad, err := agg.ResolveParams([]schema.Value{schema.MakeUint(5), schema.MakeFloat(2)}, nil)
+	if err == nil || bad != 1 {
+		t.Fatalf("bad eps: idx=%d err=%v", bad, err)
+	}
+	// Too many parameters.
+	if _, _, err := agg.ResolveParams(make([]schema.Value, 4), nil); err == nil {
+		t.Fatal("4 params should fail")
+	}
+	// Wrong type for k.
+	if _, _, err := agg.ResolveParams([]schema.Value{schema.MakeStr("x")}, nil); err == nil {
+		t.Fatal("string k should fail")
+	}
+}
+
+func TestDemoteTwinContracts(t *testing.T) {
+	// Every Demote link must point at a registered aggregate with the same
+	// result type and a parameter list extending the exact one as a prefix.
+	for _, name := range Global.AggregateNames() {
+		agg, _ := Global.Aggregate(name)
+		if agg.Demote == "" {
+			continue
+		}
+		twin, ok := Global.Aggregate(agg.Demote)
+		if !ok {
+			t.Fatalf("%s: demote twin %s not registered", name, agg.Demote)
+		}
+		for _, ty := range []schema.Type{schema.TUint, schema.TFloat} {
+			if agg.Ret(ty) != twin.Ret(ty) {
+				t.Fatalf("%s -> %s: result types differ for arg %s", name, agg.Demote, ty)
+			}
+		}
+		if len(twin.Params) < len(agg.Params) {
+			t.Fatalf("%s -> %s: twin declares fewer params", name, agg.Demote)
+		}
+		for i := range agg.Params {
+			if twin.Params[i].Name != agg.Params[i].Name {
+				t.Fatalf("%s -> %s: param %d name mismatch", name, agg.Demote, i)
+			}
+		}
+		// The exact aggregate's resolved params must resolve on the twin.
+		exact, _, err := agg.ResolveParams(exampleParams(agg), nil)
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", name, err)
+		}
+		if _, _, err := twin.ResolveParams(exact, nil); err != nil {
+			t.Fatalf("%s -> %s: twin resolve: %v", name, agg.Demote, err)
+		}
+	}
+}
+
+func exampleParams(a *Aggregate) []schema.Value {
+	var out []schema.Value
+	for _, p := range a.Params {
+		if !p.Required {
+			break
+		}
+		switch p.Name {
+		case "q":
+			out = append(out, schema.MakeFloat(0.5))
+		case "k":
+			out = append(out, schema.MakeUint(3))
+		default:
+			out = append(out, schema.MakeUint(1))
+		}
+	}
+	return out
+}
+
+func relErr(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}

@@ -313,6 +313,7 @@ type aggSlot struct {
 	spec    *funcs.Aggregate
 	arg     exec.Expr // nil for count(*)
 	argType schema.Type
+	params  []schema.Value // resolved compile-time literal parameters
 }
 
 // evalAgg: one full pass grouping every passing row, then HAVING +
@@ -390,8 +391,11 @@ func (ev *evaluator) evalAgg(q *gsql.Query) (*Result, error) {
 		if !ok {
 			return 0, fmt.Errorf("unknown aggregate %s", call.Name)
 		}
-		if len(call.Args) != 1 {
+		if len(agg.Params) == 0 && len(call.Args) != 1 {
 			return 0, fmt.Errorf("%s takes exactly one argument", agg.Name)
+		}
+		if len(call.Args) < 1 || len(call.Args) > 1+len(agg.Params) {
+			return 0, fmt.Errorf("%s takes 1 to %d arguments", agg.Name, 1+len(agg.Params))
 		}
 		sl := aggSlot{spec: agg, argType: schema.TNull}
 		if _, star := call.Args[0].(*gsql.Star); star {
@@ -405,6 +409,21 @@ func (ev *evaluator) evalAgg(q *gsql.Query) (*Result, error) {
 			}
 			sl.arg, sl.argType = e, e.Type()
 		}
+		// Trailing arguments are compile-time literal parameters (sketch
+		// error bounds, quantile rank, ...), mirroring core's analyzer.
+		var given []schema.Value
+		for _, arg := range call.Args[1:] {
+			c, ok := arg.(*gsql.Const)
+			if !ok {
+				return 0, fmt.Errorf("parameters of %s must be literals", agg.Name)
+			}
+			given = append(given, c.Val)
+		}
+		params, _, err := agg.ResolveParams(given, nil)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", agg.Name, err)
+		}
+		sl.params = params
 		slot := len(slots)
 		slots = append(slots, sl)
 		aggKeys[canon] = slot
@@ -513,7 +532,7 @@ func (ev *evaluator) evalAgg(q *gsql.Query) (*Result, error) {
 		if !found {
 			g = &group{gvals: gvals, key: key, states: make([]funcs.AggState, len(slots))}
 			for i, sl := range slots {
-				g.states[i] = sl.spec.New(sl.argType)
+				g.states[i] = sl.spec.NewState(sl.argType, sl.params)
 			}
 			groups[key] = g
 		}

@@ -65,6 +65,16 @@ type OverloadConfig struct {
 	// (default 100ms).
 	IntervalUsec uint64
 
+	// DemoteFirst lets the controller demote the target's eligible exact
+	// aggregates to their sketched twins (count_distinct -> approx_distinct,
+	// quantile -> approx_quantile) before it starts cutting the sampling
+	// rate: the first armed throttle step switches representation instead
+	// of shedding data, trading bounded answer error for aggregate-table
+	// memory and eviction pressure. Promotion back to exact happens only
+	// after the rate has fully restored. The decision stream's demoted /
+	// eps / delta columns publish the mode and the active error bound.
+	DemoteFirst bool
+
 	// OnApply, when set, observes every applied rate change — the hook
 	// load models use to keep a simulated capture cost consistent with
 	// the rebound predicate.
@@ -117,6 +127,9 @@ func overloadSchema(name string) *schema.Schema {
 			{Name: "livelocked", Type: schema.TBool},
 			{Name: "throttled", Type: schema.TBool}, // rate below Full
 			{Name: "applied", Type: schema.TBool},   // SetParams succeeded (or no change needed)
+			{Name: "demoted", Type: schema.TBool},   // aggregates demoted to sketches
+			{Name: "eps", Type: schema.TFloat},      // active error bound (0 when exact)
+			{Name: "delta", Type: schema.TFloat},    // active error probability (0 when exact)
 		},
 	}
 }
@@ -137,6 +150,14 @@ type overloadController struct {
 	badRun    int
 	goodRun   int
 	stats     exec.Counters
+
+	// Demotion actuator state (DemoteFirst): the query nodes hosting the
+	// target's aggregation (the named node plus its mangled LFTAs), the
+	// current mode, and the compiled error bound demotion runs at.
+	demotable []*queryNode
+	demoted   bool
+	eps       float64
+	delta     float64
 }
 
 // AttachOverloadController registers a closed-loop overload controller as
@@ -149,11 +170,16 @@ func (m *Manager) AttachOverloadController(cfg OverloadConfig) error {
 	if cfg.Target == "" || cfg.Param == "" {
 		return fmt.Errorf("rts: overload controller needs Target and Param")
 	}
+	target := strings.ToLower(cfg.Target)
 	m.mu.Lock()
-	qn, ok := m.nodes[strings.ToLower(cfg.Target)]
+	qn, ok := m.nodes[target]
 	var it *Interface
+	var candidates []*queryNode
 	if ok {
 		it = m.ifaceLocked(ifaceNameOrDefault(cfg.Iface))
+		// The aggregation demotion can live in the target node itself
+		// (unsplit plan) or in its mangled LFTAs (split plan).
+		candidates = m.demotionNodesLocked(target)
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -166,6 +192,21 @@ func (m *Manager) AttachOverloadController(cfg OverloadConfig) error {
 		target: qn,
 		out:    overloadSchema(cfg.Stream),
 		rate:   cfg.Full,
+	}
+	if cfg.DemoteFirst {
+		for _, node := range candidates {
+			e, d, n := node.demoteBounds()
+			if n == 0 {
+				continue
+			}
+			ctrl.demotable = append(ctrl.demotable, node)
+			if e > ctrl.eps {
+				ctrl.eps = e
+			}
+			if d > ctrl.delta {
+				ctrl.delta = d
+			}
+		}
 	}
 	return m.AddSourceNode(cfg.Stream, ctrl)
 }
@@ -210,6 +251,15 @@ func (c *overloadController) Flush(nowUsec uint64, emit exec.Emit) {
 	c.decide(nowUsec, emit)
 }
 
+// setDemoted flips every demotable node between exact and sketched
+// aggregation and records the controller's view of the mode.
+func (c *overloadController) setDemoted(on bool) {
+	for _, node := range c.demotable {
+		node.setApprox(on)
+	}
+	c.demoted = on
+}
+
 // drops sums the watched drop counters: the capture stack's ring drops
 // plus the tuples shed at the target's output rings (per-shard rings
 // included for a sharded target).
@@ -243,20 +293,35 @@ func (c *overloadController) decide(nowUsec uint64, emit exec.Emit) {
 		c.goodRun = 0
 		c.badRun++
 		if c.badRun >= c.cfg.TripIntervals {
-			newRate = c.rate * c.cfg.StepDown
-			if newRate < c.cfg.Min {
-				newRate = c.cfg.Min
+			if len(c.demotable) > 0 && !c.demoted {
+				// Demote before shedding: the first armed step switches the
+				// target's aggregates to their sketched twins instead of
+				// cutting the sampling rate — bounded answer error is a
+				// gentler degradation than dropped data.
+				c.setDemoted(true)
+			} else {
+				newRate = c.rate * c.cfg.StepDown
+				if newRate < c.cfg.Min {
+					newRate = c.cfg.Min
+				}
 			}
 			c.badRun = 0
 		}
 	case recovered:
 		c.badRun = 0
-		if c.rate < c.cfg.Full {
+		if c.rate < c.cfg.Full || c.demoted {
 			c.goodRun++
 			if c.goodRun >= c.cfg.HoldIntervals {
-				newRate = c.rate * c.cfg.StepUp
-				if newRate > c.cfg.Full {
-					newRate = c.cfg.Full
+				if c.rate < c.cfg.Full {
+					newRate = c.rate * c.cfg.StepUp
+					if newRate > c.cfg.Full {
+						newRate = c.cfg.Full
+					}
+				} else {
+					// Rate fully restored first; only then promote back to
+					// exact aggregation (the reverse of the demote-first
+					// shed order).
+					c.setDemoted(false)
 				}
 				c.goodRun = 0
 			}
@@ -280,6 +345,12 @@ func (c *overloadController) decide(nowUsec uint64, emit exec.Emit) {
 		}
 	}
 
+	// The active error bound: the compiled demotion (eps, delta) while
+	// demoted, zero (exact) otherwise.
+	eps, delta := 0.0, 0.0
+	if c.demoted {
+		eps, delta = c.eps, c.delta
+	}
 	c.stats.Out.Add(1)
 	emit(exec.TupleMsg(schema.Tuple{
 		schema.MakeUint(nowUsec),
@@ -290,6 +361,9 @@ func (c *overloadController) decide(nowUsec uint64, emit exec.Emit) {
 		schema.MakeBool(livelocked),
 		schema.MakeBool(c.rate < c.cfg.Full),
 		schema.MakeBool(applied),
+		schema.MakeBool(c.demoted),
+		schema.MakeFloat(eps),
+		schema.MakeFloat(delta),
 	}))
 	bounds := make(schema.Tuple, len(c.out.Cols))
 	bounds[0] = schema.MakeUint(nowUsec)

@@ -1,0 +1,199 @@
+package rts
+
+import (
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// The demote-first controller switches the target's exact aggregates to
+// their sketched twins on the first armed throttle step — before touching
+// the sampling rate — and promotes back to exact only after the rate has
+// fully restored.
+func TestOverloadControllerDemoteFirst(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name aq; param srate float; }
+		SELECT tb, count_distinct(srcIP) FROM tcp
+		WHERE samplehash(srcIP, $srate)
+		GROUP BY time/60 as tb`)
+	if err := m.AddQuery(cq, map[string]schema.Value{"srate": schema.MakeFloat(1.0)}); err != nil {
+		t.Fatal(err)
+	}
+	var applied []float64
+	err := m.AttachOverloadController(OverloadConfig{
+		Target:        "aq",
+		Param:         "srate",
+		HighWater:     10,
+		HoldIntervals: 2,
+		IntervalUsec:  100_000,
+		DemoteFirst:   true,
+		OnApply:       func(rate float64) { applied = append(applied, rate) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decSub, err := m.Subscribe(OverloadStream, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	lfta := m.nodes["_lfta_aq"]
+	if lfta == nil {
+		t.Fatal("no mangled LFTA registered")
+	}
+	approx := func(qn *queryNode) bool {
+		d, ok := qn.op.(exec.Demotable)
+		return ok && d.Approx()
+	}
+
+	qn := m.nodes["aq"]
+	clock := uint64(0)
+	step := func(drops uint64) {
+		qn.pub.drops.Add(drops)
+		clock += 100_000
+		m.AdvanceClock(clock)
+	}
+
+	// First overloaded interval: demote, don't shed. In the split plan the
+	// demotion lives in the LFTA (count_distinct_part -> its sketched twin);
+	// the HFTA's dist_union merges exact and sketched partials as-is.
+	step(100)
+	if len(applied) != 0 {
+		t.Fatalf("rate cut before demotion: %v", applied)
+	}
+	if !approx(lfta) {
+		t.Fatal("LFTA not demoted after first trip")
+	}
+
+	// Still overloaded: now the rate takes the hit.
+	step(100)
+	step(100)
+	if len(applied) != 2 || applied[1] != 0.25 {
+		t.Fatalf("throttle steps after demotion = %v, want [0.5 0.25]", applied)
+	}
+
+	// Recovery: the rate restores to Full first, and only then does the
+	// controller promote back to exact aggregation.
+	for i := 0; i < 20; i++ {
+		step(0)
+		if approx(lfta) && len(applied) > 2 && applied[len(applied)-1] == 1.0 {
+			// Rate just hit Full; demotion must persist for at least the
+			// hold run before promotion.
+			break
+		}
+	}
+	for i := 0; i < 10; i++ {
+		step(0)
+	}
+	if got := applied[len(applied)-1]; got != 1.0 {
+		t.Fatalf("final rate = %v, want 1.0", got)
+	}
+	if approx(lfta) {
+		t.Fatal("never promoted back to exact after full restore")
+	}
+
+	m.Stop()
+	rows := drain(t, decSub)
+	if len(rows) == 0 {
+		t.Fatal("no decision rows")
+	}
+	// The decision stream must show a demoted interval at full rate —
+	// demotion strictly precedes rate shedding — with the active error
+	// bound published, and the final row back at exact.
+	sawDemotedAtFull := false
+	for _, r := range rows {
+		rate, demoted := r[3].F, r[8].U != 0
+		eps, delta := r[9].F, r[10].F
+		if demoted {
+			if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+				t.Fatalf("demoted row with bad bounds eps=%v delta=%v", eps, delta)
+			}
+			if rate == 1.0 {
+				sawDemotedAtFull = true
+			}
+		} else if eps != 0 || delta != 0 {
+			t.Fatalf("exact row publishes nonzero bounds: eps=%v delta=%v", eps, delta)
+		}
+	}
+	if !sawDemotedAtFull {
+		t.Fatal("no decision row with demotion at full rate: demotion did not precede shedding")
+	}
+	last := rows[len(rows)-1]
+	if last[8].U != 0 {
+		t.Fatalf("final decision row still demoted: %v", last)
+	}
+}
+
+// SetApprox through the manager demotes new groups only: open groups
+// finish exact, and the union super-aggregates merge the mixed partials.
+func TestManagerSetApproxMixedPartials(t *testing.T) {
+	cat := newCatalog(t)
+	m := NewManager(cat, Config{})
+	cq := mustCompile(t, cat, `
+		DEFINE { query_name mix; }
+		SELECT tb, count_distinct(srcIP) FROM tcp
+		GROUP BY time/60 as tb`)
+	if err := m.AddQuery(cq, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe("mix", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 1 (exact): 100 distinct sources.
+	for i := 0; i < 100; i++ {
+		p := tcpPkt(10, uint32(0x0a000000+i), 80, "x")
+		m.Inject("", &p)
+	}
+	// The open exact group holds real aggregate-table memory, readable
+	// while the node is live (the HFTA read routes through its goroutine).
+	exactBytes, err := m.StateBytes("mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactBytes <= 0 {
+		t.Fatalf("StateBytes = %d with an open exact group", exactBytes)
+	}
+	n, err := m.SetApprox("mix", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("SetApprox found no demotable slots")
+	}
+	// Bucket 2 (sketched): 200 distinct sources.
+	for i := 0; i < 200; i++ {
+		p := tcpPkt(70, uint32(0x0b000000+i), 80, "x")
+		m.Inject("", &p)
+	}
+	m.Stop()
+	rows := drain(t, sub)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// The exact bucket was opened before the switch: exact answer. The
+	// demoted bucket answers within HLL error at default eps.
+	if got := rows[0][1].Uint(); got != 100 {
+		t.Fatalf("exact bucket count_distinct = %d, want 100", got)
+	}
+	got := float64(rows[1][1].Uint())
+	if got < 200*0.85 || got > 200*1.15 {
+		t.Fatalf("demoted bucket count_distinct = %v, want ~200", got)
+	}
+
+	if _, err := m.SetApprox("ghost", true); err == nil {
+		t.Fatal("SetApprox on unknown query succeeded")
+	}
+	if _, err := m.StateBytes("ghost"); err == nil {
+		t.Fatal("StateBytes on unknown query succeeded")
+	}
+}

@@ -478,6 +478,66 @@ func (m *Manager) SetParams(name string, params map[string]schema.Value) error {
 	return qn.setParams(params)
 }
 
+// SetApprox demotes (or promotes) a query's eligible exact aggregates to
+// their sketched twins, returning how many aggregate slots are demotable
+// across the query's operators (0 means the query has none). The demotion
+// may live in the named node itself (unsplit plan) or in its mangled
+// LFTAs (split plan, where the HFTA's union super-aggregate merges exact
+// and sketched partials transparently). The switch only affects groups
+// opened afterward; open groups finish in their current representation.
+func (m *Manager) SetApprox(name string, on bool) (int, error) {
+	m.mu.Lock()
+	_, ok := m.nodes[strings.ToLower(name)]
+	nodes := m.demotionNodesLocked(name)
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("rts: no query node named %s", name)
+	}
+	n := 0
+	for _, qn := range nodes {
+		n += qn.setApprox(on)
+	}
+	return n, nil
+}
+
+// StateBytes estimates the aggregate-table memory the named query
+// currently holds across its plan: the query's own node plus its mangled
+// LFTAs (sharded instances summed through their reunifying node). Queries
+// without aggregation report 0.
+func (m *Manager) StateBytes(name string) (int64, error) {
+	m.mu.Lock()
+	_, ok := m.nodes[strings.ToLower(name)]
+	nodes := m.demotionNodesLocked(name)
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("rts: no query node named %s", name)
+	}
+	var total int64
+	for _, qn := range nodes {
+		total += qn.stateBytes()
+	}
+	return total, nil
+}
+
+// demotionNodesLocked returns the query nodes that can host the named
+// query's aggregate demotion: the node itself plus its mangled LFTAs.
+// Per-shard instances are omitted — the reunifying node forwards to them.
+// Caller holds m.mu.
+func (m *Manager) demotionNodesLocked(target string) []*queryNode {
+	target = strings.ToLower(target)
+	var out []*queryNode
+	for name, qn := range m.nodes {
+		if strings.Contains(name, "#shard") {
+			continue
+		}
+		if name == target || name == "_lfta_"+target ||
+			strings.HasPrefix(name, "_lfta_"+target+"_") {
+			out = append(out, qn)
+		}
+	}
+	return out
+}
+
 // Registry lists the registered stream names, sorted.
 func (m *Manager) Registry() []string {
 	m.mu.Lock()

@@ -87,6 +87,11 @@ type queryNode struct {
 	// fields directly.
 	instMu sync.Mutex
 
+	// approxMode records whether the node's aggregation has been demoted to
+	// sketched aggregates (exec.Demotable), so a clean-state restart comes
+	// back in the same mode. Executing-context only, like params.
+	approxMode bool
+
 	// shardIdx is 0 for unsharded nodes and i+1 for the i'th shard instance
 	// of a sharded LFTA (see Manager.addShardedLFTA).
 	shardIdx int
@@ -261,6 +266,13 @@ func (qn *queryNode) maybeRestart() bool {
 	qn.op = inst.Op
 	qn.instMu.Unlock()
 	qn.wireMerge()
+	if qn.approxMode {
+		// Stay demoted across the restart: the overload controller's
+		// decision outlives the operator state, like the throttle parameter.
+		if d, ok := qn.op.(exec.Demotable); ok {
+			d.SetApprox(true)
+		}
+	}
 	qn.restarts.Add(1)
 	qn.quarantined.Store(false)
 	return true
@@ -441,6 +453,137 @@ func (qn *queryNode) rebind(params map[string]schema.Value) error {
 		qn.params[k] = v
 	}
 	return nil
+}
+
+// setApprox switches the node's aggregation between exact and demoted
+// (sketched) mode, returning how many aggregate slots changed eligibility.
+// Routing mirrors setParams: shard-reunifying nodes forward to their
+// shards, LFTAs apply inline under the interface lock, HFTAs on their own
+// goroutine.
+func (qn *queryNode) setApprox(on bool) int {
+	if qn.inst == nil {
+		n := 0
+		for _, shard := range qn.shardsOf {
+			n += shard.setApprox(on)
+		}
+		return n
+	}
+	if qn.level == core.LevelLFTA {
+		qn.mu.Lock()
+		defer qn.mu.Unlock()
+		return qn.applyApprox(on)
+	}
+	qn.mu.Lock()
+	if !qn.started.Load() {
+		defer qn.mu.Unlock()
+		return qn.applyApprox(on)
+	}
+	cmds, done := qn.cmds, qn.done
+	qn.mu.Unlock()
+	nc := make(chan int, 1)
+	select {
+	case cmds <- func() { nc <- qn.applyApprox(on) }:
+	case <-done:
+		qn.mu.Lock()
+		defer qn.mu.Unlock()
+		return qn.applyApprox(on)
+	}
+	select {
+	case n := <-nc:
+		return n
+	case <-done:
+		return 0
+	}
+}
+
+// applyApprox flips the mode on the live operator and records it for
+// clean-state restarts. Executing-context only (or under qn.mu when idle).
+func (qn *queryNode) applyApprox(on bool) int {
+	qn.approxMode = on
+	d, ok := qn.op.(exec.Demotable)
+	if !ok {
+		return 0
+	}
+	return d.SetApprox(on)
+}
+
+// stateBytes estimates the aggregate-table memory the node's operator
+// currently holds. Routing mirrors setApprox: shard-reunifying nodes sum
+// their shards, LFTAs read inline under the interface lock, HFTAs on
+// their own goroutine (the group table is owned by the executing context,
+// so an unsynchronized read would race with pushes).
+func (qn *queryNode) stateBytes() int64 {
+	if qn.inst == nil {
+		var total int64
+		for _, shard := range qn.shardsOf {
+			total += shard.stateBytes()
+		}
+		return total
+	}
+	type sizer interface{ StateBytes() int64 }
+	read := func() int64 {
+		if s, ok := qn.op.(sizer); ok {
+			return s.StateBytes()
+		}
+		return 0
+	}
+	if qn.level == core.LevelLFTA {
+		qn.mu.Lock()
+		defer qn.mu.Unlock()
+		return read()
+	}
+	qn.mu.Lock()
+	if !qn.started.Load() {
+		defer qn.mu.Unlock()
+		return read()
+	}
+	cmds, done := qn.cmds, qn.done
+	qn.mu.Unlock()
+	bc := make(chan int64, 1)
+	select {
+	case cmds <- func() { bc <- read() }:
+	case <-done:
+		qn.mu.Lock()
+		defer qn.mu.Unlock()
+		return read()
+	}
+	select {
+	case b := <-bc:
+		return b
+	case <-done:
+		return 0
+	}
+}
+
+// demoteBounds reports the widest (eps, delta) the node's aggregation
+// would run with when demoted, and how many of the node's operators are
+// demotable (shards counted individually).
+func (qn *queryNode) demoteBounds() (eps, delta float64, n int) {
+	if qn.inst == nil {
+		for _, shard := range qn.shardsOf {
+			e, d, k := shard.demoteBounds()
+			if k == 0 {
+				continue
+			}
+			if e > eps {
+				eps = e
+			}
+			if d > delta {
+				delta = d
+			}
+			n += k
+		}
+		return eps, delta, n
+	}
+	qn.instMu.Lock()
+	op := qn.op
+	qn.instMu.Unlock()
+	if dd, ok := op.(exec.Demotable); ok {
+		if e, d, has := dd.DemoteBounds(); has {
+			return e, d, 1
+		}
+	}
+	return 0, 0, 0
 }
 
 func (qn *queryNode) stats() NodeStats {

@@ -1,0 +1,127 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// CountMin is the Cormode–Muthukrishnan Count-Min sketch: a depth x width
+// counter matrix where every key increments one counter per row (chosen by
+// a per-row hash) and a point query returns the minimum over its counters.
+// With width = ceil(e/eps) and depth = ceil(ln(1/delta)), the estimate
+// overcounts the true frequency by at most eps*N (N = total count added)
+// with probability at least 1-delta, and never undercounts.
+//
+// Merge is element-wise counter addition, so merging per-partition sketches
+// gives exactly the single-pass sketch: estimates are invariant under any
+// partitioning of the input.
+type CountMin struct {
+	width, depth int
+	total        uint64
+	counts       []uint64 // depth rows of width counters
+}
+
+const cmSeedStep = 0x9e3779b97f4a7c15 // golden-ratio increment per row
+
+// NewCountMin sizes a sketch for the (eps, delta) guarantee.
+func NewCountMin(eps, delta float64) (*CountMin, error) {
+	if err := checkFraction("eps", eps); err != nil {
+		return nil, err
+	}
+	if err := checkFraction("delta", delta); err != nil {
+		return nil, err
+	}
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	return &CountMin{width: width, depth: depth, counts: make([]uint64, width*depth)}, nil
+}
+
+// Add counts n occurrences of key.
+func (c *CountMin) Add(key []byte, n uint64) {
+	h1 := Hash64(key, 0)
+	h2 := Hash64(key, cmSeedStep) | 1
+	for i := 0; i < c.depth; i++ {
+		idx := (h1 + uint64(i)*h2) % uint64(c.width)
+		c.counts[i*c.width+int(idx)] += n
+	}
+	c.total += n
+}
+
+// Estimate returns the point-query estimate for key: an overcount of the
+// true frequency by at most Eps()*Total() with probability 1-Delta().
+func (c *CountMin) Estimate(key []byte) uint64 {
+	h1 := Hash64(key, 0)
+	h2 := Hash64(key, cmSeedStep) | 1
+	est := uint64(math.MaxUint64)
+	for i := 0; i < c.depth; i++ {
+		idx := (h1 + uint64(i)*h2) % uint64(c.width)
+		if v := c.counts[i*c.width+int(idx)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Total is the sum of all counts added (the N in the eps*N error bound).
+func (c *CountMin) Total() uint64 { return c.total }
+
+// Eps is the additive error fraction the current width guarantees.
+func (c *CountMin) Eps() float64 { return math.E / float64(c.width) }
+
+// Delta is the failure probability the current depth guarantees.
+func (c *CountMin) Delta() float64 { return math.Exp(-float64(c.depth)) }
+
+// Merge adds o into c. The sketches must have identical dimensions (same
+// eps/delta at construction).
+func (c *CountMin) Merge(o *CountMin) error {
+	if c.width != o.width || c.depth != o.depth {
+		return fmt.Errorf("sketch: count-min dimension mismatch (%dx%d vs %dx%d)",
+			c.depth, c.width, o.depth, o.width)
+	}
+	for i, v := range o.counts {
+		c.counts[i] += v
+	}
+	c.total += o.total
+	return nil
+}
+
+// Footprint is the approximate in-memory size in bytes.
+func (c *CountMin) Footprint() int { return 48 + 8*len(c.counts) }
+
+// AppendBinary serializes the sketch.
+func (c *CountMin) AppendBinary(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.depth))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(c.width))
+	dst = binary.BigEndian.AppendUint64(dst, c.total)
+	for _, v := range c.counts {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// ParseCountMin deserializes a sketch written by AppendBinary, returning it
+// and the number of bytes consumed.
+func ParseCountMin(b []byte) (*CountMin, int, error) {
+	if len(b) < 16 {
+		return nil, 0, fmt.Errorf("sketch: short count-min header")
+	}
+	depth := int(binary.BigEndian.Uint32(b))
+	width := int(binary.BigEndian.Uint32(b[4:]))
+	total := binary.BigEndian.Uint64(b[8:])
+	if depth < 1 || width < 1 || depth > 64 || width > 1<<28 {
+		return nil, 0, fmt.Errorf("sketch: implausible count-min dimensions %dx%d", depth, width)
+	}
+	n := depth * width
+	if len(b) < 16+8*n {
+		return nil, 0, fmt.Errorf("sketch: truncated count-min body")
+	}
+	c := &CountMin{width: width, depth: depth, total: total, counts: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		c.counts[i] = binary.BigEndian.Uint64(b[16+8*i:])
+	}
+	return c, 16 + 8*n, nil
+}

@@ -1,0 +1,146 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog distinct counter (Flajolet et al.): 2^p one-byte
+// registers, each remembering the maximum leading-zero rank seen in its
+// hash bucket. The standard error of the estimate is about 1.04/sqrt(2^p).
+//
+// Merge takes the register-wise maximum, which is idempotent, commutative,
+// and associative — per-partition HLLs merge to exactly the single-pass
+// HLL, so estimates are invariant under sharding and the LFTA/HFTA split.
+type HLL struct {
+	p    uint8
+	regs []uint8
+}
+
+const hllSeed = 0x1b873593a4093822
+
+// NewHLL sizes the register file so the standard error is at most eps,
+// clamping precision to [4, 18] (16 registers to 256 KiB).
+func NewHLL(eps float64) (*HLL, error) {
+	if err := checkFraction("eps", eps); err != nil {
+		return nil, err
+	}
+	m := (1.04 / eps) * (1.04 / eps)
+	p := uint8(math.Ceil(math.Log2(m)))
+	if p < 4 {
+		p = 4
+	}
+	if p > 18 {
+		p = 18
+	}
+	return NewHLLPrecision(p)
+}
+
+// NewHLLPrecision builds an HLL with 2^p registers.
+func NewHLLPrecision(p uint8) (*HLL, error) {
+	if p < 4 || p > 18 {
+		return nil, fmt.Errorf("sketch: hll precision %d out of range [4,18]", p)
+	}
+	return &HLL{p: p, regs: make([]uint8, 1<<p)}, nil
+}
+
+// Precision returns p; two HLLs merge only at equal precision.
+func (h *HLL) Precision() uint8 { return h.p }
+
+// StdErr is the relative standard error of Estimate for this precision.
+func (h *HLL) StdErr() float64 { return 1.04 / math.Sqrt(float64(len(h.regs))) }
+
+// Add observes one key.
+func (h *HLL) Add(key []byte) {
+	x := Hash64(key, hllSeed)
+	idx := x >> (64 - h.p)
+	rest := x << h.p
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if max := 64 - h.p + 1; rank > max {
+		rank = max
+	}
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// Estimate returns the approximate number of distinct keys added.
+func (h *HLL) Estimate() uint64 {
+	m := float64(len(h.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += math.Ldexp(1, -int(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := hllAlpha(len(h.regs)) * m * m / sum
+	// Small-range correction: linear counting while empty registers remain.
+	if e <= 2.5*m && zeros > 0 {
+		e = m * math.Log(m/float64(zeros))
+	}
+	return uint64(e + 0.5)
+}
+
+func hllAlpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	return 0.7213 / (1 + 1.079/float64(m))
+}
+
+// Merge folds o into h register-wise; precisions must match.
+func (h *HLL) Merge(o *HLL) error {
+	if h.p != o.p {
+		return fmt.Errorf("sketch: hll precision mismatch (%d vs %d)", h.p, o.p)
+	}
+	for i, r := range o.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// Footprint is the approximate in-memory size in bytes.
+func (h *HLL) Footprint() int { return 32 + len(h.regs) }
+
+// AppendBinary serializes the sketch.
+func (h *HLL) AppendBinary(dst []byte) []byte {
+	dst = append(dst, h.p)
+	return append(dst, h.regs...)
+}
+
+// ParseHLL deserializes a sketch written by AppendBinary, returning it and
+// the number of bytes consumed.
+func ParseHLL(b []byte) (*HLL, int, error) {
+	if len(b) < 1 {
+		return nil, 0, fmt.Errorf("sketch: short hll header")
+	}
+	p := b[0]
+	if p < 4 || p > 18 {
+		return nil, 0, fmt.Errorf("sketch: hll precision %d out of range", p)
+	}
+	m := 1 << p
+	if len(b) < 1+m {
+		return nil, 0, fmt.Errorf("sketch: truncated hll body")
+	}
+	h := &HLL{p: p, regs: make([]uint8, m)}
+	copy(h.regs, b[1:1+m])
+	return h, 1 + m, nil
+}
+
+// AddAll observes a batch of keys; used when converting an exact key set
+// into an HLL (aggregate demotion mid-stream).
+func (h *HLL) AddAll(keys [][]byte) {
+	for _, k := range keys {
+		h.Add(k)
+	}
+}

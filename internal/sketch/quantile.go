@@ -1,0 +1,209 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile is a DDSketch-style relative-error quantile sketch: values are
+// binned into logarithmic buckets with base gamma = (1+alpha)/(1-alpha), so
+// any rank query is answered with relative error at most alpha on the value.
+//
+// We use log buckets rather than KLL/GK because bucket-count addition makes
+// Merge exact (commutative, associative, deterministic): per-partition
+// sketches merge to precisely the single-pass sketch, which KLL's randomized
+// compactors and GK's pruning cannot promise. The memory bound is intrinsic:
+// the number of distinct buckets is at most log_gamma(max/min) + 2 — about
+// 2200 buckets at alpha=0.01 even for values spanning the full uint64 range
+// — so no collapsing (which would break merge exactness) is needed.
+type Quantile struct {
+	alpha   float64
+	gamma   float64
+	lnGamma float64
+	zero    uint64 // count of values in [-minIndexable, +minIndexable]
+	count   uint64
+	pos     map[int32]uint64
+	neg     map[int32]uint64
+}
+
+// minIndexable is the smallest magnitude with its own log bucket; anything
+// closer to zero lands in the exact zero bucket.
+const minIndexable = 1e-9
+
+// NewQuantile builds a sketch with relative value error at most alpha.
+func NewQuantile(alpha float64) (*Quantile, error) {
+	if err := checkFraction("eps", alpha); err != nil {
+		return nil, err
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Quantile{
+		alpha:   alpha,
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		pos:     make(map[int32]uint64),
+		neg:     make(map[int32]uint64),
+	}, nil
+}
+
+// Alpha is the relative error bound.
+func (s *Quantile) Alpha() float64 { return s.alpha }
+
+// Count is the number of values added.
+func (s *Quantile) Count() uint64 { return s.count }
+
+func (s *Quantile) index(x float64) int32 {
+	return int32(math.Ceil(math.Log(x) / s.lnGamma))
+}
+
+func (s *Quantile) bucketValue(i int32) float64 {
+	// Midpoint (in relative terms) of bucket i = (gamma^(i-1), gamma^i].
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Add observes one value. NaN is ignored.
+func (s *Quantile) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	s.count++
+	switch {
+	case x > minIndexable:
+		s.pos[s.index(x)]++
+	case x < -minIndexable:
+		s.neg[s.index(-x)]++
+	default:
+		s.zero++
+	}
+}
+
+// Query returns an estimate of the q-quantile (q in [0,1]): a value whose
+// rank matches within the sketch's resolution and whose magnitude is within
+// a factor (1±alpha) of the true quantile. Returns NaN on an empty sketch.
+func (s *Quantile) Query(q float64) float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the target is the ceil(q*n)-th smallest value (1-based).
+	target := uint64(math.Ceil(q * float64(s.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	// Negative buckets, most negative (largest magnitude index) first.
+	for _, i := range sortedKeys(s.neg, true) {
+		cum += s.neg[i]
+		if cum >= target {
+			return -s.bucketValue(i)
+		}
+	}
+	cum += s.zero
+	if cum >= target {
+		return 0
+	}
+	for _, i := range sortedKeys(s.pos, false) {
+		cum += s.pos[i]
+		if cum >= target {
+			return s.bucketValue(i)
+		}
+	}
+	// Rounding left target just past the end; return the largest bucket.
+	keys := sortedKeys(s.pos, false)
+	if len(keys) > 0 {
+		return s.bucketValue(keys[len(keys)-1])
+	}
+	if s.zero > 0 {
+		return 0
+	}
+	keys = sortedKeys(s.neg, true)
+	return -s.bucketValue(keys[len(keys)-1])
+}
+
+func sortedKeys(m map[int32]uint64, desc bool) []int32 {
+	ks := make([]int32, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if desc {
+			return ks[i] > ks[j]
+		}
+		return ks[i] < ks[j]
+	})
+	return ks
+}
+
+// Merge adds o's buckets into s; alphas must match.
+func (s *Quantile) Merge(o *Quantile) error {
+	if s.alpha != o.alpha {
+		return fmt.Errorf("sketch: quantile alpha mismatch (%v vs %v)", s.alpha, o.alpha)
+	}
+	for i, c := range o.pos {
+		s.pos[i] += c
+	}
+	for i, c := range o.neg {
+		s.neg[i] += c
+	}
+	s.zero += o.zero
+	s.count += o.count
+	return nil
+}
+
+// Footprint is the approximate in-memory size in bytes.
+func (s *Quantile) Footprint() int { return 96 + 16*(len(s.pos)+len(s.neg)) }
+
+// AppendBinary serializes the sketch (buckets in sorted order, so the
+// encoding of a given state is unique).
+func (s *Quantile) AppendBinary(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.alpha))
+	dst = binary.BigEndian.AppendUint64(dst, s.zero)
+	dst = binary.BigEndian.AppendUint64(dst, s.count)
+	for _, m := range []map[int32]uint64{s.pos, s.neg} {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m)))
+		for _, i := range sortedKeys(m, false) {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(i))
+			dst = binary.BigEndian.AppendUint64(dst, m[i])
+		}
+	}
+	return dst
+}
+
+// ParseQuantile deserializes a sketch written by AppendBinary, returning it
+// and the number of bytes consumed.
+func ParseQuantile(b []byte) (*Quantile, int, error) {
+	if len(b) < 24 {
+		return nil, 0, fmt.Errorf("sketch: short quantile header")
+	}
+	alpha := math.Float64frombits(binary.BigEndian.Uint64(b))
+	s, err := NewQuantile(alpha)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.zero = binary.BigEndian.Uint64(b[8:])
+	s.count = binary.BigEndian.Uint64(b[16:])
+	off := 24
+	for _, m := range []map[int32]uint64{s.pos, s.neg} {
+		if len(b) < off+4 {
+			return nil, 0, fmt.Errorf("sketch: truncated quantile bucket count")
+		}
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if n > 1<<24 || len(b) < off+12*n {
+			return nil, 0, fmt.Errorf("sketch: truncated quantile buckets")
+		}
+		for j := 0; j < n; j++ {
+			i := int32(binary.BigEndian.Uint32(b[off:]))
+			c := binary.BigEndian.Uint64(b[off+4:])
+			m[i] = c
+			off += 12
+		}
+	}
+	return s, off, nil
+}

@@ -1,0 +1,54 @@
+// Package sketch implements the mergeable summary structures behind
+// Gigascope's approximate aggregation tier: Count-Min (with an optional
+// sliding-window exponential-histogram decay), HyperLogLog, a DDSketch-style
+// relative-error quantile sketch, and a Count-Min-backed top-k heavy-hitter
+// tracker.
+//
+// Every sketch here is mergeable: Merge(a, b) over disjoint partitions of a
+// stream yields exactly the state that a single pass over the whole stream
+// would have built (register-wise max for HLL, counter addition for Count-Min
+// and the quantile buckets). Merge is therefore commutative and associative,
+// which is what lets sketch partials cross the LFTA→HFTA boundary and the
+// shard-reunify merge in any order without changing the answer — the same
+// property the exact sub/super-aggregate decomposition relies on.
+//
+// The sketches are deterministic: hashing is seeded with package constants,
+// no randomness is drawn at run time, so a given input multiset always
+// produces bit-identical state. The difftest shard-invariance property tests
+// depend on this.
+package sketch
+
+import "fmt"
+
+// Default error parameters used when a query does not spell them out:
+// eps is the additive/relative error knob, delta the failure probability
+// for the Count-Min style bounds.
+const (
+	DefaultEps   = 0.02
+	DefaultDelta = 0.01
+)
+
+// Hash64 is the package's seeded 64-bit hash: FNV-1a over the bytes folded
+// with the seed, finished with a splitmix64 avalanche so low-entropy keys
+// (counters, IPv4 addresses) spread across the full width. Hand-rolled so
+// the package has no dependencies and the value is stable across platforms.
+func Hash64(b []byte, seed uint64) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func checkFraction(name string, v float64) error {
+	if !(v > 0 && v < 1) {
+		return fmt.Errorf("sketch: %s must be in (0,1), got %v", name, v)
+	}
+	return nil
+}

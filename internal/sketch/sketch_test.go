@@ -1,0 +1,574 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// rng is a splitmix64 generator: deterministic test data without seeding
+// global state.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func key(i uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+// zipfish returns a key index with a heavy-tailed distribution: index 0 is
+// the most frequent, frequencies fall off roughly as 1/rank.
+func zipfish(r *rng, n int) uint64 {
+	u := float64(r.next()%1_000_000) / 1_000_000
+	idx := uint64(math.Pow(float64(n), u)) - 1
+	if idx >= uint64(n) {
+		idx = uint64(n) - 1
+	}
+	return idx
+}
+
+func TestCountMinAccuracy(t *testing.T) {
+	cm, err := NewCountMin(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rng{s: 1}
+	truth := map[uint64]uint64{}
+	const adds = 50_000
+	for i := 0; i < adds; i++ {
+		k := zipfish(r, 1000)
+		truth[k]++
+		cm.Add(key(k), 1)
+	}
+	if cm.Total() != adds {
+		t.Fatalf("total = %d, want %d", cm.Total(), adds)
+	}
+	bound := uint64(cm.Eps()*float64(adds)) + 1
+	bad := 0
+	for k, want := range truth {
+		got := cm.Estimate(key(k))
+		if got < want {
+			t.Fatalf("count-min undercounted key %d: %d < %d", k, got, want)
+		}
+		if got-want > bound {
+			bad++
+		}
+	}
+	// The eps*N bound holds per query with probability 1-delta; allow a
+	// generous multiple of delta for the fixed seed.
+	if maxBad := int(3*cm.Delta()*float64(len(truth))) + 1; bad > maxBad {
+		t.Fatalf("%d/%d keys exceeded the eps*N bound (max %d)", bad, len(truth), maxBad)
+	}
+}
+
+func TestCountMinMergePartitionInvariance(t *testing.T) {
+	// Partitioning the stream across any number of sketches and merging
+	// must reproduce the single-pass sketch exactly.
+	for _, parts := range []int{1, 2, 4, 8} {
+		whole, _ := NewCountMin(0.02, 0.05)
+		shards := make([]*CountMin, parts)
+		for i := range shards {
+			shards[i], _ = NewCountMin(0.02, 0.05)
+		}
+		r := &rng{s: 7}
+		for i := 0; i < 20_000; i++ {
+			k := zipfish(r, 500)
+			whole.Add(key(k), 1)
+			shards[i%parts].Add(key(k), 1)
+		}
+		merged := shards[0]
+		for _, s := range shards[1:] {
+			if err := merged.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := uint64(0); k < 500; k++ {
+			if merged.Estimate(key(k)) != whole.Estimate(key(k)) {
+				t.Fatalf("parts=%d: estimate differs for key %d", parts, k)
+			}
+		}
+		if merged.Total() != whole.Total() {
+			t.Fatalf("parts=%d: totals differ", parts)
+		}
+	}
+}
+
+func TestCountMinMergeDimensionMismatch(t *testing.T) {
+	a, _ := NewCountMin(0.01, 0.01)
+	b, _ := NewCountMin(0.1, 0.01)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched dimensions should fail")
+	}
+}
+
+func TestCountMinSerializeRoundTrip(t *testing.T) {
+	cm, _ := NewCountMin(0.05, 0.05)
+	r := &rng{s: 3}
+	for i := 0; i < 1000; i++ {
+		cm.Add(key(r.next()%100), 1)
+	}
+	buf := cm.AppendBinary(nil)
+	got, n, err := ParseCountMin(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("parse: n=%d err=%v", n, err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if got.Estimate(key(k)) != cm.Estimate(key(k)) {
+			t.Fatalf("estimate differs after round trip for key %d", k)
+		}
+	}
+	if _, _, err := ParseCountMin(buf[:10]); err == nil {
+		t.Fatal("truncated parse should fail")
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 10_000, 200_000} {
+		h, err := NewHLL(0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			h.Add(key(uint64(i)))
+			h.Add(key(uint64(i))) // duplicates must not count
+		}
+		got := float64(h.Estimate())
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		if relErr > 4*h.StdErr() {
+			t.Fatalf("n=%d: estimate %v off by %.3f (stderr %.3f)", n, got, relErr, h.StdErr())
+		}
+	}
+}
+
+func TestHLLMergeInvariance(t *testing.T) {
+	for _, parts := range []int{2, 4, 8} {
+		whole, _ := NewHLL(0.03)
+		shards := make([]*HLL, parts)
+		for i := range shards {
+			shards[i], _ = NewHLL(0.03)
+		}
+		for i := 0; i < 50_000; i++ {
+			whole.Add(key(uint64(i)))
+			shards[i%parts].Add(key(uint64(i)))
+		}
+		// Merge in two different orders; both must equal the whole.
+		fwd := clone(t, shards[0])
+		for _, s := range shards[1:] {
+			mustMerge(t, fwd, s)
+		}
+		rev := clone(t, shards[parts-1])
+		for i := parts - 2; i >= 0; i-- {
+			mustMerge(t, rev, shards[i])
+		}
+		if fwd.Estimate() != whole.Estimate() || rev.Estimate() != whole.Estimate() {
+			t.Fatalf("parts=%d: merged estimates %d/%d != whole %d",
+				parts, fwd.Estimate(), rev.Estimate(), whole.Estimate())
+		}
+	}
+}
+
+func clone(t *testing.T, h *HLL) *HLL {
+	t.Helper()
+	c, _, err := ParseHLL(h.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustMerge(t *testing.T, dst, src *HLL) {
+	t.Helper()
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHLLSerializeRoundTrip(t *testing.T) {
+	h, _ := NewHLL(0.05)
+	for i := 0; i < 5000; i++ {
+		h.Add(key(uint64(i)))
+	}
+	buf := h.AppendBinary(nil)
+	got, n, err := ParseHLL(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("parse: n=%d err=%v", n, err)
+	}
+	if got.Estimate() != h.Estimate() {
+		t.Fatal("estimate differs after round trip")
+	}
+	if _, _, err := ParseHLL(nil); err == nil {
+		t.Fatal("empty parse should fail")
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	const alpha = 0.01
+	s, err := NewQuantile(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	r := &rng{s: 11}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := float64(r.next()%1_000_000) / 10 // [0, 100k) with duplicates
+		vals = append(vals, v)
+		s.Add(v)
+	}
+	sortFloats(vals)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		got := s.Query(q)
+		want := exactQuantile(vals, q)
+		if want == 0 {
+			continue
+		}
+		relErr := math.Abs(got-want) / want
+		// The value at the matched rank is within alpha; rank rounding can
+		// land one bucket over, so allow 3*alpha.
+		if relErr > 3*alpha {
+			t.Fatalf("q=%v: got %v want %v (rel err %.4f)", q, got, want, relErr)
+		}
+	}
+}
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func sortFloats(v []float64) {
+	// Insertion into a sorted copy would be O(n^2); use a simple heapsort
+	// via sort.Float64s without importing sort twice — just inline it.
+	quicksort(v, 0, len(v)-1)
+}
+
+func quicksort(v []float64, lo, hi int) {
+	for lo < hi {
+		p := v[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for v[i] < p {
+				i++
+			}
+			for v[j] > p {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quicksort(v, lo, j)
+			lo = i
+		} else {
+			quicksort(v, i, hi)
+			hi = j
+		}
+	}
+}
+
+func TestQuantileMergeInvariance(t *testing.T) {
+	for _, parts := range []int{2, 4, 8} {
+		whole, _ := NewQuantile(0.02)
+		shards := make([]*Quantile, parts)
+		for i := range shards {
+			shards[i], _ = NewQuantile(0.02)
+		}
+		r := &rng{s: 13}
+		for i := 0; i < 30_000; i++ {
+			v := float64(int64(r.next()%2_000_000)) - 1_000_000 // negatives too
+			whole.Add(v)
+			shards[i%parts].Add(v)
+		}
+		merged := shards[0]
+		for _, s := range shards[1:] {
+			if err := merged.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			if merged.Query(q) != whole.Query(q) {
+				t.Fatalf("parts=%d q=%v: merged %v != whole %v",
+					parts, q, merged.Query(q), whole.Query(q))
+			}
+		}
+	}
+}
+
+func TestQuantileSerializeRoundTrip(t *testing.T) {
+	s, _ := NewQuantile(0.05)
+	r := &rng{s: 17}
+	for i := 0; i < 5000; i++ {
+		s.Add(float64(r.next() % 10_000))
+	}
+	s.Add(0)
+	s.Add(-42.5)
+	buf := s.AppendBinary(nil)
+	got, n, err := ParseQuantile(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("parse: n=%d err=%v", n, err)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got.Query(q) != s.Query(q) {
+			t.Fatalf("q=%v differs after round trip", q)
+		}
+	}
+	if got.Count() != s.Count() {
+		t.Fatal("count differs after round trip")
+	}
+}
+
+func TestQuantileEmptyAndBounds(t *testing.T) {
+	s, _ := NewQuantile(0.01)
+	if !math.IsNaN(s.Query(0.5)) {
+		t.Fatal("empty sketch should return NaN")
+	}
+	if _, err := NewQuantile(0); err == nil {
+		t.Fatal("alpha=0 should fail")
+	}
+	if _, err := NewQuantile(1); err == nil {
+		t.Fatal("alpha=1 should fail")
+	}
+}
+
+func TestTopKExactUnderCapacity(t *testing.T) {
+	tk, err := NewTopK(3, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 distinct keys, well under the candidate cap: membership and order
+	// must be exact.
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			tk.Add(key(uint64(i)), 1)
+		}
+	}
+	top := tk.Top()
+	if len(top) != 3 {
+		t.Fatalf("top has %d entries, want 3", len(top))
+	}
+	for i, want := range []uint64{9, 8, 7} {
+		if binary.BigEndian.Uint64(top[i].Key) != want {
+			t.Fatalf("top[%d] = key %d, want %d", i, binary.BigEndian.Uint64(top[i].Key), want)
+		}
+		if top[i].Count != want+1 {
+			t.Fatalf("top[%d] count = %d, want %d", i, top[i].Count, want+1)
+		}
+	}
+}
+
+func TestTopKMergeInvarianceUnderCapacity(t *testing.T) {
+	// When distinct keys fit the candidate set, sharding must not change
+	// the report at all.
+	for _, parts := range []int{2, 4, 8} {
+		whole, _ := NewTopK(5, 0.02, 0.02)
+		shards := make([]*TopK, parts)
+		for i := range shards {
+			shards[i], _ = NewTopK(5, 0.02, 0.02)
+		}
+		r := &rng{s: 19}
+		for i := 0; i < 20_000; i++ {
+			k := zipfish(r, 50)
+			whole.Add(key(k), 1)
+			shards[i%parts].Add(key(k), 1)
+		}
+		merged := shards[0]
+		for _, s := range shards[1:] {
+			if err := merged.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, m := whole.Top(), merged.Top()
+		if len(w) != len(m) {
+			t.Fatalf("parts=%d: top sizes differ", parts)
+		}
+		for i := range w {
+			if string(w[i].Key) != string(m[i].Key) || w[i].Count != m[i].Count {
+				t.Fatalf("parts=%d: top[%d] differs: %v/%d vs %v/%d",
+					parts, i, w[i].Key, w[i].Count, m[i].Key, m[i].Count)
+			}
+		}
+	}
+}
+
+func TestTopKHeavyTailRecall(t *testing.T) {
+	tk, _ := NewTopK(10, 0.005, 0.01)
+	r := &rng{s: 23}
+	truth := map[uint64]uint64{}
+	for i := 0; i < 200_000; i++ {
+		k := zipfish(r, 10_000)
+		truth[k]++
+		tk.Add(key(k), 1)
+	}
+	// The true top-10 of a zipf stream should be recalled even with 10k
+	// distinct keys flowing past a bounded candidate set.
+	reported := map[uint64]bool{}
+	for _, e := range tk.Top() {
+		reported[binary.BigEndian.Uint64(e.Key)] = true
+	}
+	hits := 0
+	for k := uint64(0); k < 10; k++ {
+		if reported[k] {
+			hits++
+		}
+	}
+	if hits < 8 {
+		t.Fatalf("recalled only %d/10 true heavy hitters", hits)
+	}
+	for _, e := range tk.Top() {
+		k := binary.BigEndian.Uint64(e.Key)
+		if e.Count < truth[k] {
+			t.Fatalf("key %d undercounted: %d < %d", k, e.Count, truth[k])
+		}
+	}
+}
+
+func TestTopKSerializeRoundTrip(t *testing.T) {
+	tk, _ := NewTopK(4, 0.05, 0.05)
+	r := &rng{s: 29}
+	for i := 0; i < 5000; i++ {
+		tk.Add(key(zipfish(r, 100)), 1)
+	}
+	buf := tk.AppendBinary(nil)
+	got, n, err := ParseTopK(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("parse: n=%d err=%v", n, err)
+	}
+	w, g := tk.Top(), got.Top()
+	if len(w) != len(g) {
+		t.Fatal("top sizes differ after round trip")
+	}
+	for i := range w {
+		if string(w[i].Key) != string(g[i].Key) || w[i].Count != g[i].Count {
+			t.Fatalf("top[%d] differs after round trip", i)
+		}
+	}
+}
+
+func TestWindowCMExpiry(t *testing.T) {
+	w, err := NewWindowCM(1000, 4, 0.02, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(42)
+	for ts := uint64(0); ts < 1000; ts += 10 {
+		w.Add(ts, k, 1)
+	}
+	if got := w.Estimate(1000, k); got < 100 {
+		t.Fatalf("estimate %d should cover all 100 adds still in window", got)
+	}
+	// Far in the future everything has expired.
+	if got := w.Estimate(10_000, k); got != 0 {
+		t.Fatalf("estimate %d after expiry, want 0", got)
+	}
+	if w.Buckets() != 0 {
+		t.Fatalf("%d buckets survive full expiry", w.Buckets())
+	}
+}
+
+func TestWindowCMDecayBound(t *testing.T) {
+	const window = 10_000
+	w, _ := NewWindowCM(window, 4, 0.02, 0.02)
+	k := key(7)
+	var recent uint64
+	for ts := uint64(0); ts < 5*window; ts += 5 {
+		w.Add(ts, k, 1)
+		if ts >= 4*window {
+			recent++
+		}
+	}
+	now := uint64(5*window - 5)
+	got := w.Estimate(now, k)
+	if got < recent {
+		t.Fatalf("window estimate %d undercounts the %d in-window adds", got, recent)
+	}
+	// Overcount is bounded by the straddling bucket: with maxPerLevel=4
+	// that is at most ~half the window's worth here. Assert a loose 2x.
+	if got > 2*recent {
+		t.Fatalf("window estimate %d more than doubles the %d in-window adds", got, recent)
+	}
+	// Memory stays bounded: maxPerLevel buckets per level, ~log2 levels.
+	if w.Buckets() > 64 {
+		t.Fatalf("%d live buckets, expected a bounded number", w.Buckets())
+	}
+}
+
+func TestHash64Stability(t *testing.T) {
+	// The hash feeds serialized, mergeable state; its values must never
+	// change across releases or platforms.
+	if got := Hash64([]byte("gigascope"), 0); got != Hash64([]byte("gigascope"), 0) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash64([]byte("a"), 1) == Hash64([]byte("a"), 2) {
+		t.Fatal("seed has no effect")
+	}
+	if Hash64([]byte("a"), 1) == Hash64([]byte("b"), 1) {
+		t.Fatal("suspicious collision on distinct single bytes")
+	}
+}
+
+func TestErrorParameterValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"cm eps=0", errOf(func() error { _, err := NewCountMin(0, 0.1); return err })},
+		{"cm delta=1", errOf(func() error { _, err := NewCountMin(0.1, 1); return err })},
+		{"hll eps=-1", errOf(func() error { _, err := NewHLL(-1); return err })},
+		{"topk k=0", errOf(func() error { _, err := NewTopK(0, 0.1, 0.1); return err })},
+		{"window=0", errOf(func() error { _, err := NewWindowCM(0, 4, 0.1, 0.1); return err })},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Fatalf("%s: expected an error", c.name)
+		}
+	}
+}
+
+func errOf(f func() error) error { return f() }
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm, _ := NewCountMin(0.01, 0.01)
+	k := key(12345)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.Add(k, 1)
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h, _ := NewHLL(0.02)
+	var buf [8]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		h.Add(buf[:])
+	}
+}
+
+func BenchmarkQuantileAdd(b *testing.B) {
+	s, _ := NewQuantile(0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 100_000))
+	}
+}

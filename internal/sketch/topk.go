@@ -1,0 +1,201 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// TopK tracks heavy hitters: a Count-Min sketch estimates frequencies while
+// a bounded candidate set remembers the keys currently believed heaviest.
+// The candidate capacity is a constant multiple of k, so memory stays
+// O(k + 1/eps) regardless of how many distinct keys flow past.
+//
+// Merge unions the candidate sets and adds the Count-Min counters, then
+// prunes back to capacity by merged estimate. When the number of distinct
+// keys is at most the candidate capacity the tracker is exact about
+// membership and merge-order invariant; beyond that it is approximate, with
+// per-key counts still bounded by the Count-Min eps*N guarantee. Ties are
+// broken by key bytes, so pruning is deterministic.
+type TopK struct {
+	k     int
+	cap   int
+	cm    *CountMin
+	cands map[string]struct{}
+}
+
+// Entry is one reported heavy hitter.
+type Entry struct {
+	Key   []byte
+	Count uint64
+}
+
+// NewTopK builds a tracker for the k heaviest keys with Count-Min
+// parameters (eps, delta). Candidate capacity is max(8k, 64).
+func NewTopK(k int, eps, delta float64) (*TopK, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sketch: topk k must be >= 1, got %d", k)
+	}
+	cm, err := NewCountMin(eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	cap := 8 * k
+	if cap < 64 {
+		cap = 64
+	}
+	return &TopK{k: k, cap: cap, cm: cm, cands: make(map[string]struct{})}, nil
+}
+
+// K is the configured report size.
+func (t *TopK) K() int { return t.k }
+
+// Eps and Delta expose the underlying Count-Min guarantee.
+func (t *TopK) Eps() float64   { return t.cm.Eps() }
+func (t *TopK) Delta() float64 { return t.cm.Delta() }
+
+// Total is the number of observations added.
+func (t *TopK) Total() uint64 { return t.cm.Total() }
+
+// Add observes n occurrences of key.
+func (t *TopK) Add(key []byte, n uint64) {
+	t.cm.Add(key, n)
+	if _, ok := t.cands[string(key)]; ok {
+		return
+	}
+	if len(t.cands) < t.cap {
+		t.cands[string(key)] = struct{}{}
+		return
+	}
+	// Full: evict the weakest candidate if the newcomer beats it. Among
+	// equal-estimate candidates the lexicographically largest key goes, so
+	// the decision does not depend on map iteration order.
+	est := t.cm.Estimate(key)
+	minKey, minEst := "", uint64(0)
+	for c := range t.cands {
+		e := t.cm.Estimate([]byte(c))
+		if minKey == "" || e < minEst || (e == minEst && c > minKey) {
+			minKey, minEst = c, e
+		}
+	}
+	if est > minEst {
+		delete(t.cands, minKey)
+		t.cands[string(key)] = struct{}{}
+	}
+}
+
+// Top returns the k heaviest candidates, ordered by estimated count
+// descending, then key ascending.
+func (t *TopK) Top() []Entry {
+	es := t.entries()
+	if len(es) > t.k {
+		es = es[:t.k]
+	}
+	return es
+}
+
+func (t *TopK) entries() []Entry {
+	es := make([]Entry, 0, len(t.cands))
+	for c := range t.cands {
+		es = append(es, Entry{Key: []byte(c), Count: t.cm.Estimate([]byte(c))})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		return string(es[i].Key) < string(es[j].Key)
+	})
+	return es
+}
+
+// Merge folds o into t: counters add, candidate sets union, then the set is
+// pruned back to capacity by merged estimate.
+func (t *TopK) Merge(o *TopK) error {
+	if err := t.cm.Merge(o.cm); err != nil {
+		return err
+	}
+	for c := range o.cands {
+		t.cands[c] = struct{}{}
+	}
+	if t.cap < o.cap {
+		t.cap = o.cap
+	}
+	if t.k < o.k {
+		t.k = o.k
+	}
+	if len(t.cands) > t.cap {
+		es := t.entries()
+		for _, e := range es[t.cap:] {
+			delete(t.cands, string(e.Key))
+		}
+	}
+	return nil
+}
+
+// Footprint is the approximate in-memory size in bytes.
+func (t *TopK) Footprint() int {
+	n := 64 + t.cm.Footprint()
+	for c := range t.cands {
+		n += 48 + len(c)
+	}
+	return n
+}
+
+// AppendBinary serializes the tracker (candidates in key order, so the
+// encoding of a given state is unique).
+func (t *TopK) AppendBinary(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(t.k))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(t.cap))
+	dst = t.cm.AppendBinary(dst)
+	keys := make([]string, 0, len(t.cands))
+	for c := range t.cands {
+		keys = append(keys, c)
+	}
+	sort.Strings(keys)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, c := range keys {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(c)))
+		dst = append(dst, c...)
+	}
+	return dst
+}
+
+// ParseTopK deserializes a tracker written by AppendBinary, returning it
+// and the number of bytes consumed.
+func ParseTopK(b []byte) (*TopK, int, error) {
+	if len(b) < 8 {
+		return nil, 0, fmt.Errorf("sketch: short topk header")
+	}
+	k := int(binary.BigEndian.Uint32(b))
+	cap := int(binary.BigEndian.Uint32(b[4:]))
+	if k < 1 || cap < k || cap > 1<<24 {
+		return nil, 0, fmt.Errorf("sketch: implausible topk sizes k=%d cap=%d", k, cap)
+	}
+	cm, n, err := ParseCountMin(b[8:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off := 8 + n
+	if len(b) < off+4 {
+		return nil, 0, fmt.Errorf("sketch: truncated topk candidate count")
+	}
+	nc := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if nc > cap {
+		return nil, 0, fmt.Errorf("sketch: topk candidate count %d exceeds capacity %d", nc, cap)
+	}
+	t := &TopK{k: k, cap: cap, cm: cm, cands: make(map[string]struct{}, nc)}
+	for i := 0; i < nc; i++ {
+		if len(b) < off+4 {
+			return nil, 0, fmt.Errorf("sketch: truncated topk candidate length")
+		}
+		l := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if len(b) < off+l {
+			return nil, 0, fmt.Errorf("sketch: truncated topk candidate")
+		}
+		t.cands[string(b[off:off+l])] = struct{}{}
+		off += l
+	}
+	return t, off, nil
+}

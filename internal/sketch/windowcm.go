@@ -1,0 +1,155 @@
+package sketch
+
+import "fmt"
+
+// WindowCM is a sliding-window Count-Min: frequency estimates over the last
+// `window` time units of a stream, in bounded memory, using the exponential
+// histogram technique of Datar–Gionis–Indyk–Motwani generalized to mergeable
+// sub-sketches ("Sketch-based Querying of Distributed Sliding-Window Data
+// Streams"). Time is divided into base intervals; each interval accumulates
+// its own Count-Min, and when more than maxPerLevel buckets of a given span
+// exist the two oldest merge into one of double span. Expired buckets (those
+// entirely outside the window) are dropped whole, so only the single oldest
+// surviving bucket can straddle the window edge: a query overcounts by at
+// most that bucket's contents, a 1/maxPerLevel relative slack on top of the
+// Count-Min eps*N bound.
+//
+// GSQL queries get sliding windows from time-bucket group keys (tumbling
+// windows flushed by heartbeats); WindowCM serves operators and user nodes
+// that need a *sliding* decayed view inside one group, and is tested here as
+// part of the sketch tier's contract.
+type WindowCM struct {
+	window      uint64
+	base        uint64
+	maxPerLevel int
+	eps, delta  float64
+	buckets     []wbucket // oldest first
+}
+
+type wbucket struct {
+	start, end uint64 // [start, end)
+	span       uint64 // in base intervals; doubles on merge
+	cm         *CountMin
+}
+
+// NewWindowCM builds a sliding-window sketch over `window` time units with
+// Count-Min parameters (eps, delta). maxPerLevel controls the window-edge
+// slack (relative overcount at most ~1/maxPerLevel); 8 when zero or less.
+func NewWindowCM(window uint64, maxPerLevel int, eps, delta float64) (*WindowCM, error) {
+	if window == 0 {
+		return nil, fmt.Errorf("sketch: window must be positive")
+	}
+	if maxPerLevel <= 0 {
+		maxPerLevel = 8
+	}
+	// Probe the CM parameters once so bad eps/delta fail at construction.
+	if _, err := NewCountMin(eps, delta); err != nil {
+		return nil, err
+	}
+	base := window / 64
+	if base == 0 {
+		base = 1
+	}
+	return &WindowCM{window: window, base: base, maxPerLevel: maxPerLevel, eps: eps, delta: delta}, nil
+}
+
+// Add counts n occurrences of key at time now. Time must not regress past
+// the newest bucket's start (out-of-order arrivals within the newest base
+// interval are fine).
+func (w *WindowCM) Add(now uint64, key []byte, n uint64) {
+	w.expire(now)
+	b := w.newest(now)
+	b.cm.Add(key, n)
+}
+
+func (w *WindowCM) newest(now uint64) *wbucket {
+	if len(w.buckets) > 0 {
+		last := &w.buckets[len(w.buckets)-1]
+		if now < last.end {
+			return last
+		}
+	}
+	start := now - now%w.base
+	cm, _ := NewCountMin(w.eps, w.delta)
+	w.buckets = append(w.buckets, wbucket{start: start, end: start + w.base, span: 1, cm: cm})
+	w.compact()
+	return &w.buckets[len(w.buckets)-1]
+}
+
+// compact merges the two oldest buckets of any span that exceeds
+// maxPerLevel occupancy, cascading upward.
+func (w *WindowCM) compact() {
+	for span := uint64(1); ; span *= 2 {
+		first, count := -1, 0
+		for i := range w.buckets {
+			if w.buckets[i].span == span {
+				if first < 0 {
+					first = i
+				}
+				count++
+			}
+		}
+		if count == 0 && span > 1<<40 {
+			return
+		}
+		if count <= w.maxPerLevel {
+			continue
+		}
+		// Buckets are time-ordered and spans only grow toward the past, so
+		// the two oldest of this span are adjacent at `first`.
+		a, b := &w.buckets[first], &w.buckets[first+1]
+		_ = a.cm.Merge(b.cm)
+		a.end = b.end
+		a.span = span * 2
+		w.buckets = append(w.buckets[:first+1], w.buckets[first+2:]...)
+	}
+}
+
+// expire drops buckets entirely outside [now-window, now].
+func (w *WindowCM) expire(now uint64) {
+	if now < w.window {
+		return
+	}
+	edge := now - w.window
+	i := 0
+	for i < len(w.buckets) && w.buckets[i].end <= edge {
+		i++
+	}
+	if i > 0 {
+		w.buckets = w.buckets[i:]
+	}
+}
+
+// Estimate returns the approximate count of key over the last window time
+// units as of now. It never undercounts events inside the window; the
+// overcount is bounded by the straddling bucket plus Count-Min error.
+func (w *WindowCM) Estimate(now uint64, key []byte) uint64 {
+	w.expire(now)
+	var est uint64
+	for i := range w.buckets {
+		est += w.buckets[i].cm.Estimate(key)
+	}
+	return est
+}
+
+// Total is the total count currently held (all live buckets).
+func (w *WindowCM) Total() uint64 {
+	var n uint64
+	for i := range w.buckets {
+		n += w.buckets[i].cm.Total()
+	}
+	return n
+}
+
+// Buckets reports the live bucket count (memory is Buckets() Count-Min
+// sketches; bounded by maxPerLevel * log2(window/base) + const).
+func (w *WindowCM) Buckets() int { return len(w.buckets) }
+
+// Footprint is the approximate in-memory size in bytes.
+func (w *WindowCM) Footprint() int {
+	n := 96
+	for i := range w.buckets {
+		n += 48 + w.buckets[i].cm.Footprint()
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package gigascope
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// sketchTrace builds a deterministic packet trace for the sketch
+// integration tests: one time bucket of flows with 500 distinct source
+// addresses, a skewed destination-port distribution, and payload sizes
+// spanning 0..499 bytes.
+func sketchTrace() []*Packet {
+	ports := []uint16{80, 80, 80, 80, 443, 443, 8080, 53, 22, 25}
+	var out []*Packet
+	for i := 0; i < 2000; i++ {
+		p := BuildTCP(uint64(1_000_000+i*10), TCPSpec{
+			SrcIP:   0x0a000000 + uint32(i%500),
+			DstIP:   0xc0a80001,
+			DstPort: ports[i%len(ports)],
+			Payload: make([]byte, i%500),
+		})
+		out = append(out, &p)
+	}
+	return out
+}
+
+// runSketchQuery compiles and runs one aggregation query over the trace,
+// returning the flushed rows rendered as strings (stable across runs).
+func runSketchQuery(t *testing.T, cfg Config, query string) []string {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.MustAddQuery(query, nil)
+	sub, err := sys.Subscribe("sk", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Batched injection keeps the unsplit (pass-through LFTA) plan from
+	// overflowing the per-tuple ring budget.
+	trace := sketchTrace()
+	for i := 0; i < len(trace); i += 100 {
+		end := i + 100
+		if end > len(trace) {
+			end = len(trace)
+		}
+		sys.InjectBatch("eth0", trace[i:end])
+	}
+	sys.Stop()
+	var rows []string
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			parts := make([]string, len(m.Tuple))
+			for i, v := range m.Tuple {
+				parts[i] = v.String()
+			}
+			rows = append(rows, strings.Join(parts, "|"))
+		}
+	}
+	return rows
+}
+
+func TestSketchAggregatesEndToEnd(t *testing.T) {
+	rows := runSketchQuery(t, Config{}, `
+		DEFINE { query_name sk; }
+		SELECT tb, count_distinct(srcIP), approx_distinct(srcIP),
+		       approx_quantile(total_length, 0.5),
+		       heavy_hitters(destPort, 3),
+		       cm_count(destPort, 80)
+		FROM eth0.TCP
+		GROUP BY time/60000000 as tb`)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	cols := strings.Split(rows[0], "|")
+	if len(cols) != 6 {
+		t.Fatalf("cols = %v", cols)
+	}
+	var exact, approx, med, cm float64
+	fmt.Sscanf(cols[1], "%g", &exact)
+	fmt.Sscanf(cols[2], "%g", &approx)
+	fmt.Sscanf(cols[3], "%g", &med)
+	fmt.Sscanf(cols[5], "%g", &cm)
+	if exact != 500 {
+		t.Errorf("count_distinct = %v, want 500", exact)
+	}
+	if approx < 500*0.9 || approx > 500*1.1 {
+		t.Errorf("approx_distinct = %v, want 500 +/- 10%%", approx)
+	}
+	// Payload sizes are uniform over 0..499; total_length adds the fixed
+	// 40-byte header. The median must land near 250+40.
+	if med < 240 || med > 340 {
+		t.Errorf("approx_quantile(total_length, 0.5) = %v, want ~290", med)
+	}
+	// Port 80 carries 40% of the trace; it must lead the heavy hitters.
+	if !strings.HasPrefix(strings.Trim(cols[4], `"`), "80:800 443:400") {
+		t.Errorf("heavy_hitters = %q, want leading 80:800 443:400", cols[4])
+	}
+	// Count-min never undercounts; 800 port-80 rows, eps*N = 2% slack.
+	if cm < 800 || cm > 800+0.02*2000 {
+		t.Errorf("cm_count(destPort, 80) = %v, want [800, 840]", cm)
+	}
+}
+
+// TestSketchShardAndSplitInvariance checks the satellite property at the
+// pipeline level: sketched answers are bit-identical across capture shard
+// counts and across split vs unsplit plans, because every sketch merge is
+// exact (order- and partition-independent).
+func TestSketchShardAndSplitInvariance(t *testing.T) {
+	const query = `
+		DEFINE { query_name sk; }
+		SELECT tb, approx_distinct(srcIP), approx_quantile(total_length, 0.9),
+		       heavy_hitters(destPort, 3), cm_count(destPort, 443)
+		FROM eth0.TCP
+		GROUP BY time/60000000 as tb`
+	base := runSketchQuery(t, Config{}, query)
+	if len(base) == 0 {
+		t.Fatal("no output rows")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		got := runSketchQuery(t, Config{Shards: shards}, query)
+		if strings.Join(got, "\n") != strings.Join(base, "\n") {
+			t.Errorf("shards=%d: rows diverge\n got %v\nwant %v", shards, got, base)
+		}
+	}
+	got := runSketchQuery(t, Config{DisableSplit: true}, query)
+	if strings.Join(got, "\n") != strings.Join(base, "\n") {
+		t.Errorf("unsplit plan diverges\n got %v\nwant %v", got, base)
+	}
+}
+
+// TestSketchEpsOverride checks the system-wide error-bound override: a
+// coarser eps shrinks the HLL, changing (and roughening) the estimate,
+// while an explicit literal in the query still wins over the override.
+func TestSketchEpsOverride(t *testing.T) {
+	const query = `
+		DEFINE { query_name sk; }
+		SELECT tb, approx_distinct(srcIP)
+		FROM eth0.TCP GROUP BY time/60000000 as tb`
+	fine := runSketchQuery(t, Config{}, query)
+	coarse := runSketchQuery(t, Config{SketchEps: 0.2}, query)
+	if strings.Join(fine, "\n") == strings.Join(coarse, "\n") {
+		t.Errorf("eps override had no effect: %v", fine)
+	}
+	var est float64
+	fmt.Sscanf(strings.Split(coarse[0], "|")[1], "%g", &est)
+	if est < 500*0.5 || est > 500*1.5 {
+		t.Errorf("coarse approx_distinct = %v, want 500 +/- 50%%", est)
+	}
+	// An explicit literal beats the override: results must match the
+	// default-config run of the same explicit query.
+	const explicit = `
+		DEFINE { query_name sk; }
+		SELECT tb, approx_distinct(srcIP, 0.02)
+		FROM eth0.TCP GROUP BY time/60000000 as tb`
+	a := runSketchQuery(t, Config{SketchEps: 0.2}, explicit)
+	b := runSketchQuery(t, Config{}, explicit)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("explicit eps not honored under override: %v vs %v", a, b)
+	}
+}
+
+func TestSketchBadParamsRejected(t *testing.T) {
+	sys, _ := New()
+	bad := []string{
+		`DEFINE { query_name b1; } SELECT tb, approx_distinct(srcIP, 1.5) FROM TCP GROUP BY time/60 as tb`,
+		`DEFINE { query_name b2; } SELECT tb, approx_distinct(srcIP, 0.0) FROM TCP GROUP BY time/60 as tb`,
+		`DEFINE { query_name b3; } SELECT tb, heavy_hitters(destPort, 0) FROM TCP GROUP BY time/60 as tb`,
+		`DEFINE { query_name b4; } SELECT tb, approx_quantile(total_length) FROM TCP GROUP BY time/60 as tb`,
+		`DEFINE { query_name b5; } SELECT tb, approx_quantile(total_length, destPort) FROM TCP GROUP BY time/60 as tb`,
+		`DEFINE { query_name b6; } SELECT tb, cm_count(destPort, 80, 0.02, 2.0) FROM TCP GROUP BY time/60 as tb`,
+	}
+	for _, q := range bad {
+		if _, err := sys.AddQuery(q, nil); err == nil {
+			t.Errorf("accepted: %s", q)
+		}
+	}
+}
