@@ -42,6 +42,7 @@ func main() {
 	maxRows := flag.Int("n", 20, "max rows to print per stream (0 = all)")
 	monitor := flag.Bool("monitor", false, "self-monitor: run a GSQL alert query over SYSMON.NodeStats and print ring-shed alerts")
 	shards := flag.Int("shards", 0, "RSS-shard each interface's capture path across n workers (0 = inline)")
+	noshare := flag.Bool("noshare", false, "disable cross-query sharing (shared LFTAs, common prefilter); outputs must not change")
 	faults := flag.Int64("faults", 0, "inject seeded capture faults on eth0/eth1 (dirty-tap mix: truncation, bad IHL, bogus lengths, IP options, clock skew); the value is the seed, 0 = off")
 	quarRestart := flag.Uint64("quarantine-restart-ms", 0, "auto-restart quarantined queries after this backoff base (doubles per quarantine, capped at 64x); 0 = quarantine is permanent")
 	control := flag.String("control", "", "attach a closed-loop overload controller as query:param (the param is the query's sampling-rate parameter); decisions print as CONTROL lines")
@@ -74,6 +75,7 @@ func main() {
 	// (visibly so on the sharded path, where the workers drain async).
 	sys, err := gigascope.New(gigascope.Config{
 		SelfMonitor: *monitor, Shards: *shards, RingSize: 8192,
+		DisableSharing:        *noshare,
 		QuarantineRestartUsec: *quarRestart * 1000,
 		SketchEps:             *sketchEps, SketchDelta: *sketchDelta,
 	})

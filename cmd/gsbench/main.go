@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E11), 'difftest', or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E12), 'difftest', or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	seeds := flag.Int("seeds", 25, "seed count for -run difftest")
 	flag.Parse()
@@ -138,6 +138,12 @@ func main() {
 		ctrl, err := experiments.E11Control(pkts)
 		check(err)
 		experiments.PrintE11(os.Stdout, rows, ctrl)
+		fmt.Println()
+	}
+	if sel("E12") {
+		rows, identical, err := experiments.E12(pkts / 2)
+		check(err)
+		experiments.PrintE12(os.Stdout, rows, identical)
 		fmt.Println()
 	}
 }

@@ -26,6 +26,8 @@ import (
 func main() {
 	file := flag.String("f", "", "read GSQL from this file instead of the command line")
 	noSplit := flag.Bool("nosplit", false, "disable LFTA/HFTA query splitting")
+	noShare := flag.Bool("noshare", false, "disable cross-query sharing (shared LFTAs, common prefilter)")
+	explain := flag.String("explain", "query", "explain view: query (per-query plans and nodes), script (whole-script plan with shared LFTAs and prefilter groups), all (both)")
 	tableSize := flag.Int("lfta-table", 0, "LFTA direct-mapped aggregation table slots (default 4096)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gsql [-f file.gsql] ['query text']\n")
@@ -56,27 +58,40 @@ func main() {
 	if err := sysmon.RegisterSchemas(cat); err != nil {
 		fatal(err)
 	}
-	opts := &core.Options{DisableSplit: *noSplit, LFTATableSize: *tableSize}
+	opts := &core.Options{DisableSplit: *noSplit, DisableSharing: *noShare, LFTATableSize: *tableSize}
+	switch *explain {
+	case "query", "script", "all":
+	default:
+		fatal(fmt.Errorf("unknown -explain view %q (want query, script, or all)", *explain))
+	}
 
 	for _, def := range script.Protocols {
 		s, err := core.ProtocolSchema(def)
 		if err != nil {
 			fatal(err)
 		}
-		if err := cat.Register(s); err != nil {
-			fatal(err)
-		}
 		fmt.Printf("registered protocol %s (%d fields)\n", s.Name, len(s.Cols))
 	}
-	for i, q := range script.Queries {
-		cq, err := core.Compile(cat, q, opts)
-		if err != nil {
-			fatal(err)
+	// The whole script compiles as one unit so cross-query rewrites
+	// (shared LFTAs, common prefilter) appear in the explanation exactly
+	// as the RTS would run them.
+	res, err := core.CompileScriptPlan(cat, script, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain == "query" || *explain == "all" {
+		for i, cq := range res.Queries {
+			if i > 0 {
+				fmt.Println(strings.Repeat("-", 72))
+			}
+			fmt.Print(cq.Explain())
 		}
-		if i > 0 {
-			fmt.Println(strings.Repeat("-", 72))
+	}
+	if *explain == "script" || *explain == "all" {
+		if *explain == "all" {
+			fmt.Println(strings.Repeat("=", 72))
 		}
-		fmt.Print(cq.Explain())
+		fmt.Print(core.ExplainScript(res))
 	}
 }
 

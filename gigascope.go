@@ -67,6 +67,12 @@ type Config struct {
 	// DisableSplit turns off LFTA/HFTA query splitting (for ablation
 	// experiments).
 	DisableSplit bool
+	// DisableSharing turns off the cross-query rewrite passes of script
+	// compilation — shared-LFTA elimination and common-prefilter
+	// extraction (paper §5) — so every query instantiates its own nodes
+	// and no delivery gate is installed. For ablation experiments;
+	// sharing is on by default for AddScript/AddScriptParams.
+	DisableSharing bool
 	// ValidateOrdering enables runtime verification of imputed ordering
 	// properties; violations are counted in Stats (debugging mode).
 	ValidateOrdering bool
@@ -106,6 +112,7 @@ type System struct {
 	catalog *schema.Catalog
 	mgr     *rts.Manager
 	plans   map[string]*core.CompiledQuery
+	scripts []*core.ScriptResult
 }
 
 // New builds a System with the built-in protocol schemas (ETH, IPV4, TCP,
@@ -149,10 +156,11 @@ func New(cfg ...Config) (*System, error) {
 
 func (s *System) compileOptions() *core.Options {
 	return &core.Options{
-		LFTATableSize: s.cfg.LFTATableSize,
-		DisableSplit:  s.cfg.DisableSplit,
-		SketchEps:     s.cfg.SketchEps,
-		SketchDelta:   s.cfg.SketchDelta,
+		LFTATableSize:  s.cfg.LFTATableSize,
+		DisableSplit:   s.cfg.DisableSplit,
+		DisableSharing: s.cfg.DisableSharing,
+		SketchEps:      s.cfg.SketchEps,
+		SketchDelta:    s.cfg.SketchDelta,
 	}
 }
 
@@ -230,35 +238,54 @@ func (s *System) AddScript(text string) error {
 // AddScriptParams is AddScript with per-query parameter bindings: the
 // outer map is keyed by query name (case-insensitive), the inner map
 // binds that query's DEFINE-block params.
+//
+// The script compiles as one unit (core.CompileScriptPlan): structurally
+// identical LFTAs across the script's queries are instantiated once and
+// fanned out to every reader, and the shared cheap predicates are
+// factored into per-interface common prefilters installed as a delivery
+// gate on the capture path (paper §5). Config.DisableSharing reverts to
+// isolated per-query compilation.
 func (s *System) AddScriptParams(text string, params map[string]map[string]Value) error {
 	script, err := gsql.ParseScript(text)
 	if err != nil {
 		return err
 	}
-	for _, def := range script.Protocols {
-		sc, err := core.ProtocolSchema(def)
-		if err != nil {
-			return err
-		}
-		if err := s.catalog.Register(sc); err != nil {
-			return err
-		}
+	res, err := core.CompileScriptPlan(s.catalog, script, s.compileOptions())
+	if err != nil {
+		return err
 	}
 	binds := make(map[string]map[string]Value, len(params))
 	for name, p := range params {
 		binds[strings.ToLower(name)] = p
 	}
-	for _, q := range script.Queries {
-		cq, err := core.Compile(s.catalog, q, s.compileOptions())
-		if err != nil {
-			return err
-		}
+	for _, cq := range res.Queries {
 		if err := s.mgr.AddQuery(cq, binds[strings.ToLower(cq.Name)]); err != nil {
 			return err
 		}
 		s.plans[cq.Name] = cq
 	}
+	if len(res.Prefilters) > 0 {
+		if err := s.mgr.InstallPrefilters(res.Prefilters); err != nil {
+			return err
+		}
+	}
+	s.scripts = append(s.scripts, res)
 	return nil
+}
+
+// ExplainScript renders the whole-script plan view of every script added
+// so far: per-query plan trees plus the cross-query rewrites — shared
+// LFTAs and the common-prefilter groups (paper §5). Empty when no script
+// has been added.
+func (s *System) ExplainScript() string {
+	var b strings.Builder
+	for i, res := range s.scripts {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(core.ExplainScript(res))
+	}
+	return b.String()
 }
 
 // Explain renders the compiled plan of a registered query.

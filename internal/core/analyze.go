@@ -202,6 +202,7 @@ func (a *analyzer) buildSelProj(name string, level Level, src SourceRef, q *gsql
 			return nil, fmt.Errorf("WHERE clause is %s, not boolean", pred.Type())
 		}
 		n.selPred = pred
+		n.predTerms = len(conjuncts(q.Where))
 	}
 	used := make(map[string]bool)
 	out := &schema.Schema{Name: name, Kind: schema.KindStream}
@@ -285,6 +286,7 @@ func (a *analyzer) buildAgg(name string, level Level, src SourceRef, q *gsql.Que
 			return nil, err
 		}
 		spec.Pred = pred
+		n.predTerms = len(conjuncts(q.Where))
 	}
 
 	// Group-by expressions: names come from aliases, then column names.

@@ -6,53 +6,100 @@ import (
 
 	"gigascope/internal/funcs"
 	"gigascope/internal/gsql"
+	"gigascope/internal/plan"
 	"gigascope/internal/schema"
 )
 
-// Compile turns one GSQL query into its node tree: zero or more LFTAs plus
-// at most one HFTA (paper §3). The output schemas of all nodes — including
-// the mangled-name LFTAs — are registered in the catalog so other queries
-// (and applications) can subscribe to them.
-func Compile(cat *schema.Catalog, q *gsql.Query, opts *Options) (*CompiledQuery, error) {
+// Compilation is staged (see internal/plan): semantic analysis lowers
+// each gsql.Query into the logical plan IR, a pass pipeline rewrites it
+// (predicate pushdown, shared-LFTA elimination, prefilter extraction —
+// paper §5), and emit instantiates the compiled closures from the
+// rewritten trees. A scriptCompiler scopes the cross-query state: sharing
+// and prefilter grouping happen only among queries compiled together.
+
+type scriptCompiler struct {
+	cat   *schema.Catalog
+	opts  *Options
+	ctx   *plan.ScriptContext
+	emit  *scriptEmit
+	plans []*plan.QueryPlan
+}
+
+func newScriptCompiler(cat *schema.Catalog, opts *Options) *scriptCompiler {
+	reg := opts.registry()
+	probe := &analyzer{reg: reg}
+	return &scriptCompiler{
+		cat:  cat,
+		opts: opts,
+		ctx: &plan.ScriptContext{
+			Cheap:          probe.exprCheap,
+			DisableSharing: opts.disableSharing(),
+		},
+		emit: newScriptEmit(),
+	}
+}
+
+// compileQuery runs one query through lower -> rewrite -> emit and
+// registers the resulting output schemas in the catalog.
+func (sc *scriptCompiler) compileQuery(q *gsql.Query) (*CompiledQuery, error) {
 	name := q.Name()
 	if name == "" {
 		return nil, &Error{Err: fmt.Errorf("query has no name; add DEFINE { query_name <name>; }")}
 	}
-	if _, exists := cat.Lookup(name); exists {
+	if _, exists := sc.cat.Lookup(name); exists {
 		return nil, &Error{Query: name, Err: fmt.Errorf("a stream or protocol named %q already exists", name)}
 	}
-	a := &analyzer{cat: cat, reg: opts.registry(), opts: opts, name: name, params: q.Params()}
+	a := &analyzer{cat: sc.cat, reg: sc.opts.registry(), opts: sc.opts, name: name, params: q.Params()}
 	srcs, err := a.resolveSources(q)
 	if err != nil {
 		return nil, &Error{Query: name, Err: err}
 	}
-
-	var nodes []*Node
-	switch {
-	case q.Kind == gsql.KindMerge:
-		nodes, err = a.compileMerge(name, srcs, q)
-	case len(srcs) == 2:
-		nodes, err = a.compileJoin(name, srcs, q)
-	case len(srcs) == 1:
-		nodes, err = a.compileSingle(name, srcs[0], q)
-	default:
-		err = fmt.Errorf("joins are restricted to two streams (paper §2.2); got %d sources", len(srcs))
-	}
+	pl, err := a.lower(name, srcs, q)
 	if err != nil {
 		return nil, &Error{Query: name, Err: err}
 	}
-
+	if err := plan.Rewrite(pl, sc.ctx); err != nil {
+		return nil, &Error{Query: name, Err: err}
+	}
+	nodes, err := a.emitPlan(pl, sc.emit)
+	if err != nil {
+		return nil, &Error{Query: name, Err: err}
+	}
 	for _, n := range nodes {
-		if err := cat.Register(n.Out); err != nil {
+		if err := sc.cat.Register(n.Out); err != nil {
 			return nil, &Error{Query: name, Err: err}
 		}
 	}
-	return &CompiledQuery{Name: name, Nodes: nodes}, nil
+	sc.plans = append(sc.plans, pl)
+	return &CompiledQuery{Name: name, Nodes: nodes, Plan: pl}, nil
 }
 
-// CompileScript compiles a sequence of queries (and registers any protocol
-// definitions) in order, so later queries can read earlier outputs.
-func CompileScript(cat *schema.Catalog, script *gsql.Script, opts *Options) ([]*CompiledQuery, error) {
+// Compile turns one GSQL query into its node tree: zero or more LFTAs plus
+// at most one HFTA (paper §3). The output schemas of all nodes — including
+// the mangled-name LFTAs — are registered in the catalog so other queries
+// (and applications) can subscribe to them. Cross-query sharing requires
+// CompileScript: a standalone Compile sees only its own query.
+func Compile(cat *schema.Catalog, q *gsql.Query, opts *Options) (*CompiledQuery, error) {
+	return newScriptCompiler(cat, opts).compileQuery(q)
+}
+
+// ScriptResult is the full compilation of a query script: the per-query
+// node trees, the whole-script plan IR (for EXPLAIN), and the compiled
+// per-interface prefilters the RTS installs for delivery gating.
+type ScriptResult struct {
+	Queries    []*CompiledQuery
+	Plan       *plan.Script
+	Prefilters []*Prefilter
+}
+
+// CompileScriptPlan compiles a sequence of queries (and registers any
+// protocol definitions) in order, so later queries can read earlier
+// outputs. Unlike per-query Compile, the whole set shares one rewrite
+// context: structurally identical LFTAs are instantiated once, and the
+// shared cheap predicates are hoisted into per-interface prefilters
+// (paper §5). Options.DisableSharing reverts to isolated per-query
+// compilation.
+func CompileScriptPlan(cat *schema.Catalog, script *gsql.Script, opts *Options) (*ScriptResult, error) {
 	for _, p := range script.Protocols {
 		s, err := ProtocolSchema(p)
 		if err != nil {
@@ -62,15 +109,35 @@ func CompileScript(cat *schema.Catalog, script *gsql.Script, opts *Options) ([]*
 			return nil, &Error{Err: err}
 		}
 	}
-	var out []*CompiledQuery
+	sc := newScriptCompiler(cat, opts)
+	res := &ScriptResult{}
 	for _, q := range script.Queries {
-		cq, err := Compile(cat, q, opts)
+		cq, err := sc.compileQuery(q)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, cq)
+		res.Queries = append(res.Queries, cq)
 	}
-	return out, nil
+	res.Plan = &plan.Script{Plans: sc.plans}
+	if err := (plan.PrefilterPass{}).Run(res.Plan, sc.ctx); err != nil {
+		return nil, &Error{Err: err}
+	}
+	pfs, err := sc.compilePrefilters(res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Prefilters = pfs
+	return res, nil
+}
+
+// CompileScript is the node-list view of CompileScriptPlan, kept for
+// callers that do not install prefilters.
+func CompileScript(cat *schema.Catalog, script *gsql.Script, opts *Options) ([]*CompiledQuery, error) {
+	res, err := CompileScriptPlan(cat, script, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Queries, nil
 }
 
 // ProtocolSchema converts a parsed PROTOCOL definition into a schema,
@@ -86,71 +153,6 @@ func ProtocolSchema(def *gsql.ProtocolDef) (*schema.Schema, error) {
 		return nil, &Error{Err: err}
 	}
 	return s, nil
-}
-
-// compileSingle handles single-source SELECT queries, applying the
-// LFTA/HFTA split when the source is a protocol.
-func (a *analyzer) compileSingle(name string, src SourceRef, q *gsql.Query) ([]*Node, error) {
-	isAgg := len(q.GroupBy) > 0
-	if !isAgg {
-		for _, item := range q.Select {
-			if a.hasAggregate(item.Expr) {
-				return nil, fmt.Errorf("aggregate in SELECT requires GROUP BY")
-			}
-		}
-	}
-
-	if !src.IsProtocol {
-		// Stream input: a single HFTA node.
-		if isAgg {
-			n, err := a.buildAgg(name, LevelHFTA, src, q, false)
-			return []*Node{n}, err
-		}
-		n, err := a.buildSelProj(name, LevelHFTA, src, q)
-		return []*Node{n}, err
-	}
-
-	// Protocol input: split (paper §3). Classify WHERE conjuncts by cost.
-	var cheap, expensive []gsql.Expr
-	for _, cj := range conjuncts(q.Where) {
-		if a.exprCheap(cj) && !a.opts.disableSplit() {
-			cheap = append(cheap, cj)
-		} else {
-			expensive = append(expensive, cj)
-		}
-	}
-
-	if !isAgg {
-		if len(expensive) == 0 && a.selectableCheap(q) && !a.opts.disableSplit() {
-			// The whole query runs as an LFTA ("a simple query can execute
-			// entirely as an LFTA").
-			n, err := a.buildSelProj(name, LevelLFTA, src, q)
-			return []*Node{n}, err
-		}
-		lfta, hq, err := a.passThroughLFTA(name, src, q, cheap, expensive)
-		if err != nil {
-			return nil, err
-		}
-		hfta, err := a.buildSelProj(name, LevelHFTA, a.streamRef(lfta), hq)
-		if err != nil {
-			return nil, err
-		}
-		return []*Node{lfta, hfta}, nil
-	}
-
-	// Aggregation over a protocol source.
-	if len(expensive) == 0 && a.aggSplittable(q) && !a.opts.disableSplit() {
-		return a.splitAggregate(name, src, q, cheap)
-	}
-	lfta, hq, err := a.passThroughLFTA(name, src, q, cheap, expensive)
-	if err != nil {
-		return nil, err
-	}
-	hfta, err := a.buildAgg(name, LevelHFTA, a.streamRef(lfta), hq, false)
-	if err != nil {
-		return nil, err
-	}
-	return []*Node{lfta, hfta}, nil
 }
 
 // selectableCheap reports whether every select expression is LFTA-safe.
@@ -205,70 +207,6 @@ func mangle(name string, i int) string {
 		return "_lfta_" + name
 	}
 	return fmt.Sprintf("_lfta_%s_%d", name, i)
-}
-
-// passThroughLFTA builds an LFTA that filters with the cheap conjuncts and
-// projects every column the rest of the query needs, plus the rewritten
-// HFTA query reading it.
-func (a *analyzer) passThroughLFTA(name string, src SourceRef, q *gsql.Query,
-	cheap, expensive []gsql.Expr) (*Node, *gsql.Query, error) {
-
-	// Columns needed downstream: everything referenced anywhere in the
-	// original query.
-	var exprs []gsql.Expr
-	for _, it := range q.Select {
-		exprs = append(exprs, it.Expr)
-	}
-	for _, it := range q.GroupBy {
-		exprs = append(exprs, it.Expr)
-	}
-	if q.Where != nil {
-		exprs = append(exprs, q.Where)
-	}
-	if q.Having != nil {
-		exprs = append(exprs, q.Having)
-	}
-	var items []gsql.SelectItem
-	for _, c := range colRefs(exprs) {
-		if i, col := src.Schema.Col(c.Name); i >= 0 {
-			items = append(items, gsql.SelectItem{
-				Expr: &gsql.ColRef{Name: col.Name, At: c.At},
-			})
-		}
-	}
-	if len(items) == 0 {
-		return nil, nil, fmt.Errorf("query references no columns of %s", src.Schema.Name)
-	}
-	lq := &gsql.Query{
-		Defs:    map[string][]string{"query_name": {mangle(name, 0)}},
-		Kind:    gsql.KindSelect,
-		Select:  items,
-		Sources: []gsql.TableRef{{Interface: src.Interface, Name: src.Name}},
-		Where:   conjoin(stripList(cheap)),
-	}
-	lfta, err := a.buildSelProj(mangle(name, 0), LevelLFTA, src, lq)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// HFTA: the original query over the LFTA stream, minus the cheap
-	// predicates, with qualifiers stripped.
-	hq := &gsql.Query{
-		Defs:    q.Defs,
-		Kind:    gsql.KindSelect,
-		Sources: []gsql.TableRef{{Name: lfta.Name}},
-		Where:   conjoin(stripList(expensive)),
-	}
-	for _, it := range q.Select {
-		hq.Select = append(hq.Select, gsql.SelectItem{Expr: stripQualifiers(it.Expr), Alias: it.Alias})
-	}
-	for _, it := range q.GroupBy {
-		hq.GroupBy = append(hq.GroupBy, gsql.SelectItem{Expr: stripQualifiers(it.Expr), Alias: it.Alias})
-	}
-	if q.Having != nil {
-		hq.Having = stripQualifiers(q.Having)
-	}
-	return lfta, hq, nil
 }
 
 func stripList(es []gsql.Expr) []gsql.Expr {
@@ -470,80 +408,4 @@ func stripQualifiersKeepingGroups(e gsql.Expr, groups []gsql.SelectItem, names [
 		}
 		return nil
 	})
-}
-
-// compileJoin wraps protocol sources in pass-through LFTAs (HFTAs accept
-// only stream input, paper §3) and builds the join HFTA.
-func (a *analyzer) compileJoin(name string, srcs []SourceRef, q *gsql.Query) ([]*Node, error) {
-	var nodes []*Node
-	wrapped := make([]SourceRef, len(srcs))
-	rq := q
-	for i, src := range srcs {
-		if !src.IsProtocol {
-			wrapped[i] = src
-			continue
-		}
-		lfta, newQ, err := a.wrapProtocolForMulti(name, i, src, rq)
-		if err != nil {
-			return nil, err
-		}
-		nodes = append(nodes, lfta)
-		wrapped[i] = SourceRef{Name: lfta.Name, Binding: src.Binding, Schema: lfta.Out}
-		rq = newQ
-	}
-	join, err := a.buildJoin(name, LevelHFTA, wrapped, rq)
-	if err != nil {
-		return nil, err
-	}
-	return append(nodes, join), nil
-}
-
-// compileMerge likewise wraps protocol sources, then builds the merge.
-func (a *analyzer) compileMerge(name string, srcs []SourceRef, q *gsql.Query) ([]*Node, error) {
-	var nodes []*Node
-	wrapped := make([]SourceRef, len(srcs))
-	rq := q
-	for i, src := range srcs {
-		if !src.IsProtocol {
-			wrapped[i] = src
-			continue
-		}
-		lfta, newQ, err := a.wrapProtocolForMulti(name, i, src, rq)
-		if err != nil {
-			return nil, err
-		}
-		nodes = append(nodes, lfta)
-		wrapped[i] = SourceRef{Name: lfta.Name, Binding: src.Binding, Schema: lfta.Out}
-		rq = newQ
-	}
-	merge, err := a.buildMerge(name, LevelHFTA, wrapped, rq)
-	if err != nil {
-		return nil, err
-	}
-	return append(nodes, merge), nil
-}
-
-// wrapProtocolForMulti synthesizes a pass-through LFTA projecting the full
-// protocol schema for one input of a join/merge, and rewrites the parent
-// query to read the LFTA stream under the same binding.
-func (a *analyzer) wrapProtocolForMulti(name string, idx int, src SourceRef, q *gsql.Query) (*Node, *gsql.Query, error) {
-	lname := mangle(name, idx)
-	lq := &gsql.Query{
-		Defs:    map[string][]string{"query_name": {lname}},
-		Kind:    gsql.KindSelect,
-		Sources: []gsql.TableRef{{Interface: src.Interface, Name: src.Name}},
-	}
-	for _, c := range src.Schema.Cols {
-		lq.Select = append(lq.Select, gsql.SelectItem{Expr: &gsql.ColRef{Name: c.Name}})
-	}
-	lfta, err := a.buildSelProj(lname, LevelLFTA, src, lq)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Rewrite the parent: replace this source with the LFTA stream,
-	// keeping the binding so qualified references still resolve.
-	nq := *q
-	nq.Sources = append([]gsql.TableRef(nil), q.Sources...)
-	nq.Sources[idx] = gsql.TableRef{Name: lname, Alias: src.Binding}
-	return lfta, &nq, nil
 }

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/gsql"
+	"gigascope/internal/plan"
+)
+
+// Emit: instantiate executable nodes from the rewritten plan IR. The
+// structural decisions (boundary placement, cheap/expensive partition,
+// pushed conjuncts, sharing) are all read from the tree; this stage only
+// synthesizes the per-node GSQL fragments and compiles them through the
+// battle-tested builders (buildSelProj/buildAgg/buildMerge/buildJoin and
+// the split-aggregate expansion).
+
+// scriptEmit carries emit state across the queries of one CompileScript
+// call: canonical shared LFTAs already instantiated, by lower-cased name.
+type scriptEmit struct {
+	lftaByName map[string]*Node
+}
+
+func newScriptEmit() *scriptEmit {
+	return &scriptEmit{lftaByName: make(map[string]*Node)}
+}
+
+// emitPlan turns one rewritten query plan into its node list (LFTAs
+// first, output node last). Nodes reused from earlier queries via sharing
+// are not repeated in the list.
+func (a *analyzer) emitPlan(pl *plan.QueryPlan, se *scriptEmit) ([]*Node, error) {
+	switch root := pl.Root.(type) {
+	case *plan.Merge:
+		return a.emitMerge(pl, root, se)
+	case *plan.Join:
+		return a.emitJoin(pl, root, se)
+	case *plan.Boundary:
+		// ModeWhole: the entire query is one LFTA under its own name.
+		n, err := a.buildSelProj(pl.Name, LevelLFTA, refOf(root.Scan()), pl.Query)
+		if err != nil {
+			return nil, err
+		}
+		se.lftaByName[strings.ToLower(n.Name)] = n
+		return []*Node{n}, nil
+	default:
+		return a.emitSingle(pl, se)
+	}
+}
+
+// emitBoundary instantiates one selection/projection boundary (pass-
+// through or wrap) or returns the canonical node when the sharing pass
+// eliminated it. fresh reports whether the node was newly built and
+// belongs in this query's node list.
+func (a *analyzer) emitBoundary(b *plan.Boundary, se *scriptEmit) (n *Node, fresh bool, err error) {
+	if b.SharedWith != "" {
+		canon := se.lftaByName[strings.ToLower(b.SharedWith)]
+		if canon == nil {
+			return nil, false, fmt.Errorf("internal: shared boundary %s references unknown canonical LFTA %s", b.Name, b.SharedWith)
+		}
+		canon.sharedBy = append(canon.sharedBy, a.name)
+		return canon, false, nil
+	}
+	scan := b.Scan()
+	proj := b.InnerProject()
+	if scan == nil || proj == nil {
+		return nil, false, fmt.Errorf("internal: boundary %s has no scan/projection", b.Name)
+	}
+	lq := &gsql.Query{
+		Defs:    map[string][]string{"query_name": {b.Name}},
+		Kind:    gsql.KindSelect,
+		Select:  proj.Items,
+		Sources: []gsql.TableRef{{Interface: scan.Interface, Name: scan.Name}},
+	}
+	if f := b.InnerFilter(); f != nil {
+		lq.Where = f.Pred
+	}
+	n, err = a.buildSelProj(b.Name, LevelLFTA, refOf(scan), lq)
+	if err != nil {
+		return nil, false, err
+	}
+	se.lftaByName[strings.ToLower(b.Name)] = n
+	return n, true, nil
+}
+
+// emitSingle handles single-source plans whose root is a Project or
+// Aggregate: stream HFTAs, pass-through splits, and split aggregation.
+func (a *analyzer) emitSingle(pl *plan.QueryPlan, se *scriptEmit) ([]*Node, error) {
+	q := pl.Query
+	isAgg := false
+	var in plan.Node
+	switch root := pl.Root.(type) {
+	case *plan.Project:
+		in = root.Input
+	case *plan.Aggregate:
+		isAgg = true
+		in = root.Input
+	default:
+		return nil, fmt.Errorf("internal: unexpected plan root %T for %s", pl.Root, pl.Name)
+	}
+
+	// Peel the expensive filter between root and boundary, if any.
+	var expensive []gsql.Expr
+	if f, ok := in.(*plan.Filter); ok {
+		if _, isBoundary := f.Input.(*plan.Boundary); isBoundary {
+			expensive = conjuncts(f.Pred)
+			in = f.Input
+		}
+	}
+
+	switch x := in.(type) {
+	case *plan.Boundary:
+		if x.Mode == plan.ModeSplitAgg {
+			var cheap []gsql.Expr
+			if f := x.InnerFilter(); f != nil {
+				cheap = conjuncts(f.Pred)
+			}
+			nodes, err := a.splitAggregate(pl.Name, refOf(x.Scan()), q, cheap)
+			if err != nil {
+				return nil, err
+			}
+			se.lftaByName[strings.ToLower(nodes[0].Name)] = nodes[0]
+			return nodes, nil
+		}
+		lfta, fresh, err := a.emitBoundary(x, se)
+		if err != nil {
+			return nil, err
+		}
+		// HFTA: the original query over the boundary stream, minus the
+		// conjuncts the LFTA already applied, with qualifiers stripped.
+		hq := &gsql.Query{
+			Defs:    q.Defs,
+			Kind:    gsql.KindSelect,
+			Sources: []gsql.TableRef{{Name: lfta.Name}},
+			Where:   conjoin(stripList(expensive)),
+		}
+		for _, it := range q.Select {
+			hq.Select = append(hq.Select, gsql.SelectItem{Expr: stripQualifiers(it.Expr), Alias: it.Alias})
+		}
+		for _, it := range q.GroupBy {
+			hq.GroupBy = append(hq.GroupBy, gsql.SelectItem{Expr: stripQualifiers(it.Expr), Alias: it.Alias})
+		}
+		if q.Having != nil {
+			hq.Having = stripQualifiers(q.Having)
+		}
+		var hfta *Node
+		if isAgg {
+			hfta, err = a.buildAgg(pl.Name, LevelHFTA, a.streamRef(lfta), hq, false)
+		} else {
+			hfta, err = a.buildSelProj(pl.Name, LevelHFTA, a.streamRef(lfta), hq)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if fresh {
+			return []*Node{lfta, hfta}, nil
+		}
+		return []*Node{hfta}, nil
+
+	case *plan.Scan, *plan.Filter:
+		// Stream input (optionally filtered): a single HFTA compiled from
+		// the original query.
+		scan := scanBelow(in)
+		if scan == nil {
+			return nil, fmt.Errorf("internal: no scan under plan root for %s", pl.Name)
+		}
+		if isAgg {
+			n, err := a.buildAgg(pl.Name, LevelHFTA, refOf(scan), q, false)
+			return []*Node{n}, err
+		}
+		n, err := a.buildSelProj(pl.Name, LevelHFTA, refOf(scan), q)
+		return []*Node{n}, err
+	}
+	return nil, fmt.Errorf("internal: unexpected plan shape for %s", pl.Name)
+}
+
+func scanBelow(n plan.Node) *plan.Scan {
+	var scan *plan.Scan
+	plan.Walk(n, func(x plan.Node) bool {
+		if s, ok := x.(*plan.Scan); ok {
+			scan = s
+			return false
+		}
+		return true
+	})
+	return scan
+}
+
+// emitInput instantiates one join/merge input branch: a wrap boundary, a
+// plain stream scan, or a stream scan under a pushed filter (which
+// materializes as a small selection HFTA). Returns the source reference
+// the parent reads plus any fresh nodes.
+func (a *analyzer) emitInput(name string, idx int, in plan.Node, se *scriptEmit) (SourceRef, []*Node, error) {
+	switch x := in.(type) {
+	case *plan.Boundary:
+		lfta, fresh, err := a.emitBoundary(x, se)
+		if err != nil {
+			return SourceRef{}, nil, err
+		}
+		ref := SourceRef{Name: lfta.Name, Binding: x.Scan().Binding, Schema: lfta.Out}
+		if fresh {
+			return ref, []*Node{lfta}, nil
+		}
+		return ref, nil, nil
+	case *plan.Scan:
+		return refOf(x), nil, nil
+	case *plan.Filter:
+		scan, ok := x.Input.(*plan.Scan)
+		if !ok {
+			return SourceRef{}, nil, fmt.Errorf("internal: unexpected filtered input %T", x.Input)
+		}
+		fname := fmt.Sprintf("_flt_%s_%d", name, idx)
+		fq := &gsql.Query{
+			Defs:    map[string][]string{"query_name": {fname}},
+			Kind:    gsql.KindSelect,
+			Sources: []gsql.TableRef{{Name: scan.Name}},
+			Where:   stripQualifiers(x.Pred),
+		}
+		for _, c := range scan.Schema.Cols {
+			fq.Select = append(fq.Select, gsql.SelectItem{Expr: &gsql.ColRef{Name: c.Name}})
+		}
+		fn, err := a.buildSelProj(fname, LevelHFTA, refOf(scan), fq)
+		if err != nil {
+			return SourceRef{}, nil, err
+		}
+		return SourceRef{Name: fname, Binding: scan.Binding, Schema: fn.Out}, []*Node{fn}, nil
+	}
+	return SourceRef{}, nil, fmt.Errorf("internal: unexpected input node %T", in)
+}
+
+func (a *analyzer) emitMerge(pl *plan.QueryPlan, m *plan.Merge, se *scriptEmit) ([]*Node, error) {
+	var nodes []*Node
+	wrapped := make([]SourceRef, len(m.Inputs))
+	for i, in := range m.Inputs {
+		ref, fresh, err := a.emitInput(pl.Name, i, in, se)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, fresh...)
+		wrapped[i] = ref
+	}
+	// The merge node itself runs with no predicate: any WHERE clause was
+	// distributed into the branches by the pushdown pass.
+	rq := *pl.Query
+	rq.Where = nil
+	merge, err := a.buildMerge(pl.Name, LevelHFTA, wrapped, &rq)
+	if err != nil {
+		return nil, err
+	}
+	return append(nodes, merge), nil
+}
+
+func (a *analyzer) emitJoin(pl *plan.QueryPlan, j *plan.Join, se *scriptEmit) ([]*Node, error) {
+	var nodes []*Node
+	wrapped := make([]SourceRef, 2)
+	for i, in := range [2]plan.Node{j.Left, j.Right} {
+		ref, fresh, err := a.emitInput(pl.Name, i, in, se)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, fresh...)
+		wrapped[i] = ref
+	}
+	// The join predicate may have lost pushed conjuncts; the residual
+	// lives on the IR node.
+	rq := *pl.Query
+	rq.Where = j.Pred
+	join, err := a.buildJoin(pl.Name, LevelHFTA, wrapped, &rq)
+	if err != nil {
+		return nil, err
+	}
+	return append(nodes, join), nil
+}

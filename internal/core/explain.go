@@ -5,12 +5,18 @@ import (
 	"strings"
 )
 
-// Explain renders the compiled plan for the gsql tool: node levels,
+// Explain renders one compiled query for the gsql tool: the rewritten
+// logical plan tree (lower → rewrite stages, including sharing and
+// prefilter annotations), then the emitted runtime nodes — levels,
 // operators, source bindings, output schemas with imputed orderings, and
 // NIC pushdown.
 func (c *CompiledQuery) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query %s: %d node(s)\n", c.Name, len(c.Nodes))
+	if c.Plan != nil {
+		b.WriteByte('\n')
+		b.WriteString(c.Plan.Format())
+	}
 	for _, n := range c.Nodes {
 		fmt.Fprintf(&b, "\n[%s] %s (%s)\n", n.Level, n.Name, n.Kind)
 		for _, s := range n.Sources {
@@ -22,6 +28,9 @@ func (c *CompiledQuery) Explain() string {
 		}
 		fmt.Fprintf(&b, "  exec: %s\n", n.Query)
 		fmt.Fprintf(&b, "  out:  %s\n", describeSchema(n))
+		if len(n.sharedBy) > 0 {
+			fmt.Fprintf(&b, "  shared-by: %s\n", strings.Join(n.sharedBy, ", "))
+		}
 		if n.Level == LevelLFTA {
 			if n.NICProgram != nil {
 				fmt.Fprintf(&b, "  nic:  %s\n", n.NICProgram)
@@ -33,6 +42,24 @@ func (c *CompiledQuery) Explain() string {
 			}
 		}
 	}
+	return b.String()
+}
+
+// ExplainScript renders the whole-script view of one CompileScriptPlan
+// result: every query's plan tree plus the cross-query rewrites — the
+// shared-LFTA table and the common-prefilter groups (paper §5) — and a
+// node-count summary showing the instantiation savings.
+func ExplainScript(res *ScriptResult) string {
+	var b strings.Builder
+	b.WriteString(res.Plan.Format())
+	total := 0
+	lftas := 0
+	for _, cq := range res.Queries {
+		total += len(cq.Nodes)
+		lftas += len(cq.LFTAs())
+	}
+	fmt.Fprintf(&b, "\n%d queries, %d runtime nodes (%d LFTAs, %d prefilter groups)\n",
+		len(res.Queries), total, lftas, len(res.Prefilters))
 	return b.String()
 }
 

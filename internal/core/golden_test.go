@@ -1,0 +1,155 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gigascope/internal/gsql"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden plan snapshots")
+
+// Golden-plan tests pin the textual rendering of the rewritten plan IR
+// for every plan shape the compiler produces: pass-through split, split
+// aggregation, merge (with WHERE distribution), join (with single-side
+// pushdown), sketched aggregation, and the whole-script view with shared
+// LFTAs and prefilter groups. Run `go test ./internal/core -run Golden
+// -update` after an intentional plan change; failures print a line diff.
+var goldenCases = []struct {
+	name   string
+	script string
+}{
+	{
+		name: "passthrough",
+		script: `
+			DEFINE { query_name http80; }
+			SELECT time, srcIP, destIP FROM tcp
+			WHERE destPort = 80 and str_regex_match(payload, '^[^\n]*HTTP/1.*')`,
+	},
+	{
+		name: "splitagg",
+		script: `
+			DEFINE { query_name flows; }
+			SELECT tb, srcIP, count(*), sum(total_length) FROM tcp
+			WHERE ipversion = 4
+			GROUP BY time/60 as tb, srcIP`,
+	},
+	{
+		name: "merge",
+		script: `
+			DEFINE { query_name porta; }
+			SELECT time, srcIP, destPort FROM eth0.TCP WHERE ipversion = 4;
+			DEFINE { query_name portb; }
+			SELECT time, srcIP, destPort FROM eth1.TCP WHERE ipversion = 4;
+			DEFINE { query_name allports; }
+			MERGE porta.time : portb.time FROM porta, portb
+			WHERE destPort = 443`,
+	},
+	{
+		name: "join",
+		script: `
+			DEFINE { query_name pairs; }
+			SELECT S.time, S.srcIP FROM eth0.TCP S, eth1.TCP A
+			WHERE S.srcIP = A.destIP and S.time >= A.time - 2 and S.time <= A.time + 2
+			  and A.total_length = 40 and S.destPort = 80`,
+	},
+	{
+		name: "sketched",
+		script: `
+			DEFINE { query_name fanout; }
+			SELECT tb, srcIP, approx_distinct(destIP) FROM tcp
+			WHERE ipversion = 4
+			GROUP BY time/60 as tb, srcIP`,
+	},
+	{
+		name: "script_shared",
+		script: `
+			DEFINE { query_name web_bytes; }
+			SELECT tb, sum(total_length) FROM tcp
+			WHERE destPort = 80 and str_regex_match(payload, 'HTTP')
+			GROUP BY time/60 as tb;
+			DEFINE { query_name web_peak; }
+			SELECT tb, max(total_length) FROM tcp
+			WHERE destPort = 80 and str_regex_match(payload, 'HTTP')
+			GROUP BY time/60 as tb;
+			DEFINE { query_name dns; }
+			SELECT time, srcIP FROM udp WHERE destPort = 53`,
+	},
+}
+
+func TestGoldenPlans(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := newCatalog(t)
+			script, err := gsql.ParseScript(tc.script)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := CompileScriptPlan(cat, script, nil)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			got := ExplainScript(res)
+
+			path := filepath.Join("testdata", "golden", tc.name+".plan")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden snapshot (run with -update to create): %v", err)
+			}
+			want := string(wantBytes)
+			if got != want {
+				t.Errorf("plan for %s changed (re-run with -update if intentional):\n%s",
+					tc.name, lineDiff(want, got))
+			}
+		})
+	}
+}
+
+// lineDiff renders a minimal line-by-line diff: matching lines elided,
+// removals prefixed '-', additions '+', so a golden failure reads like a
+// patch instead of two full dumps.
+func lineDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	i, j := 0, 0
+	for i < len(wl) || j < len(gl) {
+		switch {
+		case i < len(wl) && j < len(gl) && wl[i] == gl[j]:
+			i++
+			j++
+		case i < len(wl) && (j >= len(gl) || !contains(gl[j:], wl[i])):
+			fmt.Fprintf(&b, "-%4d| %s\n", i+1, wl[i])
+			i++
+		default:
+			fmt.Fprintf(&b, "+%4d| %s\n", j+1, gl[j])
+			j++
+		}
+	}
+	if b.Len() == 0 {
+		return "(no line differences; whitespace?)"
+	}
+	return b.String()
+}
+
+func contains(lines []string, s string) bool {
+	for _, l := range lines {
+		if l == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gigascope/internal/gsql"
+	"gigascope/internal/plan"
+)
+
+// Lowering: semantic analysis turns each parsed query into the logical
+// plan IR. The LFTA/HFTA split decision (which conjuncts are cheap, where
+// the boundary sits, paper §3) is made here and recorded structurally in
+// the tree; the rewrite passes then move predicates and fold duplicate
+// boundaries, and emit.go instantiates executable nodes from the result.
+
+// scanOf converts a resolved source reference into an IR scan.
+func scanOf(src SourceRef) *plan.Scan {
+	return &plan.Scan{
+		Name:       src.Name,
+		Interface:  src.Interface,
+		Binding:    src.Binding,
+		IsProtocol: src.IsProtocol,
+		Schema:     src.Schema,
+	}
+}
+
+// refOf converts an IR scan back into a source reference for emit.
+func refOf(s *plan.Scan) SourceRef {
+	return SourceRef{
+		Name:       s.Name,
+		Interface:  s.Interface,
+		Binding:    s.Binding,
+		Schema:     s.Schema,
+		IsProtocol: s.IsProtocol,
+	}
+}
+
+// lower builds the query's logical plan.
+func (a *analyzer) lower(name string, srcs []SourceRef, q *gsql.Query) (*plan.QueryPlan, error) {
+	var root plan.Node
+	var err error
+	switch {
+	case q.Kind == gsql.KindMerge:
+		root, err = a.lowerMerge(name, srcs, q)
+	case len(srcs) == 2:
+		root, err = a.lowerJoin(name, srcs, q)
+	case len(srcs) == 1:
+		root, err = a.lowerSingle(name, srcs[0], q)
+	default:
+		err = fmt.Errorf("joins are restricted to two streams (paper §2.2); got %d sources", len(srcs))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &plan.QueryPlan{Name: name, Root: root, Query: q}, nil
+}
+
+// lowerSingle lowers a single-source SELECT, choosing the boundary
+// placement that compileSingle used to decide monolithically.
+func (a *analyzer) lowerSingle(name string, src SourceRef, q *gsql.Query) (plan.Node, error) {
+	isAgg := len(q.GroupBy) > 0
+	if !isAgg {
+		for _, item := range q.Select {
+			if a.hasAggregate(item.Expr) {
+				return nil, fmt.Errorf("aggregate in SELECT requires GROUP BY")
+			}
+		}
+	}
+
+	if !src.IsProtocol {
+		// Stream input: the whole query is one HFTA.
+		var in plan.Node = scanOf(src)
+		if q.Where != nil {
+			in = &plan.Filter{Pred: q.Where, Input: in}
+		}
+		if isAgg {
+			return &plan.Aggregate{GroupBy: q.GroupBy, Select: q.Select, Having: q.Having, Input: in}, nil
+		}
+		return &plan.Project{Items: q.Select, Input: in}, nil
+	}
+
+	// Protocol input: split (paper §3). Classify WHERE conjuncts by cost.
+	var cheap, expensive []gsql.Expr
+	for _, cj := range conjuncts(q.Where) {
+		if a.exprCheap(cj) && !a.opts.disableSplit() {
+			cheap = append(cheap, cj)
+		} else {
+			expensive = append(expensive, cj)
+		}
+	}
+
+	if !isAgg && len(expensive) == 0 && a.selectableCheap(q) && !a.opts.disableSplit() {
+		// The whole query runs as an LFTA under its own name.
+		var in plan.Node = scanOf(src)
+		if q.Where != nil {
+			in = &plan.Filter{Pred: q.Where, Input: in}
+		}
+		return &plan.Boundary{
+			Name: name, Mode: plan.ModeWhole, PrefilterGroup: -1,
+			Input: &plan.Project{Items: q.Select, Input: in},
+		}, nil
+	}
+
+	if isAgg && len(expensive) == 0 && a.aggSplittable(q) && !a.opts.disableSplit() {
+		// Split aggregation: sub-aggregates below the boundary, super-
+		// aggregates above (paper §3).
+		var in plan.Node = scanOf(src)
+		if w := conjoin(stripList(cheap)); w != nil {
+			in = &plan.Filter{Pred: w, Input: in}
+		}
+		return &plan.Aggregate{
+			GroupBy: q.GroupBy, Select: q.Select, Having: q.Having,
+			Input: &plan.Boundary{
+				Name: mangle(name, 0), Mode: plan.ModeSplitAgg, PrefilterGroup: -1,
+				Input: in,
+			},
+		}, nil
+	}
+
+	// Pass-through boundary: the LFTA filters with the cheap conjuncts
+	// and projects every column the HFTA needs.
+	items, err := a.passThroughItems(src, q)
+	if err != nil {
+		return nil, err
+	}
+	var in plan.Node = scanOf(src)
+	if w := conjoin(stripList(cheap)); w != nil {
+		in = &plan.Filter{Pred: w, Input: in}
+	}
+	var above plan.Node = &plan.Boundary{
+		Name: mangle(name, 0), Mode: plan.ModePassThrough, PrefilterGroup: -1,
+		Input: &plan.Project{Items: items, Input: in},
+	}
+	if w := conjoin(stripList(expensive)); w != nil {
+		above = &plan.Filter{Pred: w, Input: above}
+	}
+	if isAgg {
+		return &plan.Aggregate{GroupBy: q.GroupBy, Select: q.Select, Having: q.Having, Input: above}, nil
+	}
+	return &plan.Project{Items: q.Select, Input: above}, nil
+}
+
+// passThroughItems computes the pass-through LFTA's projection: every
+// column the query references, in canonical source-schema order. The
+// canonical order makes structurally equal queries produce identical
+// boundary subplans regardless of reference order, so the sharing pass
+// can fold them; it is safe because the HFTA resolves LFTA output columns
+// by name.
+func (a *analyzer) passThroughItems(src SourceRef, q *gsql.Query) ([]gsql.SelectItem, error) {
+	var exprs []gsql.Expr
+	for _, it := range q.Select {
+		exprs = append(exprs, it.Expr)
+	}
+	for _, it := range q.GroupBy {
+		exprs = append(exprs, it.Expr)
+	}
+	if q.Where != nil {
+		exprs = append(exprs, q.Where)
+	}
+	if q.Having != nil {
+		exprs = append(exprs, q.Having)
+	}
+	type colAt struct {
+		idx  int
+		item gsql.SelectItem
+	}
+	var cols []colAt
+	for _, c := range colRefs(exprs) {
+		if i, col := src.Schema.Col(c.Name); i >= 0 {
+			cols = append(cols, colAt{idx: i, item: gsql.SelectItem{
+				Expr: &gsql.ColRef{Name: col.Name, At: c.At},
+			}})
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("query references no columns of %s", src.Schema.Name)
+	}
+	sort.SliceStable(cols, func(i, j int) bool { return cols[i].idx < cols[j].idx })
+	items := make([]gsql.SelectItem, len(cols))
+	for i, c := range cols {
+		items[i] = c.item
+	}
+	return items, nil
+}
+
+// lowerWrapped lowers the inputs of a join or merge: protocol sources
+// become full-schema wrap boundaries, streams scan directly.
+func lowerWrapped(name string, srcs []SourceRef) []plan.Node {
+	inputs := make([]plan.Node, len(srcs))
+	for i, src := range srcs {
+		if !src.IsProtocol {
+			inputs[i] = scanOf(src)
+			continue
+		}
+		var items []gsql.SelectItem
+		for _, c := range src.Schema.Cols {
+			items = append(items, gsql.SelectItem{Expr: &gsql.ColRef{Name: c.Name}})
+		}
+		inputs[i] = &plan.Boundary{
+			Name: mangle(name, i), Mode: plan.ModeWrap, PrefilterGroup: -1,
+			Input: &plan.Project{Items: items, Input: scanOf(src)},
+		}
+	}
+	return inputs
+}
+
+// lowerMerge lowers an N-way merge; a WHERE clause becomes a filter above
+// the merge that the pushdown pass distributes into every branch.
+func (a *analyzer) lowerMerge(name string, srcs []SourceRef, q *gsql.Query) (plan.Node, error) {
+	var root plan.Node = &plan.Merge{Cols: q.MergeCols, Inputs: lowerWrapped(name, srcs)}
+	if q.Where != nil {
+		for _, cj := range conjuncts(q.Where) {
+			// Merge predicates apply to every branch's positionally
+			// identical schema, so they must be unqualified, and they must
+			// be LFTA-safe because protocol branches evaluate them below
+			// the boundary.
+			bad := false
+			gsql.Walk(cj, func(n gsql.Expr) bool {
+				if c, ok := n.(*gsql.ColRef); ok && c.Table != "" {
+					bad = true
+					return false
+				}
+				return true
+			})
+			if bad {
+				return nil, fmt.Errorf("MERGE WHERE must use unqualified column names (it applies to every input): %s", cj)
+			}
+			if !a.exprCheap(cj) {
+				return nil, fmt.Errorf("MERGE WHERE must be LFTA-safe (no expensive functions): %s", cj)
+			}
+		}
+		root = &plan.Filter{Pred: q.Where, Input: root}
+	}
+	return root, nil
+}
+
+// lowerJoin lowers a two-stream join.
+func (a *analyzer) lowerJoin(name string, srcs []SourceRef, q *gsql.Query) (plan.Node, error) {
+	inputs := lowerWrapped(name, srcs)
+	return &plan.Join{Left: inputs[0], Right: inputs[1], Pred: q.Where, Select: q.Select}, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/plan"
+	"gigascope/internal/schema"
+)
+
+// The compiled prefilter (paper §5): the distinct cheap, parameter-free
+// predicate terms of every LFTA on one (interface, protocol) pair,
+// evaluated once per packet. Each member LFTA carries a bit mask naming
+// the terms that must all pass for a packet to be delivered to it; the
+// RTS skips delivery otherwise. Gating never replaces the LFTA's own
+// predicate — it only avoids delivering packets the predicate would
+// reject anyway — so a partial mask (terms beyond the 64-bit budget, or
+// parameterized conjuncts) remains sound.
+
+// Prefilter is the compiled per-(interface, protocol) term set.
+type Prefilter struct {
+	Interface string // "" = default interface
+	Protocol  string
+
+	schema     *schema.Schema
+	terms      []pfTerm
+	handles    []exec.HandleSpec
+	members    map[string]uint64 // lower-cased LFTA node name -> term mask
+	extractors []extractor
+	width      int
+}
+
+type pfTerm struct {
+	src  string // display text
+	pred exec.Expr
+	cols []int // schema column indexes the term reads
+}
+
+// compilePrefilters turns the prefilter pass's groups into executable
+// form against the catalog's protocol schemas.
+func (sc *scriptCompiler) compilePrefilters(ps *plan.Script) ([]*Prefilter, error) {
+	var out []*Prefilter
+	for _, g := range ps.Prefilters {
+		s, ok := sc.cat.Lookup(g.Protocol)
+		if !ok || s.Kind != schema.KindProtocol {
+			return nil, &Error{Err: fmt.Errorf("internal: prefilter group references unknown protocol %q", g.Protocol)}
+		}
+		pf := &Prefilter{
+			Interface: g.Interface,
+			Protocol:  s.Name,
+			schema:    s,
+			members:   make(map[string]uint64, len(g.Members)),
+			width:     len(s.Cols),
+		}
+		for name, mask := range g.Members {
+			pf.members[strings.ToLower(name)] = mask
+		}
+		comp := &exec.Compiler{Reg: sc.opts.registry(), Resolve: exec.SchemaResolver(s, "")}
+		needSeen := make(map[int]bool)
+		for _, t := range g.Terms {
+			pred, err := comp.Compile(t)
+			if err != nil {
+				return nil, &Error{Err: fmt.Errorf("internal: prefilter term %s: %w", t, err)}
+			}
+			if pred.Type() != schema.TBool {
+				return nil, &Error{Err: fmt.Errorf("internal: prefilter term %s is %s, not boolean", t, pred.Type())}
+			}
+			term := pfTerm{src: t.String(), pred: pred}
+			for _, c := range termCols(t, s) {
+				term.cols = append(term.cols, c)
+				if !needSeen[c] {
+					needSeen[c] = true
+					col := &s.Cols[c]
+					spec, ok := pkt.LookupInterp(col.Interp)
+					if !ok {
+						return nil, &Error{Err: fmt.Errorf("core: %s.%s: interpretation function %q not registered",
+							s.Name, col.Name, col.Interp)}
+					}
+					pf.extractors = append(pf.extractors, extractor{slot: c, spec: spec})
+				}
+			}
+			pf.terms = append(pf.terms, term)
+		}
+		pf.handles = comp.Handles
+		out = append(out, pf)
+	}
+	return out, nil
+}
+
+// termCols resolves the schema column indexes a term reads.
+func termCols(t gsql.Expr, s *schema.Schema) []int {
+	var out []int
+	for _, c := range colRefs([]gsql.Expr{t}) {
+		if i, _ := s.Col(c.Name); i >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumTerms returns the number of distinct prefilter terms.
+func (pf *Prefilter) NumTerms() int { return len(pf.terms) }
+
+// MemberMask returns the gating mask for an LFTA node name, false when
+// the node is ungated.
+func (pf *Prefilter) MemberMask(nodeName string) (uint64, bool) {
+	m, ok := pf.members[strings.ToLower(nodeName)]
+	return m, ok
+}
+
+// Members returns the gated LFTA node names (lower-cased).
+func (pf *Prefilter) Members() []string {
+	out := make([]string, 0, len(pf.members))
+	for name := range pf.members {
+		out = append(out, name)
+	}
+	return out
+}
+
+// NewInstance builds one evaluation instance. Instances hold mutable
+// extraction state and serialize their own use; shard workers each get
+// their own instance so gating never contends across shards.
+func (pf *Prefilter) NewInstance() (*PrefilterInstance, error) {
+	ctx, err := exec.NewCtx(pf.handles, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefilterInstance{
+		pf:    pf,
+		ctx:   ctx,
+		row:   make(schema.Tuple, pf.width),
+		colOK: make([]bool, pf.width),
+	}, nil
+}
+
+// PrefilterInstance is one runnable prefilter evaluator.
+type PrefilterInstance struct {
+	pf    *Prefilter
+	ctx   *exec.Ctx
+	mu    sync.Mutex
+	row   schema.Tuple
+	colOK []bool
+}
+
+// EvalBatch evaluates every term against every packet, appending one
+// pass-mask per packet to dst (bit i set = term i passed). A term whose
+// referenced columns cannot be extracted from the packet is false — the
+// member LFTA's own extraction would drop the packet anyway.
+func (pi *PrefilterInstance) EvalBatch(pkts []*pkt.Packet, dst []uint64) []uint64 {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	for _, p := range pkts {
+		for _, ex := range pi.pf.extractors {
+			v, ok := ex.spec.Extract(p)
+			pi.colOK[ex.slot] = ok
+			if ok {
+				pi.row[ex.slot] = v
+			}
+		}
+		var mask uint64
+		for i, t := range pi.pf.terms {
+			usable := true
+			for _, c := range t.cols {
+				if !pi.colOK[c] {
+					usable = false
+					break
+				}
+			}
+			if !usable {
+				continue
+			}
+			if pass, ok := exec.EvalPred(t.pred, pi.row, pi.ctx); ok && pass {
+				mask |= 1 << uint(i)
+			}
+		}
+		dst = append(dst, mask)
+	}
+	return dst
+}

@@ -16,6 +16,7 @@ import (
 	"gigascope/internal/funcs"
 	"gigascope/internal/gsql"
 	"gigascope/internal/nic"
+	"gigascope/internal/plan"
 	"gigascope/internal/schema"
 )
 
@@ -123,10 +124,25 @@ type Node struct {
 	// needCols marks which protocol columns the node extracts (LFTA over
 	// a protocol source); indexes into the source schema.
 	needCols []int
+	// predTerms counts the node's WHERE conjuncts; the sharing experiments
+	// model per-packet predicate evaluation cost from it.
+	predTerms int
+	// sharedBy lists the other queries whose structurally identical LFTAs
+	// were folded into this node by the sharing pass (paper §5). Written
+	// during script compilation, before the node is installed.
+	sharedBy []string
 }
 
 // Params returns the declared query parameter types.
 func (n *Node) Params() map[string]schema.Type { return n.params }
+
+// PredConjuncts returns the number of AND-ed terms in the node's WHERE
+// predicate (0 = unconditional).
+func (n *Node) PredConjuncts() int { return n.predTerms }
+
+// SharedBy returns the names of the other queries this node also feeds
+// after shared-LFTA elimination (empty for unshared nodes).
+func (n *Node) SharedBy() []string { return append([]string(nil), n.sharedBy...) }
 
 // NeedCols returns the protocol columns this LFTA extracts.
 func (n *Node) NeedCols() []int { return append([]int(nil), n.needCols...) }
@@ -162,6 +178,10 @@ func (n *Node) JoinWindow() (low, high int64, ok bool) {
 type CompiledQuery struct {
 	Name  string
 	Nodes []*Node
+	// Plan is the rewritten logical plan the nodes were emitted from;
+	// EXPLAIN renders it. Shared LFTAs owned by earlier queries appear in
+	// the plan (as shared boundaries) but not in Nodes.
+	Plan *plan.QueryPlan
 }
 
 // Output returns the node publishing the query's result stream.
@@ -190,6 +210,11 @@ type Options struct {
 	// raw protocol streams through a pass-through LFTA. Used by the E4
 	// ablation benchmark comparing split vs monolithic execution.
 	DisableSplit bool
+	// DisableSharing turns off the cross-query rewrite passes of script
+	// compilation (shared-LFTA elimination and prefilter extraction,
+	// paper §5); each query then instantiates its own nodes. Per-query
+	// Compile never shares regardless.
+	DisableSharing bool
 	// SketchEps / SketchDelta override the registered default error
 	// parameters of sketch aggregates (approx_distinct, approx_quantile,
 	// heavy_hitters, cm_count) for call sites that do not spell them out.
@@ -214,6 +239,8 @@ func (o *Options) tableSize() int {
 }
 
 func (o *Options) disableSplit() bool { return o != nil && o.DisableSplit }
+
+func (o *Options) disableSharing() bool { return o != nil && o.DisableSharing }
 
 // sketchOverrides renders the sketch parameter overrides in the form
 // funcs.ResolveParams consumes.

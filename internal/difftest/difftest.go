@@ -80,6 +80,12 @@ type Case struct {
 	Queries []string
 	Params  map[string]schema.Value
 	Trace   []pkt.Packet
+	// Script makes the pipeline compile all queries as one script
+	// (AddScriptParams), enabling the cross-query rewrites — shared LFTAs
+	// and the common prefilter. The oracle is unchanged: it evaluates each
+	// query naively and independently, so any sharing artifact in the
+	// pipeline shows up as a divergence.
+	Script bool
 }
 
 // NewCase generates the queries and trace for seed.
@@ -90,6 +96,19 @@ func NewCase(seed int64, tracePackets int) (*Case, error) {
 		return nil, err
 	}
 	return &Case{Seed: seed, Queries: gen.Texts(), Params: gen.Params, Trace: trace}, nil
+}
+
+// NewScriptCase generates a multi-query script case for seed: 2..8
+// queries with overlapping predicates and sources (gsql.
+// GenerateScriptCase), compiled as one unit so shared-LFTA elimination
+// and common-prefilter extraction fire.
+func NewScriptCase(seed int64, tracePackets int) (*Case, error) {
+	gen := gsql.GenerateScriptCase(seed)
+	trace, err := GenTrace(seed, tracePackets)
+	if err != nil {
+		return nil, err
+	}
+	return &Case{Seed: seed, Queries: gen.Texts(), Params: gen.Params, Trace: trace, Script: true}, nil
 }
 
 // GenTrace records n packets of seeded synthetic traffic: always web and
@@ -149,26 +168,27 @@ func (c *Case) effectiveTrace(cfg Config) []pkt.Packet {
 	return c.Trace
 }
 
-// queryParams filters the case's parameter set down to the names one
-// query declares (AddQuery rejects undeclared parameters).
-func queryParams(text string, params map[string]schema.Value) (map[string]schema.Value, error) {
+// queryParams returns one query's name and its parameter bindings,
+// filtered down to the names it declares (AddQuery rejects undeclared
+// parameters).
+func queryParams(text string, params map[string]schema.Value) (string, map[string]schema.Value, error) {
 	q, err := gsql.ParseQuery(text)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	declared := q.Params()
 	if len(declared) == 0 {
-		return nil, nil
+		return q.Name(), nil, nil
 	}
 	out := make(map[string]schema.Value, len(declared))
 	for name := range declared {
 		v, ok := params[name]
 		if !ok {
-			return nil, fmt.Errorf("difftest: query %s declares parameter %s with no value", q.Name(), name)
+			return "", nil, fmt.Errorf("difftest: query %s declares parameter %s with no value", q.Name(), name)
 		}
 		out[name] = v
 	}
-	return out, nil
+	return q.Name(), out, nil
 }
 
 // PipelineRun is the observable output of one pipeline execution: per-query
@@ -207,17 +227,41 @@ func RunPipeline(c *Case, cfg Config) (*PipelineRun, error) {
 		Plans: make(map[string]*core.CompiledQuery, len(c.Queries)),
 	}
 	var names []string
-	for _, text := range c.Queries {
-		p, err := queryParams(text, c.Params)
-		if err != nil {
-			return nil, err
+	if c.Script {
+		// One compilation unit: sharing passes on. Parameters rebind by
+		// query name, filtered to each query's declared set.
+		perQuery := make(map[string]map[string]schema.Value)
+		for _, text := range c.Queries {
+			name, p, err := queryParams(text, c.Params)
+			if err != nil {
+				return nil, err
+			}
+			if p != nil {
+				perQuery[name] = p
+			}
+			names = append(names, name)
 		}
-		plan, err := sys.AddQuery(text, p)
-		if err != nil {
-			return nil, fmt.Errorf("difftest: AddQuery: %w", err)
+		if err := sys.AddScriptParams(strings.Join(c.Queries, ";\n"), perQuery); err != nil {
+			return nil, fmt.Errorf("difftest: AddScriptParams: %w", err)
 		}
-		run.Plans[plan.Name] = plan
-		names = append(names, plan.Name)
+		for _, name := range names {
+			if plan, ok := sys.Plan(name); ok {
+				run.Plans[name] = plan
+			}
+		}
+	} else {
+		for _, text := range c.Queries {
+			_, p, err := queryParams(text, c.Params)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := sys.AddQuery(text, p)
+			if err != nil {
+				return nil, fmt.Errorf("difftest: AddQuery: %w", err)
+			}
+			run.Plans[plan.Name] = plan
+			names = append(names, plan.Name)
+		}
 	}
 
 	var wg sync.WaitGroup

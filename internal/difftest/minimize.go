@@ -47,7 +47,7 @@ func Minimize(c *Case, cfg Config, budget int) *Case {
 	}
 	m := &minimizer{cfg: cfg, budget: budget}
 	cur := &Case{Seed: c.Seed, Queries: append([]string(nil), c.Queries...),
-		Params: c.Params, Trace: c.Trace}
+		Params: c.Params, Trace: c.Trace, Script: c.Script}
 	cur = m.dropQueries(cur)
 	cur = m.simplifyQueries(cur)
 	cur = m.reduceTrace(cur)
@@ -56,7 +56,7 @@ func Minimize(c *Case, cfg Config, budget int) *Case {
 
 func (m *minimizer) dropQueries(c *Case) *Case {
 	for i := len(c.Queries) - 1; i >= 0 && len(c.Queries) > 1; i-- {
-		cand := &Case{Seed: c.Seed, Params: c.Params, Trace: c.Trace,
+		cand := &Case{Seed: c.Seed, Params: c.Params, Trace: c.Trace, Script: c.Script,
 			Queries: append(append([]string(nil), c.Queries[:i]...), c.Queries[i+1:]...)}
 		if m.fails(cand) {
 			c = cand
@@ -124,7 +124,7 @@ func (m *minimizer) simplifyQueries(c *Case) *Case {
 			for _, v := range simplifyVariants(c.Queries[i]) {
 				qs := append([]string(nil), c.Queries...)
 				qs[i] = v
-				cand := &Case{Seed: c.Seed, Params: c.Params, Trace: c.Trace, Queries: qs}
+				cand := &Case{Seed: c.Seed, Params: c.Params, Trace: c.Trace, Queries: qs, Script: c.Script}
 				if m.fails(cand) {
 					c = cand
 					progress = true
@@ -155,7 +155,7 @@ func (m *minimizer) reduceTrace(c *Case) *Case {
 				if len(trace) == 0 {
 					continue
 				}
-				cand := &Case{Seed: c.Seed, Params: c.Params, Queries: c.Queries, Trace: trace}
+				cand := &Case{Seed: c.Seed, Params: c.Params, Queries: c.Queries, Trace: trace, Script: c.Script}
 				if m.fails(cand) {
 					c = cand
 					removed = true

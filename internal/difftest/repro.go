@@ -36,6 +36,9 @@ type Artifact struct {
 	Seed    int64    `json:"seed"`
 	Config  Config   `json:"config"`
 	Queries []string `json:"queries"`
+	// Script marks a multi-query script case (compiled as one unit with
+	// sharing passes on).
+	Script bool `json:"script,omitempty"`
 	// Params maps parameter name to "type:value" (e.g. "uint:80").
 	Params    map[string]string `json:"params,omitempty"`
 	TraceFile string            `json:"trace_file"`
@@ -129,6 +132,7 @@ func WriteArtifact(dir string, c *Case, cfg Config, m *Mismatch, plans map[strin
 		Seed:        c.Seed,
 		Config:      cfg,
 		Queries:     c.Queries,
+		Script:      c.Script,
 		TraceFile:   traceFileName,
 		Mismatch:    m.String(),
 		ObservedErr: m.ObservedErr,
@@ -177,7 +181,7 @@ func ReadArtifact(dir string) (*Case, Config, error) {
 	if err != nil {
 		return nil, Config{}, err
 	}
-	c := &Case{Seed: art.Seed, Queries: art.Queries, Trace: trace}
+	c := &Case{Seed: art.Seed, Queries: art.Queries, Trace: trace, Script: art.Script}
 	if len(art.Params) > 0 {
 		c.Params = make(map[string]schema.Value, len(art.Params))
 		for k, s := range art.Params {

@@ -1,0 +1,149 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/core"
+	"gigascope/internal/gsql"
+	"gigascope/internal/netflow"
+	"gigascope/internal/oracle"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+// scriptFuzzSeeds is the committed corpus for the multi-query script
+// fuzzer. The seeds are chosen so the set as a whole exercises both
+// cross-query rewrites: several compile to scripts with common-prefilter
+// groups, several to scripts with shared (fingerprint-identical) LFTAs —
+// TestScriptSeedsExerciseSharing pins that property so generator drift
+// cannot silently neuter the corpus.
+var scriptFuzzSeeds = []int64{101, 102, 103, 104, 105, 106, 107, 108}
+
+// TestMultiQueryScriptMatrix runs seeded multi-query script cases —
+// compiled as one unit with shared LFTAs and the common prefilter on —
+// under the full equivalence matrix against the per-query naive oracle.
+// Any observable artifact of sharing (a gated packet an LFTA needed, a
+// mis-fanned shared stream, wrong op attribution after demotion) shows up
+// as a row-multiset or ordering divergence.
+func TestMultiQueryScriptMatrix(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	cells := 0
+	for _, seed := range seeds {
+		c, err := NewScriptCase(seed, tracePackets)
+		if err != nil {
+			t.Fatalf("seed %d: generating script case: %v", seed, err)
+		}
+		cache := map[bool]map[string]*oracle.Result{}
+		for _, cfg := range Matrix() {
+			cells++
+			t.Run(cfg.Name()+"_seed"+itoa(seed), func(t *testing.T) {
+				want, ok := cache[cfg.Faults]
+				if !ok {
+					var err error
+					want, err = OracleResults(c, cfg.Faults)
+					if err != nil {
+						t.Fatalf("oracle: %v", err)
+					}
+					cache[cfg.Faults] = want
+				}
+				m, err := CheckConfig(c, cfg, want)
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if m == nil {
+					return
+				}
+				min := Minimize(c, cfg, DefaultMinimizeBudget)
+				var dir string
+				if run, rerr := RunPipeline(min, cfg); rerr == nil {
+					dir, err = WriteArtifact("testdata/repros", min, cfg, m, run.Plans)
+				} else {
+					dir, err = WriteArtifact("testdata/repros", min, cfg, m, nil)
+				}
+				if err != nil {
+					t.Fatalf("mismatch (artifact write failed: %v): %s", err, m)
+				}
+				t.Fatalf("%s\nminimized repro written to %s", m, dir)
+			})
+		}
+	}
+	t.Logf("checked %d (script case, config) cells", cells)
+}
+
+// TestScriptSeedsExerciseSharing compiles every corpus seed's script and
+// requires the set to cover both rewrites.
+func TestScriptSeedsExerciseSharing(t *testing.T) {
+	withPrefilter, withSharedLFTA := 0, 0
+	for _, seed := range scriptFuzzSeeds {
+		gen := gsql.GenerateScriptCase(seed)
+		cat := schema.NewCatalog()
+		if err := pkt.RegisterBuiltins(cat); err != nil {
+			t.Fatal(err)
+		}
+		if err := netflow.Register(cat); err != nil {
+			t.Fatal(err)
+		}
+		script, err := gsql.ParseScript(strings.Join(gen.Texts(), ";\n"))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := core.CompileScriptPlan(cat, script, nil)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if len(res.Prefilters) > 0 {
+			withPrefilter++
+		}
+		for _, cq := range res.Queries {
+			shared := false
+			for _, n := range cq.Nodes {
+				if len(n.SharedBy()) > 0 {
+					shared = true
+				}
+			}
+			if shared {
+				withSharedLFTA++
+				break
+			}
+		}
+	}
+	if withPrefilter < 4 {
+		t.Errorf("only %d/%d corpus seeds compile with prefilter groups; corpus has drifted", withPrefilter, len(scriptFuzzSeeds))
+	}
+	if withSharedLFTA < 2 {
+		t.Errorf("only %d/%d corpus seeds compile with a shared LFTA; corpus has drifted", withSharedLFTA, len(scriptFuzzSeeds))
+	}
+}
+
+// FuzzMultiQueryScript feeds arbitrary seeds through the script-case
+// generator and checks pipeline-vs-oracle equivalence on two configs: the
+// production-shaped cell (batch 64, unsharded) and the sharded cell where
+// the prefilter gates per shard. The trace is shorter than the matrix
+// test's so the fuzzer gets through cases quickly.
+func FuzzMultiQueryScript(f *testing.F) {
+	for _, seed := range scriptFuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c, err := NewScriptCase(seed, 400)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, cfg := range []Config{
+			{MaxBatch: 64, Shards: 1},
+			{MaxBatch: 64, Shards: 4},
+		} {
+			m, err := Check(c, cfg)
+			if err != nil {
+				t.Fatalf("seed %d under %s: harness: %v", seed, cfg.Name(), err)
+			}
+			if m != nil {
+				t.Fatalf("seed %d: %s", seed, m)
+			}
+		}
+	})
+}

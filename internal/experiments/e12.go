@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gigascope/internal/core"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/rts"
+)
+
+// E12: multi-query sharing (paper §5). Fifty simultaneous queries — ten
+// distinct LFTA templates (per-port cheap predicates) times five HFTA
+// variants (payload substring scans) — run over the same trace twice:
+// once compiled as one script with the cross-query rewrites on
+// (shared-LFTA elimination + common prefilter), once with
+// Config.DisableSharing. The comparison reports instantiated LFTA count,
+// capture-path predicate work per packet, throughput, and whether the
+// two runs' outputs are byte-identical (they must be: sharing is a pure
+// plan rewrite).
+//
+// Predicate work is counted at the capture path: with sharing off, every
+// packet is offered to all 50 LFTAs and each evaluates its own conjuncts
+// (upper bound: delivered packets x conjunct count); with sharing on,
+// the per-interface prefilter evaluates each distinct term once per
+// packet (measured exactly by the gate) and member LFTAs only see
+// packets passing their mask.
+
+// e12Templates is the LFTA-template count (distinct cheap predicates).
+const e12Templates = 10
+
+// e12Variants is the HFTA-variant count per template.
+const e12Variants = 5
+
+// e12Script builds the 50-query workload. All variants of one template
+// share projection and cheap conjuncts — only the payload needle above
+// the boundary differs — so sharing folds each template's five LFTAs
+// into one.
+func e12Script() string {
+	ports := []int{80, 443, 8080, 53, 25, 110, 143, 993, 8443, 3128}
+	minLen := []int{60, 60, 60, 64, 64, 68, 68, 72, 72, 76}
+	needles := []string{"GET", "POST", "HTTP", "HOST", "USER"}
+	var b strings.Builder
+	for t := 0; t < e12Templates; t++ {
+		for v := 0; v < e12Variants; v++ {
+			if t+v > 0 {
+				b.WriteString(";\n")
+			}
+			fmt.Fprintf(&b, `DEFINE { query_name q%d_%d; }
+SELECT time, total_length FROM eth0.TCP
+WHERE destPort = %d and total_length >= %d and str_find_substr(payload, '%s')`,
+				t, v, ports[t], minLen[t], needles[v])
+		}
+	}
+	return b.String()
+}
+
+// e12Trace cycles destination ports over the ten template ports plus two
+// dark ports, with payloads cycling the needle set plus noise.
+func e12Trace(n int) []*pkt.Packet {
+	ports := []uint16{80, 443, 8080, 53, 25, 110, 143, 993, 8443, 3128, 6881, 12345}
+	payloads := [][]byte{
+		[]byte("GET /index.html HTTP/1.1 HOST: example.com"),
+		[]byte("POST /api/v1 HTTP/1.1 USER-agent: none"),
+		[]byte("HTTP/1.1 200 OK"),
+		[]byte("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		[]byte("USER anonymous"),
+		[]byte("yyyyyyyyyyyyyy"),
+	}
+	out := make([]*pkt.Packet, n)
+	for i := 0; i < n; i++ {
+		p := pkt.BuildTCP(1_000_000+uint64(i)*100, pkt.TCPSpec{
+			SrcIP:   0x0a000000 + uint32(i%256),
+			DstIP:   0xc0a80001,
+			DstPort: ports[i%len(ports)],
+			Payload: payloads[i%len(payloads)][:len(payloads[i%len(payloads)])*((i/7)%3+1)/3],
+		})
+		out[i] = &p
+	}
+	return out
+}
+
+// E12Row is one mode of the comparison.
+type E12Row struct {
+	Sharing         bool
+	Queries         int
+	LFTANodes       int     // instantiated LFTA runtime nodes
+	PrefilterGroups int     // installed gate groups (0 with sharing off)
+	PrefilterTerms  int     // distinct hoisted terms
+	Packets         uint64  // trace length
+	PktsPerSecond   float64 // injection throughput (wall clock)
+	// PredEvals is the capture-path predicate work: gate term evaluations
+	// (measured) plus packets delivered to each LFTA times its conjunct
+	// count (upper bound without short-circuiting).
+	PredEvals   uint64
+	EvalsPerPkt float64
+	OutputRows  uint64
+}
+
+// E12 runs the workload in both modes and verifies output equivalence.
+// It returns the two rows (sharing off, sharing on) and whether every
+// query's output row multiset was byte-identical across modes.
+func E12(packets int) ([]E12Row, bool, error) {
+	script := e12Script()
+	trace := e12Trace(packets)
+	offRow, offRows, err := e12Run(script, trace, true)
+	if err != nil {
+		return nil, false, err
+	}
+	onRow, onRows, err := e12Run(script, trace, false)
+	if err != nil {
+		return nil, false, err
+	}
+	identical := len(offRows) == len(onRows)
+	if identical {
+		for name, rows := range offRows {
+			if !equalSorted(rows, onRows[name]) {
+				identical = false
+				break
+			}
+		}
+	}
+	return []E12Row{offRow, onRow}, identical, nil
+}
+
+func e12Run(scriptText string, trace []*pkt.Packet, disableSharing bool) (E12Row, map[string][]string, error) {
+	cat, err := newCatalog()
+	if err != nil {
+		return E12Row{}, nil, err
+	}
+	mgr := rts.NewManager(cat, rts.Config{RingSize: 8192, InboxDepth: 1024})
+	script, err := gsql.ParseScript(scriptText)
+	if err != nil {
+		return E12Row{}, nil, err
+	}
+	// The same script-as-one-unit path the root AddScript takes: compile
+	// the whole forest (rewrite passes on unless disabled), register every
+	// query, install the extracted prefilter gates.
+	res, err := core.CompileScriptPlan(cat, script, &core.Options{DisableSharing: disableSharing})
+	if err != nil {
+		return E12Row{}, nil, err
+	}
+	for _, cq := range res.Queries {
+		if err := mgr.AddQuery(cq, nil); err != nil {
+			return E12Row{}, nil, err
+		}
+	}
+	if len(res.Prefilters) > 0 {
+		if err := mgr.InstallPrefilters(res.Prefilters); err != nil {
+			return E12Row{}, nil, err
+		}
+	}
+
+	// Static conjunct counts per LFTA node, from the compiled plans. A
+	// shared node appears in its owner's plan only, so the map naturally
+	// counts it once.
+	conjuncts := map[string]int{}
+	var names []string
+	for _, cq := range res.Queries {
+		names = append(names, cq.Name)
+		for _, n := range cq.Nodes {
+			if n.Level == core.LevelLFTA {
+				conjuncts[strings.ToLower(n.Name)] = n.PredConjuncts()
+			}
+		}
+	}
+	if len(names) != e12Templates*e12Variants {
+		return E12Row{}, nil, fmt.Errorf("experiments: E12: expected %d queries, compiled %d",
+			e12Templates*e12Variants, len(names))
+	}
+
+	rows := make(map[string][]string, len(names))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, name := range names {
+		sub, err := mgr.Subscribe(name, 8192)
+		if err != nil {
+			return E12Row{}, nil, err
+		}
+		wg.Add(1)
+		go func(name string, sub *rts.Subscription) {
+			defer wg.Done()
+			var out []string
+			for b := range sub.C {
+				for _, m := range b {
+					if m.IsHeartbeat() {
+						continue
+					}
+					out = append(out, string(m.Tuple.Pack(nil)))
+				}
+			}
+			sort.Strings(out)
+			mu.Lock()
+			rows[name] = out
+			mu.Unlock()
+		}(name, sub)
+	}
+	if err := mgr.Start(); err != nil {
+		return E12Row{}, nil, err
+	}
+
+	start := time.Now()
+	const chunk = 256
+	for i := 0; i < len(trace); i += chunk {
+		end := i + chunk
+		if end > len(trace) {
+			end = len(trace)
+		}
+		mgr.InjectBatch("eth0", trace[i:end])
+	}
+	elapsed := time.Since(start)
+	mgr.Stop()
+	wg.Wait()
+
+	row := E12Row{
+		Sharing: !disableSharing,
+		Queries: len(names),
+		Packets: uint64(len(trace)),
+	}
+	if elapsed > 0 {
+		row.PktsPerSecond = float64(len(trace)) / elapsed.Seconds()
+	}
+	for _, ns := range mgr.Stats() {
+		if ns.Level != core.LevelLFTA {
+			continue
+		}
+		row.LFTANodes++
+		row.PredEvals += ns.Packets * uint64(conjuncts[strings.ToLower(ns.Name)])
+	}
+	for _, is := range mgr.IfaceStats() {
+		row.PrefilterGroups += is.PrefilterGroups
+		row.PrefilterTerms += is.PrefilterTerms
+		row.PredEvals += is.PrefilterEvals
+	}
+	if row.Packets > 0 {
+		row.EvalsPerPkt = float64(row.PredEvals) / float64(row.Packets)
+	}
+	for _, rs := range rows {
+		row.OutputRows += uint64(len(rs))
+	}
+	return row, rows, nil
+}
+
+func equalSorted(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintE12 renders the comparison.
+func PrintE12(w io.Writer, rows []E12Row, identical bool) {
+	fmt.Fprintf(w, "E12: multi-query sharing — %d queries (%d LFTA templates x %d HFTA variants)\n",
+		e12Templates*e12Variants, e12Templates, e12Variants)
+	fmt.Fprintf(w, "  %-8s %6s %6s %7s %10s %12s %10s %10s\n",
+		"sharing", "lftas", "groups", "terms", "pkts", "predEvals", "evals/pkt", "pkts/s")
+	for _, r := range rows {
+		mode := "off"
+		if r.Sharing {
+			mode = "on"
+		}
+		fmt.Fprintf(w, "  %-8s %6d %6d %7d %10d %12d %10.1f %10.0f\n",
+			mode, r.LFTANodes, r.PrefilterGroups, r.PrefilterTerms,
+			r.Packets, r.PredEvals, r.EvalsPerPkt, r.PktsPerSecond)
+	}
+	if len(rows) == 2 && rows[1].PredEvals > 0 {
+		fmt.Fprintf(w, "  predicate-eval reduction: %.1fx; LFTA instantiation: %d -> %d\n",
+			float64(rows[0].PredEvals)/float64(rows[1].PredEvals),
+			rows[0].LFTANodes, rows[1].LFTANodes)
+	}
+	if identical {
+		fmt.Fprintln(w, "  outputs byte-identical across modes")
+	} else {
+		fmt.Fprintln(w, "  WARNING: outputs differ between sharing modes")
+	}
+}

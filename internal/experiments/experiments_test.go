@@ -331,3 +331,42 @@ func TestE11SketchMemoryAndDemotion(t *testing.T) {
 		t.Errorf("print output: %s", buf.String())
 	}
 }
+
+func TestE12SharingReducesPredicateWork(t *testing.T) {
+	rows, identical, err := E12(30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Sharing || !rows[1].Sharing {
+		t.Fatalf("rows = %+v", rows)
+	}
+	off, on := rows[0], rows[1]
+	// Acceptance: sharing is semantically invisible.
+	if !identical {
+		t.Error("outputs differ between sharing modes")
+	}
+	if off.OutputRows == 0 {
+		t.Error("workload produced no output rows; the comparison is vacuous")
+	}
+	// Five HFTA variants per template fold into one LFTA each.
+	if on.LFTANodes != e12Templates {
+		t.Errorf("sharing on instantiated %d LFTAs, want %d", on.LFTANodes, e12Templates)
+	}
+	if off.LFTANodes != e12Templates*e12Variants {
+		t.Errorf("sharing off instantiated %d LFTAs, want %d", off.LFTANodes, e12Templates*e12Variants)
+	}
+	// Acceptance: >=2x reduction in capture-path predicate evaluations at
+	// 50 simultaneous queries.
+	if on.PredEvals == 0 || off.PredEvals < 2*on.PredEvals {
+		t.Errorf("predicate-eval reduction %.2fx < 2x (off=%d on=%d)",
+			float64(off.PredEvals)/float64(on.PredEvals), off.PredEvals, on.PredEvals)
+	}
+	if on.PrefilterGroups == 0 || on.PrefilterTerms == 0 {
+		t.Errorf("no prefilter installed with sharing on: %+v", on)
+	}
+	var buf bytes.Buffer
+	PrintE12(&buf, rows, identical)
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Errorf("print output: %s", buf.String())
+	}
+}

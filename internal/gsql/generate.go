@@ -69,6 +69,127 @@ func GenerateCase(seed int64) *GenCase {
 	return &GenCase{Queries: queries, Params: g.params}
 }
 
+// GenerateScriptCase builds a seeded multi-query script case for the
+// cross-query rewrite passes: 2..8 queries over a shared pool of cheap
+// predicates and a fixed pass-through template, so the compiled script
+// exercises common-prefilter extraction (overlapping conjuncts on the
+// same interface/protocol) and shared-LFTA elimination (template
+// instances differ only above the boundary). Every query remains
+// independently evaluable, so the per-query naive oracle stays the
+// reference.
+func GenerateScriptCase(seed int64) *GenCase {
+	g := &generator{rng: rand.New(rand.NewSource(seed ^ 0x5c819)), params: make(map[string]schema.Value)}
+
+	// Shared atom pool: each maker rebuilds the same conjunct as a fresh
+	// AST (queries must not alias expression nodes — the rewrite passes
+	// splice conjuncts into per-query filters).
+	pool := map[string][]atomMaker{}
+	for _, proto := range []string{"TCP", "UDP"} {
+		for i, n := 0, 2+g.rng.Intn(3); i < n; i++ {
+			pool[proto] = append(pool[proto], g.pooledAtom(proto))
+		}
+	}
+	// The sharing template: a fixed projection plus a fixed cheap
+	// predicate; instances add only a varying expensive (HFTA-side) atom.
+	tmplAtoms := pool["TCP"][:1+g.rng.Intn(2)]
+	tmplCols := []string{"time", g.uintCol("TCP"), "wirelen"}
+
+	var queries []*Query
+	n := 2 + g.rng.Intn(7)
+	for len(queries) < n {
+		switch g.rng.Intn(8) {
+		case 0, 1, 2:
+			queries = append(queries, g.pooledSelProj(pool))
+		case 3, 4:
+			queries = append(queries, g.pooledAgg(pool))
+		case 5:
+			queries = append(queries, g.merge()...)
+		default:
+			// Two instances at once: a lone template query has nothing to
+			// share its LFTA with.
+			queries = append(queries, g.templateQuery(tmplCols, tmplAtoms),
+				g.templateQuery(tmplCols, tmplAtoms))
+		}
+	}
+	return &GenCase{Queries: queries, Params: g.params}
+}
+
+// atomMaker rebuilds one pooled conjunct as a fresh AST per call.
+type atomMaker func(q func(string) Expr) Expr
+
+// pooledAtom fixes a (column, op, literal) triple so every query drawing
+// this atom contributes a structurally identical prefilter term.
+func (g *generator) pooledAtom(proto string) atomMaker {
+	c := g.uintCol(proto)
+	op := g.cmpOp()
+	v := g.constFor(c)
+	return func(q func(string) Expr) Expr { return bin(op, q(c), uconst(v)) }
+}
+
+// pooledWhere draws 1..2 pool atoms plus at most one fresh atom.
+func (g *generator) pooledWhere(q func(string) Expr, proto string, pool map[string][]atomMaker) Expr {
+	atoms := pool[proto]
+	conjs := []Expr{atoms[g.rng.Intn(len(atoms))](q)}
+	if g.rng.Intn(2) == 0 {
+		conjs = append(conjs, atoms[g.rng.Intn(len(atoms))](q))
+	}
+	if g.rng.Intn(3) == 0 {
+		conjs = append(conjs, g.atom(q, proto))
+	}
+	var out Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+		} else {
+			out = bin(OpAnd, out, c)
+		}
+	}
+	return out
+}
+
+// pooledSelProj is selProj with pool-drawn predicates.
+func (g *generator) pooledSelProj(pool map[string][]atomMaker) *Query {
+	q := g.selProj()
+	proto := q.Sources[0].Name
+	q.Where = g.pooledWhere(func(c string) Expr { return col(c) }, proto, pool)
+	return q
+}
+
+// pooledAgg is agg with pool-drawn predicates.
+func (g *generator) pooledAgg(pool map[string][]atomMaker) *Query {
+	q := g.agg()
+	q.Where = g.pooledWhere(func(c string) Expr { return col(c) }, q.Sources[0].Name, pool)
+	return q
+}
+
+// templateQuery instantiates the sharing template: identical projection
+// and cheap conjuncts (so the LFTA fingerprints match across instances),
+// with one varying expensive atom forcing the pass-through split.
+func (g *generator) templateQuery(cols []string, atoms []atomMaker) *Query {
+	q := &Query{Defs: g.defineName(), Kind: KindSelect,
+		Sources: []TableRef{{Interface: "eth0", Name: "TCP"}}}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		q.Select = append(q.Select, SelectItem{Expr: col(c)})
+	}
+	unq := func(c string) Expr { return col(c) }
+	var where Expr
+	for _, mk := range atoms {
+		a := mk(unq)
+		if where == nil {
+			where = a
+		} else {
+			where = bin(OpAnd, where, a)
+		}
+	}
+	q.Where = bin(OpAnd, where, g.expensiveAtom(unq))
+	return q
+}
+
 // --- small AST constructors ---
 
 func col(name string) *ColRef          { return &ColRef{Name: name} }

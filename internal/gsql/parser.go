@@ -486,7 +486,23 @@ func (p *Parser) parseMerge(q *Query) error {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return err
 	}
-	return p.parseSources(q)
+	if err := p.parseSources(q); err != nil {
+		return err
+	}
+	// Optional WHERE: a selection over the merged stream. The compiler
+	// distributes it into the branches (σp(A ∪ B) = σp(A) ∪ σp(B)), so
+	// the conjuncts must be unqualified — they apply to every input.
+	if p.atKeyword("WHERE") {
+		if err := p.next(); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		q.Where = e
+	}
+	return nil
 }
 
 func (p *Parser) parseSources(q *Query) error {

@@ -709,6 +709,22 @@ func (ev *evaluator) evalMerge(q *gsql.Query) (*Result, error) {
 		out.Cols = append(out.Cols, schema.Column{Name: col.Name, Type: col.Type, Ordering: ord})
 	}
 
+	// Optional WHERE: a selection over the merged stream (the compiler
+	// distributes it into the branches; the reference result is the same
+	// either way since σp(A ∪ B) = σp(A) ∪ σp(B)).
+	var pred exec.Expr
+	var ctx *exec.Ctx
+	if q.Where != nil {
+		comp := &exec.Compiler{Reg: ev.reg, Params: q.Params(), Resolve: exec.SchemaResolver(out, "")}
+		var err error
+		if pred, err = comp.Compile(q.Where); err != nil {
+			return nil, err
+		}
+		if ctx, err = exec.NewCtx(comp.Handles, ev.params); err != nil {
+			return nil, err
+		}
+	}
+
 	idx := make([]int, len(inputs))
 	var outRows []schema.Tuple
 	for {
@@ -728,8 +744,14 @@ func (ev *evaluator) evalMerge(q *gsql.Query) (*Result, error) {
 		if pick < 0 {
 			break
 		}
-		outRows = append(outRows, inputs[pick].rows[idx[pick]])
+		row := inputs[pick].rows[idx[pick]]
 		idx[pick]++
+		if pred != nil {
+			if pass, ok := exec.EvalPred(pred, row, ctx); !ok || !pass {
+				continue
+			}
+		}
+		outRows = append(outRows, row)
 	}
 	return &Result{Schema: out, Rows: outRows}, nil
 }

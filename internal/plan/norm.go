@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"sort"
+	"strings"
+
+	"gigascope/internal/gsql"
+)
+
+// Expression normalization for structural hashing and equality. Two
+// expressions are structurally equal when their normalized canonical texts
+// match: qualifiers are stripped (the boundary input schema makes them
+// redundant), identifier case is folded, and conjunct order is
+// canonicalized. Literal case is preserved ('GET' != 'get').
+
+// Normalize rebuilds an expression with table qualifiers removed and
+// column/function identifiers lower-cased. The input is not modified.
+func Normalize(e gsql.Expr) gsql.Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *gsql.ColRef:
+		return &gsql.ColRef{Name: strings.ToLower(n.Name), At: n.At}
+	case *gsql.ParamRef:
+		return &gsql.ParamRef{Name: strings.ToLower(n.Name), At: n.At}
+	case *gsql.BinaryExpr:
+		return &gsql.BinaryExpr{Op: n.Op, L: Normalize(n.L), R: Normalize(n.R), At: n.At}
+	case *gsql.UnaryExpr:
+		return &gsql.UnaryExpr{Op: n.Op, X: Normalize(n.X), At: n.At}
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Normalize(a)
+		}
+		return &gsql.FuncCall{Name: strings.ToLower(n.Name), Args: args, At: n.At}
+	}
+	return e
+}
+
+// Canon returns the canonical text of an expression.
+func Canon(e gsql.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return Normalize(e).String()
+}
+
+// Conjuncts flattens a predicate into AND-ed terms.
+func Conjuncts(e gsql.Expr) []gsql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*gsql.BinaryExpr); ok && b.Op == gsql.OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []gsql.Expr{e}
+}
+
+// Conjoin rebuilds a predicate from conjuncts; nil for an empty list.
+func Conjoin(es []gsql.Expr) gsql.Expr {
+	var out gsql.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &gsql.BinaryExpr{Op: gsql.OpAnd, L: out, R: e, At: e.Pos()}
+		}
+	}
+	return out
+}
+
+// CanonConjuncts returns the sorted canonical texts of a predicate's
+// conjuncts, making filter fingerprints insensitive to AND order.
+func CanonConjuncts(e gsql.Expr) []string {
+	cjs := Conjuncts(e)
+	out := make([]string, len(cjs))
+	for i, cj := range cjs {
+		out[i] = Canon(cj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasParam reports whether the expression references a query parameter.
+func HasParam(e gsql.Expr) bool {
+	found := false
+	gsql.Walk(e, func(n gsql.Expr) bool {
+		if _, ok := n.(*gsql.ParamRef); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Fingerprint derives the structural identity of a boundary's LFTA
+// subplan. Boundaries with equal fingerprints compute identical streams
+// and may be instantiated once (paper §5: "identical LFTAs should be
+// instantiated once"). Only mangled selection/projection boundaries over
+// protocol scans are eligible:
+//
+//   - ModeWhole is excluded: its name is the query's output name, which
+//     applications subscribe to directly.
+//   - ModeSplitAgg is excluded: aggregate LFTAs are demotion targets
+//     (SetApprox on the owning query would silently make sharers
+//     approximate).
+//   - Parameterized boundaries are excluded: SetParams rebinds one
+//     query's predicate on the fly, which must not affect sharers.
+//
+// ok is false for ineligible boundaries.
+func Fingerprint(b *Boundary) (fp string, ok bool) {
+	if b.Mode != ModePassThrough && b.Mode != ModeWrap {
+		return "", false
+	}
+	var (
+		scan  *Scan
+		filt  *Filter
+		proj  *Project
+		other bool
+	)
+	for n := b.Input; n != nil; {
+		switch x := n.(type) {
+		case *Scan:
+			scan = x
+			n = nil
+		case *Filter:
+			if filt != nil {
+				other = true
+				n = nil
+				break
+			}
+			filt = x
+			n = x.Input
+		case *Project:
+			if proj != nil || filt != nil {
+				// Projection above filter is the canonical shape; anything
+				// else is not a plain selproj subtree.
+				other = true
+				n = nil
+				break
+			}
+			proj = x
+			n = x.Input
+		default:
+			other = true
+			n = nil
+		}
+	}
+	if other || scan == nil || proj == nil || !scan.IsProtocol {
+		return "", false
+	}
+	if filt != nil && HasParam(filt.Pred) {
+		return "", false
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.ToLower(scan.Interface))
+	sb.WriteByte('|')
+	sb.WriteString(strings.ToLower(scan.Name))
+	sb.WriteString("|proj:")
+	for i, it := range proj.Items {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if HasParam(it.Expr) {
+			return "", false
+		}
+		sb.WriteString(Canon(it.Expr))
+		if it.Alias != "" {
+			sb.WriteString("/as:")
+			sb.WriteString(strings.ToLower(it.Alias))
+		}
+	}
+	sb.WriteString("|filt:")
+	if filt != nil {
+		sb.WriteString(strings.Join(CanonConjuncts(filt.Pred), " AND "))
+	}
+	return sb.String(), true
+}

@@ -1,0 +1,372 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/gsql"
+)
+
+// The rewrite pipeline. Per-query passes (pushdown, shared-LFTA
+// elimination) run between lowering and emit of each query; the
+// script-wide prefilter pass runs once after every query has been
+// lowered. All passes mutate the IR in place and record their decisions
+// on Boundary nodes, where emit picks them up.
+
+// ScriptContext carries script-scoped pass state and the cost oracle.
+// One context spans a whole CompileScript call: sharing and prefilter
+// grouping happen only among queries compiled together.
+type ScriptContext struct {
+	// Cheap reports whether an expression is LFTA-safe (no expensive
+	// functions). Supplied by core from the function registry.
+	Cheap func(gsql.Expr) bool
+	// DisableSharing turns off the shared-LFTA and prefilter passes
+	// (predicate pushdown always runs: it is per-query and semantics-
+	// preserving on its own).
+	DisableSharing bool
+
+	// byFingerprint maps boundary fingerprints to the canonical boundary
+	// and the name of the query that owns it.
+	byFingerprint map[string]*sharedEntry
+}
+
+type sharedEntry struct {
+	boundary *Boundary
+	query    string
+}
+
+// Pass is one rewrite over a single query's plan.
+type Pass interface {
+	Name() string
+	Run(pl *QueryPlan, ctx *ScriptContext) error
+}
+
+// QueryPasses returns the per-query pipeline in execution order.
+// Pushdown must precede sharing: pushed conjuncts land inside boundary
+// filters and change fingerprints. Sharing must precede prefilter
+// extraction (which runs script-wide afterwards): eliminated boundaries
+// must not contribute duplicate members.
+func QueryPasses() []Pass {
+	return []Pass{PushdownPass{}, SharePass{}}
+}
+
+// Rewrite runs the per-query pipeline on one plan.
+func Rewrite(pl *QueryPlan, ctx *ScriptContext) error {
+	for _, p := range QueryPasses() {
+		if err := p.Run(pl, ctx); err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Predicate pushdown.
+
+// PushdownPass moves cheap single-source conjuncts past Merge and Join
+// into the wrap LFTAs below, and distributes a merge's WHERE clause into
+// every branch (σp(A ∪ B) = σp(A) ∪ σp(B); filtering preserves each
+// branch's ordering, so the merge invariant holds). Stream-sourced merge
+// branches gain an explicit Filter node that emit materializes as a
+// small selection HFTA.
+type PushdownPass struct{}
+
+func (PushdownPass) Name() string { return "pushdown" }
+
+func (PushdownPass) Run(pl *QueryPlan, ctx *ScriptContext) error {
+	switch root := pl.Root.(type) {
+	case *Filter:
+		if m, ok := root.Input.(*Merge); ok {
+			if err := distributeMergeFilter(root, m, ctx); err != nil {
+				return err
+			}
+			pl.Root = m
+		}
+	case *Join:
+		pushJoinConjuncts(root, ctx)
+	}
+	return nil
+}
+
+// distributeMergeFilter pushes every conjunct of a filter-over-merge into
+// all branches. Conjuncts must be unqualified (they apply to each branch's
+// positionally identical schema) and LFTA-cheap (protocol branches land in
+// wrap LFTAs, which cannot run expensive functions); the parser and
+// lowering enforce both, so violations here are internal errors.
+func distributeMergeFilter(f *Filter, m *Merge, ctx *ScriptContext) error {
+	for _, cj := range Conjuncts(f.Pred) {
+		if ctx.Cheap != nil && !ctx.Cheap(cj) {
+			return fmt.Errorf("internal: expensive conjunct %s reached merge pushdown", cj)
+		}
+	}
+	for i, in := range m.Inputs {
+		switch b := in.(type) {
+		case *Boundary:
+			addBoundaryConjuncts(b, Conjuncts(f.Pred))
+		default:
+			m.Inputs[i] = &Filter{Pred: f.Pred, Input: in}
+		}
+	}
+	return nil
+}
+
+// pushJoinConjuncts moves join conjuncts that are cheap, parameter-free,
+// reference exactly one side, and do not touch that side's ordered
+// (window-defining) columns into the side's wrap boundary. Conjuncts
+// referencing ordered columns stay put: emit's window decomposition reads
+// them, and moving one could change the inferred join window.
+func pushJoinConjuncts(j *Join, ctx *ScriptContext) {
+	sides := [2]Node{j.Left, j.Right}
+	var keep []gsql.Expr
+	for _, cj := range Conjuncts(j.Pred) {
+		pushed := false
+		if ctx.Cheap == nil || ctx.Cheap(cj) {
+			for _, side := range sides {
+				b, ok := side.(*Boundary)
+				if !ok || b.Mode != ModeWrap {
+					continue
+				}
+				scan := boundaryScan(b)
+				if scan == nil || !conjunctPushable(cj, scan) {
+					continue
+				}
+				addBoundaryConjuncts(b, []gsql.Expr{stripQualifiers(cj)})
+				pushed = true
+				break
+			}
+		}
+		if !pushed {
+			keep = append(keep, cj)
+		}
+	}
+	j.Pred = Conjoin(keep)
+}
+
+// conjunctPushable reports whether every column reference in cj is
+// qualified to scan's binding, resolves in its schema, avoids ordered
+// columns, and the conjunct is parameter-free.
+func conjunctPushable(cj gsql.Expr, scan *Scan) bool {
+	if HasParam(cj) {
+		return false
+	}
+	ok := true
+	sawCol := false
+	gsql.Walk(cj, func(n gsql.Expr) bool {
+		c, isCol := n.(*gsql.ColRef)
+		if !isCol {
+			return true
+		}
+		sawCol = true
+		if c.Table == "" ||
+			(!strings.EqualFold(c.Table, scan.Binding) && !strings.EqualFold(c.Table, scan.Schema.Name)) {
+			ok = false
+			return false
+		}
+		_, col := scan.Schema.Col(c.Name)
+		if col == nil || col.Ordering.Usable() {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok && sawCol
+}
+
+// boundaryScan returns the Scan at the bottom of a boundary's subtree.
+func boundaryScan(b *Boundary) *Scan { return b.Scan() }
+
+// addBoundaryConjuncts ANDs extra conjuncts into the boundary's inner
+// filter, creating one directly above the scan when absent.
+func addBoundaryConjuncts(b *Boundary, cjs []gsql.Expr) {
+	if len(cjs) == 0 {
+		return
+	}
+	stripped := make([]gsql.Expr, len(cjs))
+	for i, cj := range cjs {
+		stripped[i] = stripQualifiers(cj)
+	}
+	var attach func(n Node) Node
+	attach = func(n Node) Node {
+		switch x := n.(type) {
+		case *Filter:
+			x.Pred = Conjoin(append(Conjuncts(x.Pred), stripped...))
+			return x
+		case *Project:
+			x.Input = attach(x.Input)
+			return x
+		case *Scan:
+			return &Filter{Pred: Conjoin(stripped), Input: x}
+		}
+		return n
+	}
+	b.Input = attach(b.Input)
+}
+
+// stripQualifiers clears table qualifiers so a pushed conjunct compiles
+// against the single-source boundary schema.
+func stripQualifiers(e gsql.Expr) gsql.Expr {
+	switch n := e.(type) {
+	case *gsql.ColRef:
+		return &gsql.ColRef{Name: n.Name, At: n.At}
+	case *gsql.BinaryExpr:
+		return &gsql.BinaryExpr{Op: n.Op, L: stripQualifiers(n.L), R: stripQualifiers(n.R), At: n.At}
+	case *gsql.UnaryExpr:
+		return &gsql.UnaryExpr{Op: n.Op, X: stripQualifiers(n.X), At: n.At}
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = stripQualifiers(a)
+		}
+		return &gsql.FuncCall{Name: n.Name, Args: args, At: n.At}
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------
+// Shared-LFTA elimination.
+
+// SharePass folds structurally identical LFTA boundaries across the
+// script's query set into a single canonical instantiation (paper §5).
+// Later queries' boundaries are marked SharedWith the canonical one; emit
+// skips them and subscribes the consumer to the canonical stream via the
+// ordinary publisher fan-out.
+type SharePass struct{}
+
+func (SharePass) Name() string { return "share-lfta" }
+
+func (SharePass) Run(pl *QueryPlan, ctx *ScriptContext) error {
+	if ctx.DisableSharing {
+		return nil
+	}
+	if ctx.byFingerprint == nil {
+		ctx.byFingerprint = make(map[string]*sharedEntry)
+	}
+	for _, b := range Boundaries(pl.Root) {
+		fp, ok := Fingerprint(b)
+		if !ok {
+			continue
+		}
+		if ent, dup := ctx.byFingerprint[fp]; dup {
+			b.SharedWith = ent.boundary.Name
+			ent.boundary.SharedBy = append(ent.boundary.SharedBy, pl.Name)
+		} else {
+			ctx.byFingerprint[fp] = &sharedEntry{boundary: b, query: pl.Name}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Common-prefilter extraction.
+
+// maxPrefilterTerms bounds one group's term set to the mask width.
+const maxPrefilterTerms = 64
+
+// PrefilterPass hoists the cheap, parameter-free conjuncts of every LFTA
+// boundary into per-(interface, protocol) prefilter groups (paper §5):
+// each distinct term is evaluated once per packet and each member LFTA is
+// delivered only packets passing its masked conjunction. Runs script-wide
+// after every query has been lowered and rewritten. Boundaries eliminated
+// by SharePass are skipped — the canonical boundary carries the identical
+// terms. Terms beyond the 64-bit mask are simply left ungated (a partial
+// mask is sound: gating on a subset of an LFTA's conjuncts never drops a
+// packet the LFTA would keep).
+type PrefilterPass struct{}
+
+func (PrefilterPass) Name() string { return "prefilter" }
+
+func (p PrefilterPass) Run(s *Script, ctx *ScriptContext) error {
+	if ctx.DisableSharing {
+		return nil
+	}
+	type groupKey struct{ iface, proto string }
+	groups := make(map[groupKey]*PrefilterGroup)
+	termBit := make(map[groupKey]map[string]int)
+	var order []groupKey
+
+	for _, pl := range s.Plans {
+		for _, b := range Boundaries(pl.Root) {
+			if b.SharedWith != "" {
+				continue
+			}
+			scan := boundaryScan(b)
+			if scan == nil || !scan.IsProtocol {
+				continue
+			}
+			filt := boundaryFilter(b)
+			if filt == nil {
+				continue
+			}
+			key := groupKey{strings.ToLower(scan.Interface), strings.ToLower(scan.Name)}
+			g := groups[key]
+			if g == nil {
+				g = &PrefilterGroup{
+					Interface: scan.Interface,
+					Protocol:  scan.Name,
+					Members:   make(map[string]uint64),
+				}
+				groups[key] = g
+				termBit[key] = make(map[string]int)
+				order = append(order, key)
+			}
+			var mask uint64
+			for _, cj := range Conjuncts(filt.Pred) {
+				if HasParam(cj) || (ctx.Cheap != nil && !ctx.Cheap(cj)) {
+					continue
+				}
+				canon := Canon(cj)
+				bit, seen := termBit[key][canon]
+				if !seen {
+					if len(g.Terms) >= maxPrefilterTerms {
+						continue
+					}
+					bit = len(g.Terms)
+					g.Terms = append(g.Terms, Normalize(cj))
+					termBit[key][canon] = bit
+				}
+				mask |= 1 << uint(bit)
+			}
+			if mask != 0 {
+				name := strings.ToLower(b.Name)
+				g.Members[name] |= mask
+				b.PrefilterGroup = len(order) - 1
+				b.PrefilterMask = mask
+			}
+		}
+	}
+
+	for _, key := range order {
+		g := groups[key]
+		if len(g.Terms) == 0 || len(g.Members) == 0 {
+			continue
+		}
+		s.Prefilters = append(s.Prefilters, g)
+	}
+	// Re-number boundary group indexes to the compacted slice.
+	index := make(map[*PrefilterGroup]int)
+	for i, g := range s.Prefilters {
+		index[g] = i
+	}
+	for _, pl := range s.Plans {
+		for _, b := range Boundaries(pl.Root) {
+			if b.PrefilterMask == 0 {
+				b.PrefilterGroup = -1
+				continue
+			}
+			scan := boundaryScan(b)
+			key := groupKey{strings.ToLower(scan.Interface), strings.ToLower(scan.Name)}
+			if g, ok := groups[key]; ok {
+				if i, ok := index[g]; ok {
+					b.PrefilterGroup = i
+					continue
+				}
+			}
+			b.PrefilterGroup, b.PrefilterMask = -1, 0
+		}
+	}
+	return nil
+}
+
+// boundaryFilter returns the Filter inside a boundary subtree, nil when
+// the LFTA has no predicate.
+func boundaryFilter(b *Boundary) *Filter { return b.InnerFilter() }

@@ -1,0 +1,233 @@
+// Package plan is the compiler's logical intermediate representation.
+// Analysis lowers each parsed gsql.Query into a tree of logical operator
+// nodes; a pipeline of rewrite passes (predicate pushdown, shared-LFTA
+// elimination, common-prefilter extraction — paper §5) rewrites the trees;
+// a final emit stage in internal/core instantiates executable closures
+// from the rewritten IR. The package deliberately knows nothing about the
+// executor: nodes carry gsql expression trees plus resolved schemas, and
+// all structural decisions (where the LFTA/HFTA boundary sits, which
+// conjuncts run below it) are explicit in the tree so passes can move
+// them.
+package plan
+
+import (
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// Node is one logical operator.
+type Node interface {
+	// Children returns the input subtrees in order.
+	Children() []Node
+	node()
+}
+
+// Scan reads a source: either a protocol stream bound to a packet
+// interface, or another query's output stream.
+type Scan struct {
+	Name       string // protocol or stream name
+	Interface  string // packet interface for protocol sources ("" = default)
+	Binding    string // alias used to qualify columns
+	IsProtocol bool
+	Schema     *schema.Schema
+}
+
+// Filter drops rows failing Pred (always non-nil).
+type Filter struct {
+	Pred  gsql.Expr
+	Input Node
+}
+
+// Project evaluates the select items over each input row.
+type Project struct {
+	Items []gsql.SelectItem
+	Input Node
+}
+
+// Aggregate is a group-by/aggregation operator carrying the original
+// query's SELECT/GROUP BY/HAVING clauses.
+type Aggregate struct {
+	GroupBy []gsql.SelectItem
+	Select  []gsql.SelectItem
+	Having  gsql.Expr
+	Input   Node
+}
+
+// Merge is the N-way order-preserving union.
+type Merge struct {
+	Cols   []*gsql.ColRef // one merge column per input
+	Inputs []Node
+}
+
+// Join is the two-stream window join. Pred is the full WHERE clause;
+// window/equality decomposition happens at emit.
+type Join struct {
+	Left, Right Node
+	Pred        gsql.Expr
+	Select      []gsql.SelectItem
+}
+
+// BoundaryMode describes how a Boundary's subtree maps onto an LFTA.
+type BoundaryMode uint8
+
+const (
+	// ModeWhole: the entire query runs as a single LFTA published under
+	// the query's own name (no HFTA above it).
+	ModeWhole BoundaryMode = iota + 1
+	// ModePassThrough: the LFTA filters with the cheap conjuncts and
+	// projects every column the HFTA needs (paper §3).
+	ModePassThrough
+	// ModeSplitAgg: the LFTA computes sub-aggregates into a direct-mapped
+	// table; the HFTA above recombines partials (paper §3).
+	ModeSplitAgg
+	// ModeWrap: a full-schema pass-through LFTA feeding one input of a
+	// join or merge.
+	ModeWrap
+)
+
+func (m BoundaryMode) String() string {
+	switch m {
+	case ModeWhole:
+		return "whole"
+	case ModePassThrough:
+		return "pass-through"
+	case ModeSplitAgg:
+		return "split-agg"
+	case ModeWrap:
+		return "wrap"
+	}
+	return "?"
+}
+
+// Boundary marks the LFTA/HFTA split: everything below it runs on the
+// capture path. Passes annotate it with sharing and prefilter decisions;
+// emit honors them.
+type Boundary struct {
+	Name  string // runtime node/stream name (mangled unless ModeWhole)
+	Mode  BoundaryMode
+	Input Node
+
+	// SharedWith names the canonical boundary when the shared-LFTA pass
+	// eliminated this one as a structural duplicate: emit instantiates no
+	// node and points consumers at the canonical stream instead.
+	SharedWith string
+	// SharedBy lists (on the canonical boundary) the other queries whose
+	// identical LFTAs were folded into this one.
+	SharedBy []string
+
+	// PrefilterGroup/PrefilterMask gate packet delivery: the RTS skips
+	// delivering packets that fail the masked terms of the group's shared
+	// prefilter (paper §5). Group -1 means ungated. Gating never replaces
+	// the LFTA's own predicate — it only avoids delivering packets the
+	// predicate would reject anyway, so a partial mask stays sound.
+	PrefilterGroup int
+	PrefilterMask  uint64
+}
+
+func (s *Scan) Children() []Node      { return nil }
+func (f *Filter) Children() []Node    { return []Node{f.Input} }
+func (p *Project) Children() []Node   { return []Node{p.Input} }
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+func (m *Merge) Children() []Node     { return m.Inputs }
+func (j *Join) Children() []Node      { return []Node{j.Left, j.Right} }
+func (b *Boundary) Children() []Node  { return []Node{b.Input} }
+
+func (*Scan) node()      {}
+func (*Filter) node()    {}
+func (*Project) node()   {}
+func (*Aggregate) node() {}
+func (*Merge) node()     {}
+func (*Join) node()      {}
+func (*Boundary) node()  {}
+
+// Walk visits n and its subtree in prefix order; visiting stops in a
+// subtree when f returns false.
+func Walk(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		Walk(c, f)
+	}
+}
+
+// Scan returns the source scan at the bottom of the boundary's subtree.
+func (b *Boundary) Scan() *Scan {
+	var scan *Scan
+	Walk(b.Input, func(n Node) bool {
+		if s, ok := n.(*Scan); ok {
+			scan = s
+			return false
+		}
+		return true
+	})
+	return scan
+}
+
+// InnerFilter returns the filter inside the boundary's subtree (the
+// LFTA's own predicate), nil when absent.
+func (b *Boundary) InnerFilter() *Filter {
+	var filt *Filter
+	Walk(b.Input, func(n Node) bool {
+		if f, ok := n.(*Filter); ok {
+			filt = f
+			return false
+		}
+		return true
+	})
+	return filt
+}
+
+// InnerProject returns the projection inside the boundary's subtree, nil
+// when absent (split-agg boundaries project implicitly).
+func (b *Boundary) InnerProject() *Project {
+	var proj *Project
+	Walk(b.Input, func(n Node) bool {
+		if p, ok := n.(*Project); ok {
+			proj = p
+			return false
+		}
+		return true
+	})
+	return proj
+}
+
+// Boundaries collects every Boundary in the tree in visit order.
+func Boundaries(n Node) []*Boundary {
+	var out []*Boundary
+	Walk(n, func(x Node) bool {
+		if b, ok := x.(*Boundary); ok {
+			out = append(out, b)
+		}
+		return true
+	})
+	return out
+}
+
+// QueryPlan is the lowered IR of one query, paired with the original
+// parse for emit.
+type QueryPlan struct {
+	Name  string
+	Root  Node
+	Query *gsql.Query
+}
+
+// PrefilterGroup is one per-(interface, protocol) set of shared cheap
+// predicate terms hoisted by the prefilter pass (paper §5): each distinct
+// term is evaluated once per packet and each member LFTA is gated on the
+// conjunction selected by its bit mask.
+type PrefilterGroup struct {
+	Interface string
+	Protocol  string
+	Terms     []gsql.Expr // normalized, parameter-free, LFTA-cheap
+	// Members maps an LFTA node name (lower-cased) to the mask of terms
+	// that must all pass for a packet to be delivered to it.
+	Members map[string]uint64
+}
+
+// Script is the whole-compilation IR: every query's plan plus the
+// script-wide prefilter groups.
+type Script struct {
+	Plans      []*QueryPlan
+	Prefilters []*PrefilterGroup
+}

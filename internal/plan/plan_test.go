@@ -1,0 +1,372 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+func parseWhere(t *testing.T, pred string) gsql.Expr {
+	t.Helper()
+	q, err := gsql.ParseQuery("DEFINE { query_name t; param p uint; } SELECT time FROM TCP WHERE " + pred)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pred, err)
+	}
+	return q.Where
+}
+
+func testSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "TCP",
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "srcIP", Type: schema.TUint},
+			{Name: "destPort", Type: schema.TUint},
+			{Name: "total_length", Type: schema.TUint},
+		},
+	}
+}
+
+func items(names ...string) []gsql.SelectItem {
+	out := make([]gsql.SelectItem, len(names))
+	for i, n := range names {
+		out[i] = gsql.SelectItem{Expr: &gsql.ColRef{Name: n}}
+	}
+	return out
+}
+
+// selproj builds the canonical boundary shape Project(Filter?(Scan)).
+func selproj(name string, mode BoundaryMode, iface, binding string, pred gsql.Expr, cols ...string) *Boundary {
+	var in Node = &Scan{Name: "TCP", Interface: iface, Binding: binding, IsProtocol: true, Schema: testSchema()}
+	if pred != nil {
+		in = &Filter{Pred: pred, Input: in}
+	}
+	in = &Project{Items: items(cols...), Input: in}
+	return &Boundary{Name: name, Mode: mode, Input: in, PrefilterGroup: -1}
+}
+
+func TestCanonNormalization(t *testing.T) {
+	a := parseWhere(t, "S.DestPort = 80 and STR_REGEX_MATCH(Payload, 'GET')")
+	b := parseWhere(t, "destport = 80 and str_regex_match(payload, 'GET')")
+	if Canon(a) != Canon(b) {
+		t.Errorf("qualifier/case variants should canonicalize equal:\n  %s\n  %s", Canon(a), Canon(b))
+	}
+	c := parseWhere(t, "destport = 80 and str_regex_match(payload, 'get')")
+	if Canon(a) == Canon(c) {
+		t.Errorf("literal case must be preserved: %s", Canon(c))
+	}
+	if Canon(nil) != "" {
+		t.Errorf("Canon(nil) = %q", Canon(nil))
+	}
+}
+
+func TestConjunctsConjoinRoundTrip(t *testing.T) {
+	e := parseWhere(t, "destPort = 80 and total_length > 40 and srcIP = 10")
+	cjs := Conjuncts(e)
+	if len(cjs) != 3 {
+		t.Fatalf("Conjuncts: got %d, want 3", len(cjs))
+	}
+	if Canon(Conjoin(cjs)) != Canon(e) {
+		t.Errorf("Conjoin(Conjuncts(e)) != e:\n  %s\n  %s", Canon(Conjoin(cjs)), Canon(e))
+	}
+	if Conjoin(nil) != nil {
+		t.Errorf("Conjoin(nil) should be nil")
+	}
+	fwd := CanonConjuncts(parseWhere(t, "destPort = 80 and srcIP = 10"))
+	rev := CanonConjuncts(parseWhere(t, "srcIP = 10 and destPort = 80"))
+	if strings.Join(fwd, "|") != strings.Join(rev, "|") {
+		t.Errorf("CanonConjuncts must be AND-order insensitive: %v vs %v", fwd, rev)
+	}
+}
+
+func TestHasParam(t *testing.T) {
+	if !HasParam(parseWhere(t, "destPort = $p")) {
+		t.Errorf("missed parameter reference")
+	}
+	if HasParam(parseWhere(t, "destPort = 80")) {
+		t.Errorf("false positive on literal predicate")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	base := func() *Boundary {
+		return selproj("_lfta_a", ModePassThrough, "eth0", "",
+			parseWhere(t, "destPort = 80 and total_length > 40"), "time", "srcip")
+	}
+	fp1, ok := Fingerprint(base())
+	if !ok {
+		t.Fatalf("canonical selproj boundary should fingerprint")
+	}
+	// AND order must not change identity.
+	reordered := selproj("_lfta_b", ModeWrap, "eth0", "",
+		parseWhere(t, "total_length > 40 and destPort = 80"), "time", "srcip")
+	if fp2, ok := Fingerprint(reordered); !ok || fp2 != fp1 {
+		t.Errorf("conjunct order changed fingerprint:\n  %s\n  %s", fp1, fp2)
+	}
+	// Any structural difference must change identity.
+	variants := map[string]*Boundary{
+		"interface": selproj("_lfta_c", ModePassThrough, "eth1", "",
+			parseWhere(t, "destPort = 80 and total_length > 40"), "time", "srcip"),
+		"filter": selproj("_lfta_d", ModePassThrough, "eth0", "",
+			parseWhere(t, "destPort = 443"), "time", "srcip"),
+		"projection": selproj("_lfta_e", ModePassThrough, "eth0", "",
+			parseWhere(t, "destPort = 80 and total_length > 40"), "time", "destport"),
+	}
+	for what, b := range variants {
+		if fp, ok := Fingerprint(b); ok && fp == fp1 {
+			t.Errorf("%s difference did not change fingerprint", what)
+		}
+	}
+	// Ineligible shapes.
+	whole := selproj("q", ModeWhole, "eth0", "", nil, "time")
+	if _, ok := Fingerprint(whole); ok {
+		t.Errorf("ModeWhole boundary must not be shareable (applications subscribe to its name)")
+	}
+	split := selproj("_lfta_s", ModeSplitAgg, "eth0", "", nil, "time")
+	if _, ok := Fingerprint(split); ok {
+		t.Errorf("ModeSplitAgg boundary must not be shareable (demotion target)")
+	}
+	param := selproj("_lfta_p", ModePassThrough, "eth0", "",
+		parseWhere(t, "destPort = $p"), "time")
+	if _, ok := Fingerprint(param); ok {
+		t.Errorf("parameterized boundary must not be shareable (SetParams rebinds)")
+	}
+	stream := &Boundary{Name: "_lfta_st", Mode: ModePassThrough, Input: &Project{
+		Items: items("time"),
+		Input: &Scan{Name: "upstream", IsProtocol: false, Schema: testSchema()},
+	}}
+	if _, ok := Fingerprint(stream); ok {
+		t.Errorf("stream-scan boundary must not be shareable")
+	}
+}
+
+func TestSharePass(t *testing.T) {
+	mk := func(query, node string) *QueryPlan {
+		b := selproj(node, ModePassThrough, "eth0", "",
+			parseWhere(t, "destPort = 80"), "time", "srcip")
+		return &QueryPlan{Name: query, Root: &Aggregate{Input: b}}
+	}
+	p1, p2 := mk("q1", "_lfta_q1"), mk("q2", "_lfta_q2")
+	ctx := &ScriptContext{}
+	for _, pl := range []*QueryPlan{p1, p2} {
+		if err := (SharePass{}).Run(pl, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1 := Boundaries(p1.Root)[0]
+	b2 := Boundaries(p2.Root)[0]
+	if b2.SharedWith != "_lfta_q1" {
+		t.Errorf("duplicate boundary not eliminated: SharedWith=%q", b2.SharedWith)
+	}
+	if len(b1.SharedBy) != 1 || b1.SharedBy[0] != "q2" {
+		t.Errorf("canonical boundary SharedBy = %v, want [q2]", b1.SharedBy)
+	}
+
+	// DisableSharing leaves every boundary independent.
+	p3, p4 := mk("q3", "_lfta_q3"), mk("q4", "_lfta_q4")
+	off := &ScriptContext{DisableSharing: true}
+	for _, pl := range []*QueryPlan{p3, p4} {
+		if err := (SharePass{}).Run(pl, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if Boundaries(p4.Root)[0].SharedWith != "" {
+		t.Errorf("DisableSharing still eliminated a boundary")
+	}
+}
+
+func TestPushdownMergeDistribution(t *testing.T) {
+	left := selproj("_lfta_m0", ModeWrap, "eth0", "", parseWhere(t, "srcIP = 10"), "time", "destport")
+	right := &Scan{Name: "upstream", IsProtocol: false, Schema: testSchema()}
+	m := &Merge{
+		Cols:   []*gsql.ColRef{{Name: "time"}, {Name: "time"}},
+		Inputs: []Node{left, right},
+	}
+	pl := &QueryPlan{Name: "mq", Root: &Filter{Pred: parseWhere(t, "destPort = 443"), Input: m}}
+	if err := (PushdownPass{}).Run(pl, &ScriptContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Root != Node(m) {
+		t.Fatalf("filter-over-merge not collapsed; root is %T", pl.Root)
+	}
+	// Boundary branch: conjunct ANDed into the inner filter.
+	got := Canon(left.InnerFilter().Pred)
+	if !strings.Contains(got, "destport = 443") || !strings.Contains(got, "srcip = 10") {
+		t.Errorf("boundary branch filter = %s, want both conjuncts", got)
+	}
+	// Stream branch: explicit Filter node inserted for emit to materialize.
+	f, ok := m.Inputs[1].(*Filter)
+	if !ok {
+		t.Fatalf("stream branch not wrapped in Filter: %T", m.Inputs[1])
+	}
+	if Canon(f.Pred) != Canon(parseWhere(t, "destPort = 443")) {
+		t.Errorf("stream branch filter = %s", Canon(f.Pred))
+	}
+}
+
+func TestPushdownJoinConjuncts(t *testing.T) {
+	left := selproj("_lfta_j0", ModeWrap, "eth0", "S", nil, "time", "srcip", "destport")
+	right := selproj("_lfta_j1", ModeWrap, "eth1", "A", nil, "time", "srcip", "destport")
+	j := &Join{
+		Left:  left,
+		Right: right,
+		Pred: parseWhere(t,
+			"S.srcIP = A.srcIP and S.time >= A.time - 2 and S.time <= A.time + 2 and A.destPort = 80 and S.total_length = $p"),
+		Select: items("time"),
+	}
+	pl := &QueryPlan{Name: "jq", Root: j}
+	if err := (PushdownPass{}).Run(pl, &ScriptContext{}); err != nil {
+		t.Fatal(err)
+	}
+	rf := right.InnerFilter()
+	if rf == nil || Canon(rf.Pred) != "(destport = 80)" {
+		t.Fatalf("single-side conjunct not pushed into right wrap boundary: %v", rf)
+	}
+	if left.InnerFilter() != nil {
+		t.Errorf("left boundary gained a filter it should not have: %s", Canon(left.InnerFilter().Pred))
+	}
+	rest := Canon(j.Pred)
+	for _, keep := range []string{
+		"srcip = srcip",        // two-sided equality stays
+		"time >= (time - 2)",   // window conjuncts stay (ordered column)
+		"total_length = param", // parameterized conjunct stays
+	} {
+		if !strings.Contains(strings.ReplaceAll(rest, "$", "param:"), strings.ReplaceAll(keep, "param", "param:p")) {
+			t.Errorf("residual join predicate lost %q: %s", keep, rest)
+		}
+	}
+	if strings.Contains(rest, "destport = 80") {
+		t.Errorf("pushed conjunct still in join predicate: %s", rest)
+	}
+}
+
+func TestPrefilterPass(t *testing.T) {
+	b1 := selproj("_lfta_a", ModePassThrough, "eth0", "",
+		parseWhere(t, "destPort = 80 and total_length > 40"), "time")
+	b2 := selproj("_lfta_b", ModePassThrough, "eth0", "",
+		parseWhere(t, "destPort = 80"), "time")
+	// Eliminated boundaries contribute nothing; the canonical one carries
+	// the identical terms.
+	b3 := selproj("_lfta_c", ModePassThrough, "eth0", "",
+		parseWhere(t, "destPort = 80"), "time")
+	b3.SharedWith = "_lfta_b"
+	// A different interface lands in its own group.
+	b4 := selproj("_lfta_d", ModePassThrough, "eth1", "",
+		parseWhere(t, "destPort = 53"), "time")
+	s := &Script{Plans: []*QueryPlan{
+		{Name: "a", Root: &Aggregate{Input: b1}},
+		{Name: "b", Root: &Aggregate{Input: b2}},
+		{Name: "c", Root: &Aggregate{Input: b3}},
+		{Name: "d", Root: &Aggregate{Input: b4}},
+	}}
+	if err := (PrefilterPass{}).Run(s, &ScriptContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Prefilters) != 2 {
+		t.Fatalf("got %d prefilter groups, want 2", len(s.Prefilters))
+	}
+	g := s.Prefilters[b1.PrefilterGroup]
+	if len(g.Terms) != 2 {
+		t.Fatalf("eth0 group has %d terms, want 2 (shared term deduplicated)", len(g.Terms))
+	}
+	if b1.PrefilterMask != 0b11 {
+		t.Errorf("_lfta_a mask = %#x, want 0x3", b1.PrefilterMask)
+	}
+	if b2.PrefilterMask != 0b01 {
+		t.Errorf("_lfta_b mask = %#x, want 0x1 (only the shared destPort term)", b2.PrefilterMask)
+	}
+	if b3.PrefilterMask != 0 || b3.PrefilterGroup != -1 {
+		t.Errorf("eliminated boundary gated: group=%d mask=%#x", b3.PrefilterGroup, b3.PrefilterMask)
+	}
+	if b4.PrefilterGroup == b1.PrefilterGroup {
+		t.Errorf("different interfaces merged into one prefilter group")
+	}
+	if got := g.Members["_lfta_a"] | g.Members["_lfta_b"]; got != 0b11 {
+		t.Errorf("member masks = %#x, want combined 0x3", got)
+	}
+
+	// Parameterized terms never enter a group.
+	bp := selproj("_lfta_p", ModePassThrough, "eth2", "",
+		parseWhere(t, "destPort = $p"), "time")
+	sp := &Script{Plans: []*QueryPlan{{Name: "p", Root: &Aggregate{Input: bp}}}}
+	if err := (PrefilterPass{}).Run(sp, &ScriptContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Prefilters) != 0 || bp.PrefilterMask != 0 {
+		t.Errorf("parameterized predicate was hoisted into a prefilter")
+	}
+}
+
+func TestWalkAndAccessors(t *testing.T) {
+	b := selproj("_lfta_w", ModePassThrough, "eth0", "",
+		parseWhere(t, "destPort = 80"), "time", "srcip")
+	root := &Aggregate{Input: b}
+	var kinds []string
+	Walk(root, func(n Node) bool {
+		switch n.(type) {
+		case *Aggregate:
+			kinds = append(kinds, "agg")
+		case *Boundary:
+			kinds = append(kinds, "boundary")
+		case *Project:
+			kinds = append(kinds, "project")
+		case *Filter:
+			kinds = append(kinds, "filter")
+		case *Scan:
+			kinds = append(kinds, "scan")
+		}
+		return true
+	})
+	if strings.Join(kinds, ",") != "agg,boundary,project,filter,scan" {
+		t.Errorf("Walk order: %v", kinds)
+	}
+	if b.Scan() == nil || !b.Scan().IsProtocol {
+		t.Errorf("Boundary.Scan failed")
+	}
+	if b.InnerFilter() == nil || b.InnerProject() == nil {
+		t.Errorf("inner accessors failed")
+	}
+	if n := len(Boundaries(root)); n != 1 {
+		t.Errorf("Boundaries found %d, want 1", n)
+	}
+	for mode, want := range map[BoundaryMode]string{
+		ModeWhole: "whole", ModePassThrough: "pass-through",
+		ModeSplitAgg: "split-agg", ModeWrap: "wrap", BoundaryMode(0): "?",
+	} {
+		if mode.String() != want {
+			t.Errorf("BoundaryMode(%d).String() = %q, want %q", mode, mode.String(), want)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	b := selproj("_lfta_f", ModePassThrough, "eth0", "",
+		parseWhere(t, "destPort = 80"), "time", "srcip")
+	b.SharedBy = []string{"other"}
+	b.PrefilterGroup, b.PrefilterMask = 0, 0x1
+	pl := &QueryPlan{Name: "fq", Root: &Aggregate{
+		GroupBy: items("time"),
+		Select:  items("time"),
+		Input:   b,
+	}}
+	s := &Script{
+		Plans: []*QueryPlan{pl},
+		Prefilters: []*PrefilterGroup{{
+			Interface: "eth0", Protocol: "TCP",
+			Terms:   Conjuncts(Normalize(parseWhere(t, "destPort = 80"))),
+			Members: map[string]uint64{"_lfta_f": 0x1},
+		}},
+	}
+	out := s.Format()
+	for _, want := range []string{
+		"plan fq", "Aggregate", "Boundary _lfta_f [pass-through]",
+		"shared-by=[other]", "prefilter=g0/0x1",
+		"prefilter groups", "g0 eth0.TCP", "mask=0x1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Script.Format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gigascope/internal/gsql"
+)
+
+// Format renders one query's logical plan as an indented tree, one
+// operator per line. The rendering is deterministic and diff-friendly:
+// golden-plan tests pin it.
+func (pl *QueryPlan) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s\n", pl.Name)
+	formatNode(&b, pl.Root, 1)
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch x := n.(type) {
+	case *Scan:
+		kind := "stream"
+		src := x.Name
+		if x.IsProtocol {
+			kind = "protocol"
+			iface := x.Interface
+			if iface == "" {
+				iface = "<default>"
+			}
+			src = iface + "." + x.Name
+		}
+		fmt.Fprintf(b, "%sScan %s (%s)", indent, src, kind)
+		if x.Binding != "" && !strings.EqualFold(x.Binding, x.Name) {
+			fmt.Fprintf(b, " as %s", x.Binding)
+		}
+		b.WriteByte('\n')
+	case *Filter:
+		fmt.Fprintf(b, "%sFilter %s\n", indent, x.Pred)
+	case *Project:
+		fmt.Fprintf(b, "%sProject [%s]\n", indent, itemsText(x.Items))
+	case *Aggregate:
+		fmt.Fprintf(b, "%sAggregate group=[%s] select=[%s]", indent,
+			itemsText(x.GroupBy), itemsText(x.Select))
+		if x.Having != nil {
+			fmt.Fprintf(b, " having=%s", x.Having)
+		}
+		b.WriteByte('\n')
+	case *Merge:
+		cols := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = c.String()
+		}
+		fmt.Fprintf(b, "%sMerge [%s]\n", indent, strings.Join(cols, " : "))
+	case *Join:
+		fmt.Fprintf(b, "%sJoin on %s select=[%s]\n", indent, x.Pred, itemsText(x.Select))
+	case *Boundary:
+		fmt.Fprintf(b, "%sBoundary %s [%s]", indent, x.Name, x.Mode)
+		if x.SharedWith != "" {
+			fmt.Fprintf(b, " shared-with=%s", x.SharedWith)
+		}
+		if len(x.SharedBy) > 0 {
+			fmt.Fprintf(b, " shared-by=[%s]", strings.Join(x.SharedBy, ","))
+		}
+		if x.PrefilterMask != 0 {
+			fmt.Fprintf(b, " prefilter=g%d/%#x", x.PrefilterGroup, x.PrefilterMask)
+		}
+		b.WriteByte('\n')
+	default:
+		fmt.Fprintf(b, "%s?%T\n", indent, n)
+	}
+	for _, c := range n.Children() {
+		formatNode(b, c, depth+1)
+	}
+}
+
+func itemsText(items []gsql.SelectItem) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FormatScript renders the whole-script view: every query's plan followed
+// by the script-wide sharing and prefilter summary.
+func (s *Script) Format() string {
+	var b strings.Builder
+	for i, pl := range s.Plans {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(pl.Format())
+	}
+
+	type shared struct {
+		owner   string
+		sharers []string
+	}
+	var sharedNames []string
+	byName := make(map[string]*shared)
+	for _, pl := range s.Plans {
+		for _, bd := range Boundaries(pl.Root) {
+			if len(bd.SharedBy) > 0 {
+				if _, ok := byName[bd.Name]; !ok {
+					sharedNames = append(sharedNames, bd.Name)
+					byName[bd.Name] = &shared{owner: pl.Name, sharers: bd.SharedBy}
+				}
+			}
+		}
+	}
+	if len(sharedNames) > 0 {
+		b.WriteString("\nshared LFTAs\n")
+		sort.Strings(sharedNames)
+		for _, name := range sharedNames {
+			sh := byName[name]
+			fmt.Fprintf(&b, "  %s: owner=%s also-feeds=[%s]\n",
+				name, sh.owner, strings.Join(sh.sharers, ","))
+		}
+	}
+	if len(s.Prefilters) > 0 {
+		b.WriteString("\nprefilter groups\n")
+		for i, g := range s.Prefilters {
+			iface := g.Interface
+			if iface == "" {
+				iface = "<default>"
+			}
+			fmt.Fprintf(&b, "  g%d %s.%s: %d term(s), %d member(s)\n",
+				i, iface, g.Protocol, len(g.Terms), len(g.Members))
+			for j, t := range g.Terms {
+				fmt.Fprintf(&b, "    [%d] %s\n", j, t)
+			}
+			members := make([]string, 0, len(g.Members))
+			for m := range g.Members {
+				members = append(members, m)
+			}
+			sort.Strings(members)
+			for _, m := range members {
+				fmt.Fprintf(&b, "    %s mask=%#x\n", m, g.Members[m])
+			}
+		}
+	}
+	return b.String()
+}

@@ -25,6 +25,11 @@ type Interface struct {
 	m       *Manager
 	hbEvery uint64
 
+	// gating is the installed common-prefilter state (nil = no gate).
+	// Published atomically so the capture path and shard workers read it
+	// without taking the interface lock.
+	gating atomic.Pointer[gatingTable]
+
 	mu           sync.Mutex
 	lftas        []*queryNode
 	shards       []*ifaceShard // non-nil: RSS-sharded capture path
@@ -62,7 +67,7 @@ func (it *Interface) ensureShards(n int) {
 	}
 	it.shards = make([]*ifaceShard, n)
 	for i := range it.shards {
-		it.shards[i] = newIfaceShard(i)
+		it.shards[i] = newIfaceShard(it, i)
 	}
 	if it.capStack != nil {
 		it.capStack.SetShards(n)
@@ -199,9 +204,7 @@ func (it *Interface) InjectBatch(ps []*pkt.Packet) {
 		return
 	}
 	it.mu.Unlock()
-	for _, qn := range lftas {
-		qn.pushPackets(kept)
-	}
+	deliverWindow(it.gating.Load(), 0, kept, lftas)
 	it.maybeHeartbeat(false)
 }
 
@@ -292,6 +295,14 @@ func (it *Interface) stats() IfaceStats {
 		s.HasNIC = true
 		s.NICDelivered = it.nicDev.Delivered()
 		s.NICFiltered = it.nicDev.Filtered()
+	}
+	if gt := it.gating.Load(); gt != nil {
+		s.PrefilterGroups = len(gt.groups)
+		for _, g := range gt.groups {
+			s.PrefilterTerms += g.pf.NumTerms()
+			s.PrefilterEvals += g.evals.Load()
+			s.PrefilterGated += g.gated.Load()
+		}
 	}
 	return s
 }

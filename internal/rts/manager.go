@@ -221,6 +221,7 @@ func (m *Manager) AddQuery(cq *core.CompiledQuery, params map[string]schema.Valu
 			node:     n,
 			inst:     inst,
 			op:       inst.Op,
+			gateKey:  key,
 			params:   cloneParams(params),
 			pub:      &publisher{name: n.Name, level: n.Level, shed: n.Level == core.LevelLFTA},
 			maxBatch: m.cfg.maxBatch(),
@@ -366,6 +367,7 @@ func (m *Manager) addShardedLFTA(n *core.Node, params map[string]schema.Value) (
 			node:     n,
 			inst:     insts[i],
 			op:       insts[i].Op,
+			gateKey:  strings.ToLower(n.Name),
 			params:   cloneParams(params),
 			pub:      &publisher{name: name, level: core.LevelLFTA, shed: true},
 			maxBatch: m.cfg.maxBatch(),
@@ -620,6 +622,11 @@ type NodeStats struct {
 	QuarDrop         uint64
 	OpErrors         uint64
 	QuarantineReason string // last panic message, empty if never quarantined
+	// SharedBy lists the other queries this node also feeds after
+	// shared-LFTA elimination (paper §5); empty for unshared nodes. Work
+	// the node does — packets, predicate evaluations, state — is thus
+	// attributable to len(SharedBy)+1 queries, not one.
+	SharedBy []string
 }
 
 // cloneParams copies a parameter-binding map so each query node owns its
@@ -674,6 +681,14 @@ type IfaceStats struct {
 	HasNIC       bool
 	NICDelivered uint64
 	NICFiltered  uint64
+
+	// Common-prefilter gate counters (paper §5). PrefilterEvals counts
+	// term evaluations the gate performed; PrefilterGated counts packet
+	// deliveries it skipped — work the member LFTAs never had to do.
+	PrefilterGroups int
+	PrefilterTerms  int
+	PrefilterEvals  uint64
+	PrefilterGated  uint64
 }
 
 // IfaceStats returns a snapshot for every interface, sorted by name.

@@ -39,6 +39,9 @@ type queryNode struct {
 	srcClosed bool
 	pub       *publisher
 	inputs    []*Subscription
+	// gateKey is the lower-cased compiled-node name the interface gate
+	// looks the LFTA up under (shard instances share the original name).
+	gateKey string
 
 	// Batch assembly. pending is touched only by the node's single
 	// emitting goroutine (HFTA loop, or capture path under mu).
@@ -628,6 +631,9 @@ func (qn *queryNode) stats() NodeStats {
 		}
 	}
 	ns.OrderViolations = qn.violations.Load()
+	if qn.node != nil {
+		ns.SharedBy = qn.node.SharedBy()
+	}
 	return ns
 }
 

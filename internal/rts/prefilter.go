@@ -1,0 +1,152 @@
+package rts
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gigascope/internal/core"
+	"gigascope/internal/pkt"
+)
+
+// Prefilter gating (paper §5): the script compiler factors the distinct
+// cheap predicate terms of the LFTAs on one (interface, protocol) pair
+// into a common prefilter evaluated once per packet; each member LFTA
+// carries a bit mask of the terms that must all pass for a packet to be
+// worth delivering. The RTS applies the gate at delivery time — a gated
+// LFTA never sees packets its own predicate would reject — while the
+// LFTA keeps its full predicate, so partial masks stay sound.
+//
+// The gate is installed before Start (like the LFTA set itself) and
+// published on the interface through an atomic pointer: the capture path
+// and the shard workers read it lock-free.
+
+// gatingTable is one interface's installed prefilter state: the compiled
+// groups plus the member gate of every gated LFTA, keyed by lower-cased
+// node name.
+type gatingTable struct {
+	groups []*pfRuntime
+	gates  map[string]gateRef
+}
+
+// gateRef names the prefilter group and term mask gating one LFTA.
+type gateRef struct {
+	group int
+	mask  uint64
+}
+
+// pfRuntime is one compiled prefilter group with its per-context
+// evaluation instances: insts[0] serves the inline capture path,
+// insts[i] shard worker i — so gating never contends across shards.
+type pfRuntime struct {
+	pf    *core.Prefilter
+	insts []*core.PrefilterInstance
+	evals atomic.Uint64 // term evaluations performed by the gate
+	gated atomic.Uint64 // packet deliveries skipped by the gate
+}
+
+// newGatingTable compiles the interface's prefilter set into runtime
+// form with slots evaluation instances per group.
+func newGatingTable(pfs []*core.Prefilter, slots int) (*gatingTable, error) {
+	if slots < 1 {
+		slots = 1
+	}
+	gt := &gatingTable{gates: make(map[string]gateRef)}
+	for _, pf := range pfs {
+		rt := &pfRuntime{pf: pf, insts: make([]*core.PrefilterInstance, slots)}
+		for i := range rt.insts {
+			inst, err := pf.NewInstance()
+			if err != nil {
+				return nil, err
+			}
+			rt.insts[i] = inst
+		}
+		gi := len(gt.groups)
+		gt.groups = append(gt.groups, rt)
+		for _, name := range pf.Members() {
+			if mask, ok := pf.MemberMask(name); ok {
+				gt.gates[name] = gateRef{group: gi, mask: mask}
+			}
+		}
+	}
+	return gt, nil
+}
+
+// deliverWindow pushes one poll window of packets through the gate to a
+// set of LFTAs. Each group's term masks are evaluated at most once per
+// window (lazily: only when a gated member is actually attached), using
+// the instance in the given slot; ungated LFTAs receive the full window.
+// A nil table is the ungated fast path. Heartbeats never pass through
+// here — ordering bounds bypass the gate.
+func deliverWindow(gt *gatingTable, slot int, window []*pkt.Packet, lftas []*queryNode) {
+	if gt == nil || len(gt.groups) == 0 {
+		for _, qn := range lftas {
+			qn.pushPackets(window)
+		}
+		return
+	}
+	var masks [][]uint64
+	var scratch []*pkt.Packet
+	for _, qn := range lftas {
+		ref, gated := gt.gates[qn.gateKey]
+		if !gated {
+			qn.pushPackets(window)
+			continue
+		}
+		g := gt.groups[ref.group]
+		if masks == nil {
+			masks = make([][]uint64, len(gt.groups))
+		}
+		if masks[ref.group] == nil {
+			masks[ref.group] = g.insts[slot].EvalBatch(window, make([]uint64, 0, len(window)))
+			g.evals.Add(uint64(len(window) * g.pf.NumTerms()))
+		}
+		gm := masks[ref.group]
+		scratch = scratch[:0]
+		for i, p := range window {
+			if gm[i]&ref.mask == ref.mask {
+				scratch = append(scratch, p)
+			}
+		}
+		g.gated.Add(uint64(len(window) - len(scratch)))
+		if len(scratch) > 0 {
+			qn.pushPackets(scratch)
+		}
+	}
+}
+
+// InstallPrefilters installs the script compiler's common prefilters on
+// their interfaces (creating interfaces on demand, like AddQuery does for
+// LFTA attachment). Like the LFTA set, the gate is part of the frozen
+// capture path: installation is rejected once the manager has started.
+// Installing again replaces an interface's previous gate wholesale.
+func (m *Manager) InstallPrefilters(pfs []*core.Prefilter) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return fmt.Errorf("rts: manager stopped")
+	}
+	if m.started {
+		return fmt.Errorf("rts: cannot install prefilters after start: stop the RTS, change the capture path, and restart (paper §3)")
+	}
+	byIface := make(map[*Interface][]*core.Prefilter)
+	var order []*Interface
+	for _, pf := range pfs {
+		name := pf.Interface
+		if name == "" {
+			name = DefaultInterface
+		}
+		it := m.ifaceLocked(name)
+		if byIface[it] == nil {
+			order = append(order, it)
+		}
+		byIface[it] = append(byIface[it], pf)
+	}
+	for _, it := range order {
+		gt, err := newGatingTable(byIface[it], m.cfg.shards())
+		if err != nil {
+			return err
+		}
+		it.gating.Store(gt)
+	}
+	return nil
+}

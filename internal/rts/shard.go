@@ -28,6 +28,7 @@ type shardWork struct {
 // goroutine running its own instances of every LFTA attached to the
 // interface over the flow-hash slice of the traffic steered to it.
 type ifaceShard struct {
+	it      *Interface // owning interface; the worker reads its gate lock-free
 	id      int
 	lftas   []*queryNode // shard-local LFTA instances (shardIdx == id+1)
 	work    chan shardWork
@@ -35,8 +36,9 @@ type ifaceShard struct {
 	packets atomic.Uint64 // packets steered to this shard
 }
 
-func newIfaceShard(id int) *ifaceShard {
+func newIfaceShard(it *Interface, id int) *ifaceShard {
 	sh := &ifaceShard{
+		it:   it,
 		id:   id,
 		work: make(chan shardWork, shardWorkDepth),
 		done: make(chan struct{}),
@@ -54,9 +56,10 @@ func (sh *ifaceShard) run() {
 	for w := range sh.work {
 		if w.window != nil {
 			sh.packets.Add(uint64(len(w.window)))
-			for _, qn := range sh.lftas {
-				qn.pushPackets(w.window)
-			}
+			// Each shard worker gates with its own prefilter instance
+			// (slot id), so the common-predicate evaluation scales with
+			// the shards instead of contending on one evaluator.
+			deliverWindow(sh.it.gating.Load(), sh.id, w.window, sh.lftas)
 			continue
 		}
 		for _, qn := range sh.lftas {

@@ -128,6 +128,10 @@ func NodeStatsSchema() *schema.Schema {
 			{Name: "quarDrop", Type: schema.TUint},
 			{Name: "opErrors", Type: schema.TUint},
 			{Name: "quarReason", Type: schema.TString},
+			// sharedBy counts the other queries this node also feeds after
+			// shared-LFTA elimination (0 = unshared): the node's work is
+			// amortized over sharedBy+1 queries.
+			{Name: "sharedBy", Type: schema.TUint},
 		},
 	}
 }
@@ -156,6 +160,12 @@ func IfaceStatsSchema() *schema.Schema {
 			{Name: "nicOverrun", Type: schema.TUint},
 			{Name: "nicFiltered", Type: schema.TUint},
 			{Name: "livelocked", Type: schema.TBool},
+			// Common-prefilter gate telemetry (paper §5): distinct terms
+			// installed, term evaluations performed this interval, and
+			// packet deliveries the gate skipped.
+			{Name: "prefilterTerms", Type: schema.TUint},
+			{Name: "prefilterEvals", Type: schema.TUint},
+			{Name: "prefilterGated", Type: schema.TUint},
 			{Name: "totalPackets", Type: schema.TUint, Ordering: inGroup},
 			{Name: "totalOffered", Type: schema.TUint, Ordering: inGroup},
 		},
@@ -276,6 +286,7 @@ func (s *NodeSampler) sample(nowUsec uint64, emit exec.Emit) {
 			schema.MakeUint(delta(ns.QuarDrop, p.QuarDrop)),
 			schema.MakeUint(delta(ns.OpErrors, p.OpErrors)),
 			schema.MakeStr(ns.QuarantineReason),
+			schema.MakeUint(uint64(len(ns.SharedBy))),
 		}
 		s.prev[ns.Name] = ns
 		s.stats.Out.Add(1)
@@ -358,6 +369,9 @@ func (s *IfaceSampler) sample(nowUsec uint64, emit exec.Emit) {
 			schema.MakeUint(delta(is.Capture.NICOverrun, p.Capture.NICOverrun)),
 			schema.MakeUint(delta(is.Capture.NICFiltered+is.NICFiltered, p.Capture.NICFiltered+p.NICFiltered)),
 			schema.MakeBool(is.Livelocked),
+			schema.MakeUint(uint64(is.PrefilterTerms)),
+			schema.MakeUint(delta(is.PrefilterEvals, p.PrefilterEvals)),
+			schema.MakeUint(delta(is.PrefilterGated, p.PrefilterGated)),
 			schema.MakeUint(is.Packets),
 			schema.MakeUint(is.Offered),
 		}

@@ -1,0 +1,194 @@
+package gigascope
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/rts"
+)
+
+// sharingTrace mixes traffic so the shared prefilter has something to
+// gate: port-80 GET/POST requests (match both web queries' LFTA), port-80
+// noise (pass the gate, fail the regex), and port-443/53 traffic the gate
+// drops before any LFTA sees it.
+func sharingTrace() []*Packet {
+	var out []*Packet
+	payloads := [][]byte{
+		[]byte("GET /index.html HTTP/1.1"),
+		[]byte("POST /login HTTP/1.1"),
+		[]byte("xxxxxxxxxxxxxxxx"),
+	}
+	ports := []uint16{80, 80, 80, 443, 8443, 53}
+	for i := 0; i < 600; i++ {
+		p := BuildTCP(uint64(1_000_000+i*1000), TCPSpec{
+			SrcIP:   0x0a000000 + uint32(i%50),
+			DstIP:   0xc0a80001,
+			DstPort: ports[i%len(ports)],
+			Payload: payloads[i%len(payloads)],
+		})
+		out = append(out, &p)
+	}
+	return out
+}
+
+// webScript compiles to two structurally identical pass-through LFTAs
+// (same interface, projection, and cheap predicate; only the HFTA-side
+// regex differs), so the share pass folds them into one.
+const webScript = `
+	DEFINE { query_name web_get; }
+	SELECT time, destPort FROM eth0.TCP
+	WHERE destPort = 80 and str_regex_match(payload, 'GET');
+	DEFINE { query_name web_post; }
+	SELECT time, destPort FROM eth0.TCP
+	WHERE destPort = 80 and str_regex_match(payload, 'POST')`
+
+func runWebScript(t *testing.T, cfg Config) (*System, map[string][]string) {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddScript(webScript); err != nil {
+		t.Fatal(err)
+	}
+	subs := map[string]*Subscription{}
+	for _, name := range []string{"web_get", "web_post"} {
+		sub, err := sys.Subscribe(name, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[name] = sub
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sys.InjectBatch("eth0", sharingTrace())
+	sys.Stop()
+	rows := map[string][]string{}
+	for name, sub := range subs {
+		for b := range sub.C {
+			for _, m := range b {
+				if m.IsHeartbeat() {
+					continue
+				}
+				parts := make([]string, len(m.Tuple))
+				for i, v := range m.Tuple {
+					parts[i] = v.String()
+				}
+				rows[name] = append(rows[name], strings.Join(parts, "|"))
+			}
+		}
+	}
+	return sys, rows
+}
+
+// TestSharedLFTAInstantiatedOnce is the acceptance test for shared-LFTA
+// elimination: two queries whose LFTA subplans are structurally identical
+// instantiate exactly one runtime LFTA node, and their outputs are
+// byte-identical to an unshared run over the same trace.
+func TestSharedLFTAInstantiatedOnce(t *testing.T) {
+	shared, sharedRows := runWebScript(t, Config{})
+	unshared, unsharedRows := runWebScript(t, Config{DisableSharing: true})
+
+	countLFTAs := func(sys *System) int {
+		n := 0
+		for _, name := range sys.Registry() {
+			if strings.HasPrefix(name, "_lfta_") {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countLFTAs(shared); got != 1 {
+		t.Errorf("shared run instantiated %d LFTA nodes, want exactly 1 (registry: %v)",
+			got, shared.Registry())
+	}
+	if got := countLFTAs(unshared); got != 2 {
+		t.Errorf("unshared run instantiated %d LFTA nodes, want 2", got)
+	}
+
+	for _, name := range []string{"web_get", "web_post"} {
+		if len(sharedRows[name]) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+		if strings.Join(sharedRows[name], "\n") != strings.Join(unsharedRows[name], "\n") {
+			t.Errorf("%s: shared and unshared outputs differ\nshared:   %v\nunshared: %v",
+				name, sharedRows[name], unsharedRows[name])
+		}
+	}
+
+	// The canonical node's stats attribute its work to both queries.
+	var sharedBy []string
+	for _, ns := range shared.Stats() {
+		if strings.HasPrefix(ns.Name, "_lfta_") {
+			sharedBy = ns.SharedBy
+		}
+	}
+	if len(sharedBy) != 1 || sharedBy[0] != "web_post" {
+		t.Errorf("shared LFTA SharedBy = %v, want [web_post]", sharedBy)
+	}
+}
+
+// TestPrefilterGatesDelivery checks the paper-§5 gate: the shared cheap
+// predicate (destPort = 80) is evaluated once per packet at the interface,
+// and packets failing it are never delivered to the LFTA — the saved work
+// shows up as PrefilterGated and a reduced LFTA packet count.
+func TestPrefilterGatesDelivery(t *testing.T) {
+	sys, _ := runWebScript(t, Config{})
+
+	var is *rts.IfaceStats
+	for _, s := range sys.IfaceStats() {
+		if s.Name == "eth0" {
+			c := s
+			is = &c
+		}
+	}
+	if is == nil {
+		t.Fatal("no eth0 interface stats")
+	}
+	if is.PrefilterGroups != 1 || is.PrefilterTerms != 1 {
+		t.Errorf("prefilter groups=%d terms=%d, want 1/1", is.PrefilterGroups, is.PrefilterTerms)
+	}
+	if is.PrefilterEvals == 0 {
+		t.Errorf("gate evaluated no terms")
+	}
+	// 3 of every 6 trace packets are non-port-80.
+	if want := uint64(300); is.PrefilterGated != want {
+		t.Errorf("PrefilterGated = %d, want %d", is.PrefilterGated, want)
+	}
+
+	for _, ns := range sys.Stats() {
+		if strings.HasPrefix(ns.Name, "_lfta_") {
+			if ns.Packets != 300 {
+				t.Errorf("shared LFTA saw %d packets, want 300 (gated deliveries skipped)", ns.Packets)
+			}
+		}
+	}
+}
+
+// TestSharingUnderShards runs the same script with a sharded capture path:
+// gating happens per shard, outputs must still match the unsharded run
+// (modulo order within the merge guarantee, so compare as multisets).
+func TestSharingUnderShards(t *testing.T) {
+	_, plain := runWebScript(t, Config{})
+	_, sharded := runWebScript(t, Config{Shards: 4})
+	for _, name := range []string{"web_get", "web_post"} {
+		a := append([]string(nil), plain[name]...)
+		b := append([]string(nil), sharded[name]...)
+		if len(a) != len(b) {
+			t.Fatalf("%s: row count %d (unsharded) vs %d (sharded)", name, len(a), len(b))
+		}
+		seen := map[string]int{}
+		for _, r := range a {
+			seen[r]++
+		}
+		for _, r := range b {
+			seen[r]--
+		}
+		for r, n := range seen {
+			if n != 0 {
+				t.Errorf("%s: row multiset mismatch at %q (%+d)", name, r, n)
+			}
+		}
+	}
+}
