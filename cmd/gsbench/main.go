@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"gigascope/internal/difftest"
@@ -23,10 +24,18 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E12), 'difftest', or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E13), 'difftest', or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	seeds := flag.Int("seeds", 25, "seed count for -run difftest")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
@@ -144,6 +153,12 @@ func main() {
 		rows, identical, err := experiments.E12(pkts / 2)
 		check(err)
 		experiments.PrintE12(os.Stdout, rows, identical)
+		fmt.Println()
+	}
+	if sel("E13") {
+		rows, err := experiments.E13(pkts * 2)
+		check(err)
+		experiments.PrintE13(os.Stdout, rows)
 		fmt.Println()
 	}
 }

@@ -96,6 +96,10 @@ type Config struct {
 	// backoff). Zero means a faulting query stays quarantined until Stop.
 	// User-written and source nodes always quarantine permanently.
 	QuarantineRestartUsec uint64
+	// DisableColumnar forces the capture path onto the row-at-a-time
+	// reference pipeline instead of the columnar batch path (debugging
+	// and A/B benchmarking switch; semantics are identical).
+	DisableColumnar bool
 	// SketchEps / SketchDelta override the default error parameters of
 	// sketch aggregates (approx_distinct, approx_quantile, heavy_hitters,
 	// cm_count) for call sites that do not spell them out; explicit literal
@@ -143,6 +147,7 @@ func New(cfg ...Config) (*System, error) {
 			ValidateOrdering:      c.ValidateOrdering,
 			Shards:                c.Shards,
 			QuarantineRestartUsec: c.QuarantineRestartUsec,
+			DisableColumnar:       c.DisableColumnar,
 		}),
 		plans: make(map[string]*core.CompiledQuery),
 	}

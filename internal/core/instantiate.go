@@ -28,6 +28,17 @@ type Instance struct {
 	// dropped is written on the capture path and read by monitoring
 	// snapshots (sysmon sampling) from other goroutines.
 	dropped atomic.Uint64
+
+	// Columnar capture path: colTypes is non-nil when the instantiated
+	// operator has a usable columnar form; it maps protocol slots to
+	// their extracted types (TNull for columns the query never
+	// references). The operator itself is re-resolved from Op per window
+	// — a swapped Op (fault injection, instrumentation) must not be
+	// bypassed. colBuf/selBuf are reused window to window under the same
+	// locking discipline as rowBuf.
+	colTypes []schema.Type
+	colBuf   exec.ColBatch
+	selBuf   []uint32
 }
 
 type extractor struct {
@@ -103,6 +114,12 @@ func (n *Node) Instantiate(params map[string]schema.Value) (*Instance, error) {
 				inst.clockCols = append(inst.clockCols, clockCol{slot: idx, clock: spec.Clock})
 			}
 		}
+		if co, ok := inst.Op.(exec.ColOperator); ok && co.Columnar() {
+			inst.colTypes = make([]schema.Type, inst.protoWidth)
+			for _, ex := range inst.extractors {
+				inst.colTypes[ex.slot] = ex.spec.Type
+			}
+		}
 	}
 	return inst, nil
 }
@@ -158,6 +175,62 @@ func (i *Instance) PushPacket(p *pkt.Packet, emit exec.Emit) error {
 		row[ex.slot] = v
 	}
 	return i.Op.Push(0, exec.TupleMsg(row), emit)
+}
+
+// PushWindow runs a whole poll window of packets through the operator's
+// columnar path: fields are extracted into the reused column batch, the
+// selection vector lists the packets whose referenced fields all
+// interpreted, and the operator consumes the window in one PushCols
+// call. handled is false when the instance has no columnar path (or a
+// value drifted from its declared column type), in which case nothing
+// has been pushed or counted and the caller must fall back to
+// per-packet PushPacket.
+//
+// Drop accounting matches the row path exactly: extraction stops at the
+// first failing field per packet and the packet is dropped.
+func (i *Instance) PushWindow(ps []*pkt.Packet, emit exec.Emit) (handled bool, err error) {
+	if i.colTypes == nil {
+		return false, nil
+	}
+	colOp, ok := i.Op.(exec.ColOperator)
+	if !ok || !colOp.Columnar() {
+		// The operator was swapped after instantiation (fault injection,
+		// wrappers) for one without a columnar form: row path.
+		return false, nil
+	}
+	if len(ps) == 0 {
+		return true, nil
+	}
+	cb := &i.colBuf
+	cb.Prep(i.colTypes, len(ps))
+	sel := i.selBuf[:0]
+	var drops uint64
+	for r, p := range ps {
+		live := true
+		for _, ex := range i.extractors {
+			v, ok := ex.spec.Extract(p)
+			if !ok {
+				drops++
+				live = false
+				break
+			}
+			if !cb.Cols[ex.slot].Set(r, v) {
+				// Extracted value does not match the declared column type;
+				// nothing is counted yet, so the row path re-runs cleanly.
+				i.selBuf = sel[:0]
+				return false, nil
+			}
+		}
+		if live {
+			sel = append(sel, uint32(r))
+		}
+	}
+	i.selBuf = sel
+	if drops > 0 {
+		i.dropped.Add(drops)
+	}
+	cb.Sel = sel
+	return true, colOp.PushCols(cb, emit)
 }
 
 // ClockHeartbeat injects a source heartbeat at the given virtual time:

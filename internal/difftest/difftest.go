@@ -48,11 +48,20 @@ type Config struct {
 	// both the pipeline and the oracle, so results must still match:
 	// both sides drop packets whose referenced fields no longer parse.
 	Faults bool
+	// Columnar runs the capture path through the column-batch kernels;
+	// false pins the row-at-a-time reference pipeline. Both halves of the
+	// axis must match the oracle — and therefore each other — byte for
+	// byte. (False is also what legacy repro artifacts, recorded before
+	// the columnar path existed, deserialize to.)
+	Columnar bool
 }
 
 // Name returns a short config label used in repro directory names.
 func (c Config) Name() string {
 	s := fmt.Sprintf("b%d_s%d", c.MaxBatch, c.Shards)
+	if c.Columnar {
+		s += "_col"
+	}
 	if c.Faults {
 		s += "_faults"
 	}
@@ -60,13 +69,15 @@ func (c Config) Name() string {
 }
 
 // Matrix returns the full equivalence matrix: {1, 64, 4096} batch sizes x
-// {1, 4} shards x faults off/on.
+// {1, 4} shards x columnar off/on x faults off/on.
 func Matrix() []Config {
 	var out []Config
 	for _, b := range []int{1, 64, 4096} {
 		for _, sh := range []int{1, 4} {
-			for _, f := range []bool{false, true} {
-				out = append(out, Config{MaxBatch: b, Shards: sh, Faults: f})
+			for _, col := range []bool{false, true} {
+				for _, f := range []bool{false, true} {
+					out = append(out, Config{MaxBatch: b, Shards: sh, Columnar: col, Faults: f})
+				}
 			}
 		}
 	}
@@ -206,11 +217,12 @@ type PipelineRun struct {
 // not as a mismatch.
 func RunPipeline(c *Case, cfg Config) (*PipelineRun, error) {
 	sysCfg := gigascope.Config{
-		RingSize:      8192,
-		MaxBatch:      cfg.MaxBatch,
-		InboxDepth:    4096,
-		HeartbeatUsec: 250_000,
-		Shards:        cfg.Shards,
+		RingSize:        8192,
+		MaxBatch:        cfg.MaxBatch,
+		InboxDepth:      4096,
+		HeartbeatUsec:   250_000,
+		Shards:          cfg.Shards,
+		DisableColumnar: !cfg.Columnar,
 	}
 	if cfg.Faults {
 		// The matrix's fault cells run with quarantine recovery enabled,

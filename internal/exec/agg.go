@@ -119,6 +119,13 @@ type Agg struct {
 	hasWM  bool
 	approx bool // demoted to sketched aggregates for new groups
 	stats  Counters
+	// Per-tuple scratch: group values and the packed key are computed
+	// into reused buffers, and the key string is only materialized when a
+	// new group is inserted (the map lookup itself goes through the
+	// no-allocation string([]byte) index form). Safe because Push runs on
+	// the owning node's goroutine.
+	gvalsBuf schema.Tuple
+	keyBuf   []byte
 }
 
 type aggGroup struct {
@@ -174,7 +181,10 @@ func (o *Agg) Push(_ int, m Message, emit Emit) error {
 			return nil
 		}
 	}
-	gvals := make(schema.Tuple, len(o.spec.GroupExprs))
+	if o.gvalsBuf == nil {
+		o.gvalsBuf = make(schema.Tuple, len(o.spec.GroupExprs))
+	}
+	gvals := o.gvalsBuf
 	for i, e := range o.spec.GroupExprs {
 		v, ok := e.Eval(row, o.spec.Ctx)
 		if !ok {
@@ -191,9 +201,10 @@ func (o *Agg) Push(_ int, m Message, emit Emit) error {
 		}
 		o.advance(ord, emit)
 	}
-	key := string(gvals.Pack(nil))
-	g, ok := o.groups[key]
+	o.keyBuf = gvals.Pack(o.keyBuf[:0])
+	g, ok := o.groups[string(o.keyBuf)]
 	if !ok {
+		key := string(o.keyBuf)
 		g = &aggGroup{gvals: gvals.Clone(), key: key, states: o.newStates()}
 		if o.spec.OrdGroup >= 0 {
 			g.ord = gvals[o.spec.OrdGroup]

@@ -1,0 +1,197 @@
+package exec
+
+import "gigascope/internal/schema"
+
+// ColBatch is the struct-of-arrays form of a window of tuples: one Col
+// per input column, plus a selection vector of live row indexes. It is
+// the capture-path counterpart of Batch (ROADMAP item 2): instead of a
+// []Message of row tuples, the poll window is accumulated column-wise so
+// selection and aggregation run as tight loops over primitive slices,
+// with the selection vector carrying filter results instead of copying
+// rows.
+//
+// Ownership and immutability: a ColBatch and its column payloads are
+// owned by the producer (the capture-path Instance), which reuses them
+// window to window. An operator's columnar path may read the columns and
+// derive new selection vectors during the PushCols call but must not
+// mutate column contents, retain references past the call, or alias the
+// producer's Sel slice into its own state. Anything an operator emits
+// downstream is materialized into fresh row tuples first.
+type ColBatch struct {
+	// N is the window length: every column slice has at least N entries
+	// and every selection index is < N.
+	N int
+	// Cols holds one column per input-schema slot, indexed like the row
+	// form's tuple positions.
+	Cols []Col
+	// Sel lists the live row indexes in ascending order. nil means all N
+	// rows are live; an empty non-nil Sel means no rows are live (e.g.
+	// every packet in the window failed field extraction).
+	Sel []uint32
+
+	idSel []uint32 // cached identity selection for Sel == nil
+}
+
+// ColOperator is implemented by operators with a native columnar path
+// (capture-path LFTA operators: selection/projection and the
+// direct-mapped aggregation). PushCols consumes one column window of
+// tuples; heartbeats keep flowing through the row-form Push. Columnar
+// reports whether the path is usable for this instance's expressions —
+// when false the caller must stay on the row path (the semantic
+// fallback; function calls are partial and have no columnar form).
+type ColOperator interface {
+	Operator
+	Columnar() bool
+	PushCols(cb *ColBatch, emit Emit) error
+}
+
+// Col is a single column: a declared type, an optional per-row null
+// mask, and the payload slice matching the type. Exactly one payload
+// slice is populated: U for bool/uint/int/IP (int as two's-complement
+// bits, mirroring schema.Value), F for float, B for string. A Col with
+// Ty == TNull is all-NULL and carries no payload.
+type Col struct {
+	Ty   schema.Type
+	Null []bool // nil means no NULL rows
+	U    []uint64
+	F    []float64
+	B    [][]byte
+}
+
+// IsNull reports whether row i of the column is NULL.
+func (c *Col) IsNull(i int) bool {
+	return c.Ty == schema.TNull || (c.Null != nil && c.Null[i])
+}
+
+// Value reconstructs row i as a schema.Value. String payloads are
+// aliased, not copied, exactly as the row path's extraction does.
+func (c *Col) Value(i int) schema.Value {
+	if c.IsNull(i) {
+		return schema.Null
+	}
+	switch c.Ty {
+	case schema.TFloat:
+		return schema.Value{Type: schema.TFloat, F: c.F[i]}
+	case schema.TString:
+		return schema.Value{Type: schema.TString, B: c.B[i]}
+	default:
+		return schema.Value{Type: c.Ty, U: c.U[i]}
+	}
+}
+
+// prep retypes the column and sizes its payload and null slices for n
+// rows, reusing capacity. Contents are undefined until written; callers
+// must write Null[i] for every row they define (slices are reused, so a
+// stale mask would otherwise leak between batches).
+func (c *Col) prep(ty schema.Type, n int) {
+	c.Ty = ty
+	if cap(c.Null) < n {
+		c.Null = make([]bool, n)
+	}
+	c.Null = c.Null[:n]
+	switch ty {
+	case schema.TNull:
+	case schema.TFloat:
+		if cap(c.F) < n {
+			c.F = make([]float64, n)
+		}
+		c.F = c.F[:n]
+	case schema.TString:
+		if cap(c.B) < n {
+			c.B = make([][]byte, n)
+		}
+		c.B = c.B[:n]
+	default:
+		if cap(c.U) < n {
+			c.U = make([]uint64, n)
+		}
+		c.U = c.U[:n]
+	}
+}
+
+// Set writes row i. v must be NULL or match the column type; it reports
+// false (leaving the row NULL) on a type mismatch, which callers treat
+// as "this window is not representable columnarly".
+func (c *Col) Set(i int, v schema.Value) bool {
+	if v.IsNull() {
+		c.Null[i] = true
+		return true
+	}
+	if v.Type != c.Ty {
+		c.Null[i] = true
+		return false
+	}
+	c.Null[i] = false
+	switch c.Ty {
+	case schema.TFloat:
+		c.F[i] = v.F
+	case schema.TString:
+		c.B[i] = v.B
+	default:
+		c.U[i] = v.U
+	}
+	return true
+}
+
+// Prep sizes the batch for n rows over the given column types, reusing
+// prior capacity, and resets Sel to nil (all rows live).
+func (cb *ColBatch) Prep(types []schema.Type, n int) {
+	cb.N = n
+	if cap(cb.Cols) < len(types) {
+		cb.Cols = make([]Col, len(types))
+	}
+	cb.Cols = cb.Cols[:len(types)]
+	for i, ty := range types {
+		cb.Cols[i].prep(ty, n)
+	}
+	cb.Sel = nil
+}
+
+// LiveSel returns the selection vector, materializing the identity
+// selection when Sel is nil. The returned slice is read-only.
+func (cb *ColBatch) LiveSel() []uint32 {
+	if cb.Sel != nil {
+		return cb.Sel
+	}
+	if cap(cb.idSel) < cb.N {
+		cb.idSel = make([]uint32, cb.N)
+		for i := range cb.idSel {
+			cb.idSel[i] = uint32(i)
+		}
+	}
+	for len(cb.idSel) < cb.N {
+		cb.idSel = append(cb.idSel, uint32(len(cb.idSel)))
+	}
+	return cb.idSel[:cb.N]
+}
+
+// Row materializes row i as a fresh tuple (test and fallback helper).
+func (cb *ColBatch) Row(i int) schema.Tuple {
+	t := make(schema.Tuple, len(cb.Cols))
+	for c := range cb.Cols {
+		t[c] = cb.Cols[c].Value(i)
+	}
+	return t
+}
+
+// ColBatchFromRows converts row tuples to columnar form using the given
+// declared column types. It reports nil when the rows are not
+// representable (a non-NULL value whose type differs from the declared
+// column type), in which case the caller stays on the row path. Rows
+// shorter than the schema are padded with NULL.
+func ColBatchFromRows(rows []schema.Tuple, types []schema.Type) *ColBatch {
+	cb := &ColBatch{}
+	cb.Prep(types, len(rows))
+	for i, row := range rows {
+		for c := range types {
+			v := schema.Null
+			if c < len(row) {
+				v = row[c]
+			}
+			if !cb.Cols[c].Set(i, v) {
+				return nil
+			}
+		}
+	}
+	return cb
+}

@@ -1,0 +1,291 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gigascope/internal/funcs"
+	"gigascope/internal/schema"
+)
+
+// The columnar path must be byte-identical to the row path: same output
+// messages in the same order, same counters, on any input — including
+// NULLs, extreme values, heartbeat interleavings, and empty selection
+// vectors. These tests drive both paths of each operator over the same
+// randomized message sequences and diff everything.
+
+func testInTypes() []schema.Type {
+	s := testInSchema()
+	types := make([]schema.Type, len(s.Cols))
+	for i, c := range s.Cols {
+		types[i] = c.Type
+	}
+	return types
+}
+
+// randValue draws a value of the given type, with NULLs and boundary
+// values overrepresented (NULL semantics and signed/unsigned edges are
+// where the two paths could plausibly diverge).
+func randValue(r *rand.Rand, ty schema.Type) schema.Value {
+	if r.Intn(8) == 0 {
+		return schema.Null
+	}
+	switch ty {
+	case schema.TUint:
+		switch r.Intn(4) {
+		case 0:
+			return schema.MakeUint(uint64(r.Intn(4))) // collisions, zero divisors
+		case 1:
+			return schema.MakeUint(math.MaxUint64 - uint64(r.Intn(3))) // > MaxInt64
+		default:
+			return schema.MakeUint(uint64(r.Intn(100_000)))
+		}
+	case schema.TIP:
+		return schema.MakeIP(uint32(r.Intn(1 << 16)))
+	case schema.TInt:
+		return schema.MakeInt(int64(r.Intn(2001) - 1000))
+	case schema.TFloat:
+		return schema.MakeFloat(float64(r.Intn(2001)-1000) / 16)
+	case schema.TString:
+		return schema.MakeStr([]string{"", "GET", "GET / HTTP/1.1", "x"}[r.Intn(4)])
+	default:
+		return schema.Null
+	}
+}
+
+func randRow(r *rand.Rand, types []schema.Type) schema.Tuple {
+	row := make(schema.Tuple, len(types))
+	for i, ty := range types {
+		row[i] = randValue(r, ty)
+	}
+	// Keep the ordered group column non-NULL and non-decreasing-ish so
+	// aggregation exercises advances without the NULL-key drop dominating.
+	if r.Intn(4) != 0 {
+		row[0] = schema.MakeUint(uint64(r.Intn(10)) * 60)
+	}
+	return row
+}
+
+// colRun is one segment of a randomized input: a window of rows with a
+// selection mask, or a heartbeat.
+type colRun struct {
+	rows []schema.Tuple
+	sel  []uint32 // live subset, ascending; may be empty (all rows dead)
+	hb   schema.Tuple
+}
+
+func randRuns(r *rand.Rand, types []schema.Type, nRuns int) []colRun {
+	runs := make([]colRun, 0, nRuns)
+	for i := 0; i < nRuns; i++ {
+		if r.Intn(5) == 0 {
+			hb := make(schema.Tuple, len(types))
+			hb[0] = schema.MakeUint(uint64(r.Intn(10)) * 60)
+			runs = append(runs, colRun{hb: hb})
+			continue
+		}
+		n := r.Intn(12) // includes empty windows
+		rows := make([]schema.Tuple, n)
+		var sel []uint32
+		for j := range rows {
+			rows[j] = randRow(r, types)
+			// ~1/6 of rows are dead (failed extraction in production);
+			// occasionally drop everything to hit empty selection vectors.
+			if r.Intn(6) != 0 && r.Intn(20) != 0 {
+				sel = append(sel, uint32(j))
+			}
+		}
+		if sel == nil {
+			sel = []uint32{} // non-nil empty: no live rows
+		}
+		runs = append(runs, colRun{rows: rows, sel: sel})
+	}
+	return runs
+}
+
+func msgString(m Message) string {
+	kind := "T"
+	row := m.Tuple
+	if m.IsHeartbeat() {
+		kind = "H"
+		row = m.Bounds
+	}
+	s := kind
+	for _, v := range row {
+		s += fmt.Sprintf("|%d:%d:%x:%q", v.Type, v.U, math.Float64bits(v.F), v.B)
+	}
+	return s
+}
+
+func diffMsgs(t *testing.T, label string, rowOut, colOut []Message) {
+	t.Helper()
+	if len(rowOut) != len(colOut) {
+		t.Fatalf("%s: row path emitted %d messages, columnar %d", label, len(rowOut), len(colOut))
+	}
+	for i := range rowOut {
+		rs, cs := msgString(rowOut[i]), msgString(colOut[i])
+		if rs != cs {
+			t.Fatalf("%s: message %d differs:\nrow: %s\ncol: %s", label, i, rs, cs)
+		}
+	}
+}
+
+// drive pushes the same runs through a row-path operator (per-row Push)
+// and a columnar operator (PushCols per window, Push for heartbeats) and
+// returns both output streams.
+func drive(t *testing.T, runs []colRun, types []schema.Type, rowOp, colOp ColOperator) (rowOut, colOut []Message) {
+	t.Helper()
+	if !colOp.Columnar() {
+		t.Fatal("operator has no columnar path; property test is vacuous")
+	}
+	rowEmit := Collect(&rowOut)
+	colEmit := Collect(&colOut)
+	for _, run := range runs {
+		if run.hb != nil {
+			if err := rowOp.Push(0, HeartbeatMsg(run.hb), rowEmit); err != nil {
+				t.Fatal(err)
+			}
+			if err := colOp.Push(0, HeartbeatMsg(run.hb), colEmit); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		for _, si := range run.sel {
+			if err := rowOp.Push(0, TupleMsg(run.rows[si]), rowEmit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cb := ColBatchFromRows(run.rows, types)
+		if cb == nil {
+			t.Fatal("rows not representable columnarly")
+		}
+		cb.Sel = run.sel
+		if err := colOp.PushCols(cb, colEmit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rowOp.FlushAll(rowEmit); err != nil {
+		t.Fatal(err)
+	}
+	if err := colOp.FlushAll(colEmit); err != nil {
+		t.Fatal(err)
+	}
+	return rowOut, colOut
+}
+
+func TestSelProjColumnarMatchesRowPath(t *testing.T) {
+	s := testInSchema()
+	types := testInTypes()
+	cases := []struct {
+		name string
+		pred string // "" = no predicate
+		outs []string
+	}{
+		{"cmp_uint", "destPort = 80", []string{"time", "len*8"}},
+		{"arith_mixed", "len > 100 and delta < 5", []string{"time/60", "len+delta", "ratio*2.0"}},
+		{"div_zero", "len / (destPort-80) > 2", []string{"time", "destPort"}},
+		{"bool_null", "destPort = 80 or delta = -3", []string{"srcIP", "payload"}},
+		{"no_pred", "", []string{"time", "srcIP", "destPort", "len", "payload", "delta", "ratio"}},
+		{"cross_type", "ratio < len", []string{"delta % 7", "len & 255", "~len"}},
+		{"negate", "not (destPort >= 1024)", []string{"-delta", "-ratio"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			build := func() *SelProj {
+				var pred Expr
+				if tc.pred != "" {
+					pred = compileOver(t, s, "x", tc.pred)
+				}
+				outs := compileSel(t, s, "x", tc.outs...)
+				return NewSelProj(pred, outs, nil, nil, outSchema(tc.outs...))
+			}
+			for seed := int64(0); seed < 30; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				runs := randRuns(r, types, 8)
+				rowOp, colOp := build(), build()
+				rowOut, colOut := drive(t, runs, types, rowOp, colOp)
+				diffMsgs(t, fmt.Sprintf("%s/seed%d", tc.name, seed), rowOut, colOut)
+				if rs, cs := rowOp.Stats(), colOp.Stats(); rs != cs {
+					t.Fatalf("seed %d: stats diverged: row %+v col %+v", seed, rs, cs)
+				}
+			}
+		})
+	}
+}
+
+func TestLFTAAggColumnarMatchesRowPath(t *testing.T) {
+	s := testInSchema()
+	types := testInTypes()
+	cnt, _ := funcs.Global.Aggregate("count")
+	sum, _ := funcs.Global.Aggregate("sum")
+	build := func(tableSize int, withPred bool) *LFTAAgg {
+		group := compileSel(t, s, "x", "time/60", "destPort")
+		var pred Expr
+		if withPred {
+			pred = compileOver(t, s, "x", "len > 10")
+		}
+		post := outSchema("tb", "port", "cnt", "bytes")
+		postSel := compileSel(t, post, "out", "tb", "port", "cnt", "bytes")
+		sumArg := compileSel(t, s, "x", "len")[0]
+		op, err := NewLFTAAgg(AggSpec{
+			Pred:       pred,
+			GroupExprs: group, OrdGroup: 0,
+			Aggs: []AggInstance{
+				{Spec: cnt, ArgType: schema.TNull},
+				{Spec: sum, Arg: sumArg, ArgType: schema.TUint},
+			},
+			PostSelect: postSel, Out: post,
+		}, tableSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op
+	}
+	// Small tables force evictions, so the test also pins that the
+	// columnar path preserves the direct-mapped eviction pattern (it
+	// hashes the identical packed key bytes).
+	for _, tableSize := range []int{4, 64} {
+		for _, withPred := range []bool{false, true} {
+			name := fmt.Sprintf("table%d_pred%v", tableSize, withPred)
+			t.Run(name, func(t *testing.T) {
+				for seed := int64(0); seed < 30; seed++ {
+					r := rand.New(rand.NewSource(seed))
+					runs := randRuns(r, types, 10)
+					rowOp, colOp := build(tableSize, withPred), build(tableSize, withPred)
+					rowOut, colOut := drive(t, runs, types, rowOp, colOp)
+					diffMsgs(t, fmt.Sprintf("%s/seed%d", name, seed), rowOut, colOut)
+					if rs, cs := rowOp.Stats(), colOp.Stats(); rs != cs {
+						t.Fatalf("seed %d: stats diverged: row %+v col %+v", seed, rs, cs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Operators whose expressions have no columnar form (partial functions)
+// must report Columnar() false so callers stay on the row path.
+func TestColumnarDisabledForPartialFunctions(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/peer.tbl"
+	writeFile(t, path, "10.0.0.0/8 7\n")
+	s := testInSchema()
+	q, err := parseSelect("getlpmid(srcIP, '" + path + "')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Compiler{Reg: funcs.Global, Resolve: SchemaResolver(s, "x")}
+	e, err := c.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewCtx(c.Handles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewSelProj(nil, []Expr{e}, nil, ctx, outSchema("peer"))
+	if op.Columnar() {
+		t.Fatal("SelProj with a partial function must not claim a columnar path")
+	}
+}

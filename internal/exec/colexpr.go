@@ -1,0 +1,481 @@
+package exec
+
+import (
+	"gigascope/internal/gsql"
+	"gigascope/internal/schema"
+)
+
+// ColKernel is the per-batch per-column form of a compiled expression:
+// it evaluates the expression over the rows listed in sel and returns a
+// column holding the per-row results. The returned column is scratch
+// owned by the kernel closure (or a direct alias of an input column for
+// bare column references) and is valid only until the kernel's next
+// invocation; values are defined only at the positions in sel.
+//
+// Kernels exist for every expression node except function calls:
+// scalar functions are partial (a row-level Eval may report !ok and
+// discard the tuple), which has no columnar equivalent, so an operator
+// whose expressions contain calls stays on the row path entirely.
+// Every kernelable node is total — the only failure-like outcome is
+// NULL (division by zero, NULL operands), which the null mask carries —
+// so kernel evaluation over extra rows (e.g. both sides of a
+// short-circuit) is side-effect-free and semantically invisible.
+type ColKernel func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col
+
+// CompileColKernel builds the columnar form of a compiled expression,
+// or nil when the expression has no columnar form (it contains a
+// function call). The kernel must produce, row for row, exactly the
+// Value the expression's Eval produces — the difftest columnar axis and
+// the row-vs-columnar property tests in colbatch_test.go enforce this
+// byte for byte.
+func CompileColKernel(e Expr) ColKernel {
+	switch x := e.(type) {
+	case constExpr:
+		return compileConstK(x.v)
+	case colExpr:
+		return compileColRefK(x)
+	case paramExpr:
+		return compileParamK(x)
+	case notExpr:
+		return compileNotK(x)
+	case negExpr:
+		return compileNegK(x)
+	case bitNotExpr:
+		return compileBitNotK(x)
+	case boolExpr:
+		return compileBoolK(x)
+	case cmpExpr:
+		return compileCmpK(x)
+	case arithExpr:
+		return compileArithK(x)
+	}
+	return nil // callExpr (partial functions) and unknown nodes
+}
+
+// colU reads the integer payload of row i, mirroring Value.Uint: the U
+// field, which is zero for float/string values.
+func colU(c *Col, i int) uint64 {
+	switch c.Ty {
+	case schema.TFloat, schema.TString, schema.TNull:
+		return 0
+	default:
+		return c.U[i]
+	}
+}
+
+// colF reads row i as a float, mirroring Value.Float's conversions.
+func colF(c *Col, i int) float64 {
+	switch c.Ty {
+	case schema.TFloat:
+		return c.F[i]
+	case schema.TInt:
+		return float64(int64(c.U[i]))
+	case schema.TString, schema.TNull:
+		return 0
+	default:
+		return float64(c.U[i])
+	}
+}
+
+func compileConstK(v schema.Value) ColKernel {
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, _ *Ctx) *Col {
+		fillBroadcast(out, v, cb.N, sel)
+		return out
+	}
+}
+
+func compileParamK(x paramExpr) ColKernel {
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col {
+		// Parameters are stable within a batch: Rebind requires no
+		// concurrent evaluation, so one lookup covers the window.
+		v := schema.Null
+		if ctx != nil {
+			if pv, ok := ctx.Params[x.name]; ok {
+				v = pv
+			}
+		}
+		fillBroadcast(out, v, cb.N, sel)
+		return out
+	}
+}
+
+// fillBroadcast types out after the runtime value (not the declared
+// type: the row path returns whatever Value is bound, so a parameter
+// bound off-type must flow through with its actual type) and replicates
+// it at the selected rows.
+func fillBroadcast(out *Col, v schema.Value, n int, sel []uint32) {
+	if v.IsNull() {
+		out.prep(schema.TNull, n)
+		return
+	}
+	out.prep(v.Type, n)
+	switch v.Type {
+	case schema.TFloat:
+		for _, i := range sel {
+			out.Null[i] = false
+			out.F[i] = v.F
+		}
+	case schema.TString:
+		for _, i := range sel {
+			out.Null[i] = false
+			out.B[i] = v.B
+		}
+	default:
+		for _, i := range sel {
+			out.Null[i] = false
+			out.U[i] = v.U
+		}
+	}
+}
+
+func compileColRefK(x colExpr) ColKernel {
+	nullCol := &Col{Ty: schema.TNull}
+	return func(cb *ColBatch, sel []uint32, _ *Ctx) *Col {
+		if x.idx >= len(cb.Cols) {
+			// Mirrors the row path's out-of-range → NULL behavior.
+			return nullCol
+		}
+		return &cb.Cols[x.idx]
+	}
+}
+
+func compileNotK(x notExpr) ColKernel {
+	xk := CompileColKernel(x.x)
+	if xk == nil {
+		return nil
+	}
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col {
+		xc := xk(cb, sel, ctx)
+		out.prep(schema.TBool, cb.N)
+		for _, si := range sel {
+			i := int(si)
+			if xc.IsNull(i) {
+				out.Null[i] = true
+				continue
+			}
+			out.Null[i] = false
+			if colU(xc, i) != 0 {
+				out.U[i] = 0
+			} else {
+				out.U[i] = 1
+			}
+		}
+		return out
+	}
+}
+
+func compileNegK(x negExpr) ColKernel {
+	xk := CompileColKernel(x.x)
+	if xk == nil {
+		return nil
+	}
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col {
+		xc := xk(cb, sel, ctx)
+		out.prep(x.ty, cb.N)
+		for _, si := range sel {
+			i := int(si)
+			if xc.IsNull(i) {
+				out.Null[i] = true
+				continue
+			}
+			out.Null[i] = false
+			if x.ty == schema.TFloat {
+				out.F[i] = -colF(xc, i)
+			} else {
+				out.U[i] = uint64(-int64(colU(xc, i)))
+			}
+		}
+		return out
+	}
+}
+
+func compileBitNotK(x bitNotExpr) ColKernel {
+	xk := CompileColKernel(x.x)
+	if xk == nil {
+		return nil
+	}
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col {
+		xc := xk(cb, sel, ctx)
+		out.prep(schema.TUint, cb.N)
+		for _, si := range sel {
+			i := int(si)
+			if xc.IsNull(i) {
+				out.Null[i] = true
+				continue
+			}
+			out.Null[i] = false
+			out.U[i] = ^colU(xc, i)
+		}
+		return out
+	}
+}
+
+func compileBoolK(x boolExpr) ColKernel {
+	lk, rk := CompileColKernel(x.l), CompileColKernel(x.r)
+	if lk == nil || rk == nil {
+		return nil
+	}
+	isAnd := x.op == gsql.OpAnd
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col {
+		lc := lk(cb, sel, ctx)
+		rc := rk(cb, sel, ctx)
+		out.prep(schema.TBool, cb.N)
+		for _, si := range sel {
+			i := int(si)
+			lnull := lc.IsNull(i)
+			if !lnull {
+				lb := colU(lc, i) != 0
+				// Short-circuit on known outcomes even with a NULL other
+				// side, as the row path does.
+				if isAnd && !lb {
+					out.Null[i], out.U[i] = false, 0
+					continue
+				}
+				if !isAnd && lb {
+					out.Null[i], out.U[i] = false, 1
+					continue
+				}
+			}
+			if lnull || rc.IsNull(i) {
+				out.Null[i] = true
+				continue
+			}
+			out.Null[i] = false
+			rb := colU(rc, i) != 0
+			var res bool
+			if isAnd {
+				res = !lnull && colU(lc, i) != 0 && rb
+			} else {
+				res = (!lnull && colU(lc, i) != 0) || rb
+			}
+			if res {
+				out.U[i] = 1
+			} else {
+				out.U[i] = 0
+			}
+		}
+		return out
+	}
+}
+
+func compileCmpK(x cmpExpr) ColKernel {
+	lk, rk := CompileColKernel(x.l), CompileColKernel(x.r)
+	if lk == nil || rk == nil {
+		return nil
+	}
+	op := x.op
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col {
+		lc := lk(cb, sel, ctx)
+		rc := rk(cb, sel, ctx)
+		out.prep(schema.TBool, cb.N)
+		// Fast path: both sides share an unsigned-payload type, so the
+		// comparison is a direct compare of the U slices. This covers the
+		// dominant capture-path predicates (ports, protocols, lengths,
+		// timestamps, same-type IPs).
+		if lc.Ty == rc.Ty && (lc.Ty == schema.TUint || lc.Ty == schema.TIP || lc.Ty == schema.TBool) {
+			lu, ru := lc.U, rc.U
+			for _, si := range sel {
+				i := int(si)
+				if lc.IsNull(i) || rc.IsNull(i) {
+					out.Null[i] = true
+					continue
+				}
+				out.Null[i] = false
+				var c int
+				switch {
+				case lu[i] < ru[i]:
+					c = -1
+				case lu[i] > ru[i]:
+					c = 1
+				}
+				out.U[i] = cmpResult(op, c)
+			}
+			return out
+		}
+		for _, si := range sel {
+			i := int(si)
+			if lc.IsNull(i) || rc.IsNull(i) {
+				out.Null[i] = true
+				continue
+			}
+			out.Null[i] = false
+			c := lc.Value(i).Compare(rc.Value(i))
+			out.U[i] = cmpResult(op, c)
+		}
+		return out
+	}
+}
+
+func cmpResult(op gsql.Op, c int) uint64 {
+	var b bool
+	switch op {
+	case gsql.OpEq:
+		b = c == 0
+	case gsql.OpNe:
+		b = c != 0
+	case gsql.OpLt:
+		b = c < 0
+	case gsql.OpLe:
+		b = c <= 0
+	case gsql.OpGt:
+		b = c > 0
+	case gsql.OpGe:
+		b = c >= 0
+	}
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func compileArithK(x arithExpr) ColKernel {
+	lk, rk := CompileColKernel(x.l), CompileColKernel(x.r)
+	if lk == nil || rk == nil {
+		return nil
+	}
+	op, ty := x.op, x.ty
+	out := &Col{}
+	return func(cb *ColBatch, sel []uint32, ctx *Ctx) *Col {
+		lc := lk(cb, sel, ctx)
+		rc := rk(cb, sel, ctx)
+		out.prep(ty, cb.N)
+		switch ty {
+		case schema.TFloat:
+			for _, si := range sel {
+				i := int(si)
+				if lc.IsNull(i) || rc.IsNull(i) {
+					out.Null[i] = true
+					continue
+				}
+				a, b := colF(lc, i), colF(rc, i)
+				var f float64
+				switch op {
+				case gsql.OpAdd:
+					f = a + b
+				case gsql.OpSub:
+					f = a - b
+				case gsql.OpMul:
+					f = a * b
+				case gsql.OpDiv:
+					if b == 0 {
+						out.Null[i] = true
+						continue
+					}
+					f = a / b
+				}
+				out.Null[i] = false
+				out.F[i] = f
+			}
+		case schema.TInt:
+			for _, si := range sel {
+				i := int(si)
+				if lc.IsNull(i) || rc.IsNull(i) {
+					out.Null[i] = true
+					continue
+				}
+				a, b := int64(colU(lc, i)), int64(colU(rc, i))
+				var v int64
+				switch op {
+				case gsql.OpAdd:
+					v = a + b
+				case gsql.OpSub:
+					v = a - b
+				case gsql.OpMul:
+					v = a * b
+				case gsql.OpDiv:
+					if b == 0 {
+						out.Null[i] = true
+						continue
+					}
+					v = a / b
+				case gsql.OpMod:
+					if b == 0 {
+						out.Null[i] = true
+						continue
+					}
+					v = a % b
+				case gsql.OpBitAnd:
+					v = a & b
+				case gsql.OpBitOr:
+					v = a | b
+				case gsql.OpBitXor:
+					v = a ^ b
+				case gsql.OpShl:
+					v = a << uint(b)
+				case gsql.OpShr:
+					v = a >> uint(b)
+				}
+				out.Null[i] = false
+				out.U[i] = uint64(v)
+			}
+		default: // TUint
+			for _, si := range sel {
+				i := int(si)
+				if lc.IsNull(i) || rc.IsNull(i) {
+					out.Null[i] = true
+					continue
+				}
+				a, b := colU(lc, i), colU(rc, i)
+				var v uint64
+				switch op {
+				case gsql.OpAdd:
+					v = a + b
+				case gsql.OpSub:
+					v = a - b
+				case gsql.OpMul:
+					v = a * b
+				case gsql.OpDiv:
+					if b == 0 {
+						out.Null[i] = true
+						continue
+					}
+					v = a / b
+				case gsql.OpMod:
+					if b == 0 {
+						out.Null[i] = true
+						continue
+					}
+					v = a % b
+				case gsql.OpBitAnd:
+					v = a & b
+				case gsql.OpBitOr:
+					v = a | b
+				case gsql.OpBitXor:
+					v = a ^ b
+				case gsql.OpShl:
+					v = a << b
+				case gsql.OpShr:
+					v = a >> b
+				}
+				out.Null[i] = false
+				out.U[i] = v
+			}
+		}
+		return out
+	}
+}
+
+// FilterSel applies a compiled predicate kernel over sel and appends
+// the passing row indexes to dst (typically dst[:0] of a reusable
+// buffer), preserving ascending order. NULL predicate results filter
+// the row, matching EvalPred.
+func FilterSel(pk ColKernel, cb *ColBatch, sel []uint32, ctx *Ctx, dst []uint32) []uint32 {
+	pc := pk(cb, sel, ctx)
+	for _, si := range sel {
+		i := int(si)
+		if pc.IsNull(i) {
+			continue
+		}
+		if colU(pc, i) != 0 {
+			dst = append(dst, si)
+		}
+	}
+	return dst
+}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"gigascope/internal/funcs"
@@ -22,6 +21,18 @@ type LFTAAgg struct {
 	hasWM  bool
 	approx bool // demoted to sketched aggregates for new slots
 	stats  Counters
+
+	keyBuf []byte // packed-key scratch; the key string is allocated only on slot fill
+
+	// Columnar form (nil kernels / colOK false → row path only).
+	colOK    bool
+	predK    ColKernel
+	groupKs  []ColKernel
+	argKs    []ColKernel
+	selBuf   []uint32
+	gvalsBuf schema.Tuple
+	gcolsBuf []*Col
+	acolsBuf []*Col
 }
 
 type lftaSlot struct {
@@ -45,7 +56,30 @@ func NewLFTAAgg(spec AggSpec, tableSize int) (*LFTAAgg, error) {
 	for size < tableSize {
 		size <<= 1
 	}
-	return &LFTAAgg{spec: spec, slots: make([]lftaSlot, size), mask: uint64(size - 1)}, nil
+	o := &LFTAAgg{spec: spec, slots: make([]lftaSlot, size), mask: uint64(size - 1)}
+	o.colOK = true
+	if spec.Pred != nil {
+		if o.predK = CompileColKernel(spec.Pred); o.predK == nil {
+			o.colOK = false
+		}
+	}
+	o.groupKs = make([]ColKernel, len(spec.GroupExprs))
+	for i, e := range spec.GroupExprs {
+		if o.groupKs[i] = CompileColKernel(e); o.groupKs[i] == nil {
+			o.colOK = false
+		}
+	}
+	o.argKs = make([]ColKernel, len(spec.Aggs))
+	for i := range spec.Aggs {
+		if spec.Aggs[i].Arg == nil {
+			continue
+		}
+		if o.argKs[i] = CompileColKernel(spec.Aggs[i].Arg); o.argKs[i] == nil {
+			o.colOK = false
+		}
+	}
+	o.gvalsBuf = make(schema.Tuple, len(spec.GroupExprs))
+	return o, nil
 }
 
 // Ports implements Operator.
@@ -175,28 +209,7 @@ func (o *LFTAAgg) pushTuple(row schema.Tuple, emit Emit) {
 		}
 		o.advance(ord, emit)
 	}
-	key := string(gvals.Pack(nil))
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	slot := &o.slots[h.Sum64()&o.mask]
-	if slot.used && slot.key != key {
-		// Collision: eject the incumbent as a partial tuple (paper §3).
-		o.stats.Evicted.Add(1)
-		o.emitSlot(slot, emit)
-		slot.used = false
-	}
-	if !slot.used {
-		slot.used = true
-		slot.key = key
-		slot.gvals = gvals.Clone()
-		if o.spec.OrdGroup >= 0 {
-			slot.ord = gvals[o.spec.OrdGroup]
-		}
-		slot.states = make([]funcs.AggState, len(o.spec.Aggs))
-		for i := range o.spec.Aggs {
-			slot.states[i] = o.spec.Aggs[i].NewState(o.approx)
-		}
-	}
+	slot := o.lookupSlot(gvals, emit)
 	for i, a := range o.spec.Aggs {
 		if a.Arg == nil {
 			slot.states[i].Add(schema.Null)
@@ -209,6 +222,119 @@ func (o *LFTAAgg) pushTuple(row schema.Tuple, emit Emit) {
 		slot.states[i].Add(v)
 	}
 	return
+}
+
+// fnv64a is hash/fnv's 64-bit FNV-1a over b without the per-call hasher
+// allocation — this runs once per tuple on the capture path. It must
+// stay bit-identical to hash/fnv (offset basis and prime from the FNV
+// spec) so table placement, and therefore the eviction pattern and the
+// byte-exact output order, match historical behavior.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// lookupSlot finds (evicting a colliding incumbent) or fills the table
+// slot for gvals. The packed key is built in a reused buffer and
+// compared against the incumbent without allocating; the key string is
+// allocated only when a slot is (re)filled. gvals may be a reused
+// scratch tuple: the slot stores a deep Clone and its ord references
+// the clone, never the caller's buffer.
+func (o *LFTAAgg) lookupSlot(gvals schema.Tuple, emit Emit) *lftaSlot {
+	o.keyBuf = gvals.Pack(o.keyBuf[:0])
+	slot := &o.slots[fnv64a(o.keyBuf)&o.mask]
+	if slot.used && slot.key != string(o.keyBuf) {
+		// Collision: eject the incumbent as a partial tuple (paper §3).
+		o.stats.Evicted.Add(1)
+		o.emitSlot(slot, emit)
+		slot.used = false
+	}
+	if !slot.used {
+		slot.used = true
+		slot.key = string(o.keyBuf)
+		slot.gvals = gvals.Clone()
+		if o.spec.OrdGroup >= 0 {
+			slot.ord = slot.gvals[o.spec.OrdGroup]
+		}
+		slot.states = make([]funcs.AggState, len(o.spec.Aggs))
+		for i := range o.spec.Aggs {
+			slot.states[i] = o.spec.Aggs[i].NewState(o.approx)
+		}
+	}
+	return slot
+}
+
+// Columnar reports whether the operator has a native columnar path.
+func (o *LFTAAgg) Columnar() bool { return o.colOK }
+
+// PushCols implements ColOperator: the predicate kernel narrows the
+// selection vector, group and aggregate-argument kernels run
+// column-wise, and only the per-row table update walks rows. All
+// emissions (evictions, watermark flushes) stream through emit exactly
+// as the row path does, so output is byte-identical.
+func (o *LFTAAgg) PushCols(cb *ColBatch, emit Emit) error {
+	sel := cb.LiveSel()
+	if in := uint64(len(sel)); in > 0 {
+		o.stats.In.Add(in)
+	}
+	if o.predK != nil {
+		before := len(sel)
+		o.selBuf = FilterSel(o.predK, cb, sel, o.spec.Ctx, o.selBuf[:0])
+		sel = o.selBuf
+		if d := before - len(sel); d > 0 {
+			o.stats.Dropped.Add(uint64(d))
+		}
+	}
+	if len(sel) == 0 {
+		return nil
+	}
+	if o.gcolsBuf == nil {
+		o.gcolsBuf = make([]*Col, len(o.groupKs))
+		o.acolsBuf = make([]*Col, len(o.argKs))
+	}
+	gcols, acols := o.gcolsBuf, o.acolsBuf
+	for i, kn := range o.groupKs {
+		gcols[i] = kn(cb, sel, o.spec.Ctx)
+	}
+	for i, kn := range o.argKs {
+		if kn != nil {
+			acols[i] = kn(cb, sel, o.spec.Ctx)
+		} else {
+			acols[i] = nil
+		}
+	}
+	gvals := o.gvalsBuf
+	for _, si := range sel {
+		i := int(si)
+		for j := range gcols {
+			gvals[j] = gcols[j].Value(i)
+		}
+		if o.spec.OrdGroup >= 0 {
+			ord := gvals[o.spec.OrdGroup]
+			if ord.IsNull() {
+				o.stats.Dropped.Add(1)
+				continue
+			}
+			o.advance(ord, emit)
+		}
+		slot := o.lookupSlot(gvals, emit)
+		for k := range o.spec.Aggs {
+			if acols[k] == nil {
+				slot.states[k].Add(schema.Null)
+				continue
+			}
+			slot.states[k].Add(acols[k].Value(i))
+		}
+	}
+	return nil
 }
 
 func (o *LFTAAgg) advance(ord schema.Value, emit Emit) {

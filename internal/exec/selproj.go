@@ -20,6 +20,15 @@ type SelProj struct {
 	// input ordering, so heartbeat bounds may be propagated through it.
 	hbCols []bool
 	stats  Counters
+
+	// Columnar form: compiled per-batch kernels, or colOK false when any
+	// expression has no kernel (function calls are partial and must run
+	// row-at-a-time). selBuf and outCols are single-goroutine scratch.
+	colOK   bool
+	predK   ColKernel
+	outKs   []ColKernel
+	selBuf  []uint32
+	outCols []*Col
 }
 
 // OpStats is a point-in-time snapshot of operator activity; the RTS
@@ -63,7 +72,67 @@ func (c *Counters) Snapshot() OpStats {
 // NewSelProj builds a selection/projection operator. hbCols may be nil
 // (no bound propagation).
 func NewSelProj(pred Expr, outs []Expr, hbCols []bool, ctx *Ctx, out *schema.Schema) *SelProj {
-	return &SelProj{pred: pred, outs: outs, hbCols: hbCols, ctx: ctx, out: out}
+	o := &SelProj{pred: pred, outs: outs, hbCols: hbCols, ctx: ctx, out: out}
+	o.colOK = true
+	if pred != nil {
+		if o.predK = CompileColKernel(pred); o.predK == nil {
+			o.colOK = false
+		}
+	}
+	o.outKs = make([]ColKernel, len(outs))
+	o.outCols = make([]*Col, len(outs))
+	for i, e := range outs {
+		if o.outKs[i] = CompileColKernel(e); o.outKs[i] == nil {
+			o.colOK = false
+		}
+	}
+	return o
+}
+
+// Columnar reports whether the operator has a native columnar path.
+func (o *SelProj) Columnar() bool { return o.colOK }
+
+// PushCols implements ColOperator: the predicate kernel narrows the
+// selection vector, output kernels run only over surviving rows, and
+// rows are materialized solely for emission. Semantics are byte-
+// identical to pushing each live row through Push: kernels cannot fail
+// (no partial functions when colOK), so pass/drop is decided entirely
+// by the predicate.
+func (o *SelProj) PushCols(cb *ColBatch, emit Emit) error {
+	sel := cb.LiveSel()
+	in := uint64(len(sel))
+	if in > 0 {
+		o.stats.In.Add(in)
+	}
+	if o.predK != nil {
+		o.selBuf = FilterSel(o.predK, cb, sel, o.ctx, o.selBuf[:0])
+		sel = o.selBuf
+	}
+	if dropped := in - uint64(len(sel)); dropped > 0 {
+		o.stats.Dropped.Add(dropped)
+	}
+	if len(sel) == 0 {
+		return nil
+	}
+	o.stats.Out.Add(uint64(len(sel)))
+	for k, kn := range o.outKs {
+		o.outCols[k] = kn(cb, sel, o.ctx)
+	}
+	// One backing slab for the whole batch's output rows: the rows are
+	// handed downstream (never reused), but carving them from a single
+	// allocation replaces len(sel) small allocs with one.
+	w := len(o.outs)
+	slab := make(schema.Tuple, len(sel)*w)
+	for _, si := range sel {
+		i := int(si)
+		outRow := slab[:w:w]
+		slab = slab[w:]
+		for k, oc := range o.outCols {
+			outRow[k] = oc.Value(i)
+		}
+		emit(TupleMsg(outRow))
+	}
+	return nil
 }
 
 // Ports implements Operator.

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/pkt"
+)
+
+// E13 compares the row and columnar capture paths; the comparison is
+// vacuous if the deployment's packet-source LFTAs silently decline the
+// columnar path (PushWindow handled=false makes both sides run the row
+// path and the ratio measures nothing). Pin that every capture-level
+// node in the E5 mix takes the columnar path on real generated traffic.
+func TestE13WorkloadTakesColumnarPath(t *testing.T) {
+	cat, err := newCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := e5Generator(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]*pkt.Packet, 64)
+	for i := range ps {
+		p, _ := g.Next()
+		pp := p
+		ps[i] = &pp
+	}
+	sources := 0
+	for _, q := range E5Queries {
+		cq, err := compileQuery(cat, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range cq.LFTAs() {
+			inst, err := n.Instantiate(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !inst.IsPacketSource() {
+				continue
+			}
+			sources++
+			handled, err := inst.PushWindow(ps, func(exec.Message) {})
+			if err != nil {
+				t.Fatalf("%s: PushWindow: %v", n.Name, err)
+			}
+			if !handled {
+				t.Errorf("%s: packet-source LFTA declined the columnar path; E13's A/B would be vacuous", n.Name)
+			}
+		}
+	}
+	if sources == 0 {
+		t.Fatal("E5 deployment compiled to no packet-source LFTAs")
+	}
+}

@@ -1,0 +1,216 @@
+// Package ring provides the single-producer/single-consumer lock-free
+// ring buffer used on the hottest hops of the capture path
+// (capture→shard workers and shard→reunify; see "Scaling Ordered Stream
+// Processing on Shared-Memory Multicores", PAPERS.md). A ring crossing
+// in the common case is one plain slot write plus one atomic store — no
+// mutex, no channel, no goroutine wakeup — while the empty/full edges
+// fall back to parking on a tiny notification channel so an idle ring
+// costs no CPU (the container this runs in may have a single core;
+// unbounded spinning would starve the very goroutine being waited on).
+//
+// Memory-ordering argument (DESIGN.md has the long form): Go's
+// sync/atomic operations are sequentially consistent, so the producer's
+// plain write of buf[tail&mask] happens-before its tail.Store(tail+1),
+// and a consumer that observes the new tail via head-side Load also
+// observes the slot contents. Symmetrically the consumer clears the
+// slot before head.Store(head+1), so the producer never overwrites a
+// slot still being read. Exactly one goroutine may push (and close) and
+// exactly one may pop at any time; ownership may transfer between
+// goroutines only through another happens-before edge (a mutex, a
+// channel, or WaitGroup), which is how the capture lock hands the
+// producer role across Inject callers.
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLinePad separates the producer- and consumer-owned indices so
+// head/tail updates do not false-share one cache line.
+type cacheLinePad [64]byte
+
+// Waker is a one-token wakeup latch: Wake is cheap and idempotent while
+// a token is pending, Chan exposes the token for select-based waits.
+// Several rings may share one consumer-side Waker (the reunify node
+// waits on all its shard rings with a single latch).
+type Waker struct {
+	ch chan struct{}
+}
+
+// NewWaker builds a latch with one buffered token.
+func NewWaker() *Waker { return &Waker{ch: make(chan struct{}, 1)} }
+
+// Wake deposits the token if none is pending.
+func (w *Waker) Wake() {
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Chan returns the token channel for select-based waits.
+func (w *Waker) Chan() <-chan struct{} { return w.ch }
+
+// Clear removes a stale token so a fresh wait observes only wakeups that
+// happen after the caller's re-check of ring state.
+func (w *Waker) Clear() {
+	select {
+	case <-w.ch:
+	default:
+	}
+}
+
+// SPSC is a bounded single-producer/single-consumer ring. The zero value
+// is not usable; construct with New.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to pop; consumer-owned
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to push; producer-owned
+	_    cacheLinePad
+
+	closed atomic.Bool
+
+	// cw wakes the consumer on empty→non-empty and on close; pw wakes
+	// the producer on full→non-full. cw may be shared across rings.
+	cw *Waker
+	pw *Waker
+}
+
+// New builds a ring with capacity rounded up to a power of two (minimum
+// 2). consumerWaker may be nil, in which case the ring allocates its
+// own; pass a shared Waker when one consumer drains several rings.
+func New[T any](capacity int, consumerWaker *Waker) *SPSC[T] {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	if consumerWaker == nil {
+		consumerWaker = NewWaker()
+	}
+	return &SPSC[T]{
+		buf:  make([]T, size),
+		mask: uint64(size - 1),
+		cw:   consumerWaker,
+		pw:   NewWaker(),
+	}
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered entries (racy snapshot; exact when
+// called from either endpoint goroutine).
+func (r *SPSC[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// TryPush appends v and reports success; false means the ring is full.
+// Producer goroutine only.
+func (r *SPSC[T]) TryPush(v T) bool {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t-h == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	if t == h {
+		// Empty→non-empty: the consumer may be parked.
+		r.cw.Wake()
+	}
+	return true
+}
+
+// Push blocks until v is appended (backpressure). Producer goroutine
+// only; must not be called after Close.
+func (r *SPSC[T]) Push(v T) {
+	for i := 0; ; i++ {
+		if r.TryPush(v) {
+			return
+		}
+		if i < 4 {
+			// Brief politeness window: on a loaded single-core box the
+			// consumer needs the CPU more than we need to poll.
+			runtime.Gosched()
+			continue
+		}
+		// Park until the consumer frees a slot. Re-check after clearing
+		// the stale token: the pop that matters may have happened between
+		// our failed TryPush and the Clear.
+		r.pw.Clear()
+		if r.TryPush(v) {
+			return
+		}
+		<-r.pw.Chan()
+	}
+}
+
+// TryPop removes the oldest entry. Consumer goroutine only.
+func (r *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	t := r.tail.Load()
+	if h == t {
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero // drop the reference; the slot may pin a large batch
+	r.head.Store(h + 1)
+	if t-h == uint64(len(r.buf)) {
+		// Full→non-full: the producer may be parked.
+		r.pw.Wake()
+	}
+	return v, true
+}
+
+// Pop blocks until an entry is available or the ring is closed and
+// drained; ok is false only in the latter case. Consumer goroutine only.
+func (r *SPSC[T]) Pop() (T, bool) {
+	for i := 0; ; i++ {
+		if v, ok := r.TryPop(); ok {
+			return v, true
+		}
+		if r.Done() {
+			var zero T
+			return zero, false
+		}
+		if i < 4 {
+			runtime.Gosched()
+			continue
+		}
+		r.cw.Clear()
+		if v, ok := r.TryPop(); ok {
+			return v, true
+		}
+		if r.Done() {
+			var zero T
+			return zero, false
+		}
+		<-r.cw.Chan()
+	}
+}
+
+// Close marks the stream ended. Producer goroutine only (or whoever has
+// taken over the producer role through a happens-before edge); push
+// nothing afterwards. The consumer drains the remaining entries and
+// then observes Done.
+func (r *SPSC[T]) Close() {
+	r.closed.Store(true)
+	r.cw.Wake()
+}
+
+// Closed reports whether Close was called (entries may remain buffered).
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }
+
+// Done reports end-of-stream: closed and fully drained. The closed flag
+// is checked first so a true result is stable — no push can follow a
+// Close, so "closed and empty" can never revert.
+func (r *SPSC[T]) Done() bool {
+	if !r.closed.Load() {
+		return false
+	}
+	return r.head.Load() == r.tail.Load()
+}

@@ -1,0 +1,218 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {256, 256}, {300, 512},
+	} {
+		if got := New[int](tc.ask, nil).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestTryPushTryPopFIFO(t *testing.T) {
+	r := New[int](4, nil)
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed below capacity", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("TryPush succeeded on full ring")
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on drained ring succeeded")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	r := New[int](4, nil)
+	// Push/pop enough times to wrap the indices through the buffer
+	// several times, in mixed fill levels.
+	next := 0
+	for round := 0; round < 50; round++ {
+		n := 1 + round%4
+		for i := 0; i < n; i++ {
+			if !r.TryPush(next + i) {
+				t.Fatalf("round %d: push %d failed", round, next+i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v, ok := r.TryPop()
+			if !ok || v != next+i {
+				t.Fatalf("round %d: pop = (%d, %v), want (%d, true)", round, v, ok, next+i)
+			}
+		}
+		next += n
+	}
+}
+
+func TestCloseDrain(t *testing.T) {
+	r := New[int](8, nil)
+	r.TryPush(1)
+	r.TryPush(2)
+	r.Close()
+	if r.Done() {
+		t.Fatal("Done before drain")
+	}
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = (%d, %v), want (1, true)", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop = (%d, %v), want (2, true)", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop after close+drain reported a value")
+	}
+	if !r.Done() {
+		t.Fatal("Done false after close+drain")
+	}
+}
+
+// TestConcurrentTransfer is the core -race exercise: one producer using
+// the blocking Push over a deliberately tiny ring (so both the full and
+// empty parking paths trigger constantly), one consumer using blocking
+// Pop, values must arrive exactly once in order.
+func TestConcurrentTransfer(t *testing.T) {
+	const n = 100000
+	r := New[int](4, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	for i := 0; ; i++ {
+		v, ok := r.Pop()
+		if !ok {
+			if i != n {
+				t.Fatalf("stream ended after %d values, want %d", i, n)
+			}
+			break
+		}
+		if v != i {
+			t.Fatalf("got %d at position %d", v, i)
+		}
+	}
+	wg.Wait()
+}
+
+// TestSharedWakerMultiRing models the reunify topology: several rings,
+// one consumer parked on a shared waker, producers on separate
+// goroutines. All values must be observed.
+func TestSharedWakerMultiRing(t *testing.T) {
+	const perRing, nrings = 20000, 4
+	w := NewWaker()
+	rings := make([]*SPSC[int], nrings)
+	for i := range rings {
+		rings[i] = New[int](8, w)
+	}
+	var wg sync.WaitGroup
+	for i, r := range rings {
+		wg.Add(1)
+		go func(base int, r *SPSC[int]) {
+			defer wg.Done()
+			for j := 0; j < perRing; j++ {
+				r.Push(base + j)
+			}
+			r.Close()
+		}(i*perRing, r)
+	}
+	seen := make(map[int]bool, perRing*nrings)
+	open := nrings
+	for open > 0 {
+		progressed := false
+		for _, r := range rings {
+			for {
+				v, ok := r.TryPop()
+				if !ok {
+					break
+				}
+				if seen[v] {
+					t.Fatalf("value %d delivered twice", v)
+				}
+				seen[v] = true
+				progressed = true
+			}
+		}
+		open = 0
+		for _, r := range rings {
+			if !r.Done() {
+				open++
+			}
+		}
+		if !progressed && open > 0 {
+			// Double-check park: clear, re-check, then wait.
+			w.Clear()
+			again := false
+			for _, r := range rings {
+				if r.Len() > 0 || r.Done() {
+					again = true
+					break
+				}
+			}
+			if !again {
+				<-w.Chan()
+			}
+		}
+	}
+	wg.Wait()
+	if len(seen) != perRing*nrings {
+		t.Fatalf("saw %d values, want %d", len(seen), perRing*nrings)
+	}
+}
+
+func BenchmarkSPSCTransfer(b *testing.B) {
+	r := New[int](256, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := r.Pop(); !ok {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+	}
+	r.Close()
+	<-done
+}
+
+func BenchmarkChannelTransfer(b *testing.B) {
+	ch := make(chan int, 256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range ch {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch <- i
+	}
+	close(ch)
+	<-done
+}

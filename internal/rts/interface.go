@@ -190,13 +190,13 @@ func (it *Interface) InjectBatch(ps []*pkt.Packet) {
 			return
 		}
 		// Enqueue under the lock: per shard, windows land in clock order
-		// and no later heartbeat can overtake them. A full work channel
+		// and no later heartbeat can overtake them. A full work ring
 		// blocks (backpressure on the capture path); the workers never
 		// take this lock and their publishers shed, so they always drain.
 		windows := nic.Steer(kept, len(it.shards), nil)
 		for i, sh := range it.shards {
 			if len(windows[i]) > 0 {
-				sh.work <- shardWork{window: windows[i]}
+				sh.work.Push(shardWork{window: windows[i]})
 			}
 		}
 		it.mu.Unlock()
@@ -256,7 +256,7 @@ func (it *Interface) maybeHeartbeat(forced bool) {
 		// raised the clock to it — per shard, heartbeats never overtake
 		// the tuples they bound.
 		for _, sh := range it.shards {
-			sh.work <- shardWork{hb: clock}
+			sh.work.Push(shardWork{hb: clock})
 		}
 		it.mu.Unlock()
 		it.hbAsked.Store(false)
@@ -321,7 +321,7 @@ func (it *Interface) shutdown() {
 		it.mu.Unlock()
 		if len(shards) > 0 {
 			for _, sh := range shards {
-				close(sh.work)
+				sh.work.Close()
 			}
 			for _, sh := range shards {
 				<-sh.done

@@ -31,6 +31,7 @@ import (
 	"gigascope/internal/core"
 	"gigascope/internal/exec"
 	"gigascope/internal/pkt"
+	"gigascope/internal/ring"
 	"gigascope/internal/schema"
 )
 
@@ -80,6 +81,12 @@ type Config struct {
 	// source nodes never auto-restart: there is no compiled plan to
 	// rebuild them from.
 	QuarantineRestartUsec uint64
+	// DisableColumnar forces the capture path onto the row-at-a-time
+	// reference pipeline: poll windows are pushed packet by packet instead
+	// of being accumulated into column batches. The columnar path is
+	// semantics-preserving (the differential harness A/Bs the two), so
+	// this is a debugging and benchmarking switch.
+	DisableColumnar bool
 }
 
 func (c Config) ringSize() int {
@@ -357,6 +364,12 @@ func (m *Manager) addShardedLFTA(n *core.Node, params map[string]schema.Value) (
 		maxBatch: m.cfg.maxBatch(),
 		hbFlush:  true,
 	}
+	// The shard→reunify hop rides lock-free SPSC rings instead of channel
+	// subscriptions: each shard publisher owns one ring (single producer:
+	// the shard worker; single consumer: the reunify loop), and all rings
+	// share the reunify node's waker. The mangled "name#shard<i>" streams
+	// stay subscribable through the normal channel path.
+	re.ringWaker = ring.NewWaker()
 	var added []*queryNode
 	for i := 0; i < s; i++ {
 		name := shardName(n.Name, i)
@@ -378,9 +391,10 @@ func (m *Manager) addShardedLFTA(n *core.Node, params map[string]schema.Value) (
 			qn.initCheckers(n.Out)
 		}
 		iface.attachShard(i, qn)
-		sub := qn.pub.subscribe(m.cfg.ringSize())
-		sub.reqFn = qn.requestHeartbeat
-		re.inputs = append(re.inputs, sub)
+		r := ring.New[exec.Batch](m.cfg.ringSize(), re.ringWaker)
+		qn.pub.ringEdge = r
+		re.ringIns = append(re.ringIns, r)
+		re.ringReqs = append(re.ringReqs, qn.requestHeartbeat)
 		re.shardsOf = append(re.shardsOf, qn)
 		m.nodes[strings.ToLower(name)] = qn
 		m.order = append(m.order, qn)

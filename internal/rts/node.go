@@ -8,6 +8,7 @@ import (
 	"gigascope/internal/core"
 	"gigascope/internal/exec"
 	"gigascope/internal/pkt"
+	"gigascope/internal/ring"
 	"gigascope/internal/schema"
 )
 
@@ -45,12 +46,16 @@ type queryNode struct {
 
 	// Batch assembly. pending is touched only by the node's single
 	// emitting goroutine (HFTA loop, or capture path under mu).
-	maxBatch    int
-	hbFlush     bool // flush on heartbeat (LFTA/source nodes)
-	pending     exec.Batch
-	flushSize   atomic.Uint64
-	flushHB     atomic.Uint64
-	flushWindow atomic.Uint64
+	// pendingTuples counts the non-heartbeat messages in pending,
+	// maintained incrementally so publish-time shed accounting never
+	// rescans the batch.
+	maxBatch      int
+	hbFlush       bool // flush on heartbeat (LFTA/source nodes)
+	pending       exec.Batch
+	pendingTuples int
+	flushSize     atomic.Uint64
+	flushHB       atomic.Uint64
+	flushWindow   atomic.Uint64
 
 	// LFTA-side counters; the interface goroutine is the only writer.
 	packets atomic.Uint64
@@ -67,6 +72,15 @@ type queryNode struct {
 	done    chan struct{}
 	started atomic.Bool
 	mu      sync.Mutex // guards inline LFTA execution vs setParams
+
+	// Ring-fed input (shard→reunify hop): when ringIns is non-empty the
+	// node consumes SPSC rings directly on ringLoop instead of channel
+	// subscriptions + forwarder goroutines. ringWaker is shared by all
+	// input rings; ringReqs[port] demands a heartbeat from that port's
+	// producer (the per-shard LFTA). Wired before start.
+	ringIns   []*ring.SPSC[exec.Batch]
+	ringWaker *ring.Waker
+	ringReqs  []func()
 
 	// Quarantine state. A panic escaping the operator poisons its state:
 	// the node detaches from its publisher (everything it would emit is
@@ -120,11 +134,23 @@ func (qn *queryNode) start() {
 	if !qn.started.CompareAndSwap(false, true) {
 		return
 	}
-	qn.inbox = make(chan portBatch, qn.m.cfg.inboxDepth())
 	qn.cmds = make(chan func(), 4)
 	qn.done = make(chan struct{})
 
 	qn.wireMerge()
+
+	if len(qn.ringIns) > 0 {
+		// Ring-fed node: no forwarder goroutines, no inbox. The loop
+		// polls the SPSC rings directly and parks on the shared waker.
+		qn.m.wg.Add(1)
+		go func() {
+			defer qn.m.wg.Done()
+			qn.ringLoop()
+		}()
+		return
+	}
+
+	qn.inbox = make(chan portBatch, qn.m.cfg.inboxDepth())
 
 	var fwd sync.WaitGroup
 	for i, sub := range qn.inputs {
@@ -153,6 +179,15 @@ func (qn *queryNode) start() {
 // Called at start and again after a clean-state restart swaps the op.
 func (qn *queryNode) wireMerge() {
 	if mg, ok := qn.op.(*exec.Merge); ok {
+		if len(qn.ringReqs) > 0 {
+			reqs := qn.ringReqs
+			mg.OnBlocked = func(port int) {
+				if port >= 0 && port < len(reqs) {
+					reqs[port]()
+				}
+			}
+			return
+		}
 		inputs := qn.inputs
 		mg.OnBlocked = func(port int) {
 			if port >= 0 && port < len(inputs) {
@@ -207,6 +242,94 @@ func (qn *queryNode) loop(openPorts int) {
 	}
 }
 
+// ringPortQuota bounds consecutive pops from one ring per polling pass,
+// so a hot shard cannot starve its siblings at the reunify merge.
+const ringPortQuota = 4
+
+// ringLoop consumes the node's SPSC input rings (the shard→reunify hop):
+// round-robin polling with a per-port quota, then park on the shared
+// waker when every open ring is empty. The double-check between Clear
+// and the blocking select is what makes the park race-free — a producer
+// that published between our last poll and Clear re-arms the token, and
+// one that publishes after Clear wakes us from the select.
+func (qn *queryNode) ringLoop() {
+	defer close(qn.done)
+	open := make([]bool, len(qn.ringIns))
+	for i := range open {
+		open[i] = true
+	}
+	openPorts := len(qn.ringIns)
+
+	poll := func() bool {
+		progress := false
+		for port, r := range qn.ringIns {
+			if !open[port] {
+				continue
+			}
+			for q := 0; q < ringPortQuota; q++ {
+				b, ok := r.TryPop()
+				if !ok {
+					if r.Done() {
+						open[port] = false
+						openPorts--
+						if mg, isMerge := qn.op.(*exec.Merge); isMerge && qn.maybeRestart() {
+							qn.guard("portdone", func() error { mg.PortDone(port, qn.emit); return nil })
+							qn.flushPending(&qn.flushWindow)
+						}
+						progress = true
+					}
+					break
+				}
+				progress = true
+				if !qn.maybeRestart() {
+					qn.quarDrop.Add(uint64(b.Tuples()))
+					continue
+				}
+				qn.guard("push", func() error {
+					return exec.PushBatch(qn.op, port, b, qn.emitBatch)
+				})
+				qn.flushPending(&qn.flushWindow)
+			}
+		}
+		return progress
+	}
+
+	for openPorts > 0 {
+		for {
+			select {
+			case cmd := <-qn.cmds:
+				cmd()
+				continue
+			default:
+			}
+			break
+		}
+		if poll() {
+			continue
+		}
+		if openPorts == 0 {
+			break
+		}
+		qn.ringWaker.Clear()
+		if poll() { // re-check after Clear: a wake between poll and Clear is not lost
+			continue
+		}
+		if openPorts == 0 {
+			break
+		}
+		select {
+		case cmd := <-qn.cmds:
+			cmd()
+		case <-qn.ringWaker.Chan():
+		}
+	}
+	if qn.maybeRestart() {
+		qn.guard("flush", func() error { return qn.op.FlushAll(qn.emit) })
+		qn.flushPending(&qn.flushWindow)
+	}
+	qn.pub.close()
+}
+
 // guard runs one operator step under panic recovery: a panic quarantines
 // the node in place instead of killing the process (or, on an LFTA,
 // killing the capture path). A returned error is the non-fatal case —
@@ -230,6 +353,7 @@ func (qn *queryNode) guard(stage string, f func() error) (completed bool) {
 // clean-state restart. Executing-context only.
 func (qn *queryNode) quarantine(reason string) {
 	qn.pending = nil // emitted alongside the poisoned operator state: discard
+	qn.pendingTuples = 0
 	qn.quarReason.Store(reason)
 	qn.quarantines.Add(1)
 	qn.quarantined.Store(true)
@@ -310,7 +434,16 @@ func (qn *queryNode) checkOrdering(m exec.Message) {
 // Safe: each node emits from a single goroutine (or under its mutex).
 func (qn *queryNode) emit(m exec.Message) {
 	qn.checkOrdering(m)
+	if qn.pending == nil {
+		// Batches are handed off on flush, so the array can't be pooled —
+		// but sizing it to the flush threshold up front turns the ~log2
+		// append-regrow allocations per batch into one.
+		qn.pending = make(exec.Batch, 0, qn.maxBatch)
+	}
 	qn.pending = append(qn.pending, m)
+	if !m.IsHeartbeat() {
+		qn.pendingTuples++
+	}
 	if len(qn.pending) >= qn.maxBatch {
 		qn.flushPending(&qn.flushSize)
 	} else if qn.hbFlush && m.IsHeartbeat() {
@@ -322,6 +455,9 @@ func (qn *queryNode) emit(m exec.Message) {
 func (qn *queryNode) emitBatch(b exec.Batch) {
 	for i := range b {
 		qn.checkOrdering(b[i])
+		if !b[i].IsHeartbeat() {
+			qn.pendingTuples++
+		}
 	}
 	if len(qn.pending) == 0 {
 		qn.pending = b
@@ -341,8 +477,10 @@ func (qn *queryNode) flushPending(reason *atomic.Uint64) {
 	}
 	reason.Add(1)
 	b := qn.pending
+	nT := qn.pendingTuples
 	qn.pending = nil
-	qn.pub.publish(b)
+	qn.pendingTuples = 0
+	qn.pub.publish(b, nT)
 }
 
 // pushPackets runs one capture poll window through an LFTA inline, under a
@@ -359,6 +497,20 @@ func (qn *queryNode) pushPackets(ps []*pkt.Packet) {
 	}
 	qn.packets.Add(uint64(len(ps)))
 	if qn.guard("push", func() error {
+		if !qn.m.cfg.DisableColumnar {
+			// Columnar fast path: the whole window extracts into column
+			// slices and runs through the operator's PushCols. handled is
+			// false when the operator has no columnar form (or a value
+			// drifted from its declared type) — fall through to the
+			// per-packet row path, which is the semantic reference.
+			handled, err := qn.inst.PushWindow(ps, qn.emit)
+			if handled {
+				if err != nil {
+					qn.opErrors.Add(1)
+				}
+				return nil
+			}
+		}
 		for _, p := range ps {
 			if err := qn.inst.PushPacket(p, qn.emit); err != nil {
 				qn.opErrors.Add(1)

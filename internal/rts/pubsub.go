@@ -6,6 +6,7 @@ import (
 
 	"gigascope/internal/core"
 	"gigascope/internal/exec"
+	"gigascope/internal/ring"
 )
 
 // publisher fans a node's output out to its subscribers over bounded
@@ -15,25 +16,42 @@ import (
 // for when batches close).
 //
 // Drop policy implements the §4 tuple-value heuristic at batch
-// granularity: LFTA outputs (least processed, cheapest to lose) are shed
-// when a ring is full — the whole batch is discarded and every tuple in it
-// is counted, so drop accounting stays exact per tuple; HFTA outputs
-// (highly processed, most valuable) block instead, applying backpressure.
+// granularity, and the accounting is per subscriber, not per batch: a
+// batch that finds two of three rings full adds its tuple count to drops
+// twice — each subscriber independently lost that many tuples. SYSMON
+// occupancy denominators divide by tuples-published (counted once per
+// publish), so drops/tuples reads as mean per-subscriber loss and stays
+// interpretable as fan-out grows. LFTA outputs (least processed,
+// cheapest to lose) are shed when a ring is full; HFTA outputs (highly
+// processed, most valuable) block instead, applying backpressure.
 // Heartbeat-only batches never block; heartbeats lost to full rings are
 // counted in hbDrops.
+//
+// Locking: sendMu serializes delivery (publish, and any channel close)
+// so a subscription channel is never closed while a blocking send is in
+// flight on it; mu guards the subscriber list and closed flag. Lock
+// order is sendMu then mu — never the reverse.
 type publisher struct {
 	name  string
 	level core.Level
 	shed  bool
 
-	mu     sync.Mutex
+	sendMu sync.Mutex // held across delivery and across channel closes
+	mu     sync.Mutex // guards subs/closed; nested inside sendMu
 	subs   []*Subscription
 	closed bool
 
-	drops   atomic.Uint64 // tuples shed at full rings
-	hbDrops atomic.Uint64 // heartbeats discarded at full rings
+	// ringEdge, when non-nil, is a lock-free SPSC edge to one dedicated
+	// consumer — the shard→reunify hop. It is wired before the producer
+	// starts and receives every published batch under the same shed
+	// accounting as a channel subscriber. Only the owning node's
+	// executing context pushes or closes it.
+	ringEdge *ring.SPSC[exec.Batch]
+
+	drops   atomic.Uint64 // tuples shed at full rings (summed per subscriber)
+	hbDrops atomic.Uint64 // heartbeats discarded at full rings (per subscriber)
 	batches atomic.Uint64 // batches published (ring crossings)
-	tuples  atomic.Uint64 // tuples published (occupancy numerator)
+	tuples  atomic.Uint64 // tuples published (occupancy denominator; once per publish)
 }
 
 func (p *publisher) subscribe(buf int) *Subscription {
@@ -48,6 +66,8 @@ func (p *publisher) subscribe(buf int) *Subscription {
 		pub:  p,
 	}
 	if p.closed {
+		// Freshly made channel: no send can be in flight, safe to close
+		// without sendMu.
 		close(s.C)
 		return s
 	}
@@ -56,9 +76,8 @@ func (p *publisher) subscribe(buf int) *Subscription {
 }
 
 // pruneLocked removes cancelled subscriptions and closes their channels.
-// Caller holds p.mu. Safe because each publisher sends from exactly one
-// goroutine (the owning node's), which is the goroutine calling this — no
-// send can be in flight on a channel we close here.
+// Caller holds sendMu and mu: sendMu guarantees no send is in flight on
+// a channel closed here.
 func (p *publisher) pruneLocked() {
 	cancelled := false
 	for _, s := range p.subs {
@@ -81,12 +100,37 @@ func (p *publisher) pruneLocked() {
 	p.subs = kept
 }
 
-// publish delivers one batch to every subscriber. Exactly one goroutine
-// (the owning query node's) calls publish for a given publisher.
-func (p *publisher) publish(b exec.Batch) {
+// detach removes one cancelled subscription and closes its channel, for
+// Subscription.Cancel: pruning must not wait for the next publish (a
+// quarantined or idle publisher may never publish again, which used to
+// leak the drain goroutine and hold the ring open forever). A no-op if
+// publish/close already pruned it.
+func (p *publisher) detach(s *Subscription) {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, t := range p.subs {
+		if t == s {
+			p.subs = append(p.subs[:i], p.subs[i+1:]...)
+			close(s.C)
+			return
+		}
+	}
+}
+
+// publish delivers one batch to every subscriber and the ring edge.
+// Exactly one executing context (the owning query node's) calls publish
+// for a given publisher. nTuples is b's tuple count, tracked
+// incrementally by the batch assembler as messages are appended — the
+// shed path must not rescan the batch per full subscriber (it used to
+// call Tuples() and Heartbeats(), two O(len) scans per drop).
+func (p *publisher) publish(b exec.Batch, nTuples int) {
 	if len(b) == 0 {
 		return
 	}
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
 	p.mu.Lock()
 	p.pruneLocked()
 	subs := p.subs
@@ -95,41 +139,66 @@ func (p *publisher) publish(b exec.Batch) {
 	if closed {
 		return
 	}
-	nTuples := uint64(b.Tuples())
-	nHBs := uint64(len(b)) - nTuples
+	nT := uint64(nTuples)
+	nHBs := uint64(len(b)) - nT
 	p.batches.Add(1)
-	p.tuples.Add(nTuples)
+	p.tuples.Add(nT)
 	for _, s := range subs {
 		if s.cancelled.Load() {
 			continue
 		}
-		if p.shed || nTuples == 0 {
+		if p.shed || nT == 0 {
 			// LFTA/source output sheds under overload; heartbeat-only
 			// batches never block anyone.
 			select {
 			case s.C <- b:
 			default:
-				p.drops.Add(nTuples) // least-processed tuples shed first
+				p.drops.Add(nT) // least-processed tuples shed first
 				p.hbDrops.Add(nHBs)
 			}
 			continue
 		}
-		s.C <- b // HFTA output: backpressure, never lose a tuple
+		// HFTA output: backpressure, never lose a tuple. Safe to block
+		// while holding sendMu: close() waits for sendMu instead of
+		// closing the channel under us (the old close/publish race), and
+		// a cancelling subscriber drains until the close it requested.
+		s.C <- b
+	}
+	if r := p.ringEdge; r != nil {
+		if p.shed || nT == 0 {
+			if !r.TryPush(b) {
+				p.drops.Add(nT)
+				p.hbDrops.Add(nHBs)
+			}
+		} else {
+			r.Push(b)
+		}
 	}
 }
 
+// close ends the stream: subscribers' channels close after any in-
+// flight delivery completes, and the ring edge (if any) is closed for
+// draining. Idempotent; callable from any goroutine — taking sendMu
+// first is what makes a Stop-path close safe against a concurrent
+// blocking publish from the owning node.
 func (p *publisher) close() {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	p.closed = true
-	p.pruneLocked()
-	for _, s := range p.subs {
+	subs := p.subs
+	p.subs = nil
+	p.mu.Unlock()
+	for _, s := range subs {
 		close(s.C)
 	}
-	p.subs = nil
+	if p.ringEdge != nil {
+		p.ringEdge.Close()
+	}
 }
 
 // Subscription is a query handle: a bounded ring of message batches from
@@ -146,16 +215,18 @@ type Subscription struct {
 	reqFn     func()
 }
 
-// Cancel detaches the subscription. The publisher prunes it and closes the
-// channel on its next publish (or at stream end, whichever comes first); a
-// short-lived drain goroutine unsticks any send already in flight and
-// exits as soon as the channel closes.
+// Cancel detaches the subscription: the channel is closed as soon as no
+// delivery is in flight, without waiting for the publisher to publish
+// again. A short-lived drain goroutine unsticks any send already in
+// flight (the detach itself must wait for that send to finish) and
+// exits when the channel closes.
 func (s *Subscription) Cancel() {
 	if s.cancelled.CompareAndSwap(false, true) {
 		go func() {
 			for range s.C {
 			}
 		}()
+		go s.pub.detach(s)
 	}
 }
 

@@ -1,0 +1,177 @@
+package rts
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/ring"
+	"gigascope/internal/schema"
+)
+
+func tupleBatch(tuples, hbs int) exec.Batch {
+	b := make(exec.Batch, 0, tuples+hbs)
+	for i := 0; i < tuples; i++ {
+		b = append(b, exec.TupleMsg(schema.Tuple{schema.MakeUint(uint64(i))}))
+	}
+	for i := 0; i < hbs; i++ {
+		b = append(b, exec.HeartbeatMsg(schema.Tuple{schema.MakeUint(uint64(i))}))
+	}
+	return b
+}
+
+// Regression for the publish/close race: a blocking HFTA send in flight
+// while another goroutine runs the Stop-path close used to panic with
+// "send on closed channel" (close closed the channel under mu while
+// publish was blocked outside it). With delivery and closes both
+// serialized under sendMu the interleaving is safe. Run with -race.
+func TestPublishCloseCancelRace(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		p := &publisher{name: "x"} // shed=false: blocking HFTA sends
+		keep := p.subscribe(1)
+		tgt := p.subscribe(1)
+		b := tupleBatch(2, 1)
+		var wg sync.WaitGroup
+		wg.Add(4)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.publish(b, 2)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for range keep.C {
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			tgt.Cancel()
+		}()
+		go func() {
+			defer wg.Done()
+			runtime.Gosched()
+			p.close()
+		}()
+		wg.Wait()
+	}
+}
+
+// Regression for the Cancel leak: cancelling a subscription whose
+// publisher never publishes again used to leave the channel open and the
+// drain goroutine parked forever (pruning only ran inside publish/close).
+// Cancel now detaches eagerly: the channel closes, the drain goroutine
+// exits, and the subscriber list shrinks without any publisher activity.
+func TestCancelPrunesWithoutPublish(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const n = 50
+	pubs := make([]*publisher, n)
+	for i := range pubs {
+		pubs[i] = &publisher{name: "idle", shed: true}
+		sub := pubs[i].subscribe(4)
+		sub.Cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clean := true
+		for _, p := range pubs {
+			p.mu.Lock()
+			left := len(p.subs)
+			p.mu.Unlock()
+			if left != 0 {
+				clean = false
+				break
+			}
+		}
+		if clean && runtime.NumGoroutine() <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled subs not pruned: goroutines %d -> %d",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A cancelled subscription's channel must close even when a delivery is
+// blocked on it at the moment of Cancel: the drain goroutine unsticks
+// the in-flight send, then the detach closes the channel.
+func TestCancelUnsticksBlockedPublish(t *testing.T) {
+	p := &publisher{name: "x"} // blocking sends
+	sub := p.subscribe(1)
+	b := tupleBatch(1, 0)
+	published := make(chan struct{})
+	go func() {
+		p.publish(b, 1) // fills the buffer
+		p.publish(b, 1) // blocks until Cancel's drain goroutine consumes
+		close(published)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub.Cancel()
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish still blocked after Cancel")
+	}
+}
+
+// Pins the shed accounting semantics: drops are per subscriber, not per
+// batch — a batch that finds k full rings adds its tuple count k times —
+// while tuples (the occupancy denominator) counts each publish once.
+// Heartbeats lost at full rings land in hbDrops, and the SPSC ring edge
+// accounts exactly like a channel subscriber.
+func TestShedDropAccountingPerSubscriber(t *testing.T) {
+	p := &publisher{name: "x", shed: true}
+	p.subscribe(1)
+	p.subscribe(1)
+	p.ringEdge = ring.New[exec.Batch](1, nil) // capacity rounds up to 2
+
+	b := tupleBatch(3, 1)
+	p.publish(b, 3) // fills both channel buffers and one ring slot
+	p.publish(b, 3) // fills the second ring slot; both channels drop
+	p.publish(b, 3) // everything full: all three edges drop
+
+	if got := p.tuples.Load(); got != 9 {
+		t.Fatalf("tuples = %d, want 9 (once per publish)", got)
+	}
+	if got := p.batches.Load(); got != 3 {
+		t.Fatalf("batches = %d, want 3", got)
+	}
+	// Publish 2: two channel subscribers dropped 3 tuples each.
+	// Publish 3: two channels + the ring edge dropped 3 each.
+	if got := p.drops.Load(); got != 15 {
+		t.Fatalf("drops = %d, want 15 (per-subscriber accounting)", got)
+	}
+	if got := p.hbDrops.Load(); got != 5 {
+		t.Fatalf("hbDrops = %d, want 5", got)
+	}
+}
+
+// Heartbeat-only batches never block, even on a backpressuring HFTA
+// publisher: a full ring discards the bounds (counted) instead of
+// stalling the pipeline for ordering hints.
+func TestHeartbeatOnlyBatchNeverBlocks(t *testing.T) {
+	p := &publisher{name: "x"} // shed=false
+	p.subscribe(1)
+	hb := tupleBatch(0, 2)
+	done := make(chan struct{})
+	go func() {
+		p.publish(hb, 0) // fills the buffer
+		p.publish(hb, 0) // full: must drop, not block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat-only publish blocked on a full ring")
+	}
+	if got := p.hbDrops.Load(); got != 2 {
+		t.Fatalf("hbDrops = %d, want 2", got)
+	}
+	if got := p.drops.Load(); got != 0 {
+		t.Fatalf("drops = %d, want 0", got)
+	}
+}

@@ -4,21 +4,24 @@ import (
 	"sync/atomic"
 
 	"gigascope/internal/pkt"
+	"gigascope/internal/ring"
 )
 
-// shardWorkDepth bounds each shard's work channel, in entries (poll
-// windows or heartbeats). A full channel blocks the capture path — the
+// shardWorkDepth bounds each shard's work ring, in entries (poll
+// windows or heartbeats). A full ring blocks the capture path — the
 // multicore analogue of the host ring between the interrupt half and the
 // processing half — rather than dropping: loss placement stays at the
 // LFTA output rings (shed) and the capture-stack simulation (ring full),
 // where the paper puts it.
 const shardWorkDepth = 256
 
-// shardWork is one entry on a shard's work channel: a steered slice of a
+// shardWork is one entry on a shard's work ring: a steered slice of a
 // poll window, or a source heartbeat. Entries are enqueued under the
-// interface lock, so each shard observes windows and heartbeats in clock
-// order — a heartbeat carrying bound T is enqueued after every window
-// that advanced the clock to T.
+// interface lock — which both serializes the producers (the SPSC ring's
+// single-producer contract, with the lock handing the role across Inject
+// callers) and keeps each shard's windows and heartbeats in clock order:
+// a heartbeat carrying bound T is enqueued after every window that
+// advanced the clock to T.
 type shardWork struct {
 	window []*pkt.Packet // nil for heartbeat entries
 	hb     uint64        // heartbeat clock, microseconds; 0 for window entries
@@ -26,12 +29,14 @@ type shardWork struct {
 
 // ifaceShard is one RSS shard of an interface's capture path: a worker
 // goroutine running its own instances of every LFTA attached to the
-// interface over the flow-hash slice of the traffic steered to it.
+// interface over the flow-hash slice of the traffic steered to it. The
+// capture→worker hop is a lock-free SPSC ring, not a channel: the
+// capture path enqueues with one atomic store in the common case.
 type ifaceShard struct {
 	it      *Interface // owning interface; the worker reads its gate lock-free
 	id      int
 	lftas   []*queryNode // shard-local LFTA instances (shardIdx == id+1)
-	work    chan shardWork
+	work    *ring.SPSC[shardWork]
 	done    chan struct{}
 	packets atomic.Uint64 // packets steered to this shard
 }
@@ -40,7 +45,7 @@ func newIfaceShard(it *Interface, id int) *ifaceShard {
 	sh := &ifaceShard{
 		it:   it,
 		id:   id,
-		work: make(chan shardWork, shardWorkDepth),
+		work: ring.New[shardWork](shardWorkDepth, nil),
 		done: make(chan struct{}),
 	}
 	go sh.run()
@@ -50,10 +55,14 @@ func newIfaceShard(it *Interface, id int) *ifaceShard {
 // run is the shard worker loop. It never takes the interface lock (the
 // capture path enqueues while holding it) and its LFTA publishers shed
 // rather than block, so the worker always drains — the enqueue side can
-// therefore block on a full work channel without deadlock.
+// therefore block on a full work ring without deadlock.
 func (sh *ifaceShard) run() {
 	defer close(sh.done)
-	for w := range sh.work {
+	for {
+		w, ok := sh.work.Pop()
+		if !ok {
+			break
+		}
 		if w.window != nil {
 			sh.packets.Add(uint64(len(w.window)))
 			// Each shard worker gates with its own prefilter instance
@@ -66,9 +75,9 @@ func (sh *ifaceShard) run() {
 			qn.clockHeartbeat(w.hb)
 		}
 	}
-	// Channel closed: shutdown. Flush shard-local aggregate tables and
-	// close the shard publishers; the reunifying merge then sees its
-	// inputs end and drains in global order.
+	// Ring closed and drained: shutdown. Flush shard-local aggregate
+	// tables and close the shard publishers; the reunifying merge then
+	// sees its inputs end and drains in global order.
 	for _, qn := range sh.lftas {
 		qn.flushInline()
 	}
