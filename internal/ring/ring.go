@@ -117,8 +117,14 @@ func (r *SPSC[T]) TryPush(v T) bool {
 	}
 	r.buf[t&r.mask] = v
 	r.tail.Store(t + 1)
-	if t == h {
-		// Empty→non-empty: the consumer may be parked.
+	// Empty→non-empty wake. head must be re-loaded AFTER the tail store:
+	// a consumer that re-polled (post-Clear) between our earlier head load
+	// and the store saw the old tail and is about to park. Sequential
+	// consistency of the atomics forces one of two outcomes: either the
+	// consumer's tail load sees t+1 (it pops, no park), or our head load
+	// here sees its head == t (it found nothing, so we wake). Deciding
+	// from the pre-store head loses exactly that second case.
+	if r.head.Load() == t {
 		r.cw.Wake()
 	}
 	return true
@@ -159,8 +165,12 @@ func (r *SPSC[T]) TryPop() (T, bool) {
 	v := r.buf[h&r.mask]
 	r.buf[h&r.mask] = zero // drop the reference; the slot may pin a large batch
 	r.head.Store(h + 1)
-	if t-h == uint64(len(r.buf)) {
-		// Full→non-full: the producer may be parked.
+	// Full→non-full wake, mirroring TryPush: tail must be re-loaded
+	// AFTER the head store so a producer that re-polled against the old
+	// head (and is about to park on a full ring) is either unblocked by
+	// seeing h+1 or caught here by its tail satisfying the full test
+	// against the head we just retired.
+	if r.tail.Load()-h == uint64(len(r.buf)) {
 		r.pw.Wake()
 	}
 	return v, true

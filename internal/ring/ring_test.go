@@ -3,6 +3,7 @@ package ring
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCapacityRounding(t *testing.T) {
@@ -179,6 +180,50 @@ func TestSharedWakerMultiRing(t *testing.T) {
 	wg.Wait()
 	if len(seen) != perRing*nrings {
 		t.Fatalf("saw %d values, want %d", len(seen), perRing*nrings)
+	}
+}
+
+// TestParkWakeStress is the lost-wakeup regression: wake decisions made
+// from indices loaded *before* the publishing store can miss a peer that
+// re-polled and parked mid-operation (consumer pops the last entry and
+// parks between the producer's head load and tail store, or the mirror
+// on the full edge), leaving an endpoint parked forever. Many short
+// sessions over a capacity-2 ring maximize empty/full transitions and
+// park pressure; a watchdog converts the would-be deadlock into a
+// failure instead of hanging the test binary.
+func TestParkWakeStress(t *testing.T) {
+	const sessions = 200
+	const n = 1000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := 0; s < sessions; s++ {
+			r := New[int](2, nil)
+			go func() {
+				for i := 0; i < n; i++ {
+					r.Push(i)
+				}
+				r.Close()
+			}()
+			for i := 0; ; i++ {
+				v, ok := r.Pop()
+				if !ok {
+					if i != n {
+						t.Errorf("session %d: stream ended after %d values, want %d", s, i, n)
+					}
+					break
+				}
+				if v != i {
+					t.Errorf("session %d: got %d at position %d", s, v, i)
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("park/wake stress did not finish: lost wakeup deadlock")
 	}
 }
 

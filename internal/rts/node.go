@@ -452,11 +452,16 @@ func (qn *queryNode) emit(m exec.Message) {
 }
 
 // emitBatch accepts a whole operator output batch, taking ownership.
+// It applies the same flush policy as emit: size first, then heartbeat
+// when the node asks for hbFlush and the batch carried one.
 func (qn *queryNode) emitBatch(b exec.Batch) {
+	sawHB := false
 	for i := range b {
 		qn.checkOrdering(b[i])
 		if !b[i].IsHeartbeat() {
 			qn.pendingTuples++
+		} else {
+			sawHB = true
 		}
 	}
 	if len(qn.pending) == 0 {
@@ -466,6 +471,8 @@ func (qn *queryNode) emitBatch(b exec.Batch) {
 	}
 	if len(qn.pending) >= qn.maxBatch {
 		qn.flushPending(&qn.flushSize)
+	} else if qn.hbFlush && sawHB {
+		qn.flushPending(&qn.flushHB)
 	}
 }
 
