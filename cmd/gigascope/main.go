@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"gigascope"
 )
@@ -50,6 +51,10 @@ func main() {
 	sketchEps := flag.Float64("sketch-eps", 0, "default relative error for sketch aggregates that omit the literal (0 = builtin default); must be in (0,1)")
 	sketchDelta := flag.Float64("sketch-delta", 0, "default failure probability for sketch aggregates that omit the literal (0 = builtin default); must be in (0,1)")
 	params := flag.String("params", "", "comma-separated query.param=value bindings for DEFINE-block parameters (values parse as float, uint, or string)")
+	serveAddr := flag.String("serve", "", "export every stream over the wire transport at [net:]addr (unix:/path or tcp:host:port; bare addr = tcp); remote processes subscribe with -connect")
+	connectAddr := flag.String("connect", "", "import remote streams from a wire server at [net:]addr before compiling queries; name them with -import")
+	imports := flag.String("import", "", "with -connect: comma-separated remote stream names to import as local streams (queries read FROM these names)")
+	degrade := flag.String("degrade", "hold", "with -connect: policy when a peer is declared dead: hold (retry forever, downstream waits) or drop (close the partition, downstream merges continue)")
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "usage: gigascope -f queries.gsql [flags]")
@@ -85,6 +90,44 @@ func main() {
 	binds, err := parseParams(*params)
 	if err != nil {
 		fatal(err)
+	}
+	// Imports register before the script compiles, so queries can read
+	// FROM the remote stream names.
+	var clients []*gigascope.WireClient
+	if *connectAddr != "" {
+		if *imports == "" {
+			fatal(fmt.Errorf("-connect requires -import stream[,stream...]"))
+		}
+		pol := gigascope.DegradeHold
+		switch *degrade {
+		case "hold":
+		case "drop":
+			pol = gigascope.DegradeDropPartition
+		default:
+			fatal(fmt.Errorf("-degrade wants hold or drop, got %q", *degrade))
+		}
+		network, addr := splitAddr(*connectAddr)
+		for _, stream := range strings.Split(*imports, ",") {
+			stream = strings.TrimSpace(stream)
+			// Retry the first dial: in a two-process launch the serving
+			// process may still be compiling its script.
+			var cl *gigascope.WireClient
+			var err error
+			for deadline := time.Now().Add(10 * time.Second); ; {
+				cl, err = sys.ConnectWire(gigascope.WireClientConfig{
+					Network: network, Addr: addr, Stream: stream, Degrade: pol,
+				})
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "gigascope: imported %s from %s\n", stream, *connectAddr)
+			clients = append(clients, cl)
+		}
 	}
 	if err := sys.AddScriptParams(string(src), binds); err != nil {
 		fatal(err)
@@ -212,6 +255,31 @@ func main() {
 		fatal(err)
 	}
 
+	var srv *gigascope.WireServer
+	if *serveAddr != "" {
+		network, addr := splitAddr(*serveAddr)
+		srv, err = sys.ServeWire(network, addr, gigascope.WireServerConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gigascope: serving streams on %s (%s)\n", srv.Addr(), network)
+		if *seconds > 0 {
+			// The virtual-clock traffic loop below runs as fast as the CPU
+			// allows — without this wait a serving process would finish and
+			// fin before a subscriber launched alongside it ever connected
+			// (a wire subscription only sees batches published after it
+			// attaches). Proceed after a grace period so a serve with no
+			// takers still completes.
+			wait := time.Now().Add(10 * time.Second)
+			for srv.Conns() == 0 && time.Now().Before(wait) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if srv.Conns() == 0 {
+				fmt.Fprintln(os.Stderr, "gigascope: no wire subscriber within 10s; starting traffic anyway")
+			}
+		}
+	}
+
 	web := *rate * 0.6
 	bg := *rate - web
 	gen, err := gigascope.NewTrafficGenerator(gigascope.TrafficConfig{
@@ -233,6 +301,11 @@ func main() {
 	if step == 0 {
 		step = horizon
 	}
+	if step == 0 {
+		// -seconds 0 (an import-only process generates no local traffic):
+		// the loop must not spin on a zero step.
+		step = 1
+	}
 	ifaces := []string{"eth0", "eth1"}
 	i := 0
 	for usec := step; usec <= horizon; usec += step {
@@ -243,7 +316,22 @@ func main() {
 		})
 		sys.AdvanceClock(usec)
 	}
+	// Importing process: let each remote stream run to its end (the
+	// server's fin, or this client degrading a dead peer away) before
+	// stopping, so downstream aggregates see complete input.
+	for _, cl := range clients {
+		<-cl.Done()
+	}
 	sys.Stop()
+	if srv != nil {
+		// Let in-flight fin frames reach subscribers (clean end of
+		// stream) before tearing the connections down.
+		srv.Drain(10 * time.Second)
+		srv.Close()
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
 	wg.Wait()
 
 	fmt.Println("\nnode statistics:")
@@ -315,6 +403,18 @@ func parseParams(s string) (map[string]map[string]gigascope.Value, error) {
 		binds[query][param] = v
 	}
 	return binds, nil
+}
+
+// splitAddr parses "[net:]addr": unix:/path selects a unix socket,
+// tcp:host:port (or a bare host:port) selects TCP.
+func splitAddr(s string) (network, addr string) {
+	switch {
+	case strings.HasPrefix(s, "unix:"):
+		return "unix", strings.TrimPrefix(s, "unix:")
+	case strings.HasPrefix(s, "tcp:"):
+		return "tcp", strings.TrimPrefix(s, "tcp:")
+	}
+	return "tcp", s
 }
 
 func fatal(err error) {

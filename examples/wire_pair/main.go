@@ -1,0 +1,229 @@
+// wire_pair demonstrates the inter-RTS wire transport: the paper's
+// many-capture-hosts architecture split across two OS processes. A
+// server process runs the capture-side selection (the LFTA tier),
+// exports its output stream over a unix socket with ServeWire, and
+// injects deterministic seeded traffic; a client process imports the
+// stream with ConnectWire and completes the computation with an
+// ordinary GSQL aggregation reading FROM the imported name.
+//
+// Modes:
+//
+//	go run ./examples/wire_pair                 # -role both: spawns server+client
+//	go run ./examples/wire_pair -role single    # same pipeline in one process
+//	go run ./examples/wire_pair -role server -sock /tmp/gs.sock
+//	go run ./examples/wire_pair -role client -sock /tmp/gs.sock
+//
+// The aggregate rows printed by -role both are byte-identical to
+// -role single: the transport forwards each published batch as exactly
+// one frame and the importing side republishes it as exactly one batch,
+// so downstream operators see the same delivery sequence either way.
+// The CI smoke step diffs the two.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"gigascope"
+)
+
+// feedQuery is the capture-side half: a selection LFTA whose output
+// stream ("feed") the server process exports.
+const feedQuery = `
+	DEFINE { query_name feed; }
+	SELECT time, srcIP, destIP, destPort FROM eth0.TCP
+	WHERE ipversion = 4 and protocol = 6`
+
+// countsQuery is the consumer-side half: an aggregation over the feed,
+// running in the client process against the imported stream.
+const countsQuery = `
+	DEFINE { query_name counts; }
+	SELECT time, destPort, count(*) FROM feed
+	GROUP BY time, destPort`
+
+const trafficSeconds = 3
+
+func main() {
+	role := flag.String("role", "both", "single | server | client | both")
+	sock := flag.String("sock", "", "unix socket path (server/client roles)")
+	flag.Parse()
+	switch *role {
+	case "single":
+		runSingle()
+	case "server":
+		runServer(*sock)
+	case "client":
+		runClient(*sock)
+	case "both":
+		runBoth()
+	default:
+		log.Fatalf("wire_pair: unknown -role %q", *role)
+	}
+}
+
+// inject drives the same seeded traffic in every mode: determinism is
+// what lets the CI step demand byte-identical output across process
+// splits.
+func inject(sys *gigascope.System) {
+	gen, err := gigascope.NewTrafficGenerator(gigascope.TrafficConfig{
+		Seed: 42,
+		Classes: []gigascope.TrafficClass{
+			{Name: "web", RateMbps: 20, PktBytes: 1000, DstPort: 80, Proto: gigascope.ProtoTCP},
+			{Name: "tls", RateMbps: 10, PktBytes: 800, DstPort: 443, Proto: gigascope.ProtoTCP},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := uint64(trafficSeconds * 1e6)
+	step := horizon / 50
+	for usec := step; usec <= horizon; usec += step {
+		// Poll-window injection: each step's packets cross the pipeline
+		// as one batch per LFTA (and one wire frame per batch), instead
+		// of a per-packet window flush flooding the rings.
+		var window []*gigascope.Packet
+		gen.Until(usec, func(p *gigascope.Packet) { window = append(window, p) })
+		sys.InjectBatch("eth0", window)
+		sys.AdvanceClock(usec)
+	}
+}
+
+// printCounts drains the counts stream to stdout — the bytes the CI
+// step compares across modes.
+func printCounts(sub *gigascope.Subscription) int {
+	rows := 0
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				continue
+			}
+			rows++
+			fmt.Printf("counts: %s\n", m.Tuple)
+		}
+	}
+	return rows
+}
+
+func runSingle() {
+	sys, err := gigascope.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.MustAddQuery(feedQuery, nil)
+	sys.MustAddQuery(countsQuery, nil)
+	sub, err := sys.Subscribe("counts", 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		log.Fatal(err)
+	}
+	inject(sys)
+	sys.Stop()
+	rows := printCounts(sub)
+	fmt.Fprintf(os.Stderr, "wire_pair(single): %d aggregate rows\n", rows)
+}
+
+func runServer(sock string) {
+	if sock == "" {
+		log.Fatal("wire_pair: -role server requires -sock")
+	}
+	sys, err := gigascope.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.MustAddQuery(feedQuery, nil)
+	if err := sys.Start(); err != nil {
+		log.Fatal(err)
+	}
+	// A deep send queue: the unpaced inject loop outruns the socket
+	// writer, and a fault-free run must not shed (byte-identity).
+	srv, err := sys.ServeWire("unix", sock, gigascope.WireServerConfig{RingBatches: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Traffic only flows once the subscriber is on: a wire subscription
+	// (like a local one) sees batches published after it attaches.
+	for i := 0; srv.Conns() == 0; i++ {
+		if i > 1000 {
+			log.Fatal("wire_pair: no subscriber within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	inject(sys)
+	sys.Stop()         // closes the feed stream; the server fins the subscriber
+	srv.Drain(10 * time.Second) // let the fin reach the peer before tearing down
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "wire_pair(server): done")
+}
+
+func runClient(sock string) {
+	if sock == "" {
+		log.Fatal("wire_pair: -role client requires -sock")
+	}
+	sys, err := gigascope.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Retry the first dial: the server process may still be starting.
+	var cl *gigascope.WireClient
+	for i := 0; ; i++ {
+		cl, err = sys.ConnectWire(gigascope.WireClientConfig{
+			Network: "unix", Addr: sock, Stream: "feed",
+		})
+		if err == nil {
+			break
+		}
+		if i > 1000 {
+			log.Fatalf("wire_pair: connect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sys.MustAddQuery(countsQuery, nil)
+	sub, err := sys.Subscribe("counts", 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		log.Fatal(err)
+	}
+	// The server's Stop ends the remote stream (fin): the import closes,
+	// the aggregation flushes, and the subscription drains dry.
+	<-cl.Done()
+	rows := printCounts(sub)
+	sys.Stop()
+	cl.Close()
+	fmt.Fprintf(os.Stderr, "wire_pair(client): %d aggregate rows\n", rows)
+}
+
+func runBoth() {
+	dir, err := os.MkdirTemp("", "gsw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "gs.sock")
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := exec.Command(self, "-role", "server", "-sock", sock)
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	cli := exec.Command(self, "-role", "client", "-sock", sock)
+	cli.Stdout = os.Stdout
+	cli.Stderr = os.Stderr
+	if err := cli.Run(); err != nil {
+		log.Fatalf("wire_pair: client: %v", err)
+	}
+	if err := srv.Wait(); err != nil {
+		log.Fatalf("wire_pair: server: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnFaultConfig drives deterministic connection-level faults for the
+// wire transport: seeded kills, write truncations, stalls, and heartbeat
+// clock skew. Positional triggers (KillAt/TruncateAt) fire at exact
+// global write indices — the reconnect tests place a kill between two
+// known publishes; rate triggers come from one seeded PRNG consumed in
+// call order, so a fixed traffic sequence reproduces the same fault
+// placement.
+type ConnFaultConfig struct {
+	Seed int64
+
+	// KillAt closes the connection instead of performing the write with
+	// the given global index (0-based, counted across every wrapped
+	// connection in wrap order).
+	KillAt []uint64
+	// TruncateAt performs only the first half of the write with the given
+	// global index, then closes the connection — a torn frame on the wire.
+	TruncateAt []uint64
+	// KillRate kills a connection on a seeded fraction of writes.
+	KillRate float64
+
+	// StallEvery sleeps Stall before every n'th write (n = StallEvery),
+	// modelling a wedged peer or congested path. 0 disables.
+	StallEvery uint64
+	Stall      time.Duration
+
+	// SkewUsec/SkewRate perturb heartbeat clocks through SkewClock: a
+	// seeded fraction of announced clocks moves by up to ±SkewUsec.
+	SkewUsec uint64
+	SkewRate float64
+}
+
+// ConnFaultStats counts the faults a WireFaults delivered.
+type ConnFaultStats struct {
+	Writes    uint64
+	Kills     uint64
+	Truncates uint64
+	Stalls    uint64
+	Skews     uint64
+}
+
+// WireFaults wraps wire-transport connections with seeded fault
+// delivery. Plug WrapConn into wire.ServerConfig/ClientConfig.WrapConn
+// and SkewClock into wire.ServerConfig.SkewClock.
+type WireFaults struct {
+	cfg ConnFaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	writes    atomic.Uint64
+	kills     atomic.Uint64
+	truncates atomic.Uint64
+	stalls    atomic.Uint64
+	skews     atomic.Uint64
+}
+
+// NewWireFaults builds a connection fault injector from cfg.
+func NewWireFaults(cfg ConnFaultConfig) *WireFaults {
+	return &WireFaults{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the delivered-fault counters.
+func (w *WireFaults) Stats() ConnFaultStats {
+	return ConnFaultStats{
+		Writes:    w.writes.Load(),
+		Kills:     w.kills.Load(),
+		Truncates: w.truncates.Load(),
+		Stalls:    w.stalls.Load(),
+		Skews:     w.skews.Load(),
+	}
+}
+
+// WrapConn wraps one connection; the write counter is global across all
+// wrapped connections, so positional triggers address the whole run.
+func (w *WireFaults) WrapConn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, w: w}
+}
+
+// SkewClock perturbs a heartbeat clock by a seeded offset in
+// [-SkewUsec, +SkewUsec] on a SkewRate fraction of calls (clamped at 0
+// on underflow).
+func (w *WireFaults) SkewClock(clock uint64) uint64 {
+	if w.cfg.SkewRate <= 0 || w.cfg.SkewUsec == 0 {
+		return clock
+	}
+	w.mu.Lock()
+	hit := w.rng.Float64() < w.cfg.SkewRate
+	var off int64
+	if hit {
+		off = w.rng.Int63n(2*int64(w.cfg.SkewUsec)+1) - int64(w.cfg.SkewUsec)
+	}
+	w.mu.Unlock()
+	if !hit {
+		return clock
+	}
+	w.skews.Add(1)
+	if off < 0 && clock < uint64(-off) {
+		return 0
+	}
+	return clock + uint64(off)
+}
+
+func contains(xs []uint64, x uint64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// faultConn intercepts writes. Each write consumes one global index;
+// faults are decided before the underlying write so a kill suppresses
+// the frame entirely and a truncation tears exactly one frame (the wire
+// sender emits each frame as a single Write).
+type faultConn struct {
+	net.Conn
+	w *WireFaults
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	w := c.w
+	idx := w.writes.Add(1) - 1
+	if w.cfg.StallEvery > 0 && (idx+1)%w.cfg.StallEvery == 0 && w.cfg.Stall > 0 {
+		w.stalls.Add(1)
+		time.Sleep(w.cfg.Stall)
+	}
+	if contains(w.cfg.TruncateAt, idx) {
+		w.truncates.Add(1)
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, fmt.Errorf("faultinject: truncated write %d", idx)
+	}
+	kill := contains(w.cfg.KillAt, idx)
+	if !kill && w.cfg.KillRate > 0 {
+		w.mu.Lock()
+		kill = w.rng.Float64() < w.cfg.KillRate
+		w.mu.Unlock()
+	}
+	if kill {
+		w.kills.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultinject: killed connection at write %d", idx)
+	}
+	return c.Conn.Write(p)
+}

@@ -147,6 +147,7 @@ type Manager struct {
 	ifaces  map[string]*Interface
 	order   []*queryNode // creation order (dependency order)
 	sources []*queryNode // clock-driven source nodes (subset of order)
+	remotes []*RemoteSource // transport-fed remote streams (AddRemoteSource)
 	wg      sync.WaitGroup
 }
 
@@ -449,6 +450,7 @@ func (m *Manager) Stop() {
 		ifaces = append(ifaces, it)
 	}
 	sources := m.sources
+	remotes := m.remotes
 	m.mu.Unlock()
 
 	// Flush LFTAs and close their publishers; HFTA nodes then see their
@@ -461,6 +463,12 @@ func (m *Manager) Stop() {
 	// close; HFTAs reading SYSMON.* streams then drain normally.
 	for _, qn := range sources {
 		qn.flushSource(m.clock.Load())
+	}
+	// Remote streams close last (idempotent — the owning transport client
+	// usually closed them already): HFTAs reading them must see their
+	// input end or wg.Wait below never returns.
+	for _, r := range remotes {
+		r.Close()
 	}
 	m.wg.Wait()
 }
@@ -481,6 +489,12 @@ func (m *Manager) Subscribe(name string, bufSize int) (*Subscription, error) {
 	sub := qn.pub.subscribe(bufSize)
 	sub.reqFn = qn.requestHeartbeat
 	return sub, nil
+}
+
+// LookupSchema returns the named stream's catalog schema — the wire
+// server's handshake source (wire.Exporter).
+func (m *Manager) LookupSchema(name string) (*schema.Schema, bool) {
+	return m.cat.Lookup(name)
 }
 
 // SetParams changes a query node's parameters on the fly (paper §3).
@@ -641,6 +655,13 @@ type NodeStats struct {
 	// the node does — packets, predicate evaluations, state — is thus
 	// attributable to len(SharedBy)+1 queries, not one.
 	SharedBy []string
+	// Remote-peer transport state (AddRemoteSource nodes only; see
+	// PeerStats for the field semantics). Empty/zero for local nodes.
+	PeerState  string
+	Reconnects uint64
+	GapTuples  uint64
+	GapEvents  uint64
+	HBMisses   uint64
 }
 
 // cloneParams copies a parameter-binding map so each query node owns its

@@ -38,6 +38,12 @@ type queryNode struct {
 	op        exec.Operator
 	src       SourceNode
 	srcClosed bool
+	// peer/remoteReq are set for remote source nodes (AddRemoteSource):
+	// peer is the transport client polled for failure stats (immutable
+	// after construction); remoteReq forwards heartbeat demands to the
+	// peer (guarded by mu — the transport installs it after registration).
+	peer      PeerMonitor
+	remoteReq func()
 	pub       *publisher
 	inputs    []*Subscription
 	// gateKey is the lower-cased compiled-node name the interface gate
@@ -793,12 +799,31 @@ func (qn *queryNode) stats() NodeStats {
 	if qn.node != nil {
 		ns.SharedBy = qn.node.SharedBy()
 	}
+	if qn.peer != nil {
+		ps := qn.peer.PeerStats()
+		ns.PeerState = ps.State
+		ns.Reconnects = ps.Reconnects
+		ns.GapTuples = ps.GapTuples
+		ns.GapEvents = ps.GapEvents
+		ns.HBMisses = ps.HBMisses
+	}
 	return ns
 }
 
 // requestHeartbeat propagates a downstream demand for ordering information
 // toward the sources.
 func (qn *queryNode) requestHeartbeat() {
+	if qn.peer != nil {
+		// Remote source: forward the demand across the wire. Best-effort —
+		// during an outage there is no peer to ask.
+		qn.mu.Lock()
+		req := qn.remoteReq
+		qn.mu.Unlock()
+		if req != nil {
+			req()
+		}
+		return
+	}
 	if qn.node != nil && qn.level == core.LevelLFTA {
 		qn.m.Interface(ifaceName(qn.node)).requestHeartbeat()
 		return

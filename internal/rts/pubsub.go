@@ -230,6 +230,12 @@ func (s *Subscription) Cancel() {
 	}
 }
 
+// StreamTuples returns the stream's cumulative published-tuple count —
+// the per-stream sequence number the wire transport's gap accounting is
+// built on (tuples is counted once per publish, before any per-
+// subscriber shed, so two subscribers of one stream agree on it).
+func (s *Subscription) StreamTuples() uint64 { return s.pub.tuples.Load() }
+
 // RequestHeartbeat asks the producing chain for an ordering update token
 // (paper §3's on-demand variant): the request propagates to the packet
 // sources, which emit clock bounds on the next AdvanceClock.

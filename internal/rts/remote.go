@@ -1,0 +1,168 @@
+package rts
+
+import (
+	"fmt"
+	"strings"
+
+	"gigascope/internal/core"
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// PeerStats is the failure-machinery snapshot of one remote stream's
+// transport peer, surfaced through NodeStats (and from there the SYSMON
+// peerState / reconnects / gapTuples / hbMisses columns).
+type PeerStats struct {
+	// State names the connection state machine's current state:
+	// connecting, connected, backoff, dead, done, or closed.
+	State string
+	// Reconnects counts successful re-handshakes after a connection loss.
+	Reconnects uint64
+	// GapTuples counts tuples known lost across reconnects (exact when
+	// the exporter incarnation survived; restarts are unquantifiable and
+	// show up in GapEvents only).
+	GapTuples uint64
+	// GapEvents counts injected gap punctuations (one per reconnect or
+	// peer-death, whether or not the loss was quantifiable).
+	GapEvents uint64
+	// HBMisses counts read-deadline expiries with no peer traffic.
+	HBMisses uint64
+}
+
+// PeerMonitor is implemented by the transport client owning a remote
+// source (wire.Client); the node polls it on every stats snapshot.
+type PeerMonitor interface {
+	PeerStats() PeerStats
+}
+
+// RemoteSource is the local publishing handle for a stream imported from
+// another RTS over a transport. The transport client pushes decoded
+// batches through Publish, advances the local virtual clock with the
+// peer's announced clock via Note, marks reconnect discontinuities with
+// PublishGap, and Closes the stream on clean end or when degrading a
+// dead partition away. Publish/PublishGap/Close serialize on the node
+// lock; Note is lock-free.
+type RemoteSource struct {
+	qn  *queryNode
+	out *schema.Schema
+}
+
+// AddRemoteSource registers a remote stream as a local source node:
+// catalog entry plus shedding publisher, so local queries read it
+// (FROM name) and applications Subscribe to it exactly like a native
+// stream. Remote input is source-level, least-processed data, so its
+// rings shed rather than backpressure the transport reader (§4 drop
+// placement — and a stalled local consumer must never wedge the socket).
+// Unlike clock-driven source nodes it is pushed by its transport, not
+// ticked, so it may be added after Start.
+func (m *Manager) AddRemoteSource(name string, out *schema.Schema, peer PeerMonitor) (*RemoteSource, error) {
+	if out == nil {
+		return nil, fmt.Errorf("rts: nil remote schema")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, fmt.Errorf("rts: manager stopped")
+	}
+	key := strings.ToLower(name)
+	if _, dup := m.nodes[key]; dup {
+		return nil, fmt.Errorf("rts: query node %s already registered", name)
+	}
+	sc := out.Clone()
+	sc.Name = name
+	sc.Kind = schema.KindStream
+	if err := m.cat.Register(sc); err != nil {
+		return nil, err
+	}
+	qn := &queryNode{
+		m:        m,
+		name:     name,
+		level:    core.LevelSource,
+		peer:     peer,
+		pub:      &publisher{name: name, level: core.LevelSource, shed: true},
+		maxBatch: m.cfg.maxBatch(),
+		hbFlush:  true, // forward peer heartbeats downstream immediately
+	}
+	if m.cfg.ValidateOrdering {
+		qn.initCheckers(sc)
+	}
+	m.nodes[key] = qn
+	m.order = append(m.order, qn)
+	r := &RemoteSource{qn: qn, out: sc}
+	m.remotes = append(m.remotes, r)
+	return r, nil
+}
+
+// Publish delivers one decoded batch from the peer to local subscribers
+// (taking ownership of b), then advances the local virtual clock to the
+// peer clock stamped on the frame — so local window-close and sampling
+// logic keeps moving off remote progress.
+func (r *RemoteSource) Publish(b exec.Batch, nTuples int, clock uint64) {
+	qn := r.qn
+	qn.mu.Lock()
+	if !qn.srcClosed && len(b) > 0 {
+		qn.emitBatch(b)
+		// One publish per received frame: batch boundaries on the local
+		// rings reproduce the exporter's exactly (what makes two-process
+		// output byte-identical to the single-process plan).
+		qn.flushPending(&qn.flushWindow)
+		_ = nTuples
+	}
+	qn.mu.Unlock()
+	if clock > 0 {
+		qn.m.noteClock(clock)
+	}
+}
+
+// Note advances the local virtual clock to the peer's announced clock
+// (keepalive frames): remote idle time still closes local windows.
+func (r *RemoteSource) Note(clock uint64) {
+	if clock > 0 {
+		r.qn.m.noteClock(clock)
+	}
+}
+
+// PublishGap injects a gap punctuation marking a delivery discontinuity
+// (reconnect, or peer death): a heartbeat carrying the given bounds, or
+// all-NULL bounds ("no information") when the transport has seen none.
+// Downstream operators treat it as ordinary punctuation — it claims no
+// ordering progress but marks that the stream resumed after loss; the
+// quantitative loss is in the peer counters.
+func (r *RemoteSource) PublishGap(bounds schema.Tuple) {
+	qn := r.qn
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	if qn.srcClosed {
+		return
+	}
+	if bounds == nil {
+		bounds = make(schema.Tuple, len(r.out.Cols))
+	}
+	qn.emit(exec.HeartbeatMsg(bounds))
+	qn.flushPending(&qn.flushWindow)
+}
+
+// SetRequestHeartbeat installs the hook that forwards downstream
+// on-demand ordering-token requests (paper §3) to the peer.
+func (r *RemoteSource) SetRequestHeartbeat(f func()) {
+	r.qn.mu.Lock()
+	r.qn.remoteReq = f
+	r.qn.mu.Unlock()
+}
+
+// Close ends the local stream: downstream operators see it close, flush
+// final state, and — under a merge — get PortDone for this partition.
+// Idempotent; safe from any goroutine.
+func (r *RemoteSource) Close() {
+	qn := r.qn
+	qn.mu.Lock()
+	if !qn.srcClosed {
+		qn.srcClosed = true
+		qn.flushPending(&qn.flushWindow)
+	}
+	qn.mu.Unlock()
+	qn.pub.close()
+}
+
+// Schema returns the locally registered stream schema.
+func (r *RemoteSource) Schema() *schema.Schema { return r.out }

@@ -132,6 +132,15 @@ func NodeStatsSchema() *schema.Schema {
 			// shared-LFTA elimination (0 = unshared): the node's work is
 			// amortized over sharedBy+1 queries.
 			{Name: "sharedBy", Type: schema.TUint},
+			// Remote-peer transport telemetry (wire-imported streams only;
+			// empty/zero rows for local nodes): the connection state machine
+			// state, plus delta-encoded reconnects, tuples known lost across
+			// reconnects, gap punctuations injected, and heartbeat misses.
+			{Name: "peerState", Type: schema.TString},
+			{Name: "reconnects", Type: schema.TUint},
+			{Name: "gapTuples", Type: schema.TUint},
+			{Name: "gapEvents", Type: schema.TUint},
+			{Name: "hbMisses", Type: schema.TUint},
 		},
 	}
 }
@@ -287,6 +296,11 @@ func (s *NodeSampler) sample(nowUsec uint64, emit exec.Emit) {
 			schema.MakeUint(delta(ns.OpErrors, p.OpErrors)),
 			schema.MakeStr(ns.QuarantineReason),
 			schema.MakeUint(uint64(len(ns.SharedBy))),
+			schema.MakeStr(ns.PeerState),
+			schema.MakeUint(delta(ns.Reconnects, p.Reconnects)),
+			schema.MakeUint(delta(ns.GapTuples, p.GapTuples)),
+			schema.MakeUint(delta(ns.GapEvents, p.GapEvents)),
+			schema.MakeUint(delta(ns.HBMisses, p.HBMisses)),
 		}
 		s.prev[ns.Name] = ns
 		s.stats.Out.Add(1)

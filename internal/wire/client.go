@@ -1,0 +1,551 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// DegradePolicy selects what a Client does when its peer is declared
+// dead (reconnect attempts keep failing).
+type DegradePolicy int
+
+const (
+	// DegradeHold keeps retrying forever with capped backoff; the local
+	// stream stays open, so downstream operators simply wait (a merge
+	// over several partitions stalls until the peer returns — correct
+	// answers, unbounded latency).
+	DegradeHold DegradePolicy = iota
+	// DegradeDropPartition declares the peer dead after DeadAfter
+	// consecutive failed dials and closes the local stream: downstream
+	// merges see the port end (PortDone) and continue over the surviving
+	// partitions — bounded latency, explicitly incomplete answers, with
+	// the loss accounted in SYSMON's gap columns.
+	DegradeDropPartition
+)
+
+// Client states, surfaced as the SYSMON peerState column.
+const (
+	stateConnecting int32 = iota
+	stateConnected
+	stateBackoff
+	stateDead
+	stateDone   // peer finished the stream cleanly (fin)
+	stateClosed // local Close
+)
+
+func stateName(s int32) string {
+	switch s {
+	case stateConnecting:
+		return "connecting"
+	case stateConnected:
+		return "connected"
+	case stateBackoff:
+		return "backoff"
+	case stateDead:
+		return "dead"
+	case stateDone:
+		return "done"
+	case stateClosed:
+		return "closed"
+	}
+	return "?"
+}
+
+// ClientConfig tunes a wire client.
+type ClientConfig struct {
+	// Network/Addr locate the peer ("tcp", "unix").
+	Network string
+	Addr    string
+	// Stream is the remote stream name to subscribe to.
+	Stream string
+	// LocalName is the name the stream registers under locally
+	// (default: Stream). Queries read FROM LocalName.
+	LocalName string
+
+	// DialTimeout bounds each dial plus handshake. Default 2s.
+	DialTimeout time.Duration
+	// ReadTimeout is the per-read deadline: with the server quiet, each
+	// expiry is one missed heartbeat. Size it above the server's
+	// keepalive interval. Default 1s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds heartbeat-request writes. Default 2s.
+	WriteTimeout time.Duration
+	// HBMissLimit is how many consecutive read timeouts declare the
+	// connection stalled (then the reconnect machinery takes over).
+	// Default 3.
+	HBMissLimit int
+
+	// BackoffMin/BackoffMax bound the reconnect backoff: the delay
+	// starts at BackoffMin, doubles per failed attempt, and caps at
+	// BackoffMax; each sleep is jittered to [d/2, d). Defaults 50ms/5s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Seed seeds the jitter PRNG (deterministic backoff in tests).
+	Seed int64
+
+	// Degrade selects the peer-dead policy; DeadAfter is the consecutive
+	// failed-dial threshold for DegradeDropPartition (default 8).
+	Degrade   DegradePolicy
+	DeadAfter int
+
+	// MaxFrame caps inbound frames (DefaultMaxFrame when 0).
+	MaxFrame int
+	// WrapConn, when non-nil, wraps every dialed connection — the
+	// fault-injection hook.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (c ClientConfig) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.DialTimeout
+}
+
+func (c ClientConfig) readTimeout() time.Duration {
+	if c.ReadTimeout <= 0 {
+		return time.Second
+	}
+	return c.ReadTimeout
+}
+
+func (c ClientConfig) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+func (c ClientConfig) hbMissLimit() int {
+	if c.HBMissLimit <= 0 {
+		return 3
+	}
+	return c.HBMissLimit
+}
+
+func (c ClientConfig) backoffMin() time.Duration {
+	if c.BackoffMin <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.BackoffMin
+}
+
+func (c ClientConfig) backoffMax() time.Duration {
+	if c.BackoffMax <= 0 {
+		return 5 * time.Second
+	}
+	return c.BackoffMax
+}
+
+func (c ClientConfig) deadAfter() int {
+	if c.DeadAfter <= 0 {
+		return 8
+	}
+	return c.DeadAfter
+}
+
+func (c ClientConfig) maxFrame() int {
+	if c.MaxFrame <= 0 {
+		return DefaultMaxFrame
+	}
+	return c.MaxFrame
+}
+
+// Client imports one remote stream as a local source node. Connect
+// performs the first dial and schema handshake synchronously (the
+// stream must be registered before local queries can compile against
+// it); a background goroutine then owns the connection and the failure
+// machinery. The client is the stream's rts.PeerMonitor: its state and
+// counters surface as the peerState / reconnects / gapTuples / hbMisses
+// columns of SYSMON.NodeStats.
+type Client struct {
+	cfg ClientConfig
+	src *rts.RemoteSource
+	fp  uint64
+
+	// Gap accounting. instance/seq0/received belong to the run
+	// goroutine: seq0 is the stream's cumulative published-tuple count
+	// at the current connection's handshake, received the tuples
+	// delivered since. On reconnect to the same exporter incarnation,
+	// newSeq0 − (seq0 + received) is exactly the tuples published while
+	// we were away or lost in flight — including any shed at the
+	// server-side ring (exact up to one batch in flight at handshake
+	// time).
+	instance uint64
+	seq0     uint64
+	received uint64
+
+	state      atomic.Int32
+	reconnects atomic.Uint64
+	gapTuples  atomic.Uint64
+	gapEvents  atomic.Uint64
+	hbMisses   atomic.Uint64
+	dialFails  atomic.Uint64
+	lastSeq    atomic.Uint64
+
+	// lastBounds remembers the most recent heartbeat bounds received
+	// from the peer; the gap punctuation injected on reconnect reuses
+	// them (unit-correct per column, and claiming no progress beyond
+	// what the peer already announced). Run-goroutine only.
+	lastBounds schema.Tuple
+
+	mu     sync.Mutex // guards conn for hbreq writes vs run-goroutine swaps
+	conn   net.Conn
+	stop   chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+	rng    *rand.Rand
+}
+
+var errStalled = errors.New("wire: heartbeat misses exceeded limit")
+var errFin = errors.New("wire: stream finished")
+var errStopped = errors.New("wire: client closed")
+
+// Connect dials the peer, performs the schema handshake, registers the
+// stream as a local source node on m, and starts the connection
+// goroutine. The returned client's stream is immediately usable in
+// local queries (FROM LocalName).
+func Connect(m *rts.Manager, cfg ClientConfig) (*Client, error) {
+	if cfg.Stream == "" {
+		return nil, fmt.Errorf("wire: ClientConfig.Stream required")
+	}
+	if cfg.LocalName == "" {
+		cfg.LocalName = cfg.Stream
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	conn, hs, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("wire: connect %s/%s: %w", cfg.Network, cfg.Addr, err)
+	}
+	c.fp = hs.Fingerprint
+	c.instance = hs.Instance
+	c.seq0 = hs.Seq
+	c.lastSeq.Store(hs.Seq)
+	src, err := m.AddRemoteSource(cfg.LocalName, hs.Schema, c)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.src = src
+	src.SetRequestHeartbeat(c.requestHeartbeat)
+	c.setConn(conn)
+	c.state.Store(stateConnected)
+	go c.run(conn)
+	return c, nil
+}
+
+// Source returns the local source node handle the remote stream
+// publishes through.
+func (c *Client) Source() *rts.RemoteSource { return c.src }
+
+// Done is closed when the connection goroutine exits for good: clean
+// stream end (fin), peer declared dead, or Close. The local stream is
+// closed by then, so downstream queries have flushed.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// PeerStats implements rts.PeerMonitor: the live failure-machinery
+// counters SYSMON surfaces.
+func (c *Client) PeerStats() rts.PeerStats {
+	return rts.PeerStats{
+		State:      stateName(c.state.Load()),
+		Reconnects: c.reconnects.Load(),
+		GapTuples:  c.gapTuples.Load(),
+		GapEvents:  c.gapEvents.Load(),
+		HBMisses:   c.hbMisses.Load(),
+	}
+}
+
+// Close tears the client down promptly — including mid-backoff-sleep —
+// waits for the connection goroutine to exit, and closes the local
+// stream so downstream operators flush.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		<-c.done
+		return nil
+	}
+	close(c.stop)
+	c.mu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.mu.Unlock()
+	<-c.done
+	// Preserve terminal states reached before Close.
+	s := c.state.Load()
+	if s != stateDead && s != stateDone {
+		c.state.Store(stateClosed)
+	}
+	c.src.Close()
+	return nil
+}
+
+func (c *Client) stopped() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Client) setConn(conn net.Conn) {
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+}
+
+// requestHeartbeat forwards a downstream on-demand ordering-token
+// request (paper §3) to the peer as an hbreq frame. Best-effort: during
+// an outage there is no peer to ask, and the reconnect gap punctuation
+// serves as the ordering signal instead.
+func (c *Client) requestHeartbeat() {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.writeTimeout()))
+	conn.Write(endFrame(beginFrame(make([]byte, 0, 8), frameHBReq)))
+}
+
+// noteBounds tracks the last heartbeat bounds the peer announced (run
+// goroutine only; readLoop calls it before republishing each batch).
+func (c *Client) noteBounds(b exec.Batch) {
+	for i := range b {
+		if b[i].IsHeartbeat() {
+			c.lastBounds = b[i].Bounds
+		}
+	}
+}
+
+// lastHeartbeatBounds returns the bounds for a gap punctuation: the last
+// bounds the peer announced — a unit-correct claim of no progress beyond
+// what downstream already saw — or nil before any heartbeat arrived
+// (PublishGap substitutes all-NULL bounds: "no information").
+func (c *Client) lastHeartbeatBounds() schema.Tuple {
+	return c.lastBounds
+}
+
+// dial opens one connection and runs the handshake under DialTimeout.
+func (c *Client) dial() (net.Conn, schemaFrame, error) {
+	var hs schemaFrame
+	d := net.Dialer{Timeout: c.cfg.dialTimeout()}
+	conn, err := d.Dial(c.cfg.Network, c.cfg.Addr)
+	if err != nil {
+		return nil, hs, err
+	}
+	if c.cfg.WrapConn != nil {
+		conn = c.cfg.WrapConn(conn)
+	}
+	conn.SetDeadline(time.Now().Add(c.cfg.dialTimeout()))
+	hello := helloFrame{
+		Version:  Version,
+		Instance: c.instance,
+		Seq:      c.seq0 + c.received,
+		Stream:   c.cfg.Stream,
+	}
+	if _, err := conn.Write(endFrame(encodeHello(beginFrame(make([]byte, 0, 64), frameHello), hello))); err != nil {
+		conn.Close()
+		return nil, hs, err
+	}
+	var buf []byte
+	typ, payload, err := readFrame(conn, c.cfg.maxFrame(), &buf)
+	if err != nil {
+		conn.Close()
+		return nil, hs, err
+	}
+	switch typ {
+	case frameSchema:
+		hs, err = decodeSchemaFrame(payload)
+		if err != nil {
+			conn.Close()
+			return nil, hs, err
+		}
+	case frameError:
+		conn.Close()
+		return nil, hs, fmt.Errorf("wire: peer rejected subscription: %s", payload)
+	default:
+		conn.Close()
+		return nil, hs, decodeErrf("unexpected handshake frame %q", typ)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, hs, nil
+}
+
+// run owns the connection lifecycle: read until failure, reconnect with
+// backoff, repeat — until a clean fin, a dead-peer verdict, or Close.
+func (c *Client) run(conn net.Conn) {
+	defer close(c.done)
+	for {
+		err := c.readLoop(conn)
+		c.setConn(nil)
+		conn.Close()
+		switch {
+		case errors.Is(err, errStopped) || c.stopped():
+			return
+		case errors.Is(err, errFin):
+			c.state.Store(stateDone)
+			c.src.Close()
+			return
+		}
+		// Connection failed (error, stall, or torn frame): reconnect.
+		conn = c.reconnect()
+		if conn == nil {
+			if c.stopped() {
+				return
+			}
+			// Peer declared dead (DegradeDropPartition, or the stream's
+			// schema changed under us). Mark the discontinuity, then
+			// apply the degrade policy: close the local stream so
+			// downstream merges get PortDone and continue without this
+			// partition.
+			c.gapEvents.Add(1)
+			c.src.PublishGap(c.lastHeartbeatBounds())
+			c.state.Store(stateDead)
+			c.src.Close()
+			return
+		}
+	}
+}
+
+// readLoop pumps one live connection: batches are republished locally
+// 1:1 (message order preserved), keepalives advance the local virtual
+// clock, and read-deadline expiries count heartbeat misses until the
+// connection is declared stalled.
+func (c *Client) readLoop(conn net.Conn) error {
+	misses := 0
+	var buf []byte
+	for {
+		if c.stopped() {
+			return errStopped
+		}
+		conn.SetReadDeadline(time.Now().Add(c.cfg.readTimeout()))
+		typ, payload, err := readFrame(conn, c.cfg.maxFrame(), &buf)
+		if err != nil {
+			if c.stopped() {
+				return errStopped
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				misses++
+				c.hbMisses.Add(1)
+				if misses >= c.cfg.hbMissLimit() {
+					return errStalled
+				}
+				continue
+			}
+			return err
+		}
+		misses = 0
+		switch typ {
+		case frameBatch:
+			clock, b, nT, err := decodeBatch(payload)
+			if err != nil {
+				// Corrupt peer output: treat as a connection failure and
+				// resync through the reconnect handshake.
+				return err
+			}
+			c.noteBounds(b)
+			c.received += uint64(nT)
+			c.src.Publish(b, nT, clock)
+		case frameKeepalive:
+			clock, seq, err := decodeKeepalive(payload)
+			if err != nil {
+				return err
+			}
+			c.lastSeq.Store(seq)
+			// The manager's clock high-water mark is monotone, so a
+			// skewed-backward keepalive is absorbed; a skewed-forward one
+			// advances local virtual time early (windows close sooner) —
+			// visible, bounded damage.
+			c.src.Note(clock)
+		case frameFin:
+			return errFin
+		case frameError:
+			return fmt.Errorf("wire: peer error: %s", payload)
+		}
+	}
+}
+
+// reconnect runs the backoff loop: jittered doubling delay, redial,
+// fingerprint check, gap accounting. Returns nil when stopped, when the
+// schema fingerprint no longer matches, or when DegradeDropPartition's
+// failure budget is exhausted.
+func (c *Client) reconnect() net.Conn {
+	backoff := c.cfg.backoffMin()
+	fails := 0
+	for {
+		c.state.Store(stateBackoff)
+		// Jitter to [backoff/2, backoff): a fleet of clients whose peer
+		// died together must not redial in lockstep.
+		d := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		select {
+		case <-c.stop:
+			return nil
+		case <-time.After(d):
+		}
+		c.state.Store(stateConnecting)
+		conn, hs, err := c.dial()
+		if err != nil {
+			c.dialFails.Add(1)
+			fails++
+			if backoff < c.cfg.backoffMax() {
+				backoff *= 2
+				if backoff > c.cfg.backoffMax() {
+					backoff = c.cfg.backoffMax()
+				}
+			}
+			if c.cfg.Degrade == DegradeDropPartition && fails >= c.cfg.deadAfter() {
+				return nil
+			}
+			continue
+		}
+		if hs.Fingerprint != c.fp {
+			// The stream was redefined while we were away; the local plan
+			// was compiled against the old shape. Resuming would feed
+			// queries tuples they mis-interpret — refuse and degrade.
+			conn.Close()
+			return nil
+		}
+		var gap uint64
+		if hs.Instance == c.instance {
+			if have := c.seq0 + c.received; hs.Seq > have {
+				gap = hs.Seq - have
+			}
+		}
+		// Same incarnation: gap is the exact published-while-away count.
+		// New incarnation: the exporter restarted and its counters reset;
+		// the loss is real but unquantifiable — record the gap event with
+		// whatever the fresh counter implies (usually 0) and move on.
+		c.instance = hs.Instance
+		c.seq0 = hs.Seq
+		c.received = 0
+		c.lastSeq.Store(hs.Seq)
+		c.reconnects.Add(1)
+		c.gapEvents.Add(1)
+		c.gapTuples.Add(gap)
+		c.src.PublishGap(c.lastHeartbeatBounds())
+		c.setConn(conn)
+		c.state.Store(stateConnected)
+		return conn
+	}
+}

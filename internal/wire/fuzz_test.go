@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"gigascope/internal/exec"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the frame reader and every
+// payload decoder. The invariants under fuzz are the protocol's safety
+// contract against a corrupt or malicious peer:
+//
+//   - never panic (slice bounds, allocation size, unpack recursion);
+//   - never allocate proportionally to a claimed length the payload
+//     cannot hold (the fuzz frame cap is 1 MiB, so a run that
+//     over-allocates shows up as an OOM or a gigantic slice);
+//   - every malformed input fails with a typed *DecodeError (payload
+//     decoders) or an io error / ErrFrameTooBig (frame reader).
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: one well-formed frame of every type, plus classic
+	// corruptions — truncations, a lying length prefix, a huge count.
+	sc := feedSchema()
+	hello := appendFrame(nil, frameHello,
+		encodeHello(nil, helloFrame{Version: Version, Instance: 3, Seq: 9, Stream: "feed"}))
+	schemaFr := appendFrame(nil, frameSchema,
+		encodeSchemaFrame(nil, schemaFrame{Instance: 3, Seq: 9, Clock: 11, Fingerprint: SchemaFingerprint(sc), Schema: sc}))
+	batch := appendFrame(nil, frameBatch,
+		encodeBatch(nil, 42, exec.Batch{
+			exec.TupleMsg(feedTuple(1, 0x0a000001, "x")),
+			exec.HeartbeatMsg(feedTuple(2, 0, "")),
+		}))
+	keepalive := appendFrame(nil, frameKeepalive, encodeKeepalive(nil, 5, 6))
+	fin := appendFrame(nil, frameFin, nil)
+
+	f.Add(hello)
+	f.Add(schemaFr)
+	f.Add(batch)
+	f.Add(keepalive)
+	f.Add(fin)
+	f.Add(append(append([]byte{}, hello...), batch...)) // two frames back to back
+	f.Add(batch[:len(batch)/2])                         // truncated mid-payload
+	f.Add(batch[:3])                                    // truncated mid-header
+	f.Add([]byte{frameBatch, 0xff, 0xff, 0xff, 0xff})   // 4 GiB length prefix
+	huge := append([]byte{}, batch...)
+	huge[13], huge[14], huge[15], huge[16] = 0xff, 0xff, 0xff, 0xff // batch count lies
+	f.Add(huge)
+	f.Add([]byte{})
+
+	const fuzzMaxFrame = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Path 1: the framed stream, as readLoop consumes it.
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			typ, payload, err := readFrame(r, fuzzMaxFrame, &buf)
+			if err != nil {
+				var de *DecodeError
+				if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.As(err, &de) {
+					t.Fatalf("readFrame: untyped error %T: %v", err, err)
+				}
+				break
+			}
+			checkPayload(t, typ, payload)
+		}
+		// Path 2: raw bytes straight into each payload decoder — the
+		// frame reader bounds lengths, but the decoders must hold their
+		// own invariants too.
+		for _, typ := range []byte{frameHello, frameSchema, frameBatch, frameKeepalive} {
+			checkPayload(t, typ, data)
+		}
+	})
+}
+
+// checkPayload runs the type-appropriate payload decoder and asserts the
+// error contract; on success it re-encodes where cheap to pin symmetry.
+func checkPayload(t *testing.T, typ byte, payload []byte) {
+	t.Helper()
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("frame %q: untyped decode error %T: %v", typ, err, err)
+		}
+	}
+	switch typ {
+	case frameHello:
+		h, err := decodeHello(payload)
+		fail(err)
+		if err == nil {
+			if got, err2 := decodeHello(encodeHello(nil, h)); err2 != nil || got != h {
+				t.Fatalf("hello re-encode mismatch: %+v vs %+v (%v)", got, h, err2)
+			}
+		}
+	case frameSchema:
+		sf, err := decodeSchemaFrame(payload)
+		fail(err)
+		if err == nil {
+			// A decoded schema must re-encode to the same fingerprint.
+			if _, err2 := decodeSchemaFrame(encodeSchemaFrame(nil, sf)); err2 != nil {
+				t.Fatalf("schema re-encode rejected: %v", err2)
+			}
+		}
+	case frameBatch:
+		_, b, nT, err := decodeBatch(payload)
+		fail(err)
+		if err == nil && nT > len(b) {
+			t.Fatalf("batch tuple count %d exceeds batch len %d", nT, len(b))
+		}
+	case frameKeepalive:
+		_, _, err := decodeKeepalive(payload)
+		fail(err)
+	}
+}

@@ -1,0 +1,401 @@
+// Package wire is the inter-RTS stream transport: a length-prefixed
+// tuple-batch protocol over TCP or unix sockets that lets one run time
+// system subscribe to another's streams (ROADMAP item 1 — many capture
+// hosts feeding a smaller HFTA tier). A Server exports any catalog
+// stream through the ordinary pubsub rings (same exact-shed accounting
+// as local subscribers); a Client presents the remote stream as a local
+// source node, and owns the failure story: deadlines, reconnect with
+// capped doubling backoff + jitter, gap punctuation on resume, and a
+// configurable degrade policy when the peer is declared dead.
+//
+// Frame layout (all integers big-endian):
+//
+//	+------+-------------+----------------+
+//	| type | length (u32)| payload        |
+//	| 1 B  | 4 B         | length bytes   |
+//	+------+-------------+----------------+
+//
+// Frame types:
+//
+//	'H' hello      client→server  version, last instance, last seq, stream name
+//	'S' schema     server→client  instance, seq, clock, fingerprint, schema
+//	'B' batch      server→client  clock, then messages (tuples + heartbeats)
+//	'K' keepalive  server→client  clock, seq — carries the virtual clock
+//	'R' hbreq      client→server  demand an on-demand ordering token (§3)
+//	'E' error      server→client  handshake rejection, UTF-8 message
+//	'F' fin        either         clean end of stream
+//
+// The schema handshake pins a structural fingerprint; a client refuses to
+// resume onto a peer whose stream no longer has the shape its local plan
+// was compiled against. Heartbeat messages inside batch frames carry the
+// stream's native ordering bounds, so downstream window-close logic works
+// unchanged across the hop; keepalive frames carry the exporting
+// manager's virtual clock for the importing side's clock high-water mark.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// Version is the protocol version carried in the hello frame.
+const Version = 1
+
+// DefaultMaxFrame bounds a single frame (4 MiB). A length prefix larger
+// than the cap is rejected before any allocation, so a corrupt or
+// malicious peer cannot make the decoder over-allocate.
+const DefaultMaxFrame = 4 << 20
+
+// Frame types.
+const (
+	frameHello     = 'H'
+	frameSchema    = 'S'
+	frameBatch     = 'B'
+	frameKeepalive = 'K'
+	frameHBReq     = 'R'
+	frameError     = 'E'
+	frameFin       = 'F'
+)
+
+// Decode sanity bounds, enforced before allocation.
+const (
+	maxCols      = 4096
+	maxNameLen   = 1024
+	maxGroupCols = 256
+	// minMsgBytes is the smallest encoded message: kind byte + 2-byte
+	// field count. A batch frame claiming more messages than its payload
+	// could possibly hold is rejected before the slice is allocated.
+	minMsgBytes = 3
+)
+
+// DecodeError is the typed error every malformed-input path returns: a
+// frame or payload that cannot be decoded is a protocol violation by the
+// peer, never a panic or an oversized allocation.
+type DecodeError struct {
+	What string
+}
+
+func (e *DecodeError) Error() string { return "wire: decode: " + e.What }
+
+func decodeErrf(format string, args ...any) error {
+	return &DecodeError{What: fmt.Sprintf(format, args...)}
+}
+
+// ErrFrameTooBig wraps the frame-cap violation so callers can
+// distinguish "peer sent garbage lengths" from short reads.
+var ErrFrameTooBig = &DecodeError{What: "frame exceeds size cap"}
+
+// appendFrame appends a whole frame (header + payload) to dst. Frames
+// are written with a single Write call so a fault-injected truncation
+// tears exactly one frame.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// beginFrame starts an in-place frame in buf: type byte plus a length
+// placeholder. The payload is appended directly after it, then endFrame
+// patches the length — one buffer, one Write call per frame.
+func beginFrame(buf []byte, typ byte) []byte {
+	return append(buf[:0], typ, 0, 0, 0, 0)
+}
+
+func endFrame(buf []byte) []byte {
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(buf)-5))
+	return buf
+}
+
+// readFrame reads one frame, reusing *buf for the payload. maxFrame
+// caps the length prefix; violations return ErrFrameTooBig without
+// allocating.
+func readFrame(r io.Reader, maxFrame int, buf *[]byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > maxFrame {
+		return 0, nil, ErrFrameTooBig
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	payload = (*buf)[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// helloFrame is the client's opening message.
+type helloFrame struct {
+	Version  byte
+	Instance uint64 // last known server instance (0 = first connect)
+	Seq      uint64 // stream tuple count the client has accounted through
+	Stream   string
+}
+
+func encodeHello(dst []byte, h helloFrame) []byte {
+	dst = append(dst, h.Version)
+	dst = binary.BigEndian.AppendUint64(dst, h.Instance)
+	dst = binary.BigEndian.AppendUint64(dst, h.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.Stream)))
+	return append(dst, h.Stream...)
+}
+
+func decodeHello(p []byte) (helloFrame, error) {
+	var h helloFrame
+	if len(p) < 19 {
+		return h, decodeErrf("short hello (%d bytes)", len(p))
+	}
+	h.Version = p[0]
+	h.Instance = binary.BigEndian.Uint64(p[1:])
+	h.Seq = binary.BigEndian.Uint64(p[9:])
+	n := int(binary.BigEndian.Uint16(p[17:]))
+	if n > maxNameLen {
+		return h, decodeErrf("hello stream name too long (%d)", n)
+	}
+	if len(p) < 19+n {
+		return h, decodeErrf("truncated hello stream name")
+	}
+	h.Stream = string(p[19 : 19+n])
+	return h, nil
+}
+
+// schemaFrame is the server's handshake reply: the exporter incarnation,
+// the stream's cumulative published-tuple count (the client's gap-
+// accounting base), the exporter's virtual clock, and the stream schema
+// with its structural fingerprint.
+type schemaFrame struct {
+	Instance    uint64
+	Seq         uint64
+	Clock       uint64
+	Fingerprint uint64
+	Schema      *schema.Schema
+}
+
+func encodeSchemaFrame(dst []byte, f schemaFrame) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, f.Instance)
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, f.Clock)
+	dst = binary.BigEndian.AppendUint64(dst, f.Fingerprint)
+	return appendSchema(dst, f.Schema)
+}
+
+func decodeSchemaFrame(p []byte) (schemaFrame, error) {
+	var f schemaFrame
+	if len(p) < 32 {
+		return f, decodeErrf("short schema frame (%d bytes)", len(p))
+	}
+	f.Instance = binary.BigEndian.Uint64(p)
+	f.Seq = binary.BigEndian.Uint64(p[8:])
+	f.Clock = binary.BigEndian.Uint64(p[16:])
+	f.Fingerprint = binary.BigEndian.Uint64(p[24:])
+	sc, n, err := decodeSchema(p[32:])
+	if err != nil {
+		return f, err
+	}
+	if n != len(p)-32 {
+		return f, decodeErrf("trailing bytes after schema")
+	}
+	f.Schema = sc
+	return f, nil
+}
+
+// appendSchema encodes the structural description of a stream schema:
+// kind, then per column the name, type, ordering (kind, band, group) and
+// interpretation function. The schema's own name is deliberately
+// excluded — importers register the stream under a local name, and the
+// fingerprint must describe shape, not labeling.
+func appendSchema(dst []byte, sc *schema.Schema) []byte {
+	dst = append(dst, byte(sc.Kind))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(sc.Cols)))
+	for i := range sc.Cols {
+		c := &sc.Cols[i]
+		dst = appendString16(dst, c.Name)
+		dst = append(dst, byte(c.Type), byte(c.Ordering.Kind))
+		dst = binary.BigEndian.AppendUint64(dst, c.Ordering.Band)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(c.Ordering.Group)))
+		for _, g := range c.Ordering.Group {
+			dst = appendString16(dst, g)
+		}
+		dst = appendString16(dst, c.Interp)
+	}
+	return dst
+}
+
+func decodeSchema(p []byte) (*schema.Schema, int, error) {
+	if len(p) < 3 {
+		return nil, 0, decodeErrf("short schema header")
+	}
+	sc := &schema.Schema{Kind: schema.Kind(p[0])}
+	if sc.Kind != schema.KindProtocol && sc.Kind != schema.KindStream {
+		return nil, 0, decodeErrf("unknown schema kind %d", p[0])
+	}
+	ncols := int(binary.BigEndian.Uint16(p[1:]))
+	if ncols == 0 || ncols > maxCols {
+		return nil, 0, decodeErrf("column count %d out of range", ncols)
+	}
+	// Each column costs at least name(2) + type(1) + ordKind(1) + band(8)
+	// + ngroup(2) + interp(2) = 16 bytes; refuse to allocate for more
+	// columns than the payload could hold.
+	if ncols*16 > len(p)-3 {
+		return nil, 0, decodeErrf("column count %d exceeds payload", ncols)
+	}
+	off := 3
+	sc.Cols = make([]schema.Column, ncols)
+	for i := 0; i < ncols; i++ {
+		c := &sc.Cols[i]
+		var err error
+		if c.Name, off, err = readString16(p, off, "column name"); err != nil {
+			return nil, 0, err
+		}
+		if off+12 > len(p) {
+			return nil, 0, decodeErrf("truncated column %d", i)
+		}
+		c.Type = schema.Type(p[off])
+		if c.Type > schema.TIP {
+			return nil, 0, decodeErrf("unknown column type %d", p[off])
+		}
+		c.Ordering.Kind = schema.OrderKind(p[off+1])
+		if c.Ordering.Kind > schema.OrderIncreasingInGroup {
+			return nil, 0, decodeErrf("unknown ordering kind %d", p[off+1])
+		}
+		c.Ordering.Band = binary.BigEndian.Uint64(p[off+2:])
+		ngroup := int(binary.BigEndian.Uint16(p[off+10:]))
+		off += 12
+		if ngroup > maxGroupCols {
+			return nil, 0, decodeErrf("ordering group of %d columns", ngroup)
+		}
+		if ngroup > 0 {
+			if ngroup*2 > len(p)-off {
+				return nil, 0, decodeErrf("ordering group exceeds payload")
+			}
+			c.Ordering.Group = make([]string, ngroup)
+			for g := 0; g < ngroup; g++ {
+				if c.Ordering.Group[g], off, err = readString16(p, off, "group column"); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		if c.Interp, off, err = readString16(p, off, "interp name"); err != nil {
+			return nil, 0, err
+		}
+	}
+	return sc, off, nil
+}
+
+func appendString16(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString16(p []byte, off int, what string) (string, int, error) {
+	if off+2 > len(p) {
+		return "", 0, decodeErrf("truncated %s length", what)
+	}
+	n := int(binary.BigEndian.Uint16(p[off:]))
+	off += 2
+	if n > maxNameLen {
+		return "", 0, decodeErrf("%s too long (%d)", what, n)
+	}
+	if off+n > len(p) {
+		return "", 0, decodeErrf("truncated %s", what)
+	}
+	return string(p[off : off+n]), off + n, nil
+}
+
+// SchemaFingerprint is the FNV-1a 64 hash of the schema's structural
+// encoding: column names, types, orderings, and interpretation bindings
+// — everything query compilation depends on, excluding the stream's
+// registered name. Two streams with equal fingerprints compile to
+// identical plans, which is what makes reconnect-resume and cross-host
+// reunification safe to accept.
+func SchemaFingerprint(sc *schema.Schema) uint64 {
+	h := fnv.New64a()
+	h.Write(appendSchema(nil, sc))
+	return h.Sum64()
+}
+
+// Message kinds inside a batch frame.
+const (
+	msgTuple     = 'T'
+	msgHeartbeat = 'H'
+)
+
+// encodeBatch appends a batch payload: the exporter's virtual clock,
+// a message count, then each message as a kind byte plus the standard
+// packed tuple format (paper §2.2) — bounds tuples for heartbeats.
+func encodeBatch(dst []byte, clock uint64, b exec.Batch) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, clock)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	for i := range b {
+		if b[i].IsHeartbeat() {
+			dst = append(dst, msgHeartbeat)
+			dst = b[i].Bounds.Pack(dst)
+		} else {
+			dst = append(dst, msgTuple)
+			dst = b[i].Tuple.Pack(dst)
+		}
+	}
+	return dst
+}
+
+// decodeBatch parses a batch payload, returning the exporter clock, the
+// messages, and the tuple (non-heartbeat) count. The message count is
+// validated against the payload size before the batch is allocated.
+func decodeBatch(p []byte) (clock uint64, b exec.Batch, nTuples int, err error) {
+	if len(p) < 12 {
+		return 0, nil, 0, decodeErrf("short batch header (%d bytes)", len(p))
+	}
+	clock = binary.BigEndian.Uint64(p)
+	count := int(binary.BigEndian.Uint32(p[8:]))
+	rest := p[12:]
+	if count*minMsgBytes > len(rest) {
+		return 0, nil, 0, decodeErrf("message count %d exceeds payload", count)
+	}
+	b = make(exec.Batch, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) == 0 {
+			return 0, nil, 0, decodeErrf("truncated batch at message %d", i)
+		}
+		kind := rest[0]
+		t, n, uerr := schema.Unpack(rest[1:])
+		if uerr != nil {
+			return 0, nil, 0, &DecodeError{What: uerr.Error()}
+		}
+		rest = rest[1+n:]
+		switch kind {
+		case msgTuple:
+			b = append(b, exec.TupleMsg(t))
+			nTuples++
+		case msgHeartbeat:
+			b = append(b, exec.HeartbeatMsg(t))
+		default:
+			return 0, nil, 0, decodeErrf("unknown message kind %q", kind)
+		}
+	}
+	if len(rest) != 0 {
+		return 0, nil, 0, decodeErrf("trailing bytes after batch")
+	}
+	return clock, b, nTuples, nil
+}
+
+// keepalive payload: clock, then the stream's cumulative tuple count.
+func encodeKeepalive(dst []byte, clock, seq uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, clock)
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+func decodeKeepalive(p []byte) (clock, seq uint64, err error) {
+	if len(p) < 16 {
+		return 0, 0, decodeErrf("short keepalive (%d bytes)", len(p))
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[8:]), nil
+}

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// feedSchema is the stream shape the wire tests ship across the hop:
+// an ordered time column, an IP, and a string — enough to exercise the
+// ordering and interp encoding paths.
+func feedSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "feed",
+		Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "srcIP", Type: schema.TIP},
+			{Name: "note", Type: schema.TString},
+		},
+	}
+}
+
+func protoSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "eth0.TCP",
+		Kind: schema.KindProtocol,
+		Cols: []schema.Column{
+			{Name: "time", Type: schema.TUint,
+				Ordering: schema.Ordering{Kind: schema.OrderBandedIncreasing, Band: 2},
+				Interp:   "pkt_time"},
+			{Name: "seqNo", Type: schema.TUint,
+				Ordering: schema.Ordering{Kind: schema.OrderIncreasingInGroup, Group: []string{"srcIP", "destIP"}},
+				Interp:   "tcp_seq"},
+			{Name: "srcIP", Type: schema.TIP, Interp: "ip_src"},
+			{Name: "destIP", Type: schema.TIP, Interp: "ip_dst"},
+		},
+	}
+}
+
+func feedTuple(ts uint64, ip uint32, note string) schema.Tuple {
+	return schema.Tuple{schema.MakeUint(ts), schema.MakeIP(ip), schema.MakeStr(note)}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := helloFrame{Version: Version, Instance: 0xdeadbeef, Seq: 12345, Stream: "feed"}
+	got, err := decodeHello(encodeHello(nil, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("hello round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestSchemaFrameRoundTrip(t *testing.T) {
+	for _, sc := range []*schema.Schema{feedSchema(), protoSchema()} {
+		f := schemaFrame{
+			Instance:    7,
+			Seq:         99,
+			Clock:       1_000_000,
+			Fingerprint: SchemaFingerprint(sc),
+			Schema:      sc,
+		}
+		got, err := decodeSchemaFrame(encodeSchemaFrame(nil, f))
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if got.Instance != f.Instance || got.Seq != f.Seq || got.Clock != f.Clock || got.Fingerprint != f.Fingerprint {
+			t.Fatalf("%s: header fields: got %+v", sc.Name, got)
+		}
+		// The schema's registered name is deliberately not carried.
+		if got.Schema.Name != "" {
+			t.Fatalf("%s: schema name should not cross the wire, got %q", sc.Name, got.Schema.Name)
+		}
+		if got.Schema.Kind != sc.Kind || !reflect.DeepEqual(got.Schema.Cols, sc.Cols) {
+			t.Fatalf("%s: columns round trip:\n got %+v\nwant %+v", sc.Name, got.Schema.Cols, sc.Cols)
+		}
+		if SchemaFingerprint(got.Schema) != f.Fingerprint {
+			t.Fatalf("%s: fingerprint changed across round trip", sc.Name)
+		}
+	}
+}
+
+func TestSchemaFingerprintSemantics(t *testing.T) {
+	a, b := feedSchema(), feedSchema()
+	b.Name = "renamed_import" // labeling must not matter
+	if SchemaFingerprint(a) != SchemaFingerprint(b) {
+		t.Fatal("fingerprint depends on the stream name")
+	}
+	b.Cols[1].Name = "dstIP" // shape must matter
+	if SchemaFingerprint(a) == SchemaFingerprint(b) {
+		t.Fatal("fingerprint ignores a column rename")
+	}
+	c := feedSchema()
+	c.Cols[0].Ordering.Kind = schema.OrderNone // ordering drives plans
+	if SchemaFingerprint(a) == SchemaFingerprint(c) {
+		t.Fatal("fingerprint ignores ordering change")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := exec.Batch{
+		exec.TupleMsg(feedTuple(1, 0x0a000001, "a")),
+		exec.HeartbeatMsg(feedTuple(2, 0, "")),
+		exec.TupleMsg(feedTuple(3, 0x0a000002, "bb")),
+	}
+	clock, out, nT, err := decodeBatch(encodeBatch(nil, 42, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 42 || nT != 2 || len(out) != len(in) {
+		t.Fatalf("clock=%d nT=%d len=%d", clock, nT, len(out))
+	}
+	for i := range in {
+		if in[i].IsHeartbeat() != out[i].IsHeartbeat() {
+			t.Fatalf("message %d kind flipped", i)
+		}
+		want, got := in[i].Tuple, out[i].Tuple
+		if in[i].IsHeartbeat() {
+			want, got = in[i].Bounds, out[i].Bounds
+		}
+		if len(want) != len(got) {
+			t.Fatalf("message %d width: %d vs %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if !want[j].Equal(got[j]) {
+				t.Fatalf("message %d field %d: got %v want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestEmptyBatchRoundTrip(t *testing.T) {
+	clock, b, nT, err := decodeBatch(encodeBatch(nil, 7, nil))
+	if err != nil || clock != 7 || nT != 0 || len(b) != 0 {
+		t.Fatalf("empty batch: clock=%d b=%v nT=%d err=%v", clock, b, nT, err)
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	clock, seq, err := decodeKeepalive(encodeKeepalive(nil, 123, 456))
+	if err != nil || clock != 123 || seq != 456 {
+		t.Fatalf("keepalive: clock=%d seq=%d err=%v", clock, seq, err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	// beginFrame/endFrame (the in-place single-Write path) must produce
+	// the same bytes as appendFrame, and readFrame must invert both.
+	payload := []byte("hello wire")
+	a := appendFrame(nil, frameBatch, payload)
+	b := endFrame(append(beginFrame(make([]byte, 0, 64), frameBatch), payload...))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("framing paths disagree:\n%x\n%x", a, b)
+	}
+	var buf []byte
+	typ, got, err := readFrame(bytes.NewReader(a), DefaultMaxFrame, &buf)
+	if err != nil || typ != frameBatch || !bytes.Equal(got, payload) {
+		t.Fatalf("readFrame: typ=%q payload=%q err=%v", typ, got, err)
+	}
+}
+
+func TestReadFrameCapsLength(t *testing.T) {
+	// A length prefix over the cap is rejected before any allocation —
+	// the frame claims 1 GiB but only 5 header bytes exist, and the
+	// decoder must not try to make the slice.
+	hdr := []byte{frameBatch, 0x40, 0x00, 0x00, 0x00} // 1 GiB
+	_, _, err := readFrame(bytes.NewReader(hdr), DefaultMaxFrame, new([]byte))
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("got %v, want ErrFrameTooBig", err)
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("ErrFrameTooBig is not a *DecodeError: %T", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := appendFrame(nil, frameKeepalive, encodeKeepalive(nil, 1, 2))
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := readFrame(bytes.NewReader(full[:cut]), DefaultMaxFrame, new([]byte))
+		if err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+// TestDecodeRejectsOversizedClaims pins the over-allocation guards: a
+// payload whose counts claim more content than its bytes could hold must
+// fail with a typed *DecodeError before any proportional allocation.
+func TestDecodeRejectsOversizedClaims(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"batch count", func() error {
+			p := encodeBatch(nil, 0, nil)
+			p[8], p[9], p[10], p[11] = 0xff, 0xff, 0xff, 0xff // count=4B msgs, payload 0
+			_, _, _, err := decodeBatch(p)
+			return err
+		}},
+		{"schema columns", func() error {
+			p := []byte{byte(schema.KindStream), 0xff, 0xff} // 65535 cols, no bytes
+			_, _, err := decodeSchema(p)
+			return err
+		}},
+		{"hello name", func() error {
+			h := encodeHello(nil, helloFrame{Version: Version, Stream: "feed"})
+			h[17], h[18] = 0xff, 0xff // name length 65535
+			_, err := decodeHello(h)
+			return err
+		}},
+		{"unknown message kind", func() error {
+			p := encodeBatch(nil, 0, exec.Batch{exec.TupleMsg(feedTuple(1, 2, "x"))})
+			p[12] = 'Z'
+			_, _, _, err := decodeBatch(p)
+			return err
+		}},
+		{"trailing garbage", func() error {
+			p := append(encodeBatch(nil, 0, nil), 0xaa)
+			_, _, _, err := decodeBatch(p)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Fatalf("%s: decoded", tc.name)
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("%s: error %v is %T, want *DecodeError", tc.name, err, err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// Exporter is what a Server needs from the hosting run time system:
+// stream subscription through the registry (so remote subscribers get
+// the same bounded rings and exact-shed accounting as local ones), the
+// catalog schema for the handshake, and the virtual-clock high-water
+// mark for keepalive frames. *rts.Manager and the root System both
+// satisfy it.
+type Exporter interface {
+	Subscribe(name string, bufSize int) (*rts.Subscription, error)
+	LookupSchema(name string) (*schema.Schema, bool)
+	Clock() uint64
+}
+
+// ServerConfig tunes a wire server. The zero value is usable.
+type ServerConfig struct {
+	// Heartbeat is the wall-clock keepalive interval: a connection with
+	// no batch traffic carries the virtual clock in keepalive frames at
+	// this period, and clients size their read deadlines against it.
+	// Default 100ms.
+	Heartbeat time.Duration
+	// WriteTimeout bounds each frame write; a subscriber that stops
+	// reading is disconnected rather than allowed to wedge the sender.
+	// Default 5s.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the hello→schema exchange. Default 5s.
+	HandshakeTimeout time.Duration
+	// RingBatches is the per-subscriber send-queue depth in batches —
+	// the same bounded pubsub ring local subscribers get, with the same
+	// shed-vs-backpressure policy and exact drop accounting. Default 256.
+	RingBatches int
+	// MaxFrame caps inbound frame sizes (DefaultMaxFrame when 0).
+	MaxFrame int
+	// Instance identifies this exporter incarnation; clients use it to
+	// tell "same stream state, resumable with exact gap accounting" from
+	// "server restarted, loss unquantifiable". 0 derives one from the
+	// wall clock at Serve time.
+	Instance uint64
+	// WrapConn, when non-nil, wraps every accepted connection — the
+	// fault-injection hook (faultinject.WireFaults.WrapConn).
+	WrapConn func(net.Conn) net.Conn
+	// SkewClock, when non-nil, maps the virtual clock announced in
+	// keepalive frames — the clock-skew fault-injection hook.
+	SkewClock func(uint64) uint64
+}
+
+func (c ServerConfig) heartbeat() time.Duration {
+	if c.Heartbeat <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.Heartbeat
+}
+
+func (c ServerConfig) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+func (c ServerConfig) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.HandshakeTimeout
+}
+
+func (c ServerConfig) ringBatches() int {
+	if c.RingBatches <= 0 {
+		return 256
+	}
+	return c.RingBatches
+}
+
+func (c ServerConfig) maxFrame() int {
+	if c.MaxFrame <= 0 {
+		return DefaultMaxFrame
+	}
+	return c.MaxFrame
+}
+
+// Server exports an RTS's streams to remote subscribers. One goroutine
+// accepts; each connection gets a reader (heartbeat requests, close
+// detection) and a writer (batches + keepalives) running against a
+// dedicated pubsub subscription.
+type Server struct {
+	exp Exporter
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	closing chan struct{}
+	wg      sync.WaitGroup
+
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	active   atomic.Int64
+}
+
+// ListenAndServe binds network/addr ("tcp", "unix") and serves on it.
+func ListenAndServe(exp Exporter, network, addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(exp, ln, cfg), nil
+}
+
+// Serve exports exp's streams on an existing listener, which the server
+// takes ownership of (Close closes it).
+func Serve(exp Exporter, ln net.Listener, cfg ServerConfig) *Server {
+	if cfg.Instance == 0 {
+		cfg.Instance = uint64(time.Now().UnixNano()) | 1
+	}
+	s := &Server{
+		exp:     exp,
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Instance returns the exporter-incarnation identifier sent in schema
+// handshakes.
+func (s *Server) Instance() uint64 { return s.cfg.Instance }
+
+// Conns reports the number of live subscriber connections — examples
+// and tests use it to wait for a subscriber before generating traffic.
+func (s *Server) Conns() int { return int(s.active.Load()) }
+
+// Drain waits until every live subscriber connection has ended — after
+// the exported streams close (RTS Stop), the per-connection writers
+// send their fin frames and exit — or until d elapses; it reports
+// whether the server drained fully. Clean two-process shutdown is
+// Stop → Drain → Close: skipping Drain races Close's connection
+// teardown against the in-flight fin, and the peer sees a failure (and
+// reconnects) instead of a clean end of stream.
+func (s *Server) Drain(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for s.active.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// Close stops accepting, disconnects every subscriber (including any
+// mid-handshake), and waits for all connection goroutines to exit.
+// Prompt: nothing on the serve path blocks Close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			// Listener failed for good; the server is done accepting.
+			return
+		}
+		if s.cfg.WrapConn != nil {
+			c = s.cfg.WrapConn(c)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// handle runs one subscriber connection: handshake, then a writer loop
+// forwarding the subscription's batches 1:1 as batch frames (message
+// order preserved — the importing side reproduces the exact local
+// delivery sequence) interleaved with keepalives, while a reader
+// goroutine serves heartbeat requests and notices the peer going away.
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	c.SetDeadline(time.Now().Add(s.cfg.handshakeTimeout()))
+	var rbuf []byte
+	typ, payload, err := readFrame(c, s.cfg.maxFrame(), &rbuf)
+	if err != nil || typ != frameHello {
+		s.rejected.Add(1)
+		return
+	}
+	hello, err := decodeHello(payload)
+	if err != nil {
+		s.rejected.Add(1)
+		return
+	}
+	wbuf := make([]byte, 0, 512)
+	if hello.Version != Version {
+		s.reject(c, wbuf, fmt.Sprintf("version %d unsupported (want %d)", hello.Version, Version))
+		return
+	}
+	sc, ok := s.exp.LookupSchema(hello.Stream)
+	if !ok {
+		s.reject(c, wbuf, "no stream named "+hello.Stream)
+		return
+	}
+	sub, err := s.exp.Subscribe(hello.Stream, s.cfg.ringBatches())
+	if err != nil {
+		s.reject(c, wbuf, err.Error())
+		return
+	}
+	defer sub.Cancel()
+
+	hs := schemaFrame{
+		Instance:    s.cfg.Instance,
+		Seq:         sub.StreamTuples(),
+		Clock:       s.exp.Clock(),
+		Fingerprint: SchemaFingerprint(sc),
+		Schema:      sc,
+	}
+	wbuf = endFrame(encodeSchemaFrame(beginFrame(wbuf, frameSchema), hs))
+	if err := s.write(c, wbuf); err != nil {
+		return
+	}
+	c.SetDeadline(time.Time{})
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	// Reader: heartbeat requests and peer-close detection. It owns no
+	// state; closing the conn (from Close, from a write error, or from
+	// the peer) unblocks it.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		var buf []byte
+		for {
+			typ, _, err := readFrame(c, s.cfg.maxFrame(), &buf)
+			if err != nil {
+				c.Close() // unblock any in-flight write promptly
+				return
+			}
+			switch typ {
+			case frameHBReq:
+				sub.RequestHeartbeat()
+			case frameFin:
+				c.Close()
+				return
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(s.cfg.heartbeat())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case b, ok := <-sub.C:
+			if !ok {
+				// Stream ended cleanly (RTS stop or query close): tell the
+				// peer so it can flush downstream state instead of treating
+				// the close as a failure.
+				s.write(c, endFrame(beginFrame(wbuf, frameFin)))
+				return
+			}
+			wbuf = endFrame(encodeBatch(beginFrame(wbuf, frameBatch), s.exp.Clock(), b))
+			if err := s.write(c, wbuf); err != nil {
+				return
+			}
+		case <-ticker.C:
+			clock := s.exp.Clock()
+			if s.cfg.SkewClock != nil {
+				clock = s.cfg.SkewClock(clock)
+			}
+			wbuf = endFrame(encodeKeepalive(beginFrame(wbuf, frameKeepalive), clock, sub.StreamTuples()))
+			if err := s.write(c, wbuf); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// write sends one framed buffer under the write deadline, as a single
+// Write call (so a fault-injected truncation tears exactly one frame).
+func (s *Server) write(c net.Conn, frame []byte) error {
+	c.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout()))
+	_, err := c.Write(frame)
+	return err
+}
+
+func (s *Server) reject(c net.Conn, wbuf []byte, msg string) {
+	s.rejected.Add(1)
+	s.write(c, endFrame(append(beginFrame(wbuf, frameError), msg...)))
+}

@@ -1,0 +1,627 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"gigascope/internal/exec"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+)
+
+// watchdog panics with full stacks if the test has not finished within d
+// — a deadlocked shutdown path fails loudly with the blocked goroutines
+// visible instead of hanging the whole package run.
+func watchdog(t *testing.T, d time.Duration) (cancel func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(d):
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			panic(fmt.Sprintf("watchdog: %s still running after %v:\n%s", t.Name(), d, buf[:n]))
+		}
+	}()
+	return func() { close(done) }
+}
+
+// leakCheck snapshots the goroutine count; the returned func fails the
+// test if the count has not returned to the baseline shortly after —
+// the shutdown paths must not leave readers, writers, accept loops, or
+// backoff sleepers behind.
+func leakCheck(t *testing.T) func() {
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d now vs %d at start\n%s", runtime.NumGoroutine(), base, buf[:n])
+	}
+}
+
+// tempSock returns a socket path short enough for sun_path (t.TempDir
+// paths can blow the 104-byte limit).
+func tempSock(t *testing.T) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "gsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	return filepath.Join(dir, "s.sock")
+}
+
+// newFeedManager builds an RTS exporting one stream "feed", published
+// through a RemoteSource handle (a push-driven source node — the
+// simplest way for a test to emit exact batches on the server side).
+func newFeedManager(t *testing.T) (*rts.Manager, *rts.RemoteSource) {
+	t.Helper()
+	m := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	src, err := m.AddRemoteSource("feed", feedSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, src
+}
+
+func tupleBatch(ts ...uint64) exec.Batch {
+	var b exec.Batch
+	for _, v := range ts {
+		b = append(b, exec.TupleMsg(feedTuple(v, 0x0a000001, "t")))
+	}
+	return b
+}
+
+// recvTuples reads from sub until n tuples arrive, returning them plus
+// the number of heartbeats seen on the way.
+func recvTuples(t *testing.T, sub *rts.Subscription, n int) (tuples []schema.Tuple, heartbeats int) {
+	t.Helper()
+	timeout := time.After(10 * time.Second)
+	for len(tuples) < n {
+		select {
+		case b, ok := <-sub.C:
+			if !ok {
+				t.Fatalf("stream closed after %d/%d tuples", len(tuples), n)
+			}
+			for _, m := range b {
+				if m.IsHeartbeat() {
+					heartbeats++
+				} else {
+					tuples = append(tuples, m.Tuple)
+				}
+			}
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d tuples", len(tuples), n)
+		}
+	}
+	return tuples, heartbeats
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServerCloseMidHandshake pins the shutdown-ordering contract: a
+// Server.Close racing connections parked mid-handshake (nothing sent,
+// and a half-written frame header) must return promptly and leave no
+// goroutines behind.
+func TestServerCloseMidHandshake(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 30*time.Second)()
+
+	mgr, _ := newFeedManager(t)
+	defer mgr.Stop()
+	sock := tempSock(t)
+	srv, err := ListenAndServe(mgr, "unix", sock, ServerConfig{Instance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Conn 1: connects and says nothing — server blocked reading hello.
+	c1, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	// Conn 2: half a frame header, then silence.
+	c2, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Write([]byte{frameHello, 0x00})
+	// Let the server accept both and park in the handshake reads.
+	time.Sleep(50 * time.Millisecond)
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Close took %v with connections mid-handshake", d)
+	}
+}
+
+// TestClientCloseDuringBackoff pins the other half of the contract:
+// Close while the client is asleep in a (deliberately huge) backoff
+// window must interrupt the sleep and return promptly.
+func TestClientCloseDuringBackoff(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 30*time.Second)()
+
+	mgr, _ := newFeedManager(t)
+	defer mgr.Stop()
+	sock := tempSock(t)
+	srv, err := ListenAndServe(mgr, "unix", sock, ServerConfig{Instance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmgr := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	defer cmgr.Stop()
+	cl, err := Connect(cmgr, ClientConfig{
+		Network: "unix", Addr: sock, Stream: "feed",
+		BackoffMin: time.Hour, BackoffMax: time.Hour, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server: the client's read fails and it enters the
+	// hour-long jittered backoff sleep.
+	srv.Close()
+	waitFor(t, "client in backoff", func() bool { return cl.PeerStats().State == "backoff" })
+
+	start := time.Now()
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Close took %v during backoff sleep", d)
+	}
+	if st := cl.PeerStats().State; st != "closed" {
+		t.Fatalf("state after Close: %q", st)
+	}
+}
+
+// TestReconnectResume is the deterministic kill-and-restart scenario:
+// the server dies mid-stream, tuples are published while the client is
+// away, the server restarts as the same incarnation, and the client
+// must resume with the gap counted exactly and a gap punctuation
+// injected between the pre-kill and post-resume tuples.
+func TestReconnectResume(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 60*time.Second)()
+
+	mgr, feed := newFeedManager(t)
+	defer mgr.Stop()
+	sock := tempSock(t)
+	scfg := ServerConfig{Instance: 7}
+	srvA, err := ListenAndServe(mgr, "unix", sock, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmgr := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	defer cmgr.Stop()
+	cl, err := Connect(cmgr, ClientConfig{
+		Network: "unix", Addr: sock, Stream: "feed", LocalName: "import",
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 40 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sub, err := cmgr.Subscribe("import", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: three tuples arrive normally.
+	feed.Publish(tupleBatch(1, 2, 3), 3, 100)
+	got, hbs := recvTuples(t, sub, 3)
+	if hbs != 0 {
+		t.Fatalf("phase 1: %d unexpected heartbeats", hbs)
+	}
+
+	// Kill the server; publish two tuples into the void. The stream's
+	// cumulative count advances — these are the tuples the client must
+	// account as lost.
+	srvA.Close()
+	feed.Publish(tupleBatch(4, 5), 2, 200)
+
+	// Restart as the same incarnation on the same socket.
+	srvB, err := ListenAndServe(mgr, "unix", sock, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	waitFor(t, "reconnect", func() bool {
+		ps := cl.PeerStats()
+		return ps.Reconnects == 1 && ps.State == "connected"
+	})
+
+	// Phase 2: four more tuples after resume.
+	feed.Publish(tupleBatch(6, 7, 8, 9), 4, 300)
+	got2, hbs2 := recvTuples(t, sub, 4)
+
+	ps := cl.PeerStats()
+	if ps.GapTuples != 2 {
+		t.Fatalf("gapTuples = %d, want exactly 2 (same-incarnation resume)", ps.GapTuples)
+	}
+	if ps.GapEvents != 1 || ps.Reconnects != 1 {
+		t.Fatalf("gapEvents=%d reconnects=%d, want 1/1", ps.GapEvents, ps.Reconnects)
+	}
+	if hbs2 < 1 {
+		t.Fatal("no gap punctuation between pre-kill and post-resume tuples")
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if got[i][0].Uint() != want {
+			t.Fatalf("phase 1 tuple %d: time %d want %d", i, got[i][0].Uint(), want)
+		}
+	}
+	for i, want := range []uint64{6, 7, 8, 9} {
+		if got2[i][0].Uint() != want {
+			t.Fatalf("phase 2 tuple %d: time %d want %d", i, got2[i][0].Uint(), want)
+		}
+	}
+}
+
+// TestReconnectAcrossRestartUnquantifiable: when the exporter comes back
+// as a NEW incarnation (its counters reset), the loss is real but not
+// quantifiable — the client must record the gap event without inventing
+// a tuple count.
+func TestReconnectAcrossRestartUnquantifiable(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 60*time.Second)()
+
+	mgr, feed := newFeedManager(t)
+	defer mgr.Stop()
+	sock := tempSock(t)
+	srvA, err := ListenAndServe(mgr, "unix", sock, ServerConfig{Instance: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmgr := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	defer cmgr.Stop()
+	cl, err := Connect(cmgr, ClientConfig{
+		Network: "unix", Addr: sock, Stream: "feed",
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 40 * time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sub, err := cmgr.Subscribe("feed", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed.Publish(tupleBatch(1), 1, 100)
+	recvTuples(t, sub, 1)
+
+	srvA.Close()
+	feed.Publish(tupleBatch(2, 3), 2, 200) // lost, and unaccountable
+	srvB, err := ListenAndServe(mgr, "unix", sock, ServerConfig{Instance: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	waitFor(t, "reconnect", func() bool {
+		ps := cl.PeerStats()
+		return ps.Reconnects == 1 && ps.State == "connected"
+	})
+
+	ps := cl.PeerStats()
+	// Instance changed: a new-incarnation handshake must not project the
+	// fresh counter onto the old one. (The restarted exporter reports its
+	// cumulative count, which here keeps growing because both servers
+	// share one manager — the point is the client must not trust it
+	// across an instance change.)
+	if ps.GapTuples != 0 {
+		t.Fatalf("gapTuples = %d across an instance change, want 0 (unquantifiable)", ps.GapTuples)
+	}
+	if ps.GapEvents != 1 {
+		t.Fatalf("gapEvents = %d, want 1", ps.GapEvents)
+	}
+}
+
+// fakeServer is a hand-rolled peer for failure-injection at the protocol
+// level: it completes the handshake, then behaves as told (silence,
+// etc.). Close tears down the listener and every accepted conn.
+type fakeServer struct {
+	ln       net.Listener
+	instance uint64
+	mu       sync.Mutex
+	conns    []net.Conn
+	wg       sync.WaitGroup
+}
+
+func newFakeServer(t *testing.T, sock string, instance uint64) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, instance: instance}
+	fs.wg.Add(1)
+	go fs.accept()
+	return fs
+}
+
+func (fs *fakeServer) accept() {
+	defer fs.wg.Done()
+	for {
+		c, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		fs.mu.Lock()
+		fs.conns = append(fs.conns, c)
+		fs.mu.Unlock()
+		fs.wg.Add(1)
+		go func(c net.Conn) {
+			defer fs.wg.Done()
+			var buf []byte
+			typ, _, err := readFrame(c, DefaultMaxFrame, &buf)
+			if err != nil || typ != frameHello {
+				c.Close()
+				return
+			}
+			sc := feedSchema()
+			hs := schemaFrame{Instance: fs.instance, Fingerprint: SchemaFingerprint(sc), Schema: sc}
+			c.Write(endFrame(encodeSchemaFrame(beginFrame(nil, frameSchema), hs)))
+			// ... and then total silence: no batches, no keepalives.
+		}(c)
+	}
+}
+
+// closeListener stops accepting without touching live conns: the peer
+// stays connected but will never hear from us again — the stalled-peer
+// scenario, as opposed to Close's killed-peer one.
+func (fs *fakeServer) closeListener() {
+	fs.ln.Close()
+}
+
+func (fs *fakeServer) Close() {
+	fs.ln.Close()
+	fs.mu.Lock()
+	for _, c := range fs.conns {
+		c.Close()
+	}
+	fs.mu.Unlock()
+	fs.wg.Wait()
+}
+
+// TestHeartbeatTimeoutDropPartition: a peer that stops sending anything
+// (no keepalives) must be detected via read-deadline heartbeat misses;
+// with DegradeDropPartition and no listener to redial, the client
+// declares the peer dead and closes the local stream so downstream
+// continues without this partition.
+func TestHeartbeatTimeoutDropPartition(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 60*time.Second)()
+
+	sock := tempSock(t)
+	fs := newFakeServer(t, sock, 99)
+	cmgr := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	defer cmgr.Stop()
+	cl, err := Connect(cmgr, ClientConfig{
+		Network: "unix", Addr: sock, Stream: "feed",
+		ReadTimeout: 30 * time.Millisecond, HBMissLimit: 2,
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 10 * time.Millisecond, Seed: 3,
+		Degrade: DegradeDropPartition, DeadAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sub, err := cmgr.Subscribe("feed", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take the listener away (so redials fail) but leave the conn up and
+	// silent, and let the stall play out: 2 read timeouts -> stalled ->
+	// 2 failed dials -> dead.
+	defer fs.Close()
+	fs.closeListener()
+	select {
+	case <-cl.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("client never declared the peer dead")
+	}
+	ps := cl.PeerStats()
+	if ps.State != "dead" {
+		t.Fatalf("state = %q, want dead", ps.State)
+	}
+	if ps.HBMisses < 2 {
+		t.Fatalf("hbMisses = %d, want >= HBMissLimit", ps.HBMisses)
+	}
+	if ps.GapEvents != 1 {
+		t.Fatalf("gapEvents = %d, want 1 (the death punctuation)", ps.GapEvents)
+	}
+	// The local stream must close: gap punctuation first, then close.
+	sawHB := false
+	for b := range sub.C {
+		for _, m := range b {
+			if m.IsHeartbeat() {
+				sawHB = true
+			} else {
+				t.Fatalf("unexpected tuple from a silent peer: %v", m.Tuple)
+			}
+		}
+	}
+	if !sawHB {
+		t.Fatal("no gap punctuation before the partition dropped")
+	}
+}
+
+// TestHeartbeatTimeoutHold: same silent-peer stall, but with the default
+// hold-and-wait policy the client must keep retrying (never dead, local
+// stream stays open) and recover when the peer returns.
+func TestHeartbeatTimeoutHold(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 60*time.Second)()
+
+	sock := tempSock(t)
+	fs := newFakeServer(t, sock, 99)
+	cmgr := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	defer cmgr.Stop()
+	cl, err := Connect(cmgr, ClientConfig{
+		Network: "unix", Addr: sock, Stream: "feed",
+		ReadTimeout: 30 * time.Millisecond, HBMissLimit: 2,
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 20 * time.Millisecond, Seed: 4,
+		Degrade: DegradeHold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sub, err := cmgr.Subscribe("feed", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	// Far past any DeadAfter budget: with Hold the client must still be
+	// cycling backoff/connecting, and the local stream must be open.
+	time.Sleep(300 * time.Millisecond)
+	ps := cl.PeerStats()
+	if ps.State == "dead" || ps.State == "closed" || ps.State == "done" {
+		t.Fatalf("hold policy reached terminal state %q", ps.State)
+	}
+	select {
+	case _, ok := <-sub.C:
+		if !ok {
+			t.Fatal("hold policy closed the local stream")
+		}
+	default:
+	}
+
+	// Peer returns (same incarnation): the client must reconnect.
+	fs2 := newFakeServer(t, sock, 99)
+	defer fs2.Close()
+	waitFor(t, "recovery", func() bool {
+		ps := cl.PeerStats()
+		return ps.State == "connected" && ps.Reconnects >= 1
+	})
+}
+
+// TestFingerprintMismatchDegrades: if the stream was redefined while the
+// client was away, resuming would feed the local plan tuples it would
+// misinterpret — the client must refuse and degrade instead.
+func TestFingerprintMismatchDegrades(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 60*time.Second)()
+
+	mgr, _ := newFeedManager(t)
+	defer mgr.Stop()
+	sock := tempSock(t)
+	srv, err := ListenAndServe(mgr, "unix", sock, ServerConfig{Instance: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmgr := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	defer cmgr.Stop()
+	cl, err := Connect(cmgr, ClientConfig{
+		Network: "unix", Addr: sock, Stream: "feed",
+		BackoffMin: 5 * time.Millisecond, BackoffMax: 20 * time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	srv.Close()
+	// Same socket, same stream name, same incarnation — different shape.
+	fsDiff := newDifferentSchemaServer(t, sock)
+	defer fsDiff.Close()
+
+	select {
+	case <-cl.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("client never degraded on fingerprint mismatch")
+	}
+	if st := cl.PeerStats().State; st != "dead" {
+		t.Fatalf("state = %q, want dead after schema change", st)
+	}
+}
+
+// newDifferentSchemaServer serves a handshake for a stream whose shape
+// differs from feedSchema (extra column) under the same name/instance.
+func newDifferentSchemaServer(t *testing.T, sock string) *fakeServer {
+	t.Helper()
+	os.Remove(sock)
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, instance: 7}
+	fs.wg.Add(1)
+	go func() {
+		defer fs.wg.Done()
+		for {
+			c, err := fs.ln.Accept()
+			if err != nil {
+				return
+			}
+			fs.mu.Lock()
+			fs.conns = append(fs.conns, c)
+			fs.mu.Unlock()
+			fs.wg.Add(1)
+			go func(c net.Conn) {
+				defer fs.wg.Done()
+				var buf []byte
+				typ, _, err := readFrame(c, DefaultMaxFrame, &buf)
+				if err != nil || typ != frameHello {
+					c.Close()
+					return
+				}
+				sc := feedSchema()
+				sc.Cols = append(sc.Cols, schema.Column{Name: "extra", Type: schema.TUint})
+				hs := schemaFrame{Instance: fs.instance, Fingerprint: SchemaFingerprint(sc), Schema: sc}
+				c.Write(endFrame(encodeSchemaFrame(beginFrame(nil, frameSchema), hs)))
+			}(c)
+		}
+	}()
+	return fs
+}
+
+// TestServeUnknownStreamRejected: subscribing to a stream the exporter
+// does not have must fail the handshake with the peer's error message,
+// not hang or succeed vacuously.
+func TestServeUnknownStreamRejected(t *testing.T) {
+	defer leakCheck(t)()
+	defer watchdog(t, 30*time.Second)()
+
+	mgr, _ := newFeedManager(t)
+	defer mgr.Stop()
+	sock := tempSock(t)
+	srv, err := ListenAndServe(mgr, "unix", sock, ServerConfig{Instance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cmgr := rts.NewManager(schema.NewCatalog(), rts.Config{})
+	defer cmgr.Stop()
+	if _, err := Connect(cmgr, ClientConfig{Network: "unix", Addr: sock, Stream: "nope"}); err == nil {
+		t.Fatal("subscribing to an unknown stream succeeded")
+	}
+}

@@ -1,0 +1,110 @@
+package gigascope
+
+import (
+	"fmt"
+
+	"gigascope/internal/core"
+	"gigascope/internal/faultinject"
+	"gigascope/internal/rts"
+	"gigascope/internal/schema"
+	"gigascope/internal/wire"
+)
+
+// Wire-transport aliases: the inter-RTS stream subscription layer
+// (internal/wire) exposed through the root API. A WireServer exports
+// this System's catalog streams to remote subscribers; a WireClient
+// imports a remote stream as an ordinary local source node, owning the
+// reconnect/backoff/degrade failure machinery.
+type (
+	// WireServer exports streams over TCP or unix sockets; see ServeWire.
+	WireServer = wire.Server
+	// WireClient imports one remote stream; see ConnectWire.
+	WireClient = wire.Client
+	// WireServerConfig tunes a WireServer (zero value is usable).
+	WireServerConfig = wire.ServerConfig
+	// WireClientConfig tunes a WireClient; Network/Addr/Stream required.
+	WireClientConfig = wire.ClientConfig
+	// DegradePolicy selects hold-and-wait vs drop-partition-and-continue
+	// when a wire peer is declared dead.
+	DegradePolicy = wire.DegradePolicy
+	// PeerStats is the remote-peer failure snapshot a WireClient reports
+	// (also surfaced as SYSMON.NodeStats peer columns).
+	PeerStats = rts.PeerStats
+	// WireFaults injects seeded connection faults (kills, truncations,
+	// stalls, clock skew) into wire transports; see NewWireFaults.
+	WireFaults = faultinject.WireFaults
+	// ConnFaultConfig tunes a WireFaults injector.
+	ConnFaultConfig = faultinject.ConnFaultConfig
+	// Schema describes one stream or protocol layout.
+	Schema = schema.Schema
+)
+
+// Degrade policies for WireClientConfig.Degrade.
+const (
+	// DegradeHold retries a dead peer forever; downstream waits.
+	DegradeHold = wire.DegradeHold
+	// DegradeDropPartition closes the local stream after DeadAfter failed
+	// dials, so downstream merges continue over surviving partitions.
+	DegradeDropPartition = wire.DegradeDropPartition
+)
+
+// NewWireFaults builds a seeded connection fault injector; plug its
+// WrapConn/SkewClock hooks into WireServerConfig / WireClientConfig.
+func NewWireFaults(cfg ConnFaultConfig) *WireFaults { return faultinject.NewWireFaults(cfg) }
+
+// Clock returns the System-wide virtual-clock high-water mark
+// (microseconds) — what wire keepalive frames announce to subscribers.
+func (s *System) Clock() uint64 { return s.mgr.Clock() }
+
+// LookupSchema returns the named stream's catalog schema.
+func (s *System) LookupSchema(name string) (*Schema, bool) { return s.mgr.LookupSchema(name) }
+
+// ServeWire exports every subscribable stream of this System on
+// network/addr ("tcp", "unix"): remote Systems subscribe by stream name
+// with ConnectWire, receiving tuple batches, virtual-clock heartbeats,
+// and the same bounded-ring shed accounting as local subscribers.
+func (s *System) ServeWire(network, addr string, cfg WireServerConfig) (*WireServer, error) {
+	return wire.ListenAndServe(s.mgr, network, addr, cfg)
+}
+
+// ConnectWire imports a remote stream served by another System's
+// ServeWire as a local source node: local queries read it by name
+// (FROM cfg.LocalName) like any native stream. The returned client owns
+// the connection — reconnect with capped jittered backoff, gap
+// punctuations and SYSMON gap accounting on resume, and the configured
+// degrade policy when the peer is declared dead. Close it to drop the
+// import; Stop closes any still-open imports' local streams.
+func (s *System) ConnectWire(cfg WireClientConfig) (*WireClient, error) {
+	return wire.Connect(s.mgr, cfg)
+}
+
+// AddReunifyNode merges several same-schema streams — typically wire
+// imports of one logical stream partitioned across capture hosts — into
+// a single ordered stream under name, reusing the shard-reunify merge
+// (order-preserving on the first increasing column, fan-in fallback).
+// Input port i reads inputs[i]; schema agreement is checked by the same
+// fingerprint the wire handshake pins.
+func (s *System) AddReunifyNode(name string, inputs []string) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("gigascope: reunify needs at least one input stream")
+	}
+	var out *schema.Schema
+	var fp uint64
+	for i, in := range inputs {
+		sc, ok := s.catalog.Lookup(in)
+		if !ok {
+			return fmt.Errorf("gigascope: unknown stream %s", in)
+		}
+		f := wire.SchemaFingerprint(sc)
+		if i == 0 {
+			out, fp = sc, f
+		} else if f != fp {
+			return fmt.Errorf("gigascope: reunify input %s schema differs from %s", in, inputs[0])
+		}
+	}
+	op, err := core.NewShardReunify(out, len(inputs))
+	if err != nil {
+		return err
+	}
+	return s.mgr.AddUserNode(name, op, inputs)
+}

@@ -1,0 +1,395 @@
+package gigascope
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const wireFeedQuery = `
+	DEFINE { query_name feed; }
+	SELECT time, srcIP, destIP, destPort FROM eth0.TCP
+	WHERE ipversion = 4 and protocol = 6`
+
+const wireCountsQuery = `
+	DEFINE { query_name counts; }
+	SELECT time, destPort, count(*) FROM feed
+	GROUP BY time, destPort`
+
+func wireSock(t *testing.T) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "gsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	return filepath.Join(dir, "s.sock")
+}
+
+// injectWireTraffic drives the deterministic seeded traffic both sides
+// of the byte-identity comparison use: poll-window batches (one publish
+// per step), so batch boundaries are reproducible.
+func injectWireTraffic(t *testing.T, sys *System) {
+	t.Helper()
+	gen, err := NewTrafficGenerator(TrafficConfig{
+		Seed: 42,
+		Classes: []TrafficClass{
+			{Name: "web", RateMbps: 20, PktBytes: 1000, DstPort: 80, Proto: ProtoTCP},
+			{Name: "tls", RateMbps: 10, PktBytes: 800, DstPort: 443, Proto: ProtoTCP},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 2_000_000
+	const step = horizon / 40
+	for usec := uint64(step); usec <= horizon; usec += step {
+		var window []*Packet
+		gen.Until(usec, func(p *Packet) { window = append(window, p) })
+		sys.InjectBatch("eth0", window)
+		sys.AdvanceClock(usec)
+	}
+}
+
+func collectRows(t *testing.T, sub *Subscription) []string {
+	t.Helper()
+	var rows []string
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case b, ok := <-sub.C:
+			if !ok {
+				return rows
+			}
+			for _, m := range b {
+				if !m.IsHeartbeat() {
+					rows = append(rows, m.Tuple.String())
+				}
+			}
+		case <-timeout:
+			t.Fatal("collectRows timed out")
+		}
+	}
+}
+
+// TestWireTwoSystemByteIdentity is the acceptance criterion from the
+// paper's distributed architecture: splitting the pipeline across two
+// run time systems joined by the wire transport must not change the
+// answer. Fault-free, the aggregate rows are identical — same values,
+// same order — to the single-process run.
+func TestWireTwoSystemByteIdentity(t *testing.T) {
+	// Reference: both queries in one System.
+	single, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.MustAddQuery(wireFeedQuery, nil)
+	single.MustAddQuery(wireCountsQuery, nil)
+	refSub, err := single.Subscribe("counts", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Start(); err != nil {
+		t.Fatal(err)
+	}
+	injectWireTraffic(t, single)
+	single.Stop()
+	want := collectRows(t, refSub)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no rows")
+	}
+
+	// Split: server runs the capture-side selection and exports "feed";
+	// client imports it and runs the aggregation.
+	sysS, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysS.MustAddQuery(wireFeedQuery, nil)
+	if err := sysS.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sock := wireSock(t)
+	srv, err := sysS.ServeWire("unix", sock, WireServerConfig{RingBatches: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sysC, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sysC.ConnectWire(WireClientConfig{Network: "unix", Addr: sock, Stream: "feed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysC.MustAddQuery(wireCountsQuery, nil)
+	gotSub, err := sysC.Subscribe("counts", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysC.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	injectWireTraffic(t, sysS)
+	sysS.Stop()
+	if !srv.Drain(10 * time.Second) {
+		t.Fatal("server did not drain")
+	}
+	srv.Close()
+	<-cl.Done()
+	got := collectRows(t, gotSub)
+	sysC.Stop()
+	cl.Close()
+
+	if len(got) != len(want) {
+		t.Fatalf("row count: wire %d vs single %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs:\n wire:   %s\n single: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWireReconnectGapVisibleInSysmon runs the transport under a seeded
+// connection kill and checks the full observability chain: the client
+// reconnects with backoff on its own, and the gap accounting surfaces
+// through the client's PeerStats AND as SYSMON.NodeStats columns
+// queryable with ordinary GSQL.
+func TestWireReconnectGapVisibleInSysmon(t *testing.T) {
+	sysS, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysS.MustAddQuery(wireFeedQuery, nil)
+	if err := sysS.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sock := wireSock(t)
+	// Kill the connection at the 4th server write (schema frame is write
+	// 0, so the cut lands mid-stream), exactly once, deterministically.
+	wf := NewWireFaults(ConnFaultConfig{Seed: 9, KillAt: []uint64{3}})
+	srv, err := sysS.ServeWire("unix", sock, WireServerConfig{
+		RingBatches: 8192,
+		WrapConn:    wf.WrapConn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sysC, err := New(Config{SelfMonitor: true, MonitorIntervalUsec: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sysC.ConnectWire(WireClientConfig{
+		Network: "unix", Addr: sock, Stream: "feed",
+		BackoffMin: 2 * time.Millisecond, BackoffMax: 20 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The satellite requirement: peer-failure telemetry is just another
+	// stream — an HFTA aggregation over SYSMON.NodeStats.
+	sysC.MustAddQuery(`
+		DEFINE { query_name peermon; }
+		SELECT tb, name, sum(reconnects), sum(gapEvents) FROM SYSMON.NodeStats
+		GROUP BY ts/1000000 as tb, name
+		HAVING sum(reconnects) > 0`, nil)
+	mon, err := sysC.Subscribe("peermon", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysC.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pace the traffic in wall-clock time so the kill/backoff/redial
+	// cycle happens mid-stream (the reconnect needs a few milliseconds
+	// of real time while virtual time keeps moving).
+	gen, err := NewTrafficGenerator(TrafficConfig{
+		Seed:    7,
+		Classes: []TrafficClass{{Name: "web", RateMbps: 10, PktBytes: 1000, DstPort: 80, Proto: ProtoTCP}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 3_000_000
+	const step = horizon / 60
+	for usec := uint64(step); usec <= horizon; usec += step {
+		var window []*Packet
+		gen.Until(usec, func(p *Packet) { window = append(window, p) })
+		sysS.InjectBatch("eth0", window)
+		sysS.AdvanceClock(usec)
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The client must have reconnected on its own by now.
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.PeerStats().Reconnects == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sysS.Stop()
+	srv.Drain(10 * time.Second)
+	srv.Close()
+	<-cl.Done()
+	ps := cl.PeerStats()
+	sysC.Stop()
+	cl.Close()
+
+	if st := wf.Stats(); st.Kills != 1 {
+		t.Fatalf("fault injector delivered %d kills, want 1", st.Kills)
+	}
+	if ps.Reconnects < 1 {
+		t.Fatalf("client never reconnected: %+v", ps)
+	}
+	if ps.GapEvents < 1 {
+		t.Fatalf("no gap event recorded: %+v", ps)
+	}
+
+	// And the same facts, through the query path: the HAVING clause only
+	// passes windows that saw a reconnect, so any "feed" row is the gap
+	// accounting surfacing in SYSMON.
+	var sumRec uint64
+	timeout := time.After(10 * time.Second)
+drain:
+	for {
+		select {
+		case b, ok := <-mon.C:
+			if !ok {
+				break drain
+			}
+			for _, m := range b {
+				if m.IsHeartbeat() {
+					continue
+				}
+				if m.Tuple[1].Str() == "feed" {
+					sumRec += m.Tuple[2].Uint()
+				}
+			}
+		case <-timeout:
+			t.Fatal("peermon drain timed out")
+		}
+	}
+	if sumRec < 1 {
+		t.Fatalf("SYSMON peermon query never reported the reconnect (sum %d)", sumRec)
+	}
+}
+
+// TestWireReunifyAcrossHosts is the paper's many-capture-hosts topology:
+// two exporter systems each run the same capture-side selection over
+// their own interface's traffic, a third system imports both partitions
+// over the wire and reunifies them into one logical stream with the
+// shard-reunify merge (schema agreement pinned by the same fingerprint
+// the wire handshake checks).
+func TestWireReunifyAcrossHosts(t *testing.T) {
+	startExporter := func(sock string) (*System, *WireServer) {
+		sys, err := New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.MustAddQuery(wireFeedQuery, nil)
+		if err := sys.Start(); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := sys.ServeWire("unix", sock, WireServerConfig{RingBatches: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, srv
+	}
+	sockA, sockB := wireSock(t), wireSock(t)
+	sysA, srvA := startExporter(sockA)
+	sysB, srvB := startExporter(sockB)
+
+	sysC, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	connect := func(sock, local string) *WireClient {
+		cl, err := sysC.ConnectWire(WireClientConfig{
+			Network: "unix", Addr: sock, Stream: "feed", LocalName: local,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	clA := connect(sockA, "feedA")
+	clB := connect(sockB, "feedB")
+	if err := sysC.AddReunifyNode("feed", []string{"feedA", "feedB"}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sysC.Subscribe("feed", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysC.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each "host" captures a disjoint traffic class; the reunified stream
+	// must carry both.
+	injectOne := func(sys *System, seed int64, port uint16) {
+		gen, err := NewTrafficGenerator(TrafficConfig{
+			Seed:    seed,
+			Classes: []TrafficClass{{Name: "c", RateMbps: 10, PktBytes: 1000, DstPort: port, Proto: ProtoTCP}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const horizon = 1_000_000
+		const step = horizon / 20
+		for usec := uint64(step); usec <= horizon; usec += step {
+			var window []*Packet
+			gen.Until(usec, func(p *Packet) { window = append(window, p) })
+			sys.InjectBatch("eth0", window)
+			sys.AdvanceClock(usec)
+		}
+	}
+	injectOne(sysA, 1, 80)
+	injectOne(sysB, 2, 443)
+
+	for _, s := range []*System{sysA, sysB} {
+		s.Stop()
+	}
+	for _, srv := range []*WireServer{srvA, srvB} {
+		srv.Drain(10 * time.Second)
+		srv.Close()
+	}
+	// Both imports end (fin -> PortDone); the reunify output closes once
+	// every partition is done, so the drain below terminates.
+	<-clA.Done()
+	<-clB.Done()
+
+	byPort := map[uint64]int{}
+	timeout := time.After(30 * time.Second)
+	for {
+		var b Batch
+		var ok bool
+		select {
+		case b, ok = <-sub.C:
+		case <-timeout:
+			t.Fatal("reunified stream never closed")
+		}
+		if !ok {
+			break
+		}
+		for _, m := range b {
+			if !m.IsHeartbeat() {
+				byPort[m.Tuple[3].Uint()]++
+			}
+		}
+	}
+	sysC.Stop()
+	clA.Close()
+	clB.Close()
+	if byPort[80] == 0 || byPort[443] == 0 {
+		t.Fatalf("reunified stream missing a partition: %v", byPort)
+	}
+	if len(byPort) != 2 {
+		t.Fatalf("unexpected ports in reunified stream: %v", byPort)
+	}
+}
