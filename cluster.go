@@ -1,0 +1,244 @@
+package gigascope
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gigascope/internal/coord"
+	"gigascope/internal/core"
+	"gigascope/internal/rts"
+)
+
+// ClusterConfig configures an in-process multi-System deployment: one
+// System per topology host, wired over real unix sockets exactly like
+// separate processes would be, with the coordinator deciding placement.
+// This is the distributed difftest's execution vehicle and the reference
+// the multi-process mode is diffed against.
+type ClusterConfig struct {
+	Topology *Topology
+	Script   string
+	// Params carries per-query parameter bindings as in AddScriptParams.
+	Params map[string]map[string]Value
+	// Seed feeds placement tie-breaking and wire-client jitter.
+	Seed int64
+	// System is the base Config each host System starts from.
+	System Config
+	// Costs overrides the placement cost model (nil = defaults).
+	Costs *CostModel
+	// SocketDir holds the unix sockets; empty uses a fresh temp dir
+	// (removed by Stop). Keep paths short: sun_path is ~104 bytes.
+	SocketDir string
+	// ConnectTimeout bounds import dial retries (default 10s).
+	ConnectTimeout time.Duration
+	// Degrade / DeadAfter configure every import's failure policy.
+	Degrade   DegradePolicy
+	DeadAfter int
+	// BackoffMin / BackoffMax bound every import's reconnect backoff
+	// (zero keeps the wire defaults).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// WireHeartbeat overrides every export server's keepalive interval
+	// (zero keeps the wire default, 100ms).
+	WireHeartbeat time.Duration
+	// ServerFaults / ClientFaults inject seeded wire faults on the named
+	// host's server / client transports (tests).
+	ServerFaults map[string]*WireFaults
+	ClientFaults map[string]*WireFaults
+}
+
+// Cluster is a running in-process deployment: N Systems, one per
+// topology host, connected per the coordinator's manifest.
+type Cluster struct {
+	cfg      ClusterConfig
+	manifest *Manifest
+	router   *coord.Router
+	sessions map[string]*HostSession
+	order    []string
+	sockDir  string
+	ownDir   bool
+	injected map[string]uint64 // per-interface packet index for routing
+	stopped  bool
+}
+
+// NewCluster validates the configuration and computes the placement; no
+// Systems run until Start.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("gigascope: cluster needs a topology")
+	}
+	m, err := PlaceScript(cfg.Script, cfg.Topology, cfg.System, cfg.Seed, cfg.Costs)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		cfg:      cfg,
+		manifest: m,
+		router:   cfg.Topology.Router(),
+		sessions: map[string]*HostSession{},
+		order:    m.Order,
+		injected: map[string]uint64{},
+	}, nil
+}
+
+// Manifest returns the computed placement.
+func (c *Cluster) Manifest() *Manifest { return c.manifest }
+
+// HostSystem returns the named host's System (nil before Start).
+func (c *Cluster) HostSystem(name string) *System {
+	if s, ok := c.sessions[name]; ok {
+		return s.sys
+	}
+	return nil
+}
+
+// Session returns the named host's session (nil before Start).
+func (c *Cluster) Session(name string) *HostSession { return c.sessions[name] }
+
+// Sink returns the sink host's System.
+func (c *Cluster) Sink() *System { return c.HostSystem(c.manifest.Sink) }
+
+// Plan returns a query's compiled plan (from the sink's compilation —
+// all hosts compile identically).
+func (c *Cluster) Plan(name string) (*core.CompiledQuery, bool) {
+	if s := c.Sink(); s != nil {
+		return s.Plan(name)
+	}
+	return nil, false
+}
+
+// Start brings up every host in manifest order (producers before
+// consumers), so each import dials a listener whose stream exists. When
+// Start returns, every wire subscription is established: traffic
+// injected afterwards is never missed.
+func (c *Cluster) Start() error {
+	dir := c.cfg.SocketDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "gsc")
+		if err != nil {
+			return err
+		}
+		dir = d
+		c.ownDir = true
+	}
+	c.sockDir = dir
+	addrs := map[string]string{}
+	for i, h := range c.manifest.Hosts {
+		addrs[h.Name] = "unix:" + filepath.Join(dir, fmt.Sprintf("h%d.sock", i))
+	}
+	for _, host := range c.order {
+		s, err := StartHost(HostConfig{
+			Script:         c.cfg.Script,
+			Params:         c.cfg.Params,
+			Topology:       c.cfg.Topology,
+			Manifest:       c.manifest,
+			Host:           host,
+			Seed:           c.cfg.Seed,
+			System:         c.cfg.System,
+			Addrs:          addrs,
+			ConnectTimeout: c.cfg.ConnectTimeout,
+			Degrade:        c.cfg.Degrade,
+			DeadAfter:      c.cfg.DeadAfter,
+			BackoffMin:     c.cfg.BackoffMin,
+			BackoffMax:     c.cfg.BackoffMax,
+			WireHeartbeat:  c.cfg.WireHeartbeat,
+			ServerFaults:   c.cfg.ServerFaults[host],
+			ClientFaults:   c.cfg.ClientFaults[host],
+		})
+		if err != nil {
+			c.Stop()
+			return fmt.Errorf("gigascope: cluster host %s: %w", host, err)
+		}
+		c.sessions[host] = s
+	}
+	return nil
+}
+
+// Subscribe opens a subscription on the sink host, where every query
+// output is present (locally computed, imported, or reunified).
+func (c *Cluster) Subscribe(name string, bufSize int) (*Subscription, error) {
+	s := c.Sink()
+	if s == nil {
+		return nil, fmt.Errorf("gigascope: cluster not started")
+	}
+	return s.Subscribe(name, bufSize)
+}
+
+// InjectBatch routes one poll window of packets to the capturing hosts:
+// whole-captured interfaces deliver the batch to their captor; split
+// captures partition packets round-robin by global per-interface packet
+// index — the same rule placement assumed — preserving arrival order
+// within each partition.
+func (c *Cluster) InjectBatch(iface string, ps []*Packet) {
+	if len(ps) == 0 {
+		return
+	}
+	key := iface
+	if key == "" {
+		key = "default"
+	}
+	idx := c.injected[key]
+	perHost := map[string][]*Packet{}
+	var hostOrder []string
+	for _, p := range ps {
+		host, ok := c.router.Route(iface, idx)
+		idx++
+		if !ok {
+			continue
+		}
+		if _, seen := perHost[host]; !seen {
+			hostOrder = append(hostOrder, host)
+		}
+		perHost[host] = append(perHost[host], p)
+	}
+	c.injected[key] = idx
+	for _, host := range hostOrder {
+		if s, ok := c.sessions[host]; ok {
+			s.sys.InjectBatch(iface, perHost[host])
+		}
+	}
+}
+
+// Inject routes a single packet (see InjectBatch).
+func (c *Cluster) Inject(iface string, p *Packet) { c.InjectBatch(iface, []*Packet{p}) }
+
+// AdvanceClock moves the virtual clock on every capture host; the other
+// hosts follow through the clock stamps on wire batches and keepalives.
+func (c *Cluster) AdvanceClock(usec uint64) {
+	for _, tn := range c.cfg.Topology.Nodes {
+		if len(tn.Captures) == 0 {
+			continue
+		}
+		if s, ok := c.sessions[tn.Name]; ok {
+			s.sys.AdvanceClock(usec)
+		}
+	}
+}
+
+// Stats returns per-node counters for every host, keyed by host name.
+func (c *Cluster) Stats() map[string][]rts.NodeStats {
+	out := map[string][]rts.NodeStats{}
+	for name, s := range c.sessions {
+		out[name] = s.sys.Stats()
+	}
+	return out
+}
+
+// Stop tears the cluster down in manifest order: producers first, so
+// each consumer's imports see fin and drain before the consumer itself
+// flushes. Safe to call more than once.
+func (c *Cluster) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, host := range c.order {
+		if s, ok := c.sessions[host]; ok {
+			s.Shutdown(10 * time.Second)
+		}
+	}
+	if c.ownDir && c.sockDir != "" {
+		os.RemoveAll(c.sockDir)
+	}
+}

@@ -1,0 +1,392 @@
+package gigascope
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gigascope/internal/rts"
+)
+
+// Wire-fault x placement tests: the coordinator's distributed deployments
+// under seeded transport faults (connection kills, torn frames, skewed
+// heartbeat clocks, permanent partition death). Every test is watchdogged
+// — a deadlocked shutdown fails loudly with stacks — and leak-checked:
+// fault recovery must not strand readers, dialers, or backoff sleepers.
+
+// watchdogTest panics with full stacks if the test overruns d.
+func watchdogTest(t *testing.T, d time.Duration) (cancel func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(d):
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			panic(fmt.Sprintf("watchdog: %s still running after %v:\n%s", t.Name(), d, buf[:n]))
+		}
+	}()
+	return func() { close(done) }
+}
+
+// leakCheckTest fails the test if the goroutine count has not returned
+// to its baseline shortly after the test body finishes.
+func leakCheckTest(t *testing.T) func() {
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d now vs %d at start\n%s", runtime.NumGoroutine(), base, buf[:n])
+	}
+}
+
+// singleProcessRows runs clusterScript in one System over the same seeded
+// traffic the cluster tests use, keeping only packets whose global
+// per-interface index passes filter (nil keeps all), and returns each
+// query's sorted rows. The filter uses the same global index the
+// cluster's Router uses, so "partition 1 only" means exactly the packets
+// capB would have captured.
+func singleProcessRows(t *testing.T, filter func(idx uint64) bool) map[string][]string {
+	t.Helper()
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddScript(clusterScript); err != nil {
+		t.Fatal(err)
+	}
+	subs := map[string]*Subscription{}
+	for _, q := range []string{"feed", "counts"} {
+		sub, err := sys.Subscribe(q, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[q] = sub
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var idx uint64
+	driveClusterTraffic(t, func(iface string, ps []*Packet) {
+		kept := make([]*Packet, 0, len(ps))
+		for _, p := range ps {
+			if filter == nil || filter(idx) {
+				kept = append(kept, p)
+			}
+			idx++
+		}
+		sys.InjectBatch(iface, kept)
+	}, sys.AdvanceClock)
+	sys.Stop()
+	out := map[string][]string{}
+	for q, sub := range subs {
+		out[q] = sortedRows(collectRows(t, sub))
+	}
+	return out
+}
+
+// driveClusterTrafficPaced is driveClusterTraffic with a wall-clock sleep
+// per poll window, so reconnect backoff cycles can complete mid-stream.
+func driveClusterTrafficPaced(t *testing.T, inject func(string, []*Packet), advance func(uint64), pace time.Duration) {
+	t.Helper()
+	gen, err := NewTrafficGenerator(TrafficConfig{
+		Seed: 42,
+		Classes: []TrafficClass{
+			{Name: "web", RateMbps: 20, PktBytes: 1000, DstPort: 80, Proto: ProtoTCP},
+			{Name: "tls", RateMbps: 10, PktBytes: 800, DstPort: 443, Proto: ProtoTCP},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 2_000_000
+	const step = horizon / 40
+	for usec := uint64(step); usec <= horizon; usec += step {
+		var window []*Packet
+		gen.Until(usec, func(p *Packet) { window = append(window, p) })
+		inject("eth0", window)
+		advance(usec)
+		time.Sleep(pace)
+	}
+}
+
+// aggImportStats returns the sink host's import-node stats whose node
+// name contains substr (the wire-facing nodes carry partition suffixes).
+func aggImportStats(c *Cluster, substr string) []rts.NodeStats {
+	var out []rts.NodeStats
+	for _, ns := range c.Stats()[c.Manifest().Sink] {
+		if strings.Contains(ns.Name, substr) {
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// TestClusterWireKillAndTruncateGapAccounting kills capA's export
+// connection at one seeded write and tears one of capB's frames in half,
+// then checks the full recovery chain on a placed 3-host cluster: both
+// imports reconnect on their own, every reconnect surfaces as a SYSMON
+// gap event, the quantified gap tuples exactly account for any rows the
+// sink is missing relative to the single-process run, and no row is ever
+// duplicated or corrupted.
+func TestClusterWireKillAndTruncateGapAccounting(t *testing.T) {
+	defer watchdogTest(t, 120*time.Second)()
+	defer leakCheckTest(t)()
+	want := singleProcessRows(t, nil)
+
+	topo, err := ParseTopology(clusterTrioTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 0 on each server is the subscriber's schema frame; the faults
+	// land mid-stream, after the handshake, exactly once each.
+	wfA := NewWireFaults(ConnFaultConfig{Seed: 9, KillAt: []uint64{3}})
+	wfB := NewWireFaults(ConnFaultConfig{Seed: 11, TruncateAt: []uint64{4}})
+	c, err := NewCluster(ClusterConfig{
+		Topology:     topo,
+		Script:       clusterScript,
+		Seed:         7,
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		ServerFaults: map[string]*WireFaults{"capA": wfA, "capB": wfB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feedSub, err := c.Subscribe("feed", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveClusterTrafficPaced(t, c.InjectBatch, c.AdvanceClock, 2*time.Millisecond)
+
+	// Both clients must recover without intervention.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		n := 0
+		for _, st := range aggImportStats(c, "#part") {
+			if st.Reconnects >= 1 {
+				n++
+			}
+		}
+		if n >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var gapTuples uint64
+	for _, st := range aggImportStats(c, "#part") {
+		if st.Reconnects < 1 {
+			t.Errorf("import %s never reconnected", st.Name)
+		}
+		if st.GapEvents < 1 {
+			t.Errorf("import %s reconnected with no gap event", st.Name)
+		}
+		gapTuples += st.GapTuples
+	}
+	c.Stop()
+	got := sortedRows(collectRows(t, feedSub))
+
+	if fs := wfA.Stats(); fs.Kills != 1 {
+		t.Errorf("capA injector delivered %d kills, want 1", fs.Kills)
+	}
+	if fs := wfB.Stats(); fs.Truncates != 1 {
+		t.Errorf("capB injector delivered %d truncates, want 1", fs.Truncates)
+	}
+
+	// No duplication, no corruption: every received row is a reference
+	// row, each at most as often as the reference has it.
+	missing, extra := diffSortedStrings(want["feed"], got)
+	if len(extra) != 0 {
+		t.Fatalf("cluster produced %d rows the single-process run never did; first: %s", len(extra), extra[0])
+	}
+	// Exact accounting: the quantified gap covers exactly what's missing
+	// (the exporter incarnation survived both faults, so the loss is
+	// quantifiable, not estimated).
+	if uint64(len(missing)) != gapTuples {
+		t.Fatalf("sink missing %d feed rows but SYSMON accounts %d gap tuples", len(missing), gapTuples)
+	}
+}
+
+// diffSortedStrings returns elements only in a (missing) and only in b
+// (extra); both inputs must be sorted.
+func diffSortedStrings(a, b []string) (missing, extra []string) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			missing = append(missing, a[i])
+			i++
+		default:
+			extra = append(extra, b[j])
+			j++
+		}
+	}
+	missing = append(missing, a[i:]...)
+	extra = append(extra, b[j:]...)
+	return missing, extra
+}
+
+// TestClusterDegradeDropPartitionSurvivingPartition kills one capture
+// host's exports permanently before any traffic flows. Under
+// DegradeDropPartition the sink declares the peer dead after DeadAfter
+// failed dials, closes the local partition stream, and the reunify keeps
+// going: the cluster's output must be byte-identical to a single-process
+// run fed only the surviving partition's packets.
+func TestClusterDegradeDropPartitionSurvivingPartition(t *testing.T) {
+	defer watchdogTest(t, 120*time.Second)()
+	defer leakCheckTest(t)()
+	// Reference: only the packets capB would capture (odd global index).
+	want := singleProcessRows(t, func(idx uint64) bool { return idx%2 == 1 })
+
+	topo, err := ParseTopology(clusterTrioTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{
+		Topology:   topo,
+		Script:     clusterScript,
+		Seed:       7,
+		Degrade:    DegradeDropPartition,
+		DeadAfter:  2,
+		BackoffMin: 2 * time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feedSub, err := c.Subscribe("feed", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsSub, err := c.Subscribe("counts", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Take capA's exports down for good: its subscriber connections drop
+	// and every redial is refused.
+	c.Session("capA").Server().Close()
+
+	// Wait until the sink has declared the partition dead and dropped it.
+	deadline := time.Now().Add(10 * time.Second)
+	dead := false
+	for !dead && time.Now().Before(deadline) {
+		for _, st := range aggImportStats(c, "#part0") {
+			if st.PeerState == "dead" {
+				dead = true
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !dead {
+		t.Fatal("sink never declared the killed partition dead")
+	}
+
+	driveClusterTraffic(t, c.InjectBatch, c.AdvanceClock)
+	c.Stop()
+
+	gotFeed := sortedRows(collectRows(t, feedSub))
+	gotCounts := sortedRows(collectRows(t, countsSub))
+	diff := func(name string, want, got []string) {
+		missing, extra := diffSortedStrings(want, got)
+		if len(missing) != 0 || len(extra) != 0 {
+			t.Fatalf("%s: surviving partition diverges from partition-B-only reference: %d missing, %d extra (of %d)",
+				name, len(missing), len(extra), len(want))
+		}
+	}
+	diff("feed", want["feed"], gotFeed)
+	diff("counts", want["counts"], gotCounts)
+
+	// The death is accounted: one gap punctuation, no reconnect (the
+	// exporter never came back).
+	for _, st := range aggImportStats(c, "#part0") {
+		if st.GapEvents < 1 {
+			t.Errorf("dead partition %s recorded no gap event", st.Name)
+		}
+		if st.Reconnects != 0 {
+			t.Errorf("dead partition %s claims %d reconnects against a closed listener", st.Name, st.Reconnects)
+		}
+	}
+}
+
+// TestClusterClockSkewKeepsSelectionMultiset runs the capture hosts'
+// exports through seeded heartbeat clock skew. Skewed clocks may shift
+// flush boundaries downstream, but they must not corrupt data: the
+// selection query's row multiset stays byte-identical to the
+// single-process run, the aggregate keeps producing, and nothing
+// deadlocks or leaks. (Aggregate rows are deliberately not byte-compared:
+// a forward-skewed clock can legitimately split a group across two
+// flushes.)
+func TestClusterClockSkewKeepsSelectionMultiset(t *testing.T) {
+	defer watchdogTest(t, 120*time.Second)()
+	defer leakCheckTest(t)()
+	want := singleProcessRows(t, nil)
+
+	topo, err := ParseTopology(clusterTrioTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfA := NewWireFaults(ConnFaultConfig{Seed: 3, SkewUsec: 100_000, SkewRate: 1.0})
+	wfB := NewWireFaults(ConnFaultConfig{Seed: 4, SkewUsec: 100_000, SkewRate: 1.0})
+	c, err := NewCluster(ClusterConfig{
+		Topology:      topo,
+		Script:        clusterScript,
+		Seed:          7,
+		WireHeartbeat: 2 * time.Millisecond,
+		ServerFaults:  map[string]*WireFaults{"capA": wfA, "capB": wfB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feedSub, err := c.Subscribe("feed", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsSub, err := c.Subscribe("counts", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveClusterTraffic(t, c.InjectBatch, c.AdvanceClock)
+	// Keepalives ride a wall-clock ticker; hold the cluster open until
+	// the skew hook has demonstrably fired on both capture hosts.
+	deadline := time.Now().Add(10 * time.Second)
+	for (wfA.Stats().Skews == 0 || wfB.Stats().Skews == 0) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+
+	if wfA.Stats().Skews == 0 || wfB.Stats().Skews == 0 {
+		t.Fatal("no clock skew was actually delivered")
+	}
+	gotFeed := sortedRows(collectRows(t, feedSub))
+	missing, extra := diffSortedStrings(want["feed"], gotFeed)
+	if len(missing) != 0 || len(extra) != 0 {
+		t.Fatalf("feed multiset diverged under clock skew: %d missing, %d extra (of %d)",
+			len(missing), len(extra), len(want["feed"]))
+	}
+	if rows := collectRows(t, countsSub); len(rows) == 0 {
+		t.Fatal("aggregate produced no rows under clock skew")
+	}
+}

@@ -1,0 +1,225 @@
+package gigascope
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+const clusterScript = `
+DEFINE { query_name feed; }
+SELECT time, srcIP, destIP, destPort FROM eth0.TCP
+WHERE ipversion = 4 and protocol = 6;
+
+DEFINE { query_name counts; }
+SELECT time, destPort, count(*) FROM feed
+GROUP BY time, destPort;
+`
+
+const clusterTrioTopo = `
+node capA { cpu 50  capture eth0[0/2]  uplink agg }
+node capB { cpu 50  capture eth0[1/2]  uplink agg }
+node agg  { cpu 1000  sink }
+`
+
+// driveClusterTraffic plays the deterministic seeded traffic in poll
+// windows through any injector — a single System or a Cluster — so both
+// sides of a comparison see identical packets and clock advancement.
+func driveClusterTraffic(t *testing.T, inject func(string, []*Packet), advance func(uint64)) {
+	t.Helper()
+	gen, err := NewTrafficGenerator(TrafficConfig{
+		Seed: 42,
+		Classes: []TrafficClass{
+			{Name: "web", RateMbps: 20, PktBytes: 1000, DstPort: 80, Proto: ProtoTCP},
+			{Name: "tls", RateMbps: 10, PktBytes: 800, DstPort: 443, Proto: ProtoTCP},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 2_000_000
+	const step = horizon / 40
+	for usec := uint64(step); usec <= horizon; usec += step {
+		var window []*Packet
+		gen.Until(usec, func(p *Packet) { window = append(window, p) })
+		inject("eth0", window)
+		advance(usec)
+	}
+}
+
+func sortedRows(rows []string) []string {
+	out := append([]string(nil), rows...)
+	sort.Strings(out)
+	return out
+}
+
+// TestClusterCaptureSplitByteIdentity pins the coordinator's core
+// correctness claim: a capture-split 3-host placement (two capture hosts
+// each seeing half the packets, one aggregation sink) computes the same
+// multiset of output tuples as the single-process run.
+func TestClusterCaptureSplitByteIdentity(t *testing.T) {
+	// Reference: everything in one System.
+	single, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.AddScript(clusterScript); err != nil {
+		t.Fatal(err)
+	}
+	refFeed, err := single.Subscribe("feed", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCounts, err := single.Subscribe("counts", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Start(); err != nil {
+		t.Fatal(err)
+	}
+	driveClusterTraffic(t, single.InjectBatch, single.AdvanceClock)
+	single.Stop()
+	wantFeed := sortedRows(collectRows(t, refFeed))
+	wantCounts := sortedRows(collectRows(t, refCounts))
+	if len(wantFeed) == 0 || len(wantCounts) == 0 {
+		t.Fatalf("reference run produced no rows (feed=%d counts=%d)", len(wantFeed), len(wantCounts))
+	}
+
+	topo, err := ParseTopology(clusterTrioTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{Topology: topo, Script: clusterScript, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feedSub, err := c.Subscribe("feed", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsSub, err := c.Subscribe("counts", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveClusterTraffic(t, c.InjectBatch, c.AdvanceClock)
+	c.Stop()
+	gotFeed := sortedRows(collectRows(t, feedSub))
+	gotCounts := sortedRows(collectRows(t, countsSub))
+
+	diff := func(name string, want, got []string) {
+		if len(want) != len(got) {
+			t.Fatalf("%s: distributed run has %d rows, single-process has %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s row %d differs:\n single: %s\n cluster: %s", name, i, want[i], got[i])
+			}
+		}
+	}
+	diff("feed", wantFeed, gotFeed)
+	diff("counts", wantCounts, gotCounts)
+
+	// Fault-free clusters must see no transport degradation.
+	for host, stats := range c.Stats() {
+		for _, ns := range stats {
+			if ns.Reconnects != 0 || ns.GapEvents != 0 {
+				t.Errorf("host %s node %s: reconnects=%d gaps=%d in a fault-free run",
+					host, ns.Name, ns.Reconnects, ns.GapEvents)
+			}
+		}
+	}
+}
+
+// TestClusterManifestDeterminism pins that placement is a pure function
+// of (script, topology, seed): two independent derivations render
+// byte-identically, and LFTAs land on the hosts that capture their
+// interfaces.
+func TestClusterManifestDeterminism(t *testing.T) {
+	topo, err := ParseTopology(clusterTrioTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := PlaceScript(clusterScript, topo, Config{}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := PlaceScript(clusterScript, topo, Config{}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Render() != m2.Render() {
+		t.Fatalf("same inputs, different manifests:\n%s\nvs\n%s", m1.Render(), m2.Render())
+	}
+	for _, h := range m1.Hosts {
+		for _, a := range h.Assignments {
+			if a.Level != "lfta" {
+				continue
+			}
+			tn := topo.Node(h.Name)
+			if _, ok := tn.CaptureOf(a.Interface); !ok {
+				t.Errorf("LFTA %s placed on %s, which does not capture %s", a.Node, h.Name, a.Interface)
+			}
+		}
+	}
+	if m1.Sink != "agg" {
+		t.Errorf("sink = %s, want agg", m1.Sink)
+	}
+	if got := m1.Order[len(m1.Order)-1]; got != "agg" {
+		t.Errorf("start order %v should end at the sink", m1.Order)
+	}
+}
+
+// TestClusterPlacementStream pins the SYSMON.Placement surface: the sink
+// host of a self-monitoring cluster publishes one row per assignment
+// with host budget utilization attached.
+func TestClusterPlacementStream(t *testing.T) {
+	topo, err := ParseTopology(clusterTrioTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{
+		Topology: topo,
+		Script:   clusterScript,
+		Seed:     3,
+		System:   Config{SelfMonitor: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(StreamPlacement, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveClusterTraffic(t, c.InjectBatch, c.AdvanceClock)
+	c.Stop()
+	rows := collectRows(t, sub)
+	if len(rows) == 0 {
+		t.Fatal("no SYSMON.Placement rows")
+	}
+	// Every assignment in the manifest appears at least once.
+	assignments := 0
+	for _, h := range c.Manifest().Hosts {
+		for _, a := range h.Assignments {
+			assignments++
+			found := false
+			for _, r := range rows {
+				if strings.Contains(r, a.Node) && strings.Contains(r, h.Name) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("assignment %s@%s missing from SYSMON.Placement rows", a.Node, h.Name)
+			}
+		}
+	}
+	if assignments == 0 {
+		t.Fatal("manifest has no assignments")
+	}
+}

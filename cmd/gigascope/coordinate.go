@@ -1,0 +1,257 @@
+package main
+
+// Multi-process coordinated deployment: `gigascope -coordinate` places
+// the script across the topology's hosts, prints the manifest, then
+// re-execs itself once per host (`-placed-host NAME`) with a shared
+// socket-address map. Each child derives the identical manifest from
+// (script, topology, seed), runs its share via StartHost, and generates
+// the full deterministic traffic stream locally, injecting only the
+// packets the topology routes to interfaces it captures — so the union
+// of what the children capture is exactly what a single process would
+// see, and the sink's printed rows sort-diff clean against a
+// single-process `gigascope -f ... -n 0` run.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gigascope"
+)
+
+// coordOptions carries the flag subset the coordinator modes use.
+type coordOptions struct {
+	scriptPath string
+	topoPath   string
+	host       string // non-empty: run as a placed host
+	addrs      string // name=addr,... (children)
+	seed       int64
+	seconds    float64
+	rate       float64
+	httpFrac   float64
+	maxRows    int
+}
+
+// runCoordinator is the parent: place, print the manifest, spawn one
+// child process per host in manifest order, wait for all of them.
+func runCoordinator(opt coordOptions) {
+	script, err := os.ReadFile(opt.scriptPath)
+	if err != nil {
+		fatal(err)
+	}
+	topoSrc, err := os.ReadFile(opt.topoPath)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := gigascope.ParseTopology(string(topoSrc))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := gigascope.PlaceScript(string(script), topo, gigascope.Config{}, opt.seed, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprint(os.Stderr, m.Render())
+
+	dir, err := os.MkdirTemp("", "gsc")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	var addrList []string
+	for i, h := range m.Hosts {
+		addrList = append(addrList, fmt.Sprintf("%s=unix:%s", h.Name, filepath.Join(dir, fmt.Sprintf("h%d.sock", i))))
+	}
+	addrs := strings.Join(addrList, ",")
+
+	self, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	procs := make(map[string]*exec.Cmd, len(m.Order))
+	for _, host := range m.Order {
+		cmd := exec.Command(self,
+			"-f", opt.scriptPath,
+			"-topo", opt.topoPath,
+			"-placed-host", host,
+			"-addrs", addrs,
+			"-place-seed", fmt.Sprint(opt.seed),
+			"-seconds", fmt.Sprint(opt.seconds),
+			"-rate", fmt.Sprint(opt.rate),
+			"-http", fmt.Sprint(opt.httpFrac),
+			"-n", fmt.Sprint(opt.maxRows),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("spawn host %s: %w", host, err))
+		}
+		fmt.Fprintf(os.Stderr, "gigascope: coordinator spawned host %s (pid %d)\n", host, cmd.Process.Pid)
+		procs[host] = cmd
+	}
+	failed := false
+	for _, host := range m.Order {
+		if err := procs[host].Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "gigascope: host %s: %v\n", host, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runPlacedHost is the child: bring up this host's share of the placed
+// deployment, wait for downstream subscribers, inject this host's slice
+// of the deterministic traffic, drain, and (sink only) print rows in the
+// same format the single-process mode uses.
+func runPlacedHost(opt coordOptions) {
+	script, err := os.ReadFile(opt.scriptPath)
+	if err != nil {
+		fatal(err)
+	}
+	topoSrc, err := os.ReadFile(opt.topoPath)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := gigascope.ParseTopology(string(topoSrc))
+	if err != nil {
+		fatal(err)
+	}
+	addrs := map[string]string{}
+	for _, item := range strings.Split(opt.addrs, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			fatal(fmt.Errorf("-addrs wants name=addr[,name=addr...], got %q", item))
+		}
+		addrs[name] = addr
+	}
+
+	h, err := gigascope.StartHost(gigascope.HostConfig{
+		Script:   string(script),
+		Topology: topo,
+		Host:     opt.host,
+		Seed:     opt.seed,
+		Addrs:    addrs,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("host %s: %w", opt.host, err))
+	}
+	m := h.Manifest()
+
+	// Sink: collect every query output before any traffic flows.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	isSink := opt.host == m.Sink
+	if isSink {
+		queries := map[string]bool{}
+		for _, hp := range m.Hosts {
+			for _, a := range hp.Assignments {
+				queries[a.Query] = true
+			}
+		}
+		names := make([]string, 0, len(queries))
+		for q := range queries {
+			names = append(names, q)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sub, err := h.System().Subscribe(name, 8192)
+			if err != nil {
+				fatal(fmt.Errorf("sink subscribe %s: %w", name, err))
+			}
+			wg.Add(1)
+			go func(name string, sub *gigascope.Subscription) {
+				defer wg.Done()
+				rows := 0
+				for b := range sub.C {
+					for _, t := range b {
+						if t.IsHeartbeat() {
+							continue
+						}
+						rows++
+						if opt.maxRows == 0 || rows <= opt.maxRows {
+							mu.Lock()
+							fmt.Printf("%-20s %s\n", name+":", t.Tuple)
+							mu.Unlock()
+						}
+					}
+				}
+				mu.Lock()
+				fmt.Printf("%-20s %d tuples total\n", name+":", rows)
+				mu.Unlock()
+			}(name, sub)
+		}
+	}
+
+	// Hold traffic until every host that imports from this one is
+	// actually subscribed; a wire subscription only sees batches
+	// published after it attaches.
+	if err := h.AwaitSubscribers(30 * time.Second); err != nil {
+		fatal(fmt.Errorf("host %s: %w", opt.host, err))
+	}
+
+	tn := topo.Node(opt.host)
+	if tn != nil && len(tn.Captures) > 0 {
+		injectPlacedTraffic(h.System(), topo, opt)
+	}
+	h.Shutdown(60 * time.Second)
+	wg.Wait()
+}
+
+// injectPlacedTraffic generates the full deterministic traffic stream —
+// byte-identical to the single-process mode's — and injects the slice
+// the topology routes to this host: per-interface packet indices drive
+// the same round-robin split the coordinator assumed when it placed the
+// partitioned LFTAs.
+func injectPlacedTraffic(sys *gigascope.System, topo *gigascope.Topology, opt coordOptions) {
+	web := opt.rate * 0.6
+	bg := opt.rate - web
+	gen, err := gigascope.NewTrafficGenerator(gigascope.TrafficConfig{
+		Seed: 1,
+		Classes: []gigascope.TrafficClass{
+			{Name: "web", RateMbps: web, PktBytes: 1000, DstPort: 80,
+				Proto: gigascope.ProtoTCP, Payload: gigascope.PayloadHTTP, HTTPFraction: opt.httpFrac},
+			{Name: "tcp-bg", RateMbps: bg * 0.7, PktBytes: 800, DstPort: 443,
+				Proto: gigascope.ProtoTCP},
+			{Name: "udp-bg", RateMbps: bg * 0.3, PktBytes: 400, DstPort: 53,
+				Proto: gigascope.ProtoUDP},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	router := topo.Router()
+	horizon := uint64(opt.seconds * 1e6)
+	step := horizon / 100
+	if step == 0 {
+		step = 1
+	}
+	ifaces := []string{"eth0", "eth1"}
+	idx := map[string]uint64{}
+	i := 0
+	for usec := step; usec <= horizon; usec += step {
+		gen.Until(usec, func(p *gigascope.Packet) {
+			// Mirror the single-process loop: each packet lands on an
+			// alternating interface AND the default interface.
+			for _, ifc := range []string{ifaces[i%len(ifaces)], ""} {
+				key := ifc
+				if key == "" {
+					key = "default"
+				}
+				host, ok := router.Route(ifc, idx[key])
+				idx[key]++
+				if ok && host == opt.host {
+					sys.Inject(ifc, p)
+				}
+			}
+			i++
+		})
+		sys.AdvanceClock(usec)
+	}
+}

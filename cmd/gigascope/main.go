@@ -55,11 +55,32 @@ func main() {
 	connectAddr := flag.String("connect", "", "import remote streams from a wire server at [net:]addr before compiling queries; name them with -import")
 	imports := flag.String("import", "", "with -connect: comma-separated remote stream names to import as local streams (queries read FROM these names)")
 	degrade := flag.String("degrade", "hold", "with -connect: policy when a peer is declared dead: hold (retry forever, downstream waits) or drop (close the partition, downstream merges continue)")
+	topoPath := flag.String("topo", "", "topology file for coordinated deployment (see -coordinate)")
+	coordinate := flag.Bool("coordinate", false, "with -topo: place the script across the topology's hosts, spawn one OS process per host, and print the sink's rows (sort-diffable against a single-process run)")
+	placedHost := flag.String("placed-host", "", "internal: run as one host of a coordinated deployment")
+	addrsFlag := flag.String("addrs", "", "internal: host wire addresses as name=addr[,name=addr...]")
+	placeSeed := flag.Int64("place-seed", 1, "placement tie-break seed for -coordinate")
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "usage: gigascope -f queries.gsql [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *coordinate || *placedHost != "" {
+		if *topoPath == "" {
+			fatal(fmt.Errorf("-coordinate requires -topo topology-file"))
+		}
+		opt := coordOptions{
+			scriptPath: *file, topoPath: *topoPath, host: *placedHost,
+			addrs: *addrsFlag, seed: *placeSeed, seconds: *seconds,
+			rate: *rate, httpFrac: *httpFrac, maxRows: *maxRows,
+		}
+		if *placedHost != "" {
+			runPlacedHost(opt)
+		} else {
+			runCoordinator(opt)
+		}
+		return
 	}
 	src, err := os.ReadFile(*file)
 	if err != nil {

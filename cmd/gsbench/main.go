@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E13), 'difftest', or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E13), 'difftest', 'difftest-dist', or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	seeds := flag.Int("seeds", 25, "seed count for -run difftest")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -64,6 +64,22 @@ func main() {
 		failures += difftest.RunApproxMatrix(os.Stdout, *seeds, n)
 		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "gsbench: difftest: %d failing cells\n", failures)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if want["DIFFTEST-DIST"] {
+		// The distributed correctness sweep: the same seeded cases run
+		// through the placement coordinator across 2/3/4 in-process hosts
+		// over unix sockets and diffed against the naive oracle.
+		n := 1200
+		if *quick {
+			n = 400
+		}
+		failures := difftest.RunDistributedMatrix(os.Stdout, *seeds, n)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "gsbench: difftest-dist: %d failing cells\n", failures)
 			os.Exit(1)
 		}
 		return

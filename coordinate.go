@@ -1,0 +1,416 @@
+package gigascope
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gigascope/internal/coord"
+	"gigascope/internal/core"
+	"gigascope/internal/gsql"
+)
+
+// Topology / Manifest aliases: the coordinator layer (internal/coord)
+// exposed through the root API. A Topology describes the hosts — CPU
+// budgets, captured interfaces, wire listen addresses, link costs; a
+// Manifest is the deterministic operator placement the coordinator
+// derives from it plus a compiled script.
+type (
+	// Topology is a parsed host topology; see ParseTopology.
+	Topology = coord.Topology
+	// Manifest is a deployment plan; see PlaceScript.
+	Manifest = coord.Manifest
+	// CostModel feeds the placement scoring; see coord.DefaultCostModel.
+	CostModel = coord.CostModel
+)
+
+// ParseTopology parses a topology description (see internal/coord for
+// the syntax). All malformed input returns a positioned *coord.ParseError.
+func ParseTopology(src string) (*Topology, error) { return coord.ParseTopology(src) }
+
+// StreamPlacement is the SYSMON stream carrying placement decisions and
+// per-host budget utilization (published on the sink host of a placed
+// deployment when Config.SelfMonitor is set).
+const StreamPlacement = coord.StreamPlacement
+
+// PlaceScript compiles the script against a scratch System configured
+// like cfg and places it over the topology: the pure planning half of
+// the coordinator, identical on every host and every process given the
+// same (script, cfg, topology, seed, costs) — which is what lets N
+// independent processes each derive the same manifest and play their own
+// part of it.
+func PlaceScript(script string, topo *Topology, cfg Config, seed int64, costs *CostModel) (*Manifest, error) {
+	res, _, err := compileForPlacement(script, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return coord.Place(res.Queries, topo, coord.PlaceOptions{Seed: seed, Costs: costs})
+}
+
+// compileForPlacement compiles the script on a throwaway System so
+// placement can see the query node graph without touching live state.
+func compileForPlacement(script string, cfg Config) (*core.ScriptResult, *System, error) {
+	scratch, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.SelfMonitor {
+		// Placement telemetry is part of the catalog surface scripts may
+		// read; mirror what StartHost registers.
+		if err := scratch.catalog.Register(coord.PlacementSchema()); err != nil {
+			return nil, nil, err
+		}
+	}
+	parsed, err := gsql.ParseScript(script)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.CompileScriptPlan(scratch.catalog, parsed, scratch.compileOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, scratch, nil
+}
+
+// HostConfig configures StartHost: one host's share of a placed
+// deployment.
+type HostConfig struct {
+	Script string
+	// Params carries per-query parameter bindings (outer key: query
+	// name, case-insensitive), as in AddScriptParams.
+	Params map[string]map[string]Value
+	// Topology and Host select this host's plan. Manifest may be nil, in
+	// which case it is re-derived from (Script, System, Topology, Seed,
+	// Costs) — byte-identical on every host by construction.
+	Topology *Topology
+	Manifest *Manifest
+	Host     string
+	Seed     int64
+	Costs    *CostModel
+	// System is the base configuration every host System starts from.
+	System Config
+	// Addrs overrides per-host wire addresses ("unix:/path" or
+	// "tcp:host:port"); hosts absent here use their topology listen
+	// directive.
+	Addrs map[string]string
+	// ConnectTimeout bounds the retry loop dialing each import (default
+	// 10s): remote processes may still be binding their listeners.
+	ConnectTimeout time.Duration
+	// Degrade / DeadAfter configure every wire import's failure policy.
+	Degrade   DegradePolicy
+	DeadAfter int
+	// BackoffMin / BackoffMax bound every import's reconnect backoff
+	// (zero keeps the wire defaults, 50ms/5s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// WireHeartbeat overrides the export server's wall-clock keepalive
+	// interval (zero keeps the wire default, 100ms).
+	WireHeartbeat time.Duration
+	// ServerFaults / ClientFaults wrap this host's wire transports with
+	// seeded fault injection (tests).
+	ServerFaults *WireFaults
+	ClientFaults *WireFaults
+}
+
+// HostSession is one running host of a placed deployment.
+type HostSession struct {
+	Host     string
+	manifest *Manifest
+	plan     *coord.HostPlan
+	sys      *System
+	srv      *WireServer
+	clients  []*WireClient
+}
+
+// System returns the host's System (inject traffic, read stats,
+// subscribe to locally-present streams).
+func (h *HostSession) System() *System { return h.sys }
+
+// Server returns the host's wire server (nil when the host exports
+// nothing).
+func (h *HostSession) Server() *WireServer { return h.srv }
+
+// Clients returns the host's wire imports.
+func (h *HostSession) Clients() []*WireClient { return h.clients }
+
+// Manifest returns the deployment manifest the session realizes.
+func (h *HostSession) Manifest() *Manifest { return h.manifest }
+
+// Addr returns the listen address of the host's wire server ("" when it
+// serves nothing) — useful when the listener was bound to port 0.
+func (h *HostSession) Addr() string {
+	if h.srv == nil {
+		return ""
+	}
+	return h.srv.Addr().String()
+}
+
+// AwaitSubscribers blocks until every import the manifest says other
+// hosts open against this one has completed its handshake (the
+// multi-process traffic barrier: inject only after downstream listens),
+// or the timeout passes.
+func (h *HostSession) AwaitSubscribers(timeout time.Duration) error {
+	want := h.manifest.ExpectedSubscribers(h.Host)
+	if want == 0 || h.srv == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for h.srv.Conns() < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gigascope: host %s: %d/%d subscribers after %v",
+				h.Host, h.srv.Conns(), want, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// Shutdown stops the host: imports are given up to drain to deliver
+// their fin (producers stop first in Manifest.Order, so in an orderly
+// teardown the fin is already in flight), the System flushes, and the
+// server drains its remaining subscribers.
+func (h *HostSession) Shutdown(drain time.Duration) {
+	deadline := time.Now().Add(drain)
+	for _, cl := range h.clients {
+		select {
+		case <-cl.Done():
+		case <-time.After(time.Until(deadline)):
+		}
+	}
+	h.sys.Stop()
+	if h.srv != nil {
+		h.srv.Drain(drain)
+		h.srv.Close()
+	}
+	for _, cl := range h.clients {
+		cl.Close()
+	}
+}
+
+// hostAddr resolves the wire address of a host.
+func hostAddr(cfg *HostConfig, host string) (network, addr string, err error) {
+	if a, ok := cfg.Addrs[host]; ok && a != "" {
+		n, ad := parseWireAddr(a)
+		return n, ad, nil
+	}
+	if tn := cfg.Topology.Node(host); tn != nil && tn.Listen != "" {
+		n, ad := parseWireAddr(tn.Listen)
+		return n, ad, nil
+	}
+	return "", "", fmt.Errorf("gigascope: no wire address for host %s (topology listen directive or HostConfig.Addrs)", host)
+}
+
+func parseWireAddr(s string) (network, addr string) {
+	switch {
+	case strings.HasPrefix(s, "unix:"):
+		return "unix", strings.TrimPrefix(s, "unix:")
+	case strings.HasPrefix(s, "tcp:"):
+		return "tcp", strings.TrimPrefix(s, "tcp:")
+	}
+	return "tcp", s
+}
+
+// StartHost brings up one host of a placed deployment: it re-derives (or
+// receives) the manifest, compiles the script on a fresh System, installs
+// exactly this host's assignments — LFTAs (partition instances renamed
+// and registered) before Start, prefilters for captured interfaces, then
+// the wire server, the imports, the reunify merges, and the HFTAs — and
+// returns the running session.
+//
+// Every host executing StartHost for its own name against the same
+// inputs yields the cooperating deployment: the manifest's startup order
+// guarantees each import dials a host whose stream already exists.
+func StartHost(cfg HostConfig) (*HostSession, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("gigascope: StartHost needs a topology")
+	}
+	if cfg.Topology.Node(cfg.Host) == nil {
+		return nil, fmt.Errorf("gigascope: unknown host %s", cfg.Host)
+	}
+	m := cfg.Manifest
+	if m == nil {
+		var err error
+		if m, err = PlaceScript(cfg.Script, cfg.Topology, cfg.System, cfg.Seed, cfg.Costs); err != nil {
+			return nil, err
+		}
+	}
+	hp := m.Host(cfg.Host)
+	if hp == nil {
+		return nil, fmt.Errorf("gigascope: host %s not in manifest", cfg.Host)
+	}
+	connectTimeout := cfg.ConnectTimeout
+	if connectTimeout == 0 {
+		connectTimeout = 10 * time.Second
+	}
+
+	sys, err := New(cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.System.SelfMonitor {
+		// The sink publishes the placement telemetry stream; other hosts
+		// register the schema so scripts reading it still compile (their
+		// readers are pinned to the sink by placement).
+		if cfg.Host == m.Sink {
+			ps := coord.NewPlacementSampler(m, cfg.System.MonitorIntervalUsec)
+			if err := sys.mgr.AddSourceNode(coord.StreamPlacement, ps); err != nil {
+				return nil, err
+			}
+		} else if err := sys.catalog.Register(coord.PlacementSchema()); err != nil {
+			return nil, err
+		}
+	}
+
+	parsed, err := gsql.ParseScript(cfg.Script)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.CompileScriptPlan(sys.catalog, parsed, sys.compileOptions())
+	if err != nil {
+		return nil, err
+	}
+	nodeByName := map[string]*core.Node{}
+	for _, q := range res.Queries {
+		sys.plans[q.Name] = q
+		for _, n := range q.Nodes {
+			nodeByName[strings.ToLower(n.Name)] = n
+		}
+	}
+	binds := make(map[string]map[string]Value, len(cfg.Params))
+	for name, p := range cfg.Params {
+		binds[strings.ToLower(name)] = p
+	}
+
+	// LFTA assignments install before Start (paper §3: the LFTA set is
+	// frozen at start). Partition instances get renamed clones, plus a
+	// catalog entry so the wire server can export them by name.
+	captured := map[string]bool{}
+	for _, a := range hp.Assignments {
+		if a.Level != "lfta" {
+			continue
+		}
+		n := nodeByName[strings.ToLower(a.Logical)]
+		if n == nil {
+			return nil, fmt.Errorf("gigascope: manifest node %s not in compiled script", a.Logical)
+		}
+		if a.Of > 1 {
+			n = coord.PartitionNode(n, a.Partition)
+			if err := sys.catalog.Register(n.Out); err != nil {
+				return nil, err
+			}
+		}
+		cq := &core.CompiledQuery{Name: a.Node, Nodes: []*core.Node{n}}
+		if err := sys.mgr.AddQuery(cq, binds[strings.ToLower(a.Query)]); err != nil {
+			return nil, err
+		}
+		captured[strings.ToLower(a.Interface)] = true
+	}
+	// Prefilters gate only interfaces this host captures. A renamed
+	// partition LFTA no longer matches its gate key and simply runs
+	// ungated — the gate only ever skips packets the LFTA's own
+	// predicate would reject, so semantics are unchanged.
+	if len(res.Prefilters) > 0 && len(captured) > 0 {
+		var pfs []*core.Prefilter
+		for _, pf := range res.Prefilters {
+			name := pf.Interface
+			if name == "" {
+				name = "default"
+			}
+			if captured[strings.ToLower(name)] {
+				pfs = append(pfs, pf)
+			}
+		}
+		if len(pfs) > 0 {
+			if err := sys.mgr.InstallPrefilters(pfs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+	h := &HostSession{Host: cfg.Host, manifest: m, plan: hp, sys: sys}
+
+	fail := func(err error) (*HostSession, error) {
+		h.Shutdown(0)
+		return nil, err
+	}
+
+	if len(hp.Exports) > 0 {
+		network, addr, err := hostAddr(&cfg, cfg.Host)
+		if err != nil {
+			return fail(err)
+		}
+		scfg := WireServerConfig{RingBatches: 8192, Heartbeat: cfg.WireHeartbeat}
+		if cfg.ServerFaults != nil {
+			scfg.WrapConn = cfg.ServerFaults.WrapConn
+			scfg.SkewClock = cfg.ServerFaults.SkewClock
+		}
+		srv, err := sys.ServeWire(network, addr, scfg)
+		if err != nil {
+			return fail(err)
+		}
+		h.srv = srv
+	}
+
+	for i, imp := range hp.Imports {
+		network, addr, err := hostAddr(&cfg, imp.From)
+		if err != nil {
+			return fail(err)
+		}
+		ccfg := WireClientConfig{
+			Network:   network,
+			Addr:      addr,
+			Stream:    imp.Stream,
+			LocalName:  imp.LocalName,
+			Degrade:    cfg.Degrade,
+			DeadAfter:  cfg.DeadAfter,
+			BackoffMin: cfg.BackoffMin,
+			BackoffMax: cfg.BackoffMax,
+			Seed:       cfg.Seed + int64(i),
+		}
+		if cfg.ClientFaults != nil {
+			ccfg.WrapConn = cfg.ClientFaults.WrapConn
+		}
+		// Retry until the producer's listener is up: process bring-up
+		// order is ours to sequence in-process, but real processes race.
+		deadline := time.Now().Add(connectTimeout)
+		for {
+			cl, err := sys.ConnectWire(ccfg)
+			if err == nil {
+				h.clients = append(h.clients, cl)
+				break
+			}
+			if time.Now().After(deadline) {
+				return fail(fmt.Errorf("gigascope: host %s: import %s from %s: %w",
+					cfg.Host, imp.Stream, imp.From, err))
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	for _, r := range hp.Reunify {
+		if err := sys.AddReunifyNode(r.Name, r.Inputs); err != nil {
+			return fail(err)
+		}
+	}
+
+	// HFTAs last: their inputs — local LFTAs, imports, reunify merges —
+	// are all registered now. Assignment order preserves the script's
+	// query and node order, so same-host dependencies resolve in order.
+	for _, a := range hp.Assignments {
+		if a.Level != "hfta" {
+			continue
+		}
+		n := nodeByName[strings.ToLower(a.Logical)]
+		if n == nil {
+			return fail(fmt.Errorf("gigascope: manifest node %s not in compiled script", a.Logical))
+		}
+		cq := &core.CompiledQuery{Name: a.Node, Nodes: []*core.Node{n}}
+		if err := sys.mgr.AddQuery(cq, binds[strings.ToLower(a.Query)]); err != nil {
+			return fail(err)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,254 @@
+package coord
+
+import (
+	"sort"
+	"strings"
+
+	"gigascope/internal/core"
+	"gigascope/internal/plan"
+	"gigascope/internal/rts"
+)
+
+// CostModel estimates per-operator CPU cost in microseconds of work per
+// second of traffic. The static coefficients mirror the capture-path
+// defaults (capture.CostConfig); observed per-operator rates and
+// selectivities — harvested from the same NodeStats/IfaceStats counters
+// SYSMON publishes — override the static guesses when present, so a
+// long-running coordinator converges toward measured reality while a
+// cold start still places deterministically.
+type CostModel struct {
+	// Per-packet LFTA-side costs.
+	SteerPerPktUs   float64 // ring steering, per packet reaching the LFTA
+	ExtractPerColUs float64 // per referenced column per packet
+	TermPerPktUs    float64 // per predicate conjunct per packet
+
+	// Per-tuple HFTA-side costs by operator kind.
+	SelPerTupleUs   float64
+	AggPerTupleUs   float64
+	JoinPerTupleUs  float64
+	MergePerTupleUs float64
+
+	// IfaceRate is packets/sec offered per interface (default applied
+	// to interfaces not listed).
+	IfaceRate       map[string]float64
+	DefaultRate     float64
+	// GateFactor is the fraction of an interface's packets that survive
+	// the prefilter for a given LFTA (1 = ungated). Keyed by
+	// lower-cased interface name; applied to every LFTA on it.
+	GateFactor map[string]float64
+
+	// Observed holds measured per-node costs keyed by lower-cased node
+	// name; entries override the static selectivity chain.
+	Observed map[string]ObservedCost
+}
+
+// ObservedCost is a measured data point for one operator.
+type ObservedCost struct {
+	InRate      float64 // tuples (or packets) per second seen at the input
+	Selectivity float64 // OutTuples / InTuples
+}
+
+// DefaultCostModel returns the static model used when nothing has been
+// measured yet. The LFTA-side coefficients match the capture cost
+// defaults (SteerPerPktUs 0.05 etc.) so the coordinator and the capture
+// simulator agree about where cycles go.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		SteerPerPktUs:   0.05,
+		ExtractPerColUs: 0.02,
+		TermPerPktUs:    0.03,
+		SelPerTupleUs:   0.2,
+		AggPerTupleUs:   1.0,
+		JoinPerTupleUs:  1.5,
+		MergePerTupleUs: 0.1,
+		DefaultRate:     100_000,
+		IfaceRate:       map[string]float64{},
+		GateFactor:      map[string]float64{},
+		Observed:        map[string]ObservedCost{},
+	}
+}
+
+// ObserveStats folds a stats snapshot (e.g. from System.Stats or the
+// SYSMON.NodeStats stream) into the model: every node's input rate and
+// selectivity become Observed entries that subsequent Place calls use
+// instead of the static chain. elapsedUsec is the wall (virtual) time
+// the counters cover.
+func (cm *CostModel) ObserveStats(stats []rts.NodeStats, elapsedUsec int64) {
+	if elapsedUsec <= 0 {
+		return
+	}
+	sec := float64(elapsedUsec) / 1e6
+	if cm.Observed == nil {
+		cm.Observed = map[string]ObservedCost{}
+	}
+	for _, st := range stats {
+		in := float64(st.Op.In)
+		if in <= 0 {
+			continue
+		}
+		oc := ObservedCost{InRate: in / sec, Selectivity: float64(st.Op.Out) / in}
+		cm.Observed[strings.ToLower(st.Name)] = oc
+	}
+}
+
+// ObserveIfaceStats folds interface counters into per-interface offered
+// rates and prefilter gate factors.
+func (cm *CostModel) ObserveIfaceStats(stats []rts.IfaceStats, elapsedUsec int64) {
+	if elapsedUsec <= 0 {
+		return
+	}
+	sec := float64(elapsedUsec) / 1e6
+	if cm.IfaceRate == nil {
+		cm.IfaceRate = map[string]float64{}
+	}
+	if cm.GateFactor == nil {
+		cm.GateFactor = map[string]float64{}
+	}
+	for _, st := range stats {
+		key := strings.ToLower(st.Name)
+		if st.Packets > 0 {
+			cm.IfaceRate[key] = float64(st.Packets) / sec
+		}
+		if st.PrefilterEvals > 0 {
+			cm.GateFactor[key] = 1 - float64(st.PrefilterGated)/float64(st.PrefilterEvals)
+		}
+	}
+}
+
+func (cm *CostModel) ifaceRate(iface string) float64 {
+	if iface == "" {
+		iface = "default"
+	}
+	if r, ok := cm.IfaceRate[strings.ToLower(iface)]; ok && r > 0 {
+		return r
+	}
+	if cm.DefaultRate > 0 {
+		return cm.DefaultRate
+	}
+	return 100_000
+}
+
+func (cm *CostModel) gateFactor(iface string) float64 {
+	if iface == "" {
+		iface = "default"
+	}
+	if g, ok := cm.GateFactor[strings.ToLower(iface)]; ok && g > 0 && g <= 1 {
+		return g
+	}
+	return 1
+}
+
+// staticSelectivity guesses an operator's Out/In ratio from its shape.
+func staticSelectivity(n *core.Node) float64 {
+	switch n.Kind {
+	case core.OpAgg:
+		return 0.1
+	case core.OpJoin:
+		return 0.5
+	case core.OpMerge:
+		return 1.0
+	default:
+		s := 1.0
+		for i := 0; i < n.PredConjuncts(); i++ {
+			s *= 0.75
+		}
+		if s < 0.05 {
+			s = 0.05
+		}
+		return s
+	}
+}
+
+func (cm *CostModel) selectivity(n *core.Node) float64 {
+	if oc, ok := cm.Observed[strings.ToLower(n.Name)]; ok && oc.Selectivity >= 0 {
+		return oc.Selectivity
+	}
+	return staticSelectivity(n)
+}
+
+// perUnitUs is the model's cost to process one input unit (packet for
+// LFTAs, tuple for HFTAs) at node n.
+func (cm *CostModel) perUnitUs(n *core.Node) float64 {
+	if n.Level == core.LevelLFTA {
+		c := cm.SteerPerPktUs
+		c += float64(len(n.NeedCols())) * cm.ExtractPerColUs
+		c += float64(n.PredConjuncts()) * cm.TermPerPktUs
+		if n.Kind == core.OpAgg {
+			c += cm.AggPerTupleUs * 0.5 // LFTA sub-aggregate: cheap table probe
+		}
+		return c
+	}
+	var c float64
+	switch n.Kind {
+	case core.OpAgg:
+		c = cm.AggPerTupleUs
+	case core.OpJoin:
+		c = cm.JoinPerTupleUs
+	case core.OpMerge:
+		c = cm.MergePerTupleUs
+	default:
+		c = cm.SelPerTupleUs
+	}
+	return c + float64(n.PredConjuncts())*cm.TermPerPktUs
+}
+
+// nodeRates walks every query's node graph root-down and computes the
+// modeled input and output rates (units/sec) at each node, keyed by
+// lower-cased node name. Partitioned LFTAs are handled by the caller
+// dividing by Of.
+func (cm *CostModel) nodeRates(queries []*core.CompiledQuery) (in, out map[string]float64) {
+	rates := map[string]float64{}
+	outRates := map[string]float64{}
+	// Queries compile in dependency order: earlier outputs feed later
+	// reads, and within a query LFTAs precede the HFTAs above them, so
+	// one ordered pass settles every rate.
+	for _, q := range queries {
+		for _, n := range q.Nodes {
+			key := strings.ToLower(n.Name)
+			var in float64
+			for _, src := range n.Sources {
+				if n.Level == core.LevelLFTA || src.IsProtocol {
+					in += cm.ifaceRate(src.Interface) * cm.gateFactor(src.Interface)
+					continue
+				}
+				if r, ok := outRates[strings.ToLower(src.Name)]; ok {
+					in += r
+				} else if oc, ok := cm.Observed[strings.ToLower(src.Name)]; ok {
+					in += oc.InRate * oc.Selectivity
+				} else {
+					in += cm.DefaultRate * 0.1 // unknown stream (e.g. SYSMON)
+				}
+			}
+			if oc, ok := cm.Observed[key]; ok && oc.InRate > 0 {
+				in = oc.InRate
+			}
+			rates[key] = in
+			outRates[key] = in * cm.selectivity(n)
+		}
+	}
+	return rates, outRates
+}
+
+// planBoundary finds the plan boundary record for a query (used to
+// surface boundary modes in the manifest for triage).
+func planBoundary(p *plan.QueryPlan, name string) *plan.Boundary {
+	if p == nil || p.Root == nil {
+		return nil
+	}
+	for _, b := range plan.Boundaries(p.Root) {
+		if strings.EqualFold(b.Name, name) {
+			return b
+		}
+	}
+	return nil
+}
+
+// sortedHostNames returns topology host names in deterministic order.
+func sortedHostNames(t *Topology) []string {
+	names := make([]string, len(t.Nodes))
+	for i, n := range t.Nodes {
+		names[i] = n.Name
+	}
+	sort.Strings(names)
+	return names
+}

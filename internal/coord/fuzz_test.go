@@ -1,0 +1,77 @@
+package coord
+
+import "testing"
+
+// FuzzParseTopology pins the parser's safety contract: any input either
+// parses (and Render round-trips through a fixpoint) or fails with a
+// positioned *ParseError — never a panic, never a bare error.
+func FuzzParseTopology(f *testing.F) {
+	seeds := []string{
+		trioSrc,
+		"",
+		"node a { cpu 10 }",
+		"node a { cpu 10 capture eth0 listen unix:/tmp/a.sock }",
+		"node a { capture eth0[0/2] uplink b cost 3 }\nnode b { sink }",
+		"node a { capture eth0[0/2] }\nnode b { capture eth0[1/2] }\nnode c { sink }",
+		"# comment only\n",
+		"node",
+		"node a",
+		"node a {",
+		"node a { cpu }",
+		"node a { cpu -1 }",
+		"node a { cpu 0x10 }",
+		"node a { capture }",
+		"node a { capture eth0[ }",
+		"node a { capture eth0[9/2] }",
+		"node a { capture eth0[0/1] }",
+		"node a { capture eth0[0/65] }",
+		"node a { uplink a }",
+		"node a { uplink ghost }",
+		"node a { uplink b }\nnode b { uplink a }",
+		"node a { sink }\nnode b { sink }",
+		"node a { cpu 1 }\nnode a { cpu 2 }",
+		"node a { listen }",
+		"node a { turbo }",
+		"node a { cpu 1 } trailing",
+		"node a{cpu 1;capture eth0;sink}",
+		"node \x00 { cpu 1 }",
+		"node a { capture eth0 eth0 }",
+		"}{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := ParseTopology(src)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("non-ParseError %T: %v", err, err)
+			}
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Fatalf("unpositioned error line=%d col=%d: %v", pe.Line, pe.Col, err)
+			}
+			return
+		}
+		// Success: Render must re-parse and reach a fixpoint, and basic
+		// accessors must not panic.
+		text := topo.Render()
+		topo2, err := ParseTopology(text)
+		if err != nil {
+			t.Fatalf("Render output does not re-parse: %v\n%s", err, text)
+		}
+		if text2 := topo2.Render(); text2 != text {
+			t.Fatalf("Render not a fixpoint:\n%q\nvs\n%q", text, text2)
+		}
+		topo.Sink()
+		r := topo.Router()
+		for _, n := range topo.Nodes {
+			for _, cap := range n.Captures {
+				if host, ok := r.Route(cap.Interface, 0); !ok || topo.Node(host) == nil {
+					t.Fatalf("declared capture %s unrouted", cap)
+				}
+			}
+			topo.LinkCost(n.Name, topo.Nodes[0].Name)
+		}
+	})
+}

@@ -1,0 +1,608 @@
+package coord
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"gigascope/internal/core"
+)
+
+// PlaceOptions parameterizes Place. The same (queries, topology, seed,
+// costs) always yield the same Manifest — determinism is what lets the
+// differential harness compare distributed runs across processes.
+type PlaceOptions struct {
+	// Seed perturbs tie-breaks between equally-scored hosts (and only
+	// tie-breaks: the jitter is ~1e-9 of a score unit).
+	Seed int64
+	// Costs supplies the cost model; nil uses DefaultCostModel().
+	Costs *CostModel
+}
+
+// PartitionName is the runtime name of partition i of a
+// partition-captured LFTA. '#' cannot appear in GSQL identifiers, so
+// the mangling never collides with a compiled name (the same convention
+// as the "#shard<i>" names inside a sharded capture path).
+func PartitionName(name string, i int) string {
+	return fmt.Sprintf("%s#part%d", name, i)
+}
+
+// PartitionNode clones an LFTA node as its partition-i instance: same
+// operator template, renamed node and output schema. The clone shares
+// the stateless compiled templates with the original (instantiation
+// creates fresh state), which is the same aliasing the sharded capture
+// path relies on.
+func PartitionNode(n *core.Node, i int) *core.Node {
+	cp := *n
+	cp.Name = PartitionName(n.Name, i)
+	out := n.Out.Clone()
+	out.Name = cp.Name
+	cp.Out = out
+	return &cp
+}
+
+// Assignment places one runtime node on one host.
+type Assignment struct {
+	// Node is the runtime node name — the logical name, or
+	// "logical#part<i>" for one partition of a partition-captured LFTA.
+	Node string `json:"node"`
+	// Logical is the compiled node name the runtime node instantiates.
+	Logical string `json:"logical"`
+	// Query is the owning query (binds its parameters at install time).
+	Query string `json:"query"`
+	Level string `json:"level"`          // "lfta" | "hfta"
+	Kind  string `json:"kind"`           // selproj | agg | join | merge
+	Mode  string `json:"mode,omitempty"` // plan boundary mode (LFTA only)
+	// Interface is the captured interface (LFTA only).
+	Interface string `json:"iface,omitempty"`
+	// Partition/Of identify the capture split (Of 0 = whole).
+	Partition int `json:"part,omitempty"`
+	Of        int `json:"of,omitempty"`
+	// CostUs is the modeled cost in µs of CPU per second of traffic.
+	CostUs float64 `json:"cost_us"`
+}
+
+// ImportSpec is one wire subscription a host opens at startup.
+type ImportSpec struct {
+	From      string `json:"from"`   // producing host
+	Stream    string `json:"stream"` // remote stream name
+	LocalName string `json:"local"`  // local registration (== Stream)
+}
+
+// ReunifySpec merges the partition streams of one logical stream back
+// under its logical name on the host that consumes it.
+type ReunifySpec struct {
+	Name   string   `json:"name"`
+	Inputs []string `json:"inputs"`
+}
+
+// HostPlan is everything one host must do to realize its share of the
+// placement.
+type HostPlan struct {
+	Name   string  `json:"host"`
+	Budget float64 `json:"budget"`
+	// CostUs is the summed modeled cost of the host's assignments;
+	// Util is CostUs/Budget (may exceed 1: over-budget placements are
+	// allowed but flagged, mirroring how the paper's overload control
+	// sheds rather than refuses).
+	CostUs float64 `json:"cost_us"`
+	Util   float64 `json:"util"`
+	Over   bool    `json:"over,omitempty"`
+	Listen string  `json:"listen,omitempty"`
+
+	Assignments []Assignment  `json:"assignments,omitempty"`
+	Imports     []ImportSpec  `json:"imports,omitempty"`
+	Reunify     []ReunifySpec `json:"reunify,omitempty"`
+	// Exports lists streams other hosts import from this one (what the
+	// wire server will be asked for, and how many subscribers to await).
+	Exports []string `json:"exports,omitempty"`
+}
+
+// Manifest is the deployment plan: one HostPlan per topology host
+// (sorted by name) plus the order hosts must start in (producers before
+// consumers; the sink, the terminal consumer, comes last whenever it
+// imports anything). Stopping in the same order is safe: closing a
+// producer sends fin on its exports, so consumers' imports drain before
+// their own shutdown.
+type Manifest struct {
+	Seed  int64      `json:"seed"`
+	Sink  string     `json:"sink"`
+	Order []string   `json:"order"`
+	Hosts []HostPlan `json:"hosts"`
+	// Topology is the rendered source topology, making the manifest
+	// self-describing for repro artifacts.
+	Topology string `json:"topology,omitempty"`
+}
+
+// Host returns the plan for the named host, or nil.
+func (m *Manifest) Host(name string) *HostPlan {
+	for i := range m.Hosts {
+		if m.Hosts[i].Name == name {
+			return &m.Hosts[i]
+		}
+	}
+	return nil
+}
+
+// ExpectedSubscribers counts the wire subscriptions other hosts open
+// against this host — the barrier AwaitSubscribers waits on before
+// traffic starts.
+func (m *Manifest) ExpectedSubscribers(host string) int {
+	n := 0
+	for i := range m.Hosts {
+		if m.Hosts[i].Name == host {
+			continue
+		}
+		for _, imp := range m.Hosts[i].Imports {
+			if imp.From == host {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Render writes the manifest as deterministic human-readable text.
+func (m *Manifest) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement seed=%d sink=%s order=%s\n",
+		m.Seed, m.Sink, strings.Join(m.Order, ","))
+	for i := range m.Hosts {
+		h := &m.Hosts[i]
+		over := ""
+		if h.Over {
+			over = " OVER-BUDGET"
+		}
+		fmt.Fprintf(&b, "host %s budget=%g cost=%.2fus util=%.3f%s\n",
+			h.Name, h.Budget, h.CostUs, h.Util, over)
+		for _, a := range h.Assignments {
+			loc := ""
+			if a.Of > 0 {
+				loc = fmt.Sprintf(" part=%d/%d", a.Partition, a.Of)
+			}
+			if a.Interface != "" {
+				loc += " iface=" + a.Interface
+			}
+			if a.Mode != "" {
+				loc += " mode=" + a.Mode
+			}
+			fmt.Fprintf(&b, "  %s %s %s query=%s%s cost=%.2fus\n",
+				a.Level, a.Kind, a.Node, a.Query, loc, a.CostUs)
+		}
+		for _, imp := range h.Imports {
+			fmt.Fprintf(&b, "  import %s from %s\n", imp.Stream, imp.From)
+		}
+		for _, r := range h.Reunify {
+			fmt.Fprintf(&b, "  reunify %s <- %s\n", r.Name, strings.Join(r.Inputs, ","))
+		}
+		if len(h.Exports) > 0 {
+			fmt.Fprintf(&b, "  export %s\n", strings.Join(h.Exports, ","))
+		}
+	}
+	return b.String()
+}
+
+func kindName(k core.OpKind) string {
+	switch k {
+	case core.OpAgg:
+		return "agg"
+	case core.OpJoin:
+		return "join"
+	case core.OpMerge:
+		return "merge"
+	default:
+		return "selproj"
+	}
+}
+
+// jitter derives a tiny deterministic score perturbation from (seed,
+// node, host): enough to break exact ties differently per seed, far too
+// small to override a real cost difference.
+func jitter(seed int64, node, host string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", seed, node, host)
+	return float64(h.Sum64()%(1<<20)) * 1e-15
+}
+
+// placer carries the mutable placement state.
+type placer struct {
+	topo     *Topology
+	cm       *CostModel
+	seed     int64
+	sink     string
+	inRate   map[string]float64
+	outRate  map[string]float64
+	hostOf   map[string][]string // logical node -> hosts (len>1 = partition slots)
+	hostCost map[string]float64
+	edges    map[string]map[string]bool // producer host -> consumer hosts
+	plans    map[string]*HostPlan
+}
+
+// reaches reports whether the host DAG has a path from a to b.
+func (p *placer) reaches(a, b string) bool {
+	if a == b {
+		return true
+	}
+	seen := map[string]bool{}
+	var walk func(string) bool
+	walk = func(h string) bool {
+		if h == b {
+			return true
+		}
+		if seen[h] {
+			return false
+		}
+		seen[h] = true
+		for c := range p.edges[h] {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(a)
+}
+
+func (p *placer) addEdge(from, to string) {
+	if from == to {
+		return
+	}
+	if p.edges[from] == nil {
+		p.edges[from] = map[string]bool{}
+	}
+	p.edges[from][to] = true
+}
+
+// Place computes the operator placement of the compiled queries over the
+// topology. LFTAs are pinned to the hosts capturing their interfaces
+// (split captures get one renamed instance per partition); HFTAs are
+// placed greedily by utilization-plus-transfer score against per-host
+// CPU budgets, with seed-perturbed tie-breaks. The resulting host import
+// graph is always acyclic with the sink as a terminal consumer, so
+// Manifest.Order is a valid bring-up (and tear-down) sequence.
+func Place(queries []*core.CompiledQuery, topo *Topology, opts PlaceOptions) (*Manifest, error) {
+	if topo == nil || len(topo.Nodes) == 0 {
+		return nil, fmt.Errorf("coord: empty topology")
+	}
+	cm := opts.Costs
+	if cm == nil {
+		cm = DefaultCostModel()
+	}
+	inRate, outRate := cm.nodeRates(queries)
+	p := &placer{
+		topo:     topo,
+		cm:       cm,
+		seed:     opts.Seed,
+		sink:     topo.Sink().Name,
+		inRate:   inRate,
+		outRate:  outRate,
+		hostOf:   map[string][]string{},
+		hostCost: map[string]float64{},
+		edges:    map[string]map[string]bool{},
+		plans:    map[string]*HostPlan{},
+	}
+	for _, tn := range topo.Nodes {
+		p.plans[tn.Name] = &HostPlan{Name: tn.Name, Budget: tn.CPU, Listen: tn.Listen}
+	}
+
+	for _, q := range queries {
+		for _, n := range q.Nodes {
+			var err error
+			if n.Level == core.LevelLFTA {
+				err = p.placeLFTA(q, n)
+			} else {
+				err = p.placeHFTA(q, n)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.wire(queries)
+
+	m := &Manifest{Seed: opts.Seed, Sink: p.sink, Topology: topo.Render()}
+	for _, name := range sortedHostNames(topo) {
+		h := p.plans[name]
+		h.CostUs = p.hostCost[name]
+		if h.Budget > 0 {
+			h.Util = h.CostUs / h.Budget
+		}
+		h.Over = h.CostUs > h.Budget
+		m.Hosts = append(m.Hosts, *h)
+	}
+	m.Order = p.order()
+	return m, nil
+}
+
+func lftaIface(n *core.Node) string {
+	if len(n.Sources) == 0 || n.Sources[0].Interface == "" {
+		return "default"
+	}
+	return n.Sources[0].Interface
+}
+
+func (p *placer) placeLFTA(q *core.CompiledQuery, n *core.Node) error {
+	iface := lftaIface(n)
+	captors := p.topo.Captors(iface)
+	if len(captors) == 0 {
+		return fmt.Errorf("coord: no topology node captures interface %q (needed by LFTA %s of query %s)",
+			iface, n.Name, q.Name)
+	}
+	mode := ""
+	if b := planBoundary(q.Plan, n.Name); b != nil {
+		mode = b.Mode.String()
+	}
+	rate := p.inRate[strings.ToLower(n.Name)]
+	unit := p.cm.perUnitUs(n)
+	key := strings.ToLower(n.Name)
+	if len(captors) == 1 {
+		host := captors[0].Name
+		cost := unit * rate / 1e0
+		p.hostCost[host] += cost
+		p.plans[host].Assignments = append(p.plans[host].Assignments, Assignment{
+			Node: n.Name, Logical: n.Name, Query: q.Name, Level: "lfta",
+			Kind: kindName(n.Kind), Mode: mode, Interface: iface, CostUs: cost,
+		})
+		p.hostOf[key] = []string{host}
+		return nil
+	}
+	k := len(captors)
+	hosts := make([]string, k)
+	for i, c := range captors {
+		host := c.Name
+		hosts[i] = host
+		cost := unit * rate / float64(k)
+		p.hostCost[host] += cost
+		p.plans[host].Assignments = append(p.plans[host].Assignments, Assignment{
+			Node: PartitionName(n.Name, i), Logical: n.Name, Query: q.Name,
+			Level: "lfta", Kind: kindName(n.Kind), Mode: mode, Interface: iface,
+			Partition: i, Of: k, CostUs: cost,
+		})
+	}
+	p.hostOf[key] = hosts
+	return nil
+}
+
+func (p *placer) placeHFTA(q *core.CompiledQuery, n *core.Node) error {
+	key := strings.ToLower(n.Name)
+	rate := p.inRate[key]
+	cost := p.cm.perUnitUs(n) * rate
+
+	// Resolve input producer hosts; a source outside the placement (a
+	// local stream every host has, like SYSMON) pins the node to the
+	// sink so its rows have one well-defined home.
+	type input struct {
+		hosts []string
+		rate  float64 // per producing host
+	}
+	var ins []input
+	pinned := false
+	for _, src := range n.Sources {
+		hs, ok := p.hostOf[strings.ToLower(src.Name)]
+		if !ok {
+			pinned = true
+			continue
+		}
+		r := p.outRate[strings.ToLower(src.Name)]
+		ins = append(ins, input{hosts: hs, rate: r / float64(len(hs))})
+	}
+
+	host := p.sink
+	if !pinned {
+		best, bestScore := "", 0.0
+		for _, cand := range sortedHostNames(p.topo) {
+			ok := true
+			var wireUs float64
+			for _, in := range ins {
+				for _, s := range in.hosts {
+					if s == cand {
+						continue
+					}
+					// Keep the host graph acyclic and the sink terminal.
+					if s == p.sink || p.reaches(cand, s) {
+						ok = false
+						break
+					}
+					wireUs += p.topo.LinkCost(s, cand) * in.rate * p.cm.SteerPerPktUs
+				}
+				if !ok {
+					break
+				}
+			}
+			if cand == p.sink {
+				// The sink is always a valid consumer (it never exports,
+				// so edges into it cannot close a cycle).
+				ok = true
+				wireUs = 0
+				for _, in := range ins {
+					for _, s := range in.hosts {
+						if s != cand {
+							wireUs += p.topo.LinkCost(s, cand) * in.rate * p.cm.SteerPerPktUs
+						}
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			budget := p.plans[cand].Budget
+			if budget <= 0 {
+				budget = 1
+			}
+			score := (p.hostCost[cand]+cost+wireUs)/budget + jitter(p.seed, n.Name, cand)
+			if best == "" || score < bestScore {
+				best, bestScore = cand, score
+			}
+		}
+		host = best
+	}
+
+	for _, in := range ins {
+		for _, s := range in.hosts {
+			p.addEdge(s, host)
+		}
+	}
+	p.hostCost[host] += cost
+	p.plans[host].Assignments = append(p.plans[host].Assignments, Assignment{
+		Node: n.Name, Logical: n.Name, Query: q.Name, Level: "hfta",
+		Kind: kindName(n.Kind), CostUs: cost,
+	})
+	p.hostOf[key] = []string{host}
+	return nil
+}
+
+// wire derives each host's imports and reunify nodes from the finished
+// assignment map, then routes every query output to the sink.
+func (p *placer) wire(queries []*core.CompiledQuery) {
+	type impKey struct{ host, local string }
+	seenImp := map[impKey]bool{}
+	seenReu := map[impKey]bool{}
+
+	addImport := func(host, from, stream string) {
+		if from == host {
+			return
+		}
+		k := impKey{host, stream}
+		if seenImp[k] {
+			return
+		}
+		seenImp[k] = true
+		p.plans[host].Imports = append(p.plans[host].Imports, ImportSpec{
+			From: from, Stream: stream, LocalName: stream,
+		})
+		p.addEdge(from, host)
+	}
+	need := func(host, logical string) {
+		hs, ok := p.hostOf[strings.ToLower(logical)]
+		if !ok {
+			return // local stream (SYSMON etc.), nothing to wire
+		}
+		if len(hs) == 1 {
+			addImport(host, hs[0], logical)
+			return
+		}
+		k := impKey{host, strings.ToLower(logical)}
+		if seenReu[k] {
+			return
+		}
+		seenReu[k] = true
+		inputs := make([]string, len(hs))
+		for i, s := range hs {
+			inputs[i] = PartitionName(logical, i)
+			addImport(host, s, inputs[i])
+		}
+		p.plans[host].Reunify = append(p.plans[host].Reunify, ReunifySpec{
+			Name: logical, Inputs: inputs,
+		})
+	}
+
+	for _, hp := range p.plans {
+		for _, a := range hp.Assignments {
+			if a.Level != "hfta" {
+				continue
+			}
+			n := findNode(queries, a.Logical)
+			if n == nil {
+				continue
+			}
+			for _, src := range n.Sources {
+				need(hp.Name, src.Name)
+			}
+		}
+	}
+	// Every query output must be readable at the sink.
+	for _, q := range queries {
+		if out := q.Output(); out != nil {
+			need(p.sink, out.Name)
+		}
+	}
+
+	// Exports: what other hosts import from each host.
+	exp := map[string]map[string]bool{}
+	for _, hp := range p.plans {
+		for _, imp := range hp.Imports {
+			if exp[imp.From] == nil {
+				exp[imp.From] = map[string]bool{}
+			}
+			exp[imp.From][imp.Stream] = true
+		}
+	}
+	for host, streams := range exp {
+		var list []string
+		for s := range streams {
+			list = append(list, s)
+		}
+		sort.Strings(list)
+		p.plans[host].Exports = list
+	}
+	// Deterministic import/reunify order per host.
+	for _, hp := range p.plans {
+		sort.Slice(hp.Imports, func(i, j int) bool {
+			a, b := hp.Imports[i], hp.Imports[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			return a.Stream < b.Stream
+		})
+		sort.Slice(hp.Reunify, func(i, j int) bool {
+			return hp.Reunify[i].Name < hp.Reunify[j].Name
+		})
+	}
+}
+
+func findNode(queries []*core.CompiledQuery, name string) *core.Node {
+	for _, q := range queries {
+		for _, n := range q.Nodes {
+			if strings.EqualFold(n.Name, name) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// order topologically sorts hosts producer-first (Kahn's algorithm,
+// lexicographic tie-break), so starting hosts in Order guarantees every
+// wire import dials a server whose stream already exists.
+func (p *placer) order() []string {
+	names := sortedHostNames(p.topo)
+	indeg := map[string]int{}
+	for _, n := range names {
+		indeg[n] = 0
+	}
+	for from, tos := range p.edges {
+		_ = from
+		for to := range tos {
+			indeg[to]++
+		}
+	}
+	var out []string
+	done := map[string]bool{}
+	for len(out) < len(names) {
+		picked := ""
+		for _, n := range names {
+			if !done[n] && indeg[n] == 0 {
+				picked = n
+				break
+			}
+		}
+		if picked == "" {
+			// Defensive: the placer never creates cycles, but emit the
+			// remainder deterministically rather than spin.
+			for _, n := range names {
+				if !done[n] {
+					out = append(out, n)
+					done[n] = true
+				}
+			}
+			break
+		}
+		done[picked] = true
+		out = append(out, picked)
+		for to := range p.edges[picked] {
+			indeg[to]--
+		}
+	}
+	return out
+}

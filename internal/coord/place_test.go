@@ -1,0 +1,209 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+
+	"gigascope/internal/core"
+	"gigascope/internal/gsql"
+	"gigascope/internal/pkt"
+	"gigascope/internal/schema"
+)
+
+const placeScript = `
+DEFINE { query_name feed; }
+SELECT time, srcIP, destIP, destPort FROM eth0.TCP
+WHERE ipversion = 4 and protocol = 6;
+
+DEFINE { query_name counts; }
+SELECT time, destPort, count(*) FROM feed
+GROUP BY time, destPort;
+
+DEFINE { query_name udptotal; }
+SELECT time, count(*) FROM eth1.UDP
+WHERE ipversion = 4
+GROUP BY time;
+`
+
+func compileScript(t *testing.T, src string) []*core.CompiledQuery {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if err := pkt.RegisterBuiltins(cat); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := gsql.ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CompileScriptPlan(cat, parsed, &core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Queries
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	queries := compileScript(t, placeScript)
+	topo := mustParse(t, trioSrc)
+	m1, err := Place(queries, topo, PlaceOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Place(queries, topo, PlaceOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Render() != m2.Render() {
+		t.Fatalf("same inputs, different placements:\n%s\nvs\n%s", m1.Render(), m2.Render())
+	}
+}
+
+func TestPlacePinsLFTAsAndSplitsPartitions(t *testing.T) {
+	queries := compileScript(t, placeScript)
+	topo := mustParse(t, trioSrc)
+	m, err := Place(queries, topo, PlaceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eth0 is split 2 ways: every eth0 LFTA appears once per capture
+	// host, renamed, and its consumers see a reunify under the logical
+	// name somewhere.
+	partsSeen := map[string]int{}
+	for _, h := range m.Hosts {
+		tn := topo.Node(h.Name)
+		for _, a := range h.Assignments {
+			if a.Level != "lfta" {
+				continue
+			}
+			if _, ok := tn.CaptureOf(a.Interface); !ok {
+				t.Errorf("LFTA %s on %s which does not capture %s", a.Node, h.Name, a.Interface)
+			}
+			if a.Of > 1 {
+				if a.Node != PartitionName(a.Logical, a.Partition) {
+					t.Errorf("partition node name %s, want %s", a.Node, PartitionName(a.Logical, a.Partition))
+				}
+				partsSeen[a.Logical]++
+			}
+		}
+	}
+	for logical, n := range partsSeen {
+		if n != 2 {
+			t.Errorf("logical LFTA %s has %d partition instances, want 2", logical, n)
+		}
+	}
+	if len(partsSeen) == 0 {
+		t.Fatal("no partitioned LFTAs placed on a split-capture topology")
+	}
+	// The sink can read every query output: either a local assignment,
+	// an import, or a reunify materializes each output name there.
+	sink := m.Host(m.Sink)
+	for _, q := range queries {
+		name := strings.ToLower(q.Output().Name)
+		ok := false
+		for _, a := range sink.Assignments {
+			if strings.ToLower(a.Node) == name {
+				ok = true
+			}
+		}
+		for _, imp := range sink.Imports {
+			if strings.ToLower(imp.LocalName) == name {
+				ok = true
+			}
+		}
+		for _, r := range sink.Reunify {
+			if strings.ToLower(r.Name) == name {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("query output %s not materialized at sink:\n%s", q.Output().Name, m.Render())
+		}
+	}
+}
+
+func TestPlaceErrorsOnUncapturedInterface(t *testing.T) {
+	queries := compileScript(t, placeScript)
+	topo := mustParse(t, "node only { cpu 10 capture eth0 }")
+	_, err := Place(queries, topo, PlaceOptions{})
+	if err == nil || !strings.Contains(err.Error(), "captures interface") {
+		t.Fatalf("want no-captor error, got %v", err)
+	}
+}
+
+func TestPlaceObservedCostsShiftHFTAs(t *testing.T) {
+	queries := compileScript(t, placeScript)
+	// Two identical HFTA-tier hosts: with default costs the greedy
+	// balancer spreads HFTAs by utilization. Observing a huge cost for
+	// one query's stream must deterministically change the modeled
+	// utilization (and the manifest stays deterministic under the
+	// observation).
+	src := `
+node capA { cpu 10 capture eth0 eth1 default uplink t1 }
+node t1 { cpu 100 }
+node t2 { cpu 100 }
+node agg { cpu 100 sink }
+`
+	topo := mustParse(t, src)
+	base, err := Place(queries, topo, PlaceOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	cm.Observed["feed"] = ObservedCost{InRate: 5_000_000, Selectivity: 1.0}
+	obs, err := Place(queries, topo, PlaceOptions{Seed: 5, Costs: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs2, err := Place(queries, topo, PlaceOptions{Seed: 5, Costs: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Render() != obs2.Render() {
+		t.Fatal("observed-cost placement is nondeterministic")
+	}
+	findCost := func(m *Manifest, node string) float64 {
+		for _, h := range m.Hosts {
+			for _, a := range h.Assignments {
+				if strings.EqualFold(a.Node, node) {
+					return a.CostUs
+				}
+			}
+		}
+		t.Fatalf("node %s not placed", node)
+		return 0
+	}
+	if findCost(obs, "feed") <= findCost(base, "feed") {
+		t.Errorf("observed 5M pkts/s did not raise feed's modeled cost (%v vs %v)",
+			findCost(obs, "feed"), findCost(base, "feed"))
+	}
+}
+
+func TestPlaceOrderIsProducerFirst(t *testing.T) {
+	queries := compileScript(t, placeScript)
+	topo := mustParse(t, trioSrc)
+	m, err := Place(queries, topo, PlaceOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := map[string]int{}
+	for i, h := range m.Order {
+		rank[h] = i
+	}
+	for _, h := range m.Hosts {
+		for _, imp := range h.Imports {
+			if rank[imp.From] >= rank[h.Name] {
+				t.Errorf("host %s imports %s from %s, but %s starts later (order %v)",
+					h.Name, imp.Stream, imp.From, imp.From, m.Order)
+			}
+		}
+	}
+}
+
+func TestObserveStatsAndIfaceStats(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.ObserveStats(nil, 0) // no-op on zero elapsed
+	cm.ObserveIfaceStats(nil, 1_000_000)
+	if len(cm.Observed) != 0 {
+		t.Fatal("unexpected observations")
+	}
+}

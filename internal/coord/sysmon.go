@@ -1,0 +1,122 @@
+package coord
+
+import (
+	"gigascope/internal/exec"
+	"gigascope/internal/schema"
+)
+
+// StreamPlacement is the catalog name of the coordinator's telemetry
+// stream: one row per placed assignment per sampling interval, carrying
+// the placement decision and the host's modeled budget utilization, so
+// "where does everything run and how full is each box" is answerable
+// with an ordinary GSQL query — the same self-monitoring story as
+// SYSMON.NodeStats.
+const StreamPlacement = "SYSMON.Placement"
+
+// DefaultPlacementIntervalUsec is the sampling period when Config leaves
+// it zero: one second of virtual time.
+const DefaultPlacementIntervalUsec = 1_000_000
+
+// PlacementSchema returns the SYSMON.Placement tuple layout.
+func PlacementSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: StreamPlacement,
+		Kind: schema.KindStream,
+		Cols: []schema.Column{
+			{Name: "ts", Type: schema.TUint, Ordering: schema.Ordering{Kind: schema.OrderIncreasing}},
+			{Name: "host", Type: schema.TString},
+			{Name: "node", Type: schema.TString},
+			{Name: "query", Type: schema.TString},
+			{Name: "level", Type: schema.TString},
+			{Name: "kind", Type: schema.TString},
+			{Name: "part", Type: schema.TUint},
+			{Name: "of", Type: schema.TUint},
+			// costUs is the operator's modeled cost (µs CPU per second of
+			// traffic); hostBudget/hostCost/hostUtil repeat the owning
+			// host's totals on every row so per-host reasoning needs no
+			// join.
+			{Name: "costUs", Type: schema.TFloat},
+			{Name: "hostBudget", Type: schema.TFloat},
+			{Name: "hostCost", Type: schema.TFloat},
+			{Name: "hostUtil", Type: schema.TFloat},
+			{Name: "hostOver", Type: schema.TBool},
+		},
+	}
+}
+
+// PlacementSampler publishes the (static) placement manifest as a
+// periodic stream — an rts.SourceNode, attached on the sink host via
+// rts.Manager.AddSourceNode before the script compiles there.
+type PlacementSampler struct {
+	m        *Manifest
+	interval uint64
+	out      *schema.Schema
+	last     uint64
+	primed   bool
+}
+
+// NewPlacementSampler builds a sampler publishing m's assignments every
+// interval microseconds of virtual time (0 = default 1s).
+func NewPlacementSampler(m *Manifest, interval uint64) *PlacementSampler {
+	if interval == 0 {
+		interval = DefaultPlacementIntervalUsec
+	}
+	return &PlacementSampler{m: m, interval: interval, out: PlacementSchema()}
+}
+
+// OutSchema implements rts.SourceNode.
+func (s *PlacementSampler) OutSchema() *schema.Schema { return s.out }
+
+// Tick implements rts.SourceNode.
+func (s *PlacementSampler) Tick(nowUsec uint64, emit exec.Emit) {
+	if s.primed && nowUsec < s.last+s.interval {
+		return
+	}
+	s.sample(nowUsec, emit)
+}
+
+// Heartbeat implements rts.SourceNode.
+func (s *PlacementSampler) Heartbeat(nowUsec uint64, emit exec.Emit) {
+	if nowUsec == 0 {
+		return
+	}
+	bounds := make(schema.Tuple, len(s.out.Cols))
+	bounds[0] = schema.MakeUint(nowUsec)
+	emit(exec.HeartbeatMsg(bounds))
+}
+
+// Flush implements rts.SourceNode.
+func (s *PlacementSampler) Flush(nowUsec uint64, emit exec.Emit) {
+	if nowUsec < s.last {
+		nowUsec = s.last
+	}
+	s.sample(nowUsec, emit)
+}
+
+func (s *PlacementSampler) sample(nowUsec uint64, emit exec.Emit) {
+	s.last = nowUsec
+	s.primed = true
+	for i := range s.m.Hosts {
+		h := &s.m.Hosts[i]
+		for _, a := range h.Assignments {
+			emit(exec.TupleMsg(schema.Tuple{
+				schema.MakeUint(nowUsec),
+				schema.MakeStr(h.Name),
+				schema.MakeStr(a.Node),
+				schema.MakeStr(a.Query),
+				schema.MakeStr(a.Level),
+				schema.MakeStr(a.Kind),
+				schema.MakeUint(uint64(a.Partition)),
+				schema.MakeUint(uint64(a.Of)),
+				schema.MakeFloat(a.CostUs),
+				schema.MakeFloat(h.Budget),
+				schema.MakeFloat(h.CostUs),
+				schema.MakeFloat(h.Util),
+				schema.MakeBool(h.Over),
+			}))
+		}
+	}
+	bounds := make(schema.Tuple, len(s.out.Cols))
+	bounds[0] = schema.MakeUint(nowUsec)
+	emit(exec.HeartbeatMsg(bounds))
+}

@@ -1,0 +1,650 @@
+// Package coord is the placement coordinator for distributed Gigascope
+// (ROADMAP item 1): it takes a compiled query script and a description of
+// the host topology — which node captures which interfaces, per-node CPU
+// budgets, link costs — and decides where every LFTA and HFTA runs. LFTAs
+// are pinned to the hosts capturing their interfaces (the capture path is
+// physical); HFTAs and reunify merges are placed greedily against the CPU
+// budgets using the cost model in cost.go, fed by the per-operator cost
+// data the system already measures. The result is a deployment Manifest
+// the root API executes over the wire transport (ServeWire / ConnectWire /
+// AddReunifyNode), across in-process Systems or real processes.
+//
+// Placement is deterministic given (plan, topology, seed), so it composes
+// with the differential harness: the same inputs always yield the same
+// manifest, byte for byte.
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a positioned topology-parse or validation error. Every
+// malformed input returns one of these — never a panic — so the parser is
+// safe on untrusted bytes (FuzzParseTopology pins this).
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("topology:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func perr(p pos, format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Capture is one interface (or one partition of one interface) captured
+// by a topology node. Of == 1 means the node captures the whole
+// interface; Of == k > 1 means the interface's traffic is split k ways
+// and this node receives partition Part (packets with index ≡ Part mod
+// k, see Router).
+type Capture struct {
+	Interface string
+	Part, Of  int
+}
+
+func (c Capture) String() string {
+	if c.Of <= 1 {
+		return c.Interface
+	}
+	return fmt.Sprintf("%s[%d/%d]", c.Interface, c.Part, c.Of)
+}
+
+// TopoNode is one host in the topology.
+type TopoNode struct {
+	Name string
+	// CPU is the host's processing budget in cost-model units (see
+	// cost.go); placement packs operators against it.
+	CPU float64
+	// Captures lists the interfaces (or interface partitions) whose
+	// packets arrive at this host. LFTAs over them are pinned here.
+	Captures []Capture
+	// Listen is the wire-transport address this host exports streams on
+	// ("unix:/path", "tcp:host:port"). Empty means the runner assigns
+	// one (in-process clusters use anonymous unix sockets).
+	Listen string
+	// Uplink names the host this node forwards toward in the capture →
+	// aggregation hierarchy; UplinkCost is the relative cost of that
+	// link (default 1). The uplink forest defines LinkCost.
+	Uplink     string
+	UplinkCost float64
+	// IsSink marks the host where query outputs collect (at most one).
+	IsSink bool
+
+	pos       pos
+	uplinkPos pos
+}
+
+// Topology is a parsed, validated host topology.
+type Topology struct {
+	Nodes  []*TopoNode // declaration order
+	byName map[string]*TopoNode
+}
+
+// Node returns the named host (case-sensitive), or nil.
+func (t *Topology) Node(name string) *TopoNode { return t.byName[name] }
+
+// Sink returns the output-collection host: the declared sink, else the
+// last node that captures nothing, else the last node.
+func (t *Topology) Sink() *TopoNode {
+	for _, n := range t.Nodes {
+		if n.IsSink {
+			return n
+		}
+	}
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		if len(t.Nodes[i].Captures) == 0 {
+			return t.Nodes[i]
+		}
+	}
+	return t.Nodes[len(t.Nodes)-1]
+}
+
+// Captors returns the hosts capturing the interface, ordered by
+// partition index (one element with Of==1 for whole capture). Interface
+// matching is case-insensitive; "" means the default interface.
+func (t *Topology) Captors(iface string) []*TopoNode {
+	if iface == "" {
+		iface = "default"
+	}
+	key := strings.ToLower(iface)
+	type captor struct {
+		n    *TopoNode
+		part int
+	}
+	var cs []captor
+	for _, n := range t.Nodes {
+		for _, c := range n.Captures {
+			if strings.ToLower(c.Interface) == key {
+				cs = append(cs, captor{n, c.Part})
+			}
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].part < cs[j].part })
+	out := make([]*TopoNode, len(cs))
+	for i, c := range cs {
+		out[i] = c.n
+	}
+	return out
+}
+
+// CaptureOf returns the capture entry of iface on host (ok=false if the
+// host does not capture it).
+func (n *TopoNode) CaptureOf(iface string) (Capture, bool) {
+	if iface == "" {
+		iface = "default"
+	}
+	for _, c := range n.Captures {
+		if strings.EqualFold(c.Interface, iface) {
+			return c, true
+		}
+	}
+	return Capture{}, false
+}
+
+// LinkCost is the relative cost of moving a tuple from host a to host b,
+// computed over the uplink forest: the sum of uplink costs along the path
+// between them (roots of different trees are bridged at cost 1 each).
+// Same-host cost is 0; hosts with no declared uplinks cost 2 apart.
+func (t *Topology) LinkCost(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	pa, pb := t.pathToRoot(a), t.pathToRoot(b)
+	if len(pa) == 0 || len(pb) == 0 {
+		return 2
+	}
+	if pa[len(pa)-1].name != pb[len(pb)-1].name {
+		// Different trees: bridge the roots.
+		return chainCost(pa) + chainCost(pb) + 2
+	}
+	// Strip the common suffix down to the lowest common ancestor.
+	for len(pa) > 1 && len(pb) > 1 && pa[len(pa)-2].name == pb[len(pb)-2].name {
+		pa = pa[:len(pa)-1]
+		pb = pb[:len(pb)-1]
+	}
+	return chainCost(pa) + chainCost(pb)
+}
+
+type hop struct {
+	name string
+	cost float64 // cost of the uplink hop leaving this node (0 at root)
+}
+
+func chainCost(p []hop) float64 {
+	var s float64
+	for _, h := range p[:len(p)-1] {
+		s += h.cost
+	}
+	return s
+}
+
+// pathToRoot returns the uplink chain from name (inclusive) to its tree
+// root (inclusive); nil for unknown hosts.
+func (t *Topology) pathToRoot(name string) []hop {
+	n := t.byName[name]
+	if n == nil {
+		return nil
+	}
+	var p []hop
+	seen := map[string]bool{}
+	for n != nil && !seen[n.Name] {
+		seen[n.Name] = true
+		p = append(p, hop{n.Name, n.UplinkCost})
+		if n.Uplink == "" {
+			return p
+		}
+		n = t.byName[n.Uplink]
+	}
+	return p // cycle guarded by validation; defensive
+}
+
+// Render writes the topology back in its source syntax. The output
+// reparses to an equal topology (pinned by tests), which makes manifests
+// self-describing.
+func (t *Topology) Render() string {
+	var b strings.Builder
+	for _, n := range t.Nodes {
+		fmt.Fprintf(&b, "node %s {\n", n.Name)
+		fmt.Fprintf(&b, "\tcpu %s\n", strconv.FormatFloat(n.CPU, 'g', -1, 64))
+		if len(n.Captures) > 0 {
+			b.WriteString("\tcapture")
+			for _, c := range n.Captures {
+				b.WriteString(" " + c.String())
+			}
+			b.WriteString("\n")
+		}
+		if n.Listen != "" {
+			fmt.Fprintf(&b, "\tlisten %s\n", n.Listen)
+		}
+		if n.Uplink != "" {
+			fmt.Fprintf(&b, "\tuplink %s cost %s\n", n.Uplink, strconv.FormatFloat(n.UplinkCost, 'g', -1, 64))
+		}
+		if n.IsSink {
+			b.WriteString("\tsink\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// ---- parser ----
+
+type pos struct{ line, col int }
+
+type token struct {
+	text string
+	pos  pos
+}
+
+// lex splits the source into words and the structural tokens '{' and
+// '}'. A word is any run of characters other than whitespace, braces,
+// and '#'; '#' starts a comment to end of line.
+func lex(src string) []token {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			col++
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}':
+			toks = append(toks, token{string(c), pos{line, col}})
+			col++
+			i++
+		default:
+			start := i
+			p := pos{line, col}
+			for i < len(src) {
+				c := src[i]
+				if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';' ||
+					c == '{' || c == '}' || c == '#' {
+					break
+				}
+				i++
+				col++
+			}
+			toks = append(toks, token{src[start:i], p})
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []token
+	i    int
+	end  pos
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.i >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.i], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.i++
+	}
+	return t, ok
+}
+
+func (p *parser) lastPos() pos {
+	if p.i > 0 {
+		return p.toks[p.i-1].pos
+	}
+	return pos{1, 1}
+}
+
+var directives = map[string]bool{
+	"node": true, "cpu": true, "capture": true, "listen": true,
+	"uplink": true, "sink": true, "cost": true,
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTopology parses and validates a topology description:
+//
+//	# capture tier
+//	node capA {
+//	    cpu 100
+//	    capture eth0[0/2] default
+//	    listen unix:/tmp/capA.sock
+//	    uplink agg cost 2
+//	}
+//	node agg { cpu 1000; sink }
+//
+// Every malformed input — unknown directives, zero or negative budgets,
+// duplicate node names, conflicting interface captures, unknown uplink
+// targets, uplink cycles — returns a *ParseError carrying the line and
+// column of the offending token.
+func ParseTopology(src string) (*Topology, error) {
+	p := &parser{toks: lex(src)}
+	t := &Topology{byName: map[string]*TopoNode{}}
+	for {
+		tok, ok := p.next()
+		if !ok {
+			break
+		}
+		if tok.text != "node" {
+			return nil, perr(tok.pos, "expected 'node', got %q", tok.text)
+		}
+		name, ok := p.next()
+		if !ok {
+			return nil, perr(tok.pos, "node needs a name")
+		}
+		if !validName(name.text) || directives[name.text] {
+			return nil, perr(name.pos, "invalid node name %q", name.text)
+		}
+		if prev, dup := t.byName[name.text]; dup {
+			_ = prev
+			return nil, perr(name.pos, "duplicate node name %q", name.text)
+		}
+		open, ok := p.next()
+		if !ok || open.text != "{" {
+			return nil, perr(p.lastPos(), "node %s: expected '{'", name.text)
+		}
+		n := &TopoNode{Name: name.text, CPU: 100, UplinkCost: 1, pos: name.pos}
+		if err := p.parseBody(n); err != nil {
+			return nil, err
+		}
+		t.Nodes = append(t.Nodes, n)
+		t.byName[n.Name] = n
+	}
+	if err := validate(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseBody(n *TopoNode) error {
+	sawCPU := false
+	for {
+		tok, ok := p.next()
+		if !ok {
+			return perr(p.lastPos(), "node %s: missing '}'", n.Name)
+		}
+		switch tok.text {
+		case "}":
+			return nil
+		case "cpu":
+			v, ok := p.next()
+			if !ok {
+				return perr(tok.pos, "cpu needs a value")
+			}
+			f, err := strconv.ParseFloat(v.text, 64)
+			if err != nil {
+				return perr(v.pos, "cpu budget %q is not a number", v.text)
+			}
+			if f <= 0 {
+				return perr(v.pos, "cpu budget must be positive, got %v", f)
+			}
+			if sawCPU {
+				return perr(tok.pos, "node %s: duplicate cpu", n.Name)
+			}
+			sawCPU = true
+			n.CPU = f
+		case "capture":
+			count := 0
+			for {
+				nx, ok := p.peek()
+				if !ok || nx.text == "}" || directives[nx.text] {
+					break
+				}
+				p.next()
+				c, err := parseCaptureSpec(nx)
+				if err != nil {
+					return err
+				}
+				n.Captures = append(n.Captures, c)
+				count++
+			}
+			if count == 0 {
+				return perr(tok.pos, "capture needs at least one interface")
+			}
+		case "listen":
+			v, ok := p.next()
+			if !ok || v.text == "}" || directives[v.text] {
+				return perr(tok.pos, "listen needs an address")
+			}
+			if n.Listen != "" {
+				return perr(tok.pos, "node %s: duplicate listen", n.Name)
+			}
+			n.Listen = v.text
+		case "uplink":
+			v, ok := p.next()
+			if !ok || v.text == "}" || directives[v.text] {
+				return perr(tok.pos, "uplink needs a target node")
+			}
+			if n.Uplink != "" {
+				return perr(tok.pos, "node %s: duplicate uplink", n.Name)
+			}
+			n.Uplink = v.text
+			n.uplinkPos = v.pos
+			if nx, ok := p.peek(); ok && nx.text == "cost" {
+				p.next()
+				cv, ok := p.next()
+				if !ok {
+					return perr(nx.pos, "cost needs a value")
+				}
+				f, err := strconv.ParseFloat(cv.text, 64)
+				if err != nil || f <= 0 {
+					return perr(cv.pos, "link cost %q must be a positive number", cv.text)
+				}
+				n.UplinkCost = f
+			}
+		case "sink":
+			n.IsSink = true
+		default:
+			return perr(tok.pos, "unknown directive %q", tok.text)
+		}
+	}
+}
+
+// parseCaptureSpec parses "iface" or "iface[part/of]".
+func parseCaptureSpec(tok token) (Capture, error) {
+	s := tok.text
+	br := strings.IndexByte(s, '[')
+	if br < 0 {
+		if !validName(s) {
+			return Capture{}, perr(tok.pos, "invalid interface name %q", s)
+		}
+		return Capture{Interface: s, Part: 0, Of: 1}, nil
+	}
+	iface := s[:br]
+	rest := s[br+1:]
+	if !validName(iface) {
+		return Capture{}, perr(tok.pos, "invalid interface name %q", iface)
+	}
+	if !strings.HasSuffix(rest, "]") {
+		return Capture{}, perr(tok.pos, "malformed capture partition %q (want iface[part/of])", s)
+	}
+	rest = rest[:len(rest)-1]
+	ps, os, ok := strings.Cut(rest, "/")
+	if !ok {
+		return Capture{}, perr(tok.pos, "malformed capture partition %q (want iface[part/of])", s)
+	}
+	part, err1 := strconv.Atoi(ps)
+	of, err2 := strconv.Atoi(os)
+	if err1 != nil || err2 != nil {
+		return Capture{}, perr(tok.pos, "malformed capture partition %q (want iface[part/of])", s)
+	}
+	if of < 2 || of > 64 {
+		return Capture{}, perr(tok.pos, "capture partition count %d out of range [2,64]", of)
+	}
+	if part < 0 || part >= of {
+		return Capture{}, perr(tok.pos, "capture partition index %d out of range [0,%d)", part, of)
+	}
+	return Capture{Interface: iface, Part: part, Of: of}, nil
+}
+
+func validate(t *Topology) error {
+	if len(t.Nodes) == 0 {
+		return &ParseError{Line: 1, Col: 1, Msg: "topology declares no nodes"}
+	}
+	// Sink: at most one.
+	var sink *TopoNode
+	for _, n := range t.Nodes {
+		if n.IsSink {
+			if sink != nil {
+				return perr(n.pos, "duplicate sink (already declared on %s)", sink.Name)
+			}
+			sink = n
+		}
+	}
+	// Uplinks: targets exist, no self-links, no cycles.
+	for _, n := range t.Nodes {
+		if n.Uplink == "" {
+			continue
+		}
+		if n.Uplink == n.Name {
+			return perr(n.uplinkPos, "node %s uplinks to itself", n.Name)
+		}
+		if t.byName[n.Uplink] == nil {
+			return perr(n.uplinkPos, "unknown uplink target %q", n.Uplink)
+		}
+	}
+	for _, n := range t.Nodes {
+		seen := map[string]bool{}
+		for c := n; c != nil && c.Uplink != ""; c = t.byName[c.Uplink] {
+			if seen[c.Name] {
+				return perr(n.uplinkPos, "uplink cycle through %s", c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+	// Captures: an interface is either whole on exactly one host, or
+	// partitioned with every slot 0..of-1 present exactly once and a
+	// consistent partition count; one host never holds two slots.
+	type slot struct {
+		node string
+		pos  pos
+	}
+	whole := map[string]slot{}
+	parts := map[string]map[int]slot{}
+	partOf := map[string]int{}
+	for _, n := range t.Nodes {
+		seenLocal := map[string]bool{}
+		for _, c := range n.Captures {
+			key := strings.ToLower(c.Interface)
+			if seenLocal[key] {
+				return perr(n.pos, "node %s captures interface %s twice", n.Name, c.Interface)
+			}
+			seenLocal[key] = true
+			if c.Of <= 1 {
+				if prev, dup := whole[key]; dup {
+					return perr(n.pos, "interface %s already captured by %s", c.Interface, prev.node)
+				}
+				if len(parts[key]) > 0 {
+					return perr(n.pos, "interface %s mixes whole and partitioned capture", c.Interface)
+				}
+				whole[key] = slot{n.Name, n.pos}
+				continue
+			}
+			if _, dup := whole[key]; dup {
+				return perr(n.pos, "interface %s mixes whole and partitioned capture", c.Interface)
+			}
+			if of, ok := partOf[key]; ok && of != c.Of {
+				return perr(n.pos, "interface %s partition counts disagree (%d vs %d)", c.Interface, of, c.Of)
+			}
+			partOf[key] = c.Of
+			if parts[key] == nil {
+				parts[key] = map[int]slot{}
+			}
+			if prev, dup := parts[key][c.Part]; dup {
+				return perr(n.pos, "interface %s partition %d already captured by %s", c.Interface, c.Part, prev.node)
+			}
+			parts[key][c.Part] = slot{n.Name, n.pos}
+		}
+	}
+	for key, of := range partOf {
+		for i := 0; i < of; i++ {
+			if _, ok := parts[key][i]; !ok {
+				return perr(t.Nodes[0].pos, "interface %s partition %d/%d captured nowhere", key, i, of)
+			}
+		}
+	}
+	return nil
+}
+
+// ---- packet routing ----
+
+// Router maps (interface, packet index) to the capturing host, encoding
+// the same partitioning rule on the traffic side that placement assumed
+// on the operator side. Both the in-process Cluster and the
+// multi-process coordinator use it, so the split is identical everywhere.
+type Router struct {
+	whole map[string]string   // iface -> host
+	split map[string][]string // iface -> host per partition slot
+}
+
+// Router builds the packet router for this topology.
+func (t *Topology) Router() *Router {
+	r := &Router{whole: map[string]string{}, split: map[string][]string{}}
+	seen := map[string]bool{}
+	for _, n := range t.Nodes {
+		for _, c := range n.Captures {
+			key := strings.ToLower(c.Interface)
+			if seen[key] {
+				continue
+			}
+			captors := t.Captors(c.Interface)
+			if c.Of <= 1 {
+				r.whole[key] = captors[0].Name
+			} else {
+				hosts := make([]string, len(captors))
+				for i, h := range captors {
+					hosts[i] = h.Name
+				}
+				r.split[key] = hosts
+			}
+			seen[key] = true
+		}
+	}
+	return r
+}
+
+// Route returns the host that captures packet number idx (0-based, per
+// interface) of the named interface; ok=false when no host captures it.
+func (r *Router) Route(iface string, idx uint64) (string, bool) {
+	if iface == "" {
+		iface = "default"
+	}
+	key := strings.ToLower(iface)
+	if h, ok := r.whole[key]; ok {
+		return h, true
+	}
+	if hosts, ok := r.split[key]; ok {
+		return hosts[idx%uint64(len(hosts))], true
+	}
+	return "", false
+}

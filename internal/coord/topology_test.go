@@ -1,0 +1,160 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+)
+
+const trioSrc = `
+# two capture hosts splitting eth0, one aggregation sink
+node capA {
+	cpu 50
+	capture eth0[0/2] default
+	listen unix:/tmp/a.sock
+	uplink agg cost 2
+}
+node capB {
+	cpu 50
+	capture eth0[1/2] eth1
+	uplink agg
+}
+node agg { cpu 1000 sink }
+`
+
+func mustParse(t *testing.T, src string) *Topology {
+	t.Helper()
+	topo, err := ParseTopology(src)
+	if err != nil {
+		t.Fatalf("ParseTopology: %v", err)
+	}
+	return topo
+}
+
+func TestParseTopologyBasics(t *testing.T) {
+	topo := mustParse(t, trioSrc)
+	if len(topo.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(topo.Nodes))
+	}
+	a := topo.Node("capA")
+	if a == nil || a.CPU != 50 || a.Listen != "unix:/tmp/a.sock" || a.Uplink != "agg" || a.UplinkCost != 2 {
+		t.Fatalf("capA parsed wrong: %+v", a)
+	}
+	if len(a.Captures) != 2 || a.Captures[0].String() != "eth0[0/2]" || a.Captures[1].Interface != "default" {
+		t.Fatalf("capA captures parsed wrong: %+v", a.Captures)
+	}
+	if s := topo.Sink(); s == nil || s.Name != "agg" {
+		t.Fatalf("sink = %v, want agg", s)
+	}
+	caps := topo.Captors("eth0")
+	if len(caps) != 2 || caps[0].Name != "capA" || caps[1].Name != "capB" {
+		t.Fatalf("eth0 captors = %v", caps)
+	}
+	if caps := topo.Captors("ETH1"); len(caps) != 1 || caps[0].Name != "capB" {
+		t.Fatalf("eth1 captors (case-insensitive) = %v", caps)
+	}
+	if caps := topo.Captors(""); len(caps) != 1 || caps[0].Name != "capA" {
+		t.Fatalf("default-interface captors = %v", caps)
+	}
+}
+
+func TestParseTopologyErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no nodes"},
+		{"garbage", "frobnicate", "expected 'node'"},
+		{"unclosed", "node a { cpu 5", "missing '}'"},
+		{"dup-node", "node a { cpu 1 }\nnode a { cpu 1 }", "duplicate node name"},
+		{"zero-cpu", "node a { cpu 0 }", "must be positive"},
+		{"neg-cpu", "node a { cpu -3 }", "must be positive"},
+		{"bad-cpu", "node a { cpu lots }", "not a number"},
+		{"dup-cpu", "node a { cpu 1 cpu 2 }", "duplicate cpu"},
+		{"unknown-directive", "node a { turbo 9 }", "unknown directive"},
+		{"unknown-uplink", "node a { uplink ghost }", "unknown uplink target"},
+		{"self-uplink", "node a { uplink a }", "uplinks to itself"},
+		{"uplink-cycle", "node a { uplink b }\nnode b { uplink a }", "uplink cycle"},
+		{"two-sinks", "node a { sink }\nnode b { sink }", "duplicate sink"},
+		{"capture-empty", "node a { capture }", "at least one interface"},
+		{"capture-conflict", "node a { capture eth0 }\nnode b { capture eth0 }", "already captured"},
+		{"whole-part-mix", "node a { capture eth0 }\nnode b { capture eth0[0/2] }", "mixes whole and partitioned"},
+		{"part-counts-disagree", "node a { capture eth0[0/2] }\nnode b { capture eth0[1/3] }", "disagree"},
+		{"dup-partition", "node a { capture eth0[0/2] }\nnode b { capture eth0[0/2] }", "already captured"},
+		{"missing-partition", "node a { capture eth0[0/2] }", "captured nowhere"},
+		{"part-out-of-range", "node a { capture eth0[2/2] }", "out of range"},
+		{"malformed-part", "node a { capture eth0[1-2] }", "malformed capture partition"},
+		{"same-host-twice", "node a { capture eth0[0/2] eth0[1/2] }", "twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTopology(tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("error is %T, want *ParseError: %v", err, err)
+			}
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Fatalf("unpositioned error: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestTopologyRenderRoundTrip(t *testing.T) {
+	topo := mustParse(t, trioSrc)
+	text := topo.Render()
+	topo2, err := ParseTopology(text)
+	if err != nil {
+		t.Fatalf("re-parse of Render output failed: %v\n%s", err, text)
+	}
+	if text2 := topo2.Render(); text2 != text {
+		t.Fatalf("Render is not a fixpoint:\n%s\nvs\n%s", text, text2)
+	}
+}
+
+func TestLinkCost(t *testing.T) {
+	topo := mustParse(t, trioSrc)
+	if c := topo.LinkCost("capA", "capA"); c != 0 {
+		t.Errorf("self cost = %v", c)
+	}
+	if c := topo.LinkCost("capA", "agg"); c != 2 {
+		t.Errorf("capA->agg = %v, want uplink cost 2", c)
+	}
+	if c := topo.LinkCost("capB", "agg"); c != 1 {
+		t.Errorf("capB->agg = %v, want default cost 1", c)
+	}
+	if c := topo.LinkCost("capA", "capB"); c != 3 {
+		t.Errorf("capA->capB = %v, want 2+1 via common root", c)
+	}
+}
+
+func TestRouter(t *testing.T) {
+	topo := mustParse(t, trioSrc)
+	r := topo.Router()
+	for i := uint64(0); i < 6; i++ {
+		host, ok := r.Route("eth0", i)
+		if !ok {
+			t.Fatalf("eth0 packet %d unrouted", i)
+		}
+		want := "capA"
+		if i%2 == 1 {
+			want = "capB"
+		}
+		if host != want {
+			t.Errorf("eth0 packet %d -> %s, want %s", i, host, want)
+		}
+	}
+	if host, ok := r.Route("eth1", 99); !ok || host != "capB" {
+		t.Errorf("eth1 -> %s/%v, want capB whole", host, ok)
+	}
+	if host, ok := r.Route("", 0); !ok || host != "capA" {
+		t.Errorf("default iface -> %s/%v, want capA", host, ok)
+	}
+	if _, ok := r.Route("wlan9", 0); ok {
+		t.Error("unknown interface routed")
+	}
+}

@@ -54,11 +54,20 @@ type Config struct {
 	// byte. (False is also what legacy repro artifacts, recorded before
 	// the columnar path existed, deserialize to.)
 	Columnar bool
+	// Distributed, when nonzero, runs the case through the placement
+	// coordinator across that many in-process Systems wired over unix
+	// sockets (see DistTopology for the 2/3/4-node presets) instead of a
+	// single System. Zero — what legacy artifacts deserialize to — is the
+	// ordinary single-process pipeline.
+	Distributed int
 }
 
 // Name returns a short config label used in repro directory names.
 func (c Config) Name() string {
 	s := fmt.Sprintf("b%d_s%d", c.MaxBatch, c.Shards)
+	if c.Distributed > 0 {
+		s += fmt.Sprintf("_d%d", c.Distributed)
+	}
 	if c.Columnar {
 		s += "_col"
 	}
@@ -386,7 +395,13 @@ func OracleResults(c *Case, faults bool) (map[string]*oracle.Result, error) {
 // divergence, and an error only for harness problems (compile failure,
 // shedding) that make the comparison itself invalid.
 func CheckConfig(c *Case, cfg Config, want map[string]*oracle.Result) (*Mismatch, error) {
-	run, err := RunPipeline(c, cfg)
+	var run *PipelineRun
+	var err error
+	if cfg.Distributed > 0 {
+		run, err = RunDistributed(c, cfg)
+	} else {
+		run, err = RunPipeline(c, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

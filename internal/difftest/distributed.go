@@ -1,0 +1,199 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"gigascope"
+	"gigascope/internal/core"
+	"gigascope/internal/schema"
+)
+
+// Distributed execution axis: the same cases run through the placement
+// coordinator across N in-process Systems wired over real unix sockets,
+// and the sink's output is compared against the oracle exactly like the
+// single-process cells. Config.Distributed selects one of three topology
+// presets (every generated query captures on eth0):
+//
+//	2 nodes  whole capture on one host, sink on the other — the basic
+//	         LFTA/HFTA wire split
+//	3 nodes  eth0 capture split across two hosts plus a sink — exercises
+//	         partition-renamed LFTAs and reunification
+//	4 nodes  capture split with starved capture budgets plus two
+//	         equal-budget HFTA-tier hosts — forces the balancer to spread
+//	         HFTAs and chain wire hops (capture -> tier -> sink)
+
+// DistTopology returns the preset topology source for nodes hosts.
+func DistTopology(nodes int) (string, error) {
+	switch nodes {
+	case 2:
+		return `
+node cap { cpu 400  capture eth0  uplink agg }
+node agg { cpu 4000  sink }
+`, nil
+	case 3:
+		return `
+node capA { cpu 400  capture eth0[0/2]  uplink agg }
+node capB { cpu 400  capture eth0[1/2]  uplink agg }
+node agg  { cpu 4000  sink }
+`, nil
+	case 4:
+		return `
+node capA { cpu 20  capture eth0[0/2]  uplink t1 }
+node capB { cpu 20  capture eth0[1/2]  uplink t1 }
+node t1   { cpu 2000  uplink agg }
+node agg  { cpu 2000  sink }
+`, nil
+	}
+	return "", fmt.Errorf("difftest: no %d-node topology preset (have 2, 3, 4)", nodes)
+}
+
+// RunDistributed is RunPipeline's multi-node twin: it places the case's
+// queries across Config.Distributed hosts, runs them as a Cluster, and
+// collects every query's output at the sink. The same harness guards
+// apply — shedding, quarantine, or reorder on ANY host invalidates the
+// comparison — plus a wire guard: a fault-free cluster must finish with
+// zero reconnects and zero sequence gaps.
+func RunDistributed(c *Case, cfg Config) (*PipelineRun, error) {
+	topoSrc, err := DistTopology(cfg.Distributed)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := gigascope.ParseTopology(topoSrc)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: topology preset: %w", err)
+	}
+	sysCfg := gigascope.Config{
+		RingSize:        8192,
+		MaxBatch:        cfg.MaxBatch,
+		InboxDepth:      4096,
+		HeartbeatUsec:   250_000,
+		Shards:          cfg.Shards,
+		DisableColumnar: !cfg.Columnar,
+	}
+	if cfg.Faults {
+		sysCfg.QuarantineRestartUsec = 50_000
+	}
+
+	// Per-query parameter bindings, keyed the way ClusterConfig wants them.
+	perQuery := make(map[string]map[string]schema.Value)
+	var names []string
+	for _, text := range c.Queries {
+		name, p, err := queryParams(text, c.Params)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			perQuery[name] = p
+		}
+		names = append(names, name)
+	}
+
+	cl, err := gigascope.NewCluster(gigascope.ClusterConfig{
+		Topology: topo,
+		Script:   strings.Join(c.Queries, ";\n"),
+		Params:   perQuery,
+		Seed:     c.Seed,
+		System:   sysCfg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("difftest: cluster: %w", err)
+	}
+	if err := cl.Start(); err != nil {
+		return nil, fmt.Errorf("difftest: cluster start: %w", err)
+	}
+
+	run := &PipelineRun{
+		Rows:  make(map[string][]schema.Tuple, len(names)),
+		Plans: make(map[string]*core.CompiledQuery, len(names)),
+	}
+	for _, name := range names {
+		if plan, ok := cl.Plan(name); ok {
+			run.Plans[name] = plan
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, name := range names {
+		sub, err := cl.Subscribe(name, 4096)
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(name string, sub *gigascope.Subscription) {
+			defer wg.Done()
+			var rows []schema.Tuple
+			for batch := range sub.C {
+				for _, m := range batch {
+					if m.IsHeartbeat() {
+						continue
+					}
+					rows = append(rows, append(schema.Tuple(nil), m.Tuple...))
+				}
+			}
+			mu.Lock()
+			run.Rows[name] = rows
+			mu.Unlock()
+		}(name, sub)
+	}
+
+	trace := c.effectiveTrace(cfg)
+	const chunk = 256
+	for i := 0; i < len(trace); i += chunk {
+		end := i + chunk
+		if end > len(trace) {
+			end = len(trace)
+		}
+		batch := make([]*gigascope.Packet, 0, end-i)
+		for j := i; j < end; j++ {
+			batch = append(batch, &trace[j])
+		}
+		cl.InjectBatch("eth0", batch)
+		cl.AdvanceClock(trace[end-1].TS)
+	}
+	if len(trace) > 0 {
+		cl.AdvanceClock(trace[len(trace)-1].TS + 10_000_000)
+	}
+	cl.Stop()
+	wg.Wait()
+
+	for host, stats := range cl.Stats() {
+		for _, st := range stats {
+			switch {
+			case st.RingDrop > 0:
+				return nil, fmt.Errorf("difftest: harness undersized: %s/%s shed %d tuples at its rings", host, st.Name, st.RingDrop)
+			case st.Quarantines > 0:
+				return nil, fmt.Errorf("difftest: %s/%s quarantined %d times (%s)", host, st.Name, st.Quarantines, st.QuarantineReason)
+			case st.QuarDrop > 0:
+				return nil, fmt.Errorf("difftest: %s/%s dropped %d tuples while quarantined", host, st.Name, st.QuarDrop)
+			case st.Op.Reordered > 0:
+				return nil, fmt.Errorf("difftest: %s/%s emitted %d tuples out of order under buffer pressure", host, st.Name, st.Op.Reordered)
+			case st.Reconnects > 0 || st.GapEvents > 0:
+				return nil, fmt.Errorf("difftest: %s/%s saw wire degradation in a fault-free run (reconnects=%d gaps=%d)",
+					host, st.Name, st.Reconnects, st.GapEvents)
+			}
+		}
+	}
+	return run, nil
+}
+
+// DistributedMatrix is the distributed equivalence matrix: {64, 4096}
+// batch sizes x {2, 3, 4}-node topologies x columnar off/on x faults
+// off/on — 24 cells. Shards stays 1: the capture split IS the sharding
+// axis here.
+func DistributedMatrix() []Config {
+	var out []Config
+	for _, b := range []int{64, 4096} {
+		for _, n := range []int{2, 3, 4} {
+			for _, col := range []bool{false, true} {
+				for _, f := range []bool{false, true} {
+					out = append(out, Config{MaxBatch: b, Shards: 1, Distributed: n, Columnar: col, Faults: f})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package difftest
+
+import (
+	"testing"
+
+	"gigascope"
+	"gigascope/internal/oracle"
+)
+
+// TestDistributedMatrix runs seeded cases through every distributed cell:
+// {64, 4096} batch x {2, 3, 4}-node topologies x columnar x faults, each
+// compared against the naive oracle. Mismatches are minimized and written
+// as replayable artifacts exactly like single-process failures — the
+// artifact's Config.Distributed replays through the same topology preset.
+func TestDistributedMatrix(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	cells := 0
+	for _, seed := range seeds {
+		c, err := NewCase(seed, tracePackets)
+		if err != nil {
+			t.Fatalf("seed %d: generating case: %v", seed, err)
+		}
+		cache := map[bool]map[string]*oracle.Result{}
+		for _, cfg := range DistributedMatrix() {
+			cells++
+			t.Run(cfg.Name()+"_seed"+itoa(seed), func(t *testing.T) {
+				want, ok := cache[cfg.Faults]
+				if !ok {
+					var err error
+					want, err = OracleResults(c, cfg.Faults)
+					if err != nil {
+						t.Fatalf("oracle: %v", err)
+					}
+					cache[cfg.Faults] = want
+				}
+				m, err := CheckConfig(c, cfg, want)
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if m == nil {
+					return
+				}
+				min := Minimize(c, cfg, DefaultMinimizeBudget)
+				dir, werr := WriteArtifact("testdata/repros", min, cfg, m, nil)
+				if werr != nil {
+					t.Fatalf("mismatch (artifact write failed: %v): %s", werr, m)
+				}
+				t.Fatalf("%s\nminimized repro written to %s", m, dir)
+			})
+		}
+	}
+	if want := len(DistributedMatrix()) * len(seeds); cells != want {
+		t.Fatalf("ran %d cells, want %d", cells, want)
+	}
+	if len(DistributedMatrix()) < 24 {
+		t.Fatalf("distributed matrix has %d cells, want >= 24", len(DistributedMatrix()))
+	}
+	t.Logf("checked %d distributed (case, config) cells", cells)
+}
+
+// TestDistTopologyPresetsParse pins that every preset is valid topology
+// source and has the advertised shape.
+func TestDistTopologyPresetsParse(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		src, err := DistTopology(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := gigascope.ParseTopology(src)
+		if err != nil {
+			t.Fatalf("%d-node preset does not parse: %v", n, err)
+		}
+		if len(topo.Nodes) != n {
+			t.Errorf("%d-node preset has %d nodes", n, len(topo.Nodes))
+		}
+		if topo.Sink() == nil || len(topo.Sink().Captures) != 0 {
+			t.Errorf("%d-node preset sink should be capture-free", n)
+		}
+	}
+	if _, err := DistTopology(7); err == nil {
+		t.Error("unknown preset size should error")
+	}
+}

@@ -52,6 +52,10 @@ type Artifact struct {
 	// Plans are one-line plan summaries (node kinds, merge columns,
 	// aggregation flush keys, join windows) captured for triage.
 	Plans []string `json:"plans,omitempty"`
+	// Topology is the rendered topology source for distributed-config
+	// artifacts — informational for triage; replay re-derives the same
+	// topology from Config.Distributed.
+	Topology string `json:"topology,omitempty"`
 }
 
 func encodeValue(v schema.Value) string {
@@ -136,6 +140,11 @@ func WriteArtifact(dir string, c *Case, cfg Config, m *Mismatch, plans map[strin
 		TraceFile:   traceFileName,
 		Mismatch:    m.String(),
 		ObservedErr: m.ObservedErr,
+	}
+	if cfg.Distributed > 0 {
+		if topoSrc, err := DistTopology(cfg.Distributed); err == nil {
+			art.Topology = topoSrc
+		}
 	}
 	if len(c.Params) > 0 {
 		art.Params = make(map[string]string, len(c.Params))

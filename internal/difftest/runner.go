@@ -13,6 +13,18 @@ import (
 // (shedding, compile failures) count as failures too — they mean the
 // equivalence claim was not checked.
 func RunMatrix(w io.Writer, seeds, tracePackets int) int {
+	return runMatrix(w, seeds, tracePackets, Matrix())
+}
+
+// RunDistributedMatrix is RunMatrix over the distributed cells only, used
+// by `gsbench -run difftest-dist`: every case runs through the placement
+// coordinator across 2/3/4 in-process hosts and is compared against the
+// same naive oracle.
+func RunDistributedMatrix(w io.Writer, seeds, tracePackets int) int {
+	return runMatrix(w, seeds, tracePackets, DistributedMatrix())
+}
+
+func runMatrix(w io.Writer, seeds, tracePackets int, matrix []Config) int {
 	failures := 0
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		c, err := NewCase(seed, tracePackets)
@@ -22,7 +34,7 @@ func RunMatrix(w io.Writer, seeds, tracePackets int) int {
 			continue
 		}
 		cache := map[bool]map[string]*oracle.Result{}
-		for _, cfg := range Matrix() {
+		for _, cfg := range matrix {
 			want, ok := cache[cfg.Faults]
 			if !ok {
 				want, err = OracleResults(c, cfg.Faults)

@@ -312,7 +312,7 @@ func (m *Manager) AddUserNode(name string, op exec.Operator, inputs []string) er
 	out := op.OutSchema().Clone()
 	out.Name = name
 	out.Kind = schema.KindStream
-	if err := m.cat.Register(out); err != nil {
+	if err := m.registerStreamLocked(out); err != nil {
 		return err
 	}
 	m.nodes[key] = qn
@@ -321,6 +321,21 @@ func (m *Manager) AddUserNode(name string, op exec.Operator, inputs []string) er
 		qn.start()
 	}
 	return nil
+}
+
+// registerStreamLocked registers a node-output schema, superseding a
+// node-less stream entry of the same name. Compiling a script registers
+// every output schema into the catalog even when the producing node is
+// instantiated on a different host (distributed placement); a wire
+// import or reunify node then materializes the stream locally and must
+// be able to claim the name. A name owned by a live node never reaches
+// here (the m.nodes dup check precedes registration under the same
+// lock), and protocol schemas stay protected. Callers hold m.mu.
+func (m *Manager) registerStreamLocked(sc *schema.Schema) error {
+	if old, ok := m.cat.Lookup(sc.Name); ok && old.Kind != schema.KindProtocol {
+		return m.cat.Replace(sc)
+	}
+	return m.cat.Register(sc)
 }
 
 // addShardedLFTA registers one LFTA as Config.Shards per-shard instances

@@ -71,7 +71,7 @@ func (m *Manager) AddRemoteSource(name string, out *schema.Schema, peer PeerMoni
 	sc := out.Clone()
 	sc.Name = name
 	sc.Kind = schema.KindStream
-	if err := m.cat.Register(sc); err != nil {
+	if err := m.registerStreamLocked(sc); err != nil {
 		return nil, err
 	}
 	qn := &queryNode{
